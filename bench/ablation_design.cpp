@@ -1,0 +1,120 @@
+//===- ablation_design.cpp - Ablations of this repo's design choices ----------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+//
+// DESIGN.md commits us to ablating our own design choices, not just the
+// paper's optimizations. Two knobs matter for how faithfully Figure 8's
+// shape is reproduced:
+//
+//   1. The unroll limit for short constant sequential loops (standing in
+//      for the vendor OpenCL compiler's unrolling). Convolution's 3x3
+//      windows need it for their k/3, k%3 indices to fold.
+//
+//   2. The integer div/mod weight in the cost model, which controls how
+//      much unsimplified index arithmetic costs — the mechanism behind
+//      the paper's array-access-simplification ablation.
+//
+// Both sweeps are printed as tables; every configuration still validates.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/Benchmark.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+using namespace lift;
+using namespace lift::bench;
+
+namespace {
+
+/// Runs one benchmark's Lift stages with explicit options; returns the
+/// raw (unweighted) cost report summed over stages.
+ocl::CostReport runWith(const BenchmarkCase &Case, int64_t UnrollLimit,
+                        bool Aas, bool &Valid) {
+  std::vector<ocl::Buffer> Bufs;
+  for (const BufferInit &B : Case.WorkingBuffers)
+    Bufs.push_back(B.materialize());
+  ocl::CostReport Total;
+  for (const Stage &S : Case.LiftStages) {
+    codegen::CompilerOptions O;
+    O.GlobalSize = S.Global;
+    O.LocalSize = S.Local;
+    O.UnrollLimit = UnrollLimit;
+    O.ArrayAccessSimplification = Aas;
+    codegen::CompiledKernel K = codegen::compile(S.Program, O);
+    std::vector<ocl::Buffer *> Args;
+    for (size_t Idx : S.Buffers)
+      Args.push_back(&Bufs[Idx]);
+    ocl::LaunchConfig Cfg;
+    Cfg.Global = S.Global;
+    Cfg.Local = S.Local;
+    Total += ocl::launch(K, Args, S.Sizes, Cfg);
+  }
+  // Validate against the golden output.
+  auto Got = Bufs[Case.OutputBuffer].toFlatFloats();
+  Valid = Got.size() == Case.Expected.size();
+  if (Valid) {
+    for (size_t I = 0; I != Got.size(); ++I) {
+      double Scale = std::max(1.0, std::fabs(double(Case.Expected[I])));
+      if (std::fabs(double(Got[I]) - double(Case.Expected[I])) / Scale >
+          Case.Tolerance) {
+        Valid = false;
+        break;
+      }
+    }
+  }
+  return Total;
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Ablation 1: unroll limit (Convolution, small) ===\n\n");
+  std::printf("%8s %14s %12s %8s\n", "limit", "div/mod ops", "cost",
+              "valid");
+  {
+    BenchmarkCase Conv = makeConvolution(false);
+    for (int64_t Limit : {0, 3, 9, 16}) {
+      bool Valid = false;
+      ocl::CostReport C = runWith(Conv, Limit, /*Aas=*/true, Valid);
+      std::printf("%8lld %14llu %12.0f %8s\n",
+                  static_cast<long long>(Limit),
+                  static_cast<unsigned long long>(C.DivModOps), C.cost(),
+                  Valid ? "yes" : "NO");
+    }
+  }
+  std::printf("\nWithout unrolling (limit 0), every 3x3 window access pays "
+              "k/3 and k%%3 at\nruntime; unrolling folds them to "
+              "constants, as the vendor compilers do.\n\n");
+
+  std::printf("=== Ablation 2: div/mod cost weight "
+              "(N-Body NVIDIA, small) ===\n\n");
+  std::printf("%8s %16s %16s %10s\n", "weight", "cost (AAS on)",
+              "cost (AAS off)", "AAS gain");
+  {
+    BenchmarkCase NBody = makeNBodyNvidia(false);
+    bool VOn = false, VOff = false;
+    ocl::CostReport On = runWith(NBody, 9, true, VOn);
+    ocl::CostReport Off = runWith(NBody, 9, false, VOff);
+    for (double W : {1.0, 4.0, 16.0, 64.0}) {
+      ocl::CostWeights CW;
+      CW.DivMod = W;
+      std::printf("%8.0f %16.0f %16.0f %9.2fx\n", W, On.cost(CW),
+                  Off.cost(CW), Off.cost(CW) / On.cost(CW));
+    }
+    if (!VOn || !VOff) {
+      std::printf("validation FAILED\n");
+      return 1;
+    }
+  }
+  std::printf("\nThe array access simplification gain grows with the "
+              "div/mod weight; the\ndefault (16) reflects integer "
+              "division being an order of magnitude more\nexpensive than "
+              "add/mul on the paper's GPUs. The *ordering* of the "
+              "ablation\nbars in Figure 8 is insensitive to this choice.\n");
+  return 0;
+}

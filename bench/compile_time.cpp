@@ -1,0 +1,137 @@
+//===- compile_time.cpp - Compiler-stage timing (google-benchmark) ------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+//
+// Not a table from the paper: measures the throughput of the compiler
+// itself (type inference, full compilation per optimization level, the
+// arithmetic simplifier, and rewrite-based lowering), as a guard against
+// performance regressions in the compiler.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Compiler.h"
+#include "ir/DSL.h"
+#include "ir/Prelude.h"
+#include "ir/TypeInference.h"
+#include "rewrite/Rules.h"
+#include "support/Casting.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::ir::dsl;
+
+namespace {
+
+/// The Listing 1 dot product: a representative mid-size program.
+LambdaPtr dotProgram() {
+  auto N = arith::sizeVar("N");
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  ParamPtr Y = param("y", arrayOf(float32(), N));
+  FunDeclPtr MAdd = prelude::multAndSumUpFun();
+  FunDeclPtr Add = prelude::addFun();
+  FunDeclPtr IdF = prelude::idFloatFun();
+  ExprPtr Body = pipe(
+      call(zip(), {X, Y}), split(128), mapWrg(0, fun([&](ExprPtr Chunk) {
+        return pipe(
+            Chunk, split(2), mapLcl(0, fun([&](ExprPtr Pair) {
+              return pipe(call(reduceSeq(MAdd), {litFloat(0.0f), Pair}),
+                          toLocal(mapSeq(IdF)));
+            })),
+            join(), iterate(6, fun([&](ExprPtr Arr) {
+                      return pipe(Arr, split(2),
+                                  mapLcl(0, fun([&](ExprPtr Two) {
+                                    return pipe(call(reduceSeq(Add),
+                                                     {litFloat(0.0f), Two}),
+                                                toLocal(mapSeq(IdF)));
+                                  })),
+                                  join());
+                    })),
+            split(1), toGlobal(mapLcl(0, mapSeq(IdF))), join());
+      })),
+      join());
+  return lambda({X, Y}, Body);
+}
+
+codegen::CompilerOptions dotOptions() {
+  codegen::CompilerOptions O;
+  O.GlobalSize = {4096, 1, 1};
+  O.LocalSize = {64, 1, 1};
+  return O;
+}
+
+void BM_TypeInference(benchmark::State &State) {
+  LambdaPtr P = dotProgram();
+  for (auto _ : State) {
+    LambdaPtr Clone = cast<Lambda>(
+        cloneFunDecl(std::static_pointer_cast<FunDecl>(P)));
+    benchmark::DoNotOptimize(inferProgramTypes(Clone));
+  }
+}
+BENCHMARK(BM_TypeInference);
+
+void BM_FullCompile(benchmark::State &State) {
+  LambdaPtr P = dotProgram();
+  codegen::CompilerOptions O = dotOptions();
+  for (auto _ : State) {
+    codegen::CompiledKernel K = codegen::compile(P, O);
+    benchmark::DoNotOptimize(K.Source.data());
+  }
+}
+BENCHMARK(BM_FullCompile);
+
+void BM_CompileNoOptimizations(benchmark::State &State) {
+  LambdaPtr P = dotProgram();
+  codegen::CompilerOptions O = codegen::CompilerOptions::noOptimizations();
+  O.GlobalSize = {4096, 1, 1};
+  O.LocalSize = {64, 1, 1};
+  for (auto _ : State) {
+    codegen::CompiledKernel K = codegen::compile(P, O);
+    benchmark::DoNotOptimize(K.Source.data());
+  }
+}
+BENCHMARK(BM_CompileNoOptimizations);
+
+void BM_ArithSimplification(benchmark::State &State) {
+  // The Figure 6 transpose index, rebuilt through the simplifier.
+  auto N = arith::sizeVar("N");
+  auto M = arith::sizeVar("M");
+  auto WgId = arith::var("wg_id", arith::cst(0),
+                         arith::sub(M, arith::cst(1)));
+  auto LId = arith::var("l_id", arith::cst(0),
+                        arith::sub(N, arith::cst(1)));
+  arith::Expr Raw;
+  {
+    arith::SimplifyGuard Guard(false);
+    arith::Expr Flat =
+        arith::add(arith::mul(arith::Expr(WgId), N), arith::Expr(LId));
+    arith::Expr Gathered = arith::add(
+        arith::intDiv(Flat, N), arith::mul(arith::mod(Flat, N), M));
+    Raw = arith::add(arith::mul(arith::intDiv(Gathered, M), M),
+                     arith::mod(Gathered, M));
+  }
+  for (auto _ : State)
+    benchmark::DoNotOptimize(arith::simplified(Raw));
+}
+BENCHMARK(BM_ArithSimplification);
+
+void BM_RewriteLowering(benchmark::State &State) {
+  auto MakeHighLevel = []() {
+    ParamPtr X = param("x", arrayOf(float32(), arith::cst(1024)));
+    return lambda({X}, pipe(ExprPtr(X), map(prelude::squareFun()),
+                            map(prelude::squareFun())));
+  };
+  for (auto _ : State) {
+    LambdaPtr L = rewrite::lowerProgram(MakeHighLevel(), true,
+                                        arith::cst(64));
+    benchmark::DoNotOptimize(L.get());
+  }
+}
+BENCHMARK(BM_RewriteLowering);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+//===- fig8_performance.cpp - Reproduction of Figure 8 ------------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+//
+// Reproduces Figure 8 of the paper: for every benchmark and input size,
+// runs the hand-written OpenCL reference and the Lift-generated kernels
+// under the three optimization configurations, validates every output and
+// prints the performance of generated code *relative to the reference*
+// (1.0 = parity, as on the paper's y-axis). Costs come from the simulated
+// device's machine-independent cost model (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/Benchmark.h"
+
+#include <cstdio>
+
+using namespace lift;
+using namespace lift::bench;
+
+int main(int argc, char **argv) {
+  bool Quick = false;
+  for (int I = 1; I < argc; ++I)
+    if (std::string(argv[I]) == "--quick")
+      Quick = true;
+
+  std::printf("=== Figure 8: relative performance of generated code vs. "
+              "hand-written OpenCL ===\n");
+  std::printf("(relative = reference cost / generated cost; 1.0 means "
+              "parity; higher is better)\n\n");
+  std::printf("%-18s %-6s %12s | %10s %10s %10s | %s\n", "Benchmark", "Size",
+              "RefCost", "None", "BE+CFS", "+AAS", "valid");
+
+  int Failures = 0;
+  const OptConfig Configs[] = {OptConfig::None, OptConfig::BarrierCfs,
+                               OptConfig::Full};
+
+  for (bool Large : {false, true}) {
+    if (Large && Quick)
+      continue;
+    for (BenchmarkCase &Case : allBenchmarks(Large)) {
+      Outcome Ref = runReference(Case);
+      if (!Ref.Valid) {
+        std::printf("%-18s %-6s REFERENCE INVALID (err %.3g)\n",
+                    Case.Name.c_str(), Case.SizeLabel.c_str(), Ref.MaxError);
+        ++Failures;
+        continue;
+      }
+      double Rel[3];
+      bool AllValid = true;
+      for (int CI = 0; CI != 3; ++CI) {
+        Outcome Out = runLift(Case, Configs[CI]);
+        Rel[CI] = Ref.Cost.cost() / Out.Cost.cost();
+        if (!Out.Valid) {
+          AllValid = false;
+          std::printf("  !! %s %s [%s]: validation failed, max rel err "
+                      "%.3g\n",
+                      Case.Name.c_str(), Case.SizeLabel.c_str(),
+                      optConfigName(Configs[CI]), Out.MaxError);
+        }
+      }
+      if (!AllValid)
+        ++Failures;
+      std::printf("%-18s %-6s %12.0f | %10.3f %10.3f %10.3f | %s\n",
+                  Case.Name.c_str(), Case.SizeLabel.c_str(), Ref.Cost.cost(),
+                  Rel[0], Rel[1], Rel[2], AllValid ? "yes" : "NO");
+    }
+    std::printf("\n");
+  }
+
+  if (Failures != 0) {
+    std::printf("%d benchmark(s) failed validation\n", Failures);
+    return 1;
+  }
+  std::printf("All benchmarks validated against host references.\n");
+  return 0;
+}

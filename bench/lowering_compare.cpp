@@ -1,0 +1,113 @@
+//===- lowering_compare.cpp - Rewrite-lowered vs hand-lowered kernels ----------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+//
+// Quantifies the prior-work story the paper builds on (section 2): the
+// same portable high-level program is lowered automatically with the
+// rewrite rules under two strategies and compared — for identical results
+// and simulated cost — against a hand-written low-level formulation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Compiler.h"
+#include "ir/DSL.h"
+#include "ir/Prelude.h"
+#include "ocl/Runtime.h"
+#include "rewrite/Rules.h"
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::ir::dsl;
+
+namespace {
+
+constexpr int64_t N = 4096;
+
+struct RunResult {
+  double Cost = 0;
+  double MaxErr = 0;
+};
+
+RunResult runScaled(const LambdaPtr &Prog, std::array<int64_t, 3> Global,
+                    std::array<int64_t, 3> Local,
+                    const std::vector<float> &In,
+                    const std::vector<float> &Ref) {
+  codegen::CompilerOptions O;
+  O.GlobalSize = Global;
+  O.LocalSize = Local;
+  codegen::CompiledKernel K = codegen::compile(Prog, O);
+  ocl::Buffer InB = ocl::Buffer::ofFloats(In);
+  ocl::Buffer Out = ocl::Buffer::zeros(Ref.size());
+  ocl::CostReport C =
+      ocl::launch(K, {&InB, &Out}, {}, ocl::LaunchConfig::fromOptions(O));
+  RunResult R;
+  R.Cost = C.cost();
+  auto Got = Out.toFloats();
+  for (size_t I = 0; I != Ref.size(); ++I)
+    R.MaxErr = std::fmax(
+        R.MaxErr, std::fabs(static_cast<double>(Got[I]) - Ref[I]));
+  return R;
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Rewrite-based lowering vs hand-written low-level IL "
+              "===\n\n");
+  std::printf("Portable program: map(offset) . map(scale) over [float]%lld"
+              "\n\n",
+              static_cast<long long>(N));
+
+  FunDeclPtr Scale = userFun("scale", {"x"}, {float32()}, float32(),
+                             "return 3.0f * x;");
+  FunDeclPtr Offset = userFun("offset", {"x"}, {float32()}, float32(),
+                              "return x + 1.0f;");
+  FunDeclPtr Fused = userFun("scaleOffset", {"x"}, {float32()}, float32(),
+                             "return 3.0f * x + 1.0f;");
+
+  auto MakeHighLevel = [&]() {
+    ParamPtr X = param("x", arrayOf(float32(), arith::cst(N)));
+    return lambda({X}, pipe(ExprPtr(X), map(Scale), map(Offset)));
+  };
+  // What an expert would write directly.
+  ParamPtr XH = param("x", arrayOf(float32(), arith::cst(N)));
+  LambdaPtr Hand = lambda({XH}, pipe(ExprPtr(XH), mapGlb(Fused)));
+
+  std::vector<float> In(N), Ref(N);
+  for (int64_t I = 0; I != N; ++I) {
+    In[I] = static_cast<float>(I % 17) / 4.f;
+    Ref[I] = 3.f * In[I] + 1.f;
+  }
+
+  LambdaPtr Glb = rewrite::lowerProgram(MakeHighLevel(), false);
+  LambdaPtr Wrg =
+      rewrite::lowerProgram(MakeHighLevel(), true, arith::cst(64));
+
+  RunResult RH = runScaled(Hand, {512, 1, 1}, {64, 1, 1}, In, Ref);
+  RunResult RG = runScaled(Glb, {512, 1, 1}, {64, 1, 1}, In, Ref);
+  RunResult RW = runScaled(Wrg, {N, 1, 1}, {64, 1, 1}, In, Ref);
+
+  std::printf("%-34s %12s %10s %8s\n", "variant", "cost", "relative",
+              "max err");
+  std::printf("%-34s %12.0f %9.3fx %8.1g\n", "hand-written (mapGlb, fused)",
+              RH.Cost, 1.0, RH.MaxErr);
+  std::printf("%-34s %12.0f %9.3fx %8.1g\n", "lowered: mapGlb strategy",
+              RG.Cost, RH.Cost / RG.Cost, RG.MaxErr);
+  std::printf("%-34s %12.0f %9.3fx %8.1g\n",
+              "lowered: mapWrg(mapLcl) strategy", RW.Cost,
+              RH.Cost / RW.Cost, RW.MaxErr);
+
+  std::printf("\nThe map-fusion rule removes the intermediate array, so "
+              "the automatically\nlowered kernels match the hand-fused "
+              "one's memory traffic; the remaining\ndifference is user-"
+              "function call overhead (the expert fused the bodies).\n");
+
+  bool Ok = RH.MaxErr < 1e-5 && RG.MaxErr < 1e-5 && RW.MaxErr < 1e-5;
+  return Ok ? 0 : 1;
+}

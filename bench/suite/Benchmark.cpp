@@ -1,0 +1,154 @@
+//===- Benchmark.cpp - Benchmark harness runner -------------------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/Benchmark.h"
+
+#include "cparse/CParser.h"
+#include "support/Error.h"
+
+#include <cmath>
+
+using namespace lift;
+using namespace lift::bench;
+
+ocl::Buffer BufferInit::materialize() const {
+  switch (K) {
+  case F32:
+    return ocl::Buffer::ofFloats(F);
+  case I32:
+    return ocl::Buffer::ofInts(I);
+  case V2:
+    return ocl::Buffer::ofVectors(F, 2);
+  case V4:
+    return ocl::Buffer::ofVectors(F, 4);
+  case Zero:
+    return ocl::Buffer::zeros(Count);
+  }
+  fatalError("unhandled buffer init kind");
+}
+
+const char *bench::optConfigName(OptConfig C) {
+  switch (C) {
+  case OptConfig::None:
+    return "None";
+  case OptConfig::BarrierCfs:
+    return "BE+CFS";
+  case OptConfig::Full:
+    return "BE+CFS+AAS";
+  }
+  return "?";
+}
+
+namespace {
+
+codegen::CompilerOptions optionsFor(OptConfig C, const Stage &S) {
+  codegen::CompilerOptions O;
+  O.GlobalSize = S.Global;
+  O.LocalSize = S.Local;
+  switch (C) {
+  case OptConfig::None:
+    O.BarrierElimination = false;
+    O.ControlFlowSimplification = false;
+    O.ArrayAccessSimplification = false;
+    break;
+  case OptConfig::BarrierCfs:
+    O.ArrayAccessSimplification = false;
+    break;
+  case OptConfig::Full:
+    break;
+  }
+  return O;
+}
+
+double validate(const std::vector<float> &Got,
+                const std::vector<float> &Expected) {
+  if (Got.size() != Expected.size())
+    return 1e30;
+  double MaxErr = 0;
+  for (size_t I = 0; I != Got.size(); ++I) {
+    double Scale =
+        std::fmax(1.0, std::fabs(static_cast<double>(Expected[I])));
+    MaxErr = std::fmax(MaxErr,
+                       std::fabs(static_cast<double>(Got[I]) -
+                                 static_cast<double>(Expected[I])) /
+                           Scale);
+  }
+  return MaxErr;
+}
+
+Outcome runStages(const BenchmarkCase &Case, const std::vector<Stage> &Stages,
+                  bool IsLift, OptConfig Config) {
+  std::vector<ocl::Buffer> Bufs;
+  Bufs.reserve(Case.WorkingBuffers.size());
+  for (const BufferInit &B : Case.WorkingBuffers)
+    Bufs.push_back(B.materialize());
+
+  Outcome Out;
+  for (const Stage &S : Stages) {
+    codegen::CompiledKernel K;
+    if (IsLift) {
+      K = codegen::compile(S.Program, optionsFor(Config, S));
+    } else {
+      cparse::ParseContext PC;
+      K = ocl::wrapModule(cparse::parseModule(S.ReferenceSource, PC));
+    }
+    Out.KernelSources += IsLift ? K.Source : S.ReferenceSource;
+
+    std::vector<ocl::Buffer *> Args;
+    for (size_t Idx : S.Buffers)
+      Args.push_back(&Bufs[Idx]);
+
+    ocl::LaunchConfig Cfg;
+    Cfg.Global = S.Global;
+    Cfg.Local = S.Local;
+    Out.Cost += ocl::launch(K, Args, S.Sizes, Cfg);
+  }
+
+  Out.MaxError = validate(Bufs[Case.OutputBuffer].toFlatFloats(),
+                          Case.Expected);
+  Out.Valid = Out.MaxError < Case.Tolerance;
+  return Out;
+}
+
+} // namespace
+
+Outcome bench::runLift(const BenchmarkCase &Case, OptConfig Config) {
+  return runStages(Case, Case.LiftStages, /*IsLift=*/true, Config);
+}
+
+Outcome bench::runReference(const BenchmarkCase &Case) {
+  return runStages(Case, Case.ReferenceStages, /*IsLift=*/false,
+                   OptConfig::Full);
+}
+
+std::vector<float> bench::randomFloats(size_t N, uint64_t Seed) {
+  std::vector<float> R(N);
+  uint64_t S = Seed * 6364136223846793005ULL + 1442695040888963407ULL;
+  for (size_t I = 0; I != N; ++I) {
+    S ^= S << 13;
+    S ^= S >> 7;
+    S ^= S << 17;
+    R[I] = static_cast<float>(static_cast<int64_t>(S % 2000) - 1000) / 1000.f;
+  }
+  return R;
+}
+
+std::vector<BenchmarkCase> bench::allBenchmarks(bool Large) {
+  std::vector<BenchmarkCase> All;
+  All.push_back(makeNBodyNvidia(Large));
+  All.push_back(makeNBodyAmd(Large));
+  All.push_back(makeMD(Large));
+  All.push_back(makeKMeans(Large));
+  All.push_back(makeNN(Large));
+  All.push_back(makeMriQ(Large));
+  All.push_back(makeConvolution(Large));
+  All.push_back(makeAtax(Large));
+  All.push_back(makeGemv(Large));
+  All.push_back(makeGesummv(Large));
+  All.push_back(makeMM(Large));
+  All.push_back(makeMMAmd(Large));
+  return All;
+}

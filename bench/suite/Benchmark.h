@@ -1,0 +1,149 @@
+//===- Benchmark.h - The paper's benchmark suite ----------------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark suite of Table 1 / Figure 8: each benchmark provides a
+/// low-level Lift IL program (mimicking the optimizations of the original
+/// hand-written kernel), a hand-written OpenCL reference kernel (run on
+/// the same simulated device), host input data, and a host-side golden
+/// reference for validation. Multi-kernel benchmarks (ATAX) have several
+/// stages whose costs are summed, as in the paper (section 6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_BENCH_BENCHMARK_H
+#define LIFT_BENCH_BENCHMARK_H
+
+#include "codegen/Compiler.h"
+#include "ir/IR.h"
+#include "ocl/Runtime.h"
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lift {
+namespace bench {
+
+/// Initial contents of one working buffer.
+struct BufferInit {
+  enum Kind { F32, I32, V2, V4, Zero } K = Zero;
+  std::vector<float> F; // F32 / V2 / V4 (flat)
+  std::vector<int> I;   // I32
+  size_t Count = 0;     // Zero: number of zero floats
+
+  static BufferInit floats(std::vector<float> D) {
+    BufferInit B;
+    B.K = F32;
+    B.F = std::move(D);
+    return B;
+  }
+  static BufferInit ints(std::vector<int> D) {
+    BufferInit B;
+    B.K = I32;
+    B.I = std::move(D);
+    return B;
+  }
+  static BufferInit vec2(std::vector<float> Flat) {
+    BufferInit B;
+    B.K = V2;
+    B.F = std::move(Flat);
+    return B;
+  }
+  static BufferInit vec4(std::vector<float> Flat) {
+    BufferInit B;
+    B.K = V4;
+    B.F = std::move(Flat);
+    return B;
+  }
+  static BufferInit zeros(size_t N) {
+    BufferInit B;
+    B.K = Zero;
+    B.Count = N;
+    return B;
+  }
+
+  ocl::Buffer materialize() const;
+};
+
+/// One kernel launch: either a Lift program (compiled with the harness's
+/// optimization flags) or a hand-written reference kernel source.
+struct Stage {
+  ir::LambdaPtr Program;        // set for Lift stages
+  std::string ReferenceSource;  // set for reference stages
+  std::array<int64_t, 3> Global = {1, 1, 1};
+  std::array<int64_t, 3> Local = {1, 1, 1};
+  std::vector<size_t> Buffers;  // working-buffer indices, in binding order
+  std::map<std::string, int64_t> Sizes;
+};
+
+struct BenchmarkCase {
+  std::string Name;
+  std::string SizeLabel; // "Small" or "Large"
+
+  std::vector<BufferInit> WorkingBuffers;
+  size_t OutputBuffer = 0;
+
+  std::vector<Stage> LiftStages;
+  std::vector<Stage> ReferenceStages;
+
+  /// Host-computed golden output (flattened floats).
+  std::vector<float> Expected;
+  double Tolerance = 1e-2;
+
+  /// The portable high-level IL formulation (Table 1 code size); may be
+  /// null when it coincides with the low-level program.
+  ir::LambdaPtr HighLevelProgram;
+};
+
+/// Result of one full benchmark execution (all stages).
+struct Outcome {
+  ocl::CostReport Cost;
+  double MaxError = 0;
+  bool Valid = false;
+  std::string KernelSources; // concatenated, for code-size metrics
+};
+
+/// The three optimization configurations of Figure 8.
+enum class OptConfig { None, BarrierCfs, Full };
+
+const char *optConfigName(OptConfig C);
+
+/// Runs the Lift stages compiled under \p Config and validates.
+Outcome runLift(const BenchmarkCase &Case, OptConfig Config);
+
+/// Runs the hand-written reference stages and validates.
+Outcome runReference(const BenchmarkCase &Case);
+
+//===----------------------------------------------------------------------===//
+// Benchmark factories (one per Table 1 row)
+//===----------------------------------------------------------------------===//
+
+BenchmarkCase makeNBodyNvidia(bool Large);
+BenchmarkCase makeNBodyAmd(bool Large);
+BenchmarkCase makeMD(bool Large);
+BenchmarkCase makeKMeans(bool Large);
+BenchmarkCase makeNN(bool Large);
+BenchmarkCase makeMriQ(bool Large);
+BenchmarkCase makeConvolution(bool Large);
+BenchmarkCase makeAtax(bool Large);
+BenchmarkCase makeGemv(bool Large);
+BenchmarkCase makeGesummv(bool Large);
+BenchmarkCase makeMM(bool Large);
+BenchmarkCase makeMMAmd(bool Large);
+
+/// All benchmarks at the given size.
+std::vector<BenchmarkCase> allBenchmarks(bool Large);
+
+/// Deterministic input data.
+std::vector<float> randomFloats(size_t N, uint64_t Seed);
+
+} // namespace bench
+} // namespace lift
+
+#endif // LIFT_BENCH_BENCHMARK_H

@@ -1,0 +1,148 @@
+//===- Convolution.cpp - Tiled 2D stencil benchmark ---------------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// NVIDIA-SDK-style tiled 2D convolution (3x3). The rows are banded with
+/// an overlapping slide; each work group cooperatively copies its band
+/// into local memory; the 2D windows are built from the local copy by the
+/// slide/transpose composition of section 7.2 (overlapping tiles "created
+/// using the slide pattern", "2D tiles by a clever composition of slide
+/// with map and transposition"); each thread then computes one output row
+/// of the band.
+///
+//===----------------------------------------------------------------------===//
+
+#include "suite/Benchmark.h"
+
+#include "ir/DSL.h"
+#include "ir/Prelude.h"
+
+#include <cmath>
+
+using namespace lift;
+using namespace lift::bench;
+using namespace lift::ir;
+using namespace lift::ir::dsl;
+
+namespace {
+
+std::vector<float> hostConv(const std::vector<float> &In,
+                            const std::vector<float> &W, size_t R,
+                            size_t C) {
+  std::vector<float> Out((R - 2) * (C - 2), 0.f);
+  for (size_t I = 0; I + 2 < R; ++I)
+    for (size_t J = 0; J + 2 < C; ++J) {
+      double S = 0;
+      for (size_t A = 0; A != 3; ++A)
+        for (size_t B = 0; B != 3; ++B)
+          S += static_cast<double>(In[(I + A) * C + J + B]) * W[A * 3 + B];
+      Out[I * (C - 2) + J] = static_cast<float>(S);
+    }
+  return Out;
+}
+
+} // namespace
+
+BenchmarkCase bench::makeConvolution(bool Large) {
+  const int64_t R = Large ? 258 : 130; // rows (output rows R-2)
+  const int64_t C = Large ? 130 : 66;  // cols (output cols C-2)
+  const int64_t TB = 16;               // band height = threads per group
+
+  ParamPtr In = param("in", array2D(float32(), arith::cst(R),
+                                    arith::cst(C)));
+  ParamPtr Wts = param("weights", arrayOf(float32(), arith::cst(9)));
+
+  FunDeclPtr MAdd = prelude::multAndSumUpFun();
+  FunDeclPtr IdF = prelude::idFloatFun();
+
+  ParamPtr Band = param("band");
+
+  // Cooperative copy of one (TB+2) x C band into local memory: the TB
+  // threads stride over the TB+2 rows.
+  ExprPtr BandCopy = pipe(ExprPtr(Band), toLocal(mapLcl(0, mapSeq(IdF))));
+
+  ParamPtr LocalBand = param("localBand");
+
+  // slide2d: map(slide) then slide then map(transpose) turns the local
+  // band [TB+2][C] into [TB][C-2] tiles of 3x3 windows.
+  ExprPtr Windows =
+      pipe(ExprPtr(LocalBand), mapSeq(slide(3, 1)), slide(3, 1),
+           mapSeq(transpose()));
+
+  ExprPtr ComputeBand = pipe(
+      Windows, mapLcl(0, fun([&](ExprPtr WinRow) {
+        return pipe(WinRow, mapSeq(fun([&](ExprPtr Win) {
+                      return pipe(
+                          call(reduceSeq(MAdd),
+                               {litFloat(0.0f),
+                                call(zip(), {pipe(Win, join()), Wts})}),
+                          toGlobal(mapSeq(IdF)));
+                    })),
+                    join());
+      })));
+
+  LambdaPtr PerBand = lambda(
+      {Band}, call(lambda({LocalBand}, ComputeBand), {BandCopy}));
+
+  LambdaPtr Prog = lambda(
+      {In, Wts}, pipe(ExprPtr(In), slide(TB + 2, TB), mapWrg(0, PerBand),
+                      join()));
+
+  BenchmarkCase Case;
+  Case.Name = "Convolution";
+  Case.SizeLabel = Large ? "Large" : "Small";
+
+  std::vector<float> InData = randomFloats(static_cast<size_t>(R * C), 71);
+  std::vector<float> WData = {0.05f, 0.1f, 0.05f, 0.1f, 0.4f,
+                              0.1f,  0.05f, 0.1f, 0.05f};
+
+  Case.WorkingBuffers.push_back(BufferInit::floats(InData));
+  Case.WorkingBuffers.push_back(BufferInit::floats(WData));
+  Case.WorkingBuffers.push_back(
+      BufferInit::zeros(static_cast<size_t>((R - 2) * (C - 2))));
+  Case.OutputBuffer = 2;
+  Case.Expected = hostConv(InData, WData, static_cast<size_t>(R),
+                           static_cast<size_t>(C));
+  Case.Tolerance = 1e-4;
+
+  Stage S;
+  S.Program = Prog;
+  S.Global = {(R - 2), 1, 1}; // (R-2)/TB groups of TB threads
+  S.Local = {TB, 1, 1};
+  S.Buffers = {0, 1, 2};
+  S.Sizes = {{"R", R}, {"C", C}};
+  Case.LiftStages = {S};
+
+  Stage Ref = S;
+  Ref.Program = nullptr;
+  Ref.ReferenceSource = R"(
+kernel void conv(global float *in, global float *weights, global float *out,
+                 int R, int C) {
+  local float band[4096];
+  int l = get_local_id(0);
+  int wg = get_group_id(0);
+  int TB = get_local_size(0);
+  int row0 = wg * TB;
+  int bandRows = TB + 2;
+  int total = bandRows * C;
+  for (int t = l; t < total; t += TB) {
+    band[t] = in[row0 * C + t];
+  }
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int j = 0; j + 2 < C; j++) {
+    float s = 0.0f;
+    for (int a = 0; a < 3; a++) {
+      for (int b = 0; b < 3; b++) {
+        s += band[(l + a) * C + j + b] * weights[a * 3 + b];
+      }
+    }
+    out[(row0 + l) * (C - 2) + j] = s;
+  }
+}
+)";
+  Case.ReferenceStages = {Ref};
+  return Case;
+}

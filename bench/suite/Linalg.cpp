@@ -1,0 +1,358 @@
+//===- Linalg.cpp - ATAX, GEMV, GESUMMV benchmarks ----------------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CLBlast-style linear algebra benchmarks of Table 1. GEMV encodes
+/// the coalesced loads of the reference via a stride gather, work-group
+/// level local reduction and an iterate tree (section 7.2); GESUMMV fuses
+/// two matrix-vector reductions; ATAX chains two kernels (their costs are
+/// summed, section 6).
+///
+//===----------------------------------------------------------------------===//
+
+#include "suite/Benchmark.h"
+
+#include "ir/DSL.h"
+#include "ir/Prelude.h"
+
+#include <cmath>
+
+using namespace lift;
+using namespace lift::bench;
+using namespace lift::ir;
+using namespace lift::ir::dsl;
+
+namespace {
+
+std::vector<float> hostGemv(const std::vector<float> &A,
+                            const std::vector<float> &X, size_t Rows,
+                            size_t Cols) {
+  std::vector<float> Y(Rows, 0.f);
+  for (size_t I = 0; I != Rows; ++I) {
+    double S = 0;
+    for (size_t J = 0; J != Cols; ++J)
+      S += static_cast<double>(A[I * Cols + J]) * X[J];
+    Y[I] = static_cast<float>(S);
+  }
+  return Y;
+}
+
+std::vector<float> hostGemvT(const std::vector<float> &A,
+                             const std::vector<float> &X, size_t Rows,
+                             size_t Cols) {
+  std::vector<float> Y(Cols, 0.f);
+  for (size_t J = 0; J != Cols; ++J) {
+    double S = 0;
+    for (size_t I = 0; I != Rows; ++I)
+      S += static_cast<double>(A[I * Cols + J]) * X[I];
+    Y[J] = static_cast<float>(S);
+  }
+  return Y;
+}
+
+/// Simple one-thread-per-row GEMV program (used by ATAX stage 1).
+LambdaPtr simpleGemvProgram(int64_t Rows, int64_t Cols) {
+  ParamPtr A = param("A", array2D(float32(), arith::cst(Rows),
+                                  arith::cst(Cols)));
+  ParamPtr X = param("x", arrayOf(float32(), arith::cst(Cols)));
+  return lambda(
+      {A, X}, pipe(ExprPtr(A), mapGlb(fun([&](ExprPtr Row) {
+                return pipe(call(reduceSeq(prelude::multAndSumUpFun()),
+                                 {litFloat(0.0f), call(zip(), {Row, X})}),
+                            toGlobal(mapSeq(prelude::idFloatFun())));
+              })),
+              join()));
+}
+
+/// Transposed GEMV (ATAX stage 2): y = A^T * t via a transpose view.
+LambdaPtr transposedGemvProgram(int64_t Rows, int64_t Cols) {
+  ParamPtr A = param("A", array2D(float32(), arith::cst(Rows),
+                                  arith::cst(Cols)));
+  ParamPtr T = param("t", arrayOf(float32(), arith::cst(Rows)));
+  return lambda(
+      {A, T}, pipe(ExprPtr(A), transpose(), mapGlb(fun([&](ExprPtr Col) {
+                return pipe(call(reduceSeq(prelude::multAndSumUpFun()),
+                                 {litFloat(0.0f), call(zip(), {Col, T})}),
+                            toGlobal(mapSeq(prelude::idFloatFun())));
+              })),
+              join()));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// GEMV (CLBlast style): coalesced loads + work-group reduction tree
+//===----------------------------------------------------------------------===//
+
+BenchmarkCase bench::makeGemv(bool Large) {
+  const int64_t Rows = Large ? 256 : 128;
+  const int64_t Cols = Large ? 256 : 128;
+  const int64_t L = 64;
+
+  ParamPtr A = param("A", array2D(float32(), arith::cst(Rows),
+                                  arith::cst(Cols)));
+  ParamPtr X = param("x", arrayOf(float32(), arith::cst(Cols)));
+
+  FunDeclPtr MAdd = prelude::multAndSumUpFun();
+  FunDeclPtr Add = prelude::addFun();
+  FunDeclPtr IdF = prelude::idFloatFun();
+  const int64_t Log2L = 6; // log2(64)
+
+  // One work group per row. Thread t reduces the strided elements
+  // t, t+L, t+2L, ... (coalesced global loads, encoded with a gather as
+  // in section 7.2), then an iterate tree combines the partial sums.
+  LambdaPtr Prog = lambda(
+      {A, X},
+      pipe(ExprPtr(A), mapWrg(fun([&](ExprPtr Row) {
+             return pipe(
+                 call(zip(), {Row, X}),
+                 gather(strideIndex(arith::cst(Cols / L))), split(Cols / L),
+                 mapLcl(fun([&](ExprPtr Part) {
+                   return pipe(call(reduceSeq(MAdd),
+                                    {litFloat(0.0f), Part}),
+                               toLocal(mapSeq(IdF)));
+                 })),
+                 join(), iterate(Log2L, fun([&](ExprPtr Arr) {
+                           return pipe(
+                               Arr, split(2), mapLcl(fun([&](ExprPtr Two) {
+                                 return pipe(call(reduceSeq(Add),
+                                                  {litFloat(0.0f), Two}),
+                                             toLocal(mapSeq(IdF)));
+                               })),
+                               join());
+                         })),
+                 split(1), toGlobal(mapLcl(mapSeq(IdF))), join());
+           })),
+           join()));
+
+  BenchmarkCase Case;
+  Case.Name = "GEMV";
+  Case.SizeLabel = Large ? "Large" : "Small";
+
+  std::vector<float> AData =
+      randomFloats(static_cast<size_t>(Rows * Cols), 31);
+  std::vector<float> XData = randomFloats(static_cast<size_t>(Cols), 37);
+
+  Case.WorkingBuffers.push_back(BufferInit::floats(AData));
+  Case.WorkingBuffers.push_back(BufferInit::floats(XData));
+  Case.WorkingBuffers.push_back(
+      BufferInit::zeros(static_cast<size_t>(Rows)));
+  Case.OutputBuffer = 2;
+  Case.Expected = hostGemv(AData, XData, static_cast<size_t>(Rows),
+                           static_cast<size_t>(Cols));
+  Case.Tolerance = 1e-3;
+
+  Stage S;
+  S.Program = Prog;
+  S.Global = {Rows * L, 1, 1};
+  S.Local = {L, 1, 1};
+  S.Buffers = {0, 1, 2};
+  S.Sizes = {{"N", Rows}, {"M", Cols}};
+  Case.LiftStages = {S};
+
+  Stage R = S;
+  R.Program = nullptr;
+  R.ReferenceSource = R"(
+kernel void gemv(global float *A, global float *x, global float *y, int N,
+                 int M) {
+  local float partial[64];
+  int row = get_group_id(0);
+  int l = get_local_id(0);
+  int L = get_local_size(0);
+  float acc = 0.0f;
+  for (int j = l; j < M; j += L) {
+    acc += A[row * M + j] * x[j];
+  }
+  partial[l] = acc;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int s = L / 2; s > 0; s = s / 2) {
+    if (l < s) {
+      partial[l] = partial[l] + partial[l + s];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  if (l == 0) {
+    y[row] = partial[0];
+  }
+}
+)";
+  Case.ReferenceStages = {R};
+  return Case;
+}
+
+//===----------------------------------------------------------------------===//
+// GESUMMV: y = alpha * A x + beta * B x
+//===----------------------------------------------------------------------===//
+
+BenchmarkCase bench::makeGesummv(bool Large) {
+  const int64_t Rows = Large ? 256 : 128;
+  const int64_t Cols = Large ? 256 : 128;
+  const int64_t L = 64;
+  const int64_t Alpha = 3, Beta = 2;
+
+  ParamPtr A = param("A", array2D(float32(), arith::cst(Rows),
+                                  arith::cst(Cols)));
+  ParamPtr B = param("B", array2D(float32(), arith::cst(Rows),
+                                  arith::cst(Cols)));
+  ParamPtr X = param("x", arrayOf(float32(), arith::cst(Cols)));
+  ParamPtr AlphaP = param("alpha", float32());
+  ParamPtr BetaP = param("beta", float32());
+
+  FunDeclPtr Combine = userFun(
+      "combine", {"ab", "alpha", "beta"},
+      {tupleOf({float32(), float32()}), float32(), float32()}, float32(),
+      "return alpha * ab._0 + beta * ab._1;");
+
+  // Fused: both rows are reduced in the same thread, then combined.
+  LambdaPtr Prog = lambda(
+      {A, B, X, AlphaP, BetaP},
+      pipe(call(zip(), {A, B}), mapGlb(fun([&](ExprPtr RowPair) {
+             ExprPtr Ra =
+                 call(reduceSeq(prelude::multAndSumUpFun()),
+                      {litFloat(0.0f),
+                       call(zip(), {call(get(0), {RowPair}), X})});
+             ExprPtr Rb =
+                 call(reduceSeq(prelude::multAndSumUpFun()),
+                      {litFloat(0.0f),
+                       call(zip(), {call(get(1), {RowPair}), X})});
+             return pipe(call(zip(), {Ra, Rb}),
+                         toGlobal(mapSeq(fun([&](ExprPtr Pair) {
+                           return call(Combine, {Pair, AlphaP, BetaP});
+                         }))));
+           })),
+           join()));
+
+  BenchmarkCase Case;
+  Case.Name = "GESUMMV";
+  Case.SizeLabel = Large ? "Large" : "Small";
+
+  std::vector<float> AData =
+      randomFloats(static_cast<size_t>(Rows * Cols), 41);
+  std::vector<float> BData =
+      randomFloats(static_cast<size_t>(Rows * Cols), 43);
+  std::vector<float> XData = randomFloats(static_cast<size_t>(Cols), 47);
+
+  Case.WorkingBuffers.push_back(BufferInit::floats(AData));
+  Case.WorkingBuffers.push_back(BufferInit::floats(BData));
+  Case.WorkingBuffers.push_back(BufferInit::floats(XData));
+  Case.WorkingBuffers.push_back(
+      BufferInit::zeros(static_cast<size_t>(Rows)));
+  Case.OutputBuffer = 3;
+
+  std::vector<float> Ya = hostGemv(AData, XData, static_cast<size_t>(Rows),
+                                   static_cast<size_t>(Cols));
+  std::vector<float> Yb = hostGemv(BData, XData, static_cast<size_t>(Rows),
+                                   static_cast<size_t>(Cols));
+  std::vector<float> Expected(static_cast<size_t>(Rows));
+  for (size_t I = 0; I != Expected.size(); ++I)
+    Expected[I] = static_cast<float>(Alpha) * Ya[I] +
+                  static_cast<float>(Beta) * Yb[I];
+  Case.Expected = Expected;
+  Case.Tolerance = 1e-3;
+
+  Stage S;
+  S.Program = Prog;
+  S.Global = {Rows, 1, 1};
+  S.Local = {L, 1, 1};
+  S.Buffers = {0, 1, 2, 3};
+  S.Sizes = {{"N", Rows}, {"M", Cols}, {"alpha", Alpha}, {"beta", Beta}};
+  Case.LiftStages = {S};
+
+  Stage R = S;
+  R.Program = nullptr;
+  R.ReferenceSource = R"(
+kernel void gesummv(global float *A, global float *B, global float *x,
+                    global float *y, int N, int M, int alpha, int beta) {
+  int g = get_global_id(0);
+  float sa = 0.0f;
+  float sb = 0.0f;
+  for (int j = 0; j < M; j++) {
+    sa += A[g * M + j] * x[j];
+    sb += B[g * M + j] * x[j];
+  }
+  y[g] = alpha * sa + beta * sb;
+}
+)";
+  Case.ReferenceStages = {R};
+  return Case;
+}
+
+//===----------------------------------------------------------------------===//
+// ATAX: y = A^T (A x), two kernels
+//===----------------------------------------------------------------------===//
+
+BenchmarkCase bench::makeAtax(bool Large) {
+  const int64_t Rows = Large ? 256 : 128;
+  const int64_t Cols = Large ? 256 : 128;
+  const int64_t L = 64;
+
+  BenchmarkCase Case;
+  Case.Name = "ATAX";
+  Case.SizeLabel = Large ? "Large" : "Small";
+
+  std::vector<float> AData =
+      randomFloats(static_cast<size_t>(Rows * Cols), 53);
+  std::vector<float> XData = randomFloats(static_cast<size_t>(Cols), 59);
+
+  Case.WorkingBuffers.push_back(BufferInit::floats(AData));      // 0: A
+  Case.WorkingBuffers.push_back(BufferInit::floats(XData));      // 1: x
+  Case.WorkingBuffers.push_back(
+      BufferInit::zeros(static_cast<size_t>(Rows)));             // 2: t
+  Case.WorkingBuffers.push_back(
+      BufferInit::zeros(static_cast<size_t>(Cols)));             // 3: y
+  Case.OutputBuffer = 3;
+
+  std::vector<float> T = hostGemv(AData, XData, static_cast<size_t>(Rows),
+                                  static_cast<size_t>(Cols));
+  Case.Expected = hostGemvT(AData, T, static_cast<size_t>(Rows),
+                            static_cast<size_t>(Cols));
+  Case.Tolerance = 1e-3;
+
+  Stage S1;
+  S1.Program = simpleGemvProgram(Rows, Cols);
+  S1.Global = {Rows, 1, 1};
+  S1.Local = {L, 1, 1};
+  S1.Buffers = {0, 1, 2};
+  S1.Sizes = {{"N", Rows}, {"M", Cols}};
+
+  Stage S2;
+  S2.Program = transposedGemvProgram(Rows, Cols);
+  S2.Global = {Cols, 1, 1};
+  S2.Local = {L, 1, 1};
+  S2.Buffers = {0, 2, 3};
+  S2.Sizes = {{"N", Rows}, {"M", Cols}};
+
+  Case.LiftStages = {S1, S2};
+
+  Stage R1 = S1;
+  R1.Program = nullptr;
+  R1.ReferenceSource = R"(
+kernel void atax1(global float *A, global float *x, global float *t, int N,
+                  int M) {
+  int g = get_global_id(0);
+  float acc = 0.0f;
+  for (int j = 0; j < M; j++) {
+    acc += A[g * M + j] * x[j];
+  }
+  t[g] = acc;
+}
+)";
+  Stage R2 = S2;
+  R2.Program = nullptr;
+  R2.ReferenceSource = R"(
+kernel void atax2(global float *A, global float *t, global float *y, int N,
+                  int M) {
+  int g = get_global_id(0);
+  float acc = 0.0f;
+  for (int i = 0; i < N; i++) {
+    acc += A[i * M + g] * t[i];
+  }
+  y[g] = acc;
+}
+)";
+  Case.ReferenceStages = {R1, R2};
+  return Case;
+}

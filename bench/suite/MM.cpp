@@ -1,0 +1,165 @@
+//===- MM.cpp - Tiled matrix multiplication benchmark -------------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CLBlast-style tiled matrix multiplication: 2D work groups, cooperative
+/// staging of the A and B tiles in local memory, one output element per
+/// thread, and an untiling composition (join / map(join) / transpose) on
+/// the output path — the writes of the inner threads land directly in
+/// their final positions in C through inverse output views.
+/// B is pre-transposed on the host, as the CLBlast kernels assume a
+/// layout-friendly B.
+///
+//===----------------------------------------------------------------------===//
+
+#include "suite/Benchmark.h"
+
+#include "ir/DSL.h"
+#include "ir/Prelude.h"
+
+#include <cmath>
+
+using namespace lift;
+using namespace lift::bench;
+using namespace lift::ir;
+using namespace lift::ir::dsl;
+
+namespace {
+
+std::vector<float> hostMM(const std::vector<float> &A,
+                          const std::vector<float> &B, size_t M, size_t N,
+                          size_t K) {
+  std::vector<float> C(M * N, 0.f);
+  for (size_t I = 0; I != M; ++I)
+    for (size_t J = 0; J != N; ++J) {
+      double S = 0;
+      for (size_t P = 0; P != K; ++P)
+        S += static_cast<double>(A[I * K + P]) * B[P * N + J];
+      C[I * N + J] = static_cast<float>(S);
+    }
+  return C;
+}
+
+} // namespace
+
+BenchmarkCase bench::makeMM(bool Large) {
+  const int64_t M = Large ? 64 : 32;
+  const int64_t N = M, K = M;
+  const int64_t Tm = 16, Tn = 16; // tile size = work-group size
+
+  ParamPtr A =
+      param("A", array2D(float32(), arith::cst(M), arith::cst(K)));
+  ParamPtr Bt =
+      param("Bt", array2D(float32(), arith::cst(N), arith::cst(K)));
+
+  FunDeclPtr MAdd = prelude::multAndSumUpFun();
+  FunDeclPtr IdF = prelude::idFloatFun();
+
+  ParamPtr ALocal = param("aLocal");
+  ParamPtr BLocal = param("bLocal");
+
+  // Full program, built explicitly for clarity.
+  ExprPtr A2 = pipe(ExprPtr(A), split(Tm));   // [M/Tm][Tm][K]
+  ExprPtr B2 = pipe(ExprPtr(Bt), split(Tn));  // [N/Tn][Tn][K]
+
+  LambdaPtr InnerWg = fun([&](ExprPtr ATile) {
+    return pipe(
+        B2,
+        mapWrg(0, fun([&](ExprPtr BTile) {
+          ExprPtr ACopy = pipe(
+              ATile, toLocal(mapLcl(1, fun([&](ExprPtr Row) {
+                       return pipe(Row, split(K / Tn),
+                                   mapLcl(0, mapSeq(IdF)), join());
+                     }))));
+          ExprPtr BCopy = pipe(
+              BTile, toLocal(mapLcl(1, fun([&](ExprPtr Row) {
+                       return pipe(Row, split(K / Tn),
+                                   mapLcl(0, mapSeq(IdF)), join());
+                     }))));
+          ExprPtr Compute = pipe(
+              ExprPtr(ALocal), mapLcl(1, fun([&](ExprPtr ARow) {
+                return pipe(
+                    ExprPtr(BLocal), mapLcl(0, fun([&](ExprPtr BRow) {
+                      return pipe(
+                          call(reduceSeq(MAdd),
+                               {litFloat(0.0f),
+                                call(zip(), {ARow, BRow})}),
+                          toGlobal(mapSeq(IdF)));
+                    })),
+                    join());
+              })));
+          return call(lambda({ALocal, BLocal}, Compute), {ACopy, BCopy});
+        })));
+  });
+
+  // [M/Tm][N/Tn][Tm][Tn] -> [M][N] (untile on the output path).
+  ExprPtr Result = pipe(
+      call(mapWrg(1, InnerWg), {A2}),
+      mapSeq(fun([&](ExprPtr T) {
+        return pipe(T, transpose(), mapSeq(join()));
+      })),
+      join());
+
+  LambdaPtr Prog = lambda({A, Bt}, Result);
+
+  BenchmarkCase Case;
+  Case.Name = "MM (NVIDIA)";
+  Case.SizeLabel = Large ? "Large" : "Small";
+
+  std::vector<float> AData = randomFloats(static_cast<size_t>(M * K), 61);
+  std::vector<float> BData = randomFloats(static_cast<size_t>(K * N), 67);
+  // Pre-transpose B for both implementations.
+  std::vector<float> BtData(static_cast<size_t>(N * K));
+  for (int64_t P = 0; P != K; ++P)
+    for (int64_t J = 0; J != N; ++J)
+      BtData[static_cast<size_t>(J * K + P)] =
+          BData[static_cast<size_t>(P * N + J)];
+
+  Case.WorkingBuffers.push_back(BufferInit::floats(AData));
+  Case.WorkingBuffers.push_back(BufferInit::floats(BtData));
+  Case.WorkingBuffers.push_back(
+      BufferInit::zeros(static_cast<size_t>(M * N)));
+  Case.OutputBuffer = 2;
+  Case.Expected = hostMM(AData, BData, static_cast<size_t>(M),
+                         static_cast<size_t>(N), static_cast<size_t>(K));
+  Case.Tolerance = 1e-3;
+
+  Stage S;
+  S.Program = Prog;
+  S.Global = {(N / Tn) * Tn, (M / Tm) * Tm, 1};
+  S.Local = {Tn, Tm, 1};
+  S.Buffers = {0, 1, 2};
+  S.Sizes = {{"M", M}, {"N", N}, {"K", K}};
+  Case.LiftStages = {S};
+
+  Stage R = S;
+  R.Program = nullptr;
+  R.ReferenceSource = R"(
+kernel void mm(global float *A, global float *Bt, global float *C, int M,
+               int N, int K) {
+  local float aTile[1024];
+  local float bTile[1024];
+  int lj = get_local_id(0);
+  int li = get_local_id(1);
+  int wj = get_group_id(0);
+  int wi = get_group_id(1);
+  int Tn = get_local_size(0);
+  int Tm = get_local_size(1);
+  for (int p = lj; p < K; p += Tn) {
+    aTile[li * K + p] = A[(wi * Tm + li) * K + p];
+    bTile[li * K + p] = Bt[(wj * Tn + li) * K + p];
+  }
+  barrier(CLK_LOCAL_MEM_FENCE);
+  float acc = 0.0f;
+  for (int p = 0; p < K; p++) {
+    acc += aTile[li * K + p] * bTile[lj * K + p];
+  }
+  C[(wi * Tm + li) * N + wj * Tn + lj] = acc;
+}
+)";
+  Case.ReferenceStages = {R};
+  return Case;
+}

@@ -1,0 +1,160 @@
+//===- MMAmd.cpp - Register-blocked matrix multiplication (AMD style) ---------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The second MM row of Table 1: CLBlast's AMD configuration uses register
+/// blocking but no local-memory tiling (section 7.2: "For AMD it also uses
+/// register blocking ... but not tiling in local memory"). Each thread
+/// computes a 2x2 block of C from a pair of A rows staged in private
+/// memory; the 2x2 blocks are written through an interleaving untile
+/// composition of transpose/join output views.
+///
+//===----------------------------------------------------------------------===//
+
+#include "suite/Benchmark.h"
+
+#include "ir/DSL.h"
+#include "ir/Prelude.h"
+
+#include <cmath>
+
+using namespace lift;
+using namespace lift::bench;
+using namespace lift::ir;
+using namespace lift::ir::dsl;
+
+namespace {
+
+std::vector<float> hostMM(const std::vector<float> &A,
+                          const std::vector<float> &B, size_t M, size_t N,
+                          size_t K) {
+  std::vector<float> C(M * N, 0.f);
+  for (size_t I = 0; I != M; ++I)
+    for (size_t J = 0; J != N; ++J) {
+      double S = 0;
+      for (size_t P = 0; P != K; ++P)
+        S += static_cast<double>(A[I * K + P]) * B[P * N + J];
+      C[I * N + J] = static_cast<float>(S);
+    }
+  return C;
+}
+
+} // namespace
+
+BenchmarkCase bench::makeMMAmd(bool Large) {
+  const int64_t M = Large ? 64 : 32;
+  const int64_t N = M, K = M;
+  const int64_t L = 16; // threads per work-group dimension 0
+
+  ParamPtr A =
+      param("A", array2D(float32(), arith::cst(M), arith::cst(K)));
+  ParamPtr Bt =
+      param("Bt", array2D(float32(), arith::cst(N), arith::cst(K)));
+
+  FunDeclPtr MAdd = prelude::multAndSumUpFun();
+  FunDeclPtr IdF = prelude::idFloatFun();
+  ParamPtr APriv = param("aPriv");
+  ParamPtr BPriv = param("bPriv");
+
+  // Each (row-pair, col-pair) thread computes a 2x2 block; the A row pair
+  // is staged in private registers first (register blocking).
+  ExprPtr A2 = pipe(ExprPtr(A), split(2));   // [M/2][2][K]
+  ExprPtr B2 = pipe(ExprPtr(Bt), split(2));  // [N/2][2][K]
+
+  LambdaPtr PerRowPair = fun([&](ExprPtr APair) {
+    ExprPtr ACopy = pipe(APair, toPrivate(mapSeq(mapSeq(IdF))));
+    ExprPtr Blocks = pipe(
+        B2, mapGlb(0, fun([&](ExprPtr BPair) {
+          ExprPtr BCopy = pipe(BPair, toPrivate(mapSeq(mapSeq(IdF))));
+          ExprPtr Block = pipe(
+              ExprPtr(APriv), mapSeq(fun([&](ExprPtr ARow) {
+                return pipe(ExprPtr(BPriv), mapSeq(fun([&](ExprPtr BRow) {
+                              return pipe(
+                                  call(reduceSeq(MAdd),
+                                       {litFloat(0.0f),
+                                        call(zip(), {ARow, BRow})}),
+                                  toGlobal(mapSeq(IdF)));
+                            })),
+                            join());
+              })));
+          return call(lambda({BPriv}, Block), {BCopy});
+        })));
+    return call(lambda({APriv}, Blocks), {ACopy});
+  });
+
+  // [M/2][N/2][2][2] -> [M][N]: per row-pair, swap the col-pair and row
+  // dimensions and join twice.
+  ExprPtr Result = pipe(
+      call(mapGlb(1, PerRowPair), {A2}),
+      mapSeq(fun([&](ExprPtr T) {
+        // T: [N/2][2][2] -> [2][N]: transpose then join the inner pair.
+        return pipe(T, transpose(), mapSeq(join()));
+      })),
+      join());
+
+  LambdaPtr Prog = lambda({A, Bt}, Result);
+
+  BenchmarkCase Case;
+  Case.Name = "MM (AMD)";
+  Case.SizeLabel = Large ? "Large" : "Small";
+
+  std::vector<float> AData = randomFloats(static_cast<size_t>(M * K), 73);
+  std::vector<float> BData = randomFloats(static_cast<size_t>(K * N), 79);
+  std::vector<float> BtData(static_cast<size_t>(N * K));
+  for (int64_t P = 0; P != K; ++P)
+    for (int64_t J = 0; J != N; ++J)
+      BtData[static_cast<size_t>(J * K + P)] =
+          BData[static_cast<size_t>(P * N + J)];
+
+  Case.WorkingBuffers.push_back(BufferInit::floats(AData));
+  Case.WorkingBuffers.push_back(BufferInit::floats(BtData));
+  Case.WorkingBuffers.push_back(
+      BufferInit::zeros(static_cast<size_t>(M * N)));
+  Case.OutputBuffer = 2;
+  Case.Expected = hostMM(AData, BData, static_cast<size_t>(M),
+                         static_cast<size_t>(N), static_cast<size_t>(K));
+  Case.Tolerance = 1e-3;
+
+  Stage S;
+  S.Program = Prog;
+  S.Global = {N / 2, M / 2, 1};
+  S.Local = {L, 1, 1};
+  S.Buffers = {0, 1, 2};
+  S.Sizes = {{"M", M}, {"N", N}, {"K", K}};
+  Case.LiftStages = {S};
+
+  Stage R = S;
+  R.Program = nullptr;
+  R.ReferenceSource = R"(
+kernel void mmAmd(global float *A, global float *Bt, global float *C, int M,
+                  int N, int K) {
+  int bj = get_global_id(0);
+  int bi = get_global_id(1);
+  float a0;
+  float a1;
+  float acc00 = 0.0f;
+  float acc01 = 0.0f;
+  float acc10 = 0.0f;
+  float acc11 = 0.0f;
+  for (int p = 0; p < K; p++) {
+    a0 = A[(bi * 2) * K + p];
+    a1 = A[(bi * 2 + 1) * K + p];
+    float b0 = Bt[(bj * 2) * K + p];
+    float b1 = Bt[(bj * 2 + 1) * K + p];
+    acc00 += a0 * b0;
+    acc01 += a0 * b1;
+    acc10 += a1 * b0;
+    acc11 += a1 * b1;
+  }
+  C[(bi * 2) * N + bj * 2] = acc00;
+  C[(bi * 2) * N + bj * 2 + 1] = acc01;
+  C[(bi * 2 + 1) * N + bj * 2] = acc10;
+  C[(bi * 2 + 1) * N + bj * 2 + 1] = acc11;
+}
+)";
+  Case.ReferenceStages = {R};
+  return Case;
+}

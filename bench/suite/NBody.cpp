@@ -1,0 +1,279 @@
+//===- NBody.cpp - N-Body benchmarks (NVIDIA and AMD variants) --------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two N-Body variants of Table 1. The NVIDIA SDK version stages
+/// particle positions in local memory before each work group's threads
+/// accumulate interactions; the AMD SDK version reads global memory
+/// directly and relies on float4 vector arithmetic (section 7.2).
+/// Computation: acceleration of each particle under softened gravity.
+///
+//===----------------------------------------------------------------------===//
+
+#include "suite/Benchmark.h"
+
+#include "ir/DSL.h"
+#include "ir/Prelude.h"
+
+#include <cmath>
+
+using namespace lift;
+using namespace lift::bench;
+using namespace lift::ir;
+using namespace lift::ir::dsl;
+
+namespace {
+
+const char *InteractionBody =
+    "float rx = q.x - p.x;"
+    "float ry = q.y - p.y;"
+    "float rz = q.z - p.z;"
+    "float distSqr = rx * rx + ry * ry + rz * rz + 0.01f;"
+    "float invDist = rsqrt(distSqr);"
+    "float s = q.w * invDist * invDist * invDist;"
+    "return (float4)(acc.x + rx * s, acc.y + ry * s, acc.z + rz * s, 0.0f);";
+
+FunDeclPtr interactionFun() {
+  TypePtr F4 = vectorOf(ScalarKind::Float, 4);
+  return userFun("interaction", {"acc", "p", "q"}, {F4, F4, F4}, F4,
+                 InteractionBody);
+}
+
+/// The accumulator threads the thread's own particle through the
+/// reduction — (acc, p) — so p is read from global memory exactly once
+/// (Table 1: the references keep p in private memory).
+TypePtr nbodyAccTy() {
+  TypePtr F4 = vectorOf(ScalarKind::Float, 4);
+  return tupleOf({F4, F4});
+}
+
+FunDeclPtr initAccFun() {
+  TypePtr F4 = vectorOf(ScalarKind::Float, 4);
+  return userFun("initAcc", {"p"}, {F4}, nbodyAccTy(),
+                 "return (Tuple2_float4_float4){"
+                 "(float4)(0.0f, 0.0f, 0.0f, 0.0f), p};");
+}
+
+FunDeclPtr interactionAccFun() {
+  TypePtr F4 = vectorOf(ScalarKind::Float, 4);
+  return userFun(
+      "interactionAcc", {"state", "q"}, {nbodyAccTy(), F4}, nbodyAccTy(),
+      "float4 acc = state._0;"
+      "float4 p = state._1;"
+      "float rx = q.x - p.x;"
+      "float ry = q.y - p.y;"
+      "float rz = q.z - p.z;"
+      "float distSqr = rx * rx + ry * ry + rz * rz + 0.01f;"
+      "float invDist = rsqrt(distSqr);"
+      "float s = q.w * invDist * invDist * invDist;"
+      "return (Tuple2_float4_float4){(float4)(acc.x + rx * s,"
+      " acc.y + ry * s, acc.z + rz * s, 0.0f), p};");
+}
+
+FunDeclPtr getAccFun() {
+  TypePtr F4 = vectorOf(ScalarKind::Float, 4);
+  return userFun("getAcc", {"state"}, {nbodyAccTy()}, F4,
+                 "return state._0;");
+}
+
+/// Host golden reference.
+std::vector<float> hostNBody(const std::vector<float> &Pos, size_t N) {
+  std::vector<float> Out(4 * N, 0.f);
+  for (size_t I = 0; I != N; ++I) {
+    double Ax = 0, Ay = 0, Az = 0;
+    for (size_t J = 0; J != N; ++J) {
+      double Rx = Pos[4 * J] - Pos[4 * I];
+      double Ry = Pos[4 * J + 1] - Pos[4 * I + 1];
+      double Rz = Pos[4 * J + 2] - Pos[4 * I + 2];
+      double D2 = Rx * Rx + Ry * Ry + Rz * Rz + 0.01;
+      double Inv = 1.0 / std::sqrt(D2);
+      double S = Pos[4 * J + 3] * Inv * Inv * Inv;
+      Ax += Rx * S;
+      Ay += Ry * S;
+      Az += Rz * S;
+    }
+    Out[4 * I] = static_cast<float>(Ax);
+    Out[4 * I + 1] = static_cast<float>(Ay);
+    Out[4 * I + 2] = static_cast<float>(Az);
+  }
+  return Out;
+}
+
+std::vector<float> particleData(size_t N) {
+  std::vector<float> Pos = randomFloats(4 * N, 42);
+  // Masses positive.
+  for (size_t I = 0; I != N; ++I)
+    Pos[4 * I + 3] = 0.5f + 0.5f * std::fabs(Pos[4 * I + 3]);
+  return Pos;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// NVIDIA variant: local memory staging
+//===----------------------------------------------------------------------===//
+
+BenchmarkCase bench::makeNBodyNvidia(bool Large) {
+  const int64_t N = Large ? 512 : 256;
+  const int64_t L = 64;
+
+  arith::Expr NV = arith::cst(N);
+  ParamPtr Pos = param("pos", arrayOf(vectorOf(ScalarKind::Float, 4), NV));
+
+
+  FunDeclPtr IdF4 = prelude::idFloat4Fun();
+
+  // Each work group stages all positions into local memory cooperatively,
+  // then each thread reduces over the local copy.
+  ParamPtr LocalPos = param("localPos");
+  LambdaPtr PerChunk = fun([&](ExprPtr Chunk) {
+    ExprPtr CopyToLocal =
+        pipe(ExprPtr(Pos), split(arith::intDiv(NV, arith::cst(L))),
+             toLocal(mapLcl(mapSeq(IdF4))), join());
+    ExprPtr Compute = pipe(
+        Chunk, mapLcl(fun([&](ExprPtr P) {
+          return pipe(call(reduceSeq(interactionAccFun()),
+                           {call(initAccFun(), {P}), LocalPos}),
+                      toGlobal(mapSeq(getAccFun())));
+        })),
+        join());
+    return call(lambda({LocalPos}, Compute), {CopyToLocal});
+  });
+
+  LambdaPtr Prog =
+      lambda({Pos}, pipe(ExprPtr(Pos), split(L), mapWrg(PerChunk), join()));
+
+  BenchmarkCase Case;
+  Case.Name = "N-Body (NVIDIA)";
+  Case.SizeLabel = Large ? "Large" : "Small";
+
+  std::vector<float> PosData = particleData(static_cast<size_t>(N));
+  Case.WorkingBuffers.push_back(BufferInit::vec4(PosData));
+  Case.WorkingBuffers.push_back(BufferInit::zeros(static_cast<size_t>(N)));
+  Case.OutputBuffer = 1;
+  Case.Expected = hostNBody(PosData, static_cast<size_t>(N));
+  Case.Tolerance = 1e-3;
+
+  Stage S;
+  S.Program = Prog;
+  S.Global = {N, 1, 1};
+  S.Local = {L, 1, 1};
+  S.Buffers = {0, 1};
+  S.Sizes = {{"N", N}};
+  Case.LiftStages = {S};
+
+  Stage R = S;
+  R.Program = nullptr;
+  R.ReferenceSource = R"(
+float4 interaction(float4 acc, float4 p, float4 q) {
+  float rx = q.x - p.x;
+  float ry = q.y - p.y;
+  float rz = q.z - p.z;
+  float distSqr = rx * rx + ry * ry + rz * rz + 0.01f;
+  float invDist = rsqrt(distSqr);
+  float s = q.w * invDist * invDist * invDist;
+  return (float4)(acc.x + rx * s, acc.y + ry * s, acc.z + rz * s, 0.0f);
+}
+
+kernel void nbody(global float4 *pos, global float4 *out, int N) {
+  local float4 tile[512];
+  int l = get_local_id(0);
+  int g = get_global_id(0);
+  int L = get_local_size(0);
+  for (int t = l; t < N; t += L) {
+    tile[t] = pos[t];
+  }
+  barrier(CLK_LOCAL_MEM_FENCE);
+  float4 p = pos[g];
+  float4 acc = (float4)(0.0f, 0.0f, 0.0f, 0.0f);
+  for (int j = 0; j < N; j++) {
+    acc = interaction(acc, p, tile[j]);
+  }
+  out[g] = acc;
+}
+)";
+  Case.ReferenceStages = {R};
+
+  // High-level (portable) formulation for Table 1.
+  ParamPtr HPos = param("pos", arrayOf(vectorOf(ScalarKind::Float, 4), NV));
+  Case.HighLevelProgram = lambda(
+      {HPos}, pipe(ExprPtr(HPos), mapGlb(fun([&](ExprPtr P) {
+                return pipe(call(reduceSeq(fun2([&](ExprPtr A, ExprPtr Q) {
+                                   return call(interactionFun(), {A, P, Q});
+                                 })),
+                                 {lit("(float4)(0.0f, 0.0f, 0.0f, 0.0f)",
+                                      vectorOf(ScalarKind::Float, 4)),
+                                  HPos}),
+                            toGlobal(mapSeq(prelude::idFloat4Fun())));
+              })),
+              join()));
+  return Case;
+}
+
+//===----------------------------------------------------------------------===//
+// AMD variant: no local memory, vector arithmetic from global memory
+//===----------------------------------------------------------------------===//
+
+BenchmarkCase bench::makeNBodyAmd(bool Large) {
+  const int64_t N = Large ? 512 : 256;
+  const int64_t L = 64;
+
+  arith::Expr NV = arith::cst(N);
+  ParamPtr Pos = param("pos", arrayOf(vectorOf(ScalarKind::Float, 4), NV));
+
+  LambdaPtr Prog = lambda(
+      {Pos}, pipe(ExprPtr(Pos), mapGlb(fun([&](ExprPtr P) {
+               return pipe(call(reduceSeq(interactionAccFun()),
+                                {call(initAccFun(), {P}), Pos}),
+                           toGlobal(mapSeq(getAccFun())));
+             })),
+             join()));
+
+  BenchmarkCase Case;
+  Case.Name = "N-Body (AMD)";
+  Case.SizeLabel = Large ? "Large" : "Small";
+
+  std::vector<float> PosData = particleData(static_cast<size_t>(N));
+  Case.WorkingBuffers.push_back(BufferInit::vec4(PosData));
+  Case.WorkingBuffers.push_back(BufferInit::zeros(static_cast<size_t>(N)));
+  Case.OutputBuffer = 1;
+  Case.Expected = hostNBody(PosData, static_cast<size_t>(N));
+  Case.Tolerance = 1e-3;
+
+  Stage S;
+  S.Program = Prog;
+  S.Global = {N, 1, 1};
+  S.Local = {L, 1, 1};
+  S.Buffers = {0, 1};
+  S.Sizes = {{"N", N}};
+  Case.LiftStages = {S};
+
+  Stage R = S;
+  R.Program = nullptr;
+  R.ReferenceSource = R"(
+float4 interaction(float4 acc, float4 p, float4 q) {
+  float rx = q.x - p.x;
+  float ry = q.y - p.y;
+  float rz = q.z - p.z;
+  float distSqr = rx * rx + ry * ry + rz * rz + 0.01f;
+  float invDist = rsqrt(distSqr);
+  float s = q.w * invDist * invDist * invDist;
+  return (float4)(acc.x + rx * s, acc.y + ry * s, acc.z + rz * s, 0.0f);
+}
+
+kernel void nbody(global float4 *pos, global float4 *out, int N) {
+  int g = get_global_id(0);
+  float4 p = pos[g];
+  float4 acc = (float4)(0.0f, 0.0f, 0.0f, 0.0f);
+  for (int j = 0; j < N; j++) {
+    acc = interaction(acc, p, pos[j]);
+  }
+  out[g] = acc;
+}
+)";
+  Case.ReferenceStages = {R};
+  return Case;
+}

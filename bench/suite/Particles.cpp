@@ -1,0 +1,452 @@
+//===- Particles.cpp - MD, K-Means, NN and MRI-Q benchmarks -----------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 1D benchmarks of Table 1 beyond N-Body: SHOC MD (Lennard-Jones with
+/// a runtime neighbour list, exercising the data-dependent gatherIndices
+/// extension), Rodinia K-Means (tuple-typed reduction accumulator),
+/// Rodinia NN (trivial map with scalar parameters) and Parboil MRI-Q
+/// (sin/cos user functions with a float2 complex accumulator).
+///
+//===----------------------------------------------------------------------===//
+
+#include "suite/Benchmark.h"
+
+#include "ir/DSL.h"
+#include "ir/Prelude.h"
+
+#include <cmath>
+
+using namespace lift;
+using namespace lift::bench;
+using namespace lift::ir;
+using namespace lift::ir::dsl;
+
+//===----------------------------------------------------------------------===//
+// MD (SHOC): Lennard-Jones force over a fixed-size neighbour list
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<float> hostMD(const std::vector<float> &Pos,
+                          const std::vector<int> &Neigh, size_t N,
+                          size_t K) {
+  std::vector<float> Out(4 * N, 0.f);
+  for (size_t I = 0; I != N; ++I) {
+    double Ax = 0, Ay = 0, Az = 0;
+    for (size_t J = 0; J != K; ++J) {
+      size_t Q = static_cast<size_t>(Neigh[I * K + J]);
+      double Rx = Pos[4 * Q] - Pos[4 * I];
+      double Ry = Pos[4 * Q + 1] - Pos[4 * I + 1];
+      double Rz = Pos[4 * Q + 2] - Pos[4 * I + 2];
+      double R2 = Rx * Rx + Ry * Ry + Rz * Rz + 0.05;
+      double R2i = 1.0 / R2;
+      double R6i = R2i * R2i * R2i;
+      double F = R2i * R6i * (R6i - 0.5);
+      Ax += Rx * F;
+      Ay += Ry * F;
+      Az += Rz * F;
+    }
+    Out[4 * I] = static_cast<float>(Ax);
+    Out[4 * I + 1] = static_cast<float>(Ay);
+    Out[4 * I + 2] = static_cast<float>(Az);
+  }
+  return Out;
+}
+
+} // namespace
+
+BenchmarkCase bench::makeMD(bool Large) {
+  const int64_t N = Large ? 2048 : 512;
+  const int64_t K = 16;
+  const int64_t L = 64;
+
+  TypePtr F4 = vectorOf(ScalarKind::Float, 4);
+  ParamPtr Pos = param("pos", arrayOf(F4, arith::cst(N)));
+  ParamPtr Neigh =
+      param("neigh", array2D(int32(), arith::cst(N), arith::cst(K)));
+
+  TypePtr AccT = tupleOf({F4, F4});
+  FunDeclPtr InitAcc =
+      userFun("mdInit", {"p"}, {F4}, AccT,
+              "return (Tuple2_float4_float4){"
+              "(float4)(0.0f, 0.0f, 0.0f, 0.0f), p};");
+  FunDeclPtr Lj = userFun(
+      "ljForce", {"state", "q"}, {AccT, F4}, AccT,
+      "float4 acc = state._0;"
+      "float4 p = state._1;"
+      "float rx = q.x - p.x;"
+      "float ry = q.y - p.y;"
+      "float rz = q.z - p.z;"
+      "float r2 = rx * rx + ry * ry + rz * rz + 0.05f;"
+      "float r2inv = 1.0f / r2;"
+      "float r6inv = r2inv * r2inv * r2inv;"
+      "float f = r2inv * r6inv * (r6inv - 0.5f);"
+      "return (Tuple2_float4_float4){(float4)(acc.x + rx * f,"
+      " acc.y + ry * f, acc.z + rz * f, 0.0f), p};");
+  FunDeclPtr GetAcc =
+      userFun("mdGet", {"state"}, {AccT}, F4, "return state._0;");
+
+  // zip(pos, neighbour rows); for each particle reduce over the positions
+  // selected by its neighbour row (data-dependent gather).
+  LambdaPtr Prog = lambda(
+      {Pos, Neigh},
+      pipe(call(zip(), {Pos, Neigh}), mapGlb(fun([&](ExprPtr Pair) {
+             ExprPtr P = call(get(0), {Pair});
+             ExprPtr Row = call(get(1), {Pair});
+             ExprPtr Neighbours = call(gatherIndices(), {Row, Pos});
+             return pipe(call(reduceSeq(Lj),
+                              {call(InitAcc, {P}), Neighbours}),
+                         toGlobal(mapSeq(GetAcc)));
+           })),
+           join()));
+
+  BenchmarkCase Case;
+  Case.Name = "MD";
+  Case.SizeLabel = Large ? "Large" : "Small";
+
+  std::vector<float> PosData = randomFloats(4 * static_cast<size_t>(N), 7);
+  std::vector<int> NeighData(static_cast<size_t>(N * K));
+  for (int64_t I = 0; I != N; ++I)
+    for (int64_t J = 0; J != K; ++J)
+      NeighData[static_cast<size_t>(I * K + J)] =
+          static_cast<int>((I + 1 + J * 37) % N);
+
+  Case.WorkingBuffers.push_back(BufferInit::vec4(PosData));
+  Case.WorkingBuffers.push_back(BufferInit::ints(NeighData));
+  Case.WorkingBuffers.push_back(BufferInit::zeros(static_cast<size_t>(N)));
+  Case.OutputBuffer = 2;
+  Case.Expected = hostMD(PosData, NeighData, static_cast<size_t>(N),
+                         static_cast<size_t>(K));
+  Case.Tolerance = 1e-3;
+
+  Stage S;
+  S.Program = Prog;
+  S.Global = {N, 1, 1};
+  S.Local = {L, 1, 1};
+  S.Buffers = {0, 1, 2};
+  S.Sizes = {{"N", N}, {"K", K}};
+  Case.LiftStages = {S};
+
+  Stage R = S;
+  R.Program = nullptr;
+  R.ReferenceSource = R"(
+float4 ljForce(float4 acc, float4 p, float4 q) {
+  float rx = q.x - p.x;
+  float ry = q.y - p.y;
+  float rz = q.z - p.z;
+  float r2 = rx * rx + ry * ry + rz * rz + 0.05f;
+  float r2inv = 1.0f / r2;
+  float r6inv = r2inv * r2inv * r2inv;
+  float f = r2inv * r6inv * (r6inv - 0.5f);
+  return (float4)(acc.x + rx * f, acc.y + ry * f, acc.z + rz * f, 0.0f);
+}
+
+kernel void md(global float4 *pos, global int *neigh, global float4 *out,
+               int N, int K) {
+  int g = get_global_id(0);
+  float4 p = pos[g];
+  float4 acc = (float4)(0.0f, 0.0f, 0.0f, 0.0f);
+  for (int j = 0; j < K; j++) {
+    acc = ljForce(acc, p, pos[neigh[g * K + j]]);
+  }
+  out[g] = acc;
+}
+)";
+  Case.ReferenceStages = {R};
+  return Case;
+}
+
+//===----------------------------------------------------------------------===//
+// K-Means (Rodinia): nearest-cluster assignment
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<float> hostKMeans(const std::vector<float> &Pts,
+                              const std::vector<float> &Cl, size_t P,
+                              size_t K) {
+  std::vector<float> Out(P);
+  for (size_t I = 0; I != P; ++I) {
+    double Best = 1e30;
+    int BestIdx = 0;
+    for (size_t C = 0; C != K; ++C) {
+      double Dx = Pts[2 * I] - Cl[2 * C];
+      double Dy = Pts[2 * I + 1] - Cl[2 * C + 1];
+      double D = Dx * Dx + Dy * Dy;
+      if (D < Best) {
+        Best = D;
+        BestIdx = static_cast<int>(C);
+      }
+    }
+    Out[I] = static_cast<float>(BestIdx);
+  }
+  return Out;
+}
+
+} // namespace
+
+BenchmarkCase bench::makeKMeans(bool Large) {
+  const int64_t P = Large ? 8192 : 2048;
+  const int64_t K = 5;
+  const int64_t L = 64;
+
+  TypePtr F2 = vectorOf(ScalarKind::Float, 2);
+  TypePtr AccTy = tupleOf({float32(), int32(), int32()});
+  ParamPtr Pts = param("points", arrayOf(F2, arith::cst(P)));
+  ParamPtr Cl = param("clusters", arrayOf(F2, arith::cst(K)));
+
+  // Accumulator: (best distance, best index, running index).
+  FunDeclPtr MinIdx = userFun(
+      "minIdx", {"acc", "p", "c"}, {AccTy, F2, F2}, AccTy,
+      "float dx = p.x - c.x;"
+      "float dy = p.y - c.y;"
+      "float d = dx * dx + dy * dy;"
+      "return (d < acc._0) ? (Tuple3_float_int_int){d, acc._2, acc._2 + 1}"
+      " : (Tuple3_float_int_int){acc._0, acc._1, acc._2 + 1};");
+  FunDeclPtr ExtractIdx = userFun("extractIdx", {"acc"}, {AccTy}, int32(),
+                                  "return acc._1;");
+
+  LambdaPtr Prog = lambda(
+      {Pts, Cl},
+      pipe(ExprPtr(Pts), mapGlb(fun([&](ExprPtr Pt) {
+             return pipe(
+                 call(reduceSeq(fun2([&](ExprPtr Acc, ExprPtr C) {
+                        return call(MinIdx, {Acc, Pt, C});
+                      })),
+                      {lit("(Tuple3_float_int_int){3.4e38f, 0, 0}", AccTy),
+                       Cl}),
+                 toGlobal(mapSeq(ExtractIdx)));
+           })),
+           join()));
+
+  BenchmarkCase Case;
+  Case.Name = "K-Means";
+  Case.SizeLabel = Large ? "Large" : "Small";
+
+  std::vector<float> PtsData = randomFloats(2 * static_cast<size_t>(P), 11);
+  std::vector<float> ClData = randomFloats(2 * static_cast<size_t>(K), 13);
+
+  Case.WorkingBuffers.push_back(BufferInit::vec2(PtsData));
+  Case.WorkingBuffers.push_back(BufferInit::vec2(ClData));
+  Case.WorkingBuffers.push_back(BufferInit::zeros(static_cast<size_t>(P)));
+  Case.OutputBuffer = 2;
+  Case.Expected = hostKMeans(PtsData, ClData, static_cast<size_t>(P),
+                             static_cast<size_t>(K));
+  Case.Tolerance = 1e-6; // indices must match exactly
+
+  Stage S;
+  S.Program = Prog;
+  S.Global = {P, 1, 1};
+  S.Local = {L, 1, 1};
+  S.Buffers = {0, 1, 2};
+  S.Sizes = {{"P", P}, {"K", K}};
+  Case.LiftStages = {S};
+
+  Stage R = S;
+  R.Program = nullptr;
+  R.ReferenceSource = R"(
+kernel void kmeans(global float2 *points, global float2 *clusters,
+                   global int *out, int P, int K) {
+  int g = get_global_id(0);
+  float2 p = points[g];
+  float best = 3.4e38f;
+  int bestIdx = 0;
+  for (int c = 0; c < K; c++) {
+    float dx = p.x - clusters[c].x;
+    float dy = p.y - clusters[c].y;
+    float d = dx * dx + dy * dy;
+    if (d < best) {
+      best = d;
+      bestIdx = c;
+    }
+  }
+  out[g] = bestIdx;
+}
+)";
+  Case.ReferenceStages = {R};
+  return Case;
+}
+
+//===----------------------------------------------------------------------===//
+// NN (Rodinia): distance to a query point
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<float> hostNN(const std::vector<float> &Pts, size_t P, float Tx,
+                          float Ty) {
+  std::vector<float> Out(P);
+  for (size_t I = 0; I != P; ++I) {
+    double Dx = Pts[2 * I] - Tx;
+    double Dy = Pts[2 * I + 1] - Ty;
+    Out[I] = static_cast<float>(std::sqrt(Dx * Dx + Dy * Dy));
+  }
+  return Out;
+}
+
+} // namespace
+
+BenchmarkCase bench::makeNN(bool Large) {
+  const int64_t P = Large ? 32768 : 8192;
+  const int64_t L = 128;
+  const int64_t Tx = 2, Ty = 3; // integer-valued query point
+
+  TypePtr F2 = vectorOf(ScalarKind::Float, 2);
+  ParamPtr Pts = param("points", arrayOf(F2, arith::cst(P)));
+  ParamPtr TxP = param("tx", float32());
+  ParamPtr TyP = param("ty", float32());
+
+  FunDeclPtr Dist = userFun("dist", {"p", "tx", "ty"},
+                            {F2, float32(), float32()}, float32(),
+                            "float dx = p.x - tx;"
+                            "float dy = p.y - ty;"
+                            "return sqrt(dx * dx + dy * dy);");
+
+  LambdaPtr Prog =
+      lambda({Pts, TxP, TyP}, pipe(ExprPtr(Pts), mapGlb(fun([&](ExprPtr P2) {
+                                     return call(Dist, {P2, TxP, TyP});
+                                   }))));
+
+  BenchmarkCase Case;
+  Case.Name = "NN";
+  Case.SizeLabel = Large ? "Large" : "Small";
+
+  std::vector<float> PtsData = randomFloats(2 * static_cast<size_t>(P), 17);
+  Case.WorkingBuffers.push_back(BufferInit::vec2(PtsData));
+  Case.WorkingBuffers.push_back(BufferInit::zeros(static_cast<size_t>(P)));
+  Case.OutputBuffer = 1;
+  Case.Expected = hostNN(PtsData, static_cast<size_t>(P),
+                         static_cast<float>(Tx), static_cast<float>(Ty));
+  Case.Tolerance = 1e-4;
+
+  Stage S;
+  S.Program = Prog;
+  S.Global = {P, 1, 1};
+  S.Local = {L, 1, 1};
+  S.Buffers = {0, 1};
+  S.Sizes = {{"P", P}, {"tx", Tx}, {"ty", Ty}};
+  Case.LiftStages = {S};
+
+  Stage R = S;
+  R.Program = nullptr;
+  R.ReferenceSource = R"(
+kernel void nn(global float2 *points, global float *out, int P, int tx,
+               int ty) {
+  int g = get_global_id(0);
+  float2 p = points[g];
+  float dx = p.x - tx;
+  float dy = p.y - ty;
+  out[g] = sqrt(dx * dx + dy * dy);
+}
+)";
+  Case.ReferenceStages = {R};
+  return Case;
+}
+
+//===----------------------------------------------------------------------===//
+// MRI-Q (Parboil): k-space summation with sin/cos
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<float> hostMriQ(const std::vector<float> &X,
+                            const std::vector<float> &Ks, size_t P,
+                            size_t K) {
+  std::vector<float> Out(2 * P, 0.f);
+  for (size_t I = 0; I != P; ++I) {
+    double Re = 0, Im = 0;
+    for (size_t J = 0; J != K; ++J) {
+      double E = 6.2831853 * (Ks[4 * J] * X[4 * I] +
+                              Ks[4 * J + 1] * X[4 * I + 1] +
+                              Ks[4 * J + 2] * X[4 * I + 2]);
+      Re += Ks[4 * J + 3] * std::cos(E);
+      Im += Ks[4 * J + 3] * std::sin(E);
+    }
+    Out[2 * I] = static_cast<float>(Re);
+    Out[2 * I + 1] = static_cast<float>(Im);
+  }
+  return Out;
+}
+
+} // namespace
+
+BenchmarkCase bench::makeMriQ(bool Large) {
+  const int64_t P = Large ? 2048 : 512;
+  const int64_t K = 256;
+  const int64_t L = 64;
+
+  TypePtr F4 = vectorOf(ScalarKind::Float, 4);
+  TypePtr F2 = vectorOf(ScalarKind::Float, 2);
+  ParamPtr X = param("xs", arrayOf(F4, arith::cst(P)));
+  ParamPtr Ks = param("kvals", arrayOf(F4, arith::cst(K)));
+
+  TypePtr AccT = tupleOf({F2, F4});
+  FunDeclPtr QInit = userFun("qInit", {"x"}, {F4}, AccT,
+                             "return (Tuple2_float2_float4){"
+                             "(float2)(0.0f, 0.0f), x};");
+  FunDeclPtr QComp = userFun(
+      "qComp", {"state", "k"}, {AccT, F4}, AccT,
+      "float2 acc = state._0;"
+      "float4 x = state._1;"
+      "float e = 6.2831853f * (k.x * x.x + k.y * x.y + k.z * x.z);"
+      "return (Tuple2_float2_float4){(float2)(acc.x + k.w * cos(e),"
+      " acc.y + k.w * sin(e)), x};");
+  FunDeclPtr QGet =
+      userFun("qGet", {"state"}, {AccT}, F2, "return state._0;");
+
+  LambdaPtr Prog = lambda(
+      {X, Ks}, pipe(ExprPtr(X), mapGlb(fun([&](ExprPtr Px) {
+                 return pipe(call(reduceSeq(QComp),
+                                  {call(QInit, {Px}), Ks}),
+                             toGlobal(mapSeq(QGet)));
+               })),
+               join()));
+
+  BenchmarkCase Case;
+  Case.Name = "MRI-Q";
+  Case.SizeLabel = Large ? "Large" : "Small";
+
+  std::vector<float> XData = randomFloats(4 * static_cast<size_t>(P), 19);
+  std::vector<float> KData = randomFloats(4 * static_cast<size_t>(K), 23);
+
+  Case.WorkingBuffers.push_back(BufferInit::vec4(XData));
+  Case.WorkingBuffers.push_back(BufferInit::vec4(KData));
+  Case.WorkingBuffers.push_back(BufferInit::zeros(static_cast<size_t>(P)));
+  Case.OutputBuffer = 2;
+  Case.Expected = hostMriQ(XData, KData, static_cast<size_t>(P),
+                           static_cast<size_t>(K));
+  Case.Tolerance = 1e-3;
+
+  Stage S;
+  S.Program = Prog;
+  S.Global = {P, 1, 1};
+  S.Local = {L, 1, 1};
+  S.Buffers = {0, 1, 2};
+  S.Sizes = {{"P", P}, {"K", K}};
+  Case.LiftStages = {S};
+
+  Stage R = S;
+  R.Program = nullptr;
+  R.ReferenceSource = R"(
+kernel void mriq(global float4 *xs, global float4 *kvals, global float2 *out,
+                 int P, int K) {
+  int g = get_global_id(0);
+  float4 x = xs[g];
+  float re = 0.0f;
+  float im = 0.0f;
+  for (int j = 0; j < K; j++) {
+    float4 k = kvals[j];
+    float e = 6.2831853f * (k.x * x.x + k.y * x.y + k.z * x.z);
+    re += k.w * cos(e);
+    im += k.w * sin(e);
+  }
+  out[g] = (float2)(re, im);
+}
+)";
+  Case.ReferenceStages = {R};
+  return Case;
+}

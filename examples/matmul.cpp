@@ -1,0 +1,142 @@
+//===- matmul.cpp - Tiled matrix multiplication example -----------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+//
+// Builds a tiled matrix multiplication in the low-level Lift IL — 2D work
+// groups, cooperative local-memory staging of the A and B tiles, and an
+// untiling join/transpose composition on the output path — compiles it at
+// the three optimization levels of Figure 8, validates each against a host
+// reference, and reports the simulated costs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Compiler.h"
+#include "ir/DSL.h"
+#include "ir/Prelude.h"
+#include "ir/Printer.h"
+#include "ocl/Runtime.h"
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::ir::dsl;
+
+namespace {
+
+constexpr int64_t Size = 64; // M = N = K
+constexpr int64_t Tile = 16;
+
+LambdaPtr buildTiledMM() {
+  ParamPtr A =
+      param("A", array2D(float32(), arith::cst(Size), arith::cst(Size)));
+  ParamPtr Bt =
+      param("Bt", array2D(float32(), arith::cst(Size), arith::cst(Size)));
+  FunDeclPtr MAdd = prelude::multAndSumUpFun();
+  FunDeclPtr IdF = prelude::idFloatFun();
+  ParamPtr ALocal = param("aLocal");
+  ParamPtr BLocal = param("bLocal");
+
+  auto CopyTile = [&]() {
+    return toLocal(mapLcl(1, fun([&](ExprPtr Row) {
+                     return pipe(Row, split(Size / Tile),
+                                 mapLcl(0, mapSeq(IdF)), join());
+                   })));
+  };
+
+  LambdaPtr InnerWg = fun([&](ExprPtr ATile) {
+    return pipe(
+        pipe(ExprPtr(Bt), split(Tile)), mapWrg(0, fun([&](ExprPtr BTile) {
+          ExprPtr ACopy = pipe(ATile, CopyTile());
+          ExprPtr BCopy = pipe(BTile, CopyTile());
+          ExprPtr Compute = pipe(
+              ExprPtr(ALocal), mapLcl(1, fun([&](ExprPtr ARow) {
+                return pipe(
+                    ExprPtr(BLocal), mapLcl(0, fun([&](ExprPtr BRow) {
+                      return pipe(call(reduceSeq(MAdd),
+                                       {litFloat(0.0f),
+                                        call(zip(), {ARow, BRow})}),
+                                  toGlobal(mapSeq(IdF)));
+                    })),
+                    join());
+              })));
+          return call(lambda({ALocal, BLocal}, Compute), {ACopy, BCopy});
+        })));
+  });
+
+  // Untile: [M/T][N/T][T][T] -> [M][N] written in place via output views.
+  ExprPtr Result =
+      pipe(call(mapWrg(1, InnerWg), {pipe(ExprPtr(A), split(Tile))}),
+           mapSeq(fun([&](ExprPtr T) {
+             return pipe(T, transpose(), mapSeq(join()));
+           })),
+           join());
+  return lambda({A, Bt}, Result);
+}
+
+} // namespace
+
+int main() {
+  LambdaPtr Prog = buildTiledMM();
+  std::printf("=== Lift IL (tiled matrix multiplication) ===\n%s\n",
+              printProgram(Prog).c_str());
+
+  // Host data; B is pre-transposed as the CLBlast kernels assume.
+  std::vector<float> A(Size * Size), B(Size * Size), Bt(Size * Size);
+  for (int64_t I = 0; I != Size * Size; ++I) {
+    A[I] = static_cast<float>((I * 7 % 23) - 11) / 9.f;
+    B[I] = static_cast<float>((I * 13 % 19) - 9) / 7.f;
+  }
+  for (int64_t P = 0; P != Size; ++P)
+    for (int64_t J = 0; J != Size; ++J)
+      Bt[J * Size + P] = B[P * Size + J];
+
+  std::vector<float> Ref(Size * Size, 0.f);
+  for (int64_t I = 0; I != Size; ++I)
+    for (int64_t J = 0; J != Size; ++J) {
+      double S = 0;
+      for (int64_t P = 0; P != Size; ++P)
+        S += static_cast<double>(A[I * Size + P]) * B[P * Size + J];
+      Ref[I * Size + J] = static_cast<float>(S);
+    }
+
+  struct Config {
+    const char *Name;
+    bool Barrier, Cfs, Aas;
+  } Configs[] = {{"None", false, false, false},
+                 {"BE+CFS", true, true, false},
+                 {"BE+CFS+AAS", true, true, true}};
+
+  for (const Config &C : Configs) {
+    codegen::CompilerOptions O;
+    O.GlobalSize = {Size, Size, 1};
+    O.LocalSize = {Tile, Tile, 1};
+    O.BarrierElimination = C.Barrier;
+    O.ControlFlowSimplification = C.Cfs;
+    O.ArrayAccessSimplification = C.Aas;
+    O.KernelName = "mm";
+    codegen::CompiledKernel K = codegen::compile(Prog, O);
+    if (C.Aas)
+      std::printf("=== Generated kernel (%s) ===\n%s\n", C.Name,
+                  K.Source.c_str());
+
+    ocl::Buffer AB = ocl::Buffer::ofFloats(A);
+    ocl::Buffer BB = ocl::Buffer::ofFloats(Bt);
+    ocl::Buffer CB = ocl::Buffer::zeros(Size * Size);
+    ocl::CostReport Cost = ocl::launch(K, {&AB, &BB, &CB}, {},
+                                       ocl::LaunchConfig::fromOptions(O));
+    auto Out = CB.toFloats();
+    double MaxErr = 0;
+    for (size_t I = 0; I != Ref.size(); ++I)
+      MaxErr = std::fmax(MaxErr, std::fabs(Out[I] - Ref[I]));
+    std::printf("%-12s cost %12.0f  max abs error %.3g\n", C.Name,
+                Cost.cost(), MaxErr);
+    if (MaxErr > 1e-3)
+      return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,790 @@
+//===- ArithExpr.cpp - Symbolic arithmetic expressions --------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simplifying constructors for arithmetic expressions. The canonical forms
+/// are: sums of products with collected coefficients, products with constant
+/// coefficient first and like factors collected into powers, and div/mod
+/// nodes reduced by the rules (1)-(6) of section 5.3 of the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#include "arith/ArithExpr.h"
+
+#include "arith/Bounds.h"
+#include "support/Casting.h"
+#include "support/Error.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <map>
+
+using namespace lift;
+using namespace lift::arith;
+
+Node::~Node() = default;
+
+static thread_local bool SimplifyEnabled = true;
+
+SimplifyGuard::SimplifyGuard(bool Enable) : Previous(SimplifyEnabled) {
+  SimplifyEnabled = Enable;
+}
+
+SimplifyGuard::~SimplifyGuard() { SimplifyEnabled = Previous; }
+
+bool SimplifyGuard::isEnabled() { return SimplifyEnabled; }
+
+//===----------------------------------------------------------------------===//
+// Structural comparison
+//===----------------------------------------------------------------------===//
+
+static int compareVectors(const std::vector<Expr> &A,
+                          const std::vector<Expr> &B) {
+  if (A.size() != B.size())
+    return A.size() < B.size() ? -1 : 1;
+  for (size_t I = 0, E = A.size(); I != E; ++I)
+    if (int C = compare(A[I], B[I]))
+      return C;
+  return 0;
+}
+
+static int compareInt(int64_t A, int64_t B) {
+  return A < B ? -1 : (A > B ? 1 : 0);
+}
+
+int arith::compare(const Expr &A, const Expr &B) {
+  assert(A && B && "comparing null arithmetic expressions");
+  if (A.get() == B.get())
+    return 0;
+  if (A->getKind() != B->getKind())
+    return static_cast<int>(A->getKind()) < static_cast<int>(B->getKind())
+               ? -1
+               : 1;
+  switch (A->getKind()) {
+  case ExprKind::Cst:
+    return compareInt(cast<CstNode>(A.get())->getValue(),
+                      cast<CstNode>(B.get())->getValue());
+  case ExprKind::Var:
+    return compareInt(cast<VarNode>(A.get())->getId(),
+                      cast<VarNode>(B.get())->getId());
+  case ExprKind::Sum:
+    return compareVectors(cast<SumNode>(A.get())->getOperands(),
+                          cast<SumNode>(B.get())->getOperands());
+  case ExprKind::Prod:
+    return compareVectors(cast<ProdNode>(A.get())->getOperands(),
+                          cast<ProdNode>(B.get())->getOperands());
+  case ExprKind::IntDiv: {
+    const auto *DA = cast<IntDivNode>(A.get());
+    const auto *DB = cast<IntDivNode>(B.get());
+    if (int C = compare(DA->getNumerator(), DB->getNumerator()))
+      return C;
+    return compare(DA->getDenominator(), DB->getDenominator());
+  }
+  case ExprKind::Mod: {
+    const auto *MA = cast<ModNode>(A.get());
+    const auto *MB = cast<ModNode>(B.get());
+    if (int C = compare(MA->getDividend(), MB->getDividend()))
+      return C;
+    return compare(MA->getDivisor(), MB->getDivisor());
+  }
+  case ExprKind::Pow: {
+    const auto *PA = cast<PowNode>(A.get());
+    const auto *PB = cast<PowNode>(B.get());
+    if (int C = compare(PA->getBase(), PB->getBase()))
+      return C;
+    return compareInt(PA->getExponent(), PB->getExponent());
+  }
+  case ExprKind::Lookup: {
+    const auto *LA = cast<LookupNode>(A.get());
+    const auto *LB = cast<LookupNode>(B.get());
+    if (int C = compareInt(LA->getTableId(), LB->getTableId()))
+      return C;
+    return compare(LA->getIndex(), LB->getIndex());
+  }
+  }
+  lift_unreachable("unhandled expression kind");
+}
+
+bool arith::equals(const Expr &A, const Expr &B) { return compare(A, B) == 0; }
+
+std::optional<int64_t> arith::asConstant(const Expr &E) {
+  if (const auto *C = dyn_cast<CstNode>(E.get()))
+    return C->getValue();
+  return std::nullopt;
+}
+
+bool arith::isConstant(const Expr &E, int64_t V) {
+  auto C = asConstant(E);
+  return C && *C == V;
+}
+
+//===----------------------------------------------------------------------===//
+// Leaf factories
+//===----------------------------------------------------------------------===//
+
+Expr arith::cst(int64_t V) { return std::make_shared<CstNode>(V); }
+
+static std::atomic<unsigned> NextVarId{1};
+
+std::shared_ptr<const VarNode> arith::var(const std::string &Name) {
+  return std::make_shared<VarNode>(NextVarId++, Name, Range(cst(0), nullptr));
+}
+
+std::shared_ptr<const VarNode> arith::var(const std::string &Name, Expr Min,
+                                          Expr Max) {
+  return std::make_shared<VarNode>(NextVarId++, Name,
+                                   Range(std::move(Min), std::move(Max)));
+}
+
+std::shared_ptr<const VarNode> arith::sizeVar(const std::string &Name) {
+  return std::make_shared<VarNode>(NextVarId++, Name, Range(cst(1), nullptr));
+}
+
+Expr arith::lookup(unsigned TableId, const std::string &TableName,
+                   Expr Index) {
+  return std::make_shared<LookupNode>(TableId, TableName, std::move(Index));
+}
+
+//===----------------------------------------------------------------------===//
+// Term decomposition helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A sum term viewed as Coefficient * Key, where Key is null for the
+/// constant term and otherwise a canonical non-constant factor product.
+struct Term {
+  int64_t Coefficient = 1;
+  Expr Key; // null means constant term
+};
+
+struct ExprLess {
+  bool operator()(const Expr &A, const Expr &B) const {
+    return compare(A, B) < 0;
+  }
+};
+
+} // namespace
+
+/// Builds a canonical key product from sorted non-constant factors; a single
+/// factor is returned as-is.
+static Expr makeKeyProd(std::vector<Expr> Factors) {
+  assert(!Factors.empty() && "key product needs at least one factor");
+  if (Factors.size() == 1)
+    return Factors.front();
+  std::sort(Factors.begin(), Factors.end(),
+            [](const Expr &A, const Expr &B) { return compare(A, B) < 0; });
+  return std::make_shared<ProdNode>(std::move(Factors));
+}
+
+/// Splits a term into its constant coefficient and canonical key.
+static Term decomposeTerm(const Expr &E) {
+  Term T;
+  if (auto C = asConstant(E)) {
+    T.Coefficient = *C;
+    T.Key = nullptr;
+    return T;
+  }
+  if (const auto *P = dyn_cast<ProdNode>(E.get())) {
+    int64_t Coeff = 1;
+    std::vector<Expr> Rest;
+    for (const Expr &Op : P->getOperands()) {
+      if (auto C = asConstant(Op))
+        Coeff *= *C;
+      else
+        Rest.push_back(Op);
+    }
+    if (Rest.empty()) {
+      T.Coefficient = Coeff;
+      T.Key = nullptr;
+      return T;
+    }
+    T.Coefficient = Coeff;
+    T.Key = makeKeyProd(std::move(Rest));
+    return T;
+  }
+  T.Coefficient = 1;
+  T.Key = E;
+  return T;
+}
+
+/// Attempts to divide \p T exactly by \p D; returns null on failure.
+/// Handles constant/constant, products containing the divisor (or a power of
+/// it), and term-wise division of sums.
+static Expr tryExactDivide(const Expr &T, const Expr &D) {
+  if (equals(T, D))
+    return cst(1);
+
+  auto CT = asConstant(T);
+  auto CD = asConstant(D);
+  if (CD && *CD == 0)
+    return nullptr;
+  if (CT && CD)
+    return (*CT % *CD == 0) ? cst(*CT / *CD) : nullptr;
+
+  // Divide a sum term-wise: every term must divide exactly.
+  if (const auto *S = dyn_cast<SumNode>(T.get())) {
+    std::vector<Expr> Quotients;
+    for (const Expr &Op : S->getOperands()) {
+      Expr Q = tryExactDivide(Op, D);
+      if (!Q)
+        return nullptr;
+      Quotients.push_back(std::move(Q));
+    }
+    return sum(std::move(Quotients));
+  }
+
+  // Divide by a product: divide by each factor in turn.
+  if (const auto *PD = dyn_cast<ProdNode>(D.get())) {
+    Expr Cur = T;
+    for (const Expr &F : PD->getOperands()) {
+      Cur = tryExactDivide(Cur, F);
+      if (!Cur)
+        return nullptr;
+    }
+    return Cur;
+  }
+
+  // Divide by a power: divide by the base, exponent many times.
+  if (const auto *PWD = dyn_cast<PowNode>(D.get())) {
+    Expr Cur = T;
+    for (int64_t I = 0, E = PWD->getExponent(); I != E; ++I) {
+      Cur = tryExactDivide(Cur, PWD->getBase());
+      if (!Cur)
+        return nullptr;
+    }
+    return Cur;
+  }
+
+  // Divide a power of the divisor.
+  if (const auto *PT = dyn_cast<PowNode>(T.get()))
+    if (equals(PT->getBase(), D))
+      return pow(PT->getBase(), PT->getExponent() - 1);
+
+  // Divide a product: strip one matching factor, power, or divide the
+  // constant coefficient.
+  if (const auto *PT = dyn_cast<ProdNode>(T.get())) {
+    const std::vector<Expr> &Ops = PT->getOperands();
+    for (size_t I = 0, E = Ops.size(); I != E; ++I) {
+      Expr Q;
+      if (equals(Ops[I], D))
+        Q = cst(1);
+      else if (const auto *PW = dyn_cast<PowNode>(Ops[I].get());
+               PW && equals(PW->getBase(), D))
+        Q = pow(PW->getBase(), PW->getExponent() - 1);
+      else if (CD && asConstant(Ops[I]) && *asConstant(Ops[I]) % *CD == 0)
+        Q = cst(*asConstant(Ops[I]) / *CD);
+      else
+        continue;
+      std::vector<Expr> Rest;
+      for (size_t J = 0, F = Ops.size(); J != F; ++J)
+        if (J != I)
+          Rest.push_back(Ops[J]);
+      Rest.push_back(std::move(Q));
+      return prod(std::move(Rest));
+    }
+    return nullptr;
+  }
+
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Sum
+//===----------------------------------------------------------------------===//
+
+static void flattenSum(const Expr &E, std::vector<Expr> &Out) {
+  if (const auto *S = dyn_cast<SumNode>(E.get())) {
+    for (const Expr &Op : S->getOperands())
+      flattenSum(Op, Out);
+    return;
+  }
+  Out.push_back(E);
+}
+
+/// Rebuilds Coefficient * Key as an expression.
+static Expr termToExpr(int64_t Coefficient, const Expr &Key) {
+  if (!Key)
+    return cst(Coefficient);
+  if (Coefficient == 1)
+    return Key;
+  return mul(cst(Coefficient), Key);
+}
+
+Expr arith::sum(std::vector<Expr> Ops) {
+  if (Ops.empty())
+    return cst(0);
+  if (Ops.size() == 1)
+    return Ops.front();
+  if (!SimplifyEnabled)
+    return std::make_shared<SumNode>(std::move(Ops));
+
+  // Flatten and collect like terms.
+  std::vector<Expr> Flat;
+  for (const Expr &Op : Ops)
+    flattenSum(Op, Flat);
+
+  int64_t Constant = 0;
+  std::map<Expr, int64_t, ExprLess> Coeffs;
+  for (const Expr &Op : Flat) {
+    Term T = decomposeTerm(Op);
+    if (!T.Key)
+      Constant += T.Coefficient;
+    else
+      Coeffs[T.Key] += T.Coefficient;
+  }
+
+  // Rule (4): c*(x/y)*y + c*(x mod y) = c*x. Find a Mod key and the
+  // matching (x/y)*y key with an equal coefficient; replace both by c*x
+  // and restart collection on the rebuilt operand list.
+  for (auto &[Key, Coeff] : Coeffs) {
+    if (Coeff == 0)
+      continue;
+    const auto *M = dyn_cast<ModNode>(Key.get());
+    if (!M)
+      continue;
+    Expr DivTerm = mul(intDiv(M->getDividend(), M->getDivisor()),
+                       M->getDivisor());
+    Term DT = decomposeTerm(DivTerm);
+    if (!DT.Key)
+      continue;
+    // c * (x mod y) pairs with c * (x/y) * y; with a constant y the
+    // div-key carries the extra constant factor in its coefficient.
+    auto It = Coeffs.find(DT.Key);
+    if (It == Coeffs.end() || It->second != Coeff * DT.Coefficient ||
+        It->first.get() == Key.get())
+      continue;
+    // Matched: rebuild the whole operand list with the pair replaced.
+    int64_t C = Coeff;
+    std::vector<Expr> Rebuilt;
+    Rebuilt.push_back(cst(Constant));
+    Rebuilt.push_back(mul(cst(C), M->getDividend()));
+    for (const auto &[OtherKey, OtherCoeff] : Coeffs) {
+      if (OtherKey.get() == Key.get() || OtherKey.get() == It->first.get())
+        continue;
+      if (OtherCoeff != 0)
+        Rebuilt.push_back(termToExpr(OtherCoeff, OtherKey));
+    }
+    return sum(std::move(Rebuilt));
+  }
+
+  std::vector<Expr> Result;
+  for (const auto &[Key, Coeff] : Coeffs)
+    if (Coeff != 0)
+      Result.push_back(termToExpr(Coeff, Key));
+  if (Constant != 0 || Result.empty())
+    Result.insert(Result.begin(), cst(Constant));
+  if (Result.size() == 1)
+    return Result.front();
+  std::sort(Result.begin(), Result.end(),
+            [](const Expr &A, const Expr &B) { return compare(A, B) < 0; });
+  return std::make_shared<SumNode>(std::move(Result));
+}
+
+Expr arith::add(Expr A, Expr B) {
+  std::vector<Expr> Ops;
+  Ops.push_back(std::move(A));
+  Ops.push_back(std::move(B));
+  return sum(std::move(Ops));
+}
+
+Expr arith::negate(Expr A) { return mul(cst(-1), std::move(A)); }
+
+Expr arith::sub(Expr A, Expr B) { return add(std::move(A), negate(std::move(B))); }
+
+//===----------------------------------------------------------------------===//
+// Product
+//===----------------------------------------------------------------------===//
+
+static void flattenProd(const Expr &E, std::vector<Expr> &Out) {
+  if (const auto *P = dyn_cast<ProdNode>(E.get())) {
+    for (const Expr &Op : P->getOperands())
+      flattenProd(Op, Out);
+    return;
+  }
+  Out.push_back(E);
+}
+
+Expr arith::prod(std::vector<Expr> Ops) {
+  if (Ops.empty())
+    return cst(1);
+  if (Ops.size() == 1)
+    return Ops.front();
+  if (!SimplifyEnabled)
+    return std::make_shared<ProdNode>(std::move(Ops));
+
+  std::vector<Expr> Flat;
+  for (const Expr &Op : Ops)
+    flattenProd(Op, Flat);
+
+  int64_t Constant = 1;
+  // Collect like factors into powers: base -> exponent.
+  std::map<Expr, int64_t, ExprLess> Exponents;
+  for (const Expr &Op : Flat) {
+    if (auto C = asConstant(Op)) {
+      Constant *= *C;
+      continue;
+    }
+    if (const auto *PW = dyn_cast<PowNode>(Op.get())) {
+      Exponents[PW->getBase()] += PW->getExponent();
+      continue;
+    }
+    Exponents[Op] += 1;
+  }
+  if (Constant == 0)
+    return cst(0);
+
+  std::vector<Expr> Factors;
+  for (const auto &[Base, Exp] : Exponents) {
+    if (Exp == 0)
+      continue;
+    // Keep small powers of small sums in expandable form so the
+    // distribution below reaches a polynomial normal form (e.g.
+    // (N+1)^2 = N^2 + 2N + 1).
+    if (Exp >= 2 && Exp <= 3 && isa<SumNode>(Base.get()) &&
+        cast<SumNode>(Base.get())->getOperands().size() <= 4) {
+      for (int64_t I = 0; I != Exp; ++I)
+        Factors.push_back(Base);
+      continue;
+    }
+    Factors.push_back(Exp == 1 ? Base : pow(Base, Exp));
+  }
+  if (Factors.empty())
+    return cst(Constant);
+  if (Constant == 1 && Factors.size() == 1)
+    return Factors.front();
+  // Distribute over sum factors to reach a polynomial normal form; this is
+  // what lets like terms cancel (e.g. N - (N-1) = 1) and lets rule (4)
+  // recognize (x/y)*y + x mod y pairs inside larger expressions.
+  for (size_t I = 0, E = Factors.size(); I != E; ++I) {
+    const auto *S = dyn_cast<SumNode>(Factors[I].get());
+    if (!S)
+      continue;
+    std::vector<Expr> Others;
+    Others.push_back(cst(Constant));
+    for (size_t J = 0; J != E; ++J)
+      if (J != I)
+        Others.push_back(Factors[J]);
+    std::vector<Expr> Distributed;
+    for (const Expr &Term : S->getOperands()) {
+      std::vector<Expr> Parts = Others;
+      Parts.push_back(Term);
+      Distributed.push_back(prod(std::move(Parts)));
+    }
+    return sum(std::move(Distributed));
+  }
+  std::sort(Factors.begin(), Factors.end(),
+            [](const Expr &A, const Expr &B) { return compare(A, B) < 0; });
+  if (Constant != 1)
+    Factors.insert(Factors.begin(), cst(Constant));
+  return std::make_shared<ProdNode>(std::move(Factors));
+}
+
+Expr arith::mul(Expr A, Expr B) {
+  std::vector<Expr> Ops;
+  Ops.push_back(std::move(A));
+  Ops.push_back(std::move(B));
+  return prod(std::move(Ops));
+}
+
+Expr arith::pow(Expr Base, int64_t Exponent) {
+  assert(Exponent >= 0 && "negative exponents are not representable");
+  if (!SimplifyEnabled)
+    return std::make_shared<PowNode>(std::move(Base), Exponent);
+  if (Exponent == 0)
+    return cst(1);
+  if (Exponent == 1)
+    return Base;
+  if (auto C = asConstant(Base)) {
+    int64_t R = 1;
+    for (int64_t I = 0; I < Exponent; ++I)
+      R *= *C;
+    return cst(R);
+  }
+  return std::make_shared<PowNode>(std::move(Base), Exponent);
+}
+
+//===----------------------------------------------------------------------===//
+// Integer division and modulo
+//===----------------------------------------------------------------------===//
+
+/// Floor division (consistent with the identity (x/y)*y + x mod y = x).
+static int64_t floorDiv(int64_t A, int64_t B) {
+  assert(B != 0 && "division by zero");
+  int64_t Q = A / B;
+  if ((A % B != 0) && ((A < 0) != (B < 0)))
+    --Q;
+  return Q;
+}
+
+static int64_t floorMod(int64_t A, int64_t B) {
+  return A - floorDiv(A, B) * B;
+}
+
+Expr arith::intDiv(Expr Num, Expr Den) {
+  if (!SimplifyEnabled)
+    return std::make_shared<IntDivNode>(std::move(Num), std::move(Den));
+
+  auto CD = asConstant(Den);
+  if (CD && *CD == 1)
+    return Num;
+  assert((!CD || *CD != 0) && "division by the constant zero");
+  if (auto CN = asConstant(Num); CN && CD)
+    return cst(floorDiv(*CN, *CD));
+  if (equals(Num, Den))
+    return cst(1);
+  if (Expr Q = tryExactDivide(Num, Den))
+    return Q;
+
+  // Rule (1): x / y = 0 if 0 <= x < y.
+  if (provablyNonNegative(Num) && provablyLessThan(Num, Den))
+    return cst(0);
+
+  // Rule (2): split off exactly divisible terms of a sum. Valid for floor
+  // division with a positive divisor: floor((k*y + r)/y) = k + floor(r/y).
+  if (const auto *S = dyn_cast<SumNode>(Num.get());
+      S && provablyPositive(Den)) {
+    std::vector<Expr> Quotients, Rest;
+    for (const Expr &Op : S->getOperands()) {
+      if (Expr Q = tryExactDivide(Op, Den))
+        Quotients.push_back(std::move(Q));
+      else
+        Rest.push_back(Op);
+    }
+    if (!Quotients.empty()) {
+      if (!Rest.empty())
+        Quotients.push_back(intDiv(sum(std::move(Rest)), Den));
+      return sum(std::move(Quotients));
+    }
+  }
+
+  // Nested division: (x/a)/b = x/(a*b) for positive a, b.
+  if (const auto *D = dyn_cast<IntDivNode>(Num.get());
+      D && provablyPositive(D->getDenominator()) && provablyPositive(Den))
+    return intDiv(D->getNumerator(), mul(D->getDenominator(), Den));
+
+  return std::make_shared<IntDivNode>(std::move(Num), std::move(Den));
+}
+
+Expr arith::mod(Expr Dividend, Expr Divisor) {
+  if (!SimplifyEnabled)
+    return std::make_shared<ModNode>(std::move(Dividend), std::move(Divisor));
+
+  auto CD = asConstant(Divisor);
+  if (CD && *CD == 1)
+    return cst(0);
+  assert((!CD || *CD != 0) && "modulo by the constant zero");
+  if (auto CN = asConstant(Dividend); CN && CD)
+    return cst(floorMod(*CN, *CD));
+  if (equals(Dividend, Divisor))
+    return cst(0);
+
+  // Rule (5): (x*y) mod y = 0.
+  if (tryExactDivide(Dividend, Divisor))
+    return cst(0);
+
+  // Rule (3): x mod y = x if 0 <= x < y.
+  if (provablyNonNegative(Dividend) && provablyLessThan(Dividend, Divisor))
+    return Dividend;
+
+  // (x mod y) mod y = x mod y.
+  if (const auto *M = dyn_cast<ModNode>(Dividend.get());
+      M && equals(M->getDivisor(), Divisor))
+    return Dividend;
+
+  // Rules (6)+(5): drop exactly divisible terms of a sum. Valid for floor
+  // modulo with a positive divisor.
+  if (const auto *S = dyn_cast<SumNode>(Dividend.get());
+      S && provablyPositive(Divisor)) {
+    std::vector<Expr> Rest;
+    bool Dropped = false;
+    for (const Expr &Op : S->getOperands()) {
+      if (tryExactDivide(Op, Divisor))
+        Dropped = true;
+      else
+        Rest.push_back(Op);
+    }
+    if (Dropped)
+      return mod(sum(std::move(Rest)), Divisor);
+  }
+
+  return std::make_shared<ModNode>(std::move(Dividend), std::move(Divisor));
+}
+
+Expr arith::ceilDiv(Expr A, Expr B) {
+  return intDiv(add(std::move(A), sub(B, cst(1))), B);
+}
+
+//===----------------------------------------------------------------------===//
+// Traversal utilities
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Rebuilds an expression bottom-up through a transform applied to leaves.
+template <typename LeafFn> Expr rebuild(const Expr &E, LeafFn &&OnLeaf) {
+  switch (E->getKind()) {
+  case ExprKind::Cst:
+  case ExprKind::Var:
+    return OnLeaf(E);
+  case ExprKind::Sum: {
+    std::vector<Expr> Ops;
+    for (const Expr &Op : cast<SumNode>(E.get())->getOperands())
+      Ops.push_back(rebuild(Op, OnLeaf));
+    return sum(std::move(Ops));
+  }
+  case ExprKind::Prod: {
+    std::vector<Expr> Ops;
+    for (const Expr &Op : cast<ProdNode>(E.get())->getOperands())
+      Ops.push_back(rebuild(Op, OnLeaf));
+    return prod(std::move(Ops));
+  }
+  case ExprKind::IntDiv: {
+    const auto *D = cast<IntDivNode>(E.get());
+    return intDiv(rebuild(D->getNumerator(), OnLeaf),
+                  rebuild(D->getDenominator(), OnLeaf));
+  }
+  case ExprKind::Mod: {
+    const auto *M = cast<ModNode>(E.get());
+    return mod(rebuild(M->getDividend(), OnLeaf),
+               rebuild(M->getDivisor(), OnLeaf));
+  }
+  case ExprKind::Pow: {
+    const auto *P = cast<PowNode>(E.get());
+    return pow(rebuild(P->getBase(), OnLeaf), P->getExponent());
+  }
+  case ExprKind::Lookup: {
+    const auto *L = cast<LookupNode>(E.get());
+    return lookup(L->getTableId(), L->getTableName(),
+                  rebuild(L->getIndex(), OnLeaf));
+  }
+  }
+  lift_unreachable("unhandled expression kind");
+}
+
+} // namespace
+
+Expr arith::substitute(const Expr &E,
+                       const std::vector<std::pair<Expr, Expr>> &Bindings) {
+  return rebuild(E, [&](const Expr &Leaf) -> Expr {
+    for (const auto &[From, To] : Bindings)
+      if (equals(Leaf, From))
+        return To;
+    return Leaf;
+  });
+}
+
+Expr arith::simplified(const Expr &E) {
+  SimplifyGuard Guard(true);
+  return rebuild(E, [](const Expr &Leaf) { return Leaf; });
+}
+
+unsigned arith::countNodes(const Expr &E) {
+  unsigned N = 1;
+  switch (E->getKind()) {
+  case ExprKind::Cst:
+  case ExprKind::Var:
+    break;
+  case ExprKind::Sum:
+    for (const Expr &Op : cast<SumNode>(E.get())->getOperands())
+      N += countNodes(Op);
+    break;
+  case ExprKind::Prod:
+    for (const Expr &Op : cast<ProdNode>(E.get())->getOperands())
+      N += countNodes(Op);
+    break;
+  case ExprKind::IntDiv: {
+    const auto *D = cast<IntDivNode>(E.get());
+    N += countNodes(D->getNumerator()) + countNodes(D->getDenominator());
+    break;
+  }
+  case ExprKind::Mod: {
+    const auto *M = cast<ModNode>(E.get());
+    N += countNodes(M->getDividend()) + countNodes(M->getDivisor());
+    break;
+  }
+  case ExprKind::Pow:
+    N += countNodes(cast<PowNode>(E.get())->getBase());
+    break;
+  case ExprKind::Lookup:
+    N += countNodes(cast<LookupNode>(E.get())->getIndex());
+    break;
+  }
+  return N;
+}
+
+unsigned arith::countOps(const Expr &E) {
+  switch (E->getKind()) {
+  case ExprKind::Cst:
+  case ExprKind::Var:
+    return 0;
+  case ExprKind::Sum: {
+    const auto &Ops = cast<SumNode>(E.get())->getOperands();
+    unsigned N = static_cast<unsigned>(Ops.size()) - 1;
+    for (const Expr &Op : Ops)
+      N += countOps(Op);
+    return N;
+  }
+  case ExprKind::Prod: {
+    const auto &Ops = cast<ProdNode>(E.get())->getOperands();
+    unsigned N = static_cast<unsigned>(Ops.size()) - 1;
+    for (const Expr &Op : Ops)
+      N += countOps(Op);
+    return N;
+  }
+  case ExprKind::IntDiv: {
+    const auto *D = cast<IntDivNode>(E.get());
+    return 1 + countOps(D->getNumerator()) + countOps(D->getDenominator());
+  }
+  case ExprKind::Mod: {
+    const auto *M = cast<ModNode>(E.get());
+    return 1 + countOps(M->getDividend()) + countOps(M->getDivisor());
+  }
+  case ExprKind::Pow: {
+    const auto *P = cast<PowNode>(E.get());
+    return static_cast<unsigned>(P->getExponent()) - 1 +
+           countOps(P->getBase());
+  }
+  case ExprKind::Lookup:
+    return 1 + countOps(cast<LookupNode>(E.get())->getIndex());
+  }
+  lift_unreachable("unhandled expression kind");
+}
+
+unsigned arith::countDivMod(const Expr &E) {
+  unsigned N = 0;
+  switch (E->getKind()) {
+  case ExprKind::Cst:
+  case ExprKind::Var:
+    break;
+  case ExprKind::Sum:
+    for (const Expr &Op : cast<SumNode>(E.get())->getOperands())
+      N += countDivMod(Op);
+    break;
+  case ExprKind::Prod:
+    for (const Expr &Op : cast<ProdNode>(E.get())->getOperands())
+      N += countDivMod(Op);
+    break;
+  case ExprKind::IntDiv: {
+    const auto *D = cast<IntDivNode>(E.get());
+    N = 1 + countDivMod(D->getNumerator()) + countDivMod(D->getDenominator());
+    break;
+  }
+  case ExprKind::Mod: {
+    const auto *M = cast<ModNode>(E.get());
+    N = 1 + countDivMod(M->getDividend()) + countDivMod(M->getDivisor());
+    break;
+  }
+  case ExprKind::Pow:
+    N += countDivMod(cast<PowNode>(E.get())->getBase());
+    break;
+  case ExprKind::Lookup:
+    N += countDivMod(cast<LookupNode>(E.get())->getIndex());
+    break;
+  }
+  return N;
+}

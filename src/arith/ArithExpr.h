@@ -1,0 +1,304 @@
+//===- ArithExpr.h - Symbolic arithmetic expressions ------------*- C++ -*-===//
+//
+// Part of the lift-cpp project, a C++ reproduction of the Lift compiler
+// (Steuwer, Remmelg, Dubach; CGO 2017). MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbolic arithmetic over (mostly non-negative) integers, used by the Lift
+/// type system for array lengths and by the code generator for array index
+/// expressions. Expressions are immutable, shared DAG nodes. The factory
+/// functions canonicalize and simplify on construction, implementing the
+/// algebraic rules (1)-(6) of section 5.3 of the paper:
+///
+///   (1) x / y = 0                       if x < y and y != 0
+///   (2) (x*y + z) / y = x + z/y         if y != 0
+///   (3) x mod y = x                     if x < y and y != 0
+///   (4) (x/y)*y + x mod y = x           if y != 0
+///   (5) (x*y) mod y = 0                 if y != 0
+///   (6) (x+y) mod z = (x%z + y%z) % z   if z != 0
+///
+/// Rules that require value-range knowledge ((1) and (3)) use the range
+/// information carried by variables (see Bounds.h). Simplification can be
+/// disabled via \c SimplifyGuard to reproduce the paper's ablation study
+/// (Figure 8, "None" configuration) and the unsimplified index of Figure 6.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_ARITH_ARITHEXPR_H
+#define LIFT_ARITH_ARITHEXPR_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lift {
+namespace arith {
+
+class Node;
+
+/// Shared immutable handle to an arithmetic expression node.
+using Expr = std::shared_ptr<const Node>;
+
+/// Discriminator for the Node class hierarchy.
+enum class ExprKind {
+  Cst,    ///< Integer constant.
+  Var,    ///< Named variable with a value range.
+  Sum,    ///< n-ary sum (n >= 2).
+  Prod,   ///< n-ary product (n >= 2).
+  IntDiv, ///< Integer (floor) division.
+  Mod,    ///< Integer modulo.
+  Pow,    ///< Integer power with constant non-negative exponent.
+  Lookup, ///< Runtime table lookup (data-dependent index; Lift's Lookup).
+};
+
+/// Inclusive value range [Min, Max] of an expression; either bound may be
+/// null, meaning unknown in that direction.
+struct Range {
+  Expr Min; ///< Inclusive lower bound, or null.
+  Expr Max; ///< Inclusive upper bound, or null.
+
+  Range() = default;
+  Range(Expr Min, Expr Max) : Min(std::move(Min)), Max(std::move(Max)) {}
+};
+
+/// Base class of all arithmetic expression nodes.
+class Node {
+  const ExprKind Kind;
+
+protected:
+  explicit Node(ExprKind K) : Kind(K) {}
+
+public:
+  virtual ~Node();
+
+  ExprKind getKind() const { return Kind; }
+};
+
+/// Integer constant.
+class CstNode : public Node {
+  int64_t Value;
+
+public:
+  explicit CstNode(int64_t V) : Node(ExprKind::Cst), Value(V) {}
+
+  int64_t getValue() const { return Value; }
+
+  static bool classof(const Node *N) { return N->getKind() == ExprKind::Cst; }
+};
+
+/// Named variable. Identity is the unique Id, not the name; the range is
+/// consulted by the bound analysis for rules (1) and (3).
+class VarNode : public Node {
+  unsigned Id;
+  std::string Name;
+  Range VarRange;
+
+public:
+  VarNode(unsigned Id, std::string Name, Range R)
+      : Node(ExprKind::Var), Id(Id), Name(std::move(Name)),
+        VarRange(std::move(R)) {}
+
+  unsigned getId() const { return Id; }
+  const std::string &getName() const { return Name; }
+  const Range &getRange() const { return VarRange; }
+
+  static bool classof(const Node *N) { return N->getKind() == ExprKind::Var; }
+};
+
+/// n-ary sum. Operands are canonically ordered when simplification is on.
+class SumNode : public Node {
+  std::vector<Expr> Operands;
+
+public:
+  explicit SumNode(std::vector<Expr> Ops)
+      : Node(ExprKind::Sum), Operands(std::move(Ops)) {}
+
+  const std::vector<Expr> &getOperands() const { return Operands; }
+
+  static bool classof(const Node *N) { return N->getKind() == ExprKind::Sum; }
+};
+
+/// n-ary product.
+class ProdNode : public Node {
+  std::vector<Expr> Operands;
+
+public:
+  explicit ProdNode(std::vector<Expr> Ops)
+      : Node(ExprKind::Prod), Operands(std::move(Ops)) {}
+
+  const std::vector<Expr> &getOperands() const { return Operands; }
+
+  static bool classof(const Node *N) { return N->getKind() == ExprKind::Prod; }
+};
+
+/// Integer floor division Numerator / Denominator.
+class IntDivNode : public Node {
+  Expr Numerator, Denominator;
+
+public:
+  IntDivNode(Expr Num, Expr Den)
+      : Node(ExprKind::IntDiv), Numerator(std::move(Num)),
+        Denominator(std::move(Den)) {}
+
+  const Expr &getNumerator() const { return Numerator; }
+  const Expr &getDenominator() const { return Denominator; }
+
+  static bool classof(const Node *N) {
+    return N->getKind() == ExprKind::IntDiv;
+  }
+};
+
+/// Integer modulo Dividend mod Divisor.
+class ModNode : public Node {
+  Expr Dividend, Divisor;
+
+public:
+  ModNode(Expr Dividend, Expr Divisor)
+      : Node(ExprKind::Mod), Dividend(std::move(Dividend)),
+        Divisor(std::move(Divisor)) {}
+
+  const Expr &getDividend() const { return Dividend; }
+  const Expr &getDivisor() const { return Divisor; }
+
+  static bool classof(const Node *N) { return N->getKind() == ExprKind::Mod; }
+};
+
+/// Base raised to a constant non-negative integer exponent (>= 2 after
+/// canonicalization).
+class PowNode : public Node {
+  Expr Base;
+  int64_t Exponent;
+
+public:
+  PowNode(Expr Base, int64_t Exponent)
+      : Node(ExprKind::Pow), Base(std::move(Base)), Exponent(Exponent) {}
+
+  const Expr &getBase() const { return Base; }
+  int64_t getExponent() const { return Exponent; }
+
+  static bool classof(const Node *N) { return N->getKind() == ExprKind::Pow; }
+};
+
+/// Data-dependent index: the value of Table[Index] at kernel runtime, where
+/// Table identifies an integer buffer. Opaque to simplification except for
+/// its (non-negative) range.
+class LookupNode : public Node {
+  unsigned TableId;
+  std::string TableName;
+  Expr Index;
+
+public:
+  LookupNode(unsigned TableId, std::string TableName, Expr Index)
+      : Node(ExprKind::Lookup), TableId(TableId),
+        TableName(std::move(TableName)), Index(std::move(Index)) {}
+
+  unsigned getTableId() const { return TableId; }
+  const std::string &getTableName() const { return TableName; }
+  const Expr &getIndex() const { return Index; }
+
+  static bool classof(const Node *N) {
+    return N->getKind() == ExprKind::Lookup;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Factory functions (simplifying constructors)
+//===----------------------------------------------------------------------===//
+
+/// Creates an integer constant.
+Expr cst(int64_t V);
+
+/// Creates a fresh variable with range [0, +inf).
+std::shared_ptr<const VarNode> var(const std::string &Name);
+
+/// Creates a fresh variable with the given inclusive range bounds (either
+/// may be null for unknown).
+std::shared_ptr<const VarNode> var(const std::string &Name, Expr Min,
+                                   Expr Max);
+
+/// Creates a fresh "size" variable with range [1, +inf), as used for
+/// unknown array lengths (natural numbers larger than zero, section 5.1).
+std::shared_ptr<const VarNode> sizeVar(const std::string &Name);
+
+Expr add(Expr A, Expr B);
+Expr sub(Expr A, Expr B);
+Expr sum(std::vector<Expr> Ops);
+Expr mul(Expr A, Expr B);
+Expr prod(std::vector<Expr> Ops);
+Expr intDiv(Expr Num, Expr Den);
+Expr mod(Expr Dividend, Expr Divisor);
+Expr pow(Expr Base, int64_t Exponent);
+Expr negate(Expr A);
+Expr lookup(unsigned TableId, const std::string &TableName, Expr Index);
+
+/// Returns the ceiling of A / B, i.e. (A + B - 1) / B.
+Expr ceilDiv(Expr A, Expr B);
+
+//===----------------------------------------------------------------------===//
+// Structural queries
+//===----------------------------------------------------------------------===//
+
+/// Total order on expressions; structural, deterministic across runs.
+/// Returns <0, 0 or >0.
+int compare(const Expr &A, const Expr &B);
+
+/// Structural equality.
+bool equals(const Expr &A, const Expr &B);
+
+/// Returns the constant value if the expression is a constant.
+std::optional<int64_t> asConstant(const Expr &E);
+
+/// Returns true if the expression is the constant \p V.
+bool isConstant(const Expr &E, int64_t V);
+
+/// Replaces every occurrence of the variables in \p From with the paired
+/// expression in \p To, rebuilding (and re-simplifying, if enabled) the
+/// result bottom-up.
+Expr substitute(const Expr &E,
+                const std::vector<std::pair<Expr, Expr>> &Bindings);
+
+/// Counts nodes in the expression tree (diagnostics; code bloat metric).
+unsigned countNodes(const Expr &E);
+
+/// Counts division and modulo nodes (cost metric for Figure 8's shape).
+unsigned countDivMod(const Expr &E);
+
+/// Counts arithmetic *operators* (a sum of k terms is k-1 additions, a
+/// product k-1 multiplications; divisions, modulos and powers count their
+/// operations; leaves are free). Used by the runtime cost model for index
+/// expressions.
+unsigned countOps(const Expr &E);
+
+//===----------------------------------------------------------------------===//
+// Simplification control
+//===----------------------------------------------------------------------===//
+
+/// RAII guard that enables or disables simplification in the factory
+/// functions for the current thread. Used to reproduce the paper's
+/// "array access simplification" ablation.
+class SimplifyGuard {
+  bool Previous;
+
+public:
+  explicit SimplifyGuard(bool Enable);
+  ~SimplifyGuard();
+
+  SimplifyGuard(const SimplifyGuard &) = delete;
+  SimplifyGuard &operator=(const SimplifyGuard &) = delete;
+
+  /// Returns whether simplification is currently enabled on this thread.
+  static bool isEnabled();
+};
+
+/// Rebuilds \p E bottom-up through the simplifying factories, regardless of
+/// whether it was originally built with simplification disabled.
+Expr simplified(const Expr &E);
+
+} // namespace arith
+} // namespace lift
+
+#endif // LIFT_ARITH_ARITHEXPR_H

@@ -1,0 +1,424 @@
+//===- Bounds.cpp - Value-range analysis for arithmetic exprs -------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interval analysis (constant bounds) plus a symbolic "extreme value
+/// substitution" proof procedure for inequalities that mix a variable with
+/// its own symbolic range bound (e.g. proving l_id < M when l_id ranges over
+/// [0, M-1]). These two procedures discharge the side conditions of the
+/// simplification rules (1) and (3) and the loop-trip-count proofs of the
+/// control-flow simplification (section 5.5).
+///
+//===----------------------------------------------------------------------===//
+
+#include "arith/Bounds.h"
+
+#include "support/Casting.h"
+#include "support/Error.h"
+
+#include <cassert>
+#include <limits>
+
+using namespace lift;
+using namespace lift::arith;
+
+namespace {
+
+constexpr int MaxDepth = 16;
+
+/// An extended integer: finite, -inf, or +inf.
+struct Ext {
+  enum Class { NegInf, Finite, PosInf } Cls = Finite;
+  int64_t V = 0;
+
+  static Ext negInf() { return {NegInf, 0}; }
+  static Ext posInf() { return {PosInf, 0}; }
+  static Ext finite(int64_t V) { return {Finite, V}; }
+
+  bool isFinite() const { return Cls == Finite; }
+};
+
+Ext extAdd(Ext A, Ext B) {
+  if (A.Cls == Ext::NegInf || B.Cls == Ext::NegInf) {
+    assert(A.Cls != Ext::PosInf && B.Cls != Ext::PosInf &&
+           "adding opposite infinities");
+    return Ext::negInf();
+  }
+  if (A.Cls == Ext::PosInf || B.Cls == Ext::PosInf)
+    return Ext::posInf();
+  return Ext::finite(A.V + B.V);
+}
+
+int sign(Ext A) {
+  if (A.Cls == Ext::NegInf)
+    return -1;
+  if (A.Cls == Ext::PosInf)
+    return 1;
+  return A.V < 0 ? -1 : (A.V > 0 ? 1 : 0);
+}
+
+Ext extMul(Ext A, Ext B) {
+  int SA = sign(A), SB = sign(B);
+  if (SA == 0 || SB == 0)
+    return Ext::finite(0);
+  if (!A.isFinite() || !B.isFinite())
+    return SA * SB > 0 ? Ext::posInf() : Ext::negInf();
+  return Ext::finite(A.V * B.V);
+}
+
+bool extLess(Ext A, Ext B) {
+  if (A.Cls == Ext::NegInf)
+    return B.Cls != Ext::NegInf;
+  if (A.Cls == Ext::PosInf)
+    return false;
+  if (B.Cls == Ext::NegInf)
+    return false;
+  if (B.Cls == Ext::PosInf)
+    return true;
+  return A.V < B.V;
+}
+
+Ext extMin(Ext A, Ext B) { return extLess(A, B) ? A : B; }
+Ext extMax(Ext A, Ext B) { return extLess(A, B) ? B : A; }
+
+/// An interval over extended integers.
+struct Interval {
+  Ext Lo = Ext::negInf();
+  Ext Hi = Ext::posInf();
+
+  static Interval top() { return {}; }
+  static Interval point(int64_t V) {
+    return {Ext::finite(V), Ext::finite(V)};
+  }
+};
+
+int64_t floorDivV(int64_t A, int64_t B) {
+  int64_t Q = A / B;
+  if ((A % B != 0) && ((A < 0) != (B < 0)))
+    --Q;
+  return Q;
+}
+
+Interval intervalOf(const Expr &E, int Depth);
+
+Interval intervalMul(Interval A, Interval B) {
+  Ext C1 = extMul(A.Lo, B.Lo), C2 = extMul(A.Lo, B.Hi);
+  Ext C3 = extMul(A.Hi, B.Lo), C4 = extMul(A.Hi, B.Hi);
+  Interval R;
+  R.Lo = extMin(extMin(C1, C2), extMin(C3, C4));
+  R.Hi = extMax(extMax(C1, C2), extMax(C3, C4));
+  return R;
+}
+
+/// Floor division of extended values, divisor finite positive or +inf.
+Ext extFloorDiv(Ext N, Ext D) {
+  assert(sign(D) > 0 && "divisor must be positive");
+  if (!N.isFinite())
+    return N;
+  if (!D.isFinite()) // N / inf tends to 0 from below or above
+    return Ext::finite(N.V < 0 ? -1 : 0);
+  return Ext::finite(floorDivV(N.V, D.V));
+}
+
+Interval intervalOf(const Expr &E, int Depth) {
+  if (Depth > MaxDepth)
+    return Interval::top();
+  switch (E->getKind()) {
+  case ExprKind::Cst:
+    return Interval::point(cast<CstNode>(E.get())->getValue());
+  case ExprKind::Var: {
+    const Range &R = cast<VarNode>(E.get())->getRange();
+    Interval I = Interval::top();
+    if (R.Min)
+      I.Lo = intervalOf(R.Min, Depth + 1).Lo;
+    if (R.Max)
+      I.Hi = intervalOf(R.Max, Depth + 1).Hi;
+    return I;
+  }
+  case ExprKind::Sum: {
+    Interval R = Interval::point(0);
+    for (const Expr &Op : cast<SumNode>(E.get())->getOperands()) {
+      Interval I = intervalOf(Op, Depth + 1);
+      R.Lo = extAdd(R.Lo, I.Lo);
+      R.Hi = extAdd(R.Hi, I.Hi);
+    }
+    return R;
+  }
+  case ExprKind::Prod: {
+    Interval R = Interval::point(1);
+    for (const Expr &Op : cast<ProdNode>(E.get())->getOperands())
+      R = intervalMul(R, intervalOf(Op, Depth + 1));
+    return R;
+  }
+  case ExprKind::IntDiv: {
+    const auto *D = cast<IntDivNode>(E.get());
+    Interval NI = intervalOf(D->getNumerator(), Depth + 1);
+    Interval DI = intervalOf(D->getDenominator(), Depth + 1);
+    // Only positive divisors are supported (array sizes, split factors).
+    if (sign(DI.Lo) <= 0)
+      return Interval::top();
+    Interval R;
+    // floor(n/d) is increasing in n and, for fixed n sign, the extremes in
+    // d occur at the endpoints; take min/max over the four combinations.
+    Ext C1 = extFloorDiv(NI.Lo, DI.Lo), C2 = extFloorDiv(NI.Lo, DI.Hi);
+    Ext C3 = extFloorDiv(NI.Hi, DI.Lo), C4 = extFloorDiv(NI.Hi, DI.Hi);
+    if (!NI.Lo.isFinite() && NI.Lo.Cls == Ext::NegInf) {
+      R.Lo = Ext::negInf();
+    } else {
+      R.Lo = extMin(extMin(C1, C2), extMin(C3, C4));
+    }
+    if (NI.Hi.Cls == Ext::PosInf) {
+      R.Hi = Ext::posInf();
+    } else {
+      R.Hi = extMax(extMax(C1, C2), extMax(C3, C4));
+    }
+    return R;
+  }
+  case ExprKind::Mod: {
+    const auto *M = cast<ModNode>(E.get());
+    Interval DI = intervalOf(M->getDivisor(), Depth + 1);
+    if (sign(DI.Lo) <= 0)
+      return Interval::top();
+    // Floor-mod with a positive divisor lies in [0, divisor-1]; when the
+    // dividend is known non-negative it is also bounded by the dividend.
+    Interval R;
+    R.Lo = Ext::finite(0);
+    R.Hi = DI.Hi.isFinite() ? Ext::finite(DI.Hi.V - 1) : Ext::posInf();
+    Interval NI = intervalOf(M->getDividend(), Depth + 1);
+    if (sign(NI.Lo) >= 0 && NI.Lo.isFinite())
+      R.Hi = extMin(R.Hi, NI.Hi);
+    return R;
+  }
+  case ExprKind::Pow: {
+    const auto *P = cast<PowNode>(E.get());
+    Interval BI = intervalOf(P->getBase(), Depth + 1);
+    if (sign(BI.Lo) < 0)
+      return Interval::top();
+    auto PowOf = [&](Ext B) -> Ext {
+      if (!B.isFinite())
+        return B;
+      int64_t R = 1;
+      for (int64_t I = 0; I < P->getExponent(); ++I)
+        R *= B.V;
+      return Ext::finite(R);
+    };
+    return {PowOf(BI.Lo), PowOf(BI.Hi)};
+  }
+  case ExprKind::Lookup:
+    // Lookup tables hold non-negative indices by convention.
+    return {Ext::finite(0), Ext::posInf()};
+  }
+  lift_unreachable("unhandled expression kind");
+}
+
+/// Counts occurrences of the variable \p Id anywhere in \p E.
+unsigned countVarUses(const Expr &E, unsigned Id) {
+  switch (E->getKind()) {
+  case ExprKind::Cst:
+    return 0;
+  case ExprKind::Var:
+    return cast<VarNode>(E.get())->getId() == Id ? 1 : 0;
+  case ExprKind::Sum: {
+    unsigned N = 0;
+    for (const Expr &Op : cast<SumNode>(E.get())->getOperands())
+      N += countVarUses(Op, Id);
+    return N;
+  }
+  case ExprKind::Prod: {
+    unsigned N = 0;
+    for (const Expr &Op : cast<ProdNode>(E.get())->getOperands())
+      N += countVarUses(Op, Id);
+    return N;
+  }
+  case ExprKind::IntDiv: {
+    const auto *D = cast<IntDivNode>(E.get());
+    return countVarUses(D->getNumerator(), Id) +
+           countVarUses(D->getDenominator(), Id);
+  }
+  case ExprKind::Mod: {
+    const auto *M = cast<ModNode>(E.get());
+    return countVarUses(M->getDividend(), Id) +
+           countVarUses(M->getDivisor(), Id);
+  }
+  case ExprKind::Pow:
+    return countVarUses(cast<PowNode>(E.get())->getBase(), Id);
+  case ExprKind::Lookup:
+    return countVarUses(cast<LookupNode>(E.get())->getIndex(), Id);
+  }
+  lift_unreachable("unhandled expression kind");
+}
+
+bool proveGE0(const Expr &E, int Depth);
+
+/// For a top-level sum, finds a variable that occurs exactly once in the
+/// whole expression, as a linear term, and substitutes its extreme range
+/// bound: the minimum of the expression over that variable is attained at
+/// the bound, so proving the substituted expression >= 0 proves the
+/// original. Returns true on a successful proof.
+bool proveByExtremeSubstitution(const Expr &E, int Depth) {
+  const auto *S = dyn_cast<SumNode>(E.get());
+  if (!S)
+    return false;
+  for (const Expr &Op : S->getOperands()) {
+    // Decompose the term as Coefficient * Var.
+    int64_t Coeff = 1;
+    const VarNode *V = dyn_cast<VarNode>(Op.get());
+    if (!V) {
+      const auto *P = dyn_cast<ProdNode>(Op.get());
+      if (!P || P->getOperands().size() != 2)
+        continue;
+      auto C = asConstant(P->getOperands()[0]);
+      const auto *PV = dyn_cast<VarNode>(P->getOperands()[1].get());
+      if (!C || !PV)
+        continue;
+      Coeff = *C;
+      V = PV;
+    }
+    if (countVarUses(E, V->getId()) != 1)
+      continue;
+    const Range &R = V->getRange();
+    // The sum is monotone in V with the sign of Coeff: substitute the
+    // bound at which the sum is minimized.
+    const Expr &Bound = Coeff < 0 ? R.Max : R.Min;
+    if (!Bound)
+      continue;
+    // Aliasing handle to the variable node, for substitution.
+    Expr VarExpr(E, V);
+    Expr Substituted = substitute(E, {{VarExpr, Bound}});
+    if (proveGE0(Substituted, Depth + 1))
+      return true;
+  }
+  return false;
+}
+
+/// Replaces negative-coefficient floor-division and modulo terms by their
+/// (more negative) linear relaxations: for y >= 0 and d >= 1,
+/// floor(y/d) <= y and y mod d <= y, so c*floor(y/d) >= c*y when c < 0.
+/// Proving the relaxed sum non-negative proves the original.
+bool proveByDivModRelaxation(const Expr &E, int Depth) {
+  const auto *S = dyn_cast<SumNode>(E.get());
+  if (!S)
+    return false;
+  bool Relaxed = false;
+  std::vector<Expr> Terms;
+  for (const Expr &Op : S->getOperands()) {
+    // Decompose as Coefficient * Key with a single div/mod key.
+    int64_t Coeff = 1;
+    Expr Key = Op;
+    if (const auto *P = dyn_cast<ProdNode>(Op.get());
+        P && P->getOperands().size() == 2) {
+      if (auto C = asConstant(P->getOperands()[0])) {
+        Coeff = *C;
+        Key = P->getOperands()[1];
+      }
+    }
+    Expr Replacement;
+    if (Coeff < 0) {
+      if (const auto *D = dyn_cast<IntDivNode>(Key.get())) {
+        if (constLowerBound(D->getNumerator()).value_or(-1) >= 0 &&
+            constLowerBound(D->getDenominator()).value_or(0) >= 1)
+          Replacement = D->getNumerator();
+      } else if (const auto *M = dyn_cast<ModNode>(Key.get())) {
+        if (constLowerBound(M->getDividend()).value_or(-1) >= 0 &&
+            constLowerBound(M->getDivisor()).value_or(0) >= 1)
+          Replacement = M->getDividend();
+      }
+    }
+    if (Replacement) {
+      Relaxed = true;
+      Terms.push_back(mul(cst(Coeff), Replacement));
+    } else {
+      Terms.push_back(Op);
+    }
+  }
+  if (!Relaxed)
+    return false;
+  return proveGE0(sum(std::move(Terms)), Depth + 1);
+}
+
+bool proveGE0(const Expr &E, int Depth) {
+  if (Depth > MaxDepth)
+    return false;
+  SimplifyGuard Guard(true);
+  Expr S = simplified(E);
+  if (auto C = asConstant(S))
+    return *C >= 0;
+  Interval I = intervalOf(S, 0);
+  if (sign(I.Lo) >= 0)
+    return true;
+  if (proveByExtremeSubstitution(S, Depth))
+    return true;
+  if (proveByDivModRelaxation(S, Depth))
+    return true;
+  return false;
+}
+
+} // namespace
+
+std::optional<int64_t> arith::constLowerBound(const Expr &E) {
+  Interval I = intervalOf(E, 0);
+  if (I.Lo.isFinite())
+    return I.Lo.V;
+  return std::nullopt;
+}
+
+std::optional<int64_t> arith::constUpperBound(const Expr &E) {
+  Interval I = intervalOf(E, 0);
+  if (I.Hi.isFinite())
+    return I.Hi.V;
+  return std::nullopt;
+}
+
+Expr arith::lowerBound(const Expr &E) {
+  if (auto C = constLowerBound(E))
+    return cst(*C);
+  if (const auto *V = dyn_cast<VarNode>(E.get()))
+    return V->getRange().Min;
+  return nullptr;
+}
+
+Expr arith::upperBound(const Expr &E) {
+  if (auto C = constUpperBound(E))
+    return cst(*C);
+  if (const auto *V = dyn_cast<VarNode>(E.get()))
+    return V->getRange().Max;
+  return nullptr;
+}
+
+bool arith::provablyNonNegative(const Expr &E) { return proveGE0(E, 0); }
+
+bool arith::provablyPositive(const Expr &E) {
+  SimplifyGuard Guard(true);
+  return proveGE0(sub(E, cst(1)), 0);
+}
+
+bool arith::provablyLessThan(const Expr &A, const Expr &B) {
+  SimplifyGuard Guard(true);
+  // x mod y < B whenever y <= B (floor-mod with positive divisor).
+  if (const auto *M = dyn_cast<ModNode>(A.get()))
+    if (provablyPositive(M->getDivisor()) &&
+        provablyLessEqual(M->getDivisor(), B))
+      return true;
+  return proveGE0(sub(sub(B, A), cst(1)), 0);
+}
+
+bool arith::provablyLessEqual(const Expr &A, const Expr &B) {
+  SimplifyGuard Guard(true);
+  if (equals(A, B))
+    return true;
+  if (const auto *M = dyn_cast<ModNode>(A.get()))
+    if (provablyPositive(M->getDivisor()) &&
+        provablyLessEqual(M->getDivisor(), B))
+      return true;
+  return proveGE0(sub(B, A), 0);
+}
+
+bool arith::provablyEqual(const Expr &A, const Expr &B) {
+  SimplifyGuard Guard(true);
+  if (equals(A, B))
+    return true;
+  return isConstant(simplified(sub(A, B)), 0);
+}

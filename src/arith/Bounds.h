@@ -1,0 +1,57 @@
+//===- Bounds.h - Value-range analysis for arithmetic exprs -----*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Value-range analysis over arithmetic expressions. The Lift type system
+/// attaches ranges to variables (e.g. a local id l_id lies in
+/// [0, localSize-1]); this analysis propagates those ranges through
+/// expressions so that the simplifier can prove the side conditions of
+/// rules (1) and (3) (x < y) and the code generator can prove that loops
+/// execute at most / exactly once (section 5.5, control-flow simplification).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_ARITH_BOUNDS_H
+#define LIFT_ARITH_BOUNDS_H
+
+#include "arith/ArithExpr.h"
+
+namespace lift {
+namespace arith {
+
+/// Returns a symbolic inclusive lower bound of \p E, or null if unknown.
+Expr lowerBound(const Expr &E);
+
+/// Returns a symbolic inclusive upper bound of \p E, or null if unknown.
+Expr upperBound(const Expr &E);
+
+/// Returns a constant inclusive lower bound if one can be derived.
+std::optional<int64_t> constLowerBound(const Expr &E);
+
+/// Returns a constant inclusive upper bound if one can be derived.
+std::optional<int64_t> constUpperBound(const Expr &E);
+
+/// Returns true if A < B can be proven for every valuation of the
+/// variables consistent with their ranges.
+bool provablyLessThan(const Expr &A, const Expr &B);
+
+/// Returns true if A <= B can be proven.
+bool provablyLessEqual(const Expr &A, const Expr &B);
+
+/// Returns true if E >= 0 can be proven.
+bool provablyNonNegative(const Expr &E);
+
+/// Returns true if E > 0 can be proven.
+bool provablyPositive(const Expr &E);
+
+/// Returns true if A == B can be proven (structurally, after
+/// simplification of the difference).
+bool provablyEqual(const Expr &A, const Expr &B);
+
+} // namespace arith
+} // namespace lift
+
+#endif // LIFT_ARITH_BOUNDS_H

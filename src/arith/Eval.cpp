@@ -1,0 +1,74 @@
+//===- Eval.cpp - Arithmetic expression evaluation ------------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arith/Eval.h"
+
+#include "support/Casting.h"
+#include "support/Error.h"
+
+using namespace lift;
+using namespace lift::arith;
+
+static int64_t floorDivV(int64_t A, int64_t B) {
+  if (B == 0)
+    fatalError("evaluation: division by zero");
+  int64_t Q = A / B;
+  if ((A % B != 0) && ((A < 0) != (B < 0)))
+    --Q;
+  return Q;
+}
+
+int64_t arith::evaluate(const Expr &E, const EvalContext &Ctx) {
+  switch (E->getKind()) {
+  case ExprKind::Cst:
+    return cast<CstNode>(E.get())->getValue();
+  case ExprKind::Var: {
+    const auto &V = *cast<VarNode>(E.get());
+    if (!Ctx.VarValue)
+      fatalError("evaluation: unbound variable " + V.getName());
+    return Ctx.VarValue(V);
+  }
+  case ExprKind::Sum: {
+    int64_t R = 0;
+    for (const Expr &Op : cast<SumNode>(E.get())->getOperands())
+      R += evaluate(Op, Ctx);
+    return R;
+  }
+  case ExprKind::Prod: {
+    int64_t R = 1;
+    for (const Expr &Op : cast<ProdNode>(E.get())->getOperands())
+      R *= evaluate(Op, Ctx);
+    return R;
+  }
+  case ExprKind::IntDiv: {
+    const auto *D = cast<IntDivNode>(E.get());
+    return floorDivV(evaluate(D->getNumerator(), Ctx),
+                     evaluate(D->getDenominator(), Ctx));
+  }
+  case ExprKind::Mod: {
+    const auto *M = cast<ModNode>(E.get());
+    int64_t A = evaluate(M->getDividend(), Ctx);
+    int64_t B = evaluate(M->getDivisor(), Ctx);
+    return A - floorDivV(A, B) * B;
+  }
+  case ExprKind::Pow: {
+    const auto *P = cast<PowNode>(E.get());
+    int64_t B = evaluate(P->getBase(), Ctx);
+    int64_t R = 1;
+    for (int64_t I = 0, N = P->getExponent(); I != N; ++I)
+      R *= B;
+    return R;
+  }
+  case ExprKind::Lookup: {
+    const auto *L = cast<LookupNode>(E.get());
+    if (!Ctx.LookupValue)
+      fatalError("evaluation: no lookup handler for table " +
+                 L->getTableName());
+    return Ctx.LookupValue(L->getTableId(), evaluate(L->getIndex(), Ctx));
+  }
+  }
+  lift_unreachable("unhandled expression kind");
+}

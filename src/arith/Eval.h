@@ -1,0 +1,39 @@
+//===- Eval.h - Arithmetic expression evaluation ----------------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete evaluation of arithmetic expressions given variable values.
+/// Division and modulo use floor semantics, consistent with the
+/// simplification rules; generated kernels only evaluate them on
+/// non-negative operands, where this coincides with C.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_ARITH_EVAL_H
+#define LIFT_ARITH_EVAL_H
+
+#include "arith/ArithExpr.h"
+
+#include <functional>
+
+namespace lift {
+namespace arith {
+
+/// Environment for evaluation: variable values by id, and table lookups for
+/// data-dependent indices.
+struct EvalContext {
+  std::function<int64_t(const VarNode &)> VarValue;
+  std::function<int64_t(unsigned TableId, int64_t Index)> LookupValue;
+};
+
+/// Evaluates \p E under \p Ctx. Aborts on an unbound variable or a lookup
+/// without a handler.
+int64_t evaluate(const Expr &E, const EvalContext &Ctx);
+
+} // namespace arith
+} // namespace lift
+
+#endif // LIFT_ARITH_EVAL_H

@@ -1,0 +1,137 @@
+//===- Printer.cpp - C-syntax printing of arithmetic exprs ----------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arith/Printer.h"
+
+#include "support/Casting.h"
+#include "support/Error.h"
+
+#include <sstream>
+
+using namespace lift;
+using namespace lift::arith;
+
+namespace {
+
+/// C precedence levels used for parenthesization: additive < multiplicative
+/// < primary.
+enum Precedence { PrecAdd = 0, PrecMul = 1, PrecPrimary = 2 };
+
+class PrinterImpl {
+  const VarNameResolver &Resolver;
+  std::ostringstream OS;
+
+public:
+  explicit PrinterImpl(const VarNameResolver &Resolver)
+      : Resolver(Resolver) {}
+
+  std::string run(const Expr &E) {
+    print(E, PrecAdd);
+    return OS.str();
+  }
+
+private:
+  void print(const Expr &E, int ParentPrec) {
+    switch (E->getKind()) {
+    case ExprKind::Cst: {
+      int64_t V = cast<CstNode>(E.get())->getValue();
+      if (V < 0 && ParentPrec > PrecAdd) {
+        OS << "(" << V << ")";
+      } else {
+        OS << V;
+      }
+      return;
+    }
+    case ExprKind::Var: {
+      const auto &V = *cast<VarNode>(E.get());
+      std::string Name = Resolver ? Resolver(V) : std::string();
+      OS << (Name.empty() ? V.getName() : Name);
+      return;
+    }
+    case ExprKind::Sum: {
+      bool Paren = ParentPrec > PrecAdd;
+      if (Paren)
+        OS << "(";
+      const auto &Ops = cast<SumNode>(E.get())->getOperands();
+      for (size_t I = 0, N = Ops.size(); I != N; ++I) {
+        if (I != 0)
+          OS << " + ";
+        print(Ops[I], PrecAdd + (I == 0 ? 0 : 1) * 0);
+      }
+      if (Paren)
+        OS << ")";
+      return;
+    }
+    case ExprKind::Prod: {
+      bool Paren = ParentPrec > PrecMul;
+      if (Paren)
+        OS << "(";
+      const auto &Ops = cast<ProdNode>(E.get())->getOperands();
+      for (size_t I = 0, N = Ops.size(); I != N; ++I) {
+        if (I != 0)
+          OS << " * ";
+        print(Ops[I], PrecMul + (I == 0 ? 0 : 1));
+      }
+      if (Paren)
+        OS << ")";
+      return;
+    }
+    case ExprKind::IntDiv: {
+      bool Paren = ParentPrec > PrecMul;
+      if (Paren)
+        OS << "(";
+      const auto *D = cast<IntDivNode>(E.get());
+      print(D->getNumerator(), PrecMul);
+      OS << " / ";
+      print(D->getDenominator(), PrecMul + 1);
+      if (Paren)
+        OS << ")";
+      return;
+    }
+    case ExprKind::Mod: {
+      bool Paren = ParentPrec > PrecMul;
+      if (Paren)
+        OS << "(";
+      const auto *M = cast<ModNode>(E.get());
+      print(M->getDividend(), PrecMul);
+      OS << " % ";
+      print(M->getDivisor(), PrecMul + 1);
+      if (Paren)
+        OS << ")";
+      return;
+    }
+    case ExprKind::Pow: {
+      // Integer powers are printed as repeated multiplication.
+      const auto *P = cast<PowNode>(E.get());
+      bool Paren = ParentPrec > PrecMul;
+      if (Paren)
+        OS << "(";
+      for (int64_t I = 0, N = P->getExponent(); I != N; ++I) {
+        if (I != 0)
+          OS << " * ";
+        print(P->getBase(), PrecMul + 1);
+      }
+      if (Paren)
+        OS << ")";
+      return;
+    }
+    case ExprKind::Lookup: {
+      const auto *L = cast<LookupNode>(E.get());
+      OS << L->getTableName() << "[";
+      print(L->getIndex(), PrecAdd);
+      OS << "]";
+      return;
+    }
+    }
+    lift_unreachable("unhandled expression kind");
+  }
+};
+
+} // namespace
+
+std::string arith::toString(const Expr &E, const VarNameResolver &Resolver) {
+  return PrinterImpl(Resolver).run(E);
+}

@@ -1,0 +1,37 @@
+//===- Printer.h - C-syntax printing of arithmetic exprs --------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints arithmetic expressions as OpenCL C expressions (used for array
+/// index expressions in generated kernels, Figure 6 of the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_ARITH_PRINTER_H
+#define LIFT_ARITH_PRINTER_H
+
+#include "arith/ArithExpr.h"
+
+#include <functional>
+#include <string>
+
+namespace lift {
+namespace arith {
+
+/// Maps a variable to the C identifier (or expression) it is printed as.
+/// Returning an empty string falls back to the variable's name.
+using VarNameResolver = std::function<std::string(const VarNode &)>;
+
+/// Prints \p E as a C expression. Integer division and modulo print as
+/// `/` and `%` (the generated code only evaluates them on non-negative
+/// values, where C truncation equals floor semantics). Powers print as
+/// repeated multiplication since OpenCL C has no integer pow.
+std::string toString(const Expr &E, const VarNameResolver &Resolver = {});
+
+} // namespace arith
+} // namespace lift
+
+#endif // LIFT_ARITH_PRINTER_H

@@ -1,0 +1,184 @@
+//===- CAst.cpp - OpenCL C abstract syntax trees ----------------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cast/CAst.h"
+
+#include "support/Casting.h"
+#include "support/Error.h"
+
+using namespace lift;
+using namespace lift::c;
+
+CType::~CType() = default;
+CExpr::~CExpr() = default;
+CStmt::~CStmt() = default;
+
+const char *c::addrSpaceQualifier(CAddrSpace AS) {
+  switch (AS) {
+  case CAddrSpace::Private:
+    return "";
+  case CAddrSpace::Local:
+    return "local";
+  case CAddrSpace::Global:
+    return "global";
+  }
+  lift_unreachable("unhandled address space");
+}
+
+int StructCType::fieldIndex(const std::string &Field) const {
+  for (size_t I = 0, E = Fields.size(); I != E; ++I)
+    if (Fields[I].first == Field)
+      return static_cast<int>(I);
+  return -1;
+}
+
+CTypePtr c::voidTy() {
+  static CTypePtr T = std::make_shared<VoidCType>();
+  return T;
+}
+
+CTypePtr c::floatTy() {
+  static CTypePtr T = std::make_shared<ScalarCType>(CScalarKind::Float);
+  return T;
+}
+
+CTypePtr c::doubleTy() {
+  static CTypePtr T = std::make_shared<ScalarCType>(CScalarKind::Double);
+  return T;
+}
+
+CTypePtr c::intTy() {
+  static CTypePtr T = std::make_shared<ScalarCType>(CScalarKind::Int);
+  return T;
+}
+
+CTypePtr c::boolTy() {
+  static CTypePtr T = std::make_shared<ScalarCType>(CScalarKind::Bool);
+  return T;
+}
+
+CTypePtr c::vectorTy(CScalarKind S, unsigned Width) {
+  return std::make_shared<VectorCType>(S, Width);
+}
+
+CTypePtr c::structTy(std::string Name,
+                     std::vector<std::pair<std::string, CTypePtr>> Fields) {
+  return std::make_shared<StructCType>(std::move(Name), std::move(Fields));
+}
+
+CTypePtr c::pointerTy(CTypePtr Pointee, CAddrSpace AS) {
+  return std::make_shared<PointerCType>(std::move(Pointee), AS);
+}
+
+static const char *scalarCName(CScalarKind S) {
+  switch (S) {
+  case CScalarKind::Float:
+    return "float";
+  case CScalarKind::Double:
+    return "double";
+  case CScalarKind::Int:
+    return "int";
+  case CScalarKind::Bool:
+    return "bool";
+  }
+  lift_unreachable("unhandled scalar kind");
+}
+
+std::string c::cTypeToString(const CTypePtr &T) {
+  switch (T->getKind()) {
+  case CTypeKind::Void:
+    return "void";
+  case CTypeKind::Scalar:
+    return scalarCName(cast<ScalarCType>(T.get())->getScalarKind());
+  case CTypeKind::Vector: {
+    const auto *V = cast<VectorCType>(T.get());
+    return std::string(scalarCName(V->getScalarKind())) +
+           std::to_string(V->getWidth());
+  }
+  case CTypeKind::Struct:
+    return cast<StructCType>(T.get())->getName();
+  case CTypeKind::Pointer: {
+    const auto *P = cast<PointerCType>(T.get());
+    std::string Q = addrSpaceQualifier(P->getAddrSpace());
+    std::string Inner = cTypeToString(P->getPointee());
+    return Q.empty() ? Inner + "*" : Q + " " + Inner + "*";
+  }
+  }
+  lift_unreachable("unhandled type kind");
+}
+
+static unsigned scalarCSize(CScalarKind S) {
+  switch (S) {
+  case CScalarKind::Float:
+    return 4;
+  case CScalarKind::Double:
+    return 8;
+  case CScalarKind::Int:
+    return 4;
+  case CScalarKind::Bool:
+    return 1;
+  }
+  lift_unreachable("unhandled scalar kind");
+}
+
+unsigned c::cTypeSize(const CTypePtr &T) {
+  switch (T->getKind()) {
+  case CTypeKind::Void:
+    return 0;
+  case CTypeKind::Scalar:
+    return scalarCSize(cast<ScalarCType>(T.get())->getScalarKind());
+  case CTypeKind::Vector: {
+    const auto *V = cast<VectorCType>(T.get());
+    return scalarCSize(V->getScalarKind()) * V->getWidth();
+  }
+  case CTypeKind::Struct: {
+    unsigned Size = 0;
+    for (const auto &[Name, FieldTy] : cast<StructCType>(T.get())->getFields())
+      Size += cTypeSize(FieldTy);
+    return Size;
+  }
+  case CTypeKind::Pointer:
+    return 8;
+  }
+  lift_unreachable("unhandled type kind");
+}
+
+bool c::cTypeEquals(const CTypePtr &A, const CTypePtr &B) {
+  if (A.get() == B.get())
+    return true;
+  if (!A || !B || A->getKind() != B->getKind())
+    return false;
+  switch (A->getKind()) {
+  case CTypeKind::Void:
+    return true;
+  case CTypeKind::Scalar:
+    return cast<ScalarCType>(A.get())->getScalarKind() ==
+           cast<ScalarCType>(B.get())->getScalarKind();
+  case CTypeKind::Vector: {
+    const auto *VA = cast<VectorCType>(A.get());
+    const auto *VB = cast<VectorCType>(B.get());
+    return VA->getScalarKind() == VB->getScalarKind() &&
+           VA->getWidth() == VB->getWidth();
+  }
+  case CTypeKind::Struct:
+    return cast<StructCType>(A.get())->getName() ==
+           cast<StructCType>(B.get())->getName();
+  case CTypeKind::Pointer: {
+    const auto *PA = cast<PointerCType>(A.get());
+    const auto *PB = cast<PointerCType>(B.get());
+    return PA->getAddrSpace() == PB->getAddrSpace() &&
+           cTypeEquals(PA->getPointee(), PB->getPointee());
+  }
+  }
+  lift_unreachable("unhandled type kind");
+}
+
+CFunctionPtr CModule::findFunction(const std::string &Name) const {
+  for (const CFunctionPtr &F : Functions)
+    if (F->Name == Name)
+      return F;
+  return nullptr;
+}

@@ -1,0 +1,699 @@
+//===- CAst.h - OpenCL C abstract syntax trees ------------------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A typed AST for the OpenCL C subset emitted by the Lift code generator
+/// and accepted by the user-function parser. The same AST is (a) printed
+/// as OpenCL C source (the paper's compiler output, Figure 7) and (b)
+/// executed directly by the simulated OpenCL runtime in src/ocl, so the
+/// code path that is validated is exactly the code that is emitted.
+///
+/// Array index expressions embed symbolic arith::Expr nodes; this is what
+/// lets the cost model count divisions/modulos per access and lets the
+/// printer reproduce both the simplified and unsimplified indices of
+/// Figure 6.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_CAST_CAST_H
+#define LIFT_CAST_CAST_H
+
+#include "arith/ArithExpr.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lift {
+namespace c {
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+class CType;
+using CTypePtr = std::shared_ptr<const CType>;
+
+enum class CTypeKind { Void, Scalar, Vector, Struct, Pointer };
+
+enum class CScalarKind { Float, Double, Int, Bool };
+
+enum class CAddrSpace { Private, Local, Global };
+
+const char *addrSpaceQualifier(CAddrSpace AS);
+
+class CType {
+  const CTypeKind Kind;
+
+protected:
+  explicit CType(CTypeKind K) : Kind(K) {}
+
+public:
+  virtual ~CType();
+
+  CTypeKind getKind() const { return Kind; }
+};
+
+class VoidCType : public CType {
+public:
+  VoidCType() : CType(CTypeKind::Void) {}
+
+  static bool classof(const CType *T) {
+    return T->getKind() == CTypeKind::Void;
+  }
+};
+
+class ScalarCType : public CType {
+  CScalarKind Scalar;
+
+public:
+  explicit ScalarCType(CScalarKind S) : CType(CTypeKind::Scalar), Scalar(S) {}
+
+  CScalarKind getScalarKind() const { return Scalar; }
+
+  static bool classof(const CType *T) {
+    return T->getKind() == CTypeKind::Scalar;
+  }
+};
+
+class VectorCType : public CType {
+  CScalarKind Scalar;
+  unsigned Width;
+
+public:
+  VectorCType(CScalarKind S, unsigned Width)
+      : CType(CTypeKind::Vector), Scalar(S), Width(Width) {}
+
+  CScalarKind getScalarKind() const { return Scalar; }
+  unsigned getWidth() const { return Width; }
+
+  static bool classof(const CType *T) {
+    return T->getKind() == CTypeKind::Vector;
+  }
+};
+
+/// A named struct with ordered fields (the lowering of Lift tuple types).
+class StructCType : public CType {
+  std::string Name;
+  std::vector<std::pair<std::string, CTypePtr>> Fields;
+
+public:
+  StructCType(std::string Name,
+              std::vector<std::pair<std::string, CTypePtr>> Fields)
+      : CType(CTypeKind::Struct), Name(std::move(Name)),
+        Fields(std::move(Fields)) {}
+
+  const std::string &getName() const { return Name; }
+  const std::vector<std::pair<std::string, CTypePtr>> &getFields() const {
+    return Fields;
+  }
+
+  /// Index of a field by name, or -1.
+  int fieldIndex(const std::string &Field) const;
+
+  static bool classof(const CType *T) {
+    return T->getKind() == CTypeKind::Struct;
+  }
+};
+
+class PointerCType : public CType {
+  CTypePtr Pointee;
+  CAddrSpace AS;
+
+public:
+  PointerCType(CTypePtr Pointee, CAddrSpace AS)
+      : CType(CTypeKind::Pointer), Pointee(std::move(Pointee)), AS(AS) {}
+
+  const CTypePtr &getPointee() const { return Pointee; }
+  CAddrSpace getAddrSpace() const { return AS; }
+
+  static bool classof(const CType *T) {
+    return T->getKind() == CTypeKind::Pointer;
+  }
+};
+
+CTypePtr voidTy();
+CTypePtr floatTy();
+CTypePtr doubleTy();
+CTypePtr intTy();
+CTypePtr boolTy();
+CTypePtr vectorTy(CScalarKind S, unsigned Width);
+CTypePtr structTy(std::string Name,
+                  std::vector<std::pair<std::string, CTypePtr>> Fields);
+CTypePtr pointerTy(CTypePtr Pointee, CAddrSpace AS);
+
+/// Renders a type as OpenCL C, e.g. "global float*" or "float4".
+std::string cTypeToString(const CTypePtr &T);
+
+/// Size of one value in bytes (packed; matches ir::sizeInBytes).
+unsigned cTypeSize(const CTypePtr &T);
+
+bool cTypeEquals(const CTypePtr &A, const CTypePtr &B);
+
+//===----------------------------------------------------------------------===//
+// Variables
+//===----------------------------------------------------------------------===//
+
+/// A C variable. If ArithId is non-zero the variable is the runtime value
+/// of that symbolic arith variable (loop indices, size parameters) and
+/// assignments to it also update the symbolic environment.
+struct CVar {
+  std::string Name;
+  CTypePtr Ty;
+  unsigned ArithId = 0;
+
+  CVar(std::string Name, CTypePtr Ty, unsigned ArithId = 0)
+      : Name(std::move(Name)), Ty(std::move(Ty)), ArithId(ArithId) {}
+};
+
+using CVarPtr = std::shared_ptr<CVar>;
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+class CExpr;
+using CExprPtr = std::shared_ptr<const CExpr>;
+
+enum class CExprKind {
+  IntLit,
+  FloatLit,
+  VarRef,
+  ArithValue,
+  ArrayAccess,
+  Member,
+  Binary,
+  Unary,
+  Call,
+  Ternary,
+  CastExpr,
+  ConstructVector,
+  ConstructStruct,
+  VectorLoad,
+  VectorStore,
+};
+
+enum class BinOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Eq,
+  Ne,
+  And,
+  Or,
+};
+
+enum class UnOp { Neg, Not };
+
+class CExpr {
+  const CExprKind Kind;
+
+protected:
+  explicit CExpr(CExprKind K) : Kind(K) {}
+
+public:
+  virtual ~CExpr();
+
+  CExprKind getKind() const { return Kind; }
+};
+
+class IntLit : public CExpr {
+  int64_t Value;
+
+public:
+  explicit IntLit(int64_t V) : CExpr(CExprKind::IntLit), Value(V) {}
+
+  int64_t getValue() const { return Value; }
+
+  static bool classof(const CExpr *E) {
+    return E->getKind() == CExprKind::IntLit;
+  }
+};
+
+class FloatLit : public CExpr {
+  double Value;
+  bool IsDouble;
+
+public:
+  FloatLit(double V, bool IsDouble = false)
+      : CExpr(CExprKind::FloatLit), Value(V), IsDouble(IsDouble) {}
+
+  double getValue() const { return Value; }
+  bool isDouble() const { return IsDouble; }
+
+  static bool classof(const CExpr *E) {
+    return E->getKind() == CExprKind::FloatLit;
+  }
+};
+
+class VarRef : public CExpr {
+  CVarPtr Var;
+
+public:
+  explicit VarRef(CVarPtr V) : CExpr(CExprKind::VarRef), Var(std::move(V)) {}
+
+  const CVarPtr &getVar() const { return Var; }
+
+  static bool classof(const CExpr *E) {
+    return E->getKind() == CExprKind::VarRef;
+  }
+};
+
+/// A symbolic arithmetic value used as a C expression (loop bounds, array
+/// indices, runtime sizes).
+class ArithValue : public CExpr {
+  arith::Expr Value;
+
+public:
+  explicit ArithValue(arith::Expr V)
+      : CExpr(CExprKind::ArithValue), Value(std::move(V)) {}
+
+  const arith::Expr &getValue() const { return Value; }
+
+  static bool classof(const CExpr *E) {
+    return E->getKind() == CExprKind::ArithValue;
+  }
+};
+
+class ArrayAccess : public CExpr {
+  CExprPtr Base;
+  CExprPtr Index;
+
+public:
+  ArrayAccess(CExprPtr Base, CExprPtr Index)
+      : CExpr(CExprKind::ArrayAccess), Base(std::move(Base)),
+        Index(std::move(Index)) {}
+
+  const CExprPtr &getBase() const { return Base; }
+  const CExprPtr &getIndex() const { return Index; }
+
+  static bool classof(const CExpr *E) {
+    return E->getKind() == CExprKind::ArrayAccess;
+  }
+};
+
+/// Struct field or vector component access (xy._0, v.x).
+class Member : public CExpr {
+  CExprPtr Base;
+  std::string Field;
+
+public:
+  Member(CExprPtr Base, std::string Field)
+      : CExpr(CExprKind::Member), Base(std::move(Base)),
+        Field(std::move(Field)) {}
+
+  const CExprPtr &getBase() const { return Base; }
+  const std::string &getField() const { return Field; }
+
+  static bool classof(const CExpr *E) {
+    return E->getKind() == CExprKind::Member;
+  }
+};
+
+class Binary : public CExpr {
+  BinOp Op;
+  CExprPtr Lhs, Rhs;
+
+public:
+  Binary(BinOp Op, CExprPtr Lhs, CExprPtr Rhs)
+      : CExpr(CExprKind::Binary), Op(Op), Lhs(std::move(Lhs)),
+        Rhs(std::move(Rhs)) {}
+
+  BinOp getOp() const { return Op; }
+  const CExprPtr &getLhs() const { return Lhs; }
+  const CExprPtr &getRhs() const { return Rhs; }
+
+  static bool classof(const CExpr *E) {
+    return E->getKind() == CExprKind::Binary;
+  }
+};
+
+class Unary : public CExpr {
+  UnOp Op;
+  CExprPtr Sub;
+
+public:
+  Unary(UnOp Op, CExprPtr Sub)
+      : CExpr(CExprKind::Unary), Op(Op), Sub(std::move(Sub)) {}
+
+  UnOp getOp() const { return Op; }
+  const CExprPtr &getSub() const { return Sub; }
+
+  static bool classof(const CExpr *E) {
+    return E->getKind() == CExprKind::Unary;
+  }
+};
+
+/// A call to a user function or a built-in math function, resolved by name
+/// against the module's function table (or the interpreter's builtins).
+class Call : public CExpr {
+  std::string Callee;
+  std::vector<CExprPtr> Args;
+
+public:
+  Call(std::string Callee, std::vector<CExprPtr> Args)
+      : CExpr(CExprKind::Call), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+
+  const std::string &getCallee() const { return Callee; }
+  const std::vector<CExprPtr> &getArgs() const { return Args; }
+
+  static bool classof(const CExpr *E) {
+    return E->getKind() == CExprKind::Call;
+  }
+};
+
+class Ternary : public CExpr {
+  CExprPtr Cond, Then, Else;
+
+public:
+  Ternary(CExprPtr Cond, CExprPtr Then, CExprPtr Else)
+      : CExpr(CExprKind::Ternary), Cond(std::move(Cond)),
+        Then(std::move(Then)), Else(std::move(Else)) {}
+
+  const CExprPtr &getCond() const { return Cond; }
+  const CExprPtr &getThen() const { return Then; }
+  const CExprPtr &getElse() const { return Else; }
+
+  static bool classof(const CExpr *E) {
+    return E->getKind() == CExprKind::Ternary;
+  }
+};
+
+class CastExpr : public CExpr {
+  CTypePtr Ty;
+  CExprPtr Sub;
+
+public:
+  CastExpr(CTypePtr Ty, CExprPtr Sub)
+      : CExpr(CExprKind::CastExpr), Ty(std::move(Ty)), Sub(std::move(Sub)) {}
+
+  const CTypePtr &getType() const { return Ty; }
+  const CExprPtr &getSub() const { return Sub; }
+
+  static bool classof(const CExpr *E) {
+    return E->getKind() == CExprKind::CastExpr;
+  }
+};
+
+/// (float4)(a, b, c, d) — or splat with a single argument.
+class ConstructVector : public CExpr {
+  CTypePtr Ty;
+  std::vector<CExprPtr> Args;
+
+public:
+  ConstructVector(CTypePtr Ty, std::vector<CExprPtr> Args)
+      : CExpr(CExprKind::ConstructVector), Ty(std::move(Ty)),
+        Args(std::move(Args)) {}
+
+  const CTypePtr &getType() const { return Ty; }
+  const std::vector<CExprPtr> &getArgs() const { return Args; }
+
+  static bool classof(const CExpr *E) {
+    return E->getKind() == CExprKind::ConstructVector;
+  }
+};
+
+/// (struct Name){a, b} — tuple construction.
+class ConstructStruct : public CExpr {
+  CTypePtr Ty;
+  std::vector<CExprPtr> Args;
+
+public:
+  ConstructStruct(CTypePtr Ty, std::vector<CExprPtr> Args)
+      : CExpr(CExprKind::ConstructStruct), Ty(std::move(Ty)),
+        Args(std::move(Args)) {}
+
+  const CTypePtr &getType() const { return Ty; }
+  const std::vector<CExprPtr> &getArgs() const { return Args; }
+
+  static bool classof(const CExpr *E) {
+    return E->getKind() == CExprKind::ConstructStruct;
+  }
+};
+
+/// vloadW(index, pointer).
+class VectorLoad : public CExpr {
+  unsigned Width;
+  CExprPtr Index;
+  CExprPtr Pointer;
+
+public:
+  VectorLoad(unsigned Width, CExprPtr Index, CExprPtr Pointer)
+      : CExpr(CExprKind::VectorLoad), Width(Width), Index(std::move(Index)),
+        Pointer(std::move(Pointer)) {}
+
+  unsigned getWidth() const { return Width; }
+  const CExprPtr &getIndex() const { return Index; }
+  const CExprPtr &getPointer() const { return Pointer; }
+
+  static bool classof(const CExpr *E) {
+    return E->getKind() == CExprKind::VectorLoad;
+  }
+};
+
+/// vstoreW(value, index, pointer) — statement-position expression.
+class VectorStore : public CExpr {
+  unsigned Width;
+  CExprPtr Value;
+  CExprPtr Index;
+  CExprPtr Pointer;
+
+public:
+  VectorStore(unsigned Width, CExprPtr Value, CExprPtr Index,
+              CExprPtr Pointer)
+      : CExpr(CExprKind::VectorStore), Width(Width), Value(std::move(Value)),
+        Index(std::move(Index)), Pointer(std::move(Pointer)) {}
+
+  unsigned getWidth() const { return Width; }
+  const CExprPtr &getValue() const { return Value; }
+  const CExprPtr &getIndex() const { return Index; }
+  const CExprPtr &getPointer() const { return Pointer; }
+
+  static bool classof(const CExpr *E) {
+    return E->getKind() == CExprKind::VectorStore;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+class CStmt;
+using CStmtPtr = std::shared_ptr<const CStmt>;
+
+enum class CStmtKind {
+  Block,
+  VarDecl,
+  Assign,
+  ExprStmt,
+  For,
+  If,
+  Barrier,
+  Return,
+  Comment,
+};
+
+class CStmt {
+  const CStmtKind Kind;
+
+protected:
+  explicit CStmt(CStmtKind K) : Kind(K) {}
+
+public:
+  virtual ~CStmt();
+
+  CStmtKind getKind() const { return Kind; }
+};
+
+class Block : public CStmt {
+  std::vector<CStmtPtr> Stmts;
+
+public:
+  explicit Block(std::vector<CStmtPtr> Stmts = {})
+      : CStmt(CStmtKind::Block), Stmts(std::move(Stmts)) {}
+
+  const std::vector<CStmtPtr> &getStmts() const { return Stmts; }
+
+  static bool classof(const CStmt *S) {
+    return S->getKind() == CStmtKind::Block;
+  }
+};
+
+using BlockPtr = std::shared_ptr<const Block>;
+
+/// Declares a variable; with ArraySize set it declares a C array (used for
+/// local memory buffers and private arrays).
+class VarDecl : public CStmt {
+  CVarPtr Var;
+  CExprPtr Init;          // may be null
+  arith::Expr ArraySize;  // null unless array
+  CAddrSpace AS;
+
+public:
+  VarDecl(CVarPtr Var, CExprPtr Init = nullptr,
+          arith::Expr ArraySize = nullptr, CAddrSpace AS = CAddrSpace::Private)
+      : CStmt(CStmtKind::VarDecl), Var(std::move(Var)), Init(std::move(Init)),
+        ArraySize(std::move(ArraySize)), AS(AS) {}
+
+  const CVarPtr &getVar() const { return Var; }
+  const CExprPtr &getInit() const { return Init; }
+  const arith::Expr &getArraySize() const { return ArraySize; }
+  CAddrSpace getAddrSpace() const { return AS; }
+
+  static bool classof(const CStmt *S) {
+    return S->getKind() == CStmtKind::VarDecl;
+  }
+};
+
+class Assign : public CStmt {
+  CExprPtr Lhs, Rhs;
+
+public:
+  Assign(CExprPtr Lhs, CExprPtr Rhs)
+      : CStmt(CStmtKind::Assign), Lhs(std::move(Lhs)), Rhs(std::move(Rhs)) {}
+
+  const CExprPtr &getLhs() const { return Lhs; }
+  const CExprPtr &getRhs() const { return Rhs; }
+
+  static bool classof(const CStmt *S) {
+    return S->getKind() == CStmtKind::Assign;
+  }
+};
+
+class ExprStmt : public CStmt {
+  CExprPtr E;
+
+public:
+  explicit ExprStmt(CExprPtr E) : CStmt(CStmtKind::ExprStmt), E(std::move(E)) {}
+
+  const CExprPtr &getExpr() const { return E; }
+
+  static bool classof(const CStmt *S) {
+    return S->getKind() == CStmtKind::ExprStmt;
+  }
+};
+
+/// for (decl/init; cond; inc) body.
+class For : public CStmt {
+  CVarPtr IV;
+  CExprPtr Init;
+  CExprPtr Cond;
+  CExprPtr Step; // new value of IV each iteration: IV = Step.
+  BlockPtr Body;
+
+public:
+  For(CVarPtr IV, CExprPtr Init, CExprPtr Cond, CExprPtr Step, BlockPtr Body)
+      : CStmt(CStmtKind::For), IV(std::move(IV)), Init(std::move(Init)),
+        Cond(std::move(Cond)), Step(std::move(Step)), Body(std::move(Body)) {}
+
+  const CVarPtr &getIV() const { return IV; }
+  const CExprPtr &getInit() const { return Init; }
+  const CExprPtr &getCond() const { return Cond; }
+  const CExprPtr &getStep() const { return Step; }
+  const BlockPtr &getBody() const { return Body; }
+
+  static bool classof(const CStmt *S) { return S->getKind() == CStmtKind::For; }
+};
+
+class If : public CStmt {
+  CExprPtr Cond;
+  BlockPtr Then;
+  BlockPtr Else; // may be null
+
+public:
+  If(CExprPtr Cond, BlockPtr Then, BlockPtr Else = nullptr)
+      : CStmt(CStmtKind::If), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+
+  const CExprPtr &getCond() const { return Cond; }
+  const BlockPtr &getThen() const { return Then; }
+  const BlockPtr &getElse() const { return Else; }
+
+  static bool classof(const CStmt *S) { return S->getKind() == CStmtKind::If; }
+};
+
+/// barrier(CLK_LOCAL_MEM_FENCE and/or CLK_GLOBAL_MEM_FENCE).
+class Barrier : public CStmt {
+  bool LocalFence;
+  bool GlobalFence;
+
+public:
+  Barrier(bool LocalFence, bool GlobalFence)
+      : CStmt(CStmtKind::Barrier), LocalFence(LocalFence),
+        GlobalFence(GlobalFence) {}
+
+  bool hasLocalFence() const { return LocalFence; }
+  bool hasGlobalFence() const { return GlobalFence; }
+
+  static bool classof(const CStmt *S) {
+    return S->getKind() == CStmtKind::Barrier;
+  }
+};
+
+class Return : public CStmt {
+  CExprPtr Value; // may be null
+
+public:
+  explicit Return(CExprPtr Value = nullptr)
+      : CStmt(CStmtKind::Return), Value(std::move(Value)) {}
+
+  const CExprPtr &getValue() const { return Value; }
+
+  static bool classof(const CStmt *S) {
+    return S->getKind() == CStmtKind::Return;
+  }
+};
+
+class Comment : public CStmt {
+  std::string Text;
+
+public:
+  explicit Comment(std::string Text)
+      : CStmt(CStmtKind::Comment), Text(std::move(Text)) {}
+
+  const std::string &getText() const { return Text; }
+
+  static bool classof(const CStmt *S) {
+    return S->getKind() == CStmtKind::Comment;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Functions and modules
+//===----------------------------------------------------------------------===//
+
+/// A C function: a user function definition or the kernel itself.
+struct CFunction {
+  std::string Name;
+  CTypePtr ReturnType;
+  std::vector<CVarPtr> Params;
+  BlockPtr Body;
+  bool IsKernel = false;
+};
+
+using CFunctionPtr = std::shared_ptr<CFunction>;
+
+/// A translation unit: struct definitions, user functions, one kernel.
+struct CModule {
+  std::vector<CTypePtr> Structs; // StructCType definitions, in order
+  std::vector<CFunctionPtr> Functions;
+  CFunctionPtr Kernel;
+
+  /// Finds a function (not the kernel) by name, or null.
+  CFunctionPtr findFunction(const std::string &Name) const;
+};
+
+} // namespace c
+} // namespace lift
+
+#endif // LIFT_CAST_CAST_H

@@ -1,0 +1,417 @@
+//===- CPrinter.cpp - OpenCL C source emission ------------------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cast/CPrinter.h"
+
+#include "arith/Printer.h"
+#include "support/Casting.h"
+#include "support/Error.h"
+
+#include <sstream>
+
+using namespace lift;
+using namespace lift::c;
+
+namespace {
+
+const char *binOpSpelling(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add:
+    return "+";
+  case BinOp::Sub:
+    return "-";
+  case BinOp::Mul:
+    return "*";
+  case BinOp::Div:
+    return "/";
+  case BinOp::Rem:
+    return "%";
+  case BinOp::Lt:
+    return "<";
+  case BinOp::Le:
+    return "<=";
+  case BinOp::Gt:
+    return ">";
+  case BinOp::Ge:
+    return ">=";
+  case BinOp::Eq:
+    return "==";
+  case BinOp::Ne:
+    return "!=";
+  case BinOp::And:
+    return "&&";
+  case BinOp::Or:
+    return "||";
+  }
+  lift_unreachable("unhandled binary operator");
+}
+
+class CPrinterImpl {
+  std::ostringstream OS;
+  unsigned Indent = 0;
+
+public:
+  std::string module(const CModule &M) {
+    for (const CTypePtr &S : M.Structs) {
+      const auto *ST = cast<StructCType>(S.get());
+      OS << "typedef struct {\n";
+      for (const auto &[Name, Ty] : ST->getFields())
+        OS << "  " << cTypeToString(Ty) << " " << Name << ";\n";
+      OS << "} " << ST->getName() << ";\n\n";
+    }
+    for (const CFunctionPtr &F : M.Functions) {
+      function(*F);
+      OS << "\n";
+    }
+    if (M.Kernel)
+      function(*M.Kernel);
+    return OS.str();
+  }
+
+  void function(const CFunction &F) {
+    if (F.IsKernel)
+      OS << "kernel ";
+    OS << cTypeToString(F.ReturnType) << " " << F.Name << "(";
+    for (size_t I = 0, E = F.Params.size(); I != E; ++I) {
+      if (I != 0)
+        OS << ", ";
+      const CVar &P = *F.Params[I];
+      if (F.IsKernel && isa<PointerCType>(P.Ty.get())) {
+        const auto *PT = cast<PointerCType>(P.Ty.get());
+        OS << addrSpaceQualifier(PT->getAddrSpace()) << " "
+           << cTypeToString(PT->getPointee()) << " *restrict " << P.Name;
+      } else {
+        OS << cTypeToString(P.Ty) << " " << P.Name;
+      }
+    }
+    OS << ") {\n";
+    ++Indent;
+    for (const CStmtPtr &S : F.Body->getStmts())
+      stmt(S);
+    --Indent;
+    OS << "}\n";
+  }
+
+  std::string str() const { return OS.str(); }
+
+  std::string statement(const CStmtPtr &S) {
+    stmt(S);
+    return OS.str();
+  }
+
+  std::string expression(const CExprPtr &E) {
+    expr(E, 0);
+    return OS.str();
+  }
+
+private:
+  void line() {
+    for (unsigned I = 0; I != Indent; ++I)
+      OS << "  ";
+  }
+
+  void block(const BlockPtr &B) {
+    OS << "{\n";
+    ++Indent;
+    for (const CStmtPtr &S : B->getStmts())
+      stmt(S);
+    --Indent;
+    line();
+    OS << "}";
+  }
+
+  void stmt(const CStmtPtr &S) {
+    switch (S->getKind()) {
+    case CStmtKind::Block: {
+      line();
+      BlockPtr B = cast<Block>(S);
+      block(B);
+      OS << "\n";
+      return;
+    }
+    case CStmtKind::VarDecl: {
+      const auto *D = cast<VarDecl>(S.get());
+      line();
+      const char *Q = addrSpaceQualifier(D->getAddrSpace());
+      if (*Q)
+        OS << Q << " ";
+      OS << cTypeToString(D->getVar()->Ty) << " " << D->getVar()->Name;
+      if (D->getArraySize())
+        OS << "[" << arith::toString(D->getArraySize()) << "]";
+      if (D->getInit()) {
+        OS << " = ";
+        expr(D->getInit(), 0);
+      }
+      OS << ";\n";
+      return;
+    }
+    case CStmtKind::Assign: {
+      const auto *A = cast<Assign>(S.get());
+      line();
+      expr(A->getLhs(), 0);
+      OS << " = ";
+      expr(A->getRhs(), 0);
+      OS << ";\n";
+      return;
+    }
+    case CStmtKind::ExprStmt: {
+      line();
+      expr(cast<ExprStmt>(S.get())->getExpr(), 0);
+      OS << ";\n";
+      return;
+    }
+    case CStmtKind::For: {
+      const auto *F = cast<For>(S.get());
+      line();
+      OS << "for (" << cTypeToString(F->getIV()->Ty) << " "
+         << F->getIV()->Name << " = ";
+      expr(F->getInit(), 0);
+      OS << "; ";
+      expr(F->getCond(), 0);
+      OS << "; " << F->getIV()->Name << " = ";
+      expr(F->getStep(), 0);
+      OS << ") ";
+      block(F->getBody());
+      OS << "\n";
+      return;
+    }
+    case CStmtKind::If: {
+      const auto *I = cast<If>(S.get());
+      line();
+      OS << "if (";
+      expr(I->getCond(), 0);
+      OS << ") ";
+      block(I->getThen());
+      if (I->getElse()) {
+        OS << " else ";
+        block(I->getElse());
+      }
+      OS << "\n";
+      return;
+    }
+    case CStmtKind::Barrier: {
+      const auto *B = cast<Barrier>(S.get());
+      line();
+      OS << "barrier(";
+      if (B->hasLocalFence() && B->hasGlobalFence())
+        OS << "CLK_LOCAL_MEM_FENCE | CLK_GLOBAL_MEM_FENCE";
+      else if (B->hasLocalFence())
+        OS << "CLK_LOCAL_MEM_FENCE";
+      else
+        OS << "CLK_GLOBAL_MEM_FENCE";
+      OS << ");\n";
+      return;
+    }
+    case CStmtKind::Return: {
+      const auto *R = cast<Return>(S.get());
+      line();
+      OS << "return";
+      if (R->getValue()) {
+        OS << " ";
+        expr(R->getValue(), 0);
+      }
+      OS << ";\n";
+      return;
+    }
+    case CStmtKind::Comment: {
+      line();
+      OS << "/* " << cast<Comment>(S.get())->getText() << " */\n";
+      return;
+    }
+    }
+    lift_unreachable("unhandled statement kind");
+  }
+
+  /// Precedence: 0 lowest (comma-free top level) .. 15 primary. Only the
+  /// levels we emit are distinguished.
+  static int precOf(BinOp Op) {
+    switch (Op) {
+    case BinOp::Mul:
+    case BinOp::Div:
+    case BinOp::Rem:
+      return 10;
+    case BinOp::Add:
+    case BinOp::Sub:
+      return 9;
+    case BinOp::Lt:
+    case BinOp::Le:
+    case BinOp::Gt:
+    case BinOp::Ge:
+      return 8;
+    case BinOp::Eq:
+    case BinOp::Ne:
+      return 7;
+    case BinOp::And:
+      return 5;
+    case BinOp::Or:
+      return 4;
+    }
+    lift_unreachable("unhandled binary operator");
+  }
+
+  void expr(const CExprPtr &E, int ParentPrec) {
+    switch (E->getKind()) {
+    case CExprKind::IntLit:
+      OS << cast<IntLit>(E.get())->getValue();
+      return;
+    case CExprKind::FloatLit: {
+      const auto *F = cast<FloatLit>(E.get());
+      std::ostringstream Tmp;
+      Tmp << F->getValue();
+      std::string S = Tmp.str();
+      // Ensure a decimal point or exponent so the literal stays floating.
+      if (S.find('.') == std::string::npos &&
+          S.find('e') == std::string::npos &&
+          S.find("inf") == std::string::npos)
+        S += ".0";
+      OS << S;
+      if (!F->isDouble())
+        OS << "f";
+      return;
+    }
+    case CExprKind::VarRef:
+      OS << cast<VarRef>(E.get())->getVar()->Name;
+      return;
+    case CExprKind::ArithValue: {
+      const arith::Expr &V = cast<ArithValue>(E.get())->getValue();
+      std::string S = arith::toString(V);
+      if (ParentPrec > 0)
+        OS << "(" << S << ")";
+      else
+        OS << S;
+      return;
+    }
+    case CExprKind::ArrayAccess: {
+      const auto *A = cast<ArrayAccess>(E.get());
+      expr(A->getBase(), 15);
+      OS << "[";
+      expr(A->getIndex(), 0);
+      OS << "]";
+      return;
+    }
+    case CExprKind::Member: {
+      const auto *M = cast<Member>(E.get());
+      expr(M->getBase(), 15);
+      OS << "." << M->getField();
+      return;
+    }
+    case CExprKind::Binary: {
+      const auto *B = cast<Binary>(E.get());
+      int Prec = precOf(B->getOp());
+      if (ParentPrec >= Prec)
+        OS << "(";
+      expr(B->getLhs(), Prec - 1);
+      OS << " " << binOpSpelling(B->getOp()) << " ";
+      expr(B->getRhs(), Prec);
+      if (ParentPrec >= Prec)
+        OS << ")";
+      return;
+    }
+    case CExprKind::Unary: {
+      const auto *U = cast<Unary>(E.get());
+      OS << (U->getOp() == UnOp::Neg ? "-" : "!");
+      expr(U->getSub(), 14);
+      return;
+    }
+    case CExprKind::Call: {
+      const auto *C = cast<Call>(E.get());
+      OS << C->getCallee() << "(";
+      const auto &Args = C->getArgs();
+      for (size_t I = 0, N = Args.size(); I != N; ++I) {
+        if (I != 0)
+          OS << ", ";
+        expr(Args[I], 0);
+      }
+      OS << ")";
+      return;
+    }
+    case CExprKind::Ternary: {
+      const auto *T = cast<Ternary>(E.get());
+      if (ParentPrec > 0)
+        OS << "(";
+      expr(T->getCond(), 3);
+      OS << " ? ";
+      expr(T->getThen(), 3);
+      OS << " : ";
+      expr(T->getElse(), 2);
+      if (ParentPrec > 0)
+        OS << ")";
+      return;
+    }
+    case CExprKind::CastExpr: {
+      const auto *C = cast<CastExpr>(E.get());
+      OS << "(" << cTypeToString(C->getType()) << ")";
+      expr(C->getSub(), 14);
+      return;
+    }
+    case CExprKind::ConstructVector: {
+      const auto *V = cast<ConstructVector>(E.get());
+      OS << "(" << cTypeToString(V->getType()) << ")(";
+      const auto &Args = V->getArgs();
+      for (size_t I = 0, N = Args.size(); I != N; ++I) {
+        if (I != 0)
+          OS << ", ";
+        expr(Args[I], 0);
+      }
+      OS << ")";
+      return;
+    }
+    case CExprKind::ConstructStruct: {
+      const auto *C = cast<ConstructStruct>(E.get());
+      OS << "(" << cTypeToString(C->getType()) << "){";
+      const auto &Args = C->getArgs();
+      for (size_t I = 0, N = Args.size(); I != N; ++I) {
+        if (I != 0)
+          OS << ", ";
+        expr(Args[I], 0);
+      }
+      OS << "}";
+      return;
+    }
+    case CExprKind::VectorLoad: {
+      const auto *V = cast<VectorLoad>(E.get());
+      OS << "vload" << V->getWidth() << "(";
+      expr(V->getIndex(), 0);
+      OS << ", ";
+      expr(V->getPointer(), 0);
+      OS << ")";
+      return;
+    }
+    case CExprKind::VectorStore: {
+      const auto *V = cast<VectorStore>(E.get());
+      OS << "vstore" << V->getWidth() << "(";
+      expr(V->getValue(), 0);
+      OS << ", ";
+      expr(V->getIndex(), 0);
+      OS << ", ";
+      expr(V->getPointer(), 0);
+      OS << ")";
+      return;
+    }
+    }
+    lift_unreachable("unhandled expression kind");
+  }
+};
+
+} // namespace
+
+std::string c::printModule(const CModule &M) {
+  return CPrinterImpl().module(M);
+}
+
+std::string c::printFunction(const CFunction &F) {
+  CPrinterImpl P;
+  P.function(F);
+  return P.str();
+}
+
+std::string c::printStmt(const CStmtPtr &S) {
+  return CPrinterImpl().statement(S);
+}
+
+std::string c::printCExpr(const CExprPtr &E) {
+  return CPrinterImpl().expression(E);
+}

@@ -1,0 +1,38 @@
+//===- CPrinter.h - OpenCL C source emission --------------------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints C AST modules as OpenCL C source text — the final output of the
+/// Lift compiler (Figure 7 of the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_CAST_CPRINTER_H
+#define LIFT_CAST_CPRINTER_H
+
+#include "cast/CAst.h"
+
+#include <string>
+
+namespace lift {
+namespace c {
+
+/// Renders a whole module (struct definitions, user functions, kernel).
+std::string printModule(const CModule &M);
+
+/// Renders a single function.
+std::string printFunction(const CFunction &F);
+
+/// Renders a statement (tests, diagnostics).
+std::string printStmt(const CStmtPtr &S);
+
+/// Renders an expression.
+std::string printCExpr(const CExprPtr &E);
+
+} // namespace c
+} // namespace lift
+
+#endif // LIFT_CAST_CPRINTER_H

@@ -1,0 +1,1708 @@
+//===- Codegen.cpp - OpenCL code generation from the Lift IR ----------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The OpenCL code generation stage (section 5.5): traverses the Lift IR
+/// following the data flow and emits matching OpenCL code snippets for each
+/// pattern. Data layout patterns emit no code — their effect is recorded in
+/// views. Map patterns become loops, which control-flow simplification
+/// turns into guarded or straight-line code whenever the range analysis
+/// proves the trip count is at most / exactly one per thread. Memory
+/// allocation (section 5.2) happens here as well: only function calls that
+/// actually modify data allocate buffers, sized from the type information
+/// and the enclosing parallel context.
+///
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Compiler.h"
+
+#include "arith/Bounds.h"
+#include "arith/Printer.h"
+#include "cast/CPrinter.h"
+#include "cparse/CParser.h"
+#include "ir/Prelude.h"
+#include "ir/TypeInference.h"
+#include "passes/AddressSpaceInference.h"
+#include "passes/BarrierElimination.h"
+#include "support/Casting.h"
+#include "support/Error.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+using namespace lift;
+using namespace lift::codegen;
+using namespace lift::ir;
+
+namespace {
+
+/// A typed view: how to read a value, plus its Lift type.
+struct TV {
+  view::View V;
+  TypePtr Ty;
+};
+
+/// One enclosing loop: its index variable, extent, and scope level, used
+/// to size and index fresh allocations (the "multiplier" of the paper's
+/// memory allocator).
+struct LoopCtx {
+  arith::Expr IV;
+  arith::Expr Extent;
+  enum Level { Seq, Thread, WorkGroup } L;
+};
+
+class Generator {
+  const LambdaPtr &Program;
+  CompilerOptions Opts;
+  CompiledKernel K;
+
+  std::vector<std::vector<c::CStmtPtr>> Blocks;
+  std::vector<c::CStmtPtr> TopDecls;
+  std::vector<LoopCtx> Ctx;
+  /// Nesting depth of mapLcl emission: only the outermost mapLcl of a
+  /// nest emits the barrier (the whole nest is one cooperative phase).
+  unsigned MapLclDepth = 0;
+  std::unordered_map<const Expr *, view::View> ParamViews;
+  unsigned NextStorageId = 1;
+  unsigned NextName = 0;
+
+  // Thread-id variables per (function kind, dimension).
+  struct TidVar {
+    std::shared_ptr<const arith::VarNode> AVar;
+    c::CVarPtr CV;
+  };
+  std::map<std::pair<int, unsigned>, TidVar> TidVars;
+
+  // Registered user functions: (name, vector width) -> definition.
+  struct UFInstance {
+    const UserFun *UF;
+    unsigned Width;
+    std::string MangledName;
+  };
+  std::map<std::pair<std::string, unsigned>, UFInstance> UserFuns;
+  std::vector<std::pair<std::string, unsigned>> UserFunOrder;
+
+  // Registered tuple struct types by canonical name.
+  std::map<std::string, c::CTypePtr> Structs;
+  std::vector<c::CTypePtr> StructOrder;
+
+public:
+  Generator(const LambdaPtr &Program, const CompilerOptions &Opts)
+      : Program(Program), Opts(Opts) {
+    K.Options = Opts;
+  }
+
+  CompiledKernel run() {
+    Blocks.emplace_back();
+
+    // Kernel parameters: program inputs first.
+    std::set<unsigned> SizeVarIds;
+    std::vector<std::shared_ptr<const arith::VarNode>> SizeVars;
+    for (const ParamPtr &P : Program->getParams()) {
+      collectSizeVars(P->Ty, SizeVarIds, SizeVars);
+      if (isa<ArrayType>(P->Ty.get())) {
+        auto Store = makeStorage(P->getName(), c::CAddrSpace::Global,
+                                 cTypeOf(baseElementType(P->Ty)),
+                                 elementCount(P->Ty));
+        Store->Var = std::make_shared<c::CVar>(
+            P->getName(),
+            c::pointerTy(Store->ElemType, c::CAddrSpace::Global));
+        KernelParamInfo Info;
+        Info.Var = Store->Var;
+        Info.Store = Store;
+        K.Params.push_back(Info);
+        K.StorageVars.emplace_back(Store->Id, Store->Var);
+        ParamViews[P.get()] =
+            std::make_shared<view::MemoryView>(Store, typeDims(P->Ty));
+      } else {
+        // Scalar parameter passed by value.
+        auto Var = std::make_shared<c::CVar>(P->getName(), cTypeOf(P->Ty));
+        auto Store = makeStorage(P->getName(), c::CAddrSpace::Private,
+                                 cTypeOf(P->Ty), nullptr);
+        Store->Var = Var;
+        KernelParamInfo Info;
+        Info.Var = Var;
+        Info.Store = Store;
+        K.Params.push_back(Info);
+        ParamViews[P.get()] = std::make_shared<view::MemoryView>(
+            Store, std::vector<arith::Expr>{});
+      }
+    }
+
+    // Output buffer.
+    TypePtr OutTy = Program->getBody()->Ty;
+    K.OutputType = OutTy;
+    collectSizeVars(OutTy, SizeVarIds, SizeVars);
+    auto OutStore = makeStorage("out", c::CAddrSpace::Global,
+                                cTypeOf(baseElementType(OutTy)),
+                                elementCount(OutTy));
+    OutStore->Var = std::make_shared<c::CVar>(
+        "out", c::pointerTy(OutStore->ElemType, c::CAddrSpace::Global));
+    {
+      KernelParamInfo Info;
+      Info.Var = OutStore->Var;
+      Info.Store = OutStore;
+      Info.IsOutput = true;
+      K.Params.push_back(Info);
+      K.StorageVars.emplace_back(OutStore->Id, OutStore->Var);
+    }
+
+    // Size parameters (int) for every arith variable in the types.
+    for (const auto &V : SizeVars) {
+      auto Var = std::make_shared<c::CVar>(V->getName(), c::intTy(),
+                                           V->getId());
+      KernelParamInfo Info;
+      Info.Var = Var;
+      Info.IsSizeParam = true;
+      Info.ArithId = V->getId();
+      K.Params.push_back(Info);
+    }
+
+    view::View OutView =
+        std::make_shared<view::MemoryView>(OutStore, typeDims(OutTy));
+
+    {
+      arith::SimplifyGuard Guard(Opts.ArrayAccessSimplification);
+      emitExpr(Program->getBody(), OutView);
+    }
+
+    finishModule();
+    return std::move(K);
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Small helpers
+  //===--------------------------------------------------------------------===//
+
+  [[noreturn]] void notSupported(const std::string &What) {
+    fatalError("code generation: " + What);
+  }
+
+  void emit(c::CStmtPtr S) { Blocks.back().push_back(std::move(S)); }
+
+  std::string freshName(const std::string &Hint) {
+    return Hint + "_" + std::to_string(NextName++);
+  }
+
+  view::StoragePtr makeStorage(const std::string &Name, c::CAddrSpace AS,
+                               c::CTypePtr Elem, arith::Expr Count) {
+    auto S = std::make_shared<view::Storage>();
+    S->Id = NextStorageId++;
+    S->AS = AS;
+    S->ElemType = std::move(Elem);
+    S->NumElements = std::move(Count);
+    S->Var = std::make_shared<c::CVar>(Name, S->ElemType);
+    return S;
+  }
+
+  static void
+  collectSizeVarsArith(const arith::Expr &E, std::set<unsigned> &Seen,
+                       std::vector<std::shared_ptr<const arith::VarNode>> &Out) {
+    switch (E->getKind()) {
+    case arith::ExprKind::Var: {
+      auto V = cast<arith::VarNode>(E);
+      if (Seen.insert(V->getId()).second)
+        Out.push_back(V);
+      return;
+    }
+    case arith::ExprKind::Cst:
+      return;
+    case arith::ExprKind::Sum:
+      for (const auto &Op : cast<arith::SumNode>(E)->getOperands())
+        collectSizeVarsArith(Op, Seen, Out);
+      return;
+    case arith::ExprKind::Prod:
+      for (const auto &Op : cast<arith::ProdNode>(E)->getOperands())
+        collectSizeVarsArith(Op, Seen, Out);
+      return;
+    case arith::ExprKind::IntDiv: {
+      auto D = cast<arith::IntDivNode>(E);
+      collectSizeVarsArith(D->getNumerator(), Seen, Out);
+      collectSizeVarsArith(D->getDenominator(), Seen, Out);
+      return;
+    }
+    case arith::ExprKind::Mod: {
+      auto M = cast<arith::ModNode>(E);
+      collectSizeVarsArith(M->getDividend(), Seen, Out);
+      collectSizeVarsArith(M->getDivisor(), Seen, Out);
+      return;
+    }
+    case arith::ExprKind::Pow:
+      collectSizeVarsArith(cast<arith::PowNode>(E)->getBase(), Seen, Out);
+      return;
+    case arith::ExprKind::Lookup:
+      collectSizeVarsArith(cast<arith::LookupNode>(E)->getIndex(), Seen, Out);
+      return;
+    }
+  }
+
+  static void
+  collectSizeVars(const TypePtr &T, std::set<unsigned> &Seen,
+                  std::vector<std::shared_ptr<const arith::VarNode>> &Out) {
+    if (const auto *A = dyn_cast<ArrayType>(T.get())) {
+      collectSizeVarsArith(A->getSize(), Seen, Out);
+      collectSizeVars(A->getElementType(), Seen, Out);
+    } else if (const auto *Tu = dyn_cast<TupleType>(T.get())) {
+      for (const TypePtr &E : Tu->getElements())
+        collectSizeVars(E, Seen, Out);
+    }
+  }
+
+  /// True if the type is or contains an array (then it is manipulated
+  /// through views rather than as a C value).
+  static bool containsArrayType(const TypePtr &T) {
+    if (isa<ArrayType>(T.get()))
+      return true;
+    if (const auto *Tu = dyn_cast<TupleType>(T.get())) {
+      for (const TypePtr &E : Tu->getElements())
+        if (containsArrayType(E))
+          return true;
+    }
+    return false;
+  }
+
+  /// Array dimension sizes, outermost first.
+  static std::vector<arith::Expr> typeDims(const TypePtr &T) {
+    std::vector<arith::Expr> Dims;
+    const Type *Cur = T.get();
+    while (const auto *A = dyn_cast<ArrayType>(Cur)) {
+      Dims.push_back(A->getSize());
+      Cur = A->getElementType().get();
+    }
+    return Dims;
+  }
+
+  /// Converts a Lift value type to a C type, registering tuple structs.
+  c::CTypePtr cTypeOf(const TypePtr &T) {
+    switch (T->getKind()) {
+    case TypeKind::Scalar:
+      switch (cast<ScalarType>(T.get())->getScalarKind()) {
+      case ScalarKind::Float:
+        return c::floatTy();
+      case ScalarKind::Double:
+        return c::doubleTy();
+      case ScalarKind::Int:
+        return c::intTy();
+      case ScalarKind::Bool:
+        return c::boolTy();
+      }
+      lift_unreachable("unhandled scalar kind");
+    case TypeKind::Vector: {
+      const auto *V = cast<VectorType>(T.get());
+      return c::vectorTy(toCScalar(V->getScalarKind()), V->getWidth());
+    }
+    case TypeKind::Tuple:
+      return structFor(cast<TupleType>(T.get()));
+    case TypeKind::Array:
+      notSupported("array-typed value in a scalar position");
+    }
+    lift_unreachable("unhandled type kind");
+  }
+
+  static c::CScalarKind toCScalar(ScalarKind S) {
+    switch (S) {
+    case ScalarKind::Float:
+      return c::CScalarKind::Float;
+    case ScalarKind::Double:
+      return c::CScalarKind::Double;
+    case ScalarKind::Int:
+      return c::CScalarKind::Int;
+    case ScalarKind::Bool:
+      return c::CScalarKind::Bool;
+    }
+    lift_unreachable("unhandled scalar kind");
+  }
+
+  /// Canonical struct for a tuple type, e.g. Tuple2_float_int.
+  c::CTypePtr structFor(const TupleType *T) {
+    std::string Name = "Tuple" + std::to_string(T->getElements().size());
+    for (const TypePtr &E : T->getElements())
+      Name += "_" + typeToString(E);
+    auto It = Structs.find(Name);
+    if (It != Structs.end())
+      return It->second;
+    std::vector<std::pair<std::string, c::CTypePtr>> Fields;
+    unsigned I = 0;
+    for (const TypePtr &E : T->getElements())
+      Fields.emplace_back("_" + std::to_string(I++), cTypeOf(E));
+    c::CTypePtr S = c::structTy(Name, std::move(Fields));
+    Structs[Name] = S;
+    StructOrder.push_back(S);
+    return S;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Memory allocation
+  //===--------------------------------------------------------------------===//
+
+  struct Alloc {
+    view::StoragePtr Store;
+    view::View V; ///< Serves as both output view and read view.
+  };
+
+  static c::CAddrSpace toCAddrSpace(AddressSpace AS) {
+    switch (AS) {
+    case AddressSpace::Private:
+      return c::CAddrSpace::Private;
+    case AddressSpace::Local:
+      return c::CAddrSpace::Local;
+    case AddressSpace::Global:
+    case AddressSpace::Undef:
+      return c::CAddrSpace::Global;
+    }
+    lift_unreachable("unhandled address space");
+  }
+
+  /// Allocates memory for an intermediate result of type \p Ty produced in
+  /// the current loop context. Global buffers span the whole NDRange,
+  /// local buffers one work group, private buffers one thread; the
+  /// included enclosing loop indices become leading dimensions of the
+  /// memory view (section 5.2).
+  Alloc allocate(AddressSpace AS, const TypePtr &Ty,
+                 const std::string &Hint) {
+    c::CAddrSpace CAS = toCAddrSpace(AS);
+
+    // Choose the enclosing loops the buffer must be replicated over:
+    // parallel loops run concurrently, so every parallel index in scope
+    // multiplies the buffer; sequential loops reuse the same memory.
+    // Local buffers are shared per work group, so work-group indices are
+    // excluded; private buffers are per-thread registers.
+    std::vector<size_t> Included;
+    size_t WgBoundary = 0;
+    for (size_t I = 0; I != Ctx.size(); ++I)
+      if (Ctx[I].L == LoopCtx::WorkGroup)
+        WgBoundary = I + 1;
+    for (size_t I = 0; I != Ctx.size(); ++I) {
+      if (Ctx[I].L == LoopCtx::Seq)
+        continue;
+      if (CAS == c::CAddrSpace::Private)
+        continue;
+      if (CAS == c::CAddrSpace::Local &&
+          (I < WgBoundary || Ctx[I].L == LoopCtx::WorkGroup))
+        continue;
+      Included.push_back(I);
+    }
+
+    std::vector<arith::Expr> Dims;
+    for (size_t I : Included)
+      Dims.push_back(Ctx[I].Extent);
+    for (const arith::Expr &D : typeDims(Ty))
+      Dims.push_back(D);
+
+    c::CTypePtr Elem = cTypeOf(baseElementType(Ty));
+
+    Alloc A;
+    if (Dims.empty()) {
+      // A scalar register.
+      A.Store = makeStorage(freshName(Hint), CAS, Elem, nullptr);
+      TopDecls.push_back(std::make_shared<c::VarDecl>(
+          A.Store->Var, nullptr, nullptr, c::CAddrSpace::Private));
+    } else {
+      arith::Expr Count = arith::cst(1);
+      for (const arith::Expr &D : Dims)
+        Count = arith::mul(Count, D);
+      Count = arith::simplified(Count);
+      A.Store = makeStorage(freshName(Hint), CAS, Elem, Count);
+      if (CAS == c::CAddrSpace::Global) {
+        // Global intermediates become extra kernel arguments: OpenCL has
+        // no in-kernel global allocation.
+        A.Store->Var = std::make_shared<c::CVar>(
+            A.Store->Var->Name, c::pointerTy(Elem, c::CAddrSpace::Global));
+        KernelParamInfo Info;
+        Info.Var = A.Store->Var;
+        Info.Store = A.Store;
+        Info.IsOutput = false;
+        K.Params.push_back(Info);
+      } else {
+        if (!arith::asConstant(Count))
+          notSupported("non-constant " +
+                       std::string(CAS == c::CAddrSpace::Local ? "local"
+                                                               : "private") +
+                       " allocation of size " + arith::toString(Count));
+        TopDecls.push_back(std::make_shared<c::VarDecl>(
+            A.Store->Var, nullptr, Count, CAS));
+      }
+      K.StorageVars.emplace_back(A.Store->Id, A.Store->Var);
+    }
+
+    view::View V = std::make_shared<view::MemoryView>(A.Store, Dims);
+    // Wrap the included context indices, outermost first (adjacent to the
+    // memory view), so the remaining dimensions match the value's type.
+    for (size_t I : Included)
+      V = std::make_shared<view::ArrayAccessView>(Ctx[I].IV, V);
+    A.V = V;
+    return A;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Loads and stores
+  //===--------------------------------------------------------------------===//
+
+  c::CExprPtr loadAccess(const view::Access &Acc) {
+    c::CExprPtr E;
+    if (Acc.Store->isScalar()) {
+      E = std::make_shared<c::VarRef>(Acc.Store->Var);
+    } else if (Acc.VectorWidth > 1) {
+      // The index is in scalar units and divisible by the width.
+      arith::Expr VecIndex =
+          arith::intDiv(Acc.Index, arith::cst(Acc.VectorWidth));
+      return std::make_shared<c::VectorLoad>(
+          Acc.VectorWidth, std::make_shared<c::ArithValue>(VecIndex),
+          std::make_shared<c::VarRef>(Acc.Store->Var));
+    } else {
+      E = std::make_shared<c::ArrayAccess>(
+          std::make_shared<c::VarRef>(Acc.Store->Var),
+          std::make_shared<c::ArithValue>(Acc.Index));
+    }
+    for (unsigned Comp : Acc.Components)
+      E = std::make_shared<c::Member>(E, "_" + std::to_string(Comp));
+    return E;
+  }
+
+  /// Loads the value denoted by \p V with Lift type \p Ty. Tuple values
+  /// are decomposed per component so that zipped arrays load from their
+  /// separate buffers (Figure 7: multAndSumUp(acc, x[...], y[...])).
+  c::CExprPtr load(const view::View &V, const TypePtr &Ty) {
+    if (const auto *Tu = dyn_cast<TupleType>(Ty.get())) {
+      std::vector<c::CExprPtr> Parts;
+      for (unsigned I = 0, E = Tu->getElements().size(); I != E; ++I) {
+        view::View Comp = std::make_shared<view::TupleAccessView>(I, V);
+        Parts.push_back(load(Comp, Tu->getElements()[I]));
+      }
+      return std::make_shared<c::ConstructStruct>(structFor(Tu),
+                                                  std::move(Parts));
+    }
+    return loadAccess(view::consumeView(V));
+  }
+
+  void store(const view::View &OutV, c::CExprPtr Value) {
+    view::Access Acc = view::consumeView(OutV);
+    if (Acc.Store->isScalar()) {
+      emit(std::make_shared<c::Assign>(
+          std::make_shared<c::VarRef>(Acc.Store->Var), std::move(Value)));
+      return;
+    }
+    if (Acc.VectorWidth > 1) {
+      arith::Expr VecIndex =
+          arith::intDiv(Acc.Index, arith::cst(Acc.VectorWidth));
+      emit(std::make_shared<c::ExprStmt>(std::make_shared<c::VectorStore>(
+          Acc.VectorWidth, std::move(Value),
+          std::make_shared<c::ArithValue>(VecIndex),
+          std::make_shared<c::VarRef>(Acc.Store->Var))));
+      return;
+    }
+    c::CExprPtr Lhs = std::make_shared<c::ArrayAccess>(
+        std::make_shared<c::VarRef>(Acc.Store->Var),
+        std::make_shared<c::ArithValue>(Acc.Index));
+    for (unsigned Comp : Acc.Components)
+      Lhs = std::make_shared<c::Member>(Lhs, "_" + std::to_string(Comp));
+    emit(std::make_shared<c::Assign>(std::move(Lhs), std::move(Value)));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Value-level emission (user function arguments and results)
+  //===--------------------------------------------------------------------===//
+
+  /// Builds the view of a value-level expression if it is reachable
+  /// through views (parameters and tuple projections); null otherwise.
+  view::View viewOfValue(const ExprPtr &E) {
+    if (isa<Param>(E.get())) {
+      auto It = ParamViews.find(E.get());
+      return It != ParamViews.end() ? It->second : nullptr;
+    }
+    if (const auto *C = dyn_cast<FunCall>(E.get())) {
+      if (const auto *G = dyn_cast<Get>(C->getFun().get())) {
+        view::View Base = viewOfValue(C->getArgs()[0]);
+        if (Base)
+          return std::make_shared<view::TupleAccessView>(G->getIndex(), Base);
+      }
+    }
+    return nullptr;
+  }
+
+  c::CExprPtr emitValue(const ExprPtr &E) {
+    switch (E->getClass()) {
+    case ExprClass::Literal: {
+      cparse::ParseContext PC;
+      for (const auto &[Name, Ty] : Structs)
+        PC.NamedTypes[Name] = Ty;
+      return cparse::parseExpression(cast<Literal>(E.get())->getValue(), PC);
+    }
+    case ExprClass::Param: {
+      view::View V = viewOfValue(E);
+      if (!V)
+        notSupported("parameter without a view");
+      return load(V, E->Ty);
+    }
+    case ExprClass::FunCall: {
+      const auto *C = cast<FunCall>(E.get());
+      const FunDeclPtr &F = C->getFun();
+      switch (F->getKind()) {
+      case FunKind::UserFun: {
+        const auto *U = cast<UserFun>(F.get());
+        std::string Name = registerUserFun(U, 1);
+        std::vector<c::CExprPtr> Args;
+        for (const ExprPtr &A : C->getArgs())
+          Args.push_back(emitValue(A));
+        return std::make_shared<c::Call>(Name, std::move(Args));
+      }
+      case FunKind::Get: {
+        view::View V = viewOfValue(E);
+        if (V)
+          return load(V, E->Ty);
+        c::CExprPtr Base = emitValue(C->getArgs()[0]);
+        return std::make_shared<c::Member>(
+            Base, "_" + std::to_string(cast<Get>(F.get())->getIndex()));
+      }
+      case FunKind::Id:
+        return emitValue(C->getArgs()[0]);
+      case FunKind::MapVec: {
+        // Vectorize the nested user function (section 3.2): OpenCL
+        // arithmetic is defined on vectors, so the same body is emitted
+        // with vector parameter types.
+        const auto *M = cast<MapVec>(F.get());
+        const auto *U = dyn_cast<UserFun>(M->getF().get());
+        if (!U)
+          notSupported("mapVec over a non-user-function");
+        const auto *VT = dyn_cast<VectorType>(E->Ty.get());
+        if (!VT)
+          notSupported("mapVec producing a non-vector");
+        std::string Name = registerUserFun(U, VT->getWidth());
+        std::vector<c::CExprPtr> Args;
+        for (const ExprPtr &A : C->getArgs())
+          Args.push_back(emitValue(A));
+        return std::make_shared<c::Call>(Name, std::move(Args));
+      }
+      default:
+        notSupported(std::string("value-level emission of ") +
+                     funKindName(F->getKind()));
+      }
+    }
+    }
+    lift_unreachable("unhandled expression class");
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expression-level emission
+  //===--------------------------------------------------------------------===//
+
+  view::View emitExpr(const ExprPtr &E, view::View OutView) {
+    if (!E->Ty)
+      notSupported("expression without inferred type");
+
+    // Value-typed expressions (the bodies of element lambdas). A tuple
+    // that contains arrays (e.g. the result of unzip) is not a value.
+    if (!containsArrayType(E->Ty) && !isa<Param>(E.get())) {
+      c::CExprPtr Val = emitValue(E);
+      if (OutView) {
+        store(OutView, Val);
+        return OutView;
+      }
+      notSupported("value-level expression without a destination");
+    }
+
+    switch (E->getClass()) {
+    case ExprClass::Param: {
+      if (OutView)
+        notSupported("cannot write into a parameter");
+      auto It = ParamViews.find(E.get());
+      if (It == ParamViews.end())
+        notSupported("parameter '" + cast<Param>(E.get())->getName() +
+                     "' has no view");
+      return It->second;
+    }
+    case ExprClass::Literal:
+      notSupported("array-typed literal");
+    case ExprClass::FunCall: {
+      const auto *C = cast<FunCall>(E.get());
+      return emitCall(C->getFun(), C, OutView);
+    }
+    }
+    lift_unreachable("unhandled expression class");
+  }
+
+  view::View emitCall(const FunDeclPtr &F, const FunCall *C,
+                      view::View OutView) {
+    switch (F->getKind()) {
+    case FunKind::Lambda: {
+      const auto *L = cast<Lambda>(F.get());
+      for (size_t I = 0, E = C->getArgs().size(); I != E; ++I)
+        ParamViews[L->getParams()[I].get()] =
+            emitExpr(C->getArgs()[I], nullptr);
+      return emitExpr(L->getBody(), OutView);
+    }
+
+    case FunKind::ToGlobal:
+    case FunKind::ToLocal:
+    case FunKind::ToPrivate:
+      return emitCall(cast<AddressSpaceWrapper>(F.get())->getF(), C, OutView);
+
+    case FunKind::Id:
+      return emitExpr(C->getArgs()[0], OutView);
+
+    case FunKind::Split: {
+      const auto *S = cast<Split>(F.get());
+      view::View ArgOut =
+          OutView ? std::make_shared<view::JoinView>(S->getFactor(), OutView)
+                  : nullptr;
+      view::View Va = emitExpr(C->getArgs()[0], ArgOut);
+      return std::make_shared<view::SplitView>(S->getFactor(), Va);
+    }
+
+    case FunKind::Join: {
+      const auto *ArgArr = cast<ArrayType>(C->getArgs()[0]->Ty.get());
+      const auto *Inner = cast<ArrayType>(ArgArr->getElementType().get());
+      arith::Expr M = Inner->getSize();
+      view::View ArgOut =
+          OutView ? std::make_shared<view::SplitView>(M, OutView) : nullptr;
+      view::View Va = emitExpr(C->getArgs()[0], ArgOut);
+      return std::make_shared<view::JoinView>(M, Va);
+    }
+
+    case FunKind::Gather: {
+      if (OutView)
+        notSupported("writing through a gather");
+      const auto *G = cast<Gather>(F.get());
+      const auto *Arr = cast<ArrayType>(C->getArgs()[0]->Ty.get());
+      arith::Expr N = Arr->getSize();
+      auto Fn = G->getIndexFun().Fn;
+      view::View Va = emitExpr(C->getArgs()[0], nullptr);
+      return std::make_shared<view::GatherView>(
+          [Fn, N](const arith::Expr &I) { return Fn(I, N); }, Va);
+    }
+
+    case FunKind::Scatter: {
+      if (!OutView)
+        notSupported("scatter requires a write destination");
+      const auto *S = cast<Scatter>(F.get());
+      const auto *Arr = cast<ArrayType>(C->getArgs()[0]->Ty.get());
+      arith::Expr N = Arr->getSize();
+      auto Fn = S->getIndexFun().Fn;
+      view::View ArgOut = std::make_shared<view::GatherView>(
+          [Fn, N](const arith::Expr &I) { return Fn(I, N); }, OutView);
+      emitExpr(C->getArgs()[0], ArgOut);
+      return OutView;
+    }
+
+    case FunKind::Zip: {
+      if (OutView)
+        notSupported("writing into a zip");
+      std::vector<view::View> Children;
+      for (const ExprPtr &A : C->getArgs())
+        Children.push_back(emitExpr(A, nullptr));
+      return std::make_shared<view::ZipView>(std::move(Children));
+    }
+
+    case FunKind::Get: {
+      if (OutView)
+        notSupported("writing into a tuple projection");
+      view::View Va = emitExpr(C->getArgs()[0], nullptr);
+      return std::make_shared<view::TupleAccessView>(
+          cast<Get>(F.get())->getIndex(), Va);
+    }
+
+    case FunKind::Unzip: {
+      // Tuple and array accesses commute on the view stacks, so unzip is
+      // the identity on views; only the type changes.
+      if (OutView)
+        notSupported("writing through an unzip");
+      return emitExpr(C->getArgs()[0], nullptr);
+    }
+
+    case FunKind::Slide: {
+      if (OutView)
+        notSupported("writing through a slide");
+      const auto *S = cast<Slide>(F.get());
+      view::View Va = emitExpr(C->getArgs()[0], nullptr);
+      return std::make_shared<view::SlideView>(S->getStep(), Va);
+    }
+
+    case FunKind::Transpose: {
+      view::View ArgOut =
+          OutView ? std::make_shared<view::TransposeView>(OutView) : nullptr;
+      view::View Va = emitExpr(C->getArgs()[0], ArgOut);
+      return std::make_shared<view::TransposeView>(Va);
+    }
+
+    case FunKind::GatherIndices: {
+      if (OutView)
+        notSupported("writing through a gatherIndices");
+      view::View Vidx = emitExpr(C->getArgs()[0], nullptr);
+      view::View Vdata = emitExpr(C->getArgs()[1], nullptr);
+      return std::make_shared<view::GatherIndicesView>(Vidx, nullptr, Vdata);
+    }
+
+    case FunKind::AsVector: {
+      unsigned W = cast<AsVector>(F.get())->getWidth();
+      view::View ArgOut =
+          OutView ? std::make_shared<view::AsScalarView>(W, OutView) : nullptr;
+      view::View Va = emitExpr(C->getArgs()[0], ArgOut);
+      return std::make_shared<view::AsVectorView>(W, Va);
+    }
+
+    case FunKind::AsScalar: {
+      const auto *Arr = cast<ArrayType>(C->getArgs()[0]->Ty.get());
+      const auto *VT = cast<VectorType>(Arr->getElementType().get());
+      unsigned W = VT->getWidth();
+      view::View ArgOut =
+          OutView ? std::make_shared<view::AsVectorView>(W, OutView) : nullptr;
+      view::View Va = emitExpr(C->getArgs()[0], ArgOut);
+      return std::make_shared<view::AsScalarView>(W, Va);
+    }
+
+    case FunKind::MapSeq:
+    case FunKind::MapGlb:
+    case FunKind::MapWrg:
+    case FunKind::MapLcl: {
+      const auto *M = cast<AbstractMap>(F.get());
+      // A map over a layout-only function is a view transformation on both
+      // the read and the write path (e.g. the untiling composition after a
+      // tiled matrix multiplication writes through map(join)/transpose).
+      if (isPureFun(M->getF())) {
+        const auto *ArgArr = cast<ArrayType>(C->getArgs()[0]->Ty.get());
+        const TypePtr &ElemTy = ArgArr->getElementType();
+        view::View ArgOut;
+        if (OutView) {
+          view::View Hole = std::make_shared<view::HoleView>();
+          ArgOut = std::make_shared<view::MapPureView>(
+              inversePureViewChain(M->getF(), ElemTy, Hole), OutView);
+        }
+        view::View Va = emitExpr(C->getArgs()[0], ArgOut);
+        if (M->getF()->getKind() == FunKind::Id)
+          return Va;
+        view::View Hole = std::make_shared<view::HoleView>();
+        return std::make_shared<view::MapPureView>(
+            pureViewChain(M->getF(), ElemTy, Hole), Va);
+      }
+      TV Arg{emitExpr(C->getArgs()[0], nullptr), C->getArgs()[0]->Ty};
+      return emitMap(M, Arg, C->Ty, C->AS, OutView);
+    }
+
+    case FunKind::ReduceSeq:
+      return emitReduce(cast<ReduceSeq>(F.get()), C, OutView);
+
+    case FunKind::Iterate:
+      return emitIterate(cast<Iterate>(F.get()), C, OutView);
+
+    case FunKind::Map:
+      notSupported("unlowered high-level map — apply the rewrite rules "
+                   "(src/rewrite) to choose a mapping first");
+    case FunKind::MapVec:
+    case FunKind::UserFun:
+      // Handled by the value-typed fast path in emitExpr.
+      notSupported("unexpected value-level function at array level");
+    }
+    lift_unreachable("unhandled function kind");
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Maps: loops, control-flow simplification, barriers
+  //===--------------------------------------------------------------------===//
+
+  /// True if applying \p F performs no memory writes (layout only).
+  bool isPureFun(const FunDeclPtr &F) {
+    switch (F->getKind()) {
+    case FunKind::Id:
+    case FunKind::Get:
+    case FunKind::Split:
+    case FunKind::Join:
+    case FunKind::Gather:
+    case FunKind::Slide:
+    case FunKind::Transpose:
+    case FunKind::Zip:
+    case FunKind::AsVector:
+    case FunKind::AsScalar:
+      return true;
+    case FunKind::MapSeq:
+    case FunKind::MapGlb:
+    case FunKind::MapWrg:
+    case FunKind::MapLcl:
+      return isPureFun(cast<AbstractMap>(F.get())->getF());
+    case FunKind::Lambda: {
+      // A lambda of pure calls applied to its own parameter.
+      const auto *L = cast<Lambda>(F.get());
+      if (L->getParams().size() != 1)
+        return false;
+      return isPureChain(L->getBody(), L->getParams()[0].get());
+    }
+    default:
+      return false;
+    }
+  }
+
+  bool isPureChain(const ExprPtr &E, const Param *P) {
+    if (E.get() == P)
+      return true;
+    const auto *C = dyn_cast<FunCall>(E.get());
+    if (!C || C->getArgs().size() != 1)
+      return false;
+    switch (C->getFun()->getKind()) {
+    case FunKind::Split:
+    case FunKind::Join:
+    case FunKind::Gather:
+    case FunKind::Slide:
+    case FunKind::Transpose:
+    case FunKind::Get:
+    case FunKind::Id:
+    case FunKind::AsVector:
+    case FunKind::AsScalar:
+      return isPureChain(C->getArgs()[0], P);
+    case FunKind::MapSeq:
+      return isPureFun(cast<AbstractMap>(C->getFun().get())->getF()) &&
+             isPureChain(C->getArgs()[0], P);
+    default:
+      return false;
+    }
+  }
+
+  /// Builds the pure inner view chain of a map-over-layout function,
+  /// terminated by a hole.
+  view::View pureViewChain(const FunDeclPtr &F, const TypePtr &InTy,
+                           view::View Hole) {
+    switch (F->getKind()) {
+    case FunKind::Id:
+      return Hole;
+    case FunKind::Get:
+      return std::make_shared<view::TupleAccessView>(
+          cast<Get>(F.get())->getIndex(), Hole);
+    case FunKind::Split:
+      return std::make_shared<view::SplitView>(
+          cast<Split>(F.get())->getFactor(), Hole);
+    case FunKind::Join: {
+      const auto *Arr = cast<ArrayType>(InTy.get());
+      const auto *Inner = cast<ArrayType>(Arr->getElementType().get());
+      return std::make_shared<view::JoinView>(Inner->getSize(), Hole);
+    }
+    case FunKind::Gather: {
+      const auto *G = cast<Gather>(F.get());
+      const auto *Arr = cast<ArrayType>(InTy.get());
+      arith::Expr N = Arr->getSize();
+      auto Fn = G->getIndexFun().Fn;
+      return std::make_shared<view::GatherView>(
+          [Fn, N](const arith::Expr &I) { return Fn(I, N); }, Hole);
+    }
+    case FunKind::Slide:
+      return std::make_shared<view::SlideView>(
+          cast<Slide>(F.get())->getStep(), Hole);
+    case FunKind::Transpose:
+      return std::make_shared<view::TransposeView>(Hole);
+    case FunKind::MapSeq: {
+      const auto *M = cast<MapSeq>(F.get());
+      const auto *Arr = cast<ArrayType>(InTy.get());
+      view::View InnerHole = std::make_shared<view::HoleView>();
+      view::View Inner =
+          pureViewChain(M->getF(), Arr->getElementType(), InnerHole);
+      return std::make_shared<view::MapPureView>(Inner, Hole);
+    }
+    case FunKind::Lambda: {
+      const auto *L = cast<Lambda>(F.get());
+      return pureChainOfExpr(L->getBody(), L->getParams()[0].get(), Hole);
+    }
+    default:
+      notSupported("pure view chain for " +
+                   std::string(funKindName(F->getKind())));
+    }
+  }
+
+  view::View pureChainOfExpr(const ExprPtr &E, const Param *P,
+                             view::View Hole) {
+    if (E.get() == P)
+      return Hole;
+    const auto *C = cast<FunCall>(E.get());
+    view::View Inner = pureChainOfExpr(C->getArgs()[0], P, Hole);
+    return pureViewChain(C->getFun(), C->getArgs()[0]->Ty, Inner);
+  }
+
+  /// Builds the *inverse* pure chain for writing through a map over a
+  /// layout function (e.g. the untiling join/transpose compositions after
+  /// a tiled matrix multiplication): a join on the output path becomes a
+  /// SplitView, a split becomes a JoinView, transpose is self-inverse.
+  /// \p InTy is the type the chain's input elements have.
+  view::View inversePureViewChain(const FunDeclPtr &F, const TypePtr &InTy,
+                                  view::View Hole) {
+    switch (F->getKind()) {
+    case FunKind::Id:
+      return Hole;
+    case FunKind::Transpose:
+      return std::make_shared<view::TransposeView>(Hole);
+    case FunKind::Join: {
+      // Writes of the (pre-join) nested value push two indices; merge
+      // them into the flat index of the joined output.
+      const auto *Arr = cast<ArrayType>(InTy.get());
+      const auto *Inner = cast<ArrayType>(Arr->getElementType().get());
+      return std::make_shared<view::SplitView>(Inner->getSize(), Hole);
+    }
+    case FunKind::Split:
+      return std::make_shared<view::JoinView>(
+          cast<Split>(F.get())->getFactor(), Hole);
+    case FunKind::Scatter: {
+      const auto *S = cast<Scatter>(F.get());
+      const auto *Arr = cast<ArrayType>(InTy.get());
+      arith::Expr N = Arr->getSize();
+      auto Fn = S->getIndexFun().Fn;
+      return std::make_shared<view::GatherView>(
+          [Fn, N](const arith::Expr &I) { return Fn(I, N); }, Hole);
+    }
+    case FunKind::MapSeq: {
+      const auto *M = cast<MapSeq>(F.get());
+      const auto *Arr = cast<ArrayType>(InTy.get());
+      view::View InnerHole = std::make_shared<view::HoleView>();
+      view::View Inner = inversePureViewChain(
+          M->getF(), Arr->getElementType(), InnerHole);
+      return std::make_shared<view::MapPureView>(Inner, Hole);
+    }
+    case FunKind::Lambda: {
+      const auto *L = cast<Lambda>(F.get());
+      return inversePureChainOfExpr(L->getBody(), L->getParams()[0].get(),
+                                    Hole);
+    }
+    default:
+      notSupported("inverse pure view chain for " +
+                   std::string(funKindName(F->getKind())));
+    }
+  }
+
+  /// Inverse of a pure composition chain: the *last* applied operation is
+  /// undone first, so the recursion inverts the composition order.
+  view::View inversePureChainOfExpr(const ExprPtr &E, const Param *P,
+                                    view::View Hole) {
+    if (E.get() == P)
+      return Hole;
+    const auto *C = cast<FunCall>(E.get());
+    view::View Outer =
+        inversePureViewChain(C->getFun(), C->getArgs()[0]->Ty, Hole);
+    return inversePureChainOfExpr(C->getArgs()[0], P, Outer);
+  }
+
+  /// Emits a map pattern: a pure map becomes a view; a computing map
+  /// becomes a (possibly simplified) loop whose body applies the nested
+  /// function to one element.
+  view::View emitMap(const AbstractMap *M, const TV &Arg,
+                     const TypePtr &ResultTy, AddressSpace ResultAS,
+                     view::View OutView) {
+    const auto *ArgArr = cast<ArrayType>(Arg.Ty.get());
+    arith::Expr N = ArgArr->getSize();
+    const TypePtr &ElemTy = ArgArr->getElementType();
+
+    // A map over a layout-only function emits no code at all: it becomes
+    // a view transformation.
+    if (!OutView && isPureFun(M->getF())) {
+      if (M->getF()->getKind() == FunKind::Id)
+        return Arg.V;
+      view::View Hole = std::make_shared<view::HoleView>();
+      view::View Inner = pureViewChain(M->getF(), ElemTy, Hole);
+      return std::make_shared<view::MapPureView>(Inner, Arg.V);
+    }
+
+    view::View RetView = OutView;
+    if (!OutView) {
+      Alloc A = allocate(ResultAS, ResultTy, "tmp");
+      OutView = A.V;
+      RetView = A.V;
+    }
+
+    const FunDeclPtr &F = M->getF();
+    bool IsLcl = M->getKind() == FunKind::MapLcl;
+    if (IsLcl)
+      ++MapLclDepth;
+    auto Body = [&](const arith::Expr &IV) {
+      Ctx.push_back({IV, N, levelOf(M->getKind())});
+      view::View ElemIn = std::make_shared<view::ArrayAccessView>(IV, Arg.V);
+      view::View ElemOut =
+          std::make_shared<view::ArrayAccessView>(IV, OutView);
+      applyToElement(F, ElemIn, ElemTy, ElemOut);
+      Ctx.pop_back();
+    };
+
+    switch (M->getKind()) {
+    case FunKind::MapSeq:
+      emitSeqLoop(N, Body);
+      break;
+    case FunKind::MapGlb:
+    case FunKind::MapWrg:
+    case FunKind::MapLcl: {
+      const auto *P = cast<ParallelMap>(M);
+      emitParallelLoop(M->getKind(), P->getDim(), N, Body);
+      break;
+    }
+    default:
+      lift_unreachable("not a map kind");
+    }
+
+    // Synchronize after a mapLcl (section 5.4) unless eliminated. A nested
+    // mapLcl defers to the barrier of the outermost map of the nest.
+    if (IsLcl) {
+      --MapLclDepth;
+      const auto *L = cast<MapLcl>(M);
+      // With barrier elimination off, the naive "safety first" compiler
+      // emits after every mapLcl, nested or not.
+      bool Suppressed =
+          Opts.BarrierElimination && (MapLclDepth != 0 || !L->EmitBarrier);
+      if (!Suppressed) {
+        c::CAddrSpace WrittenAS = storageSpaceOf(OutView);
+        bool GlobalFence = WrittenAS == c::CAddrSpace::Global ||
+                           ResultAS == AddressSpace::Global;
+        emit(std::make_shared<c::Barrier>(!GlobalFence, GlobalFence));
+        ++K.BarriersEmitted;
+      }
+    }
+    return RetView;
+  }
+
+  /// The address space of the storage a view chain terminates in (writes
+  /// never branch through zips, so following Prev links suffices).
+  static c::CAddrSpace storageSpaceOf(const view::View &V) {
+    const view::ViewNode *Cur = V.get();
+    while (Cur) {
+      switch (Cur->getKind()) {
+      case view::ViewKind::Memory:
+        return cast<view::MemoryView>(Cur)->getStorage()->AS;
+      case view::ViewKind::ArrayAccess:
+        Cur = cast<view::ArrayAccessView>(Cur)->getPrev().get();
+        break;
+      case view::ViewKind::Split:
+        Cur = cast<view::SplitView>(Cur)->getPrev().get();
+        break;
+      case view::ViewKind::Join:
+        Cur = cast<view::JoinView>(Cur)->getPrev().get();
+        break;
+      case view::ViewKind::TupleAccess:
+        Cur = cast<view::TupleAccessView>(Cur)->getPrev().get();
+        break;
+      case view::ViewKind::Gather:
+        Cur = cast<view::GatherView>(Cur)->getPrev().get();
+        break;
+      case view::ViewKind::Slide:
+        Cur = cast<view::SlideView>(Cur)->getPrev().get();
+        break;
+      case view::ViewKind::Transpose:
+        Cur = cast<view::TransposeView>(Cur)->getPrev().get();
+        break;
+      case view::ViewKind::GatherIndices:
+        Cur = cast<view::GatherIndicesView>(Cur)->getPrev().get();
+        break;
+      case view::ViewKind::AsVector:
+        Cur = cast<view::AsVectorView>(Cur)->getPrev().get();
+        break;
+      case view::ViewKind::AsScalar:
+        Cur = cast<view::AsScalarView>(Cur)->getPrev().get();
+        break;
+      case view::ViewKind::MapPure:
+        Cur = cast<view::MapPureView>(Cur)->getPrev().get();
+        break;
+      case view::ViewKind::Zip:
+      case view::ViewKind::Hole:
+        return c::CAddrSpace::Global;
+      }
+    }
+    return c::CAddrSpace::Global;
+  }
+
+  static LoopCtx::Level levelOf(FunKind K) {
+    switch (K) {
+    case FunKind::MapWrg:
+      return LoopCtx::WorkGroup;
+    case FunKind::MapGlb:
+    case FunKind::MapLcl:
+      return LoopCtx::Thread;
+    default:
+      return LoopCtx::Seq;
+    }
+  }
+
+  /// Applies the element function \p F to one element.
+  void applyToElement(const FunDeclPtr &F, const view::View &In,
+                      const TypePtr &InTy, const view::View &Out) {
+    switch (F->getKind()) {
+    case FunKind::Lambda: {
+      const auto *L = cast<Lambda>(F.get());
+      if (L->getParams().size() != 1)
+        notSupported("element lambda must be unary");
+      L->getParams()[0]->Ty = InTy;
+      ParamViews[L->getParams()[0].get()] = In;
+      emitExpr(L->getBody(), Out);
+      return;
+    }
+    case FunKind::UserFun: {
+      const auto *U = cast<UserFun>(F.get());
+      std::string Name = registerUserFun(U, 1);
+      c::CExprPtr Val = std::make_shared<c::Call>(
+          Name, std::vector<c::CExprPtr>{load(In, InTy)});
+      store(Out, Val);
+      return;
+    }
+    case FunKind::Id:
+      // An explicit copy when a destination exists.
+      store(Out, load(In, InTy));
+      return;
+    case FunKind::MapSeq:
+    case FunKind::MapGlb:
+    case FunKind::MapWrg:
+    case FunKind::MapLcl: {
+      const auto *M = cast<AbstractMap>(F.get());
+      TypePtr OutElemTy = applyType(F, {InTy});
+      emitMap(M, TV{In, InTy}, OutElemTy, AddressSpace::Undef, Out);
+      return;
+    }
+    case FunKind::ToGlobal:
+    case FunKind::ToLocal:
+    case FunKind::ToPrivate:
+      applyToElement(cast<AddressSpaceWrapper>(F.get())->getF(), In, InTy,
+                     Out);
+      return;
+    default:
+      notSupported("element function " +
+                   std::string(funKindName(F->getKind())));
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Loop emission with control-flow simplification
+  //===--------------------------------------------------------------------===//
+
+  void emitSeqLoop(const arith::Expr &N,
+                   const std::function<void(const arith::Expr &)> &Body) {
+    // Control-flow simplification: fully unroll short constant loops (the
+    // vendor OpenCL compilers the paper relies on do the same); constant
+    // indices then fold in the arithmetic simplifier.
+    if (Opts.ControlFlowSimplification) {
+      auto C = arith::asConstant(arith::simplified(N));
+      if (C && *C <= std::max<int64_t>(Opts.UnrollLimit, 1)) {
+        ++K.LoopsSimplified;
+        for (int64_t I = 0; I != *C; ++I)
+          Body(arith::cst(I));
+        return;
+      }
+    }
+    emitSeqLoopNoUnroll(N, Body);
+  }
+
+  /// A plain counted loop; used by iterate, whose double-buffering
+  /// machinery (runtime size variable, pointer swaps) wants the loop of
+  /// Figure 7 regardless of the iteration count.
+  void
+  emitSeqLoopNoUnroll(const arith::Expr &N,
+                      const std::function<void(const arith::Expr &)> &Body) {
+    if (Opts.ControlFlowSimplification && arith::isConstant(N, 1)) {
+      ++K.LoopsSimplified;
+      Body(arith::cst(0));
+      return;
+    }
+    auto IV = arith::var(freshName("i"), arith::cst(0),
+                         arith::sub(N, arith::cst(1)));
+    auto CV = std::make_shared<c::CVar>(IV->getName(), c::intTy(),
+                                        IV->getId());
+    Blocks.emplace_back();
+    Body(IV);
+    auto BodyBlock = std::make_shared<c::Block>(std::move(Blocks.back()));
+    Blocks.pop_back();
+    emit(std::make_shared<c::For>(
+        CV, std::make_shared<c::IntLit>(0),
+        std::make_shared<c::Binary>(c::BinOp::Lt,
+                                    std::make_shared<c::VarRef>(CV),
+                                    std::make_shared<c::ArithValue>(N)),
+        std::make_shared<c::Binary>(c::BinOp::Add,
+                                    std::make_shared<c::VarRef>(CV),
+                                    std::make_shared<c::IntLit>(1)),
+        BodyBlock));
+    ++K.LoopsEmitted;
+  }
+
+  /// The thread-id variable and thread count for a parallel map kind.
+  TidVar &tidVar(FunKind Kind, unsigned Dim) {
+    auto Key = std::make_pair(static_cast<int>(Kind), Dim);
+    auto It = TidVars.find(Key);
+    if (It != TidVars.end())
+      return It->second;
+
+    const char *Base;
+    const char *Builtin;
+    int64_t Count;
+    switch (Kind) {
+    case FunKind::MapGlb:
+      Base = "gl_id";
+      Builtin = "get_global_id";
+      Count = Opts.GlobalSize[Dim];
+      break;
+    case FunKind::MapWrg:
+      Base = "wg_id";
+      Builtin = "get_group_id";
+      Count = Opts.numGroups(Dim);
+      break;
+    case FunKind::MapLcl:
+      Base = "l_id";
+      Builtin = "get_local_id";
+      Count = Opts.LocalSize[Dim];
+      break;
+    default:
+      lift_unreachable("not a parallel map kind");
+    }
+
+    std::string Name = std::string(Base) + "_" + std::to_string(Dim);
+    auto AVar = arith::var(Name, arith::cst(0), arith::cst(Count - 1));
+    auto CV = std::make_shared<c::CVar>(Name, c::intTy(), AVar->getId());
+    TopDecls.push_back(std::make_shared<c::VarDecl>(
+        CV,
+        std::make_shared<c::Call>(
+            Builtin, std::vector<c::CExprPtr>{std::make_shared<c::IntLit>(
+                         static_cast<int64_t>(Dim))})));
+    TidVar TV2{AVar, CV};
+    return TidVars.emplace(Key, TV2).first->second;
+  }
+
+  static int64_t threadCountFor(FunKind Kind, unsigned Dim,
+                                const CompilerOptions &Opts) {
+    switch (Kind) {
+    case FunKind::MapGlb:
+      return Opts.GlobalSize[Dim];
+    case FunKind::MapWrg:
+      return Opts.numGroups(Dim);
+    case FunKind::MapLcl:
+      return Opts.LocalSize[Dim];
+    default:
+      lift_unreachable("not a parallel map kind");
+    }
+  }
+
+  void
+  emitParallelLoop(FunKind Kind, unsigned Dim, const arith::Expr &N,
+                   const std::function<void(const arith::Expr &)> &Body) {
+    TidVar &Tid = tidVar(Kind, Dim);
+    int64_t Threads = threadCountFor(Kind, Dim, Opts);
+    arith::Expr ThreadsE = arith::cst(Threads);
+
+    if (Opts.ControlFlowSimplification) {
+      // Exactly one iteration per thread: no loop, no guard.
+      if (arith::provablyEqual(N, ThreadsE)) {
+        ++K.LoopsSimplified;
+        Body(Tid.AVar);
+        return;
+      }
+      // At most one iteration per thread: a guard suffices.
+      if (arith::provablyLessEqual(N, ThreadsE)) {
+        ++K.LoopsSimplified;
+        Blocks.emplace_back();
+        Body(Tid.AVar);
+        auto Then = std::make_shared<c::Block>(std::move(Blocks.back()));
+        Blocks.pop_back();
+        emit(std::make_shared<c::If>(
+            std::make_shared<c::Binary>(
+                c::BinOp::Lt, std::make_shared<c::VarRef>(Tid.CV),
+                std::make_shared<c::ArithValue>(N)),
+            Then));
+        return;
+      }
+    }
+
+    // General case: a strided loop starting at the thread id.
+    auto IV = arith::var(freshName(Tid.CV->Name), arith::cst(0),
+                         arith::sub(N, arith::cst(1)));
+    auto CV =
+        std::make_shared<c::CVar>(IV->getName(), c::intTy(), IV->getId());
+    Blocks.emplace_back();
+    Body(IV);
+    auto BodyBlock = std::make_shared<c::Block>(std::move(Blocks.back()));
+    Blocks.pop_back();
+    emit(std::make_shared<c::For>(
+        CV, std::make_shared<c::VarRef>(Tid.CV),
+        std::make_shared<c::Binary>(c::BinOp::Lt,
+                                    std::make_shared<c::VarRef>(CV),
+                                    std::make_shared<c::ArithValue>(N)),
+        std::make_shared<c::Binary>(
+            c::BinOp::Add, std::make_shared<c::VarRef>(CV),
+            std::make_shared<c::IntLit>(Threads)),
+        BodyBlock));
+    ++K.LoopsEmitted;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Reduction
+  //===--------------------------------------------------------------------===//
+
+  view::View emitReduce(const ReduceSeq *R, const FunCall *C,
+                        view::View OutView) {
+    const ExprPtr &InitE = C->getArgs()[0];
+    const ExprPtr &ArrE = C->getArgs()[1];
+    view::View Varr = emitExpr(ArrE, nullptr);
+    const auto *Arr = cast<ArrayType>(ArrE->Ty.get());
+    arith::Expr N = Arr->getSize();
+    const TypePtr &ElemTy = Arr->getElementType();
+    const TypePtr &AccTy = InitE->Ty;
+
+    // The accumulation variable (Figure 7: float acc1).
+    Alloc Acc = allocate(AddressSpace::Private, AccTy, "acc");
+    emit(std::make_shared<c::Assign>(
+        std::make_shared<c::VarRef>(Acc.Store->Var), emitValue(InitE)));
+
+    emitSeqLoop(N, [&](const arith::Expr &IV) {
+      Ctx.push_back({IV, N, LoopCtx::Seq});
+      view::View ElemIn = std::make_shared<view::ArrayAccessView>(IV, Varr);
+      c::CExprPtr NewAcc =
+          applyBinaryOperator(R->getF(), Acc.V, AccTy, ElemIn, ElemTy);
+      emit(std::make_shared<c::Assign>(
+          std::make_shared<c::VarRef>(Acc.Store->Var), NewAcc));
+      Ctx.pop_back();
+    });
+
+    if (OutView) {
+      view::View Slot =
+          std::make_shared<view::ArrayAccessView>(arith::cst(0), OutView);
+      store(Slot, load(Acc.V, AccTy));
+      return OutView;
+    }
+    return Acc.V;
+  }
+
+  /// Applies the binary reduction operator to (accumulator, element).
+  c::CExprPtr applyBinaryOperator(const FunDeclPtr &F, const view::View &AccV,
+                                  const TypePtr &AccTy, const view::View &In,
+                                  const TypePtr &ElemTy) {
+    switch (F->getKind()) {
+    case FunKind::UserFun: {
+      const auto *U = cast<UserFun>(F.get());
+      std::string Name = registerUserFun(U, 1);
+      return std::make_shared<c::Call>(
+          Name,
+          std::vector<c::CExprPtr>{load(AccV, AccTy), load(In, ElemTy)});
+    }
+    case FunKind::Lambda: {
+      const auto *L = cast<Lambda>(F.get());
+      if (L->getParams().size() != 2)
+        notSupported("reduction operator must be binary");
+      L->getParams()[0]->Ty = AccTy;
+      L->getParams()[1]->Ty = ElemTy;
+      ParamViews[L->getParams()[0].get()] = AccV;
+      ParamViews[L->getParams()[1].get()] = In;
+      return emitValue(L->getBody());
+    }
+    default:
+      notSupported("reduction operator " +
+                   std::string(funKindName(F->getKind())));
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Iterate (double buffering, Figure 7 lines 17-29)
+  //===--------------------------------------------------------------------===//
+
+  view::View emitIterate(const Iterate *It, const FunCall *C,
+                         view::View OutView) {
+    if (OutView)
+      notSupported("iterate with an externally provided destination");
+    const ExprPtr &ArgE = C->getArgs()[0];
+    const auto *InArr = dyn_cast<ArrayType>(ArgE->Ty.get());
+    if (!InArr || isa<ArrayType>(InArr->getElementType().get()))
+      notSupported("iterate requires a one-dimensional array");
+    const TypePtr &ElemTy = InArr->getElementType();
+
+    auto InLen = arith::asConstant(arith::simplified(InArr->getSize()));
+    auto OutLen = arith::asConstant(
+        arith::simplified(cast<ArrayType>(C->Ty.get())->getSize()));
+    if (!InLen || !OutLen)
+      notSupported("iterate requires constant lengths");
+
+    AddressSpace AS =
+        C->AS == AddressSpace::Undef ? AddressSpace::Local : C->AS;
+    TypePtr BufTy = arrayOf(ElemTy, arith::cst(*InLen));
+    Alloc Ping = allocate(AS, BufTy, "iter_a");
+    Alloc Pong = allocate(AS, BufTy, "iter_b");
+
+    // Route the producer of the input directly into the ping buffer.
+    emitExpr(ArgE, Ping.V);
+
+    // Pointers for double buffering and the runtime size variable.
+    c::CAddrSpace CAS = toCAddrSpace(AS);
+    c::CTypePtr PtrTy = c::pointerTy(cTypeOf(ElemTy), CAS);
+    auto InPtr = std::make_shared<c::CVar>(freshName("it_in"), PtrTy);
+    auto OutPtr = std::make_shared<c::CVar>(freshName("it_out"), PtrTy);
+    auto TmpPtr = std::make_shared<c::CVar>(freshName("it_tmp"), PtrTy);
+    emit(std::make_shared<c::VarDecl>(
+        InPtr, std::make_shared<c::VarRef>(Ping.Store->Var)));
+    emit(std::make_shared<c::VarDecl>(
+        OutPtr, std::make_shared<c::VarRef>(Pong.Store->Var)));
+
+    auto SizeV = arith::var(freshName("size"), arith::cst(*OutLen),
+                            arith::cst(*InLen));
+    auto SizeCV =
+        std::make_shared<c::CVar>(SizeV->getName(), c::intTy(), SizeV->getId());
+    emit(std::make_shared<c::VarDecl>(
+        SizeCV, std::make_shared<c::IntLit>(*InLen)));
+
+    // Pointer-backed storages so views read/write through in/out.
+    auto InStore = makeStorage(InPtr->Name, CAS, cTypeOf(ElemTy),
+                               arith::cst(*InLen));
+    InStore->Var = InPtr;
+    auto OutStore = makeStorage(OutPtr->Name, CAS, cTypeOf(ElemTy),
+                                arith::cst(*InLen));
+    OutStore->Var = OutPtr;
+    K.StorageVars.emplace_back(InStore->Id, InPtr);
+    K.StorageVars.emplace_back(OutStore->Id, OutPtr);
+
+    // The body is type-checked against the symbolic current length.
+    TypePtr VirtTy = arrayOf(ElemTy, SizeV);
+    TypePtr BodyOutTy =
+        applyType(It->getF(), {VirtTy});
+    const auto *BodyOutArr = cast<ArrayType>(BodyOutTy.get());
+    arith::Expr NextSize = BodyOutArr->getSize();
+
+    emitSeqLoopNoUnroll(arith::cst(It->getCount()), [&](const arith::Expr &) {
+      view::View InV = std::make_shared<view::MemoryView>(
+          InStore, std::vector<arith::Expr>{arith::Expr(SizeV)});
+      view::View OutV = std::make_shared<view::MemoryView>(
+          OutStore, std::vector<arith::Expr>{NextSize});
+
+      applyToElementArray(It->getF(), InV, VirtTy, OutV);
+
+      // size = size / g; swap in/out.
+      emit(std::make_shared<c::Assign>(
+          std::make_shared<c::VarRef>(SizeCV),
+          std::make_shared<c::ArithValue>(NextSize)));
+      emit(std::make_shared<c::VarDecl>(
+          TmpPtr, std::make_shared<c::VarRef>(InPtr)));
+      emit(std::make_shared<c::Assign>(std::make_shared<c::VarRef>(InPtr),
+                                       std::make_shared<c::VarRef>(OutPtr)));
+      emit(std::make_shared<c::Assign>(std::make_shared<c::VarRef>(OutPtr),
+                                       std::make_shared<c::VarRef>(TmpPtr)));
+      // The next iteration reads what this one wrote through the swapped
+      // pointers: always synchronize (Figure 7 line 29).
+      bool GlobalFence = AS == AddressSpace::Global;
+      emit(std::make_shared<c::Barrier>(!GlobalFence, GlobalFence));
+      ++K.BarriersEmitted;
+    });
+
+    // After the final swap, `in` holds the result.
+    return std::make_shared<view::MemoryView>(
+        InStore, std::vector<arith::Expr>{arith::cst(*OutLen)});
+  }
+
+  /// Applies a whole-array function (iterate body) to a view.
+  void applyToElementArray(const FunDeclPtr &F, const view::View &In,
+                           const TypePtr &InTy, const view::View &Out) {
+    switch (F->getKind()) {
+    case FunKind::Lambda: {
+      const auto *L = cast<Lambda>(F.get());
+      L->getParams()[0]->Ty = InTy;
+      ParamViews[L->getParams()[0].get()] = In;
+      emitExpr(L->getBody(), Out);
+      return;
+    }
+    default:
+      applyToElement(F, In, InTy, Out);
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // User functions and module assembly
+  //===--------------------------------------------------------------------===//
+
+  /// Vectorizes a value type by width W (scalars become vectors).
+  TypePtr vectorize(const TypePtr &T, unsigned W) {
+    if (W == 1)
+      return T;
+    if (const auto *S = dyn_cast<ScalarType>(T.get()))
+      return vectorOf(S->getScalarKind(), W);
+    if (const auto *Tu = dyn_cast<TupleType>(T.get())) {
+      std::vector<TypePtr> Elems;
+      for (const TypePtr &E : Tu->getElements())
+        Elems.push_back(vectorize(E, W));
+      return tupleOf(std::move(Elems));
+    }
+    notSupported("vectorization of " + typeToString(T));
+  }
+
+  std::string registerUserFun(const UserFun *U, unsigned Width) {
+    std::string Name =
+        Width == 1 ? U->getName()
+                   : U->getName() + "_v" + std::to_string(Width);
+    auto Key = std::make_pair(U->getName(), Width);
+    if (UserFuns.find(Key) == UserFuns.end()) {
+      // Vectorization is "straightforward for functions based on simple
+      // arithmetic operations ... in the other more complicated cases,
+      // the code generator simply applies f to each scalar in the vector"
+      // (section 3.2); that fallback calls the scalar instance.
+      if (Width > 1 && !hasSimpleArithmeticBody(U))
+        registerUserFun(U, 1);
+      UserFuns[Key] = UFInstance{U, Width, Name};
+      UserFunOrder.push_back(Key);
+      // Pre-register structs used in the signature.
+      for (const TypePtr &T : U->getParamTypes())
+        (void)cTypeOf(vectorize(T, Width));
+      (void)cTypeOf(vectorize(U->getReturnType(), Width));
+    }
+    return Name;
+  }
+
+  /// True if the body uses only arithmetic that OpenCL defines on vector
+  /// operands: no branches, ternaries, comparisons or non-math calls.
+  bool hasSimpleArithmeticBody(const UserFun *U) {
+    cparse::ParseContext PC;
+    for (const auto &[SName, STy] : Structs)
+      PC.NamedTypes[SName] = STy;
+    for (size_t I = 0, E = U->getParamNames().size(); I != E; ++I)
+      PC.Params.push_back(std::make_shared<c::CVar>(
+          U->getParamNames()[I], cTypeOf(U->getParamTypes()[I])));
+    return stmtsAreSimple(
+        cparse::parseFunctionBody(U->getBody(), PC)->getStmts());
+  }
+
+  static bool stmtsAreSimple(const std::vector<c::CStmtPtr> &Stmts) {
+    for (const c::CStmtPtr &S : Stmts) {
+      switch (S->getKind()) {
+      case c::CStmtKind::If:
+        return false;
+      case c::CStmtKind::VarDecl: {
+        const auto *D = cast<c::VarDecl>(S.get());
+        if (D->getInit() && !exprIsSimple(D->getInit()))
+          return false;
+        break;
+      }
+      case c::CStmtKind::Assign:
+        if (!exprIsSimple(cast<c::Assign>(S.get())->getRhs()))
+          return false;
+        break;
+      case c::CStmtKind::Return: {
+        const auto *R = cast<c::Return>(S.get());
+        if (R->getValue() && !exprIsSimple(R->getValue()))
+          return false;
+        break;
+      }
+      default:
+        break;
+      }
+    }
+    return true;
+  }
+
+  static bool exprIsSimple(const c::CExprPtr &E) {
+    switch (E->getKind()) {
+    case c::CExprKind::Ternary:
+      return false;
+    case c::CExprKind::Binary: {
+      const auto *B = cast<c::Binary>(E.get());
+      switch (B->getOp()) {
+      case c::BinOp::Lt:
+      case c::BinOp::Le:
+      case c::BinOp::Gt:
+      case c::BinOp::Ge:
+      case c::BinOp::Eq:
+      case c::BinOp::Ne:
+      case c::BinOp::And:
+      case c::BinOp::Or:
+        return false;
+      default:
+        return exprIsSimple(B->getLhs()) && exprIsSimple(B->getRhs());
+      }
+    }
+    case c::CExprKind::Unary: {
+      const auto *Un = cast<c::Unary>(E.get());
+      return Un->getOp() == c::UnOp::Neg && exprIsSimple(Un->getSub());
+    }
+    case c::CExprKind::Call: {
+      // Unary math built-ins have native vector forms in OpenCL.
+      const auto *C = cast<c::Call>(E.get());
+      static const char *VectorMath[] = {"sqrt", "rsqrt", "sin",  "cos",
+                                         "exp",  "log",   "fabs", "floor"};
+      for (const char *M : VectorMath)
+        if (C->getCallee() == M)
+          return C->getArgs().size() == 1 && exprIsSimple(C->getArgs()[0]);
+      return false;
+    }
+    default:
+      return true;
+    }
+  }
+
+  /// The component-wise fallback body: applies the scalar function to
+  /// every vector lane. Only scalar and vector parameters are supported.
+  std::string componentwiseBody(const UserFun *U, unsigned Width) {
+    std::string Ret =
+        c::cTypeToString(cTypeOf(vectorize(U->getReturnType(), Width)));
+    std::string Body = "return (" + Ret + ")(";
+    for (unsigned Lane = 0; Lane != Width; ++Lane) {
+      if (Lane != 0)
+        Body += ", ";
+      Body += U->getName() + "(";
+      for (size_t I = 0, E = U->getParamNames().size(); I != E; ++I) {
+        if (I != 0)
+          Body += ", ";
+        Body += U->getParamNames()[I];
+        if (isa<ScalarType>(U->getParamTypes()[I].get()))
+          Body += ".s" + std::to_string(Lane);
+        else
+          notSupported("component-wise vectorization of a non-scalar "
+                       "parameter of " +
+                       U->getName());
+      }
+      Body += ")";
+    }
+    Body += ");";
+    return Body;
+  }
+
+  void finishModule() {
+    K.Module.Structs = StructOrder;
+    for (const auto &Key : UserFunOrder) {
+      const UFInstance &Inst = UserFuns[Key];
+      auto F = std::make_shared<c::CFunction>();
+      F->Name = Inst.MangledName;
+      F->ReturnType = cTypeOf(vectorize(Inst.UF->getReturnType(), Inst.Width));
+      cparse::ParseContext PC;
+      for (const auto &[SName, STy] : Structs)
+        PC.NamedTypes[SName] = STy;
+      for (size_t I = 0, E = Inst.UF->getParamNames().size(); I != E; ++I) {
+        auto P = std::make_shared<c::CVar>(
+            Inst.UF->getParamNames()[I],
+            cTypeOf(vectorize(Inst.UF->getParamTypes()[I], Inst.Width)));
+        F->Params.push_back(P);
+        PC.Params.push_back(P);
+      }
+      if (Inst.Width > 1 && !hasSimpleArithmeticBody(Inst.UF)) {
+        // Section 3.2 fallback: apply the scalar function per component.
+        F->Body = cparse::parseFunctionBody(
+            componentwiseBody(Inst.UF, Inst.Width), PC);
+      } else {
+        F->Body = cparse::parseFunctionBody(Inst.UF->getBody(), PC);
+      }
+      K.Module.Functions.push_back(F);
+    }
+
+    auto Kern = std::make_shared<c::CFunction>();
+    Kern->Name = Opts.KernelName;
+    Kern->ReturnType = c::voidTy();
+    Kern->IsKernel = true;
+    for (const KernelParamInfo &P : K.Params)
+      Kern->Params.push_back(P.Var);
+    std::vector<c::CStmtPtr> BodyStmts = TopDecls;
+    for (c::CStmtPtr &S : Blocks.back())
+      BodyStmts.push_back(std::move(S));
+    Kern->Body = std::make_shared<c::Block>(std::move(BodyStmts));
+    K.Module.Kernel = Kern;
+  }
+};
+
+} // namespace
+
+CompiledKernel codegen::compile(const LambdaPtr &Program,
+                                const CompilerOptions &Options) {
+  // Work on a private clone so annotations never leak between compiles.
+  LambdaPtr Clone = cast<Lambda>(cloneFunDecl(
+      std::static_pointer_cast<FunDecl>(Program)));
+
+  inferProgramTypes(Clone);
+  passes::inferAddressSpaces(Clone);
+  unsigned Eliminated = 0;
+  if (Options.BarrierElimination)
+    Eliminated = passes::eliminateBarriers(Clone);
+
+  Generator G(Clone, Options);
+  CompiledKernel K = G.run();
+  K.BarriersEliminated = Eliminated;
+  K.Source = c::printModule(K.Module);
+  return K;
+}

@@ -1,0 +1,728 @@
+//===- CParser.cpp - Parser for the user-function C subset ------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cparse/CParser.h"
+
+#include "support/Casting.h"
+#include "support/Error.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace lift;
+using namespace lift::c;
+using namespace lift::cparse;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+enum class TokKind {
+  Eof,
+  Ident,
+  IntNumber,
+  FloatNumber,
+  Punct, // single/multi char operator or punctuation
+};
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;
+  int64_t IntValue = 0;
+  double FloatValue = 0;
+  bool FloatIsDouble = false;
+};
+
+class Lexer {
+  const std::string &Src;
+  size_t Pos = 0;
+
+public:
+  explicit Lexer(const std::string &Src) : Src(Src) {}
+
+  Token next() {
+    skipWhitespaceAndComments();
+    Token T;
+    if (Pos >= Src.size())
+      return T;
+    char C = Src[Pos];
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+      return lexIdent();
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '.' && Pos + 1 < Src.size() &&
+         std::isdigit(static_cast<unsigned char>(Src[Pos + 1]))))
+      return lexNumber();
+    return lexPunct();
+  }
+
+private:
+  void skipWhitespaceAndComments() {
+    while (Pos < Src.size()) {
+      char C = Src[Pos];
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        ++Pos;
+        continue;
+      }
+      if (C == '/' && Pos + 1 < Src.size() && Src[Pos + 1] == '/') {
+        while (Pos < Src.size() && Src[Pos] != '\n')
+          ++Pos;
+        continue;
+      }
+      if (C == '/' && Pos + 1 < Src.size() && Src[Pos + 1] == '*') {
+        Pos += 2;
+        while (Pos + 1 < Src.size() &&
+               !(Src[Pos] == '*' && Src[Pos + 1] == '/'))
+          ++Pos;
+        Pos += 2;
+        continue;
+      }
+      break;
+    }
+  }
+
+  Token lexIdent() {
+    Token T;
+    T.Kind = TokKind::Ident;
+    size_t Start = Pos;
+    while (Pos < Src.size() &&
+           (std::isalnum(static_cast<unsigned char>(Src[Pos])) ||
+            Src[Pos] == '_'))
+      ++Pos;
+    T.Text = Src.substr(Start, Pos - Start);
+    return T;
+  }
+
+  Token lexNumber() {
+    Token T;
+    size_t Start = Pos;
+    bool IsFloat = false;
+    while (Pos < Src.size()) {
+      char C = Src[Pos];
+      if (std::isdigit(static_cast<unsigned char>(C))) {
+        ++Pos;
+      } else if (C == '.') {
+        IsFloat = true;
+        ++Pos;
+      } else if (C == 'e' || C == 'E') {
+        IsFloat = true;
+        ++Pos;
+        if (Pos < Src.size() && (Src[Pos] == '+' || Src[Pos] == '-'))
+          ++Pos;
+      } else {
+        break;
+      }
+    }
+    std::string Digits = Src.substr(Start, Pos - Start);
+    bool HasSuffix = false;
+    if (Pos < Src.size() && (Src[Pos] == 'f' || Src[Pos] == 'F')) {
+      IsFloat = true;
+      HasSuffix = true;
+      ++Pos;
+    }
+    if (IsFloat) {
+      T.Kind = TokKind::FloatNumber;
+      T.FloatValue = std::strtod(Digits.c_str(), nullptr);
+      T.FloatIsDouble = !HasSuffix;
+    } else {
+      T.Kind = TokKind::IntNumber;
+      T.IntValue = std::strtoll(Digits.c_str(), nullptr, 10);
+    }
+    T.Text = Digits;
+    return T;
+  }
+
+  Token lexPunct() {
+    Token T;
+    T.Kind = TokKind::Punct;
+    static const char *TwoChar[] = {"==", "!=", "<=", ">=", "&&", "||",
+                                    "+=", "-=", "*=", "/=", "++", "--"};
+    for (const char *Op : TwoChar) {
+      if (Src.compare(Pos, 2, Op) == 0) {
+        T.Text = Op;
+        Pos += 2;
+        return T;
+      }
+    }
+    T.Text = Src.substr(Pos, 1);
+    ++Pos;
+    return T;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+class Parser {
+  Lexer Lex;
+  Token Tok;
+  const ParseContext &Ctx;
+  std::vector<CVarPtr> Scope;
+
+public:
+  Parser(const std::string &Source, const ParseContext &Ctx)
+      : Lex(Source), Ctx(Ctx) {
+    Scope = Ctx.Params;
+    advance();
+  }
+
+  CModule parseTranslationUnit() {
+    CModule M;
+    while (Tok.Kind != TokKind::Eof) {
+      bool IsKernel = false;
+      if (isIdent("kernel")) {
+        IsKernel = true;
+        advance();
+      }
+      CTypePtr RetTy;
+      if (isIdent("void")) {
+        RetTy = voidTy();
+        advance();
+      } else {
+        RetTy = peekType();
+        if (!RetTy)
+          error("expected function return type");
+        advance();
+      }
+      if (Tok.Kind != TokKind::Ident)
+        error("expected function name");
+      auto F = std::make_shared<CFunction>();
+      F->Name = Tok.Text;
+      F->ReturnType = RetTy;
+      F->IsKernel = IsKernel;
+      advance();
+      expectPunct("(");
+      size_t OuterScope = Scope.size();
+      if (!isPunct(")")) {
+        while (true) {
+          auto [Ty, AS] = parseQualifiedType();
+          (void)AS;
+          if (Tok.Kind != TokKind::Ident)
+            error("expected parameter name");
+          auto P = std::make_shared<CVar>(Tok.Text, Ty);
+          advance();
+          F->Params.push_back(P);
+          Scope.push_back(P);
+          if (isPunct(","))
+            advance();
+          else
+            break;
+        }
+      }
+      expectPunct(")");
+      F->Body = parseBlockOrStmt();
+      Scope.resize(OuterScope);
+      if (IsKernel) {
+        if (M.Kernel)
+          error("multiple kernels in one translation unit");
+        M.Kernel = F;
+      } else {
+        M.Functions.push_back(F);
+      }
+    }
+    return M;
+  }
+
+  BlockPtr parseBody() {
+    std::vector<CStmtPtr> Stmts;
+    while (Tok.Kind != TokKind::Eof)
+      Stmts.push_back(parseStmt());
+    return std::make_shared<Block>(std::move(Stmts));
+  }
+
+  CExprPtr parseExpr() { return parseTernary(); }
+
+private:
+  void advance() { Tok = Lex.next(); }
+
+  [[noreturn]] void error(const std::string &Msg) {
+    fatalError("user function parse error: " + Msg + " (at '" + Tok.Text +
+               "')");
+  }
+
+  bool isPunct(const char *P) const {
+    return Tok.Kind == TokKind::Punct && Tok.Text == P;
+  }
+
+  bool isIdent(const char *S) const {
+    return Tok.Kind == TokKind::Ident && Tok.Text == S;
+  }
+
+  void expectPunct(const char *P) {
+    if (!isPunct(P))
+      error(std::string("expected '") + P + "'");
+    advance();
+  }
+
+  CVarPtr lookupVar(const std::string &Name) {
+    for (auto It = Scope.rbegin(); It != Scope.rend(); ++It)
+      if ((*It)->Name == Name)
+        return *It;
+    return nullptr;
+  }
+
+  /// Recognizes a type name: builtin scalar/vector, or a named struct from
+  /// the context. Returns null without consuming if not a type.
+  CTypePtr peekType() {
+    if (Tok.Kind != TokKind::Ident)
+      return nullptr;
+    const std::string &S = Tok.Text;
+    if (S == "float")
+      return floatTy();
+    if (S == "double")
+      return doubleTy();
+    if (S == "int")
+      return intTy();
+    if (S == "bool")
+      return boolTy();
+    static const struct {
+      const char *Name;
+      CScalarKind Kind;
+      unsigned Width;
+    } Vectors[] = {
+        {"float2", CScalarKind::Float, 2},  {"float3", CScalarKind::Float, 3},
+        {"float4", CScalarKind::Float, 4},  {"float8", CScalarKind::Float, 8},
+        {"float16", CScalarKind::Float, 16}, {"int2", CScalarKind::Int, 2},
+        {"int4", CScalarKind::Int, 4},
+    };
+    for (const auto &V : Vectors)
+      if (S == V.Name)
+        return vectorTy(V.Kind, V.Width);
+    auto It = Ctx.NamedTypes.find(S);
+    if (It != Ctx.NamedTypes.end())
+      return It->second;
+    return nullptr;
+  }
+
+  /// Parses an optionally qualified, optionally pointer type as it appears
+  /// in kernel parameter lists and local declarations. Returns the type
+  /// and the address space named by the qualifier.
+  std::pair<CTypePtr, CAddrSpace> parseQualifiedType() {
+    CAddrSpace AS = CAddrSpace::Private;
+    while (true) {
+      if (isIdent("global")) {
+        AS = CAddrSpace::Global;
+        advance();
+        continue;
+      }
+      if (isIdent("local")) {
+        AS = CAddrSpace::Local;
+        advance();
+        continue;
+      }
+      if (isIdent("const")) {
+        advance();
+        continue;
+      }
+      break;
+    }
+    CTypePtr Ty = peekType();
+    if (!Ty)
+      error("expected a type");
+    advance();
+    if (isPunct("*")) {
+      advance();
+      Ty = pointerTy(Ty, AS);
+      if (isIdent("restrict"))
+        advance();
+    }
+    return {Ty, AS};
+  }
+
+  /// True if the upcoming tokens start a declaration (qualifier or type).
+  bool atDeclaration() {
+    return isIdent("global") || isIdent("local") || isIdent("const") ||
+           peekType() != nullptr;
+  }
+
+  CStmtPtr parseDeclaration() {
+    auto [Ty, AS] = parseQualifiedType();
+    if (Tok.Kind != TokKind::Ident)
+      error("expected variable name in declaration");
+    std::string Name = Tok.Text;
+    advance();
+    arith::Expr ArraySize;
+    if (isPunct("[")) {
+      advance();
+      if (Tok.Kind != TokKind::IntNumber)
+        error("array sizes in declarations must be integer constants");
+      ArraySize = arith::cst(Tok.IntValue);
+      advance();
+      expectPunct("]");
+    }
+    CExprPtr Init;
+    if (isPunct("=")) {
+      advance();
+      Init = parseExpr();
+    }
+    expectPunct(";");
+    auto V = std::make_shared<CVar>(Name, Ty);
+    Scope.push_back(V);
+    return std::make_shared<VarDecl>(V, Init, ArraySize, AS);
+  }
+
+  /// Parses an assignment-like tail after \p Lhs: `=`, compound
+  /// assignment, or `++`/`--`. Returns null if none applies.
+  CStmtPtr parseAssignTail(const CExprPtr &Lhs) {
+    static const struct {
+      const char *Punct;
+      BinOp Op;
+    } Compound[] = {{"+=", BinOp::Add},
+                    {"-=", BinOp::Sub},
+                    {"*=", BinOp::Mul},
+                    {"/=", BinOp::Div}};
+    if (isPunct("=")) {
+      advance();
+      return std::make_shared<Assign>(Lhs, parseExpr());
+    }
+    for (const auto &CA : Compound) {
+      if (isPunct(CA.Punct)) {
+        advance();
+        return std::make_shared<Assign>(
+            Lhs, std::make_shared<Binary>(CA.Op, Lhs, parseExpr()));
+      }
+    }
+    if (isPunct("++") || isPunct("--")) {
+      BinOp Op = isPunct("++") ? BinOp::Add : BinOp::Sub;
+      advance();
+      return std::make_shared<Assign>(
+          Lhs,
+          std::make_shared<Binary>(Op, Lhs, std::make_shared<IntLit>(1)));
+    }
+    return nullptr;
+  }
+
+  CStmtPtr parseFor() {
+    expectPunct("(");
+    // Induction variable declaration or re-initialization.
+    CVarPtr IV;
+    CExprPtr Init;
+    if (atDeclaration()) {
+      auto [Ty, AS] = parseQualifiedType();
+      (void)AS;
+      if (Tok.Kind != TokKind::Ident)
+        error("expected loop variable name");
+      IV = std::make_shared<CVar>(Tok.Text, Ty);
+      Scope.push_back(IV);
+      advance();
+      expectPunct("=");
+      Init = parseExpr();
+    } else {
+      if (Tok.Kind != TokKind::Ident)
+        error("expected loop variable");
+      IV = lookupVar(Tok.Text);
+      if (!IV)
+        error("unknown loop variable '" + Tok.Text + "'");
+      advance();
+      expectPunct("=");
+      Init = parseExpr();
+    }
+    expectPunct(";");
+    CExprPtr Cond = parseExpr();
+    expectPunct(";");
+    // Step: IV = expr, IV += expr or IV++.
+    if (Tok.Kind != TokKind::Ident || Tok.Text != IV->Name)
+      error("for-step must update the loop variable");
+    CExprPtr IVRef = std::make_shared<VarRef>(IV);
+    advance();
+    CStmtPtr StepAssign = parseAssignTail(IVRef);
+    if (!StepAssign)
+      error("expected loop step");
+    CExprPtr Step = cast<Assign>(StepAssign.get())->getRhs();
+    expectPunct(")");
+    BlockPtr Body = parseBlockOrStmt();
+    return std::make_shared<For>(IV, Init, Cond, Step, Body);
+  }
+
+  CStmtPtr parseStmt() {
+    if (isIdent("for")) {
+      advance();
+      return parseFor();
+    }
+    if (isIdent("barrier")) {
+      advance();
+      expectPunct("(");
+      bool Local = false, Global = false;
+      while (!isPunct(")")) {
+        if (Tok.Kind == TokKind::Ident) {
+          if (Tok.Text == "CLK_LOCAL_MEM_FENCE")
+            Local = true;
+          else if (Tok.Text == "CLK_GLOBAL_MEM_FENCE")
+            Global = true;
+          else
+            error("unknown barrier fence flag");
+          advance();
+        } else if (isPunct("|")) {
+          advance();
+        } else {
+          error("malformed barrier flags");
+        }
+      }
+      advance();
+      expectPunct(";");
+      if (!Local && !Global)
+        Local = true;
+      return std::make_shared<Barrier>(Local, Global);
+    }
+    if (isIdent("return")) {
+      advance();
+      if (isPunct(";")) {
+        advance();
+        return std::make_shared<Return>();
+      }
+      CExprPtr E = parseExpr();
+      expectPunct(";");
+      return std::make_shared<Return>(E);
+    }
+    if (isIdent("if")) {
+      advance();
+      expectPunct("(");
+      CExprPtr Cond = parseExpr();
+      expectPunct(")");
+      BlockPtr Then = parseBlockOrStmt();
+      BlockPtr Else;
+      if (isIdent("else")) {
+        advance();
+        Else = parseBlockOrStmt();
+      }
+      return std::make_shared<If>(Cond, Then, Else);
+    }
+    if (isPunct("{")) {
+      return parseBlockOrStmt();
+    }
+    // Declaration?
+    if (atDeclaration())
+      return parseDeclaration();
+    // Assignment or expression statement.
+    CExprPtr Lhs = parseExpr();
+    if (CStmtPtr A = parseAssignTail(Lhs)) {
+      expectPunct(";");
+      return A;
+    }
+    expectPunct(";");
+    return std::make_shared<ExprStmt>(Lhs);
+  }
+
+  BlockPtr parseBlockOrStmt() {
+    if (isPunct("{")) {
+      advance();
+      size_t ScopeDepth = Scope.size();
+      std::vector<CStmtPtr> Stmts;
+      while (!isPunct("}")) {
+        if (Tok.Kind == TokKind::Eof)
+          error("unterminated block");
+        Stmts.push_back(parseStmt());
+      }
+      advance();
+      Scope.resize(ScopeDepth);
+      return std::make_shared<Block>(std::move(Stmts));
+    }
+    std::vector<CStmtPtr> One;
+    One.push_back(parseStmt());
+    return std::make_shared<Block>(std::move(One));
+  }
+
+  CExprPtr parseTernary() {
+    CExprPtr Cond = parseBinary(0);
+    if (!isPunct("?"))
+      return Cond;
+    advance();
+    CExprPtr Then = parseExpr();
+    expectPunct(":");
+    CExprPtr Else = parseTernary();
+    return std::make_shared<Ternary>(Cond, Then, Else);
+  }
+
+  /// Operator precedence table, lowest first.
+  static int binPrec(const std::string &Op) {
+    if (Op == "||")
+      return 1;
+    if (Op == "&&")
+      return 2;
+    if (Op == "==" || Op == "!=")
+      return 3;
+    if (Op == "<" || Op == "<=" || Op == ">" || Op == ">=")
+      return 4;
+    if (Op == "+" || Op == "-")
+      return 5;
+    if (Op == "*" || Op == "/" || Op == "%")
+      return 6;
+    return -1;
+  }
+
+  static BinOp binOpFor(const std::string &Op) {
+    if (Op == "||")
+      return BinOp::Or;
+    if (Op == "&&")
+      return BinOp::And;
+    if (Op == "==")
+      return BinOp::Eq;
+    if (Op == "!=")
+      return BinOp::Ne;
+    if (Op == "<")
+      return BinOp::Lt;
+    if (Op == "<=")
+      return BinOp::Le;
+    if (Op == ">")
+      return BinOp::Gt;
+    if (Op == ">=")
+      return BinOp::Ge;
+    if (Op == "+")
+      return BinOp::Add;
+    if (Op == "-")
+      return BinOp::Sub;
+    if (Op == "*")
+      return BinOp::Mul;
+    if (Op == "/")
+      return BinOp::Div;
+    return BinOp::Rem;
+  }
+
+  CExprPtr parseBinary(int MinPrec) {
+    CExprPtr Lhs = parseUnary();
+    while (Tok.Kind == TokKind::Punct) {
+      int Prec = binPrec(Tok.Text);
+      if (Prec < 0 || Prec < MinPrec)
+        break;
+      std::string Op = Tok.Text;
+      advance();
+      CExprPtr Rhs = parseBinary(Prec + 1);
+      Lhs = std::make_shared<Binary>(binOpFor(Op), Lhs, Rhs);
+    }
+    return Lhs;
+  }
+
+  CExprPtr parseUnary() {
+    if (isPunct("-")) {
+      advance();
+      return std::make_shared<Unary>(UnOp::Neg, parseUnary());
+    }
+    if (isPunct("!")) {
+      advance();
+      return std::make_shared<Unary>(UnOp::Not, parseUnary());
+    }
+    if (isPunct("+")) {
+      advance();
+      return parseUnary();
+    }
+    return parsePostfix();
+  }
+
+  CExprPtr parsePostfix() {
+    CExprPtr E = parsePrimary();
+    while (true) {
+      if (isPunct(".")) {
+        advance();
+        if (Tok.Kind != TokKind::Ident)
+          error("expected member name after '.'");
+        E = std::make_shared<Member>(E, Tok.Text);
+        advance();
+        continue;
+      }
+      if (isPunct("[")) {
+        advance();
+        CExprPtr Idx = parseExpr();
+        expectPunct("]");
+        E = std::make_shared<ArrayAccess>(E, Idx);
+        continue;
+      }
+      break;
+    }
+    return E;
+  }
+
+  CExprPtr parsePrimary() {
+    if (Tok.Kind == TokKind::IntNumber) {
+      auto E = std::make_shared<IntLit>(Tok.IntValue);
+      advance();
+      return E;
+    }
+    if (Tok.Kind == TokKind::FloatNumber) {
+      auto E = std::make_shared<FloatLit>(Tok.FloatValue, Tok.FloatIsDouble);
+      advance();
+      return E;
+    }
+    if (isPunct("(")) {
+      advance();
+      // Cast, vector constructor, or struct literal?
+      if (CTypePtr Ty = peekType()) {
+        advance();
+        expectPunct(")");
+        if (isa<VectorCType>(Ty.get()) && isPunct("(")) {
+          advance();
+          std::vector<CExprPtr> Args;
+          if (!isPunct(")")) {
+            Args.push_back(parseExpr());
+            while (isPunct(",")) {
+              advance();
+              Args.push_back(parseExpr());
+            }
+          }
+          expectPunct(")");
+          return std::make_shared<ConstructVector>(Ty, std::move(Args));
+        }
+        if (isa<StructCType>(Ty.get()) && isPunct("{")) {
+          advance();
+          std::vector<CExprPtr> Args;
+          if (!isPunct("}")) {
+            Args.push_back(parseExpr());
+            while (isPunct(",")) {
+              advance();
+              Args.push_back(parseExpr());
+            }
+          }
+          expectPunct("}");
+          return std::make_shared<ConstructStruct>(Ty, std::move(Args));
+        }
+        return std::make_shared<CastExpr>(Ty, parseUnary());
+      }
+      CExprPtr E = parseExpr();
+      expectPunct(")");
+      return E;
+    }
+    if (Tok.Kind == TokKind::Ident) {
+      std::string Name = Tok.Text;
+      advance();
+      if (isPunct("(")) {
+        advance();
+        std::vector<CExprPtr> Args;
+        if (!isPunct(")")) {
+          Args.push_back(parseExpr());
+          while (isPunct(",")) {
+            advance();
+            Args.push_back(parseExpr());
+          }
+        }
+        expectPunct(")");
+        return std::make_shared<Call>(Name, std::move(Args));
+      }
+      CVarPtr V = lookupVar(Name);
+      if (!V)
+        error("unknown identifier '" + Name + "'");
+      return std::make_shared<VarRef>(V);
+    }
+    error("expected expression");
+  }
+};
+
+} // namespace
+
+BlockPtr cparse::parseFunctionBody(const std::string &Source,
+                                   const ParseContext &Ctx) {
+  return Parser(Source, Ctx).parseBody();
+}
+
+CExprPtr cparse::parseExpression(const std::string &Source,
+                                 const ParseContext &Ctx) {
+  return Parser(Source, Ctx).parseExpr();
+}
+
+CModule cparse::parseModule(const std::string &Source,
+                            const ParseContext &Ctx) {
+  return Parser(Source, Ctx).parseTranslationUnit();
+}

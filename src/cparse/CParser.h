@@ -1,0 +1,56 @@
+//===- CParser.h - Parser for the user-function C subset --------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the bodies of Lift user functions — "a subset of the C language
+/// operating on non-array data types" (section 4.1 of the paper) — into the
+/// C AST, so that the simulated OpenCL runtime executes exactly the code
+/// the kernel printer emits. Supported: declarations, assignments, if/else,
+/// return, full C expression precedence, calls to built-in math functions,
+/// vector/struct construction and member access.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_CPARSE_CPARSER_H
+#define LIFT_CPARSE_CPARSER_H
+
+#include "cast/CAst.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lift {
+namespace cparse {
+
+/// Context available to a user-function body: its parameters and the named
+/// (struct) types it may mention.
+struct ParseContext {
+  std::vector<c::CVarPtr> Params;
+  std::map<std::string, c::CTypePtr> NamedTypes;
+};
+
+/// Parses a function body (a sequence of statements). Aborts with a
+/// diagnostic naming the offending token on malformed input.
+c::BlockPtr parseFunctionBody(const std::string &Source,
+                              const ParseContext &Ctx);
+
+/// Parses a single expression (used in tests).
+c::CExprPtr parseExpression(const std::string &Source,
+                            const ParseContext &Ctx);
+
+/// Parses a whole OpenCL C translation unit: helper functions and one
+/// kernel. Supports the kernel subset the benchmarks' hand-written
+/// reference implementations use: address-space-qualified pointer
+/// parameters, local array declarations, for loops (with `+=`/`++`
+/// steps), array subscripts, and barrier() calls. Used to run the paper's
+/// baseline kernels on the same simulated device as generated code.
+c::CModule parseModule(const std::string &Source, const ParseContext &Ctx);
+
+} // namespace cparse
+} // namespace lift
+
+#endif // LIFT_CPARSE_CPARSER_H

@@ -1,0 +1,655 @@
+//===- ILParser.cpp - Text frontend for the Lift IL ---------------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/ILParser.h"
+
+#include "ir/DSL.h"
+#include "support/Error.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+using namespace lift;
+using namespace lift::frontend;
+using namespace lift::ir;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+enum class Tok {
+  Eof,
+  Ident,
+  Number,     // integer or float (with optional f suffix)
+  String,     // "..." user function body
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Comma,
+  Colon,
+  Arrow,      // ->
+  FatArrow,   // =>
+  Lambda,     // λ or backslash
+  Equals,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+};
+
+struct Token {
+  Tok Kind = Tok::Eof;
+  std::string Text;
+  unsigned Line = 1;
+};
+
+class Lexer {
+  const std::string &Src;
+  size_t Pos = 0;
+  unsigned Line = 1;
+
+public:
+  explicit Lexer(const std::string &Src) : Src(Src) {}
+
+  Token next() {
+    skip();
+    Token T;
+    T.Line = Line;
+    if (Pos >= Src.size())
+      return T;
+    char C = Src[Pos];
+
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      T.Kind = Tok::Ident;
+      size_t S = Pos;
+      while (Pos < Src.size() &&
+             (std::isalnum(static_cast<unsigned char>(Src[Pos])) ||
+              Src[Pos] == '_'))
+        ++Pos;
+      T.Text = Src.substr(S, Pos - S);
+      return T;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      T.Kind = Tok::Number;
+      size_t S = Pos;
+      while (Pos < Src.size() &&
+             (std::isdigit(static_cast<unsigned char>(Src[Pos])) ||
+              Src[Pos] == '.' || Src[Pos] == 'e' || Src[Pos] == 'E' ||
+              Src[Pos] == 'f' ||
+              ((Src[Pos] == '+' || Src[Pos] == '-') &&
+               (Src[Pos - 1] == 'e' || Src[Pos - 1] == 'E'))))
+        ++Pos;
+      T.Text = Src.substr(S, Pos - S);
+      return T;
+    }
+    if (C == '"') {
+      T.Kind = Tok::String;
+      ++Pos;
+      size_t S = Pos;
+      while (Pos < Src.size() && Src[Pos] != '"') {
+        if (Src[Pos] == '\n')
+          ++Line;
+        ++Pos;
+      }
+      if (Pos >= Src.size())
+        fatalError("IL parse error: unterminated string at line " +
+                   std::to_string(T.Line));
+      T.Text = Src.substr(S, Pos - S);
+      ++Pos;
+      return T;
+    }
+    // Multi-byte lambda (UTF-8 for λ is 0xCE 0xBB).
+    if (static_cast<unsigned char>(C) == 0xCE && Pos + 1 < Src.size() &&
+        static_cast<unsigned char>(Src[Pos + 1]) == 0xBB) {
+      T.Kind = Tok::Lambda;
+      Pos += 2;
+      return T;
+    }
+    if (C == '\\') {
+      T.Kind = Tok::Lambda;
+      ++Pos;
+      return T;
+    }
+    if (C == '-' && Pos + 1 < Src.size() && Src[Pos + 1] == '>') {
+      T.Kind = Tok::Arrow;
+      Pos += 2;
+      return T;
+    }
+    if (C == '=' && Pos + 1 < Src.size() && Src[Pos + 1] == '>') {
+      T.Kind = Tok::FatArrow;
+      Pos += 2;
+      return T;
+    }
+    ++Pos;
+    switch (C) {
+    case '(':
+      T.Kind = Tok::LParen;
+      break;
+    case ')':
+      T.Kind = Tok::RParen;
+      break;
+    case '[':
+      T.Kind = Tok::LBracket;
+      break;
+    case ']':
+      T.Kind = Tok::RBracket;
+      break;
+    case ',':
+      T.Kind = Tok::Comma;
+      break;
+    case ':':
+      T.Kind = Tok::Colon;
+      break;
+    case '=':
+      T.Kind = Tok::Equals;
+      break;
+    case '+':
+      T.Kind = Tok::Plus;
+      break;
+    case '-':
+      T.Kind = Tok::Minus;
+      break;
+    case '*':
+      T.Kind = Tok::Star;
+      break;
+    case '/':
+      T.Kind = Tok::Slash;
+      break;
+    case '%':
+      T.Kind = Tok::Percent;
+      break;
+    default:
+      fatalError("IL parse error: unexpected character '" +
+                 std::string(1, C) + "' at line " + std::to_string(Line));
+    }
+    T.Text = std::string(1, C);
+    return T;
+  }
+
+private:
+  void skip() {
+    while (Pos < Src.size()) {
+      char C = Src[Pos];
+      if (C == '\n') {
+        ++Line;
+        ++Pos;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        ++Pos;
+        continue;
+      }
+      if (C == '#' || (C == '/' && Pos + 1 < Src.size() &&
+                       Src[Pos + 1] == '/')) {
+        while (Pos < Src.size() && Src[Pos] != '\n')
+          ++Pos;
+        continue;
+      }
+      break;
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+class ILParserImpl {
+  Lexer Lex;
+  Token Tok_;
+  std::map<std::string, FunDeclPtr> UserFuns;
+  std::map<std::string, std::shared_ptr<const arith::VarNode>> SizeVars;
+  std::vector<std::vector<ParamPtr>> Scopes;
+
+public:
+  explicit ILParserImpl(const std::string &Src) : Lex(Src) { advance(); }
+
+  ParsedProgram parse() {
+    while (isIdent("def"))
+      parseUserFun();
+    if (!isIdent("fun"))
+      error("expected 'fun' program header");
+    advance();
+    expect(Tok::LParen);
+    std::vector<ParamPtr> Params;
+    if (Tok_.Kind != Tok::RParen) {
+      while (true) {
+        std::string Name = expectIdent();
+        expect(Tok::Colon);
+        TypePtr Ty = parseType();
+        Params.push_back(dsl::param(Name, Ty));
+        if (Tok_.Kind == Tok::Comma) {
+          advance();
+          continue;
+        }
+        break;
+      }
+    }
+    expect(Tok::RParen);
+    expect(Tok::FatArrow);
+    Scopes.push_back(Params);
+    ExprPtr Body = parseExpr();
+    Scopes.pop_back();
+    if (Tok_.Kind != Tok::Eof)
+      error("trailing input after program body");
+    ParsedProgram R;
+    R.Program = dsl::lambda(std::move(Params), std::move(Body));
+    R.SizeVars = SizeVars;
+    return R;
+  }
+
+private:
+  void advance() { Tok_ = Lex.next(); }
+
+  [[noreturn]] void error(const std::string &Msg) {
+    fatalError("IL parse error: " + Msg + " at line " +
+               std::to_string(Tok_.Line) + " (near '" + Tok_.Text + "')");
+  }
+
+  bool isIdent(const char *S) const {
+    return Tok_.Kind == Tok::Ident && Tok_.Text == S;
+  }
+
+  void expect(Tok K) {
+    if (Tok_.Kind != K)
+      error("unexpected token");
+    advance();
+  }
+
+  std::string expectIdent() {
+    if (Tok_.Kind != Tok::Ident)
+      error("expected identifier");
+    std::string S = Tok_.Text;
+    advance();
+    return S;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Types and sizes
+  //===--------------------------------------------------------------------===//
+
+  arith::Expr parseSizeAtom() {
+    if (Tok_.Kind == Tok::Number) {
+      int64_t V = std::strtoll(Tok_.Text.c_str(), nullptr, 10);
+      advance();
+      return arith::cst(V);
+    }
+    if (Tok_.Kind == Tok::Ident) {
+      std::string Name = Tok_.Text;
+      advance();
+      auto It = SizeVars.find(Name);
+      if (It == SizeVars.end())
+        It = SizeVars.emplace(Name, arith::sizeVar(Name)).first;
+      return It->second;
+    }
+    if (Tok_.Kind == Tok::LParen) {
+      advance();
+      arith::Expr E = parseSizeExpr();
+      expect(Tok::RParen);
+      return E;
+    }
+    error("expected size expression");
+  }
+
+  arith::Expr parseSizeFactor() {
+    arith::Expr E = parseSizeAtom();
+    while (Tok_.Kind == Tok::Star || Tok_.Kind == Tok::Slash ||
+           Tok_.Kind == Tok::Percent) {
+      Tok Op = Tok_.Kind;
+      advance();
+      arith::Expr R = parseSizeAtom();
+      if (Op == Tok::Star)
+        E = arith::mul(E, R);
+      else if (Op == Tok::Slash)
+        E = arith::intDiv(E, R);
+      else
+        E = arith::mod(E, R);
+    }
+    return E;
+  }
+
+  arith::Expr parseSizeExpr() {
+    arith::Expr E = parseSizeFactor();
+    while (Tok_.Kind == Tok::Plus || Tok_.Kind == Tok::Minus) {
+      Tok Op = Tok_.Kind;
+      advance();
+      arith::Expr R = parseSizeFactor();
+      E = Op == Tok::Plus ? arith::add(E, R) : arith::sub(E, R);
+    }
+    return E;
+  }
+
+  TypePtr parseType() {
+    if (Tok_.Kind == Tok::LBracket) {
+      advance();
+      TypePtr Elem = parseType();
+      expect(Tok::RBracket);
+      arith::Expr Size = parseSizeFactor();
+      return arrayOf(Elem, Size);
+    }
+    if (Tok_.Kind == Tok::LParen) {
+      advance();
+      std::vector<TypePtr> Elems;
+      Elems.push_back(parseType());
+      while (Tok_.Kind == Tok::Comma) {
+        advance();
+        Elems.push_back(parseType());
+      }
+      expect(Tok::RParen);
+      return tupleOf(std::move(Elems));
+    }
+    std::string Name = expectIdent();
+    if (Name == "float")
+      return float32();
+    if (Name == "double")
+      return float64();
+    if (Name == "int")
+      return int32();
+    if (Name == "bool")
+      return bool1();
+    static const struct {
+      const char *Name;
+      ScalarKind K;
+      unsigned W;
+    } Vectors[] = {{"float2", ScalarKind::Float, 2},
+                   {"float3", ScalarKind::Float, 3},
+                   {"float4", ScalarKind::Float, 4},
+                   {"float8", ScalarKind::Float, 8},
+                   {"int2", ScalarKind::Int, 2},
+                   {"int4", ScalarKind::Int, 4}};
+    for (const auto &V : Vectors)
+      if (Name == V.Name)
+        return vectorOf(V.K, V.W);
+    error("unknown type '" + Name + "'");
+  }
+
+  //===--------------------------------------------------------------------===//
+  // User function definitions
+  //===--------------------------------------------------------------------===//
+
+  void parseUserFun() {
+    advance(); // def
+    std::string Name = expectIdent();
+    expect(Tok::LParen);
+    std::vector<std::string> ParamNames;
+    std::vector<TypePtr> ParamTypes;
+    if (Tok_.Kind != Tok::RParen) {
+      while (true) {
+        ParamNames.push_back(expectIdent());
+        expect(Tok::Colon);
+        ParamTypes.push_back(parseType());
+        if (Tok_.Kind == Tok::Comma) {
+          advance();
+          continue;
+        }
+        break;
+      }
+    }
+    expect(Tok::RParen);
+    expect(Tok::Colon);
+    TypePtr Ret = parseType();
+    expect(Tok::Equals);
+    if (Tok_.Kind != Tok::String)
+      error("expected the C body of the user function as a string");
+    std::string Body = Tok_.Text;
+    advance();
+    UserFuns[Name] = dsl::userFun(Name, std::move(ParamNames),
+                                  std::move(ParamTypes), Ret, Body);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions and functions
+  //===--------------------------------------------------------------------===//
+
+  ParamPtr lookupParam(const std::string &Name) {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It)
+      for (const ParamPtr &P : *It)
+        if (P->getName() == Name)
+          return P;
+    return nullptr;
+  }
+
+  ExprPtr parseExpr() {
+    // Literal?
+    if (Tok_.Kind == Tok::Number || Tok_.Kind == Tok::Minus) {
+      std::string Text;
+      if (Tok_.Kind == Tok::Minus) {
+        Text = "-";
+        advance();
+        if (Tok_.Kind != Tok::Number)
+          error("expected a number after '-'");
+      }
+      Text += Tok_.Text;
+      advance();
+      bool IsFloat = Text.find('.') != std::string::npos ||
+                     Text.find('f') != std::string::npos ||
+                     Text.find('e') != std::string::npos;
+      return dsl::lit(Text, IsFloat ? float32() : int32());
+    }
+
+    // Identifier: a parameter, or a function applied to arguments.
+    if (Tok_.Kind == Tok::Ident || Tok_.Kind == Tok::Lambda) {
+      // Try a function form first; if it is a bare parameter, return it.
+      if (Tok_.Kind == Tok::Ident) {
+        if (ParamPtr P = lookupParam(Tok_.Text)) {
+          // Parameter unless it is being *called* — parameters are never
+          // called in the IL, so a bare param reference is fine.
+          advance();
+          return P;
+        }
+      }
+      FunDeclPtr F = parseFun();
+      expect(Tok::LParen);
+      std::vector<ExprPtr> Args;
+      if (Tok_.Kind != Tok::RParen) {
+        Args.push_back(parseExpr());
+        while (Tok_.Kind == Tok::Comma) {
+          advance();
+          Args.push_back(parseExpr());
+        }
+      }
+      expect(Tok::RParen);
+      return dsl::call(std::move(F), std::move(Args));
+    }
+    if (Tok_.Kind == Tok::LParen) {
+      advance();
+      // A parenthesized lambda applied directly: (λ(p) -> body)(args) —
+      // used for let-style bindings (e.g. naming a local-memory copy).
+      if (Tok_.Kind == Tok::Lambda) {
+        FunDeclPtr F = parseFun();
+        expect(Tok::RParen);
+        expect(Tok::LParen);
+        std::vector<ExprPtr> Args;
+        Args.push_back(parseExpr());
+        while (Tok_.Kind == Tok::Comma) {
+          advance();
+          Args.push_back(parseExpr());
+        }
+        expect(Tok::RParen);
+        return dsl::call(std::move(F), std::move(Args));
+      }
+      ExprPtr E = parseExpr();
+      expect(Tok::RParen);
+      return E;
+    }
+    error("expected expression");
+  }
+
+  /// Map name with optional trailing dimension digit: mapGlb0..2 etc.
+  static bool splitDim(const std::string &Name, const std::string &Base,
+                       unsigned &Dim) {
+    if (Name == Base) {
+      Dim = 0;
+      return true;
+    }
+    if (Name.size() == Base.size() + 1 && Name.compare(0, Base.size(),
+                                                       Base) == 0 &&
+        Name.back() >= '0' && Name.back() <= '2') {
+      Dim = static_cast<unsigned>(Name.back() - '0');
+      return true;
+    }
+    return false;
+  }
+
+  FunDeclPtr parseFun() {
+    if (Tok_.Kind == Tok::Lambda) {
+      advance();
+      expect(Tok::LParen);
+      std::vector<ParamPtr> Params;
+      while (true) {
+        Params.push_back(dsl::param(expectIdent()));
+        if (Tok_.Kind == Tok::Comma) {
+          advance();
+          continue;
+        }
+        break;
+      }
+      expect(Tok::RParen);
+      expect(Tok::Arrow);
+      Scopes.push_back(Params);
+      ExprPtr Body = parseExpr();
+      Scopes.pop_back();
+      return dsl::lambda(std::move(Params), std::move(Body));
+    }
+
+    std::string Name = expectIdent();
+    unsigned Dim = 0;
+
+    if (Name == "map")
+      return dsl::map(parseNestedFun());
+    if (Name == "mapSeq")
+      return dsl::mapSeq(parseNestedFun());
+    if (splitDim(Name, "mapGlb", Dim))
+      return dsl::mapGlb(Dim, parseNestedFun());
+    if (splitDim(Name, "mapWrg", Dim))
+      return dsl::mapWrg(Dim, parseNestedFun());
+    if (splitDim(Name, "mapLcl", Dim))
+      return dsl::mapLcl(Dim, parseNestedFun());
+    if (Name == "mapVec")
+      return dsl::mapVec(parseNestedFun());
+    if (Name == "reduceSeq")
+      return dsl::reduceSeq(parseNestedFun());
+    if (Name == "toGlobal")
+      return dsl::toGlobal(parseNestedFun());
+    if (Name == "toLocal")
+      return dsl::toLocal(parseNestedFun());
+    if (Name == "toPrivate")
+      return dsl::toPrivate(parseNestedFun());
+    if (Name == "iterate") {
+      expect(Tok::LParen);
+      if (Tok_.Kind != Tok::Number)
+        error("iterate expects a constant count");
+      int64_t N = std::strtoll(Tok_.Text.c_str(), nullptr, 10);
+      advance();
+      expect(Tok::Comma);
+      FunDeclPtr F = parseFun();
+      expect(Tok::RParen);
+      return dsl::iterate(N, std::move(F));
+    }
+    if (Name == "split") {
+      expect(Tok::LParen);
+      arith::Expr N = parseSizeExpr();
+      expect(Tok::RParen);
+      return dsl::split(N);
+    }
+    if (Name == "join")
+      return dsl::join();
+    if (Name == "id")
+      return dsl::id();
+    if (Name == "zip")
+      return dsl::zip();
+    if (Name == "zip3")
+      return dsl::zip3();
+    if (Name == "unzip")
+      return dsl::unzip();
+    if (Name == "transpose")
+      return dsl::transpose();
+    if (Name == "gatherIndices")
+      return dsl::gatherIndices();
+    if (Name == "asScalar")
+      return dsl::asScalar();
+    if (Name == "asVector") {
+      expect(Tok::LParen);
+      if (Tok_.Kind != Tok::Number)
+        error("asVector expects a constant width");
+      unsigned W = static_cast<unsigned>(
+          std::strtoll(Tok_.Text.c_str(), nullptr, 10));
+      advance();
+      expect(Tok::RParen);
+      return dsl::asVector(W);
+    }
+    if (Name == "get") {
+      expect(Tok::LParen);
+      if (Tok_.Kind != Tok::Number)
+        error("get expects a constant index");
+      unsigned I = static_cast<unsigned>(
+          std::strtoll(Tok_.Text.c_str(), nullptr, 10));
+      advance();
+      expect(Tok::RParen);
+      return dsl::get(I);
+    }
+    if (Name == "slide") {
+      expect(Tok::LParen);
+      arith::Expr Size = parseSizeExpr();
+      expect(Tok::Comma);
+      arith::Expr Step = parseSizeExpr();
+      expect(Tok::RParen);
+      return dsl::slide(Size, Step);
+    }
+    if (Name == "gather" || Name == "scatter") {
+      expect(Tok::LParen);
+      IndexFun F = parseIndexFun();
+      expect(Tok::RParen);
+      return Name == "gather" ? dsl::gather(std::move(F))
+                              : dsl::scatter(std::move(F));
+    }
+
+    auto It = UserFuns.find(Name);
+    if (It != UserFuns.end())
+      return It->second;
+    error("unknown function '" + Name + "'");
+  }
+
+  /// A nested function argument in parentheses: mapSeq(f).
+  FunDeclPtr parseNestedFun() {
+    expect(Tok::LParen);
+    FunDeclPtr F = parseFun();
+    expect(Tok::RParen);
+    return F;
+  }
+
+  IndexFun parseIndexFun() {
+    std::string Name = expectIdent();
+    if (Name == "reverse")
+      return dsl::reverseIndex();
+    if (Name == "transpose") {
+      expect(Tok::LParen);
+      arith::Expr R = parseSizeExpr();
+      expect(Tok::Comma);
+      arith::Expr C = parseSizeExpr();
+      expect(Tok::RParen);
+      return dsl::transposeIndex(R, C);
+    }
+    if (Name == "stride") {
+      expect(Tok::LParen);
+      arith::Expr S = parseSizeExpr();
+      expect(Tok::RParen);
+      return dsl::strideIndex(S);
+    }
+    error("unknown index function '" + Name + "'");
+  }
+};
+
+} // namespace
+
+ParsedProgram frontend::parseIL(const std::string &Source) {
+  return ILParserImpl(Source).parse();
+}

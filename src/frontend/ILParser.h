@@ -1,0 +1,58 @@
+//===- ILParser.h - Text frontend for the Lift IL ---------------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A text format for Lift IL programs and its parser. The syntax mirrors
+/// the pretty printer's notation (and the paper's), with user functions
+/// declared up front since their C bodies cannot be reconstructed from a
+/// name:
+///
+/// \code
+/// def add(a: float, b: float): float = "return a + b;"
+/// def idF(x: float): float = "return x;"
+///
+/// fun(x: [float]N, y: [float]N) =>
+///   join(mapWrg0(λ(chunk) ->
+///     toGlobal(mapLcl0(mapSeq(idF)))(
+///       split(1)(
+///         join(mapLcl0(λ(two) ->
+///           toLocal(mapSeq(idF))(reduceSeq(add)(0.0f, two)))(
+///           split(2)(chunk)))))) (
+///     split(128)(zip(x, y))))
+/// \endcode
+///
+/// Size variables (upper-case identifiers in types) are created on demand
+/// as arith size variables. Index functions for gather/scatter are
+/// referenced by name: `reverse`, `transpose(R, C)`, `stride(S)`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_FRONTEND_ILPARSER_H
+#define LIFT_FRONTEND_ILPARSER_H
+
+#include "ir/IR.h"
+
+#include <map>
+#include <string>
+
+namespace lift {
+namespace frontend {
+
+/// The result of parsing: the program plus the size variables it uses
+/// (by name), so hosts can bind them at launch.
+struct ParsedProgram {
+  ir::LambdaPtr Program;
+  std::map<std::string, std::shared_ptr<const arith::VarNode>> SizeVars;
+};
+
+/// Parses a Lift IL source text. Aborts with a diagnostic (including the
+/// line number) on malformed input.
+ParsedProgram parseIL(const std::string &Source);
+
+} // namespace frontend
+} // namespace lift
+
+#endif // LIFT_FRONTEND_ILPARSER_H

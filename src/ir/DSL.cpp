@@ -1,0 +1,40 @@
+//===- DSL.cpp - Builders for Lift IL programs ------------------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/DSL.h"
+
+using namespace lift;
+using namespace lift::ir;
+
+IndexFun dsl::reverseIndex() {
+  IndexFun F;
+  F.Name = "reverse";
+  F.Fn = [](const arith::Expr &I, const arith::Expr &N) {
+    return arith::sub(arith::sub(N, arith::cst(1)), I);
+  };
+  return F;
+}
+
+IndexFun dsl::transposeIndex(arith::Expr Rows, arith::Expr Cols) {
+  IndexFun F;
+  F.Name = "transpose";
+  F.Fn = [Rows, Cols](const arith::Expr &I, const arith::Expr &) {
+    return arith::add(arith::mul(arith::mod(I, Rows), Cols),
+                      arith::intDiv(I, Rows));
+  };
+  return F;
+}
+
+IndexFun dsl::strideIndex(arith::Expr Stride) {
+  IndexFun F;
+  F.Name = "stride";
+  F.Fn = [Stride](const arith::Expr &I, const arith::Expr &N) {
+    return arith::add(
+        arith::mul(arith::mod(I, Stride), arith::intDiv(N, Stride)),
+        arith::intDiv(I, Stride));
+  };
+  return F;
+}

@@ -1,0 +1,177 @@
+//===- DSL.h - Builders for Lift IL programs --------------------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience builders for writing Lift IL programs in C++. Programs read
+/// as pipelines: pipe(x, split(128), mapWrg(0, f), join()) builds
+/// join(mapWrg0(f, split128(x))), i.e. the paper's right-to-left
+/// composition written left-to-right in data-flow order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_IR_DSL_H
+#define LIFT_IR_DSL_H
+
+#include "ir/IR.h"
+
+namespace lift {
+namespace ir {
+namespace dsl {
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+inline ParamPtr param(const std::string &Name, TypePtr Ty = nullptr) {
+  return std::make_shared<Param>(Name, std::move(Ty));
+}
+
+inline ExprPtr lit(const std::string &Value, TypePtr Ty) {
+  return std::make_shared<Literal>(Value, std::move(Ty));
+}
+
+inline ExprPtr litFloat(float V) {
+  std::string S = std::to_string(V) + "f";
+  return lit(S, float32());
+}
+
+inline ExprPtr litInt(int V) { return lit(std::to_string(V), int32()); }
+
+inline ExprPtr call(FunDeclPtr F, std::vector<ExprPtr> Args) {
+  return std::make_shared<FunCall>(std::move(F), std::move(Args));
+}
+
+/// Applies a chain of single-argument functions in data-flow order:
+/// pipe(x, f, g) == g(f(x)).
+template <typename... Fs> ExprPtr pipe(ExprPtr X, Fs... Stages) {
+  ExprPtr Cur = std::move(X);
+  ((Cur = call(std::move(Stages), {Cur})), ...);
+  return Cur;
+}
+
+//===----------------------------------------------------------------------===//
+// Lambdas
+//===----------------------------------------------------------------------===//
+
+inline LambdaPtr lambda(std::vector<ParamPtr> Params, ExprPtr Body) {
+  return std::make_shared<Lambda>(std::move(Params), std::move(Body));
+}
+
+/// Builds a unary lambda from a C++ function of the parameter.
+template <typename Fn> LambdaPtr fun(Fn &&Body) {
+  ParamPtr P = param("p");
+  ExprPtr B = Body(ExprPtr(P));
+  return lambda({P}, std::move(B));
+}
+
+/// Builds a binary lambda (e.g. a reduction operator wrapper).
+template <typename Fn> LambdaPtr fun2(Fn &&Body) {
+  ParamPtr A = param("a"), B = param("b");
+  ExprPtr R = Body(ExprPtr(A), ExprPtr(B));
+  return lambda({A, B}, std::move(R));
+}
+
+//===----------------------------------------------------------------------===//
+// Patterns
+//===----------------------------------------------------------------------===//
+
+inline FunDeclPtr map(FunDeclPtr F) {
+  return std::make_shared<Map>(std::move(F));
+}
+inline FunDeclPtr mapSeq(FunDeclPtr F) {
+  return std::make_shared<MapSeq>(std::move(F));
+}
+inline FunDeclPtr mapGlb(unsigned Dim, FunDeclPtr F) {
+  return std::make_shared<MapGlb>(Dim, std::move(F));
+}
+inline FunDeclPtr mapGlb(FunDeclPtr F) { return mapGlb(0, std::move(F)); }
+inline FunDeclPtr mapWrg(unsigned Dim, FunDeclPtr F) {
+  return std::make_shared<MapWrg>(Dim, std::move(F));
+}
+inline FunDeclPtr mapWrg(FunDeclPtr F) { return mapWrg(0, std::move(F)); }
+inline FunDeclPtr mapLcl(unsigned Dim, FunDeclPtr F) {
+  return std::make_shared<MapLcl>(Dim, std::move(F));
+}
+inline FunDeclPtr mapLcl(FunDeclPtr F) { return mapLcl(0, std::move(F)); }
+inline FunDeclPtr mapVec(FunDeclPtr F) {
+  return std::make_shared<MapVec>(std::move(F));
+}
+inline FunDeclPtr reduceSeq(FunDeclPtr F) {
+  return std::make_shared<ReduceSeq>(std::move(F));
+}
+inline FunDeclPtr id() { return std::make_shared<Id>(); }
+inline FunDeclPtr iterate(int64_t Count, FunDeclPtr F) {
+  return std::make_shared<Iterate>(Count, std::move(F));
+}
+inline FunDeclPtr split(arith::Expr Factor) {
+  return std::make_shared<Split>(std::move(Factor));
+}
+inline FunDeclPtr split(int64_t Factor) { return split(arith::cst(Factor)); }
+inline FunDeclPtr join() { return std::make_shared<Join>(); }
+inline FunDeclPtr gather(IndexFun F) {
+  return std::make_shared<Gather>(std::move(F));
+}
+inline FunDeclPtr scatter(IndexFun F) {
+  return std::make_shared<Scatter>(std::move(F));
+}
+inline FunDeclPtr zip() { return std::make_shared<Zip>(2); }
+inline FunDeclPtr zip3() { return std::make_shared<Zip>(3); }
+inline FunDeclPtr unzip() { return std::make_shared<Unzip>(); }
+inline FunDeclPtr get(unsigned Index) {
+  return std::make_shared<Get>(Index);
+}
+inline FunDeclPtr slide(arith::Expr Size, arith::Expr Step) {
+  return std::make_shared<Slide>(std::move(Size), std::move(Step));
+}
+inline FunDeclPtr slide(int64_t Size, int64_t Step) {
+  return slide(arith::cst(Size), arith::cst(Step));
+}
+inline FunDeclPtr transpose() { return std::make_shared<Transpose>(); }
+inline FunDeclPtr gatherIndices() {
+  return std::make_shared<GatherIndices>();
+}
+inline FunDeclPtr asVector(unsigned Width) {
+  return std::make_shared<AsVector>(Width);
+}
+inline FunDeclPtr asScalar() { return std::make_shared<AsScalar>(); }
+inline FunDeclPtr toGlobal(FunDeclPtr F) {
+  return std::make_shared<ToGlobal>(std::move(F));
+}
+inline FunDeclPtr toLocal(FunDeclPtr F) {
+  return std::make_shared<ToLocal>(std::move(F));
+}
+inline FunDeclPtr toPrivate(FunDeclPtr F) {
+  return std::make_shared<ToPrivate>(std::move(F));
+}
+
+inline FunDeclPtr userFun(std::string Name, std::vector<std::string> Params,
+                          std::vector<TypePtr> ParamTypes, TypePtr Ret,
+                          std::string Body) {
+  return std::make_shared<UserFun>(std::move(Name), std::move(Params),
+                                   std::move(ParamTypes), std::move(Ret),
+                                   std::move(Body));
+}
+
+//===----------------------------------------------------------------------===//
+// Common index functions
+//===----------------------------------------------------------------------===//
+
+/// i -> n - 1 - i.
+IndexFun reverseIndex();
+
+/// Transposition of a flattened [Rows x Cols] array as used in section 3.2:
+/// i -> (i mod Rows) * Cols + i / Rows.
+IndexFun transposeIndex(arith::Expr Rows, arith::Expr Cols);
+
+/// Stride permutation: i -> (i mod Stride) * (n / Stride) + i / Stride,
+/// used to coalesce global memory accesses (GEMV, section 7.2).
+IndexFun strideIndex(arith::Expr Stride);
+
+} // namespace dsl
+} // namespace ir
+} // namespace lift
+
+#endif // LIFT_IR_DSL_H

@@ -1,0 +1,238 @@
+//===- IR.cpp - The Lift intermediate representation ------------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IR.h"
+
+#include "support/Casting.h"
+#include "support/Error.h"
+
+#include <unordered_map>
+
+using namespace lift;
+using namespace lift::ir;
+
+Expr::~Expr() = default;
+FunDecl::~FunDecl() = default;
+
+const char *ir::addressSpaceName(AddressSpace AS) {
+  switch (AS) {
+  case AddressSpace::Undef:
+    return "undef";
+  case AddressSpace::Private:
+    return "private";
+  case AddressSpace::Local:
+    return "local";
+  case AddressSpace::Global:
+    return "global";
+  }
+  lift_unreachable("unhandled address space");
+}
+
+AddressSpace AddressSpaceWrapper::getTargetSpace() const {
+  switch (getKind()) {
+  case FunKind::ToGlobal:
+    return AddressSpace::Global;
+  case FunKind::ToLocal:
+    return AddressSpace::Local;
+  case FunKind::ToPrivate:
+    return AddressSpace::Private;
+  default:
+    lift_unreachable("not an address space wrapper");
+  }
+}
+
+unsigned AddressSpaceWrapper::arity() const { return F->arity(); }
+
+const char *ir::funKindName(FunKind K) {
+  switch (K) {
+  case FunKind::Lambda:
+    return "lambda";
+  case FunKind::UserFun:
+    return "userfun";
+  case FunKind::Map:
+    return "map";
+  case FunKind::MapSeq:
+    return "mapSeq";
+  case FunKind::MapGlb:
+    return "mapGlb";
+  case FunKind::MapWrg:
+    return "mapWrg";
+  case FunKind::MapLcl:
+    return "mapLcl";
+  case FunKind::MapVec:
+    return "mapVec";
+  case FunKind::ReduceSeq:
+    return "reduceSeq";
+  case FunKind::Id:
+    return "id";
+  case FunKind::Iterate:
+    return "iterate";
+  case FunKind::Split:
+    return "split";
+  case FunKind::Join:
+    return "join";
+  case FunKind::Gather:
+    return "gather";
+  case FunKind::Scatter:
+    return "scatter";
+  case FunKind::Zip:
+    return "zip";
+  case FunKind::Unzip:
+    return "unzip";
+  case FunKind::Get:
+    return "get";
+  case FunKind::Slide:
+    return "slide";
+  case FunKind::Transpose:
+    return "transpose";
+  case FunKind::GatherIndices:
+    return "gatherIndices";
+  case FunKind::AsVector:
+    return "asVector";
+  case FunKind::AsScalar:
+    return "asScalar";
+  case FunKind::ToGlobal:
+    return "toGlobal";
+  case FunKind::ToLocal:
+    return "toLocal";
+  case FunKind::ToPrivate:
+    return "toPrivate";
+  }
+  lift_unreachable("unhandled function kind");
+}
+
+//===----------------------------------------------------------------------===//
+// Deep clone
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Clones expression graphs preserving sharing: a parameter referenced from
+/// several places maps to one fresh parameter.
+class Cloner {
+  std::unordered_map<const Expr *, ExprPtr> ExprMap;
+
+public:
+  ExprPtr clone(const ExprPtr &E) {
+    auto It = ExprMap.find(E.get());
+    if (It != ExprMap.end())
+      return It->second;
+    ExprPtr Result = cloneFresh(E);
+    ExprMap[E.get()] = Result;
+    return Result;
+  }
+
+  FunDeclPtr cloneFun(const FunDeclPtr &F) {
+    switch (F->getKind()) {
+    case FunKind::Lambda: {
+      const auto *L = cast<Lambda>(F.get());
+      std::vector<ParamPtr> Params;
+      for (const ParamPtr &P : L->getParams())
+        Params.push_back(cast<Param>(clone(P)));
+      ExprPtr Body = clone(L->getBody());
+      return std::make_shared<Lambda>(std::move(Params), std::move(Body));
+    }
+    case FunKind::UserFun:
+      return F; // Immutable; safe to share.
+    case FunKind::Map:
+      return std::make_shared<Map>(cloneFun(cast<Map>(F.get())->getF()));
+    case FunKind::MapSeq:
+      return std::make_shared<MapSeq>(cloneFun(cast<MapSeq>(F.get())->getF()));
+    case FunKind::MapGlb: {
+      const auto *M = cast<MapGlb>(F.get());
+      return std::make_shared<MapGlb>(M->getDim(), cloneFun(M->getF()));
+    }
+    case FunKind::MapWrg: {
+      const auto *M = cast<MapWrg>(F.get());
+      return std::make_shared<MapWrg>(M->getDim(), cloneFun(M->getF()));
+    }
+    case FunKind::MapLcl: {
+      const auto *M = cast<MapLcl>(F.get());
+      auto C = std::make_shared<MapLcl>(M->getDim(), cloneFun(M->getF()));
+      C->EmitBarrier = M->EmitBarrier;
+      return C;
+    }
+    case FunKind::MapVec:
+      return std::make_shared<MapVec>(cloneFun(cast<MapVec>(F.get())->getF()));
+    case FunKind::ReduceSeq:
+      return std::make_shared<ReduceSeq>(
+          cloneFun(cast<ReduceSeq>(F.get())->getF()));
+    case FunKind::Id:
+      return std::make_shared<Id>();
+    case FunKind::Iterate: {
+      const auto *I = cast<Iterate>(F.get());
+      return std::make_shared<Iterate>(I->getCount(), cloneFun(I->getF()));
+    }
+    case FunKind::Split:
+      return std::make_shared<Split>(cast<Split>(F.get())->getFactor());
+    case FunKind::Join:
+      return std::make_shared<Join>();
+    case FunKind::Gather:
+      return std::make_shared<Gather>(cast<Gather>(F.get())->getIndexFun());
+    case FunKind::Scatter:
+      return std::make_shared<Scatter>(cast<Scatter>(F.get())->getIndexFun());
+    case FunKind::Zip:
+      return std::make_shared<Zip>(F->arity());
+    case FunKind::Unzip:
+      return std::make_shared<Unzip>();
+    case FunKind::Get:
+      return std::make_shared<Get>(cast<Get>(F.get())->getIndex());
+    case FunKind::Slide: {
+      const auto *S = cast<Slide>(F.get());
+      return std::make_shared<Slide>(S->getSize(), S->getStep());
+    }
+    case FunKind::Transpose:
+      return std::make_shared<Transpose>();
+    case FunKind::GatherIndices:
+      return std::make_shared<GatherIndices>();
+    case FunKind::AsVector:
+      return std::make_shared<AsVector>(cast<AsVector>(F.get())->getWidth());
+    case FunKind::AsScalar:
+      return std::make_shared<AsScalar>();
+    case FunKind::ToGlobal:
+      return std::make_shared<ToGlobal>(
+          cloneFun(cast<ToGlobal>(F.get())->getF()));
+    case FunKind::ToLocal:
+      return std::make_shared<ToLocal>(
+          cloneFun(cast<ToLocal>(F.get())->getF()));
+    case FunKind::ToPrivate:
+      return std::make_shared<ToPrivate>(
+          cloneFun(cast<ToPrivate>(F.get())->getF()));
+    }
+    lift_unreachable("unhandled function kind");
+  }
+
+private:
+  ExprPtr cloneFresh(const ExprPtr &E) {
+    switch (E->getClass()) {
+    case ExprClass::Literal: {
+      const auto *L = cast<Literal>(E.get());
+      return std::make_shared<Literal>(L->getValue(), L->Ty);
+    }
+    case ExprClass::Param: {
+      const auto *P = cast<Param>(E.get());
+      return std::make_shared<Param>(P->getName(), P->Ty);
+    }
+    case ExprClass::FunCall: {
+      const auto *C = cast<FunCall>(E.get());
+      std::vector<ExprPtr> Args;
+      for (const ExprPtr &A : C->getArgs())
+        Args.push_back(clone(A));
+      return std::make_shared<FunCall>(cloneFun(C->getFun()),
+                                       std::move(Args));
+    }
+    }
+    lift_unreachable("unhandled expression class");
+  }
+};
+
+} // namespace
+
+ExprPtr ir::cloneExpr(const ExprPtr &E) { return Cloner().clone(E); }
+
+FunDeclPtr ir::cloneFunDecl(const FunDeclPtr &F) {
+  return Cloner().cloneFun(F);
+}

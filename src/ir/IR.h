@@ -1,0 +1,631 @@
+//===- IR.h - The Lift intermediate representation --------------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Lift IR (section 4 of the paper, Figure 2): programs are graphs of
+/// expressions (literals, parameters, function calls) and function
+/// declarations (lambdas, user functions, and the built-in patterns).
+/// The IR preserves a functional representation of the program all the way
+/// through compilation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_IR_IR_H
+#define LIFT_IR_IR_H
+
+#include "arith/ArithExpr.h"
+#include "ir/Types.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lift {
+namespace ir {
+
+class Expr;
+class FunDecl;
+class Param;
+class Lambda;
+
+using ExprPtr = std::shared_ptr<Expr>;
+using FunDeclPtr = std::shared_ptr<FunDecl>;
+using ParamPtr = std::shared_ptr<Param>;
+using LambdaPtr = std::shared_ptr<Lambda>;
+
+/// OpenCL address spaces (plus Undef before inference has run).
+enum class AddressSpace { Undef, Private, Local, Global };
+
+const char *addressSpaceName(AddressSpace AS);
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprClass { Literal, Param, FunCall };
+
+/// Base class of expressions. Expressions carry mutable analysis
+/// annotations (type, address space) filled in by the compiler passes.
+class Expr {
+  const ExprClass Class;
+
+public:
+  /// Inferred type (type analysis stage).
+  TypePtr Ty;
+  /// Inferred address space (Algorithm 1).
+  AddressSpace AS = AddressSpace::Undef;
+
+  virtual ~Expr();
+
+  ExprClass getClass() const { return Class; }
+
+protected:
+  explicit Expr(ExprClass C) : Class(C) {}
+};
+
+/// A compile-time constant, e.g. the initializer of a reduction.
+class Literal : public Expr {
+  std::string Value;
+
+public:
+  Literal(std::string Value, TypePtr DeclaredType)
+      : Expr(ExprClass::Literal), Value(std::move(Value)) {
+    Ty = std::move(DeclaredType);
+  }
+
+  const std::string &getValue() const { return Value; }
+
+  static bool classof(const Expr *E) {
+    return E->getClass() == ExprClass::Literal;
+  }
+};
+
+/// A function parameter. Top-level program parameters must carry a declared
+/// type; lambda-internal parameters receive their type at application.
+class Param : public Expr {
+  std::string Name;
+
+public:
+  explicit Param(std::string Name, TypePtr DeclaredType = nullptr)
+      : Expr(ExprClass::Param), Name(std::move(Name)) {
+    Ty = std::move(DeclaredType);
+  }
+
+  const std::string &getName() const { return Name; }
+
+  static bool classof(const Expr *E) {
+    return E->getClass() == ExprClass::Param;
+  }
+};
+
+/// Application of a function declaration to argument expressions.
+class FunCall : public Expr {
+  FunDeclPtr F;
+  std::vector<ExprPtr> Args;
+
+public:
+  FunCall(FunDeclPtr F, std::vector<ExprPtr> Args)
+      : Expr(ExprClass::FunCall), F(std::move(F)), Args(std::move(Args)) {}
+
+  const FunDeclPtr &getFun() const { return F; }
+  const std::vector<ExprPtr> &getArgs() const { return Args; }
+
+  static bool classof(const Expr *E) {
+    return E->getClass() == ExprClass::FunCall;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Function declarations
+//===----------------------------------------------------------------------===//
+
+enum class FunKind {
+  Lambda,
+  UserFun,
+  // Algorithmic patterns.
+  Map, // high-level, unmapped: must be lowered by rewriting before codegen
+  MapSeq,
+  MapGlb,
+  MapWrg,
+  MapLcl,
+  MapVec,
+  ReduceSeq,
+  Id,
+  Iterate,
+  // Data layout patterns.
+  Split,
+  Join,
+  Gather,
+  Scatter,
+  Zip,
+  Unzip,
+  Get,
+  Slide,
+  Transpose,
+  GatherIndices,
+  // Vectorization patterns.
+  AsVector,
+  AsScalar,
+  // Address space patterns.
+  ToGlobal,
+  ToLocal,
+  ToPrivate,
+};
+
+/// Base class of function declarations.
+class FunDecl {
+  const FunKind Kind;
+
+protected:
+  explicit FunDecl(FunKind K) : Kind(K) {}
+
+public:
+  virtual ~FunDecl();
+
+  FunKind getKind() const { return Kind; }
+
+  /// Number of arguments the declaration is called with.
+  virtual unsigned arity() const { return 1; }
+};
+
+/// Anonymous function with named parameters and a body expression.
+class Lambda : public FunDecl {
+  std::vector<ParamPtr> Params;
+  ExprPtr Body;
+
+public:
+  Lambda(std::vector<ParamPtr> Params, ExprPtr Body)
+      : FunDecl(FunKind::Lambda), Params(std::move(Params)),
+        Body(std::move(Body)) {}
+
+  const std::vector<ParamPtr> &getParams() const { return Params; }
+  const ExprPtr &getBody() const { return Body; }
+
+  unsigned arity() const override {
+    return static_cast<unsigned>(Params.size());
+  }
+
+  static bool classof(const FunDecl *F) {
+    return F->getKind() == FunKind::Lambda;
+  }
+};
+
+/// A user function: application-specific computation over scalar, vector
+/// or tuple values, written in a subset of C. The body is parsed by the
+/// cparse library and both printed into the kernel and interpreted by the
+/// simulated OpenCL runtime.
+class UserFun : public FunDecl {
+  std::string Name;
+  std::vector<std::string> ParamNames;
+  std::vector<TypePtr> ParamTypes;
+  TypePtr ReturnType;
+  std::string Body;
+
+public:
+  UserFun(std::string Name, std::vector<std::string> ParamNames,
+          std::vector<TypePtr> ParamTypes, TypePtr ReturnType,
+          std::string Body)
+      : FunDecl(FunKind::UserFun), Name(std::move(Name)),
+        ParamNames(std::move(ParamNames)), ParamTypes(std::move(ParamTypes)),
+        ReturnType(std::move(ReturnType)), Body(std::move(Body)) {}
+
+  const std::string &getName() const { return Name; }
+  const std::vector<std::string> &getParamNames() const { return ParamNames; }
+  const std::vector<TypePtr> &getParamTypes() const { return ParamTypes; }
+  const TypePtr &getReturnType() const { return ReturnType; }
+  const std::string &getBody() const { return Body; }
+
+  unsigned arity() const override {
+    return static_cast<unsigned>(ParamNames.size());
+  }
+
+  static bool classof(const FunDecl *F) {
+    return F->getKind() == FunKind::UserFun;
+  }
+};
+
+/// Common base of all map variants; holds the mapped function.
+class AbstractMap : public FunDecl {
+  FunDeclPtr F;
+
+protected:
+  AbstractMap(FunKind K, FunDeclPtr F) : FunDecl(K), F(std::move(F)) {}
+
+public:
+  const FunDeclPtr &getF() const { return F; }
+
+  static bool classof(const FunDecl *F) {
+    switch (F->getKind()) {
+    case FunKind::Map:
+    case FunKind::MapSeq:
+    case FunKind::MapGlb:
+    case FunKind::MapWrg:
+    case FunKind::MapLcl:
+    case FunKind::MapVec:
+      return true;
+    default:
+      return false;
+    }
+  }
+};
+
+/// The high-level, implementation-agnostic map of the portable Lift IL
+/// (prior work [18]): carries no mapping decision. The rewrite rules lower
+/// it to mapGlb / mapWrg(mapLcl) / mapSeq; the code generator rejects it.
+class Map : public AbstractMap {
+public:
+  explicit Map(FunDeclPtr F) : AbstractMap(FunKind::Map, std::move(F)) {}
+
+  static bool classof(const FunDecl *F) {
+    return F->getKind() == FunKind::Map;
+  }
+};
+
+class MapSeq : public AbstractMap {
+public:
+  explicit MapSeq(FunDeclPtr F) : AbstractMap(FunKind::MapSeq, std::move(F)) {}
+
+  static bool classof(const FunDecl *F) {
+    return F->getKind() == FunKind::MapSeq;
+  }
+};
+
+/// Common base of the parallel maps, which carry an OpenCL dimension 0-2.
+class ParallelMap : public AbstractMap {
+  unsigned Dim;
+
+protected:
+  ParallelMap(FunKind K, unsigned Dim, FunDeclPtr F)
+      : AbstractMap(K, std::move(F)), Dim(Dim) {}
+
+public:
+  unsigned getDim() const { return Dim; }
+
+  static bool classof(const FunDecl *F) {
+    switch (F->getKind()) {
+    case FunKind::MapGlb:
+    case FunKind::MapWrg:
+    case FunKind::MapLcl:
+      return true;
+    default:
+      return false;
+    }
+  }
+};
+
+class MapGlb : public ParallelMap {
+public:
+  MapGlb(unsigned Dim, FunDeclPtr F)
+      : ParallelMap(FunKind::MapGlb, Dim, std::move(F)) {}
+
+  static bool classof(const FunDecl *F) {
+    return F->getKind() == FunKind::MapGlb;
+  }
+};
+
+class MapWrg : public ParallelMap {
+public:
+  MapWrg(unsigned Dim, FunDeclPtr F)
+      : ParallelMap(FunKind::MapWrg, Dim, std::move(F)) {}
+
+  static bool classof(const FunDecl *F) {
+    return F->getKind() == FunKind::MapWrg;
+  }
+};
+
+class MapLcl : public ParallelMap {
+public:
+  /// Barrier emission flag consumed by the code generator; the barrier
+  /// elimination pass (section 5.4) may clear it.
+  bool EmitBarrier = true;
+
+  MapLcl(unsigned Dim, FunDeclPtr F)
+      : ParallelMap(FunKind::MapLcl, Dim, std::move(F)) {}
+
+  static bool classof(const FunDecl *F) {
+    return F->getKind() == FunKind::MapLcl;
+  }
+};
+
+/// Applies a scalar function element-wise to a vector value.
+class MapVec : public AbstractMap {
+public:
+  explicit MapVec(FunDeclPtr F) : AbstractMap(FunKind::MapVec, std::move(F)) {}
+
+  static bool classof(const FunDecl *F) {
+    return F->getKind() == FunKind::MapVec;
+  }
+};
+
+/// Sequential reduction; called with (initializer, array).
+class ReduceSeq : public FunDecl {
+  FunDeclPtr F;
+
+public:
+  explicit ReduceSeq(FunDeclPtr F)
+      : FunDecl(FunKind::ReduceSeq), F(std::move(F)) {}
+
+  const FunDeclPtr &getF() const { return F; }
+
+  unsigned arity() const override { return 2; }
+
+  static bool classof(const FunDecl *F) {
+    return F->getKind() == FunKind::ReduceSeq;
+  }
+};
+
+/// The identity function (used for copies between address spaces).
+class Id : public FunDecl {
+public:
+  Id() : FunDecl(FunKind::Id) {}
+
+  static bool classof(const FunDecl *F) { return F->getKind() == FunKind::Id; }
+};
+
+/// Applies F a constant number of times, re-injecting the output of each
+/// iteration as the input of the next.
+class Iterate : public FunDecl {
+  int64_t Count;
+  FunDeclPtr F;
+
+public:
+  Iterate(int64_t Count, FunDeclPtr F)
+      : FunDecl(FunKind::Iterate), Count(Count), F(std::move(F)) {}
+
+  int64_t getCount() const { return Count; }
+  const FunDeclPtr &getF() const { return F; }
+
+  static bool classof(const FunDecl *F) {
+    return F->getKind() == FunKind::Iterate;
+  }
+};
+
+/// Adds an array dimension: [T]n -> [[T]m]{n/m}.
+class Split : public FunDecl {
+  arith::Expr Factor;
+
+public:
+  explicit Split(arith::Expr Factor)
+      : FunDecl(FunKind::Split), Factor(std::move(Factor)) {}
+
+  const arith::Expr &getFactor() const { return Factor; }
+
+  static bool classof(const FunDecl *F) {
+    return F->getKind() == FunKind::Split;
+  }
+};
+
+/// Removes an array dimension: [[T]m]n -> [T]{m*n}.
+class Join : public FunDecl {
+public:
+  Join() : FunDecl(FunKind::Join) {}
+
+  static bool classof(const FunDecl *F) {
+    return F->getKind() == FunKind::Join;
+  }
+};
+
+/// An index permutation used by Gather and Scatter: maps an index (and the
+/// array length) to another index.
+struct IndexFun {
+  std::string Name;
+  std::function<arith::Expr(const arith::Expr &Index,
+                            const arith::Expr &Size)>
+      Fn;
+};
+
+/// Remaps indices when reading: gather(f, a)[i] = a[f(i)].
+class Gather : public FunDecl {
+  IndexFun F;
+
+public:
+  explicit Gather(IndexFun F) : FunDecl(FunKind::Gather), F(std::move(F)) {}
+
+  const IndexFun &getIndexFun() const { return F; }
+
+  static bool classof(const FunDecl *F) {
+    return F->getKind() == FunKind::Gather;
+  }
+};
+
+/// Remaps indices when writing: scatter(f, a)[f(i)] = a[i].
+class Scatter : public FunDecl {
+  IndexFun F;
+
+public:
+  explicit Scatter(IndexFun F) : FunDecl(FunKind::Scatter), F(std::move(F)) {}
+
+  const IndexFun &getIndexFun() const { return F; }
+
+  static bool classof(const FunDecl *F) {
+    return F->getKind() == FunKind::Scatter;
+  }
+};
+
+/// Combines N same-length arrays into an array of tuples.
+class Zip : public FunDecl {
+  unsigned N;
+
+public:
+  explicit Zip(unsigned N) : FunDecl(FunKind::Zip), N(N) {}
+
+  unsigned arity() const override { return N; }
+
+  static bool classof(const FunDecl *F) {
+    return F->getKind() == FunKind::Zip;
+  }
+};
+
+/// Splits an array of tuples into a tuple of arrays (the inverse of zip).
+/// Purely a type-level change: views commute tuple and array accesses.
+class Unzip : public FunDecl {
+public:
+  Unzip() : FunDecl(FunKind::Unzip) {}
+
+  static bool classof(const FunDecl *F) {
+    return F->getKind() == FunKind::Unzip;
+  }
+};
+
+/// Projects component Index out of a tuple.
+class Get : public FunDecl {
+  unsigned Index;
+
+public:
+  explicit Get(unsigned Index) : FunDecl(FunKind::Get), Index(Index) {}
+
+  unsigned getIndex() const { return Index; }
+
+  static bool classof(const FunDecl *F) {
+    return F->getKind() == FunKind::Get;
+  }
+};
+
+/// Moving window over an array (stencils): [T]n -> [[T]size]{(n-size)/step+1}.
+class Slide : public FunDecl {
+  arith::Expr Size, Step;
+
+public:
+  Slide(arith::Expr Size, arith::Expr Step)
+      : FunDecl(FunKind::Slide), Size(std::move(Size)), Step(std::move(Step)) {}
+
+  const arith::Expr &getSize() const { return Size; }
+  const arith::Expr &getStep() const { return Step; }
+
+  static bool classof(const FunDecl *F) {
+    return F->getKind() == FunKind::Slide;
+  }
+};
+
+/// Transposes the outer two dimensions: [[T]m]n -> [[T]n]m. Expressible as
+/// split/gather/join (section 3.2); provided natively as in the Lift
+/// implementation.
+class Transpose : public FunDecl {
+public:
+  Transpose() : FunDecl(FunKind::Transpose) {}
+
+  static bool classof(const FunDecl *F) {
+    return F->getKind() == FunKind::Transpose;
+  }
+};
+
+/// Data-dependent gather: gatherIndices(idx, a)[i] = a[idx[i]]. The index
+/// array is read at kernel runtime (arith Lookup nodes). Extension used by
+/// the MD benchmark's neighbour lists.
+class GatherIndices : public FunDecl {
+public:
+  GatherIndices() : FunDecl(FunKind::GatherIndices) {}
+
+  unsigned arity() const override { return 2; }
+
+  static bool classof(const FunDecl *F) {
+    return F->getKind() == FunKind::GatherIndices;
+  }
+};
+
+/// Reinterprets scalars as vectors: [s]n -> [s<w>]{n/w}.
+class AsVector : public FunDecl {
+  unsigned Width;
+
+public:
+  explicit AsVector(unsigned Width)
+      : FunDecl(FunKind::AsVector), Width(Width) {}
+
+  unsigned getWidth() const { return Width; }
+
+  static bool classof(const FunDecl *F) {
+    return F->getKind() == FunKind::AsVector;
+  }
+};
+
+/// Reinterprets vectors as scalars: [s<w>]n -> [s]{n*w}.
+class AsScalar : public FunDecl {
+public:
+  AsScalar() : FunDecl(FunKind::AsScalar) {}
+
+  static bool classof(const FunDecl *F) {
+    return F->getKind() == FunKind::AsScalar;
+  }
+};
+
+/// Common base of the address space wrapper patterns.
+class AddressSpaceWrapper : public FunDecl {
+  FunDeclPtr F;
+
+protected:
+  AddressSpaceWrapper(FunKind K, FunDeclPtr F) : FunDecl(K), F(std::move(F)) {}
+
+public:
+  const FunDeclPtr &getF() const { return F; }
+
+  /// The address space this wrapper directs writes into.
+  AddressSpace getTargetSpace() const;
+
+  unsigned arity() const override;
+
+  static bool classof(const FunDecl *F) {
+    switch (F->getKind()) {
+    case FunKind::ToGlobal:
+    case FunKind::ToLocal:
+    case FunKind::ToPrivate:
+      return true;
+    default:
+      return false;
+    }
+  }
+};
+
+class ToGlobal : public AddressSpaceWrapper {
+public:
+  explicit ToGlobal(FunDeclPtr F)
+      : AddressSpaceWrapper(FunKind::ToGlobal, std::move(F)) {}
+
+  static bool classof(const FunDecl *F) {
+    return F->getKind() == FunKind::ToGlobal;
+  }
+};
+
+class ToLocal : public AddressSpaceWrapper {
+public:
+  explicit ToLocal(FunDeclPtr F)
+      : AddressSpaceWrapper(FunKind::ToLocal, std::move(F)) {}
+
+  static bool classof(const FunDecl *F) {
+    return F->getKind() == FunKind::ToLocal;
+  }
+};
+
+class ToPrivate : public AddressSpaceWrapper {
+public:
+  explicit ToPrivate(FunDeclPtr F)
+      : AddressSpaceWrapper(FunKind::ToPrivate, std::move(F)) {}
+
+  static bool classof(const FunDecl *F) {
+    return F->getKind() == FunKind::ToPrivate;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Utilities
+//===----------------------------------------------------------------------===//
+
+/// Deep-clones an expression graph, producing fresh mutable nodes so that
+/// the same program can be compiled multiple times with different options.
+/// Lambdas and their parameters are cloned; user functions are shared
+/// (they carry no mutable state).
+ExprPtr cloneExpr(const ExprPtr &E);
+
+/// Deep-clones a function declaration (see cloneExpr).
+FunDeclPtr cloneFunDecl(const FunDeclPtr &F);
+
+/// Human-readable name of a pattern kind (diagnostics, printer).
+const char *funKindName(FunKind K);
+
+} // namespace ir
+} // namespace lift
+
+#endif // LIFT_IR_IR_H

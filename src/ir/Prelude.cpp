@@ -1,0 +1,47 @@
+//===- Prelude.cpp - Common user functions -----------------------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Prelude.h"
+
+#include "ir/DSL.h"
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::ir::dsl;
+
+FunDeclPtr prelude::addFun() {
+  return userFun("add", {"a", "b"}, {float32(), float32()}, float32(),
+                 "return a + b;");
+}
+
+FunDeclPtr prelude::multFun() {
+  return userFun("mult", {"a", "b"}, {float32(), float32()}, float32(),
+                 "return a * b;");
+}
+
+FunDeclPtr prelude::multFun2Tuple() {
+  return userFun("multPair", {"p"}, {tupleOf({float32(), float32()})},
+                 float32(), "return p._0 * p._1;");
+}
+
+FunDeclPtr prelude::multAndSumUpFun() {
+  return userFun("multAndSumUp", {"acc", "xy"},
+                 {float32(), tupleOf({float32(), float32()})}, float32(),
+                 "return acc + xy._0 * xy._1;");
+}
+
+FunDeclPtr prelude::idFloatFun() {
+  return userFun("idF", {"x"}, {float32()}, float32(), "return x;");
+}
+
+FunDeclPtr prelude::idFloat4Fun() {
+  return userFun("idF4", {"x"}, {vectorOf(ScalarKind::Float, 4)},
+                 vectorOf(ScalarKind::Float, 4), "return x;");
+}
+
+FunDeclPtr prelude::squareFun() {
+  return userFun("sq", {"x"}, {float32()}, float32(), "return x * x;");
+}

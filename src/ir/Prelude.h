@@ -1,0 +1,51 @@
+//===- Prelude.h - Common user functions ------------------------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small prelude of user functions shared by the examples, tests and
+/// benchmarks: the arithmetic of the paper's dot product example (add,
+/// mult, multAndSumUp) and a float identity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_IR_PRELUDE_H
+#define LIFT_IR_PRELUDE_H
+
+#include "ir/IR.h"
+
+namespace lift {
+namespace ir {
+namespace prelude {
+
+/// float add(float a, float b) { return a + b; }
+FunDeclPtr addFun();
+
+/// float mult(float a, float b) { return a * b; }
+FunDeclPtr multFun();
+
+/// float multPair((float, float) p) { return p._0 * p._1; } — the
+/// element-wise multiply of the section 3.1 dot product over zipped input.
+FunDeclPtr multFun2Tuple();
+
+/// float multAndSumUp(float acc, float x, float y) — but used through a
+/// tuple: float multAndSumUp(float acc, (float, float) xy).
+FunDeclPtr multAndSumUpFun();
+
+/// float idF(float x) { return x; } — the user-function spelling of id,
+/// as used for address space copies in Listing 1.
+FunDeclPtr idFloatFun();
+
+/// float4 identity.
+FunDeclPtr idFloat4Fun();
+
+/// float sq(float x) { return x * x; }
+FunDeclPtr squareFun();
+
+} // namespace prelude
+} // namespace ir
+} // namespace lift
+
+#endif // LIFT_IR_PRELUDE_H

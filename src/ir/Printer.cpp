@@ -1,0 +1,223 @@
+//===- Printer.cpp - Pretty printer for the Lift IL ------------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include "arith/Printer.h"
+#include "support/Casting.h"
+#include "support/Error.h"
+
+#include <sstream>
+
+using namespace lift;
+using namespace lift::ir;
+
+namespace {
+
+class IlPrinter {
+  std::ostringstream OS;
+  unsigned Indent = 0;
+
+public:
+  std::string print(const LambdaPtr &Program) {
+    OS << "fun(";
+    const auto &Params = Program->getParams();
+    for (size_t I = 0, E = Params.size(); I != E; ++I) {
+      if (I != 0)
+        OS << ", ";
+      OS << Params[I]->getName();
+      if (Params[I]->Ty)
+        OS << ": " << typeToString(Params[I]->Ty);
+    }
+    OS << ") =>\n";
+    Indent = 1;
+    indent();
+    printExpr(Program->getBody());
+    OS << "\n";
+    return OS.str();
+  }
+
+  std::string printTopExpr(const ExprPtr &E) {
+    printExpr(E);
+    return OS.str();
+  }
+
+private:
+  void indent() {
+    for (unsigned I = 0; I != Indent; ++I)
+      OS << "  ";
+  }
+
+  void newline() {
+    OS << "\n";
+    indent();
+  }
+
+  void printExpr(const ExprPtr &E) {
+    switch (E->getClass()) {
+    case ExprClass::Literal:
+      OS << cast<Literal>(E.get())->getValue();
+      return;
+    case ExprClass::Param:
+      OS << cast<Param>(E.get())->getName();
+      return;
+    case ExprClass::FunCall: {
+      const auto *C = cast<FunCall>(E.get());
+      printFun(C->getFun());
+      OS << "(";
+      const auto &Args = C->getArgs();
+      for (size_t I = 0, N = Args.size(); I != N; ++I) {
+        if (I != 0)
+          OS << ", ";
+        // Nested calls continue on a fresh line to mirror the paper's
+        // one-stage-per-line layout.
+        if (isa<FunCall>(Args[I])) {
+          ++Indent;
+          newline();
+          printExpr(Args[I]);
+          --Indent;
+        } else {
+          printExpr(Args[I]);
+        }
+      }
+      OS << ")";
+      return;
+    }
+    }
+    lift_unreachable("unhandled expression class");
+  }
+
+  void printFun(const FunDeclPtr &F) {
+    switch (F->getKind()) {
+    case FunKind::Lambda: {
+      const auto *L = cast<Lambda>(F.get());
+      OS << "λ(";
+      const auto &Params = L->getParams();
+      for (size_t I = 0, E = Params.size(); I != E; ++I) {
+        if (I != 0)
+          OS << ", ";
+        OS << Params[I]->getName();
+      }
+      OS << ") -> ";
+      ++Indent;
+      newline();
+      printExpr(L->getBody());
+      --Indent;
+      return;
+    }
+    case FunKind::UserFun:
+      OS << cast<UserFun>(F.get())->getName();
+      return;
+    case FunKind::Map:
+    case FunKind::MapSeq:
+    case FunKind::MapVec:
+      OS << funKindName(F->getKind()) << "(";
+      printFun(cast<AbstractMap>(F.get())->getF());
+      OS << ")";
+      return;
+    case FunKind::MapGlb:
+    case FunKind::MapWrg:
+    case FunKind::MapLcl: {
+      const auto *M = cast<ParallelMap>(F.get());
+      OS << funKindName(F->getKind()) << M->getDim() << "(";
+      printFun(M->getF());
+      OS << ")";
+      return;
+    }
+    case FunKind::ReduceSeq:
+      OS << "reduceSeq(";
+      printFun(cast<ReduceSeq>(F.get())->getF());
+      OS << ")";
+      return;
+    case FunKind::Id:
+      OS << "id";
+      return;
+    case FunKind::Iterate: {
+      const auto *I = cast<Iterate>(F.get());
+      OS << "iterate(" << I->getCount() << ", ";
+      printFun(I->getF());
+      OS << ")";
+      return;
+    }
+    case FunKind::Split:
+      OS << "split(" << arith::toString(cast<Split>(F.get())->getFactor())
+         << ")";
+      return;
+    case FunKind::Join:
+      OS << "join";
+      return;
+    case FunKind::Gather:
+      OS << "gather(" << cast<Gather>(F.get())->getIndexFun().Name << ")";
+      return;
+    case FunKind::Scatter:
+      OS << "scatter(" << cast<Scatter>(F.get())->getIndexFun().Name << ")";
+      return;
+    case FunKind::Zip:
+      OS << "zip";
+      return;
+    case FunKind::Unzip:
+      OS << "unzip";
+      return;
+    case FunKind::Get:
+      OS << "get(" << cast<Get>(F.get())->getIndex() << ")";
+      return;
+    case FunKind::Slide: {
+      const auto *S = cast<Slide>(F.get());
+      OS << "slide(" << arith::toString(S->getSize()) << ", "
+         << arith::toString(S->getStep()) << ")";
+      return;
+    }
+    case FunKind::Transpose:
+      OS << "transpose";
+      return;
+    case FunKind::GatherIndices:
+      OS << "gatherIndices";
+      return;
+    case FunKind::AsVector:
+      OS << "asVector(" << cast<AsVector>(F.get())->getWidth() << ")";
+      return;
+    case FunKind::AsScalar:
+      OS << "asScalar";
+      return;
+    case FunKind::ToGlobal:
+    case FunKind::ToLocal:
+    case FunKind::ToPrivate:
+      OS << funKindName(F->getKind()) << "(";
+      printFun(cast<AddressSpaceWrapper>(F.get())->getF());
+      OS << ")";
+      return;
+    }
+    lift_unreachable("unhandled function kind");
+  }
+};
+
+} // namespace
+
+std::string ir::printProgram(const LambdaPtr &Program) {
+  return IlPrinter().print(Program);
+}
+
+std::string ir::printExpr(const ExprPtr &E) {
+  return IlPrinter().printTopExpr(E);
+}
+
+unsigned ir::programLineCount(const LambdaPtr &Program) {
+  std::string Text = printProgram(Program);
+  unsigned Lines = 0;
+  bool NonEmpty = false;
+  for (char C : Text) {
+    if (C == '\n') {
+      if (NonEmpty)
+        ++Lines;
+      NonEmpty = false;
+    } else if (C != ' ') {
+      NonEmpty = true;
+    }
+  }
+  if (NonEmpty)
+    ++Lines;
+  return Lines;
+}

@@ -1,0 +1,37 @@
+//===- Printer.h - Pretty printer for the Lift IL ----------------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints Lift IL programs in the notation of the paper (Listing 1):
+/// composition chains one stage per line, read right to left. Also used to
+/// measure IL code size for the Table 1 reproduction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_IR_PRINTER_H
+#define LIFT_IR_PRINTER_H
+
+#include "ir/IR.h"
+
+#include <string>
+
+namespace lift {
+namespace ir {
+
+/// Renders a program as Lift IL text.
+std::string printProgram(const LambdaPtr &Program);
+
+/// Renders an expression as Lift IL text.
+std::string printExpr(const ExprPtr &E);
+
+/// Number of non-empty lines in the printed form of \p Program (the code
+/// size metric of Table 1).
+unsigned programLineCount(const LambdaPtr &Program);
+
+} // namespace ir
+} // namespace lift
+
+#endif // LIFT_IR_PRINTER_H

@@ -1,0 +1,258 @@
+//===- TypeInference.cpp - Type analysis for the Lift IR --------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/TypeInference.h"
+
+#include "arith/Bounds.h"
+#include "arith/Printer.h"
+#include "support/Casting.h"
+#include "support/Error.h"
+
+using namespace lift;
+using namespace lift::ir;
+
+namespace {
+
+[[noreturn]] void typeError(const std::string &Msg) {
+  fatalError("type error: " + Msg);
+}
+
+const ArrayType *expectArray(const TypePtr &T, const char *Context) {
+  const auto *A = dyn_cast_or_null<ArrayType>(T.get());
+  if (!A)
+    typeError(std::string(Context) + " expects an array, got " +
+              typeToString(T));
+  return A;
+}
+
+void expectArity(const FunDeclPtr &F, size_t Got) {
+  if (F->arity() != Got)
+    typeError(std::string(funKindName(F->getKind())) + " expects " +
+              std::to_string(F->arity()) + " argument(s), got " +
+              std::to_string(Got));
+}
+
+} // namespace
+
+TypePtr ir::checkExpr(const ExprPtr &E) {
+  switch (E->getClass()) {
+  case ExprClass::Literal:
+    if (!E->Ty)
+      typeError("literal without a declared type");
+    return E->Ty;
+  case ExprClass::Param:
+    if (!E->Ty)
+      typeError("parameter '" + cast<Param>(E.get())->getName() +
+                "' used before its type is known");
+    return E->Ty;
+  case ExprClass::FunCall: {
+    const auto *C = cast<FunCall>(E.get());
+    std::vector<TypePtr> ArgTypes;
+    for (const ExprPtr &A : C->getArgs())
+      ArgTypes.push_back(checkExpr(A));
+    E->Ty = applyType(C->getFun(), ArgTypes);
+    return E->Ty;
+  }
+  }
+  lift_unreachable("unhandled expression class");
+}
+
+TypePtr ir::applyType(const FunDeclPtr &F, const std::vector<TypePtr> &Args) {
+  expectArity(F, Args.size());
+  switch (F->getKind()) {
+  case FunKind::Lambda: {
+    const auto *L = cast<Lambda>(F.get());
+    for (size_t I = 0, E = Args.size(); I != E; ++I)
+      L->getParams()[I]->Ty = Args[I];
+    return checkExpr(L->getBody());
+  }
+
+  case FunKind::UserFun: {
+    const auto *U = cast<UserFun>(F.get());
+    const auto &Expected = U->getParamTypes();
+    for (size_t I = 0, E = Args.size(); I != E; ++I)
+      if (!typeEquals(Args[I], Expected[I]))
+        typeError("user function '" + U->getName() + "' parameter " +
+                  std::to_string(I) + " expects " +
+                  typeToString(Expected[I]) + ", got " +
+                  typeToString(Args[I]));
+    return U->getReturnType();
+  }
+
+  case FunKind::Map:
+  case FunKind::MapSeq:
+  case FunKind::MapGlb:
+  case FunKind::MapWrg:
+  case FunKind::MapLcl: {
+    const auto *M = cast<AbstractMap>(F.get());
+    const auto *A = expectArray(Args[0], funKindName(F->getKind()));
+    TypePtr ElemResult = applyType(M->getF(), {A->getElementType()});
+    return arrayOf(ElemResult, A->getSize());
+  }
+
+  case FunKind::MapVec: {
+    const auto *M = cast<MapVec>(F.get());
+    const auto *V = dyn_cast<VectorType>(Args[0].get());
+    if (!V)
+      typeError("mapVec expects a vector, got " + typeToString(Args[0]));
+    TypePtr Scalar = std::make_shared<ScalarType>(V->getScalarKind());
+    TypePtr ElemResult = applyType(M->getF(), {Scalar});
+    const auto *RS = dyn_cast<ScalarType>(ElemResult.get());
+    if (!RS)
+      typeError("mapVec function must return a scalar, got " +
+                typeToString(ElemResult));
+    return vectorOf(RS->getScalarKind(), V->getWidth());
+  }
+
+  case FunKind::ReduceSeq: {
+    const auto *R = cast<ReduceSeq>(F.get());
+    const auto *A = expectArray(Args[1], "reduceSeq");
+    TypePtr Acc = applyType(R->getF(), {Args[0], A->getElementType()});
+    if (!typeEquals(Acc, Args[0]))
+      typeError("reduction operator must return the accumulator type " +
+                typeToString(Args[0]) + ", got " + typeToString(Acc));
+    // A reduction produces an array of exactly one element (section 3.2).
+    return arrayOf(Args[0], arith::cst(1));
+  }
+
+  case FunKind::Id:
+    return Args[0];
+
+  case FunKind::Iterate: {
+    const auto *I = cast<Iterate>(F.get());
+    // The output length h(m, n, g) is inferred by applying the length
+    // change g of the body m times (the iteration count is constant).
+    TypePtr Cur = Args[0];
+    for (int64_t It = 0, N = I->getCount(); It != N; ++It)
+      Cur = applyType(I->getF(), {Cur});
+    return Cur;
+  }
+
+  case FunKind::Split: {
+    const auto *S = cast<Split>(F.get());
+    const auto *A = expectArray(Args[0], "split");
+    return arrayOf(arrayOf(A->getElementType(), S->getFactor()),
+                   arith::intDiv(A->getSize(), S->getFactor()));
+  }
+
+  case FunKind::Join: {
+    const auto *A = expectArray(Args[0], "join");
+    const auto *Inner = expectArray(A->getElementType(), "join (inner)");
+    return arrayOf(Inner->getElementType(),
+                   arith::mul(A->getSize(), Inner->getSize()));
+  }
+
+  case FunKind::Gather:
+  case FunKind::Scatter: {
+    expectArray(Args[0], funKindName(F->getKind()));
+    return Args[0];
+  }
+
+  case FunKind::Zip: {
+    const ArrayType *First = expectArray(Args[0], "zip");
+    std::vector<TypePtr> Elements;
+    for (const TypePtr &Arg : Args) {
+      const auto *A = expectArray(Arg, "zip");
+      if (!arith::provablyEqual(A->getSize(), First->getSize()))
+        typeError("zip requires equal array lengths: " +
+                  arith::toString(First->getSize()) + " vs " +
+                  arith::toString(A->getSize()));
+      Elements.push_back(A->getElementType());
+    }
+    return arrayOf(tupleOf(std::move(Elements)), First->getSize());
+  }
+
+  case FunKind::Unzip: {
+    const auto *A = expectArray(Args[0], "unzip");
+    const auto *T = dyn_cast<TupleType>(A->getElementType().get());
+    if (!T)
+      typeError("unzip expects an array of tuples, got " +
+                typeToString(Args[0]));
+    std::vector<TypePtr> Arrays;
+    for (const TypePtr &E : T->getElements())
+      Arrays.push_back(arrayOf(E, A->getSize()));
+    return tupleOf(std::move(Arrays));
+  }
+
+  case FunKind::Get: {
+    const auto *G = cast<Get>(F.get());
+    const auto *T = dyn_cast<TupleType>(Args[0].get());
+    if (!T)
+      typeError("get expects a tuple, got " + typeToString(Args[0]));
+    if (G->getIndex() >= T->getElements().size())
+      typeError("get index " + std::to_string(G->getIndex()) +
+                " out of range for " + typeToString(Args[0]));
+    return T->getElements()[G->getIndex()];
+  }
+
+  case FunKind::Slide: {
+    const auto *S = cast<Slide>(F.get());
+    const auto *A = expectArray(Args[0], "slide");
+    // n elements -> (n - size) / step + 1 windows of length size.
+    arith::Expr Windows = arith::add(
+        arith::intDiv(arith::sub(A->getSize(), S->getSize()), S->getStep()),
+        arith::cst(1));
+    return arrayOf(arrayOf(A->getElementType(), S->getSize()), Windows);
+  }
+
+  case FunKind::Transpose: {
+    const auto *A = expectArray(Args[0], "transpose");
+    const auto *Inner = expectArray(A->getElementType(), "transpose (inner)");
+    return arrayOf(arrayOf(Inner->getElementType(), A->getSize()),
+                   Inner->getSize());
+  }
+
+  case FunKind::GatherIndices: {
+    const auto *Idx = expectArray(Args[0], "gatherIndices (indices)");
+    expectArray(Args[1], "gatherIndices (data)");
+    if (!typeEquals(Idx->getElementType(), int32()))
+      typeError("gatherIndices expects int indices, got " +
+                typeToString(Args[0]));
+    const auto *Data = cast<ArrayType>(Args[1].get());
+    return arrayOf(Data->getElementType(), Idx->getSize());
+  }
+
+  case FunKind::AsVector: {
+    const auto *V = cast<AsVector>(F.get());
+    const auto *A = expectArray(Args[0], "asVector");
+    const auto *S = dyn_cast<ScalarType>(A->getElementType().get());
+    if (!S)
+      typeError("asVector expects an array of scalars, got " +
+                typeToString(Args[0]));
+    return arrayOf(vectorOf(S->getScalarKind(), V->getWidth()),
+                   arith::intDiv(A->getSize(), arith::cst(V->getWidth())));
+  }
+
+  case FunKind::AsScalar: {
+    const auto *A = expectArray(Args[0], "asScalar");
+    const auto *V = dyn_cast<VectorType>(A->getElementType().get());
+    if (!V)
+      typeError("asScalar expects an array of vectors, got " +
+                typeToString(Args[0]));
+    return arrayOf(std::make_shared<ScalarType>(V->getScalarKind()),
+                   arith::mul(A->getSize(), arith::cst(V->getWidth())));
+  }
+
+  case FunKind::ToGlobal:
+  case FunKind::ToLocal:
+  case FunKind::ToPrivate: {
+    const auto *W = cast<AddressSpaceWrapper>(F.get());
+    return applyType(W->getF(), Args);
+  }
+  }
+  lift_unreachable("unhandled function kind");
+}
+
+TypePtr ir::inferProgramTypes(const LambdaPtr &Program) {
+  std::vector<TypePtr> ParamTypes;
+  for (const ParamPtr &P : Program->getParams()) {
+    if (!P->Ty)
+      typeError("program parameter '" + P->getName() +
+                "' has no declared type");
+    ParamTypes.push_back(P->Ty);
+  }
+  return applyType(Program, ParamTypes);
+}

@@ -1,0 +1,40 @@
+//===- TypeInference.h - Type analysis for the Lift IR ----------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The type analysis stage (section 5.1): infers the type of every
+/// expression by traversing the graph following the data flow, starting
+/// from the declared types of the program parameters. Array lengths are
+/// symbolic arithmetic expressions; pattern applications transform them
+/// (e.g. split m : [T]n -> [[T]m]{n/m}).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_IR_TYPEINFERENCE_H
+#define LIFT_IR_TYPEINFERENCE_H
+
+#include "ir/IR.h"
+
+namespace lift {
+namespace ir {
+
+/// Infers and annotates the type of \p E and everything it depends on.
+/// Parameters and literals must already carry types. Aborts with a
+/// diagnostic on ill-typed programs.
+TypePtr checkExpr(const ExprPtr &E);
+
+/// Applies \p F to arguments of the given types: binds lambda parameter
+/// types, annotates the function body, and returns the result type.
+TypePtr applyType(const FunDeclPtr &F, const std::vector<TypePtr> &Args);
+
+/// Infers types for a whole program: every parameter of \p Program must
+/// carry a declared type. Returns the program result type.
+TypePtr inferProgramTypes(const LambdaPtr &Program);
+
+} // namespace ir
+} // namespace lift
+
+#endif // LIFT_IR_TYPEINFERENCE_H

@@ -1,0 +1,185 @@
+//===- Types.cpp - The Lift dependent type system --------------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Types.h"
+
+#include "arith/Bounds.h"
+#include "arith/Printer.h"
+#include "support/Casting.h"
+#include "support/Error.h"
+
+#include <sstream>
+
+using namespace lift;
+using namespace lift::ir;
+
+Type::~Type() = default;
+
+TypePtr ir::float32() {
+  static TypePtr T = std::make_shared<ScalarType>(ScalarKind::Float);
+  return T;
+}
+
+TypePtr ir::float64() {
+  static TypePtr T = std::make_shared<ScalarType>(ScalarKind::Double);
+  return T;
+}
+
+TypePtr ir::int32() {
+  static TypePtr T = std::make_shared<ScalarType>(ScalarKind::Int);
+  return T;
+}
+
+TypePtr ir::bool1() {
+  static TypePtr T = std::make_shared<ScalarType>(ScalarKind::Bool);
+  return T;
+}
+
+TypePtr ir::vectorOf(ScalarKind S, unsigned Width) {
+  return std::make_shared<VectorType>(S, Width);
+}
+
+TypePtr ir::tupleOf(std::vector<TypePtr> Elements) {
+  return std::make_shared<TupleType>(std::move(Elements));
+}
+
+TypePtr ir::arrayOf(TypePtr Element, arith::Expr Size) {
+  return std::make_shared<ArrayType>(std::move(Element), std::move(Size));
+}
+
+TypePtr ir::array2D(TypePtr Element, arith::Expr Rows, arith::Expr Cols) {
+  return arrayOf(arrayOf(std::move(Element), std::move(Cols)),
+                 std::move(Rows));
+}
+
+bool ir::typeEquals(const TypePtr &A, const TypePtr &B) {
+  if (A.get() == B.get())
+    return true;
+  if (!A || !B || A->getKind() != B->getKind())
+    return false;
+  switch (A->getKind()) {
+  case TypeKind::Scalar:
+    return cast<ScalarType>(A.get())->getScalarKind() ==
+           cast<ScalarType>(B.get())->getScalarKind();
+  case TypeKind::Vector: {
+    const auto *VA = cast<VectorType>(A.get());
+    const auto *VB = cast<VectorType>(B.get());
+    return VA->getScalarKind() == VB->getScalarKind() &&
+           VA->getWidth() == VB->getWidth();
+  }
+  case TypeKind::Tuple: {
+    const auto &EA = cast<TupleType>(A.get())->getElements();
+    const auto &EB = cast<TupleType>(B.get())->getElements();
+    if (EA.size() != EB.size())
+      return false;
+    for (size_t I = 0, E = EA.size(); I != E; ++I)
+      if (!typeEquals(EA[I], EB[I]))
+        return false;
+    return true;
+  }
+  case TypeKind::Array: {
+    const auto *AA = cast<ArrayType>(A.get());
+    const auto *AB = cast<ArrayType>(B.get());
+    return typeEquals(AA->getElementType(), AB->getElementType()) &&
+           arith::provablyEqual(AA->getSize(), AB->getSize());
+  }
+  }
+  lift_unreachable("unhandled type kind");
+}
+
+static const char *scalarName(ScalarKind S) {
+  switch (S) {
+  case ScalarKind::Float:
+    return "float";
+  case ScalarKind::Double:
+    return "double";
+  case ScalarKind::Int:
+    return "int";
+  case ScalarKind::Bool:
+    return "bool";
+  }
+  lift_unreachable("unhandled scalar kind");
+}
+
+std::string ir::typeToString(const TypePtr &T) {
+  if (!T)
+    return "<null>";
+  switch (T->getKind()) {
+  case TypeKind::Scalar:
+    return scalarName(cast<ScalarType>(T.get())->getScalarKind());
+  case TypeKind::Vector: {
+    const auto *V = cast<VectorType>(T.get());
+    return std::string(scalarName(V->getScalarKind())) +
+           std::to_string(V->getWidth());
+  }
+  case TypeKind::Tuple: {
+    std::ostringstream OS;
+    OS << "(";
+    const auto &Elems = cast<TupleType>(T.get())->getElements();
+    for (size_t I = 0, E = Elems.size(); I != E; ++I) {
+      if (I != 0)
+        OS << ", ";
+      OS << typeToString(Elems[I]);
+    }
+    OS << ")";
+    return OS.str();
+  }
+  case TypeKind::Array: {
+    const auto *A = cast<ArrayType>(T.get());
+    return "[" + typeToString(A->getElementType()) + "]" +
+           arith::toString(A->getSize());
+  }
+  }
+  lift_unreachable("unhandled type kind");
+}
+
+static int64_t scalarBytes(ScalarKind S) {
+  switch (S) {
+  case ScalarKind::Float:
+    return 4;
+  case ScalarKind::Double:
+    return 8;
+  case ScalarKind::Int:
+    return 4;
+  case ScalarKind::Bool:
+    return 1;
+  }
+  lift_unreachable("unhandled scalar kind");
+}
+
+arith::Expr ir::sizeInBytes(const TypePtr &T) {
+  switch (T->getKind()) {
+  case TypeKind::Scalar:
+    return arith::cst(scalarBytes(cast<ScalarType>(T.get())->getScalarKind()));
+  case TypeKind::Vector: {
+    const auto *V = cast<VectorType>(T.get());
+    return arith::cst(scalarBytes(V->getScalarKind()) * V->getWidth());
+  }
+  case TypeKind::Tuple: {
+    arith::Expr Sum = arith::cst(0);
+    for (const TypePtr &E : cast<TupleType>(T.get())->getElements())
+      Sum = arith::add(Sum, sizeInBytes(E));
+    return Sum;
+  }
+  case TypeKind::Array: {
+    const auto *A = cast<ArrayType>(T.get());
+    return arith::mul(A->getSize(), sizeInBytes(A->getElementType()));
+  }
+  }
+  lift_unreachable("unhandled type kind");
+}
+
+arith::Expr ir::elementCount(const TypePtr &T) {
+  if (const auto *A = dyn_cast<ArrayType>(T.get()))
+    return arith::mul(A->getSize(), elementCount(A->getElementType()));
+  return arith::cst(1);
+}
+
+TypePtr ir::baseElementType(const TypePtr &T) {
+  if (const auto *A = dyn_cast<ArrayType>(T.get()))
+    return baseElementType(A->getElementType());
+  return T;
+}

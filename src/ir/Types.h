@@ -1,0 +1,152 @@
+//===- Types.h - The Lift dependent type system -----------------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Lift type system (section 5.1 of the paper): scalar types, OpenCL
+/// vector types, tuple types (structs in OpenCL), and array types that
+/// carry their length as a symbolic arithmetic expression. Array types nest
+/// to represent multi-dimensional arrays.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_IR_TYPES_H
+#define LIFT_IR_TYPES_H
+
+#include "arith/ArithExpr.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lift {
+namespace ir {
+
+class Type;
+
+/// Shared immutable handle to a type.
+using TypePtr = std::shared_ptr<const Type>;
+
+enum class TypeKind { Scalar, Vector, Tuple, Array };
+
+/// The scalar types supported by user functions and literals.
+enum class ScalarKind { Float, Double, Int, Bool };
+
+/// Base class of all Lift types.
+class Type {
+  const TypeKind Kind;
+
+protected:
+  explicit Type(TypeKind K) : Kind(K) {}
+
+public:
+  virtual ~Type();
+
+  TypeKind getKind() const { return Kind; }
+};
+
+class ScalarType : public Type {
+  ScalarKind Scalar;
+
+public:
+  explicit ScalarType(ScalarKind S) : Type(TypeKind::Scalar), Scalar(S) {}
+
+  ScalarKind getScalarKind() const { return Scalar; }
+
+  static bool classof(const Type *T) {
+    return T->getKind() == TypeKind::Scalar;
+  }
+};
+
+/// An OpenCL vector type such as float4.
+class VectorType : public Type {
+  ScalarKind Scalar;
+  unsigned Width;
+
+public:
+  VectorType(ScalarKind S, unsigned Width)
+      : Type(TypeKind::Vector), Scalar(S), Width(Width) {}
+
+  ScalarKind getScalarKind() const { return Scalar; }
+  unsigned getWidth() const { return Width; }
+
+  static bool classof(const Type *T) {
+    return T->getKind() == TypeKind::Vector;
+  }
+};
+
+/// A tuple type, lowered to a struct in OpenCL.
+class TupleType : public Type {
+  std::vector<TypePtr> Elements;
+
+public:
+  explicit TupleType(std::vector<TypePtr> Elements)
+      : Type(TypeKind::Tuple), Elements(std::move(Elements)) {}
+
+  const std::vector<TypePtr> &getElements() const { return Elements; }
+
+  static bool classof(const Type *T) {
+    return T->getKind() == TypeKind::Tuple;
+  }
+};
+
+/// An array type carrying a symbolic length.
+class ArrayType : public Type {
+  TypePtr Element;
+  arith::Expr Size;
+
+public:
+  ArrayType(TypePtr Element, arith::Expr Size)
+      : Type(TypeKind::Array), Element(std::move(Element)),
+        Size(std::move(Size)) {}
+
+  const TypePtr &getElementType() const { return Element; }
+  const arith::Expr &getSize() const { return Size; }
+
+  static bool classof(const Type *T) {
+    return T->getKind() == TypeKind::Array;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Factories
+//===----------------------------------------------------------------------===//
+
+TypePtr float32();
+TypePtr float64();
+TypePtr int32();
+TypePtr bool1();
+TypePtr vectorOf(ScalarKind S, unsigned Width);
+TypePtr tupleOf(std::vector<TypePtr> Elements);
+TypePtr arrayOf(TypePtr Element, arith::Expr Size);
+
+/// Builds a 2D array type [[Elem]Cols]Rows.
+TypePtr array2D(TypePtr Element, arith::Expr Rows, arith::Expr Cols);
+
+//===----------------------------------------------------------------------===//
+// Queries
+//===----------------------------------------------------------------------===//
+
+/// Structural type equality; array lengths are compared with
+/// arith::provablyEqual.
+bool typeEquals(const TypePtr &A, const TypePtr &B);
+
+/// Human-readable form, e.g. "[[float]M]N" or "(float, int)".
+std::string typeToString(const TypePtr &T);
+
+/// The size of one value of this type in bytes (floats, ints: 4; tuples:
+/// sum without padding; arrays: element size times length).
+arith::Expr sizeInBytes(const TypePtr &T);
+
+/// The total number of scalar elements in a (possibly nested) array type.
+arith::Expr elementCount(const TypePtr &T);
+
+/// Strips all array dimensions, returning the ultimate element type.
+TypePtr baseElementType(const TypePtr &T);
+
+} // namespace ir
+} // namespace lift
+
+#endif // LIFT_IR_TYPES_H

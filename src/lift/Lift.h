@@ -1,0 +1,47 @@
+//===- Lift.h - Umbrella header for the lift-cpp public API -----*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Single include for downstream users:
+///
+/// \code
+/// #include "lift/Lift.h"
+/// using namespace lift::ir::dsl;
+///
+/// auto N = lift::arith::sizeVar("N");
+/// ParamPtr X = param("x", arrayOf(float32(), N));
+/// LambdaPtr P = lambda({X}, pipe(ExprPtr(X), mapGlb(mySquareFun)));
+/// auto K = lift::codegen::compile(P, options);
+/// lift::ocl::launch(K, buffers, sizes, launchConfig);
+/// \endcode
+///
+/// Layering (each header can also be included individually):
+///   arith  -> ir -> view/passes -> codegen -> ocl
+///   rewrite (lowering from the portable high-level IL)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_LIFT_H
+#define LIFT_LIFT_H
+
+#include "arith/ArithExpr.h"
+#include "arith/Bounds.h"
+#include "arith/Eval.h"
+#include "arith/Printer.h"
+#include "cast/CPrinter.h"
+#include "codegen/Compiler.h"
+#include "cparse/CParser.h"
+#include "ir/DSL.h"
+#include "ir/IR.h"
+#include "ir/Prelude.h"
+#include "ir/Printer.h"
+#include "ir/TypeInference.h"
+#include "ocl/Runtime.h"
+#include "passes/AddressSpaceInference.h"
+#include "passes/BarrierElimination.h"
+#include "rewrite/Rules.h"
+
+#endif // LIFT_LIFT_H

@@ -1,0 +1,1009 @@
+//===- Interp.cpp - Lockstep work-item interpreter ---------------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes compiled kernels on the simulated device. Statements that
+/// contain barriers are executed in lockstep across the work-items of a
+/// group (their control flow must be uniform, as OpenCL requires);
+/// everything else runs per work-item. Every memory access, arithmetic
+/// operation, barrier and loop iteration is charged to the cost model.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ocl/Runtime.h"
+
+#include "arith/Eval.h"
+#include "support/Casting.h"
+#include "support/Error.h"
+
+#include <cmath>
+#include <unordered_map>
+
+using namespace lift;
+using namespace lift::c;
+using namespace lift::ocl;
+
+double Value::asFloat() const {
+  switch (K) {
+  case Int:
+    return static_cast<double>(I);
+  case Flt:
+    return F;
+  default:
+    fatalError("runtime: expected a numeric value");
+  }
+}
+
+int64_t Value::asInt() const {
+  switch (K) {
+  case Int:
+    return I;
+  case Flt:
+    return static_cast<int64_t>(F);
+  default:
+    fatalError("runtime: expected an integer value");
+  }
+}
+
+bool Value::asBool() const { return asInt() != 0; }
+
+Buffer Buffer::ofFloats(const std::vector<float> &Data) {
+  Buffer B;
+  B.Mem->reserve(Data.size());
+  for (float F : Data)
+    B.Mem->push_back(Value::makeFloat(F));
+  return B;
+}
+
+Buffer Buffer::ofInts(const std::vector<int> &Data) {
+  Buffer B;
+  B.Mem->reserve(Data.size());
+  for (int I : Data)
+    B.Mem->push_back(Value::makeInt(I));
+  return B;
+}
+
+Buffer Buffer::ofVectors(const std::vector<float> &Flat, unsigned Width) {
+  Buffer B;
+  if (Width == 0 || Flat.size() % Width != 0)
+    fatalError("ofVectors: flat size is not a multiple of the width");
+  B.Mem->reserve(Flat.size() / Width);
+  for (size_t I = 0; I != Flat.size(); I += Width) {
+    std::vector<double> Comps(Flat.begin() + static_cast<long>(I),
+                              Flat.begin() + static_cast<long>(I + Width));
+    B.Mem->push_back(Value::makeVec(std::move(Comps)));
+  }
+  return B;
+}
+
+static void flattenValue(const Value &V, std::vector<float> &Out) {
+  switch (V.K) {
+  case Value::Int:
+    Out.push_back(static_cast<float>(V.I));
+    return;
+  case Value::Flt:
+    Out.push_back(static_cast<float>(V.F));
+    return;
+  case Value::Vec:
+    for (double D : V.V)
+      Out.push_back(static_cast<float>(D));
+    return;
+  case Value::Tup:
+    for (const Value &E : V.T)
+      flattenValue(E, Out);
+    return;
+  case Value::Ptr:
+    fatalError("cannot flatten a pointer value");
+  }
+}
+
+std::vector<float> Buffer::toFlatFloats() const {
+  std::vector<float> R;
+  R.reserve(Mem->size());
+  for (const Value &V : *Mem)
+    flattenValue(V, R);
+  return R;
+}
+
+Buffer Buffer::zeros(size_t Count) {
+  Buffer B;
+  B.Mem->assign(Count, Value::makeFloat(0));
+  return B;
+}
+
+Buffer Buffer::filled(size_t Count, const Value &V) {
+  Buffer B;
+  B.Mem->assign(Count, V);
+  return B;
+}
+
+std::vector<float> Buffer::toFloats() const {
+  std::vector<float> R;
+  R.reserve(Mem->size());
+  for (const Value &V : *Mem)
+    R.push_back(static_cast<float>(V.asFloat()));
+  return R;
+}
+
+std::vector<int> Buffer::toInts() const {
+  std::vector<int> R;
+  R.reserve(Mem->size());
+  for (const Value &V : *Mem)
+    R.push_back(static_cast<int>(V.asInt()));
+  return R;
+}
+
+CostReport &CostReport::operator+=(const CostReport &O) {
+  GlobalAccesses += O.GlobalAccesses;
+  LocalAccesses += O.LocalAccesses;
+  PrivateAccesses += O.PrivateAccesses;
+  ArithOps += O.ArithOps;
+  DivModOps += O.DivModOps;
+  MathCalls += O.MathCalls;
+  Calls += O.Calls;
+  Barriers += O.Barriers;
+  LoopIters += O.LoopIters;
+  return *this;
+}
+
+namespace {
+
+/// Per-work-item state.
+struct WorkItem {
+  std::unordered_map<const CVar *, Value> Vars;
+  std::unordered_map<unsigned, int64_t> AVals;
+  std::array<int64_t, 3> LocalId = {0, 0, 0};
+  std::array<int64_t, 3> GroupId = {0, 0, 0};
+};
+
+/// Result of executing statements inside a function body.
+struct ExecResult {
+  bool Returned = false;
+  Value Ret;
+};
+
+class Machine {
+  const codegen::CompiledKernel &K;
+  LaunchConfig Cfg;
+  CostReport Cost;
+
+  std::unordered_map<unsigned, CVarPtr> StorageVarById;
+  std::unordered_map<const CStmt *, bool> BarrierCache;
+  /// Static (div/mod, other-node) cost of each arith index expression.
+  std::unordered_map<const arith::Node *, std::pair<unsigned, unsigned>>
+      IndexCost;
+
+  std::vector<WorkItem> Group;
+  std::unordered_map<const CVar *, Value> WgLocals;
+
+public:
+  Machine(const codegen::CompiledKernel &K, const LaunchConfig &Cfg)
+      : K(K), Cfg(Cfg) {
+    for (const auto &[Id, Var] : K.StorageVars)
+      StorageVarById[Id] = Var;
+  }
+
+  CostReport run(const std::vector<Buffer *> &Buffers,
+                 const std::map<std::string, int64_t> &Sizes) {
+    // Bind kernel arguments.
+    std::vector<std::pair<const CVar *, Value>> Bindings;
+    std::unordered_map<unsigned, int64_t> SizeEnv;
+    size_t NextBuffer = 0;
+    std::vector<Buffer> Temps; // auto-allocated global intermediates
+
+    // First pass: size parameters, so temp buffer sizes can be computed.
+    for (const auto &P : K.Params) {
+      if (!P.IsSizeParam)
+        continue;
+      auto It = Sizes.find(P.Var->Name);
+      if (It == Sizes.end())
+        fatalError("launch: missing size argument '" + P.Var->Name + "'");
+      SizeEnv[P.ArithId] = It->second;
+      Bindings.emplace_back(P.Var.get(), Value::makeInt(It->second));
+    }
+
+    arith::EvalContext SizeCtx;
+    SizeCtx.VarValue = [&](const arith::VarNode &V) -> int64_t {
+      auto It = SizeEnv.find(V.getId());
+      if (It == SizeEnv.end())
+        fatalError("launch: unbound size variable " + V.getName());
+      return It->second;
+    };
+
+    Temps.reserve(K.Params.size());
+    for (const auto &P : K.Params) {
+      if (P.IsSizeParam || !P.Store)
+        continue;
+      if (!P.Store->NumElements) {
+        // Scalar by-value parameter: bound via Sizes as a float/int.
+        auto It = Sizes.find(P.Var->Name);
+        if (It == Sizes.end())
+          fatalError("launch: missing scalar argument '" + P.Var->Name + "'");
+        Bindings.emplace_back(P.Var.get(), Value::makeInt(It->second));
+        continue;
+      }
+      if (NextBuffer < Buffers.size()) {
+        Bindings.emplace_back(
+            P.Var.get(),
+            Value::makePtr(Buffers[NextBuffer]->Mem, MemSpace::Global));
+        ++NextBuffer;
+        continue;
+      }
+      // A compiler-introduced global temporary.
+      int64_t Count = arith::evaluate(P.Store->NumElements, SizeCtx);
+      Temps.push_back(Buffer::zeros(static_cast<size_t>(Count)));
+      Bindings.emplace_back(
+          P.Var.get(), Value::makePtr(Temps.back().Mem, MemSpace::Global));
+    }
+    if (NextBuffer != Buffers.size())
+      fatalError("launch: too many buffers supplied");
+
+    int64_t GroupsX = Cfg.Global[0] / Cfg.Local[0];
+    int64_t GroupsY = Cfg.Global[1] / Cfg.Local[1];
+    int64_t GroupsZ = Cfg.Global[2] / Cfg.Local[2];
+    int64_t WIsPerGroup = Cfg.Local[0] * Cfg.Local[1] * Cfg.Local[2];
+
+    for (int64_t Gz = 0; Gz != GroupsZ; ++Gz) {
+      for (int64_t Gy = 0; Gy != GroupsY; ++Gy) {
+        for (int64_t Gx = 0; Gx != GroupsX; ++Gx) {
+          WgLocals.clear();
+          Group.assign(static_cast<size_t>(WIsPerGroup), WorkItem());
+          size_t Idx = 0;
+          for (int64_t Lz = 0; Lz != Cfg.Local[2]; ++Lz) {
+            for (int64_t Ly = 0; Ly != Cfg.Local[1]; ++Ly) {
+              for (int64_t Lx = 0; Lx != Cfg.Local[0]; ++Lx) {
+                WorkItem &W = Group[Idx++];
+                W.LocalId = {Lx, Ly, Lz};
+                W.GroupId = {Gx, Gy, Gz};
+                for (const auto &[Var, Val] : Bindings)
+                  setVar(W, Var, Val);
+              }
+            }
+          }
+          std::vector<WorkItem *> Active;
+          for (WorkItem &W : Group)
+            Active.push_back(&W);
+          execLockstep(K.Module.Kernel->Body->getStmts(), Active);
+        }
+      }
+    }
+    return Cost;
+  }
+
+private:
+  [[noreturn]] void runtimeError(const std::string &Msg) {
+    fatalError("runtime: " + Msg);
+  }
+
+  void setVar(WorkItem &W, const CVar *V, Value Val) {
+    if (V->ArithId != 0)
+      W.AVals[V->ArithId] = Val.asInt();
+    W.Vars[V] = std::move(Val);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Barrier analysis
+  //===--------------------------------------------------------------------===//
+
+  bool containsBarrier(const CStmtPtr &S) {
+    auto It = BarrierCache.find(S.get());
+    if (It != BarrierCache.end())
+      return It->second;
+    bool R = false;
+    switch (S->getKind()) {
+    case CStmtKind::Barrier:
+      R = true;
+      break;
+    case CStmtKind::Block:
+      for (const CStmtPtr &Sub : cast<Block>(S.get())->getStmts())
+        R = R || containsBarrier(Sub);
+      break;
+    case CStmtKind::For:
+      for (const CStmtPtr &Sub : cast<For>(S.get())->getBody()->getStmts())
+        R = R || containsBarrier(Sub);
+      break;
+    case CStmtKind::If: {
+      const auto *I = cast<If>(S.get());
+      for (const CStmtPtr &Sub : I->getThen()->getStmts())
+        R = R || containsBarrier(Sub);
+      if (I->getElse())
+        for (const CStmtPtr &Sub : I->getElse()->getStmts())
+          R = R || containsBarrier(Sub);
+      break;
+    }
+    default:
+      break;
+    }
+    BarrierCache[S.get()] = R;
+    return R;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Lockstep execution
+  //===--------------------------------------------------------------------===//
+
+  void execLockstep(const std::vector<CStmtPtr> &Stmts,
+                    std::vector<WorkItem *> &WIs) {
+    for (const CStmtPtr &S : Stmts)
+      execStmtLockstep(S, WIs);
+  }
+
+  void execStmtLockstep(const CStmtPtr &S, std::vector<WorkItem *> &WIs) {
+    if (!containsBarrier(S)) {
+      for (WorkItem *W : WIs) {
+        ExecResult R = execStmtSingle(S, *W);
+        if (R.Returned)
+          runtimeError("return outside of a function body");
+      }
+      return;
+    }
+
+    switch (S->getKind()) {
+    case CStmtKind::Barrier:
+      Cost.Barriers += WIs.size();
+      return;
+    case CStmtKind::Block:
+      execLockstep(cast<Block>(S.get())->getStmts(), WIs);
+      return;
+    case CStmtKind::For: {
+      const auto *F = cast<For>(S.get());
+      for (WorkItem *W : WIs)
+        setVar(*W, F->getIV().get(), evalExpr(F->getInit(), *W));
+      while (true) {
+        bool First = true, Continue = false;
+        for (WorkItem *W : WIs) {
+          bool C = evalExpr(F->getCond(), *W).asBool();
+          if (First) {
+            Continue = C;
+            First = false;
+          } else if (C != Continue) {
+            runtimeError("non-uniform loop around a barrier");
+          }
+        }
+        Cost.LoopIters += WIs.size();
+        if (!Continue)
+          break;
+        execLockstep(F->getBody()->getStmts(), WIs);
+        for (WorkItem *W : WIs)
+          setVar(*W, F->getIV().get(), evalExpr(F->getStep(), *W));
+      }
+      return;
+    }
+    case CStmtKind::If: {
+      const auto *I = cast<If>(S.get());
+      bool First = true, Taken = false;
+      for (WorkItem *W : WIs) {
+        bool C = evalExpr(I->getCond(), *W).asBool();
+        if (First) {
+          Taken = C;
+          First = false;
+        } else if (C != Taken) {
+          runtimeError("non-uniform branch around a barrier");
+        }
+      }
+      if (Taken)
+        execLockstep(I->getThen()->getStmts(), WIs);
+      else if (I->getElse())
+        execLockstep(I->getElse()->getStmts(), WIs);
+      return;
+    }
+    default:
+      runtimeError("barrier in an unsupported statement position");
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Per-work-item execution
+  //===--------------------------------------------------------------------===//
+
+  ExecResult execStmtSingle(const CStmtPtr &S, WorkItem &W) {
+    switch (S->getKind()) {
+    case CStmtKind::Block: {
+      for (const CStmtPtr &Sub : cast<Block>(S.get())->getStmts()) {
+        ExecResult R = execStmtSingle(Sub, W);
+        if (R.Returned)
+          return R;
+      }
+      return {};
+    }
+    case CStmtKind::VarDecl: {
+      const auto *D = cast<VarDecl>(S.get());
+      const CVar *V = D->getVar().get();
+      if (D->getArraySize()) {
+        int64_t Count = evalArith(D->getArraySize(), W);
+        if (D->getAddrSpace() == CAddrSpace::Local) {
+          // One allocation shared by the whole work group.
+          auto It = WgLocals.find(V);
+          if (It == WgLocals.end()) {
+            auto Mem = std::make_shared<std::vector<Value>>(
+                static_cast<size_t>(Count), Value::makeFloat(0));
+            It = WgLocals
+                     .emplace(V, Value::makePtr(std::move(Mem),
+                                                MemSpace::Local))
+                     .first;
+          }
+          setVar(W, V, It->second);
+        } else {
+          auto Mem = std::make_shared<std::vector<Value>>(
+              static_cast<size_t>(Count), Value::makeFloat(0));
+          setVar(W, V, Value::makePtr(std::move(Mem), MemSpace::Private));
+        }
+        return {};
+      }
+      Value Init =
+          D->getInit() ? evalExpr(D->getInit(), W) : Value::makeFloat(0);
+      setVar(W, V, std::move(Init));
+      return {};
+    }
+    case CStmtKind::Assign: {
+      const auto *A = cast<Assign>(S.get());
+      Value RHS = evalExpr(A->getRhs(), W);
+      assignTo(A->getLhs(), std::move(RHS), W);
+      return {};
+    }
+    case CStmtKind::ExprStmt:
+      evalExpr(cast<ExprStmt>(S.get())->getExpr(), W);
+      return {};
+    case CStmtKind::For: {
+      const auto *F = cast<For>(S.get());
+      setVar(W, F->getIV().get(), evalExpr(F->getInit(), W));
+      while (evalExpr(F->getCond(), W).asBool()) {
+        ++Cost.LoopIters;
+        for (const CStmtPtr &Sub : F->getBody()->getStmts()) {
+          ExecResult R = execStmtSingle(Sub, W);
+          if (R.Returned)
+            return R;
+        }
+        setVar(W, F->getIV().get(), evalExpr(F->getStep(), W));
+      }
+      return {};
+    }
+    case CStmtKind::If: {
+      const auto *I = cast<If>(S.get());
+      if (evalExpr(I->getCond(), W).asBool()) {
+        for (const CStmtPtr &Sub : I->getThen()->getStmts()) {
+          ExecResult R = execStmtSingle(Sub, W);
+          if (R.Returned)
+            return R;
+        }
+      } else if (I->getElse()) {
+        for (const CStmtPtr &Sub : I->getElse()->getStmts()) {
+          ExecResult R = execStmtSingle(Sub, W);
+          if (R.Returned)
+            return R;
+        }
+      }
+      return {};
+    }
+    case CStmtKind::Barrier:
+      // Reached only from single-item regions; charge one wait.
+      ++Cost.Barriers;
+      return {};
+    case CStmtKind::Return: {
+      ExecResult R;
+      R.Returned = true;
+      if (cast<Return>(S.get())->getValue())
+        R.Ret = evalExpr(cast<Return>(S.get())->getValue(), W);
+      return R;
+    }
+    case CStmtKind::Comment:
+      return {};
+    }
+    lift_unreachable("unhandled statement kind");
+  }
+
+  //===--------------------------------------------------------------------===//
+  // L-values
+  //===--------------------------------------------------------------------===//
+
+  Value *lvalue(const CExprPtr &E, WorkItem &W) {
+    switch (E->getKind()) {
+    case CExprKind::VarRef: {
+      const CVar *V = cast<VarRef>(E.get())->getVar().get();
+      ++Cost.PrivateAccesses;
+      return &W.Vars[V];
+    }
+    case CExprKind::ArrayAccess: {
+      const auto *A = cast<ArrayAccess>(E.get());
+      Value Base = evalExpr(A->getBase(), W);
+      if (Base.K != Value::Ptr)
+        runtimeError("array access on a non-pointer");
+      int64_t Idx = evalExpr(A->getIndex(), W).asInt();
+      chargeAccess(Base.Space);
+      if (Idx < 0 || static_cast<size_t>(Idx) >= Base.P->size())
+        runtimeError("store out of bounds: index " + std::to_string(Idx) +
+                     " of " + std::to_string(Base.P->size()));
+      return &(*Base.P)[static_cast<size_t>(Idx)];
+    }
+    case CExprKind::Member: {
+      const auto *M = cast<Member>(E.get());
+      Value *Base = lvalue(M->getBase(), W);
+      int Idx = fieldIndexOf(M->getField());
+      if (Base->K != Value::Tup || Idx < 0 ||
+          static_cast<size_t>(Idx) >= Base->T.size())
+        runtimeError("bad struct member store ." + M->getField());
+      return &Base->T[static_cast<size_t>(Idx)];
+    }
+    default:
+      runtimeError("unsupported assignment target");
+    }
+  }
+
+  void assignTo(const CExprPtr &Lhs, Value V, WorkItem &W) {
+    if (const auto *VR = dyn_cast<VarRef>(Lhs.get())) {
+      setVar(W, VR->getVar().get(), std::move(V));
+      ++Cost.PrivateAccesses;
+      return;
+    }
+    *lvalue(Lhs, W) = std::move(V);
+  }
+
+  static int fieldIndexOf(const std::string &Field) {
+    if (Field.size() >= 2 && Field[0] == '_')
+      return std::atoi(Field.c_str() + 1);
+    return -1;
+  }
+
+  void chargeAccess(MemSpace S) {
+    switch (S) {
+    case MemSpace::Global:
+      ++Cost.GlobalAccesses;
+      break;
+    case MemSpace::Local:
+      ++Cost.LocalAccesses;
+      break;
+    case MemSpace::Private:
+      ++Cost.PrivateAccesses;
+      break;
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Arithmetic index expressions
+  //===--------------------------------------------------------------------===//
+
+  int64_t evalArith(const arith::Expr &E, WorkItem &W) {
+    // Charge the static operation count of the index expression — this is
+    // where disabling array access simplification shows up as cost.
+    auto It = IndexCost.find(E.get());
+    if (It == IndexCost.end()) {
+      unsigned DivMods = arith::countDivMod(E);
+      unsigned Ops = arith::countOps(E);
+      unsigned Others = Ops >= DivMods ? Ops - DivMods : 0;
+      It = IndexCost.emplace(E.get(), std::make_pair(DivMods, Others)).first;
+    }
+    Cost.DivModOps += It->second.first;
+    Cost.ArithOps += It->second.second;
+
+    arith::EvalContext Ctx;
+    Ctx.VarValue = [&](const arith::VarNode &V) -> int64_t {
+      auto VIt = W.AVals.find(V.getId());
+      if (VIt == W.AVals.end())
+        runtimeError("unbound index variable " + V.getName());
+      return VIt->second;
+    };
+    Ctx.LookupValue = [&](unsigned TableId, int64_t Index) -> int64_t {
+      auto SIt = StorageVarById.find(TableId);
+      if (SIt == StorageVarById.end())
+        runtimeError("unknown lookup table id " + std::to_string(TableId));
+      auto VIt = W.Vars.find(SIt->second.get());
+      if (VIt == W.Vars.end() || VIt->second.K != Value::Ptr)
+        runtimeError("lookup table is not bound to memory");
+      chargeAccess(VIt->second.Space);
+      const auto &Mem = *VIt->second.P;
+      if (Index < 0 || static_cast<size_t>(Index) >= Mem.size())
+        runtimeError("lookup out of bounds");
+      return Mem[static_cast<size_t>(Index)].asInt();
+    };
+    return arith::evaluate(E, Ctx);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  Value evalExpr(const CExprPtr &E, WorkItem &W) {
+    switch (E->getKind()) {
+    case CExprKind::IntLit:
+      return Value::makeInt(cast<IntLit>(E.get())->getValue());
+    case CExprKind::FloatLit:
+      return Value::makeFloat(cast<FloatLit>(E.get())->getValue());
+    case CExprKind::VarRef: {
+      const CVar *V = cast<VarRef>(E.get())->getVar().get();
+      auto It = W.Vars.find(V);
+      if (It == W.Vars.end())
+        runtimeError("use of undeclared variable " + V->Name);
+      return It->second;
+    }
+    case CExprKind::ArithValue:
+      return Value::makeInt(
+          evalArith(cast<ArithValue>(E.get())->getValue(), W));
+    case CExprKind::ArrayAccess: {
+      const auto *A = cast<ArrayAccess>(E.get());
+      Value Base = evalExpr(A->getBase(), W);
+      if (Base.K != Value::Ptr)
+        runtimeError("array access on a non-pointer");
+      int64_t Idx = evalExpr(A->getIndex(), W).asInt();
+      chargeAccess(Base.Space);
+      if (Idx < 0 || static_cast<size_t>(Idx) >= Base.P->size())
+        runtimeError("load out of bounds: index " + std::to_string(Idx) +
+                     " of " + std::to_string(Base.P->size()));
+      return (*Base.P)[static_cast<size_t>(Idx)];
+    }
+    case CExprKind::Member: {
+      const auto *M = cast<Member>(E.get());
+      Value Base = evalExpr(M->getBase(), W);
+      if (Base.K == Value::Tup) {
+        int Idx = fieldIndexOf(M->getField());
+        if (Idx < 0 || static_cast<size_t>(Idx) >= Base.T.size())
+          runtimeError("bad struct member ." + M->getField());
+        return Base.T[static_cast<size_t>(Idx)];
+      }
+      if (Base.K == Value::Vec)
+        return Value::makeFloat(Base.V[vectorComponent(M->getField(),
+                                                       Base.V.size())]);
+      runtimeError("member access on a non-aggregate");
+    }
+    case CExprKind::Binary:
+      return evalBinary(cast<Binary>(E.get()), W);
+    case CExprKind::Unary: {
+      const auto *U = cast<Unary>(E.get());
+      Value S = evalExpr(U->getSub(), W);
+      ++Cost.ArithOps;
+      if (U->getOp() == UnOp::Not)
+        return Value::makeInt(!S.asBool());
+      if (S.K == Value::Int)
+        return Value::makeInt(-S.I);
+      if (S.K == Value::Vec) {
+        for (double &D : S.V)
+          D = -D;
+        return S;
+      }
+      return Value::makeFloat(-S.asFloat());
+    }
+    case CExprKind::Call:
+      return evalCall(cast<Call>(E.get()), W);
+    case CExprKind::Ternary: {
+      const auto *T = cast<Ternary>(E.get());
+      ++Cost.ArithOps;
+      return evalExpr(T->getCond(), W).asBool() ? evalExpr(T->getThen(), W)
+                                                : evalExpr(T->getElse(), W);
+    }
+    case CExprKind::CastExpr: {
+      const auto *C = cast<CastExpr>(E.get());
+      Value S = evalExpr(C->getSub(), W);
+      const CTypePtr &Ty = C->getType();
+      if (isa<ScalarCType>(Ty.get())) {
+        switch (cast<ScalarCType>(Ty.get())->getScalarKind()) {
+        case CScalarKind::Int:
+        case CScalarKind::Bool:
+          return Value::makeInt(S.asInt());
+        case CScalarKind::Float:
+        case CScalarKind::Double:
+          return Value::makeFloat(S.asFloat());
+        }
+      }
+      return S; // pointer casts pass through
+    }
+    case CExprKind::ConstructVector: {
+      const auto *V = cast<ConstructVector>(E.get());
+      const auto *VT = cast<VectorCType>(V->getType().get());
+      std::vector<double> Comps;
+      if (V->getArgs().size() == 1) {
+        double X = evalExpr(V->getArgs()[0], W).asFloat();
+        Comps.assign(VT->getWidth(), X);
+      } else {
+        for (const CExprPtr &A : V->getArgs())
+          Comps.push_back(evalExpr(A, W).asFloat());
+        if (Comps.size() != VT->getWidth())
+          runtimeError("vector constructor arity mismatch");
+      }
+      return Value::makeVec(std::move(Comps));
+    }
+    case CExprKind::ConstructStruct: {
+      const auto *C = cast<ConstructStruct>(E.get());
+      std::vector<Value> Fields;
+      for (const CExprPtr &A : C->getArgs())
+        Fields.push_back(evalExpr(A, W));
+      return Value::makeTuple(std::move(Fields));
+    }
+    case CExprKind::VectorLoad: {
+      const auto *V = cast<VectorLoad>(E.get());
+      Value Base = evalExpr(V->getPointer(), W);
+      if (Base.K != Value::Ptr)
+        runtimeError("vload on a non-pointer");
+      int64_t Idx = evalExpr(V->getIndex(), W).asInt();
+      chargeAccess(Base.Space);
+      std::vector<double> Comps;
+      for (unsigned I = 0; I != V->getWidth(); ++I) {
+        size_t At = static_cast<size_t>(Idx) * V->getWidth() + I;
+        if (At >= Base.P->size())
+          runtimeError("vload out of bounds");
+        Comps.push_back((*Base.P)[At].asFloat());
+      }
+      return Value::makeVec(std::move(Comps));
+    }
+    case CExprKind::VectorStore: {
+      const auto *V = cast<VectorStore>(E.get());
+      Value Val = evalExpr(V->getValue(), W);
+      Value Base = evalExpr(V->getPointer(), W);
+      if (Base.K != Value::Ptr || Val.K != Value::Vec)
+        runtimeError("vstore operand mismatch");
+      int64_t Idx = evalExpr(V->getIndex(), W).asInt();
+      chargeAccess(Base.Space);
+      for (unsigned I = 0; I != V->getWidth(); ++I) {
+        size_t At = static_cast<size_t>(Idx) * V->getWidth() + I;
+        if (At >= Base.P->size())
+          runtimeError("vstore out of bounds");
+        (*Base.P)[At] = Value::makeFloat(Val.V[I]);
+      }
+      return Value::makeInt(0);
+    }
+    }
+    lift_unreachable("unhandled expression kind");
+  }
+
+  static size_t vectorComponent(const std::string &Field, size_t Width) {
+    if (Field.size() == 1) {
+      switch (Field[0]) {
+      case 'x':
+        return 0;
+      case 'y':
+        return 1;
+      case 'z':
+        return 2;
+      case 'w':
+        return 3;
+      default:
+        break;
+      }
+    }
+    if (Field.size() >= 2 && Field[0] == 's') {
+      size_t I = static_cast<size_t>(std::atoi(Field.c_str() + 1));
+      if (I < Width)
+        return I;
+    }
+    fatalError("runtime: bad vector component ." + Field);
+  }
+
+  Value evalBinary(const Binary *B, WorkItem &W) {
+    Value L = evalExpr(B->getLhs(), W);
+    Value R = evalExpr(B->getRhs(), W);
+    BinOp Op = B->getOp();
+
+    // Vector operations apply element-wise, with scalar broadcast.
+    if (L.K == Value::Vec || R.K == Value::Vec) {
+      size_t Width = L.K == Value::Vec ? L.V.size() : R.V.size();
+      Cost.ArithOps += Width;
+      std::vector<double> Out(Width);
+      for (size_t I = 0; I != Width; ++I) {
+        double A = L.K == Value::Vec ? L.V[I] : L.asFloat();
+        double Bv = R.K == Value::Vec ? R.V[I] : R.asFloat();
+        Out[I] = applyFloatOp(Op, A, Bv);
+      }
+      return Value::makeVec(std::move(Out));
+    }
+
+    if (L.K == Value::Int && R.K == Value::Int &&
+        (Op == BinOp::Div || Op == BinOp::Rem))
+      ++Cost.DivModOps;
+    else
+      ++Cost.ArithOps;
+    if (L.K == Value::Int && R.K == Value::Int) {
+      int64_t A = L.I, Bv = R.I;
+      switch (Op) {
+      case BinOp::Add:
+        return Value::makeInt(A + Bv);
+      case BinOp::Sub:
+        return Value::makeInt(A - Bv);
+      case BinOp::Mul:
+        return Value::makeInt(A * Bv);
+      case BinOp::Div:
+        if (Bv == 0)
+          runtimeError("integer division by zero");
+        return Value::makeInt(A / Bv);
+      case BinOp::Rem:
+        if (Bv == 0)
+          runtimeError("integer remainder by zero");
+        return Value::makeInt(A % Bv);
+      case BinOp::Lt:
+        return Value::makeInt(A < Bv);
+      case BinOp::Le:
+        return Value::makeInt(A <= Bv);
+      case BinOp::Gt:
+        return Value::makeInt(A > Bv);
+      case BinOp::Ge:
+        return Value::makeInt(A >= Bv);
+      case BinOp::Eq:
+        return Value::makeInt(A == Bv);
+      case BinOp::Ne:
+        return Value::makeInt(A != Bv);
+      case BinOp::And:
+        return Value::makeInt(A != 0 && Bv != 0);
+      case BinOp::Or:
+        return Value::makeInt(A != 0 || Bv != 0);
+      }
+      lift_unreachable("unhandled binary operator");
+    }
+
+    double A = L.asFloat(), Bv = R.asFloat();
+    switch (Op) {
+    case BinOp::Lt:
+      return Value::makeInt(A < Bv);
+    case BinOp::Le:
+      return Value::makeInt(A <= Bv);
+    case BinOp::Gt:
+      return Value::makeInt(A > Bv);
+    case BinOp::Ge:
+      return Value::makeInt(A >= Bv);
+    case BinOp::Eq:
+      return Value::makeInt(A == Bv);
+    case BinOp::Ne:
+      return Value::makeInt(A != Bv);
+    case BinOp::And:
+      return Value::makeInt(A != 0 && Bv != 0);
+    case BinOp::Or:
+      return Value::makeInt(A != 0 || Bv != 0);
+    default:
+      return Value::makeFloat(applyFloatOp(Op, A, Bv));
+    }
+  }
+
+  [[noreturn]] static void badFloatOp() {
+    fatalError("runtime: unsupported float operation");
+  }
+
+  static double applyFloatOp(BinOp Op, double A, double B) {
+    switch (Op) {
+    case BinOp::Add:
+      return A + B;
+    case BinOp::Sub:
+      return A - B;
+    case BinOp::Mul:
+      return A * B;
+    case BinOp::Div:
+      return A / B;
+    case BinOp::Lt:
+      return A < B;
+    case BinOp::Gt:
+      return A > B;
+    case BinOp::Le:
+      return A <= B;
+    case BinOp::Ge:
+      return A >= B;
+    case BinOp::Eq:
+      return A == B;
+    case BinOp::Ne:
+      return A != B;
+    default:
+      badFloatOp();
+    }
+  }
+
+  Value evalCall(const Call *C, WorkItem &W) {
+    const std::string &Name = C->getCallee();
+
+    // OpenCL work-item built-ins.
+    if (Name == "get_local_id" || Name == "get_group_id" ||
+        Name == "get_global_id" || Name == "get_local_size" ||
+        Name == "get_num_groups" || Name == "get_global_size") {
+      int64_t D = evalExpr(C->getArgs()[0], W).asInt();
+      if (D < 0 || D > 2)
+        runtimeError("bad NDRange dimension");
+      if (Name == "get_local_id")
+        return Value::makeInt(W.LocalId[D]);
+      if (Name == "get_group_id")
+        return Value::makeInt(W.GroupId[D]);
+      if (Name == "get_global_id")
+        return Value::makeInt(W.GroupId[D] * Cfg.Local[D] + W.LocalId[D]);
+      if (Name == "get_local_size")
+        return Value::makeInt(Cfg.Local[D]);
+      if (Name == "get_num_groups")
+        return Value::makeInt(Cfg.Global[D] / Cfg.Local[D]);
+      return Value::makeInt(Cfg.Global[D]);
+    }
+
+    // Math built-ins.
+    static const std::map<std::string, double (*)(double)> Unary1 = {
+        {"sqrt", [](double X) { return std::sqrt(X); }},
+        {"rsqrt", [](double X) { return 1.0 / std::sqrt(X); }},
+        {"sin", [](double X) { return std::sin(X); }},
+        {"cos", [](double X) { return std::cos(X); }},
+        {"exp", [](double X) { return std::exp(X); }},
+        {"log", [](double X) { return std::log(X); }},
+        {"fabs", [](double X) { return std::fabs(X); }},
+        {"floor", [](double X) { return std::floor(X); }},
+    };
+    auto U1 = Unary1.find(Name);
+    if (U1 != Unary1.end()) {
+      ++Cost.MathCalls;
+      Value A = evalExpr(C->getArgs()[0], W);
+      if (A.K == Value::Vec) {
+        for (double &D : A.V)
+          D = U1->second(D);
+        return A;
+      }
+      return Value::makeFloat(U1->second(A.asFloat()));
+    }
+    if (Name == "fmin" || Name == "min" || Name == "fmax" || Name == "max" ||
+        Name == "pow") {
+      ++Cost.MathCalls;
+      double A = evalExpr(C->getArgs()[0], W).asFloat();
+      double B = evalExpr(C->getArgs()[1], W).asFloat();
+      if (Name == "pow")
+        return Value::makeFloat(std::pow(A, B));
+      bool Min = Name[0] == 'f' ? Name[1] == 'm' && Name[2] == 'i'
+                                : Name[1] == 'i';
+      return Value::makeFloat(Min ? std::fmin(A, B) : std::fmax(A, B));
+    }
+    if (Name == "dot") {
+      ++Cost.MathCalls;
+      Value A = evalExpr(C->getArgs()[0], W);
+      Value B = evalExpr(C->getArgs()[1], W);
+      if (A.K != Value::Vec || B.K != Value::Vec || A.V.size() != B.V.size())
+        runtimeError("dot expects equal-width vectors");
+      double S = 0;
+      for (size_t I = 0; I != A.V.size(); ++I)
+        S += A.V[I] * B.V[I];
+      return Value::makeFloat(S);
+    }
+
+    // User functions from the module.
+    CFunctionPtr F = K.Module.findFunction(Name);
+    if (!F)
+      runtimeError("call to unknown function " + Name);
+    ++Cost.Calls;
+    if (F->Params.size() != C->getArgs().size())
+      runtimeError("arity mismatch calling " + Name);
+    for (size_t I = 0, E = C->getArgs().size(); I != E; ++I)
+      setVarNoArith(W, F->Params[I].get(), evalExpr(C->getArgs()[I], W));
+    for (const CStmtPtr &S : F->Body->getStmts()) {
+      ExecResult R = execStmtSingle(S, W);
+      if (R.Returned)
+        return R.Ret;
+    }
+    runtimeError("function " + Name + " did not return a value");
+  }
+
+  void setVarNoArith(WorkItem &W, const CVar *V, Value Val) {
+    W.Vars[V] = std::move(Val);
+  }
+};
+
+} // namespace
+
+CostReport ocl::launch(const codegen::CompiledKernel &K,
+                       const std::vector<Buffer *> &Buffers,
+                       const std::map<std::string, int64_t> &Sizes,
+                       const LaunchConfig &Cfg) {
+  return Machine(K, Cfg).run(Buffers, Sizes);
+}
+
+codegen::CompiledKernel ocl::wrapModule(c::CModule M) {
+  codegen::CompiledKernel K;
+  if (!M.Kernel)
+    fatalError("wrapModule: translation unit has no kernel");
+  unsigned NextId = 1;
+  for (const CVarPtr &P : M.Kernel->Params) {
+    codegen::KernelParamInfo Info;
+    Info.Var = P;
+    if (isa<PointerCType>(P->Ty.get())) {
+      auto Store = std::make_shared<view::Storage>();
+      Store->Id = NextId++;
+      Store->Var = P;
+      Store->AS = c::CAddrSpace::Global;
+      Store->ElemType = cast<PointerCType>(P->Ty.get())->getPointee();
+      Store->NumElements = arith::cst(0); // bound by the caller, in order
+      Info.Store = Store;
+    } else {
+      Info.IsSizeParam = true;
+      Info.ArithId = 0;
+    }
+    K.Params.push_back(Info);
+  }
+  K.Module = std::move(M);
+  return K;
+}

@@ -1,0 +1,146 @@
+//===- AddressSpaceInference.cpp - Algorithm 1 of the paper -----------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/AddressSpaceInference.h"
+
+#include "support/Casting.h"
+#include "support/Error.h"
+
+using namespace lift;
+using namespace lift::ir;
+
+namespace {
+
+/// Implements the mutually recursive inferASExpr / inferASFunCall of
+/// Algorithm 1. The writeTo argument is the address space requested by an
+/// enclosing toPrivate/toLocal/toGlobal wrapper (Undef when unconstrained).
+class AddressSpaceInferencer {
+public:
+  void run(const LambdaPtr &Program) {
+    for (const ParamPtr &P : Program->getParams()) {
+      // Scalars are passed by value (private); arrays are global buffers.
+      P->AS = isa<ArrayType>(P->Ty.get()) ? AddressSpace::Global
+                                          : AddressSpace::Private;
+    }
+    inferExpr(Program->getBody(), AddressSpace::Undef);
+  }
+
+private:
+  void inferExpr(const ExprPtr &E, AddressSpace WriteTo) {
+    switch (E->getClass()) {
+    case ExprClass::Literal:
+      E->AS = AddressSpace::Private;
+      return;
+    case ExprClass::Param:
+      if (E->AS == AddressSpace::Undef)
+        fatalError("address space inference: parameter '" +
+                   cast<Param>(E.get())->getName() +
+                   "' visited before being bound");
+      return;
+    case ExprClass::FunCall: {
+      const auto *C = cast<FunCall>(E.get());
+      // Arguments inherit the requested write space (Algorithm 1, line
+      // 10): a toLocal wrapper redirects the writes of the whole nested
+      // data flow unless an inner wrapper overrides it.
+      for (const ExprPtr &Arg : C->getArgs())
+        inferExpr(Arg, WriteTo);
+      std::vector<AddressSpace> ArgAS;
+      for (const ExprPtr &Arg : C->getArgs())
+        ArgAS.push_back(Arg->AS);
+      E->AS = applyFun(C->getFun(), ArgAS, WriteTo);
+      return;
+    }
+    }
+    lift_unreachable("unhandled expression class");
+  }
+
+  /// Returns the address space of the value produced by applying \p F.
+  AddressSpace applyFun(const FunDeclPtr &F, std::vector<AddressSpace> Args,
+                        AddressSpace WriteTo) {
+    switch (F->getKind()) {
+    case FunKind::Lambda: {
+      const auto *L = cast<Lambda>(F.get());
+      for (size_t I = 0, E = Args.size(); I != E; ++I)
+        L->getParams()[I]->AS = Args[I];
+      inferExpr(L->getBody(), WriteTo);
+      return L->getBody()->AS;
+    }
+
+    case FunKind::UserFun:
+      if (WriteTo != AddressSpace::Undef)
+        return WriteTo;
+      return commonSpace(Args);
+
+    case FunKind::Map:
+    case FunKind::MapSeq:
+    case FunKind::MapGlb:
+    case FunKind::MapWrg:
+    case FunKind::MapLcl:
+    case FunKind::MapVec:
+      return applyFun(cast<AbstractMap>(F.get())->getF(), Args, WriteTo);
+
+    case FunKind::ReduceSeq: {
+      // Reduce writes into the memory of the initializer expression and,
+      // therefore, has the same address space (Algorithm 1, line 23).
+      const auto *R = cast<ReduceSeq>(F.get());
+      AddressSpace InitAS = Args[0];
+      applyFun(R->getF(), {InitAS, Args[1]}, InitAS);
+      return InitAS;
+    }
+
+    case FunKind::Id:
+      return Args[0];
+
+    case FunKind::Iterate:
+      return applyFun(cast<Iterate>(F.get())->getF(), Args, WriteTo);
+
+    case FunKind::ToGlobal:
+    case FunKind::ToLocal:
+    case FunKind::ToPrivate: {
+      const auto *W = cast<AddressSpaceWrapper>(F.get());
+      return applyFun(W->getF(), std::move(Args), W->getTargetSpace());
+    }
+
+    case FunKind::GatherIndices:
+      return Args[1];
+
+    case FunKind::Zip:
+    case FunKind::Unzip:
+    case FunKind::Get:
+    case FunKind::Split:
+    case FunKind::Join:
+    case FunKind::Gather:
+    case FunKind::Scatter:
+    case FunKind::Slide:
+    case FunKind::Transpose:
+    case FunKind::AsVector:
+    case FunKind::AsScalar:
+      // Data layout patterns do not write; the value keeps the address
+      // space of the (first) argument.
+      return Args[0];
+    }
+    lift_unreachable("unhandled function kind");
+  }
+
+  static AddressSpace commonSpace(const std::vector<AddressSpace> &Args) {
+    // A user function writes into the common address space of its
+    // arguments, or global memory by default on a mix.
+    AddressSpace Common = AddressSpace::Undef;
+    for (AddressSpace A : Args) {
+      if (Common == AddressSpace::Undef)
+        Common = A;
+      else if (Common != A)
+        return AddressSpace::Global;
+    }
+    return Common == AddressSpace::Undef ? AddressSpace::Global : Common;
+  }
+};
+
+} // namespace
+
+void passes::inferAddressSpaces(const LambdaPtr &Program) {
+  AddressSpaceInferencer().run(Program);
+}

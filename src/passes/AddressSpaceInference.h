@@ -1,0 +1,33 @@
+//===- AddressSpaceInference.h - Algorithm 1 of the paper -------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive address space inference (Algorithm 1, section 5.2): scalar
+/// program parameters live in private memory, arrays in global memory;
+/// toPrivate/toLocal/toGlobal wrappers redirect the writes of their nested
+/// function; reductions write into the address space of their initializer;
+/// user functions write to the requested space or infer it from their
+/// arguments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_PASSES_ADDRESSSPACEINFERENCE_H
+#define LIFT_PASSES_ADDRESSSPACEINFERENCE_H
+
+#include "ir/IR.h"
+
+namespace lift {
+namespace passes {
+
+/// Annotates every expression in the program (including lambda parameters
+/// of nested functions) with its address space. Requires types to be
+/// inferred first.
+void inferAddressSpaces(const ir::LambdaPtr &Program);
+
+} // namespace passes
+} // namespace lift
+
+#endif // LIFT_PASSES_ADDRESSSPACEINFERENCE_H

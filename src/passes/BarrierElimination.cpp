@@ -1,0 +1,167 @@
+//===- BarrierElimination.cpp - Synchronization minimization ----------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/BarrierElimination.h"
+
+#include "support/Casting.h"
+#include "support/Error.h"
+
+using namespace lift;
+using namespace lift::ir;
+
+namespace {
+
+/// A data-flow event relevant to the barrier analysis: either a data
+/// layout pattern that can re-share data between threads, or a mapLcl
+/// whose barrier is under consideration.
+struct Event {
+  enum Kind { Layout, Lcl } K;
+  MapLcl *M = nullptr; // for Lcl
+};
+
+class BarrierAnalysis {
+public:
+  unsigned Eliminated = 0;
+
+  void run(const LambdaPtr &Program) {
+    std::vector<Event> Events = analyzeExpr(Program->getBody());
+    scan(Events);
+  }
+
+private:
+  static bool isLayoutPattern(FunKind K) {
+    switch (K) {
+    case FunKind::Split:
+    case FunKind::Join:
+    case FunKind::Gather:
+    case FunKind::Scatter:
+    case FunKind::Zip:
+    case FunKind::Unzip:
+    case FunKind::Slide:
+    case FunKind::Transpose:
+    case FunKind::GatherIndices:
+    case FunKind::AsVector:
+    case FunKind::AsScalar:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  /// Returns the events of the data flow producing \p E, in order.
+  std::vector<Event> analyzeExpr(const ExprPtr &E) {
+    const auto *C = dyn_cast<FunCall>(E.get());
+    if (!C)
+      return {};
+
+    std::vector<Event> Events;
+    const FunDeclPtr &F = C->getFun();
+
+    if (F->getKind() == FunKind::Zip) {
+      // Branches of a zip execute independently: only the last branch that
+      // ends in a mapLcl needs to keep its barrier (section 5.4).
+      std::vector<std::vector<Event>> Branches;
+      for (const ExprPtr &Arg : C->getArgs())
+        Branches.push_back(analyzeExpr(Arg));
+      MapLcl *LastTrailing = nullptr;
+      for (auto &Branch : Branches)
+        if (!Branch.empty() && Branch.back().K == Event::Lcl)
+          LastTrailing = Branch.back().M;
+      for (auto &Branch : Branches) {
+        if (!Branch.empty() && Branch.back().K == Event::Lcl &&
+            Branch.back().M != LastTrailing && Branch.back().M->EmitBarrier) {
+          Branch.back().M->EmitBarrier = false;
+          ++Eliminated;
+        }
+        Events.insert(Events.end(), Branch.begin(), Branch.end());
+      }
+      Events.push_back({Event::Layout, nullptr});
+      return Events;
+    }
+
+    for (const ExprPtr &Arg : C->getArgs()) {
+      std::vector<Event> ArgEvents = analyzeExpr(Arg);
+      Events.insert(Events.end(), ArgEvents.begin(), ArgEvents.end());
+    }
+    appendFunEvents(F, Events);
+    return Events;
+  }
+
+  void appendFunEvents(const FunDeclPtr &F, std::vector<Event> &Events) {
+    if (isLayoutPattern(F->getKind())) {
+      Events.push_back({Event::Layout, nullptr});
+      return;
+    }
+    switch (F->getKind()) {
+    case FunKind::Lambda:
+      // The lambda body's own data flow.
+      for (Event Ev : analyzeExpr(cast<Lambda>(F.get())->getBody()))
+        Events.push_back(Ev);
+      return;
+    case FunKind::Map:
+    case FunKind::MapSeq:
+    case FunKind::MapGlb:
+    case FunKind::MapWrg:
+    case FunKind::MapVec:
+      appendFunEvents(cast<AbstractMap>(F.get())->getF(), Events);
+      return;
+    case FunKind::MapLcl: {
+      auto *M = const_cast<MapLcl *>(cast<MapLcl>(F.get()));
+      appendFunEvents(M->getF(), Events);
+      Events.push_back({Event::Lcl, M});
+      return;
+    }
+    case FunKind::ReduceSeq:
+      appendFunEvents(cast<ReduceSeq>(F.get())->getF(), Events);
+      return;
+    case FunKind::Iterate:
+      // Iteration re-injects the output as the next input: conservatively
+      // treat the loop back-edge as data sharing on both sides.
+      Events.push_back({Event::Layout, nullptr});
+      appendFunEvents(cast<Iterate>(F.get())->getF(), Events);
+      Events.push_back({Event::Layout, nullptr});
+      return;
+    case FunKind::ToGlobal:
+    case FunKind::ToLocal:
+    case FunKind::ToPrivate:
+      appendFunEvents(cast<AddressSpaceWrapper>(F.get())->getF(), Events);
+      return;
+    case FunKind::UserFun:
+    case FunKind::Id:
+      return;
+    default:
+      return;
+    }
+  }
+
+  /// Clears the barrier of every mapLcl that reaches the next mapLcl
+  /// without an intervening layout pattern.
+  void scan(const std::vector<Event> &Events) {
+    for (size_t I = 0, E = Events.size(); I != E; ++I) {
+      if (Events[I].K != Event::Lcl)
+        continue;
+      for (size_t J = I + 1; J != E; ++J) {
+        if (Events[J].K == Event::Layout)
+          break;
+        if (Events[J].K == Event::Lcl) {
+          if (Events[I].M->EmitBarrier) {
+            Events[I].M->EmitBarrier = false;
+            ++Eliminated;
+          }
+          break;
+        }
+      }
+    }
+  }
+};
+
+} // namespace
+
+unsigned passes::eliminateBarriers(const LambdaPtr &Program) {
+  BarrierAnalysis A;
+  A.run(Program);
+  return A.Eliminated;
+}

@@ -1,0 +1,34 @@
+//===- BarrierElimination.h - Synchronization minimization ------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Barrier elimination (section 5.4): a barrier is emitted after every
+/// mapLcl by default ("safety first") and removed only when the analysis
+/// can show no inter-thread sharing follows. Because the Lift IL only
+/// shares data through the data layout patterns (split, join, gather,
+/// scatter, slide, transpose, zip, ...), a mapLcl whose results reach the
+/// next mapLcl without any such pattern in between does not need its
+/// barrier. Additionally, two mapLcl in different branches of a zip can
+/// execute independently, so one of the two barriers is eliminated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_PASSES_BARRIERELIMINATION_H
+#define LIFT_PASSES_BARRIERELIMINATION_H
+
+#include "ir/IR.h"
+
+namespace lift {
+namespace passes {
+
+/// Clears the EmitBarrier flag on mapLcl patterns proven not to need a
+/// barrier. Returns the number of barriers eliminated.
+unsigned eliminateBarriers(const ir::LambdaPtr &Program);
+
+} // namespace passes
+} // namespace lift
+
+#endif // LIFT_PASSES_BARRIERELIMINATION_H

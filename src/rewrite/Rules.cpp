@@ -1,0 +1,434 @@
+//===- Rules.cpp - Rewrite rules for the Lift IL ------------------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rewrite/Rules.h"
+
+#include "ir/DSL.h"
+#include "support/Casting.h"
+#include "support/Error.h"
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::rewrite;
+
+namespace {
+
+/// Matches FunCall(Kind, [single arg]) and returns the call.
+const FunCall *matchUnaryCall(const ExprPtr &E, FunKind K) {
+  const auto *C = dyn_cast<FunCall>(E.get());
+  if (!C || C->getFun()->getKind() != K || C->getArgs().size() != 1)
+    return nullptr;
+  return C;
+}
+
+/// Wraps a function so it can be composed: a Lambda applying F.
+FunDeclPtr composed(const FunDeclPtr &Outer, const FunDeclPtr &Inner) {
+  ParamPtr P = dsl::param("p");
+  return dsl::lambda(
+      {P}, dsl::call(Outer, {dsl::call(Inner, {ExprPtr(P)})}));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Algorithmic rules
+//===----------------------------------------------------------------------===//
+
+Rule rewrite::mapFusion() {
+  Rule R;
+  R.Name = "map-fusion";
+  R.Apply = [](const ExprPtr &E) -> ExprPtr {
+    const FunCall *Outer = matchUnaryCall(E, FunKind::Map);
+    if (!Outer)
+      return nullptr;
+    const FunCall *Inner = matchUnaryCall(Outer->getArgs()[0], FunKind::Map);
+    if (!Inner)
+      return nullptr;
+    const FunDeclPtr &F = cast<Map>(Outer->getFun().get())->getF();
+    const FunDeclPtr &G = cast<Map>(Inner->getFun().get())->getF();
+    return dsl::call(dsl::map(composed(F, G)), {Inner->getArgs()[0]});
+  };
+  return R;
+}
+
+Rule rewrite::splitJoinElimination() {
+  Rule R;
+  R.Name = "split-join-elimination";
+  R.Apply = [](const ExprPtr &E) -> ExprPtr {
+    const FunCall *J = matchUnaryCall(E, FunKind::Join);
+    if (!J)
+      return nullptr;
+    const FunCall *S = matchUnaryCall(J->getArgs()[0], FunKind::Split);
+    if (!S)
+      return nullptr;
+    return S->getArgs()[0];
+  };
+  return R;
+}
+
+Rule rewrite::splitJoinIntroduction(arith::Expr ChunkSize) {
+  Rule R;
+  R.Name = "split-join-introduction";
+  R.Apply = [ChunkSize](const ExprPtr &E) -> ExprPtr {
+    const FunCall *M = matchUnaryCall(E, FunKind::Map);
+    if (!M)
+      return nullptr;
+    const FunDeclPtr &F = cast<Map>(M->getFun().get())->getF();
+    return dsl::pipe(M->getArgs()[0], dsl::split(ChunkSize),
+                     dsl::map(dsl::map(F)), dsl::join());
+  };
+  return R;
+}
+
+Rule rewrite::reduceMapFusion() {
+  Rule R;
+  R.Name = "reduce-map-fusion";
+  R.Apply = [](const ExprPtr &E) -> ExprPtr {
+    const auto *C = dyn_cast<FunCall>(E.get());
+    if (!C || C->getFun()->getKind() != FunKind::ReduceSeq ||
+        C->getArgs().size() != 2)
+      return nullptr;
+    const FunCall *Producer =
+        matchUnaryCall(C->getArgs()[1], FunKind::MapSeq);
+    if (!Producer)
+      Producer = matchUnaryCall(C->getArgs()[1], FunKind::Map);
+    if (!Producer)
+      return nullptr;
+    const FunDeclPtr &F = cast<ReduceSeq>(C->getFun().get())->getF();
+    const FunDeclPtr &G =
+        cast<AbstractMap>(Producer->getFun().get())->getF();
+    ParamPtr Acc = dsl::param("acc");
+    ParamPtr Elem = dsl::param("e");
+    FunDeclPtr Fused = dsl::lambda(
+        {Acc, Elem},
+        dsl::call(F, {ExprPtr(Acc), dsl::call(G, {ExprPtr(Elem)})}));
+    return dsl::call(dsl::reduceSeq(Fused),
+                     {C->getArgs()[0], Producer->getArgs()[0]});
+  };
+  return R;
+}
+
+Rule rewrite::idElimination() {
+  Rule R;
+  R.Name = "id-elimination";
+  R.Apply = [](const ExprPtr &E) -> ExprPtr {
+    const FunCall *C = matchUnaryCall(E, FunKind::Id);
+    if (!C)
+      return nullptr;
+    return C->getArgs()[0];
+  };
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Mapping rules
+//===----------------------------------------------------------------------===//
+
+Rule rewrite::mapToMapGlb(unsigned Dim) {
+  Rule R;
+  R.Name = "map-to-mapGlb";
+  R.Apply = [Dim](const ExprPtr &E) -> ExprPtr {
+    const FunCall *M = matchUnaryCall(E, FunKind::Map);
+    if (!M)
+      return nullptr;
+    const FunDeclPtr &F = cast<Map>(M->getFun().get())->getF();
+    return dsl::call(dsl::mapGlb(Dim, F), {M->getArgs()[0]});
+  };
+  return R;
+}
+
+Rule rewrite::mapToMapSeq() {
+  Rule R;
+  R.Name = "map-to-mapSeq";
+  R.Apply = [](const ExprPtr &E) -> ExprPtr {
+    const FunCall *M = matchUnaryCall(E, FunKind::Map);
+    if (!M)
+      return nullptr;
+    const FunDeclPtr &F = cast<Map>(M->getFun().get())->getF();
+    return dsl::call(dsl::mapSeq(F), {M->getArgs()[0]});
+  };
+  return R;
+}
+
+Rule rewrite::mapToWrgLcl(arith::Expr ChunkSize, unsigned Dim) {
+  Rule R;
+  R.Name = "map-to-wrg-lcl";
+  R.Apply = [ChunkSize, Dim](const ExprPtr &E) -> ExprPtr {
+    const FunCall *M = matchUnaryCall(E, FunKind::Map);
+    if (!M)
+      return nullptr;
+    const FunDeclPtr &F = cast<Map>(M->getFun().get())->getF();
+    return dsl::pipe(M->getArgs()[0], dsl::split(ChunkSize),
+                     dsl::mapWrg(Dim, dsl::mapLcl(Dim, F)), dsl::join());
+  };
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Application machinery
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Rebuilds an expression with the subtree at \p Target replaced by
+/// \p Replacement (pointer identity match), descending into lambda bodies
+/// and nested map functions.
+class Replacer {
+  const Expr *Target;
+  ExprPtr Replacement;
+
+public:
+  Replacer(const Expr *Target, ExprPtr Replacement)
+      : Target(Target), Replacement(std::move(Replacement)) {}
+
+  ExprPtr rebuildExpr(const ExprPtr &E) {
+    if (E.get() == Target)
+      return Replacement;
+    const auto *C = dyn_cast<FunCall>(E.get());
+    if (!C)
+      return E;
+    bool Changed = false;
+    std::vector<ExprPtr> Args;
+    for (const ExprPtr &A : C->getArgs()) {
+      ExprPtr NA = rebuildExpr(A);
+      Changed |= NA.get() != A.get();
+      Args.push_back(std::move(NA));
+    }
+    FunDeclPtr NF = rebuildFun(C->getFun(), Changed);
+    if (!Changed)
+      return E;
+    return std::make_shared<FunCall>(std::move(NF), std::move(Args));
+  }
+
+private:
+  FunDeclPtr rebuildFun(const FunDeclPtr &F, bool &Changed) {
+    switch (F->getKind()) {
+    case FunKind::Lambda: {
+      const auto *L = cast<Lambda>(F.get());
+      ExprPtr NB = rebuildExpr(L->getBody());
+      if (NB.get() == L->getBody().get())
+        return F;
+      Changed = true;
+      return std::make_shared<Lambda>(L->getParams(), std::move(NB));
+    }
+    case FunKind::Map: {
+      FunDeclPtr NG = rebuildFun(cast<Map>(F.get())->getF(), Changed);
+      return NG.get() == cast<Map>(F.get())->getF().get()
+                 ? F
+                 : std::make_shared<Map>(std::move(NG));
+    }
+    case FunKind::MapSeq: {
+      FunDeclPtr NG = rebuildFun(cast<MapSeq>(F.get())->getF(), Changed);
+      return NG.get() == cast<MapSeq>(F.get())->getF().get()
+                 ? F
+                 : std::make_shared<MapSeq>(std::move(NG));
+    }
+    case FunKind::MapGlb: {
+      const auto *M = cast<MapGlb>(F.get());
+      FunDeclPtr NG = rebuildFun(M->getF(), Changed);
+      return NG.get() == M->getF().get()
+                 ? F
+                 : std::make_shared<MapGlb>(M->getDim(), std::move(NG));
+    }
+    case FunKind::MapWrg: {
+      const auto *M = cast<MapWrg>(F.get());
+      FunDeclPtr NG = rebuildFun(M->getF(), Changed);
+      return NG.get() == M->getF().get()
+                 ? F
+                 : std::make_shared<MapWrg>(M->getDim(), std::move(NG));
+    }
+    case FunKind::MapLcl: {
+      const auto *M = cast<MapLcl>(F.get());
+      FunDeclPtr NG = rebuildFun(M->getF(), Changed);
+      return NG.get() == M->getF().get()
+                 ? F
+                 : std::make_shared<MapLcl>(M->getDim(), std::move(NG));
+    }
+    case FunKind::ReduceSeq: {
+      FunDeclPtr NG = rebuildFun(cast<ReduceSeq>(F.get())->getF(), Changed);
+      return NG.get() == cast<ReduceSeq>(F.get())->getF().get()
+                 ? F
+                 : std::make_shared<ReduceSeq>(std::move(NG));
+    }
+    case FunKind::Iterate: {
+      const auto *I = cast<Iterate>(F.get());
+      FunDeclPtr NG = rebuildFun(I->getF(), Changed);
+      return NG.get() == I->getF().get()
+                 ? F
+                 : std::make_shared<Iterate>(I->getCount(), std::move(NG));
+    }
+    case FunKind::ToGlobal: {
+      FunDeclPtr NG = rebuildFun(cast<ToGlobal>(F.get())->getF(), Changed);
+      return NG.get() == cast<ToGlobal>(F.get())->getF().get()
+                 ? F
+                 : std::make_shared<ToGlobal>(std::move(NG));
+    }
+    case FunKind::ToLocal: {
+      FunDeclPtr NG = rebuildFun(cast<ToLocal>(F.get())->getF(), Changed);
+      return NG.get() == cast<ToLocal>(F.get())->getF().get()
+                 ? F
+                 : std::make_shared<ToLocal>(std::move(NG));
+    }
+    case FunKind::ToPrivate: {
+      FunDeclPtr NG = rebuildFun(cast<ToPrivate>(F.get())->getF(), Changed);
+      return NG.get() == cast<ToPrivate>(F.get())->getF().get()
+                 ? F
+                 : std::make_shared<ToPrivate>(std::move(NG));
+    }
+    default:
+      return F;
+    }
+  }
+};
+
+bool findFirstInFun(const Rule &R, const FunDeclPtr &F, const Expr *&Site,
+                    ExprPtr &Replacement);
+
+/// Pre-order search for the first position where \p R applies. Returns
+/// the matched expression and its replacement.
+bool findFirst(const Rule &R, const ExprPtr &E, const Expr *&Site,
+               ExprPtr &Replacement) {
+  if (ExprPtr Rep = R.Apply(E)) {
+    Site = E.get();
+    Replacement = std::move(Rep);
+    return true;
+  }
+  const auto *C = dyn_cast<FunCall>(E.get());
+  if (!C)
+    return false;
+  for (const ExprPtr &A : C->getArgs())
+    if (findFirst(R, A, Site, Replacement))
+      return true;
+  return findFirstInFun(R, C->getFun(), Site, Replacement);
+}
+
+bool findFirstInFun(const Rule &R, const FunDeclPtr &F, const Expr *&Site,
+                    ExprPtr &Replacement) {
+  switch (F->getKind()) {
+  case FunKind::Lambda:
+    return findFirst(R, cast<Lambda>(F.get())->getBody(), Site, Replacement);
+  case FunKind::Map:
+  case FunKind::MapSeq:
+  case FunKind::MapGlb:
+  case FunKind::MapWrg:
+  case FunKind::MapLcl:
+  case FunKind::MapVec:
+    return findFirstInFun(R, cast<AbstractMap>(F.get())->getF(), Site,
+                          Replacement);
+  case FunKind::ReduceSeq:
+    return findFirstInFun(R, cast<ReduceSeq>(F.get())->getF(), Site,
+                          Replacement);
+  case FunKind::Iterate:
+    return findFirstInFun(R, cast<Iterate>(F.get())->getF(), Site,
+                          Replacement);
+  case FunKind::ToGlobal:
+  case FunKind::ToLocal:
+  case FunKind::ToPrivate:
+    return findFirstInFun(R, cast<AddressSpaceWrapper>(F.get())->getF(),
+                          Site, Replacement);
+  default:
+    return false;
+  }
+}
+
+void countMatchesImpl(const Rule &R, const ExprPtr &E, unsigned &N);
+
+void countMatchesInFun(const Rule &R, const FunDeclPtr &F, unsigned &N) {
+  switch (F->getKind()) {
+  case FunKind::Lambda:
+    countMatchesImpl(R, cast<Lambda>(F.get())->getBody(), N);
+    return;
+  case FunKind::Map:
+  case FunKind::MapSeq:
+  case FunKind::MapGlb:
+  case FunKind::MapWrg:
+  case FunKind::MapLcl:
+  case FunKind::MapVec:
+    countMatchesInFun(R, cast<AbstractMap>(F.get())->getF(), N);
+    return;
+  case FunKind::ReduceSeq:
+    countMatchesInFun(R, cast<ReduceSeq>(F.get())->getF(), N);
+    return;
+  case FunKind::Iterate:
+    countMatchesInFun(R, cast<Iterate>(F.get())->getF(), N);
+    return;
+  case FunKind::ToGlobal:
+  case FunKind::ToLocal:
+  case FunKind::ToPrivate:
+    countMatchesInFun(R, cast<AddressSpaceWrapper>(F.get())->getF(), N);
+    return;
+  default:
+    return;
+  }
+}
+
+void countMatchesImpl(const Rule &R, const ExprPtr &E, unsigned &N) {
+  if (R.Apply(E))
+    ++N;
+  const auto *C = dyn_cast<FunCall>(E.get());
+  if (!C)
+    return;
+  for (const ExprPtr &A : C->getArgs())
+    countMatchesImpl(R, A, N);
+  countMatchesInFun(R, C->getFun(), N);
+}
+
+} // namespace
+
+ExprPtr rewrite::applyOnce(const Rule &R, const ExprPtr &E) {
+  const Expr *Site = nullptr;
+  ExprPtr Replacement;
+  if (!findFirst(R, E, Site, Replacement))
+    return nullptr;
+  return Replacer(Site, std::move(Replacement)).rebuildExpr(E);
+}
+
+ExprPtr rewrite::applyEverywhere(const Rule &R, const ExprPtr &E,
+                                 unsigned MaxSteps) {
+  ExprPtr Cur = E;
+  for (unsigned I = 0; I != MaxSteps; ++I) {
+    ExprPtr Next = applyOnce(R, Cur);
+    if (!Next)
+      return Cur;
+    Cur = std::move(Next);
+  }
+  return Cur;
+}
+
+unsigned rewrite::countMatches(const Rule &R, const ExprPtr &E) {
+  unsigned N = 0;
+  countMatchesImpl(R, E, N);
+  return N;
+}
+
+LambdaPtr rewrite::lowerProgram(const LambdaPtr &Program, bool UseWorkGroups,
+                                arith::Expr ChunkSize) {
+  // Clone so the caller's program is untouched; the clone shares no
+  // mutable state with the original.
+  LambdaPtr Clone =
+      cast<Lambda>(cloneFunDecl(std::static_pointer_cast<FunDecl>(Program)));
+
+  ExprPtr Body = Clone->getBody();
+  // 1. Fuse adjacent maps to avoid intermediate arrays.
+  Body = applyEverywhere(mapFusion(), Body);
+  // 2. Map the outermost map onto the thread hierarchy.
+  if (UseWorkGroups) {
+    if (!ChunkSize)
+      fatalError("lowerProgram: work-group lowering needs a chunk size");
+    if (ExprPtr Next = applyOnce(mapToWrgLcl(ChunkSize), Body))
+      Body = std::move(Next);
+  } else {
+    if (ExprPtr Next = applyOnce(mapToMapGlb(0), Body))
+      Body = std::move(Next);
+  }
+  // 3. Everything still unmapped runs sequentially inside a thread.
+  Body = applyEverywhere(mapToMapSeq(), Body);
+  // 4. Fuse sequential producers into reductions and clean up.
+  Body = applyEverywhere(reduceMapFusion(), Body);
+  Body = applyEverywhere(splitJoinElimination(), Body);
+
+  return dsl::lambda(Clone->getParams(), Body);
+}

@@ -1,0 +1,98 @@
+//===- Rules.h - Rewrite rules for the Lift IL ------------------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The semantics-preserving rewrite rules of the prior-work lowering layer
+/// (section 2 of the paper and its reference [18], Steuwer et al., ICFP
+/// 2015): the paper's compiler consumes a *low-level* Lift IL whose mapping
+/// decisions were taken by applying these rules to a portable high-level
+/// program. This module provides the algorithmic rules (fusion, split-join)
+/// and the OpenCL mapping rules (map -> mapGlb / mapWrg(mapLcl) / mapSeq),
+/// plus a simple strategy driver that fully lowers a high-level program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_REWRITE_RULES_H
+#define LIFT_REWRITE_RULES_H
+
+#include "ir/IR.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace lift {
+namespace rewrite {
+
+/// A rewrite rule: tries to produce a replacement for an expression.
+/// Returns null when the rule does not apply at this position.
+struct Rule {
+  std::string Name;
+  std::function<ir::ExprPtr(const ir::ExprPtr &)> Apply;
+};
+
+//===----------------------------------------------------------------------===//
+// Algorithmic rules
+//===----------------------------------------------------------------------===//
+
+/// map(f)(map(g)(x)) -> map(f . g)(x). Eliminates an intermediate array.
+Rule mapFusion();
+
+/// join(split(n)(x)) -> x.
+Rule splitJoinElimination();
+
+/// map(f)(x) -> join(map(map(f))(split(n)(x))). Prepares tiling.
+Rule splitJoinIntroduction(arith::Expr ChunkSize);
+
+/// reduceSeq(f)(init, mapSeq(g)(x)) -> reduceSeq(f')(init, x) where
+/// f'(acc, e) = f(acc, g(e)). Fuses producer into the reduction.
+Rule reduceMapFusion();
+
+/// id(x) -> x at the expression level (map(id) cleanups).
+Rule idElimination();
+
+//===----------------------------------------------------------------------===//
+// OpenCL mapping rules (choose how parallelism is exploited)
+//===----------------------------------------------------------------------===//
+
+/// map(f) -> mapGlb<dim>(f). Only valid for the outermost parallel map.
+Rule mapToMapGlb(unsigned Dim = 0);
+
+/// map(f) -> mapSeq(f).
+Rule mapToMapSeq();
+
+/// map(f) -> join . mapWrg<dim>(mapLcl<dim>(f)) . split(chunk): the
+/// work-group / local-thread hierarchy.
+Rule mapToWrgLcl(arith::Expr ChunkSize, unsigned Dim = 0);
+
+//===----------------------------------------------------------------------===//
+// Application machinery
+//===----------------------------------------------------------------------===//
+
+/// Applies \p R at the first matching position (pre-order over the
+/// expression graph, descending into lambda bodies). Returns the rewritten
+/// expression, or null if the rule matched nowhere.
+ir::ExprPtr applyOnce(const Rule &R, const ir::ExprPtr &E);
+
+/// Applies \p R everywhere it matches, repeatedly, until a fixpoint
+/// (bounded by \p MaxSteps to guarantee termination).
+ir::ExprPtr applyEverywhere(const Rule &R, const ir::ExprPtr &E,
+                            unsigned MaxSteps = 64);
+
+/// Counts positions where \p R matches.
+unsigned countMatches(const Rule &R, const ir::ExprPtr &E);
+
+/// A simple lowering strategy standing in for the automated search of
+/// [18]: the outermost high-level map becomes mapWrg(mapLcl) when
+/// \p UseWorkGroups (with the given chunk size) or mapGlb otherwise, and
+/// every remaining map becomes mapSeq.
+ir::LambdaPtr lowerProgram(const ir::LambdaPtr &Program, bool UseWorkGroups,
+                           arith::Expr ChunkSize = nullptr);
+
+} // namespace rewrite
+} // namespace lift
+
+#endif // LIFT_REWRITE_RULES_H

@@ -1,0 +1,84 @@
+//===- Casting.h - isa/cast/dyn_cast templates ------------------*- C++ -*-===//
+//
+// Part of the lift-cpp project, a C++ reproduction of the Lift compiler
+// (Steuwer, Remmelg, Dubach; CGO 2017). MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-rolled RTTI in the LLVM style: classes opt in by implementing a
+/// static \c classof(const Base*) predicate, and clients query the dynamic
+/// kind with \c isa<>, \c cast<> and \c dyn_cast<>.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_SUPPORT_CASTING_H
+#define LIFT_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <memory>
+#include <type_traits>
+
+namespace lift {
+
+/// Returns true if \p Val is an instance of \p To (or a subclass of it).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  if constexpr (std::is_base_of_v<To, From>)
+    return true;
+  else
+    return To::classof(Val);
+}
+
+template <typename To, typename From>
+bool isa(const std::shared_ptr<From> &Val) {
+  return isa<To>(Val.get());
+}
+
+/// Checked cast: asserts that \p Val is an instance of \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+template <typename To, typename From>
+auto cast(const std::shared_ptr<From> &Val) {
+  using ToTy = std::conditional_t<std::is_const_v<From>, const To, To>;
+  assert(isa<To>(Val.get()) && "cast<> argument of incompatible type");
+  return std::static_pointer_cast<ToTy>(Val);
+}
+
+/// Checking cast: returns null if \p Val is not an instance of \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+template <typename To, typename From>
+auto dyn_cast(const std::shared_ptr<From> &Val) {
+  using ToTy = std::conditional_t<std::is_const_v<From>, const To, To>;
+  return Val && isa<To>(Val.get()) ? std::static_pointer_cast<ToTy>(Val)
+                                   : std::shared_ptr<ToTy>();
+}
+
+/// Like dyn_cast but tolerates null input.
+template <typename To, typename From> To *dyn_cast_or_null(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+template <typename To, typename From>
+const To *dyn_cast_or_null(const From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace lift
+
+#endif // LIFT_SUPPORT_CASTING_H

@@ -1,0 +1,24 @@
+//===- Error.cpp - Fatal error reporting ----------------------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace lift;
+
+void lift::fatalError(const std::string &Msg) {
+  std::fprintf(stderr, "lift fatal error: %s\n", Msg.c_str());
+  std::abort();
+}
+
+void lift::unreachableInternal(const char *Msg, const char *File,
+                               unsigned Line) {
+  std::fprintf(stderr, "unreachable executed at %s:%u: %s\n", File, Line,
+               Msg ? Msg : "");
+  std::abort();
+}

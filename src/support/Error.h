@@ -1,0 +1,36 @@
+//===- Error.h - Fatal error reporting --------------------------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal error reporting and the \c lift_unreachable macro. The compiler
+/// library does not use exceptions; unrecoverable conditions (malformed IR,
+/// internal invariant violations) abort with a diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_SUPPORT_ERROR_H
+#define LIFT_SUPPORT_ERROR_H
+
+#include <string>
+
+namespace lift {
+
+/// Prints \p Msg to stderr and aborts. Used for unrecoverable conditions
+/// triggered by malformed input programs.
+[[noreturn]] void fatalError(const std::string &Msg);
+
+/// Implementation detail of lift_unreachable.
+[[noreturn]] void unreachableInternal(const char *Msg, const char *File,
+                                      unsigned Line);
+
+} // namespace lift
+
+/// Marks a point in code that must never be executed; aborts with a message
+/// identifying the location if it is reached.
+#define lift_unreachable(MSG)                                                 \
+  ::lift::unreachableInternal(MSG, __FILE__, __LINE__)
+
+#endif // LIFT_SUPPORT_ERROR_H

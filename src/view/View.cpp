@@ -1,0 +1,185 @@
+//===- View.cpp - Array access views ----------------------------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "view/View.h"
+
+#include "support/Casting.h"
+#include "support/Error.h"
+
+using namespace lift;
+using namespace lift::view;
+
+ViewNode::~ViewNode() = default;
+
+namespace {
+
+/// Walks a view chain top-to-bottom maintaining the array-index stack and
+/// the tuple-component stack of Figure 5.
+class ViewConsumer {
+  std::vector<arith::Expr> ArrayStack;
+  std::vector<unsigned> TupleStack;
+  unsigned VectorWidth = 1;
+  /// Continuations for MapPureView: the saved outer index and the view to
+  /// resume with when the inner chain reaches its HoleView.
+  std::vector<std::pair<arith::Expr, const ViewNode *>> Resume;
+
+public:
+  Access run(const View &Start) {
+    const ViewNode *Cur = Start.get();
+    while (true) {
+      switch (Cur->getKind()) {
+      case ViewKind::ArrayAccess: {
+        const auto *V = cast<ArrayAccessView>(Cur);
+        ArrayStack.push_back(V->getIndex());
+        Cur = V->getPrev().get();
+        break;
+      }
+      case ViewKind::Split: {
+        const auto *V = cast<SplitView>(Cur);
+        arith::Expr Outer = pop();
+        arith::Expr Inner = pop();
+        ArrayStack.push_back(
+            arith::add(arith::mul(Outer, V->getFactor()), Inner));
+        Cur = V->getPrev().get();
+        break;
+      }
+      case ViewKind::Join: {
+        const auto *V = cast<JoinView>(Cur);
+        arith::Expr K = pop();
+        // Push inner first so the outer index ends on top.
+        ArrayStack.push_back(arith::mod(K, V->getInnerSize()));
+        ArrayStack.push_back(arith::intDiv(K, V->getInnerSize()));
+        Cur = V->getPrev().get();
+        break;
+      }
+      case ViewKind::Zip: {
+        const auto *V = cast<ZipView>(Cur);
+        if (TupleStack.empty())
+          fatalError("view consumption: zip without a tuple access");
+        unsigned Component = TupleStack.back();
+        TupleStack.pop_back();
+        if (Component >= V->getChildren().size())
+          fatalError("view consumption: tuple component out of range");
+        Cur = V->getChildren()[Component].get();
+        break;
+      }
+      case ViewKind::TupleAccess: {
+        const auto *V = cast<TupleAccessView>(Cur);
+        TupleStack.push_back(V->getIndex());
+        Cur = V->getPrev().get();
+        break;
+      }
+      case ViewKind::Gather: {
+        const auto *V = cast<GatherView>(Cur);
+        arith::Expr Outer = pop();
+        ArrayStack.push_back(V->remap(Outer));
+        Cur = V->getPrev().get();
+        break;
+      }
+      case ViewKind::Slide: {
+        const auto *V = cast<SlideView>(Cur);
+        arith::Expr Window = pop();
+        arith::Expr Element = pop();
+        ArrayStack.push_back(
+            arith::add(arith::mul(Window, V->getStep()), Element));
+        Cur = V->getPrev().get();
+        break;
+      }
+      case ViewKind::Transpose: {
+        const auto *V = cast<TransposeView>(Cur);
+        arith::Expr Outer = pop();
+        arith::Expr Inner = pop();
+        // Swap: the previous view sees [Inner][Outer].
+        ArrayStack.push_back(Outer);
+        ArrayStack.push_back(Inner);
+        Cur = V->getPrev().get();
+        break;
+      }
+      case ViewKind::GatherIndices: {
+        const auto *V = cast<GatherIndicesView>(Cur);
+        arith::Expr Outer = pop();
+        // Consume the index array's view at position Outer to obtain the
+        // address of the runtime index, then wrap it in a Lookup.
+        View IdxAt =
+            std::make_shared<ArrayAccessView>(Outer, V->getIdxView());
+        Access IdxAccess = consumeView(IdxAt);
+        const StoragePtr &Table = IdxAccess.Store;
+        ArrayStack.push_back(arith::lookup(Table->Id, Table->Var->Name,
+                                           IdxAccess.Index));
+        Cur = V->getPrev().get();
+        break;
+      }
+      case ViewKind::AsVector: {
+        const auto *V = cast<AsVectorView>(Cur);
+        arith::Expr Outer = pop();
+        ArrayStack.push_back(
+            arith::mul(Outer, arith::cst(V->getWidth())));
+        VectorWidth = V->getWidth();
+        Cur = V->getPrev().get();
+        break;
+      }
+      case ViewKind::AsScalar: {
+        const auto *V = cast<AsScalarView>(Cur);
+        // Scalar-flat storage: the index passes through unchanged.
+        VectorWidth = 1;
+        Cur = V->getPrev().get();
+        break;
+      }
+      case ViewKind::MapPure: {
+        const auto *V = cast<MapPureView>(Cur);
+        // Hold the outer index aside while the inner chain transforms the
+        // element-level indices; restored at the HoleView.
+        Resume.emplace_back(pop(), V->getPrev().get());
+        Cur = V->getInnerChain().get();
+        break;
+      }
+      case ViewKind::Hole: {
+        if (Resume.empty())
+          fatalError("view consumption: hole without enclosing map view");
+        auto [Outer, Next] = Resume.back();
+        Resume.pop_back();
+        ArrayStack.push_back(Outer);
+        Cur = Next;
+        break;
+      }
+      case ViewKind::Memory: {
+        const auto *V = cast<MemoryView>(Cur);
+        Access Result;
+        Result.Store = V->getStorage();
+        Result.VectorWidth = VectorWidth;
+        Result.Components.assign(TupleStack.rbegin(), TupleStack.rend());
+        if (V->getStorage()->isScalar()) {
+          Result.Index = nullptr;
+          return Result;
+        }
+        // Linearize the remaining indices against the declared dims,
+        // outermost dimension first (on top of the stack).
+        const auto &Dims = V->getDims();
+        if (ArrayStack.size() < Dims.size())
+          fatalError("view consumption: not enough indices for memory view");
+        arith::Expr Flat = pop();
+        for (size_t I = 1, E = Dims.size(); I != E; ++I)
+          Flat = arith::add(arith::mul(Flat, Dims[I]), pop());
+        Result.Index = Flat;
+        return Result;
+      }
+      }
+    }
+  }
+
+private:
+  arith::Expr pop() {
+    if (ArrayStack.empty())
+      fatalError("view consumption: array index stack underflow");
+    arith::Expr E = ArrayStack.back();
+    ArrayStack.pop_back();
+    return E;
+  }
+};
+
+} // namespace
+
+Access view::consumeView(const View &V) { return ViewConsumer().run(V); }

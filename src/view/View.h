@@ -1,0 +1,361 @@
+//===- View.h - Array access views ------------------------------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Views record how data-layout patterns (split, join, zip, gather, slide,
+/// transpose, ...) influence array accesses without materializing
+/// intermediate arrays (section 5.3 of the paper, Figure 5). A view is a
+/// chain from the most recent access operation down to a memory view; it is
+/// consumed top-to-bottom with an array-index stack and a tuple-component
+/// stack to produce a flat array index expression.
+///
+/// The same node semantics serve input views (reads, built bottom-up while
+/// the code generator descends into arguments) and output views (writes,
+/// built from the layout patterns *surrounding* a producer, with the
+/// inverse constructors: a join on the output path becomes a SplitView,
+/// a scatter becomes a GatherView, and so on).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_VIEW_VIEW_H
+#define LIFT_VIEW_VIEW_H
+
+#include "arith/ArithExpr.h"
+#include "cast/CAst.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lift {
+namespace view {
+
+//===----------------------------------------------------------------------===//
+// Storage
+//===----------------------------------------------------------------------===//
+
+/// A piece of memory a view can terminate in: a global kernel argument, a
+/// local or private array declared in the kernel, or a private scalar
+/// register (the result of a sequential reduction).
+struct Storage {
+  unsigned Id = 0;
+  c::CVarPtr Var;          ///< The C variable naming the storage.
+  c::CAddrSpace AS = c::CAddrSpace::Global;
+  c::CTypePtr ElemType;    ///< Element type of the array (or scalar type).
+  arith::Expr NumElements; ///< Total element count; null for scalars.
+
+  /// True if this is a plain scalar variable rather than an array.
+  bool isScalar() const { return NumElements == nullptr; }
+};
+
+using StoragePtr = std::shared_ptr<Storage>;
+
+//===----------------------------------------------------------------------===//
+// View nodes
+//===----------------------------------------------------------------------===//
+
+class ViewNode;
+using View = std::shared_ptr<const ViewNode>;
+
+enum class ViewKind {
+  Memory,
+  ArrayAccess,
+  Split,
+  Join,
+  Zip,
+  TupleAccess,
+  Gather,
+  Slide,
+  Transpose,
+  GatherIndices,
+  AsVector,
+  AsScalar,
+  MapPure,
+  Hole,
+};
+
+class ViewNode {
+  const ViewKind Kind;
+
+protected:
+  explicit ViewNode(ViewKind K) : Kind(K) {}
+
+public:
+  virtual ~ViewNode();
+
+  ViewKind getKind() const { return Kind; }
+};
+
+/// Terminal view: the memory of \p Store, with the given array dimension
+/// sizes (outermost first) used to linearize the remaining index stack.
+class MemoryView : public ViewNode {
+  StoragePtr Store;
+  std::vector<arith::Expr> Dims;
+
+public:
+  MemoryView(StoragePtr Store, std::vector<arith::Expr> Dims)
+      : ViewNode(ViewKind::Memory), Store(std::move(Store)),
+        Dims(std::move(Dims)) {}
+
+  const StoragePtr &getStorage() const { return Store; }
+  const std::vector<arith::Expr> &getDims() const { return Dims; }
+
+  static bool classof(const ViewNode *V) {
+    return V->getKind() == ViewKind::Memory;
+  }
+};
+
+/// Indexing one array dimension with a (loop) index expression.
+class ArrayAccessView : public ViewNode {
+  arith::Expr Index;
+  View Prev;
+
+public:
+  ArrayAccessView(arith::Expr Index, View Prev)
+      : ViewNode(ViewKind::ArrayAccess), Index(std::move(Index)),
+        Prev(std::move(Prev)) {}
+
+  const arith::Expr &getIndex() const { return Index; }
+  const View &getPrev() const { return Prev; }
+
+  static bool classof(const ViewNode *V) {
+    return V->getKind() == ViewKind::ArrayAccess;
+  }
+};
+
+/// Linearizes two indices: [outer][inner] -> outer * Factor + inner.
+class SplitView : public ViewNode {
+  arith::Expr Factor;
+  View Prev;
+
+public:
+  SplitView(arith::Expr Factor, View Prev)
+      : ViewNode(ViewKind::Split), Factor(std::move(Factor)),
+        Prev(std::move(Prev)) {}
+
+  const arith::Expr &getFactor() const { return Factor; }
+  const View &getPrev() const { return Prev; }
+
+  static bool classof(const ViewNode *V) {
+    return V->getKind() == ViewKind::Split;
+  }
+};
+
+/// Delinearizes one index: k -> [k / InnerSize][k mod InnerSize].
+class JoinView : public ViewNode {
+  arith::Expr InnerSize;
+  View Prev;
+
+public:
+  JoinView(arith::Expr InnerSize, View Prev)
+      : ViewNode(ViewKind::Join), InnerSize(std::move(InnerSize)),
+        Prev(std::move(Prev)) {}
+
+  const arith::Expr &getInnerSize() const { return InnerSize; }
+  const View &getPrev() const { return Prev; }
+
+  static bool classof(const ViewNode *V) {
+    return V->getKind() == ViewKind::Join;
+  }
+};
+
+/// Branches into one of several zipped arrays, selected by the tuple stack.
+class ZipView : public ViewNode {
+  std::vector<View> Children;
+
+public:
+  explicit ZipView(std::vector<View> Children)
+      : ViewNode(ViewKind::Zip), Children(std::move(Children)) {}
+
+  const std::vector<View> &getChildren() const { return Children; }
+
+  static bool classof(const ViewNode *V) {
+    return V->getKind() == ViewKind::Zip;
+  }
+};
+
+/// Selects tuple component \p Index (pushes onto the tuple stack).
+class TupleAccessView : public ViewNode {
+  unsigned Index;
+  View Prev;
+
+public:
+  TupleAccessView(unsigned Index, View Prev)
+      : ViewNode(ViewKind::TupleAccess), Index(Index), Prev(std::move(Prev)) {}
+
+  unsigned getIndex() const { return Index; }
+  const View &getPrev() const { return Prev; }
+
+  static bool classof(const ViewNode *V) {
+    return V->getKind() == ViewKind::TupleAccess;
+  }
+};
+
+/// Remaps the outer index with an index function (gather on reads; a
+/// scatter on the output path also becomes a GatherView).
+class GatherView : public ViewNode {
+  std::function<arith::Expr(const arith::Expr &)> ReMap;
+  View Prev;
+
+public:
+  GatherView(std::function<arith::Expr(const arith::Expr &)> ReMap, View Prev)
+      : ViewNode(ViewKind::Gather), ReMap(std::move(ReMap)),
+        Prev(std::move(Prev)) {}
+
+  arith::Expr remap(const arith::Expr &I) const { return ReMap(I); }
+  const View &getPrev() const { return Prev; }
+
+  static bool classof(const ViewNode *V) {
+    return V->getKind() == ViewKind::Gather;
+  }
+};
+
+/// Overlapping windows: [window][element] -> window * Step + element.
+class SlideView : public ViewNode {
+  arith::Expr Step;
+  View Prev;
+
+public:
+  SlideView(arith::Expr Step, View Prev)
+      : ViewNode(ViewKind::Slide), Step(std::move(Step)),
+        Prev(std::move(Prev)) {}
+
+  const arith::Expr &getStep() const { return Step; }
+  const View &getPrev() const { return Prev; }
+
+  static bool classof(const ViewNode *V) {
+    return V->getKind() == ViewKind::Slide;
+  }
+};
+
+/// Swaps the two outermost indices.
+class TransposeView : public ViewNode {
+  View Prev;
+
+public:
+  explicit TransposeView(View Prev)
+      : ViewNode(ViewKind::Transpose), Prev(std::move(Prev)) {}
+
+  const View &getPrev() const { return Prev; }
+
+  static bool classof(const ViewNode *V) {
+    return V->getKind() == ViewKind::Transpose;
+  }
+};
+
+/// Data-dependent remap: the outer index i becomes the runtime value
+/// IdxArray[i] (an arith Lookup node reading TableStorage).
+class GatherIndicesView : public ViewNode {
+  View IdxView;          ///< View of the index array.
+  StoragePtr TableStore; ///< Storage holding the index array (for Lookup).
+  View Prev;             ///< View of the data array.
+
+public:
+  GatherIndicesView(View IdxView, StoragePtr TableStore, View Prev)
+      : ViewNode(ViewKind::GatherIndices), IdxView(std::move(IdxView)),
+        TableStore(std::move(TableStore)), Prev(std::move(Prev)) {}
+
+  const View &getIdxView() const { return IdxView; }
+  const StoragePtr &getTableStorage() const { return TableStore; }
+  const View &getPrev() const { return Prev; }
+
+  static bool classof(const ViewNode *V) {
+    return V->getKind() == ViewKind::GatherIndices;
+  }
+};
+
+/// Vector element access over scalar storage: index i covers scalars
+/// [i*Width, i*Width + Width).
+class AsVectorView : public ViewNode {
+  unsigned Width;
+  View Prev;
+
+public:
+  AsVectorView(unsigned Width, View Prev)
+      : ViewNode(ViewKind::AsVector), Width(Width), Prev(std::move(Prev)) {}
+
+  unsigned getWidth() const { return Width; }
+  const View &getPrev() const { return Prev; }
+
+  static bool classof(const ViewNode *V) {
+    return V->getKind() == ViewKind::AsVector;
+  }
+};
+
+/// Scalar element access over vector-written storage (flat scalar index).
+class AsScalarView : public ViewNode {
+  unsigned Width;
+  View Prev;
+
+public:
+  AsScalarView(unsigned Width, View Prev)
+      : ViewNode(ViewKind::AsScalar), Width(Width), Prev(std::move(Prev)) {}
+
+  unsigned getWidth() const { return Width; }
+  const View &getPrev() const { return Prev; }
+
+  static bool classof(const ViewNode *V) {
+    return V->getKind() == ViewKind::AsScalar;
+  }
+};
+
+/// The view of a map over a *pure* (layout-only) function, e.g.
+/// map(transpose) or map(slide(3,1)): the outer index is held aside while
+/// the inner chain — which ends in a HoleView — transforms the remaining
+/// indices, then the outer index is restored and consumption continues
+/// with Prev.
+class MapPureView : public ViewNode {
+  View InnerChain; ///< Pure transformation chain terminated by a HoleView.
+  View Prev;
+
+public:
+  MapPureView(View InnerChain, View Prev)
+      : ViewNode(ViewKind::MapPure), InnerChain(std::move(InnerChain)),
+        Prev(std::move(Prev)) {}
+
+  const View &getInnerChain() const { return InnerChain; }
+  const View &getPrev() const { return Prev; }
+
+  static bool classof(const ViewNode *V) {
+    return V->getKind() == ViewKind::MapPure;
+  }
+};
+
+/// Terminates the inner chain of a MapPureView.
+class HoleView : public ViewNode {
+public:
+  HoleView() : ViewNode(ViewKind::Hole) {}
+
+  static bool classof(const ViewNode *V) {
+    return V->getKind() == ViewKind::Hole;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Consumption (Figure 5, right-hand side)
+//===----------------------------------------------------------------------===//
+
+/// The result of consuming a view: which storage to access, at which flat
+/// element index, and with which vector width (1 = scalar access).
+struct Access {
+  StoragePtr Store;
+  arith::Expr Index; ///< Flat index in scalar elements; null for scalars.
+  unsigned VectorWidth = 1;
+  /// Tuple components left over at the memory view: the access selects
+  /// these struct members of the stored element (outermost access first).
+  std::vector<unsigned> Components;
+};
+
+/// Consumes \p V with the array/tuple stack algorithm and returns the
+/// memory access it denotes. Aborts on malformed views (e.g. a dangling
+/// tuple access without a zip).
+Access consumeView(const View &V);
+
+} // namespace view
+} // namespace lift
+
+#endif // LIFT_VIEW_VIEW_H

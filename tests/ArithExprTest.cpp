@@ -1,0 +1,368 @@
+//===- ArithExprTest.cpp - Unit tests for symbolic arithmetic -------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the simplification rules (1)-(6) from section 5.3 of the paper and
+/// the canonicalization behaviour of the arithmetic factories.
+///
+//===----------------------------------------------------------------------===//
+
+#include "arith/ArithExpr.h"
+#include "arith/Bounds.h"
+#include "arith/Eval.h"
+#include "arith/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace lift::arith;
+
+namespace {
+
+/// Convenience fixture providing the variables of the paper's running
+/// examples: sizes N, M and ids with ranges derived from them.
+class ArithTest : public ::testing::Test {
+protected:
+  std::shared_ptr<const VarNode> N = sizeVar("N");
+  std::shared_ptr<const VarNode> M = sizeVar("M");
+  // wg_id in [0, M-1], l_id in [0, N-1] as in the transpose example.
+  std::shared_ptr<const VarNode> WgId = var("wg_id", cst(0), sub(M, cst(1)));
+  std::shared_ptr<const VarNode> LId = var("l_id", cst(0), sub(N, cst(1)));
+};
+
+TEST_F(ArithTest, ConstantFolding) {
+  EXPECT_TRUE(equals(add(cst(2), cst(3)), cst(5)));
+  EXPECT_TRUE(equals(mul(cst(2), cst(3)), cst(6)));
+  EXPECT_TRUE(equals(sub(cst(2), cst(3)), cst(-1)));
+  EXPECT_TRUE(equals(intDiv(cst(7), cst(2)), cst(3)));
+  EXPECT_TRUE(equals(mod(cst(7), cst(2)), cst(1)));
+  EXPECT_TRUE(equals(pow(cst(3), 3), cst(27)));
+}
+
+TEST_F(ArithTest, AdditionIdentities) {
+  EXPECT_TRUE(equals(add(N, cst(0)), N));
+  EXPECT_TRUE(equals(sub(N, N), cst(0)));
+  EXPECT_TRUE(equals(add(N, N), mul(cst(2), N)));
+  // Like-term collection: 2N + 3N = 5N.
+  EXPECT_TRUE(
+      equals(add(mul(cst(2), N), mul(cst(3), N)), mul(cst(5), N)));
+}
+
+TEST_F(ArithTest, MultiplicationIdentities) {
+  EXPECT_TRUE(equals(mul(N, cst(1)), N));
+  EXPECT_TRUE(equals(mul(N, cst(0)), cst(0)));
+  EXPECT_TRUE(equals(mul(N, N), pow(N, 2)));
+  // Commutativity via canonical ordering.
+  EXPECT_TRUE(equals(mul(N, M), mul(M, N)));
+}
+
+TEST_F(ArithTest, Rule1DivSmallerThanDivisor) {
+  // l_id / N = 0 since l_id in [0, N-1].
+  EXPECT_TRUE(equals(intDiv(LId, N), cst(0)));
+  // 3 / 7 = 0.
+  EXPECT_TRUE(equals(intDiv(cst(3), cst(7)), cst(0)));
+  // N / M is not simplifiable.
+  EXPECT_EQ(intDiv(N, M)->getKind(), ExprKind::IntDiv);
+}
+
+TEST_F(ArithTest, Rule2SumDivision) {
+  // (wg_id * M + l_id') / M = wg_id  when l_id' < M.
+  auto L2 = var("l2", cst(0), sub(M, cst(1)));
+  Expr E = intDiv(add(mul(WgId, M), L2), M);
+  EXPECT_TRUE(equals(E, WgId));
+  // (x*y + z)/y = x + z/y in general.
+  Expr X = sizeVar("x"), Y = sizeVar("y"), Z = sizeVar("z");
+  Expr General = intDiv(add(mul(X, Y), Z), Y);
+  EXPECT_TRUE(equals(General, add(X, intDiv(Z, Y))));
+}
+
+TEST_F(ArithTest, Rule3ModSmallerThanDivisor) {
+  EXPECT_TRUE(equals(mod(LId, N), LId));
+  EXPECT_TRUE(equals(mod(cst(3), cst(7)), cst(3)));
+  EXPECT_EQ(mod(N, M)->getKind(), ExprKind::Mod);
+}
+
+TEST_F(ArithTest, Rule4DivModRecomposition) {
+  // (x/y)*y + x mod y = x.
+  Expr X = sizeVar("x"), Y = sizeVar("y");
+  Expr E = add(mul(intDiv(X, Y), Y), mod(X, Y));
+  EXPECT_TRUE(equals(E, X));
+}
+
+TEST_F(ArithTest, Rule4WithConstantDivisor) {
+  // (x/4)*4 + x mod 4 = x — the constant divisor folds into the
+  // coefficient of the division term.
+  Expr X = sizeVar("x");
+  Expr E = add(mul(intDiv(X, cst(4)), cst(4)), mod(X, cst(4)));
+  EXPECT_TRUE(equals(E, X));
+  // Scaled: 3*(x/4)*4 + 3*(x mod 4) = 3*x.
+  Expr E3 = add(mul(cst(3), mul(intDiv(X, cst(4)), cst(4))),
+                mul(cst(3), mod(X, cst(4))));
+  EXPECT_TRUE(equals(E3, mul(cst(3), X)));
+}
+
+TEST_F(ArithTest, Rule5ProductMod) {
+  EXPECT_TRUE(equals(mod(mul(WgId, M), M), cst(0)));
+  EXPECT_TRUE(equals(mod(mul(cst(4), N), N), cst(0)));
+  EXPECT_TRUE(equals(mod(mul(cst(6), N), cst(3)), cst(0)));
+}
+
+TEST_F(ArithTest, Rule6SumModDistribution) {
+  // (wg_id*M + l2) mod M = l2 when l2 < M.
+  auto L2 = var("l2", cst(0), sub(M, cst(1)));
+  EXPECT_TRUE(equals(mod(add(mul(WgId, M), L2), M), L2));
+}
+
+TEST_F(ArithTest, Figure6TransposeIndex) {
+  // The running example of Figure 6: with flat = wg_id*M + l2 (l2 < M),
+  //   ((flat/M + (flat mod M)*N) / N) * N + (flat/M + (flat mod M)*N) mod N
+  // simplifies to l2*N + wg_id.
+  auto L2 = var("l2", cst(0), sub(M, cst(1)));
+  Expr Flat = add(mul(WgId, M), L2);
+  Expr Gathered = add(intDiv(Flat, M), mul(mod(Flat, M), N));
+  Expr Index = add(mul(intDiv(Gathered, N), N), mod(Gathered, N));
+  EXPECT_TRUE(equals(Index, add(mul(N, L2), WgId)));
+  EXPECT_EQ(countDivMod(Index), 0u);
+}
+
+TEST_F(ArithTest, DivisionByOneAndModByOne) {
+  EXPECT_TRUE(equals(intDiv(N, cst(1)), N));
+  EXPECT_TRUE(equals(mod(N, cst(1)), cst(0)));
+}
+
+TEST_F(ArithTest, ExactDivision) {
+  EXPECT_TRUE(equals(intDiv(mul(N, M), M), N));
+  EXPECT_TRUE(equals(intDiv(mul(cst(4), N), cst(2)), mul(cst(2), N)));
+  EXPECT_TRUE(equals(intDiv(pow(N, 2), N), N));
+}
+
+TEST_F(ArithTest, NestedDivision) {
+  // (x/a)/b = x/(a*b).
+  Expr X = sizeVar("x");
+  EXPECT_TRUE(
+      equals(intDiv(intDiv(X, cst(2)), cst(4)), intDiv(X, cst(8))));
+}
+
+TEST_F(ArithTest, ModModSameDivisor) {
+  Expr E = mod(mod(N, M), M);
+  EXPECT_TRUE(equals(E, mod(N, M)));
+}
+
+TEST_F(ArithTest, CeilDiv) {
+  EXPECT_TRUE(equals(ceilDiv(cst(7), cst(2)), cst(4)));
+  EXPECT_TRUE(equals(ceilDiv(cst(8), cst(2)), cst(4)));
+}
+
+TEST_F(ArithTest, SimplifyGuardDisablesSimplification) {
+  SimplifyGuard Guard(false);
+  Expr E = add(cst(2), cst(3));
+  EXPECT_EQ(E->getKind(), ExprKind::Sum);
+  Expr D = intDiv(LId, N);
+  EXPECT_EQ(D->getKind(), ExprKind::IntDiv);
+  // simplified() rebuilds through the simplifying factories regardless.
+  EXPECT_TRUE(equals(simplified(E), cst(5)));
+  EXPECT_TRUE(equals(simplified(D), cst(0)));
+}
+
+TEST_F(ArithTest, BoundsAnalysis) {
+  EXPECT_EQ(constLowerBound(N), 1);
+  EXPECT_FALSE(constUpperBound(N).has_value());
+  auto I = var("i", cst(0), cst(63));
+  EXPECT_EQ(constLowerBound(I), 0);
+  EXPECT_EQ(constUpperBound(I), 63);
+  EXPECT_EQ(constUpperBound(intDiv(I, cst(2))), 31);
+  EXPECT_EQ(constUpperBound(mod(N, cst(8))), 7);
+  EXPECT_EQ(constUpperBound(add(mul(I, cst(2)), cst(1))), 127);
+}
+
+TEST_F(ArithTest, Proofs) {
+  auto I = var("i", cst(0), cst(63));
+  EXPECT_TRUE(provablyLessThan(I, cst(64)));
+  EXPECT_FALSE(provablyLessThan(I, cst(63)));
+  EXPECT_TRUE(provablyLessEqual(I, cst(63)));
+  // Symbolic: l_id < N requires eliminating l_id at its upper bound N-1.
+  EXPECT_TRUE(provablyLessThan(LId, N));
+  EXPECT_FALSE(provablyLessThan(LId, M));
+  EXPECT_TRUE(provablyNonNegative(mul(LId, WgId)));
+  EXPECT_TRUE(provablyPositive(N));
+  // x mod y < y even with unbounded y.
+  EXPECT_TRUE(provablyLessThan(mod(N, M), M));
+  EXPECT_TRUE(provablyEqual(add(N, N), mul(cst(2), N)));
+}
+
+TEST_F(ArithTest, Substitution) {
+  Expr E = add(mul(LId, cst(2)), N);
+  Expr S = substitute(E, {{LId, cst(5)}, {Expr(N), cst(100)}});
+  EXPECT_TRUE(equals(S, cst(110)));
+}
+
+TEST_F(ArithTest, Evaluation) {
+  EvalContext Ctx;
+  Ctx.VarValue = [&](const VarNode &V) -> int64_t {
+    if (V.getId() == N->getId())
+      return 16;
+    if (V.getId() == LId->getId())
+      return 5;
+    return 0;
+  };
+  Expr E = add(mul(LId, N), intDiv(LId, cst(2)));
+  EXPECT_EQ(evaluate(E, Ctx), 5 * 16 + 2);
+}
+
+TEST_F(ArithTest, PrinterBasics) {
+  EXPECT_EQ(toString(add(mul(LId, N), WgId)), "wg_id + N * l_id");
+  EXPECT_EQ(toString(intDiv(add(N, M), cst(2))), "(N + M) / 2");
+  EXPECT_EQ(toString(mod(N, M)), "N % M");
+  EXPECT_EQ(toString(pow(N, 2)), "N * N");
+}
+
+TEST_F(ArithTest, PrinterResolver) {
+  std::string S = toString(Expr(LId), [](const VarNode &V) {
+    return V.getName() == "l_id" ? "get_local_id(0)" : "";
+  });
+  EXPECT_EQ(S, "get_local_id(0)");
+}
+
+TEST_F(ArithTest, LookupIsOpaque) {
+  Expr L = lookup(7, "neigh", add(LId, cst(1)));
+  EXPECT_EQ(L->getKind(), ExprKind::Lookup);
+  EXPECT_EQ(toString(L), "neigh[1 + l_id]");
+  EvalContext Ctx;
+  Ctx.VarValue = [&](const VarNode &) -> int64_t { return 2; };
+  Ctx.LookupValue = [](unsigned Table, int64_t Index) -> int64_t {
+    return Table * 100 + Index;
+  };
+  EXPECT_EQ(evaluate(L, Ctx), 703);
+}
+
+TEST_F(ArithTest, NodeCounting) {
+  Expr E = add(mul(LId, N), mod(WgId, cst(4)));
+  EXPECT_EQ(countDivMod(E), 1u);
+  EXPECT_GE(countNodes(E), 5u);
+}
+
+//===----------------------------------------------------------------------===//
+// Property tests: simplification preserves semantics.
+//===----------------------------------------------------------------------===//
+
+/// Deterministic small PRNG for reproducible property tests.
+class Prng {
+  uint64_t State;
+
+public:
+  explicit Prng(uint64_t Seed) : State(Seed) {}
+  uint64_t next() {
+    State ^= State << 13;
+    State ^= State >> 7;
+    State ^= State << 17;
+    return State;
+  }
+  int64_t range(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(next() % (Hi - Lo + 1));
+  }
+};
+
+/// Builds a random expression over the given variables. Divisors are always
+/// built positive (variable + 1 or positive constant) to stay in the
+/// supported domain.
+Expr randomExpr(Prng &Rng, const std::vector<Expr> &Vars, int Depth) {
+  if (Depth == 0 || Rng.range(0, 3) == 0) {
+    if (Rng.range(0, 1) == 0)
+      return cst(Rng.range(0, 12));
+    return Vars[Rng.next() % Vars.size()];
+  }
+  switch (Rng.range(0, 4)) {
+  case 0:
+    return add(randomExpr(Rng, Vars, Depth - 1),
+               randomExpr(Rng, Vars, Depth - 1));
+  case 1:
+    return sub(randomExpr(Rng, Vars, Depth - 1),
+               randomExpr(Rng, Vars, Depth - 1));
+  case 2:
+    return mul(randomExpr(Rng, Vars, Depth - 1),
+               randomExpr(Rng, Vars, Depth - 1));
+  case 3: {
+    // Divisors must be provably positive: a positive constant or var + 1.
+    Expr Den = Rng.range(0, 1) == 0
+                   ? cst(Rng.range(1, 9))
+                   : add(Vars[Rng.next() % Vars.size()], cst(1));
+    return intDiv(randomExpr(Rng, Vars, Depth - 1), Den);
+  }
+  default: {
+    Expr Den = Rng.range(0, 1) == 0
+                   ? cst(Rng.range(1, 9))
+                   : add(Vars[Rng.next() % Vars.size()], cst(1));
+    return mod(randomExpr(Rng, Vars, Depth - 1), Den);
+  }
+  }
+}
+
+class ArithPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArithPropertyTest, SimplificationPreservesValue) {
+  Prng Rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  std::vector<Expr> Vars = {var("a", cst(0), cst(100)),
+                            var("b", cst(0), cst(100)),
+                            var("c", cst(1), cst(64))};
+
+  // Build the expression raw, then simplify, then compare on many
+  // valuations consistent with the variable ranges.
+  Expr Raw;
+  {
+    SimplifyGuard Guard(false);
+    Raw = randomExpr(Rng, Vars, 4);
+  }
+  Expr Simple = simplified(Raw);
+
+  for (int Trial = 0; Trial < 25; ++Trial) {
+    std::vector<int64_t> Values = {Rng.range(0, 100), Rng.range(0, 100),
+                                   Rng.range(1, 64)};
+    EvalContext Ctx;
+    Ctx.VarValue = [&](const VarNode &V) -> int64_t {
+      for (size_t I = 0; I != Vars.size(); ++I)
+        if (V.getId() ==
+            static_cast<const VarNode *>(Vars[I].get())->getId())
+          return Values[I];
+      ADD_FAILURE() << "unbound variable " << V.getName();
+      return 0;
+    };
+    ASSERT_EQ(evaluate(Raw, Ctx), evaluate(Simple, Ctx))
+        << "raw: " << toString(Raw) << "\nsimplified: " << toString(Simple);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArithPropertyTest,
+                         ::testing::Range(0, 200));
+
+/// Property: constant bounds are sound — any valuation within variable
+/// ranges yields a value inside [constLowerBound, constUpperBound].
+TEST_P(ArithPropertyTest, BoundsAreSound) {
+  Prng Rng(static_cast<uint64_t>(GetParam()) * 104729 + 7);
+  std::vector<Expr> Vars = {var("a", cst(0), cst(50)),
+                            var("b", cst(2), cst(9))};
+  Expr E = randomExpr(Rng, Vars, 3);
+  auto Lo = constLowerBound(E);
+  auto Hi = constUpperBound(E);
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    std::vector<int64_t> Values = {Rng.range(0, 50), Rng.range(2, 9)};
+    EvalContext Ctx;
+    Ctx.VarValue = [&](const VarNode &V) -> int64_t {
+      for (size_t I = 0; I != Vars.size(); ++I)
+        if (V.getId() ==
+            static_cast<const VarNode *>(Vars[I].get())->getId())
+          return Values[I];
+      return 0;
+    };
+    int64_t Val = evaluate(E, Ctx);
+    if (Lo) {
+      ASSERT_LE(*Lo, Val) << toString(E);
+    }
+    if (Hi) {
+      ASSERT_GE(*Hi, Val) << toString(E);
+    }
+  }
+}
+
+} // namespace

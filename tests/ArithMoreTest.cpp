@@ -1,0 +1,197 @@
+//===- ArithMoreTest.cpp - Deeper arithmetic coverage -------------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exercises the corners of the simplifier that the benchmark suite
+/// depends on: exact division of products/powers/sums, nested divisions,
+/// mod-of-mod, distribution, the Lookup leaf, operator counting, and the
+/// interactions between ranges and the proof procedures.
+///
+//===----------------------------------------------------------------------===//
+
+#include "arith/ArithExpr.h"
+#include "arith/Bounds.h"
+#include "arith/Eval.h"
+#include "arith/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace lift::arith;
+
+namespace {
+
+class ArithMore : public ::testing::Test {
+protected:
+  std::shared_ptr<const VarNode> N = sizeVar("N");
+  std::shared_ptr<const VarNode> M = sizeVar("M");
+};
+
+TEST_F(ArithMore, ExactDivisionOfProducts) {
+  // (4*N*M) / (2*N) = 2*M.
+  Expr T = prod({cst(4), N, M});
+  Expr D = mul(cst(2), N);
+  EXPECT_TRUE(equals(intDiv(T, D), mul(cst(2), M)));
+  // N^3 / N^2 = N (power peeling, one factor at a time).
+  EXPECT_TRUE(equals(intDiv(pow(N, 3), mul(N, N)), N));
+}
+
+TEST_F(ArithMore, ExactDivisionOfSums) {
+  // (2N + 4M) / 2 = N + 2M.
+  Expr T = add(mul(cst(2), N), mul(cst(4), M));
+  EXPECT_TRUE(equals(intDiv(T, cst(2)), add(N, mul(cst(2), M))));
+  // (2N + 3M) / 2 does not divide exactly and N+M-wise rule (2) splits
+  // only the even part: 2N/2 = N stays, 3M/2 remains divided.
+  Expr T2 = add(mul(cst(2), N), mul(cst(3), M));
+  Expr R = intDiv(T2, cst(2));
+  EXPECT_TRUE(equals(
+      R, add(N, intDiv(mul(cst(3), M), cst(2)))));
+}
+
+TEST_F(ArithMore, NestedDivisionsFold) {
+  // ((x / N) / M) = x / (N*M).
+  Expr X = sizeVar("x");
+  EXPECT_TRUE(equals(intDiv(intDiv(X, N), M), intDiv(X, mul(N, M))));
+}
+
+TEST_F(ArithMore, PolynomialExpansion) {
+  // (N + 1) * (N + 1) = N^2 + 2N + 1.
+  Expr E = mul(add(N, cst(1)), add(N, cst(1)));
+  Expr Expected = add(add(pow(N, 2), mul(cst(2), N)), cst(1));
+  EXPECT_TRUE(equals(E, Expected));
+  // (N + M)^2 expands and collects symmetric terms.
+  Expr F = mul(add(N, M), add(N, M));
+  Expr FE = add(add(pow(N, 2), mul(cst(2), mul(N, M))), pow(M, 2));
+  EXPECT_TRUE(equals(F, FE));
+}
+
+TEST_F(ArithMore, ModOfScaledSum) {
+  // (a*N*M + b*N + c) mod N = c mod N when c >= 0.
+  auto C = var("c", cst(0), cst(100));
+  Expr E = mod(sum({prod({cst(3), N, M}), mul(cst(5), N), Expr(C)}), N);
+  EXPECT_TRUE(equals(E, mod(Expr(C), N)));
+}
+
+TEST_F(ArithMore, DivisionWithRemainderKeepsResidual) {
+  auto C = var("c", cst(0), cst(100));
+  Expr E = intDiv(add(mul(M, N), Expr(C)), N);
+  EXPECT_TRUE(equals(E, add(M, intDiv(Expr(C), N))));
+}
+
+TEST_F(ArithMore, CeilDivSymbolic) {
+  // ceil(N / 8) = (N + 7) / 8.
+  Expr E = ceilDiv(N, cst(8));
+  EXPECT_TRUE(equals(E, intDiv(add(N, cst(7)), cst(8))));
+}
+
+TEST_F(ArithMore, LookupIsOpaqueToRules) {
+  Expr L = lookup(3, "tbl", Expr(N));
+  // Rules must not fire across a lookup: (tbl[N] * M) / M still divides
+  // exactly (the lookup is a whole factor) ...
+  EXPECT_TRUE(equals(intDiv(mul(L, M), M), L));
+  // ... but nothing inside the lookup is rewritten.
+  Expr L2 = lookup(3, "tbl", intDiv(N, cst(1)));
+  EXPECT_TRUE(equals(L2, lookup(3, "tbl", Expr(N))));
+}
+
+TEST_F(ArithMore, CountOpsMatchesStructure) {
+  // wg + M * l: one add, one mul.
+  auto L = var("l", cst(0), cst(7));
+  auto W = var("w", cst(0), cst(7));
+  EXPECT_EQ(countOps(add(Expr(W), mul(M, Expr(L)))), 2u);
+  EXPECT_EQ(countOps(Expr(N)), 0u);
+  EXPECT_EQ(countOps(cst(42)), 0u);
+  EXPECT_EQ(countOps(mod(N, M)), 1u);
+  EXPECT_EQ(countOps(pow(N, 3)), 2u);
+  {
+    SimplifyGuard Guard(false);
+    // ((w*8 + l) / 8) raw: mul, add, div = 3 ops.
+    Expr Raw = intDiv(add(mul(Expr(W), cst(8)), Expr(L)), cst(8));
+    EXPECT_EQ(countOps(Raw), 3u);
+  }
+}
+
+TEST_F(ArithMore, SubstitutionIntoDivMod) {
+  auto I = var("i", cst(0), cst(63));
+  Expr E = add(intDiv(Expr(I), cst(8)), mod(Expr(I), cst(8)));
+  Expr S = substitute(E, {{Expr(I), cst(13)}});
+  EXPECT_TRUE(equals(S, cst(1 + 5)));
+}
+
+TEST_F(ArithMore, ProofsWithLinearCombinations) {
+  auto I = var("i", cst(0), cst(15));
+  auto J = var("j", cst(0), cst(3));
+  // 4*i + j < 64.
+  EXPECT_TRUE(provablyLessThan(add(mul(cst(4), Expr(I)), Expr(J)),
+                               cst(64)));
+  EXPECT_FALSE(provablyLessThan(add(mul(cst(4), Expr(I)), Expr(J)),
+                                cst(63)));
+}
+
+TEST_F(ArithMore, ProofsThroughSymbolicBounds) {
+  // i in [0, N/2 - 1] implies i < N (eliminate i at its symbolic upper
+  // bound, then prove N - (N/2 - 1) - 1 >= 0 ... which needs N/2 <= N).
+  auto I = var("i", cst(0), sub(intDiv(N, cst(2)), cst(1)));
+  EXPECT_TRUE(provablyLessThan(Expr(I), N));
+}
+
+TEST_F(ArithMore, ModBoundedByDivisorEvenWhenSymbolic) {
+  Expr E = mod(N, M);
+  EXPECT_TRUE(provablyLessThan(E, M));
+  EXPECT_TRUE(provablyNonNegative(E));
+  // And mod < anything >= the divisor.
+  EXPECT_TRUE(provablyLessThan(E, add(M, cst(5))));
+}
+
+TEST_F(ArithMore, DistributionCancelsAcrossSubtraction) {
+  // N*(M+1) - N*M = N.
+  Expr E = sub(mul(N, add(M, cst(1))), mul(N, M));
+  EXPECT_TRUE(equals(E, N));
+}
+
+TEST_F(ArithMore, EvalAgreesWithCSemantics) {
+  // For non-negative operands, floor division equals C division.
+  EvalContext Ctx;
+  for (int64_t A : {0, 1, 7, 8, 100}) {
+    for (int64_t B : {1, 2, 7, 16}) {
+      EXPECT_EQ(evaluate(intDiv(cst(A), cst(B)), Ctx), A / B);
+      EXPECT_EQ(evaluate(mod(cst(A), cst(B)), Ctx), A % B);
+    }
+  }
+}
+
+TEST_F(ArithMore, PrinterPrecedence) {
+  auto I = var("i", cst(0), cst(7));
+  {
+    SimplifyGuard Guard(false);
+    // Multiplication of a sum needs parentheses (raw mode: the
+    // simplifier would otherwise distribute).
+    EXPECT_EQ(toString(mul(add(Expr(I), cst(1)), N)), "(i + 1) * N");
+    // Right operand of / gets parenthesized when compound.
+    Expr E = intDiv(Expr(N), mul(cst(2), Expr(M)));
+    EXPECT_EQ(toString(E), "N / (2 * M)");
+    Expr F = mod(add(Expr(N), cst(1)), Expr(M));
+    EXPECT_EQ(toString(F), "(N + 1) % M");
+  }
+}
+
+TEST_F(ArithMore, CompareIsTotalAndConsistent) {
+  std::vector<Expr> Samples = {
+      cst(0),         cst(5),       Expr(N),           Expr(M),
+      add(N, M),      mul(N, M),    intDiv(N, M),      mod(N, M),
+      pow(N, 2),      lookup(1, "t", Expr(N)),
+  };
+  for (const Expr &A : Samples)
+    for (const Expr &B : Samples) {
+      int AB = compare(A, B), BA = compare(B, A);
+      EXPECT_EQ(AB == 0, BA == 0);
+      if (AB != 0) {
+        EXPECT_EQ(AB > 0, BA < 0);
+      }
+      EXPECT_EQ(compare(A, A), 0);
+    }
+}
+
+} // namespace

@@ -1,0 +1,62 @@
+//===- BenchSuiteTest.cpp - Per-benchmark validation tests ---------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs every Table 1 benchmark (small size) as an individual test:
+/// the hand-written reference and the Lift-generated kernel at full
+/// optimization must both validate, and the generated kernel must stay
+/// within a sane cost envelope of the reference. Mirrors the fig8 harness
+/// with per-benchmark failure granularity.
+///
+//===----------------------------------------------------------------------===//
+
+#include "suite/Benchmark.h"
+
+#include <gtest/gtest.h>
+
+using namespace lift;
+using namespace lift::bench;
+
+namespace {
+
+class BenchSuiteTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BenchSuiteTest, ReferenceAndGeneratedValidate) {
+  std::vector<BenchmarkCase> All = allBenchmarks(/*Large=*/false);
+  ASSERT_LT(static_cast<size_t>(GetParam()), All.size());
+  BenchmarkCase &Case = All[static_cast<size_t>(GetParam())];
+
+  Outcome Ref = runReference(Case);
+  EXPECT_TRUE(Ref.Valid) << Case.Name << " reference max rel err "
+                         << Ref.MaxError;
+
+  Outcome Gen = runLift(Case, OptConfig::Full);
+  EXPECT_TRUE(Gen.Valid) << Case.Name << " generated max rel err "
+                         << Gen.MaxError;
+
+  // The generated kernel must be within 2x of the reference cost at full
+  // optimization (Figure 8 envelope) and the ablation ordering must hold.
+  double RelFull = Ref.Cost.cost() / Gen.Cost.cost();
+  EXPECT_GT(RelFull, 0.5) << Case.Name;
+
+  Outcome None = runLift(Case, OptConfig::None);
+  EXPECT_TRUE(None.Valid) << Case.Name;
+  EXPECT_GE(None.Cost.cost(), Gen.Cost.cost() * 0.999)
+      << Case.Name << ": optimizations must not make the kernel slower";
+}
+
+std::string benchName(const ::testing::TestParamInfo<int> &I) {
+  static const char *Names[] = {"NBodyNvidia", "NBodyAmd", "MD",
+                                "KMeans",      "NN",       "MriQ",
+                                "Convolution", "Atax",     "Gemv",
+                                "Gesummv",     "MMNvidia", "MMAmd"};
+  return Names[I.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchSuiteTest,
+                         ::testing::Range(0, 12), benchName);
+
+} // namespace

@@ -1,0 +1,206 @@
+//===- CParseTest.cpp - Tests for the C-subset parser and printer -------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cast/CPrinter.h"
+#include "cparse/CParser.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace lift;
+using namespace lift::c;
+using namespace lift::cparse;
+
+namespace {
+
+ParseContext contextWith(std::vector<std::pair<std::string, CTypePtr>> Ps) {
+  ParseContext Ctx;
+  for (auto &[Name, Ty] : Ps)
+    Ctx.Params.push_back(std::make_shared<CVar>(Name, Ty));
+  return Ctx;
+}
+
+std::string roundTripExpr(const std::string &Src, const ParseContext &Ctx) {
+  return printCExpr(parseExpression(Src, Ctx));
+}
+
+TEST(CParseTest, Literals) {
+  ParseContext Ctx;
+  EXPECT_EQ(roundTripExpr("42", Ctx), "42");
+  EXPECT_EQ(roundTripExpr("1.5f", Ctx), "1.5f");
+  EXPECT_EQ(roundTripExpr("2.0", Ctx), "2.0");
+  EXPECT_EQ(roundTripExpr("3.0e2f", Ctx), "300.0f");
+}
+
+TEST(CParseTest, Precedence) {
+  auto Ctx = contextWith({{"a", floatTy()}, {"b", floatTy()},
+                          {"c", floatTy()}});
+  EXPECT_EQ(roundTripExpr("a + b * c", Ctx), "a + b * c");
+  EXPECT_EQ(roundTripExpr("(a + b) * c", Ctx), "(a + b) * c");
+  EXPECT_EQ(roundTripExpr("a - b - c", Ctx), "a - b - c");
+  EXPECT_EQ(roundTripExpr("a < b && b < c", Ctx), "a < b && b < c");
+  EXPECT_EQ(roundTripExpr("a ? b : c", Ctx), "a ? b : c");
+}
+
+TEST(CParseTest, UnaryAndCast) {
+  auto Ctx = contextWith({{"a", floatTy()}});
+  EXPECT_EQ(roundTripExpr("-a", Ctx), "-a");
+  EXPECT_EQ(roundTripExpr("!a", Ctx), "!a");
+  EXPECT_EQ(roundTripExpr("(int)a", Ctx), "(int)a");
+}
+
+TEST(CParseTest, MemberAndSubscript) {
+  auto Ctx = contextWith(
+      {{"v", vectorTy(CScalarKind::Float, 4)},
+       {"p", pointerTy(floatTy(), CAddrSpace::Global)},
+       {"i", intTy()}});
+  EXPECT_EQ(roundTripExpr("v.x + v.w", Ctx), "v.x + v.w");
+  EXPECT_EQ(roundTripExpr("p[i + 1]", Ctx), "p[i + 1]");
+  EXPECT_EQ(roundTripExpr("p[p[i]]", Ctx), "p[p[i]]");
+}
+
+TEST(CParseTest, VectorConstructor) {
+  auto Ctx = contextWith({{"a", floatTy()}});
+  EXPECT_EQ(roundTripExpr("(float4)(a, a, a, 0.0f)", Ctx),
+            "(float4)(a, a, a, 0.0f)");
+}
+
+TEST(CParseTest, StructLiteral) {
+  CTypePtr S = structTy("Pair", {{"_0", floatTy()}, {"_1", intTy()}});
+  ParseContext Ctx;
+  Ctx.NamedTypes["Pair"] = S;
+  Ctx.Params.push_back(std::make_shared<CVar>("x", floatTy()));
+  EXPECT_EQ(roundTripExpr("(Pair){x, 3}", Ctx), "(Pair){x, 3}");
+}
+
+TEST(CParseTest, Calls) {
+  auto Ctx = contextWith({{"a", floatTy()}, {"b", floatTy()}});
+  EXPECT_EQ(roundTripExpr("sqrt(a * a + b * b)", Ctx),
+            "sqrt(a * a + b * b)");
+  EXPECT_EQ(roundTripExpr("fmin(a, b)", Ctx), "fmin(a, b)");
+}
+
+TEST(CParseTest, FunctionBodyStatements) {
+  auto Ctx = contextWith({{"a", floatTy()}, {"b", floatTy()}});
+  BlockPtr B = parseFunctionBody(
+      "float t = a * 2.0f; if (t < b) { t = b; } return t;", Ctx);
+  ASSERT_EQ(B->getStmts().size(), 3u);
+  EXPECT_EQ(B->getStmts()[0]->getKind(), CStmtKind::VarDecl);
+  EXPECT_EQ(B->getStmts()[1]->getKind(), CStmtKind::If);
+  EXPECT_EQ(B->getStmts()[2]->getKind(), CStmtKind::Return);
+}
+
+TEST(CParseTest, CompoundAssignAndIncrement) {
+  auto Ctx = contextWith({{"a", floatTy()}});
+  BlockPtr B = parseFunctionBody("a += 2.0f; a *= a; return a;", Ctx);
+  ASSERT_EQ(B->getStmts().size(), 3u);
+  const auto *A0 = cast<Assign>(B->getStmts()[0].get());
+  EXPECT_EQ(printCExpr(A0->getRhs()), "a + 2.0f");
+}
+
+TEST(CParseTest, KernelModule) {
+  ParseContext Ctx;
+  CModule M = parseModule(R"(
+float helper(float x) {
+  return x * x;
+}
+
+kernel void k(global float *in, global float *out, int N) {
+  local float tmp[64];
+  int g = get_global_id(0);
+  for (int i = 0; i < N; i++) {
+    out[i] = helper(in[i]);
+  }
+  barrier(CLK_LOCAL_MEM_FENCE);
+}
+)",
+                          Ctx);
+  ASSERT_NE(M.Kernel, nullptr);
+  EXPECT_TRUE(M.Kernel->IsKernel);
+  EXPECT_EQ(M.Kernel->Params.size(), 3u);
+  EXPECT_EQ(M.Functions.size(), 1u);
+  EXPECT_EQ(M.Functions[0]->Name, "helper");
+  // Local array declaration parsed with size and address space.
+  const auto *D = cast<VarDecl>(M.Kernel->Body->getStmts()[0].get());
+  EXPECT_EQ(D->getAddrSpace(), CAddrSpace::Local);
+  EXPECT_TRUE(arith::isConstant(D->getArraySize(), 64));
+}
+
+TEST(CParseTest, ForLoopVariants) {
+  auto Ctx = contextWith({{"n", intTy()},
+                          {"p", pointerTy(floatTy(), CAddrSpace::Global)}});
+  BlockPtr B = parseFunctionBody(R"(
+    for (int i = 0; i < n; i++) { p[i] = 0.0f; }
+    for (int j = 0; j < n; j += 2) { p[j] = 1.0f; }
+  )",
+                                 Ctx);
+  ASSERT_EQ(B->getStmts().size(), 2u);
+  const auto *F0 = cast<For>(B->getStmts()[0].get());
+  EXPECT_EQ(printCExpr(F0->getStep()), "i + 1");
+  const auto *F1 = cast<For>(B->getStmts()[1].get());
+  EXPECT_EQ(printCExpr(F1->getStep()), "j + 2");
+}
+
+TEST(CParseTest, BarrierFlags) {
+  ParseContext Ctx;
+  BlockPtr B = parseFunctionBody(
+      "barrier(CLK_LOCAL_MEM_FENCE | CLK_GLOBAL_MEM_FENCE);", Ctx);
+  const auto *Bar = cast<Barrier>(B->getStmts()[0].get());
+  EXPECT_TRUE(Bar->hasLocalFence());
+  EXPECT_TRUE(Bar->hasGlobalFence());
+}
+
+TEST(CParseTest, CommentsAreSkipped) {
+  auto Ctx = contextWith({{"a", floatTy()}});
+  BlockPtr B = parseFunctionBody(
+      "// line comment\nreturn a; /* block */", Ctx);
+  EXPECT_EQ(B->getStmts().size(), 1u);
+}
+
+TEST(CParseTest, ModulePrintParseRoundTrip) {
+  // printModule of a parsed module must parse back to the same structure.
+  const char *Src = R"(
+float helper(float x, float y) {
+  float t = x * y + 1.0f;
+  if (t < 0.0f) {
+    t = -t;
+  }
+  return sqrt(t);
+}
+
+kernel void k(global float *in, global float *out, int N) {
+  local float tmp[32];
+  int l = get_local_id(0);
+  int g = get_global_id(0);
+  tmp[l] = in[g];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int i = l; i < N; i += 32) {
+    out[i] = helper(tmp[l], 2.0f);
+  }
+}
+)";
+  ParseContext Ctx;
+  CModule M1 = parseModule(Src, Ctx);
+  std::string Printed = printModule(M1);
+  CModule M2 = parseModule(Printed, Ctx);
+  // Idempotence: printing the re-parsed module gives identical text.
+  EXPECT_EQ(printModule(M2), Printed);
+  ASSERT_NE(M2.Kernel, nullptr);
+  EXPECT_EQ(M2.Kernel->Params.size(), 3u);
+  EXPECT_EQ(M2.Functions.size(), 1u);
+}
+
+TEST(CParseTest, UnknownIdentifierIsFatal) {
+  ParseContext Ctx;
+  EXPECT_DEATH(parseExpression("nope + 1", Ctx), "unknown identifier");
+}
+
+TEST(CParseTest, MalformedInputIsFatal) {
+  ParseContext Ctx;
+  EXPECT_DEATH(parseFunctionBody("return 1 +;", Ctx), "expected expression");
+}
+
+} // namespace

@@ -1,0 +1,258 @@
+//===- CodegenTest.cpp - Structural tests of generated OpenCL -----------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks structural properties of generated kernels: the Figure 7 shape
+/// of the dot product, control-flow simplification decisions, barrier
+/// counts, kernel parameters, and the Figure 6 index ablation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::ir::dsl;
+using namespace lift::test;
+
+namespace {
+
+size_t countOccurrences(const std::string &Haystack,
+                        const std::string &Needle) {
+  size_t Count = 0, Pos = 0;
+  while ((Pos = Haystack.find(Needle, Pos)) != std::string::npos) {
+    ++Count;
+    Pos += Needle.size();
+  }
+  return Count;
+}
+
+/// Listing 1's partial dot product (the paper's running example).
+LambdaPtr partialDotProgram() {
+  auto N = arith::sizeVar("N");
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  ParamPtr Y = param("y", arrayOf(float32(), N));
+  FunDeclPtr MAdd = prelude::multAndSumUpFun();
+  FunDeclPtr Add = prelude::addFun();
+  FunDeclPtr IdF = prelude::idFloatFun();
+  ExprPtr Body = pipe(
+      call(zip(), {X, Y}), split(128), mapWrg(0, fun([&](ExprPtr Chunk) {
+        return pipe(
+            Chunk, split(2), mapLcl(0, fun([&](ExprPtr Pair) {
+              return pipe(call(reduceSeq(MAdd), {litFloat(0.0f), Pair}),
+                          toLocal(mapSeq(IdF)));
+            })),
+            join(), iterate(6, fun([&](ExprPtr Arr) {
+                      return pipe(Arr, split(2),
+                                  mapLcl(0, fun([&](ExprPtr Two) {
+                                    return pipe(call(reduceSeq(Add),
+                                                     {litFloat(0.0f), Two}),
+                                                toLocal(mapSeq(IdF)));
+                                  })),
+                                  join());
+                    })),
+            split(1), toGlobal(mapLcl(0, mapSeq(IdF))), join());
+      })),
+      join());
+  return lambda({X, Y}, Body);
+}
+
+codegen::CompilerOptions dotOptions() {
+  codegen::CompilerOptions O;
+  O.GlobalSize = {4096, 1, 1};
+  O.LocalSize = {64, 1, 1};
+  return O;
+}
+
+TEST(CodegenTest, Figure7DotProductStructure) {
+  codegen::CompiledKernel K = codegen::compile(partialDotProgram(),
+                                               dotOptions());
+  const std::string &Src = K.Source;
+
+  // The work-group loop over N/128 chunks is kept (unknown trip count).
+  EXPECT_NE(Src.find("N / 128"), std::string::npos);
+  // Double buffering of the iterate.
+  EXPECT_NE(Src.find("local float"), std::string::npos);
+  EXPECT_EQ(countOccurrences(Src, "barrier("), 4u);
+  // The iterate guard if (l_id < size/2) — runtime size halving.
+  EXPECT_NE(Src.find("/ 2"), std::string::npos);
+  // A guarded single write back to global memory.
+  EXPECT_NE(Src.find("< (1)"), std::string::npos);
+  // The combined multiply-accumulate from the zip (Figure 7 line 12).
+  EXPECT_NE(Src.find("multAndSumUp"), std::string::npos);
+}
+
+TEST(CodegenTest, DotProductKernelParameters) {
+  codegen::CompiledKernel K = codegen::compile(partialDotProgram(),
+                                               dotOptions());
+  // x, y, out, N.
+  ASSERT_EQ(K.Params.size(), 4u);
+  EXPECT_EQ(K.Params[0].Var->Name, "x");
+  EXPECT_EQ(K.Params[1].Var->Name, "y");
+  EXPECT_TRUE(K.Params[2].IsOutput);
+  EXPECT_TRUE(K.Params[3].IsSizeParam);
+  EXPECT_EQ(K.Params[3].Var->Name, "N");
+}
+
+TEST(CodegenTest, ControlFlowSimplificationRemovesExactLoops) {
+  // mapLcl over exactly localSize elements: no loop, no guard.
+  auto N = arith::sizeVar("N");
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  LambdaPtr P = lambda({X}, pipe(ExprPtr(X), split(64),
+                                 mapWrg(mapLcl(prelude::squareFun())),
+                                 join()));
+  codegen::CompilerOptions O;
+  O.GlobalSize = {256, 1, 1};
+  O.LocalSize = {64, 1, 1};
+  codegen::CompiledKernel K = codegen::compile(P, O);
+  // One loop for the work groups; the mapLcl collapses entirely.
+  EXPECT_EQ(K.LoopsEmitted, 1u);
+  EXPECT_GE(K.LoopsSimplified, 1u);
+  EXPECT_EQ(K.Source.find("if (l_id"), std::string::npos);
+}
+
+TEST(CodegenTest, ControlFlowSimplificationGuardsPartialLoops) {
+  // mapLcl over fewer elements than threads: an if-guard, no loop.
+  auto N = arith::sizeVar("N");
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  LambdaPtr P = lambda({X}, pipe(ExprPtr(X), split(32),
+                                 mapWrg(mapLcl(prelude::squareFun())),
+                                 join()));
+  codegen::CompilerOptions O;
+  O.GlobalSize = {256, 1, 1};
+  O.LocalSize = {64, 1, 1};
+  codegen::CompiledKernel K = codegen::compile(P, O);
+  EXPECT_NE(K.Source.find("if (l_id_0 < "), std::string::npos);
+}
+
+TEST(CodegenTest, DisabledCfsKeepsAllLoops) {
+  auto N = arith::sizeVar("N");
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  LambdaPtr P = lambda({X}, pipe(ExprPtr(X), split(64),
+                                 mapWrg(mapLcl(prelude::squareFun())),
+                                 join()));
+  codegen::CompilerOptions O;
+  O.GlobalSize = {256, 1, 1};
+  O.LocalSize = {64, 1, 1};
+  O.ControlFlowSimplification = false;
+  codegen::CompiledKernel K = codegen::compile(P, O);
+  EXPECT_EQ(K.LoopsEmitted, 2u);
+  EXPECT_EQ(K.LoopsSimplified, 0u);
+}
+
+TEST(CodegenTest, Figure6IndexAblation) {
+  // Matrix transposition via join/gather/split: with simplification the
+  // access is the compact form of Figure 6 line 3; without, the raw
+  // composition of line 1 (several div/mod per access).
+  auto N = arith::sizeVar("N");
+  auto M = arith::sizeVar("M");
+  auto MakeProgram = [&]() {
+    ParamPtr X = param("x", array2D(float32(), N, M));
+    return lambda({X}, pipe(ExprPtr(X), join(),
+                            gather(transposeIndex(N, M)), split(N),
+                            mapWrg(mapLcl(prelude::idFloatFun()))));
+  };
+  codegen::CompilerOptions O;
+  O.GlobalSize = {256, 1, 1};
+  O.LocalSize = {16, 1, 1};
+
+  codegen::CompiledKernel Simplified = codegen::compile(MakeProgram(), O);
+  EXPECT_NE(Simplified.Source.find("x[wg_id_0_0 + M * l_id_0_1]"),
+            std::string::npos)
+      << Simplified.Source;
+
+  O.ArrayAccessSimplification = false;
+  codegen::CompiledKernel Raw = codegen::compile(MakeProgram(), O);
+  EXPECT_GT(countOccurrences(Raw.Source, "%"), 1u);
+  EXPECT_GT(Raw.Source.size(), Simplified.Source.size());
+}
+
+TEST(CodegenTest, BarrierEliminationTogglesEmission) {
+  auto N = arith::sizeVar("N");
+  auto MakeProgram = [&]() {
+    ParamPtr X = param("x", arrayOf(float32(), N));
+    return lambda({X},
+                  pipe(ExprPtr(X), split(16), mapWrg(fun([&](ExprPtr C) {
+                         return pipe(C,
+                                     toLocal(mapLcl(prelude::idFloatFun())),
+                                     toGlobal(mapLcl(prelude::squareFun())));
+                       })),
+                       join()));
+  };
+  codegen::CompilerOptions O;
+  O.GlobalSize = {64, 1, 1};
+  O.LocalSize = {16, 1, 1};
+
+  codegen::CompiledKernel With = codegen::compile(MakeProgram(), O);
+  EXPECT_EQ(countOccurrences(With.Source, "barrier("), 1u);
+  EXPECT_EQ(With.BarriersEliminated, 1u);
+
+  O.BarrierElimination = false;
+  codegen::CompiledKernel Without = codegen::compile(MakeProgram(), O);
+  EXPECT_EQ(countOccurrences(Without.Source, "barrier("), 2u);
+}
+
+TEST(CodegenTest, GlobalFenceForGlobalWrites) {
+  auto N = arith::sizeVar("N");
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  LambdaPtr P = lambda(
+      {X}, pipe(ExprPtr(X), split(16),
+                mapWrg(toGlobal(mapLcl(prelude::squareFun()))), join()));
+  codegen::CompilerOptions O;
+  O.GlobalSize = {64, 1, 1};
+  O.LocalSize = {16, 1, 1};
+  codegen::CompiledKernel K = codegen::compile(P, O);
+  EXPECT_NE(K.Source.find("CLK_GLOBAL_MEM_FENCE"), std::string::npos);
+}
+
+TEST(CodegenTest, VectorizedUserFunctionIsCloned) {
+  auto N = arith::sizeVar("N");
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  LambdaPtr P = lambda(
+      {X}, pipe(ExprPtr(X), asVector(4), mapGlb(fun([&](ExprPtr V) {
+              return call(mapVec(prelude::squareFun()), {V});
+            })),
+            asScalar()));
+  codegen::CompilerOptions O;
+  O.GlobalSize = {16, 1, 1};
+  O.LocalSize = {4, 1, 1};
+  codegen::CompiledKernel K = codegen::compile(P, O);
+  EXPECT_NE(K.Source.find("float4 sq_v4(float4 x)"), std::string::npos);
+  EXPECT_NE(K.Source.find("vload4"), std::string::npos);
+  EXPECT_NE(K.Source.find("vstore4"), std::string::npos);
+}
+
+TEST(CodegenTest, CompilingTwiceIsIndependent) {
+  // compile() clones: two compilations of one program must not interfere.
+  LambdaPtr P = partialDotProgram();
+  codegen::CompiledKernel A = codegen::compile(P, dotOptions());
+  codegen::CompilerOptions O = codegen::CompilerOptions::noOptimizations();
+  O.GlobalSize = {4096, 1, 1};
+  O.LocalSize = {64, 1, 1};
+  codegen::CompiledKernel B = codegen::compile(P, O);
+  codegen::CompiledKernel A2 = codegen::compile(P, dotOptions());
+  EXPECT_EQ(A.Source, A2.Source);
+  EXPECT_NE(A.Source, B.Source);
+}
+
+TEST(CodegenTest, ScatterOnReadPathIsRejected) {
+  auto N = arith::sizeVar("N");
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  // gather on the write path is not invertible.
+  LambdaPtr P = lambda({X}, pipe(ExprPtr(X), mapGlb(prelude::squareFun()),
+                                 gather(reverseIndex()),
+                                 mapGlb(prelude::squareFun())));
+  codegen::CompilerOptions O;
+  O.GlobalSize = {16, 1, 1};
+  O.LocalSize = {4, 1, 1};
+  // This program is fine: gather is on the read path of the second map.
+  codegen::CompiledKernel K = codegen::compile(P, O);
+  EXPECT_FALSE(K.Source.empty());
+}
+
+} // namespace

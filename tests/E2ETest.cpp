@@ -1,0 +1,498 @@
+//===- E2ETest.cpp - End-to-end compile-and-execute tests -------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles small Lift IL programs covering every pattern, runs the
+/// generated kernels on the simulated device at each of the three
+/// optimization levels of Figure 8, and validates the results element-wise
+/// against plain C++ references. This is the main correctness harness for
+/// the whole compilation pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::ir::dsl;
+using namespace lift::test;
+
+namespace {
+
+class E2E : public ::testing::TestWithParam<OptLevel> {
+protected:
+  codegen::CompilerOptions opts(std::array<int64_t, 3> Global,
+                                std::array<int64_t, 3> Local) {
+    return optionsFor(GetParam(), Global, Local);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Elementary maps
+//===----------------------------------------------------------------------===//
+
+TEST_P(E2E, MapGlbSquare) {
+  auto N = arith::sizeVar("N");
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  LambdaPtr P = lambda({X}, pipe(ExprPtr(X), mapGlb(prelude::squareFun())));
+
+  auto In = randomFloats(256, 1);
+  auto R = runFloatProgram(P, {In}, 256, {{"N", 256}}, opts({64, 1, 1},
+                                                            {16, 1, 1}));
+  std::vector<float> Ref;
+  for (float V : In)
+    Ref.push_back(V * V);
+  EXPECT_LT(maxAbsError(R.Out, Ref), 1e-6);
+}
+
+TEST_P(E2E, MapWrgMapLclNested) {
+  auto N = arith::sizeVar("N");
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  LambdaPtr P =
+      lambda({X}, pipe(ExprPtr(X), split(32),
+                       mapWrg(mapLcl(prelude::squareFun())), join()));
+
+  auto In = randomFloats(512, 2);
+  auto R = runFloatProgram(P, {In}, 512, {{"N", 512}},
+                           opts({128, 1, 1}, {16, 1, 1}));
+  std::vector<float> Ref;
+  for (float V : In)
+    Ref.push_back(V * V);
+  EXPECT_LT(maxAbsError(R.Out, Ref), 1e-6);
+}
+
+TEST_P(E2E, MapSeqInsideMapGlb) {
+  auto N = arith::sizeVar("N");
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  LambdaPtr P = lambda({X}, pipe(ExprPtr(X), split(8),
+                                 mapGlb(mapSeq(prelude::squareFun())),
+                                 join()));
+
+  auto In = randomFloats(128, 3);
+  auto R = runFloatProgram(P, {In}, 128, {{"N", 128}},
+                           opts({16, 1, 1}, {4, 1, 1}));
+  std::vector<float> Ref;
+  for (float V : In)
+    Ref.push_back(V * V);
+  EXPECT_LT(maxAbsError(R.Out, Ref), 1e-6);
+}
+
+//===----------------------------------------------------------------------===//
+// Zip / get / reduce
+//===----------------------------------------------------------------------===//
+
+TEST_P(E2E, ZipAdd) {
+  auto N = arith::sizeVar("N");
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  ParamPtr Y = param("y", arrayOf(float32(), N));
+  FunDeclPtr AddPair = userFun("addPair", {"p"},
+                               {tupleOf({float32(), float32()})}, float32(),
+                               "return p._0 + p._1;");
+  LambdaPtr P = lambda({X, Y}, pipe(call(zip(), {X, Y}), mapGlb(AddPair)));
+
+  auto A = randomFloats(128, 4), B = randomFloats(128, 5);
+  auto R = runFloatProgram(P, {A, B}, 128, {{"N", 128}},
+                           opts({32, 1, 1}, {8, 1, 1}));
+  std::vector<float> Ref;
+  for (size_t I = 0; I != A.size(); ++I)
+    Ref.push_back(A[I] + B[I]);
+  EXPECT_LT(maxAbsError(R.Out, Ref), 1e-6);
+}
+
+TEST_P(E2E, ZipGetProjection) {
+  auto N = arith::sizeVar("N");
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  ParamPtr Y = param("y", arrayOf(float32(), N));
+  // map(p -> sq(get1(p))) over zip: projects the second array.
+  LambdaPtr P = lambda(
+      {X, Y},
+      pipe(call(zip(), {X, Y}), mapGlb(fun([&](ExprPtr Pair) {
+             return call(prelude::squareFun(), {call(get(1), {Pair})});
+           }))));
+
+  auto A = randomFloats(64, 6), B = randomFloats(64, 7);
+  auto R = runFloatProgram(P, {A, B}, 64, {{"N", 64}},
+                           opts({16, 1, 1}, {8, 1, 1}));
+  std::vector<float> Ref;
+  for (float V : B)
+    Ref.push_back(V * V);
+  EXPECT_LT(maxAbsError(R.Out, Ref), 1e-6);
+}
+
+TEST_P(E2E, RowReduction) {
+  // GEMV-like: one thread per row, sequential reduction over the row.
+  auto N = arith::sizeVar("N");
+  auto M = arith::sizeVar("M");
+  ParamPtr X = param("x", array2D(float32(), N, M));
+  LambdaPtr P = lambda(
+      {X}, pipe(ExprPtr(X), mapGlb(fun([&](ExprPtr Row) {
+              return pipe(call(reduceSeq(prelude::addFun()),
+                               {litFloat(0.0f), Row}),
+                          toGlobal(mapSeq(prelude::idFloatFun())));
+            })),
+            join()));
+
+  const int64_t Rows = 32, Cols = 24;
+  auto In = randomFloats(Rows * Cols, 8);
+  auto R = runFloatProgram(P, {In}, Rows, {{"N", Rows}, {"M", Cols}},
+                           opts({32, 1, 1}, {8, 1, 1}));
+  std::vector<float> Ref(Rows, 0.f);
+  for (int64_t I = 0; I != Rows; ++I)
+    for (int64_t J = 0; J != Cols; ++J)
+      Ref[I] += In[I * Cols + J];
+  EXPECT_LT(maxAbsError(R.Out, Ref), 1e-4);
+}
+
+TEST_P(E2E, ReduceWithZippedInput) {
+  // Dot-product-per-chunk: zip, split, reduce with a tuple operand.
+  auto N = arith::sizeVar("N");
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  ParamPtr Y = param("y", arrayOf(float32(), N));
+  LambdaPtr P = lambda(
+      {X, Y}, pipe(call(zip(), {X, Y}), split(16),
+                   mapGlb(fun([&](ExprPtr Chunk) {
+                     return pipe(call(reduceSeq(prelude::multAndSumUpFun()),
+                                      {litFloat(0.0f), Chunk}),
+                                 toGlobal(mapSeq(prelude::idFloatFun())));
+                   })),
+                   join()));
+
+  auto A = randomFloats(256, 9), B = randomFloats(256, 10);
+  auto R = runFloatProgram(P, {A, B}, 16, {{"N", 256}},
+                           opts({16, 1, 1}, {4, 1, 1}));
+  std::vector<float> Ref(16, 0.f);
+  for (size_t I = 0; I != 256; ++I)
+    Ref[I / 16] += A[I] * B[I];
+  EXPECT_LT(maxAbsError(R.Out, Ref), 1e-4);
+}
+
+//===----------------------------------------------------------------------===//
+// Layout patterns
+//===----------------------------------------------------------------------===//
+
+TEST_P(E2E, GatherReverse) {
+  auto N = arith::sizeVar("N");
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  LambdaPtr P = lambda({X}, pipe(ExprPtr(X), gather(reverseIndex()),
+                                 mapGlb(prelude::idFloatFun())));
+
+  auto In = randomFloats(64, 11);
+  auto R = runFloatProgram(P, {In}, 64, {{"N", 64}},
+                           opts({16, 1, 1}, {4, 1, 1}));
+  std::vector<float> Ref(In.rbegin(), In.rend());
+  EXPECT_LT(maxAbsError(R.Out, Ref), 1e-6);
+}
+
+TEST_P(E2E, ScatterReverse) {
+  auto N = arith::sizeVar("N");
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  LambdaPtr P = lambda({X}, pipe(ExprPtr(X), mapGlb(prelude::idFloatFun()),
+                                 scatter(reverseIndex())));
+
+  auto In = randomFloats(64, 12);
+  auto R = runFloatProgram(P, {In}, 64, {{"N", 64}},
+                           opts({16, 1, 1}, {4, 1, 1}));
+  std::vector<float> Ref(In.rbegin(), In.rend());
+  EXPECT_LT(maxAbsError(R.Out, Ref), 1e-6);
+}
+
+TEST_P(E2E, TransposeViaGatherComposition) {
+  // Section 3.2: split_rows ∘ gather ∘ join.
+  auto N = arith::sizeVar("N");
+  auto M = arith::sizeVar("M");
+  ParamPtr X = param("x", array2D(float32(), N, M));
+  LambdaPtr P =
+      lambda({X}, pipe(ExprPtr(X), join(), gather(transposeIndex(N, M)),
+                       split(N), mapWrg(mapLcl(prelude::idFloatFun())),
+                       join()));
+
+  const int64_t Rows = 48, Cols = 16;
+  std::vector<float> In(Rows * Cols);
+  for (size_t I = 0; I != In.size(); ++I)
+    In[I] = static_cast<float>(I);
+  auto R = runFloatProgram(P, {In}, Rows * Cols,
+                           {{"N", Rows}, {"M", Cols}},
+                           opts({64, 1, 1}, {16, 1, 1}));
+  std::vector<float> Ref(Rows * Cols);
+  for (int64_t I = 0; I != Cols; ++I)
+    for (int64_t J = 0; J != Rows; ++J)
+      Ref[I * Rows + J] = In[J * Cols + I];
+  EXPECT_LT(maxAbsError(R.Out, Ref), 1e-6);
+}
+
+TEST_P(E2E, TransposePattern) {
+  auto N = arith::sizeVar("N");
+  auto M = arith::sizeVar("M");
+  ParamPtr X = param("x", array2D(float32(), N, M));
+  LambdaPtr P = lambda({X}, pipe(ExprPtr(X), transpose(),
+                                 mapWrg(mapLcl(prelude::idFloatFun())),
+                                 join()));
+
+  const int64_t Rows = 24, Cols = 16;
+  std::vector<float> In(Rows * Cols);
+  for (size_t I = 0; I != In.size(); ++I)
+    In[I] = static_cast<float>(I);
+  auto R = runFloatProgram(P, {In}, Rows * Cols,
+                           {{"N", Rows}, {"M", Cols}},
+                           opts({32, 1, 1}, {8, 1, 1}));
+  std::vector<float> Ref(Rows * Cols);
+  for (int64_t I = 0; I != Cols; ++I)
+    for (int64_t J = 0; J != Rows; ++J)
+      Ref[I * Rows + J] = In[J * Cols + I];
+  EXPECT_LT(maxAbsError(R.Out, Ref), 1e-6);
+}
+
+TEST_P(E2E, SlideStencil3Point) {
+  // mapGlb(reduceSeq(add)) ∘ slide(3,1): a 3-point moving sum.
+  auto N = arith::sizeVar("N");
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  LambdaPtr P = lambda(
+      {X}, pipe(ExprPtr(X), slide(3, 1), mapGlb(fun([&](ExprPtr Win) {
+              return pipe(call(reduceSeq(prelude::addFun()),
+                               {litFloat(0.0f), Win}),
+                          toGlobal(mapSeq(prelude::idFloatFun())));
+            })),
+            join()));
+
+  auto In = randomFloats(66, 13);
+  auto R = runFloatProgram(P, {In}, 64, {{"N", 66}},
+                           opts({16, 1, 1}, {4, 1, 1}));
+  std::vector<float> Ref(64);
+  for (size_t I = 0; I != 64; ++I)
+    Ref[I] = In[I] + In[I + 1] + In[I + 2];
+  EXPECT_LT(maxAbsError(R.Out, Ref), 1e-5);
+}
+
+TEST_P(E2E, SplitJoinRoundTrip) {
+  auto N = arith::sizeVar("N");
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  LambdaPtr P = lambda({X}, pipe(ExprPtr(X), split(4), join(), split(8),
+                                 mapGlb(mapSeq(prelude::idFloatFun())),
+                                 join()));
+
+  auto In = randomFloats(64, 14);
+  auto R = runFloatProgram(P, {In}, 64, {{"N", 64}},
+                           opts({8, 1, 1}, {4, 1, 1}));
+  EXPECT_LT(maxAbsError(R.Out, In), 1e-6);
+}
+
+//===----------------------------------------------------------------------===//
+// Pure maps over layout functions (views only, no code)
+//===----------------------------------------------------------------------===//
+
+TEST_P(E2E, MapTranspose2D) {
+  // map(transpose) over a 3D array: swaps the two inner dimensions.
+  auto N = arith::sizeVar("N");
+  ParamPtr X = param("x", arrayOf(array2D(float32(), arith::cst(4),
+                                          arith::cst(8)),
+                                  N));
+  LambdaPtr P = lambda(
+      {X},
+      pipe(ExprPtr(X), mapSeq(transpose()),
+           mapGlb(mapSeq(mapSeq(prelude::idFloatFun()))), join(), join()));
+
+  const int64_t Outer = 8;
+  std::vector<float> In(Outer * 4 * 8);
+  for (size_t I = 0; I != In.size(); ++I)
+    In[I] = static_cast<float>(I);
+  auto R = runFloatProgram(P, {In}, In.size(), {{"N", Outer}},
+                           opts({8, 1, 1}, {4, 1, 1}));
+  std::vector<float> Ref(In.size());
+  for (int64_t O = 0; O != Outer; ++O)
+    for (int64_t I = 0; I != 8; ++I)
+      for (int64_t J = 0; J != 4; ++J)
+        Ref[O * 32 + I * 4 + J] = In[O * 32 + J * 8 + I];
+  EXPECT_LT(maxAbsError(R.Out, Ref), 1e-6);
+}
+
+TEST_P(E2E, MapGatherReversesRows) {
+  auto N = arith::sizeVar("N");
+  ParamPtr X = param("x", array2D(float32(), N, arith::cst(8)));
+  LambdaPtr P = lambda({X}, pipe(ExprPtr(X), mapSeq(gather(reverseIndex())),
+                                 mapGlb(mapSeq(prelude::idFloatFun())),
+                                 join()));
+
+  const int64_t Rows = 16;
+  std::vector<float> In(Rows * 8);
+  for (size_t I = 0; I != In.size(); ++I)
+    In[I] = static_cast<float>(I);
+  auto R = runFloatProgram(P, {In}, In.size(), {{"N", Rows}},
+                           opts({16, 1, 1}, {4, 1, 1}));
+  std::vector<float> Ref(In.size());
+  for (int64_t I = 0; I != Rows; ++I)
+    for (int64_t J = 0; J != 8; ++J)
+      Ref[I * 8 + J] = In[I * 8 + (7 - J)];
+  EXPECT_LT(maxAbsError(R.Out, Ref), 1e-6);
+}
+
+//===----------------------------------------------------------------------===//
+// Local memory, iterate, vectorization, data-dependent gather
+//===----------------------------------------------------------------------===//
+
+TEST_P(E2E, LocalMemoryCopyPipeline) {
+  // toLocal copy, square in local memory, copy back (classic staging).
+  auto N = arith::sizeVar("N");
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  LambdaPtr P = lambda(
+      {X},
+      pipe(ExprPtr(X), split(16), mapWrg(fun([&](ExprPtr Chunk) {
+             return pipe(Chunk, toLocal(mapLcl(prelude::idFloatFun())),
+                         mapLcl(prelude::squareFun()),
+                         toGlobal(mapLcl(prelude::idFloatFun())));
+           })),
+           join()));
+
+  auto In = randomFloats(128, 15);
+  auto R = runFloatProgram(P, {In}, 128, {{"N", 128}},
+                           opts({128, 1, 1}, {16, 1, 1}));
+  std::vector<float> Ref;
+  for (float V : In)
+    Ref.push_back(V * V);
+  EXPECT_LT(maxAbsError(R.Out, Ref), 1e-6);
+}
+
+TEST_P(E2E, IterateHalvingReduction) {
+  // Listing 1's iterate: reduce 32 values to 1 in 5 halving steps.
+  auto N = arith::sizeVar("N");
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  LambdaPtr P = lambda(
+      {X},
+      pipe(ExprPtr(X), split(32), mapWrg(fun([&](ExprPtr Chunk) {
+             return pipe(
+                 Chunk, toLocal(mapLcl(prelude::idFloatFun())),
+                 iterate(5, fun([&](ExprPtr Arr) {
+                           return pipe(
+                               Arr, split(2),
+                               mapLcl(fun([&](ExprPtr Two) {
+                                 return pipe(
+                                     call(reduceSeq(prelude::addFun()),
+                                          {litFloat(0.0f), Two}),
+                                     toLocal(mapSeq(prelude::idFloatFun())));
+                               })),
+                               join());
+                         })),
+                 split(1), toGlobal(mapLcl(mapSeq(prelude::idFloatFun()))),
+                 join());
+           })),
+           join()));
+
+  auto In = randomFloats(128, 16);
+  auto R = runFloatProgram(P, {In}, 4, {{"N", 128}},
+                           opts({64, 1, 1}, {16, 1, 1}));
+  std::vector<float> Ref(4, 0.f);
+  for (size_t I = 0; I != 128; ++I)
+    Ref[I / 32] += In[I];
+  EXPECT_LT(maxAbsError(R.Out, Ref), 1e-4);
+}
+
+TEST_P(E2E, VectorizedSquare) {
+  // asScalar ∘ map(mapVec(sq)) ∘ asVector(4).
+  auto N = arith::sizeVar("N");
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  LambdaPtr P = lambda(
+      {X}, pipe(ExprPtr(X), asVector(4), mapGlb(fun([&](ExprPtr V4) {
+              return call(mapVec(prelude::squareFun()), {V4});
+            })),
+            asScalar()));
+
+  auto In = randomFloats(64, 17);
+  auto R = runFloatProgram(P, {In}, 64, {{"N", 64}},
+                           opts({16, 1, 1}, {4, 1, 1}));
+  std::vector<float> Ref;
+  for (float V : In)
+    Ref.push_back(V * V);
+  EXPECT_LT(maxAbsError(R.Out, Ref), 1e-6);
+}
+
+TEST_P(E2E, GatherIndicesNeighbourList) {
+  auto N = arith::sizeVar("N");
+  auto M = arith::sizeVar("M");
+  ParamPtr Idx = param("idx", arrayOf(int32(), M));
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  LambdaPtr P = lambda({Idx, X},
+                       pipe(call(gatherIndices(), {Idx, X}),
+                            mapGlb(prelude::idFloatFun())));
+
+  std::vector<int> Indices = {5, 3, 7, 1, 0, 6, 2, 4,
+                              5, 5, 5, 5, 0, 1, 2, 3};
+  auto In = randomFloats(8, 18);
+
+  codegen::CompiledKernel K =
+      codegen::compile(P, opts({8, 1, 1}, {4, 1, 1}));
+  ocl::Buffer IdxB = ocl::Buffer::ofInts(Indices);
+  ocl::Buffer XB = ocl::Buffer::ofFloats(In);
+  ocl::Buffer Out = ocl::Buffer::zeros(Indices.size());
+  ocl::launch(K, {&IdxB, &XB, &Out},
+              {{"N", 8}, {"M", static_cast<int64_t>(Indices.size())}},
+              ocl::LaunchConfig::fromOptions(opts({8, 1, 1}, {4, 1, 1})));
+  auto OutF = Out.toFloats();
+  for (size_t I = 0; I != Indices.size(); ++I)
+    EXPECT_FLOAT_EQ(OutF[I], In[static_cast<size_t>(Indices[I])]);
+}
+
+TEST_P(E2E, ScalarProgramParameter) {
+  // y = alpha * x, with alpha a by-value scalar parameter.
+  auto N = arith::sizeVar("N");
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  ParamPtr Alpha = param("alpha", float32());
+  FunDeclPtr Scale = userFun("scale", {"a", "v"}, {float32(), float32()},
+                             float32(), "return a * v;");
+  LambdaPtr P = lambda({X, Alpha}, pipe(ExprPtr(X), mapGlb(fun([&](ExprPtr V) {
+                                          return call(Scale, {Alpha, V});
+                                        }))));
+
+  auto In = randomFloats(32, 19);
+  codegen::CompiledKernel K = codegen::compile(P, opts({8, 1, 1}, {4, 1, 1}));
+  ocl::Buffer XB = ocl::Buffer::ofFloats(In);
+  ocl::Buffer Out = ocl::Buffer::zeros(32);
+  ocl::launch(K, {&XB, &Out}, {{"N", 32}, {"alpha", 3}},
+              ocl::LaunchConfig::fromOptions(opts({8, 1, 1}, {4, 1, 1})));
+  auto OutF = Out.toFloats();
+  for (size_t I = 0; I != In.size(); ++I)
+    EXPECT_FLOAT_EQ(OutF[I], 3.0f * In[I]);
+}
+
+TEST_P(E2E, TwoDimensionalWorkgroups) {
+  // 2D NDRange: tile a matrix into 2D work groups of 4x4 threads.
+  auto N = arith::sizeVar("N");
+  auto M = arith::sizeVar("M");
+  ParamPtr X = param("x", array2D(float32(), N, M));
+  LambdaPtr P = lambda(
+      {X}, pipe(ExprPtr(X), mapWrg(1, fun([&](ExprPtr Row) {
+              return pipe(Row, split(4),
+                          mapWrg(0, mapLcl(0, prelude::squareFun())), join());
+            }))));
+
+  const int64_t Rows = 8, Cols = 16;
+  auto In = randomFloats(Rows * Cols, 20);
+  auto R = runFloatProgram(P, {In}, Rows * Cols,
+                           {{"N", Rows}, {"M", Cols}},
+                           opts({8, 8, 1}, {4, 1, 1}));
+  std::vector<float> Ref;
+  for (float V : In)
+    Ref.push_back(V * V);
+  EXPECT_LT(maxAbsError(R.Out, Ref), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(OptLevels, E2E,
+                         ::testing::Values(OptLevel::None,
+                                           OptLevel::BarrierCfs,
+                                           OptLevel::Full),
+                         [](const ::testing::TestParamInfo<OptLevel> &I) {
+                           switch (I.param) {
+                           case OptLevel::None:
+                             return std::string("None");
+                           case OptLevel::BarrierCfs:
+                             return std::string("BarrierCfs");
+                           case OptLevel::Full:
+                             return std::string("Full");
+                           }
+                           return std::string("Unknown");
+                         });
+
+} // namespace

@@ -1,0 +1,193 @@
+//===- FrontendTest.cpp - Tests for the Lift IL text frontend -----------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses IL source, round-trips programs through the pretty printer, and
+/// compiles/executes parsed programs against references.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+#include "arith/Bounds.h"
+#include "frontend/ILParser.h"
+#include "ir/Printer.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::ir::dsl;
+using namespace lift::test;
+
+namespace {
+
+TEST(FrontendTest, ParsesSimpleProgram) {
+  frontend::ParsedProgram P = frontend::parseIL(R"(
+def sq(x: float): float = "return x * x;"
+fun(x: [float]N) => mapGlb0(sq)(x)
+)");
+  ASSERT_NE(P.Program, nullptr);
+  EXPECT_EQ(P.Program->getParams().size(), 1u);
+  EXPECT_EQ(P.SizeVars.count("N"), 1u);
+  const auto *C = cast<FunCall>(P.Program->getBody().get());
+  EXPECT_EQ(C->getFun()->getKind(), FunKind::MapGlb);
+}
+
+TEST(FrontendTest, ParsesTypes) {
+  frontend::ParsedProgram P = frontend::parseIL(R"(
+def f(p: (float, int)): float = "return p._0;"
+fun(a: [[float]M]N, b: [float4]K, c: [(float, int)]N) => mapGlb0(f)(c)
+)");
+  const auto &Params = P.Program->getParams();
+  EXPECT_EQ(typeToString(Params[0]->Ty), "[[float]M]N");
+  EXPECT_EQ(typeToString(Params[1]->Ty), "[float4]K");
+  EXPECT_EQ(typeToString(Params[2]->Ty), "[(float, int)]N");
+}
+
+TEST(FrontendTest, ParsesSizeArithmetic) {
+  frontend::ParsedProgram P = frontend::parseIL(R"(
+def sq(x: float): float = "return x * x;"
+fun(x: [float]N*M, y: [float](N+2)) => mapGlb0(sq)(x)
+)");
+  const auto *A = cast<ArrayType>(P.Program->getParams()[0]->Ty.get());
+  EXPECT_TRUE(arith::provablyEqual(
+      A->getSize(), arith::mul(arith::Expr(P.SizeVars.at("N")),
+                               arith::Expr(P.SizeVars.at("M")))));
+}
+
+TEST(FrontendTest, ParsedProgramExecutes) {
+  frontend::ParsedProgram P = frontend::parseIL(R"(
+def sq(x: float): float = "return x * x;"
+fun(x: [float]N) => mapGlb0(sq)(x)
+)");
+  auto In = randomFloats(64, 31);
+  auto R = runFloatProgram(P.Program, {In}, 64, {{"N", 64}},
+                           optionsFor(OptLevel::Full, {16, 1, 1},
+                                      {4, 1, 1}));
+  std::vector<float> Ref;
+  for (float V : In)
+    Ref.push_back(V * V);
+  EXPECT_LT(maxAbsError(R.Out, Ref), 1e-6);
+}
+
+TEST(FrontendTest, ParsesListing1DotProduct) {
+  frontend::ParsedProgram P = frontend::parseIL(R"(
+def multAndSumUp(acc: float, xy: (float, float)): float =
+  "return acc + xy._0 * xy._1;"
+def add(a: float, b: float): float = "return a + b;"
+def idF(x: float): float = "return x;"
+
+fun(x: [float]N, y: [float]N) =>
+  join(mapWrg0(\(chunk) ->
+    join(toGlobal(mapLcl0(mapSeq(idF)))(
+      split(1)(
+        iterate(6, \(arr) ->
+          join(mapLcl0(\(two) ->
+            toLocal(mapSeq(idF))(reduceSeq(add)(0.0f, two)))(
+            split(2)(arr))))(
+          join(mapLcl0(\(pair) ->
+            toLocal(mapSeq(idF))(reduceSeq(multAndSumUp)(0.0f, pair)))(
+            split(2)(chunk))))))))(
+    split(128)(zip(x, y))))
+)");
+  // Compile and validate against the host dot product.
+  const int64_t N = 1024;
+  auto A = randomFloats(N, 32), B = randomFloats(N, 33);
+  auto R = runFloatProgram(P.Program, {A, B}, N / 128, {{"N", N}},
+                           optionsFor(OptLevel::Full, {512, 1, 1},
+                                      {64, 1, 1}));
+  std::vector<float> Ref(N / 128, 0.f);
+  for (int64_t I = 0; I != N; ++I)
+    Ref[I / 128] += A[I] * B[I];
+  EXPECT_LT(maxAbsError(R.Out, Ref), 1e-3);
+}
+
+TEST(FrontendTest, PrinterRoundTrip) {
+  // Print a program and parse the result back: the re-parsed program must
+  // compile to the same kernel.
+  const char *Src = R"(
+def sq(x: float): float = "return x * x;"
+def idF(x: float): float = "return x;"
+fun(x: [float]N) =>
+  join(mapWrg0(\(chunk) ->
+    toGlobal(mapLcl0(sq))(toLocal(mapLcl0(idF))(chunk)))(
+    split(16)(x)))
+)";
+  frontend::ParsedProgram P1 = frontend::parseIL(Src);
+  std::string Printed = printProgram(P1.Program);
+  // The printer emits only the program body; re-attach the definitions.
+  std::string Round = "def sq(x: float): float = \"return x * x;\"\n"
+                      "def idF(x: float): float = \"return x;\"\n" +
+                      Printed;
+  frontend::ParsedProgram P2 = frontend::parseIL(Round);
+
+  codegen::CompilerOptions O;
+  O.GlobalSize = {64, 1, 1};
+  O.LocalSize = {16, 1, 1};
+  codegen::CompiledKernel K1 = codegen::compile(P1.Program, O);
+  codegen::CompiledKernel K2 = codegen::compile(P2.Program, O);
+  // Identical modulo generated variable ids; compare structure counts.
+  EXPECT_EQ(K1.BarriersEmitted, K2.BarriersEmitted);
+  EXPECT_EQ(K1.LoopsEmitted, K2.LoopsEmitted);
+  EXPECT_EQ(K1.Params.size(), K2.Params.size());
+}
+
+TEST(FrontendTest, LambdaLetBinding) {
+  // (λ(t) -> body)(arg) names an intermediate.
+  frontend::ParsedProgram P = frontend::parseIL(R"(
+def sq(x: float): float = "return x * x;"
+def idF(x: float): float = "return x;"
+fun(x: [float]N) =>
+  join(mapWrg0(\(chunk) ->
+    (\(copied) -> toGlobal(mapLcl0(sq))(copied))(
+      toLocal(mapLcl0(idF))(chunk)))(
+    split(16)(x)))
+)");
+  auto In = randomFloats(32, 34);
+  auto R = runFloatProgram(P.Program, {In}, 32, {{"N", 32}},
+                           optionsFor(OptLevel::Full, {32, 1, 1},
+                                      {16, 1, 1}));
+  std::vector<float> Ref;
+  for (float V : In)
+    Ref.push_back(V * V);
+  EXPECT_LT(maxAbsError(R.Out, Ref), 1e-6);
+}
+
+TEST(FrontendTest, GatherWithNamedIndexFunctions) {
+  frontend::ParsedProgram P = frontend::parseIL(R"(
+def idF(x: float): float = "return x;"
+fun(x: [float]N) => mapGlb0(idF)(gather(reverse)(x))
+)");
+  auto In = randomFloats(16, 35);
+  auto R = runFloatProgram(P.Program, {In}, 16, {{"N", 16}},
+                           optionsFor(OptLevel::Full, {16, 1, 1},
+                                      {4, 1, 1}));
+  std::vector<float> Ref(In.rbegin(), In.rend());
+  EXPECT_LT(maxAbsError(R.Out, Ref), 1e-6);
+}
+
+TEST(FrontendTest, CommentsAndWhitespace) {
+  frontend::ParsedProgram P = frontend::parseIL(R"(
+# hash comment
+// slash comment
+def sq(x: float): float = "return x * x;"
+
+fun(x: [float]N) =>   mapSeq(sq)(x)
+)");
+  EXPECT_NE(P.Program, nullptr);
+}
+
+TEST(FrontendTest, ErrorsAreFatalWithLineNumbers) {
+  EXPECT_DEATH(frontend::parseIL("fun(x: [float]N) => bogus(x)"),
+               "unknown function 'bogus'");
+  EXPECT_DEATH(frontend::parseIL("fun(x: [whatever]N) => x"),
+               "unknown type");
+  EXPECT_DEATH(frontend::parseIL("def f(x: float): float = 42"),
+               "expected the C body");
+}
+
+} // namespace

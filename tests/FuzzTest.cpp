@@ -1,0 +1,331 @@
+//===- FuzzTest.cpp - Differential fuzzing of the whole compiler --------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates random well-typed Lift IL programs — pipelines of layout
+/// patterns (split, join, gather, transpose, slide) feeding a nested map
+/// of a compute function — compiles each at all three optimization levels,
+/// executes on the simulated device and compares element-wise against a
+/// host model that applies the same layout operations to shaped arrays.
+/// This differentially tests the type system, views, simplifier, code
+/// generator and interpreter together.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+#include "frontend/ILParser.h"
+#include "ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::ir::dsl;
+using namespace lift::test;
+
+namespace {
+
+/// Deterministic small PRNG.
+class Prng {
+  uint64_t State;
+
+public:
+  explicit Prng(uint64_t Seed) : State(Seed * 2654435761u + 1) {}
+  uint64_t next() {
+    State ^= State << 13;
+    State ^= State >> 7;
+    State ^= State << 17;
+    return State;
+  }
+  int64_t range(int64_t Lo, int64_t Hi) { // inclusive
+    return Lo + static_cast<int64_t>(next() % static_cast<uint64_t>(
+                                         Hi - Lo + 1));
+  }
+};
+
+/// Host-side shaped array model: row-major data with an explicit shape.
+struct Shaped {
+  std::vector<int64_t> Shape; // outermost first
+  std::vector<float> Data;   // row-major
+
+  int64_t outer() const { return Shape.front(); }
+  int64_t innerCount() const {
+    int64_t N = 1;
+    for (size_t I = 1; I != Shape.size(); ++I)
+      N *= Shape[I];
+    return N;
+  }
+};
+
+Shaped hostSplit(const Shaped &A, int64_t Factor) {
+  Shaped R = A;
+  R.Shape.front() = Factor;
+  R.Shape.insert(R.Shape.begin(), A.outer() / Factor);
+  return R;
+}
+
+Shaped hostJoin(const Shaped &A) {
+  Shaped R = A;
+  int64_t Outer = R.Shape[0], Inner = R.Shape[1];
+  R.Shape.erase(R.Shape.begin());
+  R.Shape.front() = Outer * Inner;
+  return R;
+}
+
+Shaped hostReverse(const Shaped &A) {
+  Shaped R = A;
+  int64_t Blocks = A.outer(), BlockSize = A.innerCount();
+  for (int64_t B = 0; B != Blocks; ++B)
+    for (int64_t I = 0; I != BlockSize; ++I)
+      R.Data[static_cast<size_t>(B * BlockSize + I)] =
+          A.Data[static_cast<size_t>((Blocks - 1 - B) * BlockSize + I)];
+  return R;
+}
+
+Shaped hostTranspose(const Shaped &A) {
+  Shaped R = A;
+  int64_t O = A.Shape[0], I = A.Shape[1];
+  int64_t Elem = 1;
+  for (size_t D = 2; D != A.Shape.size(); ++D)
+    Elem *= A.Shape[D];
+  std::swap(R.Shape[0], R.Shape[1]);
+  for (int64_t X = 0; X != O; ++X)
+    for (int64_t Y = 0; Y != I; ++Y)
+      for (int64_t E = 0; E != Elem; ++E)
+        R.Data[static_cast<size_t>((Y * O + X) * Elem + E)] =
+            A.Data[static_cast<size_t>((X * I + Y) * Elem + E)];
+  return R;
+}
+
+Shaped hostSlide3(const Shaped &A) {
+  // slide(3, 1) over the outer dimension: materialize the windows.
+  Shaped R;
+  int64_t O = A.outer(), Elem = A.innerCount();
+  int64_t Windows = O - 2;
+  R.Shape = A.Shape;
+  R.Shape.front() = 3;
+  R.Shape.insert(R.Shape.begin(), Windows);
+  R.Data.resize(static_cast<size_t>(Windows * 3 * Elem));
+  for (int64_t W = 0; W != Windows; ++W)
+    for (int64_t J = 0; J != 3; ++J)
+      for (int64_t E = 0; E != Elem; ++E)
+        R.Data[static_cast<size_t>(((W * 3) + J) * Elem + E)] =
+            A.Data[static_cast<size_t>((W + J) * Elem + E)];
+  return R;
+}
+
+/// One random layout program and its host model, built side by side.
+struct GeneratedProgram {
+  LambdaPtr Program;
+  std::vector<float> Input;
+  std::vector<float> Expected;
+  std::string Description;
+};
+
+GeneratedProgram generate(uint64_t Seed) {
+  Prng Rng(Seed);
+  const int64_t N = 48; // rich in divisors
+
+  GeneratedProgram G;
+  G.Input = randomFloats(N, Seed ^ 0x9e3779b9);
+
+  Shaped Host;
+  Host.Shape = {N};
+  Host.Data = G.Input;
+
+  ParamPtr X = param("x", arrayOf(float32(), arith::cst(N)));
+  ExprPtr E = X;
+
+  int Stages = static_cast<int>(Rng.range(1, 6));
+  for (int S = 0; S != Stages; ++S) {
+    bool Is2D = Host.Shape.size() >= 2;
+    switch (Rng.range(0, Is2D ? 4 : 2)) {
+    case 0: { // split outer
+      std::vector<int64_t> Divisors;
+      for (int64_t D = 2; D <= Host.outer(); ++D)
+        if (Host.outer() % D == 0 && Host.outer() / D >= 1)
+          Divisors.push_back(D);
+      if (Divisors.empty())
+        break;
+      int64_t F = Divisors[static_cast<size_t>(
+          Rng.range(0, static_cast<int64_t>(Divisors.size()) - 1))];
+      E = pipe(E, split(F));
+      Host = hostSplit(Host, F);
+      G.Description += "split(" + std::to_string(F) + ") ";
+      break;
+    }
+    case 1: // gather reverse (outer)
+      E = pipe(E, gather(reverseIndex()));
+      Host = hostReverse(Host);
+      G.Description += "reverse ";
+      break;
+    case 2: // slide(3, 1) when the outer dim is big enough
+      if (Host.outer() < 3 || Host.Shape.size() > 2)
+        break;
+      E = pipe(E, slide(3, 1));
+      Host = hostSlide3(Host);
+      G.Description += "slide ";
+      break;
+    case 3: // join
+      E = pipe(E, join());
+      Host = hostJoin(Host);
+      G.Description += "join ";
+      break;
+    case 4: // transpose
+      E = pipe(E, transpose());
+      Host = hostTranspose(Host);
+      G.Description += "transpose ";
+      break;
+    }
+  }
+
+  // Compute stage: square every element through nested maps matching the
+  // current dimensionality (outer map parallel, inner maps sequential),
+  // then flatten with joins.
+  FunDeclPtr F = prelude::squareFun();
+  for (size_t D = 1; D < Host.Shape.size(); ++D)
+    F = mapSeq(F);
+  E = pipe(E, mapGlb(F));
+  for (size_t D = 1; D < Host.Shape.size(); ++D)
+    E = pipe(E, join());
+
+  G.Program = lambda({X}, E);
+  G.Expected.reserve(Host.Data.size());
+  for (float V : Host.Data)
+    G.Expected.push_back(V * V);
+  return G;
+}
+
+class FuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzTest, RandomLayoutPipelines) {
+  GeneratedProgram G = generate(static_cast<uint64_t>(GetParam()));
+
+  // Randomize the NDRange too: any local size must give the same result.
+  Prng Rng(static_cast<uint64_t>(GetParam()) * 31 + 7);
+  int64_t Local = int64_t(1) << Rng.range(1, 3);       // 2, 4, 8
+  int64_t Global = Local * Rng.range(2, 6);
+
+  for (OptLevel L :
+       {OptLevel::None, OptLevel::BarrierCfs, OptLevel::Full}) {
+    auto R = runFloatProgram(G.Program, {G.Input}, G.Expected.size(), {},
+                             optionsFor(L, {Global, 1, 1}, {Local, 1, 1}));
+    ASSERT_LT(maxAbsError(R.Out, G.Expected), 1e-5)
+        << "seed " << GetParam() << " [" << optLevelName(L)
+        << "] pipeline: " << G.Description << " ndrange " << Global << "/"
+        << Local;
+  }
+}
+
+TEST_P(FuzzTest, RandomZippedPipelines) {
+  // The same random layout chain applied to two inputs, zipped and
+  // multiplied: exercises ZipView under every layout combination.
+  uint64_t Seed = static_cast<uint64_t>(GetParam()) ^ 0xbeef;
+  GeneratedProgram G1 = generate(Seed); // provides the layout recipe
+
+  // Rebuild the same chain applied to two parameters by re-generating
+  // with the same seed but a fresh IR (generate is deterministic).
+  Prng Rng(Seed);
+  const int64_t N = 48;
+  std::vector<float> InX = randomFloats(N, Seed ^ 0x9e3779b9);
+  std::vector<float> InY = randomFloats(N, Seed ^ 0x51ed270);
+
+  Shaped HostX{{N}, InX}, HostY{{N}, InY};
+  ParamPtr X = param("x", arrayOf(float32(), arith::cst(N)));
+  ParamPtr Y = param("y", arrayOf(float32(), arith::cst(N)));
+  ExprPtr EX = X, EY = Y;
+
+  int Stages = static_cast<int>(Rng.range(1, 6));
+  for (int S = 0; S != Stages; ++S) {
+    bool Is2D = HostX.Shape.size() >= 2;
+    switch (Rng.range(0, Is2D ? 4 : 2)) {
+    case 0: {
+      std::vector<int64_t> Divisors;
+      for (int64_t D = 2; D <= HostX.outer(); ++D)
+        if (HostX.outer() % D == 0)
+          Divisors.push_back(D);
+      if (Divisors.empty())
+        break;
+      int64_t F = Divisors[static_cast<size_t>(
+          Rng.range(0, static_cast<int64_t>(Divisors.size()) - 1))];
+      EX = pipe(EX, split(F));
+      EY = pipe(EY, split(F));
+      HostX = hostSplit(HostX, F);
+      HostY = hostSplit(HostY, F);
+      break;
+    }
+    case 1:
+      EX = pipe(EX, gather(reverseIndex()));
+      EY = pipe(EY, gather(reverseIndex()));
+      HostX = hostReverse(HostX);
+      HostY = hostReverse(HostY);
+      break;
+    case 2:
+      if (HostX.outer() < 3 || HostX.Shape.size() > 2)
+        break;
+      EX = pipe(EX, slide(3, 1));
+      EY = pipe(EY, slide(3, 1));
+      HostX = hostSlide3(HostX);
+      HostY = hostSlide3(HostY);
+      break;
+    case 3:
+      EX = pipe(EX, join());
+      EY = pipe(EY, join());
+      HostX = hostJoin(HostX);
+      HostY = hostJoin(HostY);
+      break;
+    case 4:
+      EX = pipe(EX, transpose());
+      EY = pipe(EY, transpose());
+      HostX = hostTranspose(HostX);
+      HostY = hostTranspose(HostY);
+      break;
+    }
+  }
+
+  // Flatten both sides, zip, multiply pointwise.
+  for (size_t D = 1; D < HostX.Shape.size(); ++D) {
+    EX = pipe(EX, join());
+    EY = pipe(EY, join());
+  }
+  ExprPtr E =
+      pipe(call(zip(), {EX, EY}), mapGlb(prelude::multFun2Tuple()));
+  LambdaPtr P = lambda({X, Y}, E);
+
+  std::vector<float> Expected(HostX.Data.size());
+  for (size_t I = 0; I != Expected.size(); ++I)
+    Expected[I] = HostX.Data[I] * HostY.Data[I];
+
+  for (OptLevel L : {OptLevel::None, OptLevel::Full}) {
+    auto R = runFloatProgram(P, {InX, InY}, Expected.size(), {},
+                             optionsFor(L, {16, 1, 1}, {4, 1, 1}));
+    ASSERT_LT(maxAbsError(R.Out, Expected), 1e-5)
+        << "seed " << GetParam() << " [" << optLevelName(L) << "]";
+  }
+  (void)G1;
+}
+
+TEST_P(FuzzTest, PrintParseRoundTrip) {
+  // The pretty-printed form of every generated program must parse back
+  // through the text frontend into an equivalent program.
+  GeneratedProgram G = generate(static_cast<uint64_t>(GetParam()));
+  std::string Printed = printProgram(G.Program);
+  std::string Source =
+      "def sq(x: float): float = \"return x * x;\"\n" + Printed;
+  frontend::ParsedProgram P2 = frontend::parseIL(Source);
+
+  auto R = runFloatProgram(P2.Program, {G.Input}, G.Expected.size(), {},
+                           optionsFor(OptLevel::Full, {16, 1, 1},
+                                      {4, 1, 1}));
+  ASSERT_LT(maxAbsError(R.Out, G.Expected), 1e-5)
+      << "seed " << GetParam() << " source:\n" << Source;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 150));
+
+} // namespace

@@ -1,0 +1,121 @@
+//===- IRUtilsTest.cpp - IR printer, clone and prelude tests -------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/DSL.h"
+#include "ir/Prelude.h"
+#include "ir/Printer.h"
+#include "ir/TypeInference.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::ir::dsl;
+
+namespace {
+
+class IRUtilsTest : public ::testing::Test {
+protected:
+  std::shared_ptr<const arith::VarNode> N = arith::sizeVar("N");
+};
+
+TEST_F(IRUtilsTest, PrinterShowsPipelineStructure) {
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  LambdaPtr P = lambda({X}, pipe(ExprPtr(X), split(8),
+                                 mapWrg(0, mapLcl(0, prelude::squareFun())),
+                                 join()));
+  std::string S = printProgram(P);
+  EXPECT_NE(S.find("fun(x: [float]N)"), std::string::npos);
+  EXPECT_NE(S.find("mapWrg0(mapLcl0(sq))"), std::string::npos);
+  EXPECT_NE(S.find("split(8)"), std::string::npos);
+  EXPECT_NE(S.find("join("), std::string::npos);
+}
+
+TEST_F(IRUtilsTest, PrinterShowsLambdasAndLiterals) {
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  LambdaPtr P = lambda(
+      {X}, pipe(ExprPtr(X), mapGlb(fun([&](ExprPtr Row) {
+              return call(reduceSeq(prelude::addFun()),
+                          {litFloat(0.0f), call(split(4), {Row})});
+            }))));
+  // Printing never requires type inference to have run.
+  std::string S = printExpr(P->getBody());
+  EXPECT_NE(S.find("λ(p)"), std::string::npos);
+  EXPECT_NE(S.find("reduceSeq(add)"), std::string::npos);
+  EXPECT_NE(S.find("0.000000f"), std::string::npos);
+}
+
+TEST_F(IRUtilsTest, LineCountCountsStages) {
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  LambdaPtr Small = lambda({X}, pipe(ExprPtr(X),
+                                     mapGlb(prelude::squareFun())));
+  ParamPtr Y = param("y", arrayOf(float32(), N));
+  LambdaPtr Large = lambda({Y}, pipe(ExprPtr(Y), split(8),
+                                     mapWrg(mapLcl(prelude::squareFun())),
+                                     join()));
+  EXPECT_LT(programLineCount(Small), programLineCount(Large));
+}
+
+TEST_F(IRUtilsTest, CloneProducesIndependentAnnotations) {
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  LambdaPtr P = lambda({X}, pipe(ExprPtr(X), mapGlb(prelude::squareFun())));
+
+  LambdaPtr C = cast<Lambda>(cloneFunDecl(
+      std::static_pointer_cast<FunDecl>(P)));
+  inferProgramTypes(C);
+  // The original program's body is still un-annotated.
+  EXPECT_EQ(P->getBody()->Ty, nullptr);
+  EXPECT_NE(C->getBody()->Ty, nullptr);
+  // Parameters were cloned, not shared.
+  EXPECT_NE(P->getParams()[0].get(), C->getParams()[0].get());
+}
+
+TEST_F(IRUtilsTest, ClonePreservesSharing) {
+  // A parameter referenced twice clones to ONE fresh node referenced
+  // twice.
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  ExprPtr Zipped = call(zip(), {X, X});
+  LambdaPtr P = lambda({X}, Zipped);
+  LambdaPtr C = cast<Lambda>(cloneFunDecl(
+      std::static_pointer_cast<FunDecl>(P)));
+  const auto *Call = cast<FunCall>(C->getBody().get());
+  EXPECT_EQ(Call->getArgs()[0].get(), Call->getArgs()[1].get());
+  EXPECT_EQ(Call->getArgs()[0].get(), C->getParams()[0].get());
+}
+
+TEST_F(IRUtilsTest, CloneCopiesBarrierFlags) {
+  auto M = std::make_shared<MapLcl>(0, prelude::squareFun());
+  M->EmitBarrier = false;
+  FunDeclPtr C = cloneFunDecl(std::static_pointer_cast<FunDecl>(M));
+  EXPECT_FALSE(cast<MapLcl>(C.get())->EmitBarrier);
+}
+
+TEST_F(IRUtilsTest, PreludeSignatures) {
+  EXPECT_EQ(prelude::addFun()->arity(), 2u);
+  EXPECT_EQ(prelude::multAndSumUpFun()->arity(), 2u);
+  EXPECT_EQ(prelude::idFloatFun()->arity(), 1u);
+  FunDeclPtr MAdd = prelude::multAndSumUpFun();
+  const auto *U = cast<UserFun>(MAdd.get());
+  EXPECT_TRUE(typeEquals(U->getParamTypes()[1],
+                         tupleOf({float32(), float32()})));
+}
+
+TEST_F(IRUtilsTest, FunKindNamesAreStable) {
+  EXPECT_STREQ(funKindName(FunKind::Map), "map");
+  EXPECT_STREQ(funKindName(FunKind::MapLcl), "mapLcl");
+  EXPECT_STREQ(funKindName(FunKind::GatherIndices), "gatherIndices");
+  EXPECT_STREQ(funKindName(FunKind::ToPrivate), "toPrivate");
+}
+
+TEST_F(IRUtilsTest, AddressSpaceNames) {
+  EXPECT_STREQ(addressSpaceName(AddressSpace::Global), "global");
+  EXPECT_STREQ(addressSpaceName(AddressSpace::Local), "local");
+  EXPECT_STREQ(addressSpaceName(AddressSpace::Private), "private");
+  EXPECT_STREQ(addressSpaceName(AddressSpace::Undef), "undef");
+}
+
+} // namespace

@@ -1,0 +1,349 @@
+//===- MoreE2ETest.cpp - Additional end-to-end coverage -----------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end tests beyond the core pattern matrix: private-memory
+/// staging, stride-gather coalescing, fused multi-stage pipelines,
+/// vectorized tuples, and sequential-only compilation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::ir::dsl;
+using namespace lift::test;
+
+namespace {
+
+class MoreE2E : public ::testing::TestWithParam<OptLevel> {
+protected:
+  codegen::CompilerOptions opts(std::array<int64_t, 3> Global,
+                                std::array<int64_t, 3> Local) {
+    return optionsFor(GetParam(), Global, Local);
+  }
+};
+
+TEST_P(MoreE2E, ToPrivateRegisterStaging) {
+  // Each thread copies its 4-element chunk into private registers, then
+  // reduces from there (register blocking in miniature).
+  auto N = arith::sizeVar("N");
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  LambdaPtr P = lambda(
+      {X},
+      pipe(ExprPtr(X), split(4), mapGlb(fun([&](ExprPtr Chunk) {
+             ParamPtr Reg = param("reg");
+             ExprPtr Copy =
+                 pipe(Chunk, toPrivate(mapSeq(prelude::idFloatFun())));
+             ExprPtr Use = pipe(
+                 call(reduceSeq(prelude::addFun()), {litFloat(0.0f), Reg}),
+                 toGlobal(mapSeq(prelude::idFloatFun())));
+             return call(lambda({Reg}, Use), {Copy});
+           })),
+           join()));
+
+  auto In = randomFloats(64, 21);
+  auto R = runFloatProgram(P, {In}, 16, {{"N", 64}},
+                           opts({16, 1, 1}, {4, 1, 1}));
+  std::vector<float> Ref(16, 0.f);
+  for (size_t I = 0; I != 64; ++I)
+    Ref[I / 4] += In[I];
+  EXPECT_LT(maxAbsError(R.Out, Ref), 1e-4);
+  // The generated kernel must contain a private (unqualified) array.
+  if (GetParam() == OptLevel::Full) {
+    EXPECT_NE(R.Source.find("float tmp"), std::string::npos) << R.Source;
+  }
+}
+
+TEST_P(MoreE2E, StrideGatherCoalescing) {
+  // The GEMV coalescing trick: gather with a stride permutation, split,
+  // reduce each part. The permutation must be its own inverse pair with
+  // the split: thread t sums elements t, t+L, t+2L, ...
+  const int64_t M = 64, L = 8;
+  ParamPtr X = param("x", arrayOf(float32(), arith::cst(M)));
+  LambdaPtr P = lambda(
+      {X},
+      pipe(ExprPtr(X), gather(strideIndex(arith::cst(M / L))),
+           split(M / L), mapLcl(fun([&](ExprPtr Part) {
+             return pipe(call(reduceSeq(prelude::addFun()),
+                              {litFloat(0.0f), Part}),
+                         toGlobal(mapSeq(prelude::idFloatFun())));
+           })),
+           join()));
+
+  auto In = randomFloats(M, 22);
+  auto R = runFloatProgram(P, {In}, L, {}, opts({L, 1, 1}, {L, 1, 1}));
+  std::vector<float> Ref(L, 0.f);
+  for (int64_t T = 0; T != L; ++T)
+    for (int64_t J = 0; J != M / L; ++J)
+      Ref[T] += In[T + J * L];
+  EXPECT_LT(maxAbsError(R.Out, Ref), 1e-4);
+}
+
+TEST_P(MoreE2E, MultiStagePipelineThroughGlobalTemp) {
+  // Two sequential mapGlb stages: the intermediate becomes a
+  // compiler-introduced global temporary buffer.
+  auto N = arith::sizeVar("N");
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  FunDeclPtr Inc = userFun("inc", {"x"}, {float32()}, float32(),
+                           "return x + 1.0f;");
+  LambdaPtr P = lambda({X}, pipe(ExprPtr(X), mapGlb(prelude::squareFun()),
+                                 mapGlb(Inc)));
+
+  auto In = randomFloats(32, 23);
+  auto R = runFloatProgram(P, {In}, 32, {{"N", 32}},
+                           opts({32, 1, 1}, {8, 1, 1}));
+  std::vector<float> Ref;
+  for (float V : In)
+    Ref.push_back(V * V + 1.f);
+  EXPECT_LT(maxAbsError(R.Out, Ref), 1e-5);
+}
+
+TEST_P(MoreE2E, VectorizedZipMultiply) {
+  // Vectorized dot-product step: zip two float4 streams, multiply
+  // element-wise with a vectorized user function.
+  auto N = arith::sizeVar("N");
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  ParamPtr Y = param("y", arrayOf(float32(), N));
+  FunDeclPtr MulPair = userFun(
+      "mulPairV", {"p"},
+      {tupleOf({vectorOf(ScalarKind::Float, 4),
+                vectorOf(ScalarKind::Float, 4)})},
+      vectorOf(ScalarKind::Float, 4), "return p._0 * p._1;");
+  LambdaPtr P = lambda(
+      {X, Y}, pipe(call(zip(), {pipe(ExprPtr(X), asVector(4)),
+                                pipe(ExprPtr(Y), asVector(4))}),
+                   mapGlb(MulPair), asScalar()));
+
+  auto A = randomFloats(32, 24), B = randomFloats(32, 25);
+  auto R = runFloatProgram(P, {A, B}, 32, {{"N", 32}},
+                           opts({8, 1, 1}, {4, 1, 1}));
+  std::vector<float> Ref;
+  for (size_t I = 0; I != A.size(); ++I)
+    Ref.push_back(A[I] * B[I]);
+  EXPECT_LT(maxAbsError(R.Out, Ref), 1e-5);
+}
+
+TEST_P(MoreE2E, FullySequentialKernel) {
+  // A single work item does everything: exercises mapSeq nesting without
+  // parallel ids.
+  ParamPtr X = param("x", array2D(float32(), arith::cst(4), arith::cst(8)));
+  LambdaPtr P = lambda({X}, pipe(ExprPtr(X),
+                                 mapSeq(mapSeq(prelude::squareFun())),
+                                 join()));
+  auto In = randomFloats(32, 26);
+  auto R = runFloatProgram(P, {In}, 32, {}, opts({1, 1, 1}, {1, 1, 1}));
+  std::vector<float> Ref;
+  for (float V : In)
+    Ref.push_back(V * V);
+  EXPECT_LT(maxAbsError(R.Out, Ref), 1e-5);
+}
+
+TEST_P(MoreE2E, ReduceOfReduceRows) {
+  // Nested reduction: sum of row sums equals total sum.
+  ParamPtr X = param("x", array2D(float32(), arith::cst(8), arith::cst(16)));
+  LambdaPtr P = lambda(
+      {X},
+      pipe(ExprPtr(X), mapSeq(fun([&](ExprPtr Row) {
+             return call(reduceSeq(prelude::addFun()),
+                         {litFloat(0.0f), Row});
+           })),
+           join(), fun([&](ExprPtr Partial) {
+             return pipe(call(reduceSeq(prelude::addFun()),
+                              {litFloat(0.0f), Partial}),
+                         toGlobal(mapSeq(prelude::idFloatFun())));
+           })));
+  auto In = randomFloats(128, 27);
+  auto R = runFloatProgram(P, {In}, 1, {}, opts({1, 1, 1}, {1, 1, 1}));
+  double Ref = 0;
+  for (float V : In)
+    Ref += V;
+  ASSERT_EQ(R.Out.size(), 1u);
+  EXPECT_NEAR(R.Out[0], Ref, 1e-3);
+}
+
+TEST_P(MoreE2E, ScatterAfterComputeInWorkGroup) {
+  // Compute then permute on the write path inside a work group.
+  auto N = arith::sizeVar("N");
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  LambdaPtr P = lambda(
+      {X}, pipe(ExprPtr(X), split(16), mapWrg(fun([&](ExprPtr Chunk) {
+              return pipe(Chunk, mapLcl(prelude::squareFun()),
+                          scatter(reverseIndex()));
+            })),
+            join()));
+  auto In = randomFloats(64, 28);
+  auto R = runFloatProgram(P, {In}, 64, {{"N", 64}},
+                           opts({64, 1, 1}, {16, 1, 1}));
+  std::vector<float> Ref(64);
+  for (size_t C = 0; C != 4; ++C)
+    for (size_t I = 0; I != 16; ++I)
+      Ref[C * 16 + (15 - I)] = In[C * 16 + I] * In[C * 16 + I];
+  EXPECT_LT(maxAbsError(R.Out, Ref), 1e-5);
+}
+
+TEST_P(MoreE2E, OutputsIdenticalAcrossOptLevels) {
+  // The ablation must be purely a performance knob: compile the same
+  // program at this level and at Full and compare outputs exactly.
+  auto N = arith::sizeVar("N");
+  auto MakeProgram = [&]() {
+    ParamPtr X = param("x", arrayOf(float32(), N));
+    return lambda({X},
+                  pipe(ExprPtr(X), split(16), mapWrg(fun([&](ExprPtr C) {
+                         return pipe(C,
+                                     toLocal(mapLcl(prelude::idFloatFun())),
+                                     gather(reverseIndex()),
+                                     toGlobal(mapLcl(prelude::squareFun())));
+                       })),
+                       join()));
+  };
+  auto In = randomFloats(64, 29);
+  auto A = runFloatProgram(MakeProgram(), {In}, 64, {{"N", 64}},
+                           opts({64, 1, 1}, {16, 1, 1}));
+  auto B = runFloatProgram(MakeProgram(), {In}, 64, {{"N", 64}},
+                           optionsFor(OptLevel::Full, {64, 1, 1},
+                                      {16, 1, 1}));
+  EXPECT_EQ(A.Out, B.Out);
+}
+
+TEST_P(MoreE2E, UnzipProjectsComponents) {
+  // zip, map a pairwise op, then unzip-like consumption: unzip(zip(x,y))
+  // projected with get reads the original arrays through commuted views.
+  auto N = arith::sizeVar("N");
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  ParamPtr Y = param("y", arrayOf(float32(), N));
+  LambdaPtr P = lambda(
+      {X, Y},
+      pipe(call(get(1), {call(unzip(), {call(zip(), {X, Y})})}),
+           mapGlb(prelude::squareFun())));
+  auto A = randomFloats(32, 61), B = randomFloats(32, 62);
+  auto R = runFloatProgram(P, {A, B}, 32, {{"N", 32}},
+                           opts({8, 1, 1}, {4, 1, 1}));
+  std::vector<float> Ref;
+  for (float V : B)
+    Ref.push_back(V * V);
+  EXPECT_LT(maxAbsError(R.Out, Ref), 1e-6);
+}
+
+TEST_P(MoreE2E, ZipThreeArrays) {
+  auto N = arith::sizeVar("N");
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  ParamPtr Y = param("y", arrayOf(float32(), N));
+  ParamPtr Z = param("z", arrayOf(float32(), N));
+  FunDeclPtr Fma = userFun(
+      "fma3", {"t"}, {tupleOf({float32(), float32(), float32()})},
+      float32(), "return t._0 * t._1 + t._2;");
+  LambdaPtr P = lambda({X, Y, Z},
+                       pipe(call(zip3(), {X, Y, Z}), mapGlb(Fma)));
+
+  auto A = randomFloats(32, 51), B = randomFloats(32, 52),
+       C = randomFloats(32, 53);
+  auto R = runFloatProgram(P, {A, B, C}, 32, {{"N", 32}},
+                           opts({8, 1, 1}, {4, 1, 1}));
+  std::vector<float> Ref;
+  for (size_t I = 0; I != A.size(); ++I)
+    Ref.push_back(A[I] * B[I] + C[I]);
+  EXPECT_LT(maxAbsError(R.Out, Ref), 1e-5);
+}
+
+TEST_P(MoreE2E, SizePreservingIterate) {
+  // iterate whose body keeps the length: repeated squaring in local
+  // memory (no halving, so the runtime size variable stays constant).
+  ParamPtr X = param("x", arrayOf(float32(), arith::cst(64)));
+  LambdaPtr P = lambda(
+      {X},
+      pipe(ExprPtr(X), split(16), mapWrg(fun([&](ExprPtr Chunk) {
+             return pipe(
+                 Chunk, toLocal(mapLcl(prelude::idFloatFun())),
+                 iterate(3, fun([&](ExprPtr Arr) {
+                           return pipe(
+                               Arr,
+                               toLocal(mapLcl(prelude::squareFun())));
+                         })),
+                 toGlobal(mapLcl(prelude::idFloatFun())));
+           })),
+           join()));
+
+  // Inputs near 1 so x^8 stays finite.
+  std::vector<float> In(64);
+  for (size_t I = 0; I != In.size(); ++I)
+    In[I] = 0.9f + 0.2f * static_cast<float>(I % 10) / 10.f;
+  auto R = runFloatProgram(P, {In}, 64, {}, opts({64, 1, 1}, {16, 1, 1}));
+  std::vector<float> Ref;
+  for (float V : In) {
+    double X8 = V;
+    for (int I = 0; I != 3; ++I)
+      X8 = X8 * X8;
+    Ref.push_back(static_cast<float>(X8));
+  }
+  EXPECT_LT(maxAbsError(R.Out, Ref), 1e-4);
+}
+
+TEST_P(MoreE2E, MapVecComponentwiseFallback) {
+  // A non-simple user function (ternary) under mapVec: the code generator
+  // must fall back to applying the scalar function per component
+  // (section 3.2).
+  auto N = arith::sizeVar("N");
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  FunDeclPtr ClampPos = userFun("clampPos", {"x"}, {float32()}, float32(),
+                                "return x < 0.0f ? 0.0f : x;");
+  LambdaPtr P = lambda(
+      {X}, pipe(ExprPtr(X), asVector(4), mapGlb(fun([&](ExprPtr V) {
+              return call(mapVec(ClampPos), {V});
+            })),
+            asScalar()));
+
+  auto In = randomFloats(32, 41);
+  auto R = runFloatProgram(P, {In}, 32, {{"N", 32}},
+                           opts({8, 1, 1}, {4, 1, 1}));
+  std::vector<float> Ref;
+  for (float V : In)
+    Ref.push_back(V < 0 ? 0.f : V);
+  EXPECT_LT(maxAbsError(R.Out, Ref), 1e-6);
+  if (GetParam() == OptLevel::Full) {
+    // The vector variant calls the scalar one per lane.
+    EXPECT_NE(R.Source.find("clampPos_v4"), std::string::npos);
+    EXPECT_NE(R.Source.find("clampPos(x.s0)"), std::string::npos)
+        << R.Source;
+  }
+}
+
+TEST_P(MoreE2E, MapVecSimpleBodyStaysVectorized) {
+  auto N = arith::sizeVar("N");
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  LambdaPtr P = lambda(
+      {X}, pipe(ExprPtr(X), asVector(4), mapGlb(fun([&](ExprPtr V) {
+              return call(mapVec(prelude::squareFun()), {V});
+            })),
+            asScalar()));
+  auto In = randomFloats(16, 42);
+  auto R = runFloatProgram(P, {In}, 16, {{"N", 16}},
+                           opts({4, 1, 1}, {2, 1, 1}));
+  if (GetParam() == OptLevel::Full) {
+    EXPECT_EQ(R.Source.find(".s0"), std::string::npos) << R.Source;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(OptLevels, MoreE2E,
+                         ::testing::Values(OptLevel::None,
+                                           OptLevel::BarrierCfs,
+                                           OptLevel::Full),
+                         [](const ::testing::TestParamInfo<OptLevel> &I) {
+                           switch (I.param) {
+                           case OptLevel::None:
+                             return std::string("None");
+                           case OptLevel::BarrierCfs:
+                             return std::string("BarrierCfs");
+                           case OptLevel::Full:
+                             return std::string("Full");
+                           }
+                           return std::string("Unknown");
+                         });
+
+} // namespace

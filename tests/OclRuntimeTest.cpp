@@ -1,0 +1,242 @@
+//===- OclRuntimeTest.cpp - Tests for the simulated OpenCL runtime -----------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exercises the lockstep interpreter directly with hand-written parsed
+/// kernels: work-item built-ins, barrier lockstep semantics, local memory
+/// sharing, vectors, user function calls, and the cost accounting.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cparse/CParser.h"
+#include "support/Casting.h"
+#include "ocl/Runtime.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace lift;
+using namespace lift::ocl;
+
+namespace {
+
+codegen::CompiledKernel kernelFrom(const std::string &Src) {
+  cparse::ParseContext Ctx;
+  return wrapModule(cparse::parseModule(Src, Ctx));
+}
+
+TEST(OclRuntimeTest, WorkItemBuiltins) {
+  auto K = kernelFrom(R"(
+kernel void ids(global float *out) {
+  int g = get_global_id(0);
+  out[g] = get_group_id(0) * 1000 + get_local_id(0) * 10
+         + get_local_size(0);
+}
+)");
+  Buffer Out = Buffer::zeros(8);
+  LaunchConfig Cfg;
+  Cfg.Global = {8, 1, 1};
+  Cfg.Local = {4, 1, 1};
+  launch(K, {&Out}, {}, Cfg);
+  auto R = Out.toFloats();
+  EXPECT_FLOAT_EQ(R[0], 4);      // group 0, local 0
+  EXPECT_FLOAT_EQ(R[3], 34);     // group 0, local 3
+  EXPECT_FLOAT_EQ(R[5], 1014);   // group 1, local 1
+}
+
+TEST(OclRuntimeTest, LocalMemoryIsSharedWithinGroup) {
+  auto K = kernelFrom(R"(
+kernel void share(global float *out) {
+  local float tmp[4];
+  int l = get_local_id(0);
+  int g = get_global_id(0);
+  tmp[l] = l * 1.0f;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[g] = tmp[3 - l];
+}
+)");
+  Buffer Out = Buffer::zeros(8);
+  LaunchConfig Cfg;
+  Cfg.Global = {8, 1, 1};
+  Cfg.Local = {4, 1, 1};
+  launch(K, {&Out}, {}, Cfg);
+  auto R = Out.toFloats();
+  EXPECT_FLOAT_EQ(R[0], 3);
+  EXPECT_FLOAT_EQ(R[1], 2);
+  EXPECT_FLOAT_EQ(R[7], 0);
+}
+
+TEST(OclRuntimeTest, BarrierInUniformLoopLocksteps) {
+  // Tree reduction: only correct if barriers synchronize the group.
+  auto K = kernelFrom(R"(
+kernel void tree(global float *in, global float *out) {
+  local float tmp[8];
+  int l = get_local_id(0);
+  tmp[l] = in[l];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int s = 4; s > 0; s = s / 2) {
+    if (l < s) {
+      tmp[l] = tmp[l] + tmp[l + s];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  if (l == 0) {
+    out[0] = tmp[0];
+  }
+}
+)");
+  Buffer In = Buffer::ofFloats({1, 2, 3, 4, 5, 6, 7, 8});
+  Buffer Out = Buffer::zeros(1);
+  LaunchConfig Cfg;
+  Cfg.Global = {8, 1, 1};
+  Cfg.Local = {8, 1, 1};
+  launch(K, {&In, &Out}, {}, Cfg);
+  EXPECT_FLOAT_EQ(Out.toFloats()[0], 36);
+}
+
+TEST(OclRuntimeTest, NonUniformBarrierIsFatal) {
+  auto K = kernelFrom(R"(
+kernel void bad(global float *out) {
+  int l = get_local_id(0);
+  if (l < 2) {
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  out[l] = 0.0f;
+}
+)");
+  Buffer Out = Buffer::zeros(4);
+  LaunchConfig Cfg;
+  Cfg.Global = {4, 1, 1};
+  Cfg.Local = {4, 1, 1};
+  EXPECT_DEATH(launch(K, {&Out}, {}, Cfg), "non-uniform");
+}
+
+TEST(OclRuntimeTest, OutOfBoundsIsFatal) {
+  auto K = kernelFrom(R"(
+kernel void oob(global float *out, int N) {
+  out[N] = 1.0f;
+}
+)");
+  Buffer Out = Buffer::zeros(4);
+  LaunchConfig Cfg;
+  EXPECT_DEATH(launch(K, {&Out}, {{"N", 4}}, Cfg), "out of bounds");
+}
+
+TEST(OclRuntimeTest, VectorsAndMath) {
+  auto K = kernelFrom(R"(
+kernel void vec(global float4 *in, global float *out) {
+  int g = get_global_id(0);
+  float4 v = in[g];
+  float4 w = v * v + (float4)(1.0f, 1.0f, 1.0f, 1.0f);
+  out[g] = sqrt(w.x + w.y + w.z + w.w);
+}
+)");
+  Buffer In = Buffer::ofVectors({1, 2, 3, 4}, 4);
+  Buffer Out = Buffer::zeros(1);
+  LaunchConfig Cfg;
+  launch(K, {&In, &Out}, {}, Cfg);
+  EXPECT_NEAR(Out.toFloats()[0], std::sqrt(1 + 4 + 9 + 16 + 4.0), 1e-5);
+}
+
+TEST(OclRuntimeTest, UserFunctionCalls) {
+  auto K = kernelFrom(R"(
+float axpy(float a, float x, float y) {
+  return a * x + y;
+}
+
+kernel void k(global float *xs, global float *out) {
+  int g = get_global_id(0);
+  out[g] = axpy(2.0f, xs[g], 1.0f);
+}
+)");
+  Buffer X = Buffer::ofFloats({1, 2, 3, 4});
+  Buffer Out = Buffer::zeros(4);
+  LaunchConfig Cfg;
+  Cfg.Global = {4, 1, 1};
+  Cfg.Local = {2, 1, 1};
+  launch(K, {&X, &Out}, {}, Cfg);
+  auto R = Out.toFloats();
+  EXPECT_FLOAT_EQ(R[0], 3);
+  EXPECT_FLOAT_EQ(R[3], 9);
+}
+
+TEST(OclRuntimeTest, CostAccounting) {
+  auto K = kernelFrom(R"(
+kernel void cost(global float *in, global float *out) {
+  int g = get_global_id(0);
+  out[g] = in[g] + 1.0f;
+}
+)");
+  Buffer In = Buffer::ofFloats(std::vector<float>(16, 2.f));
+  Buffer Out = Buffer::zeros(16);
+  LaunchConfig Cfg;
+  Cfg.Global = {16, 1, 1};
+  Cfg.Local = {4, 1, 1};
+  CostReport C = launch(K, {&In, &Out}, {}, Cfg);
+  // One load + one store per work item.
+  EXPECT_EQ(C.GlobalAccesses, 32u);
+  EXPECT_EQ(C.Barriers, 0u);
+  EXPECT_GT(C.ArithOps, 0u);
+}
+
+TEST(OclRuntimeTest, DivModCounted) {
+  auto K = kernelFrom(R"(
+kernel void dm(global float *out, int N) {
+  int g = get_global_id(0);
+  out[g / N * N + g % N] = 1.0f;
+}
+)");
+  Buffer Out = Buffer::zeros(8);
+  LaunchConfig Cfg;
+  Cfg.Global = {8, 1, 1};
+  Cfg.Local = {8, 1, 1};
+  CostReport C = launch(K, {&Out}, {{"N", 8}}, Cfg);
+  EXPECT_EQ(C.DivModOps, 16u); // one / and one % per work item
+}
+
+TEST(OclRuntimeTest, BarrierCostPerWorkItem) {
+  auto K = kernelFrom(R"(
+kernel void b(global float *out) {
+  int g = get_global_id(0);
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[g] = 0.0f;
+}
+)");
+  Buffer Out = Buffer::zeros(8);
+  LaunchConfig Cfg;
+  Cfg.Global = {8, 1, 1};
+  Cfg.Local = {4, 1, 1};
+  CostReport C = launch(K, {&Out}, {}, Cfg);
+  EXPECT_EQ(C.Barriers, 8u);
+}
+
+TEST(OclRuntimeTest, MissingSizeArgumentIsFatal) {
+  auto K = kernelFrom("kernel void k(global float *o, int N) { o[0] = N; }");
+  Buffer Out = Buffer::zeros(1);
+  LaunchConfig Cfg;
+  EXPECT_DEATH(launch(K, {&Out}, {}, Cfg), "missing size argument");
+}
+
+TEST(OclRuntimeTest, TwoDimensionalNDRange) {
+  auto K = kernelFrom(R"(
+kernel void k2(global float *out) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  out[y * get_global_size(0) + x] = y * 100 + x;
+}
+)");
+  Buffer Out = Buffer::zeros(12);
+  LaunchConfig Cfg;
+  Cfg.Global = {4, 3, 1};
+  Cfg.Local = {2, 1, 1};
+  launch(K, {&Out}, {}, Cfg);
+  auto R = Out.toFloats();
+  EXPECT_FLOAT_EQ(R[0], 0);
+  EXPECT_FLOAT_EQ(R[5], 101);
+  EXPECT_FLOAT_EQ(R[11], 203);
+}
+
+} // namespace

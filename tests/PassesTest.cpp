@@ -1,0 +1,256 @@
+//===- PassesTest.cpp - Address space inference and barrier elimination -------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/DSL.h"
+#include "ir/Prelude.h"
+#include "ir/TypeInference.h"
+#include "passes/AddressSpaceInference.h"
+#include "passes/BarrierElimination.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::ir::dsl;
+
+namespace {
+
+class AddressSpaceTest : public ::testing::Test {
+protected:
+  std::shared_ptr<const arith::VarNode> N = arith::sizeVar("N");
+
+  void analyze(const LambdaPtr &P) {
+    inferProgramTypes(P);
+    passes::inferAddressSpaces(P);
+  }
+};
+
+TEST_F(AddressSpaceTest, ParametersScalarPrivateArrayGlobal) {
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  ParamPtr A = param("alpha", float32());
+  LambdaPtr P = lambda({X, A}, pipe(ExprPtr(X), mapGlb(prelude::squareFun())));
+  analyze(P);
+  EXPECT_EQ(X->AS, AddressSpace::Global);
+  EXPECT_EQ(A->AS, AddressSpace::Private);
+}
+
+TEST_F(AddressSpaceTest, LiteralsArePrivate) {
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  ExprPtr Init = litFloat(0.0f);
+  LambdaPtr P =
+      lambda({X}, call(reduceSeq(prelude::addFun()), {Init, X}));
+  analyze(P);
+  EXPECT_EQ(Init->AS, AddressSpace::Private);
+}
+
+TEST_F(AddressSpaceTest, ReduceWritesInitializerSpace) {
+  // Algorithm 1, line 23: the reduction has the initializer's space.
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  ExprPtr Reduce = call(reduceSeq(prelude::addFun()), {litFloat(0.0f), X});
+  LambdaPtr P = lambda({X}, Reduce);
+  analyze(P);
+  EXPECT_EQ(Reduce->AS, AddressSpace::Private);
+}
+
+TEST_F(AddressSpaceTest, ToLocalRedirectsNestedWrites) {
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  ExprPtr Copy = pipe(ExprPtr(X), split(16),
+                      mapWrg(fun([&](ExprPtr Chunk) {
+                        return pipe(Chunk,
+                                    toLocal(mapLcl(prelude::idFloatFun())));
+                      })),
+                      join());
+  LambdaPtr P = lambda({X}, Copy);
+  analyze(P);
+  // The mapWrg body's result lives in local memory.
+  const auto *WrgCall = cast<FunCall>(
+      cast<FunCall>(Copy.get())->getArgs()[0].get());
+  EXPECT_EQ(WrgCall->AS, AddressSpace::Local);
+}
+
+TEST_F(AddressSpaceTest, ToLocalReachesWritersInsideWrappedBody) {
+  // Algorithm 1 line 10: within the wrapped function's body, writeTo
+  // propagates through argument chains — the mapLcl below the join of the
+  // tile-copy composition still writes local memory.
+  ParamPtr X = param("x", arrayOf(float32(), arith::cst(64)));
+  ExprPtr InnerMapCall;
+  LambdaPtr Copy = fun([&](ExprPtr Row) {
+    InnerMapCall = call(mapLcl(mapSeq(prelude::idFloatFun())),
+                        {call(split(4), {Row})});
+    return pipe(InnerMapCall, join());
+  });
+  LambdaPtr P = lambda(
+      {X}, pipe(ExprPtr(X), split(64),
+                mapWrg(fun([&](ExprPtr Chunk) {
+                  return pipe(Chunk, split(8), toLocal(mapLcl(Copy)), join(),
+                              toGlobal(mapLcl(prelude::squareFun())));
+                })),
+                join()));
+  analyze(P);
+  EXPECT_EQ(InnerMapCall->AS, AddressSpace::Local);
+}
+
+TEST_F(AddressSpaceTest, ToGlobalOverridesInnerDefault) {
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  ExprPtr Out = pipe(ExprPtr(X), split(16),
+                     mapWrg(fun([&](ExprPtr Chunk) {
+                       return pipe(Chunk,
+                                   toLocal(mapLcl(prelude::idFloatFun())),
+                                   toGlobal(mapLcl(prelude::squareFun())));
+                     })),
+                     join());
+  LambdaPtr P = lambda({X}, Out);
+  analyze(P);
+  EXPECT_EQ(cast<FunCall>(Out.get())->getArgs()[0]->AS,
+            AddressSpace::Global);
+}
+
+//===----------------------------------------------------------------------===//
+// Barrier elimination
+//===----------------------------------------------------------------------===//
+
+class BarrierTest : public ::testing::Test {
+protected:
+  std::shared_ptr<const arith::VarNode> N = arith::sizeVar("N");
+
+  unsigned analyze(const LambdaPtr &P) {
+    inferProgramTypes(P);
+    passes::inferAddressSpaces(P);
+    return passes::eliminateBarriers(P);
+  }
+
+  /// Collects the EmitBarrier flags of all mapLcl in the program, in
+  /// data-flow order of their chain.
+  static void collectFlags(const ExprPtr &E, std::vector<bool> &Out) {
+    const auto *C = dyn_cast<FunCall>(E.get());
+    if (!C)
+      return;
+    for (const ExprPtr &A : C->getArgs())
+      collectFlags(A, Out);
+    collectFun(C->getFun(), Out);
+  }
+
+  static void collectFun(const FunDeclPtr &F, std::vector<bool> &Out) {
+    if (const auto *L = dyn_cast<MapLcl>(F.get())) {
+      collectFun(L->getF(), Out);
+      Out.push_back(L->EmitBarrier);
+      return;
+    }
+    if (const auto *M = dyn_cast<AbstractMap>(F.get())) {
+      collectFun(M->getF(), Out);
+      return;
+    }
+    if (const auto *La = dyn_cast<Lambda>(F.get())) {
+      collectFlags(La->getBody(), Out);
+      return;
+    }
+    if (const auto *W = dyn_cast<AddressSpaceWrapper>(F.get())) {
+      collectFun(W->getF(), Out);
+      return;
+    }
+    if (const auto *R = dyn_cast<ReduceSeq>(F.get())) {
+      collectFun(R->getF(), Out);
+      return;
+    }
+    if (const auto *I = dyn_cast<Iterate>(F.get())) {
+      collectFun(I->getF(), Out);
+      return;
+    }
+  }
+
+  std::vector<bool> flags(const LambdaPtr &P) {
+    std::vector<bool> Out;
+    collectFlags(P->getBody(), Out);
+    return Out;
+  }
+};
+
+TEST_F(BarrierTest, ConsecutiveMapLclWithoutSharingDropsFirstBarrier) {
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  LambdaPtr P = lambda(
+      {X}, pipe(ExprPtr(X), split(16), mapWrg(fun([&](ExprPtr Chunk) {
+              return pipe(Chunk, toLocal(mapLcl(prelude::idFloatFun())),
+                          // No layout pattern in between: same elements.
+                          toGlobal(mapLcl(prelude::squareFun())));
+            })),
+            join()));
+  unsigned Eliminated = analyze(P);
+  EXPECT_EQ(Eliminated, 1u);
+  std::vector<bool> F = flags(P);
+  ASSERT_EQ(F.size(), 2u);
+  EXPECT_FALSE(F[0]); // copy's barrier eliminated
+  EXPECT_TRUE(F[1]);  // final barrier kept
+}
+
+TEST_F(BarrierTest, LayoutPatternBetweenKeepsBarrier) {
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  LambdaPtr P = lambda(
+      {X}, pipe(ExprPtr(X), split(16), mapWrg(fun([&](ExprPtr Chunk) {
+              return pipe(Chunk, toLocal(mapLcl(prelude::idFloatFun())),
+                          // gather reshuffles: threads read others' data.
+                          gather(reverseIndex()),
+                          toGlobal(mapLcl(prelude::squareFun())));
+            })),
+            join()));
+  unsigned Eliminated = analyze(P);
+  EXPECT_EQ(Eliminated, 0u);
+  std::vector<bool> F = flags(P);
+  ASSERT_EQ(F.size(), 2u);
+  EXPECT_TRUE(F[0]);
+  EXPECT_TRUE(F[1]);
+}
+
+TEST_F(BarrierTest, ZipBranchesKeepOnlyOneBarrier) {
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  ParamPtr Y = param("y", arrayOf(float32(), N));
+  FunDeclPtr AddPair = userFun("addPair", {"p"},
+                               {tupleOf({float32(), float32()})}, float32(),
+                               "return p._0 + p._1;");
+  LambdaPtr P = lambda(
+      {X, Y},
+      pipe(call(zip(), {X, Y}), split(16), mapWrg(fun([&](ExprPtr Chunk) {
+             ExprPtr A = pipe(Chunk, mapSeq(get(0)),
+                              toLocal(mapLcl(prelude::idFloatFun())));
+             ExprPtr B = pipe(Chunk, mapSeq(get(1)),
+                              toLocal(mapLcl(prelude::idFloatFun())));
+             return pipe(call(zip(), {A, B}),
+                         toGlobal(mapLcl(AddPair)));
+           })),
+           join()));
+  unsigned Eliminated = analyze(P);
+  EXPECT_EQ(Eliminated, 1u);
+}
+
+TEST_F(BarrierTest, IterateBoundaryIsConservative) {
+  ParamPtr X = param("x", arrayOf(float32(), arith::cst(64)));
+  LambdaPtr P = lambda(
+      {X},
+      pipe(ExprPtr(X), split(64), mapWrg(fun([&](ExprPtr Chunk) {
+             return pipe(
+                 Chunk, toLocal(mapLcl(prelude::idFloatFun())),
+                 iterate(6, fun([&](ExprPtr Arr) {
+                           return pipe(
+                               Arr, split(2), mapLcl(fun([&](ExprPtr Two) {
+                                 return pipe(
+                                     call(reduceSeq(prelude::addFun()),
+                                          {litFloat(0.0f), Two}),
+                                     toLocal(mapSeq(prelude::idFloatFun())));
+                               })),
+                               join());
+                         })),
+                 split(1), toGlobal(mapLcl(mapSeq(prelude::idFloatFun()))),
+                 join());
+           })),
+           join()));
+  analyze(P);
+  std::vector<bool> F = flags(P);
+  // All barriers around the iterate's data sharing must be kept.
+  for (bool Kept : F)
+    EXPECT_TRUE(Kept);
+}
+
+} // namespace

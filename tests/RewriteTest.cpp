@@ -1,0 +1,181 @@
+//===- RewriteTest.cpp - Tests for the rewrite rules --------------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Each rule must preserve types (checked by inference) and semantics
+/// (checked by compiling and executing the rewritten programs).
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+#include "ir/Printer.h"
+#include "rewrite/Rules.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::ir::dsl;
+using namespace lift::rewrite;
+using namespace lift::test;
+
+namespace {
+
+class RewriteTest : public ::testing::Test {
+protected:
+  std::shared_ptr<const arith::VarNode> N = arith::sizeVar("N");
+};
+
+TEST_F(RewriteTest, MapFusionFusesAdjacentMaps) {
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  ExprPtr E = pipe(ExprPtr(X), map(prelude::squareFun()),
+                   map(prelude::squareFun()));
+  EXPECT_EQ(countMatches(mapFusion(), E), 1u);
+  ExprPtr Fused = applyOnce(mapFusion(), E);
+  ASSERT_NE(Fused, nullptr);
+  // One map remains, with a composed lambda inside.
+  const auto *C = cast<FunCall>(Fused.get());
+  EXPECT_EQ(C->getFun()->getKind(), FunKind::Map);
+  EXPECT_FALSE(isa<FunCall>(C->getArgs()[0]));
+}
+
+TEST_F(RewriteTest, SplitJoinEliminationRemovesRoundTrip) {
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  ExprPtr E = pipe(ExprPtr(X), split(8), join());
+  ExprPtr R = applyOnce(splitJoinElimination(), E);
+  ASSERT_NE(R, nullptr);
+  EXPECT_EQ(R.get(), X.get());
+}
+
+TEST_F(RewriteTest, SplitJoinIntroductionRoundTripsWithElimination) {
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  ExprPtr E = pipe(ExprPtr(X), map(prelude::squareFun()));
+  ExprPtr Tiled = applyOnce(splitJoinIntroduction(arith::cst(16)), E);
+  ASSERT_NE(Tiled, nullptr);
+  EXPECT_EQ(countMatches(splitJoinElimination(), Tiled), 0u);
+  EXPECT_NE(printExpr(Tiled).find("split(16)"), std::string::npos);
+}
+
+TEST_F(RewriteTest, MappingRulesReplaceHighLevelMap) {
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  ExprPtr E = pipe(ExprPtr(X), map(prelude::squareFun()));
+  ExprPtr Glb = applyOnce(mapToMapGlb(0), E);
+  ASSERT_NE(Glb, nullptr);
+  EXPECT_EQ(cast<FunCall>(Glb.get())->getFun()->getKind(), FunKind::MapGlb);
+
+  ExprPtr WrgLcl = applyOnce(mapToWrgLcl(arith::cst(32)), E);
+  ASSERT_NE(WrgLcl, nullptr);
+  std::string Printed = printExpr(WrgLcl);
+  EXPECT_NE(Printed.find("mapWrg0"), std::string::npos);
+  EXPECT_NE(Printed.find("mapLcl0"), std::string::npos);
+}
+
+TEST_F(RewriteTest, ReduceMapFusionRemovesProducer) {
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  ExprPtr E = call(reduceSeq(prelude::addFun()),
+                   {litFloat(0.0f),
+                    pipe(ExprPtr(X), mapSeq(prelude::squareFun()))});
+  ExprPtr R = applyOnce(reduceMapFusion(), E);
+  ASSERT_NE(R, nullptr);
+  const auto *C = cast<FunCall>(R.get());
+  EXPECT_EQ(C->getFun()->getKind(), FunKind::ReduceSeq);
+  // The producer map is gone: the reduce consumes x directly.
+  EXPECT_EQ(C->getArgs()[1].get(), X.get());
+}
+
+TEST_F(RewriteTest, RulesDoNotMatchElsewhere) {
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  ExprPtr E = pipe(ExprPtr(X), mapSeq(prelude::squareFun()));
+  EXPECT_EQ(applyOnce(mapFusion(), E), nullptr);
+  EXPECT_EQ(applyOnce(splitJoinElimination(), E), nullptr);
+  EXPECT_EQ(applyOnce(mapToMapGlb(0), E), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Semantics preservation: lowered programs compute the same results
+//===----------------------------------------------------------------------===//
+
+TEST_F(RewriteTest, LoweredProgramsExecuteCorrectly) {
+  // High-level portable program: square then double.
+  FunDeclPtr Twice = ir::dsl::userFun("twice", {"x"}, {float32()},
+                                      float32(), "return x + x;");
+  auto MakeHighLevel = [&]() {
+    ParamPtr X = param("x", arrayOf(float32(), arith::cst(128)));
+    return lambda({X}, pipe(ExprPtr(X), map(prelude::squareFun()),
+                            map(Twice)));
+  };
+
+  auto In = randomFloats(128, 3);
+  std::vector<float> Ref;
+  for (float V : In)
+    Ref.push_back(2 * V * V);
+
+  // Strategy A: flat global threads.
+  LambdaPtr Glb = lowerProgram(MakeHighLevel(), /*UseWorkGroups=*/false);
+  auto RG = runFloatProgram(Glb, {In}, 128, {},
+                            optionsFor(OptLevel::Full, {32, 1, 1},
+                                       {8, 1, 1}));
+  EXPECT_LT(maxAbsError(RG.Out, Ref), 1e-5);
+
+  // Strategy B: work-group hierarchy.
+  LambdaPtr Wrg = lowerProgram(MakeHighLevel(), /*UseWorkGroups=*/true,
+                               arith::cst(16));
+  auto RW = runFloatProgram(Wrg, {In}, 128, {},
+                            optionsFor(OptLevel::Full, {128, 1, 1},
+                                       {16, 1, 1}));
+  EXPECT_LT(maxAbsError(RW.Out, Ref), 1e-5);
+}
+
+TEST_F(RewriteTest, LoweringFusesBeforeMapping) {
+  FunDeclPtr Twice = ir::dsl::userFun("twice", {"x"}, {float32()},
+                                      float32(), "return x + x;");
+  ParamPtr X = param("x", arrayOf(float32(), arith::cst(64)));
+  LambdaPtr P = lambda({X}, pipe(ExprPtr(X), map(prelude::squareFun()),
+                                 map(Twice)));
+  LambdaPtr Lowered = lowerProgram(P, false);
+  std::string Printed = printProgram(Lowered);
+  // Exactly one parallel map; no high-level map and no intermediate.
+  EXPECT_EQ(Printed.find("map("), std::string::npos);
+  EXPECT_NE(Printed.find("mapGlb0"), std::string::npos);
+}
+
+TEST_F(RewriteTest, HighLevelMapIsRejectedByCodegen) {
+  ParamPtr X = param("x", arrayOf(float32(), arith::cst(16)));
+  LambdaPtr P = lambda({X}, pipe(ExprPtr(X), map(prelude::squareFun())));
+  codegen::CompilerOptions O;
+  EXPECT_DEATH(codegen::compile(P, O), "unlowered high-level map");
+}
+
+TEST_F(RewriteTest, DotProductLoweringPipeline) {
+  // The [18] story end-to-end: the portable dot product is lowered with
+  // rewrite rules and matches a host reference.
+  auto MakeHighLevel = [&]() {
+    ParamPtr X = param("x", arrayOf(float32(), arith::cst(256)));
+    ParamPtr Y = param("y", arrayOf(float32(), arith::cst(256)));
+    // reduce(+) . map(*) . zip — the motivating example of section 3.1.
+    return lambda(
+        {X, Y},
+        pipe(call(reduceSeq(prelude::addFun()),
+                  {litFloat(0.0f),
+                   pipe(call(zip(), {X, Y}),
+                        map(prelude::multFun2Tuple()))}),
+             toGlobal(mapSeq(prelude::idFloatFun()))));
+  };
+
+  LambdaPtr Lowered = lowerProgram(MakeHighLevel(), false);
+  auto A = randomFloats(256, 5), B = randomFloats(256, 6);
+  double Ref = 0;
+  for (size_t I = 0; I != A.size(); ++I)
+    Ref += static_cast<double>(A[I]) * B[I];
+
+  auto R = runFloatProgram(Lowered, {A, B}, 1, {},
+                           optionsFor(OptLevel::Full, {1, 1, 1}, {1, 1, 1}));
+  ASSERT_EQ(R.Out.size(), 1u);
+  EXPECT_NEAR(R.Out[0], Ref, 1e-3);
+}
+
+} // namespace

@@ -1,0 +1,116 @@
+//===- TestHelpers.h - Shared helpers for lift-cpp tests --------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_TESTS_TESTHELPERS_H
+#define LIFT_TESTS_TESTHELPERS_H
+
+#include "codegen/Compiler.h"
+#include "ir/DSL.h"
+#include "ir/Prelude.h"
+#include "ocl/Runtime.h"
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lift {
+namespace test {
+
+/// The three optimization configurations of Figure 8.
+enum class OptLevel { None, BarrierCfs, Full };
+
+inline const char *optLevelName(OptLevel L) {
+  switch (L) {
+  case OptLevel::None:
+    return "None";
+  case OptLevel::BarrierCfs:
+    return "BE+CFS";
+  case OptLevel::Full:
+    return "BE+CFS+AAS";
+  }
+  return "?";
+}
+
+inline codegen::CompilerOptions
+optionsFor(OptLevel L, std::array<int64_t, 3> Global,
+           std::array<int64_t, 3> Local) {
+  codegen::CompilerOptions O;
+  O.GlobalSize = Global;
+  O.LocalSize = Local;
+  switch (L) {
+  case OptLevel::None:
+    O.BarrierElimination = false;
+    O.ControlFlowSimplification = false;
+    O.ArrayAccessSimplification = false;
+    break;
+  case OptLevel::BarrierCfs:
+    O.ArrayAccessSimplification = false;
+    break;
+  case OptLevel::Full:
+    break;
+  }
+  return O;
+}
+
+struct RunResult {
+  std::vector<float> Out;
+  ocl::CostReport Cost;
+  std::string Source;
+};
+
+/// Compiles and runs a program whose inputs are float buffers, producing a
+/// float output buffer of \p OutCount elements.
+inline RunResult runFloatProgram(const ir::LambdaPtr &Prog,
+                                 const std::vector<std::vector<float>> &Ins,
+                                 size_t OutCount,
+                                 const std::map<std::string, int64_t> &Sizes,
+                                 const codegen::CompilerOptions &Opts) {
+  codegen::CompiledKernel K = codegen::compile(Prog, Opts);
+  std::vector<ocl::Buffer> Bufs;
+  Bufs.reserve(Ins.size() + 1);
+  for (const auto &In : Ins)
+    Bufs.push_back(ocl::Buffer::ofFloats(In));
+  Bufs.push_back(ocl::Buffer::zeros(OutCount));
+  std::vector<ocl::Buffer *> Ptrs;
+  for (auto &B : Bufs)
+    Ptrs.push_back(&B);
+  RunResult R;
+  R.Cost = ocl::launch(K, Ptrs, Sizes, ocl::LaunchConfig::fromOptions(Opts));
+  R.Out = Bufs.back().toFloats();
+  R.Source = K.Source;
+  return R;
+}
+
+inline double maxAbsError(const std::vector<float> &A,
+                          const std::vector<float> &B) {
+  double M = 0;
+  size_t N = std::min(A.size(), B.size());
+  for (size_t I = 0; I != N; ++I)
+    M = std::fmax(M, std::fabs(static_cast<double>(A[I]) -
+                               static_cast<double>(B[I])));
+  if (A.size() != B.size())
+    return 1e30;
+  return M;
+}
+
+/// Deterministic pseudo-random floats in [-1, 1].
+inline std::vector<float> randomFloats(size_t N, uint64_t Seed) {
+  std::vector<float> R(N);
+  uint64_t S = Seed * 6364136223846793005ULL + 1442695040888963407ULL;
+  for (size_t I = 0; I != N; ++I) {
+    S ^= S << 13;
+    S ^= S >> 7;
+    S ^= S << 17;
+    R[I] = static_cast<float>(static_cast<int64_t>(S % 2000) - 1000) / 1000.f;
+  }
+  return R;
+}
+
+} // namespace test
+} // namespace lift
+
+#endif // LIFT_TESTS_TESTHELPERS_H

@@ -1,0 +1,208 @@
+//===- TypesTest.cpp - Tests for the Lift type system ------------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/DSL.h"
+#include "ir/Prelude.h"
+#include "ir/TypeInference.h"
+#include "arith/Bounds.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::ir::dsl;
+
+namespace {
+
+class TypesTest : public ::testing::Test {
+protected:
+  std::shared_ptr<const arith::VarNode> N = arith::sizeVar("N");
+  std::shared_ptr<const arith::VarNode> M = arith::sizeVar("M");
+};
+
+TEST_F(TypesTest, Factories) {
+  EXPECT_TRUE(typeEquals(float32(), float32()));
+  EXPECT_FALSE(typeEquals(float32(), int32()));
+  EXPECT_TRUE(typeEquals(vectorOf(ScalarKind::Float, 4),
+                         vectorOf(ScalarKind::Float, 4)));
+  EXPECT_FALSE(typeEquals(vectorOf(ScalarKind::Float, 4),
+                          vectorOf(ScalarKind::Float, 2)));
+  EXPECT_TRUE(typeEquals(tupleOf({float32(), int32()}),
+                         tupleOf({float32(), int32()})));
+  EXPECT_FALSE(typeEquals(tupleOf({float32(), int32()}),
+                          tupleOf({int32(), float32()})));
+}
+
+TEST_F(TypesTest, ArrayEqualityUsesProvableLengthEquality) {
+  TypePtr A = arrayOf(float32(), arith::add(N, N));
+  TypePtr B = arrayOf(float32(), arith::mul(arith::cst(2), N));
+  EXPECT_TRUE(typeEquals(A, B));
+  EXPECT_FALSE(typeEquals(A, arrayOf(float32(), N)));
+}
+
+TEST_F(TypesTest, Printing) {
+  EXPECT_EQ(typeToString(float32()), "float");
+  EXPECT_EQ(typeToString(vectorOf(ScalarKind::Float, 4)), "float4");
+  EXPECT_EQ(typeToString(arrayOf(float32(), N)), "[float]N");
+  EXPECT_EQ(typeToString(array2D(float32(), N, M)), "[[float]M]N");
+  EXPECT_EQ(typeToString(tupleOf({float32(), int32()})), "(float, int)");
+}
+
+TEST_F(TypesTest, SizeInBytes) {
+  EXPECT_TRUE(arith::isConstant(sizeInBytes(float32()), 4));
+  EXPECT_TRUE(
+      arith::isConstant(sizeInBytes(vectorOf(ScalarKind::Float, 4)), 16));
+  EXPECT_TRUE(
+      arith::isConstant(sizeInBytes(tupleOf({float32(), int32()})), 8));
+  // [float]N -> 4N bytes.
+  EXPECT_TRUE(arith::provablyEqual(sizeInBytes(arrayOf(float32(), N)),
+                                   arith::mul(arith::cst(4), N)));
+}
+
+TEST_F(TypesTest, ElementCountAndBase) {
+  TypePtr T = array2D(float32(), N, M);
+  EXPECT_TRUE(arith::provablyEqual(elementCount(T), arith::mul(N, M)));
+  EXPECT_TRUE(typeEquals(baseElementType(T), float32()));
+}
+
+//===----------------------------------------------------------------------===//
+// Type inference per pattern
+//===----------------------------------------------------------------------===//
+
+class InferenceTest : public TypesTest {};
+
+TEST_F(InferenceTest, MapPreservesLength) {
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  LambdaPtr P = lambda({X}, pipe(ExprPtr(X), mapGlb(prelude::squareFun())));
+  TypePtr R = inferProgramTypes(P);
+  EXPECT_TRUE(typeEquals(R, arrayOf(float32(), N)));
+}
+
+TEST_F(InferenceTest, SplitJoin) {
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  LambdaPtr P = lambda({X}, pipe(ExprPtr(X), split(8)));
+  TypePtr R = inferProgramTypes(P);
+  EXPECT_TRUE(typeEquals(
+      R, arrayOf(arrayOf(float32(), arith::cst(8)),
+                 arith::intDiv(N, arith::cst(8)))));
+
+  // split/join round-trips exactly for provably divisible lengths.
+  ParamPtr Y = param("y", arrayOf(float32(), arith::cst(64)));
+  LambdaPtr P2 = lambda({Y}, pipe(ExprPtr(Y), split(8), join()));
+  EXPECT_TRUE(typeEquals(inferProgramTypes(P2),
+                         arrayOf(float32(), arith::cst(64))));
+}
+
+TEST_F(InferenceTest, ZipProducesTuples) {
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  ParamPtr Y = param("y", arrayOf(int32(), N));
+  LambdaPtr P = lambda({X, Y}, call(zip(), {X, Y}));
+  TypePtr R = inferProgramTypes(P);
+  EXPECT_TRUE(typeEquals(R, arrayOf(tupleOf({float32(), int32()}), N)));
+}
+
+TEST_F(InferenceTest, ReduceYieldsSingletonArray) {
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  LambdaPtr P = lambda({X}, call(reduceSeq(prelude::addFun()),
+                                 {litFloat(0.0f), X}));
+  TypePtr R = inferProgramTypes(P);
+  EXPECT_TRUE(typeEquals(R, arrayOf(float32(), arith::cst(1))));
+}
+
+TEST_F(InferenceTest, IterateAppliesLengthChange) {
+  ParamPtr X = param("x", arrayOf(float32(), arith::cst(64)));
+  // Each iteration halves: split(2) -> map(reduce) -> join.
+  LambdaPtr Halve = fun([&](ExprPtr A) {
+    return pipe(A, split(2), mapSeq(fun([&](ExprPtr Two) {
+                  return call(reduceSeq(prelude::addFun()),
+                              {litFloat(0.0f), Two});
+                })),
+                join());
+  });
+  LambdaPtr P = lambda({X}, pipe(ExprPtr(X), iterate(6, Halve)));
+  TypePtr R = inferProgramTypes(P);
+  EXPECT_TRUE(typeEquals(R, arrayOf(float32(), arith::cst(1))));
+}
+
+TEST_F(InferenceTest, SlideWindows) {
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  LambdaPtr P = lambda({X}, pipe(ExprPtr(X), slide(3, 1)));
+  TypePtr R = inferProgramTypes(P);
+  const auto *Arr = dyn_cast<ArrayType>(R.get());
+  ASSERT_NE(Arr, nullptr);
+  // (N - 3) / 1 + 1 = N - 2 windows of 3.
+  EXPECT_TRUE(arith::provablyEqual(Arr->getSize(),
+                                   arith::sub(N, arith::cst(2))));
+  EXPECT_TRUE(typeEquals(Arr->getElementType(),
+                         arrayOf(float32(), arith::cst(3))));
+}
+
+TEST_F(InferenceTest, TransposeSwapsDims) {
+  ParamPtr X = param("x", array2D(float32(), N, M));
+  LambdaPtr P = lambda({X}, pipe(ExprPtr(X), transpose()));
+  EXPECT_TRUE(typeEquals(inferProgramTypes(P), array2D(float32(), M, N)));
+}
+
+TEST_F(InferenceTest, AsVectorAsScalar) {
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  LambdaPtr P = lambda({X}, pipe(ExprPtr(X), asVector(4)));
+  TypePtr R = inferProgramTypes(P);
+  EXPECT_TRUE(typeEquals(R, arrayOf(vectorOf(ScalarKind::Float, 4),
+                                    arith::intDiv(N, arith::cst(4)))));
+
+  // Round trip restores the length when it is provably divisible.
+  ParamPtr Y = param("y", arrayOf(float32(), arith::cst(64)));
+  LambdaPtr P2 = lambda({Y}, pipe(ExprPtr(Y), asVector(4), asScalar()));
+  EXPECT_TRUE(typeEquals(inferProgramTypes(P2),
+                         arrayOf(float32(), arith::cst(64))));
+}
+
+TEST_F(InferenceTest, GatherIndicesTakesIndexLength) {
+  ParamPtr I = param("i", arrayOf(int32(), M));
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  LambdaPtr P = lambda({I, X}, call(gatherIndices(), {I, X}));
+  EXPECT_TRUE(typeEquals(inferProgramTypes(P), arrayOf(float32(), M)));
+}
+
+TEST_F(InferenceTest, GetProjectsTupleComponent) {
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  ParamPtr Y = param("y", arrayOf(int32(), N));
+  LambdaPtr P = lambda(
+      {X, Y}, pipe(call(zip(), {X, Y}),
+                   mapSeq(fun([&](ExprPtr T) { return call(get(1), {T}); }))));
+  EXPECT_TRUE(typeEquals(inferProgramTypes(P), arrayOf(int32(), N)));
+}
+
+TEST_F(InferenceTest, UserFunChecksParameterTypes) {
+  ParamPtr X = param("x", arrayOf(int32(), N)); // wrong: sq wants float
+  LambdaPtr P = lambda({X}, pipe(ExprPtr(X), mapSeq(prelude::squareFun())));
+  EXPECT_DEATH(inferProgramTypes(P), "parameter 0 expects float");
+}
+
+TEST_F(InferenceTest, ZipRequiresEqualLengths) {
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  ParamPtr Y = param("y", arrayOf(float32(), M));
+  LambdaPtr P = lambda({X, Y}, call(zip(), {X, Y}));
+  EXPECT_DEATH(inferProgramTypes(P), "equal array lengths");
+}
+
+TEST_F(InferenceTest, MapRequiresArray) {
+  ParamPtr X = param("x", float32());
+  LambdaPtr P = lambda({X}, pipe(ExprPtr(X), mapSeq(prelude::squareFun())));
+  EXPECT_DEATH(inferProgramTypes(P), "expects an array");
+}
+
+TEST_F(InferenceTest, ReduceOperatorMustPreserveAccumulator) {
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  // Operator returning an int instead of the float accumulator.
+  FunDeclPtr Bad = userFun("bad", {"a", "b"}, {float32(), float32()},
+                           int32(), "return 0;");
+  LambdaPtr P = lambda({X}, call(reduceSeq(Bad), {litFloat(0.0f), X}));
+  EXPECT_DEATH(inferProgramTypes(P), "accumulator type");
+}
+
+} // namespace

@@ -1,0 +1,51 @@
+//===- UmbrellaTest.cpp - lift/Lift.h smoke test -------------------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles against only the umbrella header and runs the README's
+/// end-to-end snippet, guaranteeing the public API surface stays
+/// self-contained.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lift/Lift.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(UmbrellaTest, ReadmeSnippet) {
+  using namespace lift;
+  using namespace lift::ir;
+  using namespace lift::ir::dsl;
+
+  auto N = arith::sizeVar("N");
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  FunDeclPtr Square = userFun("sq", {"x"}, {float32()}, float32(),
+                              "return x * x;");
+  LambdaPtr Prog = lambda({X}, pipe(ExprPtr(X), mapGlb(Square)));
+
+  codegen::CompilerOptions Opts;
+  Opts.GlobalSize = {1024, 1, 1};
+  Opts.LocalSize = {64, 1, 1};
+  codegen::CompiledKernel K = codegen::compile(Prog, Opts);
+  EXPECT_FALSE(K.Source.empty());
+
+  std::vector<float> Data(1024);
+  for (size_t I = 0; I != Data.size(); ++I)
+    Data[I] = static_cast<float>(I % 13) - 6.f;
+  ocl::Buffer In = ocl::Buffer::ofFloats(Data);
+  ocl::Buffer Out = ocl::Buffer::zeros(1024);
+  ocl::CostReport Cost = ocl::launch(K, {&In, &Out}, {{"N", 1024}},
+                                     ocl::LaunchConfig::fromOptions(Opts));
+  EXPECT_GT(Cost.cost(), 0.0);
+
+  auto R = Out.toFloats();
+  for (size_t I = 0; I != R.size(); ++I)
+    ASSERT_FLOAT_EQ(R[I], Data[I] * Data[I]);
+}
+
+} // namespace

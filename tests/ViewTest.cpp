@@ -1,0 +1,204 @@
+//===- ViewTest.cpp - Tests for view construction and consumption -------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the array-stack / tuple-stack view consumption algorithm of
+/// Figure 5, including the worked dot product example from the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#include "arith/Printer.h"
+#include "view/View.h"
+
+#include <gtest/gtest.h>
+
+using namespace lift;
+using namespace lift::arith;
+using namespace lift::view;
+
+namespace {
+
+class ViewTest : public ::testing::Test {
+protected:
+  StoragePtr storage(const std::string &Name) {
+    auto S = std::make_shared<Storage>();
+    S->Id = NextId++;
+    S->Var = std::make_shared<c::CVar>(Name, c::floatTy());
+    S->ElemType = c::floatTy();
+    S->NumElements = cst(1024);
+    return S;
+  }
+
+  View memory(const StoragePtr &S, std::vector<Expr> Dims) {
+    return std::make_shared<MemoryView>(S, std::move(Dims));
+  }
+
+  unsigned NextId = 1;
+};
+
+TEST_F(ViewTest, Figure5DotProductAccess) {
+  // The worked example of Figure 5: zip(x, y), split 128, access by
+  // wg_id, split 2, access by l_id, access by i, project component 0.
+  auto X = storage("x");
+  auto Y = storage("y");
+  auto WgId = var("wg_id", cst(0), cst(63));
+  auto LId = var("l_id", cst(0), cst(63));
+  auto I = var("i", cst(0), cst(1));
+
+  View Zip = std::make_shared<ZipView>(std::vector<View>{
+      memory(X, {cst(8192)}), memory(Y, {cst(8192)})});
+  View V = std::make_shared<SplitView>(cst(128), Zip);
+  V = std::make_shared<ArrayAccessView>(Expr(WgId), V);
+  V = std::make_shared<SplitView>(cst(2), V);
+  V = std::make_shared<ArrayAccessView>(Expr(LId), V);
+  V = std::make_shared<ArrayAccessView>(Expr(I), V);
+  V = std::make_shared<TupleAccessView>(0, V);
+
+  Access A = consumeView(V);
+  EXPECT_EQ(A.Store->Id, X->Id);
+  // x[(2 * l_id) + (128 * wg_id) + i]
+  EXPECT_EQ(toString(A.Index), "i + 2 * l_id + 128 * wg_id");
+
+  // Component 1 accesses y at the same index.
+  View V1 = std::make_shared<TupleAccessView>(
+      1, std::make_shared<ArrayAccessView>(
+             Expr(I), std::make_shared<ArrayAccessView>(
+                          Expr(LId), std::make_shared<SplitView>(
+                                         cst(2),
+                                         std::make_shared<ArrayAccessView>(
+                                             Expr(WgId),
+                                             std::make_shared<SplitView>(
+                                                 cst(128), Zip))))));
+  Access A1 = consumeView(V1);
+  EXPECT_EQ(A1.Store->Id, Y->Id);
+  EXPECT_EQ(toString(A1.Index), "i + 2 * l_id + 128 * wg_id");
+}
+
+TEST_F(ViewTest, JoinDelinearizes) {
+  auto X = storage("x");
+  auto K = var("k", cst(0), cst(63));
+  // join of [[f]8]8 accessed at k reads x[k] (same flat layout).
+  View V = std::make_shared<JoinView>(cst(8), memory(X, {cst(8), cst(8)}));
+  V = std::make_shared<ArrayAccessView>(Expr(K), V);
+  Access A = consumeView(V);
+  EXPECT_EQ(toString(A.Index), "k");
+}
+
+TEST_F(ViewTest, GatherRemapsOuterIndex) {
+  auto X = storage("x");
+  auto I = var("i", cst(0), cst(9));
+  View V = memory(X, {cst(10)});
+  V = std::make_shared<GatherView>(
+      [](const Expr &Idx) { return sub(cst(9), Idx); }, V);
+  V = std::make_shared<ArrayAccessView>(Expr(I), V);
+  Access A = consumeView(V);
+  EXPECT_EQ(toString(A.Index), "9 + (-1) * i");
+}
+
+TEST_F(ViewTest, SlideWindowsOverlap) {
+  auto X = storage("x");
+  auto W = var("w", cst(0), cst(13));
+  auto J = var("j", cst(0), cst(2));
+  View V = std::make_shared<SlideView>(cst(1), memory(X, {cst(16)}));
+  V = std::make_shared<ArrayAccessView>(Expr(W), V);
+  V = std::make_shared<ArrayAccessView>(Expr(J), V);
+  Access A = consumeView(V);
+  EXPECT_EQ(toString(A.Index), "w + j");
+}
+
+TEST_F(ViewTest, TransposeSwapsIndices) {
+  auto X = storage("x");
+  auto I = var("i", cst(0), cst(7));
+  auto J = var("j", cst(0), cst(3));
+  // x: [[f]8]4 (4 rows, 8 cols); transpose view accessed [i][j] reads
+  // x[j][i] = flat j*8 + i.
+  View V = std::make_shared<TransposeView>(memory(X, {cst(4), cst(8)}));
+  V = std::make_shared<ArrayAccessView>(Expr(I), V);
+  V = std::make_shared<ArrayAccessView>(Expr(J), V);
+  Access A = consumeView(V);
+  EXPECT_EQ(toString(A.Index), "i + 8 * j");
+}
+
+TEST_F(ViewTest, MemoryLinearizesMultipleDims) {
+  auto X = storage("x");
+  auto I = var("i");
+  auto J = var("j");
+  auto K = var("k");
+  View V = memory(X, {cst(4), cst(8), cst(2)});
+  V = std::make_shared<ArrayAccessView>(Expr(I), V);
+  V = std::make_shared<ArrayAccessView>(Expr(J), V);
+  V = std::make_shared<ArrayAccessView>(Expr(K), V);
+  Access A = consumeView(V);
+  // ((i * 8) + j) * 2 + k
+  EXPECT_EQ(toString(A.Index), "k + 2 * j + 16 * i");
+}
+
+TEST_F(ViewTest, ScalarStorageIgnoresIndices) {
+  auto S = storage("acc");
+  S->NumElements = nullptr; // scalar register
+  View V = std::make_shared<ArrayAccessView>(
+      cst(0), memory(S, std::vector<Expr>{}));
+  Access A = consumeView(V);
+  EXPECT_EQ(A.Index, nullptr);
+  EXPECT_EQ(A.Store->Id, S->Id);
+}
+
+TEST_F(ViewTest, StructComponentsSurviveToMemory) {
+  auto S = storage("pairs");
+  View V = memory(S, {cst(16)});
+  auto I = var("i");
+  V = std::make_shared<ArrayAccessView>(Expr(I), V);
+  V = std::make_shared<TupleAccessView>(1, V);
+  Access A = consumeView(V);
+  ASSERT_EQ(A.Components.size(), 1u);
+  EXPECT_EQ(A.Components[0], 1u);
+}
+
+TEST_F(ViewTest, MapPureViewTransformsInnerIndices) {
+  // map(transpose) over [[ [f]2 ]3 ]4 accessed [o][i][j] reads the
+  // underlying [o][j][i].
+  auto X = storage("x");
+  auto O = var("o");
+  auto I = var("i");
+  auto J = var("j");
+  View Hole = std::make_shared<HoleView>();
+  View Inner = std::make_shared<TransposeView>(Hole);
+  View V = std::make_shared<MapPureView>(
+      Inner, memory(X, {cst(4), cst(3), cst(2)}));
+  V = std::make_shared<ArrayAccessView>(Expr(O), V);
+  V = std::make_shared<ArrayAccessView>(Expr(I), V);
+  V = std::make_shared<ArrayAccessView>(Expr(J), V);
+  Access A = consumeView(V);
+  // o*6 + j*2 + i
+  EXPECT_EQ(toString(A.Index), "i + 2 * j + 6 * o");
+}
+
+TEST_F(ViewTest, GatherIndicesProducesLookup) {
+  auto Data = storage("data");
+  auto Table = storage("idx");
+  Table->ElemType = c::intTy();
+  auto I = var("i");
+  View IdxView = memory(Table, {cst(16)});
+  View V = std::make_shared<GatherIndicesView>(IdxView, Table,
+                                               memory(Data, {cst(64)}));
+  V = std::make_shared<ArrayAccessView>(Expr(I), V);
+  Access A = consumeView(V);
+  EXPECT_EQ(A.Store->Id, Data->Id);
+  EXPECT_EQ(toString(A.Index), "idx[i]");
+}
+
+TEST_F(ViewTest, UnsimplifiedConsumptionKeepsRawIndices) {
+  SimplifyGuard Guard(false);
+  auto X = storage("x");
+  auto K = var("k", cst(0), cst(63));
+  View V = std::make_shared<JoinView>(cst(8), memory(X, {cst(8), cst(8)}));
+  V = std::make_shared<ArrayAccessView>(Expr(K), V);
+  Access A = consumeView(V);
+  // Raw: (k / 8) * 8 + k % 8 — no rule (4) recomposition.
+  EXPECT_GT(countDivMod(A.Index), 0u);
+}
+
+} // namespace
