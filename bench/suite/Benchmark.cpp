@@ -80,7 +80,7 @@ double validate(const std::vector<float> &Got,
 }
 
 Outcome runStages(const BenchmarkCase &Case, const std::vector<Stage> &Stages,
-                  bool IsLift, OptConfig Config) {
+                  bool IsLift, OptConfig Config, const RunOptions &Run) {
   std::vector<ocl::Buffer> Bufs;
   Bufs.reserve(Case.WorkingBuffers.size());
   for (const BufferInit &B : Case.WorkingBuffers)
@@ -104,7 +104,20 @@ Outcome runStages(const BenchmarkCase &Case, const std::vector<Stage> &Stages,
     ocl::LaunchConfig Cfg;
     Cfg.Global = S.Global;
     Cfg.Local = S.Local;
-    Out.Cost += ocl::launch(K, Args, S.Sizes, Cfg);
+    Cfg.CheckRaces = Run.CheckRaces;
+    Cfg.PerturbSchedule = Run.PerturbSchedule;
+    Cfg.ScheduleSeed = Run.ScheduleSeed;
+    if (Run.CheckRaces) {
+      ocl::RaceReport Stage;
+      Out.Cost += ocl::launch(K, Args, S.Sizes, Cfg, Stage);
+      Out.Races.Findings.insert(Out.Races.Findings.end(),
+                                Stage.Findings.begin(), Stage.Findings.end());
+      Out.Races.IntervalsChecked += Stage.IntervalsChecked;
+      Out.Races.AccessesRecorded += Stage.AccessesRecorded;
+      Out.Races.Truncated |= Stage.Truncated;
+    } else {
+      Out.Cost += ocl::launch(K, Args, S.Sizes, Cfg);
+    }
   }
 
   Out.MaxError = validate(Bufs[Case.OutputBuffer].toFlatFloats(),
@@ -115,13 +128,14 @@ Outcome runStages(const BenchmarkCase &Case, const std::vector<Stage> &Stages,
 
 } // namespace
 
-Outcome bench::runLift(const BenchmarkCase &Case, OptConfig Config) {
-  return runStages(Case, Case.LiftStages, /*IsLift=*/true, Config);
+Outcome bench::runLift(const BenchmarkCase &Case, OptConfig Config,
+                       const RunOptions &Run) {
+  return runStages(Case, Case.LiftStages, /*IsLift=*/true, Config, Run);
 }
 
-Outcome bench::runReference(const BenchmarkCase &Case) {
+Outcome bench::runReference(const BenchmarkCase &Case, const RunOptions &Run) {
   return runStages(Case, Case.ReferenceStages, /*IsLift=*/false,
-                   OptConfig::Full);
+                   OptConfig::Full, Run);
 }
 
 std::vector<float> bench::randomFloats(size_t N, uint64_t Seed) {

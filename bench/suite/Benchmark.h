@@ -107,6 +107,9 @@ struct Outcome {
   double MaxError = 0;
   bool Valid = false;
   std::string KernelSources; // concatenated, for code-size metrics
+  /// Race/divergence findings, accumulated over all stages (empty unless
+  /// the run was made with RunOptions::CheckRaces).
+  ocl::RaceReport Races;
 };
 
 /// The three optimization configurations of Figure 8.
@@ -114,11 +117,19 @@ enum class OptConfig { None, BarrierCfs, Full };
 
 const char *optConfigName(OptConfig C);
 
+/// Dynamic-checking knobs for a benchmark run (see ocl/RaceDetector.h).
+struct RunOptions {
+  bool CheckRaces = false;
+  bool PerturbSchedule = false;
+  uint64_t ScheduleSeed = 1;
+};
+
 /// Runs the Lift stages compiled under \p Config and validates.
-Outcome runLift(const BenchmarkCase &Case, OptConfig Config);
+Outcome runLift(const BenchmarkCase &Case, OptConfig Config,
+                const RunOptions &Run = {});
 
 /// Runs the hand-written reference stages and validates.
-Outcome runReference(const BenchmarkCase &Case);
+Outcome runReference(const BenchmarkCase &Case, const RunOptions &Run = {});
 
 //===----------------------------------------------------------------------===//
 // Benchmark factories (one per Table 1 row)

@@ -512,17 +512,34 @@ Expr arith::pow(Expr Base, int64_t Exponent) {
 // Integer division and modulo
 //===----------------------------------------------------------------------===//
 
-/// Floor division (consistent with the identity (x/y)*y + x mod y = x).
-static int64_t floorDiv(int64_t A, int64_t B) {
+/// Truncated (round-toward-zero) division — the semantics of `/` in
+/// OpenCL C and in the simulated runtime that executes the generated
+/// kernels. Constant folds MUST agree with what the emitted code computes,
+/// so negative operands fold with truncation, not floor.
+static int64_t truncDiv(int64_t A, int64_t B) {
   assert(B != 0 && "division by zero");
-  int64_t Q = A / B;
-  if ((A % B != 0) && ((A < 0) != (B < 0)))
-    --Q;
-  return Q;
+  if (B == -1) // INT64_MIN / -1 overflows; wrap like the negation it is.
+    return static_cast<int64_t>(0 - static_cast<uint64_t>(A));
+  return A / B;
 }
 
-static int64_t floorMod(int64_t A, int64_t B) {
-  return A - floorDiv(A, B) * B;
+/// Truncated remainder, satisfying (x/y)*y + x%y = x with truncDiv.
+static int64_t truncMod(int64_t A, int64_t B) {
+  assert(B != 0 && "remainder by zero");
+  if (B == -1)
+    return 0;
+  return A % B;
+}
+
+/// True if every operand of the sum is provably non-negative. The sum
+/// rewrites for / and % below are floor-division identities; with a
+/// positive divisor they carry over to truncated division only when no
+/// term is negative (then floor and truncation coincide everywhere).
+static bool allOperandsNonNegative(const SumNode *S) {
+  for (const Expr &Op : S->getOperands())
+    if (!provablyNonNegative(Op))
+      return false;
+  return true;
 }
 
 Expr arith::intDiv(Expr Num, Expr Den) {
@@ -534,7 +551,7 @@ Expr arith::intDiv(Expr Num, Expr Den) {
     return Num;
   assert((!CD || *CD != 0) && "division by the constant zero");
   if (auto CN = asConstant(Num); CN && CD)
-    return cst(floorDiv(*CN, *CD));
+    return cst(truncDiv(*CN, *CD));
   if (equals(Num, Den))
     return cst(1);
   if (Expr Q = tryExactDivide(Num, Den))
@@ -544,10 +561,12 @@ Expr arith::intDiv(Expr Num, Expr Den) {
   if (provablyNonNegative(Num) && provablyLessThan(Num, Den))
     return cst(0);
 
-  // Rule (2): split off exactly divisible terms of a sum. Valid for floor
-  // division with a positive divisor: floor((k*y + r)/y) = k + floor(r/y).
+  // Rule (2): split off exactly divisible terms of a sum:
+  // (k*y + r)/y = k + r/y. A floor-division identity for positive y; under
+  // truncation it additionally needs every term non-negative (otherwise
+  // e.g. (4a - 2)/4 = a - 1 for floor but a + (-2)/4 = a when truncating).
   if (const auto *S = dyn_cast<SumNode>(Num.get());
-      S && provablyPositive(Den)) {
+      S && provablyPositive(Den) && allOperandsNonNegative(S)) {
     std::vector<Expr> Quotients, Rest;
     for (const Expr &Op : S->getOperands()) {
       if (Expr Q = tryExactDivide(Op, Den))
@@ -562,7 +581,8 @@ Expr arith::intDiv(Expr Num, Expr Den) {
     }
   }
 
-  // Nested division: (x/a)/b = x/(a*b) for positive a, b.
+  // Nested division: (x/a)/b = x/(a*b) for positive a, b. Valid for both
+  // floor and truncated division (rounding toward zero composes).
   if (const auto *D = dyn_cast<IntDivNode>(Num.get());
       D && provablyPositive(D->getDenominator()) && provablyPositive(Den))
     return intDiv(D->getNumerator(), mul(D->getDenominator(), Den));
@@ -579,7 +599,7 @@ Expr arith::mod(Expr Dividend, Expr Divisor) {
     return cst(0);
   assert((!CD || *CD != 0) && "modulo by the constant zero");
   if (auto CN = asConstant(Dividend); CN && CD)
-    return cst(floorMod(*CN, *CD));
+    return cst(truncMod(*CN, *CD));
   if (equals(Dividend, Divisor))
     return cst(0);
 
@@ -596,10 +616,11 @@ Expr arith::mod(Expr Dividend, Expr Divisor) {
       M && equals(M->getDivisor(), Divisor))
     return Dividend;
 
-  // Rules (6)+(5): drop exactly divisible terms of a sum. Valid for floor
-  // modulo with a positive divisor.
+  // Rules (6)+(5): drop exactly divisible terms of a sum. A floor-modulo
+  // identity for positive divisors; under truncation it needs every term
+  // non-negative (a negative remainder term changes the result's sign).
   if (const auto *S = dyn_cast<SumNode>(Dividend.get());
-      S && provablyPositive(Divisor)) {
+      S && provablyPositive(Divisor) && allOperandsNonNegative(S)) {
     std::vector<Expr> Rest;
     bool Dropped = false;
     for (const Expr &Op : S->getOperands()) {

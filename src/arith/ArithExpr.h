@@ -49,8 +49,8 @@ enum class ExprKind {
   Var,    ///< Named variable with a value range.
   Sum,    ///< n-ary sum (n >= 2).
   Prod,   ///< n-ary product (n >= 2).
-  IntDiv, ///< Integer (floor) division.
-  Mod,    ///< Integer modulo.
+  IntDiv, ///< Integer division, truncating toward zero (C's `/`).
+  Mod,    ///< Integer remainder, truncating toward zero (C's `%`).
   Pow,    ///< Integer power with constant non-negative exponent.
   Lookup, ///< Runtime table lookup (data-dependent index; Lift's Lookup).
 };
@@ -135,7 +135,8 @@ public:
   static bool classof(const Node *N) { return N->getKind() == ExprKind::Prod; }
 };
 
-/// Integer floor division Numerator / Denominator.
+/// Integer division Numerator / Denominator, truncating toward zero like
+/// the `/` it is printed as in generated C.
 class IntDivNode : public Node {
   Expr Numerator, Denominator;
 

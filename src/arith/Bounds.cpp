@@ -95,12 +95,9 @@ struct Interval {
   }
 };
 
-int64_t floorDivV(int64_t A, int64_t B) {
-  int64_t Q = A / B;
-  if ((A % B != 0) && ((A < 0) != (B < 0)))
-    --Q;
-  return Q;
-}
+/// Truncated division, matching the semantics of IntDiv (OpenCL C's `/`).
+/// Callers guarantee a positive divisor.
+int64_t truncDivV(int64_t A, int64_t B) { return A / B; }
 
 Interval intervalOf(const Expr &E, int Depth);
 
@@ -113,14 +110,14 @@ Interval intervalMul(Interval A, Interval B) {
   return R;
 }
 
-/// Floor division of extended values, divisor finite positive or +inf.
-Ext extFloorDiv(Ext N, Ext D) {
+/// Truncated division of extended values, divisor finite positive or +inf.
+Ext extTruncDiv(Ext N, Ext D) {
   assert(sign(D) > 0 && "divisor must be positive");
   if (!N.isFinite())
     return N;
-  if (!D.isFinite()) // N / inf tends to 0 from below or above
-    return Ext::finite(N.V < 0 ? -1 : 0);
-  return Ext::finite(floorDivV(N.V, D.V));
+  if (!D.isFinite()) // N / inf truncates to 0 from either side.
+    return Ext::finite(0);
+  return Ext::finite(truncDivV(N.V, D.V));
 }
 
 Interval intervalOf(const Expr &E, int Depth) {
@@ -161,10 +158,11 @@ Interval intervalOf(const Expr &E, int Depth) {
     if (sign(DI.Lo) <= 0)
       return Interval::top();
     Interval R;
-    // floor(n/d) is increasing in n and, for fixed n sign, the extremes in
-    // d occur at the endpoints; take min/max over the four combinations.
-    Ext C1 = extFloorDiv(NI.Lo, DI.Lo), C2 = extFloorDiv(NI.Lo, DI.Hi);
-    Ext C3 = extFloorDiv(NI.Hi, DI.Lo), C4 = extFloorDiv(NI.Hi, DI.Hi);
+    // trunc(n/d) is increasing in n and, for fixed n sign, monotone in d
+    // (toward zero), so the extremes occur at the endpoints; take min/max
+    // over the four combinations.
+    Ext C1 = extTruncDiv(NI.Lo, DI.Lo), C2 = extTruncDiv(NI.Lo, DI.Hi);
+    Ext C3 = extTruncDiv(NI.Hi, DI.Lo), C4 = extTruncDiv(NI.Hi, DI.Hi);
     if (!NI.Lo.isFinite() && NI.Lo.Cls == Ext::NegInf) {
       R.Lo = Ext::negInf();
     } else {
@@ -182,14 +180,21 @@ Interval intervalOf(const Expr &E, int Depth) {
     Interval DI = intervalOf(M->getDivisor(), Depth + 1);
     if (sign(DI.Lo) <= 0)
       return Interval::top();
-    // Floor-mod with a positive divisor lies in [0, divisor-1]; when the
-    // dividend is known non-negative it is also bounded by the dividend.
+    // Truncated remainder with a positive divisor d lies in (-d, d-1] and
+    // takes the sign of the dividend: non-negative dividends give
+    // [0, min(d-1, dividend)]; possibly-negative dividends drop the lower
+    // bound to max(-(d-1), dividend lower bound).
     Interval R;
-    R.Lo = Ext::finite(0);
     R.Hi = DI.Hi.isFinite() ? Ext::finite(DI.Hi.V - 1) : Ext::posInf();
     Interval NI = intervalOf(M->getDividend(), Depth + 1);
-    if (sign(NI.Lo) >= 0 && NI.Lo.isFinite())
-      R.Hi = extMin(R.Hi, NI.Hi);
+    if (sign(NI.Lo) >= 0) {
+      R.Lo = Ext::finite(0);
+      if (NI.Lo.isFinite())
+        R.Hi = extMin(R.Hi, NI.Hi);
+    } else {
+      R.Lo = DI.Hi.isFinite() ? Ext::finite(-(DI.Hi.V - 1)) : Ext::negInf();
+      R.Lo = extMax(R.Lo, NI.Lo);
+    }
     return R;
   }
   case ExprKind::Pow: {
@@ -397,7 +402,8 @@ bool arith::provablyPositive(const Expr &E) {
 
 bool arith::provablyLessThan(const Expr &A, const Expr &B) {
   SimplifyGuard Guard(true);
-  // x mod y < B whenever y <= B (floor-mod with positive divisor).
+  // x mod y < B whenever y <= B (with a positive divisor, the truncated
+  // remainder is at most y - 1).
   if (const auto *M = dyn_cast<ModNode>(A.get()))
     if (provablyPositive(M->getDivisor()) &&
         provablyLessEqual(M->getDivisor(), B))

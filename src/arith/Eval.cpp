@@ -12,13 +12,32 @@
 using namespace lift;
 using namespace lift::arith;
 
-static int64_t floorDivV(int64_t A, int64_t B) {
+// Arithmetic matches the generated OpenCL C: / and % truncate toward zero,
+// and overflow wraps (evaluated through uint64_t to stay defined behavior).
+static int64_t wrapAdd(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                              static_cast<uint64_t>(B));
+}
+
+static int64_t wrapMul(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                              static_cast<uint64_t>(B));
+}
+
+static int64_t truncDivV(int64_t A, int64_t B) {
   if (B == 0)
     fatalError("evaluation: division by zero");
-  int64_t Q = A / B;
-  if ((A % B != 0) && ((A < 0) != (B < 0)))
-    --Q;
-  return Q;
+  if (B == -1) // INT64_MIN / -1 overflows; wrap like the negation it is.
+    return static_cast<int64_t>(0 - static_cast<uint64_t>(A));
+  return A / B;
+}
+
+static int64_t truncModV(int64_t A, int64_t B) {
+  if (B == 0)
+    fatalError("evaluation: remainder by zero");
+  if (B == -1)
+    return 0;
+  return A % B;
 }
 
 int64_t arith::evaluate(const Expr &E, const EvalContext &Ctx) {
@@ -34,32 +53,31 @@ int64_t arith::evaluate(const Expr &E, const EvalContext &Ctx) {
   case ExprKind::Sum: {
     int64_t R = 0;
     for (const Expr &Op : cast<SumNode>(E.get())->getOperands())
-      R += evaluate(Op, Ctx);
+      R = wrapAdd(R, evaluate(Op, Ctx));
     return R;
   }
   case ExprKind::Prod: {
     int64_t R = 1;
     for (const Expr &Op : cast<ProdNode>(E.get())->getOperands())
-      R *= evaluate(Op, Ctx);
+      R = wrapMul(R, evaluate(Op, Ctx));
     return R;
   }
   case ExprKind::IntDiv: {
     const auto *D = cast<IntDivNode>(E.get());
-    return floorDivV(evaluate(D->getNumerator(), Ctx),
+    return truncDivV(evaluate(D->getNumerator(), Ctx),
                      evaluate(D->getDenominator(), Ctx));
   }
   case ExprKind::Mod: {
     const auto *M = cast<ModNode>(E.get());
-    int64_t A = evaluate(M->getDividend(), Ctx);
-    int64_t B = evaluate(M->getDivisor(), Ctx);
-    return A - floorDivV(A, B) * B;
+    return truncModV(evaluate(M->getDividend(), Ctx),
+                     evaluate(M->getDivisor(), Ctx));
   }
   case ExprKind::Pow: {
     const auto *P = cast<PowNode>(E.get());
     int64_t B = evaluate(P->getBase(), Ctx);
     int64_t R = 1;
     for (int64_t I = 0, N = P->getExponent(); I != N; ++I)
-      R *= B;
+      R = wrapMul(R, B);
     return R;
   }
   case ExprKind::Lookup: {

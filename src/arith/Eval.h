@@ -6,9 +6,9 @@
 ///
 /// \file
 /// Concrete evaluation of arithmetic expressions given variable values.
-/// Division and modulo use floor semantics, consistent with the
-/// simplification rules; generated kernels only evaluate them on
-/// non-negative operands, where this coincides with C.
+/// Division and modulo truncate toward zero and overflow wraps, matching
+/// the `/` and `%` the expressions are printed as in generated OpenCL C —
+/// so evaluation agrees with the kernel on all inputs, negatives included.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -26,8 +26,8 @@ namespace arith {
 using VarNameResolver = std::function<std::string(const VarNode &)>;
 
 /// Prints \p E as a C expression. Integer division and modulo print as
-/// `/` and `%` (the generated code only evaluates them on non-negative
-/// values, where C truncation equals floor semantics). Powers print as
+/// `/` and `%`, and IntDiv/Mod share C's truncate-toward-zero semantics,
+/// so the printed expression computes the same value. Powers print as
 /// repeated multiplication since OpenCL C has no integer pow.
 std::string toString(const Expr &E, const VarNameResolver &Resolver = {});
 

@@ -44,6 +44,17 @@ struct CompilerOptions {
   /// unrolling beyond the trivial single-iteration case).
   int64_t UnrollLimit = 9;
 
+  /// Dynamic safety checking in the simulated runtime (see
+  /// ocl/RaceDetector.h): record per-barrier-interval access sets and flag
+  /// data races and barrier divergence. Validates barrier elimination on
+  /// every run instead of trusting one fixed schedule.
+  bool CheckRaces = false;
+  /// Permute work-item execution order within each barrier interval
+  /// (seeded, reproducible) to expose order-dependent results the fixed
+  /// lockstep schedule hides.
+  bool PerturbSchedule = false;
+  uint64_t ScheduleSeed = 1;
+
   std::string KernelName = "KERNEL";
 
   int64_t numGroups(unsigned Dim) const {

@@ -16,11 +16,14 @@
 #include "ocl/Runtime.h"
 
 #include "arith/Eval.h"
+#include "cast/CPrinter.h"
+#include "ocl/RaceDetector.h"
 #include "support/Casting.h"
 #include "support/Error.h"
 
 #include <cmath>
 #include <unordered_map>
+#include <unordered_set>
 
 using namespace lift;
 using namespace lift::c;
@@ -157,7 +160,27 @@ struct WorkItem {
   std::unordered_map<unsigned, int64_t> AVals;
   std::array<int64_t, 3> LocalId = {0, 0, 0};
   std::array<int64_t, 3> GroupId = {0, 0, 0};
+  int64_t Linear = 0; ///< Linear in-group id (race detector diagnostics).
 };
+
+/// Wrapping two's-complement arithmetic: the kernels the fuzzer generates
+/// can overflow intermediate integer results, which is undefined behavior
+/// on int64_t. OpenCL C integer arithmetic wraps; match it.
+inline int64_t wrapAdd(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                              static_cast<uint64_t>(B));
+}
+inline int64_t wrapSub(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                              static_cast<uint64_t>(B));
+}
+inline int64_t wrapMul(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                              static_cast<uint64_t>(B));
+}
+inline int64_t wrapNeg(int64_t A) {
+  return static_cast<int64_t>(0 - static_cast<uint64_t>(A));
+}
 
 /// Result of executing statements inside a function body.
 struct ExecResult {
@@ -172,6 +195,7 @@ class Machine {
 
   std::unordered_map<unsigned, CVarPtr> StorageVarById;
   std::unordered_map<const CStmt *, bool> BarrierCache;
+  std::unordered_set<const CFunction *> BarrierScanStack;
   /// Static (div/mod, other-node) cost of each arith index expression.
   std::unordered_map<const arith::Node *, std::pair<unsigned, unsigned>>
       IndexCost;
@@ -179,11 +203,20 @@ class Machine {
   std::vector<WorkItem> Group;
   std::unordered_map<const CVar *, Value> WgLocals;
 
+  /// Non-null while a checked launch runs.
+  RaceDetector *RD = nullptr;
+  /// Seeded xorshift state driving the perturbed schedule.
+  uint64_t RngState = 0;
+
 public:
-  Machine(const codegen::CompiledKernel &K, const LaunchConfig &Cfg)
-      : K(K), Cfg(Cfg) {
+  Machine(const codegen::CompiledKernel &K, const LaunchConfig &Cfg,
+          RaceDetector *RD = nullptr)
+      : K(K), Cfg(Cfg), RD(RD) {
     for (const auto &[Id, Var] : K.StorageVars)
       StorageVarById[Id] = Var;
+    RngState = Cfg.ScheduleSeed * 6364136223846793005ULL + 1442695040888963407ULL;
+    if (RngState == 0)
+      RngState = 1;
   }
 
   CostReport run(const std::vector<Buffer *> &Buffers,
@@ -241,6 +274,11 @@ public:
     if (NextBuffer != Buffers.size())
       fatalError("launch: too many buffers supplied");
 
+    if (RD)
+      for (const auto &[Var, Val] : Bindings)
+        if (Val.K == Value::Ptr)
+          RD->registerBlock(Val.P.get(), Var->Name);
+
     int64_t GroupsX = Cfg.Global[0] / Cfg.Local[0];
     int64_t GroupsY = Cfg.Global[1] / Cfg.Local[1];
     int64_t GroupsZ = Cfg.Global[2] / Cfg.Local[2];
@@ -255,7 +293,9 @@ public:
           for (int64_t Lz = 0; Lz != Cfg.Local[2]; ++Lz) {
             for (int64_t Ly = 0; Ly != Cfg.Local[1]; ++Ly) {
               for (int64_t Lx = 0; Lx != Cfg.Local[0]; ++Lx) {
-                WorkItem &W = Group[Idx++];
+                WorkItem &W = Group[Idx];
+                W.Linear = static_cast<int64_t>(Idx);
+                ++Idx;
                 W.LocalId = {Lx, Ly, Lz};
                 W.GroupId = {Gx, Gy, Gz};
                 for (const auto &[Var, Val] : Bindings)
@@ -266,7 +306,11 @@ public:
           std::vector<WorkItem *> Active;
           for (WorkItem &W : Group)
             Active.push_back(&W);
+          if (RD)
+            RD->beginGroup({Gx, Gy, Gz}, Group.size());
           execLockstep(K.Module.Kernel->Body->getStmts(), Active);
+          if (RD)
+            RD->endGroup();
         }
       }
     }
@@ -288,6 +332,80 @@ private:
   // Barrier analysis
   //===--------------------------------------------------------------------===//
 
+  /// Does evaluating \p E reach a barrier? Only possible through a call to
+  /// a user function whose body contains one — such calls must not run in
+  /// divergent per-item order.
+  bool exprReachesBarrier(const CExprPtr &E) {
+    if (!E)
+      return false;
+    switch (E->getKind()) {
+    case CExprKind::IntLit:
+    case CExprKind::FloatLit:
+    case CExprKind::VarRef:
+    case CExprKind::ArithValue:
+      return false;
+    case CExprKind::ArrayAccess: {
+      const auto *A = cast<ArrayAccess>(E.get());
+      return exprReachesBarrier(A->getBase()) ||
+             exprReachesBarrier(A->getIndex());
+    }
+    case CExprKind::Member:
+      return exprReachesBarrier(cast<Member>(E.get())->getBase());
+    case CExprKind::Binary: {
+      const auto *B = cast<Binary>(E.get());
+      return exprReachesBarrier(B->getLhs()) ||
+             exprReachesBarrier(B->getRhs());
+    }
+    case CExprKind::Unary:
+      return exprReachesBarrier(cast<Unary>(E.get())->getSub());
+    case CExprKind::Call: {
+      const auto *C = cast<Call>(E.get());
+      for (const CExprPtr &A : C->getArgs())
+        if (exprReachesBarrier(A))
+          return true;
+      CFunctionPtr F = K.Module.findFunction(C->getCallee());
+      if (!F || !F->Body || BarrierScanStack.count(F.get()))
+        return false;
+      BarrierScanStack.insert(F.get());
+      bool R = false;
+      for (const CStmtPtr &S : F->Body->getStmts())
+        R = R || containsBarrier(S);
+      BarrierScanStack.erase(F.get());
+      return R;
+    }
+    case CExprKind::Ternary: {
+      const auto *T = cast<Ternary>(E.get());
+      return exprReachesBarrier(T->getCond()) ||
+             exprReachesBarrier(T->getThen()) ||
+             exprReachesBarrier(T->getElse());
+    }
+    case CExprKind::CastExpr:
+      return exprReachesBarrier(cast<CastExpr>(E.get())->getSub());
+    case CExprKind::ConstructVector:
+      for (const CExprPtr &A : cast<ConstructVector>(E.get())->getArgs())
+        if (exprReachesBarrier(A))
+          return true;
+      return false;
+    case CExprKind::ConstructStruct:
+      for (const CExprPtr &A : cast<ConstructStruct>(E.get())->getArgs())
+        if (exprReachesBarrier(A))
+          return true;
+      return false;
+    case CExprKind::VectorLoad: {
+      const auto *V = cast<VectorLoad>(E.get());
+      return exprReachesBarrier(V->getIndex()) ||
+             exprReachesBarrier(V->getPointer());
+    }
+    case CExprKind::VectorStore: {
+      const auto *V = cast<VectorStore>(E.get());
+      return exprReachesBarrier(V->getValue()) ||
+             exprReachesBarrier(V->getIndex()) ||
+             exprReachesBarrier(V->getPointer());
+    }
+    }
+    lift_unreachable("unhandled expression kind");
+  }
+
   bool containsBarrier(const CStmtPtr &S) {
     auto It = BarrierCache.find(S.get());
     if (It != BarrierCache.end())
@@ -301,10 +419,14 @@ private:
       for (const CStmtPtr &Sub : cast<Block>(S.get())->getStmts())
         R = R || containsBarrier(Sub);
       break;
-    case CStmtKind::For:
-      for (const CStmtPtr &Sub : cast<For>(S.get())->getBody()->getStmts())
+    case CStmtKind::For: {
+      const auto *F = cast<For>(S.get());
+      for (const CStmtPtr &Sub : F->getBody()->getStmts())
         R = R || containsBarrier(Sub);
+      R = R || exprReachesBarrier(F->getInit()) ||
+          exprReachesBarrier(F->getCond()) || exprReachesBarrier(F->getStep());
       break;
+    }
     case CStmtKind::If: {
       const auto *I = cast<If>(S.get());
       for (const CStmtPtr &Sub : I->getThen()->getStmts())
@@ -312,8 +434,23 @@ private:
       if (I->getElse())
         for (const CStmtPtr &Sub : I->getElse()->getStmts())
           R = R || containsBarrier(Sub);
+      R = R || exprReachesBarrier(I->getCond());
       break;
     }
+    case CStmtKind::VarDecl:
+      R = exprReachesBarrier(cast<VarDecl>(S.get())->getInit());
+      break;
+    case CStmtKind::Assign: {
+      const auto *A = cast<Assign>(S.get());
+      R = exprReachesBarrier(A->getLhs()) || exprReachesBarrier(A->getRhs());
+      break;
+    }
+    case CStmtKind::ExprStmt:
+      R = exprReachesBarrier(cast<ExprStmt>(S.get())->getExpr());
+      break;
+    case CStmtKind::Return:
+      R = exprReachesBarrier(cast<Return>(S.get())->getValue());
+      break;
     default:
       break;
     }
@@ -325,25 +462,84 @@ private:
   // Lockstep execution
   //===--------------------------------------------------------------------===//
 
+  uint64_t nextRand() {
+    RngState ^= RngState << 13;
+    RngState ^= RngState >> 7;
+    RngState ^= RngState << 17;
+    return RngState;
+  }
+
+  /// A seeded permutation of the work-items — one legal execution order
+  /// among the many a GPU could choose within a barrier interval.
+  std::vector<WorkItem *> permuted(const std::vector<WorkItem *> &WIs) {
+    std::vector<WorkItem *> R = WIs;
+    for (size_t I = R.size(); I > 1; --I)
+      std::swap(R[I - 1], R[nextRand() % I]);
+    return R;
+  }
+
+  /// Executes a statement sequence across the group. Maximal runs of
+  /// barrier-free statements form (part of) a barrier interval: the order
+  /// in which work-items execute them is unconstrained by OpenCL. The
+  /// default schedule is statement-lockstep (every item runs statement i
+  /// before any item runs statement i+1); under --perturb-schedule each
+  /// item instead runs the whole run to completion, in a seeded random
+  /// item order — a schedule that exposes missing-barrier bugs the
+  /// statement-lockstep order masks.
   void execLockstep(const std::vector<CStmtPtr> &Stmts,
                     std::vector<WorkItem *> &WIs) {
-    for (const CStmtPtr &S : Stmts)
-      execStmtLockstep(S, WIs);
+    size_t I = 0, N = Stmts.size();
+    while (I != N) {
+      if (containsBarrier(Stmts[I])) {
+        execStmtLockstep(Stmts[I], WIs);
+        ++I;
+        continue;
+      }
+      size_t J = I;
+      while (J != N && !containsBarrier(Stmts[J]))
+        ++J;
+      if (Cfg.PerturbSchedule) {
+        for (WorkItem *W : permuted(WIs))
+          for (size_t S = I; S != J; ++S)
+            execNonBarrierStmt(Stmts[S], *W);
+      } else {
+        for (size_t S = I; S != J; ++S)
+          for (WorkItem *W : WIs)
+            execNonBarrierStmt(Stmts[S], *W);
+      }
+      I = J;
+    }
+  }
+
+  void execNonBarrierStmt(const CStmtPtr &S, WorkItem &W) {
+    ExecResult R = execStmtSingle(S, W);
+    if (R.Returned)
+      runtimeError("return outside of a function body");
+  }
+
+  /// Reports non-uniform control flow enclosing a barrier: a checked run
+  /// records it as barrier divergence and continues with the first item's
+  /// decision; an unchecked run aborts, as before.
+  void divergentFlow(const std::string &What) {
+    if (!RD)
+      runtimeError(What + " around a barrier in kernel '" +
+                   K.Module.Kernel->Name + "'");
+    RD->divergence(What + " around a barrier in kernel '" +
+                   K.Module.Kernel->Name + "'");
   }
 
   void execStmtLockstep(const CStmtPtr &S, std::vector<WorkItem *> &WIs) {
     if (!containsBarrier(S)) {
-      for (WorkItem *W : WIs) {
-        ExecResult R = execStmtSingle(S, *W);
-        if (R.Returned)
-          runtimeError("return outside of a function body");
-      }
+      for (WorkItem *W : WIs)
+        execNonBarrierStmt(S, *W);
       return;
     }
 
     switch (S->getKind()) {
     case CStmtKind::Barrier:
       Cost.Barriers += WIs.size();
+      if (RD)
+        RD->lockstepBarrier();
       return;
     case CStmtKind::Block:
       execLockstep(cast<Block>(S.get())->getStmts(), WIs);
@@ -353,14 +549,15 @@ private:
       for (WorkItem *W : WIs)
         setVar(*W, F->getIV().get(), evalExpr(F->getInit(), *W));
       while (true) {
-        bool First = true, Continue = false;
+        bool First = true, Continue = false, Diverged = false;
         for (WorkItem *W : WIs) {
           bool C = evalExpr(F->getCond(), *W).asBool();
           if (First) {
             Continue = C;
             First = false;
-          } else if (C != Continue) {
-            runtimeError("non-uniform loop around a barrier");
+          } else if (C != Continue && !Diverged) {
+            Diverged = true;
+            divergentFlow("non-uniform loop");
           }
         }
         Cost.LoopIters += WIs.size();
@@ -374,14 +571,15 @@ private:
     }
     case CStmtKind::If: {
       const auto *I = cast<If>(S.get());
-      bool First = true, Taken = false;
+      bool First = true, Taken = false, Diverged = false;
       for (WorkItem *W : WIs) {
         bool C = evalExpr(I->getCond(), *W).asBool();
         if (First) {
           Taken = C;
           First = false;
-        } else if (C != Taken) {
-          runtimeError("non-uniform branch around a barrier");
+        } else if (C != Taken && !Diverged) {
+          Diverged = true;
+          divergentFlow("non-uniform branch");
         }
       }
       if (Taken)
@@ -391,8 +589,36 @@ private:
       return;
     }
     default:
-      runtimeError("barrier in an unsupported statement position");
+      runtimeError("barrier in an unsupported statement position in kernel '" +
+                   K.Module.Kernel->Name + "': a " + stmtKindName(S) +
+                   " statement reaches a barrier (through a function call) "
+                   "but cannot be executed in lockstep: " +
+                   c::printStmt(S));
     }
+  }
+
+  static const char *stmtKindName(const CStmtPtr &S) {
+    switch (S->getKind()) {
+    case CStmtKind::Block:
+      return "block";
+    case CStmtKind::VarDecl:
+      return "variable declaration";
+    case CStmtKind::Assign:
+      return "assignment";
+    case CStmtKind::ExprStmt:
+      return "expression";
+    case CStmtKind::For:
+      return "for";
+    case CStmtKind::If:
+      return "if";
+    case CStmtKind::Barrier:
+      return "barrier";
+    case CStmtKind::Return:
+      return "return";
+    case CStmtKind::Comment:
+      return "comment";
+    }
+    return "?";
   }
 
   //===--------------------------------------------------------------------===//
@@ -420,6 +646,8 @@ private:
           if (It == WgLocals.end()) {
             auto Mem = std::make_shared<std::vector<Value>>(
                 static_cast<size_t>(Count), Value::makeFloat(0));
+            if (RD)
+              RD->registerBlock(Mem.get(), V->Name);
             It = WgLocals
                      .emplace(V, Value::makePtr(std::move(Mem),
                                                 MemSpace::Local))
@@ -479,8 +707,12 @@ private:
       return {};
     }
     case CStmtKind::Barrier:
-      // Reached only from single-item regions; charge one wait.
+      // A barrier executed by a single item (divergent control flow or a
+      // barrier inside a called function): it does not synchronize.
+      // Charge one wait and tally the arrival for the divergence check.
       ++Cost.Barriers;
+      if (RD)
+        RD->itemBarrier(W.Linear);
       return {};
     case CStmtKind::Return: {
       ExecResult R;
@@ -512,7 +744,7 @@ private:
       if (Base.K != Value::Ptr)
         runtimeError("array access on a non-pointer");
       int64_t Idx = evalExpr(A->getIndex(), W).asInt();
-      chargeAccess(Base.Space);
+      noteAccess(Base, Idx, W, /*IsWrite=*/true);
       if (Idx < 0 || static_cast<size_t>(Idx) >= Base.P->size())
         runtimeError("store out of bounds: index " + std::to_string(Idx) +
                      " of " + std::to_string(Base.P->size()));
@@ -561,6 +793,15 @@ private:
     }
   }
 
+  /// Charges the cost model and, on a checked run, records the access in
+  /// the current barrier interval's access set.
+  void noteAccess(const Value &Base, int64_t Idx, const WorkItem &W,
+                  bool IsWrite) {
+    chargeAccess(Base.Space);
+    if (RD)
+      RD->recordAccess(Base.P.get(), Idx, Base.Space, W.Linear, IsWrite);
+  }
+
   //===--------------------------------------------------------------------===//
   // Arithmetic index expressions
   //===--------------------------------------------------------------------===//
@@ -592,7 +833,7 @@ private:
       auto VIt = W.Vars.find(SIt->second.get());
       if (VIt == W.Vars.end() || VIt->second.K != Value::Ptr)
         runtimeError("lookup table is not bound to memory");
-      chargeAccess(VIt->second.Space);
+      noteAccess(VIt->second, Index, W, /*IsWrite=*/false);
       const auto &Mem = *VIt->second.P;
       if (Index < 0 || static_cast<size_t>(Index) >= Mem.size())
         runtimeError("lookup out of bounds");
@@ -627,7 +868,7 @@ private:
       if (Base.K != Value::Ptr)
         runtimeError("array access on a non-pointer");
       int64_t Idx = evalExpr(A->getIndex(), W).asInt();
-      chargeAccess(Base.Space);
+      noteAccess(Base, Idx, W, /*IsWrite=*/false);
       if (Idx < 0 || static_cast<size_t>(Idx) >= Base.P->size())
         runtimeError("load out of bounds: index " + std::to_string(Idx) +
                      " of " + std::to_string(Base.P->size()));
@@ -656,7 +897,7 @@ private:
       if (U->getOp() == UnOp::Not)
         return Value::makeInt(!S.asBool());
       if (S.K == Value::Int)
-        return Value::makeInt(-S.I);
+        return Value::makeInt(wrapNeg(S.I));
       if (S.K == Value::Vec) {
         for (double &D : S.V)
           D = -D;
@@ -722,6 +963,9 @@ private:
         size_t At = static_cast<size_t>(Idx) * V->getWidth() + I;
         if (At >= Base.P->size())
           runtimeError("vload out of bounds");
+        if (RD)
+          RD->recordAccess(Base.P.get(), static_cast<int64_t>(At),
+                           Base.Space, W.Linear, /*IsWrite=*/false);
         Comps.push_back((*Base.P)[At].asFloat());
       }
       return Value::makeVec(std::move(Comps));
@@ -738,6 +982,9 @@ private:
         size_t At = static_cast<size_t>(Idx) * V->getWidth() + I;
         if (At >= Base.P->size())
           runtimeError("vstore out of bounds");
+        if (RD)
+          RD->recordAccess(Base.P.get(), static_cast<int64_t>(At),
+                           Base.Space, W.Linear, /*IsWrite=*/true);
         (*Base.P)[At] = Value::makeFloat(Val.V[I]);
       }
       return Value::makeInt(0);
@@ -796,18 +1043,23 @@ private:
       int64_t A = L.I, Bv = R.I;
       switch (Op) {
       case BinOp::Add:
-        return Value::makeInt(A + Bv);
+        return Value::makeInt(wrapAdd(A, Bv));
       case BinOp::Sub:
-        return Value::makeInt(A - Bv);
+        return Value::makeInt(wrapSub(A, Bv));
       case BinOp::Mul:
-        return Value::makeInt(A * Bv);
+        return Value::makeInt(wrapMul(A, Bv));
       case BinOp::Div:
         if (Bv == 0)
           runtimeError("integer division by zero");
+        // INT64_MIN / -1 overflows; wrap like the negation it is.
+        if (Bv == -1)
+          return Value::makeInt(wrapNeg(A));
         return Value::makeInt(A / Bv);
       case BinOp::Rem:
         if (Bv == 0)
           runtimeError("integer remainder by zero");
+        if (Bv == -1)
+          return Value::makeInt(0);
         return Value::makeInt(A % Bv);
       case BinOp::Lt:
         return Value::makeInt(A < Bv);
@@ -979,7 +1231,24 @@ CostReport ocl::launch(const codegen::CompiledKernel &K,
                        const std::vector<Buffer *> &Buffers,
                        const std::map<std::string, int64_t> &Sizes,
                        const LaunchConfig &Cfg) {
-  return Machine(K, Cfg).run(Buffers, Sizes);
+  if (!Cfg.CheckRaces)
+    return Machine(K, Cfg).run(Buffers, Sizes);
+  RaceReport Report;
+  CostReport Cost = launch(K, Buffers, Sizes, Cfg, Report);
+  if (!Report.clean())
+    fatalError("runtime: race check failed for kernel '" +
+               K.Module.Kernel->Name + "': " + Report.summary());
+  return Cost;
+}
+
+CostReport ocl::launch(const codegen::CompiledKernel &K,
+                       const std::vector<Buffer *> &Buffers,
+                       const std::map<std::string, int64_t> &Sizes,
+                       const LaunchConfig &Cfg, RaceReport &Report) {
+  if (!Cfg.CheckRaces)
+    return Machine(K, Cfg).run(Buffers, Sizes);
+  RaceDetector RD(Report);
+  return Machine(K, Cfg, &RD).run(Buffers, Sizes);
 }
 
 codegen::CompiledKernel ocl::wrapModule(c::CModule M) {

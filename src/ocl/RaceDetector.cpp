@@ -1,0 +1,204 @@
+//===- RaceDetector.cpp - Dynamic race & divergence detection ------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ocl/RaceDetector.h"
+
+#include "ocl/Runtime.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace lift;
+using namespace lift::ocl;
+
+const char *RaceFinding::kindName(Kind K) {
+  switch (K) {
+  case WriteWrite:
+    return "write-write race";
+  case ReadWrite:
+    return "read-write race";
+  case BarrierDivergence:
+    return "barrier divergence";
+  }
+  return "?";
+}
+
+unsigned RaceReport::races() const {
+  unsigned N = 0;
+  for (const RaceFinding &F : Findings)
+    N += F.K != RaceFinding::BarrierDivergence;
+  return N;
+}
+
+unsigned RaceReport::divergences() const {
+  unsigned N = 0;
+  for (const RaceFinding &F : Findings)
+    N += F.K == RaceFinding::BarrierDivergence;
+  return N;
+}
+
+std::string RaceReport::summary() const {
+  std::ostringstream OS;
+  OS << Findings.size() << " finding(s) (" << races() << " race(s), "
+     << divergences() << " divergence(s)) over " << IntervalsChecked
+     << " barrier interval(s), " << AccessesRecorded
+     << " access(es) checked";
+  if (Truncated)
+    OS << " [truncated]";
+  for (const RaceFinding &F : Findings)
+    OS << "\n  " << RaceFinding::kindName(F.K) << ": " << F.Detail;
+  return OS.str();
+}
+
+void RaceDetector::registerBlock(const void *Mem, const std::string &Name) {
+  BlockNames[Mem] = Name;
+}
+
+void RaceDetector::beginGroup(const std::array<int64_t, 3> &G,
+                              size_t NumItems) {
+  Group = G;
+  Interval.clear();
+  ItemArrivals.assign(NumItems, 0);
+  IntervalIndex = 0;
+  AccessSeq = 0;
+  InGroup = true;
+}
+
+void RaceDetector::recordAccess(const void *Mem, int64_t Index,
+                                MemSpace Space, int64_t Item, bool IsWrite) {
+  if (!InGroup || Space == MemSpace::Private)
+    return;
+  ++Report.AccessesRecorded;
+  Cell &C = Interval[Key{Mem, Index}];
+  if (IsWrite) {
+    if (C.Writer1 < 0) {
+      C.Writer1 = Item;
+      C.FirstWriteSeq = AccessSeq++;
+    } else if (C.Writer1 != Item && C.Writer2 < 0) {
+      C.Writer2 = Item;
+    }
+  } else {
+    if (C.Reader1 < 0)
+      C.Reader1 = Item;
+    else if (C.Reader1 != Item && C.Reader2 < 0)
+      C.Reader2 = Item;
+  }
+}
+
+void RaceDetector::lockstepBarrier() {
+  if (!InGroup)
+    return;
+  closeInterval();
+}
+
+void RaceDetector::itemBarrier(int64_t Item) {
+  if (!InGroup)
+    return;
+  if (Item >= 0 && static_cast<size_t>(Item) < ItemArrivals.size())
+    ++ItemArrivals[Item];
+}
+
+void RaceDetector::divergence(const std::string &Detail) {
+  RaceFinding F;
+  F.K = RaceFinding::BarrierDivergence;
+  F.Detail = Detail;
+  F.Group = Group;
+  F.Interval = IntervalIndex;
+  addFinding(std::move(F));
+}
+
+void RaceDetector::endGroup() {
+  if (!InGroup)
+    return;
+  closeInterval();
+  InGroup = false;
+}
+
+std::string RaceDetector::locationName(const Key &K) const {
+  std::ostringstream OS;
+  auto It = BlockNames.find(K.Mem);
+  if (It != BlockNames.end())
+    OS << It->second;
+  else
+    OS << "<buffer@" << K.Mem << ">";
+  OS << "[" << K.Index << "]";
+  return OS.str();
+}
+
+void RaceDetector::closeInterval() {
+  ++Report.IntervalsChecked;
+
+  // Collect conflicting locations, then order them by first-write time so
+  // the report is independent of hash-map iteration order.
+  std::vector<std::pair<const Key *, const Cell *>> Racy;
+  for (const auto &[K, C] : Interval) {
+    bool WW = C.Writer2 >= 0;
+    bool RW = C.Writer1 >= 0 &&
+              ((C.Reader1 >= 0 && C.Reader1 != C.Writer1) ||
+               (C.Reader2 >= 0 && C.Reader2 != C.Writer1));
+    if (WW || RW)
+      Racy.emplace_back(&K, &C);
+  }
+  std::sort(Racy.begin(), Racy.end(), [](const auto &A, const auto &B) {
+    return A.second->FirstWriteSeq < B.second->FirstWriteSeq;
+  });
+
+  for (const auto &[K, C] : Racy) {
+    RaceFinding F;
+    F.Group = Group;
+    F.Interval = IntervalIndex;
+    F.Location = locationName(*K);
+    if (C->Writer2 >= 0) {
+      F.K = RaceFinding::WriteWrite;
+      F.ItemA = C->Writer1;
+      F.ItemB = C->Writer2;
+    } else {
+      F.K = RaceFinding::ReadWrite;
+      F.ItemA = C->Writer1;
+      F.ItemB = C->Reader1 != C->Writer1 ? C->Reader1 : C->Reader2;
+    }
+    std::ostringstream OS;
+    OS << F.Location << ": work-items " << F.ItemA << " and " << F.ItemB
+       << " of group (" << Group[0] << "," << Group[1] << "," << Group[2]
+       << ") conflict in barrier interval " << IntervalIndex << " ("
+       << (F.K == RaceFinding::WriteWrite ? "both wrote"
+                                          : "one wrote, one read")
+       << ")";
+    F.Detail = OS.str();
+    addFinding(std::move(F));
+    if (Report.Truncated)
+      break;
+  }
+  Interval.clear();
+
+  // Every item of the group must have performed the same number of
+  // out-of-lockstep barrier waits by the time the group synchronizes.
+  if (!ItemArrivals.empty()) {
+    uint64_t First = ItemArrivals[0];
+    for (size_t I = 1; I != ItemArrivals.size(); ++I) {
+      if (ItemArrivals[I] != First) {
+        std::ostringstream OS;
+        OS << "work-items 0 and " << I << " of group (" << Group[0] << ","
+           << Group[1] << "," << Group[2] << ") disagree on barrier arrival ("
+           << First << " vs " << ItemArrivals[I] << " waits) in interval "
+           << IntervalIndex;
+        divergence(OS.str());
+        break;
+      }
+    }
+    std::fill(ItemArrivals.begin(), ItemArrivals.end(), 0);
+  }
+
+  ++IntervalIndex;
+}
+
+void RaceDetector::addFinding(RaceFinding F) {
+  if (Report.Findings.size() >= MaxFindings) {
+    Report.Truncated = true;
+    return;
+  }
+  Report.Findings.push_back(std::move(F));
+}

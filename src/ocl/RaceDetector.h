@@ -1,0 +1,164 @@
+//===- RaceDetector.h - Dynamic race & divergence detection -----*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A happens-before data-race and barrier-divergence detector for the
+/// simulated OpenCL runtime. The lockstep interpreter executes work-items
+/// in one fixed, deterministic order; that schedule can mask real races a
+/// GPU would expose (e.g. a missing barrier between cooperative local
+/// memory writes and the reads that consume them). This detector makes
+/// such bugs visible regardless of the schedule actually executed:
+///
+///  * Within one work-group, execution between two barriers (a *barrier
+///    interval*) is unordered across work-items. The detector records, per
+///    memory location, which work-items read and wrote it during the
+///    current interval. Two accesses to the same location by different
+///    work-items, at least one of them a write, in the same interval
+///    conflict under *some* legal schedule -> data race.
+///
+///  * Barriers must be reached by every work-item of the group the same
+///    number of times. Barriers executed outside lockstep (divergent
+///    control flow, barriers hidden in user functions) are tallied
+///    per-item; a mismatch at the next interval boundary -> barrier
+///    divergence. Non-uniform branches or loops enclosing a barrier are
+///    reported directly.
+///
+/// Detection is per work-group: work-groups are independent in OpenCL, and
+/// a barrier only synchronizes the items of one group. The report is
+/// deterministic: findings are produced in execution order and capped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_OCL_RACEDETECTOR_H
+#define LIFT_OCL_RACEDETECTOR_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lift {
+namespace ocl {
+
+enum class MemSpace; // Runtime.h
+
+/// One defect found during a checked launch.
+struct RaceFinding {
+  enum Kind {
+    WriteWrite,        ///< Two work-items wrote the location in one interval.
+    ReadWrite,         ///< One wrote, another read, in one interval.
+    BarrierDivergence, ///< Items of a group disagree on barrier arrival.
+  };
+
+  Kind K = WriteWrite;
+  /// Buffer or local array name and element index, e.g. "aTile[17]".
+  std::string Location;
+  /// Human-readable one-line description.
+  std::string Detail;
+  /// Linear in-group ids of the two conflicting work-items (-1 if n/a).
+  int64_t ItemA = -1;
+  int64_t ItemB = -1;
+  std::array<int64_t, 3> Group = {0, 0, 0};
+  /// Zero-based barrier interval within the group's execution.
+  uint64_t Interval = 0;
+
+  static const char *kindName(Kind K);
+};
+
+/// Result of a checked launch.
+struct RaceReport {
+  std::vector<RaceFinding> Findings;
+  uint64_t IntervalsChecked = 0;
+  uint64_t AccessesRecorded = 0;
+  /// True if the cap on findings was hit (further defects were dropped).
+  bool Truncated = false;
+
+  bool clean() const { return Findings.empty(); }
+  unsigned races() const;
+  unsigned divergences() const;
+  /// Multi-line summary suitable for diagnostics.
+  std::string summary() const;
+};
+
+/// Records accesses and barrier arrivals for one launch; owned by the
+/// interpreter while a checked launch runs, writing into a caller-provided
+/// report. All ids are linear in-group work-item ids.
+class RaceDetector {
+public:
+  explicit RaceDetector(RaceReport &Report, unsigned MaxFindings = 64)
+      : Report(Report), MaxFindings(MaxFindings) {}
+
+  /// Associates a human-readable name with a memory block (buffer or
+  /// local array) for diagnostics. Safe to call repeatedly.
+  void registerBlock(const void *Mem, const std::string &Name);
+
+  /// Starts detection for one work-group.
+  void beginGroup(const std::array<int64_t, 3> &Group, size_t NumItems);
+
+  /// Records one element access. Private memory is per-item and never
+  /// races; callers only report __local and __global accesses.
+  void recordAccess(const void *Mem, int64_t Index, MemSpace Space,
+                    int64_t Item, bool IsWrite);
+
+  /// A barrier reached in lockstep by every item of the group: closes the
+  /// current interval, checking accesses and arrival parity.
+  void lockstepBarrier();
+
+  /// A barrier executed by a single item outside lockstep (divergent
+  /// control flow or a barrier inside a called function).
+  void itemBarrier(int64_t Item);
+
+  /// Reports non-uniform control flow enclosing a barrier.
+  void divergence(const std::string &Detail);
+
+  /// Ends the group: closes the trailing interval.
+  void endGroup();
+
+private:
+  /// Access summary of one location in the current interval. Tracks up to
+  /// two distinct readers and writers — enough to decide every conflict.
+  struct Cell {
+    int64_t Writer1 = -1, Writer2 = -1;
+    int64_t Reader1 = -1, Reader2 = -1;
+    int64_t FirstWriteSeq = -1; ///< For deterministic finding order.
+  };
+
+  struct Key {
+    const void *Mem;
+    int64_t Index;
+    bool operator==(const Key &O) const {
+      return Mem == O.Mem && Index == O.Index;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const {
+      size_t H = std::hash<const void *>()(K.Mem);
+      return H ^ (std::hash<int64_t>()(K.Index) + 0x9e3779b97f4a7c15ULL +
+                  (H << 6) + (H >> 2));
+    }
+  };
+
+  void closeInterval();
+  void addFinding(RaceFinding F);
+  std::string locationName(const Key &K) const;
+
+  RaceReport &Report;
+  unsigned MaxFindings;
+
+  std::unordered_map<const void *, std::string> BlockNames;
+  std::unordered_map<Key, Cell, KeyHash> Interval;
+  std::vector<uint64_t> ItemArrivals; ///< Out-of-lockstep barrier tallies.
+  std::array<int64_t, 3> Group = {0, 0, 0};
+  uint64_t IntervalIndex = 0;
+  int64_t AccessSeq = 0;
+  bool InGroup = false;
+};
+
+} // namespace ocl
+} // namespace lift
+
+#endif // LIFT_OCL_RACEDETECTOR_H

@@ -22,6 +22,7 @@
 #define LIFT_OCL_RUNTIME_H
 
 #include "codegen/Compiler.h"
+#include "ocl/RaceDetector.h"
 
 #include <array>
 #include <cstdint>
@@ -181,10 +182,22 @@ struct LaunchConfig {
   std::array<int64_t, 3> Global = {1, 1, 1};
   std::array<int64_t, 3> Local = {1, 1, 1};
 
+  /// Record per-interval access sets and check for data races and barrier
+  /// divergence while executing (see RaceDetector.h).
+  bool CheckRaces = false;
+  /// Permute work-item execution order within each barrier interval with a
+  /// seeded, reproducible schedule. A legal OpenCL schedule — clean kernels
+  /// produce identical results; order-dependent (racy) kernels do not.
+  bool PerturbSchedule = false;
+  uint64_t ScheduleSeed = 1;
+
   static LaunchConfig fromOptions(const codegen::CompilerOptions &O) {
     LaunchConfig C;
     C.Global = O.GlobalSize;
     C.Local = O.LocalSize;
+    C.CheckRaces = O.CheckRaces;
+    C.PerturbSchedule = O.PerturbSchedule;
+    C.ScheduleSeed = O.ScheduleSeed;
     return C;
   }
 };
@@ -197,6 +210,15 @@ CostReport launch(const codegen::CompiledKernel &K,
                   const std::vector<Buffer *> &Buffers,
                   const std::map<std::string, int64_t> &Sizes,
                   const LaunchConfig &Cfg);
+
+/// As above, but when \p Cfg.CheckRaces is set the detector's findings are
+/// returned in \p Report instead of aborting the run. The plain overload
+/// aborts with the report summary if checking is enabled and a defect is
+/// found.
+CostReport launch(const codegen::CompiledKernel &K,
+                  const std::vector<Buffer *> &Buffers,
+                  const std::map<std::string, int64_t> &Sizes,
+                  const LaunchConfig &Cfg, RaceReport &Report);
 
 /// Wraps a hand-written, parsed OpenCL module (see cparse::parseModule) so
 /// it can be launched like a compiled kernel: pointer parameters bind to

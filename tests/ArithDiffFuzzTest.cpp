@@ -1,0 +1,138 @@
+//===- ArithDiffFuzzTest.cpp - Differential fuzzing of arith semantics --------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differentially tests the three implementations of integer arithmetic
+/// that must agree for generated kernels to be correct: symbolic
+/// evaluation (arith::evaluate), the simplifier (evaluate after
+/// simplified()), and the simulated device executing the expression as
+/// printed into OpenCL C. Random expressions include negative constants,
+/// negative-valued variables and negative divisors — the inputs on which
+/// floor and truncated division semantics disagree.
+///
+//===----------------------------------------------------------------------===//
+
+#include "arith/ArithExpr.h"
+#include "arith/Eval.h"
+#include "arith/Printer.h"
+#include "cparse/CParser.h"
+#include "ocl/Runtime.h"
+
+#include <gtest/gtest.h>
+
+using namespace lift;
+using namespace lift::arith;
+
+namespace {
+
+/// Deterministic small PRNG.
+class Prng {
+  uint64_t State;
+
+public:
+  explicit Prng(uint64_t Seed) : State(Seed * 2654435761u + 17) {}
+  uint64_t next() {
+    State ^= State << 13;
+    State ^= State >> 7;
+    State ^= State << 17;
+    return State;
+  }
+  int64_t range(int64_t Lo, int64_t Hi) { // inclusive
+    return Lo +
+           static_cast<int64_t>(next() % static_cast<uint64_t>(Hi - Lo + 1));
+  }
+};
+
+/// Builds a random expression over variables a, b (may be negative) and c
+/// (positive). Divisors are nonzero: a constant of either sign or the
+/// positive variable, so runtime division by zero is impossible while
+/// negative-divisor folds still get exercised.
+Expr randomExpr(Prng &Rng, const std::vector<Expr> &Vars, int Depth) {
+  if (Depth == 0 || Rng.range(0, 3) == 0) {
+    if (Rng.range(0, 1) == 0)
+      return cst(Rng.range(-9, 9));
+    return Vars[Rng.next() % Vars.size()];
+  }
+  auto Divisor = [&]() -> Expr {
+    switch (Rng.range(0, 3)) {
+    case 0:
+      return cst(-Rng.range(1, 9));
+    case 1:
+      return Vars.back(); // the positive variable
+    default:
+      return cst(Rng.range(1, 9));
+    }
+  };
+  switch (Rng.range(0, 4)) {
+  case 0:
+    return add(randomExpr(Rng, Vars, Depth - 1),
+               randomExpr(Rng, Vars, Depth - 1));
+  case 1:
+    return sub(randomExpr(Rng, Vars, Depth - 1),
+               randomExpr(Rng, Vars, Depth - 1));
+  case 2:
+    return mul(randomExpr(Rng, Vars, Depth - 1),
+               randomExpr(Rng, Vars, Depth - 1));
+  case 3:
+    return intDiv(randomExpr(Rng, Vars, Depth - 1), Divisor());
+  default:
+    return mod(randomExpr(Rng, Vars, Depth - 1), Divisor());
+  }
+}
+
+class ArithDiffFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArithDiffFuzzTest, EvalSimplifierAndInterpreterAgree) {
+  Prng Rng(static_cast<uint64_t>(GetParam()) * 48271 + 11);
+  std::vector<Expr> Vars = {var("a", cst(-50), cst(50)),
+                            var("b", cst(-50), cst(50)),
+                            var("c", cst(1), cst(9))};
+
+  Expr Raw;
+  {
+    SimplifyGuard Guard(false);
+    Raw = randomExpr(Rng, Vars, 4);
+  }
+  Expr Simple = simplified(Raw);
+
+  for (int Trial = 0; Trial < 8; ++Trial) {
+    std::vector<int64_t> Values = {Rng.range(-50, 50), Rng.range(-50, 50),
+                                   Rng.range(1, 9)};
+    EvalContext Ctx;
+    Ctx.VarValue = [&](const VarNode &V) -> int64_t {
+      for (size_t I = 0; I != Vars.size(); ++I)
+        if (V.getId() == static_cast<const VarNode *>(Vars[I].get())->getId())
+          return Values[I];
+      ADD_FAILURE() << "unbound variable " << V.getName();
+      return 0;
+    };
+    int64_t Direct = evaluate(Raw, Ctx);
+
+    // The simplified expression must mean the same thing.
+    EXPECT_EQ(Direct, evaluate(Simple, Ctx))
+        << "raw: " << toString(Raw) << "\nsimplified: " << toString(Simple)
+        << "\na=" << Values[0] << " b=" << Values[1] << " c=" << Values[2];
+
+    // The simulated device executing the printed C expression must too.
+    std::string Src = "kernel void f(global int *out, int a, int b, int c) "
+                      "{ out[0] = " +
+                      toString(Raw) + "; }";
+    cparse::ParseContext PC;
+    auto K = ocl::wrapModule(cparse::parseModule(Src, PC));
+    ocl::Buffer Out = ocl::Buffer::ofInts({0});
+    ocl::LaunchConfig Cfg; // a single work-item
+    ocl::launch(K, {&Out}, {{"a", Values[0]}, {"b", Values[1]},
+                            {"c", Values[2]}},
+                Cfg);
+    EXPECT_EQ(Direct, Out.at(0).asInt())
+        << "expr: " << toString(Raw) << "\na=" << Values[0]
+        << " b=" << Values[1] << " c=" << Values[2];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArithDiffFuzzTest, ::testing::Range(0, 120));
+
+} // namespace

@@ -150,6 +150,69 @@ TEST_F(ArithTest, ModModSameDivisor) {
   EXPECT_TRUE(equals(E, mod(N, M)));
 }
 
+TEST_F(ArithTest, TruncatedConstantFolding) {
+  // Division and modulo fold with C's truncate-toward-zero semantics, so
+  // constant folds agree with what the printed `/` and `%` compute.
+  EXPECT_TRUE(equals(intDiv(cst(-7), cst(2)), cst(-3)));
+  EXPECT_TRUE(equals(intDiv(cst(7), cst(-2)), cst(-3)));
+  EXPECT_TRUE(equals(intDiv(cst(-7), cst(-2)), cst(3)));
+  EXPECT_TRUE(equals(mod(cst(-7), cst(2)), cst(-1)));
+  EXPECT_TRUE(equals(mod(cst(7), cst(-2)), cst(1)));
+  EXPECT_TRUE(equals(mod(cst(-7), cst(-2)), cst(-1)));
+  // Truncated (x/y)*y + x%y = x holds for negatives too.
+  EXPECT_TRUE(equals(add(mul(intDiv(cst(-7), cst(2)), cst(2)),
+                         mod(cst(-7), cst(2))),
+                     cst(-7)));
+}
+
+TEST_F(ArithTest, SumSplitNeedsNonNegativeTerms) {
+  // (4t - 2)/4 must NOT rewrite to t + (-2)/4 = t: at t = 1 the value is
+  // trunc(2/4) = 0, not 1. The sum-split rule only fires when every term
+  // of the sum is provably non-negative.
+  auto T = var("t", cst(-10), cst(10));
+  Expr E = intDiv(sub(mul(cst(4), T), cst(2)), cst(4));
+  EvalContext Ctx;
+  Ctx.VarValue = [](const VarNode &) -> int64_t { return 1; };
+  EXPECT_EQ(evaluate(E, Ctx), 0);
+}
+
+TEST_F(ArithTest, SumDropNeedsNonNegativeTerms) {
+  // (4t - 2) mod 4 must NOT rewrite to (-2) mod 4 = -2: at t = 1 the value
+  // is 2 mod 4 = 2.
+  auto T = var("t", cst(-10), cst(10));
+  Expr E = mod(sub(mul(cst(4), T), cst(2)), cst(4));
+  EvalContext Ctx;
+  Ctx.VarValue = [](const VarNode &) -> int64_t { return 1; };
+  EXPECT_EQ(evaluate(E, Ctx), 2);
+}
+
+TEST_F(ArithTest, NegativeEvaluation) {
+  auto T = var("t", cst(-100), cst(100));
+  EvalContext Ctx;
+  Ctx.VarValue = [](const VarNode &) -> int64_t { return -7; };
+  SimplifyGuard Guard(false);
+  EXPECT_EQ(evaluate(intDiv(Expr(T), cst(2)), Ctx), -3);
+  EXPECT_EQ(evaluate(mod(Expr(T), cst(2)), Ctx), -1);
+  EXPECT_EQ(evaluate(intDiv(Expr(T), cst(-2)), Ctx), 3);
+  EXPECT_EQ(evaluate(mod(Expr(T), cst(-2)), Ctx), -1);
+}
+
+TEST_F(ArithTest, BoundsWithNegativeOperands) {
+  auto T = var("t", cst(-5), cst(5));
+  // trunc(-5/2) = -2 (floor would claim -3).
+  EXPECT_EQ(constLowerBound(intDiv(Expr(T), cst(2))), -2);
+  EXPECT_EQ(constUpperBound(intDiv(Expr(T), cst(2))), 2);
+  // Truncated remainder takes the dividend's sign: t % 4 in [-3, 3].
+  EXPECT_EQ(constLowerBound(mod(Expr(T), cst(4))), -3);
+  EXPECT_EQ(constUpperBound(mod(Expr(T), cst(4))), 3);
+  // A claim of non-negativity for t % 4 would be unsound.
+  EXPECT_FALSE(provablyNonNegative(mod(Expr(T), cst(4))));
+  // Non-negative dividends keep the tight [0, min(d-1, hi)] interval.
+  auto U = var("u", cst(0), cst(2));
+  EXPECT_EQ(constLowerBound(mod(Expr(U), cst(4))), 0);
+  EXPECT_EQ(constUpperBound(mod(Expr(U), cst(4))), 2);
+}
+
 TEST_F(ArithTest, CeilDiv) {
   EXPECT_TRUE(equals(ceilDiv(cst(7), cst(2)), cst(4)));
   EXPECT_TRUE(equals(ceilDiv(cst(8), cst(2)), cst(4)));

@@ -1,0 +1,335 @@
+//===- RaceDetectorTest.cpp - Tests for dynamic race detection ----------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exercises the happens-before data-race and barrier-divergence detector
+/// of the simulated runtime: clean kernels report clean, missing barriers
+/// are flagged (even when the fixed lockstep schedule masks them), the
+/// perturbed schedule exposes them in the output too, divergent barriers
+/// are reported, and the full benchmark suite is race-free with barrier
+/// elimination both on and off.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cparse/CParser.h"
+#include "ocl/Runtime.h"
+#include "suite/Benchmark.h"
+
+#include <gtest/gtest.h>
+
+using namespace lift;
+using namespace lift::ocl;
+
+namespace {
+
+codegen::CompiledKernel kernelFrom(const std::string &Src) {
+  cparse::ParseContext Ctx;
+  return wrapModule(cparse::parseModule(Src, Ctx));
+}
+
+LaunchConfig checked(std::array<int64_t, 3> Global,
+                     std::array<int64_t, 3> Local, bool Perturb = false,
+                     uint64_t Seed = 1) {
+  LaunchConfig Cfg;
+  Cfg.Global = Global;
+  Cfg.Local = Local;
+  Cfg.CheckRaces = true;
+  Cfg.PerturbSchedule = Perturb;
+  Cfg.ScheduleSeed = Seed;
+  return Cfg;
+}
+
+const char *TileKernel = R"(
+kernel void tile(global float *in, global float *out) {
+  local float tmp[4];
+  int l = get_local_id(0);
+  int g = get_global_id(0);
+  tmp[l] = in[g];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[g] = tmp[3 - l];
+}
+)";
+
+/// The same kernel with the barrier removed: the cross-item read of tmp
+/// races with the writes.
+const char *TileKernelNoBarrier = R"(
+kernel void tile(global float *in, global float *out) {
+  local float tmp[4];
+  int l = get_local_id(0);
+  int g = get_global_id(0);
+  tmp[l] = in[g];
+  out[g] = tmp[3 - l];
+}
+)";
+
+TEST(RaceDetectorTest, CleanKernelReportsClean) {
+  auto K = kernelFrom(TileKernel);
+  Buffer In = Buffer::ofFloats({1, 2, 3, 4, 5, 6, 7, 8});
+  Buffer Out = Buffer::zeros(8);
+  RaceReport Report;
+  launch(K, {&In, &Out}, {}, checked({8, 1, 1}, {4, 1, 1}), Report);
+  EXPECT_TRUE(Report.clean()) << Report.summary();
+  EXPECT_GT(Report.IntervalsChecked, 0u);
+  EXPECT_GT(Report.AccessesRecorded, 0u);
+  EXPECT_FLOAT_EQ(Out.toFloats()[0], 4);
+}
+
+TEST(RaceDetectorTest, MissingBarrierIsARace) {
+  auto K = kernelFrom(TileKernelNoBarrier);
+  Buffer In = Buffer::ofFloats({1, 2, 3, 4, 5, 6, 7, 8});
+  Buffer Out = Buffer::zeros(8);
+  RaceReport Report;
+  launch(K, {&In, &Out}, {}, checked({8, 1, 1}, {4, 1, 1}), Report);
+  ASSERT_GT(Report.races(), 0u);
+  EXPECT_EQ(Report.divergences(), 0u);
+  // The conflicting location is the local tile, named in the finding.
+  bool MentionsTile = false;
+  for (const RaceFinding &F : Report.Findings) {
+    EXPECT_EQ(F.K, RaceFinding::ReadWrite);
+    MentionsTile |= F.Location.find("tmp[") != std::string::npos;
+  }
+  EXPECT_TRUE(MentionsTile);
+}
+
+TEST(RaceDetectorTest, GlobalWriteWriteRace) {
+  auto K = kernelFrom(R"(
+kernel void clash(global float *out) {
+  out[0] = get_local_id(0) * 1.0f;
+}
+)");
+  Buffer Out = Buffer::zeros(1);
+  RaceReport Report;
+  launch(K, {&Out}, {}, checked({4, 1, 1}, {4, 1, 1}), Report);
+  ASSERT_GT(Report.races(), 0u);
+  EXPECT_EQ(Report.Findings[0].K, RaceFinding::WriteWrite);
+  EXPECT_NE(Report.Findings[0].ItemA, Report.Findings[0].ItemB);
+}
+
+TEST(RaceDetectorTest, PrivatePerItemAccessesDoNotRace) {
+  // Every item touches only its own global element and private variables.
+  auto K = kernelFrom(R"(
+kernel void own(global float *out) {
+  int g = get_global_id(0);
+  float acc = 0.0f;
+  for (int i = 0; i < 4; i++) {
+    acc = acc + out[g];
+    out[g] = acc;
+  }
+}
+)");
+  Buffer Out = Buffer::zeros(8);
+  RaceReport Report;
+  launch(K, {&Out}, {}, checked({8, 1, 1}, {4, 1, 1}), Report);
+  EXPECT_TRUE(Report.clean()) << Report.summary();
+}
+
+TEST(RaceDetectorTest, DivergentBranchBarrierReported) {
+  // Unchecked runs abort on this (OclRuntimeTest.NonUniformBarrierIsFatal);
+  // checked runs record barrier divergence and continue.
+  auto K = kernelFrom(R"(
+kernel void bad(global float *out) {
+  int l = get_local_id(0);
+  if (l < 2) {
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  out[l] = 0.0f;
+}
+)");
+  Buffer Out = Buffer::zeros(4);
+  RaceReport Report;
+  launch(K, {&Out}, {}, checked({4, 1, 1}, {4, 1, 1}), Report);
+  ASSERT_GT(Report.divergences(), 0u);
+  bool Found = false;
+  for (const RaceFinding &F : Report.Findings)
+    Found |= F.K == RaceFinding::BarrierDivergence &&
+             F.Detail.find("non-uniform branch") != std::string::npos;
+  EXPECT_TRUE(Found);
+}
+
+TEST(RaceDetectorTest, FunctionBarrierArrivalMismatch) {
+  // A barrier hidden in a function called from a loop condition executes
+  // per work-item, outside lockstep; only items 0 and 1 reach it. The
+  // arrival tallies disagree at the next interval boundary.
+  auto K = kernelFrom(R"(
+float condbar(int l) {
+  if (l < 2) {
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  return 2.0f;
+}
+kernel void hidden(global float *out) {
+  int l = get_local_id(0);
+  float x = 0.0f;
+  for (int i = 0; i < condbar(l); i++) {
+    x = x + 1.0f;
+  }
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[l] = x;
+}
+)");
+  Buffer Out = Buffer::zeros(4);
+  RaceReport Report;
+  launch(K, {&Out}, {}, checked({4, 1, 1}, {4, 1, 1}), Report);
+  EXPECT_GT(Report.divergences(), 0u) << Report.summary();
+}
+
+TEST(RaceDetectorTest, UnsupportedBarrierPositionNamesKernelAndStmt) {
+  // A barrier reached through a call in an assignment cannot run in
+  // lockstep; the diagnostic names the kernel and the offending statement.
+  auto K = kernelFrom(R"(
+float syncing() {
+  barrier(CLK_LOCAL_MEM_FENCE);
+  return 1.0f;
+}
+kernel void callbar(global float *out) {
+  int l = get_local_id(0);
+  out[l] = syncing();
+}
+)");
+  Buffer Out = Buffer::zeros(4);
+  LaunchConfig Cfg;
+  Cfg.Global = {4, 1, 1};
+  Cfg.Local = {4, 1, 1};
+  EXPECT_DEATH(launch(K, {&Out}, {}, Cfg),
+               "unsupported statement position in kernel 'callbar'");
+}
+
+TEST(RaceDetectorTest, PlainCheckedLaunchAbortsOnRace) {
+  // Without a report out-parameter, a checked launch that finds a defect
+  // aborts with the summary.
+  auto K = kernelFrom(TileKernelNoBarrier);
+  Buffer In = Buffer::ofFloats({1, 2, 3, 4, 5, 6, 7, 8});
+  Buffer Out = Buffer::zeros(8);
+  EXPECT_DEATH(launch(K, {&In, &Out}, {}, checked({8, 1, 1}, {4, 1, 1})),
+               "race check failed");
+}
+
+TEST(RaceDetectorTest, PerturbedScheduleKeepsCleanKernelsCorrect) {
+  auto K = kernelFrom(TileKernel);
+  for (uint64_t Seed : {1ull, 7ull, 42ull}) {
+    Buffer In = Buffer::ofFloats({1, 2, 3, 4, 5, 6, 7, 8});
+    Buffer Out = Buffer::zeros(8);
+    RaceReport Report;
+    launch(K, {&In, &Out}, {},
+           checked({8, 1, 1}, {4, 1, 1}, /*Perturb=*/true, Seed), Report);
+    EXPECT_TRUE(Report.clean()) << Report.summary();
+    auto R = Out.toFloats();
+    EXPECT_FLOAT_EQ(R[0], 4);
+    EXPECT_FLOAT_EQ(R[3], 1);
+    EXPECT_FLOAT_EQ(R[4], 8);
+  }
+}
+
+TEST(RaceDetectorTest, PerturbedScheduleIsReproducible) {
+  auto K = kernelFrom(TileKernelNoBarrier);
+  auto Run = [&](uint64_t Seed) {
+    Buffer In = Buffer::ofFloats({1, 2, 3, 4, 5, 6, 7, 8});
+    Buffer Out = Buffer::zeros(8);
+    RaceReport Report;
+    launch(K, {&In, &Out}, {},
+           checked({8, 1, 1}, {4, 1, 1}, /*Perturb=*/true, Seed), Report);
+    return std::make_pair(Report.Findings.size(), Out.toFloats());
+  };
+  auto A = Run(3), B = Run(3);
+  EXPECT_EQ(A.first, B.first);
+  EXPECT_EQ(A.second, B.second);
+}
+
+//===----------------------------------------------------------------------===//
+// Benchmark suite: barrier elimination is safe; a stripped barrier is not.
+//===----------------------------------------------------------------------===//
+
+class BenchRaceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BenchRaceTest, BenchmarksAreRaceFree) {
+  std::vector<bench::BenchmarkCase> All = bench::allBenchmarks(false);
+  ASSERT_LT(static_cast<size_t>(GetParam()), All.size());
+  bench::BenchmarkCase &Case = All[static_cast<size_t>(GetParam())];
+
+  bench::RunOptions Check;
+  Check.CheckRaces = true;
+
+  // With barrier elimination (and all other optimizations) on.
+  bench::Outcome Full = bench::runLift(Case, bench::OptConfig::Full, Check);
+  EXPECT_TRUE(Full.Valid) << Case.Name;
+  EXPECT_TRUE(Full.Races.clean()) << Case.Name << ": " << Full.Races.summary();
+  EXPECT_GT(Full.Races.IntervalsChecked, 0u);
+
+  // With every optimization (barrier elimination included) off.
+  bench::Outcome None = bench::runLift(Case, bench::OptConfig::None, Check);
+  EXPECT_TRUE(None.Valid) << Case.Name;
+  EXPECT_TRUE(None.Races.clean()) << Case.Name << ": " << None.Races.summary();
+
+  // The hand-written reference is race-free too.
+  bench::Outcome Ref = bench::runReference(Case, Check);
+  EXPECT_TRUE(Ref.Valid) << Case.Name;
+  EXPECT_TRUE(Ref.Races.clean()) << Case.Name << ": " << Ref.Races.summary();
+
+  // A perturbed (but legal) schedule neither breaks validation nor
+  // introduces findings.
+  Check.PerturbSchedule = true;
+  Check.ScheduleSeed = 99;
+  bench::Outcome Perturbed =
+      bench::runLift(Case, bench::OptConfig::Full, Check);
+  EXPECT_TRUE(Perturbed.Valid) << Case.Name;
+  EXPECT_TRUE(Perturbed.Races.clean())
+      << Case.Name << ": " << Perturbed.Races.summary();
+}
+
+std::string benchName(const ::testing::TestParamInfo<int> &I) {
+  static const char *Names[] = {"NBodyNvidia", "NBodyAmd", "MD",
+                                "KMeans",      "NN",       "MriQ",
+                                "Convolution", "Atax",     "Gemv",
+                                "Gesummv",     "MMNvidia", "MMAmd"};
+  return Names[I.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchRaceTest, ::testing::Range(0, 12),
+                         benchName);
+
+TEST(BenchRaceTest, StrippedBarrierMatmulIsFlagged) {
+  // Remove the barrier between the cooperative tile loads and the reads
+  // that consume them in the tiled matmul reference kernel.
+  bench::BenchmarkCase Case = bench::makeMM(false);
+  ASSERT_EQ(Case.ReferenceStages.size(), 1u);
+  std::string &Src = Case.ReferenceStages[0].ReferenceSource;
+  const std::string BarrierStmt = "barrier(CLK_LOCAL_MEM_FENCE);";
+  size_t Pos = Src.find(BarrierStmt);
+  ASSERT_NE(Pos, std::string::npos);
+  while (Pos != std::string::npos) {
+    Src.erase(Pos, BarrierStmt.size());
+    Pos = Src.find(BarrierStmt);
+  }
+
+  bench::RunOptions Check;
+  Check.CheckRaces = true;
+
+  // The fixed statement-lockstep schedule masks the bug: every item's tile
+  // stores complete before any item's loads. The output validates — but
+  // the detector still flags the race.
+  bench::Outcome Fixed = bench::runReference(Case, Check);
+  EXPECT_TRUE(Fixed.Valid) << "fixed schedule should mask the missing "
+                              "barrier; max rel err "
+                           << Fixed.MaxError;
+  EXPECT_GT(Fixed.Races.races(), 0u) << Fixed.Races.summary();
+
+  // Under a perturbed schedule the race also corrupts the output: early
+  // items read tile elements their neighbours have not written yet.
+  Check.PerturbSchedule = true;
+  Check.ScheduleSeed = 5;
+  bench::Outcome Perturbed = bench::runReference(Case, Check);
+  EXPECT_GT(Perturbed.Races.races(), 0u) << Perturbed.Races.summary();
+  EXPECT_FALSE(Perturbed.Valid)
+      << "perturbed schedule unexpectedly produced a correct result";
+
+  // The intact kernel is clean under the same perturbed schedule.
+  bench::BenchmarkCase Intact = bench::makeMM(false);
+  bench::Outcome Ok = bench::runReference(Intact, Check);
+  EXPECT_TRUE(Ok.Valid);
+  EXPECT_TRUE(Ok.Races.clean()) << Ok.Races.summary();
+}
+
+} // namespace

@@ -14,6 +14,10 @@
 //   liftc prog.lift --no-aas|--no-cfs|--no-be  toggle optimizations
 //   liftc prog.lift --run                    execute with random inputs,
 //                                            report cost and a checksum
+//   liftc prog.lift --run --check-races      detect data races and barrier
+//                                            divergence while executing
+//   liftc prog.lift --run --check-races --perturb-schedule [--schedule-seed N]
+//                                            also permute work-item order
 //
 //===----------------------------------------------------------------------===//
 
@@ -37,7 +41,9 @@ void usage() {
       "usage: liftc <file.lift> [--print-il] [--run]\n"
       "             [--global N[,N[,N]]] [--local N[,N[,N]]]\n"
       "             [--size NAME=VALUE]... [--no-aas] [--no-cfs] "
-      "[--no-be]\n");
+      "[--no-be]\n"
+      "             [--check-races] [--perturb-schedule] "
+      "[--schedule-seed N]\n");
 }
 
 bool parseDims(const char *S, std::array<int64_t, 3> &Out) {
@@ -95,6 +101,12 @@ int main(int argc, char **argv) {
       Opts.ControlFlowSimplification = false;
     } else if (A == "--no-be") {
       Opts.BarrierElimination = false;
+    } else if (A == "--check-races") {
+      Opts.CheckRaces = true;
+    } else if (A == "--perturb-schedule") {
+      Opts.PerturbSchedule = true;
+    } else if (A == "--schedule-seed" && I + 1 < argc) {
+      Opts.ScheduleSeed = std::strtoull(argv[++I], nullptr, 10);
     } else if (A == "--global" && I + 1 < argc) {
       if (!parseDims(argv[++I], Opts.GlobalSize)) {
         usage();
@@ -178,8 +190,11 @@ int main(int argc, char **argv) {
   for (ocl::Buffer &B : Buffers)
     Args.push_back(&B);
 
-  ocl::CostReport Cost =
-      ocl::launch(K, Args, Sizes, ocl::LaunchConfig::fromOptions(Opts));
+  ocl::LaunchConfig Cfg = ocl::LaunchConfig::fromOptions(Opts);
+  ocl::RaceReport Races;
+  ocl::CostReport Cost = Opts.CheckRaces
+                             ? ocl::launch(K, Args, Sizes, Cfg, Races)
+                             : ocl::launch(K, Args, Sizes, Cfg);
 
   double Checksum = 0;
   for (float V : Buffers.back().toFlatFloats())
@@ -191,5 +206,14 @@ int main(int argc, char **argv) {
               static_cast<unsigned long long>(Cost.LocalAccesses),
               static_cast<unsigned long long>(Cost.Barriers),
               static_cast<unsigned long long>(Cost.DivModOps), Checksum);
+
+  if (Opts.CheckRaces) {
+    std::printf("// race check: %s\n", Races.summary().c_str());
+    for (const ocl::RaceFinding &F : Races.Findings)
+      std::fprintf(stderr, "liftc: %s: %s\n", ocl::RaceFinding::kindName(F.K),
+                   F.Detail.c_str());
+    if (!Races.clean())
+      return 3;
+  }
   return 0;
 }
