@@ -90,7 +90,9 @@ Outcome runStages(const BenchmarkCase &Case, const std::vector<Stage> &Stages,
   for (const Stage &S : Stages) {
     codegen::CompiledKernel K;
     if (IsLift) {
-      K = codegen::compile(S.Program, optionsFor(Config, S));
+      codegen::CompilerOptions O = optionsFor(Config, S);
+      O.VerifyEach = Run.VerifyEach;
+      K = codegen::compile(S.Program, O);
     } else {
       cparse::ParseContext PC;
       K = ocl::wrapModule(cparse::parseModule(S.ReferenceSource, PC));
@@ -107,14 +109,22 @@ Outcome runStages(const BenchmarkCase &Case, const std::vector<Stage> &Stages,
     Cfg.CheckRaces = Run.CheckRaces;
     Cfg.PerturbSchedule = Run.PerturbSchedule;
     Cfg.ScheduleSeed = Run.ScheduleSeed;
-    if (Run.CheckRaces) {
-      ocl::RaceReport Stage;
-      Out.Cost += ocl::launch(K, Args, S.Sizes, Cfg, Stage);
+    Cfg.CheckMemory = Run.CheckMemory;
+    if (Run.CheckRaces || Run.CheckMemory) {
+      ocl::RaceReport StageRaces;
+      ocl::GuardReport StageGuards;
+      Out.Cost += ocl::launch(K, Args, S.Sizes, Cfg, StageRaces, StageGuards);
       Out.Races.Findings.insert(Out.Races.Findings.end(),
-                                Stage.Findings.begin(), Stage.Findings.end());
-      Out.Races.IntervalsChecked += Stage.IntervalsChecked;
-      Out.Races.AccessesRecorded += Stage.AccessesRecorded;
-      Out.Races.Truncated |= Stage.Truncated;
+                                StageRaces.Findings.begin(),
+                                StageRaces.Findings.end());
+      Out.Races.IntervalsChecked += StageRaces.IntervalsChecked;
+      Out.Races.AccessesRecorded += StageRaces.AccessesRecorded;
+      Out.Races.Truncated |= StageRaces.Truncated;
+      Out.Guards.Findings.insert(Out.Guards.Findings.end(),
+                                 StageGuards.Findings.begin(),
+                                 StageGuards.Findings.end());
+      Out.Guards.AccessesChecked += StageGuards.AccessesChecked;
+      Out.Guards.Truncated |= StageGuards.Truncated;
     } else {
       Out.Cost += ocl::launch(K, Args, S.Sizes, Cfg);
     }

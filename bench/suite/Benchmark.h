@@ -110,6 +110,9 @@ struct Outcome {
   /// Race/divergence findings, accumulated over all stages (empty unless
   /// the run was made with RunOptions::CheckRaces).
   ocl::RaceReport Races;
+  /// Guarded-memory findings, accumulated over all stages (empty unless
+  /// the run was made with RunOptions::CheckMemory).
+  ocl::GuardReport Guards;
 };
 
 /// The three optimization configurations of Figure 8.
@@ -122,6 +125,11 @@ struct RunOptions {
   bool CheckRaces = false;
   bool PerturbSchedule = false;
   uint64_t ScheduleSeed = 1;
+  /// Bounds- and initialization-check every element access (see
+  /// ocl/MemGuard.h).
+  bool CheckMemory = false;
+  /// Run the IR verifier between compilation stages (passes/Verify.h).
+  bool VerifyEach = false;
 };
 
 /// Runs the Lift stages compiled under \p Config and validates.

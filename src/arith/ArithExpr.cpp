@@ -26,6 +26,24 @@
 using namespace lift;
 using namespace lift::arith;
 
+//===----------------------------------------------------------------------===//
+// Wrapping constant folds
+//===----------------------------------------------------------------------===//
+
+/// Constant folding wraps on overflow, matching evaluate() (Eval.cpp) and
+/// the two's-complement arithmetic of the generated OpenCL code. Folding
+/// with plain signed ops would be undefined behaviour for inputs near
+/// INT64_MAX — exactly the values the crash-resilience fuzzer feeds in.
+static int64_t wrapAdd(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                              static_cast<uint64_t>(B));
+}
+
+static int64_t wrapMul(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                              static_cast<uint64_t>(B));
+}
+
 Node::~Node() = default;
 
 static thread_local bool SimplifyEnabled = true;
@@ -194,7 +212,7 @@ static Term decomposeTerm(const Expr &E) {
     std::vector<Expr> Rest;
     for (const Expr &Op : P->getOperands()) {
       if (auto C = asConstant(Op))
-        Coeff *= *C;
+        Coeff = wrapMul(Coeff, *C);
       else
         Rest.push_back(Op);
     }
@@ -333,9 +351,9 @@ Expr arith::sum(std::vector<Expr> Ops) {
   for (const Expr &Op : Flat) {
     Term T = decomposeTerm(Op);
     if (!T.Key)
-      Constant += T.Coefficient;
+      Constant = wrapAdd(Constant, T.Coefficient);
     else
-      Coeffs[T.Key] += T.Coefficient;
+      Coeffs[T.Key] = wrapAdd(Coeffs[T.Key], T.Coefficient);
   }
 
   // Rule (4): c*(x/y)*y + c*(x mod y) = c*x. Find a Mod key and the
@@ -355,7 +373,7 @@ Expr arith::sum(std::vector<Expr> Ops) {
     // c * (x mod y) pairs with c * (x/y) * y; with a constant y the
     // div-key carries the extra constant factor in its coefficient.
     auto It = Coeffs.find(DT.Key);
-    if (It == Coeffs.end() || It->second != Coeff * DT.Coefficient ||
+    if (It == Coeffs.end() || It->second != wrapMul(Coeff, DT.Coefficient) ||
         It->first.get() == Key.get())
       continue;
     // Matched: rebuild the whole operand list with the pair replaced.
@@ -426,11 +444,12 @@ Expr arith::prod(std::vector<Expr> Ops) {
   std::map<Expr, int64_t, ExprLess> Exponents;
   for (const Expr &Op : Flat) {
     if (auto C = asConstant(Op)) {
-      Constant *= *C;
+      Constant = wrapMul(Constant, *C);
       continue;
     }
     if (const auto *PW = dyn_cast<PowNode>(Op.get())) {
-      Exponents[PW->getBase()] += PW->getExponent();
+      Exponents[PW->getBase()] = wrapAdd(Exponents[PW->getBase()],
+                                          PW->getExponent());
       continue;
     }
     Exponents[Op] += 1;
@@ -502,7 +521,7 @@ Expr arith::pow(Expr Base, int64_t Exponent) {
   if (auto C = asConstant(Base)) {
     int64_t R = 1;
     for (int64_t I = 0; I < Exponent; ++I)
-      R *= *C;
+      R = wrapMul(R, *C);
     return cst(R);
   }
   return std::make_shared<PowNode>(std::move(Base), Exponent);

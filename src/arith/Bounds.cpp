@@ -41,7 +41,24 @@ struct Ext {
   bool isFinite() const { return Cls == Finite; }
 };
 
-Ext extAdd(Ext A, Ext B) {
+/// Rounding direction for endpoint arithmetic that leaves the int64 range:
+/// lower bounds round down, upper bounds round up, so the computed interval
+/// always contains the mathematical one (outward rounding).
+enum class Dir { Down, Up };
+
+/// A finite result that overflowed above INT64_MAX: as an upper bound it
+/// widens to +inf, as a lower bound INT64_MAX is still below the true value.
+Ext overAbove(Dir D) {
+  return D == Dir::Up ? Ext::posInf()
+                      : Ext::finite(std::numeric_limits<int64_t>::max());
+}
+/// Symmetrically for a result below INT64_MIN.
+Ext overBelow(Dir D) {
+  return D == Dir::Down ? Ext::negInf()
+                        : Ext::finite(std::numeric_limits<int64_t>::min());
+}
+
+Ext extAdd(Ext A, Ext B, Dir D) {
   if (A.Cls == Ext::NegInf || B.Cls == Ext::NegInf) {
     assert(A.Cls != Ext::PosInf && B.Cls != Ext::PosInf &&
            "adding opposite infinities");
@@ -49,7 +66,11 @@ Ext extAdd(Ext A, Ext B) {
   }
   if (A.Cls == Ext::PosInf || B.Cls == Ext::PosInf)
     return Ext::posInf();
-  return Ext::finite(A.V + B.V);
+  int64_t R;
+  if (!__builtin_add_overflow(A.V, B.V, &R))
+    return Ext::finite(R);
+  // Addition only overflows when both operands share a sign.
+  return A.V > 0 ? overAbove(D) : overBelow(D);
 }
 
 int sign(Ext A) {
@@ -60,13 +81,16 @@ int sign(Ext A) {
   return A.V < 0 ? -1 : (A.V > 0 ? 1 : 0);
 }
 
-Ext extMul(Ext A, Ext B) {
+Ext extMul(Ext A, Ext B, Dir D) {
   int SA = sign(A), SB = sign(B);
   if (SA == 0 || SB == 0)
     return Ext::finite(0);
   if (!A.isFinite() || !B.isFinite())
     return SA * SB > 0 ? Ext::posInf() : Ext::negInf();
-  return Ext::finite(A.V * B.V);
+  int64_t R;
+  if (!__builtin_mul_overflow(A.V, B.V, &R))
+    return Ext::finite(R);
+  return SA * SB > 0 ? overAbove(D) : overBelow(D);
 }
 
 bool extLess(Ext A, Ext B) {
@@ -102,11 +126,17 @@ int64_t truncDivV(int64_t A, int64_t B) { return A / B; }
 Interval intervalOf(const Expr &E, int Depth);
 
 Interval intervalMul(Interval A, Interval B) {
-  Ext C1 = extMul(A.Lo, B.Lo), C2 = extMul(A.Lo, B.Hi);
-  Ext C3 = extMul(A.Hi, B.Lo), C4 = extMul(A.Hi, B.Hi);
+  // Each endpoint is computed with its own rounding direction, so the four
+  // candidate products are evaluated twice.
   Interval R;
-  R.Lo = extMin(extMin(C1, C2), extMin(C3, C4));
-  R.Hi = extMax(extMax(C1, C2), extMax(C3, C4));
+  R.Lo = extMin(extMin(extMul(A.Lo, B.Lo, Dir::Down),
+                       extMul(A.Lo, B.Hi, Dir::Down)),
+                extMin(extMul(A.Hi, B.Lo, Dir::Down),
+                       extMul(A.Hi, B.Hi, Dir::Down)));
+  R.Hi = extMax(extMax(extMul(A.Lo, B.Lo, Dir::Up),
+                       extMul(A.Lo, B.Hi, Dir::Up)),
+                extMax(extMul(A.Hi, B.Lo, Dir::Up),
+                       extMul(A.Hi, B.Hi, Dir::Up)));
   return R;
 }
 
@@ -139,8 +169,8 @@ Interval intervalOf(const Expr &E, int Depth) {
     Interval R = Interval::point(0);
     for (const Expr &Op : cast<SumNode>(E.get())->getOperands()) {
       Interval I = intervalOf(Op, Depth + 1);
-      R.Lo = extAdd(R.Lo, I.Lo);
-      R.Hi = extAdd(R.Hi, I.Hi);
+      R.Lo = extAdd(R.Lo, I.Lo, Dir::Down);
+      R.Hi = extAdd(R.Hi, I.Hi, Dir::Up);
     }
     return R;
   }
@@ -202,15 +232,16 @@ Interval intervalOf(const Expr &E, int Depth) {
     Interval BI = intervalOf(P->getBase(), Depth + 1);
     if (sign(BI.Lo) < 0)
       return Interval::top();
-    auto PowOf = [&](Ext B) -> Ext {
+    auto PowOf = [&](Ext B, Dir D) -> Ext {
       if (!B.isFinite())
         return B;
       int64_t R = 1;
       for (int64_t I = 0; I < P->getExponent(); ++I)
-        R *= B.V;
+        if (__builtin_mul_overflow(R, B.V, &R))
+          return overAbove(D); // base is non-negative here
       return Ext::finite(R);
     };
-    return {PowOf(BI.Lo), PowOf(BI.Hi)};
+    return {PowOf(BI.Lo, Dir::Down), PowOf(BI.Hi, Dir::Up)};
   }
   case ExprKind::Lookup:
     // Lookup tables hold non-negative indices by convention.

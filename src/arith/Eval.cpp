@@ -7,6 +7,7 @@
 #include "arith/Eval.h"
 
 #include "support/Casting.h"
+#include "support/Diagnostics.h"
 #include "support/Error.h"
 
 using namespace lift;
@@ -26,7 +27,8 @@ static int64_t wrapMul(int64_t A, int64_t B) {
 
 static int64_t truncDivV(int64_t A, int64_t B) {
   if (B == 0)
-    fatalError("evaluation: division by zero");
+    throwDiag(lift::DiagCode::RuntimeDivByZero, lift::DiagLocation(),
+              "evaluation: division by zero");
   if (B == -1) // INT64_MIN / -1 overflows; wrap like the negation it is.
     return static_cast<int64_t>(0 - static_cast<uint64_t>(A));
   return A / B;
@@ -34,7 +36,8 @@ static int64_t truncDivV(int64_t A, int64_t B) {
 
 static int64_t truncModV(int64_t A, int64_t B) {
   if (B == 0)
-    fatalError("evaluation: remainder by zero");
+    throwDiag(lift::DiagCode::RuntimeDivByZero, lift::DiagLocation(),
+              "evaluation: remainder by zero");
   if (B == -1)
     return 0;
   return A % B;
@@ -47,7 +50,8 @@ int64_t arith::evaluate(const Expr &E, const EvalContext &Ctx) {
   case ExprKind::Var: {
     const auto &V = *cast<VarNode>(E.get());
     if (!Ctx.VarValue)
-      fatalError("evaluation: unbound variable " + V.getName());
+      throwDiag(DiagCode::HostUnboundSize, DiagLocation(),
+                "evaluation: unbound variable " + V.getName());
     return Ctx.VarValue(V);
   }
   case ExprKind::Sum: {
@@ -83,8 +87,9 @@ int64_t arith::evaluate(const Expr &E, const EvalContext &Ctx) {
   case ExprKind::Lookup: {
     const auto *L = cast<LookupNode>(E.get());
     if (!Ctx.LookupValue)
-      fatalError("evaluation: no lookup handler for table " +
-                 L->getTableName());
+      throwDiag(DiagCode::HostUnboundSize, DiagLocation(),
+                "evaluation: no lookup handler for table " +
+                    L->getTableName());
     return Ctx.LookupValue(L->getTableId(), evaluate(L->getIndex(), Ctx));
   }
   }

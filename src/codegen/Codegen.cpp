@@ -27,7 +27,9 @@
 #include "ir/TypeInference.h"
 #include "passes/AddressSpaceInference.h"
 #include "passes/BarrierElimination.h"
+#include "passes/Verify.h"
 #include "support/Casting.h"
+#include "support/Diagnostics.h"
 #include "support/Error.h"
 
 #include <algorithm>
@@ -181,7 +183,8 @@ private:
   //===--------------------------------------------------------------------===//
 
   [[noreturn]] void notSupported(const std::string &What) {
-    fatalError("code generation: " + What);
+    throwDiag(DiagCode::CodegenUnsupported, DiagLocation(),
+              "code generation: " + What);
   }
 
   void emit(c::CStmtPtr S) { Blocks.back().push_back(std::move(S)); }
@@ -1688,21 +1691,49 @@ private:
 
 } // namespace
 
-CompiledKernel codegen::compile(const LambdaPtr &Program,
-                                const CompilerOptions &Options) {
+CompiledKernel codegen::compileOrThrow(const LambdaPtr &Program,
+                                       const CompilerOptions &Options) {
   // Work on a private clone so annotations never leak between compiles.
   LambdaPtr Clone = cast<Lambda>(cloneFunDecl(
       std::static_pointer_cast<FunDecl>(Program)));
 
   inferProgramTypes(Clone);
+  if (Options.VerifyEach)
+    passes::verifyOrThrow(Clone, "after type inference");
   passes::inferAddressSpaces(Clone);
+  if (Options.VerifyEach)
+    passes::verifyOrThrow(Clone, "after address space inference");
   unsigned Eliminated = 0;
-  if (Options.BarrierElimination)
+  if (Options.BarrierElimination) {
     Eliminated = passes::eliminateBarriers(Clone);
+    if (Options.VerifyEach)
+      passes::verifyOrThrow(Clone, "after barrier elimination");
+  }
 
   Generator G(Clone, Options);
   CompiledKernel K = G.run();
   K.BarriersEliminated = Eliminated;
   K.Source = c::printModule(K.Module);
   return K;
+}
+
+Expected<CompiledKernel> codegen::compileChecked(const LambdaPtr &Program,
+                                                 const CompilerOptions &Options,
+                                                 DiagnosticEngine &Engine) {
+  try {
+    return compileOrThrow(Program, Options);
+  } catch (DiagnosticError &E) {
+    if (!E.Recorded)
+      Engine.report(E.Diag);
+    return {};
+  }
+}
+
+CompiledKernel codegen::compile(const LambdaPtr &Program,
+                                const CompilerOptions &Options) {
+  try {
+    return compileOrThrow(Program, Options);
+  } catch (DiagnosticError &E) {
+    fatalError(E.Diag.render());
+  }
 }

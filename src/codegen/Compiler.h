@@ -18,6 +18,7 @@
 
 #include "cast/CAst.h"
 #include "ir/IR.h"
+#include "support/Diagnostics.h"
 #include "view/View.h"
 
 #include <array>
@@ -54,6 +55,17 @@ struct CompilerOptions {
   /// lockstep schedule hides.
   bool PerturbSchedule = false;
   uint64_t ScheduleSeed = 1;
+
+  /// Run the IR verifier (passes/Verify.h) after every pipeline stage —
+  /// type inference, address space inference, barrier elimination — and
+  /// fail compilation with a structured diagnostic on the first violated
+  /// invariant.
+  bool VerifyEach = false;
+
+  /// Guarded-memory execution in the simulated runtime (see ocl/MemGuard.h):
+  /// bounds-check every buffer load/store against the allocated extent and
+  /// flag reads of never-written elements.
+  bool CheckMemory = false;
 
   std::string KernelName = "KERNEL";
 
@@ -102,9 +114,23 @@ struct CompiledKernel {
   unsigned LoopsSimplified = 0;
 };
 
-/// Compiles a Lift IL program into an OpenCL kernel. The program is cloned
-/// first, so the same program can be compiled repeatedly with different
-/// options.
+/// Compiles a Lift IL program into an OpenCL kernel, recording a
+/// structured diagnostic into \p Engine and returning failure if the
+/// program is ill-typed, fails verification, or uses an unsupported
+/// construct. The program is cloned first, so the same program can be
+/// compiled repeatedly with different options. Never aborts on bad input.
+Expected<CompiledKernel> compileChecked(const ir::LambdaPtr &Program,
+                                        const CompilerOptions &Options,
+                                        DiagnosticEngine &Engine);
+
+/// Like compileChecked but propagates the failure as a DiagnosticError
+/// throw instead of recording it. Building block for the two wrappers.
+CompiledKernel compileOrThrow(const ir::LambdaPtr &Program,
+                              const CompilerOptions &Options);
+
+/// Convenience wrapper over compileChecked that aborts with the rendered
+/// diagnostic on bad input (for hosts and tests that treat programs as
+/// trusted).
 CompiledKernel compile(const ir::LambdaPtr &Program,
                        const CompilerOptions &Options);
 

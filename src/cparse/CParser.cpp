@@ -7,6 +7,7 @@
 #include "cparse/CParser.h"
 
 #include "support/Casting.h"
+#include "support/Diagnostics.h"
 #include "support/Error.h"
 
 #include <cctype>
@@ -241,8 +242,9 @@ private:
   void advance() { Tok = Lex.next(); }
 
   [[noreturn]] void error(const std::string &Msg) {
-    fatalError("user function parse error: " + Msg + " (at '" + Tok.Text +
-               "')");
+    throwDiag(DiagCode::CodegenUserFunSyntax, DiagLocation(),
+              "user function parse error: " + Msg + " (at '" + Tok.Text +
+                  "')");
   }
 
   bool isPunct(const char *P) const {

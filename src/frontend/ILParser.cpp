@@ -7,6 +7,7 @@
 #include "frontend/ILParser.h"
 
 #include "ir/DSL.h"
+#include "support/Diagnostics.h"
 #include "support/Error.h"
 
 #include <cctype>
@@ -100,8 +101,9 @@ public:
         ++Pos;
       }
       if (Pos >= Src.size())
-        fatalError("IL parse error: unterminated string at line " +
-                   std::to_string(T.Line));
+        throwDiag(DiagCode::ParseUnterminatedString,
+                  DiagLocation::atLine(T.Line),
+                  "IL parse error: unterminated string");
       T.Text = Src.substr(S, Pos - S);
       ++Pos;
       return T;
@@ -167,8 +169,9 @@ public:
       T.Kind = Tok::Percent;
       break;
     default:
-      fatalError("IL parse error: unexpected character '" +
-                 std::string(1, C) + "' at line " + std::to_string(Line));
+      throwDiag(DiagCode::ParseUnexpectedChar, DiagLocation::atLine(Line),
+                "IL parse error: unexpected character '" +
+                    std::string(1, C) + "'");
     }
     T.Text = std::string(1, C);
     return T;
@@ -205,18 +208,54 @@ private:
 class ILParserImpl {
   Lexer Lex;
   Token Tok_;
+  DiagnosticEngine &Engine;
   std::map<std::string, FunDeclPtr> UserFuns;
   std::map<std::string, std::shared_ptr<const arith::VarNode>> SizeVars;
   std::vector<std::vector<ParamPtr>> Scopes;
+  unsigned Depth = 0;
+
+  /// Recursion limit for nested expressions/types/functions: deeply nested
+  /// (adversarial) inputs must produce a diagnostic, not a stack overflow.
+  static constexpr unsigned MaxDepth = 200;
+  /// Iterate counts are applied eagerly by type inference; cap them so a
+  /// hostile constant cannot stall the compiler.
+  static constexpr int64_t MaxIterateCount = 1 << 20;
+
+  /// RAII nesting-depth guard. The increment happens only when the guard
+  /// constructs successfully, so the count stays balanced across the
+  /// exception-based `def` recovery.
+  struct DepthGuard {
+    ILParserImpl &P;
+    explicit DepthGuard(ILParserImpl &P) : P(P) {
+      if (P.Depth >= MaxDepth)
+        P.error(DiagCode::ParseTooDeep, "nesting too deep (limit " +
+                                            std::to_string(MaxDepth) + ")");
+      ++P.Depth;
+    }
+    ~DepthGuard() { --P.Depth; }
+  };
 
 public:
-  explicit ILParserImpl(const std::string &Src) : Lex(Src) { advance(); }
+  ILParserImpl(const std::string &Src, DiagnosticEngine &Engine)
+      : Lex(Src), Engine(Engine) {
+    advance();
+  }
 
   ParsedProgram parse() {
-    while (isIdent("def"))
-      parseUserFun();
+    // Errors inside a `def` recover to the next top-level declaration, so
+    // several broken definitions are reported in one pass.
+    while (isIdent("def") && !Engine.errorLimitReached()) {
+      try {
+        parseUserFun();
+      } catch (DiagnosticError &E) {
+        if (!E.Recorded)
+          Engine.report(E.Diag);
+        synchronizeTopLevel();
+      }
+    }
     if (!isIdent("fun"))
-      error("expected 'fun' program header");
+      error(DiagCode::ParseExpectedProgramHeader,
+            "expected 'fun' program header");
     advance();
     expect(Tok::LParen);
     std::vector<ParamPtr> Params;
@@ -239,7 +278,7 @@ public:
     ExprPtr Body = parseExpr();
     Scopes.pop_back();
     if (Tok_.Kind != Tok::Eof)
-      error("trailing input after program body");
+      error(DiagCode::ParseTrailingInput, "trailing input after program body");
     ParsedProgram R;
     R.Program = dsl::lambda(std::move(Params), std::move(Body));
     R.SizeVars = SizeVars;
@@ -249,9 +288,27 @@ public:
 private:
   void advance() { Tok_ = Lex.next(); }
 
-  [[noreturn]] void error(const std::string &Msg) {
-    fatalError("IL parse error: " + Msg + " at line " +
-               std::to_string(Tok_.Line) + " (near '" + Tok_.Text + "')");
+  /// Skips tokens (swallowing further lexer errors) until the next
+  /// top-level `def`/`fun` keyword or end of input.
+  void synchronizeTopLevel() {
+    while (true) {
+      try {
+        if (Tok_.Kind == Tok::Eof || isIdent("def") || isIdent("fun"))
+          return;
+        advance();
+      } catch (DiagnosticError &) {
+        // The lexer always makes progress; drop cascading errors.
+        Tok_ = Token();
+        Tok_.Kind = Tok::Comma; // any non-sync token; next loop advances
+      }
+    }
+  }
+
+  [[noreturn]] void error(DiagCode Code, const std::string &Msg) {
+    std::string Near =
+        Tok_.Kind == Tok::Eof ? "end of input" : "'" + Tok_.Text + "'";
+    Engine.fatal(Code, DiagLocation::atLine(Tok_.Line),
+                 "IL parse error: " + Msg + " (near " + Near + ")");
   }
 
   bool isIdent(const char *S) const {
@@ -260,13 +317,13 @@ private:
 
   void expect(Tok K) {
     if (Tok_.Kind != K)
-      error("unexpected token");
+      error(DiagCode::ParseUnexpectedToken, "unexpected token");
     advance();
   }
 
   std::string expectIdent() {
     if (Tok_.Kind != Tok::Ident)
-      error("expected identifier");
+      error(DiagCode::ParseExpectedIdentifier, "expected identifier");
     std::string S = Tok_.Text;
     advance();
     return S;
@@ -277,6 +334,7 @@ private:
   //===--------------------------------------------------------------------===//
 
   arith::Expr parseSizeAtom() {
+    DepthGuard Guard(*this);
     if (Tok_.Kind == Tok::Number) {
       int64_t V = std::strtoll(Tok_.Text.c_str(), nullptr, 10);
       advance();
@@ -296,7 +354,7 @@ private:
       expect(Tok::RParen);
       return E;
     }
-    error("expected size expression");
+    error(DiagCode::ParseExpectedSize, "expected size expression");
   }
 
   arith::Expr parseSizeFactor() {
@@ -328,6 +386,7 @@ private:
   }
 
   TypePtr parseType() {
+    DepthGuard Guard(*this);
     if (Tok_.Kind == Tok::LBracket) {
       advance();
       TypePtr Elem = parseType();
@@ -368,7 +427,7 @@ private:
     for (const auto &V : Vectors)
       if (Name == V.Name)
         return vectorOf(V.K, V.W);
-    error("unknown type '" + Name + "'");
+    error(DiagCode::ParseUnknownType, "unknown type '" + Name + "'");
   }
 
   //===--------------------------------------------------------------------===//
@@ -398,7 +457,8 @@ private:
     TypePtr Ret = parseType();
     expect(Tok::Equals);
     if (Tok_.Kind != Tok::String)
-      error("expected the C body of the user function as a string");
+      error(DiagCode::ParseExpectedString,
+            "expected the C body of the user function as a string");
     std::string Body = Tok_.Text;
     advance();
     UserFuns[Name] = dsl::userFun(Name, std::move(ParamNames),
@@ -418,6 +478,7 @@ private:
   }
 
   ExprPtr parseExpr() {
+    DepthGuard Guard(*this);
     // Literal?
     if (Tok_.Kind == Tok::Number || Tok_.Kind == Tok::Minus) {
       std::string Text;
@@ -425,7 +486,8 @@ private:
         Text = "-";
         advance();
         if (Tok_.Kind != Tok::Number)
-          error("expected a number after '-'");
+          error(DiagCode::ParseExpectedNumber,
+                "expected a number after '-'");
       }
       Text += Tok_.Text;
       advance();
@@ -480,7 +542,7 @@ private:
       expect(Tok::RParen);
       return E;
     }
-    error("expected expression");
+    error(DiagCode::ParseExpectedExpression, "expected expression");
   }
 
   /// Map name with optional trailing dimension digit: mapGlb0..2 etc.
@@ -500,6 +562,7 @@ private:
   }
 
   FunDeclPtr parseFun() {
+    DepthGuard Guard(*this);
     if (Tok_.Kind == Tok::Lambda) {
       advance();
       expect(Tok::LParen);
@@ -546,8 +609,13 @@ private:
     if (Name == "iterate") {
       expect(Tok::LParen);
       if (Tok_.Kind != Tok::Number)
-        error("iterate expects a constant count");
+        error(DiagCode::ParseExpectedNumber,
+              "iterate expects a constant count");
       int64_t N = std::strtoll(Tok_.Text.c_str(), nullptr, 10);
+      if (N < 0 || N > MaxIterateCount)
+        error(DiagCode::ParseBadCount,
+              "iterate count " + Tok_.Text + " out of range [0, " +
+                  std::to_string(MaxIterateCount) + "]");
       advance();
       expect(Tok::Comma);
       FunDeclPtr F = parseFun();
@@ -579,17 +647,20 @@ private:
     if (Name == "asVector") {
       expect(Tok::LParen);
       if (Tok_.Kind != Tok::Number)
-        error("asVector expects a constant width");
-      unsigned W = static_cast<unsigned>(
-          std::strtoll(Tok_.Text.c_str(), nullptr, 10));
+        error(DiagCode::ParseExpectedNumber,
+              "asVector expects a constant width");
+      int64_t W = std::strtoll(Tok_.Text.c_str(), nullptr, 10);
+      if (W < 1 || W > 16)
+        error(DiagCode::ParseBadCount, "asVector width " + Tok_.Text +
+                                           " out of range [1, 16]");
       advance();
       expect(Tok::RParen);
-      return dsl::asVector(W);
+      return dsl::asVector(static_cast<unsigned>(W));
     }
     if (Name == "get") {
       expect(Tok::LParen);
       if (Tok_.Kind != Tok::Number)
-        error("get expects a constant index");
+        error(DiagCode::ParseExpectedNumber, "get expects a constant index");
       unsigned I = static_cast<unsigned>(
           std::strtoll(Tok_.Text.c_str(), nullptr, 10));
       advance();
@@ -615,7 +686,8 @@ private:
     auto It = UserFuns.find(Name);
     if (It != UserFuns.end())
       return It->second;
-    error("unknown function '" + Name + "'");
+    error(DiagCode::ParseUnknownFunction,
+          "unknown function '" + Name + "'");
   }
 
   /// A nested function argument in parentheses: mapSeq(f).
@@ -644,12 +716,33 @@ private:
       expect(Tok::RParen);
       return dsl::strideIndex(S);
     }
-    error("unknown index function '" + Name + "'");
+    error(DiagCode::ParseUnknownIndexFunction,
+          "unknown index function '" + Name + "'");
   }
 };
 
 } // namespace
 
+Expected<ParsedProgram> frontend::parseILChecked(const std::string &Source,
+                                                 DiagnosticEngine &Engine) {
+  unsigned ErrorsBefore = Engine.errorCount();
+  try {
+    ILParserImpl Impl(Source, Engine);
+    ParsedProgram R = Impl.parse();
+    if (Engine.errorCount() != ErrorsBefore)
+      return {};
+    return R;
+  } catch (DiagnosticError &E) {
+    if (!E.Recorded)
+      Engine.report(E.Diag);
+    return {};
+  }
+}
+
 ParsedProgram frontend::parseIL(const std::string &Source) {
-  return ILParserImpl(Source).parse();
+  DiagnosticEngine Engine;
+  Expected<ParsedProgram> R = parseILChecked(Source, Engine);
+  if (!R)
+    fatalError(Engine.render());
+  return *R;
 }

@@ -34,6 +34,7 @@
 #define LIFT_FRONTEND_ILPARSER_H
 
 #include "ir/IR.h"
+#include "support/Diagnostics.h"
 
 #include <map>
 #include <string>
@@ -48,8 +49,17 @@ struct ParsedProgram {
   std::map<std::string, std::shared_ptr<const arith::VarNode>> SizeVars;
 };
 
-/// Parses a Lift IL source text. Aborts with a diagnostic (including the
-/// line number) on malformed input.
+/// Parses a Lift IL source text, recording structured diagnostics (error
+/// code + line) into \p Engine. Never aborts on malformed input: errors in
+/// `def` declarations recover to the next top-level declaration so several
+/// errors are reported in one pass; returns failure if any error was
+/// recorded. This is the boundary production services should use.
+Expected<ParsedProgram> parseILChecked(const std::string &Source,
+                                       DiagnosticEngine &Engine);
+
+/// Convenience wrapper over parseILChecked that aborts with the rendered
+/// diagnostics on malformed input (for hosts and tests that treat inputs
+/// as trusted).
 ParsedProgram parseIL(const std::string &Source);
 
 } // namespace frontend

@@ -9,6 +9,7 @@
 #include "arith/Bounds.h"
 #include "arith/Printer.h"
 #include "support/Casting.h"
+#include "support/Diagnostics.h"
 #include "support/Error.h"
 
 using namespace lift;
@@ -16,23 +17,34 @@ using namespace lift::ir;
 
 namespace {
 
-[[noreturn]] void typeError(const std::string &Msg) {
-  fatalError("type error: " + Msg);
+/// Type errors are input-triggered: they unwind as recoverable structured
+/// diagnostics to the nearest checked API boundary (see
+/// support/Diagnostics.h) instead of aborting the process.
+[[noreturn]] void typeError(DiagCode Code, const std::string &Msg,
+                            const std::string &Context = "") {
+  throwDiag(Code,
+            Context.empty() ? DiagLocation()
+                            : DiagLocation::inContext(Context),
+            "type error: " + Msg);
 }
 
 const ArrayType *expectArray(const TypePtr &T, const char *Context) {
   const auto *A = dyn_cast_or_null<ArrayType>(T.get());
   if (!A)
-    typeError(std::string(Context) + " expects an array, got " +
-              typeToString(T));
+    typeError(DiagCode::TypeExpectsArray,
+              std::string(Context) + " expects an array, got " +
+                  typeToString(T),
+              Context);
   return A;
 }
 
 void expectArity(const FunDeclPtr &F, size_t Got) {
   if (F->arity() != Got)
-    typeError(std::string(funKindName(F->getKind())) + " expects " +
-              std::to_string(F->arity()) + " argument(s), got " +
-              std::to_string(Got));
+    typeError(DiagCode::TypeArityMismatch,
+              std::string(funKindName(F->getKind())) + " expects " +
+                  std::to_string(F->arity()) + " argument(s), got " +
+                  std::to_string(Got),
+              funKindName(F->getKind()));
 }
 
 } // namespace
@@ -41,12 +53,13 @@ TypePtr ir::checkExpr(const ExprPtr &E) {
   switch (E->getClass()) {
   case ExprClass::Literal:
     if (!E->Ty)
-      typeError("literal without a declared type");
+      typeError(DiagCode::TypeUntyped, "literal without a declared type");
     return E->Ty;
   case ExprClass::Param:
     if (!E->Ty)
-      typeError("parameter '" + cast<Param>(E.get())->getName() +
-                "' used before its type is known");
+      typeError(DiagCode::TypeUntyped,
+                "parameter '" + cast<Param>(E.get())->getName() +
+                    "' used before its type is known");
     return E->Ty;
   case ExprClass::FunCall: {
     const auto *C = cast<FunCall>(E.get());
@@ -75,7 +88,8 @@ TypePtr ir::applyType(const FunDeclPtr &F, const std::vector<TypePtr> &Args) {
     const auto &Expected = U->getParamTypes();
     for (size_t I = 0, E = Args.size(); I != E; ++I)
       if (!typeEquals(Args[I], Expected[I]))
-        typeError("user function '" + U->getName() + "' parameter " +
+        typeError(DiagCode::TypeMismatch,
+                  "user function '" + U->getName() + "' parameter " +
                   std::to_string(I) + " expects " +
                   typeToString(Expected[I]) + ", got " +
                   typeToString(Args[I]));
@@ -97,13 +111,17 @@ TypePtr ir::applyType(const FunDeclPtr &F, const std::vector<TypePtr> &Args) {
     const auto *M = cast<MapVec>(F.get());
     const auto *V = dyn_cast<VectorType>(Args[0].get());
     if (!V)
-      typeError("mapVec expects a vector, got " + typeToString(Args[0]));
+      typeError(DiagCode::TypeExpectsVector,
+                "mapVec expects a vector, got " + typeToString(Args[0]),
+                "mapVec");
     TypePtr Scalar = std::make_shared<ScalarType>(V->getScalarKind());
     TypePtr ElemResult = applyType(M->getF(), {Scalar});
     const auto *RS = dyn_cast<ScalarType>(ElemResult.get());
     if (!RS)
-      typeError("mapVec function must return a scalar, got " +
-                typeToString(ElemResult));
+      typeError(DiagCode::TypeExpectsScalar,
+                "mapVec function must return a scalar, got " +
+                    typeToString(ElemResult),
+                "mapVec");
     return vectorOf(RS->getScalarKind(), V->getWidth());
   }
 
@@ -112,8 +130,10 @@ TypePtr ir::applyType(const FunDeclPtr &F, const std::vector<TypePtr> &Args) {
     const auto *A = expectArray(Args[1], "reduceSeq");
     TypePtr Acc = applyType(R->getF(), {Args[0], A->getElementType()});
     if (!typeEquals(Acc, Args[0]))
-      typeError("reduction operator must return the accumulator type " +
-                typeToString(Args[0]) + ", got " + typeToString(Acc));
+      typeError(DiagCode::TypeMismatch,
+                "reduction operator must return the accumulator type " +
+                    typeToString(Args[0]) + ", got " + typeToString(Acc),
+                "reduceSeq");
     // A reduction produces an array of exactly one element (section 3.2).
     return arrayOf(Args[0], arith::cst(1));
   }
@@ -157,9 +177,11 @@ TypePtr ir::applyType(const FunDeclPtr &F, const std::vector<TypePtr> &Args) {
     for (const TypePtr &Arg : Args) {
       const auto *A = expectArray(Arg, "zip");
       if (!arith::provablyEqual(A->getSize(), First->getSize()))
-        typeError("zip requires equal array lengths: " +
-                  arith::toString(First->getSize()) + " vs " +
-                  arith::toString(A->getSize()));
+        typeError(DiagCode::TypeUnequalLengths,
+                  "zip requires equal array lengths: " +
+                      arith::toString(First->getSize()) + " vs " +
+                      arith::toString(A->getSize()),
+                  "zip");
       Elements.push_back(A->getElementType());
     }
     return arrayOf(tupleOf(std::move(Elements)), First->getSize());
@@ -169,8 +191,10 @@ TypePtr ir::applyType(const FunDeclPtr &F, const std::vector<TypePtr> &Args) {
     const auto *A = expectArray(Args[0], "unzip");
     const auto *T = dyn_cast<TupleType>(A->getElementType().get());
     if (!T)
-      typeError("unzip expects an array of tuples, got " +
-                typeToString(Args[0]));
+      typeError(DiagCode::TypeExpectsTuple,
+                "unzip expects an array of tuples, got " +
+                    typeToString(Args[0]),
+                "unzip");
     std::vector<TypePtr> Arrays;
     for (const TypePtr &E : T->getElements())
       Arrays.push_back(arrayOf(E, A->getSize()));
@@ -181,10 +205,13 @@ TypePtr ir::applyType(const FunDeclPtr &F, const std::vector<TypePtr> &Args) {
     const auto *G = cast<Get>(F.get());
     const auto *T = dyn_cast<TupleType>(Args[0].get());
     if (!T)
-      typeError("get expects a tuple, got " + typeToString(Args[0]));
+      typeError(DiagCode::TypeExpectsTuple,
+                "get expects a tuple, got " + typeToString(Args[0]), "get");
     if (G->getIndex() >= T->getElements().size())
-      typeError("get index " + std::to_string(G->getIndex()) +
-                " out of range for " + typeToString(Args[0]));
+      typeError(DiagCode::TypeIndexOutOfRange,
+                "get index " + std::to_string(G->getIndex()) +
+                    " out of range for " + typeToString(Args[0]),
+                "get");
     return T->getElements()[G->getIndex()];
   }
 
@@ -209,8 +236,10 @@ TypePtr ir::applyType(const FunDeclPtr &F, const std::vector<TypePtr> &Args) {
     const auto *Idx = expectArray(Args[0], "gatherIndices (indices)");
     expectArray(Args[1], "gatherIndices (data)");
     if (!typeEquals(Idx->getElementType(), int32()))
-      typeError("gatherIndices expects int indices, got " +
-                typeToString(Args[0]));
+      typeError(DiagCode::TypeMismatch,
+                "gatherIndices expects int indices, got " +
+                    typeToString(Args[0]),
+                "gatherIndices");
     const auto *Data = cast<ArrayType>(Args[1].get());
     return arrayOf(Data->getElementType(), Idx->getSize());
   }
@@ -220,8 +249,10 @@ TypePtr ir::applyType(const FunDeclPtr &F, const std::vector<TypePtr> &Args) {
     const auto *A = expectArray(Args[0], "asVector");
     const auto *S = dyn_cast<ScalarType>(A->getElementType().get());
     if (!S)
-      typeError("asVector expects an array of scalars, got " +
-                typeToString(Args[0]));
+      typeError(DiagCode::TypeExpectsScalar,
+                "asVector expects an array of scalars, got " +
+                    typeToString(Args[0]),
+                "asVector");
     return arrayOf(vectorOf(S->getScalarKind(), V->getWidth()),
                    arith::intDiv(A->getSize(), arith::cst(V->getWidth())));
   }
@@ -230,8 +261,10 @@ TypePtr ir::applyType(const FunDeclPtr &F, const std::vector<TypePtr> &Args) {
     const auto *A = expectArray(Args[0], "asScalar");
     const auto *V = dyn_cast<VectorType>(A->getElementType().get());
     if (!V)
-      typeError("asScalar expects an array of vectors, got " +
-                typeToString(Args[0]));
+      typeError(DiagCode::TypeExpectsVector,
+                "asScalar expects an array of vectors, got " +
+                    typeToString(Args[0]),
+                "asScalar");
     return arrayOf(std::make_shared<ScalarType>(V->getScalarKind()),
                    arith::mul(A->getSize(), arith::cst(V->getWidth())));
   }
@@ -250,8 +283,9 @@ TypePtr ir::inferProgramTypes(const LambdaPtr &Program) {
   std::vector<TypePtr> ParamTypes;
   for (const ParamPtr &P : Program->getParams()) {
     if (!P->Ty)
-      typeError("program parameter '" + P->getName() +
-                "' has no declared type");
+      typeError(DiagCode::TypeUntyped,
+                "program parameter '" + P->getName() +
+                    "' has no declared type");
     ParamTypes.push_back(P->Ty);
   }
   return applyType(Program, ParamTypes);

@@ -17,11 +17,14 @@
 
 #include "arith/Eval.h"
 #include "cast/CPrinter.h"
+#include "ocl/MemGuard.h"
 #include "ocl/RaceDetector.h"
 #include "support/Casting.h"
+#include "support/Diagnostics.h"
 #include "support/Error.h"
 
 #include <cmath>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -36,7 +39,8 @@ double Value::asFloat() const {
   case Flt:
     return F;
   default:
-    fatalError("runtime: expected a numeric value");
+    throwDiag(DiagCode::RuntimeBadValue, DiagLocation(),
+              "runtime: expected a numeric value");
   }
 }
 
@@ -47,7 +51,8 @@ int64_t Value::asInt() const {
   case Flt:
     return static_cast<int64_t>(F);
   default:
-    fatalError("runtime: expected an integer value");
+    throwDiag(DiagCode::RuntimeBadValue, DiagLocation(),
+              "runtime: expected an integer value");
   }
 }
 
@@ -72,7 +77,9 @@ Buffer Buffer::ofInts(const std::vector<int> &Data) {
 Buffer Buffer::ofVectors(const std::vector<float> &Flat, unsigned Width) {
   Buffer B;
   if (Width == 0 || Flat.size() % Width != 0)
-    fatalError("ofVectors: flat size is not a multiple of the width");
+    throwDiag(DiagCode::HostBadBuffer, DiagLocation::inContext("ofVectors"),
+              "ofVectors: flat size " + std::to_string(Flat.size()) +
+                  " is not a multiple of the width " + std::to_string(Width));
   B.Mem->reserve(Flat.size() / Width);
   for (size_t I = 0; I != Flat.size(); I += Width) {
     std::vector<double> Comps(Flat.begin() + static_cast<long>(I),
@@ -114,6 +121,7 @@ std::vector<float> Buffer::toFlatFloats() const {
 Buffer Buffer::zeros(size_t Count) {
   Buffer B;
   B.Mem->assign(Count, Value::makeFloat(0));
+  B.Init = std::make_shared<std::vector<uint8_t>>(Count, uint8_t(0));
   return B;
 }
 
@@ -203,15 +211,19 @@ class Machine {
   std::vector<WorkItem> Group;
   std::unordered_map<const CVar *, Value> WgLocals;
 
-  /// Non-null while a checked launch runs.
+  /// Non-null while a race-checked launch runs.
   RaceDetector *RD = nullptr;
+  /// Non-null while a memory-checked launch runs.
+  MemGuard *MG = nullptr;
+  /// Sink for out-of-bounds stores under guarded-memory execution.
+  Value ScratchSlot;
   /// Seeded xorshift state driving the perturbed schedule.
   uint64_t RngState = 0;
 
 public:
   Machine(const codegen::CompiledKernel &K, const LaunchConfig &Cfg,
-          RaceDetector *RD = nullptr)
-      : K(K), Cfg(Cfg), RD(RD) {
+          RaceDetector *RD = nullptr, MemGuard *MG = nullptr)
+      : K(K), Cfg(Cfg), RD(RD), MG(MG) {
     for (const auto &[Id, Var] : K.StorageVars)
       StorageVarById[Id] = Var;
     RngState = Cfg.ScheduleSeed * 6364136223846793005ULL + 1442695040888963407ULL;
@@ -233,7 +245,8 @@ public:
         continue;
       auto It = Sizes.find(P.Var->Name);
       if (It == Sizes.end())
-        fatalError("launch: missing size argument '" + P.Var->Name + "'");
+        throwDiag(DiagCode::RuntimeBadLaunch, DiagLocation(),
+                  "launch: missing size argument '" + P.Var->Name + "'");
       SizeEnv[P.ArithId] = It->second;
       Bindings.emplace_back(P.Var.get(), Value::makeInt(It->second));
     }
@@ -242,7 +255,8 @@ public:
     SizeCtx.VarValue = [&](const arith::VarNode &V) -> int64_t {
       auto It = SizeEnv.find(V.getId());
       if (It == SizeEnv.end())
-        fatalError("launch: unbound size variable " + V.getName());
+        throwDiag(DiagCode::RuntimeBadLaunch, DiagLocation(),
+                  "launch: unbound size variable " + V.getName());
       return It->second;
     };
 
@@ -254,14 +268,18 @@ public:
         // Scalar by-value parameter: bound via Sizes as a float/int.
         auto It = Sizes.find(P.Var->Name);
         if (It == Sizes.end())
-          fatalError("launch: missing scalar argument '" + P.Var->Name + "'");
+          throwDiag(DiagCode::RuntimeBadLaunch, DiagLocation(),
+                    "launch: missing scalar argument '" + P.Var->Name +
+                        "'");
         Bindings.emplace_back(P.Var.get(), Value::makeInt(It->second));
         continue;
       }
       if (NextBuffer < Buffers.size()) {
-        Bindings.emplace_back(
-            P.Var.get(),
-            Value::makePtr(Buffers[NextBuffer]->Mem, MemSpace::Global));
+        Buffer *B = Buffers[NextBuffer];
+        Bindings.emplace_back(P.Var.get(),
+                              Value::makePtr(B->Mem, MemSpace::Global));
+        if (MG)
+          MG->registerBlock(B->Mem.get(), P.Var->Name, B->Init);
         ++NextBuffer;
         continue;
       }
@@ -270,9 +288,13 @@ public:
       Temps.push_back(Buffer::zeros(static_cast<size_t>(Count)));
       Bindings.emplace_back(
           P.Var.get(), Value::makePtr(Temps.back().Mem, MemSpace::Global));
+      if (MG)
+        MG->registerBlock(Temps.back().Mem.get(), P.Var->Name,
+                          Temps.back().Init);
     }
     if (NextBuffer != Buffers.size())
-      fatalError("launch: too many buffers supplied");
+      throwDiag(DiagCode::RuntimeBadLaunch, DiagLocation(),
+                "launch: too many buffers supplied");
 
     if (RD)
       for (const auto &[Var, Val] : Bindings)
@@ -318,8 +340,13 @@ public:
   }
 
 private:
-  [[noreturn]] void runtimeError(const std::string &Msg) {
-    fatalError("runtime: " + Msg);
+  [[noreturn]] void
+  runtimeError(const std::string &Msg,
+               DiagCode Code = DiagCode::RuntimeUnsupported) {
+    throwDiag(Code, DiagLocation::inContext(K.Module.Kernel
+                                                ? K.Module.Kernel->Name
+                                                : std::string("kernel")),
+              "runtime: " + Msg);
   }
 
   void setVar(WorkItem &W, const CVar *V, Value Val) {
@@ -648,6 +675,10 @@ private:
                 static_cast<size_t>(Count), Value::makeFloat(0));
             if (RD)
               RD->registerBlock(Mem.get(), V->Name);
+            if (MG)
+              MG->registerBlock(Mem.get(), V->Name,
+                                std::make_shared<std::vector<uint8_t>>(
+                                    static_cast<size_t>(Count), uint8_t(0)));
             It = WgLocals
                      .emplace(V, Value::makePtr(std::move(Mem),
                                                 MemSpace::Local))
@@ -657,6 +688,10 @@ private:
         } else {
           auto Mem = std::make_shared<std::vector<Value>>(
               static_cast<size_t>(Count), Value::makeFloat(0));
+          if (MG)
+            MG->registerBlock(Mem.get(), V->Name,
+                              std::make_shared<std::vector<uint8_t>>(
+                                  static_cast<size_t>(Count), uint8_t(0)));
           setVar(W, V, Value::makePtr(std::move(Mem), MemSpace::Private));
         }
         return {};
@@ -745,9 +780,15 @@ private:
         runtimeError("array access on a non-pointer");
       int64_t Idx = evalExpr(A->getIndex(), W).asInt();
       noteAccess(Base, Idx, W, /*IsWrite=*/true);
-      if (Idx < 0 || static_cast<size_t>(Idx) >= Base.P->size())
+      if (MG) {
+        if (MG->check(Base.P.get(), Idx, Base.P->size(), W.Linear, W.GroupId,
+                      /*IsWrite=*/true) == MemGuard::Access::OutOfBounds)
+          return &ScratchSlot; // record and drop the store, keep running
+      } else if (Idx < 0 || static_cast<size_t>(Idx) >= Base.P->size()) {
         runtimeError("store out of bounds: index " + std::to_string(Idx) +
-                     " of " + std::to_string(Base.P->size()));
+                         " of " + std::to_string(Base.P->size()),
+                     DiagCode::RuntimeOutOfBounds);
+      }
       return &(*Base.P)[static_cast<size_t>(Idx)];
     }
     case CExprKind::Member: {
@@ -835,8 +876,14 @@ private:
         runtimeError("lookup table is not bound to memory");
       noteAccess(VIt->second, Index, W, /*IsWrite=*/false);
       const auto &Mem = *VIt->second.P;
-      if (Index < 0 || static_cast<size_t>(Index) >= Mem.size())
-        runtimeError("lookup out of bounds");
+      if (MG) {
+        if (MG->check(VIt->second.P.get(), Index, Mem.size(), W.Linear,
+                      W.GroupId, /*IsWrite=*/false) ==
+            MemGuard::Access::OutOfBounds)
+          return 0; // record and read zero, keep running
+      } else if (Index < 0 || static_cast<size_t>(Index) >= Mem.size()) {
+        runtimeError("lookup out of bounds", DiagCode::RuntimeOutOfBounds);
+      }
       return Mem[static_cast<size_t>(Index)].asInt();
     };
     return arith::evaluate(E, Ctx);
@@ -869,9 +916,15 @@ private:
         runtimeError("array access on a non-pointer");
       int64_t Idx = evalExpr(A->getIndex(), W).asInt();
       noteAccess(Base, Idx, W, /*IsWrite=*/false);
-      if (Idx < 0 || static_cast<size_t>(Idx) >= Base.P->size())
+      if (MG) {
+        if (MG->check(Base.P.get(), Idx, Base.P->size(), W.Linear, W.GroupId,
+                      /*IsWrite=*/false) == MemGuard::Access::OutOfBounds)
+          return Value::makeFloat(0); // record and read zero, keep running
+      } else if (Idx < 0 || static_cast<size_t>(Idx) >= Base.P->size()) {
         runtimeError("load out of bounds: index " + std::to_string(Idx) +
-                     " of " + std::to_string(Base.P->size()));
+                         " of " + std::to_string(Base.P->size()),
+                     DiagCode::RuntimeOutOfBounds);
+      }
       return (*Base.P)[static_cast<size_t>(Idx)];
     }
     case CExprKind::Member: {
@@ -961,8 +1014,16 @@ private:
       std::vector<double> Comps;
       for (unsigned I = 0; I != V->getWidth(); ++I) {
         size_t At = static_cast<size_t>(Idx) * V->getWidth() + I;
-        if (At >= Base.P->size())
-          runtimeError("vload out of bounds");
+        if (MG) {
+          if (MG->check(Base.P.get(), static_cast<int64_t>(At),
+                        Base.P->size(), W.Linear, W.GroupId,
+                        /*IsWrite=*/false) == MemGuard::Access::OutOfBounds) {
+            Comps.push_back(0);
+            continue;
+          }
+        } else if (At >= Base.P->size()) {
+          runtimeError("vload out of bounds", DiagCode::RuntimeOutOfBounds);
+        }
         if (RD)
           RD->recordAccess(Base.P.get(), static_cast<int64_t>(At),
                            Base.Space, W.Linear, /*IsWrite=*/false);
@@ -980,8 +1041,14 @@ private:
       chargeAccess(Base.Space);
       for (unsigned I = 0; I != V->getWidth(); ++I) {
         size_t At = static_cast<size_t>(Idx) * V->getWidth() + I;
-        if (At >= Base.P->size())
-          runtimeError("vstore out of bounds");
+        if (MG) {
+          if (MG->check(Base.P.get(), static_cast<int64_t>(At),
+                        Base.P->size(), W.Linear, W.GroupId,
+                        /*IsWrite=*/true) == MemGuard::Access::OutOfBounds)
+            continue; // record and drop the component, keep running
+        } else if (At >= Base.P->size()) {
+          runtimeError("vstore out of bounds", DiagCode::RuntimeOutOfBounds);
+        }
         if (RD)
           RD->recordAccess(Base.P.get(), static_cast<int64_t>(At),
                            Base.Space, W.Linear, /*IsWrite=*/true);
@@ -1013,7 +1080,8 @@ private:
       if (I < Width)
         return I;
     }
-    fatalError("runtime: bad vector component ." + Field);
+    throwDiag(DiagCode::RuntimeBadValue, DiagLocation(),
+              "runtime: bad vector component ." + Field);
   }
 
   Value evalBinary(const Binary *B, WorkItem &W) {
@@ -1050,14 +1118,16 @@ private:
         return Value::makeInt(wrapMul(A, Bv));
       case BinOp::Div:
         if (Bv == 0)
-          runtimeError("integer division by zero");
+          runtimeError("integer division by zero",
+                       DiagCode::RuntimeDivByZero);
         // INT64_MIN / -1 overflows; wrap like the negation it is.
         if (Bv == -1)
           return Value::makeInt(wrapNeg(A));
         return Value::makeInt(A / Bv);
       case BinOp::Rem:
         if (Bv == 0)
-          runtimeError("integer remainder by zero");
+          runtimeError("integer remainder by zero",
+                       DiagCode::RuntimeDivByZero);
         if (Bv == -1)
           return Value::makeInt(0);
         return Value::makeInt(A % Bv);
@@ -1105,7 +1175,8 @@ private:
   }
 
   [[noreturn]] static void badFloatOp() {
-    fatalError("runtime: unsupported float operation");
+    throwDiag(DiagCode::RuntimeUnsupported, DiagLocation(),
+              "runtime: unsupported float operation");
   }
 
   static double applyFloatOp(BinOp Op, double A, double B) {
@@ -1227,34 +1298,100 @@ private:
 
 } // namespace
 
+namespace {
+
+/// The one throwing execution path every public launch entry wraps: runs
+/// the machine with the detectors the config enables.
+CostReport runMachine(const codegen::CompiledKernel &K,
+                      const std::vector<Buffer *> &Buffers,
+                      const std::map<std::string, int64_t> &Sizes,
+                      const LaunchConfig &Cfg, RaceReport &Races,
+                      GuardReport &Guards) {
+  std::optional<RaceDetector> RD;
+  std::optional<MemGuard> MG;
+  if (Cfg.CheckRaces)
+    RD.emplace(Races);
+  if (Cfg.CheckMemory)
+    MG.emplace(Guards);
+  return Machine(K, Cfg, RD ? &*RD : nullptr, MG ? &*MG : nullptr)
+      .run(Buffers, Sizes);
+}
+
+} // namespace
+
 CostReport ocl::launch(const codegen::CompiledKernel &K,
                        const std::vector<Buffer *> &Buffers,
                        const std::map<std::string, int64_t> &Sizes,
                        const LaunchConfig &Cfg) {
-  if (!Cfg.CheckRaces)
-    return Machine(K, Cfg).run(Buffers, Sizes);
-  RaceReport Report;
-  CostReport Cost = launch(K, Buffers, Sizes, Cfg, Report);
-  if (!Report.clean())
-    fatalError("runtime: race check failed for kernel '" +
-               K.Module.Kernel->Name + "': " + Report.summary());
-  return Cost;
+  try {
+    RaceReport Races;
+    GuardReport Guards;
+    CostReport Cost = runMachine(K, Buffers, Sizes, Cfg, Races, Guards);
+    if (!Races.clean())
+      fatalError("runtime: race check failed for kernel '" +
+                 K.Module.Kernel->Name + "': " + Races.summary());
+    if (!Guards.clean())
+      fatalError("runtime: memory check failed for kernel '" +
+                 K.Module.Kernel->Name + "': " + Guards.summary());
+    return Cost;
+  } catch (DiagnosticError &E) {
+    fatalError(E.Diag.render());
+  }
 }
 
 CostReport ocl::launch(const codegen::CompiledKernel &K,
                        const std::vector<Buffer *> &Buffers,
                        const std::map<std::string, int64_t> &Sizes,
                        const LaunchConfig &Cfg, RaceReport &Report) {
-  if (!Cfg.CheckRaces)
-    return Machine(K, Cfg).run(Buffers, Sizes);
-  RaceDetector RD(Report);
-  return Machine(K, Cfg, &RD).run(Buffers, Sizes);
+  GuardReport Guards;
+  return launch(K, Buffers, Sizes, Cfg, Report, Guards);
+}
+
+CostReport ocl::launch(const codegen::CompiledKernel &K,
+                       const std::vector<Buffer *> &Buffers,
+                       const std::map<std::string, int64_t> &Sizes,
+                       const LaunchConfig &Cfg, RaceReport &Races,
+                       GuardReport &Guards) {
+  try {
+    return runMachine(K, Buffers, Sizes, Cfg, Races, Guards);
+  } catch (DiagnosticError &E) {
+    fatalError(E.Diag.render());
+  }
+}
+
+Expected<LaunchResult>
+ocl::launchChecked(const codegen::CompiledKernel &K,
+                   const std::vector<Buffer *> &Buffers,
+                   const std::map<std::string, int64_t> &Sizes,
+                   const LaunchConfig &Cfg, DiagnosticEngine &Engine) {
+  LaunchResult R;
+  try {
+    R.Cost = runMachine(K, Buffers, Sizes, Cfg, R.Races, R.Guards);
+  } catch (DiagnosticError &E) {
+    if (!E.Recorded)
+      Engine.report(E.Diag);
+    return {};
+  }
+  std::string Kernel = K.Module.Kernel ? K.Module.Kernel->Name : "kernel";
+  for (const RaceFinding &F : R.Races.Findings)
+    Engine.error(DiagCode::RuntimeRace, DiagLocation::inContext(Kernel),
+                 std::string(RaceFinding::kindName(F.K)) + " at " +
+                     F.Location + ": " + F.Detail);
+  for (const GuardFinding &F : R.Guards.Findings)
+    Engine.error(F.K == GuardFinding::UninitRead
+                     ? DiagCode::RuntimeUninitRead
+                     : DiagCode::RuntimeOutOfBounds,
+                 DiagLocation::inContext(Kernel),
+                 std::string(GuardFinding::kindName(F.K)) + " at " +
+                     F.Location + ": " + F.Detail);
+  return R;
 }
 
 codegen::CompiledKernel ocl::wrapModule(c::CModule M) {
   codegen::CompiledKernel K;
   if (!M.Kernel)
-    fatalError("wrapModule: translation unit has no kernel");
+    throwDiag(DiagCode::HostBadBuffer, DiagLocation::inContext("wrapModule"),
+              "wrapModule: translation unit has no kernel");
   unsigned NextId = 1;
   for (const CVarPtr &P : M.Kernel->Params) {
     codegen::KernelParamInfo Info;

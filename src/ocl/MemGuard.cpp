@@ -1,0 +1,120 @@
+//===- MemGuard.cpp - Guarded-memory execution ----------------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ocl/MemGuard.h"
+
+using namespace lift;
+using namespace lift::ocl;
+
+const char *GuardFinding::kindName(Kind K) {
+  switch (K) {
+  case OobWrite:
+    return "out-of-bounds write";
+  case OobRead:
+    return "out-of-bounds read";
+  case UninitRead:
+    return "uninitialized read";
+  }
+  return "?";
+}
+
+unsigned GuardReport::oobWrites() const {
+  unsigned N = 0;
+  for (const GuardFinding &F : Findings)
+    N += F.K == GuardFinding::OobWrite;
+  return N;
+}
+
+unsigned GuardReport::oobReads() const {
+  unsigned N = 0;
+  for (const GuardFinding &F : Findings)
+    N += F.K == GuardFinding::OobRead;
+  return N;
+}
+
+unsigned GuardReport::uninitReads() const {
+  unsigned N = 0;
+  for (const GuardFinding &F : Findings)
+    N += F.K == GuardFinding::UninitRead;
+  return N;
+}
+
+std::string GuardReport::summary() const {
+  std::string S = std::to_string(Findings.size()) + " memory finding(s) (" +
+                  std::to_string(oobWrites()) + " OOB write(s), " +
+                  std::to_string(oobReads()) + " OOB read(s), " +
+                  std::to_string(uninitReads()) + " uninitialized read(s))";
+  for (const GuardFinding &F : Findings) {
+    S += "\n  ";
+    S += GuardFinding::kindName(F.K);
+    S += " at " + F.Location + ": " + F.Detail;
+  }
+  if (Truncated)
+    S += "\n  (further findings dropped)";
+  return S;
+}
+
+void MemGuard::registerBlock(const void *Mem, const std::string &Name,
+                             InitMap Init) {
+  Blocks[Mem] = BlockInfo{Name, std::move(Init)};
+}
+
+std::string MemGuard::nameOf(const void *Mem, int64_t Index) const {
+  auto It = Blocks.find(Mem);
+  std::string Name = It != Blocks.end() ? It->second.Name : "<unnamed>";
+  return Name + "[" + std::to_string(Index) + "]";
+}
+
+void MemGuard::record(GuardFinding F) {
+  std::string Key = std::to_string(static_cast<int>(F.K)) + "|" + F.Location;
+  if (!Seen.emplace(Key, true).second)
+    return;
+  if (Report.Findings.size() >= MaxFindings) {
+    Report.Truncated = true;
+    return;
+  }
+  Report.Findings.push_back(std::move(F));
+}
+
+MemGuard::Access MemGuard::check(const void *Mem, int64_t Index,
+                                 size_t Extent, int64_t Item,
+                                 const std::array<int64_t, 3> &Group,
+                                 bool IsWrite) {
+  ++Report.AccessesChecked;
+  if (Index < 0 || static_cast<size_t>(Index) >= Extent) {
+    GuardFinding F;
+    F.K = IsWrite ? GuardFinding::OobWrite : GuardFinding::OobRead;
+    F.Location = nameOf(Mem, Index);
+    F.Detail = std::string(IsWrite ? "store" : "load") + " at index " +
+               std::to_string(Index) + " of an allocation of " +
+               std::to_string(Extent) + " element(s)";
+    F.Item = Item;
+    F.Group = Group;
+    record(std::move(F));
+    return Access::OutOfBounds;
+  }
+
+  auto It = Blocks.find(Mem);
+  if (It == Blocks.end() || !It->second.Init)
+    return Access::Ok; // unregistered or host-initialized: in-bounds is fine
+  std::vector<uint8_t> &Init = *It->second.Init;
+  if (Init.size() < Extent)
+    Init.resize(Extent, 0);
+  if (IsWrite) {
+    Init[static_cast<size_t>(Index)] = 1;
+    return Access::Ok;
+  }
+  if (Init[static_cast<size_t>(Index)])
+    return Access::Ok;
+  GuardFinding F;
+  F.K = GuardFinding::UninitRead;
+  F.Location = nameOf(Mem, Index);
+  F.Detail = "load of an element no store ever wrote";
+  F.Item = Item;
+  F.Group = Group;
+  record(std::move(F));
+  return Access::Uninitialized;
+}

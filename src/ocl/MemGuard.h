@@ -1,0 +1,126 @@
+//===- MemGuard.h - Guarded-memory execution --------------------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Guarded-memory checking for the simulated OpenCL runtime: every buffer
+/// and array element access the interpreter performs is validated against
+/// the allocation's extent, and reads are validated against a per-element
+/// initialized bitmap. Violations become structured findings (mirroring
+/// RaceDetector.h) instead of aborting the run:
+///
+///  * an out-of-bounds write is dropped into a scratch slot and recorded;
+///  * an out-of-bounds read returns zero and is recorded;
+///  * a read of an element no store (host or device) ever wrote is
+///    recorded and the resident zero value is returned.
+///
+/// The initialized bitmap lives with the host Buffer (Runtime.h), so
+/// initialization carries across the launches of a multi-kernel benchmark
+/// (e.g. ATAX's second stage reading what the first stage wrote). Device
+/// local/private arrays are registered per-allocation, starting fully
+/// uninitialized. Host-filled buffers (ofFloats, ofInts, ofVectors,
+/// filled) carry no bitmap and count as fully initialized; Buffer::zeros
+/// is an *uninitialized* allocation, as its documentation always said.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_OCL_MEMGUARD_H
+#define LIFT_OCL_MEMGUARD_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lift {
+namespace ocl {
+
+enum class MemSpace; // Runtime.h
+
+/// One defect found by guarded-memory execution.
+struct GuardFinding {
+  enum Kind {
+    OobWrite,   ///< Store outside the allocated extent (dropped).
+    OobRead,    ///< Load outside the allocated extent (returned zero).
+    UninitRead, ///< Load of an element that was never stored to.
+  };
+
+  Kind K = OobWrite;
+  /// Allocation name and element index, e.g. "A[17]".
+  std::string Location;
+  /// Human-readable one-line description.
+  std::string Detail;
+  /// Linear in-group id of the offending work-item (-1 if host-side).
+  int64_t Item = -1;
+  std::array<int64_t, 3> Group = {0, 0, 0};
+
+  static const char *kindName(Kind K);
+};
+
+/// Result of a memory-checked launch.
+struct GuardReport {
+  std::vector<GuardFinding> Findings;
+  uint64_t AccessesChecked = 0;
+  /// True if the cap on findings was hit (further defects were dropped).
+  bool Truncated = false;
+
+  bool clean() const { return Findings.empty(); }
+  unsigned oobWrites() const;
+  unsigned oobReads() const;
+  unsigned uninitReads() const;
+  /// Multi-line summary suitable for diagnostics.
+  std::string summary() const;
+};
+
+/// Shared per-element initialized bitmap (1 = written at least once).
+using InitMap = std::shared_ptr<std::vector<uint8_t>>;
+
+/// Validates element accesses for one launch; owned by the interpreter
+/// while a memory-checked launch runs, writing into a caller-provided
+/// report. Duplicate findings for the same (kind, allocation, index) are
+/// reported once.
+class MemGuard {
+public:
+  explicit MemGuard(GuardReport &Report, unsigned MaxFindings = 64)
+      : Report(Report), MaxFindings(MaxFindings) {}
+
+  /// Associates a memory block with a diagnostic name and its initialized
+  /// bitmap. A null \p Init means the block is fully initialized (host
+  /// data). Re-registering a pointer replaces the previous entry (local
+  /// and private arrays are re-allocated per group / per item).
+  void registerBlock(const void *Mem, const std::string &Name, InitMap Init);
+
+  /// The outcome of checking one access.
+  enum class Access { Ok, OutOfBounds, Uninitialized };
+
+  /// Validates one element access against \p Extent and the block's
+  /// bitmap; records a finding on a violation. Writes mark the element
+  /// initialized. Never aborts: callers drop OOB writes, substitute zero
+  /// for OOB reads, and continue past uninitialized reads.
+  Access check(const void *Mem, int64_t Index, size_t Extent, int64_t Item,
+               const std::array<int64_t, 3> &Group, bool IsWrite);
+
+private:
+  struct BlockInfo {
+    std::string Name;
+    InitMap Init; ///< Null = fully initialized.
+  };
+
+  void record(GuardFinding F);
+  std::string nameOf(const void *Mem, int64_t Index) const;
+
+  GuardReport &Report;
+  unsigned MaxFindings;
+  std::unordered_map<const void *, BlockInfo> Blocks;
+  /// Deduplication of findings per (kind, block, index).
+  std::unordered_map<std::string, bool> Seen;
+};
+
+} // namespace ocl
+} // namespace lift
+
+#endif // LIFT_OCL_MEMGUARD_H

@@ -22,7 +22,9 @@
 #define LIFT_OCL_RUNTIME_H
 
 #include "codegen/Compiler.h"
+#include "ocl/MemGuard.h"
 #include "ocl/RaceDetector.h"
+#include "support/Diagnostics.h"
 
 #include <array>
 #include <cstdint>
@@ -104,6 +106,12 @@ public:
 class Buffer {
 public:
   MemoryPtr Mem = std::make_shared<std::vector<Value>>();
+
+  /// Per-element initialized bitmap consumed by guarded-memory execution
+  /// (MemGuard.h). Null for host-filled buffers (fully initialized);
+  /// all-zero for Buffer::zeros. Shared so initialization carries across
+  /// the launches of a multi-kernel benchmark.
+  InitMap Init;
 
   static Buffer ofFloats(const std::vector<float> &Data);
   static Buffer ofInts(const std::vector<int> &Data);
@@ -191,6 +199,11 @@ struct LaunchConfig {
   bool PerturbSchedule = false;
   uint64_t ScheduleSeed = 1;
 
+  /// Bounds-check every buffer and array element access against the
+  /// allocated extent and flag reads of never-written elements (see
+  /// MemGuard.h).
+  bool CheckMemory = false;
+
   static LaunchConfig fromOptions(const codegen::CompilerOptions &O) {
     LaunchConfig C;
     C.Global = O.GlobalSize;
@@ -198,6 +211,7 @@ struct LaunchConfig {
     C.CheckRaces = O.CheckRaces;
     C.PerturbSchedule = O.PerturbSchedule;
     C.ScheduleSeed = O.ScheduleSeed;
+    C.CheckMemory = O.CheckMemory;
     return C;
   }
 };
@@ -219,6 +233,34 @@ CostReport launch(const codegen::CompiledKernel &K,
                   const std::vector<Buffer *> &Buffers,
                   const std::map<std::string, int64_t> &Sizes,
                   const LaunchConfig &Cfg, RaceReport &Report);
+
+/// As above with guarded-memory execution: when \p Cfg.CheckMemory is set
+/// the memory findings are returned in \p Guards instead of aborting.
+CostReport launch(const codegen::CompiledKernel &K,
+                  const std::vector<Buffer *> &Buffers,
+                  const std::map<std::string, int64_t> &Sizes,
+                  const LaunchConfig &Cfg, RaceReport &Races,
+                  GuardReport &Guards);
+
+/// Everything a checked launch produces.
+struct LaunchResult {
+  CostReport Cost;
+  RaceReport Races;
+  GuardReport Guards;
+
+  bool clean() const { return Races.clean() && Guards.clean(); }
+};
+
+/// Executes a compiled kernel, recording structured diagnostics into
+/// \p Engine instead of aborting: launch misuse (missing arguments,
+/// non-uniform barriers, unsupported operations) returns failure; race
+/// and guarded-memory findings are recorded as error diagnostics and
+/// returned in the result. Never aborts on bad input.
+Expected<LaunchResult> launchChecked(const codegen::CompiledKernel &K,
+                                     const std::vector<Buffer *> &Buffers,
+                                     const std::map<std::string, int64_t> &Sizes,
+                                     const LaunchConfig &Cfg,
+                                     DiagnosticEngine &Engine);
 
 /// Wraps a hand-written, parsed OpenCL module (see cparse::parseModule) so
 /// it can be launched like a compiled kernel: pointer parameters bind to

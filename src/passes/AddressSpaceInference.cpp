@@ -7,6 +7,7 @@
 #include "passes/AddressSpaceInference.h"
 
 #include "support/Casting.h"
+#include "support/Diagnostics.h"
 #include "support/Error.h"
 
 using namespace lift;
@@ -36,9 +37,10 @@ private:
       return;
     case ExprClass::Param:
       if (E->AS == AddressSpace::Undef)
-        fatalError("address space inference: parameter '" +
-                   cast<Param>(E.get())->getName() +
-                   "' visited before being bound");
+        throwDiag(DiagCode::VerifyUnboundParam, DiagLocation(),
+                  "address space inference: parameter '" +
+                      cast<Param>(E.get())->getName() +
+                      "' visited before being bound");
       return;
     case ExprClass::FunCall: {
       const auto *C = cast<FunCall>(E.get());

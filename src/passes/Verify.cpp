@@ -1,0 +1,341 @@
+//===- Verify.cpp - IR well-formedness verifier ---------------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/Verify.h"
+
+#include "arith/Bounds.h"
+#include "arith/Printer.h"
+#include "ir/TypeInference.h"
+#include "support/Casting.h"
+
+#include <set>
+
+using namespace lift;
+using namespace lift::ir;
+
+namespace {
+
+/// Collects verifier findings; every check appends instead of throwing so
+/// one pass reports as many violations as possible.
+class Verifier {
+public:
+  Verifier(const LambdaPtr &Program, const std::string &Stage)
+      : Program(Program), Stage(Stage) {}
+
+  std::vector<Diagnostic> run() {
+    if (!Program) {
+      report(DiagCode::VerifyBadKernel, "program is null");
+      return std::move(Findings);
+    }
+    // Decide which staged checks apply from the annotations present: the
+    // verifier runs on freshly parsed programs (no types) as well as
+    // mid-pipeline (typed, possibly address-space annotated).
+    TypesPresent = Program->getBody() && Program->getBody()->Ty != nullptr;
+    SpacesPresent = Program->getBody() &&
+                    Program->getBody()->AS != AddressSpace::Undef;
+
+    std::set<const Param *> Scope;
+    for (const ParamPtr &P : Program->getParams()) {
+      if (!P) {
+        report(DiagCode::VerifyMalformed, "program has a null parameter");
+        continue;
+      }
+      if (!Scope.insert(P.get()).second)
+        report(DiagCode::VerifyMalformed,
+               "program parameter '" + P->getName() +
+                   "' is bound more than once");
+      if (TypesPresent && !P->Ty)
+        report(DiagCode::TypeUntyped,
+               "program parameter '" + P->getName() + "' has no type");
+      if (P->Ty)
+        checkType(P->Ty, "parameter '" + P->getName() + "'");
+    }
+
+    Nesting Ctx;
+    checkFun(Program, Scope, Ctx, /*IsProgram=*/true);
+    checkReinference();
+    return std::move(Findings);
+  }
+
+private:
+  /// Parallel-nesting context for the address-space legality checks.
+  struct Nesting {
+    bool InWrg = false;
+    bool InLcl = false;
+    bool InGlb = false;
+  };
+
+  static constexpr size_t MaxFindings = 64;
+
+  void report(DiagCode Code, const std::string &Msg) {
+    if (Findings.size() >= MaxFindings)
+      return;
+    DiagLocation Loc = Stage.empty() ? DiagLocation()
+                                     : DiagLocation::inContext(Stage);
+    Findings.push_back(Diagnostic{DiagSeverity::Error, Code, Loc,
+                                  "verifier: " + Msg, {}});
+  }
+
+  void checkExpr(const ExprPtr &E, std::set<const Param *> &Scope,
+                 const Nesting &Ctx) {
+    if (!E) {
+      report(DiagCode::VerifyMalformed, "null expression");
+      return;
+    }
+    if (TypesPresent) {
+      if (!E->Ty)
+        report(DiagCode::VerifyTypeInconsistent,
+               "expression has no inferred type");
+      else
+        checkType(E->Ty, "expression");
+    }
+    if (SpacesPresent && E->AS == AddressSpace::Undef)
+      report(DiagCode::VerifyAddressSpace,
+             "expression has no inferred address space");
+
+    switch (E->getClass()) {
+    case ExprClass::Literal:
+      return;
+    case ExprClass::Param: {
+      const auto *P = cast<Param>(E.get());
+      if (!Scope.count(P))
+        report(DiagCode::VerifyUnboundParam,
+               "parameter '" + P->getName() +
+                   "' is referenced outside the lambda that binds it");
+      return;
+    }
+    case ExprClass::FunCall: {
+      const auto *C = cast<FunCall>(E.get());
+      for (const ExprPtr &A : C->getArgs())
+        checkExpr(A, Scope, Ctx);
+      if (!C->getFun()) {
+        report(DiagCode::VerifyMalformed, "call of a null function");
+        return;
+      }
+      if (C->getFun()->arity() != C->getArgs().size())
+        report(DiagCode::VerifyMalformed,
+               std::string(funKindName(C->getFun()->getKind())) +
+                   " expects " + std::to_string(C->getFun()->arity()) +
+                   " argument(s), called with " +
+                   std::to_string(C->getArgs().size()));
+      checkFun(C->getFun(), Scope, Ctx, /*IsProgram=*/false);
+      return;
+    }
+    }
+    report(DiagCode::VerifyMalformed, "unknown expression class");
+  }
+
+  void checkFun(const FunDeclPtr &F, std::set<const Param *> &Scope,
+                const Nesting &Ctx, bool IsProgram) {
+    if (!F) {
+      report(DiagCode::VerifyMalformed, "null function declaration");
+      return;
+    }
+    switch (F->getKind()) {
+    case FunKind::Lambda: {
+      const auto *L = cast<Lambda>(F.get());
+      std::vector<const Param *> Added;
+      for (const ParamPtr &P : L->getParams()) {
+        if (!P) {
+          report(DiagCode::VerifyMalformed, "lambda has a null parameter");
+          continue;
+        }
+        if (Scope.insert(P.get()).second)
+          Added.push_back(P.get());
+        else if (!IsProgram)
+          report(DiagCode::VerifyMalformed,
+                 "parameter '" + P->getName() +
+                     "' is bound by more than one lambda");
+      }
+      checkExpr(L->getBody(), Scope, Ctx);
+      for (const Param *P : Added)
+        Scope.erase(P);
+      return;
+    }
+
+    case FunKind::UserFun:
+      return;
+
+    case FunKind::Map:
+    case FunKind::MapSeq:
+    case FunKind::MapVec:
+      checkFun(cast<AbstractMap>(F.get())->getF(), Scope, Ctx, false);
+      return;
+
+    case FunKind::MapGlb: {
+      if (Ctx.InWrg || Ctx.InLcl)
+        report(DiagCode::VerifyAddressSpace,
+               "mapGlb cannot nest inside mapWrg or mapLcl");
+      Nesting Inner = Ctx;
+      Inner.InGlb = true;
+      checkFun(cast<AbstractMap>(F.get())->getF(), Scope, Inner, false);
+      return;
+    }
+
+    case FunKind::MapWrg: {
+      if (Ctx.InLcl || Ctx.InGlb)
+        report(DiagCode::VerifyAddressSpace,
+               "mapWrg cannot nest inside mapLcl or mapGlb");
+      Nesting Inner = Ctx;
+      Inner.InWrg = true;
+      checkFun(cast<AbstractMap>(F.get())->getF(), Scope, Inner, false);
+      return;
+    }
+
+    case FunKind::MapLcl: {
+      if (!Ctx.InWrg)
+        report(DiagCode::VerifyAddressSpace,
+               "mapLcl requires an enclosing mapWrg");
+      Nesting Inner = Ctx;
+      Inner.InLcl = true;
+      checkFun(cast<AbstractMap>(F.get())->getF(), Scope, Inner, false);
+      return;
+    }
+
+    case FunKind::ReduceSeq:
+      checkFun(cast<ReduceSeq>(F.get())->getF(), Scope, Ctx, false);
+      return;
+
+    case FunKind::Iterate: {
+      const auto *I = cast<Iterate>(F.get());
+      if (I->getCount() < 0)
+        report(DiagCode::VerifyBadLength,
+               "iterate count " + std::to_string(I->getCount()) +
+                   " is negative");
+      checkFun(I->getF(), Scope, Ctx, false);
+      return;
+    }
+
+    case FunKind::Split: {
+      const arith::Expr &Factor = cast<Split>(F.get())->getFactor();
+      if (auto UB = arith::constUpperBound(Factor); UB && *UB <= 0)
+        report(DiagCode::VerifyBadLength,
+               "split factor " + arith::toString(Factor) +
+                   " is not positive");
+      return;
+    }
+
+    case FunKind::Slide: {
+      const auto *S = cast<Slide>(F.get());
+      if (auto UB = arith::constUpperBound(S->getStep()); UB && *UB <= 0)
+        report(DiagCode::VerifyBadLength,
+               "slide step " + arith::toString(S->getStep()) +
+                   " is not positive");
+      if (auto UB = arith::constUpperBound(S->getSize()); UB && *UB <= 0)
+        report(DiagCode::VerifyBadLength,
+               "slide window size " + arith::toString(S->getSize()) +
+                   " is not positive");
+      return;
+    }
+
+    case FunKind::AsVector:
+      if (cast<AsVector>(F.get())->getWidth() == 0)
+        report(DiagCode::VerifyBadLength, "asVector width is zero");
+      return;
+
+    case FunKind::ToLocal:
+      if (!Ctx.InWrg)
+        report(DiagCode::VerifyAddressSpace,
+               "toLocal requires an enclosing mapWrg (local memory is "
+               "per-work-group)");
+      checkFun(cast<AddressSpaceWrapper>(F.get())->getF(), Scope, Ctx, false);
+      return;
+
+    case FunKind::ToGlobal:
+    case FunKind::ToPrivate:
+      checkFun(cast<AddressSpaceWrapper>(F.get())->getF(), Scope, Ctx, false);
+      return;
+
+    case FunKind::Id:
+    case FunKind::Join:
+    case FunKind::Gather:
+    case FunKind::Scatter:
+    case FunKind::Zip:
+    case FunKind::Unzip:
+    case FunKind::Get:
+    case FunKind::Transpose:
+    case FunKind::GatherIndices:
+    case FunKind::AsScalar:
+      return;
+    }
+    report(DiagCode::VerifyMalformed, "unknown function kind");
+  }
+
+  /// Array-length arithmetic sanity: flags lengths the range analysis can
+  /// prove negative (a symbolic length with an unknown sign is fine — it
+  /// only becomes a bug once instantiated, which the runtime guards).
+  void checkType(const TypePtr &T, const std::string &What) {
+    if (!T)
+      return;
+    if (const auto *A = dyn_cast<ArrayType>(T.get())) {
+      if (A->getSize()) {
+        if (auto UB = arith::constUpperBound(A->getSize()); UB && *UB < 0)
+          report(DiagCode::VerifyBadLength,
+                 What + " has a provably negative array length " +
+                     arith::toString(A->getSize()));
+      } else {
+        report(DiagCode::VerifyBadLength, What + " has a null array length");
+      }
+      checkType(A->getElementType(), What);
+      return;
+    }
+    if (const auto *Tu = dyn_cast<TupleType>(T.get()))
+      for (const TypePtr &E : Tu->getElements())
+        checkType(E, What);
+  }
+
+  /// Once the program is fully typed, re-running inference must succeed
+  /// and reproduce the annotated program type; a mismatch means a pass
+  /// rewrote the tree without keeping the types consistent.
+  void checkReinference() {
+    if (!TypesPresent || !Findings.empty())
+      return;
+    for (const ParamPtr &P : Program->getParams())
+      if (!P || !P->Ty)
+        return;
+    TypePtr Annotated = Program->getBody()->Ty;
+    try {
+      TypePtr Recomputed = inferProgramTypes(Program);
+      if (!typeEquals(Recomputed, Annotated))
+        report(DiagCode::VerifyTypeInconsistent,
+               "re-running type inference yields " +
+                   typeToString(Recomputed) + " but the program is "
+                   "annotated with " + typeToString(Annotated));
+    } catch (const DiagnosticError &E) {
+      report(DiagCode::VerifyTypeInconsistent,
+             "re-running type inference fails: " + E.Diag.Message);
+    }
+  }
+
+  const LambdaPtr &Program;
+  const std::string &Stage;
+  bool TypesPresent = false;
+  bool SpacesPresent = false;
+  std::vector<Diagnostic> Findings;
+};
+
+} // namespace
+
+std::vector<Diagnostic> passes::verify(const LambdaPtr &Program,
+                                       const std::string &Stage) {
+  return Verifier(Program, Stage).run();
+}
+
+bool passes::verifyChecked(const LambdaPtr &Program, DiagnosticEngine &Engine,
+                           const std::string &Stage) {
+  std::vector<Diagnostic> Findings = verify(Program, Stage);
+  for (const Diagnostic &D : Findings)
+    if (!Engine.errorLimitReached())
+      Engine.report(D);
+  return Findings.empty();
+}
+
+void passes::verifyOrThrow(const LambdaPtr &Program,
+                           const std::string &Stage) {
+  std::vector<Diagnostic> Findings = verify(Program, Stage);
+  if (!Findings.empty())
+    throw DiagnosticError(Findings.front());
+}

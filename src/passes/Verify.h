@@ -1,0 +1,60 @@
+//===- Verify.h - IR well-formedness verifier -------------------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A verifier over Lift IR programs: checks the invariants the rest of the
+/// pipeline relies on and reports violations as structured diagnostics
+/// instead of crashing (or miscompiling) later. The checks are staged so
+/// the verifier can run right after parsing (no analysis annotations yet)
+/// as well as between pipeline stages under `liftc --verify-each`:
+///
+///  - structure: no null sub-expressions or sub-functions, call arity
+///    matches the callee, parameters are referenced only inside the
+///    lambda that binds them;
+///  - types (once type inference has run): every expression is annotated,
+///    and re-running inference reproduces the annotated program type;
+///  - array lengths: no provably negative array length, split factors and
+///    slide steps are provably positive, asVector widths are non-zero and
+///    iterate counts non-negative;
+///  - address spaces (Algorithm 1 legality): mapLcl and toLocal require an
+///    enclosing mapWrg, mapGlb cannot nest inside mapWrg or mapLcl, and
+///    mapWrg cannot nest inside mapLcl or mapGlb; once address space
+///    inference has run, every expression must be annotated with a space.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_PASSES_VERIFY_H
+#define LIFT_PASSES_VERIFY_H
+
+#include "ir/IR.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace lift {
+namespace passes {
+
+/// Verifies \p Program and returns all violated invariants as diagnostics
+/// (empty if the program is well-formed). \p Stage names the pipeline
+/// point for the diagnostic location, e.g. "after type inference".
+std::vector<Diagnostic> verify(const ir::LambdaPtr &Program,
+                               const std::string &Stage = "");
+
+/// Verifies \p Program and records the findings into \p Engine. Returns
+/// true if the program is well-formed.
+bool verifyChecked(const ir::LambdaPtr &Program, DiagnosticEngine &Engine,
+                   const std::string &Stage = "");
+
+/// Verifies \p Program and throws the first violation as a DiagnosticError
+/// (for use inside the compilation pipeline under --verify-each).
+void verifyOrThrow(const ir::LambdaPtr &Program,
+                   const std::string &Stage = "");
+
+} // namespace passes
+} // namespace lift
+
+#endif // LIFT_PASSES_VERIFY_H

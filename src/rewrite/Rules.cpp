@@ -8,6 +8,7 @@
 
 #include "ir/DSL.h"
 #include "support/Casting.h"
+#include "support/Diagnostics.h"
 #include "support/Error.h"
 
 using namespace lift;
@@ -417,7 +418,8 @@ LambdaPtr rewrite::lowerProgram(const LambdaPtr &Program, bool UseWorkGroups,
   // 2. Map the outermost map onto the thread hierarchy.
   if (UseWorkGroups) {
     if (!ChunkSize)
-      fatalError("lowerProgram: work-group lowering needs a chunk size");
+      throwDiag(DiagCode::CodegenLowering, DiagLocation(),
+                "lowerProgram: work-group lowering needs a chunk size");
     if (ExprPtr Next = applyOnce(mapToWrgLcl(ChunkSize), Body))
       Body = std::move(Next);
   } else {

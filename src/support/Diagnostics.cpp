@@ -1,0 +1,145 @@
+//===- Diagnostics.cpp - Recoverable diagnostics engine -------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <cstdio>
+
+using namespace lift;
+
+const char *lift::severityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "?";
+}
+
+std::string lift::diagCodeId(DiagCode C) {
+  char Buf[8];
+  std::snprintf(Buf, sizeof(Buf), "E%04u", static_cast<unsigned>(C));
+  return Buf;
+}
+
+std::string DiagLocation::str() const {
+  if (!valid())
+    return "";
+  std::string R = " (";
+  if (Line != 0) {
+    R += "line " + std::to_string(Line);
+    if (!Context.empty())
+      R += ", ";
+  }
+  if (!Context.empty())
+    R += "in " + Context;
+  R += ")";
+  return R;
+}
+
+std::string Diagnostic::render() const {
+  std::string R = severityName(Severity);
+  if (Severity != DiagSeverity::Note)
+    R += "[" + diagCodeId(Code) + "]";
+  R += ": " + Message + Loc.str();
+  for (const std::string &N : Notes)
+    R += "\n  note: " + N;
+  return R;
+}
+
+void lift::throwDiag(DiagCode Code, DiagLocation Loc, std::string Message,
+                     std::vector<std::string> Notes) {
+  Diagnostic D;
+  D.Severity = DiagSeverity::Error;
+  D.Code = Code;
+  D.Loc = std::move(Loc);
+  D.Message = std::move(Message);
+  D.Notes = std::move(Notes);
+  throw DiagnosticError(std::move(D));
+}
+
+void DiagnosticEngine::report(Diagnostic D) {
+  if (D.Severity == DiagSeverity::Error) {
+    if (NumErrors >= MaxErrors) {
+      if (!LimitHit) {
+        LimitHit = true;
+        Diagnostic Note;
+        Note.Severity = DiagSeverity::Note;
+        Note.Message = "too many errors; further errors suppressed "
+                       "(raise with --max-errors)";
+        Diags.push_back(std::move(Note));
+      }
+      ++NumErrors;
+      return;
+    }
+    ++NumErrors;
+  }
+  Diags.push_back(std::move(D));
+}
+
+void DiagnosticEngine::error(DiagCode Code, DiagLocation Loc,
+                             std::string Message,
+                             std::vector<std::string> Notes) {
+  Diagnostic D;
+  D.Severity = DiagSeverity::Error;
+  D.Code = Code;
+  D.Loc = std::move(Loc);
+  D.Message = std::move(Message);
+  D.Notes = std::move(Notes);
+  report(std::move(D));
+}
+
+void DiagnosticEngine::warning(DiagCode Code, DiagLocation Loc,
+                               std::string Message) {
+  Diagnostic D;
+  D.Severity = DiagSeverity::Warning;
+  D.Code = Code;
+  D.Loc = std::move(Loc);
+  D.Message = std::move(Message);
+  report(std::move(D));
+}
+
+void DiagnosticEngine::note(DiagLocation Loc, std::string Message) {
+  Diagnostic D;
+  D.Severity = DiagSeverity::Note;
+  D.Loc = std::move(Loc);
+  D.Message = std::move(Message);
+  report(std::move(D));
+}
+
+void DiagnosticEngine::fatal(DiagCode Code, DiagLocation Loc,
+                             std::string Message,
+                             std::vector<std::string> Notes) {
+  Diagnostic D;
+  D.Severity = DiagSeverity::Error;
+  D.Code = Code;
+  D.Loc = std::move(Loc);
+  D.Message = std::move(Message);
+  D.Notes = std::move(Notes);
+  report(D);
+  DiagnosticError E(std::move(D));
+  E.Recorded = true;
+  throw E;
+}
+
+std::string DiagnosticEngine::render() const {
+  std::string R;
+  for (const Diagnostic &D : Diags) {
+    if (!R.empty())
+      R += "\n";
+    R += D.render();
+  }
+  return R;
+}
+
+void DiagnosticEngine::clear() {
+  Diags.clear();
+  NumErrors = 0;
+  LimitHit = false;
+}

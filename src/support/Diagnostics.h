@@ -1,0 +1,226 @@
+//===- Diagnostics.h - Recoverable diagnostics engine -----------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The recoverable error-handling subsystem. Malformed *input* (IL text,
+/// ill-typed programs, out-of-range accesses in the simulated runtime) must
+/// never crash the compiler: input-triggered failure paths raise a
+/// \c DiagnosticError carrying a structured \c Diagnostic (severity, stable
+/// error code, source/IR location, notes), which the checked API boundaries
+/// (\c parseILChecked, \c compileChecked, \c launchChecked) catch and record
+/// into a caller-owned \c DiagnosticEngine, returning an \c Expected<T>
+/// failure instead of aborting. \c lift_unreachable (support/Error.h)
+/// remains reserved for true internal invariant violations.
+///
+/// The error-code taxonomy is grouped by pipeline stage (see
+/// docs/DIAGNOSTICS.md): 1xx IL parsing, 2xx type analysis, 3xx IR
+/// verification, 4xx code generation, 5xx simulated-runtime execution,
+/// 6xx host API misuse.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_SUPPORT_DIAGNOSTICS_H
+#define LIFT_SUPPORT_DIAGNOSTICS_H
+
+#include <exception>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lift {
+
+enum class DiagSeverity { Note, Warning, Error };
+
+const char *severityName(DiagSeverity S);
+
+/// Stable error codes, one per distinct failure condition. The numeric
+/// value groups codes by the pipeline stage that raises them; rendered as
+/// "E0101" style identifiers so tests and users can match on them.
+enum class DiagCode : unsigned {
+  // 1xx — IL lexing and parsing.
+  ParseUnexpectedChar = 101,
+  ParseUnterminatedString = 102,
+  ParseUnexpectedToken = 103,
+  ParseExpectedIdentifier = 104,
+  ParseExpectedExpression = 105,
+  ParseExpectedSize = 106,
+  ParseUnknownType = 107,
+  ParseUnknownFunction = 108,
+  ParseUnknownIndexFunction = 109,
+  ParseExpectedProgramHeader = 110,
+  ParseTrailingInput = 111,
+  ParseExpectedNumber = 112,
+  ParseExpectedString = 113,
+  ParseBadCount = 114,
+  ParseTooDeep = 115,
+
+  // 2xx — type analysis.
+  TypeExpectsArray = 201,
+  TypeArityMismatch = 202,
+  TypeMismatch = 203,
+  TypeExpectsTuple = 204,
+  TypeExpectsVector = 205,
+  TypeExpectsScalar = 206,
+  TypeIndexOutOfRange = 207,
+  TypeUnequalLengths = 208,
+  TypeUntyped = 209,
+
+  // 3xx — IR verifier findings.
+  VerifyMalformed = 301,
+  VerifyUnboundParam = 302,
+  VerifyTypeInconsistent = 303,
+  VerifyBadLength = 304,
+  VerifyAddressSpace = 305,
+  VerifyBadKernel = 306,
+
+  // 4xx — lowering, views and code generation.
+  CodegenUnsupported = 401,
+  CodegenView = 402,
+  CodegenLowering = 403,
+  CodegenUserFunSyntax = 404,
+
+  // 5xx — simulated-runtime execution.
+  RuntimeBadLaunch = 501,
+  RuntimeBadValue = 502,
+  RuntimeOutOfBounds = 503,
+  RuntimeDivByZero = 504,
+  RuntimeUnsupported = 505,
+  RuntimeUninitRead = 506,
+  RuntimeRace = 507,
+
+  // 6xx — host API misuse.
+  HostBadBuffer = 601,
+  HostUnboundSize = 602,
+};
+
+/// Renders a code as its stable "E0101"-style identifier.
+std::string diagCodeId(DiagCode C);
+
+/// Where a diagnostic points: a 1-based line in the IL source (0 when no
+/// source text is involved) and/or a free-form context path (an IR
+/// expression, a kernel name, a pipeline stage).
+struct DiagLocation {
+  unsigned Line = 0;
+  std::string Context;
+
+  DiagLocation() = default;
+  static DiagLocation atLine(unsigned Line) {
+    DiagLocation L;
+    L.Line = Line;
+    return L;
+  }
+  static DiagLocation inContext(std::string Context) {
+    DiagLocation L;
+    L.Context = std::move(Context);
+    return L;
+  }
+  static DiagLocation at(unsigned Line, std::string Context) {
+    DiagLocation L;
+    L.Line = Line;
+    L.Context = std::move(Context);
+    return L;
+  }
+
+  bool valid() const { return Line != 0 || !Context.empty(); }
+  /// " (line 3, in mapSeq(...))" — empty when nothing is known.
+  std::string str() const;
+};
+
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  DiagCode Code = DiagCode::VerifyMalformed;
+  DiagLocation Loc;
+  std::string Message;
+  std::vector<std::string> Notes;
+
+  /// "error[E0101]: <message> (line 3)" plus one indented line per note.
+  std::string render() const;
+};
+
+/// The exception raised on input-triggered failure paths. Carries the full
+/// structured diagnostic; checked API boundaries catch it and record the
+/// diagnostic into the caller's engine. \c Recorded marks diagnostics
+/// already recorded by the engine that threw (to avoid double-recording).
+class DiagnosticError : public std::exception {
+public:
+  Diagnostic Diag;
+  bool Recorded = false;
+
+  explicit DiagnosticError(Diagnostic D)
+      : Diag(std::move(D)), Rendered(Diag.render()) {}
+
+  const char *what() const noexcept override { return Rendered.c_str(); }
+
+private:
+  std::string Rendered;
+};
+
+/// Raises a \c DiagnosticError (error severity) from a failure path.
+[[noreturn]] void throwDiag(DiagCode Code, DiagLocation Loc,
+                            std::string Message,
+                            std::vector<std::string> Notes = {});
+
+/// Collects diagnostics across one compilation. Recovery-capable producers
+/// (the IL parser, the verifier) record several errors before giving up;
+/// \c MaxErrors caps how many are kept (liftc --max-errors).
+class DiagnosticEngine {
+public:
+  explicit DiagnosticEngine(unsigned MaxErrors = 20) : MaxErrors(MaxErrors) {}
+
+  /// Records a diagnostic. Errors beyond MaxErrors are dropped (the first
+  /// dropped error records a single "too many errors" note instead).
+  void report(Diagnostic D);
+
+  void error(DiagCode Code, DiagLocation Loc, std::string Message,
+             std::vector<std::string> Notes = {});
+  void warning(DiagCode Code, DiagLocation Loc, std::string Message);
+  void note(DiagLocation Loc, std::string Message);
+
+  /// Records an error and throws it to unwind to the API boundary.
+  [[noreturn]] void fatal(DiagCode Code, DiagLocation Loc,
+                          std::string Message,
+                          std::vector<std::string> Notes = {});
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  bool errorLimitReached() const { return LimitHit; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// All diagnostics, one rendered entry per line.
+  std::string render() const;
+
+  void clear();
+
+  unsigned MaxErrors;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+  bool LimitHit = false;
+};
+
+/// Minimal result-or-failure wrapper used by the checked API boundaries.
+/// On failure the diagnostics live in the DiagnosticEngine the caller
+/// passed in; Expected itself only signals success.
+template <typename T> class Expected {
+public:
+  Expected() = default; // failure
+  Expected(T Value) : Value_(std::move(Value)) {}
+
+  explicit operator bool() const { return Value_.has_value(); }
+  T &operator*() { return *Value_; }
+  const T &operator*() const { return *Value_; }
+  T *operator->() { return &*Value_; }
+  const T *operator->() const { return &*Value_; }
+
+private:
+  std::optional<T> Value_;
+};
+
+} // namespace lift
+
+#endif // LIFT_SUPPORT_DIAGNOSTICS_H

@@ -5,9 +5,13 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Fatal error reporting and the \c lift_unreachable macro. The compiler
-/// library does not use exceptions; unrecoverable conditions (malformed IR,
-/// internal invariant violations) abort with a diagnostic.
+/// Fatal error reporting and the \c lift_unreachable macro, reserved for
+/// true *internal* invariant violations. Input-triggered failures (bad IL
+/// text, ill-typed programs, out-of-range runtime accesses) do not abort:
+/// they raise structured, recoverable diagnostics instead — see
+/// support/Diagnostics.h. \c fatalError survives only in the legacy
+/// convenience wrappers (parseIL, compile, launch) that preserve the old
+/// abort-on-bad-input behavior for hosts that want it.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -7,6 +7,7 @@
 #include "view/View.h"
 
 #include "support/Casting.h"
+#include "support/Diagnostics.h"
 #include "support/Error.h"
 
 using namespace lift;
@@ -58,11 +59,11 @@ public:
       case ViewKind::Zip: {
         const auto *V = cast<ZipView>(Cur);
         if (TupleStack.empty())
-          fatalError("view consumption: zip without a tuple access");
+          throwDiag(DiagCode::CodegenView, DiagLocation(), "view consumption: zip without a tuple access");
         unsigned Component = TupleStack.back();
         TupleStack.pop_back();
         if (Component >= V->getChildren().size())
-          fatalError("view consumption: tuple component out of range");
+          throwDiag(DiagCode::CodegenView, DiagLocation(), "view consumption: tuple component out of range");
         Cur = V->getChildren()[Component].get();
         break;
       }
@@ -138,7 +139,7 @@ public:
       }
       case ViewKind::Hole: {
         if (Resume.empty())
-          fatalError("view consumption: hole without enclosing map view");
+          throwDiag(DiagCode::CodegenView, DiagLocation(), "view consumption: hole without enclosing map view");
         auto [Outer, Next] = Resume.back();
         Resume.pop_back();
         ArrayStack.push_back(Outer);
@@ -159,7 +160,7 @@ public:
         // outermost dimension first (on top of the stack).
         const auto &Dims = V->getDims();
         if (ArrayStack.size() < Dims.size())
-          fatalError("view consumption: not enough indices for memory view");
+          throwDiag(DiagCode::CodegenView, DiagLocation(), "view consumption: not enough indices for memory view");
         arith::Expr Flat = pop();
         for (size_t I = 1, E = Dims.size(); I != E; ++I)
           Flat = arith::add(arith::mul(Flat, Dims[I]), pop());
@@ -173,7 +174,7 @@ public:
 private:
   arith::Expr pop() {
     if (ArrayStack.empty())
-      fatalError("view consumption: array index stack underflow");
+      throwDiag(DiagCode::CodegenView, DiagLocation(), "view consumption: array index stack underflow");
     arith::Expr E = ArrayStack.back();
     ArrayStack.pop_back();
     return E;

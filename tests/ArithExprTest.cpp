@@ -17,6 +17,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 using namespace lift::arith;
 
 namespace {
@@ -428,4 +430,58 @@ TEST_P(ArithPropertyTest, BoundsAreSound) {
   }
 }
 
+
+/// Constant folding near INT64 limits must wrap (two's complement), like
+/// evaluate() and the generated OpenCL code — never trip signed-overflow UB.
+TEST(ArithOverflowTest, ConstantFoldsWrapNearInt64Limits) {
+  const int64_t Max = std::numeric_limits<int64_t>::max();
+  const int64_t Min = std::numeric_limits<int64_t>::min();
+
+  // Sum constant collection: INT64_MAX + 1 wraps to INT64_MIN.
+  EXPECT_TRUE(isConstant(add(cst(Max), cst(1)), Min));
+  // Coefficient collection on a shared key wraps too.
+  auto X = var("x");
+  const int64_t MaxPlus2 =
+      static_cast<int64_t>(static_cast<uint64_t>(Max) + 2u);
+  Expr Collected = add(mul(cst(Max), X), mul(cst(2), X));
+  EXPECT_TRUE(isConstant(sub(Collected, mul(cst(MaxPlus2), X)), 0));
+
+  // Product constant collection: INT64_MIN * -1 wraps back to INT64_MIN.
+  EXPECT_TRUE(isConstant(mul(cst(Min), cst(-1)), Min));
+  EXPECT_TRUE(isConstant(mul(cst(Max), cst(Max)), 1));
+
+  // Power folding: (2^32)^2 wraps to 0 in 64 bits.
+  EXPECT_TRUE(isConstant(pow(cst(int64_t(1) << 32), 2), 0));
+
+  // Coefficient extraction inside a product term.
+  const int64_t MaxTimes3 =
+      static_cast<int64_t>(static_cast<uint64_t>(Max) * 3u);
+  Expr Term = prod({cst(Max), cst(3), X});
+  EXPECT_TRUE(isConstant(sub(Term, mul(cst(MaxTimes3), X)), 0));
+}
+
+TEST(ArithOverflowTest, BoundsRoundOutwardNearInt64Limits) {
+  // Interval endpoints that leave the int64 range must widen (upper bounds
+  // to +inf, lower bounds saturate), never overflow. Non-constant operands
+  // keep the simplifier from folding before the bounds analysis runs.
+  const int64_t Max = std::numeric_limits<int64_t>::max();
+  auto N = var("n", cst(0), cst(Max));
+
+  // Sum: upper endpoint Max + Max overflows upward -> unbounded above,
+  // lower endpoint stays exact.
+  Expr S = add(N, cst(Max));
+  EXPECT_FALSE(constUpperBound(S).has_value());
+  EXPECT_EQ(constLowerBound(S).value_or(-1), Max);
+  EXPECT_TRUE(provablyNonNegative(S));
+
+  // Product: Max * Max overflows upward; the lower bound rounds down to a
+  // still-valid finite value, so non-negativity remains provable.
+  Expr P = mul(add(N, cst(1)), cst(Max));
+  EXPECT_FALSE(constUpperBound(P).has_value());
+  EXPECT_TRUE(provablyNonNegative(P));
+
+  // Power of a ranged base: (Max)^2 overflows upward.
+  EXPECT_FALSE(constUpperBound(pow(N, 2)).has_value());
+  EXPECT_TRUE(provablyNonNegative(pow(N, 2)));
+}
 } // namespace

@@ -7,6 +7,7 @@
 #include "cast/CPrinter.h"
 #include "cparse/CParser.h"
 #include "support/Casting.h"
+#include "support/Diagnostics.h"
 
 #include <gtest/gtest.h>
 
@@ -193,14 +194,28 @@ kernel void k(global float *in, global float *out, int N) {
   EXPECT_EQ(M2.Functions.size(), 1u);
 }
 
-TEST(CParseTest, UnknownIdentifierIsFatal) {
+TEST(CParseTest, UnknownIdentifierIsDiagnosed) {
   ParseContext Ctx;
-  EXPECT_DEATH(parseExpression("nope + 1", Ctx), "unknown identifier");
+  try {
+    parseExpression("nope + 1", Ctx);
+    FAIL() << "expected a diagnostic";
+  } catch (const lift::DiagnosticError &E) {
+    EXPECT_EQ(E.Diag.Code, lift::DiagCode::CodegenUserFunSyntax);
+    EXPECT_NE(E.Diag.Message.find("unknown identifier"), std::string::npos)
+        << E.Diag.render();
+  }
 }
 
-TEST(CParseTest, MalformedInputIsFatal) {
+TEST(CParseTest, MalformedInputIsDiagnosed) {
   ParseContext Ctx;
-  EXPECT_DEATH(parseFunctionBody("return 1 +;", Ctx), "expected expression");
+  try {
+    parseFunctionBody("return 1 +;", Ctx);
+    FAIL() << "expected a diagnostic";
+  } catch (const lift::DiagnosticError &E) {
+    EXPECT_EQ(E.Diag.Code, lift::DiagCode::CodegenUserFunSyntax);
+    EXPECT_NE(E.Diag.Message.find("expected expression"), std::string::npos)
+        << E.Diag.render();
+  }
 }
 
 } // namespace

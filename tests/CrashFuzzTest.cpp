@@ -1,0 +1,369 @@
+//===- CrashFuzzTest.cpp - Crash-resilience fuzzing of the frontend -------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Crash-resilience fuzzing of the diagnostics pipeline. Two generators:
+///
+///  1. Corpus mutation over IL text: seeded from real programs (the
+///     examples and the frontend test listings), mutated with byte flips,
+///     splices, token swaps, extreme-number substitution and truncation.
+///     Invariant: parseILChecked / verifyChecked / compileChecked either
+///     succeed or record a diagnostic — no abort, no escaped exception.
+///
+///  2. Random well-typed IR: layout pipelines built with the DSL (the same
+///     family FuzzTest checks for *correctness*), here compiled under
+///     --verify-each and executed under guarded memory + race checking.
+///     Invariant: a well-typed program always compiles cleanly and runs
+///     with zero findings.
+///
+/// Runs in the "check" tier so the sanitized build (LIFT_SANITIZE=ON,
+/// tools/ci-sanitize.sh) executes every case under ASan/UBSan; the
+/// combined corpus is >12k mutated inputs and >1k random programs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+#include "frontend/ILParser.h"
+#include "ir/Prelude.h"
+#include "passes/Verify.h"
+#include "support/Diagnostics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::ir::dsl;
+using namespace lift::test;
+
+namespace {
+
+/// Deterministic small PRNG (xorshift, as in FuzzTest).
+class Prng {
+  uint64_t State;
+
+public:
+  explicit Prng(uint64_t Seed) : State(Seed * 2654435761u + 1) {}
+  uint64_t next() {
+    State ^= State << 13;
+    State ^= State >> 7;
+    State ^= State << 17;
+    return State;
+  }
+  int64_t range(int64_t Lo, int64_t Hi) { // inclusive
+    return Lo + static_cast<int64_t>(next() % static_cast<uint64_t>(
+                                         Hi - Lo + 1));
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Corpus
+//===----------------------------------------------------------------------===//
+
+/// Seed corpus: valid programs spanning the IL surface (user functions,
+/// work-group nesting, iterate, zip, gather, slide, vectors, tuples, size
+/// arithmetic) plus a few near-miss invalid ones so mutation starts close
+/// to interesting error paths.
+const char *Corpus[] = {
+    // examples/il/square.lift
+    R"(def sq(x: float): float = "return x * x;"
+fun(x: [float]N) => mapGlb0(sq)(x))",
+
+    // examples/il/dot.lift (Listing 1 of the paper)
+    R"(def multAndSumUp(acc: float, xy: (float, float)): float =
+  "return acc + xy._0 * xy._1;"
+def add(a: float, b: float): float = "return a + b;"
+def idF(x: float): float = "return x;"
+fun(x: [float]N, y: [float]N) =>
+  join(mapWrg0(\(chunk) ->
+    join(toGlobal(mapLcl0(mapSeq(idF)))(
+      split(1)(
+        iterate(6, \(arr) ->
+          join(mapLcl0(\(two) ->
+            toLocal(mapSeq(idF))(reduceSeq(add)(0.0f, two)))(
+            split(2)(arr))))(
+          join(mapLcl0(\(pair) ->
+            toLocal(mapSeq(idF))(reduceSeq(multAndSumUp)(0.0f, pair)))(
+            split(2)(chunk))))))))(
+    split(128)(zip(x, y)))))",
+
+    // Work-group copy through local memory.
+    R"(def sq(x: float): float = "return x * x;"
+def idF(x: float): float = "return x;"
+fun(x: [float]N) =>
+  join(mapWrg0(\(chunk) ->
+    toGlobal(mapLcl0(sq))(toLocal(mapLcl0(idF))(chunk)))(
+    split(16)(x))))",
+
+    // Let-style lambda binding.
+    R"(def sq(x: float): float = "return x * x;"
+def idF(x: float): float = "return x;"
+fun(x: [float]N) =>
+  join(mapWrg0(\(chunk) ->
+    (\(copied) -> toGlobal(mapLcl0(sq))(copied))(
+      toLocal(mapLcl0(idF))(chunk)))(
+    split(16)(x))))",
+
+    // Gather / transpose / 2D types / size arithmetic.
+    R"(def idF(x: float): float = "return x;"
+fun(x: [float]N) => mapGlb0(idF)(gather(reverse)(x)))",
+    R"(def sq(x: float): float = "return x * x;"
+fun(x: [[float]M]N) => mapGlb0(mapSeq(sq))(transpose(x)))",
+    R"(def sq(x: float): float = "return x * x;"
+fun(x: [float]N*M, y: [float](N+2)) => mapGlb0(sq)(x))",
+
+    // Slide stencil with a sequential reduction.
+    R"(def add(a: float, b: float): float = "return a + b;"
+def idF(x: float): float = "return x;"
+fun(x: [float]N) =>
+  join(mapGlb0(\(w) ->
+    toGlobal(mapSeq(idF))(reduceSeq(add)(0.0f, w)))(
+    slide(3, 1)(x))))",
+
+    // Tuples and zip3.
+    R"(def f(p: (float, int)): float = "return p._0;"
+fun(a: [[float]M]N, b: [float4]K, c: [(float, int)]N) => mapGlb0(f)(c))",
+
+    // Vectorization combinators.
+    R"(def sq(x: float): float = "return x * x;"
+fun(x: [float]N) => asScalar(mapGlb0(mapVec(sq))(asVector(4)(x))))",
+
+    // Near-miss invalid seeds: unknown function, bad type, missing body.
+    "fun(x: [float]N) => bogus(x)",
+    "fun(x: [whatever]N) => x",
+    "def f(x: float): float = 42\nfun(x: [float]N) => mapSeq(f)(x)",
+};
+constexpr size_t CorpusSize = sizeof(Corpus) / sizeof(Corpus[0]);
+
+/// Tokens the token-swap mutator exchanges: swapping any two of these
+/// produces near-miss programs that stress one layer at a time.
+const char *SwapTokens[] = {
+    "mapGlb0",  "mapWrg0", "mapLcl0", "mapSeq", "mapVec",   "reduceSeq",
+    "iterate",  "split",   "join",    "zip",    "transpose", "gather",
+    "scatter",  "slide",   "toLocal", "toGlobal", "toPrivate", "asVector",
+    "asScalar", "float",   "int",     "float4", "fun",       "def",
+    "=>",       "->",      "(",       ")",      "[",         "]",
+};
+constexpr size_t SwapTokenCount = sizeof(SwapTokens) / sizeof(SwapTokens[0]);
+
+/// Numbers that stress the arithmetic layer when substituted for a literal.
+const char *ExtremeNumbers[] = {
+    "0",  "1",  "-1", "9223372036854775807", "-9223372036854775808",
+    "4294967296", "1048576", "999999999999", "-17",
+};
+constexpr size_t ExtremeNumberCount =
+    sizeof(ExtremeNumbers) / sizeof(ExtremeNumbers[0]);
+
+std::string mutate(std::string S, Prng &Rng) {
+  int Edits = static_cast<int>(Rng.range(1, 4));
+  for (int E = 0; E != Edits; ++E) {
+    if (S.empty())
+      S = Corpus[Rng.next() % CorpusSize];
+    size_t Pos = Rng.next() % S.size();
+    switch (Rng.range(0, 6)) {
+    case 0: // byte flip
+      S[Pos] = static_cast<char>(Rng.range(1, 126));
+      break;
+    case 1: // insert a random byte
+      S.insert(Pos, 1, static_cast<char>(Rng.range(1, 126)));
+      break;
+    case 2: { // delete a span
+      size_t Len = static_cast<size_t>(Rng.range(1, 8));
+      S.erase(Pos, Len);
+      break;
+    }
+    case 3: // truncate
+      S.resize(Pos);
+      break;
+    case 4: { // splice with another corpus entry
+      std::string Other = Corpus[Rng.next() % CorpusSize];
+      S = S.substr(0, Pos) + Other.substr(Rng.next() % Other.size());
+      break;
+    }
+    case 5: { // token swap
+      const char *From = SwapTokens[Rng.next() % SwapTokenCount];
+      const char *To = SwapTokens[Rng.next() % SwapTokenCount];
+      size_t At = S.find(From, Pos);
+      if (At == std::string::npos)
+        At = S.find(From);
+      if (At != std::string::npos)
+        S = S.substr(0, At) + To + S.substr(At + std::strlen(From));
+      break;
+    }
+    case 6: { // replace a digit run with an extreme number
+      size_t D = S.find_first_of("0123456789", Pos);
+      if (D == std::string::npos)
+        D = S.find_first_of("0123456789");
+      if (D != std::string::npos) {
+        size_t End = S.find_first_not_of("0123456789", D);
+        if (End == std::string::npos)
+          End = S.size();
+        S = S.substr(0, D) + ExtremeNumbers[Rng.next() % ExtremeNumberCount] +
+            S.substr(End);
+      }
+      break;
+    }
+    }
+  }
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Mutated-IL fuzzing
+//===----------------------------------------------------------------------===//
+
+class CrashFuzz : public ::testing::TestWithParam<int> {};
+
+/// The documented safe pipeline: parse, verify, compile. Any input either
+/// makes it through or leaves diagnostics behind; nothing aborts and no
+/// exception escapes the checked boundaries.
+TEST_P(CrashFuzz, MutatedILNeverAborts) {
+  Prng Rng(static_cast<uint64_t>(GetParam()) * 1000003 + 17);
+  constexpr int MutantsPerSeed = 100;
+
+  for (int M = 0; M != MutantsPerSeed; ++M) {
+    std::string Input = Corpus[Rng.next() % CorpusSize];
+    Input = mutate(std::move(Input), Rng);
+
+    DiagnosticEngine Engine(8);
+    try {
+      Expected<frontend::ParsedProgram> P =
+          frontend::parseILChecked(Input, Engine);
+      if (!P) {
+        ASSERT_TRUE(Engine.hasErrors())
+            << "parse failed without a diagnostic; input:\n" << Input;
+        continue;
+      }
+      if (!passes::verifyChecked(P->Program, Engine, "after parsing")) {
+        ASSERT_TRUE(Engine.hasErrors())
+            << "verify failed without a diagnostic; input:\n" << Input;
+        continue;
+      }
+      codegen::CompilerOptions Opts;
+      Opts.GlobalSize = {16, 1, 1};
+      Opts.LocalSize = {4, 1, 1};
+      Opts.VerifyEach = true;
+      Expected<codegen::CompiledKernel> K =
+          codegen::compileChecked(P->Program, Opts, Engine);
+      if (!K) {
+        ASSERT_TRUE(Engine.hasErrors())
+            << "compile failed without a diagnostic; input:\n" << Input;
+      }
+    } catch (const std::exception &E) {
+      FAIL() << "exception escaped the checked pipeline (seed "
+             << GetParam() << ", mutant " << M << "): " << E.what()
+             << "\ninput:\n" << Input;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrashFuzz, ::testing::Range(0, 128));
+
+//===----------------------------------------------------------------------===//
+// Random well-typed IR
+//===----------------------------------------------------------------------===//
+
+/// Builds a random layout pipeline over a [float]48 input, ending in one
+/// of three compute shapes: a global map, a work-group/local nest through
+/// local memory, or a per-chunk sequential reduction.
+LambdaPtr generateWellTyped(uint64_t Seed, size_t &OutCount) {
+  Prng Rng(Seed ^ 0xfeedface);
+  const int64_t N = 48;
+
+  ParamPtr X = param("x", arrayOf(float32(), arith::cst(N)));
+  ExprPtr E = X;
+
+  // Layout stages over the outer dimension, tracked as a shape list.
+  std::vector<int64_t> Shape = {N};
+  int Stages = static_cast<int>(Rng.range(0, 4));
+  for (int S = 0; S != Stages; ++S) {
+    switch (Rng.range(0, 3)) {
+    case 0: { // split by a divisor of the outer dim
+      std::vector<int64_t> Divisors;
+      for (int64_t D = 2; D < Shape.front(); ++D)
+        if (Shape.front() % D == 0)
+          Divisors.push_back(D);
+      if (Divisors.empty())
+        break;
+      int64_t F = Divisors[Rng.next() % Divisors.size()];
+      int64_t Outer = Shape.front() / F;
+      Shape.front() = F;
+      Shape.insert(Shape.begin(), Outer);
+      E = pipe(E, split(F));
+      break;
+    }
+    case 1: // reverse the outer dimension
+      E = pipe(E, gather(reverseIndex()));
+      break;
+    case 2: // join when 2D+
+      if (Shape.size() < 2)
+        break;
+      E = pipe(E, join());
+      Shape[1] *= Shape[0];
+      Shape.erase(Shape.begin());
+      break;
+    case 3: // transpose when 2D+
+      if (Shape.size() < 2)
+        break;
+      E = pipe(E, transpose());
+      std::swap(Shape[0], Shape[1]);
+      break;
+    }
+  }
+
+  // Compute stage.
+  FunDeclPtr Sq = prelude::squareFun();
+  for (size_t D = 1; D < Shape.size(); ++D)
+    Sq = mapSeq(Sq);
+  E = pipe(E, mapGlb(Sq));
+  for (size_t D = 1; D < Shape.size(); ++D)
+    E = pipe(E, join());
+  OutCount = static_cast<size_t>(N);
+  return lambda({X}, E);
+}
+
+class WellTypedFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(WellTypedFuzz, AlwaysCompilesCleanAndRunsGuarded) {
+  constexpr int ProgramsPerSeed = 8;
+  for (int I = 0; I != ProgramsPerSeed; ++I) {
+    uint64_t Seed = static_cast<uint64_t>(GetParam()) * 131 + I;
+    size_t OutCount = 0;
+    LambdaPtr P = generateWellTyped(Seed, OutCount);
+
+    DiagnosticEngine Engine;
+    codegen::CompilerOptions Opts;
+    Opts.GlobalSize = {16, 1, 1};
+    Opts.LocalSize = {4, 1, 1};
+    Opts.VerifyEach = true;
+    Expected<codegen::CompiledKernel> K =
+        codegen::compileChecked(P, Opts, Engine);
+    ASSERT_TRUE(bool(K)) << "well-typed program rejected (seed " << Seed
+                         << "):\n" << Engine.render();
+    ASSERT_FALSE(Engine.hasErrors()) << Engine.render();
+
+    // Execute a quarter of them under full dynamic checking: guarded
+    // memory and the race detector must both come back clean.
+    if (I % 4 != 0)
+      continue;
+    ocl::Buffer In = ocl::Buffer::ofFloats(randomFloats(48, Seed));
+    ocl::Buffer Out = ocl::Buffer::zeros(OutCount);
+    std::vector<ocl::Buffer *> Bufs = {&In, &Out};
+    ocl::LaunchConfig Cfg = ocl::LaunchConfig::fromOptions(Opts);
+    Cfg.CheckRaces = true;
+    Cfg.CheckMemory = true;
+    Expected<ocl::LaunchResult> R =
+        ocl::launchChecked(*K, Bufs, {{"N", 48}}, Cfg, Engine);
+    ASSERT_TRUE(bool(R)) << Engine.render();
+    EXPECT_TRUE(R->Races.clean()) << R->Races.summary();
+    EXPECT_TRUE(R->Guards.clean()) << R->Guards.summary();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WellTypedFuzz, ::testing::Range(0, 128));
+
+} // namespace

@@ -1,0 +1,213 @@
+//===- DiagnosticsTest.cpp - Diagnostics engine and error-code tests ------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table-driven coverage of the diagnostics pipeline: every class of
+/// malformed input runs through the documented safe pipeline (parse,
+/// verify, compile) and must produce the expected stable error code at
+/// the expected source line — never an abort. Also covers the engine
+/// mechanics themselves: multi-error recovery, the --max-errors cap, and
+/// the rendered "error[E0102]" format.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+#include "frontend/ILParser.h"
+#include "passes/Verify.h"
+#include "support/Diagnostics.h"
+
+#include <gtest/gtest.h>
+
+using namespace lift;
+
+namespace {
+
+/// Runs the full checked pipeline on one source and collects everything
+/// it reports. Verification failures gate compilation, exactly as liftc
+/// does under --verify-each.
+std::vector<Diagnostic> diagnose(const std::string &Source) {
+  DiagnosticEngine Engine(32);
+  Expected<frontend::ParsedProgram> P =
+      frontend::parseILChecked(Source, Engine);
+  if (P && passes::verifyChecked(P->Program, Engine, "after parsing")) {
+    codegen::CompilerOptions Opts;
+    Opts.GlobalSize = {16, 1, 1};
+    Opts.LocalSize = {4, 1, 1};
+    Opts.VerifyEach = true;
+    codegen::compileChecked(P->Program, Opts, Engine);
+  }
+  return Engine.diagnostics();
+}
+
+struct MalformedCase {
+  const char *Name;
+  const char *Source;
+  DiagCode Code;    ///< A diagnostic with this code must be reported.
+  unsigned Line;    ///< Expected 1-based line of that diagnostic; 0 = any.
+  const char *Substr; ///< Required substring of its message.
+};
+
+std::string deepNesting() {
+  std::string S = "fun(x: [float]N) => ";
+  for (int I = 0; I != 250; ++I)
+    S += "mapSeq(";
+  S += "id";
+  for (int I = 0; I != 250; ++I)
+    S += ")";
+  S += "(x)";
+  return S;
+}
+
+const MalformedCase Cases[] = {
+    // 1xx — lexing and parsing.
+    {"UnterminatedString", "def f(x: float): float = \"return x;",
+     DiagCode::ParseUnterminatedString, 1, "unterminated"},
+    {"UnexpectedChar", "fun(x: [float]N) => ?x",
+     DiagCode::ParseUnexpectedChar, 1, "unexpected character"},
+    {"UnknownFunction", "fun(x: [float]N) => bogus(x)",
+     DiagCode::ParseUnknownFunction, 1, "unknown function 'bogus'"},
+    {"UnknownType", "fun(x: [whatever]N) => x", DiagCode::ParseUnknownType,
+     1, "unknown type"},
+    {"MissingCBody",
+     "def f(x: float): float = 42\nfun(x: [float]N) => mapGlb0(f)(x)",
+     DiagCode::ParseExpectedString, 1, "expected the C body"},
+    {"MissingProgramHeader", "def f(x: float): float = \"return x;\"",
+     DiagCode::ParseExpectedProgramHeader, 0, "program header"},
+    {"TrailingInput", "fun(x: [float]N) => mapSeq(id)(x) x",
+     DiagCode::ParseTrailingInput, 1, "trailing input"},
+    {"ExpectedIdentifier", "def (x: float): float = \"return x;\"",
+     DiagCode::ParseExpectedIdentifier, 1, "expected identifier"},
+    {"ExpectedExpression", "fun(x: [float]N) =>",
+     DiagCode::ParseExpectedExpression, 1, "expected expression"},
+    {"MissingArraySize", "fun(x: [float]) => x", DiagCode::ParseExpectedSize,
+     1, "size"},
+    {"UnknownIndexFunction",
+     "fun(x: [float]N) => mapGlb0(id)(gather(nope)(x))",
+     DiagCode::ParseUnknownIndexFunction, 1, "unknown index function"},
+    {"NestingTooDeep", "", DiagCode::ParseTooDeep, 1, "nesting too deep"},
+    {"IterateCountTooBig",
+     "fun(x: [float]N) => iterate(9999999, mapSeq(id))(x)",
+     DiagCode::ParseBadCount, 1, ""},
+    {"AsVectorWidthTooBig",
+     "fun(x: [float]N) => asScalar(asVector(64)(x))", DiagCode::ParseBadCount,
+     1, "asVector width"},
+
+    // 2xx — type analysis.
+    {"MapOfScalar", "fun(x: float) => mapGlb0(id)(x)",
+     DiagCode::TypeExpectsArray, 0, "array"},
+    {"ZipUnequalLengths",
+     "def g(p: (float, float)): float = \"return p._0;\"\n"
+     "fun(x: [float]N, y: [float]M) => mapGlb0(g)(zip(x, y))",
+     DiagCode::TypeUnequalLengths, 0, "equal array lengths"},
+    {"UserFunArity",
+     "def g(a: float, b: float): float = \"return a;\"\n"
+     "fun(x: [float]N) => mapGlb0(g)(x)", DiagCode::TypeArityMismatch, 0,
+     ""},
+
+    // 3xx — verifier findings.
+    {"MapLclOutsideWrg", "fun(x: [float]N) => mapLcl0(id)(x)",
+     DiagCode::VerifyAddressSpace, 0, "mapLcl requires an enclosing mapWrg"},
+    {"ToLocalOutsideWrg", "fun(x: [float]N) => toLocal(mapSeq(id))(x)",
+     DiagCode::VerifyAddressSpace, 0, "toLocal requires an enclosing"},
+    {"MapGlbUnderWrg",
+     "fun(x: [float]N) => join(mapWrg0(mapGlb0(id))(split(4)(x)))",
+     DiagCode::VerifyAddressSpace, 0, "mapGlb cannot nest"},
+    {"SplitByZero", "fun(x: [float]N) => join(split(0)(x))",
+     DiagCode::VerifyBadLength, 0, "split factor"},
+
+    // 4xx — code generation.
+    {"UserFunBodySyntax",
+     "def f(x: float): float = \"return $;\"\n"
+     "fun(x: [float]N) => mapGlb0(f)(x)", DiagCode::CodegenUserFunSyntax, 0,
+     "user function parse error"},
+};
+
+class MalformedIL : public ::testing::TestWithParam<MalformedCase> {};
+
+TEST_P(MalformedIL, ReportsExpectedCodeAndLocation) {
+  const MalformedCase &C = GetParam();
+  std::string Source =
+      std::string(C.Name) == "NestingTooDeep" ? deepNesting() : C.Source;
+  std::vector<Diagnostic> Diags = diagnose(Source);
+
+  ASSERT_FALSE(Diags.empty()) << C.Name << ": no diagnostics for:\n"
+                              << Source;
+  const Diagnostic *Match = nullptr;
+  for (const Diagnostic &D : Diags)
+    if (D.Code == C.Code) {
+      Match = &D;
+      break;
+    }
+  std::string All;
+  for (const Diagnostic &D : Diags)
+    All += "  " + D.render() + "\n";
+  ASSERT_NE(Match, nullptr) << C.Name << ": expected " << diagCodeId(C.Code)
+                            << ", got:\n" << All;
+  if (C.Line != 0)
+    EXPECT_EQ(Match->Loc.Line, C.Line) << C.Name << ": " << Match->render();
+  if (C.Substr[0] != '\0')
+    EXPECT_NE(Match->Message.find(C.Substr), std::string::npos)
+        << C.Name << ": " << Match->render();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table, MalformedIL, ::testing::ValuesIn(Cases),
+    [](const ::testing::TestParamInfo<MalformedCase> &I) {
+      return I.param.Name;
+    });
+
+//===----------------------------------------------------------------------===//
+// Engine mechanics
+//===----------------------------------------------------------------------===//
+
+TEST(DiagnosticEngineTest, RecoversAcrossTopLevelDeclarations) {
+  // Two independent parse errors in separate defs: the parser resynchronizes
+  // and reports both in one run.
+  std::vector<Diagnostic> Diags = diagnose(
+      "def f(x: float): float = 42\n"
+      "def g(x: float): float = 43\n"
+      "fun(x: [float]N) => mapGlb0(id)(x)");
+  unsigned BodyErrors = 0;
+  for (const Diagnostic &D : Diags)
+    BodyErrors += D.Code == DiagCode::ParseExpectedString;
+  EXPECT_GE(BodyErrors, 2u);
+}
+
+TEST(DiagnosticEngineTest, MaxErrorsCapsReporting) {
+  DiagnosticEngine Engine(3);
+  for (int I = 0; I != 10; ++I)
+    Engine.error(DiagCode::ParseUnexpectedToken, DiagLocation::atLine(1),
+                 "error " + std::to_string(I));
+  EXPECT_TRUE(Engine.errorLimitReached());
+  // All errors are counted, but only MaxErrors are kept (plus the
+  // suppression note).
+  EXPECT_EQ(Engine.errorCount(), 10u);
+  unsigned Stored = 0;
+  for (const Diagnostic &D : Engine.diagnostics())
+    Stored += D.Severity == DiagSeverity::Error;
+  EXPECT_EQ(Stored, 3u);
+}
+
+TEST(DiagnosticEngineTest, RenderUsesStableCodeIds) {
+  DiagnosticEngine Engine;
+  Engine.error(DiagCode::ParseUnterminatedString, DiagLocation::atLine(7),
+               "unterminated string");
+  std::string R = Engine.diagnostics().front().render();
+  EXPECT_NE(R.find("error[E0102]"), std::string::npos) << R;
+  EXPECT_NE(R.find("line 7"), std::string::npos) << R;
+}
+
+TEST(DiagnosticEngineTest, WellFormedProgramIsClean) {
+  std::vector<Diagnostic> Diags = diagnose(
+      "def sq(x: float): float = \"return x * x;\"\n"
+      "fun(x: [float]N) => mapGlb0(sq)(x)");
+  std::string All;
+  for (const Diagnostic &D : Diags)
+    All += D.render() + "\n";
+  EXPECT_TRUE(Diags.empty()) << All;
+}
+
+} // namespace

@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "TestHelpers.h"
+#include "suite/Benchmark.h"
 
 #include <gtest/gtest.h>
 
@@ -494,5 +495,41 @@ INSTANTIATE_TEST_SUITE_P(OptLevels, E2E,
                            }
                            return std::string("Unknown");
                          });
+
+
+//===----------------------------------------------------------------------===//
+// Verifier smoke over the benchmark suite
+//===----------------------------------------------------------------------===//
+
+class VerifyEachSmoke : public ::testing::TestWithParam<int> {};
+
+/// Every benchmark compiles and validates with the IR verifier running
+/// after each pipeline stage (the liftc --verify-each path): the verifier
+/// must accept everything the real pipeline produces.
+TEST_P(VerifyEachSmoke, BenchmarksPassTheVerifier) {
+  std::vector<bench::BenchmarkCase> All = bench::allBenchmarks(false);
+  ASSERT_LT(static_cast<size_t>(GetParam()), All.size());
+  bench::BenchmarkCase &Case = All[static_cast<size_t>(GetParam())];
+
+  bench::RunOptions Run;
+  Run.VerifyEach = true;
+  for (bench::OptConfig C :
+       {bench::OptConfig::Full, bench::OptConfig::None}) {
+    bench::Outcome Out = bench::runLift(Case, C, Run);
+    EXPECT_TRUE(Out.Valid)
+        << Case.Name << " under " << bench::optConfigName(C);
+  }
+}
+
+std::string smokeBenchName(const ::testing::TestParamInfo<int> &I) {
+  static const char *Names[] = {"NBodyNvidia", "NBodyAmd", "MD",
+                                "KMeans",      "NN",       "MriQ",
+                                "Convolution", "Atax",     "Gemv",
+                                "Gesummv",     "MMNvidia", "MMAmd"};
+  return Names[static_cast<size_t>(I.param)];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, VerifyEachSmoke,
+                         ::testing::Range(0, 12), smokeBenchName);
 
 } // namespace

@@ -1,0 +1,231 @@
+//===- MemGuardTest.cpp - Guarded-memory execution tests ------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Guarded-memory execution (ocl/MemGuard.h): planted out-of-bounds and
+/// uninitialized accesses must surface as structured findings (with the
+/// run completing), clean kernels and all twelve benchmarks must produce
+/// none, and the checked launch must turn findings into diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#include "suite/Benchmark.h"
+#include "cparse/CParser.h"
+#include "ocl/Runtime.h"
+#include "support/Diagnostics.h"
+
+#include <gtest/gtest.h>
+
+using namespace lift;
+using namespace lift::ocl;
+
+namespace {
+
+codegen::CompiledKernel kernelFrom(const std::string &Src) {
+  cparse::ParseContext Ctx;
+  return wrapModule(cparse::parseModule(Src, Ctx));
+}
+
+LaunchConfig guarded(int64_t Global, int64_t Local) {
+  LaunchConfig Cfg;
+  Cfg.Global = {Global, 1, 1};
+  Cfg.Local = {Local, 1, 1};
+  Cfg.CheckMemory = true;
+  return Cfg;
+}
+
+TEST(MemGuardTest, PlantedOobWriteIsCaughtAndDropped) {
+  // The last work-item stores one element past the end of out.
+  auto K = kernelFrom(R"(
+kernel void oob(global float *in, global float *out) {
+  int g = get_global_id(0);
+  out[g + 1] = in[g];
+}
+)");
+  Buffer In = Buffer::ofFloats({1, 2, 3, 4, 5, 6, 7, 8});
+  Buffer Out = Buffer::zeros(8);
+  RaceReport Races;
+  GuardReport Guards;
+  launch(K, {&In, &Out}, {}, guarded(8, 4), Races, Guards);
+
+  ASSERT_EQ(Guards.oobWrites(), 1u) << Guards.summary();
+  EXPECT_EQ(Guards.Findings[0].Location, "out[8]");
+  EXPECT_GT(Guards.AccessesChecked, 0u);
+  // The stray store was dropped; in-bounds stores still landed.
+  EXPECT_FLOAT_EQ(Out.toFloats()[1], 1);
+}
+
+TEST(MemGuardTest, PlantedOobReadReturnsZeroAndIsCaught) {
+  auto K = kernelFrom(R"(
+kernel void oobr(global float *in, global float *out) {
+  int g = get_global_id(0);
+  out[g] = in[g + 1];
+}
+)");
+  Buffer In = Buffer::ofFloats({1, 2, 3, 4});
+  Buffer Out = Buffer::zeros(4);
+  RaceReport Races;
+  GuardReport Guards;
+  launch(K, {&In, &Out}, {}, guarded(4, 2), Races, Guards);
+
+  ASSERT_EQ(Guards.oobReads(), 1u) << Guards.summary();
+  EXPECT_EQ(Guards.Findings[0].Location, "in[4]");
+  // The out-of-bounds load produced zero, and the run completed.
+  EXPECT_FLOAT_EQ(Out.toFloats()[3], 0);
+  EXPECT_FLOAT_EQ(Out.toFloats()[0], 2);
+}
+
+TEST(MemGuardTest, UninitializedReadIsCaught) {
+  // tmp[g] is written only for even items; odd items read what no store
+  // ever wrote.
+  auto K = kernelFrom(R"(
+kernel void uninit(global float *tmp, global float *out) {
+  int g = get_global_id(0);
+  if (g % 2 == 0) {
+    tmp[g] = 1.0f;
+  }
+  out[g] = tmp[g];
+}
+)");
+  Buffer Tmp = Buffer::zeros(8);
+  Buffer Out = Buffer::zeros(8);
+  RaceReport Races;
+  GuardReport Guards;
+  launch(K, {&Tmp, &Out}, {}, guarded(8, 8), Races, Guards);
+
+  EXPECT_EQ(Guards.uninitReads(), 4u) << Guards.summary();
+  EXPECT_EQ(Guards.oobWrites(), 0u);
+}
+
+TEST(MemGuardTest, HostDataCountsAsInitialized) {
+  auto K = kernelFrom(R"(
+kernel void copy(global float *in, global float *out) {
+  int g = get_global_id(0);
+  out[g] = in[g];
+}
+)");
+  Buffer In = Buffer::ofFloats({1, 2, 3, 4});
+  Buffer Out = Buffer::zeros(4);
+  RaceReport Races;
+  GuardReport Guards;
+  launch(K, {&In, &Out}, {}, guarded(4, 2), Races, Guards);
+  EXPECT_TRUE(Guards.clean()) << Guards.summary();
+}
+
+TEST(MemGuardTest, InitializationPersistsAcrossLaunches) {
+  // Stage 1 writes tmp; stage 2 reads it back. The bitmap lives with the
+  // buffer, so the second launch sees stage 1's writes as initialized.
+  auto Writer = kernelFrom(R"(
+kernel void writer(global float *tmp) {
+  tmp[get_global_id(0)] = 2.0f;
+}
+)");
+  auto Reader = kernelFrom(R"(
+kernel void reader(global float *tmp, global float *out) {
+  int g = get_global_id(0);
+  out[g] = tmp[g];
+}
+)");
+  Buffer Tmp = Buffer::zeros(4);
+  Buffer Out = Buffer::zeros(4);
+  RaceReport R1, R2;
+  GuardReport G1, G2;
+  launch(Writer, {&Tmp}, {}, guarded(4, 2), R1, G1);
+  launch(Reader, {&Tmp, &Out}, {}, guarded(4, 2), R2, G2);
+  EXPECT_TRUE(G1.clean()) << G1.summary();
+  EXPECT_TRUE(G2.clean()) << G2.summary();
+}
+
+TEST(MemGuardTest, DuplicateFindingsAreDeduplicated) {
+  // Every item of every group reads in[-1]: one finding, not global-size.
+  auto K = kernelFrom(R"(
+kernel void dup(global float *in, global float *out) {
+  out[get_global_id(0)] = in[-1];
+}
+)");
+  Buffer In = Buffer::ofFloats({1, 2, 3, 4});
+  Buffer Out = Buffer::zeros(8);
+  RaceReport Races;
+  GuardReport Guards;
+  launch(K, {&In, &Out}, {}, guarded(8, 4), Races, Guards);
+  EXPECT_EQ(Guards.Findings.size(), 1u) << Guards.summary();
+}
+
+TEST(MemGuardTest, CheckedLaunchRecordsDiagnostics) {
+  auto K = kernelFrom(R"(
+kernel void oob(global float *in, global float *out) {
+  int g = get_global_id(0);
+  out[g + 1] = in[g];
+}
+)");
+  Buffer In = Buffer::ofFloats({1, 2, 3, 4});
+  Buffer Out = Buffer::zeros(4);
+  DiagnosticEngine Engine;
+  Expected<LaunchResult> R =
+      launchChecked(K, {&In, &Out}, {}, guarded(4, 2), Engine);
+  ASSERT_TRUE(bool(R));
+  EXPECT_FALSE(R->clean());
+  ASSERT_TRUE(Engine.hasErrors());
+  bool Found = false;
+  for (const Diagnostic &D : Engine.diagnostics())
+    Found |= D.Code == DiagCode::RuntimeOutOfBounds;
+  EXPECT_TRUE(Found) << Engine.render();
+}
+
+TEST(MemGuardTest, OfVectorsWidthMismatchIsADiagnostic) {
+  try {
+    Buffer::ofVectors({1, 2, 3, 4, 5}, 4); // 5 floats cannot pack as float4
+    FAIL() << "expected a diagnostic";
+  } catch (const DiagnosticError &E) {
+    EXPECT_EQ(E.Diag.Code, DiagCode::HostBadBuffer) << E.Diag.render();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Benchmarks under guarded memory
+//===----------------------------------------------------------------------===//
+
+class BenchMemTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BenchMemTest, BenchmarksAreMemoryClean) {
+  std::vector<bench::BenchmarkCase> All = bench::allBenchmarks(false);
+  ASSERT_LT(static_cast<size_t>(GetParam()), All.size());
+  bench::BenchmarkCase &Case = All[static_cast<size_t>(GetParam())];
+
+  bench::RunOptions Check;
+  Check.CheckMemory = true;
+
+  // With barrier elimination (and all other optimizations) on.
+  bench::Outcome Full = bench::runLift(Case, bench::OptConfig::Full, Check);
+  EXPECT_TRUE(Full.Valid) << Case.Name;
+  EXPECT_TRUE(Full.Guards.clean())
+      << Case.Name << ": " << Full.Guards.summary();
+  EXPECT_GT(Full.Guards.AccessesChecked, 0u);
+
+  // With every optimization (barrier elimination included) off.
+  bench::Outcome None = bench::runLift(Case, bench::OptConfig::None, Check);
+  EXPECT_TRUE(None.Valid) << Case.Name;
+  EXPECT_TRUE(None.Guards.clean())
+      << Case.Name << ": " << None.Guards.summary();
+
+  // The hand-written reference is memory-clean too.
+  bench::Outcome Ref = bench::runReference(Case, Check);
+  EXPECT_TRUE(Ref.Valid) << Case.Name;
+  EXPECT_TRUE(Ref.Guards.clean()) << Case.Name << ": " << Ref.Guards.summary();
+}
+
+std::string benchName(const ::testing::TestParamInfo<int> &I) {
+  static const char *Names[] = {"NBodyNvidia", "NBodyAmd", "MD",
+                                "KMeans",      "NN",       "MriQ",
+                                "Convolution", "Atax",     "Gemv",
+                                "Gesummv",     "MMNvidia", "MMAmd"};
+  return Names[static_cast<size_t>(I.param)];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchMemTest, ::testing::Range(0, 12),
+                         benchName);
+
+} // namespace

@@ -7,6 +7,7 @@
 #include "ir/DSL.h"
 #include "ir/Prelude.h"
 #include "ir/TypeInference.h"
+#include "support/Diagnostics.h"
 #include "arith/Bounds.h"
 #include "support/Casting.h"
 
@@ -177,23 +178,43 @@ TEST_F(InferenceTest, GetProjectsTupleComponent) {
   EXPECT_TRUE(typeEquals(inferProgramTypes(P), arrayOf(int32(), N)));
 }
 
+
+/// Expects \p Fn to raise a structured diagnostic whose message contains
+/// \p Substr and whose code is \p Code. Type errors are recoverable
+/// throws, not aborts (see support/Diagnostics.h).
+template <typename Fn>
+static void expectTypeDiag(Fn &&F, lift::DiagCode Code,
+                           const std::string &Substr) {
+  try {
+    F();
+    FAIL() << "expected a diagnostic containing '" << Substr << "'";
+  } catch (const lift::DiagnosticError &E) {
+    EXPECT_EQ(E.Diag.Code, Code) << E.Diag.render();
+    EXPECT_NE(E.Diag.Message.find(Substr), std::string::npos)
+        << E.Diag.render();
+  }
+}
+
 TEST_F(InferenceTest, UserFunChecksParameterTypes) {
   ParamPtr X = param("x", arrayOf(int32(), N)); // wrong: sq wants float
   LambdaPtr P = lambda({X}, pipe(ExprPtr(X), mapSeq(prelude::squareFun())));
-  EXPECT_DEATH(inferProgramTypes(P), "parameter 0 expects float");
+  expectTypeDiag([&] { inferProgramTypes(P); }, lift::DiagCode::TypeMismatch,
+                 "parameter 0 expects float");
 }
 
 TEST_F(InferenceTest, ZipRequiresEqualLengths) {
   ParamPtr X = param("x", arrayOf(float32(), N));
   ParamPtr Y = param("y", arrayOf(float32(), M));
   LambdaPtr P = lambda({X, Y}, call(zip(), {X, Y}));
-  EXPECT_DEATH(inferProgramTypes(P), "equal array lengths");
+  expectTypeDiag([&] { inferProgramTypes(P); },
+                 lift::DiagCode::TypeUnequalLengths, "equal array lengths");
 }
 
 TEST_F(InferenceTest, MapRequiresArray) {
   ParamPtr X = param("x", float32());
   LambdaPtr P = lambda({X}, pipe(ExprPtr(X), mapSeq(prelude::squareFun())));
-  EXPECT_DEATH(inferProgramTypes(P), "expects an array");
+  expectTypeDiag([&] { inferProgramTypes(P); },
+                 lift::DiagCode::TypeExpectsArray, "expects an array");
 }
 
 TEST_F(InferenceTest, ReduceOperatorMustPreserveAccumulator) {
@@ -202,7 +223,8 @@ TEST_F(InferenceTest, ReduceOperatorMustPreserveAccumulator) {
   FunDeclPtr Bad = userFun("bad", {"a", "b"}, {float32(), float32()},
                            int32(), "return 0;");
   LambdaPtr P = lambda({X}, call(reduceSeq(Bad), {litFloat(0.0f), X}));
-  EXPECT_DEATH(inferProgramTypes(P), "accumulator type");
+  expectTypeDiag([&] { inferProgramTypes(P); }, lift::DiagCode::TypeMismatch,
+                 "accumulator type");
 }
 
 } // namespace

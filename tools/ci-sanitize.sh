@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+#===- tools/ci-sanitize.sh - Sanitized dynamic-checking tier --------------===#
+#
+# Part of the lift-cpp project. MIT licensed.
+#
+# Builds the tree under -fsanitize=address,undefined and runs the
+# dynamic-checking test tier: race/divergence detection, differential
+# arithmetic fuzzing, guarded-memory tests, and the crash-resilience
+# fuzzer (>12k mutated IL inputs + >1k random well-typed programs; see
+# docs/DIAGNOSTICS.md). Any abort, sanitizer finding, or missing
+# diagnostic fails the run.
+#
+# Usage: tools/ci-sanitize.sh [build-dir]   (default: build-asan)
+#
+#===----------------------------------------------------------------------===#
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . -DLIFT_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# halt_on_error so the first sanitizer finding fails the test that hit it.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:abort_on_error=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+
+ctest --test-dir "$BUILD_DIR" -L check --output-on-failure -j "$(nproc)"

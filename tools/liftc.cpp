@@ -12,28 +12,41 @@
 //   liftc prog.lift --global 1024 --local 64 NDRange (1D shorthand)
 //   liftc prog.lift --size N=4096            bind a size variable
 //   liftc prog.lift --no-aas|--no-cfs|--no-be  toggle optimizations
+//   liftc prog.lift --verify-each            run the IR verifier after
+//                                            parsing and each pipeline stage
+//   liftc prog.lift --max-errors N           report up to N errors (default 20)
 //   liftc prog.lift --run                    execute with random inputs,
 //                                            report cost and a checksum
 //   liftc prog.lift --run --check-races      detect data races and barrier
 //                                            divergence while executing
+//   liftc prog.lift --run --check-memory     bounds- and initialization-check
+//                                            every element access
 //   liftc prog.lift --run --check-races --perturb-schedule [--schedule-seed N]
 //                                            also permute work-item order
+//
+// Exit codes: 0 = success; 1 = the input was rejected (diagnostics were
+// printed, including usage errors and race/memory findings); 2 = internal
+// error (a compiler bug, not an input problem).
 //
 //===----------------------------------------------------------------------===//
 
 #include "frontend/ILParser.h"
 #include "ir/Printer.h"
 #include "lift/Lift.h"
-#include "support/Error.h"
+#include "passes/Verify.h"
+#include "support/Diagnostics.h"
 
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <sstream>
 
 using namespace lift;
 
 namespace {
+
+enum ExitCode { ExitOk = 0, ExitDiagnostics = 1, ExitInternal = 2 };
 
 void usage() {
   std::fprintf(
@@ -42,7 +55,8 @@ void usage() {
       "             [--global N[,N[,N]]] [--local N[,N[,N]]]\n"
       "             [--size NAME=VALUE]... [--no-aas] [--no-cfs] "
       "[--no-be]\n"
-      "             [--check-races] [--perturb-schedule] "
+      "             [--verify-each] [--max-errors N]\n"
+      "             [--check-races] [--check-memory] [--perturb-schedule] "
       "[--schedule-seed N]\n");
 }
 
@@ -76,18 +90,23 @@ std::vector<float> randomFloats(size_t N, uint64_t Seed) {
   return R;
 }
 
-} // namespace
+/// Prints every recorded diagnostic to stderr.
+void flushDiagnostics(const DiagnosticEngine &Engine) {
+  for (const Diagnostic &D : Engine.diagnostics())
+    std::fprintf(stderr, "liftc: %s\n", D.render().c_str());
+}
 
-int main(int argc, char **argv) {
+int run(int argc, char **argv) {
   if (argc < 2) {
     usage();
-    return 2;
+    return ExitDiagnostics;
   }
 
   std::string File;
   bool PrintIl = false, Run = false;
   codegen::CompilerOptions Opts;
   std::map<std::string, int64_t> Sizes;
+  unsigned MaxErrors = 20;
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
@@ -101,28 +120,38 @@ int main(int argc, char **argv) {
       Opts.ControlFlowSimplification = false;
     } else if (A == "--no-be") {
       Opts.BarrierElimination = false;
+    } else if (A == "--verify-each") {
+      Opts.VerifyEach = true;
     } else if (A == "--check-races") {
       Opts.CheckRaces = true;
+    } else if (A == "--check-memory") {
+      Opts.CheckMemory = true;
     } else if (A == "--perturb-schedule") {
       Opts.PerturbSchedule = true;
     } else if (A == "--schedule-seed" && I + 1 < argc) {
       Opts.ScheduleSeed = std::strtoull(argv[++I], nullptr, 10);
+    } else if (A == "--max-errors" && I + 1 < argc) {
+      MaxErrors = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+      if (MaxErrors == 0) {
+        std::fprintf(stderr, "liftc: --max-errors needs a positive count\n");
+        return ExitDiagnostics;
+      }
     } else if (A == "--global" && I + 1 < argc) {
       if (!parseDims(argv[++I], Opts.GlobalSize)) {
         usage();
-        return 2;
+        return ExitDiagnostics;
       }
     } else if (A == "--local" && I + 1 < argc) {
       if (!parseDims(argv[++I], Opts.LocalSize)) {
         usage();
-        return 2;
+        return ExitDiagnostics;
       }
     } else if (A == "--size" && I + 1 < argc) {
       std::string KV = argv[++I];
       size_t Eq = KV.find('=');
       if (Eq == std::string::npos) {
         usage();
-        return 2;
+        return ExitDiagnostics;
       }
       Sizes[KV.substr(0, Eq)] = std::strtoll(KV.c_str() + Eq + 1, nullptr,
                                              10);
@@ -130,37 +159,57 @@ int main(int argc, char **argv) {
       File = A;
     } else {
       usage();
-      return 2;
+      return ExitDiagnostics;
     }
   }
   if (File.empty()) {
     usage();
-    return 2;
+    return ExitDiagnostics;
   }
 
   std::ifstream In(File);
   if (!In) {
     std::fprintf(stderr, "liftc: cannot open %s\n", File.c_str());
-    return 1;
+    return ExitDiagnostics;
   }
   std::stringstream SS;
   SS << In.rdbuf();
 
-  frontend::ParsedProgram P = frontend::parseIL(SS.str());
+  DiagnosticEngine Engine(MaxErrors);
+
+  // Parsing recovers across top-level declarations, so several errors are
+  // reported in one invocation (up to --max-errors).
+  Expected<frontend::ParsedProgram> P = frontend::parseILChecked(SS.str(),
+                                                                 Engine);
+  if (!P) {
+    flushDiagnostics(Engine);
+    return ExitDiagnostics;
+  }
   if (PrintIl)
-    std::printf("// parsed IL\n%s\n", ir::printProgram(P.Program).c_str());
+    std::printf("// parsed IL\n%s\n", ir::printProgram(P->Program).c_str());
+
+  if (Opts.VerifyEach &&
+      !passes::verifyChecked(P->Program, Engine, "after parsing")) {
+    flushDiagnostics(Engine);
+    return ExitDiagnostics;
+  }
 
   Opts.KernelName = "liftc_kernel";
-  codegen::CompiledKernel K = codegen::compile(P.Program, Opts);
-  std::printf("%s", K.Source.c_str());
+  Expected<codegen::CompiledKernel> K =
+      codegen::compileChecked(P->Program, Opts, Engine);
+  if (!K) {
+    flushDiagnostics(Engine);
+    return ExitDiagnostics;
+  }
+  std::printf("%s", K->Source.c_str());
 
   if (!Run)
-    return 0;
+    return ExitOk;
 
   // Bind size variables; default unbound ones to 1024.
   arith::EvalContext SizeCtx;
   std::map<unsigned, int64_t> SizeEnv;
-  for (const auto &[Name, Var] : P.SizeVars) {
+  for (const auto &[Name, Var] : P->SizeVars) {
     auto It = Sizes.find(Name);
     int64_t V = It != Sizes.end() ? It->second : 1024;
     Sizes[Name] = V;
@@ -169,7 +218,8 @@ int main(int argc, char **argv) {
   SizeCtx.VarValue = [&](const arith::VarNode &V) -> int64_t {
     auto It = SizeEnv.find(V.getId());
     if (It == SizeEnv.end())
-      fatalError("liftc: unbound size variable " + V.getName());
+      throwDiag(DiagCode::HostUnboundSize, DiagLocation(),
+                "liftc: unbound size variable " + V.getName());
     return It->second;
   };
 
@@ -177,7 +227,7 @@ int main(int argc, char **argv) {
   std::vector<ocl::Buffer> Buffers;
   std::vector<ocl::Buffer *> Args;
   uint64_t Seed = 1;
-  for (const codegen::KernelParamInfo &Param : K.Params) {
+  for (const codegen::KernelParamInfo &Param : K->Params) {
     if (Param.IsSizeParam || !Param.Store || !Param.Store->NumElements)
       continue;
     int64_t Count = arith::evaluate(Param.Store->NumElements, SizeCtx);
@@ -191,29 +241,47 @@ int main(int argc, char **argv) {
     Args.push_back(&B);
 
   ocl::LaunchConfig Cfg = ocl::LaunchConfig::fromOptions(Opts);
-  ocl::RaceReport Races;
-  ocl::CostReport Cost = Opts.CheckRaces
-                             ? ocl::launch(K, Args, Sizes, Cfg, Races)
-                             : ocl::launch(K, Args, Sizes, Cfg);
+  Expected<ocl::LaunchResult> R =
+      ocl::launchChecked(*K, Args, Sizes, Cfg, Engine);
+  if (!R) {
+    flushDiagnostics(Engine);
+    return ExitDiagnostics;
+  }
 
   double Checksum = 0;
   for (float V : Buffers.back().toFlatFloats())
     Checksum += V;
   std::printf("\n// run: cost=%.0f global=%llu local=%llu barriers=%llu "
               "divmod=%llu checksum=%.6g\n",
-              Cost.cost(),
-              static_cast<unsigned long long>(Cost.GlobalAccesses),
-              static_cast<unsigned long long>(Cost.LocalAccesses),
-              static_cast<unsigned long long>(Cost.Barriers),
-              static_cast<unsigned long long>(Cost.DivModOps), Checksum);
+              R->Cost.cost(),
+              static_cast<unsigned long long>(R->Cost.GlobalAccesses),
+              static_cast<unsigned long long>(R->Cost.LocalAccesses),
+              static_cast<unsigned long long>(R->Cost.Barriers),
+              static_cast<unsigned long long>(R->Cost.DivModOps), Checksum);
 
-  if (Opts.CheckRaces) {
-    std::printf("// race check: %s\n", Races.summary().c_str());
-    for (const ocl::RaceFinding &F : Races.Findings)
-      std::fprintf(stderr, "liftc: %s: %s\n", ocl::RaceFinding::kindName(F.K),
-                   F.Detail.c_str());
-    if (!Races.clean())
-      return 3;
+  if (Opts.CheckRaces)
+    std::printf("// race check: %s\n", R->Races.summary().c_str());
+  if (Opts.CheckMemory)
+    std::printf("// memory check: %s\n", R->Guards.summary().c_str());
+  if (Engine.hasErrors()) {
+    flushDiagnostics(Engine);
+    return ExitDiagnostics;
   }
-  return 0;
+  return ExitOk;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  try {
+    return run(argc, argv);
+  } catch (DiagnosticError &E) {
+    // A recoverable diagnostic that escaped a checked boundary: still an
+    // input problem, not a crash.
+    std::fprintf(stderr, "liftc: %s\n", E.Diag.render().c_str());
+    return ExitDiagnostics;
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "liftc: internal error: %s\n", E.what());
+    return ExitInternal;
+  }
 }
