@@ -20,6 +20,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 using namespace lift;
 using namespace lift::ir;
 using namespace lift::ir::dsl;
@@ -134,4 +137,26 @@ BENCHMARK(BM_RewriteLowering);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): record the run machine-readably
+// by default, as google-benchmark JSON in BENCH_compile.json. Any explicit
+// --benchmark_out / --benchmark_out_format flags take precedence.
+int main(int argc, char **argv) {
+  std::vector<char *> Args(argv, argv + argc);
+  bool HasOut = false;
+  for (int I = 1; I < argc; ++I)
+    if (std::string(argv[I]).rfind("--benchmark_out", 0) == 0)
+      HasOut = true;
+  static char OutFlag[] = "--benchmark_out=BENCH_compile.json";
+  static char FormatFlag[] = "--benchmark_out_format=json";
+  if (!HasOut) {
+    Args.push_back(OutFlag);
+    Args.push_back(FormatFlag);
+  }
+  int Argc = static_cast<int>(Args.size());
+  benchmark::Initialize(&Argc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(Argc, Args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -11,31 +11,105 @@
 // (1.0 = parity, as on the paper's y-axis). Costs come from the simulated
 // device's machine-independent cost model (see DESIGN.md).
 //
+// Besides the table, the run is recorded machine-readably: cost-model
+// units plus the wall-clock time of the fully-optimized configuration
+// executed serially (--threads 1) and on the worker pool, written as JSON
+// to BENCH_fig8.json (override with --json PATH).
+//
 //===----------------------------------------------------------------------===//
 
 #include "suite/Benchmark.h"
 
+#include <chrono>
 #include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
 
 using namespace lift;
 using namespace lift::bench;
 
+namespace {
+
+struct Row {
+  std::string Name;
+  std::string Size;
+  double RefCost = 0;
+  double GenCost[3] = {0, 0, 0};
+  double Rel[3] = {0, 0, 0};
+  double WallSerial = 0;
+  double WallThreaded = 0;
+  bool Valid = false;
+};
+
+double seconds(std::chrono::steady_clock::time_point From,
+               std::chrono::steady_clock::time_point To) {
+  return std::chrono::duration<double>(To - From).count();
+}
+
+void writeJson(const std::string &Path, const std::vector<Row> &Rows,
+               int ThreadsRequested, bool Quick) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "fig8_performance: cannot write %s\n", Path.c_str());
+    return;
+  }
+  std::fprintf(F, "{\n  \"schema\": \"lift-bench-fig8-v1\",\n");
+  std::fprintf(F, "  \"quick\": %s,\n", Quick ? "true" : "false");
+  std::fprintf(F, "  \"threads_requested\": %d,\n", ThreadsRequested);
+  std::fprintf(F, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(F, "  \"results\": [\n");
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const Row &R = Rows[I];
+    double Speedup = R.WallThreaded > 0 ? R.WallSerial / R.WallThreaded : 0;
+    std::fprintf(
+        F,
+        "    {\"benchmark\": \"%s\", \"size\": \"%s\", "
+        "\"reference_cost\": %.1f, "
+        "\"cost\": {\"none\": %.1f, \"barrier_cfs\": %.1f, \"full\": %.1f}, "
+        "\"relative\": {\"none\": %.6f, \"barrier_cfs\": %.6f, "
+        "\"full\": %.6f}, "
+        "\"wall_serial_s\": %.6f, \"wall_threaded_s\": %.6f, "
+        "\"speedup\": %.3f, \"valid\": %s}%s\n",
+        R.Name.c_str(), R.Size.c_str(), R.RefCost, R.GenCost[0], R.GenCost[1],
+        R.GenCost[2], R.Rel[0], R.Rel[1], R.Rel[2], R.WallSerial,
+        R.WallThreaded, Speedup, R.Valid ? "true" : "false",
+        I + 1 != Rows.size() ? "," : "");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+  std::printf("Wrote %s\n", Path.c_str());
+}
+
+} // namespace
+
 int main(int argc, char **argv) {
   bool Quick = false;
-  for (int I = 1; I < argc; ++I)
-    if (std::string(argv[I]) == "--quick")
+  int Threads = 0; // 0 = auto (LIFT_THREADS, else hardware concurrency)
+  std::string JsonPath = "BENCH_fig8.json";
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--quick")
       Quick = true;
+    else if (A == "--threads" && I + 1 < argc)
+      Threads = std::atoi(argv[++I]);
+    else if (A == "--json" && I + 1 < argc)
+      JsonPath = argv[++I];
+  }
 
   std::printf("=== Figure 8: relative performance of generated code vs. "
               "hand-written OpenCL ===\n");
   std::printf("(relative = reference cost / generated cost; 1.0 means "
               "parity; higher is better)\n\n");
-  std::printf("%-18s %-6s %12s | %10s %10s %10s | %s\n", "Benchmark", "Size",
-              "RefCost", "None", "BE+CFS", "+AAS", "valid");
+  std::printf("%-18s %-6s %12s | %10s %10s %10s | %9s %9s | %s\n",
+              "Benchmark", "Size", "RefCost", "None", "BE+CFS", "+AAS",
+              "serial-s", "pool-s", "valid");
 
   int Failures = 0;
   const OptConfig Configs[] = {OptConfig::None, OptConfig::BarrierCfs,
                                OptConfig::Full};
+  std::vector<Row> Rows;
 
   for (bool Large : {false, true}) {
     if (Large && Quick)
@@ -48,27 +122,55 @@ int main(int argc, char **argv) {
         ++Failures;
         continue;
       }
-      double Rel[3];
-      bool AllValid = true;
+      Row R;
+      R.Name = Case.Name;
+      R.Size = Case.SizeLabel;
+      R.RefCost = Ref.Cost.cost();
+      R.Valid = true;
       for (int CI = 0; CI != 3; ++CI) {
-        Outcome Out = runLift(Case, Configs[CI]);
-        Rel[CI] = Ref.Cost.cost() / Out.Cost.cost();
+        RunOptions Run;
+        Run.Threads = 1; // serial: the wall-clock baseline
+        auto T0 = std::chrono::steady_clock::now();
+        Outcome Out = runLift(Case, Configs[CI], Run);
+        auto T1 = std::chrono::steady_clock::now();
+        R.GenCost[CI] = Out.Cost.cost();
+        R.Rel[CI] = Ref.Cost.cost() / Out.Cost.cost();
+        if (Configs[CI] == OptConfig::Full)
+          R.WallSerial = seconds(T0, T1);
         if (!Out.Valid) {
-          AllValid = false;
+          R.Valid = false;
           std::printf("  !! %s %s [%s]: validation failed, max rel err "
                       "%.3g\n",
                       Case.Name.c_str(), Case.SizeLabel.c_str(),
                       optConfigName(Configs[CI]), Out.MaxError);
         }
       }
-      if (!AllValid)
+      {
+        // The same fully-optimized run on the worker pool; results are
+        // identical by construction (see docs/PARALLEL_RUNTIME.md), only
+        // wall-clock changes.
+        RunOptions Run;
+        Run.Threads = Threads;
+        auto T0 = std::chrono::steady_clock::now();
+        Outcome Out = runLift(Case, OptConfig::Full, Run);
+        auto T1 = std::chrono::steady_clock::now();
+        R.WallThreaded = seconds(T0, T1);
+        if (!Out.Valid)
+          R.Valid = false;
+      }
+      if (!R.Valid)
         ++Failures;
-      std::printf("%-18s %-6s %12.0f | %10.3f %10.3f %10.3f | %s\n",
-                  Case.Name.c_str(), Case.SizeLabel.c_str(), Ref.Cost.cost(),
-                  Rel[0], Rel[1], Rel[2], AllValid ? "yes" : "NO");
+      std::printf("%-18s %-6s %12.0f | %10.3f %10.3f %10.3f | %9.4f %9.4f "
+                  "| %s\n",
+                  Case.Name.c_str(), Case.SizeLabel.c_str(), R.RefCost,
+                  R.Rel[0], R.Rel[1], R.Rel[2], R.WallSerial, R.WallThreaded,
+                  R.Valid ? "yes" : "NO");
+      Rows.push_back(R);
     }
     std::printf("\n");
   }
+
+  writeJson(JsonPath, Rows, Threads, Quick);
 
   if (Failures != 0) {
     std::printf("%d benchmark(s) failed validation\n", Failures);

@@ -110,6 +110,7 @@ Outcome runStages(const BenchmarkCase &Case, const std::vector<Stage> &Stages,
     Cfg.PerturbSchedule = Run.PerturbSchedule;
     Cfg.ScheduleSeed = Run.ScheduleSeed;
     Cfg.CheckMemory = Run.CheckMemory;
+    Cfg.Threads = Run.Threads;
     if (Run.CheckRaces || Run.CheckMemory) {
       ocl::RaceReport StageRaces;
       ocl::GuardReport StageGuards;
@@ -130,8 +131,8 @@ Outcome runStages(const BenchmarkCase &Case, const std::vector<Stage> &Stages,
     }
   }
 
-  Out.MaxError = validate(Bufs[Case.OutputBuffer].toFlatFloats(),
-                          Case.Expected);
+  Out.Output = Bufs[Case.OutputBuffer].toFlatFloats();
+  Out.MaxError = validate(Out.Output, Case.Expected);
   Out.Valid = Out.MaxError < Case.Tolerance;
   return Out;
 }

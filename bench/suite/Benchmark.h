@@ -113,6 +113,9 @@ struct Outcome {
   /// Guarded-memory findings, accumulated over all stages (empty unless
   /// the run was made with RunOptions::CheckMemory).
   ocl::GuardReport Guards;
+  /// The output buffer after the final stage, flattened — lets callers
+  /// compare runs for bit-identical results (tests/ParallelRuntimeTest).
+  std::vector<float> Output;
 };
 
 /// The three optimization configurations of Figure 8.
@@ -130,6 +133,9 @@ struct RunOptions {
   bool CheckMemory = false;
   /// Run the IR verifier between compilation stages (passes/Verify.h).
   bool VerifyEach = false;
+  /// Worker threads for the simulated runtime's work-group loop. 0 = auto
+  /// (LIFT_THREADS, else hardware concurrency); 1 = serial.
+  int Threads = 0;
 };
 
 /// Runs the Lift stages compiled under \p Config and validates.

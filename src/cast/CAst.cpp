@@ -9,6 +9,8 @@
 #include "support/Casting.h"
 #include "support/Error.h"
 
+#include <unordered_map>
+
 using namespace lift;
 using namespace lift::c;
 
@@ -181,4 +183,31 @@ CFunctionPtr CModule::findFunction(const std::string &Name) const {
     if (F->Name == Name)
       return F;
   return nullptr;
+}
+
+CallKind c::classifyBuiltin(const std::string &Name) {
+  static const std::unordered_map<std::string, CallKind> Builtins = {
+      {"get_local_id", CallKind::GetLocalId},
+      {"get_group_id", CallKind::GetGroupId},
+      {"get_global_id", CallKind::GetGlobalId},
+      {"get_local_size", CallKind::GetLocalSize},
+      {"get_num_groups", CallKind::GetNumGroups},
+      {"get_global_size", CallKind::GetGlobalSize},
+      {"sqrt", CallKind::Sqrt},
+      {"rsqrt", CallKind::Rsqrt},
+      {"sin", CallKind::Sin},
+      {"cos", CallKind::Cos},
+      {"exp", CallKind::Exp},
+      {"log", CallKind::Log},
+      {"fabs", CallKind::Fabs},
+      {"floor", CallKind::Floor},
+      {"fmin", CallKind::Fmin},
+      {"min", CallKind::Fmin},
+      {"fmax", CallKind::Fmax},
+      {"max", CallKind::Fmax},
+      {"pow", CallKind::Pow},
+      {"dot", CallKind::Dot},
+  };
+  auto It = Builtins.find(Name);
+  return It == Builtins.end() ? CallKind::User : It->second;
 }

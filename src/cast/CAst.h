@@ -165,6 +165,18 @@ struct CVar {
   CTypePtr Ty;
   unsigned ArithId = 0;
 
+  /// Dense frame slot assigned once per compiled kernel (see
+  /// codegen::computeVarSlots). The simulated runtime indexes flat
+  /// per-work-item frames with it instead of hashing CVar pointers.
+  /// -1 until slots are assigned. Variables are module-private (every
+  /// compile clones its program), so the annotation cannot leak between
+  /// kernels.
+  mutable int Slot = -1;
+  /// Canonical slot holding the runtime value of ArithId (several
+  /// variables may alias one symbolic arith variable; they share one
+  /// arith-value cell). -1 when ArithId == 0 or slots are unassigned.
+  mutable int ArithSlot = -1;
+
   CVar(std::string Name, CTypePtr Ty, unsigned ArithId = 0)
       : Name(std::move(Name)), Ty(std::move(Ty)), ArithId(ArithId) {}
 };
@@ -279,6 +291,13 @@ public:
 
   const arith::Expr &getValue() const { return Value; }
 
+  /// Static (div/mod, other) operation counts of the index expression,
+  /// assigned once during launch-plan setup (same idiom as CVar::Slot) so
+  /// the interpreter charges the cost model without a per-evaluation
+  /// lookup. CostDivMods is -1 until assigned.
+  mutable int CostDivMods = -1;
+  mutable unsigned CostOthers = 0;
+
   static bool classof(const CExpr *E) {
     return E->getKind() == CExprKind::ArithValue;
   }
@@ -355,6 +374,36 @@ public:
 
 /// A call to a user function or a built-in math function, resolved by name
 /// against the module's function table (or the interpreter's builtins).
+struct CFunction;
+
+/// Callee classification: the OpenCL work-item and math built-ins the
+/// simulated runtime implements directly, or a module function.
+enum class CallKind : int {
+  User = 0,
+  GetLocalId,
+  GetGroupId,
+  GetGlobalId,
+  GetLocalSize,
+  GetNumGroups,
+  GetGlobalSize,
+  Sqrt,
+  Rsqrt,
+  Sin,
+  Cos,
+  Exp,
+  Log,
+  Fabs,
+  Floor,
+  Fmin,
+  Fmax,
+  Pow,
+  Dot,
+};
+
+/// Classifies a callee name; CallKind::User for anything that is not a
+/// built-in.
+CallKind classifyBuiltin(const std::string &Name);
+
 class Call : public CExpr {
   std::string Callee;
   std::vector<CExprPtr> Args;
@@ -366,6 +415,15 @@ public:
 
   const std::string &getCallee() const { return Callee; }
   const std::vector<CExprPtr> &getArgs() const { return Args; }
+
+  /// Callee resolution assigned once per module by
+  /// codegen::computeVarSlots (like CVar::Slot): the classified CallKind
+  /// and, for CallKind::User, the resolved module function (null when the
+  /// module has none of that name — the runtime then reports the unknown
+  /// call). -1 until slots are assigned; the runtime falls back to
+  /// name-based resolution.
+  mutable int ResolvedKind = -1;
+  mutable const CFunction *ResolvedFn = nullptr;
 
   static bool classof(const CExpr *E) {
     return E->getKind() == CExprKind::Call;

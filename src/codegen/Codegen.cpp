@@ -1689,7 +1689,171 @@ private:
   }
 };
 
+/// Deterministic (AST-order) variable-slot numbering: visits every CVar
+/// reachable from the module and hands out dense indices. See VarSlotInfo.
+class SlotAssigner {
+  VarSlotInfo Info;
+  std::set<const c::CVar *> Visited;
+  const c::CModule *Mod = nullptr;
+
+  void visitVar(const c::CVarPtr &V) {
+    if (!V)
+      return;
+    if (!Visited.insert(V.get()).second)
+      return; // already numbered in this walk
+    V->Slot = static_cast<int>(Info.NumSlots++);
+    if (V->ArithId != 0) {
+      auto [It, Fresh] =
+          Info.ArithSlotById.emplace(V->ArithId,
+                                     static_cast<unsigned>(V->Slot));
+      V->ArithSlot = static_cast<int>(It->second);
+      (void)Fresh;
+    } else {
+      V->ArithSlot = -1;
+    }
+  }
+
+  void visitExpr(const c::CExprPtr &E) {
+    using namespace c;
+    if (!E)
+      return;
+    switch (E->getKind()) {
+    case CExprKind::IntLit:
+    case CExprKind::FloatLit:
+    case CExprKind::ArithValue:
+      return;
+    case CExprKind::VarRef:
+      visitVar(cast<VarRef>(E.get())->getVar());
+      return;
+    case CExprKind::ArrayAccess:
+      visitExpr(cast<ArrayAccess>(E.get())->getBase());
+      visitExpr(cast<ArrayAccess>(E.get())->getIndex());
+      return;
+    case CExprKind::Member:
+      visitExpr(cast<Member>(E.get())->getBase());
+      return;
+    case CExprKind::Binary:
+      visitExpr(cast<Binary>(E.get())->getLhs());
+      visitExpr(cast<Binary>(E.get())->getRhs());
+      return;
+    case CExprKind::Unary:
+      visitExpr(cast<Unary>(E.get())->getSub());
+      return;
+    case CExprKind::Call: {
+      // Resolve the callee once per module so the runtime dispatches on
+      // a kind instead of the name (same idiom as CVar::Slot).
+      const auto *C = cast<Call>(E.get());
+      C->ResolvedKind = static_cast<int>(classifyBuiltin(C->getCallee()));
+      if (C->ResolvedKind == static_cast<int>(CallKind::User))
+        C->ResolvedFn = Mod->findFunction(C->getCallee()).get();
+      for (const CExprPtr &A : C->getArgs())
+        visitExpr(A);
+      return;
+    }
+    case CExprKind::Ternary:
+      visitExpr(cast<Ternary>(E.get())->getCond());
+      visitExpr(cast<Ternary>(E.get())->getThen());
+      visitExpr(cast<Ternary>(E.get())->getElse());
+      return;
+    case CExprKind::CastExpr:
+      visitExpr(cast<CastExpr>(E.get())->getSub());
+      return;
+    case CExprKind::ConstructVector:
+      for (const CExprPtr &A : cast<ConstructVector>(E.get())->getArgs())
+        visitExpr(A);
+      return;
+    case CExprKind::ConstructStruct:
+      for (const CExprPtr &A : cast<ConstructStruct>(E.get())->getArgs())
+        visitExpr(A);
+      return;
+    case CExprKind::VectorLoad:
+      visitExpr(cast<VectorLoad>(E.get())->getIndex());
+      visitExpr(cast<VectorLoad>(E.get())->getPointer());
+      return;
+    case CExprKind::VectorStore:
+      visitExpr(cast<VectorStore>(E.get())->getValue());
+      visitExpr(cast<VectorStore>(E.get())->getIndex());
+      visitExpr(cast<VectorStore>(E.get())->getPointer());
+      return;
+    }
+  }
+
+  void visitStmt(const c::CStmtPtr &S) {
+    using namespace c;
+    if (!S)
+      return;
+    switch (S->getKind()) {
+    case CStmtKind::Block:
+      for (const CStmtPtr &Sub : cast<Block>(S.get())->getStmts())
+        visitStmt(Sub);
+      return;
+    case CStmtKind::VarDecl:
+      visitVar(cast<VarDecl>(S.get())->getVar());
+      visitExpr(cast<VarDecl>(S.get())->getInit());
+      return;
+    case CStmtKind::Assign:
+      visitExpr(cast<Assign>(S.get())->getLhs());
+      visitExpr(cast<Assign>(S.get())->getRhs());
+      return;
+    case CStmtKind::ExprStmt:
+      visitExpr(cast<ExprStmt>(S.get())->getExpr());
+      return;
+    case CStmtKind::For: {
+      const auto *F = cast<For>(S.get());
+      visitVar(F->getIV());
+      visitExpr(F->getInit());
+      visitExpr(F->getCond());
+      visitExpr(F->getStep());
+      for (const CStmtPtr &Sub : F->getBody()->getStmts())
+        visitStmt(Sub);
+      return;
+    }
+    case CStmtKind::If: {
+      const auto *I = cast<If>(S.get());
+      visitExpr(I->getCond());
+      for (const CStmtPtr &Sub : I->getThen()->getStmts())
+        visitStmt(Sub);
+      if (I->getElse())
+        for (const CStmtPtr &Sub : I->getElse()->getStmts())
+          visitStmt(Sub);
+      return;
+    }
+    case CStmtKind::Barrier:
+    case CStmtKind::Return:
+      if (S->getKind() == CStmtKind::Return)
+        visitExpr(cast<Return>(S.get())->getValue());
+      return;
+    case CStmtKind::Comment:
+      return;
+    }
+  }
+
+  void visitFunction(const c::CFunctionPtr &F) {
+    if (!F)
+      return;
+    for (const c::CVarPtr &P : F->Params)
+      visitVar(P);
+    if (F->Body)
+      for (const c::CStmtPtr &S : F->Body->getStmts())
+        visitStmt(S);
+  }
+
+public:
+  VarSlotInfo run(const c::CModule &M) {
+    Mod = &M;
+    visitFunction(M.Kernel);
+    for (const c::CFunctionPtr &F : M.Functions)
+      visitFunction(F);
+    return std::move(Info);
+  }
+};
+
 } // namespace
+
+std::shared_ptr<const VarSlotInfo>
+codegen::computeVarSlots(const c::CModule &Module) {
+  return std::make_shared<const VarSlotInfo>(SlotAssigner().run(Module));
+}
 
 CompiledKernel codegen::compileOrThrow(const LambdaPtr &Program,
                                        const CompilerOptions &Options) {
@@ -1714,6 +1878,7 @@ CompiledKernel codegen::compileOrThrow(const LambdaPtr &Program,
   CompiledKernel K = G.run();
   K.BarriersEliminated = Eliminated;
   K.Source = c::printModule(K.Module);
+  K.Slots = computeVarSlots(K.Module);
   return K;
 }
 

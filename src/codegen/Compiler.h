@@ -23,7 +23,9 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace lift {
@@ -67,6 +69,10 @@ struct CompilerOptions {
   /// flag reads of never-written elements.
   bool CheckMemory = false;
 
+  /// Worker threads for the simulated runtime's work-group loop. 0 = auto
+  /// (LIFT_THREADS, else hardware concurrency); 1 = serial.
+  int Threads = 0;
+
   std::string KernelName = "KERNEL";
 
   int64_t numGroups(unsigned Dim) const {
@@ -93,6 +99,25 @@ struct KernelParamInfo {
   unsigned ArithId = 0;     ///< For size params: the arith variable id.
 };
 
+/// Dense variable-slot numbering for one compiled kernel: every c::CVar
+/// reachable from the module (kernel parameters, declarations, loop
+/// induction variables, user-function parameters) gets a unique index in
+/// [0, NumSlots). The simulated runtime executes work-items against flat
+/// frames (std::vector<Value> indexed by slot) instead of per-item hash
+/// maps — the interpreter's hottest path. Computed once per kernel by
+/// computeVarSlots and shared read-only by every launch.
+struct VarSlotInfo {
+  unsigned NumSlots = 0;
+  /// Arith variable id -> canonical slot holding its runtime value
+  /// (mirrors CVar::ArithSlot, for resolving symbolic index variables).
+  std::unordered_map<unsigned, unsigned> ArithSlotById;
+};
+
+/// Walks \p Module in deterministic AST order, assigns CVar::Slot /
+/// CVar::ArithSlot annotations and returns the slot table. Idempotent for
+/// a fixed module.
+std::shared_ptr<const VarSlotInfo> computeVarSlots(const c::CModule &Module);
+
 /// The result of compilation: the kernel as both a C AST (executed by the
 /// simulated runtime) and printed OpenCL C source, plus the metadata the
 /// host needs to bind arguments.
@@ -102,6 +127,10 @@ struct CompiledKernel {
   std::vector<KernelParamInfo> Params;
   ir::TypePtr OutputType;
   CompilerOptions Options;
+
+  /// Frame-slot numbering for the module's variables (see VarSlotInfo).
+  /// Set by compile/wrapModule; launches recompute it when absent.
+  std::shared_ptr<const VarSlotInfo> Slots;
 
   /// Storage id -> C variable, used by the interpreter to resolve
   /// data-dependent Lookup indices.

@@ -11,6 +11,15 @@
 /// everything else runs per work-item. Every memory access, arithmetic
 /// operation, barrier and loop iteration is charged to the cost model.
 ///
+/// A launch is split into an immutable LaunchPlan (argument bindings,
+/// variable-slot table, frozen barrier / index-cost analyses, launch-level
+/// detector registrations) and per-worker GroupWorkers that claim groups
+/// from an atomic counter and execute them against reused flat frame
+/// arenas. Costs accumulate per worker; race / guarded-memory findings
+/// are detected per group and merged in canonical group order, so every
+/// observable result is identical at any thread count (see
+/// docs/PARALLEL_RUNTIME.md).
+///
 //===----------------------------------------------------------------------===//
 
 #include "ocl/Runtime.h"
@@ -19,11 +28,15 @@
 #include "cast/CPrinter.h"
 #include "ocl/MemGuard.h"
 #include "ocl/RaceDetector.h"
+#include "ocl/ThreadPool.h"
 #include "support/Casting.h"
 #include "support/Diagnostics.h"
 #include "support/Error.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <exception>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -82,8 +95,10 @@ Buffer Buffer::ofVectors(const std::vector<float> &Flat, unsigned Width) {
                   " is not a multiple of the width " + std::to_string(Width));
   B.Mem->reserve(Flat.size() / Width);
   for (size_t I = 0; I != Flat.size(); I += Width) {
-    std::vector<double> Comps(Flat.begin() + static_cast<long>(I),
-                              Flat.begin() + static_cast<long>(I + Width));
+    VecN Comps;
+    Comps.reserve(Width);
+    for (size_t J = I; J != I + Width; ++J)
+      Comps.push_back(Flat[J]);
     B.Mem->push_back(Value::makeVec(std::move(Comps)));
   }
   return B;
@@ -162,15 +177,6 @@ CostReport &CostReport::operator+=(const CostReport &O) {
 
 namespace {
 
-/// Per-work-item state.
-struct WorkItem {
-  std::unordered_map<const CVar *, Value> Vars;
-  std::unordered_map<unsigned, int64_t> AVals;
-  std::array<int64_t, 3> LocalId = {0, 0, 0};
-  std::array<int64_t, 3> GroupId = {0, 0, 0};
-  int64_t Linear = 0; ///< Linear in-group id (race detector diagnostics).
-};
-
 /// Wrapping two's-complement arithmetic: the kernels the fuzzer generates
 /// can overflow intermediate integer results, which is undefined behavior
 /// on int64_t. OpenCL C integer arithmetic wraps; match it.
@@ -190,56 +196,120 @@ inline int64_t wrapNeg(int64_t A) {
   return static_cast<int64_t>(0 - static_cast<uint64_t>(A));
 }
 
+/// Deterministic per-group seed: decorrelates the schedule-perturbation
+/// RNG across groups while keeping it independent of which worker runs
+/// the group (splitmix64-style finalizer).
+inline uint64_t mixSeed(uint64_t Seed, uint64_t Group) {
+  uint64_t Z = Seed * 6364136223846793005ULL + 1442695040888963407ULL +
+               Group * 0x9e3779b97f4a7c15ULL;
+  Z ^= Z >> 30;
+  Z *= 0xbf58476d1ce4e5b9ULL;
+  Z ^= Z >> 27;
+  Z *= 0x94d049bb133111ebULL;
+  Z ^= Z >> 31;
+  return Z ? Z : 1;
+}
+
 /// Result of executing statements inside a function body.
 struct ExecResult {
   bool Returned = false;
   Value Ret;
 };
 
-class Machine {
+/// Per-work-item state: views into the owning worker's flat arenas. The
+/// frame is indexed by CVar::Slot; arith values by CVar::ArithSlot. A slot
+/// is live for the current group iff its epoch equals the worker's — so
+/// frames are recycled across groups without clearing.
+struct ItemCtx {
+  std::array<int64_t, 3> LocalId = {0, 0, 0};
+  std::array<int64_t, 3> GroupId = {0, 0, 0};
+  int64_t Linear = 0; ///< Linear in-group id (race detector diagnostics).
+  Value *Frame = nullptr;
+  uint32_t *FrameEpoch = nullptr;
+  int64_t *AVals = nullptr;
+  uint32_t *AEpoch = nullptr;
+};
+
+/// One kernel-argument binding, resolved once per launch and replayed into
+/// every work-item's frame (loop-invariant: the old interpreter re-applied
+/// the name->value map per item per group).
+struct BoundArg {
+  const CVar *Var = nullptr;
+  Value Val;
+  int Slot = -1;
+  int ArithSlot = -1;   ///< -1 when Var carries no arith id.
+  int64_t ArithInt = 0; ///< Pre-converted integer value for arith slots.
+};
+
+constexpr unsigned kMaxFindings = 64;
+
+/// Read-only launch state shared by every worker: the compiled kernel,
+/// resolved argument bindings, slot table, and the barrier / index-cost
+/// analyses precomputed (and then frozen) before groups are dispatched.
+class LaunchPlan {
+public:
   const codegen::CompiledKernel &K;
-  LaunchConfig Cfg;
-  CostReport Cost;
+  const LaunchConfig Cfg;
+  std::shared_ptr<const codegen::VarSlotInfo> Slots;
 
   std::unordered_map<unsigned, CVarPtr> StorageVarById;
-  std::unordered_map<const CStmt *, bool> BarrierCache;
-  std::unordered_set<const CFunction *> BarrierScanStack;
-  /// Static (div/mod, other-node) cost of each arith index expression.
-  std::unordered_map<const arith::Node *, std::pair<unsigned, unsigned>>
-      IndexCost;
+  std::vector<BoundArg> Bindings;
+  std::vector<Buffer> Temps; // auto-allocated global intermediates
 
-  std::vector<WorkItem> Group;
-  std::unordered_map<const CVar *, Value> WgLocals;
+  std::array<int64_t, 3> Groups = {1, 1, 1};
+  int64_t NumGroups = 1;
+  int64_t WIsPerGroup = 1;
 
-  /// Non-null while a race-checked launch runs.
-  RaceDetector *RD = nullptr;
-  /// Non-null while a memory-checked launch runs.
-  MemGuard *MG = nullptr;
-  /// Sink for out-of-bounds stores under guarded-memory execution.
-  Value ScratchSlot;
-  /// Seeded xorshift state driving the perturbed schedule.
-  uint64_t RngState = 0;
+  /// Launch-level block names / bitmaps shared by per-group sessions.
+  std::unordered_map<const void *, std::string> RaceBlockNames;
+  SharedBlockTable GuardBlocks;
 
-public:
-  Machine(const codegen::CompiledKernel &K, const LaunchConfig &Cfg,
-          RaceDetector *RD = nullptr, MemGuard *MG = nullptr)
-      : K(K), Cfg(Cfg), RD(RD), MG(MG) {
-    for (const auto &[Id, Var] : K.StorageVars)
-      StorageVarById[Id] = Var;
-    RngState = Cfg.ScheduleSeed * 6364136223846793005ULL + 1442695040888963407ULL;
-    if (RngState == 0)
-      RngState = 1;
+  LaunchPlan(const codegen::CompiledKernel &K, const LaunchConfig &Cfg)
+      : K(K), Cfg(Cfg) {}
+
+  [[noreturn]] void
+  runtimeError(const std::string &Msg,
+               DiagCode Code = DiagCode::RuntimeUnsupported) const {
+    throwDiag(Code,
+              DiagLocation::inContext(K.Module.Kernel
+                                          ? K.Module.Kernel->Name
+                                          : std::string("kernel")),
+              "runtime: " + Msg);
   }
 
-  CostReport run(const std::vector<Buffer *> &Buffers,
-                 const std::map<std::string, int64_t> &Sizes) {
-    // Bind kernel arguments.
-    std::vector<std::pair<const CVar *, Value>> Bindings;
+  /// Frozen barrier analysis: precomputed over the whole module before
+  /// dispatch, read concurrently by every worker afterwards.
+  bool stmtBarrier(const CStmtPtr &S) const {
+    auto It = BarrierCache.find(S.get());
+    if (It == BarrierCache.end())
+      runtimeError("internal: barrier query on an unanalyzed statement");
+    return It->second;
+  }
+
+  /// Frozen static (div/mod, other-node) cost of an arith index
+  /// expression. Expressions outside the precomputed set (none today) are
+  /// costed on the fly without touching the shared cache.
+  std::pair<unsigned, unsigned> indexCostOf(const arith::Expr &E) const {
+    auto It = IndexCost.find(E.get());
+    if (It != IndexCost.end())
+      return It->second;
+    unsigned DivMods = arith::countDivMod(E);
+    unsigned Ops = arith::countOps(E);
+    return {DivMods, Ops >= DivMods ? Ops - DivMods : 0};
+  }
+
+  void setup(const std::vector<Buffer *> &Buffers,
+             const std::map<std::string, int64_t> &Sizes) {
+    validateNDRange();
+
+    Slots = K.Slots ? K.Slots : codegen::computeVarSlots(K.Module);
+    for (const auto &[Id, Var] : K.StorageVars)
+      StorageVarById[Id] = Var;
+
+    // Bind kernel arguments. First pass: size parameters, so temp buffer
+    // sizes can be computed.
     std::unordered_map<unsigned, int64_t> SizeEnv;
     size_t NextBuffer = 0;
-    std::vector<Buffer> Temps; // auto-allocated global intermediates
-
-    // First pass: size parameters, so temp buffer sizes can be computed.
     for (const auto &P : K.Params) {
       if (!P.IsSizeParam)
         continue;
@@ -248,7 +318,7 @@ public:
         throwDiag(DiagCode::RuntimeBadLaunch, DiagLocation(),
                   "launch: missing size argument '" + P.Var->Name + "'");
       SizeEnv[P.ArithId] = It->second;
-      Bindings.emplace_back(P.Var.get(), Value::makeInt(It->second));
+      addBinding(P.Var.get(), Value::makeInt(It->second));
     }
 
     arith::EvalContext SizeCtx;
@@ -269,95 +339,91 @@ public:
         auto It = Sizes.find(P.Var->Name);
         if (It == Sizes.end())
           throwDiag(DiagCode::RuntimeBadLaunch, DiagLocation(),
-                    "launch: missing scalar argument '" + P.Var->Name +
-                        "'");
-        Bindings.emplace_back(P.Var.get(), Value::makeInt(It->second));
+                    "launch: missing scalar argument '" + P.Var->Name + "'");
+        addBinding(P.Var.get(), Value::makeInt(It->second));
         continue;
       }
       if (NextBuffer < Buffers.size()) {
         Buffer *B = Buffers[NextBuffer];
-        Bindings.emplace_back(P.Var.get(),
-                              Value::makePtr(B->Mem, MemSpace::Global));
-        if (MG)
-          MG->registerBlock(B->Mem.get(), P.Var->Name, B->Init);
+        addBinding(P.Var.get(), Value::makePtr(B->Mem, MemSpace::Global));
+        if (Cfg.CheckMemory)
+          GuardBlocks.registerBlock(B->Mem.get(), P.Var->Name, B->Init);
         ++NextBuffer;
         continue;
       }
       // A compiler-introduced global temporary.
       int64_t Count = arith::evaluate(P.Store->NumElements, SizeCtx);
       Temps.push_back(Buffer::zeros(static_cast<size_t>(Count)));
-      Bindings.emplace_back(
-          P.Var.get(), Value::makePtr(Temps.back().Mem, MemSpace::Global));
-      if (MG)
-        MG->registerBlock(Temps.back().Mem.get(), P.Var->Name,
-                          Temps.back().Init);
+      addBinding(P.Var.get(),
+                 Value::makePtr(Temps.back().Mem, MemSpace::Global));
+      if (Cfg.CheckMemory)
+        GuardBlocks.registerBlock(Temps.back().Mem.get(), P.Var->Name,
+                                  Temps.back().Init);
     }
     if (NextBuffer != Buffers.size())
       throwDiag(DiagCode::RuntimeBadLaunch, DiagLocation(),
                 "launch: too many buffers supplied");
 
-    if (RD)
-      for (const auto &[Var, Val] : Bindings)
-        if (Val.K == Value::Ptr)
-          RD->registerBlock(Val.P.get(), Var->Name);
+    if (Cfg.CheckRaces)
+      for (const BoundArg &B : Bindings)
+        if (B.Val.K == Value::Ptr)
+          RaceBlockNames[B.Val.P.get()] = B.Var->Name;
 
-    int64_t GroupsX = Cfg.Global[0] / Cfg.Local[0];
-    int64_t GroupsY = Cfg.Global[1] / Cfg.Local[1];
-    int64_t GroupsZ = Cfg.Global[2] / Cfg.Local[2];
-    int64_t WIsPerGroup = Cfg.Local[0] * Cfg.Local[1] * Cfg.Local[2];
+    Groups = {Cfg.Global[0] / Cfg.Local[0], Cfg.Global[1] / Cfg.Local[1],
+              Cfg.Global[2] / Cfg.Local[2]};
+    NumGroups = Groups[0] * Groups[1] * Groups[2];
+    WIsPerGroup = Cfg.Local[0] * Cfg.Local[1] * Cfg.Local[2];
 
-    for (int64_t Gz = 0; Gz != GroupsZ; ++Gz) {
-      for (int64_t Gy = 0; Gy != GroupsY; ++Gy) {
-        for (int64_t Gx = 0; Gx != GroupsX; ++Gx) {
-          WgLocals.clear();
-          Group.assign(static_cast<size_t>(WIsPerGroup), WorkItem());
-          size_t Idx = 0;
-          for (int64_t Lz = 0; Lz != Cfg.Local[2]; ++Lz) {
-            for (int64_t Ly = 0; Ly != Cfg.Local[1]; ++Ly) {
-              for (int64_t Lx = 0; Lx != Cfg.Local[0]; ++Lx) {
-                WorkItem &W = Group[Idx];
-                W.Linear = static_cast<int64_t>(Idx);
-                ++Idx;
-                W.LocalId = {Lx, Ly, Lz};
-                W.GroupId = {Gx, Gy, Gz};
-                for (const auto &[Var, Val] : Bindings)
-                  setVar(W, Var, Val);
-              }
-            }
-          }
-          std::vector<WorkItem *> Active;
-          for (WorkItem &W : Group)
-            Active.push_back(&W);
-          if (RD)
-            RD->beginGroup({Gx, Gy, Gz}, Group.size());
-          execLockstep(K.Module.Kernel->Body->getStmts(), Active);
-          if (RD)
-            RD->endGroup();
-        }
-      }
-    }
-    return Cost;
+    precomputeBarriers();
+    precomputeIndexCosts();
   }
 
 private:
-  [[noreturn]] void
-  runtimeError(const std::string &Msg,
-               DiagCode Code = DiagCode::RuntimeUnsupported) {
-    throwDiag(Code, DiagLocation::inContext(K.Module.Kernel
-                                                ? K.Module.Kernel->Name
-                                                : std::string("kernel")),
-              "runtime: " + Msg);
+  /// Mutable only during setup; frozen once groups are dispatched.
+  std::unordered_map<const CStmt *, bool> BarrierCache;
+  std::unordered_set<const CFunction *> BarrierScanStack;
+  std::unordered_map<const arith::Node *, std::pair<unsigned, unsigned>>
+      IndexCost;
+
+  void addBinding(const CVar *Var, Value Val) {
+    BoundArg B;
+    B.Var = Var;
+    B.Slot = Var->Slot;
+    if (B.Slot < 0)
+      runtimeError("internal: kernel parameter '" + Var->Name +
+                   "' has no frame slot");
+    if (Var->ArithId != 0) {
+      B.ArithSlot = Var->ArithSlot;
+      B.ArithInt = Val.asInt();
+    }
+    B.Val = std::move(Val);
+    Bindings.push_back(std::move(B));
   }
 
-  void setVar(WorkItem &W, const CVar *V, Value Val) {
-    if (V->ArithId != 0)
-      W.AVals[V->ArithId] = Val.asInt();
-    W.Vars[V] = std::move(Val);
+  /// Rejects degenerate NDRange configurations before the group loop:
+  /// non-positive sizes and global sizes not divisible by the local size
+  /// previously produced division faults or silent zero-group runs.
+  void validateNDRange() const {
+    for (int D = 0; D != 3; ++D) {
+      if (Cfg.Local[D] <= 0 || Cfg.Global[D] <= 0)
+        throwDiag(DiagCode::RuntimeBadNDRange, DiagLocation(),
+                  "launch: degenerate NDRange in dimension " +
+                      std::to_string(D) + ": global size " +
+                      std::to_string(Cfg.Global[D]) + ", local size " +
+                      std::to_string(Cfg.Local[D]) +
+                      " (both must be positive)");
+      if (Cfg.Global[D] % Cfg.Local[D] != 0)
+        throwDiag(DiagCode::RuntimeBadNDRange, DiagLocation(),
+                  "launch: global size " + std::to_string(Cfg.Global[D]) +
+                      " is not divisible by local size " +
+                      std::to_string(Cfg.Local[D]) + " in dimension " +
+                      std::to_string(D));
+    }
   }
 
-  //===--------------------------------------------------------------------===//
-  // Barrier analysis
-  //===--------------------------------------------------------------------===//
+  //===------------------------------------------------------------------===//
+  // Barrier analysis (setup-time; the caches freeze before dispatch)
+  //===------------------------------------------------------------------===//
 
   /// Does evaluating \p E reach a barrier? Only possible through a call to
   /// a user function whose body contains one — such calls must not run in
@@ -396,7 +462,7 @@ private:
       BarrierScanStack.insert(F.get());
       bool R = false;
       for (const CStmtPtr &S : F->Body->getStmts())
-        R = R || containsBarrier(S);
+        R |= containsBarrier(S);
       BarrierScanStack.erase(F.get());
       return R;
     }
@@ -442,14 +508,17 @@ private:
     case CStmtKind::Barrier:
       R = true;
       break;
+    // Note |= not ||: the recursion must visit (and cache) every
+    // sub-statement even after the answer is known, because exec-time
+    // queries against the frozen cache hit all of them.
     case CStmtKind::Block:
       for (const CStmtPtr &Sub : cast<Block>(S.get())->getStmts())
-        R = R || containsBarrier(Sub);
+        R |= containsBarrier(Sub);
       break;
     case CStmtKind::For: {
       const auto *F = cast<For>(S.get());
       for (const CStmtPtr &Sub : F->getBody()->getStmts())
-        R = R || containsBarrier(Sub);
+        R |= containsBarrier(Sub);
       R = R || exprReachesBarrier(F->getInit()) ||
           exprReachesBarrier(F->getCond()) || exprReachesBarrier(F->getStep());
       break;
@@ -457,10 +526,10 @@ private:
     case CStmtKind::If: {
       const auto *I = cast<If>(S.get());
       for (const CStmtPtr &Sub : I->getThen()->getStmts())
-        R = R || containsBarrier(Sub);
+        R |= containsBarrier(Sub);
       if (I->getElse())
         for (const CStmtPtr &Sub : I->getElse()->getStmts())
-          R = R || containsBarrier(Sub);
+          R |= containsBarrier(Sub);
       R = R || exprReachesBarrier(I->getCond());
       break;
     }
@@ -485,9 +554,345 @@ private:
     return R;
   }
 
-  //===--------------------------------------------------------------------===//
+  /// Visits every statement of the kernel and of every function body so
+  /// all exec-time stmtBarrier queries hit the frozen cache.
+  void precomputeBarriers() {
+    if (K.Module.Kernel && K.Module.Kernel->Body)
+      for (const CStmtPtr &S : K.Module.Kernel->Body->getStmts())
+        containsBarrier(S);
+    for (const CFunctionPtr &F : K.Module.Functions)
+      if (F && F->Body)
+        for (const CStmtPtr &S : F->Body->getStmts())
+          containsBarrier(S);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Index-cost precomputation
+  //===------------------------------------------------------------------===//
+
+  void recordIndexCost(const arith::Expr &E) {
+    if (!E)
+      return;
+    unsigned DivMods = arith::countDivMod(E);
+    unsigned Ops = arith::countOps(E);
+    IndexCost.emplace(
+        E.get(),
+        std::make_pair(DivMods, Ops >= DivMods ? Ops - DivMods : 0u));
+  }
+
+  void costExpr(const CExprPtr &E) {
+    if (!E)
+      return;
+    switch (E->getKind()) {
+    case CExprKind::IntLit:
+    case CExprKind::FloatLit:
+    case CExprKind::VarRef:
+      return;
+    case CExprKind::ArithValue: {
+      const auto *AV = cast<ArithValue>(E.get());
+      recordIndexCost(AV->getValue());
+      auto [DivMods, Others] = indexCostOf(AV->getValue());
+      AV->CostDivMods = static_cast<int>(DivMods);
+      AV->CostOthers = Others;
+      return;
+    }
+    case CExprKind::ArrayAccess:
+      costExpr(cast<ArrayAccess>(E.get())->getBase());
+      costExpr(cast<ArrayAccess>(E.get())->getIndex());
+      return;
+    case CExprKind::Member:
+      costExpr(cast<Member>(E.get())->getBase());
+      return;
+    case CExprKind::Binary:
+      costExpr(cast<Binary>(E.get())->getLhs());
+      costExpr(cast<Binary>(E.get())->getRhs());
+      return;
+    case CExprKind::Unary:
+      costExpr(cast<Unary>(E.get())->getSub());
+      return;
+    case CExprKind::Call:
+      for (const CExprPtr &A : cast<Call>(E.get())->getArgs())
+        costExpr(A);
+      return;
+    case CExprKind::Ternary:
+      costExpr(cast<Ternary>(E.get())->getCond());
+      costExpr(cast<Ternary>(E.get())->getThen());
+      costExpr(cast<Ternary>(E.get())->getElse());
+      return;
+    case CExprKind::CastExpr:
+      costExpr(cast<CastExpr>(E.get())->getSub());
+      return;
+    case CExprKind::ConstructVector:
+      for (const CExprPtr &A : cast<ConstructVector>(E.get())->getArgs())
+        costExpr(A);
+      return;
+    case CExprKind::ConstructStruct:
+      for (const CExprPtr &A : cast<ConstructStruct>(E.get())->getArgs())
+        costExpr(A);
+      return;
+    case CExprKind::VectorLoad:
+      costExpr(cast<VectorLoad>(E.get())->getIndex());
+      costExpr(cast<VectorLoad>(E.get())->getPointer());
+      return;
+    case CExprKind::VectorStore:
+      costExpr(cast<VectorStore>(E.get())->getValue());
+      costExpr(cast<VectorStore>(E.get())->getIndex());
+      costExpr(cast<VectorStore>(E.get())->getPointer());
+      return;
+    }
+  }
+
+  void costStmt(const CStmtPtr &S) {
+    if (!S)
+      return;
+    switch (S->getKind()) {
+    case CStmtKind::Block:
+      for (const CStmtPtr &Sub : cast<Block>(S.get())->getStmts())
+        costStmt(Sub);
+      return;
+    case CStmtKind::VarDecl:
+      recordIndexCost(cast<VarDecl>(S.get())->getArraySize());
+      costExpr(cast<VarDecl>(S.get())->getInit());
+      return;
+    case CStmtKind::Assign:
+      costExpr(cast<Assign>(S.get())->getLhs());
+      costExpr(cast<Assign>(S.get())->getRhs());
+      return;
+    case CStmtKind::ExprStmt:
+      costExpr(cast<ExprStmt>(S.get())->getExpr());
+      return;
+    case CStmtKind::For: {
+      const auto *F = cast<For>(S.get());
+      costExpr(F->getInit());
+      costExpr(F->getCond());
+      costExpr(F->getStep());
+      for (const CStmtPtr &Sub : F->getBody()->getStmts())
+        costStmt(Sub);
+      return;
+    }
+    case CStmtKind::If: {
+      const auto *I = cast<If>(S.get());
+      costExpr(I->getCond());
+      for (const CStmtPtr &Sub : I->getThen()->getStmts())
+        costStmt(Sub);
+      if (I->getElse())
+        for (const CStmtPtr &Sub : I->getElse()->getStmts())
+          costStmt(Sub);
+      return;
+    }
+    case CStmtKind::Return:
+      costExpr(cast<Return>(S.get())->getValue());
+      return;
+    case CStmtKind::Barrier:
+    case CStmtKind::Comment:
+      return;
+    }
+  }
+
+  void precomputeIndexCosts() {
+    if (K.Module.Kernel && K.Module.Kernel->Body)
+      for (const CStmtPtr &S : K.Module.Kernel->Body->getStmts())
+        costStmt(S);
+    for (const CFunctionPtr &F : K.Module.Functions)
+      if (F && F->Body)
+        for (const CStmtPtr &S : F->Body->getStmts())
+          costStmt(S);
+  }
+};
+
+/// One worker's execution context, reused across every group the worker
+/// claims: flat epoch-tracked frames, the active-item list, local/private
+/// array arenas, per-group detector sessions and a per-worker cost
+/// accumulator. Nothing here is shared with other workers.
+class GroupWorker {
+public:
+  CostReport Cost;
+
+  explicit GroupWorker(const LaunchPlan &P)
+      : P(P), NumSlots(P.Slots->NumSlots),
+        WIs(static_cast<size_t>(P.WIsPerGroup)),
+        FrameArena(WIs * NumSlots), FrameEpochArena(WIs * NumSlots, 0),
+        AValArena(WIs * NumSlots, 0), AEpochArena(WIs * NumSlots, 0),
+        Items(WIs), WgLocalMem(NumSlots), WgLocalEpoch(NumSlots, 0),
+        PrivateMem(NumSlots * WIs) {
+    for (size_t I = 0; I != WIs; ++I) {
+      ItemCtx &W = Items[I];
+      W.Linear = static_cast<int64_t>(I);
+      W.Frame = NumSlots ? &FrameArena[I * NumSlots] : nullptr;
+      W.FrameEpoch = NumSlots ? &FrameEpochArena[I * NumSlots] : nullptr;
+      W.AVals = NumSlots ? &AValArena[I * NumSlots] : nullptr;
+      W.AEpoch = NumSlots ? &AEpochArena[I * NumSlots] : nullptr;
+    }
+    Active.reserve(WIs);
+    // The arith evaluation context is wired once per worker; evalArith
+    // repoints ArithItem instead of rebuilding the closures per call.
+    ArithCtx.VarValue = [this](const arith::VarNode &V) -> int64_t {
+      auto It = this->P.Slots->ArithSlotById.find(V.getId());
+      ItemCtx &W = *ArithItem;
+      if (It == this->P.Slots->ArithSlotById.end() ||
+          W.AEpoch[It->second] != Epoch)
+        this->P.runtimeError("unbound index variable " + V.getName());
+      return W.AVals[It->second];
+    };
+    ArithCtx.LookupValue = [this](unsigned TableId,
+                                  int64_t Index) -> int64_t {
+      auto SIt = this->P.StorageVarById.find(TableId);
+      if (SIt == this->P.StorageVarById.end())
+        this->P.runtimeError("unknown lookup table id " +
+                             std::to_string(TableId));
+      const CVar *V = SIt->second.get();
+      ItemCtx &W = *ArithItem;
+      int S = V->Slot;
+      if (S < 0 || W.FrameEpoch[S] != Epoch || W.Frame[S].K != Value::Ptr)
+        this->P.runtimeError("lookup table is not bound to memory");
+      const Value &Base = W.Frame[S];
+      noteAccess(Base, Index, W, /*IsWrite=*/false);
+      const auto &Mem = *Base.P;
+      if (MG) {
+        if (MG->check(Base.P.get(), Index, Mem.size(), W.Linear, W.GroupId,
+                      /*IsWrite=*/false) == MemGuard::Access::OutOfBounds)
+          return 0; // record and read zero, keep running
+      } else if (Index < 0 || static_cast<size_t>(Index) >= Mem.size()) {
+        this->P.runtimeError("lookup out of bounds",
+                             DiagCode::RuntimeOutOfBounds);
+      }
+      return Mem[static_cast<size_t>(Index)].asInt();
+    };
+  }
+
+  /// Executes one work-group (canonical linear index \p G). Race and
+  /// guard findings go to the caller-provided per-group reports; shared
+  /// bitmap writes are returned via \p Writes for post-join commit.
+  void runGroup(int64_t G, RaceReport *Races, GuardReport *Guards,
+                std::vector<std::pair<const void *, int64_t>> *Writes) {
+    int64_t Gx = G % P.Groups[0];
+    int64_t Gy = (G / P.Groups[0]) % P.Groups[1];
+    int64_t Gz = G / (P.Groups[0] * P.Groups[1]);
+
+    // A new epoch invalidates every frame, arith and local-array slot of
+    // the previous group without clearing the arenas.
+    if (++Epoch == 0) {
+      std::fill(FrameEpochArena.begin(), FrameEpochArena.end(), 0u);
+      std::fill(AEpochArena.begin(), AEpochArena.end(), 0u);
+      std::fill(WgLocalEpoch.begin(), WgLocalEpoch.end(), 0u);
+      Epoch = 1;
+    }
+    RngState = mixSeed(P.Cfg.ScheduleSeed, static_cast<uint64_t>(G));
+
+    std::optional<RaceDetector> RDet;
+    std::optional<MemGuard> MGd;
+    if (Races) {
+      RDet.emplace(*Races, kMaxFindings, &P.RaceBlockNames);
+      RD = &*RDet;
+    } else {
+      RD = nullptr;
+    }
+    if (Guards) {
+      MGd.emplace(*Guards, kMaxFindings, &P.GuardBlocks);
+      MG = &*MGd;
+    } else {
+      MG = nullptr;
+    }
+
+    size_t Idx = 0;
+    for (int64_t Lz = 0; Lz != P.Cfg.Local[2]; ++Lz) {
+      for (int64_t Ly = 0; Ly != P.Cfg.Local[1]; ++Ly) {
+        for (int64_t Lx = 0; Lx != P.Cfg.Local[0]; ++Lx) {
+          ItemCtx &W = Items[Idx];
+          ++Idx;
+          W.LocalId = {Lx, Ly, Lz};
+          W.GroupId = {Gx, Gy, Gz};
+          bindItem(W);
+        }
+      }
+    }
+    Active.clear();
+    for (ItemCtx &W : Items)
+      Active.push_back(&W);
+
+    if (RD)
+      RD->beginGroup({Gx, Gy, Gz}, Items.size());
+    execLockstep(P.K.Module.Kernel->Body->getStmts(), Active);
+    if (RD)
+      RD->endGroup();
+    if (Writes && MGd)
+      *Writes = MGd->sharedWrites();
+    RD = nullptr;
+    MG = nullptr;
+  }
+
+private:
+  const LaunchPlan &P;
+  size_t NumSlots;
+  size_t WIs;
+
+  std::vector<Value> FrameArena;
+  std::vector<uint32_t> FrameEpochArena;
+  std::vector<int64_t> AValArena;
+  std::vector<uint32_t> AEpochArena;
+  std::vector<ItemCtx> Items;
+  std::vector<ItemCtx *> Active;
+  std::vector<ItemCtx *> PermScratch;
+  /// Work-group local arrays, reused across groups, keyed by slot. A
+  /// slot's allocation is current iff its epoch matches.
+  std::vector<MemoryPtr> WgLocalMem;
+  std::vector<uint32_t> WgLocalEpoch;
+  /// Private arrays, reused across groups, keyed by slot * WIs + item.
+  std::vector<MemoryPtr> PrivateMem;
+  uint32_t Epoch = 0;
+
+  /// Non-null while the current group runs race/memory-checked.
+  RaceDetector *RD = nullptr;
+  MemGuard *MG = nullptr;
+  /// Sink for out-of-bounds stores under guarded-memory execution.
+  Value ScratchSlot;
+  /// Seeded xorshift state driving the perturbed schedule (re-seeded per
+  /// group so findings are independent of worker assignment).
+  uint64_t RngState = 1;
+
+  arith::EvalContext ArithCtx;
+  ItemCtx *ArithItem = nullptr;
+
+  [[noreturn]] void
+  runtimeError(const std::string &Msg,
+               DiagCode Code = DiagCode::RuntimeUnsupported) const {
+    P.runtimeError(Msg, Code);
+  }
+
+  void bindItem(ItemCtx &W) {
+    for (const BoundArg &B : P.Bindings) {
+      if (B.ArithSlot >= 0) {
+        W.AVals[B.ArithSlot] = B.ArithInt;
+        W.AEpoch[B.ArithSlot] = Epoch;
+      }
+      W.Frame[B.Slot] = B.Val;
+      W.FrameEpoch[B.Slot] = Epoch;
+    }
+  }
+
+  void setVar(ItemCtx &W, const CVar *V, Value Val) {
+    int S = V->Slot;
+    if (S < 0)
+      runtimeError("internal: variable '" + V->Name + "' has no frame slot");
+    if (V->ArithId != 0) {
+      W.AVals[V->ArithSlot] = Val.asInt();
+      W.AEpoch[V->ArithSlot] = Epoch;
+    }
+    W.Frame[S] = std::move(Val);
+    W.FrameEpoch[S] = Epoch;
+  }
+
+  void setVarNoArith(ItemCtx &W, const CVar *V, Value Val) {
+    int S = V->Slot;
+    if (S < 0)
+      runtimeError("internal: variable '" + V->Name + "' has no frame slot");
+    W.Frame[S] = std::move(Val);
+    W.FrameEpoch[S] = Epoch;
+  }
+
+  //===------------------------------------------------------------------===//
   // Lockstep execution
-  //===--------------------------------------------------------------------===//
+  //===------------------------------------------------------------------===//
 
   uint64_t nextRand() {
     RngState ^= RngState << 13;
@@ -497,12 +902,14 @@ private:
   }
 
   /// A seeded permutation of the work-items — one legal execution order
-  /// among the many a GPU could choose within a barrier interval.
-  std::vector<WorkItem *> permuted(const std::vector<WorkItem *> &WIs) {
-    std::vector<WorkItem *> R = WIs;
-    for (size_t I = R.size(); I > 1; --I)
-      std::swap(R[I - 1], R[nextRand() % I]);
-    return R;
+  /// among the many a GPU could choose within a barrier interval. Returns
+  /// a reference to a reused scratch vector; safe because barrier-free
+  /// runs never recurse back into permuted().
+  std::vector<ItemCtx *> &permuted(const std::vector<ItemCtx *> &WIs) {
+    PermScratch = WIs;
+    for (size_t I = PermScratch.size(); I > 1; --I)
+      std::swap(PermScratch[I - 1], PermScratch[nextRand() % I]);
+    return PermScratch;
   }
 
   /// Executes a statement sequence across the group. Maximal runs of
@@ -514,31 +921,31 @@ private:
   /// item order — a schedule that exposes missing-barrier bugs the
   /// statement-lockstep order masks.
   void execLockstep(const std::vector<CStmtPtr> &Stmts,
-                    std::vector<WorkItem *> &WIs) {
+                    std::vector<ItemCtx *> &WIs) {
     size_t I = 0, N = Stmts.size();
     while (I != N) {
-      if (containsBarrier(Stmts[I])) {
+      if (P.stmtBarrier(Stmts[I])) {
         execStmtLockstep(Stmts[I], WIs);
         ++I;
         continue;
       }
       size_t J = I;
-      while (J != N && !containsBarrier(Stmts[J]))
+      while (J != N && !P.stmtBarrier(Stmts[J]))
         ++J;
-      if (Cfg.PerturbSchedule) {
-        for (WorkItem *W : permuted(WIs))
+      if (P.Cfg.PerturbSchedule) {
+        for (ItemCtx *W : permuted(WIs))
           for (size_t S = I; S != J; ++S)
             execNonBarrierStmt(Stmts[S], *W);
       } else {
         for (size_t S = I; S != J; ++S)
-          for (WorkItem *W : WIs)
+          for (ItemCtx *W : WIs)
             execNonBarrierStmt(Stmts[S], *W);
       }
       I = J;
     }
   }
 
-  void execNonBarrierStmt(const CStmtPtr &S, WorkItem &W) {
+  void execNonBarrierStmt(const CStmtPtr &S, ItemCtx &W) {
     ExecResult R = execStmtSingle(S, W);
     if (R.Returned)
       runtimeError("return outside of a function body");
@@ -550,14 +957,14 @@ private:
   void divergentFlow(const std::string &What) {
     if (!RD)
       runtimeError(What + " around a barrier in kernel '" +
-                   K.Module.Kernel->Name + "'");
+                   P.K.Module.Kernel->Name + "'");
     RD->divergence(What + " around a barrier in kernel '" +
-                   K.Module.Kernel->Name + "'");
+                   P.K.Module.Kernel->Name + "'");
   }
 
-  void execStmtLockstep(const CStmtPtr &S, std::vector<WorkItem *> &WIs) {
-    if (!containsBarrier(S)) {
-      for (WorkItem *W : WIs)
+  void execStmtLockstep(const CStmtPtr &S, std::vector<ItemCtx *> &WIs) {
+    if (!P.stmtBarrier(S)) {
+      for (ItemCtx *W : WIs)
         execNonBarrierStmt(S, *W);
       return;
     }
@@ -573,12 +980,12 @@ private:
       return;
     case CStmtKind::For: {
       const auto *F = cast<For>(S.get());
-      for (WorkItem *W : WIs)
+      for (ItemCtx *W : WIs)
         setVar(*W, F->getIV().get(), evalExpr(F->getInit(), *W));
       while (true) {
         bool First = true, Continue = false, Diverged = false;
-        for (WorkItem *W : WIs) {
-          bool C = evalExpr(F->getCond(), *W).asBool();
+        for (ItemCtx *W : WIs) {
+          bool C = evalCondition(F->getCond(), *W);
           if (First) {
             Continue = C;
             First = false;
@@ -591,7 +998,7 @@ private:
         if (!Continue)
           break;
         execLockstep(F->getBody()->getStmts(), WIs);
-        for (WorkItem *W : WIs)
+        for (ItemCtx *W : WIs)
           setVar(*W, F->getIV().get(), evalExpr(F->getStep(), *W));
       }
       return;
@@ -599,8 +1006,8 @@ private:
     case CStmtKind::If: {
       const auto *I = cast<If>(S.get());
       bool First = true, Taken = false, Diverged = false;
-      for (WorkItem *W : WIs) {
-        bool C = evalExpr(I->getCond(), *W).asBool();
+      for (ItemCtx *W : WIs) {
+        bool C = evalCondition(I->getCond(), *W);
         if (First) {
           Taken = C;
           First = false;
@@ -617,7 +1024,7 @@ private:
     }
     default:
       runtimeError("barrier in an unsupported statement position in kernel '" +
-                   K.Module.Kernel->Name + "': a " + stmtKindName(S) +
+                   P.K.Module.Kernel->Name + "': a " + stmtKindName(S) +
                    " statement reaches a barrier (through a function call) "
                    "but cannot be executed in lockstep: " +
                    c::printStmt(S));
@@ -648,11 +1055,11 @@ private:
     return "?";
   }
 
-  //===--------------------------------------------------------------------===//
+  //===------------------------------------------------------------------===//
   // Per-work-item execution
-  //===--------------------------------------------------------------------===//
+  //===------------------------------------------------------------------===//
 
-  ExecResult execStmtSingle(const CStmtPtr &S, WorkItem &W) {
+  ExecResult execStmtSingle(const CStmtPtr &S, ItemCtx &W) {
     switch (S->getKind()) {
     case CStmtKind::Block: {
       for (const CStmtPtr &Sub : cast<Block>(S.get())->getStmts()) {
@@ -667,32 +1074,41 @@ private:
       const CVar *V = D->getVar().get();
       if (D->getArraySize()) {
         int64_t Count = evalArith(D->getArraySize(), W);
+        int Slot = V->Slot;
+        if (Slot < 0)
+          runtimeError("internal: array variable '" + V->Name +
+                       "' has no frame slot");
         if (D->getAddrSpace() == CAddrSpace::Local) {
-          // One allocation shared by the whole work group.
-          auto It = WgLocals.find(V);
-          if (It == WgLocals.end()) {
-            auto Mem = std::make_shared<std::vector<Value>>(
-                static_cast<size_t>(Count), Value::makeFloat(0));
+          // One allocation shared by the whole work group; the backing
+          // vector is reused across the groups this worker executes.
+          if (WgLocalEpoch[Slot] != Epoch) {
+            MemoryPtr &Mem = WgLocalMem[Slot];
+            if (!Mem)
+              Mem = std::make_shared<std::vector<Value>>();
+            Mem->assign(static_cast<size_t>(Count), Value::makeFloat(0));
             if (RD)
               RD->registerBlock(Mem.get(), V->Name);
             if (MG)
               MG->registerBlock(Mem.get(), V->Name,
                                 std::make_shared<std::vector<uint8_t>>(
                                     static_cast<size_t>(Count), uint8_t(0)));
-            It = WgLocals
-                     .emplace(V, Value::makePtr(std::move(Mem),
-                                                MemSpace::Local))
-                     .first;
+            WgLocalEpoch[Slot] = Epoch;
           }
-          setVar(W, V, It->second);
+          setVar(W, V, Value::makePtr(WgLocalMem[Slot], MemSpace::Local));
         } else {
-          auto Mem = std::make_shared<std::vector<Value>>(
-              static_cast<size_t>(Count), Value::makeFloat(0));
+          // Private arrays are fresh zeros on every execution of the
+          // declaration; the backing vector is reused per (slot, item).
+          MemoryPtr &Mem =
+              PrivateMem[static_cast<size_t>(Slot) * WIs +
+                         static_cast<size_t>(W.Linear)];
+          if (!Mem)
+            Mem = std::make_shared<std::vector<Value>>();
+          Mem->assign(static_cast<size_t>(Count), Value::makeFloat(0));
           if (MG)
             MG->registerBlock(Mem.get(), V->Name,
                               std::make_shared<std::vector<uint8_t>>(
                                   static_cast<size_t>(Count), uint8_t(0)));
-          setVar(W, V, Value::makePtr(std::move(Mem), MemSpace::Private));
+          setVar(W, V, Value::makePtr(Mem, MemSpace::Private));
         }
         return {};
       }
@@ -713,7 +1129,7 @@ private:
     case CStmtKind::For: {
       const auto *F = cast<For>(S.get());
       setVar(W, F->getIV().get(), evalExpr(F->getInit(), W));
-      while (evalExpr(F->getCond(), W).asBool()) {
+      while (evalCondition(F->getCond(), W)) {
         ++Cost.LoopIters;
         for (const CStmtPtr &Sub : F->getBody()->getStmts()) {
           ExecResult R = execStmtSingle(Sub, W);
@@ -726,7 +1142,7 @@ private:
     }
     case CStmtKind::If: {
       const auto *I = cast<If>(S.get());
-      if (evalExpr(I->getCond(), W).asBool()) {
+      if (evalCondition(I->getCond(), W)) {
         for (const CStmtPtr &Sub : I->getThen()->getStmts()) {
           ExecResult R = execStmtSingle(Sub, W);
           if (R.Returned)
@@ -762,34 +1178,44 @@ private:
     lift_unreachable("unhandled statement kind");
   }
 
-  //===--------------------------------------------------------------------===//
+  //===------------------------------------------------------------------===//
   // L-values
-  //===--------------------------------------------------------------------===//
+  //===------------------------------------------------------------------===//
 
-  Value *lvalue(const CExprPtr &E, WorkItem &W) {
+  Value *lvalue(const CExprPtr &E, ItemCtx &W) {
     switch (E->getKind()) {
     case CExprKind::VarRef: {
       const CVar *V = cast<VarRef>(E.get())->getVar().get();
       ++Cost.PrivateAccesses;
-      return &W.Vars[V];
+      int S = V->Slot;
+      if (S < 0)
+        runtimeError("internal: variable '" + V->Name +
+                     "' has no frame slot");
+      if (W.FrameEpoch[S] != Epoch) {
+        W.Frame[S] = Value();
+        W.FrameEpoch[S] = Epoch;
+      }
+      return &W.Frame[S];
     }
     case CExprKind::ArrayAccess: {
       const auto *A = cast<ArrayAccess>(E.get());
-      Value Base = evalExpr(A->getBase(), W);
-      if (Base.K != Value::Ptr)
+      Value BaseTmp;
+      const Value *Base = evalVia(A->getBase(), W, BaseTmp);
+      if (Base->K != Value::Ptr)
         runtimeError("array access on a non-pointer");
-      int64_t Idx = evalExpr(A->getIndex(), W).asInt();
-      noteAccess(Base, Idx, W, /*IsWrite=*/true);
+      int64_t Idx = evalIndex(A->getIndex(), W);
+      noteAccess(*Base, Idx, W, /*IsWrite=*/true);
       if (MG) {
-        if (MG->check(Base.P.get(), Idx, Base.P->size(), W.Linear, W.GroupId,
+        if (MG->check(Base->P.get(), Idx, Base->P->size(), W.Linear,
+                      W.GroupId,
                       /*IsWrite=*/true) == MemGuard::Access::OutOfBounds)
           return &ScratchSlot; // record and drop the store, keep running
-      } else if (Idx < 0 || static_cast<size_t>(Idx) >= Base.P->size()) {
+      } else if (Idx < 0 || static_cast<size_t>(Idx) >= Base->P->size()) {
         runtimeError("store out of bounds: index " + std::to_string(Idx) +
-                         " of " + std::to_string(Base.P->size()),
+                         " of " + std::to_string(Base->P->size()),
                      DiagCode::RuntimeOutOfBounds);
       }
-      return &(*Base.P)[static_cast<size_t>(Idx)];
+      return &(*Base->P)[static_cast<size_t>(Idx)];
     }
     case CExprKind::Member: {
       const auto *M = cast<Member>(E.get());
@@ -805,7 +1231,7 @@ private:
     }
   }
 
-  void assignTo(const CExprPtr &Lhs, Value V, WorkItem &W) {
+  void assignTo(const CExprPtr &Lhs, Value V, ItemCtx &W) {
     if (const auto *VR = dyn_cast<VarRef>(Lhs.get())) {
       setVar(W, VR->getVar().get(), std::move(V));
       ++Cost.PrivateAccesses;
@@ -836,64 +1262,142 @@ private:
 
   /// Charges the cost model and, on a checked run, records the access in
   /// the current barrier interval's access set.
-  void noteAccess(const Value &Base, int64_t Idx, const WorkItem &W,
+  void noteAccess(const Value &Base, int64_t Idx, const ItemCtx &W,
                   bool IsWrite) {
     chargeAccess(Base.Space);
     if (RD)
       RD->recordAccess(Base.P.get(), Idx, Base.Space, W.Linear, IsWrite);
   }
 
-  //===--------------------------------------------------------------------===//
+  //===------------------------------------------------------------------===//
   // Arithmetic index expressions
-  //===--------------------------------------------------------------------===//
+  //===------------------------------------------------------------------===//
 
-  int64_t evalArith(const arith::Expr &E, WorkItem &W) {
+  int64_t evalArith(const arith::Expr &E, ItemCtx &W) {
     // Charge the static operation count of the index expression — this is
     // where disabling array access simplification shows up as cost.
-    auto It = IndexCost.find(E.get());
-    if (It == IndexCost.end()) {
-      unsigned DivMods = arith::countDivMod(E);
-      unsigned Ops = arith::countOps(E);
-      unsigned Others = Ops >= DivMods ? Ops - DivMods : 0;
-      It = IndexCost.emplace(E.get(), std::make_pair(DivMods, Others)).first;
-    }
-    Cost.DivModOps += It->second.first;
-    Cost.ArithOps += It->second.second;
-
-    arith::EvalContext Ctx;
-    Ctx.VarValue = [&](const arith::VarNode &V) -> int64_t {
-      auto VIt = W.AVals.find(V.getId());
-      if (VIt == W.AVals.end())
-        runtimeError("unbound index variable " + V.getName());
-      return VIt->second;
-    };
-    Ctx.LookupValue = [&](unsigned TableId, int64_t Index) -> int64_t {
-      auto SIt = StorageVarById.find(TableId);
-      if (SIt == StorageVarById.end())
-        runtimeError("unknown lookup table id " + std::to_string(TableId));
-      auto VIt = W.Vars.find(SIt->second.get());
-      if (VIt == W.Vars.end() || VIt->second.K != Value::Ptr)
-        runtimeError("lookup table is not bound to memory");
-      noteAccess(VIt->second, Index, W, /*IsWrite=*/false);
-      const auto &Mem = *VIt->second.P;
-      if (MG) {
-        if (MG->check(VIt->second.P.get(), Index, Mem.size(), W.Linear,
-                      W.GroupId, /*IsWrite=*/false) ==
-            MemGuard::Access::OutOfBounds)
-          return 0; // record and read zero, keep running
-      } else if (Index < 0 || static_cast<size_t>(Index) >= Mem.size()) {
-        runtimeError("lookup out of bounds", DiagCode::RuntimeOutOfBounds);
-      }
-      return Mem[static_cast<size_t>(Index)].asInt();
-    };
-    return arith::evaluate(E, Ctx);
+    auto [DivMods, Others] = P.indexCostOf(E);
+    Cost.DivModOps += DivMods;
+    Cost.ArithOps += Others;
+    ArithItem = &W;
+    return arith::evaluate(E, ArithCtx);
   }
 
-  //===--------------------------------------------------------------------===//
-  // Expressions
-  //===--------------------------------------------------------------------===//
+  /// ArithValue nodes carry their static cost (annotated at plan setup),
+  /// skipping the shared-cache lookup of evalArith.
+  int64_t evalArithValue(const ArithValue *AV, ItemCtx &W) {
+    if (AV->CostDivMods < 0)
+      return evalArith(AV->getValue(), W); // unannotated module
+    Cost.DivModOps += static_cast<unsigned>(AV->CostDivMods);
+    Cost.ArithOps += AV->CostOthers;
+    ArithItem = &W;
+    return arith::evaluate(AV->getValue(), ArithCtx);
+  }
 
-  Value evalExpr(const CExprPtr &E, WorkItem &W) {
+  //===------------------------------------------------------------------===//
+  // Expressions
+  //===------------------------------------------------------------------===//
+
+  /// Integer-valued operand expressions (array indices, NDRange
+  /// dimensions): the dominant kinds evaluate without materializing a
+  /// Value temporary.
+  int64_t evalIndex(const CExprPtr &E, ItemCtx &W) {
+    switch (E->getKind()) {
+    case CExprKind::IntLit:
+      return cast<IntLit>(E.get())->getValue();
+    case CExprKind::ArithValue:
+      return evalArithValue(cast<ArithValue>(E.get()), W);
+    default:
+      return evalExpr(E, W).asInt();
+    }
+  }
+
+  /// Resolves an expression that names a storage location — a variable,
+  /// an array element, or a tuple field of such a place — to a pointer at
+  /// the stored value, with exactly the cost accounting and race/guard
+  /// recording of the evalExpr read path. Results with no storage to
+  /// point at (a guarded out-of-bounds read, a vector component) are
+  /// materialized into \p Tmp. Returns null — before any side effect —
+  /// when the expression is not a place; the caller falls back to
+  /// evalExpr.
+  ///
+  /// The pointer is valid until the storage (or \p Tmp) is next written;
+  /// callers consume or copy the leaf value first, mirroring C's
+  /// unsequenced operand evaluation.
+  const Value *evalPlace(const CExprPtr &E, ItemCtx &W, Value &Tmp) {
+    switch (E->getKind()) {
+    case CExprKind::VarRef: {
+      const CVar *V = cast<VarRef>(E.get())->getVar().get();
+      int S = V->Slot;
+      if (S < 0 || W.FrameEpoch[S] != Epoch)
+        runtimeError("use of undeclared variable " + V->Name);
+      return &W.Frame[S];
+    }
+    case CExprKind::ArrayAccess: {
+      const auto *A = cast<ArrayAccess>(E.get());
+      Value BaseTmp;
+      const Value *Base = evalVia(A->getBase(), W, BaseTmp);
+      if (Base->K != Value::Ptr)
+        runtimeError("array access on a non-pointer");
+      int64_t Idx = evalIndex(A->getIndex(), W);
+      noteAccess(*Base, Idx, W, /*IsWrite=*/false);
+      if (MG) {
+        if (MG->check(Base->P.get(), Idx, Base->P->size(), W.Linear,
+                      W.GroupId,
+                      /*IsWrite=*/false) == MemGuard::Access::OutOfBounds) {
+          Tmp = Value::makeFloat(0); // record and read zero, keep running
+          return &Tmp;
+        }
+      } else if (Idx < 0 || static_cast<size_t>(Idx) >= Base->P->size()) {
+        runtimeError("load out of bounds: index " + std::to_string(Idx) +
+                         " of " + std::to_string(Base->P->size()),
+                     DiagCode::RuntimeOutOfBounds);
+      }
+      return &(*Base->P)[static_cast<size_t>(Idx)];
+    }
+    case CExprKind::Member: {
+      const auto *M = cast<Member>(E.get());
+      const Value *Base = evalPlace(M->getBase(), W, Tmp);
+      if (!Base)
+        return nullptr; // computed aggregate: evalExpr materializes it
+      if (Base->K == Value::Tup) {
+        int Idx = fieldIndexOf(M->getField());
+        if (Idx < 0 || static_cast<size_t>(Idx) >= Base->T.size())
+          runtimeError("bad struct member ." + M->getField());
+        return &Base->T[static_cast<size_t>(Idx)];
+      }
+      if (Base->K == Value::Vec) {
+        Tmp = Value::makeFloat(
+            Base->V[vectorComponent(M->getField(), Base->V.size())]);
+        return &Tmp;
+      }
+      runtimeError("member access on a non-aggregate");
+    }
+    default:
+      return nullptr;
+    }
+  }
+
+  /// Evaluates \p E without copying when it names a place, materializing
+  /// into \p Tmp otherwise. The kind gate keeps non-place expressions off
+  /// the evalPlace call entirely.
+  const Value *evalVia(const CExprPtr &E, ItemCtx &W, Value &Tmp) {
+    switch (E->getKind()) {
+    case CExprKind::VarRef:
+    case CExprKind::ArrayAccess:
+      return evalPlace(E, W, Tmp); // always resolve
+    case CExprKind::Member:
+      if (const Value *Pl = evalPlace(E, W, Tmp))
+        return Pl;
+      break;
+    default:
+      break;
+    }
+    Tmp = evalExpr(E, W);
+    return &Tmp;
+  }
+
+  Value evalExpr(const CExprPtr &E, ItemCtx &W) {
     switch (E->getKind()) {
     case CExprKind::IntLit:
       return Value::makeInt(cast<IntLit>(E.get())->getValue());
@@ -901,40 +1405,30 @@ private:
       return Value::makeFloat(cast<FloatLit>(E.get())->getValue());
     case CExprKind::VarRef: {
       const CVar *V = cast<VarRef>(E.get())->getVar().get();
-      auto It = W.Vars.find(V);
-      if (It == W.Vars.end())
+      int S = V->Slot;
+      if (S < 0 || W.FrameEpoch[S] != Epoch)
         runtimeError("use of undeclared variable " + V->Name);
-      return It->second;
+      return W.Frame[S];
     }
     case CExprKind::ArithValue:
-      return Value::makeInt(
-          evalArith(cast<ArithValue>(E.get())->getValue(), W));
+      return Value::makeInt(evalArithValue(cast<ArithValue>(E.get()), W));
     case CExprKind::ArrayAccess: {
-      const auto *A = cast<ArrayAccess>(E.get());
-      Value Base = evalExpr(A->getBase(), W);
-      if (Base.K != Value::Ptr)
-        runtimeError("array access on a non-pointer");
-      int64_t Idx = evalExpr(A->getIndex(), W).asInt();
-      noteAccess(Base, Idx, W, /*IsWrite=*/false);
-      if (MG) {
-        if (MG->check(Base.P.get(), Idx, Base.P->size(), W.Linear, W.GroupId,
-                      /*IsWrite=*/false) == MemGuard::Access::OutOfBounds)
-          return Value::makeFloat(0); // record and read zero, keep running
-      } else if (Idx < 0 || static_cast<size_t>(Idx) >= Base.P->size()) {
-        runtimeError("load out of bounds: index " + std::to_string(Idx) +
-                         " of " + std::to_string(Base.P->size()),
-                     DiagCode::RuntimeOutOfBounds);
-      }
-      return (*Base.P)[static_cast<size_t>(Idx)];
+      Value Tmp;
+      return *evalPlace(E, W, Tmp); // array accesses always resolve
     }
     case CExprKind::Member: {
+      Value Tmp;
+      if (const Value *Pl = evalPlace(E, W, Tmp))
+        return *Pl;
+      // The base is a computed aggregate (call, constructor): materialize
+      // it and extract the field.
       const auto *M = cast<Member>(E.get());
       Value Base = evalExpr(M->getBase(), W);
       if (Base.K == Value::Tup) {
         int Idx = fieldIndexOf(M->getField());
         if (Idx < 0 || static_cast<size_t>(Idx) >= Base.T.size())
           runtimeError("bad struct member ." + M->getField());
-        return Base.T[static_cast<size_t>(Idx)];
+        return std::move(Base.T[static_cast<size_t>(Idx)]);
       }
       if (Base.K == Value::Vec)
         return Value::makeFloat(Base.V[vectorComponent(M->getField(),
@@ -963,8 +1457,8 @@ private:
     case CExprKind::Ternary: {
       const auto *T = cast<Ternary>(E.get());
       ++Cost.ArithOps;
-      return evalExpr(T->getCond(), W).asBool() ? evalExpr(T->getThen(), W)
-                                                : evalExpr(T->getElse(), W);
+      return evalCondition(T->getCond(), W) ? evalExpr(T->getThen(), W)
+                                            : evalExpr(T->getElse(), W);
     }
     case CExprKind::CastExpr: {
       const auto *C = cast<CastExpr>(E.get());
@@ -985,11 +1479,12 @@ private:
     case CExprKind::ConstructVector: {
       const auto *V = cast<ConstructVector>(E.get());
       const auto *VT = cast<VectorCType>(V->getType().get());
-      std::vector<double> Comps;
+      VecN Comps;
       if (V->getArgs().size() == 1) {
         double X = evalExpr(V->getArgs()[0], W).asFloat();
         Comps.assign(VT->getWidth(), X);
       } else {
+        Comps.reserve(V->getArgs().size());
         for (const CExprPtr &A : V->getArgs())
           Comps.push_back(evalExpr(A, W).asFloat());
         if (Comps.size() != VT->getWidth())
@@ -1000,18 +1495,26 @@ private:
     case CExprKind::ConstructStruct: {
       const auto *C = cast<ConstructStruct>(E.get());
       std::vector<Value> Fields;
-      for (const CExprPtr &A : C->getArgs())
-        Fields.push_back(evalExpr(A, W));
+      Fields.reserve(C->getArgs().size());
+      for (const CExprPtr &A : C->getArgs()) {
+        Value Tmp;
+        if (const Value *Pl = evalPlace(A, W, Tmp))
+          Fields.push_back(*Pl);
+        else
+          Fields.push_back(evalExpr(A, W));
+      }
       return Value::makeTuple(std::move(Fields));
     }
     case CExprKind::VectorLoad: {
       const auto *V = cast<VectorLoad>(E.get());
-      Value Base = evalExpr(V->getPointer(), W);
+      Value BaseTmp;
+      const Value &Base = *evalVia(V->getPointer(), W, BaseTmp);
       if (Base.K != Value::Ptr)
         runtimeError("vload on a non-pointer");
-      int64_t Idx = evalExpr(V->getIndex(), W).asInt();
+      int64_t Idx = evalIndex(V->getIndex(), W);
       chargeAccess(Base.Space);
-      std::vector<double> Comps;
+      VecN Comps;
+      Comps.reserve(V->getWidth());
       for (unsigned I = 0; I != V->getWidth(); ++I) {
         size_t At = static_cast<size_t>(Idx) * V->getWidth() + I;
         if (MG) {
@@ -1033,11 +1536,13 @@ private:
     }
     case CExprKind::VectorStore: {
       const auto *V = cast<VectorStore>(E.get());
+      // Operands stay copies: the loop below writes the target buffer,
+      // which a place-resolved operand could alias.
       Value Val = evalExpr(V->getValue(), W);
       Value Base = evalExpr(V->getPointer(), W);
       if (Base.K != Value::Ptr || Val.K != Value::Vec)
         runtimeError("vstore operand mismatch");
-      int64_t Idx = evalExpr(V->getIndex(), W).asInt();
+      int64_t Idx = evalIndex(V->getIndex(), W);
       chargeAccess(Base.Space);
       for (unsigned I = 0; I != V->getWidth(); ++I) {
         size_t At = static_cast<size_t>(Idx) * V->getWidth() + I;
@@ -1084,16 +1589,69 @@ private:
               "runtime: bad vector component ." + Field);
   }
 
-  Value evalBinary(const Binary *B, WorkItem &W) {
-    Value L = evalExpr(B->getLhs(), W);
-    Value R = evalExpr(B->getRhs(), W);
-    BinOp Op = B->getOp();
+  Value evalBinary(const Binary *B, ItemCtx &W) {
+    // Operands read through the place path: a variable, array-element or
+    // tuple-field operand is consumed where it is stored instead of being
+    // copied. The two evaluations are unsequenced with respect to each
+    // other, as in C.
+    Value LT, RT;
+    const Value &L = *evalVia(B->getLhs(), W, LT);
+    const Value &R = *evalVia(B->getRhs(), W, RT);
+    return applyBinary(B->getOp(), L, R);
+  }
+
+  /// Boolean contexts (loop and branch conditions, ternaries): integer
+  /// comparisons — the overwhelmingly common case — produce the bool
+  /// directly instead of materializing a Value.
+  bool evalCondition(const CExprPtr &E, ItemCtx &W) {
+    if (E->getKind() == CExprKind::Binary) {
+      const auto *B = cast<Binary>(E.get());
+      Value LT, RT;
+      const Value &L = *evalVia(B->getLhs(), W, LT);
+      const Value &R = *evalVia(B->getRhs(), W, RT);
+      if (L.K == Value::Int && R.K == Value::Int) {
+        int64_t A = L.I, Bv = R.I;
+        switch (B->getOp()) {
+        case BinOp::Lt:
+          ++Cost.ArithOps;
+          return A < Bv;
+        case BinOp::Le:
+          ++Cost.ArithOps;
+          return A <= Bv;
+        case BinOp::Gt:
+          ++Cost.ArithOps;
+          return A > Bv;
+        case BinOp::Ge:
+          ++Cost.ArithOps;
+          return A >= Bv;
+        case BinOp::Eq:
+          ++Cost.ArithOps;
+          return A == Bv;
+        case BinOp::Ne:
+          ++Cost.ArithOps;
+          return A != Bv;
+        case BinOp::And:
+          ++Cost.ArithOps;
+          return A != 0 && Bv != 0;
+        case BinOp::Or:
+          ++Cost.ArithOps;
+          return A != 0 || Bv != 0;
+        default:
+          break; // arithmetic result: the general path charges the cost
+        }
+      }
+      return applyBinary(B->getOp(), L, R).asBool();
+    }
+    return evalExpr(E, W).asBool();
+  }
+
+  Value applyBinary(BinOp Op, const Value &L, const Value &R) {
 
     // Vector operations apply element-wise, with scalar broadcast.
     if (L.K == Value::Vec || R.K == Value::Vec) {
       size_t Width = L.K == Value::Vec ? L.V.size() : R.V.size();
       Cost.ArithOps += Width;
-      std::vector<double> Out(Width);
+      VecN Out(Width);
       for (size_t I = 0; I != Width; ++I) {
         double A = L.K == Value::Vec ? L.V[I] : L.asFloat();
         double Bv = R.K == Value::Vec ? R.V[I] : R.asFloat();
@@ -1206,66 +1764,99 @@ private:
     }
   }
 
-  Value evalCall(const Call *C, WorkItem &W) {
-    const std::string &Name = C->getCallee();
+  using MathFn = double (*)(double);
 
-    // OpenCL work-item built-ins.
-    if (Name == "get_local_id" || Name == "get_group_id" ||
-        Name == "get_global_id" || Name == "get_local_size" ||
-        Name == "get_num_groups" || Name == "get_global_size") {
-      int64_t D = evalExpr(C->getArgs()[0], W).asInt();
+  static MathFn unaryMathFn(c::CallKind K) {
+    switch (K) {
+    case c::CallKind::Sqrt:
+      return [](double X) { return std::sqrt(X); };
+    case c::CallKind::Rsqrt:
+      return [](double X) { return 1.0 / std::sqrt(X); };
+    case c::CallKind::Sin:
+      return [](double X) { return std::sin(X); };
+    case c::CallKind::Cos:
+      return [](double X) { return std::cos(X); };
+    case c::CallKind::Exp:
+      return [](double X) { return std::exp(X); };
+    case c::CallKind::Log:
+      return [](double X) { return std::log(X); };
+    case c::CallKind::Fabs:
+      return [](double X) { return std::fabs(X); };
+    default:
+      return [](double X) { return std::floor(X); };
+    }
+  }
+
+  Value evalCall(const Call *C, ItemCtx &W) {
+    // The callee kind is resolved once per module alongside variable
+    // slots; a module launched without that pass classifies by name here.
+    int RK = C->ResolvedKind;
+    if (RK < 0)
+      RK = static_cast<int>(c::classifyBuiltin(C->getCallee()));
+    c::CallKind Kind = static_cast<c::CallKind>(RK);
+
+    switch (Kind) {
+    case c::CallKind::GetLocalId:
+    case c::CallKind::GetGroupId:
+    case c::CallKind::GetGlobalId:
+    case c::CallKind::GetLocalSize:
+    case c::CallKind::GetNumGroups:
+    case c::CallKind::GetGlobalSize: {
+      int64_t D = evalIndex(C->getArgs()[0], W);
       if (D < 0 || D > 2)
         runtimeError("bad NDRange dimension");
-      if (Name == "get_local_id")
+      switch (Kind) {
+      case c::CallKind::GetLocalId:
         return Value::makeInt(W.LocalId[D]);
-      if (Name == "get_group_id")
+      case c::CallKind::GetGroupId:
         return Value::makeInt(W.GroupId[D]);
-      if (Name == "get_global_id")
-        return Value::makeInt(W.GroupId[D] * Cfg.Local[D] + W.LocalId[D]);
-      if (Name == "get_local_size")
-        return Value::makeInt(Cfg.Local[D]);
-      if (Name == "get_num_groups")
-        return Value::makeInt(Cfg.Global[D] / Cfg.Local[D]);
-      return Value::makeInt(Cfg.Global[D]);
+      case c::CallKind::GetGlobalId:
+        return Value::makeInt(W.GroupId[D] * P.Cfg.Local[D] + W.LocalId[D]);
+      case c::CallKind::GetLocalSize:
+        return Value::makeInt(P.Cfg.Local[D]);
+      case c::CallKind::GetNumGroups:
+        return Value::makeInt(P.Cfg.Global[D] / P.Cfg.Local[D]);
+      default:
+        return Value::makeInt(P.Cfg.Global[D]);
+      }
     }
 
-    // Math built-ins.
-    static const std::map<std::string, double (*)(double)> Unary1 = {
-        {"sqrt", [](double X) { return std::sqrt(X); }},
-        {"rsqrt", [](double X) { return 1.0 / std::sqrt(X); }},
-        {"sin", [](double X) { return std::sin(X); }},
-        {"cos", [](double X) { return std::cos(X); }},
-        {"exp", [](double X) { return std::exp(X); }},
-        {"log", [](double X) { return std::log(X); }},
-        {"fabs", [](double X) { return std::fabs(X); }},
-        {"floor", [](double X) { return std::floor(X); }},
-    };
-    auto U1 = Unary1.find(Name);
-    if (U1 != Unary1.end()) {
+    case c::CallKind::Sqrt:
+    case c::CallKind::Rsqrt:
+    case c::CallKind::Sin:
+    case c::CallKind::Cos:
+    case c::CallKind::Exp:
+    case c::CallKind::Log:
+    case c::CallKind::Fabs:
+    case c::CallKind::Floor: {
       ++Cost.MathCalls;
+      MathFn Fn = unaryMathFn(Kind);
       Value A = evalExpr(C->getArgs()[0], W);
       if (A.K == Value::Vec) {
         for (double &D : A.V)
-          D = U1->second(D);
+          D = Fn(D);
         return A;
       }
-      return Value::makeFloat(U1->second(A.asFloat()));
+      return Value::makeFloat(Fn(A.asFloat()));
     }
-    if (Name == "fmin" || Name == "min" || Name == "fmax" || Name == "max" ||
-        Name == "pow") {
+
+    case c::CallKind::Fmin:
+    case c::CallKind::Fmax:
+    case c::CallKind::Pow: {
       ++Cost.MathCalls;
       double A = evalExpr(C->getArgs()[0], W).asFloat();
       double B = evalExpr(C->getArgs()[1], W).asFloat();
-      if (Name == "pow")
+      if (Kind == c::CallKind::Pow)
         return Value::makeFloat(std::pow(A, B));
-      bool Min = Name[0] == 'f' ? Name[1] == 'm' && Name[2] == 'i'
-                                : Name[1] == 'i';
-      return Value::makeFloat(Min ? std::fmin(A, B) : std::fmax(A, B));
+      return Value::makeFloat(Kind == c::CallKind::Fmin ? std::fmin(A, B)
+                                                        : std::fmax(A, B));
     }
-    if (Name == "dot") {
+
+    case c::CallKind::Dot: {
       ++Cost.MathCalls;
-      Value A = evalExpr(C->getArgs()[0], W);
-      Value B = evalExpr(C->getArgs()[1], W);
+      Value T1, T2;
+      const Value &A = *evalVia(C->getArgs()[0], W, T1);
+      const Value &B = *evalVia(C->getArgs()[1], W, T2);
       if (A.K != Value::Vec || B.K != Value::Vec || A.V.size() != B.V.size())
         runtimeError("dot expects equal-width vectors");
       double S = 0;
@@ -1274,47 +1865,116 @@ private:
       return Value::makeFloat(S);
     }
 
+    case c::CallKind::User:
+      break;
+    }
+
     // User functions from the module.
-    CFunctionPtr F = K.Module.findFunction(Name);
-    if (!F)
-      runtimeError("call to unknown function " + Name);
+    const CFunction *F = C->ResolvedFn;
+    if (!F) {
+      F = P.K.Module.findFunction(C->getCallee()).get();
+      if (!F)
+        runtimeError("call to unknown function " + C->getCallee());
+    }
     ++Cost.Calls;
     if (F->Params.size() != C->getArgs().size())
-      runtimeError("arity mismatch calling " + Name);
+      runtimeError("arity mismatch calling " + C->getCallee());
     for (size_t I = 0, E = C->getArgs().size(); I != E; ++I)
       setVarNoArith(W, F->Params[I].get(), evalExpr(C->getArgs()[I], W));
     for (const CStmtPtr &S : F->Body->getStmts()) {
       ExecResult R = execStmtSingle(S, W);
       if (R.Returned)
-        return R.Ret;
+        return std::move(R.Ret);
     }
-    runtimeError("function " + Name + " did not return a value");
-  }
-
-  void setVarNoArith(WorkItem &W, const CVar *V, Value Val) {
-    W.Vars[V] = std::move(Val);
+    runtimeError("function " + C->getCallee() + " did not return a value");
   }
 };
 
-} // namespace
+/// Dispatches the plan's work-groups over \p Workers pool workers (the
+/// caller participates as worker 0) and merges per-worker costs and
+/// per-group findings in canonical group order, so every observable
+/// result is identical at any thread count.
+CostReport executePlan(LaunchPlan &Plan, RaceReport &Races,
+                       GuardReport &Guards) {
+  unsigned Workers = resolveThreadCount(Plan.Cfg.Threads);
+  if (static_cast<int64_t>(Workers) > Plan.NumGroups)
+    Workers = static_cast<unsigned>(Plan.NumGroups);
+  if (Workers == 0)
+    Workers = 1;
 
-namespace {
+  const bool CheckR = Plan.Cfg.CheckRaces;
+  const bool CheckM = Plan.Cfg.CheckMemory;
+  const int64_t NumGroups = Plan.NumGroups;
+  std::vector<RaceReport> GroupRaces(
+      CheckR ? static_cast<size_t>(NumGroups) : 0);
+  std::vector<GuardReport> GroupGuards(
+      CheckM ? static_cast<size_t>(NumGroups) : 0);
+  std::vector<std::vector<std::pair<const void *, int64_t>>> GroupWrites(
+      CheckM ? static_cast<size_t>(NumGroups) : 0);
+  std::vector<CostReport> WorkerCosts(Workers);
+  std::vector<std::exception_ptr> GroupErrors(static_cast<size_t>(NumGroups));
+  std::atomic<int64_t> NextGroup{0};
+  std::atomic<bool> Failed{false};
 
-/// The one throwing execution path every public launch entry wraps: runs
-/// the machine with the detectors the config enables.
+  auto Body = [&](unsigned Wx) {
+    GroupWorker Worker(Plan);
+    while (!Failed.load(std::memory_order_relaxed)) {
+      int64_t G = NextGroup.fetch_add(1, std::memory_order_relaxed);
+      if (G >= NumGroups)
+        break;
+      try {
+        Worker.runGroup(
+            G, CheckR ? &GroupRaces[static_cast<size_t>(G)] : nullptr,
+            CheckM ? &GroupGuards[static_cast<size_t>(G)] : nullptr,
+            CheckM ? &GroupWrites[static_cast<size_t>(G)] : nullptr);
+      } catch (...) {
+        // Record per group, stop handing out new groups, and let the
+        // smallest failing group index win after the join — the same
+        // error a serial in-order run would have surfaced first.
+        GroupErrors[static_cast<size_t>(G)] = std::current_exception();
+        Failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    WorkerCosts[Wx] = Worker.Cost;
+  };
+
+  if (Workers == 1)
+    Body(0);
+  else
+    ThreadPool::global().run(Workers, Body);
+
+  for (int64_t G = 0; G != NumGroups; ++G)
+    if (GroupErrors[static_cast<size_t>(G)])
+      std::rethrow_exception(GroupErrors[static_cast<size_t>(G)]);
+
+  CostReport Total;
+  for (const CostReport &C : WorkerCosts)
+    Total += C;
+  if (CheckR)
+    for (int64_t G = 0; G != NumGroups; ++G)
+      Races.mergeFrom(GroupRaces[static_cast<size_t>(G)], kMaxFindings);
+  if (CheckM) {
+    std::unordered_map<std::string, bool> Seen;
+    for (int64_t G = 0; G != NumGroups; ++G) {
+      mergeGuardReport(Guards, GroupGuards[static_cast<size_t>(G)],
+                       kMaxFindings, Seen);
+      Plan.GuardBlocks.commitWrites(GroupWrites[static_cast<size_t>(G)]);
+    }
+  }
+  return Total;
+}
+
+/// The one throwing execution path every public launch entry wraps:
+/// resolves arguments, precomputes the shared analyses, then executes the
+/// groups on the worker pool.
 CostReport runMachine(const codegen::CompiledKernel &K,
                       const std::vector<Buffer *> &Buffers,
                       const std::map<std::string, int64_t> &Sizes,
                       const LaunchConfig &Cfg, RaceReport &Races,
                       GuardReport &Guards) {
-  std::optional<RaceDetector> RD;
-  std::optional<MemGuard> MG;
-  if (Cfg.CheckRaces)
-    RD.emplace(Races);
-  if (Cfg.CheckMemory)
-    MG.emplace(Guards);
-  return Machine(K, Cfg, RD ? &*RD : nullptr, MG ? &*MG : nullptr)
-      .run(Buffers, Sizes);
+  LaunchPlan Plan(K, Cfg);
+  Plan.setup(Buffers, Sizes);
+  return executePlan(Plan, Races, Guards);
 }
 
 } // namespace
@@ -1411,5 +2071,6 @@ codegen::CompiledKernel ocl::wrapModule(c::CModule M) {
     K.Params.push_back(Info);
   }
   K.Module = std::move(M);
+  K.Slots = codegen::computeVarSlots(K.Module);
   return K;
 }

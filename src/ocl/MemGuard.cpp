@@ -57,6 +57,48 @@ std::string GuardReport::summary() const {
   return S;
 }
 
+void SharedBlockTable::registerBlock(const void *Mem, const std::string &Name,
+                                     InitMap Init) {
+  Blocks[Mem] = Entry{Name, std::move(Init)};
+}
+
+const SharedBlockTable::Entry *SharedBlockTable::find(const void *Mem) const {
+  auto It = Blocks.find(Mem);
+  return It != Blocks.end() ? &It->second : nullptr;
+}
+
+void SharedBlockTable::commitWrites(
+    const std::vector<std::pair<const void *, int64_t>> &W) {
+  for (const auto &[Mem, Index] : W) {
+    auto It = Blocks.find(Mem);
+    if (It == Blocks.end() || !It->second.Init || Index < 0)
+      continue;
+    std::vector<uint8_t> &Init = *It->second.Init;
+    if (Init.size() <= static_cast<size_t>(Index))
+      Init.resize(static_cast<size_t>(Index) + 1, 0);
+    Init[static_cast<size_t>(Index)] = 1;
+  }
+}
+
+void lift::ocl::mergeGuardReport(GuardReport &Into, const GuardReport &Other,
+                                 unsigned MaxFindings,
+                                 std::unordered_map<std::string, bool>
+                                     &SeenKeys) {
+  Into.AccessesChecked += Other.AccessesChecked;
+  Into.Truncated |= Other.Truncated;
+  for (const GuardFinding &F : Other.Findings) {
+    std::string Key =
+        std::to_string(static_cast<int>(F.K)) + "|" + F.Location;
+    if (!SeenKeys.emplace(Key, true).second)
+      continue;
+    if (Into.Findings.size() >= MaxFindings) {
+      Into.Truncated = true;
+      return;
+    }
+    Into.Findings.push_back(F);
+  }
+}
+
 void MemGuard::registerBlock(const void *Mem, const std::string &Name,
                              InitMap Init) {
   Blocks[Mem] = BlockInfo{Name, std::move(Init)};
@@ -64,7 +106,15 @@ void MemGuard::registerBlock(const void *Mem, const std::string &Name,
 
 std::string MemGuard::nameOf(const void *Mem, int64_t Index) const {
   auto It = Blocks.find(Mem);
-  std::string Name = It != Blocks.end() ? It->second.Name : "<unnamed>";
+  std::string Name;
+  if (It != Blocks.end()) {
+    Name = It->second.Name;
+  } else if (const SharedBlockTable::Entry *E =
+                 Shared ? Shared->find(Mem) : nullptr) {
+    Name = E->Name;
+  } else {
+    Name = "<unnamed>";
+  }
   return Name + "[" + std::to_string(Index) + "]";
 }
 
@@ -98,8 +148,34 @@ MemGuard::Access MemGuard::check(const void *Mem, int64_t Index,
   }
 
   auto It = Blocks.find(Mem);
-  if (It == Blocks.end() || !It->second.Init)
-    return Access::Ok; // unregistered or host-initialized: in-bounds is fine
+  if (It == Blocks.end()) {
+    // Not a session-local block: a launch-level registration (shared,
+    // frozen bitmap + session overlay) or an unregistered allocation.
+    const SharedBlockTable::Entry *E = Shared ? Shared->find(Mem) : nullptr;
+    if (!E || !E->Init)
+      return Access::Ok; // unregistered or host-initialized
+    if (IsWrite) {
+      if (Overlay.emplace(OverlayKey{Mem, Index}, true).second)
+        SharedWriteList.emplace_back(Mem, Index);
+      return Access::Ok;
+    }
+    const std::vector<uint8_t> &Init = *E->Init;
+    if (static_cast<size_t>(Index) < Init.size() &&
+        Init[static_cast<size_t>(Index)])
+      return Access::Ok;
+    if (Overlay.find(OverlayKey{Mem, Index}) != Overlay.end())
+      return Access::Ok;
+    GuardFinding F;
+    F.K = GuardFinding::UninitRead;
+    F.Location = nameOf(Mem, Index);
+    F.Detail = "load of an element no store ever wrote";
+    F.Item = Item;
+    F.Group = Group;
+    record(std::move(F));
+    return Access::Uninitialized;
+  }
+  if (!It->second.Init)
+    return Access::Ok; // host-initialized: in-bounds is fine
   std::vector<uint8_t> &Init = *It->second.Init;
   if (Init.size() < Extent)
     Init.resize(Extent, 0);

@@ -79,14 +79,48 @@ struct GuardReport {
 /// Shared per-element initialized bitmap (1 = written at least once).
 using InitMap = std::shared_ptr<std::vector<uint8_t>>;
 
-/// Validates element accesses for one launch; owned by the interpreter
-/// while a memory-checked launch runs, writing into a caller-provided
-/// report. Duplicate findings for the same (kind, allocation, index) are
-/// reported once.
+/// Launch-level block registrations (kernel buffer arguments and global
+/// temporaries) shared read-only by the per-group guard sessions of a
+/// parallel launch. The bitmaps are frozen while groups execute: sessions
+/// buffer their writes in per-session overlays, and the runtime publishes
+/// them with commitWrites after the groups join — so every group observes
+/// exactly the launch-start initialization state and findings do not
+/// depend on group execution order (or thread count). Initialization
+/// still carries across the launches of a multi-kernel benchmark, because
+/// commits happen between launches.
+class SharedBlockTable {
+public:
+  struct Entry {
+    std::string Name;
+    InitMap Init; ///< Null = fully initialized (host data).
+  };
+
+  /// Registers a block. A null \p Init means fully initialized.
+  void registerBlock(const void *Mem, const std::string &Name, InitMap Init);
+
+  const Entry *find(const void *Mem) const;
+
+  /// Marks the overlay's elements initialized in the blocks' bitmaps.
+  /// Commits are idempotent and order-independent (bitwise OR).
+  void commitWrites(const std::vector<std::pair<const void *, int64_t>> &W);
+
+private:
+  std::unordered_map<const void *, Entry> Blocks;
+};
+
+/// Validates element accesses for one group session (or, serially, one
+/// whole launch), writing into a caller-provided report. Duplicate
+/// findings for the same (kind, allocation, index) are reported once per
+/// session; the parallel runtime deduplicates again when it merges the
+/// per-group reports in canonical group order.
 class MemGuard {
 public:
-  explicit MemGuard(GuardReport &Report, unsigned MaxFindings = 64)
-      : Report(Report), MaxFindings(MaxFindings) {}
+  /// \p Shared optionally points at the launch-level registrations; the
+  /// session treats their bitmaps as read-only and records writes to them
+  /// in an overlay (see SharedBlockTable and sharedWrites()).
+  explicit MemGuard(GuardReport &Report, unsigned MaxFindings = 64,
+                    const SharedBlockTable *Shared = nullptr)
+      : Report(Report), MaxFindings(MaxFindings), Shared(Shared) {}
 
   /// Associates a memory block with a diagnostic name and its initialized
   /// bitmap. A null \p Init means the block is fully initialized (host
@@ -104,6 +138,12 @@ public:
   Access check(const void *Mem, int64_t Index, size_t Extent, int64_t Item,
                const std::array<int64_t, 3> &Group, bool IsWrite);
 
+  /// In-bounds writes this session performed against shared blocks, for
+  /// SharedBlockTable::commitWrites once the session's group retired.
+  const std::vector<std::pair<const void *, int64_t>> &sharedWrites() const {
+    return SharedWriteList;
+  }
+
 private:
   struct BlockInfo {
     std::string Name;
@@ -115,10 +155,36 @@ private:
 
   GuardReport &Report;
   unsigned MaxFindings;
+  const SharedBlockTable *Shared;
   std::unordered_map<const void *, BlockInfo> Blocks;
   /// Deduplication of findings per (kind, block, index).
   std::unordered_map<std::string, bool> Seen;
+  /// Overlay over the shared (frozen) bitmaps: elements this session wrote.
+  struct OverlayKey {
+    const void *Mem;
+    int64_t Index;
+    bool operator==(const OverlayKey &O) const {
+      return Mem == O.Mem && Index == O.Index;
+    }
+  };
+  struct OverlayHash {
+    size_t operator()(const OverlayKey &K) const {
+      size_t H = std::hash<const void *>()(K.Mem);
+      return H ^ (std::hash<int64_t>()(K.Index) + 0x9e3779b97f4a7c15ULL +
+                  (H << 6) + (H >> 2));
+    }
+  };
+  std::unordered_map<OverlayKey, bool, OverlayHash> Overlay;
+  std::vector<std::pair<const void *, int64_t>> SharedWriteList;
 };
+
+/// Appends \p Other's findings into \p Into in order, deduplicating on
+/// (kind, location) across sessions via \p SeenKeys and capping at
+/// \p MaxFindings; sums the access counter. Used by the parallel runtime
+/// to merge per-group reports in canonical group order.
+void mergeGuardReport(GuardReport &Into, const GuardReport &Other,
+                      unsigned MaxFindings,
+                      std::unordered_map<std::string, bool> &SeenKeys);
 
 } // namespace ocl
 } // namespace lift

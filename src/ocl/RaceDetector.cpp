@@ -53,6 +53,19 @@ std::string RaceReport::summary() const {
   return OS.str();
 }
 
+void RaceReport::mergeFrom(const RaceReport &Other, unsigned MaxFindings) {
+  IntervalsChecked += Other.IntervalsChecked;
+  AccessesRecorded += Other.AccessesRecorded;
+  Truncated |= Other.Truncated;
+  for (const RaceFinding &F : Other.Findings) {
+    if (Findings.size() >= MaxFindings) {
+      Truncated = true;
+      return;
+    }
+    Findings.push_back(F);
+  }
+}
+
 void RaceDetector::registerBlock(const void *Mem, const std::string &Name) {
   BlockNames[Mem] = Name;
 }
@@ -120,10 +133,14 @@ void RaceDetector::endGroup() {
 std::string RaceDetector::locationName(const Key &K) const {
   std::ostringstream OS;
   auto It = BlockNames.find(K.Mem);
-  if (It != BlockNames.end())
+  if (It != BlockNames.end()) {
     OS << It->second;
-  else
+  } else if (SharedNames != nullptr &&
+             SharedNames->find(K.Mem) != SharedNames->end()) {
+    OS << SharedNames->find(K.Mem)->second;
+  } else {
     OS << "<buffer@" << K.Mem << ">";
+  }
   OS << "[" << K.Index << "]";
   return OS.str();
 }

@@ -82,6 +82,12 @@ struct RaceReport {
   unsigned divergences() const;
   /// Multi-line summary suitable for diagnostics.
   std::string summary() const;
+
+  /// Appends \p Other's findings (respecting \p MaxFindings) and sums the
+  /// counters. The parallel runtime detects per work-group into per-group
+  /// reports and merges them in canonical group order, so the combined
+  /// report is identical at every thread count.
+  void mergeFrom(const RaceReport &Other, unsigned MaxFindings);
 };
 
 /// Records accesses and barrier arrivals for one launch; owned by the
@@ -89,8 +95,15 @@ struct RaceReport {
 /// report. All ids are linear in-group work-item ids.
 class RaceDetector {
 public:
-  explicit RaceDetector(RaceReport &Report, unsigned MaxFindings = 64)
-      : Report(Report), MaxFindings(MaxFindings) {}
+  /// \p SharedNames optionally points at launch-level block names (kernel
+  /// buffer arguments) owned by the caller and treated as read-only, so
+  /// per-group detector sessions running on pool workers can share one
+  /// table instead of copying it per group.
+  explicit RaceDetector(
+      RaceReport &Report, unsigned MaxFindings = 64,
+      const std::unordered_map<const void *, std::string> *SharedNames =
+          nullptr)
+      : Report(Report), MaxFindings(MaxFindings), SharedNames(SharedNames) {}
 
   /// Associates a human-readable name with a memory block (buffer or
   /// local array) for diagnostics. Safe to call repeatedly.
@@ -148,6 +161,7 @@ private:
 
   RaceReport &Report;
   unsigned MaxFindings;
+  const std::unordered_map<const void *, std::string> *SharedNames;
 
   std::unordered_map<const void *, std::string> BlockNames;
   std::unordered_map<Key, Cell, KeyHash> Interval;

@@ -12,9 +12,14 @@
 /// executed and validated, and a machine-independent cost model stands in
 /// for wall-clock time (see DESIGN.md, Substitutions).
 ///
-/// Work-groups execute one after another; work-items within a group run in
-/// lockstep at the granularity of barrier-containing statements, enforcing
-/// OpenCL's rule that barriers sit in uniform control flow.
+/// Work-groups are independent (they share nothing but global memory — the
+/// guarantee the Lift IR's mapWrg encodes), so launches execute them on a
+/// persistent worker pool (LaunchConfig::Threads; default = hardware
+/// concurrency, 1 = serial). Work-items within a group run in lockstep at
+/// the granularity of barrier-containing statements, enforcing OpenCL's
+/// rule that barriers sit in uniform control flow. Results, cost reports
+/// and race/memory findings are identical at every thread count — see
+/// docs/PARALLEL_RUNTIME.md for the determinism design.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -46,6 +51,95 @@ using MemoryPtr = std::shared_ptr<std::vector<Value>>;
 /// Address-space tag carried by pointer values for cost accounting.
 enum class MemSpace { Global, Local, Private };
 
+/// Storage for OpenCL vector-value components. Widths up to 4 live
+/// inline (float2/float4 cover the kernels the generator emits), so the
+/// interpreter's per-operation vector values never touch the heap; wider
+/// vectors spill.
+class VecN {
+  static constexpr uint32_t InlineCap = 4;
+  double Small[InlineCap];
+  double *Big = nullptr;
+  uint32_t N = 0;
+  uint32_t Cap = InlineCap;
+
+  void grow(uint32_t NewCap) {
+    double *P = new double[NewCap];
+    for (uint32_t I = 0; I != N; ++I)
+      P[I] = data()[I];
+    delete[] Big;
+    Big = P;
+    Cap = NewCap;
+  }
+
+public:
+  VecN() = default;
+  /// \p Count zero components (the shape std::vector<double>(n) had).
+  explicit VecN(size_t Count) { assign(Count, 0.0); }
+  VecN(const VecN &O) { assign(O.data(), O.data() + O.N); }
+  VecN(VecN &&O) noexcept
+      : Big(O.Big), N(O.N), Cap(O.Cap) {
+    for (uint32_t I = 0; I != InlineCap; ++I)
+      Small[I] = O.Small[I];
+    O.Big = nullptr;
+    O.N = 0;
+    O.Cap = InlineCap;
+  }
+  VecN &operator=(const VecN &O) {
+    if (this != &O)
+      assign(O.data(), O.data() + O.N);
+    return *this;
+  }
+  VecN &operator=(VecN &&O) noexcept {
+    if (this != &O) {
+      delete[] Big;
+      Big = O.Big;
+      N = O.N;
+      Cap = O.Cap;
+      for (uint32_t I = 0; I != InlineCap; ++I)
+        Small[I] = O.Small[I];
+      O.Big = nullptr;
+      O.N = 0;
+      O.Cap = InlineCap;
+    }
+    return *this;
+  }
+  ~VecN() { delete[] Big; }
+
+  size_t size() const { return N; }
+  bool empty() const { return N == 0; }
+  double *data() { return Big ? Big : Small; }
+  const double *data() const { return Big ? Big : Small; }
+  double &operator[](size_t I) { return data()[I]; }
+  const double &operator[](size_t I) const { return data()[I]; }
+  double *begin() { return data(); }
+  double *end() { return data() + N; }
+  const double *begin() const { return data(); }
+  const double *end() const { return data() + N; }
+
+  void reserve(size_t C) {
+    if (C > Cap)
+      grow(static_cast<uint32_t>(C));
+  }
+  void push_back(double X) {
+    if (N == Cap)
+      grow(Cap * 2);
+    data()[N++] = X;
+  }
+  void assign(size_t Count, double X) {
+    reserve(Count);
+    N = static_cast<uint32_t>(Count);
+    for (uint32_t I = 0; I != N; ++I)
+      data()[I] = X;
+  }
+  void assign(const double *First, const double *Last) {
+    size_t Count = static_cast<size_t>(Last - First);
+    reserve(Count);
+    N = static_cast<uint32_t>(Count);
+    for (uint32_t I = 0; I != N; ++I)
+      data()[I] = First[I];
+  }
+};
+
 /// A runtime value: scalar int/float, OpenCL vector, tuple (struct), or a
 /// pointer to simulated memory.
 class Value {
@@ -54,9 +148,9 @@ public:
 
   int64_t I = 0;
   double F = 0;
-  std::vector<double> V; // vector components
-  std::vector<Value> T;  // tuple fields
-  MemoryPtr P;           // pointed-to memory
+  VecN V;               // vector components
+  std::vector<Value> T; // tuple fields
+  MemoryPtr P;          // pointed-to memory
   MemSpace Space = MemSpace::Global;
 
   Value() = default;
@@ -72,7 +166,7 @@ public:
     R.F = X;
     return R;
   }
-  static Value makeVec(std::vector<double> X) {
+  static Value makeVec(VecN X) {
     Value R;
     R.K = Vec;
     R.V = std::move(X);
@@ -204,6 +298,12 @@ struct LaunchConfig {
   /// MemGuard.h).
   bool CheckMemory = false;
 
+  /// Worker threads executing work-groups concurrently. 0 = auto (the
+  /// LIFT_THREADS environment variable, else hardware concurrency); 1 =
+  /// serial execution with the historical in-order group loop. Any value
+  /// yields identical buffers, cost reports and findings.
+  int Threads = 0;
+
   static LaunchConfig fromOptions(const codegen::CompilerOptions &O) {
     LaunchConfig C;
     C.Global = O.GlobalSize;
@@ -212,6 +312,7 @@ struct LaunchConfig {
     C.PerturbSchedule = O.PerturbSchedule;
     C.ScheduleSeed = O.ScheduleSeed;
     C.CheckMemory = O.CheckMemory;
+    C.Threads = O.Threads;
     return C;
   }
 };

@@ -1,0 +1,114 @@
+//===- ThreadPool.cpp - Persistent worker pool --------------------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ocl/ThreadPool.h"
+
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace lift;
+using namespace lift::ocl;
+
+unsigned ocl::resolveThreadCount(int Requested) {
+  if (Requested > 0)
+    return static_cast<unsigned>(Requested);
+  if (const char *Env = std::getenv("LIFT_THREADS")) {
+    long V = std::strtol(Env, nullptr, 10);
+    if (V > 0)
+      return static_cast<unsigned>(V);
+  }
+  unsigned H = std::thread::hardware_concurrency();
+  return H != 0 ? H : 1u;
+}
+
+namespace {
+
+/// Parked worker threads woken per dispatch generation. Workers never
+/// terminate (the pool lives for the process); they are detached so
+/// process exit does not block on the park loop.
+class PoolImpl {
+  std::mutex M;
+  std::condition_variable WakeCV;  // signals a new generation to workers
+  std::condition_variable DoneCV;  // signals completion to the dispatcher
+  std::mutex RunM;                 // serializes run() callers
+
+  const std::function<void(unsigned)> *Job = nullptr;
+  uint64_t Generation = 0;
+  unsigned JobWorkers = 0; // worker indices 1..JobWorkers-1 participate
+  unsigned Pending = 0;    // pool threads still inside the current job
+  unsigned Spawned = 0;    // pool threads created so far
+
+  void workerLoop(unsigned Index) {
+    uint64_t SeenGeneration = 0;
+    while (true) {
+      const std::function<void(unsigned)> *MyJob = nullptr;
+      {
+        std::unique_lock<std::mutex> L(M);
+        WakeCV.wait(L, [&] {
+          return Generation != SeenGeneration && Index < JobWorkers;
+        });
+        SeenGeneration = Generation;
+        MyJob = Job;
+      }
+      (*MyJob)(Index);
+      {
+        std::lock_guard<std::mutex> L(M);
+        if (--Pending == 0)
+          DoneCV.notify_all();
+      }
+    }
+  }
+
+  void ensureSpawned(unsigned Needed) {
+    // Called with M held. Worker index 0 is the dispatcher itself.
+    while (Spawned < Needed) {
+      unsigned Index = ++Spawned;
+      std::thread([this, Index] { workerLoop(Index); }).detach();
+    }
+  }
+
+public:
+  void run(unsigned Workers, const std::function<void(unsigned)> &Fn) {
+    if (Workers <= 1) {
+      Fn(0);
+      return;
+    }
+    std::lock_guard<std::mutex> RunLock(RunM);
+    {
+      std::lock_guard<std::mutex> L(M);
+      ensureSpawned(Workers - 1);
+      Job = &Fn;
+      JobWorkers = Workers;
+      Pending = Workers - 1;
+      ++Generation;
+      WakeCV.notify_all();
+    }
+    Fn(0);
+    std::unique_lock<std::mutex> L(M);
+    DoneCV.wait(L, [&] { return Pending == 0; });
+    Job = nullptr;
+  }
+};
+
+} // namespace
+
+ThreadPool &ThreadPool::global() {
+  static ThreadPool P;
+  return P;
+}
+
+void ThreadPool::run(unsigned Workers,
+                     const std::function<void(unsigned)> &Fn) {
+  // Intentionally leaked: parked workers wait on the pool's condition
+  // variable for the life of the process, and destroying it during static
+  // destruction would block process exit (pthread_cond_destroy waits for
+  // the waiters, which never leave).
+  static PoolImpl &Impl = *new PoolImpl;
+  Impl.run(Workers, Fn);
+}

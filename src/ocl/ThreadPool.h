@@ -1,0 +1,48 @@
+//===- ThreadPool.h - Persistent worker pool --------------------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A persistent worker pool for the simulated OpenCL runtime. Work-groups
+/// are independent by construction (they share nothing but global memory),
+/// so ocl::launch farms the group loop out to pool workers. The pool is
+/// process-wide and lazily grown: threads are created on first use and
+/// parked between launches, so back-to-back launches (the benchmark
+/// harness, multi-stage programs) pay thread start-up once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_OCL_THREADPOOL_H
+#define LIFT_OCL_THREADPOOL_H
+
+#include <functional>
+
+namespace lift {
+namespace ocl {
+
+/// Resolves a requested execution width to an actual worker count:
+/// \p Requested > 0 wins; otherwise the LIFT_THREADS environment variable;
+/// otherwise std::thread::hardware_concurrency() (at least 1).
+unsigned resolveThreadCount(int Requested);
+
+/// The process-wide pool. run() invokes \p Fn(WorkerIndex) once per worker
+/// index in [0, Workers): index 0 on the calling thread, the rest on pool
+/// threads, and returns when all invocations finished. \p Fn must not
+/// throw (callers stash per-task errors and rethrow after the join).
+/// run() is serialized: concurrent callers take turns.
+class ThreadPool {
+public:
+  static ThreadPool &global();
+
+  void run(unsigned Workers, const std::function<void(unsigned)> &Fn);
+
+private:
+  ThreadPool() = default;
+};
+
+} // namespace ocl
+} // namespace lift
+
+#endif // LIFT_OCL_THREADPOOL_H

@@ -91,6 +91,7 @@ enum class DiagCode : unsigned {
   RuntimeUnsupported = 505,
   RuntimeUninitRead = 506,
   RuntimeRace = 507,
+  RuntimeBadNDRange = 508,
 
   // 6xx — host API misuse.
   HostBadBuffer = 601,

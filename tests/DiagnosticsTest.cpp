@@ -15,11 +15,15 @@
 //===----------------------------------------------------------------------===//
 
 #include "TestHelpers.h"
+#include "cparse/CParser.h"
 #include "frontend/ILParser.h"
+#include "ocl/Runtime.h"
 #include "passes/Verify.h"
 #include "support/Diagnostics.h"
 
 #include <gtest/gtest.h>
+
+#include <array>
 
 using namespace lift;
 
@@ -208,6 +212,82 @@ TEST(DiagnosticEngineTest, WellFormedProgramIsClean) {
   for (const Diagnostic &D : Diags)
     All += D.render() + "\n";
   EXPECT_TRUE(Diags.empty()) << All;
+}
+
+//===----------------------------------------------------------------------===//
+// Degenerate launch configurations (E0508)
+//===----------------------------------------------------------------------===//
+
+/// A trivial copy kernel for exercising launch validation.
+codegen::CompiledKernel copyKernel() {
+  cparse::ParseContext Ctx;
+  return ocl::wrapModule(cparse::parseModule(R"(
+kernel void copy(global float *in, global float *out) {
+  out[get_global_id(0)] = in[get_global_id(0)];
+}
+)",
+                                             Ctx));
+}
+
+/// The launch must fail before the group loop with a single E0508 whose
+/// message contains \p Expect; the buffers must be untouched.
+void expectBadNDRange(const std::array<int64_t, 3> &Global,
+                      const std::array<int64_t, 3> &Local,
+                      const std::string &Expect) {
+  codegen::CompiledKernel K = copyKernel();
+  ocl::Buffer In = ocl::Buffer::ofFloats({1, 2, 3, 4});
+  ocl::Buffer Out = ocl::Buffer::zeros(4);
+  ocl::LaunchConfig Cfg;
+  Cfg.Global = Global;
+  Cfg.Local = Local;
+  DiagnosticEngine Engine;
+  Expected<ocl::LaunchResult> R =
+      ocl::launchChecked(K, {&In, &Out}, {}, Cfg, Engine);
+  EXPECT_FALSE(bool(R));
+  ASSERT_TRUE(Engine.hasErrors());
+  const Diagnostic &D = Engine.diagnostics().front();
+  EXPECT_EQ(D.Code, DiagCode::RuntimeBadNDRange) << D.render();
+  EXPECT_NE(D.render().find("E0508"), std::string::npos) << D.render();
+  EXPECT_NE(D.Message.find(Expect), std::string::npos) << D.render();
+  for (float F : Out.toFloats())
+    EXPECT_EQ(F, 0.0f);
+}
+
+TEST(LaunchValidationTest, ZeroLocalSizeIsRejected) {
+  expectBadNDRange({4, 1, 1}, {0, 1, 1}, "both must be positive");
+}
+
+TEST(LaunchValidationTest, NegativeLocalSizeIsRejected) {
+  expectBadNDRange({4, 1, 1}, {-2, 1, 1}, "both must be positive");
+}
+
+TEST(LaunchValidationTest, ZeroGlobalSizeIsRejected) {
+  expectBadNDRange({0, 1, 1}, {1, 1, 1}, "both must be positive");
+}
+
+TEST(LaunchValidationTest, IndivisibleGlobalSizeIsRejected) {
+  expectBadNDRange({6, 1, 1}, {4, 1, 1},
+                   "global size 6 is not divisible by local size 4");
+}
+
+TEST(LaunchValidationTest, HigherDimensionsAreValidatedToo) {
+  expectBadNDRange({4, 3, 1}, {2, 2, 1},
+                   "not divisible by local size 2 in dimension 1");
+}
+
+TEST(LaunchValidationTest, ValidConfigStillLaunches) {
+  codegen::CompiledKernel K = copyKernel();
+  ocl::Buffer In = ocl::Buffer::ofFloats({1, 2, 3, 4});
+  ocl::Buffer Out = ocl::Buffer::zeros(4);
+  ocl::LaunchConfig Cfg;
+  Cfg.Global = {4, 1, 1};
+  Cfg.Local = {2, 1, 1};
+  DiagnosticEngine Engine;
+  Expected<ocl::LaunchResult> R =
+      ocl::launchChecked(K, {&In, &Out}, {}, Cfg, Engine);
+  ASSERT_TRUE(bool(R));
+  EXPECT_FALSE(Engine.hasErrors());
+  EXPECT_EQ(Out.toFloats(), std::vector<float>({1, 2, 3, 4}));
 }
 
 } // namespace

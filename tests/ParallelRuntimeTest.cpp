@@ -1,0 +1,110 @@
+//===- ParallelRuntimeTest.cpp - Determinism of the parallel runtime -----===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+//
+// The simulated runtime executes work-groups on a worker pool
+// (LaunchConfig::Threads). The design guarantee (docs/PARALLEL_RUNTIME.md)
+// is that the thread count is unobservable: output buffers are
+// bit-identical, cost reports identical, and race/memory findings
+// identical at any thread count — including under --perturb-schedule,
+// whose RNG is seeded per work-group exactly so schedules don't depend on
+// which worker runs which group. This suite pins that guarantee across
+// the full benchmark suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/Benchmark.h"
+
+#include <gtest/gtest.h>
+
+using namespace lift;
+
+namespace {
+
+void expectSameCost(const ocl::CostReport &A, const ocl::CostReport &B,
+                    const std::string &What) {
+  EXPECT_EQ(A.GlobalAccesses, B.GlobalAccesses) << What;
+  EXPECT_EQ(A.LocalAccesses, B.LocalAccesses) << What;
+  EXPECT_EQ(A.PrivateAccesses, B.PrivateAccesses) << What;
+  EXPECT_EQ(A.ArithOps, B.ArithOps) << What;
+  EXPECT_EQ(A.DivModOps, B.DivModOps) << What;
+  EXPECT_EQ(A.MathCalls, B.MathCalls) << What;
+  EXPECT_EQ(A.Calls, B.Calls) << What;
+  EXPECT_EQ(A.Barriers, B.Barriers) << What;
+  EXPECT_EQ(A.LoopIters, B.LoopIters) << What;
+}
+
+/// Bit-identical outputs: == on the flattened float vectors, not a
+/// tolerance comparison.
+void expectSameRun(const bench::Outcome &Serial, const bench::Outcome &Pool,
+                   const std::string &What) {
+  EXPECT_TRUE(Pool.Valid) << What;
+  EXPECT_EQ(Serial.Output, Pool.Output) << What << ": outputs differ";
+  expectSameCost(Serial.Cost, Pool.Cost, What + ": cost reports differ");
+  EXPECT_EQ(Serial.Races.summary(), Pool.Races.summary()) << What;
+  EXPECT_EQ(Serial.Races.IntervalsChecked, Pool.Races.IntervalsChecked)
+      << What;
+  EXPECT_EQ(Serial.Races.AccessesRecorded, Pool.Races.AccessesRecorded)
+      << What;
+  EXPECT_EQ(Serial.Guards.summary(), Pool.Guards.summary()) << What;
+  EXPECT_EQ(Serial.Guards.AccessesChecked, Pool.Guards.AccessesChecked)
+      << What;
+}
+
+class ParallelRuntimeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelRuntimeTest, ThreadCountIsUnobservable) {
+  std::vector<bench::BenchmarkCase> All = bench::allBenchmarks(false);
+  ASSERT_LT(static_cast<size_t>(GetParam()), All.size());
+  bench::BenchmarkCase &Case = All[static_cast<size_t>(GetParam())];
+
+  // Plain runs: serial baseline vs the pool at 2, 4 and 8 workers.
+  bench::RunOptions Serial;
+  Serial.Threads = 1;
+  bench::Outcome Base = bench::runLift(Case, bench::OptConfig::Full, Serial);
+  ASSERT_TRUE(Base.Valid) << Case.Name;
+  ASSERT_FALSE(Base.Output.empty()) << Case.Name;
+
+  for (int Threads : {2, 4, 8}) {
+    bench::RunOptions Pool;
+    Pool.Threads = Threads;
+    bench::Outcome Out = bench::runLift(Case, bench::OptConfig::Full, Pool);
+    expectSameRun(Base, Out,
+                  Case.Name + " at " + std::to_string(Threads) + " threads");
+  }
+
+  // Checked runs: the race detector, guarded memory and the perturbed
+  // schedule must report the same findings (none, for the suite) and the
+  // same statistics regardless of the thread count.
+  bench::RunOptions Checked;
+  Checked.Threads = 1;
+  Checked.CheckRaces = true;
+  Checked.CheckMemory = true;
+  Checked.PerturbSchedule = true;
+  Checked.ScheduleSeed = 7;
+  bench::Outcome CheckedBase =
+      bench::runLift(Case, bench::OptConfig::Full, Checked);
+  ASSERT_TRUE(CheckedBase.Valid) << Case.Name;
+  EXPECT_GT(CheckedBase.Races.IntervalsChecked, 0u) << Case.Name;
+
+  Checked.Threads = 4;
+  bench::Outcome CheckedPool =
+      bench::runLift(Case, bench::OptConfig::Full, Checked);
+  expectSameRun(CheckedBase, CheckedPool,
+                Case.Name + " checked+perturbed at 4 threads");
+}
+
+std::string parallelBenchName(const ::testing::TestParamInfo<int> &I) {
+  static const char *Names[] = {"NBodyNvidia", "NBodyAmd", "MD",
+                                "KMeans",      "NN",       "MriQ",
+                                "Convolution", "Atax",     "Gemv",
+                                "Gesummv",     "MMNvidia", "MMAmd"};
+  return Names[I.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, ParallelRuntimeTest,
+                         ::testing::Range(0, 12), parallelBenchName);
+
+} // namespace

@@ -3,26 +3,42 @@
 #
 # Part of the lift-cpp project. MIT licensed.
 #
-# Builds the tree under -fsanitize=address,undefined and runs the
-# dynamic-checking test tier: race/divergence detection, differential
-# arithmetic fuzzing, guarded-memory tests, and the crash-resilience
-# fuzzer (>12k mutated IL inputs + >1k random well-typed programs; see
-# docs/DIAGNOSTICS.md). Any abort, sanitizer finding, or missing
-# diagnostic fails the run.
+# Builds the tree under a sanitizer and runs the dynamic-checking test
+# tier: race/divergence detection, differential arithmetic fuzzing,
+# guarded-memory tests, the parallel-runtime determinism suite, and the
+# crash-resilience fuzzer (>12k mutated IL inputs + >1k random well-typed
+# programs; see docs/DIAGNOSTICS.md). Any abort, sanitizer finding, or
+# missing diagnostic fails the run.
 #
-# Usage: tools/ci-sanitize.sh [build-dir]   (default: build-asan)
+# Usage: tools/ci-sanitize.sh [address|thread] [build-dir]
+#   address (default): -fsanitize=address,undefined, build dir build-asan
+#   thread:            -fsanitize=thread, build dir build-tsan — validates
+#                      the worker pool of the simulated runtime; set
+#                      LIFT_THREADS to force a pool width (CI uses 4).
 #
 #===----------------------------------------------------------------------===#
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-asan}"
 
-cmake -B "$BUILD_DIR" -S . -DLIFT_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+SANITIZER="${1:-address}"
+case "$SANITIZER" in
+  address) DEFAULT_DIR=build-asan ;;
+  thread) DEFAULT_DIR=build-tsan ;;
+  *)
+    echo "ci-sanitize.sh: unknown sanitizer '$SANITIZER' (want address or thread)" >&2
+    exit 2
+    ;;
+esac
+BUILD_DIR="${2:-$DEFAULT_DIR}"
+
+cmake -B "$BUILD_DIR" -S . -DLIFT_SANITIZE="$SANITIZER" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 # halt_on_error so the first sanitizer finding fails the test that hit it.
 export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:abort_on_error=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:abort_on_error=1}"
 
 ctest --test-dir "$BUILD_DIR" -L check --output-on-failure -j "$(nproc)"

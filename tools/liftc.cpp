@@ -57,7 +57,9 @@ void usage() {
       "[--no-be]\n"
       "             [--verify-each] [--max-errors N]\n"
       "             [--check-races] [--check-memory] [--perturb-schedule] "
-      "[--schedule-seed N]\n");
+      "[--schedule-seed N]\n"
+      "             [--threads N]   (0 = auto: LIFT_THREADS, else hardware "
+      "concurrency; 1 = serial)\n");
 }
 
 bool parseDims(const char *S, std::array<int64_t, 3> &Out) {
@@ -130,6 +132,12 @@ int run(int argc, char **argv) {
       Opts.PerturbSchedule = true;
     } else if (A == "--schedule-seed" && I + 1 < argc) {
       Opts.ScheduleSeed = std::strtoull(argv[++I], nullptr, 10);
+    } else if (A == "--threads" && I + 1 < argc) {
+      Opts.Threads = static_cast<int>(std::strtol(argv[++I], nullptr, 10));
+      if (Opts.Threads < 0) {
+        std::fprintf(stderr, "liftc: --threads needs a count >= 0\n");
+        return ExitDiagnostics;
+      }
     } else if (A == "--max-errors" && I + 1 < argc) {
       MaxErrors = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
       if (MaxErrors == 0) {
