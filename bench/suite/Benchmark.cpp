@@ -7,9 +7,11 @@
 #include "suite/Benchmark.h"
 
 #include "cparse/CParser.h"
+#include "ocl/MemGuard.h"
 #include "support/Error.h"
 
 #include <cmath>
+#include <unordered_map>
 
 using namespace lift;
 using namespace lift::bench;
@@ -111,6 +113,7 @@ Outcome runStages(const BenchmarkCase &Case, const std::vector<Stage> &Stages,
     Cfg.ScheduleSeed = Run.ScheduleSeed;
     Cfg.CheckMemory = Run.CheckMemory;
     Cfg.Threads = Run.Threads;
+    Cfg.Limits = Run.Limits;
     if (Run.CheckRaces || Run.CheckMemory) {
       ocl::RaceReport StageRaces;
       ocl::GuardReport StageGuards;
@@ -137,6 +140,72 @@ Outcome runStages(const BenchmarkCase &Case, const std::vector<Stage> &Stages,
   return Out;
 }
 
+/// The recoverable twin of runStages: every failure — ill-typed program,
+/// cancelled launch, injected fault — lands in \p Engine instead of
+/// aborting the process.
+Expected<Outcome> runStagesChecked(const BenchmarkCase &Case,
+                                   const std::vector<Stage> &Stages,
+                                   bool IsLift, OptConfig Config,
+                                   const RunOptions &Run,
+                                   DiagnosticEngine &Engine) {
+  std::vector<ocl::Buffer> Bufs;
+  Bufs.reserve(Case.WorkingBuffers.size());
+  for (const BufferInit &B : Case.WorkingBuffers)
+    Bufs.push_back(B.materialize());
+
+  Outcome Out;
+  std::unordered_map<std::string, bool> SeenGuardKeys;
+  for (const Stage &S : Stages) {
+    codegen::CompiledKernel K;
+    if (IsLift) {
+      codegen::CompilerOptions O = optionsFor(Config, S);
+      O.VerifyEach = Run.VerifyEach;
+      Expected<codegen::CompiledKernel> EK =
+          codegen::compileChecked(S.Program, O, Engine);
+      if (!EK)
+        return {};
+      K = std::move(*EK);
+    } else {
+      try {
+        cparse::ParseContext PC;
+        K = ocl::wrapModule(cparse::parseModule(S.ReferenceSource, PC));
+      } catch (DiagnosticError &E) {
+        if (!E.Recorded)
+          Engine.report(E.Diag);
+        return {};
+      }
+    }
+    Out.KernelSources += IsLift ? K.Source : S.ReferenceSource;
+
+    std::vector<ocl::Buffer *> Args;
+    for (size_t Idx : S.Buffers)
+      Args.push_back(&Bufs[Idx]);
+
+    ocl::LaunchConfig Cfg;
+    Cfg.Global = S.Global;
+    Cfg.Local = S.Local;
+    Cfg.CheckRaces = Run.CheckRaces;
+    Cfg.PerturbSchedule = Run.PerturbSchedule;
+    Cfg.ScheduleSeed = Run.ScheduleSeed;
+    Cfg.CheckMemory = Run.CheckMemory;
+    Cfg.Threads = Run.Threads;
+    Cfg.Limits = Run.Limits;
+    Expected<ocl::LaunchResult> R =
+        ocl::launchChecked(K, Args, S.Sizes, Cfg, Engine);
+    if (!R)
+      return {};
+    Out.Cost += R->Cost;
+    Out.Races.mergeFrom(R->Races, Run.Limits.MaxFindings);
+    mergeGuardReport(Out.Guards, R->Guards, Run.Limits.MaxFindings,
+                     SeenGuardKeys);
+  }
+
+  Out.Output = Bufs[Case.OutputBuffer].toFlatFloats();
+  Out.MaxError = validate(Out.Output, Case.Expected);
+  Out.Valid = Out.MaxError < Case.Tolerance;
+  return Out;
+}
+
 } // namespace
 
 Outcome bench::runLift(const BenchmarkCase &Case, OptConfig Config,
@@ -147,6 +216,21 @@ Outcome bench::runLift(const BenchmarkCase &Case, OptConfig Config,
 Outcome bench::runReference(const BenchmarkCase &Case, const RunOptions &Run) {
   return runStages(Case, Case.ReferenceStages, /*IsLift=*/false,
                    OptConfig::Full, Run);
+}
+
+Expected<Outcome> bench::runLiftChecked(const BenchmarkCase &Case,
+                                        OptConfig Config,
+                                        const RunOptions &Run,
+                                        DiagnosticEngine &Engine) {
+  return runStagesChecked(Case, Case.LiftStages, /*IsLift=*/true, Config,
+                          Run, Engine);
+}
+
+Expected<Outcome> bench::runReferenceChecked(const BenchmarkCase &Case,
+                                             const RunOptions &Run,
+                                             DiagnosticEngine &Engine) {
+  return runStagesChecked(Case, Case.ReferenceStages, /*IsLift=*/false,
+                          OptConfig::Full, Run, Engine);
 }
 
 std::vector<float> bench::randomFloats(size_t N, uint64_t Seed) {

@@ -136,6 +136,10 @@ struct RunOptions {
   /// Worker threads for the simulated runtime's work-group loop. 0 = auto
   /// (LIFT_THREADS, else hardware concurrency); 1 = serial.
   int Threads = 0;
+  /// Execution bounds applied to every stage launch: step budget,
+  /// wall-clock deadline, allocation cap (see ocl::ExecLimits and
+  /// docs/RELIABILITY.md). Default: unbounded.
+  ocl::ExecLimits Limits;
 };
 
 /// Runs the Lift stages compiled under \p Config and validates.
@@ -144,6 +148,20 @@ Outcome runLift(const BenchmarkCase &Case, OptConfig Config,
 
 /// Runs the hand-written reference stages and validates.
 Outcome runReference(const BenchmarkCase &Case, const RunOptions &Run = {});
+
+/// Like runLift, but never aborts the process: compilation and launch
+/// failures — including tripped execution limits (E0510–E0512) and
+/// injected faults (E0513) — are recorded into \p Engine and returned as
+/// failure. The robustness test tiers drive every benchmark through this
+/// entry point.
+Expected<Outcome> runLiftChecked(const BenchmarkCase &Case, OptConfig Config,
+                                 const RunOptions &Run,
+                                 DiagnosticEngine &Engine);
+
+/// The checked twin of runReference.
+Expected<Outcome> runReferenceChecked(const BenchmarkCase &Case,
+                                      const RunOptions &Run,
+                                      DiagnosticEngine &Engine);
 
 //===----------------------------------------------------------------------===//
 // Benchmark factories (one per Table 1 row)

@@ -73,6 +73,14 @@ struct CompilerOptions {
   /// (LIFT_THREADS, else hardware concurrency); 1 = serial.
   int Threads = 0;
 
+  /// Execution bounds for the simulated runtime (liftc --max-steps /
+  /// --timeout-ms / --max-memory; see ocl::ExecLimits). 0 = unlimited,
+  /// with LIFT_MAX_STEPS / LIFT_TIMEOUT_MS / LIFT_MAX_MEMORY environment
+  /// fallbacks applied at launch time.
+  uint64_t MaxSteps = 0;
+  int64_t TimeoutMs = 0;
+  uint64_t MaxMemoryBytes = 0;
+
   std::string KernelName = "KERNEL";
 
   int64_t numGroups(unsigned Dim) const {

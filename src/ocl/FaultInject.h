@@ -1,0 +1,75 @@
+//===- FaultInject.h - Deterministic runtime fault injection ----*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic fault-injection harness for the simulated OpenCL
+/// runtime. Every fallible runtime operation (device allocation, pool
+/// dispatch, buffer binding) calls \c shouldFail(Site) at the point where a
+/// real OpenCL implementation could fail; when the harness is disarmed
+/// (the default) this is a single relaxed atomic load. Tests arm the
+/// harness to fail the n-th occurrence of a site exactly
+/// (\c arm / liftc \c --inject-faults n,k), count occurrences without
+/// failing (\c countOnly) to discover sweep bounds, or fail
+/// probabilistically from a seed (\c LIFT_FAULT_SEED) for soak runs.
+/// Injected failures surface as E0513 diagnostics (or, for pool dispatch,
+/// as a graceful serial fallback with an E0509 warning) — see
+/// docs/RELIABILITY.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_OCL_FAULTINJECT_H
+#define LIFT_OCL_FAULTINJECT_H
+
+#include <cstdint>
+
+namespace lift {
+namespace ocl {
+namespace fault {
+
+/// The runtime operations that can be made to fail. Numeric values are the
+/// "k" in liftc --inject-faults n,k and are stable.
+enum class Site : unsigned {
+  Alloc = 0,     ///< device allocation (temp buffers, local/private arrays)
+  PoolStart = 1, ///< dispatching a launch onto the worker pool
+  BufferMap = 2, ///< binding/mapping a caller buffer to a kernel argument
+};
+
+inline constexpr unsigned NumSites = 3;
+
+const char *siteName(Site S);
+
+/// Arms the harness to fail exactly the \p Nth (1-based) occurrence of
+/// \p S. Resets all occurrence counters.
+void arm(Site S, uint64_t Nth);
+
+/// Counting-only mode: occurrences are tallied but nothing fails. Used by
+/// tests to discover how many injection opportunities a workload has.
+/// Resets all occurrence counters.
+void countOnly();
+
+/// Probabilistic mode: every occurrence of every site fails with
+/// probability 1/64, deterministically derived from \p Seed. Also reached
+/// via the LIFT_FAULT_SEED environment variable. Resets all counters.
+void armSeeded(uint64_t Seed);
+
+/// Disarms the harness and resets all occurrence counters.
+void disarm();
+
+/// Occurrences of \p S observed since the harness was last (re)armed.
+uint64_t occurrences(Site S);
+
+/// True when any mode (exact, counting, seeded) is active.
+bool enabled();
+
+/// The runtime-side hook: returns true when this occurrence of \p S must
+/// fail. Disarmed fast path is one relaxed atomic load.
+bool shouldFail(Site S);
+
+} // namespace fault
+} // namespace ocl
+} // namespace lift
+
+#endif // LIFT_OCL_FAULTINJECT_H

@@ -26,6 +26,7 @@
 
 #include "arith/Eval.h"
 #include "cast/CPrinter.h"
+#include "ocl/FaultInject.h"
 #include "ocl/MemGuard.h"
 #include "ocl/RaceDetector.h"
 #include "ocl/ThreadPool.h"
@@ -35,8 +36,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <exception>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <new>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -125,7 +133,20 @@ static void flattenValue(const Value &V, std::vector<float> &Out) {
   }
 }
 
+/// Reading results out of a buffer a cancelled or failed launch may have
+/// partially written is a silent-corruption hazard; the buffer stays
+/// poisoned (E0601) until rewritten or explicitly cleared.
+static void checkNotPoisoned(const Buffer &B, const char *What) {
+  if (B.Poisoned)
+    throwDiag(DiagCode::HostBadBuffer, DiagLocation::inContext(What),
+              std::string(What) +
+                  ": buffer was poisoned by a cancelled or failed launch "
+                  "and may hold partial results",
+              {"rewrite the buffer or call clearPoison() to read it anyway"});
+}
+
 std::vector<float> Buffer::toFlatFloats() const {
+  checkNotPoisoned(*this, "toFlatFloats");
   std::vector<float> R;
   R.reserve(Mem->size());
   for (const Value &V : *Mem)
@@ -147,6 +168,7 @@ Buffer Buffer::filled(size_t Count, const Value &V) {
 }
 
 std::vector<float> Buffer::toFloats() const {
+  checkNotPoisoned(*this, "toFloats");
   std::vector<float> R;
   R.reserve(Mem->size());
   for (const Value &V : *Mem)
@@ -155,6 +177,7 @@ std::vector<float> Buffer::toFloats() const {
 }
 
 std::vector<int> Buffer::toInts() const {
+  checkNotPoisoned(*this, "toInts");
   std::vector<int> R;
   R.reserve(Mem->size());
   for (const Value &V : *Mem)
@@ -173,6 +196,19 @@ CostReport &CostReport::operator+=(const CostReport &O) {
   Barriers += O.Barriers;
   LoopIters += O.LoopIters;
   return *this;
+}
+
+ExecLimits ExecLimits::withEnvDefaults(ExecLimits L) {
+  if (L.MaxSteps == 0)
+    if (const char *E = std::getenv("LIFT_MAX_STEPS"))
+      L.MaxSteps = std::strtoull(E, nullptr, 10);
+  if (L.TimeoutMs == 0)
+    if (const char *E = std::getenv("LIFT_TIMEOUT_MS"))
+      L.TimeoutMs = std::strtoll(E, nullptr, 10);
+  if (L.MaxMemoryBytes == 0)
+    if (const char *E = std::getenv("LIFT_MAX_MEMORY"))
+      L.MaxMemoryBytes = std::strtoull(E, nullptr, 10);
+  return L;
 }
 
 namespace {
@@ -243,6 +279,125 @@ struct BoundArg {
 
 constexpr unsigned kMaxFindings = 64;
 
+/// Thrown inside a worker when another worker has already tripped a limit
+/// or failed: unwinds the current group without producing a finding of
+/// its own. Never escapes executePlan.
+struct CancelledError {};
+
+enum class LimitKind : int { None = 0, Steps, Deadline, Memory };
+
+/// Thrown by the worker that trips an execution limit. The diagnostic is
+/// synthesized after the join from the shared monitor state so the
+/// rendered message is identical at any thread count. Never escapes
+/// executePlan.
+struct LimitError {
+  LimitKind K;
+};
+
+/// Value-count to byte-count conversion that saturates instead of
+/// wrapping: generated programs can request absurd element counts.
+inline uint64_t bytesFor(uint64_t Count) {
+  if (Count > std::numeric_limits<uint64_t>::max() / sizeof(Value))
+    return std::numeric_limits<uint64_t>::max();
+  return Count * sizeof(Value);
+}
+
+/// Shared cancellation and budget state for one launch (see
+/// docs/RELIABILITY.md). Workers keep a private countdown and only touch
+/// the shared atomics every TickInterval interpreter steps, so the
+/// default unbounded configuration never reaches this class at all and
+/// bounded runs amortize the shared-cache traffic.
+class ExecMonitor {
+public:
+  /// Steps between slow-path checks. Small enough that a deadline is
+  /// honored promptly, large enough that the fetch_sub traffic is noise.
+  static constexpr uint32_t TickInterval = 256;
+
+  const ExecLimits Limits;
+
+  explicit ExecMonitor(const ExecLimits &L) : Limits(L) {
+    StepsLeft.store(L.MaxSteps, std::memory_order_relaxed);
+    MemLeft.store(
+        L.MaxMemoryBytes >
+                static_cast<uint64_t>(std::numeric_limits<int64_t>::max())
+            ? std::numeric_limits<int64_t>::max()
+            : static_cast<int64_t>(L.MaxMemoryBytes),
+        std::memory_order_relaxed);
+    HasDeadline = L.TimeoutMs > 0;
+    if (HasDeadline)
+      Deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(L.TimeoutMs);
+  }
+
+  /// Does any limit require the per-statement countdown hook?
+  bool monitorsSteps() const { return Limits.MaxSteps != 0 || HasDeadline; }
+
+  bool stopRequested() const { return Stop.load(std::memory_order_relaxed); }
+  void requestStop() { Stop.store(true, std::memory_order_relaxed); }
+
+  /// Takes \p N steps out of the shared budget; false once it is spent.
+  /// fetch_sub can wrap past zero under contention, but at most one extra
+  /// tick interval per worker escapes: the stop flag is checked before
+  /// the budget on every slow tick.
+  bool claimSteps(uint64_t N) {
+    if (Limits.MaxSteps == 0)
+      return true;
+    uint64_t Prev = StepsLeft.fetch_sub(N, std::memory_order_relaxed);
+    return Prev >= N;
+  }
+
+  bool pastDeadline() const {
+    return HasDeadline && std::chrono::steady_clock::now() >= Deadline;
+  }
+
+  /// Charges \p Bytes of simulated device allocation; false once the cap
+  /// is exceeded.
+  bool chargeAllocation(uint64_t Bytes) {
+    if (Limits.MaxMemoryBytes == 0)
+      return true;
+    int64_t Prev = MemLeft.fetch_sub(static_cast<int64_t>(Bytes),
+                                     std::memory_order_relaxed);
+    return Prev >= 0 && static_cast<uint64_t>(Prev) >= Bytes;
+  }
+
+  /// First tripped limit wins (later trips on other workers are dropped);
+  /// also requests cooperative cancellation.
+  void noteLimit(LimitKind K) {
+    int Expected = 0;
+    TrippedKind.compare_exchange_strong(Expected, static_cast<int>(K),
+                                        std::memory_order_relaxed);
+    requestStop();
+  }
+
+  /// First detail string wins. Deterministic for single-group launches
+  /// (only one worker can trip first); best-effort otherwise.
+  void noteDetail(std::string D) {
+    std::lock_guard<std::mutex> L(DetailM);
+    if (Detail.empty())
+      Detail = std::move(D);
+  }
+
+  LimitKind tripped() const {
+    return static_cast<LimitKind>(
+        TrippedKind.load(std::memory_order_relaxed));
+  }
+
+  std::string detail() {
+    std::lock_guard<std::mutex> L(DetailM);
+    return Detail;
+  }
+
+private:
+  std::atomic<uint64_t> StepsLeft{0};
+  std::atomic<int64_t> MemLeft{0};
+  std::atomic<bool> Stop{false};
+  std::atomic<int> TrippedKind{0};
+  bool HasDeadline = false;
+  std::chrono::steady_clock::time_point Deadline;
+  std::mutex DetailM;
+  std::string Detail;
+};
+
 /// Read-only launch state shared by every worker: the compiled kernel,
 /// resolved argument bindings, slot table, and the barrier / index-cost
 /// analyses precomputed (and then frozen) before groups are dispatched.
@@ -263,6 +418,13 @@ public:
   /// Launch-level block names / bitmaps shared by per-group sessions.
   std::unordered_map<const void *, std::string> RaceBlockNames;
   SharedBlockTable GuardBlocks;
+
+  /// Per-launch findings cap (ExecLimits::MaxFindings, default 64).
+  unsigned MaxFindings = kMaxFindings;
+  /// Shared cancellation / budget state; null when no limit is bound.
+  std::unique_ptr<ExecMonitor> Monitor;
+  /// The caller-supplied buffers, poisoned if execution fails mid-launch.
+  std::vector<Buffer *> CallerBuffers;
 
   LaunchPlan(const codegen::CompiledKernel &K, const LaunchConfig &Cfg)
       : K(K), Cfg(Cfg) {}
@@ -301,6 +463,11 @@ public:
   void setup(const std::vector<Buffer *> &Buffers,
              const std::map<std::string, int64_t> &Sizes) {
     validateNDRange();
+
+    ExecLimits Lim = ExecLimits::withEnvDefaults(Cfg.Limits);
+    MaxFindings = Lim.MaxFindings != 0 ? Lim.MaxFindings : kMaxFindings;
+    if (Lim.anyBound())
+      Monitor = std::make_unique<ExecMonitor>(Lim);
 
     Slots = K.Slots ? K.Slots : codegen::computeVarSlots(K.Module);
     for (const auto &[Id, Var] : K.StorageVars)
@@ -345,6 +512,16 @@ public:
       }
       if (NextBuffer < Buffers.size()) {
         Buffer *B = Buffers[NextBuffer];
+        if (B->Poisoned)
+          throwDiag(DiagCode::HostBadBuffer, DiagLocation(),
+                    "launch: buffer for parameter '" + P.Var->Name +
+                        "' was poisoned by an earlier cancelled launch",
+                    {"rewrite the buffer or call clearPoison() to reuse it"});
+        if (fault::shouldFail(fault::Site::BufferMap))
+          runtimeError("injected fault: mapping the buffer for parameter '" +
+                           P.Var->Name + "' failed",
+                       DiagCode::RuntimeFaultInjected);
+        CallerBuffers.push_back(B);
         addBinding(P.Var.get(), Value::makePtr(B->Mem, MemSpace::Global));
         if (Cfg.CheckMemory)
           GuardBlocks.registerBlock(B->Mem.get(), P.Var->Name, B->Init);
@@ -353,6 +530,25 @@ public:
       }
       // A compiler-introduced global temporary.
       int64_t Count = arith::evaluate(P.Store->NumElements, SizeCtx);
+      if (Count < 0)
+        throwDiag(DiagCode::RuntimeBadLaunch, DiagLocation(),
+                  "launch: temporary buffer '" + P.Var->Name +
+                      "' has negative element count " +
+                      std::to_string(Count));
+      if (Monitor &&
+          !Monitor->chargeAllocation(bytesFor(static_cast<uint64_t>(Count))))
+        runtimeError(
+            "device memory limit of " +
+                std::to_string(Monitor->Limits.MaxMemoryBytes) +
+                " bytes exceeded while allocating temporary buffer '" +
+                P.Var->Name + "' (" +
+                std::to_string(bytesFor(static_cast<uint64_t>(Count))) +
+                " bytes)",
+            DiagCode::RuntimeMemoryLimit);
+      if (fault::shouldFail(fault::Site::Alloc))
+        runtimeError("injected fault: allocating temporary buffer '" +
+                         P.Var->Name + "' failed",
+                     DiagCode::RuntimeFaultInjected);
       Temps.push_back(Buffer::zeros(static_cast<size_t>(Count)));
       addBinding(P.Var.get(),
                  Value::makePtr(Temps.back().Mem, MemSpace::Global));
@@ -714,7 +910,8 @@ public:
         FrameArena(WIs * NumSlots), FrameEpochArena(WIs * NumSlots, 0),
         AValArena(WIs * NumSlots, 0), AEpochArena(WIs * NumSlots, 0),
         Items(WIs), WgLocalMem(NumSlots), WgLocalEpoch(NumSlots, 0),
-        PrivateMem(NumSlots * WIs) {
+        PrivateMem(NumSlots * WIs), Mon(P.Monitor.get()),
+        StepMonitored(Mon && Mon->monitorsSteps()) {
     for (size_t I = 0; I != WIs; ++I) {
       ItemCtx &W = Items[I];
       W.Linear = static_cast<int64_t>(I);
@@ -764,7 +961,8 @@ public:
   /// guard findings go to the caller-provided per-group reports; shared
   /// bitmap writes are returned via \p Writes for post-join commit.
   void runGroup(int64_t G, RaceReport *Races, GuardReport *Guards,
-                std::vector<std::pair<const void *, int64_t>> *Writes) {
+                std::vector<std::pair<const void *, int64_t>> *Writes,
+                std::vector<RaceDetector::GlobalAccess> *GlobalAcc) {
     int64_t Gx = G % P.Groups[0];
     int64_t Gy = (G / P.Groups[0]) % P.Groups[1];
     int64_t Gz = G / (P.Groups[0] * P.Groups[1]);
@@ -782,13 +980,15 @@ public:
     std::optional<RaceDetector> RDet;
     std::optional<MemGuard> MGd;
     if (Races) {
-      RDet.emplace(*Races, kMaxFindings, &P.RaceBlockNames);
+      RDet.emplace(*Races, P.MaxFindings, &P.RaceBlockNames);
+      if (GlobalAcc)
+        RDet->setTrackGlobal(true);
       RD = &*RDet;
     } else {
       RD = nullptr;
     }
     if (Guards) {
-      MGd.emplace(*Guards, kMaxFindings, &P.GuardBlocks);
+      MGd.emplace(*Guards, P.MaxFindings, &P.GuardBlocks);
       MG = &*MGd;
     } else {
       MG = nullptr;
@@ -815,6 +1015,8 @@ public:
     execLockstep(P.K.Module.Kernel->Body->getStmts(), Active);
     if (RD)
       RD->endGroup();
+    if (GlobalAcc && RDet)
+      RDet->takeGroupGlobalAccesses(*GlobalAcc);
     if (Writes && MGd)
       *Writes = MGd->sharedWrites();
     RD = nullptr;
@@ -853,10 +1055,78 @@ private:
   arith::EvalContext ArithCtx;
   ItemCtx *ArithItem = nullptr;
 
+  /// Execution-limit state (null / false when the launch is unbounded —
+  /// the default — in which case none of the hooks below are reached).
+  ExecMonitor *Mon = nullptr;
+  bool StepMonitored = false;
+  /// Steps left until the next slow tick (shared-state check).
+  int64_t Countdown = ExecMonitor::TickInterval;
+  /// The statement most recently charged, for limit diagnostics. Points
+  /// into the kernel AST, which outlives the worker.
+  const CStmtPtr *CurStmt = nullptr;
+
   [[noreturn]] void
   runtimeError(const std::string &Msg,
                DiagCode Code = DiagCode::RuntimeUnsupported) const {
     P.runtimeError(Msg, Code);
+  }
+
+  /// Slow path of the step hook, entered every TickInterval steps:
+  /// observes cooperative cancellation and the step / deadline budgets.
+  void slowTick() {
+    uint64_t Used =
+        static_cast<uint64_t>(static_cast<int64_t>(ExecMonitor::TickInterval) -
+                              Countdown);
+    Countdown = ExecMonitor::TickInterval;
+    if (Mon->stopRequested())
+      throw CancelledError{};
+    if (!Mon->claimSteps(Used)) {
+      Mon->noteDetail(describeCurStmt());
+      Mon->noteLimit(LimitKind::Steps);
+      throw LimitError{LimitKind::Steps};
+    }
+    if (Mon->pastDeadline()) {
+      Mon->noteDetail(describeCurStmt());
+      Mon->noteLimit(LimitKind::Deadline);
+      throw LimitError{LimitKind::Deadline};
+    }
+  }
+
+  /// One-line rendering of the statement that tripped a limit.
+  std::string describeCurStmt() const {
+    if (!CurStmt || !*CurStmt)
+      return {};
+    std::string S = c::printStmt(*CurStmt);
+    size_t NL = S.find('\n');
+    if (NL != std::string::npos)
+      S.resize(NL);
+    if (S.size() > 120) {
+      S.resize(117);
+      S += "...";
+    }
+    return "while executing: " + S;
+  }
+
+  /// Budget and fault hook for a local / private array (re)allocation.
+  /// Only capacity growth is charged: the arenas are reused across the
+  /// groups a worker executes, and a reuse allocates nothing.
+  void chargeWorkerAlloc(const MemoryPtr &Mem, int64_t Count,
+                         const CVar *V) {
+    if (Mem && static_cast<size_t>(Count) <= Mem->capacity())
+      return;
+    uint64_t Grown = static_cast<uint64_t>(Count) -
+                     static_cast<uint64_t>(Mem ? Mem->capacity() : 0);
+    if (Mon && !Mon->chargeAllocation(bytesFor(Grown))) {
+      Mon->noteDetail("while allocating array '" + V->Name + "' (" +
+                      std::to_string(bytesFor(static_cast<uint64_t>(Count))) +
+                      " bytes)");
+      Mon->noteLimit(LimitKind::Memory);
+      throw LimitError{LimitKind::Memory};
+    }
+    if (fault::shouldFail(fault::Site::Alloc))
+      runtimeError("injected fault: allocating array '" + V->Name +
+                       "' failed",
+                   DiagCode::RuntimeFaultInjected);
   }
 
   void bindItem(ItemCtx &W) {
@@ -972,6 +1242,12 @@ private:
     switch (S->getKind()) {
     case CStmtKind::Barrier:
       Cost.Barriers += WIs.size();
+      if (StepMonitored) {
+        CurStmt = &S;
+        Countdown -= static_cast<int64_t>(WIs.size());
+        if (Countdown <= 0)
+          slowTick();
+      }
       if (RD)
         RD->lockstepBarrier();
       return;
@@ -995,6 +1271,12 @@ private:
           }
         }
         Cost.LoopIters += WIs.size();
+        if (StepMonitored) {
+          CurStmt = &S;
+          Countdown -= static_cast<int64_t>(WIs.size());
+          if (Countdown <= 0)
+            slowTick();
+        }
         if (!Continue)
           break;
         execLockstep(F->getBody()->getStmts(), WIs);
@@ -1060,6 +1342,11 @@ private:
   //===------------------------------------------------------------------===//
 
   ExecResult execStmtSingle(const CStmtPtr &S, ItemCtx &W) {
+    if (StepMonitored) {
+      CurStmt = &S;
+      if (--Countdown <= 0)
+        slowTick();
+    }
     switch (S->getKind()) {
     case CStmtKind::Block: {
       for (const CStmtPtr &Sub : cast<Block>(S.get())->getStmts()) {
@@ -1074,6 +1361,10 @@ private:
       const CVar *V = D->getVar().get();
       if (D->getArraySize()) {
         int64_t Count = evalArith(D->getArraySize(), W);
+        if (Count < 0)
+          runtimeError("array '" + V->Name + "' has negative element count " +
+                           std::to_string(Count),
+                       DiagCode::RuntimeBadLaunch);
         int Slot = V->Slot;
         if (Slot < 0)
           runtimeError("internal: array variable '" + V->Name +
@@ -1083,6 +1374,7 @@ private:
           // vector is reused across the groups this worker executes.
           if (WgLocalEpoch[Slot] != Epoch) {
             MemoryPtr &Mem = WgLocalMem[Slot];
+            chargeWorkerAlloc(Mem, Count, V);
             if (!Mem)
               Mem = std::make_shared<std::vector<Value>>();
             Mem->assign(static_cast<size_t>(Count), Value::makeFloat(0));
@@ -1101,6 +1393,7 @@ private:
           MemoryPtr &Mem =
               PrivateMem[static_cast<size_t>(Slot) * WIs +
                          static_cast<size_t>(W.Linear)];
+          chargeWorkerAlloc(Mem, Count, V);
           if (!Mem)
             Mem = std::make_shared<std::vector<Value>>();
           Mem->assign(static_cast<size_t>(Count), Value::makeFloat(0));
@@ -1131,6 +1424,13 @@ private:
       setVar(W, F->getIV().get(), evalExpr(F->getInit(), W));
       while (evalCondition(F->getCond(), W)) {
         ++Cost.LoopIters;
+        // Per-iteration hook: the statement-entry hook alone would let a
+        // non-terminating loop with an empty body spin forever.
+        if (StepMonitored) {
+          CurStmt = &S;
+          if (--Countdown <= 0)
+            slowTick();
+        }
         for (const CStmtPtr &Sub : F->getBody()->getStmts()) {
           ExecResult R = execStmtSingle(Sub, W);
           if (R.Returned)
@@ -1890,12 +2190,49 @@ private:
   }
 };
 
+/// Renders the limit that cancelled the launch as a structured
+/// diagnostic. Synthesized after the join from the shared monitor state,
+/// so the message is identical at any thread count.
+[[noreturn]] void throwLimitDiag(const LaunchPlan &Plan, ExecMonitor &Mon) {
+  std::string Kernel =
+      Plan.K.Module.Kernel ? Plan.K.Module.Kernel->Name : "kernel";
+  std::vector<std::string> Notes;
+  std::string Detail = Mon.detail();
+  if (!Detail.empty())
+    Notes.push_back(Detail);
+  Notes.push_back(
+      "the launch was cancelled; its buffers are poisoned until rewritten");
+  switch (Mon.tripped()) {
+  case LimitKind::Steps:
+    throwDiag(DiagCode::RuntimeStepLimit, DiagLocation::inContext(Kernel),
+              "runtime: step budget of " +
+                  std::to_string(Mon.Limits.MaxSteps) +
+                  " interpreter steps exhausted",
+              Notes);
+  case LimitKind::Deadline:
+    throwDiag(DiagCode::RuntimeDeadline, DiagLocation::inContext(Kernel),
+              "runtime: wall-clock deadline of " +
+                  std::to_string(Mon.Limits.TimeoutMs) + " ms exceeded",
+              Notes);
+  case LimitKind::Memory:
+    throwDiag(DiagCode::RuntimeMemoryLimit, DiagLocation::inContext(Kernel),
+              "runtime: device memory limit of " +
+                  std::to_string(Mon.Limits.MaxMemoryBytes) +
+                  " bytes exceeded",
+              Notes);
+  case LimitKind::None:
+    break;
+  }
+  fatalError("internal: limit diagnostic requested with no tripped limit");
+}
+
 /// Dispatches the plan's work-groups over \p Workers pool workers (the
 /// caller participates as worker 0) and merges per-worker costs and
 /// per-group findings in canonical group order, so every observable
-/// result is identical at any thread count.
+/// result is identical at any thread count. \p Engine, when non-null,
+/// receives non-fatal warnings (the serial-fallback notice).
 CostReport executePlan(LaunchPlan &Plan, RaceReport &Races,
-                       GuardReport &Guards) {
+                       GuardReport &Guards, DiagnosticEngine *Engine) {
   unsigned Workers = resolveThreadCount(Plan.Cfg.Threads);
   if (static_cast<int64_t>(Workers) > Plan.NumGroups)
     Workers = static_cast<unsigned>(Plan.NumGroups);
@@ -1905,76 +2242,162 @@ CostReport executePlan(LaunchPlan &Plan, RaceReport &Races,
   const bool CheckR = Plan.Cfg.CheckRaces;
   const bool CheckM = Plan.Cfg.CheckMemory;
   const int64_t NumGroups = Plan.NumGroups;
+  // The cross-group hazard pass needs every group's global footprint;
+  // a single group cannot conflict with another one.
+  const bool CollectXG = CheckR && NumGroups > 1;
   std::vector<RaceReport> GroupRaces(
       CheckR ? static_cast<size_t>(NumGroups) : 0);
   std::vector<GuardReport> GroupGuards(
       CheckM ? static_cast<size_t>(NumGroups) : 0);
   std::vector<std::vector<std::pair<const void *, int64_t>>> GroupWrites(
       CheckM ? static_cast<size_t>(NumGroups) : 0);
+  std::vector<std::vector<RaceDetector::GlobalAccess>> GroupGlobalAcc(
+      CollectXG ? static_cast<size_t>(NumGroups) : 0);
   std::vector<CostReport> WorkerCosts(Workers);
   std::vector<std::exception_ptr> GroupErrors(static_cast<size_t>(NumGroups));
   std::atomic<int64_t> NextGroup{0};
   std::atomic<bool> Failed{false};
+  ExecMonitor *Mon = Plan.Monitor.get();
+
+  // A failure outside any group (GroupWorker construction): first one
+  // wins, reported after the join.
+  std::mutex WorkerErrM;
+  std::exception_ptr WorkerErr;
 
   auto Body = [&](unsigned Wx) {
-    GroupWorker Worker(Plan);
-    while (!Failed.load(std::memory_order_relaxed)) {
-      int64_t G = NextGroup.fetch_add(1, std::memory_order_relaxed);
-      if (G >= NumGroups)
-        break;
-      try {
-        Worker.runGroup(
-            G, CheckR ? &GroupRaces[static_cast<size_t>(G)] : nullptr,
-            CheckM ? &GroupGuards[static_cast<size_t>(G)] : nullptr,
-            CheckM ? &GroupWrites[static_cast<size_t>(G)] : nullptr);
-      } catch (...) {
-        // Record per group, stop handing out new groups, and let the
-        // smallest failing group index win after the join — the same
-        // error a serial in-order run would have surfaced first.
-        GroupErrors[static_cast<size_t>(G)] = std::current_exception();
-        Failed.store(true, std::memory_order_relaxed);
+    try {
+      GroupWorker Worker(Plan);
+      while (!Failed.load(std::memory_order_relaxed)) {
+        int64_t G = NextGroup.fetch_add(1, std::memory_order_relaxed);
+        if (G >= NumGroups)
+          break;
+        try {
+          Worker.runGroup(
+              G, CheckR ? &GroupRaces[static_cast<size_t>(G)] : nullptr,
+              CheckM ? &GroupGuards[static_cast<size_t>(G)] : nullptr,
+              CheckM ? &GroupWrites[static_cast<size_t>(G)] : nullptr,
+              CollectXG ? &GroupGlobalAcc[static_cast<size_t>(G)] : nullptr);
+        } catch (const CancelledError &) {
+          // Another worker tripped a limit or failed first; just unwind.
+          Failed.store(true, std::memory_order_relaxed);
+        } catch (const LimitError &) {
+          // The shared monitor holds the (first) tripped limit; the
+          // diagnostic is synthesized after the join so it is identical
+          // at any thread count.
+          Failed.store(true, std::memory_order_relaxed);
+        } catch (...) {
+          // Record per group, cancel the launch, and let the smallest
+          // failing group index win after the join — the same error a
+          // serial in-order run would have surfaced first.
+          GroupErrors[static_cast<size_t>(G)] = std::current_exception();
+          Failed.store(true, std::memory_order_relaxed);
+          if (Mon)
+            Mon->requestStop();
+        }
       }
+      WorkerCosts[Wx] = Worker.Cost;
+    } catch (...) {
+      // Workers must never let an exception escape onto a pool thread
+      // (std::terminate); stash it and cancel the launch.
+      {
+        std::lock_guard<std::mutex> L(WorkerErrM);
+        if (!WorkerErr)
+          WorkerErr = std::current_exception();
+      }
+      Failed.store(true, std::memory_order_relaxed);
+      if (Mon)
+        Mon->requestStop();
     }
-    WorkerCosts[Wx] = Worker.Cost;
   };
 
-  if (Workers == 1)
+  if (Workers == 1) {
     Body(0);
-  else
-    ThreadPool::global().run(Workers, Body);
+  } else if (!ThreadPool::global().tryRun(Workers, Body)) {
+    // The worker pool could not be brought up (thread creation failed or
+    // a fault was injected): degrade to serial execution — identical
+    // results, just slower — and leave a warning behind.
+    std::string Kernel =
+        Plan.K.Module.Kernel ? Plan.K.Module.Kernel->Name : "kernel";
+    if (Engine)
+      Engine->warning(DiagCode::RuntimePoolFallback,
+                      DiagLocation::inContext(Kernel),
+                      "worker pool unavailable; executing " +
+                          std::to_string(NumGroups) +
+                          " work-group(s) serially");
+    else
+      std::fprintf(stderr,
+                   "lift: warning: worker pool unavailable; executing "
+                   "work-groups of kernel '%s' serially\n",
+                   Kernel.c_str());
+    Body(0);
+  }
 
+  // Post-join error precedence: a real per-group error first (serial
+  // order), then a tripped execution limit, then a worker-level failure.
   for (int64_t G = 0; G != NumGroups; ++G)
     if (GroupErrors[static_cast<size_t>(G)])
       std::rethrow_exception(GroupErrors[static_cast<size_t>(G)]);
+  if (Mon && Mon->tripped() != LimitKind::None)
+    throwLimitDiag(Plan, *Mon);
+  if (WorkerErr)
+    std::rethrow_exception(WorkerErr);
 
   CostReport Total;
   for (const CostReport &C : WorkerCosts)
     Total += C;
   if (CheckR)
     for (int64_t G = 0; G != NumGroups; ++G)
-      Races.mergeFrom(GroupRaces[static_cast<size_t>(G)], kMaxFindings);
+      Races.mergeFrom(GroupRaces[static_cast<size_t>(G)], Plan.MaxFindings);
   if (CheckM) {
+    // Shared-bitmap commits only happen on this success path: a cancelled
+    // or failed launch rethrows above and discards its pending writes, so
+    // the launch-level init bitmaps never observe partial state.
     std::unordered_map<std::string, bool> Seen;
     for (int64_t G = 0; G != NumGroups; ++G) {
       mergeGuardReport(Guards, GroupGuards[static_cast<size_t>(G)],
-                       kMaxFindings, Seen);
+                       Plan.MaxFindings, Seen);
       Plan.GuardBlocks.commitWrites(GroupWrites[static_cast<size_t>(G)]);
     }
   }
+  if (CollectXG)
+    crossGroupCheck(GroupGlobalAcc, Plan.RaceBlockNames, Races,
+                    Plan.MaxFindings);
   return Total;
 }
 
 /// The one throwing execution path every public launch entry wraps:
 /// resolves arguments, precomputes the shared analyses, then executes the
-/// groups on the worker pool.
+/// groups on the worker pool. If execution began and failed, the caller's
+/// buffers are poisoned before the error propagates (partial writes must
+/// not be readable as results); host out-of-memory is converted into the
+/// E0512 memory-limit diagnostic instead of crashing the process.
 CostReport runMachine(const codegen::CompiledKernel &K,
                       const std::vector<Buffer *> &Buffers,
                       const std::map<std::string, int64_t> &Sizes,
                       const LaunchConfig &Cfg, RaceReport &Races,
-                      GuardReport &Guards) {
+                      GuardReport &Guards, DiagnosticEngine *Engine) {
+  std::string Kernel = K.Module.Kernel ? K.Module.Kernel->Name : "kernel";
   LaunchPlan Plan(K, Cfg);
-  Plan.setup(Buffers, Sizes);
-  return executePlan(Plan, Races, Guards);
+  try {
+    Plan.setup(Buffers, Sizes);
+  } catch (const std::bad_alloc &) {
+    throwDiag(DiagCode::RuntimeMemoryLimit, DiagLocation::inContext(Kernel),
+              "runtime: device allocation failed (out of host memory)");
+  }
+  try {
+    return executePlan(Plan, Races, Guards, Engine);
+  } catch (const std::bad_alloc &) {
+    for (Buffer *B : Plan.CallerBuffers)
+      B->Poisoned = true;
+    throwDiag(DiagCode::RuntimeMemoryLimit, DiagLocation::inContext(Kernel),
+              "runtime: device allocation failed (out of host memory)",
+              {"the launch was cancelled; its buffers are poisoned until "
+               "rewritten"});
+  } catch (...) {
+    for (Buffer *B : Plan.CallerBuffers)
+      B->Poisoned = true;
+    throw;
+  }
 }
 
 } // namespace
@@ -1986,7 +2409,8 @@ CostReport ocl::launch(const codegen::CompiledKernel &K,
   try {
     RaceReport Races;
     GuardReport Guards;
-    CostReport Cost = runMachine(K, Buffers, Sizes, Cfg, Races, Guards);
+    CostReport Cost =
+        runMachine(K, Buffers, Sizes, Cfg, Races, Guards, nullptr);
     if (!Races.clean())
       fatalError("runtime: race check failed for kernel '" +
                  K.Module.Kernel->Name + "': " + Races.summary());
@@ -2013,7 +2437,7 @@ CostReport ocl::launch(const codegen::CompiledKernel &K,
                        const LaunchConfig &Cfg, RaceReport &Races,
                        GuardReport &Guards) {
   try {
-    return runMachine(K, Buffers, Sizes, Cfg, Races, Guards);
+    return runMachine(K, Buffers, Sizes, Cfg, Races, Guards, nullptr);
   } catch (DiagnosticError &E) {
     fatalError(E.Diag.render());
   }
@@ -2026,7 +2450,7 @@ ocl::launchChecked(const codegen::CompiledKernel &K,
                    const LaunchConfig &Cfg, DiagnosticEngine &Engine) {
   LaunchResult R;
   try {
-    R.Cost = runMachine(K, Buffers, Sizes, Cfg, R.Races, R.Guards);
+    R.Cost = runMachine(K, Buffers, Sizes, Cfg, R.Races, R.Guards, &Engine);
   } catch (DiagnosticError &E) {
     if (!E.Recorded)
       Engine.report(E.Diag);
@@ -2034,7 +2458,10 @@ ocl::launchChecked(const codegen::CompiledKernel &K,
   }
   std::string Kernel = K.Module.Kernel ? K.Module.Kernel->Name : "kernel";
   for (const RaceFinding &F : R.Races.Findings)
-    Engine.error(DiagCode::RuntimeRace, DiagLocation::inContext(Kernel),
+    Engine.error(F.K == RaceFinding::CrossGroup
+                     ? DiagCode::RuntimeCrossGroupRace
+                     : DiagCode::RuntimeRace,
+                 DiagLocation::inContext(Kernel),
                  std::string(RaceFinding::kindName(F.K)) + " at " +
                      F.Location + ": " + F.Detail);
   for (const GuardFinding &F : R.Guards.Findings)

@@ -22,6 +22,8 @@ const char *RaceFinding::kindName(Kind K) {
     return "read-write race";
   case BarrierDivergence:
     return "barrier divergence";
+  case CrossGroup:
+    return "cross-group hazard";
   }
   return "?";
 }
@@ -74,6 +76,7 @@ void RaceDetector::beginGroup(const std::array<int64_t, 3> &G,
                               size_t NumItems) {
   Group = G;
   Interval.clear();
+  GroupGlobal.clear();
   ItemArrivals.assign(NumItems, 0);
   IntervalIndex = 0;
   AccessSeq = 0;
@@ -85,6 +88,8 @@ void RaceDetector::recordAccess(const void *Mem, int64_t Index,
   if (!InGroup || Space == MemSpace::Private)
     return;
   ++Report.AccessesRecorded;
+  if (TrackGlobal && Space == MemSpace::Global)
+    GroupGlobal[Key{Mem, Index}] |= IsWrite ? uint8_t(2) : uint8_t(1);
   Cell &C = Interval[Key{Mem, Index}];
   if (IsWrite) {
     if (C.Writer1 < 0) {
@@ -218,4 +223,103 @@ void RaceDetector::addFinding(RaceFinding F) {
     return;
   }
   Report.Findings.push_back(std::move(F));
+}
+
+void RaceDetector::takeGroupGlobalAccesses(std::vector<GlobalAccess> &Out) {
+  Out.clear();
+  Out.reserve(GroupGlobal.size());
+  for (const auto &[K, RW] : GroupGlobal)
+    Out.push_back(GlobalAccess{K.Mem, K.Index, RW});
+  GroupGlobal.clear();
+}
+
+void ocl::crossGroupCheck(
+    const std::vector<std::vector<RaceDetector::GlobalAccess>> &PerGroup,
+    const std::unordered_map<const void *, std::string> &Names,
+    RaceReport &Report, unsigned MaxFindings) {
+  auto nameOf = [&](const void *Mem) -> std::string {
+    auto It = Names.find(Mem);
+    if (It != Names.end())
+      return It->second;
+    std::ostringstream OS;
+    OS << "<buffer@" << Mem << ">";
+    return OS.str();
+  };
+
+  // Ownership of each touched location by the lowest-numbered group that
+  // accessed it; one finding per location, against that first group.
+  struct Owner {
+    int64_t Writer = -1; ///< First group that wrote the location.
+    int64_t Reader = -1; ///< First group that read the location.
+    bool Flagged = false;
+  };
+  struct LocKey {
+    const void *Mem;
+    int64_t Index;
+    bool operator==(const LocKey &O) const {
+      return Mem == O.Mem && Index == O.Index;
+    }
+  };
+  struct LocHash {
+    size_t operator()(const LocKey &K) const {
+      size_t H = std::hash<const void *>()(K.Mem);
+      return H ^ (std::hash<int64_t>()(K.Index) + 0x9e3779b97f4a7c15ULL +
+                  (H << 6) + (H >> 2));
+    }
+  };
+  std::unordered_map<LocKey, Owner, LocHash> Owners;
+
+  // Sort each group's (unordered) footprint by name then index so the
+  // scan — and with it the finding order — never depends on pointer
+  // values or hash iteration order.
+  std::vector<RaceDetector::GlobalAccess> Sorted;
+  for (size_t G = 0; G != PerGroup.size(); ++G) {
+    Sorted = PerGroup[G];
+    std::sort(Sorted.begin(), Sorted.end(),
+              [&](const RaceDetector::GlobalAccess &A,
+                  const RaceDetector::GlobalAccess &B) {
+                std::string NA = nameOf(A.Mem), NB = nameOf(B.Mem);
+                if (NA != NB)
+                  return NA < NB;
+                if (A.Index != B.Index)
+                  return A.Index < B.Index;
+                return A.RW < B.RW;
+              });
+    for (const RaceDetector::GlobalAccess &A : Sorted) {
+      Owner &O = Owners[LocKey{A.Mem, A.Index}];
+      bool Writes = (A.RW & 2) != 0;
+      bool Reads = (A.RW & 1) != 0;
+      int64_t Prior = -1;
+      if (Writes && (O.Writer >= 0 || O.Reader >= 0))
+        Prior = O.Writer >= 0 ? O.Writer : O.Reader;
+      else if (Reads && O.Writer >= 0)
+        Prior = O.Writer;
+      if (Prior >= 0 && !O.Flagged) {
+        O.Flagged = true;
+        RaceFinding F;
+        F.K = RaceFinding::CrossGroup;
+        std::ostringstream Loc;
+        Loc << nameOf(A.Mem) << "[" << A.Index << "]";
+        F.Location = Loc.str();
+        F.ItemA = Prior;                  // prior (lowest) group index
+        F.ItemB = static_cast<int64_t>(G); // current group index
+        std::ostringstream OS;
+        OS << F.Location << ": work-groups " << Prior << " and " << G
+           << " access the same global element without inter-group "
+              "synchronization ("
+           << (Writes && O.Writer >= 0 ? "both wrote" : "one wrote, one read")
+           << ")";
+        F.Detail = OS.str();
+        if (Report.Findings.size() >= MaxFindings) {
+          Report.Truncated = true;
+          return;
+        }
+        Report.Findings.push_back(std::move(F));
+      }
+      if (Writes && O.Writer < 0)
+        O.Writer = static_cast<int64_t>(G);
+      if (Reads && O.Reader < 0)
+        O.Reader = static_cast<int64_t>(G);
+    }
+  }
 }

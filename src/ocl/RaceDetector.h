@@ -52,6 +52,7 @@ struct RaceFinding {
     WriteWrite,        ///< Two work-items wrote the location in one interval.
     ReadWrite,         ///< One wrote, another read, in one interval.
     BarrierDivergence, ///< Items of a group disagree on barrier arrival.
+    CrossGroup,        ///< Two work-groups access it, one of them writing.
   };
 
   Kind K = WriteWrite;
@@ -117,6 +118,22 @@ public:
   void recordAccess(const void *Mem, int64_t Index, MemSpace Space,
                     int64_t Item, bool IsWrite);
 
+  /// One global-memory element touched by the current group, exported for
+  /// the post-join cross-group hazard pass (crossGroupCheck below).
+  struct GlobalAccess {
+    const void *Mem = nullptr;
+    int64_t Index = 0;
+    uint8_t RW = 0; ///< bit 0: some item read it, bit 1: some item wrote it.
+  };
+
+  /// Enables per-group recording of the global-memory access footprint
+  /// (off by default — it costs a hash insertion per global access).
+  void setTrackGlobal(bool V) { TrackGlobal = V; }
+
+  /// Moves the group's recorded global footprint into \p Out (unordered)
+  /// and clears the internal map. Call after endGroup().
+  void takeGroupGlobalAccesses(std::vector<GlobalAccess> &Out);
+
   /// A barrier reached in lockstep by every item of the group: closes the
   /// current interval, checking accesses and arrival parity.
   void lockstepBarrier();
@@ -165,12 +182,28 @@ private:
 
   std::unordered_map<const void *, std::string> BlockNames;
   std::unordered_map<Key, Cell, KeyHash> Interval;
+  /// Global-memory footprint of the current group (TrackGlobal only).
+  std::unordered_map<Key, uint8_t, KeyHash> GroupGlobal;
+  bool TrackGlobal = false;
   std::vector<uint64_t> ItemArrivals; ///< Out-of-lockstep barrier tallies.
   std::array<int64_t, 3> Group = {0, 0, 0};
   uint64_t IntervalIndex = 0;
   int64_t AccessSeq = 0;
   bool InGroup = false;
 };
+
+/// Post-join cross-group hazard pass: work-groups are unordered and a
+/// barrier only synchronizes the items of one group, so two groups
+/// touching the same global element — at least one writing — conflict
+/// under some legal group schedule. \p PerGroup holds every group's
+/// footprint in canonical group order (takeGroupGlobalAccesses output);
+/// findings are appended to \p Report as RaceFinding::CrossGroup, one per
+/// location, deterministically ordered by (buffer name, element index)
+/// and independent of the thread count that produced the footprints.
+void crossGroupCheck(
+    const std::vector<std::vector<RaceDetector::GlobalAccess>> &PerGroup,
+    const std::unordered_map<const void *, std::string> &Names,
+    RaceReport &Report, unsigned MaxFindings);
 
 } // namespace ocl
 } // namespace lift

@@ -207,6 +207,14 @@ public:
   /// the launches of a multi-kernel benchmark.
   InitMap Init;
 
+  /// Set on every buffer bound to a launch that was cancelled mid-flight
+  /// (execution limit exceeded, injected fault, runtime error): the
+  /// contents may hold partial writes, so reading them back
+  /// (toFloats/toInts/toFlatFloats) or passing them to another launch
+  /// raises E0601 until the host rewrites the buffer or calls
+  /// clearPoison(). See docs/RELIABILITY.md.
+  bool Poisoned = false;
+
   static Buffer ofFloats(const std::vector<float> &Data);
   static Buffer ofInts(const std::vector<int> &Data);
   /// Packs flat floats into vector-typed elements of the given width
@@ -223,6 +231,9 @@ public:
   std::vector<float> toFlatFloats() const;
   size_t size() const { return Mem->size(); }
   Value &at(size_t I) { return (*Mem)[I]; }
+
+  /// Accepts the partial contents of a cancelled launch as-is.
+  void clearPoison() { Poisoned = false; }
 };
 
 //===----------------------------------------------------------------------===//
@@ -280,6 +291,35 @@ struct CostReport {
 // Launch
 //===----------------------------------------------------------------------===//
 
+/// Resource bounds for one launch. Every bound defaults to "unlimited";
+/// bounds left unset fall back to the LIFT_MAX_STEPS / LIFT_TIMEOUT_MS /
+/// LIFT_MAX_MEMORY environment variables, so a whole test tier can be
+/// bounded without code changes. Exceeding a bound cooperatively cancels
+/// all workers and raises E0510 (steps) / E0511 (deadline) / E0512
+/// (memory); the launch's buffers are poisoned. See docs/RELIABILITY.md.
+struct ExecLimits {
+  /// Interpreter step budget for the whole launch, summed across all
+  /// work-items and workers (statements executed + loop iterations).
+  /// 0 = unlimited.
+  uint64_t MaxSteps = 0;
+  /// Wall-clock deadline in milliseconds, measured from launch setup.
+  /// 0 = unlimited.
+  int64_t TimeoutMs = 0;
+  /// Cap on device allocations (temp buffers plus local/private arrays),
+  /// in bytes of simulated Value storage. 0 = unlimited.
+  uint64_t MaxMemoryBytes = 0;
+  /// Cap on retained race/guard findings per launch (detection keeps
+  /// running past it; reports are marked truncated).
+  unsigned MaxFindings = 64;
+
+  bool anyBound() const {
+    return MaxSteps != 0 || TimeoutMs != 0 || MaxMemoryBytes != 0;
+  }
+
+  /// \p L with every unset bound replaced by its environment default.
+  static ExecLimits withEnvDefaults(ExecLimits L);
+};
+
 struct LaunchConfig {
   std::array<int64_t, 3> Global = {1, 1, 1};
   std::array<int64_t, 3> Local = {1, 1, 1};
@@ -304,6 +344,9 @@ struct LaunchConfig {
   /// yields identical buffers, cost reports and findings.
   int Threads = 0;
 
+  /// Execution-resource bounds (step budget, deadline, allocation cap).
+  ExecLimits Limits;
+
   static LaunchConfig fromOptions(const codegen::CompilerOptions &O) {
     LaunchConfig C;
     C.Global = O.GlobalSize;
@@ -313,6 +356,9 @@ struct LaunchConfig {
     C.ScheduleSeed = O.ScheduleSeed;
     C.CheckMemory = O.CheckMemory;
     C.Threads = O.Threads;
+    C.Limits.MaxSteps = O.MaxSteps;
+    C.Limits.TimeoutMs = O.TimeoutMs;
+    C.Limits.MaxMemoryBytes = O.MaxMemoryBytes;
     return C;
   }
 };

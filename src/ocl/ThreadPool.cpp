@@ -6,9 +6,12 @@
 
 #include "ocl/ThreadPool.h"
 
+#include "ocl/FaultInject.h"
+
 #include <condition_variable>
 #include <cstdlib>
 #include <mutex>
+#include <system_error>
 #include <thread>
 #include <vector>
 
@@ -65,50 +68,90 @@ class PoolImpl {
     }
   }
 
-  void ensureSpawned(unsigned Needed) {
-    // Called with M held. Worker index 0 is the dispatcher itself.
+  bool ensureSpawned(unsigned Needed) {
+    // Called with M held. Worker index 0 is the dispatcher itself. Threads
+    // spawned before a failure stay parked (no job was published for them)
+    // and are reused by the next dispatch.
     while (Spawned < Needed) {
-      unsigned Index = ++Spawned;
-      std::thread([this, Index] { workerLoop(Index); }).detach();
+      unsigned Index = Spawned + 1;
+      try {
+        std::thread([this, Index] { workerLoop(Index); }).detach();
+      } catch (const std::system_error &) {
+        return false;
+      }
+      Spawned = Index;
     }
+    return true;
+  }
+
+  /// Waits for all pool workers of the current generation to leave the job
+  /// before the job object (a pointer into the dispatcher's frame) can go
+  /// out of scope.
+  void awaitGeneration() {
+    std::unique_lock<std::mutex> L(M);
+    DoneCV.wait(L, [&] { return Pending == 0; });
+    Job = nullptr;
+    JobWorkers = 0;
   }
 
 public:
-  void run(unsigned Workers, const std::function<void(unsigned)> &Fn) {
+  bool tryRun(unsigned Workers, const std::function<void(unsigned)> &Fn) {
     if (Workers <= 1) {
       Fn(0);
-      return;
+      return true;
     }
+    if (fault::shouldFail(fault::Site::PoolStart))
+      return false;
     std::lock_guard<std::mutex> RunLock(RunM);
     {
       std::lock_guard<std::mutex> L(M);
-      ensureSpawned(Workers - 1);
+      if (!ensureSpawned(Workers - 1))
+        return false;
       Job = &Fn;
       JobWorkers = Workers;
       Pending = Workers - 1;
       ++Generation;
       WakeCV.notify_all();
     }
-    Fn(0);
-    std::unique_lock<std::mutex> L(M);
-    DoneCV.wait(L, [&] { return Pending == 0; });
-    Job = nullptr;
+    // The dispatcher participates as worker 0. If its share throws, the
+    // generation is already published, so the join below must still happen
+    // — skipping it would leave Pending counted (a lost wakeup for the
+    // next dispatch) and workers running a job object about to be
+    // destroyed.
+    try {
+      Fn(0);
+    } catch (...) {
+      awaitGeneration();
+      throw;
+    }
+    awaitGeneration();
+    return true;
   }
 };
 
 } // namespace
+
+// Intentionally leaked: parked workers wait on the pool's condition
+// variable for the life of the process, and destroying it during static
+// destruction would block process exit (pthread_cond_destroy waits for
+// the waiters, which never leave).
+static PoolImpl &poolImpl() {
+  static PoolImpl &Impl = *new PoolImpl;
+  return Impl;
+}
 
 ThreadPool &ThreadPool::global() {
   static ThreadPool P;
   return P;
 }
 
+bool ThreadPool::tryRun(unsigned Workers,
+                        const std::function<void(unsigned)> &Fn) {
+  return poolImpl().tryRun(Workers, Fn);
+}
+
 void ThreadPool::run(unsigned Workers,
                      const std::function<void(unsigned)> &Fn) {
-  // Intentionally leaked: parked workers wait on the pool's condition
-  // variable for the life of the process, and destroying it during static
-  // destruction would block process exit (pthread_cond_destroy waits for
-  // the waiters, which never leave).
-  static PoolImpl &Impl = *new PoolImpl;
-  Impl.run(Workers, Fn);
+  if (!tryRun(Workers, Fn))
+    Fn(0);
 }

@@ -27,16 +27,27 @@ namespace ocl {
 /// otherwise std::thread::hardware_concurrency() (at least 1).
 unsigned resolveThreadCount(int Requested);
 
-/// The process-wide pool. run() invokes \p Fn(WorkerIndex) once per worker
-/// index in [0, Workers): index 0 on the calling thread, the rest on pool
-/// threads, and returns when all invocations finished. \p Fn must not
-/// throw (callers stash per-task errors and rethrow after the join).
-/// run() is serialized: concurrent callers take turns.
+/// The process-wide pool. tryRun() invokes \p Fn(WorkerIndex) once per
+/// worker index in [0, Workers): index 0 on the calling thread, the rest
+/// on pool threads, and returns when all invocations finished. Dispatch is
+/// serialized: concurrent callers take turns.
+///
+/// \p Fn should stash per-task errors and let the caller rethrow after the
+/// join; if Fn(0) does throw on the dispatcher thread, the pool still
+/// waits for the remaining workers to drain the generation before
+/// rethrowing, so the job object never dangles and no wakeup is lost.
+///
+/// tryRun() returns false — without having invoked \p Fn at all — when the
+/// pool cannot be brought up (worker thread creation failed, or an
+/// injected fault::Site::PoolStart fault): the caller is expected to
+/// degrade to serial execution. run() keeps the old always-executes
+/// contract by falling back to Fn(0) itself.
 class ThreadPool {
 public:
   static ThreadPool &global();
 
   void run(unsigned Workers, const std::function<void(unsigned)> &Fn);
+  bool tryRun(unsigned Workers, const std::function<void(unsigned)> &Fn);
 
 private:
   ThreadPool() = default;

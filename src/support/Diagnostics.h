@@ -92,6 +92,12 @@ enum class DiagCode : unsigned {
   RuntimeUninitRead = 506,
   RuntimeRace = 507,
   RuntimeBadNDRange = 508,
+  RuntimePoolFallback = 509,
+  RuntimeStepLimit = 510,
+  RuntimeDeadline = 511,
+  RuntimeMemoryLimit = 512,
+  RuntimeFaultInjected = 513,
+  RuntimeCrossGroupRace = 514,
 
   // 6xx — host API misuse.
   HostBadBuffer = 601,

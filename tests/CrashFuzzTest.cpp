@@ -5,7 +5,11 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Crash-resilience fuzzing of the diagnostics pipeline. Two generators:
+/// Crash-resilience fuzzing of the diagnostics pipeline. Three tiers:
+///
+///  0. Regression corpus: every input that ever crashed the pipeline is
+///     persisted under tests/corpus/ and replayed first, before any
+///     random generation, so fixed bugs fail deterministically.
 ///
 ///  1. Corpus mutation over IL text: seeded from real programs (the
 ///     examples and the frontend test listings), mutated with byte flips,
@@ -13,11 +17,12 @@
 ///     Invariant: parseILChecked / verifyChecked / compileChecked either
 ///     succeed or record a diagnostic — no abort, no escaped exception.
 ///
-///  2. Random well-typed IR: layout pipelines built with the DSL (the same
-///     family FuzzTest checks for *correctness*), here compiled under
-///     --verify-each and executed under guarded memory + race checking.
-///     Invariant: a well-typed program always compiles cleanly and runs
-///     with zero findings.
+///  2. Random well-typed IR: layout, reduction (reduceSeq) and tuple
+///     (zip/get) pipelines built with the DSL (the same family FuzzTest
+///     checks for *correctness*), here compiled under --verify-each and
+///     executed under guarded memory, race checking and execution limits
+///     (ocl::ExecLimits). Invariant: a well-typed program always compiles
+///     cleanly and runs with zero findings and no tripped limit.
 ///
 /// Runs in the "check" tier so the sanitized build (LIFT_SANITIZE=ON,
 /// tools/ci-sanitize.sh) executes every case under ASan/UBSan; the
@@ -33,7 +38,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 
 using namespace lift;
 using namespace lift::ir;
@@ -213,6 +222,75 @@ std::string mutate(std::string S, Prng &Rng) {
 }
 
 //===----------------------------------------------------------------------===//
+// Persisted regression corpus
+//===----------------------------------------------------------------------===//
+
+/// Runs one input through the documented safe pipeline and asserts the
+/// crash-resilience invariant: success, or diagnostics — never an abort
+/// or an escaped exception.
+void expectNoCrash(const std::string &Input, const std::string &Origin) {
+  DiagnosticEngine Engine(8);
+  try {
+    Expected<frontend::ParsedProgram> P =
+        frontend::parseILChecked(Input, Engine);
+    if (!P) {
+      ASSERT_TRUE(Engine.hasErrors())
+          << Origin << ": parse failed without a diagnostic; input:\n"
+          << Input;
+      return;
+    }
+    if (!passes::verifyChecked(P->Program, Engine, "after parsing")) {
+      ASSERT_TRUE(Engine.hasErrors())
+          << Origin << ": verify failed without a diagnostic; input:\n"
+          << Input;
+      return;
+    }
+    codegen::CompilerOptions Opts;
+    Opts.GlobalSize = {16, 1, 1};
+    Opts.LocalSize = {4, 1, 1};
+    Opts.VerifyEach = true;
+    Expected<codegen::CompiledKernel> K =
+        codegen::compileChecked(P->Program, Opts, Engine);
+    if (!K) {
+      ASSERT_TRUE(Engine.hasErrors())
+          << Origin << ": compile failed without a diagnostic; input:\n"
+          << Input;
+    }
+  } catch (const std::exception &E) {
+    FAIL() << "exception escaped the checked pipeline (" << Origin
+           << "): " << E.what() << "\ninput:\n"
+           << Input;
+  }
+}
+
+/// Every input that ever crashed the pipeline is persisted verbatim under
+/// tests/corpus/ and replayed here *before* the random fuzz, so a fixed
+/// bug that regresses fails deterministically — no seed hunting. Add new
+/// mutants as tests/corpus/<short-name>.lift; the directory path is baked
+/// in at configure time (LIFT_TEST_CORPUS_DIR).
+TEST(CrashFuzzCorpus, RegressionCorpusNeverAborts) {
+  namespace fs = std::filesystem;
+  fs::path Dir(LIFT_TEST_CORPUS_DIR);
+  ASSERT_TRUE(fs::is_directory(Dir))
+      << "missing regression corpus directory: " << Dir;
+
+  std::vector<fs::path> Files;
+  for (const fs::directory_entry &E : fs::directory_iterator(Dir))
+    if (E.path().extension() == ".lift")
+      Files.push_back(E.path());
+  std::sort(Files.begin(), Files.end());
+  ASSERT_FALSE(Files.empty()) << "no .lift files in " << Dir;
+
+  for (const fs::path &F : Files) {
+    std::ifstream In(F, std::ios::binary);
+    ASSERT_TRUE(In.good()) << "unreadable corpus file: " << F;
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    expectNoCrash(SS.str(), F.filename().string());
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // Mutated-IL fuzzing
 //===----------------------------------------------------------------------===//
 
@@ -267,14 +345,57 @@ INSTANTIATE_TEST_SUITE_P(Seeds, CrashFuzz, ::testing::Range(0, 128));
 // Random well-typed IR
 //===----------------------------------------------------------------------===//
 
-/// Builds a random layout pipeline over a [float]48 input, ending in one
-/// of three compute shapes: a global map, a work-group/local nest through
-/// local memory, or a per-chunk sequential reduction.
-LambdaPtr generateWellTyped(uint64_t Seed, size_t &OutCount) {
+/// Builds a random well-typed program over [float]48 input(s). Half the
+/// draws build a layout pipeline (split/gather/join/transpose) closed by
+/// a global map; the rest exercise the value-producing combinators: a
+/// per-row sequential reduction over a random split, or a zip of two
+/// inputs consumed through a tuple (mapped pairwise, or projected with
+/// get). \p TwoInputs tells the caller to bind a second input buffer.
+LambdaPtr generateWellTyped(uint64_t Seed, size_t &OutCount,
+                            bool &TwoInputs) {
   Prng Rng(Seed ^ 0xfeedface);
   const int64_t N = 48;
+  TwoInputs = false;
 
   ParamPtr X = param("x", arrayOf(float32(), arith::cst(N)));
+
+  switch (Rng.range(0, 3)) {
+  case 0: { // per-row sequential reduction over a random split
+    const int64_t Divisors[] = {2, 3, 4, 6, 8, 12, 16, 24};
+    int64_t F = Divisors[Rng.next() % 8];
+    ExprPtr R = pipe(
+        ExprPtr(X), split(F), mapGlb(fun([&](ExprPtr Row) {
+          return pipe(call(reduceSeq(prelude::addFun()),
+                           {litFloat(0.0f), Row}),
+                      toGlobal(mapSeq(prelude::idFloatFun())));
+        })),
+        join());
+    OutCount = static_cast<size_t>(N / F);
+    return lambda({X}, R);
+  }
+  case 1: { // zip two inputs, consume the tuples
+    TwoInputs = true;
+    ParamPtr Y = param("y", arrayOf(float32(), arith::cst(N)));
+    ExprPtr Zipped = call(zip(), {X, Y});
+    ExprPtr R;
+    if (Rng.range(0, 1) == 0) {
+      // Multiply the pairs elementwise.
+      R = pipe(Zipped, mapGlb(prelude::multFun2Tuple()));
+    } else {
+      // Project one side of each pair and square it.
+      unsigned Side = static_cast<unsigned>(Rng.range(0, 1));
+      R = pipe(Zipped, mapGlb(fun([&](ExprPtr Pair) {
+                 return call(prelude::squareFun(),
+                             {call(get(Side), {Pair})});
+               })));
+    }
+    OutCount = static_cast<size_t>(N);
+    return lambda({X, Y}, R);
+  }
+  default:
+    break; // cases 2 and 3: the layout pipeline below
+  }
+
   ExprPtr E = X;
 
   // Layout stages over the outer dimension, tracked as a shape list.
@@ -333,7 +454,8 @@ TEST_P(WellTypedFuzz, AlwaysCompilesCleanAndRunsGuarded) {
   for (int I = 0; I != ProgramsPerSeed; ++I) {
     uint64_t Seed = static_cast<uint64_t>(GetParam()) * 131 + I;
     size_t OutCount = 0;
-    LambdaPtr P = generateWellTyped(Seed, OutCount);
+    bool TwoInputs = false;
+    LambdaPtr P = generateWellTyped(Seed, OutCount, TwoInputs);
 
     DiagnosticEngine Engine;
     codegen::CompilerOptions Opts;
@@ -347,15 +469,25 @@ TEST_P(WellTypedFuzz, AlwaysCompilesCleanAndRunsGuarded) {
     ASSERT_FALSE(Engine.hasErrors()) << Engine.render();
 
     // Execute a quarter of them under full dynamic checking: guarded
-    // memory and the race detector must both come back clean.
+    // memory and the race detector must both come back clean, and the
+    // execution limits — generous enough that a correct program never
+    // trips them — must stay invisible.
     if (I % 4 != 0)
       continue;
     ocl::Buffer In = ocl::Buffer::ofFloats(randomFloats(48, Seed));
+    ocl::Buffer In2 = ocl::Buffer::ofFloats(randomFloats(48, Seed + 7));
     ocl::Buffer Out = ocl::Buffer::zeros(OutCount);
-    std::vector<ocl::Buffer *> Bufs = {&In, &Out};
+    std::vector<ocl::Buffer *> Bufs;
+    Bufs.push_back(&In);
+    if (TwoInputs)
+      Bufs.push_back(&In2);
+    Bufs.push_back(&Out);
     ocl::LaunchConfig Cfg = ocl::LaunchConfig::fromOptions(Opts);
     Cfg.CheckRaces = true;
     Cfg.CheckMemory = true;
+    Cfg.Limits.MaxSteps = 50'000'000;
+    Cfg.Limits.TimeoutMs = 30'000;
+    Cfg.Limits.MaxMemoryBytes = 256u << 20;
     Expected<ocl::LaunchResult> R =
         ocl::launchChecked(*K, Bufs, {{"N", 48}}, Cfg, Engine);
     ASSERT_TRUE(bool(R)) << Engine.render();

@@ -1,0 +1,260 @@
+//===- ExecLimitsTest.cpp - Bounded execution of the simulated runtime ----===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exercises ocl::ExecLimits: a non-terminating kernel trips the step
+/// budget (E0510) or the wall-clock deadline (E0511), an over-allocating
+/// kernel trips the memory cap (E0512) — always with a clean cooperative
+/// cancellation (no hang, no abort) and with the *same* rendered
+/// diagnostic at 1, 2 and 8 worker threads. Cancelled launches poison
+/// their buffers; generous limits are invisible; the LIFT_MAX_STEPS /
+/// LIFT_TIMEOUT_MS / LIFT_MAX_MEMORY environment defaults reach every
+/// launch path. See docs/RELIABILITY.md.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cparse/CParser.h"
+#include "ocl/Runtime.h"
+#include "support/Diagnostics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace lift;
+using namespace lift::ocl;
+
+namespace {
+
+codegen::CompiledKernel kernelFrom(const std::string &Src) {
+  cparse::ParseContext Ctx;
+  return wrapModule(cparse::parseModule(Src, Ctx));
+}
+
+/// Never terminates: the induction variable is multiplied by one, so the
+/// bound is never reached. This is the shape an unbounded `iterate` or a
+/// miscompiled loop presents to the interpreter.
+const char *SpinKernel = R"(
+kernel void spin(global float *out) {
+  int g = get_global_id(0);
+  float acc = 0.0f;
+  for (int i = 0; i < 1; i = i * 1) {
+    acc = acc + 1.0f;
+  }
+  out[g] = acc;
+}
+)";
+
+/// Allocates a local array far beyond any sane budget for this launch.
+const char *HogKernel = R"(
+kernel void hog(global float *out) {
+  local float tmp[65536];
+  int l = get_local_id(0);
+  tmp[l] = 1.0f;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[get_global_id(0)] = tmp[l];
+}
+)";
+
+const char *SquareKernel = R"(
+kernel void sq(global float *in, global float *out) {
+  int g = get_global_id(0);
+  out[g] = in[g] * in[g];
+}
+)";
+
+std::vector<float> ramp(size_t N) {
+  std::vector<float> R(N);
+  for (size_t I = 0; I != N; ++I)
+    R[I] = static_cast<float>(I) * 0.5f - 3.0f;
+  return R;
+}
+
+/// Runs the spin kernel under the given limits and returns the rendered
+/// error diagnostics (the launch must fail).
+std::string runSpinExpectingFailure(const LaunchConfig &Cfg,
+                                    DiagCode ExpectedCode) {
+  auto K = kernelFrom(SpinKernel);
+  Buffer Out = Buffer::zeros(16);
+  DiagnosticEngine Engine;
+  Expected<LaunchResult> R = launchChecked(K, {&Out}, {}, Cfg, Engine);
+  EXPECT_FALSE(bool(R)) << "launch under limits unexpectedly succeeded";
+  EXPECT_TRUE(Engine.hasErrors());
+  bool Found = false;
+  for (const Diagnostic &D : Engine.diagnostics())
+    Found |= D.Code == ExpectedCode;
+  EXPECT_TRUE(Found) << Engine.render();
+  EXPECT_TRUE(Out.Poisoned) << "cancelled launch left its buffer readable";
+  return Engine.render();
+}
+
+TEST(ExecLimitsTest, StepBudgetCancelsNonTerminatingKernel) {
+  LaunchConfig Cfg;
+  Cfg.Global = {16, 1, 1};
+  Cfg.Local = {4, 1, 1};
+  Cfg.Threads = 1;
+  Cfg.Limits.MaxSteps = 20000;
+  std::string Render = runSpinExpectingFailure(Cfg, DiagCode::RuntimeStepLimit);
+  EXPECT_NE(Render.find("E0510"), std::string::npos) << Render;
+  EXPECT_NE(Render.find("poisoned"), std::string::npos) << Render;
+}
+
+TEST(ExecLimitsTest, StepBudgetDiagnosticIdenticalAcrossThreadCounts) {
+  std::vector<std::string> Renders;
+  for (int Threads : {1, 2, 8}) {
+    LaunchConfig Cfg;
+    Cfg.Global = {16, 1, 1};
+    Cfg.Local = {4, 1, 1};
+    Cfg.Threads = Threads;
+    Cfg.Limits.MaxSteps = 20000;
+    Renders.push_back(
+        runSpinExpectingFailure(Cfg, DiagCode::RuntimeStepLimit));
+  }
+  EXPECT_EQ(Renders[0], Renders[1]);
+  EXPECT_EQ(Renders[0], Renders[2]);
+}
+
+TEST(ExecLimitsTest, DeadlineCancelsNonTerminatingKernel) {
+  for (int Threads : {1, 2, 8}) {
+    LaunchConfig Cfg;
+    Cfg.Global = {16, 1, 1};
+    Cfg.Local = {4, 1, 1};
+    Cfg.Threads = Threads;
+    Cfg.Limits.TimeoutMs = 100;
+    std::string Render =
+        runSpinExpectingFailure(Cfg, DiagCode::RuntimeDeadline);
+    EXPECT_NE(Render.find("E0511"), std::string::npos) << Render;
+  }
+}
+
+TEST(ExecLimitsTest, MemoryCapRejectsOversizedLocalAllocation) {
+  auto K = kernelFrom(HogKernel);
+  for (int Threads : {1, 2, 8}) {
+    Buffer Out = Buffer::zeros(4);
+    LaunchConfig Cfg;
+    Cfg.Global = {4, 1, 1};
+    Cfg.Local = {4, 1, 1};
+    Cfg.Threads = Threads;
+    Cfg.Limits.MaxMemoryBytes = 1024;
+    DiagnosticEngine Engine;
+    Expected<LaunchResult> R = launchChecked(K, {&Out}, {}, Cfg, Engine);
+    ASSERT_FALSE(bool(R));
+    bool Found = false;
+    for (const Diagnostic &D : Engine.diagnostics())
+      Found |= D.Code == DiagCode::RuntimeMemoryLimit;
+    EXPECT_TRUE(Found) << Engine.render();
+    // The diagnostic names the offending allocation.
+    EXPECT_NE(Engine.render().find("tmp"), std::string::npos)
+        << Engine.render();
+  }
+}
+
+TEST(ExecLimitsTest, CancelledBuffersArePoisonedUntilCleared) {
+  LaunchConfig Cfg;
+  Cfg.Global = {16, 1, 1};
+  Cfg.Local = {4, 1, 1};
+  Cfg.Threads = 2;
+  Cfg.Limits.MaxSteps = 20000;
+  auto K = kernelFrom(SpinKernel);
+  Buffer Out = Buffer::zeros(16);
+  DiagnosticEngine Engine;
+  ASSERT_FALSE(bool(launchChecked(K, {&Out}, {}, Cfg, Engine)));
+  ASSERT_TRUE(Out.Poisoned);
+
+  // Host reads of a poisoned buffer are rejected...
+  EXPECT_THROW(Out.toFloats(), DiagnosticError);
+
+  // ...and so is rebinding it to a fresh launch.
+  auto KSq = kernelFrom(SquareKernel);
+  Buffer Fresh = Buffer::zeros(16);
+  DiagnosticEngine Engine2;
+  LaunchConfig Plain;
+  Plain.Global = {16, 1, 1};
+  Plain.Local = {4, 1, 1};
+  EXPECT_FALSE(
+      bool(launchChecked(KSq, {&Out, &Fresh}, {}, Plain, Engine2)));
+  EXPECT_TRUE(Engine2.hasErrors());
+  bool Found = false;
+  for (const Diagnostic &D : Engine2.diagnostics())
+    Found |= D.Code == DiagCode::HostBadBuffer;
+  EXPECT_TRUE(Found) << Engine2.render();
+
+  // clearPoison() accepts the partial contents as-is.
+  Out.clearPoison();
+  EXPECT_EQ(Out.toFloats().size(), 16u);
+
+  // Rewriting the buffer through a successful launch also works again.
+  Buffer In = Buffer::ofFloats(ramp(16));
+  DiagnosticEngine Engine3;
+  ASSERT_TRUE(bool(launchChecked(KSq, {&In, &Out}, {}, Plain, Engine3)))
+      << Engine3.render();
+  EXPECT_FALSE(Out.Poisoned);
+  EXPECT_FLOAT_EQ(Out.toFloats()[2], (-2.0f) * (-2.0f));
+}
+
+TEST(ExecLimitsTest, GenerousLimitsAreInvisible) {
+  auto K = kernelFrom(SquareKernel);
+  std::vector<float> Input = ramp(32);
+
+  Buffer InA = Buffer::ofFloats(Input);
+  Buffer OutA = Buffer::zeros(32);
+  LaunchConfig Plain;
+  Plain.Global = {32, 1, 1};
+  Plain.Local = {8, 1, 1};
+  launch(K, {&InA, &OutA}, {}, Plain);
+
+  Buffer InB = Buffer::ofFloats(Input);
+  Buffer OutB = Buffer::zeros(32);
+  LaunchConfig Limited = Plain;
+  Limited.Limits.MaxSteps = 100'000'000;
+  Limited.Limits.TimeoutMs = 60'000;
+  Limited.Limits.MaxMemoryBytes = 1u << 30;
+  DiagnosticEngine Engine;
+  Expected<LaunchResult> R =
+      launchChecked(K, {&InB, &OutB}, {}, Limited, Engine);
+  ASSERT_TRUE(bool(R)) << Engine.render();
+  EXPECT_FALSE(Engine.hasErrors());
+  EXPECT_EQ(OutA.toFloats(), OutB.toFloats());
+}
+
+TEST(ExecLimitsTest, EnvironmentDefaultsBoundEveryLaunch) {
+  ASSERT_EQ(setenv("LIFT_MAX_STEPS", "20000", 1), 0);
+  auto K = kernelFrom(SpinKernel);
+  Buffer Out = Buffer::zeros(16);
+  LaunchConfig Cfg; // note: no explicit limits
+  Cfg.Global = {16, 1, 1};
+  Cfg.Local = {4, 1, 1};
+  Cfg.Threads = 2;
+  DiagnosticEngine Engine;
+  Expected<LaunchResult> R = launchChecked(K, {&Out}, {}, Cfg, Engine);
+  unsetenv("LIFT_MAX_STEPS");
+  ASSERT_FALSE(bool(R));
+  bool Found = false;
+  for (const Diagnostic &D : Engine.diagnostics())
+    Found |= D.Code == DiagCode::RuntimeStepLimit;
+  EXPECT_TRUE(Found) << Engine.render();
+}
+
+/// An explicit per-launch limit wins over the environment default.
+TEST(ExecLimitsTest, ExplicitLimitOverridesEnvironment) {
+  ASSERT_EQ(setenv("LIFT_MAX_STEPS", "1", 1), 0);
+  auto K = kernelFrom(SquareKernel);
+  Buffer In = Buffer::ofFloats(ramp(16));
+  Buffer Out = Buffer::zeros(16);
+  LaunchConfig Cfg;
+  Cfg.Global = {16, 1, 1};
+  Cfg.Local = {4, 1, 1};
+  Cfg.Limits.MaxSteps = 100'000'000; // explicit: the env var must not shrink it
+  DiagnosticEngine Engine;
+  Expected<LaunchResult> R = launchChecked(K, {&In, &Out}, {}, Cfg, Engine);
+  unsetenv("LIFT_MAX_STEPS");
+  ASSERT_TRUE(bool(R)) << Engine.render();
+  EXPECT_FLOAT_EQ(Out.toFloats()[0], 9.0f);
+}
+
+} // namespace

@@ -1,0 +1,172 @@
+//===- FaultInjectTest.cpp - Deterministic runtime fault injection --------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sweeps deterministic fault injection (ocl/FaultInject.h) over the
+/// benchmark suite: failing the n-th device allocation or buffer binding
+/// must surface as a clean Expected<> failure carrying an E0513
+/// diagnostic — never an abort, hang or leak (the check tier runs this
+/// under ASan/UBSan). Failing pool bring-up must *not* fail the run: the
+/// runtime degrades to serial execution with an E0509 warning and
+/// bit-identical results. See docs/RELIABILITY.md.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ocl/FaultInject.h"
+#include "suite/Benchmark.h"
+#include "support/Diagnostics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+using namespace lift;
+using namespace lift::bench;
+namespace fault = lift::ocl::fault;
+
+namespace {
+
+/// Disarms the harness no matter how a test exits.
+struct DisarmGuard {
+  ~DisarmGuard() { fault::disarm(); }
+};
+
+bool hasCode(const DiagnosticEngine &Engine, DiagCode Code) {
+  for (const Diagnostic &D : Engine.diagnostics())
+    if (D.Code == Code)
+      return true;
+  return false;
+}
+
+/// One benchmark per parameter so failures name the workload and ctest can
+/// spread the sweep across cores.
+class FaultSweep : public ::testing::TestWithParam<int> {};
+
+/// Counts the injection opportunities of each site for one benchmark, then
+/// fails the first, middle and last occurrence of the allocation and
+/// buffer-binding sites in turn. Every injected fault must come back as a
+/// failed Expected with an E0513 diagnostic naming the site.
+TEST_P(FaultSweep, EveryInjectionPointFailsCleanly) {
+  DisarmGuard Guard;
+  BenchmarkCase Case = allBenchmarks(false)[GetParam()];
+
+  RunOptions Run;
+  Run.Threads = 1; // serial: the n-th occurrence is well defined
+
+  // Discover the sweep bounds.
+  fault::countOnly();
+  {
+    DiagnosticEngine Engine;
+    Expected<Outcome> Base = runLiftChecked(Case, OptConfig::Full, Run, Engine);
+    ASSERT_TRUE(bool(Base)) << Case.Name << ":\n" << Engine.render();
+    ASSERT_TRUE(Base->Valid) << Case.Name;
+  }
+  uint64_t Allocs = fault::occurrences(fault::Site::Alloc);
+  uint64_t Maps = fault::occurrences(fault::Site::BufferMap);
+  fault::disarm();
+  ASSERT_GT(Maps, 0u) << Case.Name << ": no buffer bindings recorded";
+
+  for (fault::Site S : {fault::Site::Alloc, fault::Site::BufferMap}) {
+    uint64_t Total = S == fault::Site::Alloc ? Allocs : Maps;
+    if (Total == 0)
+      continue; // benchmark has no temp/local allocations
+    std::set<uint64_t> Nths = {1, (Total + 1) / 2, Total};
+    for (uint64_t Nth : Nths) {
+      fault::arm(S, Nth);
+      DiagnosticEngine Engine;
+      Expected<Outcome> R = runLiftChecked(Case, OptConfig::Full, Run, Engine);
+      fault::disarm();
+      EXPECT_FALSE(bool(R))
+          << Case.Name << ": survived injected fault " << fault::siteName(S)
+          << " #" << Nth;
+      EXPECT_TRUE(hasCode(Engine, DiagCode::RuntimeFaultInjected))
+          << Case.Name << " (" << fault::siteName(S) << " #" << Nth
+          << "):\n" << Engine.render();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, FaultSweep, ::testing::Range(0, 12));
+
+/// Reference kernels go through the same runtime, so they inject the same
+/// way; spot-check one benchmark end to end.
+TEST(FaultInjectTest, ReferenceKernelsInjectTheSameWay) {
+  DisarmGuard Guard;
+  BenchmarkCase Case = allBenchmarks(false)[0];
+  RunOptions Run;
+  Run.Threads = 1;
+
+  fault::arm(fault::Site::BufferMap, 1);
+  DiagnosticEngine Engine;
+  Expected<Outcome> R = runReferenceChecked(Case, Run, Engine);
+  fault::disarm();
+  EXPECT_FALSE(bool(R));
+  EXPECT_TRUE(hasCode(Engine, DiagCode::RuntimeFaultInjected))
+      << Engine.render();
+}
+
+/// Pool bring-up failure is the one fault the runtime absorbs: the launch
+/// falls back to serial execution, warns (E0509), and produces the same
+/// bits the parallel run would have.
+TEST(FaultInjectTest, PoolFailureDegradesToSerialWithIdenticalResults) {
+  DisarmGuard Guard;
+  bool SawFallbackWarning = false;
+  for (int C = 0; C != 12; ++C) {
+    BenchmarkCase Case = allBenchmarks(false)[C];
+
+    RunOptions Parallel;
+    Parallel.Threads = 4;
+    DiagnosticEngine CleanEngine;
+    Expected<Outcome> Clean =
+        runLiftChecked(Case, OptConfig::Full, Parallel, CleanEngine);
+    ASSERT_TRUE(bool(Clean)) << Case.Name << ":\n" << CleanEngine.render();
+
+    // Fail the first pool dispatch of the run: that stage degrades to
+    // serial (single-group stages never consult the pool and are
+    // unaffected).
+    fault::arm(fault::Site::PoolStart, 1);
+    DiagnosticEngine FaultEngine;
+    Expected<Outcome> Degraded =
+        runLiftChecked(Case, OptConfig::Full, Parallel, FaultEngine);
+    fault::disarm();
+
+    ASSERT_TRUE(bool(Degraded))
+        << Case.Name << ": pool failure was not absorbed:\n"
+        << FaultEngine.render();
+    EXPECT_TRUE(Degraded->Valid) << Case.Name;
+    EXPECT_EQ(Clean->Output, Degraded->Output)
+        << Case.Name << ": serial fallback changed the results";
+    EXPECT_FALSE(FaultEngine.hasErrors()) << FaultEngine.render();
+    SawFallbackWarning |= hasCode(FaultEngine, DiagCode::RuntimePoolFallback);
+  }
+  // At least one benchmark runs multiple work-groups, so the fallback
+  // must have fired — and warned — somewhere in the sweep.
+  EXPECT_TRUE(SawFallbackWarning)
+      << "no benchmark reported the E0509 serial-fallback warning";
+}
+
+/// Counting mode observes the pool-dispatch site on multi-threaded runs.
+TEST(FaultInjectTest, CountingModeSeesPoolDispatch) {
+  DisarmGuard Guard;
+  RunOptions Run;
+  Run.Threads = 4;
+  fault::countOnly();
+  uint64_t Pool = 0;
+  for (int C = 0; C != 12 && Pool == 0; ++C) {
+    BenchmarkCase Case = allBenchmarks(false)[C];
+    DiagnosticEngine Engine;
+    Expected<Outcome> R = runLiftChecked(Case, OptConfig::Full, Run, Engine);
+    ASSERT_TRUE(bool(R)) << Case.Name << ":\n" << Engine.render();
+    Pool = fault::occurrences(fault::Site::PoolStart);
+  }
+  fault::disarm();
+  EXPECT_GT(Pool, 0u)
+      << "multi-threaded launches never consulted the pool-dispatch site";
+}
+
+} // namespace

@@ -108,6 +108,102 @@ kernel void clash(global float *out) {
   EXPECT_NE(Report.Findings[0].ItemA, Report.Findings[0].ItemB);
 }
 
+TEST(RaceDetectorTest, CrossGroupWriteWriteIsFlagged) {
+  // Both work-groups write out[0]; no intra-group conflict exists (only
+  // one item per group touches it), so only the cross-group pass can see
+  // the hazard.
+  auto K = kernelFrom(R"(
+kernel void xg(global float *out) {
+  int l = get_local_id(0);
+  int w = get_group_id(0);
+  if (l == 0) {
+    out[0] = w * 1.0f;
+  }
+}
+)");
+  Buffer Out = Buffer::zeros(4);
+  RaceReport Report;
+  launch(K, {&Out}, {}, checked({8, 1, 1}, {4, 1, 1}), Report);
+  ASSERT_GT(Report.races(), 0u) << Report.summary();
+  ASSERT_EQ(Report.Findings.size(), 1u) << Report.summary();
+  EXPECT_EQ(Report.Findings[0].K, RaceFinding::CrossGroup);
+  EXPECT_EQ(Report.Findings[0].ItemA, 0); // group indices, not items
+  EXPECT_EQ(Report.Findings[0].ItemB, 1);
+  EXPECT_NE(Report.Findings[0].Detail.find("work-groups 0 and 1"),
+            std::string::npos)
+      << Report.Findings[0].Detail;
+  EXPECT_NE(Report.Findings[0].Detail.find("both wrote"), std::string::npos)
+      << Report.Findings[0].Detail;
+}
+
+TEST(RaceDetectorTest, CrossGroupWriteReadIsFlagged) {
+  // Group 0 writes out[0]; group 1 reads it — ordering between groups is
+  // not defined, so this is a hazard even though each group is race-free.
+  auto K = kernelFrom(R"(
+kernel void xgrw(global float *out, global float *res) {
+  int l = get_local_id(0);
+  int w = get_group_id(0);
+  if (w == 0) {
+    if (l == 0) {
+      out[0] = 5.0f;
+    }
+  }
+  if (w == 1) {
+    if (l == 0) {
+      res[0] = out[0];
+    }
+  }
+}
+)");
+  Buffer Out = Buffer::zeros(1);
+  Buffer Res = Buffer::zeros(1);
+  RaceReport Report;
+  launch(K, {&Out, &Res}, {}, checked({8, 1, 1}, {4, 1, 1}), Report);
+  ASSERT_EQ(Report.Findings.size(), 1u) << Report.summary();
+  EXPECT_EQ(Report.Findings[0].K, RaceFinding::CrossGroup);
+  EXPECT_NE(Report.Findings[0].Detail.find("one wrote, one read"),
+            std::string::npos)
+      << Report.Findings[0].Detail;
+}
+
+TEST(RaceDetectorTest, DisjointGroupFootprintsAreCrossGroupClean) {
+  // Each group owns its own slice of the output: the cross-group pass
+  // must stay silent.
+  auto K = kernelFrom(R"(
+kernel void own(global float *in, global float *out) {
+  int g = get_global_id(0);
+  out[g] = in[g] + 1.0f;
+}
+)");
+  Buffer In = Buffer::ofFloats({1, 2, 3, 4, 5, 6, 7, 8});
+  Buffer Out = Buffer::zeros(8);
+  RaceReport Report;
+  launch(K, {&In, &Out}, {}, checked({8, 1, 1}, {4, 1, 1}), Report);
+  EXPECT_TRUE(Report.clean()) << Report.summary();
+}
+
+TEST(RaceDetectorTest, CrossGroupFindingMapsToE0514) {
+  auto K = kernelFrom(R"(
+kernel void xg(global float *out) {
+  int l = get_local_id(0);
+  int w = get_group_id(0);
+  if (l == 0) {
+    out[0] = w * 1.0f;
+  }
+}
+)");
+  Buffer Out = Buffer::zeros(4);
+  DiagnosticEngine Engine;
+  Expected<LaunchResult> R =
+      launchChecked(K, {&Out}, {}, checked({8, 1, 1}, {4, 1, 1}), Engine);
+  ASSERT_TRUE(bool(R)) << Engine.render();
+  EXPECT_FALSE(R->Races.clean());
+  bool Found = false;
+  for (const Diagnostic &D : Engine.diagnostics())
+    Found |= D.Code == DiagCode::RuntimeCrossGroupRace;
+  EXPECT_TRUE(Found) << Engine.render();
+}
+
 TEST(RaceDetectorTest, PrivatePerItemAccessesDoNotRace) {
   // Every item touches only its own global element and private variables.
   auto K = kernelFrom(R"(

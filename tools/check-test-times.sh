@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+#===- tools/check-test-times.sh - Flag tests nearing their timeout --------===#
+#
+# Part of the lift-cpp project. MIT licensed.
+#
+# Scans a ctest log for per-test wall-clock overruns. A test that *hits*
+# its timeout already fails the run; this catches the ones sneaking up on
+# it — a fuzz tier that quietly got 10x slower keeps passing until the
+# day it flakes. Fails when any test exceeded the budget (default 120 s,
+# half the check tier's 240 s ctest timeout) or when ctest recorded a
+# ***Timeout at all.
+#
+# Usage: tools/check-test-times.sh <ctest-log> [budget-seconds]
+#
+#===----------------------------------------------------------------------===#
+set -euo pipefail
+
+LOG="${1:?usage: check-test-times.sh <ctest-log> [budget-seconds]}"
+BUDGET="${2:-120}"
+
+if [[ ! -r "$LOG" ]]; then
+  echo "check-test-times.sh: cannot read '$LOG'" >&2
+  exit 2
+fi
+
+STATUS=0
+
+if grep -q '\*\*\*Timeout' "$LOG"; then
+  echo "check-test-times.sh: tests hit their ctest timeout:" >&2
+  grep '\*\*\*Timeout' "$LOG" >&2
+  STATUS=1
+fi
+
+# ctest result lines end in "...... Passed   1.23 sec" (or Failed etc.).
+SLOW=$(awk -v budget="$BUDGET" '
+  /(Passed|Failed|\*\*\*[A-Za-z]+) +[0-9.]+ sec *$/ {
+    secs = $(NF - 1)
+    if (secs + 0 > budget + 0)
+      print secs "s  " $0
+  }' "$LOG")
+
+if [[ -n "$SLOW" ]]; then
+  echo "check-test-times.sh: tests exceeded the ${BUDGET}s budget (ctest timeout is close):" >&2
+  echo "$SLOW" >&2
+  STATUS=1
+fi
+
+if [[ "$STATUS" == 0 ]]; then
+  echo "check-test-times.sh: all tests within the ${BUDGET}s budget."
+fi
+exit "$STATUS"

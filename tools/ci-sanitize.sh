@@ -41,4 +41,16 @@ export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:abort_on_error=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:abort_on_error=1}"
 
-ctest --test-dir "$BUILD_DIR" -L check --output-on-failure -j "$(nproc)"
+# Execution-fuzz bounds (docs/RELIABILITY.md): every launch any test makes
+# inherits a step budget and a wall-clock deadline, so a fuzzed program
+# that loops forever becomes an E0510/E0511 diagnostic instead of a hung
+# job. Tests that set explicit limits are unaffected.
+export LIFT_MAX_STEPS="${LIFT_MAX_STEPS:-50000000}"
+export LIFT_TIMEOUT_MS="${LIFT_TIMEOUT_MS:-30000}"
+
+CTEST_LOG="$BUILD_DIR/ctest-check.log"
+ctest --test-dir "$BUILD_DIR" -L check --output-on-failure -j "$(nproc)" \
+  | tee "$CTEST_LOG"
+
+# Fail on tests sneaking up on their ctest timeout (see the script).
+tools/check-test-times.sh "$CTEST_LOG"

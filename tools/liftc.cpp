@@ -33,6 +33,7 @@
 #include "frontend/ILParser.h"
 #include "ir/Printer.h"
 #include "lift/Lift.h"
+#include "ocl/FaultInject.h"
 #include "passes/Verify.h"
 #include "support/Diagnostics.h"
 
@@ -59,7 +60,17 @@ void usage() {
       "             [--check-races] [--check-memory] [--perturb-schedule] "
       "[--schedule-seed N]\n"
       "             [--threads N]   (0 = auto: LIFT_THREADS, else hardware "
-      "concurrency; 1 = serial)\n");
+      "concurrency; 1 = serial)\n"
+      "             [--max-steps N]   cancel the launch after N interpreter "
+      "steps (E0510)\n"
+      "             [--timeout-ms N]  cancel the launch after N ms of wall "
+      "clock (E0511)\n"
+      "             [--max-memory N]  cap simulated device allocation at N "
+      "bytes (E0512)\n"
+      "             [--inject-faults N,K] fail the N-th occurrence of fault "
+      "site K\n"
+      "                               (0 = allocation, 1 = pool start, 2 = "
+      "buffer map)\n");
 }
 
 bool parseDims(const char *S, std::array<int64_t, 3> &Out) {
@@ -138,6 +149,29 @@ int run(int argc, char **argv) {
         std::fprintf(stderr, "liftc: --threads needs a count >= 0\n");
         return ExitDiagnostics;
       }
+    } else if (A == "--max-steps" && I + 1 < argc) {
+      Opts.MaxSteps = std::strtoull(argv[++I], nullptr, 10);
+    } else if (A == "--timeout-ms" && I + 1 < argc) {
+      Opts.TimeoutMs = std::strtoll(argv[++I], nullptr, 10);
+      if (Opts.TimeoutMs < 0) {
+        std::fprintf(stderr, "liftc: --timeout-ms needs a count >= 0\n");
+        return ExitDiagnostics;
+      }
+    } else if (A == "--max-memory" && I + 1 < argc) {
+      Opts.MaxMemoryBytes = std::strtoull(argv[++I], nullptr, 10);
+    } else if (A == "--inject-faults" && I + 1 < argc) {
+      char *End = nullptr;
+      unsigned long long Nth = std::strtoull(argv[++I], &End, 10);
+      unsigned long long SiteId =
+          *End == ',' ? std::strtoull(End + 1, nullptr, 10) : ~0ull;
+      if (Nth == 0 || SiteId >= ocl::fault::NumSites) {
+        std::fprintf(stderr,
+                     "liftc: --inject-faults needs N,K with N >= 1 and "
+                     "K in [0,%u)\n",
+                     ocl::fault::NumSites);
+        return ExitDiagnostics;
+      }
+      ocl::fault::arm(static_cast<ocl::fault::Site>(SiteId), Nth);
     } else if (A == "--max-errors" && I + 1 < argc) {
       MaxErrors = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
       if (MaxErrors == 0) {
@@ -271,10 +305,11 @@ int run(int argc, char **argv) {
     std::printf("// race check: %s\n", R->Races.summary().c_str());
   if (Opts.CheckMemory)
     std::printf("// memory check: %s\n", R->Guards.summary().c_str());
-  if (Engine.hasErrors()) {
-    flushDiagnostics(Engine);
+  // Successful runs can still carry warnings (e.g. E0509 serial
+  // fallback) — surface them without failing the run.
+  flushDiagnostics(Engine);
+  if (Engine.hasErrors())
     return ExitDiagnostics;
-  }
   return ExitOk;
 }
 
