@@ -16,9 +16,12 @@
 #include "ir/Prelude.h"
 #include "ocl/Runtime.h"
 #include "rewrite/Rules.h"
+#include "tune/Cache.h"
+#include "tune/Workloads.h"
 
 #include <cmath>
 #include <cstdio>
+#include <optional>
 #include <vector>
 
 using namespace lift;
@@ -85,13 +88,25 @@ int main() {
     Ref[I] = 3.f * In[I] + 1.f;
   }
 
+  // The work-group chunk comes from the auto-tuner's winning cache entry
+  // for this very program (run `lift-tune lowering-compare` to refresh);
+  // without a warm cache it falls back to the historical constant.
+  int64_t Chunk = 64;
+  std::optional<int64_t> Tuned = tune::cachedBestWrgChunk(
+      tune::loweringCompareWorkload(), tune::TuneConfig());
+  if (Tuned)
+    Chunk = *Tuned;
+  std::printf("Work-group chunk: %lld (%s)\n\n",
+              static_cast<long long>(Chunk),
+              Tuned ? "from the tuning cache" : "default, no tuning cache");
+
   LambdaPtr Glb = rewrite::lowerProgram(MakeHighLevel(), false);
   LambdaPtr Wrg =
-      rewrite::lowerProgram(MakeHighLevel(), true, arith::cst(64));
+      rewrite::lowerProgram(MakeHighLevel(), true, arith::cst(Chunk));
 
   RunResult RH = runScaled(Hand, {512, 1, 1}, {64, 1, 1}, In, Ref);
   RunResult RG = runScaled(Glb, {512, 1, 1}, {64, 1, 1}, In, Ref);
-  RunResult RW = runScaled(Wrg, {N, 1, 1}, {64, 1, 1}, In, Ref);
+  RunResult RW = runScaled(Wrg, {N, 1, 1}, {Chunk, 1, 1}, In, Ref);
 
   std::printf("%-34s %12s %10s %8s\n", "variant", "cost", "relative",
               "max err");

@@ -1,0 +1,131 @@
+//===- tuning_search.cpp - Auto-tuning evaluation over the benchmark suite ---===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+//
+// Evaluates the rewrite-space auto-tuner (src/tune/) over the twelve
+// benchmark workloads: for each one the tuner must find a lowering whose
+// simulated cost is at least as good as the default `lowerProgram`
+// lowering, and the sweep reports how many it strictly improved. Results
+// go to BENCH_tuning.json (override with --json PATH); --quick restricts
+// the sweep to four representative workloads for the test tier.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tune/Tuner.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace lift;
+
+namespace {
+
+std::string jsonNum(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  return Buf;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string JsonPath = "BENCH_tuning.json";
+  bool Quick = false;
+  tune::TuneConfig Config;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--quick")
+      Quick = true;
+    else if (A == "--json" && I + 1 < argc)
+      JsonPath = argv[++I];
+    else if (A == "--threads" && I + 1 < argc)
+      Config.Threads = std::atoi(argv[++I]);
+    else if (A == "--no-cache")
+      Config.UseCache = false;
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--no-cache] [--threads N] "
+                   "[--json PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<tune::Workload> All = tune::allWorkloads();
+  std::vector<const tune::Workload *> Set;
+  for (const tune::Workload &W : All) {
+    if (Quick && W.Name != "nn" && W.Name != "nbody" && W.Name != "gemv" &&
+        W.Name != "convolution")
+      continue;
+    Set.push_back(&W);
+  }
+
+  std::printf("=== Auto-tuning the lowering of %zu benchmarks ===\n\n",
+              Set.size());
+  std::printf("%-14s %14s %14s %9s %11s\n", "workload", "default cost",
+              "best cost", "speedup", "evaluated");
+
+  std::string Json = "{\n  \"benchmarks\": [";
+  unsigned StrictlyBetter = 0;
+  bool Ok = true;
+  bool First = true;
+  for (const tune::Workload *W : Set) {
+    DiagnosticEngine Engine;
+    Expected<tune::TuneResult> R = tune::tuneWorkload(*W, Config, Engine);
+    if (!R) {
+      std::fprintf(stderr, "%serror: tuning '%s' failed\n",
+                   Engine.render().c_str(), W->Name.c_str());
+      Ok = false;
+      continue;
+    }
+    if (!R->HasBest || R->BestCost > R->DefaultCost) {
+      std::fprintf(stderr,
+                   "error: '%s': no lowering at least as good as the "
+                   "default\n",
+                   W->Name.c_str());
+      Ok = false;
+    }
+    double Speedup =
+        R->HasBest && R->BestCost > 0 ? R->DefaultCost / R->BestCost : 0;
+    StrictlyBetter += R->HasBest && R->BestCost < R->DefaultCost;
+    std::printf("%-14s %14.0f %14.0f %8.3fx %5u/%-5u\n", R->Workload.c_str(),
+                R->DefaultCost, R->HasBest ? R->BestCost : 0.0, Speedup,
+                R->CandidatesEvaluated, R->CandidatesEnumerated);
+
+    Json += First ? "\n    {" : ",\n    {";
+    First = false;
+    Json += "\"name\": \"" + R->Workload + "\"";
+    Json += ", \"default_cost\": " + jsonNum(R->DefaultCost);
+    Json += ", \"best_cost\": " + jsonNum(R->HasBest ? R->BestCost : 0.0);
+    Json += ", \"speedup\": " + jsonNum(Speedup);
+    Json += ", \"candidates_enumerated\": " +
+            std::to_string(R->CandidatesEnumerated);
+    Json += ", \"candidates_evaluated\": " +
+            std::to_string(R->CandidatesEvaluated);
+    Json += std::string(", \"cache_hit\": ") +
+            (R->CacheHit ? "true" : "false");
+    Json += ", \"best\": \"" + (R->HasBest ? R->Best.key() : "none") + "\"";
+    Json += "}";
+  }
+  Json += "\n  ],\n  \"strictly_better\": " +
+          std::to_string(StrictlyBetter) + "\n}\n";
+
+  std::ofstream Out(JsonPath, std::ios::trunc);
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", JsonPath.c_str());
+    return 1;
+  }
+  Out << Json;
+
+  std::printf("\n%u of %zu workloads strictly improved over the default "
+              "lowering; results in %s\n",
+              StrictlyBetter, Set.size(), JsonPath.c_str());
+  return Ok ? 0 : 1;
+}

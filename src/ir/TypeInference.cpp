@@ -6,6 +6,7 @@
 
 #include "ir/TypeInference.h"
 
+#include "arith/ArithExpr.h"
 #include "arith/Bounds.h"
 #include "arith/Printer.h"
 #include "support/Casting.h"
@@ -154,6 +155,16 @@ TypePtr ir::applyType(const FunDeclPtr &F, const std::vector<TypePtr> &Args) {
   case FunKind::Split: {
     const auto *S = cast<Split>(F.get());
     const auto *A = expectArray(Args[0], "split");
+    // When both lengths are known constants the division must be exact:
+    // a silently-floored split drops trailing elements.
+    std::optional<int64_t> Size = arith::asConstant(A->getSize());
+    std::optional<int64_t> Factor = arith::asConstant(S->getFactor());
+    if (Size && Factor && (*Factor <= 0 || *Size % *Factor != 0))
+      typeError(DiagCode::TypeIndivisibleSplit,
+                "split factor " + arith::toString(S->getFactor()) +
+                    " does not divide the array length " +
+                    arith::toString(A->getSize()),
+                "split");
     return arrayOf(arrayOf(A->getElementType(), S->getFactor()),
                    arith::intDiv(A->getSize(), S->getFactor()));
   }
@@ -252,6 +263,13 @@ TypePtr ir::applyType(const FunDeclPtr &F, const std::vector<TypePtr> &Args) {
       typeError(DiagCode::TypeExpectsScalar,
                 "asVector expects an array of scalars, got " +
                     typeToString(Args[0]),
+                "asVector");
+    if (std::optional<int64_t> Size = arith::asConstant(A->getSize());
+        Size && *Size % V->getWidth() != 0)
+      typeError(DiagCode::TypeIndivisibleSplit,
+                "asVector width " + std::to_string(V->getWidth()) +
+                    " does not divide the array length " +
+                    arith::toString(A->getSize()),
                 "asVector");
     return arrayOf(vectorOf(S->getScalarKind(), V->getWidth()),
                    arith::intDiv(A->getSize(), arith::cst(V->getWidth())));

@@ -62,10 +62,17 @@ public:
 
 private:
   /// Parallel-nesting context for the address-space legality checks.
+  /// The *Dims members are bitmasks of the OpenCL dimensions already
+  /// distributed by an enclosing parallel map: re-distributing the same
+  /// dimension (e.g. mapGlb0 inside mapGlb0) leaves elements uncomputed,
+  /// so it is rejected even though distinct dimensions may legally nest.
   struct Nesting {
     bool InWrg = false;
     bool InLcl = false;
     bool InGlb = false;
+    unsigned GlbDims = 0;
+    unsigned WrgDims = 0;
+    unsigned LclDims = 0;
   };
 
   static constexpr size_t MaxFindings = 64;
@@ -166,32 +173,50 @@ private:
       return;
 
     case FunKind::MapGlb: {
+      const auto *M = cast<MapGlb>(F.get());
       if (Ctx.InWrg || Ctx.InLcl)
         report(DiagCode::VerifyAddressSpace,
                "mapGlb cannot nest inside mapWrg or mapLcl");
+      if (Ctx.GlbDims & (1u << M->getDim()))
+        report(DiagCode::VerifyAddressSpace,
+               "mapGlb(" + std::to_string(M->getDim()) +
+                   ") cannot nest inside a mapGlb over the same dimension");
       Nesting Inner = Ctx;
       Inner.InGlb = true;
-      checkFun(cast<AbstractMap>(F.get())->getF(), Scope, Inner, false);
+      Inner.GlbDims |= 1u << M->getDim();
+      checkFun(M->getF(), Scope, Inner, false);
       return;
     }
 
     case FunKind::MapWrg: {
+      const auto *M = cast<MapWrg>(F.get());
       if (Ctx.InLcl || Ctx.InGlb)
         report(DiagCode::VerifyAddressSpace,
                "mapWrg cannot nest inside mapLcl or mapGlb");
+      if (Ctx.WrgDims & (1u << M->getDim()))
+        report(DiagCode::VerifyAddressSpace,
+               "mapWrg(" + std::to_string(M->getDim()) +
+                   ") cannot nest inside a mapWrg over the same dimension");
       Nesting Inner = Ctx;
       Inner.InWrg = true;
-      checkFun(cast<AbstractMap>(F.get())->getF(), Scope, Inner, false);
+      Inner.WrgDims |= 1u << M->getDim();
+      checkFun(M->getF(), Scope, Inner, false);
       return;
     }
 
     case FunKind::MapLcl: {
+      const auto *M = cast<MapLcl>(F.get());
       if (!Ctx.InWrg)
         report(DiagCode::VerifyAddressSpace,
                "mapLcl requires an enclosing mapWrg");
+      if (Ctx.LclDims & (1u << M->getDim()))
+        report(DiagCode::VerifyAddressSpace,
+               "mapLcl(" + std::to_string(M->getDim()) +
+                   ") cannot nest inside a mapLcl over the same dimension");
       Nesting Inner = Ctx;
       Inner.InLcl = true;
-      checkFun(cast<AbstractMap>(F.get())->getF(), Scope, Inner, false);
+      Inner.LclDims |= 1u << M->getDim();
+      checkFun(M->getF(), Scope, Inner, false);
       return;
     }
 

@@ -7,6 +7,7 @@
 #include "rewrite/Rules.h"
 
 #include "ir/DSL.h"
+#include "ir/Printer.h"
 #include "support/Casting.h"
 #include "support/Diagnostics.h"
 #include "support/Error.h"
@@ -25,158 +26,20 @@ const FunCall *matchUnaryCall(const ExprPtr &E, FunKind K) {
   return C;
 }
 
-/// Wraps a function so it can be composed: a Lambda applying F.
-FunDeclPtr composed(const FunDeclPtr &Outer, const FunDeclPtr &Inner) {
-  ParamPtr P = dsl::param("p");
-  return dsl::lambda(
-      {P}, dsl::call(Outer, {dsl::call(Inner, {ExprPtr(P)})}));
+/// Sequentializes a direct FunDecl nest of high-level maps. map(map(f))
+/// carries the inner map as an element *function*, not a call site, so the
+/// expression walker driving applyOnce/applyEverywhere can never visit it;
+/// the mapping rules lower the whole nest in one step instead of leaving
+/// high-level maps behind for codegen to reject (E0401).
+FunDeclPtr seqElementMaps(const FunDeclPtr &F) {
+  if (const auto *M = dyn_cast<Map>(F.get()))
+    return dsl::mapSeq(seqElementMaps(M->getF()));
+  return F;
 }
-
-} // namespace
-
-//===----------------------------------------------------------------------===//
-// Algorithmic rules
-//===----------------------------------------------------------------------===//
-
-Rule rewrite::mapFusion() {
-  Rule R;
-  R.Name = "map-fusion";
-  R.Apply = [](const ExprPtr &E) -> ExprPtr {
-    const FunCall *Outer = matchUnaryCall(E, FunKind::Map);
-    if (!Outer)
-      return nullptr;
-    const FunCall *Inner = matchUnaryCall(Outer->getArgs()[0], FunKind::Map);
-    if (!Inner)
-      return nullptr;
-    const FunDeclPtr &F = cast<Map>(Outer->getFun().get())->getF();
-    const FunDeclPtr &G = cast<Map>(Inner->getFun().get())->getF();
-    return dsl::call(dsl::map(composed(F, G)), {Inner->getArgs()[0]});
-  };
-  return R;
-}
-
-Rule rewrite::splitJoinElimination() {
-  Rule R;
-  R.Name = "split-join-elimination";
-  R.Apply = [](const ExprPtr &E) -> ExprPtr {
-    const FunCall *J = matchUnaryCall(E, FunKind::Join);
-    if (!J)
-      return nullptr;
-    const FunCall *S = matchUnaryCall(J->getArgs()[0], FunKind::Split);
-    if (!S)
-      return nullptr;
-    return S->getArgs()[0];
-  };
-  return R;
-}
-
-Rule rewrite::splitJoinIntroduction(arith::Expr ChunkSize) {
-  Rule R;
-  R.Name = "split-join-introduction";
-  R.Apply = [ChunkSize](const ExprPtr &E) -> ExprPtr {
-    const FunCall *M = matchUnaryCall(E, FunKind::Map);
-    if (!M)
-      return nullptr;
-    const FunDeclPtr &F = cast<Map>(M->getFun().get())->getF();
-    return dsl::pipe(M->getArgs()[0], dsl::split(ChunkSize),
-                     dsl::map(dsl::map(F)), dsl::join());
-  };
-  return R;
-}
-
-Rule rewrite::reduceMapFusion() {
-  Rule R;
-  R.Name = "reduce-map-fusion";
-  R.Apply = [](const ExprPtr &E) -> ExprPtr {
-    const auto *C = dyn_cast<FunCall>(E.get());
-    if (!C || C->getFun()->getKind() != FunKind::ReduceSeq ||
-        C->getArgs().size() != 2)
-      return nullptr;
-    const FunCall *Producer =
-        matchUnaryCall(C->getArgs()[1], FunKind::MapSeq);
-    if (!Producer)
-      Producer = matchUnaryCall(C->getArgs()[1], FunKind::Map);
-    if (!Producer)
-      return nullptr;
-    const FunDeclPtr &F = cast<ReduceSeq>(C->getFun().get())->getF();
-    const FunDeclPtr &G =
-        cast<AbstractMap>(Producer->getFun().get())->getF();
-    ParamPtr Acc = dsl::param("acc");
-    ParamPtr Elem = dsl::param("e");
-    FunDeclPtr Fused = dsl::lambda(
-        {Acc, Elem},
-        dsl::call(F, {ExprPtr(Acc), dsl::call(G, {ExprPtr(Elem)})}));
-    return dsl::call(dsl::reduceSeq(Fused),
-                     {C->getArgs()[0], Producer->getArgs()[0]});
-  };
-  return R;
-}
-
-Rule rewrite::idElimination() {
-  Rule R;
-  R.Name = "id-elimination";
-  R.Apply = [](const ExprPtr &E) -> ExprPtr {
-    const FunCall *C = matchUnaryCall(E, FunKind::Id);
-    if (!C)
-      return nullptr;
-    return C->getArgs()[0];
-  };
-  return R;
-}
-
-//===----------------------------------------------------------------------===//
-// Mapping rules
-//===----------------------------------------------------------------------===//
-
-Rule rewrite::mapToMapGlb(unsigned Dim) {
-  Rule R;
-  R.Name = "map-to-mapGlb";
-  R.Apply = [Dim](const ExprPtr &E) -> ExprPtr {
-    const FunCall *M = matchUnaryCall(E, FunKind::Map);
-    if (!M)
-      return nullptr;
-    const FunDeclPtr &F = cast<Map>(M->getFun().get())->getF();
-    return dsl::call(dsl::mapGlb(Dim, F), {M->getArgs()[0]});
-  };
-  return R;
-}
-
-Rule rewrite::mapToMapSeq() {
-  Rule R;
-  R.Name = "map-to-mapSeq";
-  R.Apply = [](const ExprPtr &E) -> ExprPtr {
-    const FunCall *M = matchUnaryCall(E, FunKind::Map);
-    if (!M)
-      return nullptr;
-    const FunDeclPtr &F = cast<Map>(M->getFun().get())->getF();
-    return dsl::call(dsl::mapSeq(F), {M->getArgs()[0]});
-  };
-  return R;
-}
-
-Rule rewrite::mapToWrgLcl(arith::Expr ChunkSize, unsigned Dim) {
-  Rule R;
-  R.Name = "map-to-wrg-lcl";
-  R.Apply = [ChunkSize, Dim](const ExprPtr &E) -> ExprPtr {
-    const FunCall *M = matchUnaryCall(E, FunKind::Map);
-    if (!M)
-      return nullptr;
-    const FunDeclPtr &F = cast<Map>(M->getFun().get())->getF();
-    return dsl::pipe(M->getArgs()[0], dsl::split(ChunkSize),
-                     dsl::mapWrg(Dim, dsl::mapLcl(Dim, F)), dsl::join());
-  };
-  return R;
-}
-
-//===----------------------------------------------------------------------===//
-// Application machinery
-//===----------------------------------------------------------------------===//
-
-namespace {
 
 /// Rebuilds an expression with the subtree at \p Target replaced by
-/// \p Replacement (pointer identity match), descending into lambda bodies
-/// and nested map functions.
+/// \p Replacement (pointer identity match — every occurrence), descending
+/// into lambda bodies and nested map functions.
 class Replacer {
   const Expr *Target;
   ExprPtr Replacement;
@@ -285,6 +148,173 @@ private:
   }
 };
 
+/// Applies \p F to \p Args, beta-reducing when F is a lambda of matching
+/// arity: the fused function bodies the rules build stay free of
+/// value-level lambda calls, which the code generator cannot emit.
+ExprPtr inlineOrCall(const FunDeclPtr &F, std::vector<ExprPtr> Args) {
+  if (const auto *L = dyn_cast<Lambda>(F.get())) {
+    if (L->getParams().size() == Args.size()) {
+      ExprPtr B = L->getBody();
+      for (size_t I = 0; I != Args.size(); ++I)
+        B = Replacer(L->getParams()[I].get(), Args[I]).rebuildExpr(B);
+      return B;
+    }
+  }
+  return dsl::call(F, std::move(Args));
+}
+
+/// Wraps a function so it can be composed: a Lambda applying F (with
+/// lambda arguments inlined rather than called).
+FunDeclPtr composed(const FunDeclPtr &Outer, const FunDeclPtr &Inner) {
+  ParamPtr P = dsl::param("p");
+  return dsl::lambda(
+      {P}, inlineOrCall(Outer, {inlineOrCall(Inner, {ExprPtr(P)})}));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Algorithmic rules
+//===----------------------------------------------------------------------===//
+
+Rule rewrite::mapFusion() {
+  Rule R;
+  R.Name = "map-fusion";
+  R.Apply = [](const ExprPtr &E) -> ExprPtr {
+    const FunCall *Outer = matchUnaryCall(E, FunKind::Map);
+    if (!Outer)
+      return nullptr;
+    const FunCall *Inner = matchUnaryCall(Outer->getArgs()[0], FunKind::Map);
+    if (!Inner)
+      return nullptr;
+    const FunDeclPtr &F = cast<Map>(Outer->getFun().get())->getF();
+    const FunDeclPtr &G = cast<Map>(Inner->getFun().get())->getF();
+    return dsl::call(dsl::map(composed(F, G)), {Inner->getArgs()[0]});
+  };
+  return R;
+}
+
+Rule rewrite::splitJoinElimination() {
+  Rule R;
+  R.Name = "split-join-elimination";
+  R.Apply = [](const ExprPtr &E) -> ExprPtr {
+    const FunCall *J = matchUnaryCall(E, FunKind::Join);
+    if (!J)
+      return nullptr;
+    const FunCall *S = matchUnaryCall(J->getArgs()[0], FunKind::Split);
+    if (!S)
+      return nullptr;
+    return S->getArgs()[0];
+  };
+  return R;
+}
+
+Rule rewrite::splitJoinIntroduction(arith::Expr ChunkSize) {
+  Rule R;
+  R.Name = "split-join-introduction";
+  R.Apply = [ChunkSize](const ExprPtr &E) -> ExprPtr {
+    const FunCall *M = matchUnaryCall(E, FunKind::Map);
+    if (!M)
+      return nullptr;
+    const FunDeclPtr &F = cast<Map>(M->getFun().get())->getF();
+    return dsl::pipe(M->getArgs()[0], dsl::split(ChunkSize),
+                     dsl::map(dsl::map(F)), dsl::join());
+  };
+  return R;
+}
+
+Rule rewrite::reduceMapFusion() {
+  Rule R;
+  R.Name = "reduce-map-fusion";
+  R.Apply = [](const ExprPtr &E) -> ExprPtr {
+    const auto *C = dyn_cast<FunCall>(E.get());
+    if (!C || C->getFun()->getKind() != FunKind::ReduceSeq ||
+        C->getArgs().size() != 2)
+      return nullptr;
+    const FunCall *Producer =
+        matchUnaryCall(C->getArgs()[1], FunKind::MapSeq);
+    if (!Producer)
+      Producer = matchUnaryCall(C->getArgs()[1], FunKind::Map);
+    if (!Producer)
+      return nullptr;
+    const FunDeclPtr &F = cast<ReduceSeq>(C->getFun().get())->getF();
+    const FunDeclPtr &G =
+        cast<AbstractMap>(Producer->getFun().get())->getF();
+    ParamPtr Acc = dsl::param("acc");
+    ParamPtr Elem = dsl::param("e");
+    FunDeclPtr Fused = dsl::lambda(
+        {Acc, Elem},
+        inlineOrCall(F, {ExprPtr(Acc), inlineOrCall(G, {ExprPtr(Elem)})}));
+    return dsl::call(dsl::reduceSeq(Fused),
+                     {C->getArgs()[0], Producer->getArgs()[0]});
+  };
+  return R;
+}
+
+Rule rewrite::idElimination() {
+  Rule R;
+  R.Name = "id-elimination";
+  R.Apply = [](const ExprPtr &E) -> ExprPtr {
+    const FunCall *C = matchUnaryCall(E, FunKind::Id);
+    if (!C)
+      return nullptr;
+    return C->getArgs()[0];
+  };
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Mapping rules
+//===----------------------------------------------------------------------===//
+
+Rule rewrite::mapToMapGlb(unsigned Dim) {
+  Rule R;
+  R.Name = "map-to-mapGlb";
+  R.Apply = [Dim](const ExprPtr &E) -> ExprPtr {
+    const FunCall *M = matchUnaryCall(E, FunKind::Map);
+    if (!M)
+      return nullptr;
+    const FunDeclPtr &F = cast<Map>(M->getFun().get())->getF();
+    return dsl::call(dsl::mapGlb(Dim, seqElementMaps(F)),
+                     {M->getArgs()[0]});
+  };
+  return R;
+}
+
+Rule rewrite::mapToMapSeq() {
+  Rule R;
+  R.Name = "map-to-mapSeq";
+  R.Apply = [](const ExprPtr &E) -> ExprPtr {
+    const FunCall *M = matchUnaryCall(E, FunKind::Map);
+    if (!M)
+      return nullptr;
+    const FunDeclPtr &F = cast<Map>(M->getFun().get())->getF();
+    return dsl::call(dsl::mapSeq(seqElementMaps(F)), {M->getArgs()[0]});
+  };
+  return R;
+}
+
+Rule rewrite::mapToWrgLcl(arith::Expr ChunkSize, unsigned Dim) {
+  Rule R;
+  R.Name = "map-to-wrg-lcl";
+  R.Apply = [ChunkSize, Dim](const ExprPtr &E) -> ExprPtr {
+    const FunCall *M = matchUnaryCall(E, FunKind::Map);
+    if (!M)
+      return nullptr;
+    const FunDeclPtr &F = cast<Map>(M->getFun().get())->getF();
+    return dsl::pipe(M->getArgs()[0], dsl::split(ChunkSize),
+                     dsl::mapWrg(Dim, dsl::mapLcl(Dim, seqElementMaps(F))),
+                     dsl::join());
+  };
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Application machinery
+//===----------------------------------------------------------------------===//
+
+namespace {
+
 bool findFirstInFun(const Rule &R, const FunDeclPtr &F, const Expr *&Site,
                     ExprPtr &Replacement);
 
@@ -333,6 +363,71 @@ bool findFirstInFun(const Rule &R, const FunDeclPtr &F, const Expr *&Site,
   default:
     return false;
   }
+}
+
+bool findNthInFun(const Rule &R, const FunDeclPtr &F, unsigned &K,
+                  const Expr *&Site, ExprPtr &Replacement);
+
+/// Pre-order search for the (K+1)-th position where \p R applies; \p K is
+/// decremented as earlier matches are skipped. Same walk order as
+/// findFirst, so applyAt(R, E, 0) == applyOnce(R, E).
+bool findNth(const Rule &R, const ExprPtr &E, unsigned &K, const Expr *&Site,
+             ExprPtr &Replacement) {
+  if (ExprPtr Rep = R.Apply(E)) {
+    if (K == 0) {
+      Site = E.get();
+      Replacement = std::move(Rep);
+      return true;
+    }
+    --K;
+  }
+  const auto *C = dyn_cast<FunCall>(E.get());
+  if (!C)
+    return false;
+  for (const ExprPtr &A : C->getArgs())
+    if (findNth(R, A, K, Site, Replacement))
+      return true;
+  return findNthInFun(R, C->getFun(), K, Site, Replacement);
+}
+
+bool findNthInFun(const Rule &R, const FunDeclPtr &F, unsigned &K,
+                  const Expr *&Site, ExprPtr &Replacement) {
+  switch (F->getKind()) {
+  case FunKind::Lambda:
+    return findNth(R, cast<Lambda>(F.get())->getBody(), K, Site, Replacement);
+  case FunKind::Map:
+  case FunKind::MapSeq:
+  case FunKind::MapGlb:
+  case FunKind::MapWrg:
+  case FunKind::MapLcl:
+  case FunKind::MapVec:
+    return findNthInFun(R, cast<AbstractMap>(F.get())->getF(), K, Site,
+                        Replacement);
+  case FunKind::ReduceSeq:
+    return findNthInFun(R, cast<ReduceSeq>(F.get())->getF(), K, Site,
+                        Replacement);
+  case FunKind::Iterate:
+    return findNthInFun(R, cast<Iterate>(F.get())->getF(), K, Site,
+                        Replacement);
+  case FunKind::ToGlobal:
+  case FunKind::ToLocal:
+  case FunKind::ToPrivate:
+    return findNthInFun(R, cast<AddressSpaceWrapper>(F.get())->getF(), K,
+                        Site, Replacement);
+  default:
+    return false;
+  }
+}
+
+/// A short, single-line rendering of \p E for diagnostic locations.
+std::string exprContext(const ExprPtr &E) {
+  std::string S = printExpr(E);
+  for (char &C : S)
+    if (C == '\n')
+      C = ' ';
+  if (S.size() > 48)
+    S = S.substr(0, 45) + "...";
+  return S;
 }
 
 void countMatchesImpl(const Rule &R, const ExprPtr &E, unsigned &N);
@@ -405,6 +500,37 @@ unsigned rewrite::countMatches(const Rule &R, const ExprPtr &E) {
   return N;
 }
 
+ExprPtr rewrite::applyAt(const Rule &R, const ExprPtr &E, unsigned K) {
+  const Expr *Site = nullptr;
+  ExprPtr Replacement;
+  unsigned Remaining = K;
+  if (!findNth(R, E, Remaining, Site, Replacement))
+    return nullptr;
+  return Replacer(Site, std::move(Replacement)).rebuildExpr(E);
+}
+
+Expected<ExprPtr> rewrite::applyOnceChecked(const Rule &R, const ExprPtr &E,
+                                            DiagnosticEngine &Engine) {
+  if (ExprPtr Next = applyOnce(R, E))
+    return Next;
+  Engine.error(DiagCode::RewriteNoLowering,
+               DiagLocation::inContext(exprContext(E)),
+               "no applicable lowering: rule '" + R.Name +
+                   "' matches nowhere in the program");
+  return {};
+}
+
+std::vector<Rule> rewrite::allRules() {
+  return {mapFusion(),
+          splitJoinElimination(),
+          splitJoinIntroduction(arith::cst(8)),
+          reduceMapFusion(),
+          idElimination(),
+          mapToMapGlb(0),
+          mapToMapSeq(),
+          mapToWrgLcl(arith::cst(16), 0)};
+}
+
 LambdaPtr rewrite::lowerProgram(const LambdaPtr &Program, bool UseWorkGroups,
                                 arith::Expr ChunkSize) {
   // Clone so the caller's program is untouched; the clone shares no
@@ -429,6 +555,39 @@ LambdaPtr rewrite::lowerProgram(const LambdaPtr &Program, bool UseWorkGroups,
   // 3. Everything still unmapped runs sequentially inside a thread.
   Body = applyEverywhere(mapToMapSeq(), Body);
   // 4. Fuse sequential producers into reductions and clean up.
+  Body = applyEverywhere(reduceMapFusion(), Body);
+  Body = applyEverywhere(splitJoinElimination(), Body);
+
+  return dsl::lambda(Clone->getParams(), Body);
+}
+
+Expected<LambdaPtr> rewrite::lowerProgramChecked(const LambdaPtr &Program,
+                                                 bool UseWorkGroups,
+                                                 arith::Expr ChunkSize,
+                                                 DiagnosticEngine &Engine) {
+  if (UseWorkGroups && !ChunkSize) {
+    Engine.error(DiagCode::CodegenLowering,
+                 DiagLocation::inContext("lowerProgram"),
+                 "work-group lowering needs a chunk size");
+    return {};
+  }
+
+  LambdaPtr Clone =
+      cast<Lambda>(cloneFunDecl(std::static_pointer_cast<FunDecl>(Program)));
+  ExprPtr Body = applyEverywhere(mapFusion(), Clone->getBody());
+
+  Rule Mapping = UseWorkGroups ? mapToWrgLcl(ChunkSize) : mapToMapGlb(0);
+  ExprPtr Mapped = applyOnce(Mapping, Body);
+  if (!Mapped) {
+    Engine.error(DiagCode::RewriteNoLowering,
+                 DiagLocation::inContext(exprContext(Body)),
+                 "no applicable lowering: program has no high-level map for "
+                 "rule '" + Mapping.Name + "' to parallelize");
+    return {};
+  }
+  Body = std::move(Mapped);
+
+  Body = applyEverywhere(mapToMapSeq(), Body);
   Body = applyEverywhere(reduceMapFusion(), Body);
   Body = applyEverywhere(splitJoinElimination(), Body);
 

@@ -19,6 +19,7 @@
 #define LIFT_REWRITE_RULES_H
 
 #include "ir/IR.h"
+#include "support/Diagnostics.h"
 
 #include <functional>
 #include <string>
@@ -85,12 +86,40 @@ ir::ExprPtr applyEverywhere(const Rule &R, const ir::ExprPtr &E,
 /// Counts positions where \p R matches.
 unsigned countMatches(const Rule &R, const ir::ExprPtr &E);
 
+/// Applies \p R at the \p K-th matching position (0-based, same pre-order
+/// walk as applyOnce/countMatches). Returns null when fewer than K+1
+/// positions match. Lets differential tests and the tuner's enumerator
+/// address every match site individually.
+ir::ExprPtr applyAt(const Rule &R, const ir::ExprPtr &E, unsigned K);
+
+/// Checked variant of applyOnce: instead of silently yielding null when the
+/// rule matches nowhere, records E0405 (RewriteNoLowering) in \p Engine and
+/// returns failure.
+Expected<ir::ExprPtr> applyOnceChecked(const Rule &R, const ir::ExprPtr &E,
+                                       DiagnosticEngine &Engine);
+
+/// The full rule set with representative parameters, for differential
+/// soundness testing (every rule is semantics-preserving, so applying any
+/// of them anywhere must not change program results).
+std::vector<Rule> allRules();
+
 /// A simple lowering strategy standing in for the automated search of
 /// [18]: the outermost high-level map becomes mapWrg(mapLcl) when
 /// \p UseWorkGroups (with the given chunk size) or mapGlb otherwise, and
 /// every remaining map becomes mapSeq.
 ir::LambdaPtr lowerProgram(const ir::LambdaPtr &Program, bool UseWorkGroups,
                            arith::Expr ChunkSize = nullptr);
+
+/// Checked boundary around \c lowerProgram: a program whose outermost map
+/// cannot be lowered (no high-level map anywhere — e.g. an already-lowered
+/// or scalar-only program) records E0405 (RewriteNoLowering) in \p Engine
+/// and returns failure instead of silently producing a kernel that codegen
+/// will later reject. A missing chunk size with \p UseWorkGroups records
+/// E0403 the same way.
+Expected<ir::LambdaPtr> lowerProgramChecked(const ir::LambdaPtr &Program,
+                                            bool UseWorkGroups,
+                                            arith::Expr ChunkSize,
+                                            DiagnosticEngine &Engine);
 
 } // namespace rewrite
 } // namespace lift

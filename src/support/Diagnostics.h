@@ -68,6 +68,7 @@ enum class DiagCode : unsigned {
   TypeIndexOutOfRange = 207,
   TypeUnequalLengths = 208,
   TypeUntyped = 209,
+  TypeIndivisibleSplit = 210,
 
   // 3xx — IR verifier findings.
   VerifyMalformed = 301,
@@ -82,6 +83,7 @@ enum class DiagCode : unsigned {
   CodegenView = 402,
   CodegenLowering = 403,
   CodegenUserFunSyntax = 404,
+  RewriteNoLowering = 405,
 
   // 5xx — simulated-runtime execution.
   RuntimeBadLaunch = 501,

@@ -1,0 +1,414 @@
+//===- Cache.cpp - Persistent tuning cache --------------------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tune/Cache.h"
+
+#include "ir/Printer.h"
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace lift;
+using namespace lift::tune;
+
+uint64_t tune::fnv1a64(const std::string &S) {
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+std::string tune::tuneCacheKey(const Workload &W, const TuneConfig &C) {
+  uint64_t H = fnv1a64(ir::printProgram(W.Program) + "|" + C.key());
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(H));
+  return Buf;
+}
+
+std::string tune::tuneCachePath(const Workload &W, const TuneConfig &C) {
+  return C.CacheDir + "/" + W.Name + "-" + tuneCacheKey(W, C) + ".json";
+}
+
+//===----------------------------------------------------------------------===//
+// JSON (the minimal subset the cache emits: objects, arrays, strings,
+// numbers, booleans; no external dependency)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct JValue {
+  enum Kind { Null, Bool, Num, Str, Arr, Obj } K = Null;
+  bool B = false;
+  double N = 0;
+  std::string S;
+  std::vector<JValue> A;
+  std::vector<std::pair<std::string, JValue>> O;
+
+  const JValue *field(const std::string &Name) const {
+    for (const auto &[FName, V] : O)
+      if (FName == Name)
+        return &V;
+    return nullptr;
+  }
+};
+
+class JParser {
+  const std::string &Text;
+  size_t Pos = 0;
+
+public:
+  explicit JParser(const std::string &Text) : Text(Text) {}
+
+  bool parse(JValue &Out) {
+    skipWs();
+    if (!parseValue(Out))
+      return false;
+    skipWs();
+    return Pos == Text.size();
+  }
+
+private:
+  void skipWs() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+  bool consume(char C) {
+    skipWs();
+    if (Pos >= Text.size() || Text[Pos] != C)
+      return false;
+    ++Pos;
+    return true;
+  }
+  bool parseString(std::string &Out) {
+    if (!consume('"'))
+      return false;
+    Out.clear();
+    while (Pos < Text.size() && Text[Pos] != '"') {
+      char C = Text[Pos++];
+      if (C == '\\' && Pos < Text.size()) {
+        char E = Text[Pos++];
+        switch (E) {
+        case 'n':
+          Out += '\n';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        default:
+          Out += E;
+          break;
+        }
+      } else {
+        Out += C;
+      }
+    }
+    if (Pos >= Text.size())
+      return false;
+    ++Pos; // closing quote
+    return true;
+  }
+  bool parseValue(JValue &Out) {
+    skipWs();
+    if (Pos >= Text.size())
+      return false;
+    char C = Text[Pos];
+    if (C == '{') {
+      ++Pos;
+      Out.K = JValue::Obj;
+      skipWs();
+      if (consume('}'))
+        return true;
+      for (;;) {
+        std::string Name;
+        if (!parseString(Name) || !consume(':'))
+          return false;
+        JValue V;
+        if (!parseValue(V))
+          return false;
+        Out.O.emplace_back(std::move(Name), std::move(V));
+        if (consume(','))
+          continue;
+        return consume('}');
+      }
+    }
+    if (C == '[') {
+      ++Pos;
+      Out.K = JValue::Arr;
+      skipWs();
+      if (consume(']'))
+        return true;
+      for (;;) {
+        JValue V;
+        if (!parseValue(V))
+          return false;
+        Out.A.push_back(std::move(V));
+        if (consume(','))
+          continue;
+        return consume(']');
+      }
+    }
+    if (C == '"') {
+      Out.K = JValue::Str;
+      return parseString(Out.S);
+    }
+    if (Text.compare(Pos, 4, "true") == 0) {
+      Out.K = JValue::Bool;
+      Out.B = true;
+      Pos += 4;
+      return true;
+    }
+    if (Text.compare(Pos, 5, "false") == 0) {
+      Out.K = JValue::Bool;
+      Out.B = false;
+      Pos += 5;
+      return true;
+    }
+    if (Text.compare(Pos, 4, "null") == 0) {
+      Out.K = JValue::Null;
+      Pos += 4;
+      return true;
+    }
+    // Number.
+    size_t Start = Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '-' || Text[Pos] == '+' || Text[Pos] == '.' ||
+            Text[Pos] == 'e' || Text[Pos] == 'E'))
+      ++Pos;
+    if (Pos == Start)
+      return false;
+    Out.K = JValue::Num;
+    Out.N = std::strtod(Text.c_str() + Start, nullptr);
+    return true;
+  }
+};
+
+void writeEscaped(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  Out += '"';
+}
+
+std::string numStr(double V) {
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  return Buf;
+}
+
+void writeDerivation(std::string &Out, const Derivation &D) {
+  Out += "{\"fuse\": ";
+  Out += D.Fuse ? "true" : "false";
+  Out += ", \"strategy\": ";
+  writeEscaped(Out, mapStrategyName(D.Strategy));
+  Out += ", \"chunk\": " + std::to_string(D.Chunk);
+  Out += ", \"global\": [" + std::to_string(D.Global[0]) + ", " +
+         std::to_string(D.Global[1]) + ", " + std::to_string(D.Global[2]) +
+         "]";
+  Out += ", \"local\": [" + std::to_string(D.Local[0]) + ", " +
+         std::to_string(D.Local[1]) + ", " + std::to_string(D.Local[2]) +
+         "]}";
+}
+
+bool readInt3(const JValue *V, std::array<int64_t, 3> &Out) {
+  if (!V || V->K != JValue::Arr || V->A.size() != 3)
+    return false;
+  for (size_t I = 0; I != 3; ++I) {
+    if (V->A[I].K != JValue::Num)
+      return false;
+    Out[I] = static_cast<int64_t>(V->A[I].N);
+  }
+  return true;
+}
+
+bool readDerivation(const JValue &V, Derivation &D) {
+  if (V.K != JValue::Obj)
+    return false;
+  const JValue *Fuse = V.field("fuse");
+  const JValue *Strat = V.field("strategy");
+  const JValue *Chunk = V.field("chunk");
+  if (!Fuse || Fuse->K != JValue::Bool || !Strat ||
+      Strat->K != JValue::Str || !Chunk || Chunk->K != JValue::Num)
+    return false;
+  D.Fuse = Fuse->B;
+  if (Strat->S == "glb")
+    D.Strategy = MapStrategy::Glb;
+  else if (Strat->S == "wrg-lcl")
+    D.Strategy = MapStrategy::WrgLcl;
+  else if (Strat->S == "seq")
+    D.Strategy = MapStrategy::Seq;
+  else
+    return false;
+  D.Chunk = static_cast<int64_t>(Chunk->N);
+  return readInt3(V.field("global"), D.Global) &&
+         readInt3(V.field("local"), D.Local);
+}
+
+bool statusFromName(const std::string &S, CandidateStatus &Out) {
+  for (CandidateStatus St :
+       {CandidateStatus::Ok, CandidateStatus::RejectedLowering,
+        CandidateStatus::RejectedVerify, CandidateStatus::RejectedCompile,
+        CandidateStatus::RejectedExec, CandidateStatus::RejectedMismatch})
+    if (S == candidateStatusName(St)) {
+      Out = St;
+      return true;
+    }
+  return false;
+}
+
+} // namespace
+
+bool tune::loadCachedResult(const Workload &W, const TuneConfig &C,
+                            TuneResult &R) {
+  if (C.CacheDir.empty())
+    return false;
+  std::ifstream In(tuneCachePath(W, C));
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  std::string Text = SS.str();
+
+  JValue Root;
+  if (!JParser(Text).parse(Root) || Root.K != JValue::Obj)
+    return false;
+  const JValue *Key = Root.field("key");
+  if (!Key || Key->K != JValue::Str || Key->S != tuneCacheKey(W, C))
+    return false;
+  const JValue *Name = Root.field("workload");
+  const JValue *DefCost = Root.field("default_cost");
+  const JValue *Enumerated = Root.field("candidates_enumerated");
+  const JValue *Traj = Root.field("trajectory");
+  if (!Name || Name->K != JValue::Str || Name->S != W.Name || !DefCost ||
+      DefCost->K != JValue::Num || !Enumerated ||
+      Enumerated->K != JValue::Num || !Traj || Traj->K != JValue::Arr)
+    return false;
+
+  TuneResult Out;
+  Out.Workload = Name->S;
+  Out.DefaultCost = DefCost->N;
+  Out.CandidatesEnumerated = static_cast<unsigned>(Enumerated->N);
+  Out.CandidatesEvaluated = 0; // nothing executed on a hit
+  Out.CacheHit = true;
+
+  if (const JValue *Best = Root.field("best")) {
+    const JValue *BCost = Best->field("cost");
+    Derivation D;
+    if (!BCost || BCost->K != JValue::Num || !readDerivation(*Best, D))
+      return false;
+    Out.HasBest = true;
+    Out.Best = D;
+    Out.BestCost = BCost->N;
+  }
+
+  for (const JValue &E : Traj->A) {
+    if (E.K != JValue::Obj)
+      return false;
+    CandidateOutcome O;
+    const JValue *Status = E.field("status");
+    const JValue *Cost = E.field("cost");
+    const JValue *Detail = E.field("detail");
+    if (!Status || Status->K != JValue::Str ||
+        !statusFromName(Status->S, O.Status) || !readDerivation(E, O.D))
+      return false;
+    if (Cost && Cost->K == JValue::Num)
+      O.Cost = Cost->N;
+    if (Detail && Detail->K == JValue::Str)
+      O.Detail = Detail->S;
+    Out.Trajectory.push_back(std::move(O));
+  }
+
+  R = std::move(Out);
+  return true;
+}
+
+bool tune::storeCachedResult(const Workload &W, const TuneConfig &C,
+                             const TuneResult &R) {
+  if (C.CacheDir.empty())
+    return false;
+  std::error_code EC;
+  std::filesystem::create_directories(C.CacheDir, EC);
+  if (EC)
+    return false;
+
+  std::string J = "{\n";
+  J += "  \"key\": ";
+  writeEscaped(J, tuneCacheKey(W, C));
+  J += ",\n  \"workload\": ";
+  writeEscaped(J, W.Name);
+  J += ",\n  \"config\": ";
+  writeEscaped(J, C.key());
+  J += ",\n  \"default_cost\": " + numStr(R.DefaultCost);
+  J += ",\n  \"candidates_enumerated\": " +
+       std::to_string(R.CandidatesEnumerated);
+  J += ",\n  \"candidates_evaluated\": " +
+       std::to_string(R.CandidatesEvaluated);
+  if (R.HasBest) {
+    J += ",\n  \"best\": ";
+    std::string B;
+    writeDerivation(B, R.Best);
+    // Splice the cost into the derivation object.
+    B.back() = ',';
+    B += " \"cost\": " + numStr(R.BestCost) + "}";
+    J += B;
+  }
+  J += ",\n  \"trajectory\": [";
+  for (size_t I = 0; I != R.Trajectory.size(); ++I) {
+    const CandidateOutcome &O = R.Trajectory[I];
+    std::string E;
+    writeDerivation(E, O.D);
+    E.back() = ',';
+    E += " \"status\": ";
+    writeEscaped(E, candidateStatusName(O.Status));
+    E += ", \"cost\": " + numStr(O.Cost);
+    E += ", \"detail\": ";
+    writeEscaped(E, O.Detail);
+    E += ", \"trace\": ";
+    writeEscaped(E, O.D.trace());
+    E += "}";
+    J += (I ? ",\n    " : "\n    ") + E;
+  }
+  J += "\n  ]\n}\n";
+
+  std::ofstream Out(tuneCachePath(W, C), std::ios::trunc);
+  if (!Out)
+    return false;
+  Out << J;
+  return static_cast<bool>(Out);
+}
+
+std::optional<int64_t> tune::cachedBestWrgChunk(const Workload &W,
+                                                const TuneConfig &C) {
+  TuneResult R;
+  if (!loadCachedResult(W, C, R))
+    return std::nullopt;
+  bool Found = false;
+  double BestCost = 0;
+  int64_t BestChunk = 0;
+  for (const CandidateOutcome &O : R.Trajectory) {
+    if (O.Status != CandidateStatus::Ok ||
+        O.D.Strategy != MapStrategy::WrgLcl)
+      continue;
+    if (!Found || O.Cost < BestCost) {
+      Found = true;
+      BestCost = O.Cost;
+      BestChunk = O.D.Chunk;
+    }
+  }
+  if (!Found)
+    return std::nullopt;
+  return BestChunk;
+}

@@ -1,0 +1,59 @@
+//===- Cache.h - Persistent tuning cache -------------------------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Persistent auto-tuning cache: one JSON file per (workload, IR hash,
+/// search config) under TuneConfig::CacheDir (default `.lift-tune/`).
+/// A warm cache makes a repeated invocation return the stored result
+/// without executing any candidate. The file format is documented in
+/// docs/TUNING.md; entries whose embedded key no longer matches the
+/// program or configuration are treated as misses, so stale entries are
+/// harmless.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_TUNE_CACHE_H
+#define LIFT_TUNE_CACHE_H
+
+#include "tune/Tuner.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace lift {
+namespace tune {
+
+/// FNV-1a 64-bit hash (cache file naming and entry validation).
+uint64_t fnv1a64(const std::string &S);
+
+/// The cache key of (\p W, \p C): hex FNV-1a of the printed IR plus the
+/// config serialization.
+std::string tuneCacheKey(const Workload &W, const TuneConfig &C);
+
+/// Full path of the cache file for (\p W, \p C).
+std::string tuneCachePath(const Workload &W, const TuneConfig &C);
+
+/// Loads a cached result. Returns false (leaving \p R untouched) when the
+/// file is missing, unreadable, malformed, or keyed differently.
+bool loadCachedResult(const Workload &W, const TuneConfig &C, TuneResult &R);
+
+/// Stores \p R, creating the cache directory if needed. Best-effort:
+/// returns false on I/O failure.
+bool storeCachedResult(const Workload &W, const TuneConfig &C,
+                       const TuneResult &R);
+
+/// Consults the cache for the cheapest successfully-evaluated
+/// mapWrg(mapLcl) candidate of (\p W, \p C) and returns its chunk size.
+/// Empty when there is no cache entry or no such candidate — callers fall
+/// back to their historical constant (bench/lowering_compare.cpp).
+std::optional<int64_t> cachedBestWrgChunk(const Workload &W,
+                                          const TuneConfig &C);
+
+} // namespace tune
+} // namespace lift
+
+#endif // LIFT_TUNE_CACHE_H

@@ -1,0 +1,238 @@
+//===- SearchSpace.cpp - Lowering-derivation search space -----------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tune/SearchSpace.h"
+
+#include "ir/DSL.h"
+#include "ir/TypeInference.h"
+#include "passes/Verify.h"
+#include "rewrite/Rules.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::tune;
+
+const char *tune::mapStrategyName(MapStrategy S) {
+  switch (S) {
+  case MapStrategy::Glb:
+    return "glb";
+  case MapStrategy::WrgLcl:
+    return "wrg-lcl";
+  case MapStrategy::Seq:
+    return "seq";
+  }
+  return "?";
+}
+
+std::string Derivation::key() const {
+  std::string K = "fuse=";
+  K += Fuse ? '1' : '0';
+  K += " strategy=";
+  K += mapStrategyName(Strategy);
+  K += " chunk=" + std::to_string(Chunk);
+  K += " g=" + std::to_string(Global[0]) + "x" + std::to_string(Global[1]) +
+       "x" + std::to_string(Global[2]);
+  K += " l=" + std::to_string(Local[0]) + "x" + std::to_string(Local[1]) +
+       "x" + std::to_string(Local[2]);
+  return K;
+}
+
+std::string Derivation::trace() const {
+  std::string T;
+  if (Fuse)
+    T += "map-fusion*; ";
+  switch (Strategy) {
+  case MapStrategy::Glb:
+    if (Chunk > 0)
+      T += "split-join-introduction(" + std::to_string(Chunk) + "); ";
+    T += "map-to-mapGlb(0); ";
+    break;
+  case MapStrategy::WrgLcl:
+    T += "map-to-wrg-lcl(" + std::to_string(Chunk) + ", 0); ";
+    break;
+  case MapStrategy::Seq:
+    if (Chunk > 0)
+      T += "split-join-introduction(" + std::to_string(Chunk) + "); ";
+    break;
+  }
+  T += "map-to-mapSeq*; ";
+  if (Fuse)
+    T += "reduce-map-fusion*; ";
+  T += "split-join-elimination*";
+  T += " @ global=" + std::to_string(Global[0]) +
+       " local=" + std::to_string(Local[0]);
+  return T;
+}
+
+Derivation tune::defaultDerivation(const Workload &W) {
+  Derivation D;
+  D.Fuse = true;
+  D.Strategy = MapStrategy::Glb;
+  D.Chunk = 0;
+  D.Global = W.BaseGlobal;
+  D.Local = W.BaseLocal;
+  return D;
+}
+
+namespace {
+
+/// Largest divisor of \p G that is <= \p Cap (at least 1): the
+/// deterministic local-size choice for a given global size.
+int64_t largestDivisorLE(int64_t G, int64_t Cap) {
+  int64_t Best = 1;
+  for (int64_t L = 1; L <= G && L <= Cap; ++L)
+    if (G % L == 0)
+      Best = L;
+  return Best;
+}
+
+} // namespace
+
+std::vector<Derivation>
+tune::enumerateDerivations(const Workload &W,
+                           const std::vector<int64_t> &ChunkPool) {
+  std::vector<Derivation> Out;
+  std::set<std::string> Seen;
+  auto push = [&](Derivation D) {
+    if (D.Global[0] < 1 || D.Local[0] < 1 || D.Global[0] % D.Local[0] != 0)
+      return;
+    if (Seen.insert(D.key()).second)
+      Out.push_back(std::move(D));
+  };
+
+  // The default derivation is always candidate #0: the searcher's result
+  // can never be worse than the default lowering.
+  push(defaultDerivation(W));
+
+  const int64_t N = W.OuterN > 0 ? W.OuterN : 1;
+
+  // Thread-count pool for a mapGlb-style candidate whose outer dimension
+  // has T iterations: the base (untuned) size, the exact fit, and two
+  // strided variants.
+  auto globalOptions = [&](int64_t T) {
+    std::vector<int64_t> Gs;
+    for (int64_t G : {W.BaseGlobal[0], T, T / 2, T / 4})
+      if (G >= 1 && G <= N &&
+          std::find(Gs.begin(), Gs.end(), G) == Gs.end())
+        Gs.push_back(G);
+    return Gs;
+  };
+
+  for (bool Fuse : {true, false}) {
+    // mapGlb candidates, optionally tiled by a pre-split.
+    std::vector<int64_t> Chunks = {0};
+    for (int64_t C : ChunkPool)
+      if (C > 1 && C < N && N % C == 0)
+        Chunks.push_back(C);
+    for (int64_t C : Chunks) {
+      const int64_t T = C > 0 ? N / C : N;
+      for (int64_t G : globalOptions(T)) {
+        Derivation D;
+        D.Fuse = Fuse;
+        D.Strategy = MapStrategy::Glb;
+        D.Chunk = C;
+        D.Global = {G, 1, 1};
+        D.Local = {largestDivisorLE(G, W.BaseLocal[0]), 1, 1};
+        push(D);
+      }
+    }
+
+    // mapWrg(mapLcl) candidates: one work-group per chunk.
+    for (int64_t C : ChunkPool) {
+      if (C < 1 || C > N || N % C != 0)
+        continue;
+      Derivation D;
+      D.Fuse = Fuse;
+      D.Strategy = MapStrategy::WrgLcl;
+      D.Chunk = C;
+      D.Global = {N, 1, 1};
+      D.Local = {C, 1, 1};
+      push(D);
+    }
+
+    // Fully sequential candidate (a single work-item).
+    Derivation D;
+    D.Fuse = Fuse;
+    D.Strategy = MapStrategy::Seq;
+    D.Global = {1, 1, 1};
+    D.Local = {1, 1, 1};
+    push(D);
+  }
+
+  return Out;
+}
+
+Expected<LambdaPtr> tune::applyDerivation(const LambdaPtr &Program,
+                                          const Derivation &D,
+                                          DiagnosticEngine &Engine) {
+  using namespace lift::rewrite;
+
+  LambdaPtr Clone =
+      cast<Lambda>(cloneFunDecl(std::static_pointer_cast<FunDecl>(Program)));
+  ExprPtr Body = Clone->getBody();
+
+  if (D.Fuse)
+    Body = applyEverywhere(mapFusion(), Body);
+
+  switch (D.Strategy) {
+  case MapStrategy::Glb: {
+    if (D.Chunk > 0) {
+      Expected<ExprPtr> Split = applyOnceChecked(
+          splitJoinIntroduction(arith::cst(D.Chunk)), Body, Engine);
+      if (!Split)
+        return {};
+      Body = std::move(*Split);
+    }
+    Expected<ExprPtr> Mapped = applyOnceChecked(mapToMapGlb(0), Body, Engine);
+    if (!Mapped)
+      return {};
+    Body = std::move(*Mapped);
+    break;
+  }
+  case MapStrategy::WrgLcl: {
+    Expected<ExprPtr> Mapped =
+        applyOnceChecked(mapToWrgLcl(arith::cst(D.Chunk), 0), Body, Engine);
+    if (!Mapped)
+      return {};
+    Body = std::move(*Mapped);
+    break;
+  }
+  case MapStrategy::Seq:
+    if (D.Chunk > 0) {
+      Expected<ExprPtr> Split = applyOnceChecked(
+          splitJoinIntroduction(arith::cst(D.Chunk)), Body, Engine);
+      if (!Split)
+        return {};
+      Body = std::move(*Split);
+    }
+    break;
+  }
+
+  Body = applyEverywhere(mapToMapSeq(), Body);
+  if (D.Fuse)
+    Body = applyEverywhere(reduceMapFusion(), Body);
+  Body = applyEverywhere(splitJoinElimination(), Body);
+
+  LambdaPtr Result = dsl::lambda(Clone->getParams(), Body);
+
+  // Candidate gate: type re-inference plus the IR verifier. Illegal
+  // derivations (e.g. parallel maps nested the wrong way) fail here with
+  // structured diagnostics instead of reaching the compiler.
+  try {
+    inferProgramTypes(Result);
+  } catch (const DiagnosticError &E) {
+    Diagnostic Diag = E.Diag;
+    Engine.report(Diag);
+    return {};
+  }
+  if (!passes::verifyChecked(Result, Engine, "tune-candidate"))
+    return {};
+  return Result;
+}

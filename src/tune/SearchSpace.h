@@ -1,0 +1,86 @@
+//===- SearchSpace.h - Lowering-derivation search space ----------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The space of lowering derivations the auto-tuner explores. A candidate
+/// is a *derivation*: a short, named sequence of `rewrite::Rule`
+/// applications (fusion on/off, a mapping choice for the outermost map,
+/// an optional split with a chunk size from a configurable pool) plus the
+/// NDRange the kernel is specialized for. Applying a derivation re-runs
+/// type inference and the IR verifier, so only well-formed candidates ever
+/// reach the compiler. The default derivation reproduces
+/// `rewrite::lowerProgram(P, /*UseWorkGroups=*/false)` exactly, which
+/// anchors the tuner's "never worse than the default lowering" guarantee.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_TUNE_SEARCHSPACE_H
+#define LIFT_TUNE_SEARCHSPACE_H
+
+#include "ir/IR.h"
+#include "support/Diagnostics.h"
+#include "tune/Workloads.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lift {
+namespace tune {
+
+/// How the outermost high-level map is mapped onto the thread hierarchy.
+enum class MapStrategy { Glb, WrgLcl, Seq };
+
+const char *mapStrategyName(MapStrategy S);
+
+/// One candidate lowering: which rewrite rules to apply, with which
+/// parameters, and the NDRange to specialize the kernel for.
+struct Derivation {
+  /// Run map-fusion / reduce-map-fusion to a fixpoint first (the
+  /// intermediate-array elimination of the default pipeline).
+  bool Fuse = true;
+  MapStrategy Strategy = MapStrategy::Glb;
+  /// For WrgLcl: the split chunk (work-group size). For Glb/Seq: an
+  /// optional split-join introduction ahead of the mapping step (0 =
+  /// none), tiling the outer loop.
+  int64_t Chunk = 0;
+  std::array<int64_t, 3> Global = {1, 1, 1};
+  std::array<int64_t, 3> Local = {1, 1, 1};
+
+  /// Stable identity string ("fuse=1 strategy=glb chunk=0 g=256 l=32");
+  /// used for deduplication, cache entries and deterministic ordering.
+  std::string key() const;
+
+  /// The derivation as a readable rule-application sequence, e.g.
+  /// "map-fusion*; map-to-mapGlb(0); map-to-mapSeq*; ...".
+  std::string trace() const;
+};
+
+/// The derivation that reproduces `rewrite::lowerProgram(P, false)` at the
+/// workload's base NDRange.
+Derivation defaultDerivation(const Workload &W);
+
+/// Enumerates the candidate derivations for \p W: mapping choices x fusion
+/// on/off x chunk sizes from \p ChunkPool (filtered to divisors of the
+/// outer dimension) x a small pool of NDRanges. Deterministic; the default
+/// derivation is always the first entry.
+std::vector<Derivation> enumerateDerivations(const Workload &W,
+                                             const std::vector<int64_t> &ChunkPool);
+
+/// Applies \p D to the high-level \p Program: clone, rewrite per the
+/// derivation, re-infer types and re-run passes::verify. Returns failure
+/// (diagnostics in \p Engine) when a rule matches nowhere (E0405), when
+/// type re-inference fails, or when the verifier rejects the candidate —
+/// e.g. illegally nested parallel maps.
+Expected<ir::LambdaPtr> applyDerivation(const ir::LambdaPtr &Program,
+                                        const Derivation &D,
+                                        DiagnosticEngine &Engine);
+
+} // namespace tune
+} // namespace lift
+
+#endif // LIFT_TUNE_SEARCHSPACE_H

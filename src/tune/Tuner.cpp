@@ -1,0 +1,312 @@
+//===- Tuner.cpp - Cost-guided lowering search ----------------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tune/Tuner.h"
+
+#include "codegen/Compiler.h"
+#include "ocl/ThreadPool.h"
+#include "tune/Cache.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <set>
+
+using namespace lift;
+using namespace lift::tune;
+
+const char *tune::candidateStatusName(CandidateStatus S) {
+  switch (S) {
+  case CandidateStatus::Ok:
+    return "ok";
+  case CandidateStatus::RejectedLowering:
+    return "rejected-lowering";
+  case CandidateStatus::RejectedVerify:
+    return "rejected-verify";
+  case CandidateStatus::RejectedCompile:
+    return "rejected-compile";
+  case CandidateStatus::RejectedExec:
+    return "rejected-exec";
+  case CandidateStatus::RejectedMismatch:
+    return "rejected-mismatch";
+  }
+  return "?";
+}
+
+std::string TuneConfig::key() const {
+  std::string K = "seed=" + std::to_string(Seed);
+  K += " exhaustive=" + std::to_string(ExhaustiveThreshold);
+  K += " max-evals=" + std::to_string(MaxEvaluations);
+  K += " beam=" + std::to_string(BeamWidth);
+  K += " pool=";
+  for (size_t I = 0; I != ChunkPool.size(); ++I)
+    K += (I ? "," : "") + std::to_string(ChunkPool[I]);
+  K += " limits=" + std::to_string(CandidateLimits.MaxSteps) + "/" +
+       std::to_string(CandidateLimits.TimeoutMs) + "/" +
+       std::to_string(CandidateLimits.MaxMemoryBytes);
+  auto W = [](double V) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%g", V);
+    return std::string(Buf);
+  };
+  K += " weights=" + W(Weights.Global) + "," + W(Weights.Local) + "," +
+       W(Weights.Private) + "," + W(Weights.Arith) + "," +
+       W(Weights.DivMod) + "," + W(Weights.Math) + "," + W(Weights.Call) +
+       "," + W(Weights.Barrier) + "," + W(Weights.LoopIter);
+  return K;
+}
+
+namespace {
+
+/// xorshift64* — the deterministic sampler for the above-threshold path.
+struct Prng {
+  uint64_t State;
+  explicit Prng(uint64_t Seed) : State(Seed * 2654435761u + 1) {}
+  uint64_t next() {
+    State ^= State << 13;
+    State ^= State >> 7;
+    State ^= State << 17;
+    return State;
+  }
+};
+
+/// First diagnostic code id recorded in \p E ("E0405"), or a fallback.
+std::string firstCode(const DiagnosticEngine &E, const char *Fallback) {
+  if (E.diagnostics().empty())
+    return Fallback;
+  return diagCodeId(E.diagnostics().front().Code);
+}
+
+bool hasCode(const DiagnosticEngine &E, DiagCode C) {
+  for (const Diagnostic &D : E.diagnostics())
+    if (D.Code == C)
+      return true;
+  return false;
+}
+
+/// Lowers, verifies, compiles and executes one candidate. Never throws:
+/// every input-triggered failure becomes a Rejected* outcome. Launches run
+/// single-threaded (Threads = 1) because evaluation itself is dispatched
+/// on the process-wide pool — the pool is not reentrant.
+CandidateOutcome evaluateCandidate(const Workload &W, const Derivation &D,
+                                   const TuneConfig &C,
+                                   const std::vector<float> *RefOut,
+                                   std::vector<float> *OutFlat = nullptr) {
+  CandidateOutcome O;
+  O.D = D;
+  DiagnosticEngine E;
+  try {
+    Expected<ir::LambdaPtr> Lowered = applyDerivation(W.Program, D, E);
+    if (!Lowered) {
+      O.Status = hasCode(E, DiagCode::RewriteNoLowering)
+                     ? CandidateStatus::RejectedLowering
+                     : CandidateStatus::RejectedVerify;
+      O.Detail = firstCode(E, "derivation failed");
+      return O;
+    }
+
+    codegen::CompilerOptions Opts;
+    Opts.GlobalSize = D.Global;
+    Opts.LocalSize = D.Local;
+    Opts.Threads = 1;
+    Opts.KernelName = "TUNE_" + W.Name;
+    Expected<codegen::CompiledKernel> K =
+        codegen::compileChecked(*Lowered, Opts, E);
+    if (!K) {
+      O.Status = CandidateStatus::RejectedCompile;
+      O.Detail = firstCode(E, "compile failed");
+      return O;
+    }
+
+    std::vector<ocl::Buffer> Buffers;
+    Buffers.reserve(W.Inputs.size() + 1);
+    for (const std::vector<float> &In : W.Inputs)
+      Buffers.push_back(ocl::Buffer::ofFloats(In));
+    Buffers.push_back(ocl::Buffer::zeros(W.OutCount));
+    std::vector<ocl::Buffer *> Bound;
+    for (ocl::Buffer &B : Buffers)
+      Bound.push_back(&B);
+
+    ocl::LaunchConfig Cfg;
+    Cfg.Global = D.Global;
+    Cfg.Local = D.Local;
+    Cfg.Threads = 1;
+    Cfg.Limits = C.CandidateLimits;
+    Expected<ocl::LaunchResult> Res =
+        ocl::launchChecked(*K, Bound, W.Sizes, Cfg, E);
+    if (!Res) {
+      O.Status = CandidateStatus::RejectedExec;
+      O.Detail = firstCode(E, "launch failed");
+      return O;
+    }
+
+    std::vector<float> Flat = Buffers.back().toFlatFloats();
+    if (RefOut) {
+      if (Flat.size() != RefOut->size() ||
+          (Flat.size() &&
+           std::memcmp(Flat.data(), RefOut->data(),
+                       Flat.size() * sizeof(float)) != 0)) {
+        O.Status = CandidateStatus::RejectedMismatch;
+        O.Detail = "output differs from reference lowering";
+        return O;
+      }
+    }
+    if (OutFlat)
+      *OutFlat = std::move(Flat);
+
+    O.Status = CandidateStatus::Ok;
+    O.Cost = Res->Cost.cost(C.Weights);
+  } catch (const DiagnosticError &Err) {
+    O.Status = CandidateStatus::RejectedExec;
+    O.Detail = diagCodeId(Err.Diag.Code);
+  } catch (const std::exception &Ex) {
+    O.Status = CandidateStatus::RejectedExec;
+    O.Detail = Ex.what();
+  }
+  return O;
+}
+
+/// Picks the candidate indices to evaluate when the space is above the
+/// exhaustive threshold: the default lowering, a seeded random sample, and
+/// (after the first wave is scored by the caller) a greedy neighbourhood
+/// around the incumbent. Selection is pure — it depends only on the seed
+/// and the enumeration, never on evaluation timing.
+std::vector<size_t> sampleIndices(size_t SpaceSize, const TuneConfig &C) {
+  size_t Budget = C.MaxEvaluations ? C.MaxEvaluations : SpaceSize / 2;
+  Budget = std::max<size_t>(Budget, 2);
+  Budget = std::min(Budget, SpaceSize);
+
+  std::set<size_t> Chosen;
+  Chosen.insert(0); // the default derivation is always scored
+  Prng R(C.Seed);
+  // Leave BeamWidth slots for the greedy refinement wave.
+  size_t FirstWave = Budget > C.BeamWidth ? Budget - C.BeamWidth : Budget;
+  while (Chosen.size() < FirstWave)
+    Chosen.insert(static_cast<size_t>(R.next() % SpaceSize));
+  return {Chosen.begin(), Chosen.end()};
+}
+
+/// Evaluates the given candidate indices concurrently on the process-wide
+/// worker pool. Results are stored by candidate index, so the outcome is
+/// identical at every worker count.
+void evaluateWave(const Workload &W, const std::vector<Derivation> &Space,
+                  const std::vector<size_t> &Indices, const TuneConfig &C,
+                  const std::vector<float> &RefOut,
+                  std::map<size_t, CandidateOutcome> &Results) {
+  std::vector<CandidateOutcome> Wave(Indices.size());
+  std::atomic<size_t> NextItem{0};
+  auto Body = [&](unsigned) {
+    for (;;) {
+      size_t I = NextItem.fetch_add(1);
+      if (I >= Indices.size())
+        break;
+      Wave[I] = evaluateCandidate(W, Space[Indices[I]], C, &RefOut);
+    }
+  };
+  unsigned Workers = ocl::resolveThreadCount(C.Threads);
+  Workers = static_cast<unsigned>(
+      std::min<size_t>(Workers, std::max<size_t>(Indices.size(), 1)));
+  if (Workers <= 1)
+    Body(0);
+  else
+    ocl::ThreadPool::global().run(Workers, Body);
+  for (size_t I = 0; I != Indices.size(); ++I)
+    Results[Indices[I]] = std::move(Wave[I]);
+}
+
+/// Index of the cheapest Ok outcome (ties break toward the lower
+/// enumeration index); SIZE_MAX when nothing succeeded.
+size_t bestIndex(const std::map<size_t, CandidateOutcome> &Results) {
+  size_t Best = SIZE_MAX;
+  double BestCost = 0;
+  for (const auto &[I, O] : Results) {
+    if (O.Status != CandidateStatus::Ok)
+      continue;
+    if (Best == SIZE_MAX || O.Cost < BestCost) {
+      Best = I;
+      BestCost = O.Cost;
+    }
+  }
+  return Best;
+}
+
+} // namespace
+
+Expected<TuneResult> tune::tuneWorkload(const Workload &W,
+                                        const TuneConfig &C,
+                                        DiagnosticEngine &Engine) {
+  TuneResult R;
+  R.Workload = W.Name;
+
+  if (C.UseCache && loadCachedResult(W, C, R))
+    return R;
+  R = TuneResult();
+  R.Workload = W.Name;
+
+  // Reference: the default lowerProgram derivation at the base NDRange.
+  // Its failure is the only failure tuneWorkload propagates — candidates
+  // merely get rejected.
+  std::vector<float> RefOut;
+  CandidateOutcome Ref =
+      evaluateCandidate(W, defaultDerivation(W), C, nullptr, &RefOut);
+  if (Ref.Status != CandidateStatus::Ok) {
+    Engine.error(DiagCode::RewriteNoLowering,
+                 DiagLocation::inContext("tune:" + W.Name),
+                 "default lowering failed (" +
+                     std::string(candidateStatusName(Ref.Status)) + ": " +
+                     Ref.Detail + "); nothing to tune against");
+    return {};
+  }
+  R.DefaultCost = Ref.Cost;
+
+  std::vector<Derivation> Space = enumerateDerivations(W, C.ChunkPool);
+  R.CandidatesEnumerated = static_cast<unsigned>(Space.size());
+
+  std::map<size_t, CandidateOutcome> Results;
+  if (Space.size() <= C.ExhaustiveThreshold) {
+    std::vector<size_t> All(Space.size());
+    for (size_t I = 0; I != All.size(); ++I)
+      All[I] = I;
+    evaluateWave(W, Space, All, C, RefOut, Results);
+  } else {
+    // Wave 1: default + seeded random sample.
+    evaluateWave(W, Space, sampleIndices(Space.size(), C), C, RefOut,
+                 Results);
+    // Wave 2: greedy refinement — unevaluated neighbours of the incumbent
+    // (same strategy and fusion flag), in enumeration order.
+    size_t Incumbent = bestIndex(Results);
+    if (Incumbent != SIZE_MAX && C.BeamWidth > 0) {
+      const Derivation &B = Space[Incumbent];
+      std::vector<size_t> Neighbours;
+      for (size_t I = 0; I != Space.size(); ++I) {
+        if (Results.count(I))
+          continue;
+        if (Space[I].Strategy == B.Strategy && Space[I].Fuse == B.Fuse) {
+          Neighbours.push_back(I);
+          if (Neighbours.size() == C.BeamWidth)
+            break;
+        }
+      }
+      if (!Neighbours.empty())
+        evaluateWave(W, Space, Neighbours, C, RefOut, Results);
+    }
+  }
+
+  R.CandidatesEvaluated = static_cast<unsigned>(Results.size());
+  for (const auto &[I, O] : Results)
+    R.Trajectory.push_back(O);
+
+  size_t Best = bestIndex(Results);
+  if (Best != SIZE_MAX) {
+    R.HasBest = true;
+    R.Best = Space[Best];
+    R.BestCost = Results[Best].Cost;
+  }
+
+  if (C.UseCache)
+    storeCachedResult(W, C, R);
+  return R;
+}

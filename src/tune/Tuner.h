@@ -1,0 +1,117 @@
+//===- Tuner.h - Cost-guided lowering search ---------------------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cost-guided searcher over the lowering space of SearchSpace.h:
+/// candidates are compiled and scored with the simulated runtime's cost
+/// model, evaluated concurrently on the process-wide ocl::ThreadPool (each
+/// candidate launch runs single-threaded under its own ExecLimits, so a
+/// pathological derivation is cut off rather than hanging the search).
+/// Below TuneConfig::ExhaustiveThreshold every candidate is evaluated;
+/// above it a seeded random sample plus a greedy neighbourhood refinement
+/// keeps the budget bounded. Results are deterministic for a fixed seed at
+/// every evaluation thread count, and cached persistently (Cache.h) keyed
+/// on the program's IR hash and the search configuration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_TUNE_TUNER_H
+#define LIFT_TUNE_TUNER_H
+
+#include "ocl/Runtime.h"
+#include "support/Diagnostics.h"
+#include "tune/SearchSpace.h"
+#include "tune/Workloads.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lift {
+namespace tune {
+
+/// Search configuration. Everything that affects the search *result* is
+/// part of the cache key; the evaluation thread count deliberately is not
+/// (results are thread-count invariant).
+struct TuneConfig {
+  /// Seed for the sampling phase above the exhaustive threshold.
+  uint64_t Seed = 1;
+  /// Evaluation workers (candidates in flight). 0 = auto (LIFT_THREADS,
+  /// else hardware concurrency); 1 = serial.
+  int Threads = 0;
+  /// Search spaces up to this many candidates are evaluated exhaustively.
+  unsigned ExhaustiveThreshold = 96;
+  /// Evaluation budget above the threshold (0 = half the space).
+  unsigned MaxEvaluations = 24;
+  /// Size of the greedy refinement neighbourhood sample.
+  unsigned BeamWidth = 4;
+  /// Split / work-group chunk sizes offered to the enumerator.
+  std::vector<int64_t> ChunkPool = {4, 8, 16, 32, 64, 128};
+  /// Per-candidate execution bounds; pathological candidates are cancelled
+  /// (E0510/E0511) and rejected instead of hanging the search.
+  ocl::ExecLimits CandidateLimits;
+  /// Cost-model weights used for scoring.
+  ocl::CostWeights Weights;
+  /// Persistent cache directory; empty disables caching entirely.
+  std::string CacheDir = ".lift-tune";
+  bool UseCache = true;
+
+  TuneConfig() {
+    CandidateLimits.MaxSteps = 20000000;
+    CandidateLimits.TimeoutMs = 10000;
+  }
+
+  /// Stable serialization of every result-affecting field (cache key
+  /// component).
+  std::string key() const;
+};
+
+enum class CandidateStatus {
+  Ok,               ///< Verified, compiled, executed, bit-identical.
+  RejectedLowering, ///< A rule in the derivation matched nowhere (E0405).
+  RejectedVerify,   ///< Type re-inference or passes::Verify rejected it.
+  RejectedCompile,  ///< codegen::compileChecked failed.
+  RejectedExec,     ///< Launch failed (including exceeded ExecLimits).
+  RejectedMismatch, ///< Executed but differed from the reference output.
+};
+
+const char *candidateStatusName(CandidateStatus S);
+
+struct CandidateOutcome {
+  Derivation D;
+  CandidateStatus Status = CandidateStatus::RejectedExec;
+  /// Simulated cost under TuneConfig::Weights (valid when Status == Ok).
+  double Cost = 0;
+  /// First diagnostic code id ("E0405") or short reason on rejection.
+  std::string Detail;
+};
+
+struct TuneResult {
+  std::string Workload;
+  /// Cost of the default `lowerProgram` lowering at the base NDRange.
+  double DefaultCost = 0;
+  bool HasBest = false;
+  Derivation Best;
+  double BestCost = 0;
+  unsigned CandidatesEnumerated = 0;
+  /// Candidates actually executed this invocation (0 on a cache hit).
+  unsigned CandidatesEvaluated = 0;
+  bool CacheHit = false;
+  /// Evaluated candidates in canonical enumeration order.
+  std::vector<CandidateOutcome> Trajectory;
+};
+
+/// Tunes one workload: computes the reference (default-lowering) output,
+/// enumerates and evaluates candidates, returns the best verified,
+/// bit-identical lowering. Returns failure (diagnostics in \p Engine) only
+/// when the *default* lowering itself cannot be built or executed.
+Expected<TuneResult> tuneWorkload(const Workload &W, const TuneConfig &C,
+                                  DiagnosticEngine &Engine);
+
+} // namespace tune
+} // namespace lift
+
+#endif // LIFT_TUNE_TUNER_H

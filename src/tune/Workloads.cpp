@@ -1,0 +1,430 @@
+//===- Workloads.cpp - High-level tuning workloads ------------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tune/Workloads.h"
+
+#include "ir/DSL.h"
+#include "ir/Prelude.h"
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::ir::dsl;
+using namespace lift::tune;
+
+namespace {
+
+/// Deterministic pseudo-random inputs in [0, 1) — same xorshift family as
+/// the benchmark suite, so workload data never depends on library state.
+std::vector<float> randomFloats(size_t Count, uint64_t Seed) {
+  std::vector<float> R(Count);
+  uint64_t S = Seed * 2654435761u + 1;
+  for (float &V : R) {
+    S ^= S << 13;
+    S ^= S >> 7;
+    S ^= S << 17;
+    V = static_cast<float>((S >> 11) % 1000) / 1000.f;
+  }
+  return R;
+}
+
+ParamPtr floatArray(const std::string &Name, int64_t N) {
+  return param(Name, arrayOf(float32(), arith::cst(N)));
+}
+
+ParamPtr floatMatrix(const std::string &Name, int64_t Rows, int64_t Cols) {
+  return param(Name, arrayOf(arrayOf(float32(), arith::cst(Cols)),
+                             arith::cst(Rows)));
+}
+
+/// map(idF) over the [float]1 result of a reduction: the high-level
+/// spelling of the copy-to-output stage (the suite's toGlobal(mapSeq(idF))
+/// before mapping decisions are taken).
+ExprPtr copyOut(ExprPtr Reduced) {
+  return call(map(prelude::idFloatFun()), {std::move(Reduced)});
+}
+
+/// n-body pattern: every body interacts with every other body and the
+/// contributions are summed. O(N^2) with an inner map feeding a reduction.
+Workload makeNBody() {
+  const int64_t N = 128;
+  FunDeclPtr Inter =
+      userFun("interact", {"p", "q"}, {float32(), float32()}, float32(),
+              "return p * q + 0.5f * q;");
+  ParamPtr P = floatArray("bodies", N);
+  LambdaPtr Prog = lambda(
+      {P},
+      pipe(ExprPtr(P), map(fun([&](ExprPtr Pi) {
+             return copyOut(call(
+                 reduceSeq(prelude::addFun()),
+                 {litFloat(0.f), call(map(fun([&](ExprPtr Qj) {
+                                        return call(Inter, {Pi, Qj});
+                                      })),
+                                      {ExprPtr(P)})}));
+           })),
+           join()));
+
+  Workload W;
+  W.Name = "nbody";
+  W.Program = Prog;
+  W.Inputs = {randomFloats(static_cast<size_t>(N), 3)};
+  W.OutCount = static_cast<size_t>(N);
+  W.BaseGlobal = {32, 1, 1};
+  W.BaseLocal = {8, 1, 1};
+  W.OuterN = N;
+  return W;
+}
+
+/// AMD-style n-body variant: the interaction is folded straight into the
+/// reduction operator (no inner map to fuse).
+Workload makeNBodyAmd() {
+  const int64_t N = 96;
+  FunDeclPtr Acc = userFun("accDist", {"acc", "p", "q"},
+                           {float32(), float32(), float32()}, float32(),
+                           "float d = p - q; return acc + d * d;");
+  ParamPtr P = floatArray("bodies", N);
+  LambdaPtr Prog = lambda(
+      {P}, pipe(ExprPtr(P), map(fun([&](ExprPtr Pi) {
+              return copyOut(
+                  call(reduceSeq(fun2([&](ExprPtr A, ExprPtr Qj) {
+                         return call(Acc, {A, Pi, Qj});
+                       })),
+                       {litFloat(0.f), ExprPtr(P)}));
+            })),
+            join()));
+
+  Workload W;
+  W.Name = "nbody-amd";
+  W.Program = Prog;
+  W.Inputs = {randomFloats(static_cast<size_t>(N), 5)};
+  W.OutCount = static_cast<size_t>(N);
+  W.BaseGlobal = {48, 1, 1};
+  W.BaseLocal = {8, 1, 1};
+  W.OuterN = N;
+  return W;
+}
+
+/// Molecular dynamics pattern: per-particle sum of squared distances to a
+/// fixed neighbour set.
+Workload makeMD() {
+  const int64_t N = 128, K = 64;
+  FunDeclPtr Acc = userFun("ljAcc", {"acc", "p", "q"},
+                           {float32(), float32(), float32()}, float32(),
+                           "float d = p - q; return acc + d * d + 0.05f;");
+  ParamPtr P = floatArray("particles", N);
+  ParamPtr Q = floatArray("neighbours", K);
+  LambdaPtr Prog = lambda(
+      {P, Q}, pipe(ExprPtr(P), map(fun([&](ExprPtr Pi) {
+                 return copyOut(
+                     call(reduceSeq(fun2([&](ExprPtr A, ExprPtr Qj) {
+                            return call(Acc, {A, Pi, Qj});
+                          })),
+                          {litFloat(0.f), ExprPtr(Q)}));
+               })),
+               join()));
+
+  Workload W;
+  W.Name = "md";
+  W.Program = Prog;
+  W.Inputs = {randomFloats(static_cast<size_t>(N), 7),
+              randomFloats(static_cast<size_t>(K), 9)};
+  W.OutCount = static_cast<size_t>(N);
+  W.BaseGlobal = {64, 1, 1};
+  W.BaseLocal = {16, 1, 1};
+  W.OuterN = N;
+  return W;
+}
+
+/// k-means assignment pattern: distance to every cluster, minimum via a
+/// reduction over a mapped distance array.
+Workload makeKMeans() {
+  const int64_t N = 256, C = 8;
+  FunDeclPtr D2 = userFun("d2", {"p", "c"}, {float32(), float32()},
+                          float32(), "float d = p - c; return d * d;");
+  FunDeclPtr KMin = userFun("kmin", {"a", "b"}, {float32(), float32()},
+                            float32(), "return b < a ? b : a;");
+  ParamPtr P = floatArray("points", N);
+  ParamPtr Cs = floatArray("clusters", C);
+  LambdaPtr Prog = lambda(
+      {P, Cs},
+      pipe(ExprPtr(P), map(fun([&](ExprPtr Pi) {
+             return copyOut(call(
+                 reduceSeq(KMin),
+                 {lit("3.4e38f", float32()),
+                  call(map(fun([&](ExprPtr Cj) { return call(D2, {Pi, Cj}); })),
+                       {ExprPtr(Cs)})}));
+           })),
+           join()));
+
+  Workload W;
+  W.Name = "kmeans";
+  W.Program = Prog;
+  W.Inputs = {randomFloats(static_cast<size_t>(N), 11),
+              randomFloats(static_cast<size_t>(C), 13)};
+  W.OutCount = static_cast<size_t>(N);
+  W.BaseGlobal = {64, 1, 1};
+  W.BaseLocal = {16, 1, 1};
+  W.OuterN = N;
+  return W;
+}
+
+/// Nearest-neighbour pattern: element-wise distance to a fixed query.
+Workload makeNN() {
+  const int64_t N = 512;
+  FunDeclPtr Dist =
+      userFun("dist", {"p"}, {float32()}, float32(),
+              "float dx = p - 0.5f; return sqrt(dx * dx + 0.25f);");
+  ParamPtr P = floatArray("points", N);
+  LambdaPtr Prog = lambda({P}, call(map(Dist), {ExprPtr(P)}));
+
+  Workload W;
+  W.Name = "nn";
+  W.Program = Prog;
+  W.Inputs = {randomFloats(static_cast<size_t>(N), 17)};
+  W.OutCount = static_cast<size_t>(N);
+  W.BaseGlobal = {512, 1, 1};
+  W.BaseLocal = {32, 1, 1};
+  W.OuterN = N;
+  return W;
+}
+
+/// MRI-Q pattern: element-wise trigonometric kernel.
+Workload makeMriQ() {
+  const int64_t N = 256;
+  FunDeclPtr Phase = userFun("phase", {"x"}, {float32()}, float32(),
+                             "return cos(x) + x * sin(x);");
+  ParamPtr P = floatArray("samples", N);
+  LambdaPtr Prog = lambda({P}, call(map(Phase), {ExprPtr(P)}));
+
+  Workload W;
+  W.Name = "mriq";
+  W.Program = Prog;
+  W.Inputs = {randomFloats(static_cast<size_t>(N), 19)};
+  W.OutCount = static_cast<size_t>(N);
+  W.BaseGlobal = {256, 1, 1};
+  W.BaseLocal = {32, 1, 1};
+  W.OuterN = N;
+  return W;
+}
+
+/// 1D 3-point stencil over sliding windows.
+Workload makeConvolution() {
+  const int64_t N = 1026; // 1024 windows of size 3, step 1
+  FunDeclPtr AccW = userFun("accW", {"acc", "e"}, {float32(), float32()},
+                            float32(), "return acc + 0.3333f * e;");
+  ParamPtr In = floatArray("signal", N);
+  LambdaPtr Prog = lambda(
+      {In}, pipe(ExprPtr(In), slide(3, 1), map(fun([&](ExprPtr Win) {
+               return copyOut(
+                   call(reduceSeq(AccW), {litFloat(0.f), Win}));
+             })),
+             join()));
+
+  Workload W;
+  W.Name = "convolution";
+  W.Program = Prog;
+  W.Inputs = {randomFloats(static_cast<size_t>(N), 23)};
+  W.OutCount = 1024;
+  W.BaseGlobal = {256, 1, 1};
+  W.BaseLocal = {32, 1, 1};
+  W.OuterN = 1024;
+  return W;
+}
+
+/// atax pattern (A^T A x), simplified to a per-row dot product with a
+/// squared accumulation stage.
+Workload makeAtax() {
+  const int64_t M = 64, K = 64;
+  ParamPtr A = floatMatrix("A", M, K);
+  ParamPtr X = floatArray("x", K);
+  LambdaPtr Prog = lambda(
+      {A, X},
+      pipe(ExprPtr(A), map(fun([&](ExprPtr Row) {
+             return call(
+                 map(prelude::squareFun()),
+                 {call(reduceSeq(prelude::addFun()),
+                       {litFloat(0.f),
+                        call(map(prelude::multFun2Tuple()),
+                             {call(zip(), {Row, ExprPtr(X)})})})});
+           })),
+           join()));
+
+  Workload W;
+  W.Name = "atax";
+  W.Program = Prog;
+  W.Inputs = {randomFloats(static_cast<size_t>(M * K), 29),
+              randomFloats(static_cast<size_t>(K), 31)};
+  W.OutCount = static_cast<size_t>(M);
+  W.BaseGlobal = {64, 1, 1};
+  W.BaseLocal = {16, 1, 1};
+  W.OuterN = M;
+  return W;
+}
+
+/// Dense matrix-vector multiplication: per-row dot product.
+Workload makeGemv() {
+  const int64_t M = 256, K = 64;
+  ParamPtr A = floatMatrix("A", M, K);
+  ParamPtr X = floatArray("x", K);
+  LambdaPtr Prog = lambda(
+      {A, X},
+      pipe(ExprPtr(A), map(fun([&](ExprPtr Row) {
+             return copyOut(
+                 call(reduceSeq(prelude::addFun()),
+                      {litFloat(0.f),
+                       call(map(prelude::multFun2Tuple()),
+                            {call(zip(), {Row, ExprPtr(X)})})}));
+           })),
+           join()));
+
+  Workload W;
+  W.Name = "gemv";
+  W.Program = Prog;
+  W.Inputs = {randomFloats(static_cast<size_t>(M * K), 37),
+              randomFloats(static_cast<size_t>(K), 41)};
+  W.OutCount = static_cast<size_t>(M);
+  W.BaseGlobal = {64, 1, 1};
+  W.BaseLocal = {16, 1, 1};
+  W.OuterN = M;
+  return W;
+}
+
+/// gesummv pattern: y = A x + B x, two dot products per output row.
+Workload makeGesummv() {
+  const int64_t M = 64, K = 48;
+  FunDeclPtr AddPair =
+      userFun("addPair", {"p"}, {tupleOf({float32(), float32()})}, float32(),
+              "return p._0 + p._1;");
+  ParamPtr A = floatMatrix("A", M, K);
+  ParamPtr B = floatMatrix("B", M, K);
+  ParamPtr X = floatArray("x", K);
+  auto Dot = [&](ExprPtr Row) {
+    return call(reduceSeq(prelude::multAndSumUpFun()),
+                {litFloat(0.f), call(zip(), {std::move(Row), ExprPtr(X)})});
+  };
+  LambdaPtr Prog = lambda(
+      {A, B, X},
+      pipe(call(zip(), {ExprPtr(A), ExprPtr(B)}), map(fun([&](ExprPtr AB) {
+             ExprPtr DotA = Dot(call(get(0), {AB}));
+             ExprPtr DotB = Dot(call(get(1), {AB}));
+             return call(map(AddPair),
+                         {call(zip(), {std::move(DotA), std::move(DotB)})});
+           })),
+           join()));
+
+  Workload W;
+  W.Name = "gesummv";
+  W.Program = Prog;
+  W.Inputs = {randomFloats(static_cast<size_t>(M * K), 43),
+              randomFloats(static_cast<size_t>(M * K), 47),
+              randomFloats(static_cast<size_t>(K), 53)};
+  W.OutCount = static_cast<size_t>(M);
+  W.BaseGlobal = {32, 1, 1};
+  W.BaseLocal = {8, 1, 1};
+  W.OuterN = M;
+  return W;
+}
+
+/// Dense matrix multiplication with the second matrix stored transposed:
+/// nested high-level maps over rows x columns.
+Workload makeMM() {
+  const int64_t M = 32, N = 32, K = 32;
+  ParamPtr A = floatMatrix("A", M, K);
+  ParamPtr Bt = floatMatrix("Bt", N, K);
+  LambdaPtr Prog = lambda(
+      {A, Bt},
+      pipe(ExprPtr(A), map(fun([&](ExprPtr Row) {
+             return pipe(ExprPtr(Bt), map(fun([&](ExprPtr Col) {
+                           return copyOut(call(
+                               reduceSeq(prelude::multAndSumUpFun()),
+                               {litFloat(0.f),
+                                call(zip(), {Row, Col})}));
+                         })),
+                         join());
+           }))));
+
+  Workload W;
+  W.Name = "mm";
+  W.Program = Prog;
+  W.Inputs = {randomFloats(static_cast<size_t>(M * K), 59),
+              randomFloats(static_cast<size_t>(N * K), 61)};
+  W.OutCount = static_cast<size_t>(M * N);
+  W.BaseGlobal = {8, 1, 1};
+  W.BaseLocal = {4, 1, 1};
+  W.OuterN = M;
+  return W;
+}
+
+/// AMD-style matrix multiplication variant: explicit multiply map feeding
+/// an add reduction (fusable), smaller tiles.
+Workload makeMMAmd() {
+  const int64_t M = 24, N = 24, K = 24;
+  ParamPtr A = floatMatrix("A", M, K);
+  ParamPtr Bt = floatMatrix("Bt", N, K);
+  LambdaPtr Prog = lambda(
+      {A, Bt},
+      pipe(ExprPtr(A), map(fun([&](ExprPtr Row) {
+             return pipe(ExprPtr(Bt), map(fun([&](ExprPtr Col) {
+                           return copyOut(call(
+                               reduceSeq(prelude::addFun()),
+                               {litFloat(0.f),
+                                call(map(prelude::multFun2Tuple()),
+                                     {call(zip(), {Row, Col})})}));
+                         })),
+                         join());
+           }))));
+
+  Workload W;
+  W.Name = "mm-amd";
+  W.Program = Prog;
+  W.Inputs = {randomFloats(static_cast<size_t>(M * K), 67),
+              randomFloats(static_cast<size_t>(N * K), 71)};
+  W.OutCount = static_cast<size_t>(M * N);
+  W.BaseGlobal = {24, 1, 1};
+  W.BaseLocal = {4, 1, 1};
+  W.OuterN = M;
+  return W;
+}
+
+} // namespace
+
+std::vector<Workload> tune::allWorkloads() {
+  return {makeNBody(),  makeNBodyAmd(), makeMD(),   makeKMeans(),
+          makeNN(),     makeMriQ(),     makeConvolution(), makeAtax(),
+          makeGemv(),   makeGesummv(),  makeMM(),   makeMMAmd()};
+}
+
+Workload tune::loweringCompareWorkload() {
+  const int64_t N = 4096;
+  FunDeclPtr Scale = userFun("scale", {"x"}, {float32()}, float32(),
+                             "return 3.0f * x;");
+  FunDeclPtr Offset = userFun("offset", {"x"}, {float32()}, float32(),
+                              "return x + 1.0f;");
+  ParamPtr X = floatArray("x", N);
+  LambdaPtr Prog =
+      lambda({X}, pipe(ExprPtr(X), map(Scale), map(Offset)));
+
+  std::vector<float> In(static_cast<size_t>(N));
+  for (int64_t I = 0; I != N; ++I)
+    In[static_cast<size_t>(I)] = static_cast<float>(I % 17) / 4.f;
+
+  Workload W;
+  W.Name = "lowering-compare";
+  W.Program = Prog;
+  W.Inputs = {In};
+  W.OutCount = static_cast<size_t>(N);
+  W.BaseGlobal = {512, 1, 1};
+  W.BaseLocal = {64, 1, 1};
+  W.OuterN = N;
+  return W;
+}
+
+const Workload *tune::findWorkload(const std::vector<Workload> &Set,
+                                   const std::string &Name) {
+  for (const Workload &W : Set)
+    if (W.Name == Name)
+      return &W;
+  return nullptr;
+}

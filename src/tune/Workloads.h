@@ -1,0 +1,68 @@
+//===- Workloads.h - High-level tuning workloads -----------------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tuner searches the lowering space of *high-level* programs (plain
+/// `map`, no mapping decisions taken). The benchmark suite's cases are
+/// already lowered, so this module provides portable high-level
+/// formulations of the same twelve computational patterns (n-body, MD,
+/// k-means, nn, mri-q, convolution, atax, gemv, gesummv, mm and the AMD
+/// variants), each with deterministic inputs and a deliberately
+/// one-size-fits-all base NDRange standing in for the untuned launch
+/// configuration a user would pick.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_TUNE_WORKLOADS_H
+#define LIFT_TUNE_WORKLOADS_H
+
+#include "ir/IR.h"
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lift {
+namespace tune {
+
+/// A tunable workload: a high-level program plus everything needed to
+/// execute candidates (inputs, output extent, base NDRange).
+struct Workload {
+  std::string Name;
+  /// High-level program: plain `map` everywhere, constant sizes.
+  ir::LambdaPtr Program;
+  /// One flat float vector per program buffer parameter, in order.
+  std::vector<std::vector<float>> Inputs;
+  /// Element count of the output buffer (simulated Values).
+  size_t OutCount = 0;
+  /// Integer size bindings (empty: the workloads use constant sizes).
+  std::map<std::string, int64_t> Sizes;
+  /// The untuned launch configuration the default lowering runs at.
+  std::array<int64_t, 3> BaseGlobal = {64, 1, 1};
+  std::array<int64_t, 3> BaseLocal = {16, 1, 1};
+  /// Length of the outermost map (the tunable parallel dimension).
+  int64_t OuterN = 0;
+};
+
+/// The twelve tuning workloads, in a fixed order.
+std::vector<Workload> allWorkloads();
+
+/// The high-level program of bench/lowering_compare.cpp (map(multiply) .
+/// map(add) over [float]4096), exposed here so the bench can consult the
+/// tuning cache for its work-group chunk size.
+Workload loweringCompareWorkload();
+
+/// Finds a workload by name in allWorkloads() + loweringCompareWorkload().
+/// Returns nullptr-like empty Program when unknown.
+const Workload *findWorkload(const std::vector<Workload> &Set,
+                             const std::string &Name);
+
+} // namespace tune
+} // namespace lift
+
+#endif // LIFT_TUNE_WORKLOADS_H

@@ -17,9 +17,10 @@
 ///     Invariant: parseILChecked / verifyChecked / compileChecked either
 ///     succeed or record a diagnostic — no abort, no escaped exception.
 ///
-///  2. Random well-typed IR: layout, reduction (reduceSeq) and tuple
-///     (zip/get) pipelines built with the DSL (the same family FuzzTest
-///     checks for *correctness*), here compiled under --verify-each and
+///  2. Random well-typed IR: layout, reduction (reduceSeq), tuple
+///     (zip/get) and vector (asVector/mapVec/asScalar) pipelines built
+///     with the shared generator (Generator.h, also the input source of
+///     the rule-soundness tier), here compiled under --verify-each and
 ///     executed under guarded memory, race checking and execution limits
 ///     (ocl::ExecLimits). Invariant: a well-typed program always compiles
 ///     cleanly and runs with zero findings and no tripped limit.
@@ -30,6 +31,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "Generator.h"
 #include "TestHelpers.h"
 #include "frontend/ILParser.h"
 #include "ir/Prelude.h"
@@ -50,24 +52,6 @@ using namespace lift::ir::dsl;
 using namespace lift::test;
 
 namespace {
-
-/// Deterministic small PRNG (xorshift, as in FuzzTest).
-class Prng {
-  uint64_t State;
-
-public:
-  explicit Prng(uint64_t Seed) : State(Seed * 2654435761u + 1) {}
-  uint64_t next() {
-    State ^= State << 13;
-    State ^= State >> 7;
-    State ^= State << 17;
-    return State;
-  }
-  int64_t range(int64_t Lo, int64_t Hi) { // inclusive
-    return Lo + static_cast<int64_t>(next() % static_cast<uint64_t>(
-                                         Hi - Lo + 1));
-  }
-};
 
 //===----------------------------------------------------------------------===//
 // Corpus
@@ -345,107 +329,9 @@ INSTANTIATE_TEST_SUITE_P(Seeds, CrashFuzz, ::testing::Range(0, 128));
 // Random well-typed IR
 //===----------------------------------------------------------------------===//
 
-/// Builds a random well-typed program over [float]48 input(s). Half the
-/// draws build a layout pipeline (split/gather/join/transpose) closed by
-/// a global map; the rest exercise the value-producing combinators: a
-/// per-row sequential reduction over a random split, or a zip of two
-/// inputs consumed through a tuple (mapped pairwise, or projected with
-/// get). \p TwoInputs tells the caller to bind a second input buffer.
-LambdaPtr generateWellTyped(uint64_t Seed, size_t &OutCount,
-                            bool &TwoInputs) {
-  Prng Rng(Seed ^ 0xfeedface);
-  const int64_t N = 48;
-  TwoInputs = false;
-
-  ParamPtr X = param("x", arrayOf(float32(), arith::cst(N)));
-
-  switch (Rng.range(0, 3)) {
-  case 0: { // per-row sequential reduction over a random split
-    const int64_t Divisors[] = {2, 3, 4, 6, 8, 12, 16, 24};
-    int64_t F = Divisors[Rng.next() % 8];
-    ExprPtr R = pipe(
-        ExprPtr(X), split(F), mapGlb(fun([&](ExprPtr Row) {
-          return pipe(call(reduceSeq(prelude::addFun()),
-                           {litFloat(0.0f), Row}),
-                      toGlobal(mapSeq(prelude::idFloatFun())));
-        })),
-        join());
-    OutCount = static_cast<size_t>(N / F);
-    return lambda({X}, R);
-  }
-  case 1: { // zip two inputs, consume the tuples
-    TwoInputs = true;
-    ParamPtr Y = param("y", arrayOf(float32(), arith::cst(N)));
-    ExprPtr Zipped = call(zip(), {X, Y});
-    ExprPtr R;
-    if (Rng.range(0, 1) == 0) {
-      // Multiply the pairs elementwise.
-      R = pipe(Zipped, mapGlb(prelude::multFun2Tuple()));
-    } else {
-      // Project one side of each pair and square it.
-      unsigned Side = static_cast<unsigned>(Rng.range(0, 1));
-      R = pipe(Zipped, mapGlb(fun([&](ExprPtr Pair) {
-                 return call(prelude::squareFun(),
-                             {call(get(Side), {Pair})});
-               })));
-    }
-    OutCount = static_cast<size_t>(N);
-    return lambda({X, Y}, R);
-  }
-  default:
-    break; // cases 2 and 3: the layout pipeline below
-  }
-
-  ExprPtr E = X;
-
-  // Layout stages over the outer dimension, tracked as a shape list.
-  std::vector<int64_t> Shape = {N};
-  int Stages = static_cast<int>(Rng.range(0, 4));
-  for (int S = 0; S != Stages; ++S) {
-    switch (Rng.range(0, 3)) {
-    case 0: { // split by a divisor of the outer dim
-      std::vector<int64_t> Divisors;
-      for (int64_t D = 2; D < Shape.front(); ++D)
-        if (Shape.front() % D == 0)
-          Divisors.push_back(D);
-      if (Divisors.empty())
-        break;
-      int64_t F = Divisors[Rng.next() % Divisors.size()];
-      int64_t Outer = Shape.front() / F;
-      Shape.front() = F;
-      Shape.insert(Shape.begin(), Outer);
-      E = pipe(E, split(F));
-      break;
-    }
-    case 1: // reverse the outer dimension
-      E = pipe(E, gather(reverseIndex()));
-      break;
-    case 2: // join when 2D+
-      if (Shape.size() < 2)
-        break;
-      E = pipe(E, join());
-      Shape[1] *= Shape[0];
-      Shape.erase(Shape.begin());
-      break;
-    case 3: // transpose when 2D+
-      if (Shape.size() < 2)
-        break;
-      E = pipe(E, transpose());
-      std::swap(Shape[0], Shape[1]);
-      break;
-    }
-  }
-
-  // Compute stage.
-  FunDeclPtr Sq = prelude::squareFun();
-  for (size_t D = 1; D < Shape.size(); ++D)
-    Sq = mapSeq(Sq);
-  E = pipe(E, mapGlb(Sq));
-  for (size_t D = 1; D < Shape.size(); ++D)
-    E = pipe(E, join());
-  OutCount = static_cast<size_t>(N);
-  return lambda({X}, E);
-}
+// The generator itself lives in Generator.h (shared with the
+// rule-soundness differential tier); this tier compiles its Lowered mode
+// under --verify-each and runs a sample under full dynamic checking.
 
 class WellTypedFuzz : public ::testing::TestWithParam<int> {};
 

@@ -19,6 +19,7 @@
 #include "frontend/ILParser.h"
 #include "ocl/Runtime.h"
 #include "passes/Verify.h"
+#include "rewrite/Rules.h"
 #include "support/Diagnostics.h"
 
 #include <gtest/gtest.h>
@@ -273,6 +274,89 @@ TEST(LaunchValidationTest, IndivisibleGlobalSizeIsRejected) {
 TEST(LaunchValidationTest, HigherDimensionsAreValidatedToo) {
   expectBadNDRange({4, 3, 1}, {2, 2, 1},
                    "not divisible by local size 2 in dimension 1");
+}
+
+//===----------------------------------------------------------------------===//
+// Checked rewrite entry points (E0405, RewriteNoLowering)
+//===----------------------------------------------------------------------===//
+
+/// An already-lowered program: no high-level map anywhere, so the mapping
+/// step of the lowering pipeline has nothing to rewrite.
+ir::LambdaPtr fullyLoweredProgram() {
+  using namespace ir;
+  using namespace ir::dsl;
+  ir::ParamPtr X = param("x", arrayOf(float32(), arith::cst(16)));
+  return lambda({X}, pipe(ir::ExprPtr(X), mapSeq(prelude::squareFun())));
+}
+
+TEST(RewriteDiagnosticsTest, LowerProgramCheckedReportsNoApplicableLowering) {
+  DiagnosticEngine Engine;
+  Expected<ir::LambdaPtr> R = rewrite::lowerProgramChecked(
+      fullyLoweredProgram(), /*UseWorkGroups=*/false, nullptr, Engine);
+  EXPECT_FALSE(bool(R));
+  ASSERT_TRUE(Engine.hasErrors());
+  const Diagnostic &D = Engine.diagnostics().front();
+  EXPECT_EQ(D.Code, DiagCode::RewriteNoLowering);
+  EXPECT_NE(D.Message.find("no applicable lowering"), std::string::npos)
+      << D.Message;
+  EXPECT_NE(Engine.render().find("E0405"), std::string::npos)
+      << Engine.render();
+}
+
+TEST(RewriteDiagnosticsTest, LowerProgramCheckedReportsMissingChunkSize) {
+  DiagnosticEngine Engine;
+  Expected<ir::LambdaPtr> R = rewrite::lowerProgramChecked(
+      fullyLoweredProgram(), /*UseWorkGroups=*/true, nullptr, Engine);
+  EXPECT_FALSE(bool(R));
+  ASSERT_TRUE(Engine.hasErrors());
+  EXPECT_EQ(Engine.diagnostics().front().Code, DiagCode::CodegenLowering);
+  EXPECT_NE(Engine.diagnostics().front().Message.find("chunk size"),
+            std::string::npos);
+}
+
+TEST(RewriteDiagnosticsTest, ApplyOnceCheckedReportsWhereNothingMatched) {
+  DiagnosticEngine Engine;
+  ir::LambdaPtr P = fullyLoweredProgram();
+  Expected<ir::ExprPtr> R = rewrite::applyOnceChecked(
+      rewrite::mapToMapGlb(0), P->getBody(), Engine);
+  EXPECT_FALSE(bool(R));
+  ASSERT_TRUE(Engine.hasErrors());
+  const Diagnostic &D = Engine.diagnostics().front();
+  EXPECT_EQ(D.Code, DiagCode::RewriteNoLowering);
+  EXPECT_NE(D.Message.find("matches nowhere"), std::string::npos)
+      << D.Message;
+}
+
+TEST(RewriteDiagnosticsTest, ApplyOnceCheckedSucceedsSilentlyOnAMatch) {
+  using namespace ir;
+  using namespace ir::dsl;
+  ir::ParamPtr X = param("x", arrayOf(float32(), arith::cst(16)));
+  ir::LambdaPtr P =
+      lambda({X}, pipe(ir::ExprPtr(X), map(prelude::squareFun())));
+  DiagnosticEngine Engine;
+  Expected<ir::ExprPtr> R = rewrite::applyOnceChecked(
+      rewrite::mapToMapGlb(0), P->getBody(), Engine);
+  ASSERT_TRUE(bool(R));
+  EXPECT_FALSE(Engine.hasErrors()) << Engine.render();
+}
+
+/// The verifier half of the contract: an invalid placement of a parallel
+/// mapping rule (same dimension distributed twice) is rejected instead of
+/// silently computing garbage.
+TEST(RewriteDiagnosticsTest, SameDimensionNestedParallelMapsAreRejected) {
+  using namespace ir;
+  using namespace ir::dsl;
+  ir::ParamPtr X =
+      param("x", arrayOf(arrayOf(float32(), arith::cst(4)), arith::cst(4)));
+  ir::LambdaPtr P = lambda(
+      {X},
+      pipe(ir::ExprPtr(X), mapGlb(0, mapGlb(0, prelude::squareFun())),
+           join()));
+  DiagnosticEngine Engine;
+  EXPECT_FALSE(passes::verifyChecked(P, Engine, "nesting"));
+  ASSERT_TRUE(Engine.hasErrors());
+  EXPECT_NE(Engine.render().find("same dimension"), std::string::npos)
+      << Engine.render();
 }
 
 TEST(LaunchValidationTest, ValidConfigStillLaunches) {

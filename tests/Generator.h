@@ -1,0 +1,199 @@
+//===- Generator.h - Random well-typed program generator --------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The random well-typed program generator shared by the crash-resilience
+/// fuzz tier (CrashFuzzTest.cpp) and the rule-soundness differential tier
+/// (RuleSoundnessTest.cpp). Programs are built with the DSL over [float]48
+/// inputs and span the value-producing combinators (per-row sequential
+/// reductions, zip/get tuple pipelines), the vector combinators
+/// (asVector / mapVec / asScalar) and random layout pipelines
+/// (split / gather / join / transpose) closed by a map.
+///
+/// Two modes: GenMode::Lowered emits already-mapped programs (mapGlb on
+/// the parallel dimension, mapSeq inside) that compile directly, for
+/// crash-fuzzing the checked pipeline. GenMode::HighLevel emits portable
+/// programs whose every map is the high-level `map`, for the rewrite
+/// tiers: they are what rewrite::lowerProgram and the tuner consume, and
+/// what the rule-soundness tier applies individual rules to.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_TESTS_GENERATOR_H
+#define LIFT_TESTS_GENERATOR_H
+
+#include "ir/DSL.h"
+#include "ir/Prelude.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace lift {
+namespace test {
+
+/// Deterministic small PRNG (xorshift; same recurrence as FuzzTest).
+class Prng {
+  uint64_t State;
+
+public:
+  explicit Prng(uint64_t Seed) : State(Seed * 2654435761u + 1) {}
+  uint64_t next() {
+    State ^= State << 13;
+    State ^= State >> 7;
+    State ^= State << 17;
+    return State;
+  }
+  int64_t range(int64_t Lo, int64_t Hi) { // inclusive
+    return Lo + static_cast<int64_t>(next() % static_cast<uint64_t>(
+                                         Hi - Lo + 1));
+  }
+};
+
+/// Whether generated programs are already mapped onto the thread
+/// hierarchy (Lowered) or use only the portable high-level `map`
+/// (HighLevel, the input language of the rewrite rules and the tuner).
+enum class GenMode { Lowered, HighLevel };
+
+/// Builds a random well-typed program over [float]48 input(s). The draws
+/// cover: a per-row sequential reduction over a random split; a zip of two
+/// inputs consumed through a tuple (mapped pairwise, or projected with
+/// get); a vectorized square (asVector(4) -> map(mapVec(sq)) -> asScalar);
+/// and a random layout pipeline (split/gather/join/transpose) closed by a
+/// map. \p OutCount receives the number of output floats; \p TwoInputs
+/// tells the caller to bind a second input buffer.
+inline ir::LambdaPtr generateWellTyped(uint64_t Seed, size_t &OutCount,
+                                       bool &TwoInputs,
+                                       GenMode Mode = GenMode::Lowered) {
+  using namespace ir;
+  using namespace ir::dsl;
+
+  Prng Rng(Seed ^ 0xfeedface);
+  const int64_t N = 48;
+  TwoInputs = false;
+
+  // The outermost data-parallel map: high-level `map` for the rewrite
+  // tiers, mapGlb for directly-compilable programs.
+  auto topMap = [&](FunDeclPtr F) {
+    return Mode == GenMode::HighLevel ? map(std::move(F))
+                                      : mapGlb(std::move(F));
+  };
+
+  ParamPtr X = param("x", arrayOf(float32(), arith::cst(N)));
+
+  switch (Rng.range(0, 4)) {
+  case 0: { // per-row sequential reduction over a random split
+    const int64_t Divisors[] = {2, 3, 4, 6, 8, 12, 16, 24};
+    int64_t F = Divisors[Rng.next() % 8];
+    ExprPtr R = pipe(
+        ExprPtr(X), split(F), topMap(fun([&](ExprPtr Row) {
+          ExprPtr Red =
+              call(reduceSeq(prelude::addFun()), {litFloat(0.0f), Row});
+          // Copy the [float]1 reduction result out: the lowered spelling
+          // writes it through toGlobal, the high-level one leaves the
+          // address-space choice to the lowering.
+          return Mode == GenMode::HighLevel
+                     ? pipe(Red, map(prelude::idFloatFun()))
+                     : pipe(Red, toGlobal(mapSeq(prelude::idFloatFun())));
+        })),
+        join());
+    OutCount = static_cast<size_t>(N / F);
+    return lambda({X}, R);
+  }
+  case 1: { // zip two inputs, consume the tuples
+    TwoInputs = true;
+    ParamPtr Y = param("y", arrayOf(float32(), arith::cst(N)));
+    ExprPtr Zipped = call(zip(), {X, Y});
+    ExprPtr R;
+    if (Rng.range(0, 1) == 0) {
+      // Multiply the pairs elementwise.
+      R = pipe(Zipped, topMap(prelude::multFun2Tuple()));
+    } else {
+      // Project one side of each pair and square it.
+      unsigned Side = static_cast<unsigned>(Rng.range(0, 1));
+      R = pipe(Zipped, topMap(fun([&](ExprPtr Pair) {
+                 return call(prelude::squareFun(),
+                             {call(get(Side), {Pair})});
+               })));
+    }
+    OutCount = static_cast<size_t>(N);
+    return lambda({X, Y}, R);
+  }
+  case 2: { // vectorize: asVector(4) -> map(mapVec(sq)) -> asScalar
+    ExprPtr E = X;
+    // Half the draws reverse the array first, so the vector pipeline
+    // also composes with a layout stage.
+    if (Rng.range(0, 1) == 0)
+      E = pipe(E, gather(reverseIndex()));
+    // mapVec is applied at a call site inside a lambda (the form codegen
+    // emits), not as a direct element function.
+    ExprPtr R = pipe(E, asVector(4), topMap(fun([&](ExprPtr V) {
+                       return call(mapVec(prelude::squareFun()), {V});
+                     })),
+                     asScalar());
+    OutCount = static_cast<size_t>(N);
+    return lambda({X}, R);
+  }
+  default:
+    break; // cases 3 and 4: the layout pipeline below
+  }
+
+  ExprPtr E = X;
+
+  // Layout stages over the outer dimension, tracked as a shape list.
+  std::vector<int64_t> Shape = {N};
+  int Stages = static_cast<int>(Rng.range(0, 4));
+  for (int S = 0; S != Stages; ++S) {
+    switch (Rng.range(0, 3)) {
+    case 0: { // split by a divisor of the outer dim
+      std::vector<int64_t> Divisors;
+      for (int64_t D = 2; D < Shape.front(); ++D)
+        if (Shape.front() % D == 0)
+          Divisors.push_back(D);
+      if (Divisors.empty())
+        break;
+      int64_t F = Divisors[Rng.next() % Divisors.size()];
+      int64_t Outer = Shape.front() / F;
+      Shape.front() = F;
+      Shape.insert(Shape.begin(), Outer);
+      E = pipe(E, split(F));
+      break;
+    }
+    case 1: // reverse the outer dimension
+      E = pipe(E, gather(reverseIndex()));
+      break;
+    case 2: // join when 2D+
+      if (Shape.size() < 2)
+        break;
+      E = pipe(E, join());
+      Shape[1] *= Shape[0];
+      Shape.erase(Shape.begin());
+      break;
+    case 3: // transpose when 2D+
+      if (Shape.size() < 2)
+        break;
+      E = pipe(E, transpose());
+      std::swap(Shape[0], Shape[1]);
+      break;
+    }
+  }
+
+  // Compute stage: square every scalar, sequentially (or with nested
+  // high-level maps) below the outermost dimension.
+  FunDeclPtr Sq = prelude::squareFun();
+  for (size_t D = 1; D < Shape.size(); ++D)
+    Sq = Mode == GenMode::HighLevel ? map(std::move(Sq))
+                                    : mapSeq(std::move(Sq));
+  E = pipe(E, topMap(Sq));
+  for (size_t D = 1; D < Shape.size(); ++D)
+    E = pipe(E, join());
+  OutCount = static_cast<size_t>(N);
+  return lambda({X}, E);
+}
+
+} // namespace test
+} // namespace lift
+
+#endif // LIFT_TESTS_GENERATOR_H

@@ -1,0 +1,236 @@
+//===- TuneTest.cpp - Auto-tuner determinism, cache and safety ------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pins the contracts of the src/tune/ subsystem: the search result is a
+/// pure function of (program, config) — bit-identical across evaluation
+/// thread counts and invocations for a fixed --tune-seed; a warm cache
+/// answers without executing a single candidate; every accepted candidate
+/// passed the verifier and executed bit-identically to the reference; and
+/// the returned best lowering is never worse than the default one under
+/// the simulated cost model.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/DSL.h"
+#include "ir/Prelude.h"
+#include "tune/Cache.h"
+#include "tune/Tuner.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::ir::dsl;
+
+namespace {
+
+/// A deliberately small workload (map(square) over [float]32) so the full
+/// exhaustive search stays fast enough for the default test tier.
+tune::Workload tinyWorkload() {
+  tune::Workload W;
+  W.Name = "tune-test-tiny";
+  ParamPtr X = param("x", arrayOf(float32(), arith::cst(32)));
+  W.Program =
+      lambda({X}, pipe(ExprPtr(X), map(prelude::squareFun())));
+  std::vector<float> In(32);
+  for (size_t I = 0; I != In.size(); ++I)
+    In[I] = static_cast<float>(I % 13) * 0.25f - 1.f;
+  W.Inputs = {In};
+  W.OutCount = 32;
+  W.BaseGlobal = {32, 1, 1};
+  W.BaseLocal = {8, 1, 1};
+  W.OuterN = 32;
+  return W;
+}
+
+/// Everything that must be invariant between two runs.
+void expectSameResult(const tune::TuneResult &A, const tune::TuneResult &B,
+                      const std::string &What) {
+  EXPECT_EQ(A.DefaultCost, B.DefaultCost) << What;
+  ASSERT_EQ(A.HasBest, B.HasBest) << What;
+  if (A.HasBest) {
+    EXPECT_EQ(A.Best.key(), B.Best.key()) << What;
+    EXPECT_EQ(A.BestCost, B.BestCost) << What;
+  }
+  EXPECT_EQ(A.CandidatesEnumerated, B.CandidatesEnumerated) << What;
+  EXPECT_EQ(A.CandidatesEvaluated, B.CandidatesEvaluated) << What;
+  ASSERT_EQ(A.Trajectory.size(), B.Trajectory.size()) << What;
+  for (size_t I = 0; I != A.Trajectory.size(); ++I) {
+    EXPECT_EQ(A.Trajectory[I].D.key(), B.Trajectory[I].D.key()) << What;
+    EXPECT_EQ(A.Trajectory[I].Status, B.Trajectory[I].Status) << What;
+    EXPECT_EQ(A.Trajectory[I].Cost, B.Trajectory[I].Cost) << What;
+  }
+}
+
+TEST(TuneTest, ExhaustiveSearchIsDeterministicAcrossThreadCounts) {
+  tune::Workload W = tinyWorkload();
+  tune::TuneConfig C;
+  C.UseCache = false;
+
+  std::vector<tune::TuneResult> Runs;
+  for (int Threads : {1, 2, 8}) {
+    C.Threads = Threads;
+    DiagnosticEngine Engine;
+    Expected<tune::TuneResult> R = tune::tuneWorkload(W, C, Engine);
+    ASSERT_TRUE(bool(R)) << Engine.render();
+    Runs.push_back(std::move(*R));
+  }
+  expectSameResult(Runs[0], Runs[1], "1 vs 2 evaluation threads");
+  expectSameResult(Runs[0], Runs[2], "1 vs 8 evaluation threads");
+}
+
+TEST(TuneTest, SampledSearchIsDeterministicAndBounded) {
+  tune::Workload W = tinyWorkload();
+  tune::TuneConfig C;
+  C.UseCache = false;
+  C.Seed = 42;
+  C.ExhaustiveThreshold = 4; // force the sampling + greedy path
+  C.MaxEvaluations = 8;
+  C.BeamWidth = 2;
+
+  std::vector<tune::TuneResult> Runs;
+  for (int Threads : {1, 4}) {
+    C.Threads = Threads;
+    DiagnosticEngine Engine;
+    Expected<tune::TuneResult> R = tune::tuneWorkload(W, C, Engine);
+    ASSERT_TRUE(bool(R)) << Engine.render();
+    EXPECT_LE(R->CandidatesEvaluated, C.MaxEvaluations + C.BeamWidth);
+    EXPECT_LT(R->CandidatesEvaluated, R->CandidatesEnumerated)
+        << "sampled search evaluated the whole space";
+    EXPECT_TRUE(R->HasBest);
+    Runs.push_back(std::move(*R));
+  }
+  expectSameResult(Runs[0], Runs[1], "sampled search, 1 vs 4 threads");
+
+  // A different seed is allowed to explore differently (same best is
+  // fine, the trajectory need not match) — but it must still be
+  // self-consistent, i.e. deterministic for that seed.
+  C.Seed = 7;
+  C.Threads = 1;
+  DiagnosticEngine E1, E2;
+  Expected<tune::TuneResult> A = tune::tuneWorkload(W, C, E1);
+  C.Threads = 4;
+  Expected<tune::TuneResult> B = tune::tuneWorkload(W, C, E2);
+  ASSERT_TRUE(bool(A) && bool(B));
+  expectSameResult(*A, *B, "sampled search seed 7, 1 vs 4 threads");
+}
+
+TEST(TuneTest, WarmCacheAnswersWithoutEvaluating) {
+  namespace fs = std::filesystem;
+  fs::path Dir = fs::temp_directory_path() / "lift-tune-cache-test";
+  fs::remove_all(Dir);
+
+  tune::Workload W = tinyWorkload();
+  tune::TuneConfig C;
+  C.CacheDir = Dir.string();
+
+  DiagnosticEngine E1;
+  Expected<tune::TuneResult> Cold = tune::tuneWorkload(W, C, E1);
+  ASSERT_TRUE(bool(Cold)) << E1.render();
+  EXPECT_FALSE(Cold->CacheHit);
+  EXPECT_GT(Cold->CandidatesEvaluated, 0u);
+  EXPECT_TRUE(fs::exists(tune::tuneCachePath(W, C)));
+
+  DiagnosticEngine E2;
+  Expected<tune::TuneResult> Warm = tune::tuneWorkload(W, C, E2);
+  ASSERT_TRUE(bool(Warm)) << E2.render();
+  EXPECT_TRUE(Warm->CacheHit);
+  EXPECT_EQ(Warm->CandidatesEvaluated, 0u);
+  ASSERT_EQ(Warm->HasBest, Cold->HasBest);
+  EXPECT_EQ(Warm->Best.key(), Cold->Best.key());
+  EXPECT_EQ(Warm->BestCost, Cold->BestCost);
+  EXPECT_EQ(Warm->DefaultCost, Cold->DefaultCost);
+
+  // A different search configuration is a different cache key: no false
+  // hits.
+  tune::TuneConfig C2 = C;
+  C2.ChunkPool = {4};
+  DiagnosticEngine E3;
+  Expected<tune::TuneResult> Other = tune::tuneWorkload(W, C2, E3);
+  ASSERT_TRUE(bool(Other)) << E3.render();
+  EXPECT_FALSE(Other->CacheHit);
+
+  fs::remove_all(Dir);
+}
+
+TEST(TuneTest, BestIsNeverWorseThanDefaultAndAllAcceptedAreSound) {
+  tune::Workload W = tinyWorkload();
+  tune::TuneConfig C;
+  C.UseCache = false;
+
+  DiagnosticEngine Engine;
+  Expected<tune::TuneResult> R = tune::tuneWorkload(W, C, Engine);
+  ASSERT_TRUE(bool(R)) << Engine.render();
+  ASSERT_TRUE(R->HasBest);
+  EXPECT_LE(R->BestCost, R->DefaultCost);
+
+  unsigned Ok = 0;
+  for (const tune::CandidateOutcome &O : R->Trajectory) {
+    // Any mismatch would mean an unsound candidate slipped past the
+    // verifier *and* executed: the tuner must have rejected it instead.
+    EXPECT_NE(O.Status, tune::CandidateStatus::RejectedMismatch)
+        << O.D.key() << ": " << O.Detail;
+    if (O.Status == tune::CandidateStatus::Ok) {
+      ++Ok;
+      EXPECT_GT(O.Cost, 0.0) << O.D.key();
+    }
+  }
+  EXPECT_GE(Ok, 2u) << "search space degenerated to a single candidate";
+
+  // The default derivation itself must be in the space and accepted —
+  // that is what anchors the "never worse than default" guarantee.
+  std::string DefaultKey = tune::defaultDerivation(W).key();
+  bool SawDefault = false;
+  for (const tune::CandidateOutcome &O : R->Trajectory)
+    if (O.D.key() == DefaultKey) {
+      SawDefault = true;
+      EXPECT_EQ(O.Status, tune::CandidateStatus::Ok) << O.Detail;
+    }
+  EXPECT_TRUE(SawDefault);
+}
+
+TEST(TuneTest, CachedBestWrgChunkReportsTheCheapestWorkGroupCandidate) {
+  namespace fs = std::filesystem;
+  fs::path Dir = fs::temp_directory_path() / "lift-tune-wrg-test";
+  fs::remove_all(Dir);
+
+  tune::Workload W = tinyWorkload();
+  tune::TuneConfig C;
+  C.CacheDir = Dir.string();
+
+  // Cold cache: no answer, callers fall back to their constant.
+  EXPECT_FALSE(tune::cachedBestWrgChunk(W, C).has_value());
+
+  DiagnosticEngine Engine;
+  Expected<tune::TuneResult> R = tune::tuneWorkload(W, C, Engine);
+  ASSERT_TRUE(bool(R)) << Engine.render();
+
+  double CheapestWrg = 0;
+  int64_t WantChunk = 0;
+  for (const tune::CandidateOutcome &O : R->Trajectory)
+    if (O.Status == tune::CandidateStatus::Ok &&
+        O.D.Strategy == tune::MapStrategy::WrgLcl &&
+        (CheapestWrg == 0 || O.Cost < CheapestWrg)) {
+      CheapestWrg = O.Cost;
+      WantChunk = O.D.Chunk;
+    }
+  std::optional<int64_t> Got = tune::cachedBestWrgChunk(W, C);
+  if (CheapestWrg == 0) {
+    EXPECT_FALSE(Got.has_value());
+  } else {
+    ASSERT_TRUE(Got.has_value());
+    EXPECT_EQ(*Got, WantChunk);
+  }
+
+  fs::remove_all(Dir);
+}
+
+} // namespace

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+#===- tools/ci-soak.sh - Scheduled fault-injection & tuning soak tier -----===#
+#
+# Part of the lift-cpp project. MIT licensed.
+#
+# The scheduled (nightly / manually dispatched) soak job. Three stages,
+# all bounded so the whole run stays well under an hour:
+#
+#   1. In-process seeded fault soak: runs the FaultSoak gtest with a much
+#      wider seed sweep than the per-commit tier (LIFT_SOAK_SEEDS,
+#      default 96). Every seeded run must either validate or fail as a
+#      clean Expected<> with an E0513 diagnostic.
+#   2. Out-of-process LIFT_FAULT_SEED sweep: drives the liftc CLI over
+#      the example programs with probabilistic injection armed from the
+#      environment (src/ocl/FaultInject.cpp). liftc's exit-code contract
+#      is the oracle: 0 = ran, 1 = clean diagnostics; anything else
+#      (internal error, signal) fails the soak.
+#   3. Auto-tuner smoke: a bounded lift-tune search on two benchmarks
+#      from a cold cache, then again warm — the warm run must answer
+#      every workload from the cache (no "miss" in the report).
+#
+# Usage: tools/ci-soak.sh [build-dir]   (default build-soak)
+#
+#===----------------------------------------------------------------------===#
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-soak}"
+SOAK_SEEDS="${LIFT_SOAK_SEEDS:-96}"
+SWEEP_SEEDS="${LIFT_SOAK_SWEEP:-32}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# Every launch inherits a step budget and deadline (docs/RELIABILITY.md),
+# so injected-fault pathologies surface as diagnostics, not hung jobs.
+export LIFT_MAX_STEPS="${LIFT_MAX_STEPS:-50000000}"
+export LIFT_TIMEOUT_MS="${LIFT_TIMEOUT_MS:-30000}"
+
+echo "== Stage 1: in-process seeded fault soak ($SOAK_SEEDS seeds) =="
+LIFT_SOAK_SEEDS="$SOAK_SEEDS" \
+  "$BUILD_DIR/tests/lift_check_tests" --gtest_filter='FaultSoak.*'
+
+echo "== Stage 2: LIFT_FAULT_SEED sweep over the liftc CLI ($SWEEP_SEEDS seeds) =="
+for SEED in $(seq 1 "$SWEEP_SEEDS"); do
+  for PROG in examples/il/dot.lift examples/il/square.lift; do
+    STATUS=0
+    LIFT_FAULT_SEED="$SEED" "$BUILD_DIR/tools/liftc" "$PROG" --run \
+      --check-memory >/dev/null 2>&1 || STATUS=$?
+    # 0 = ran to completion, 1 = rejected with diagnostics (the injected
+    # fault surfaced cleanly). 2 is liftc's internal-error code and
+    # >= 128 a signal: both mean a fault escaped the Expected<> paths.
+    if [ "$STATUS" -ne 0 ] && [ "$STATUS" -ne 1 ]; then
+      echo "soak: liftc $PROG crashed under LIFT_FAULT_SEED=$SEED" \
+           "(exit $STATUS)" >&2
+      exit 1
+    fi
+  done
+done
+echo "all $SWEEP_SEEDS seeds exited cleanly"
+
+echo "== Stage 3: bounded auto-tuner smoke (cold, then warm cache) =="
+TUNE_CACHE="$BUILD_DIR/soak-tune-cache"
+rm -rf "$TUNE_CACHE"
+"$BUILD_DIR/tools/lift-tune" nn convolution --max-evals 12 \
+  --cache-dir "$TUNE_CACHE"
+WARM_LOG="$BUILD_DIR/soak-tune-warm.log"
+"$BUILD_DIR/tools/lift-tune" nn convolution --max-evals 12 \
+  --cache-dir "$TUNE_CACHE" | tee "$WARM_LOG"
+if grep -q "miss" "$WARM_LOG"; then
+  echo "soak: warm lift-tune run re-evaluated instead of hitting the cache" >&2
+  exit 1
+fi
+
+echo "soak passed"

@@ -1,0 +1,236 @@
+//===- lift-tune.cpp - Auto-tuning driver for the lowering space ----------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+//
+// Searches the rewrite-derivation space (src/tune/) for the cheapest
+// lowering of each named workload under the simulated cost model, and
+// reports the result against the default `lowerProgram` lowering. Results
+// are cached under --cache-dir (default .lift-tune/), so a repeated
+// invocation with the same configuration executes no candidates.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tune/Cache.h"
+#include "tune/Tuner.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace lift;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [workload...] [options]\n"
+      "\n"
+      "Tunes the lowering of the named workloads (default: all twelve).\n"
+      "Run with --list to see the workload names.\n"
+      "\n"
+      "options:\n"
+      "  --list                 list workloads and exit\n"
+      "  --all                  tune every workload (the default)\n"
+      "  --tune-seed N          sampling seed above the exhaustive "
+      "threshold (default 1)\n"
+      "  --threads N            candidate evaluations in flight "
+      "(0 = auto)\n"
+      "  --max-evals N          evaluation budget above the threshold\n"
+      "  --exhaustive-threshold N  evaluate spaces up to N exhaustively\n"
+      "  --cache-dir DIR        tuning cache directory (default "
+      ".lift-tune)\n"
+      "  --no-cache             ignore and do not write the cache\n"
+      "  --json PATH            write the results as JSON\n"
+      "  --max-steps N          per-candidate interpreter step budget\n"
+      "  --timeout-ms N         per-candidate wall-clock deadline\n"
+      "  --max-memory N         per-candidate allocation cap (bytes)\n",
+      Argv0);
+  return 2;
+}
+
+bool parseInt(const char *S, int64_t &Out) {
+  char *End = nullptr;
+  long long V = std::strtoll(S, &End, 10);
+  if (End == S || *End)
+    return false;
+  Out = V;
+  return true;
+}
+
+std::string jsonEscape(const std::string &S) {
+  std::string R = "\"";
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      R += '\\';
+    R += C;
+  }
+  R += '"';
+  return R;
+}
+
+std::string resultJson(const std::vector<tune::TuneResult> &Results) {
+  std::string J = "{\n  \"results\": [";
+  for (size_t I = 0; I != Results.size(); ++I) {
+    const tune::TuneResult &R = Results[I];
+    std::string E = "{";
+    E += "\"workload\": " + jsonEscape(R.Workload);
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.17g", R.DefaultCost);
+    E += std::string(", \"default_cost\": ") + Buf;
+    std::snprintf(Buf, sizeof(Buf), "%.17g", R.HasBest ? R.BestCost : 0.0);
+    E += std::string(", \"best_cost\": ") + Buf;
+    E += ", \"best\": " +
+         jsonEscape(R.HasBest ? R.Best.key() : std::string("none"));
+    E += ", \"best_trace\": " +
+         jsonEscape(R.HasBest ? R.Best.trace() : std::string(""));
+    E += ", \"candidates_enumerated\": " +
+         std::to_string(R.CandidatesEnumerated);
+    E += ", \"candidates_evaluated\": " +
+         std::to_string(R.CandidatesEvaluated);
+    E += std::string(", \"cache_hit\": ") +
+         (R.CacheHit ? "true" : "false");
+    E += "}";
+    J += (I ? ",\n    " : "\n    ") + E;
+  }
+  J += "\n  ]\n}\n";
+  return J;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  tune::TuneConfig Config;
+  std::vector<std::string> Names;
+  std::string JsonPath;
+  bool All = false, List = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto intArg = [&](int64_t &Out) {
+      if (I + 1 >= argc || !parseInt(argv[++I], Out)) {
+        std::fprintf(stderr, "error: %s needs an integer argument\n",
+                     A.c_str());
+        std::exit(2);
+      }
+    };
+    int64_t V = 0;
+    if (A == "--list")
+      List = true;
+    else if (A == "--all")
+      All = true;
+    else if (A == "--tune-seed") {
+      intArg(V);
+      Config.Seed = static_cast<uint64_t>(V);
+    } else if (A == "--threads") {
+      intArg(V);
+      Config.Threads = static_cast<int>(V);
+    } else if (A == "--max-evals") {
+      intArg(V);
+      Config.MaxEvaluations = static_cast<unsigned>(V);
+    } else if (A == "--exhaustive-threshold") {
+      intArg(V);
+      Config.ExhaustiveThreshold = static_cast<unsigned>(V);
+    } else if (A == "--cache-dir") {
+      if (I + 1 >= argc)
+        return usage(argv[0]);
+      Config.CacheDir = argv[++I];
+    } else if (A == "--no-cache")
+      Config.UseCache = false;
+    else if (A == "--json") {
+      if (I + 1 >= argc)
+        return usage(argv[0]);
+      JsonPath = argv[++I];
+    } else if (A == "--max-steps") {
+      intArg(V);
+      Config.CandidateLimits.MaxSteps = static_cast<uint64_t>(V);
+    } else if (A == "--timeout-ms") {
+      intArg(V);
+      Config.CandidateLimits.TimeoutMs = V;
+    } else if (A == "--max-memory") {
+      intArg(V);
+      Config.CandidateLimits.MaxMemoryBytes = static_cast<uint64_t>(V);
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", A.c_str());
+      return usage(argv[0]);
+    } else
+      Names.push_back(A);
+  }
+
+  std::vector<tune::Workload> Set = tune::allWorkloads();
+  Set.push_back(tune::loweringCompareWorkload());
+
+  if (List) {
+    for (const tune::Workload &W : Set)
+      std::printf("%-18s outer=%-5lld base global=%lld local=%lld\n",
+                  W.Name.c_str(), static_cast<long long>(W.OuterN),
+                  static_cast<long long>(W.BaseGlobal[0]),
+                  static_cast<long long>(W.BaseLocal[0]));
+    return 0;
+  }
+
+  std::vector<const tune::Workload *> Selected;
+  if (Names.empty() || All) {
+    // Default: the twelve benchmark workloads (lowering-compare only by
+    // explicit request).
+    for (size_t I = 0; I + 1 < Set.size(); ++I)
+      Selected.push_back(&Set[I]);
+  }
+  for (const std::string &N : Names) {
+    const tune::Workload *W = tune::findWorkload(Set, N);
+    if (!W) {
+      std::fprintf(stderr, "error: unknown workload '%s' (try --list)\n",
+                   N.c_str());
+      return 2;
+    }
+    Selected.push_back(W);
+  }
+
+  std::printf("%-18s %14s %14s %8s %11s %6s\n", "workload", "default cost",
+              "best cost", "speedup", "evaluated", "cache");
+  std::vector<tune::TuneResult> Results;
+  bool Ok = true;
+  for (const tune::Workload *W : Selected) {
+    DiagnosticEngine Engine;
+    Expected<tune::TuneResult> R = tune::tuneWorkload(*W, Config, Engine);
+    if (!R) {
+      std::fprintf(stderr, "%s", Engine.render().c_str());
+      std::fprintf(stderr, "error: tuning '%s' failed\n", W->Name.c_str());
+      Ok = false;
+      continue;
+    }
+    if (!R->HasBest || R->BestCost > R->DefaultCost) {
+      std::fprintf(stderr,
+                   "error: '%s' found no lowering at least as good as the "
+                   "default\n",
+                   W->Name.c_str());
+      Ok = false;
+    }
+    std::printf("%-18s %14.0f %14.0f %7.3fx %5u/%-5u %6s\n",
+                R->Workload.c_str(), R->DefaultCost,
+                R->HasBest ? R->BestCost : 0.0,
+                R->HasBest && R->BestCost > 0 ? R->DefaultCost / R->BestCost
+                                              : 0.0,
+                R->CandidatesEvaluated, R->CandidatesEnumerated,
+                R->CacheHit ? "hit" : "miss");
+    if (R->HasBest)
+      std::printf("  %-16s best: %s\n", "", R->Best.trace().c_str());
+    Results.push_back(std::move(*R));
+  }
+
+  if (!JsonPath.empty()) {
+    std::ofstream Out(JsonPath, std::ios::trunc);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", JsonPath.c_str());
+      return 1;
+    }
+    Out << resultJson(Results);
+  }
+
+  return Ok ? 0 : 1;
+}
