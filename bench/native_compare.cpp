@@ -1,0 +1,187 @@
+//===- native_compare.cpp - Native backend vs. simulator harness ----------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+//
+// Differential evaluation of the native C++/OpenMP backend (src/native)
+// against the simulated runtime: for every paper benchmark, runs the Lift
+// stages under the full optimization configuration on both backends,
+// checks the outputs are bit-identical, and records the simulator's
+// cost-model units next to the native backend's real wall-clock (serial
+// and threaded) plus its one-time system-compiler cost. Written as JSON
+// to BENCH_native.json (override with --json PATH).
+//
+// When no system C++ compiler is installed the harness prints a notice
+// and exits successfully — the simulator needs no toolchain, so CI runs
+// on toolchain-less machines stay green (see docs/NATIVE_BACKEND.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "native/Native.h"
+#include "suite/Benchmark.h"
+#include "support/Diagnostics.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace lift;
+using namespace lift::bench;
+
+namespace {
+
+struct Row {
+  std::string Name;
+  std::string Size;
+  double SimCost = 0;       // simulator cost-model units (full config)
+  double NativeSerialMs = 0;
+  double NativeThreadedMs = 0;
+  double CompileMs = 0;     // first-run system-compiler time
+  bool CacheHit = false;    // threaded rerun served from the .so cache
+  bool BitIdentical = false;
+  bool Valid = false;
+};
+
+void writeJson(const std::string &Path, const std::vector<Row> &Rows,
+               int Threads) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "native_compare: cannot write %s\n", Path.c_str());
+    return;
+  }
+  std::fprintf(F, "{\n  \"schema\": \"lift-bench-native-v1\",\n");
+  std::fprintf(F, "  \"threads\": %d,\n", Threads);
+  std::fprintf(F, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(F, "  \"results\": [\n");
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const Row &R = Rows[I];
+    double Speedup =
+        R.NativeThreadedMs > 0 ? R.NativeSerialMs / R.NativeThreadedMs : 0;
+    std::fprintf(
+        F,
+        "    {\"benchmark\": \"%s\", \"size\": \"%s\", "
+        "\"sim_cost\": %.1f, "
+        "\"native_serial_ms\": %.4f, \"native_threaded_ms\": %.4f, "
+        "\"speedup\": %.3f, \"compile_ms\": %.2f, \"cache_hit\": %s, "
+        "\"bit_identical\": %s, \"valid\": %s}%s\n",
+        R.Name.c_str(), R.Size.c_str(), R.SimCost, R.NativeSerialMs,
+        R.NativeThreadedMs, Speedup, R.CompileMs,
+        R.CacheHit ? "true" : "false", R.BitIdentical ? "true" : "false",
+        R.Valid ? "true" : "false", I + 1 != Rows.size() ? "," : "");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+  std::printf("Wrote %s\n", Path.c_str());
+}
+
+bool bitIdentical(const std::vector<float> &A, const std::vector<float> &B) {
+  return A.size() == B.size() &&
+         (A.empty() ||
+          std::memcmp(A.data(), B.data(), A.size() * sizeof(float)) == 0);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Quick = false;
+  int Threads = 8;
+  std::string JsonPath = "BENCH_native.json";
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--quick")
+      Quick = true;
+    else if (A == "--threads" && I + 1 < argc)
+      Threads = std::atoi(argv[++I]);
+    else if (A == "--json" && I + 1 < argc)
+      JsonPath = argv[++I];
+  }
+
+  if (native::toolchainCompiler().empty()) {
+    std::printf("native_compare: no system C++ compiler found (set "
+                "LIFT_NATIVE_CXX or install c++/g++/clang++); skipping.\n");
+    return 0;
+  }
+
+  std::printf("=== Native C++/OpenMP backend vs. simulator ===\n");
+  std::printf("(sim cost is model units; native times are real wall-clock; "
+              "every row must be bit-identical)\n\n");
+  std::printf("%-18s %-6s %12s | %11s %11s %8s | %10s %5s | %s\n", "Benchmark",
+              "Size", "SimCost", "serial-ms", "pool-ms", "speedup",
+              "compile-ms", "cache", "bits");
+
+  int Failures = 0;
+  std::vector<Row> Rows;
+  for (bool Large : {false, true}) {
+    if (Large && Quick)
+      continue;
+    for (BenchmarkCase &Case : allBenchmarks(Large)) {
+      Row R;
+      R.Name = Case.Name;
+      R.Size = Large ? "large" : "small";
+
+      RunOptions Run;
+      Run.Threads = 1;
+      DiagnosticEngine SimEngine;
+      Expected<Outcome> Sim =
+          runLiftChecked(Case, OptConfig::Full, Run, SimEngine);
+      if (!Sim || !Sim->Valid) {
+        std::printf("%-18s %-6s SIMULATOR FAILED\n%s\n", R.Name.c_str(),
+                    R.Size.c_str(), SimEngine.render().c_str());
+        ++Failures;
+        Rows.push_back(R);
+        continue;
+      }
+      R.SimCost = Sim->Cost.cost();
+
+      DiagnosticEngine SerialEngine;
+      Expected<NativeOutcome> Serial =
+          runLiftNativeChecked(Case, OptConfig::Full, Run, SerialEngine);
+      Run.Threads = Threads;
+      DiagnosticEngine PoolEngine;
+      Expected<NativeOutcome> Pool =
+          runLiftNativeChecked(Case, OptConfig::Full, Run, PoolEngine);
+      if (!Serial || !Pool || !Serial->Valid || !Pool->Valid) {
+        std::printf("%-18s %-6s NATIVE FAILED\n%s%s\n", R.Name.c_str(),
+                    R.Size.c_str(), SerialEngine.render().c_str(),
+                    PoolEngine.render().c_str());
+        ++Failures;
+        Rows.push_back(R);
+        continue;
+      }
+
+      R.NativeSerialMs = Serial->WallMs;
+      R.NativeThreadedMs = Pool->WallMs;
+      R.CompileMs = Serial->CompileMs;
+      R.CacheHit = Pool->AllCacheHits;
+      R.BitIdentical = bitIdentical(Sim->Output, Serial->Output) &&
+                       bitIdentical(Sim->Output, Pool->Output);
+      R.Valid = R.BitIdentical;
+      if (!R.BitIdentical) {
+        std::printf("%-18s %-6s OUTPUT DIVERGED from the simulator\n",
+                    R.Name.c_str(), R.Size.c_str());
+        ++Failures;
+      }
+
+      double Speedup =
+          R.NativeThreadedMs > 0 ? R.NativeSerialMs / R.NativeThreadedMs : 0;
+      std::printf("%-18s %-6s %12.0f | %11.4f %11.4f %7.2fx | %10.1f %5s | %s\n",
+                  R.Name.c_str(), R.Size.c_str(), R.SimCost, R.NativeSerialMs,
+                  R.NativeThreadedMs, Speedup, R.CompileMs,
+                  R.CacheHit ? "hit" : "miss",
+                  R.BitIdentical ? "same" : "DIFF");
+      Rows.push_back(R);
+    }
+  }
+
+  writeJson(JsonPath, Rows, Threads);
+  if (Failures) {
+    std::printf("\n%d failure(s)\n", Failures);
+    return 1;
+  }
+  std::printf("\nAll benchmarks bit-identical between backends.\n");
+  return 0;
+}

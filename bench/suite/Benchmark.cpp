@@ -7,6 +7,7 @@
 #include "suite/Benchmark.h"
 
 #include "cparse/CParser.h"
+#include "native/Native.h"
 #include "ocl/MemGuard.h"
 #include "support/Error.h"
 
@@ -206,6 +207,65 @@ Expected<Outcome> runStagesChecked(const BenchmarkCase &Case,
   return Out;
 }
 
+/// The native twin of runStagesChecked: same compilation pipeline and
+/// buffer binding, but each stage executes through the native
+/// C++/OpenMP backend instead of the simulator.
+Expected<NativeOutcome> runStagesNativeChecked(const BenchmarkCase &Case,
+                                               const std::vector<Stage> &Stages,
+                                               bool IsLift, OptConfig Config,
+                                               const RunOptions &Run,
+                                               DiagnosticEngine &Engine) {
+  std::vector<ocl::Buffer> Bufs;
+  Bufs.reserve(Case.WorkingBuffers.size());
+  for (const BufferInit &B : Case.WorkingBuffers)
+    Bufs.push_back(B.materialize());
+
+  NativeOutcome Out;
+  for (const Stage &S : Stages) {
+    codegen::CompiledKernel K;
+    if (IsLift) {
+      codegen::CompilerOptions O = optionsFor(Config, S);
+      O.VerifyEach = Run.VerifyEach;
+      Expected<codegen::CompiledKernel> EK =
+          codegen::compileChecked(S.Program, O, Engine);
+      if (!EK)
+        return {};
+      K = std::move(*EK);
+    } else {
+      try {
+        cparse::ParseContext PC;
+        K = ocl::wrapModule(cparse::parseModule(S.ReferenceSource, PC));
+      } catch (DiagnosticError &E) {
+        if (!E.Recorded)
+          Engine.report(E.Diag);
+        return {};
+      }
+    }
+
+    std::vector<ocl::Buffer *> Args;
+    for (size_t Idx : S.Buffers)
+      Args.push_back(&Bufs[Idx]);
+
+    ocl::LaunchConfig Cfg;
+    Cfg.Global = S.Global;
+    Cfg.Local = S.Local;
+    Cfg.Threads = Run.Threads;
+    Cfg.Limits = Run.Limits;
+    Expected<native::NativeLaunchResult> R =
+        native::launchNativeChecked(K, Args, S.Sizes, Cfg, Engine);
+    if (!R)
+      return {};
+    Out.WallMs += R->WallMs;
+    Out.CompileMs += R->CompileMs;
+    Out.AllCacheHits = Out.AllCacheHits && R->CacheHit;
+  }
+
+  Out.Output = Bufs[Case.OutputBuffer].toFlatFloats();
+  Out.MaxError = validate(Out.Output, Case.Expected);
+  Out.Valid = Out.MaxError < Case.Tolerance;
+  return Out;
+}
+
 } // namespace
 
 Outcome bench::runLift(const BenchmarkCase &Case, OptConfig Config,
@@ -231,6 +291,21 @@ Expected<Outcome> bench::runReferenceChecked(const BenchmarkCase &Case,
                                              DiagnosticEngine &Engine) {
   return runStagesChecked(Case, Case.ReferenceStages, /*IsLift=*/false,
                           OptConfig::Full, Run, Engine);
+}
+
+Expected<NativeOutcome>
+bench::runLiftNativeChecked(const BenchmarkCase &Case, OptConfig Config,
+                            const RunOptions &Run, DiagnosticEngine &Engine) {
+  return runStagesNativeChecked(Case, Case.LiftStages, /*IsLift=*/true,
+                                Config, Run, Engine);
+}
+
+Expected<NativeOutcome>
+bench::runReferenceNativeChecked(const BenchmarkCase &Case,
+                                 const RunOptions &Run,
+                                 DiagnosticEngine &Engine) {
+  return runStagesNativeChecked(Case, Case.ReferenceStages, /*IsLift=*/false,
+                                OptConfig::Full, Run, Engine);
 }
 
 std::vector<float> bench::randomFloats(size_t N, uint64_t Seed) {

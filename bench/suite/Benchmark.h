@@ -163,6 +163,38 @@ Expected<Outcome> runReferenceChecked(const BenchmarkCase &Case,
                                       const RunOptions &Run,
                                       DiagnosticEngine &Engine);
 
+/// Result of running a benchmark on the native C++/OpenMP backend
+/// (src/native): real wall-clock instead of the simulator's cost model.
+struct NativeOutcome {
+  /// Kernel wall-clock summed over all stages, in milliseconds
+  /// (excludes compilation and marshalling).
+  double WallMs = 0;
+  /// System-compiler time summed over all stages; 0 when every stage hit
+  /// the shared-object cache.
+  double CompileMs = 0;
+  bool AllCacheHits = true;
+  double MaxError = 0;
+  bool Valid = false;
+  /// The output buffer after the final stage, flattened — byte-comparable
+  /// against Outcome::Output for the native-vs-simulator differential
+  /// tier (bit-identical for default lowerings).
+  std::vector<float> Output;
+};
+
+/// Runs the Lift stages on the native backend (launchNativeChecked) and
+/// validates against the host golden reference. Fails cleanly into
+/// \p Engine when no system toolchain is available (E0603) or a stage is
+/// outside the native subset (E0607).
+Expected<NativeOutcome> runLiftNativeChecked(const BenchmarkCase &Case,
+                                             OptConfig Config,
+                                             const RunOptions &Run,
+                                             DiagnosticEngine &Engine);
+
+/// The native twin of runReferenceChecked.
+Expected<NativeOutcome> runReferenceNativeChecked(const BenchmarkCase &Case,
+                                                  const RunOptions &Run,
+                                                  DiagnosticEngine &Engine);
+
 //===----------------------------------------------------------------------===//
 // Benchmark factories (one per Table 1 row)
 //===----------------------------------------------------------------------===//

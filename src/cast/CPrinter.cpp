@@ -10,10 +10,39 @@
 #include "support/Casting.h"
 #include "support/Error.h"
 
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 using namespace lift;
 using namespace lift::c;
+
+std::string c::formatFloatLiteral(double Value, bool IsDouble) {
+  if (std::isnan(Value))
+    return "NAN";
+  if (std::isinf(Value))
+    return Value < 0 ? "(-INFINITY)" : "INFINITY";
+  char Buf[64];
+  // max_digits10 significant digits: every distinct value gets a distinct
+  // decimal spelling that parses back to the exact same value.
+  std::snprintf(Buf, sizeof(Buf), "%.*g", IsDouble ? 17 : 9, Value);
+  std::string S = Buf;
+  double Back = std::strtod(S.c_str(), nullptr);
+  bool RoundTrips = IsDouble ? Back == Value
+                             : static_cast<float>(Back) ==
+                                   static_cast<float>(Value);
+  if (!RoundTrips) {
+    // Hex-float spelling is exact by construction.
+    std::snprintf(Buf, sizeof(Buf), "%a", Value);
+    S = Buf;
+  }
+  // Ensure a decimal point or exponent so the literal stays floating.
+  if (S.find('.') == std::string::npos && S.find('e') == std::string::npos &&
+      S.find('x') == std::string::npos)
+    S += ".0";
+  return IsDouble ? S : S + "f";
+}
 
 namespace {
 
@@ -259,17 +288,7 @@ private:
       return;
     case CExprKind::FloatLit: {
       const auto *F = cast<FloatLit>(E.get());
-      std::ostringstream Tmp;
-      Tmp << F->getValue();
-      std::string S = Tmp.str();
-      // Ensure a decimal point or exponent so the literal stays floating.
-      if (S.find('.') == std::string::npos &&
-          S.find('e') == std::string::npos &&
-          S.find("inf") == std::string::npos)
-        S += ".0";
-      OS << S;
-      if (!F->isDouble())
-        OS << "f";
+      OS << formatFloatLiteral(F->getValue(), F->isDouble());
       return;
     }
     case CExprKind::VarRef:

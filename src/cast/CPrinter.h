@@ -20,6 +20,15 @@
 namespace lift {
 namespace c {
 
+/// Renders a floating-point literal so that parsing it back yields the
+/// exact same value: round-trippable max_digits10 decimal forms (with a
+/// hex-float fallback for the rare value that still fails to round-trip),
+/// INFINITY / -INFINITY for infinities and NAN for NaNs. \p IsDouble
+/// selects the double spelling; the float spelling carries the "f"
+/// suffix and uses float precision. Shared by the OpenCL printer and the
+/// native C++ backend (native/NativePrinter.cpp).
+std::string formatFloatLiteral(double Value, bool IsDouble);
+
 /// Renders a whole module (struct definitions, user functions, kernel).
 std::string printModule(const CModule &M);
 

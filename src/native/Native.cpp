@@ -1,0 +1,716 @@
+//===- Native.cpp - dlopen-based native CPU execution ---------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "native/Native.h"
+
+#include "arith/Eval.h"
+#include "native/NativePrinter.h"
+#include "ocl/FaultInject.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include <dlfcn.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "ocl/ThreadPool.h"
+
+using namespace lift;
+using namespace lift::native;
+using namespace lift::ocl;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Toolchain and cache
+//===----------------------------------------------------------------------===//
+
+/// Baseline flags. -fwrapv matches the interpreter's wrapping int64
+/// arithmetic at the C++ level too (the generated code already wraps
+/// through uint64 helpers); -ffp-contract=off keeps every double
+/// operation a distinct IEEE rounding step so results are bit-identical
+/// to the interpreter's; -ffast-math is deliberately absent.
+const char *const kBaseFlags =
+    "-std=c++17 -O2 -fPIC -shared -fwrapv -ffp-contract=off";
+
+bool commandExists(const std::string &Name) {
+  std::string Cmd = "command -v " + Name + " >/dev/null 2>&1";
+  int RC = std::system(Cmd.c_str());
+  return RC == 0;
+}
+
+uint64_t fnv1a64(const std::string &S) {
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+std::string hex16(uint64_t V) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+/// Last \p Max characters of a file (compiler stderr for E0604 notes).
+std::string fileTail(const std::string &Path, size_t Max = 2000) {
+  std::ifstream In(Path);
+  if (!In)
+    return {};
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  std::string S = SS.str();
+  while (!S.empty() && (S.back() == '\n' || S.back() == '\r'))
+    S.pop_back();
+  if (S.size() > Max)
+    S = "..." + S.substr(S.size() - Max);
+  return S;
+}
+
+/// Files removed at scope exit unless released — failure paths leak no
+/// temporaries into the cache directory.
+class TempFiles {
+public:
+  ~TempFiles() {
+    for (const std::string &P : Paths)
+      ::remove(P.c_str());
+  }
+  void add(std::string P) { Paths.push_back(std::move(P)); }
+  void release() { Paths.clear(); }
+
+private:
+  std::vector<std::string> Paths;
+};
+
+struct LoadedEntry {
+  using EntryFn = int32_t (*)(void **, const int64_t *, int64_t, int32_t *);
+  EntryFn Fn = nullptr;
+  double CompileMs = 0;
+  bool CacheHit = false;
+};
+
+bool fileExists(const std::string &P) {
+  struct stat St;
+  return ::stat(P.c_str(), &St) == 0;
+}
+
+[[noreturn]] void nativeFail(DiagCode Code, const std::string &Kernel,
+                             const std::string &Msg,
+                             std::vector<std::string> Notes = {}) {
+  throwDiag(Code, DiagLocation::inContext(Kernel), "native: " + Msg,
+            std::move(Notes));
+}
+
+/// Compiles (or reuses) the shared object for \p Source and resolves the
+/// kernel entry point. Throws DiagnosticError on every failure; the
+/// injected-fault sites fire before the operation they model so a faulted
+/// run performs no partial work.
+LoadedEntry loadEntry(const std::string &Source, const std::string &Kernel) {
+  LoadedEntry R;
+
+  const std::string Compiler = toolchainCompiler();
+  if (Compiler.empty())
+    nativeFail(DiagCode::NativeToolchainMissing, Kernel,
+               "no usable C++ compiler found",
+               {"set LIFT_NATIVE_CXX or install c++/g++/clang++; the "
+                "simulator backend needs no toolchain"});
+
+  const std::string Dir = cacheDirectory();
+  const std::string Key =
+      hex16(fnv1a64(Source + "|" + kBaseFlags + "|" + Compiler));
+  const std::string SoPath = Dir + "/" + Key + ".so";
+
+  if (!fileExists(SoPath)) {
+    if (fault::shouldFail(fault::Site::NativeCompile))
+      nativeFail(DiagCode::RuntimeFaultInjected, Kernel,
+                 "injected fault: compiling the native kernel failed");
+
+    const std::string Tag = Key + "." + std::to_string(::getpid());
+    const std::string CppTmp = Dir + "/" + Tag + ".tmp.cpp";
+    const std::string SoTmp = Dir + "/" + Tag + ".tmp.so";
+    const std::string ErrTmp = Dir + "/" + Tag + ".tmp.err";
+    TempFiles Tmp;
+    Tmp.add(CppTmp);
+    Tmp.add(SoTmp);
+    Tmp.add(ErrTmp);
+
+    {
+      std::ofstream Out(CppTmp);
+      Out << Source;
+      if (!Out)
+        nativeFail(DiagCode::NativeCompileFailed, Kernel,
+                   "could not write the generated source to '" + CppTmp + "'");
+    }
+
+    auto Start = std::chrono::steady_clock::now();
+    auto Run = [&](bool OpenMP) {
+      std::string Cmd = Compiler + " " + kBaseFlags +
+                        (OpenMP ? " -fopenmp" : "") + " -o " + SoTmp + " " +
+                        CppTmp + " 2> " + ErrTmp;
+      return std::system(Cmd.c_str());
+    };
+    // Prefer OpenMP; fall back to a serial build when the toolchain has
+    // no OpenMP runtime (the generated pragma is _OPENMP-guarded).
+    int RC = Run(/*OpenMP=*/true);
+    if (RC != 0)
+      RC = Run(/*OpenMP=*/false);
+    R.CompileMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+    if (RC != 0) {
+      std::string Tail = fileTail(ErrTmp);
+      std::vector<std::string> Notes;
+      if (!Tail.empty())
+        Notes.push_back("compiler output: " + Tail);
+      Notes.push_back("command: " + Compiler + " " + kBaseFlags);
+      nativeFail(DiagCode::NativeCompileFailed, Kernel,
+                 "the system compiler rejected the generated source",
+                 std::move(Notes));
+    }
+    if (::rename(SoTmp.c_str(), SoPath.c_str()) != 0)
+      nativeFail(DiagCode::NativeCompileFailed, Kernel,
+                 "could not move the compiled object into the cache at '" +
+                     SoPath + "'");
+    // The .so is in place; the source and stderr temporaries are removed
+    // by TempFiles (SoTmp no longer exists, remove is a no-op).
+  } else {
+    R.CacheHit = true;
+  }
+
+  // The load fault fires before the in-process handle cache is consulted
+  // so a seeded sweep hits it deterministically on every launch.
+  if (fault::shouldFail(fault::Site::NativeLoad))
+    nativeFail(DiagCode::RuntimeFaultInjected, Kernel,
+               "injected fault: loading the native kernel object failed");
+
+  static std::mutex HandlesM;
+  static std::unordered_map<std::string, void *> Handles;
+  void *Handle = nullptr;
+  {
+    std::lock_guard<std::mutex> L(HandlesM);
+    auto It = Handles.find(SoPath);
+    if (It != Handles.end())
+      Handle = It->second;
+  }
+  if (!Handle) {
+    Handle = ::dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (!Handle) {
+      const char *Err = ::dlerror();
+      nativeFail(DiagCode::NativeLoadFailed, Kernel,
+                 "dlopen failed for '" + SoPath + "'",
+                 {Err ? Err : "no dlerror detail"});
+    }
+    std::lock_guard<std::mutex> L(HandlesM);
+    // Handles are kept for the process lifetime (never dlclose): entry
+    // pointers may be cached by callers and reloads are cheap hits here.
+    Handles.emplace(SoPath, Handle);
+  }
+
+  if (fault::shouldFail(fault::Site::NativeSym))
+    nativeFail(DiagCode::RuntimeFaultInjected, Kernel,
+               "injected fault: resolving the native kernel entry failed");
+
+  void *Sym = ::dlsym(Handle, kEntryName);
+  if (!Sym)
+    nativeFail(DiagCode::NativeSymbolMissing, Kernel,
+               std::string("entry symbol '") + kEntryName +
+                   "' not found in '" + SoPath + "'");
+  R.Fn = reinterpret_cast<LoadedEntry::EntryFn>(Sym);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Marshalling
+//===----------------------------------------------------------------------===//
+
+/// Flattened element layout: one entry per 8-byte word, true = double
+/// domain, false = int64 domain. Mirrors the generated struct/vector
+/// lowering, whose members are all 8-byte doubles and int64s (no
+/// padding).
+struct WordLayout {
+  std::vector<bool> FloatWord;
+  size_t words() const { return FloatWord.size(); }
+};
+
+void layoutType(const c::CTypePtr &T, WordLayout &L,
+                const std::string &Kernel) {
+  if (!T)
+    nativeFail(DiagCode::NativeUnsupported, Kernel,
+               "buffer element of unknown type");
+  switch (T->getKind()) {
+  case c::CTypeKind::Scalar: {
+    auto K = static_cast<const c::ScalarCType &>(*T).getScalarKind();
+    L.FloatWord.push_back(K == c::CScalarKind::Float ||
+                          K == c::CScalarKind::Double);
+    return;
+  }
+  case c::CTypeKind::Vector: {
+    unsigned W = static_cast<const c::VectorCType &>(*T).getWidth();
+    for (unsigned I = 0; I != W; ++I)
+      L.FloatWord.push_back(true);
+    return;
+  }
+  case c::CTypeKind::Struct: {
+    for (const auto &[Name, FieldTy] :
+         static_cast<const c::StructCType &>(*T).getFields()) {
+      (void)Name;
+      layoutType(FieldTy, L, Kernel);
+    }
+    return;
+  }
+  case c::CTypeKind::Void:
+  case c::CTypeKind::Pointer:
+    nativeFail(DiagCode::NativeUnsupported, Kernel,
+               "buffer element of non-value type");
+  }
+}
+
+inline uint64_t doubleBits(double D) {
+  uint64_t U;
+  std::memcpy(&U, &D, sizeof(U));
+  return U;
+}
+
+inline double bitsDouble(uint64_t U) {
+  double D;
+  std::memcpy(&D, &U, sizeof(D));
+  return D;
+}
+
+/// Writes one simulator Value into \p Words following the element type
+/// shape; scalar values broadcast into vector/struct leaves exactly like
+/// the interpreter's reads would convert them.
+void marshalValue(const c::CTypePtr &T, const Value &V, uint64_t *&Words) {
+  switch (T->getKind()) {
+  case c::CTypeKind::Scalar: {
+    auto K = static_cast<const c::ScalarCType &>(*T).getScalarKind();
+    if (K == c::CScalarKind::Float || K == c::CScalarKind::Double)
+      *Words++ = doubleBits(V.asFloat());
+    else
+      *Words++ = static_cast<uint64_t>(V.asInt());
+    return;
+  }
+  case c::CTypeKind::Vector: {
+    unsigned W = static_cast<const c::VectorCType &>(*T).getWidth();
+    if (V.K == Value::Vec && V.V.size() == W) {
+      for (unsigned I = 0; I != W; ++I)
+        *Words++ = doubleBits(V.V[I]);
+    } else {
+      double S = V.asFloat(); // scalar element: broadcast, like the
+                              // interpreter's per-component reads
+      for (unsigned I = 0; I != W; ++I)
+        *Words++ = doubleBits(S);
+    }
+    return;
+  }
+  case c::CTypeKind::Struct: {
+    const auto &Fields = static_cast<const c::StructCType &>(*T).getFields();
+    if (V.K == Value::Tup && V.T.size() == Fields.size()) {
+      for (size_t I = 0; I != Fields.size(); ++I)
+        marshalValue(Fields[I].second, V.T[I], Words);
+    } else {
+      for (const auto &[Name, FieldTy] : Fields) {
+        (void)Name;
+        marshalValue(FieldTy, V, Words);
+      }
+    }
+    return;
+  }
+  default:
+    return; // rejected by layoutType already
+  }
+}
+
+/// Rebuilds a simulator Value from the words the native kernel wrote.
+Value unmarshalValue(const c::CTypePtr &T, const uint64_t *&Words) {
+  switch (T->getKind()) {
+  case c::CTypeKind::Scalar: {
+    auto K = static_cast<const c::ScalarCType &>(*T).getScalarKind();
+    if (K == c::CScalarKind::Float || K == c::CScalarKind::Double)
+      return Value::makeFloat(bitsDouble(*Words++));
+    return Value::makeInt(static_cast<int64_t>(*Words++));
+  }
+  case c::CTypeKind::Vector: {
+    unsigned W = static_cast<const c::VectorCType &>(*T).getWidth();
+    VecN Comps;
+    Comps.reserve(W);
+    for (unsigned I = 0; I != W; ++I)
+      Comps.push_back(bitsDouble(*Words++));
+    return Value::makeVec(std::move(Comps));
+  }
+  case c::CTypeKind::Struct: {
+    const auto &Fields = static_cast<const c::StructCType &>(*T).getFields();
+    std::vector<Value> Elems;
+    Elems.reserve(Fields.size());
+    for (const auto &[Name, FieldTy] : Fields) {
+      (void)Name;
+      Elems.push_back(unmarshalValue(FieldTy, Words));
+    }
+    return Value::makeTuple(std::move(Elems));
+  }
+  default:
+    return Value();
+  }
+}
+
+/// Value-count to simulated-byte conversion, saturating — the same
+/// accounting the interpreter's memory cap uses, so a launch trips the
+/// cap identically on either backend.
+inline uint64_t simBytesFor(uint64_t Count) {
+  if (Count > std::numeric_limits<uint64_t>::max() / sizeof(Value))
+    return std::numeric_limits<uint64_t>::max();
+  return Count * sizeof(Value);
+}
+
+//===----------------------------------------------------------------------===//
+// Launch
+//===----------------------------------------------------------------------===//
+
+struct MarshalledParam {
+  const codegen::KernelParamInfo *Param = nullptr;
+  Buffer *Caller = nullptr; ///< null for compiler temporaries
+  WordLayout Layout;
+  size_t Elements = 0;
+  std::vector<uint64_t> Words;
+  std::vector<uint64_t> Saved; ///< pre-launch copy (caller buffers only)
+};
+
+NativeLaunchResult launchNativeImpl(const codegen::CompiledKernel &K,
+                                    const std::vector<Buffer *> &Buffers,
+                                    const std::map<std::string, int64_t> &Sizes,
+                                    const LaunchConfig &Cfg) {
+  const std::string Kernel =
+      K.Module.Kernel ? K.Module.Kernel->Name : std::string("kernel");
+
+  // NDRange validation: same checks and messages as the simulator.
+  for (int D = 0; D != 3; ++D) {
+    if (Cfg.Local[D] <= 0 || Cfg.Global[D] <= 0)
+      throwDiag(DiagCode::RuntimeBadNDRange, DiagLocation(),
+                "launch: degenerate NDRange in dimension " +
+                    std::to_string(D) + ": global size " +
+                    std::to_string(Cfg.Global[D]) + ", local size " +
+                    std::to_string(Cfg.Local[D]) +
+                    " (both must be positive)");
+    if (Cfg.Global[D] % Cfg.Local[D] != 0)
+      throwDiag(DiagCode::RuntimeBadNDRange, DiagLocation(),
+                "launch: global size " + std::to_string(Cfg.Global[D]) +
+                    " is not divisible by local size " +
+                    std::to_string(Cfg.Local[D]) + " in dimension " +
+                    std::to_string(D));
+  }
+
+  const ExecLimits Lim = ExecLimits::withEnvDefaults(Cfg.Limits);
+
+  // Lower to C++ (throws E0607 for out-of-subset constructs) and build.
+  NativeLaunchResult Result;
+  Result.Source = printNativeModule(K, Cfg.Global, Cfg.Local);
+  LoadedEntry Entry = loadEntry(Result.Source, Kernel);
+  Result.CompileMs = Entry.CompileMs;
+  Result.CacheHit = Entry.CacheHit;
+
+  // Argument binding, mirroring the simulator's LaunchPlan::setup.
+  // Pass 1: size parameters, so temporary extents can be evaluated.
+  std::unordered_map<unsigned, int64_t> SizeEnv;
+  std::unordered_map<const codegen::KernelParamInfo *, int64_t> ScalarVals;
+  for (const auto &P : K.Params) {
+    if (!P.IsSizeParam)
+      continue;
+    auto It = Sizes.find(P.Var->Name);
+    if (It == Sizes.end())
+      throwDiag(DiagCode::RuntimeBadLaunch, DiagLocation(),
+                "launch: missing size argument '" + P.Var->Name + "'");
+    SizeEnv[P.ArithId] = It->second;
+    ScalarVals[&P] = It->second;
+  }
+
+  arith::EvalContext SizeCtx;
+  SizeCtx.VarValue = [&](const arith::VarNode &V) -> int64_t {
+    auto It = SizeEnv.find(V.getId());
+    if (It == SizeEnv.end())
+      throwDiag(DiagCode::RuntimeBadLaunch, DiagLocation(),
+                "launch: unbound size variable " + V.getName());
+    return It->second;
+  };
+
+  auto RuntimeError = [&](const std::string &Msg,
+                          DiagCode Code) -> void {
+    throwDiag(Code, DiagLocation::inContext(Kernel), "runtime: " + Msg);
+  };
+
+  // Pass 2 (declaration order): scalar-by-value parameters from Sizes,
+  // pointer parameters greedily bound to the caller's buffers, the rest
+  // allocated as zeroed temporaries, all charged against the memory cap.
+  uint64_t MemLeft = Lim.MaxMemoryBytes;
+  auto Charge = [&](uint64_t Bytes, const std::string &What,
+                    const std::string &Name) {
+    if (Lim.MaxMemoryBytes == 0)
+      return;
+    if (Bytes > MemLeft)
+      RuntimeError("device memory limit of " +
+                       std::to_string(Lim.MaxMemoryBytes) +
+                       " bytes exceeded while " + What + " '" + Name + "' (" +
+                       std::to_string(Bytes) + " bytes)",
+                   DiagCode::RuntimeMemoryLimit);
+    MemLeft -= Bytes;
+  };
+
+  std::vector<MarshalledParam> Pointers;
+  size_t NextBuffer = 0;
+  for (const auto &P : K.Params) {
+    if (P.IsSizeParam || !P.Store)
+      continue;
+    if (!P.Store->NumElements) {
+      auto It = Sizes.find(P.Var->Name);
+      if (It == Sizes.end())
+        throwDiag(DiagCode::RuntimeBadLaunch, DiagLocation(),
+                  "launch: missing scalar argument '" + P.Var->Name + "'");
+      ScalarVals[&P] = It->second;
+      continue;
+    }
+    MarshalledParam M;
+    M.Param = &P;
+    layoutType(P.Store->ElemType, M.Layout, Kernel);
+    if (NextBuffer < Buffers.size()) {
+      Buffer *B = Buffers[NextBuffer];
+      if (B->Poisoned)
+        throwDiag(DiagCode::HostBadBuffer, DiagLocation(),
+                  "launch: buffer for parameter '" + P.Var->Name +
+                      "' was poisoned by an earlier cancelled launch",
+                  {"rewrite the buffer or call clearPoison() to reuse it"});
+      if (fault::shouldFail(fault::Site::BufferMap))
+        RuntimeError("injected fault: mapping the buffer for parameter '" +
+                         P.Var->Name + "' failed",
+                     DiagCode::RuntimeFaultInjected);
+      Charge(simBytesFor(B->size()), "mapping the buffer for parameter",
+             P.Var->Name);
+      M.Caller = B;
+      M.Elements = B->size();
+      ++NextBuffer;
+    } else {
+      int64_t Count = arith::evaluate(P.Store->NumElements, SizeCtx);
+      if (Count < 0)
+        throwDiag(DiagCode::RuntimeBadLaunch, DiagLocation(),
+                  "launch: temporary buffer '" + P.Var->Name +
+                      "' has negative element count " +
+                      std::to_string(Count));
+      Charge(simBytesFor(static_cast<uint64_t>(Count)),
+             "allocating temporary buffer", P.Var->Name);
+      if (fault::shouldFail(fault::Site::Alloc))
+        RuntimeError("injected fault: allocating temporary buffer '" +
+                         P.Var->Name + "' failed",
+                     DiagCode::RuntimeFaultInjected);
+      M.Elements = static_cast<size_t>(Count);
+    }
+    Pointers.push_back(std::move(M));
+  }
+  if (NextBuffer != Buffers.size())
+    throwDiag(DiagCode::RuntimeBadLaunch, DiagLocation(),
+              "launch: too many buffers supplied");
+
+  // Marshal into flat word arrays (temporaries stay zero — the bit
+  // pattern of 0.0 and 0 alike), keeping a pre-launch copy of caller
+  // buffers for the unchanged-element readback below.
+  uint64_t MarshalledBytes = 0;
+  for (MarshalledParam &M : Pointers) {
+    M.Words.assign(M.Elements * M.Layout.words(), 0);
+    MarshalledBytes += M.Words.size() * sizeof(uint64_t);
+    if (!M.Caller)
+      continue;
+    uint64_t *W = M.Words.data();
+    for (size_t I = 0; I != M.Elements; ++I)
+      marshalValue(M.Param->Store->ElemType, M.Caller->at(I), W);
+    M.Saved = M.Words;
+    MarshalledBytes += M.Saved.size() * sizeof(uint64_t);
+  }
+  HostBytesCharge HostCharge(MarshalledBytes);
+
+  // Entry arguments: pointer params in declaration order, then the
+  // scalar words in declaration order — exactly the layout the printer
+  // emitted unpacking code for.
+  std::vector<void *> Bufs;
+  Bufs.reserve(Pointers.size());
+  for (MarshalledParam &M : Pointers)
+    Bufs.push_back(static_cast<void *>(M.Words.data()));
+  std::vector<int64_t> Scalars;
+  for (const auto &P : K.Params) {
+    const bool IsBuffer =
+        !P.IsSizeParam && P.Store && P.Store->NumElements != nullptr;
+    if (IsBuffer)
+      continue;
+    auto It = ScalarVals.find(&P);
+    Scalars.push_back(It != ScalarVals.end() ? It->second : 0);
+  }
+
+  const int64_t Threads =
+      static_cast<int64_t>(resolveThreadCount(Cfg.Threads));
+  Result.Threads = Threads;
+
+  // Control block: [0] cancel flag, [1] error code (first error wins),
+  // [2..5] two int64 details (index, extent) in 32-bit halves.
+  int32_t Ctl[6] = {0, 0, 0, 0, 0, 0};
+
+  // Host-side watchdog for the wall-clock deadline: the generated group
+  // loop polls ctl[0] and skips remaining groups once it is set.
+  std::mutex DoneM;
+  std::condition_variable DoneCV;
+  bool Done = false;
+  std::thread Watchdog;
+  if (Lim.TimeoutMs > 0) {
+    Watchdog = std::thread([&, Deadline = std::chrono::steady_clock::now() +
+                                          std::chrono::milliseconds(
+                                              Lim.TimeoutMs)] {
+      std::unique_lock<std::mutex> L(DoneM);
+      if (!DoneCV.wait_until(L, Deadline, [&] { return Done; }))
+        __atomic_store_n(&Ctl[0], 1, __ATOMIC_RELAXED);
+    });
+  }
+
+  auto Start = std::chrono::steady_clock::now();
+  int32_t RC = Entry.Fn(Bufs.data(), Scalars.data(), Threads, Ctl);
+  Result.WallMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+
+  if (Watchdog.joinable()) {
+    {
+      std::lock_guard<std::mutex> L(DoneM);
+      Done = true;
+    }
+    DoneCV.notify_all();
+    Watchdog.join();
+  }
+
+  // Execution has happened: any failure from here on leaves partial
+  // writes, so the caller's buffers are poisoned like a cancelled
+  // simulator launch.
+  auto PoisonAll = [&] {
+    for (MarshalledParam &M : Pointers)
+      if (M.Caller)
+        M.Caller->Poisoned = true;
+  };
+
+  const int32_t ErrCode = __atomic_load_n(&Ctl[1], __ATOMIC_RELAXED);
+  if (ErrCode == 504) {
+    PoisonAll();
+    RuntimeError("integer division by zero", DiagCode::RuntimeDivByZero);
+  }
+  if (ErrCode == 502) {
+    PoisonAll();
+    RuntimeError("lookup out of bounds", DiagCode::RuntimeOutOfBounds);
+  }
+  if (ErrCode == 5031 || ErrCode == 5032) {
+    PoisonAll();
+    auto Detail = [&](int Lo) -> int64_t {
+      uint64_t L = static_cast<uint32_t>(Ctl[Lo]);
+      uint64_t H = static_cast<uint32_t>(Ctl[Lo + 1]);
+      return static_cast<int64_t>(L | (H << 32));
+    };
+    RuntimeError(std::string(ErrCode == 5031 ? "load" : "store") +
+                     " out of bounds: index " + std::to_string(Detail(2)) +
+                     " of " + std::to_string(Detail(4)),
+                 DiagCode::RuntimeOutOfBounds);
+  }
+  if (ErrCode != 0) {
+    PoisonAll();
+    RuntimeError("native kernel reported unknown error code " +
+                     std::to_string(ErrCode),
+                 DiagCode::RuntimeUnsupported);
+  }
+  if (RC != 0 || __atomic_load_n(&Ctl[0], __ATOMIC_RELAXED) != 0) {
+    PoisonAll();
+    throwDiag(DiagCode::RuntimeDeadline, DiagLocation::inContext(Kernel),
+              "runtime: wall-clock deadline of " +
+                  std::to_string(Lim.TimeoutMs) + " ms exceeded",
+              {"the native watchdog cancelled the launch"});
+  }
+
+  // Read back: elements whose words are bit-identical to the marshalled
+  // input keep their original simulator Value (preserving e.g. the exact
+  // Int/Flt kind of untouched elements); changed elements are rebuilt
+  // from the lowered representation.
+  for (MarshalledParam &M : Pointers) {
+    if (!M.Caller)
+      continue;
+    const size_t WPE = M.Layout.words();
+    for (size_t I = 0; I != M.Elements; ++I) {
+      const uint64_t *In = M.Saved.data() + I * WPE;
+      const uint64_t *Out = M.Words.data() + I * WPE;
+      if (std::memcmp(In, Out, WPE * sizeof(uint64_t)) == 0)
+        continue;
+      const uint64_t *Cursor = Out;
+      M.Caller->at(I) = unmarshalValue(M.Param->Store->ElemType, Cursor);
+    }
+    // Native runs cannot track per-element initialization; a completed
+    // launch marks the whole buffer initialized (the simulator remains
+    // the backend that audits uninitialized reads).
+    if (M.Caller->Init)
+      std::fill(M.Caller->Init->begin(), M.Caller->Init->end(), uint8_t(1));
+  }
+
+  return Result;
+}
+
+} // namespace
+
+std::string native::toolchainCompiler() {
+  static std::string Cached = [] {
+    if (const char *Env = std::getenv("LIFT_NATIVE_CXX")) {
+      if (*Env)
+        return std::string(Env);
+    }
+    for (const char *Candidate : {"c++", "g++", "clang++"})
+      if (commandExists(Candidate))
+        return std::string(Candidate);
+    return std::string();
+  }();
+  return Cached;
+}
+
+std::string native::cacheDirectory() {
+  std::string Dir = ".lift-native";
+  if (const char *Env = std::getenv("LIFT_NATIVE_CACHE_DIR")) {
+    if (*Env)
+      Dir = Env;
+  }
+  ::mkdir(Dir.c_str(), 0755); // EEXIST is fine; compile reports failures
+  return Dir;
+}
+
+Expected<NativeLaunchResult>
+native::launchNativeChecked(const codegen::CompiledKernel &K,
+                            const std::vector<Buffer *> &Buffers,
+                            const std::map<std::string, int64_t> &Sizes,
+                            const LaunchConfig &Cfg,
+                            DiagnosticEngine &Engine) {
+  try {
+    return launchNativeImpl(K, Buffers, Sizes, Cfg);
+  } catch (DiagnosticError &E) {
+    if (!E.Recorded)
+      Engine.report(E.Diag);
+    return {};
+  } catch (const std::bad_alloc &) {
+    Engine.error(DiagCode::RuntimeMemoryLimit,
+                 DiagLocation::inContext(
+                     K.Module.Kernel ? K.Module.Kernel->Name : "kernel"),
+                 "runtime: host allocation failed while preparing the "
+                 "native launch");
+    return {};
+  }
+}

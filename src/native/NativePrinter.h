@@ -1,0 +1,65 @@
+//===- NativePrinter.h - C++/OpenMP source emission -------------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a compiled kernel's C AST to a plain C++ translation unit that a
+/// system compiler can build into a shared object (see Native.h). The
+/// work-group loop becomes an OpenMP `parallel for`; work-item loops are
+/// recovered by loop fission at the barrier positions the lockstep
+/// interpreter already verified; OpenCL vector types lower to fixed-size
+/// double arrays and address-space qualifiers to stack/heap storage. The
+/// lowering is value-exact against the simulated runtime for programs the
+/// simulator executes cleanly: every scalar computation happens in the
+/// same int64/double domain, integer overflow wraps, and division
+/// by zero reports the same E0504 condition. See docs/NATIVE_BACKEND.md
+/// for the full determinism contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_NATIVE_NATIVEPRINTER_H
+#define LIFT_NATIVE_NATIVEPRINTER_H
+
+#include "codegen/Compiler.h"
+
+#include <string>
+
+namespace lift {
+namespace native {
+
+/// The exported entry point every generated translation unit defines:
+///   extern "C" int32_t <name>(void **bufs, const int64_t *scalars,
+///                             int64_t nthreads, int32_t *ctl);
+/// `bufs` binds the kernel's pointer parameters in declaration order
+/// (caller buffers then compiler temporaries), `scalars` its integer
+/// size/scalar parameters in declaration order, `ctl[0]` is the
+/// cooperative-cancellation flag (host-writable), `ctl[1]` the error
+/// code out-slot (504 = division by zero). Returns non-zero when the
+/// launch was cancelled.
+extern const char *const kEntryName;
+
+/// Renders \p K as a self-contained C++17 translation unit. The NDRange
+/// (global/local sizes) is baked in from K.Options, exactly like the
+/// simulator's launch configuration derived from the same options.
+///
+/// Throws DiagnosticError E0607 (NativeUnsupported) for constructs
+/// outside the native subset: barriers inside user functions or in
+/// non-fissionable statement positions, group-level control flow whose
+/// headers cannot be proven work-group-uniform, float remainder, and
+/// the other cases documented in docs/NATIVE_BACKEND.md. Everything the
+/// Lift code generator emits for the paper's benchmarks is inside the
+/// subset.
+std::string printNativeModule(const codegen::CompiledKernel &K);
+
+/// As above with an explicit NDRange overriding K.Options (the launch
+/// configuration may differ from the compile-time default).
+std::string printNativeModule(const codegen::CompiledKernel &K,
+                              const std::array<int64_t, 3> &Global,
+                              const std::array<int64_t, 3> &Local);
+
+} // namespace native
+} // namespace lift
+
+#endif // LIFT_NATIVE_NATIVEPRINTER_H

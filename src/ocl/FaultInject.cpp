@@ -71,6 +71,12 @@ const char *fault::siteName(Site S) {
     return "pool dispatch";
   case Site::BufferMap:
     return "buffer map";
+  case Site::NativeCompile:
+    return "native compile";
+  case Site::NativeLoad:
+    return "native dlopen";
+  case Site::NativeSym:
+    return "native dlsym";
   }
   return "unknown";
 }

@@ -32,12 +32,15 @@ namespace fault {
 /// The runtime operations that can be made to fail. Numeric values are the
 /// "k" in liftc --inject-faults n,k and are stable.
 enum class Site : unsigned {
-  Alloc = 0,     ///< device allocation (temp buffers, local/private arrays)
-  PoolStart = 1, ///< dispatching a launch onto the worker pool
-  BufferMap = 2, ///< binding/mapping a caller buffer to a kernel argument
+  Alloc = 0,         ///< device allocation (temp buffers, local/private arrays)
+  PoolStart = 1,     ///< dispatching a launch onto the worker pool
+  BufferMap = 2,     ///< binding/mapping a caller buffer to a kernel argument
+  NativeCompile = 3, ///< invoking the system compiler (native backend)
+  NativeLoad = 4,    ///< dlopen of a compiled native object
+  NativeSym = 5,     ///< dlsym of the native kernel entry point
 };
 
-inline constexpr unsigned NumSites = 3;
+inline constexpr unsigned NumSites = 6;
 
 const char *siteName(Site S);
 

@@ -79,36 +79,104 @@ int64_t Value::asInt() const {
 
 bool Value::asBool() const { return asInt() != 0; }
 
+//===----------------------------------------------------------------------===//
+// Host-side memory accounting
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::atomic<uint64_t> HostLiveBytes{0};
+std::atomic<uint64_t> HostHighWaterBytes{0};
+
+void chargeHostBytes(uint64_t Bytes) {
+  uint64_t Live =
+      HostLiveBytes.fetch_add(Bytes, std::memory_order_relaxed) + Bytes;
+  uint64_t Prev = HostHighWaterBytes.load(std::memory_order_relaxed);
+  while (Live > Prev && !HostHighWaterBytes.compare_exchange_weak(
+                            Prev, Live, std::memory_order_relaxed)) {
+  }
+}
+
+} // namespace
+
+MemoryPtr ocl::trackedMemory(std::vector<Value> Elems) {
+  const uint64_t Bytes = Elems.size() * sizeof(Value);
+  chargeHostBytes(Bytes);
+  auto *Raw = new std::vector<Value>(std::move(Elems));
+  return MemoryPtr(Raw, [Bytes](std::vector<Value> *P) {
+    HostLiveBytes.fetch_sub(Bytes, std::memory_order_relaxed);
+    delete P;
+  });
+}
+
+uint64_t ocl::hostBytesLive() {
+  return HostLiveBytes.load(std::memory_order_relaxed);
+}
+
+uint64_t ocl::hostBytesHighWater() {
+  return HostHighWaterBytes.load(std::memory_order_relaxed);
+}
+
+void ocl::resetHostBytesHighWater() {
+  HostHighWaterBytes.store(HostLiveBytes.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+}
+
+HostBytesCharge::HostBytesCharge(uint64_t B) : Bytes(B) {
+  chargeHostBytes(Bytes);
+}
+
+HostBytesCharge::~HostBytesCharge() {
+  if (Bytes)
+    HostLiveBytes.fetch_sub(Bytes, std::memory_order_relaxed);
+}
+
+HostBytesCharge &HostBytesCharge::operator=(HostBytesCharge &&O) noexcept {
+  if (this != &O) {
+    if (Bytes)
+      HostLiveBytes.fetch_sub(Bytes, std::memory_order_relaxed);
+    Bytes = O.Bytes;
+    O.Bytes = 0;
+  }
+  return *this;
+}
+
 Buffer Buffer::ofFloats(const std::vector<float> &Data) {
-  Buffer B;
-  B.Mem->reserve(Data.size());
+  std::vector<Value> Elems;
+  Elems.reserve(Data.size());
   for (float F : Data)
-    B.Mem->push_back(Value::makeFloat(F));
+    Elems.push_back(Value::makeFloat(F));
+  Buffer B;
+  B.Mem = trackedMemory(std::move(Elems));
   return B;
 }
 
 Buffer Buffer::ofInts(const std::vector<int> &Data) {
-  Buffer B;
-  B.Mem->reserve(Data.size());
+  std::vector<Value> Elems;
+  Elems.reserve(Data.size());
   for (int I : Data)
-    B.Mem->push_back(Value::makeInt(I));
+    Elems.push_back(Value::makeInt(I));
+  Buffer B;
+  B.Mem = trackedMemory(std::move(Elems));
   return B;
 }
 
 Buffer Buffer::ofVectors(const std::vector<float> &Flat, unsigned Width) {
-  Buffer B;
   if (Width == 0 || Flat.size() % Width != 0)
     throwDiag(DiagCode::HostBadBuffer, DiagLocation::inContext("ofVectors"),
               "ofVectors: flat size " + std::to_string(Flat.size()) +
                   " is not a multiple of the width " + std::to_string(Width));
-  B.Mem->reserve(Flat.size() / Width);
+  std::vector<Value> Elems;
+  Elems.reserve(Flat.size() / Width);
   for (size_t I = 0; I != Flat.size(); I += Width) {
     VecN Comps;
     Comps.reserve(Width);
     for (size_t J = I; J != I + Width; ++J)
       Comps.push_back(Flat[J]);
-    B.Mem->push_back(Value::makeVec(std::move(Comps)));
+    Elems.push_back(Value::makeVec(std::move(Comps)));
   }
+  Buffer B;
+  B.Mem = trackedMemory(std::move(Elems));
   return B;
 }
 
@@ -156,14 +224,14 @@ std::vector<float> Buffer::toFlatFloats() const {
 
 Buffer Buffer::zeros(size_t Count) {
   Buffer B;
-  B.Mem->assign(Count, Value::makeFloat(0));
+  B.Mem = trackedMemory(std::vector<Value>(Count, Value::makeFloat(0)));
   B.Init = std::make_shared<std::vector<uint8_t>>(Count, uint8_t(0));
   return B;
 }
 
 Buffer Buffer::filled(size_t Count, const Value &V) {
   Buffer B;
-  B.Mem->assign(Count, V);
+  B.Mem = trackedMemory(std::vector<Value>(Count, V));
   return B;
 }
 
@@ -521,6 +589,17 @@ public:
           runtimeError("injected fault: mapping the buffer for parameter '" +
                            P.Var->Name + "' failed",
                        DiagCode::RuntimeFaultInjected);
+        // Caller buffers count against the launch memory cap too: the cap
+        // bounds every byte a launch touches, not just its own
+        // allocations (finer --max-memory).
+        if (Monitor && !Monitor->chargeAllocation(bytesFor(B->size())))
+          runtimeError("device memory limit of " +
+                           std::to_string(Monitor->Limits.MaxMemoryBytes) +
+                           " bytes exceeded while mapping the buffer for "
+                           "parameter '" +
+                           P.Var->Name + "' (" +
+                           std::to_string(bytesFor(B->size())) + " bytes)",
+                       DiagCode::RuntimeMemoryLimit);
         CallerBuffers.push_back(B);
         addBinding(P.Var.get(), Value::makePtr(B->Mem, MemSpace::Global));
         if (Cfg.CheckMemory)

@@ -236,6 +236,45 @@ public:
   void clearPoison() { Poisoned = false; }
 };
 
+/// Wraps element storage in a MemoryPtr whose lifetime is charged against
+/// the host-side memory statistics below. All Buffer factories route
+/// through this, so hostBytesLive/hostBytesHighWater track every live
+/// host buffer (including the temporaries a launch allocates and the
+/// native backend's marshalling buffers).
+MemoryPtr trackedMemory(std::vector<Value> Elems);
+
+/// Bytes of simulated Value storage currently held by live host buffers.
+uint64_t hostBytesLive();
+
+/// High-water mark of hostBytesLive since process start (or the last
+/// resetHostBytesHighWater call). This is the number a finer
+/// --max-memory audit pins: peak concurrent host footprint rather than a
+/// count of allocation sites.
+uint64_t hostBytesHighWater();
+
+/// Resets the high-water mark to the current live byte count.
+void resetHostBytesHighWater();
+
+/// RAII charge against the host memory statistics for storage that does
+/// not live in a MemoryPtr — the native backend's marshalled launch
+/// buffers. Charged on construction, released on destruction, so the
+/// high-water mark covers the native path's peak footprint too.
+class HostBytesCharge {
+public:
+  HostBytesCharge() = default;
+  explicit HostBytesCharge(uint64_t Bytes);
+  ~HostBytesCharge();
+  HostBytesCharge(const HostBytesCharge &) = delete;
+  HostBytesCharge &operator=(const HostBytesCharge &) = delete;
+  HostBytesCharge(HostBytesCharge &&O) noexcept : Bytes(O.Bytes) {
+    O.Bytes = 0;
+  }
+  HostBytesCharge &operator=(HostBytesCharge &&O) noexcept;
+
+private:
+  uint64_t Bytes = 0;
+};
+
 //===----------------------------------------------------------------------===//
 // Cost model
 //===----------------------------------------------------------------------===//

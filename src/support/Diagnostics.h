@@ -18,7 +18,7 @@
 /// The error-code taxonomy is grouped by pipeline stage (see
 /// docs/DIAGNOSTICS.md): 1xx IL parsing, 2xx type analysis, 3xx IR
 /// verification, 4xx code generation, 5xx simulated-runtime execution,
-/// 6xx host API misuse.
+/// 6xx host API misuse and the native CPU backend (docs/NATIVE_BACKEND.md).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -101,9 +101,14 @@ enum class DiagCode : unsigned {
   RuntimeFaultInjected = 513,
   RuntimeCrossGroupRace = 514,
 
-  // 6xx — host API misuse.
+  // 6xx — host API misuse and the native CPU backend.
   HostBadBuffer = 601,
   HostUnboundSize = 602,
+  NativeToolchainMissing = 603, ///< no usable system C++ compiler
+  NativeCompileFailed = 604,    ///< the system compiler rejected the source
+  NativeLoadFailed = 605,       ///< dlopen of the compiled object failed
+  NativeSymbolMissing = 606,    ///< dlsym could not find the kernel entry
+  NativeUnsupported = 607,      ///< construct outside the native subset
 };
 
 /// Renders a code as its stable "E0101"-style identifier.

@@ -240,6 +240,36 @@ TEST(ExecLimitsTest, EnvironmentDefaultsBoundEveryLaunch) {
   EXPECT_TRUE(Found) << Engine.render();
 }
 
+/// The host-side memory audit (the number a finer --max-memory pins):
+/// two live 64-element buffers and nothing else must move the high-water
+/// mark by exactly 2 * 64 * sizeof(Value) — allocation tracking that
+/// over- or under-counts would break the audit silently, so the number
+/// is pinned, not just bounded.
+TEST(ExecLimitsTest, HostHighWaterPinsPeakFootprint) {
+  auto K = kernelFrom(SquareKernel);
+  resetHostBytesHighWater();
+  const uint64_t Base = hostBytesHighWater();
+  {
+    Buffer In = Buffer::ofFloats(ramp(64));
+    Buffer Out = Buffer::zeros(64);
+    LaunchConfig Cfg;
+    Cfg.Global = {64, 1, 1};
+    Cfg.Local = {16, 1, 1};
+    DiagnosticEngine Engine;
+    ASSERT_TRUE(bool(launchChecked(K, {&In, &Out}, {}, Cfg, Engine)))
+        << Engine.render();
+    // The square kernel allocates no temporaries: the peak is the two
+    // caller buffers, exactly.
+    EXPECT_EQ(hostBytesHighWater() - Base,
+              2 * 64 * sizeof(Value));
+  }
+  // Destruction releases the live count but the high-water mark stays.
+  EXPECT_EQ(hostBytesLive(), Base);
+  EXPECT_EQ(hostBytesHighWater() - Base, 2 * 64 * sizeof(Value));
+  resetHostBytesHighWater();
+  EXPECT_EQ(hostBytesHighWater(), Base);
+}
+
 /// An explicit per-launch limit wins over the environment default.
 TEST(ExecLimitsTest, ExplicitLimitOverridesEnvironment) {
   ASSERT_EQ(setenv("LIFT_MAX_STEPS", "1", 1), 0);

@@ -15,6 +15,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "native/Native.h"
 #include "ocl/FaultInject.h"
 #include "suite/Benchmark.h"
 #include "support/Diagnostics.h"
@@ -22,7 +23,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <filesystem>
 #include <set>
+#include <string>
+#include <unistd.h>
 #include <vector>
 
 using namespace lift;
@@ -195,6 +200,65 @@ TEST(FaultSoak, SeededSweepSucceedsOrFailsCleanly) {
     EXPECT_GT(CleanFailures, 0u)
         << "the seeded sweep never injected a fault";
   }
+}
+
+/// The native toolchain path injects the same way as the simulated
+/// runtime: failing the system-compiler invocation, the dlopen or the
+/// dlsym lookup each surfaces as a failed Expected with E0513, and the
+/// simulator backend keeps working afterwards. Runs in the check tier
+/// with a private cache directory (a warm cache would skip the compile
+/// site) and skips cleanly when no system compiler is installed.
+class NativeToolchainFaults : public ::testing::Test {
+protected:
+  std::string CacheDir;
+
+  void SetUp() override {
+    if (native::toolchainCompiler().empty())
+      GTEST_SKIP() << "no system C++ compiler on PATH "
+                      "(set LIFT_NATIVE_CXX to override)";
+    // Per-process cache: concurrent ctest processes sharing a directory
+    // would delete it from under each other's compiles.
+    CacheDir = ::testing::TempDir() + "lift-fault-native-cache-" +
+               std::to_string(::getpid());
+    ::setenv("LIFT_NATIVE_CACHE_DIR", CacheDir.c_str(), 1);
+  }
+
+  void TearDown() override {
+    fault::disarm();
+    ::unsetenv("LIFT_NATIVE_CACHE_DIR");
+    std::error_code EC;
+    std::filesystem::remove_all(CacheDir, EC);
+  }
+};
+
+TEST_F(NativeToolchainFaults, ToolchainSitesFailCleanly) {
+  BenchmarkCase Case = allBenchmarks(false)[0];
+  RunOptions Run;
+  Run.Threads = 1;
+
+  for (fault::Site S : {fault::Site::NativeCompile, fault::Site::NativeLoad,
+                        fault::Site::NativeSym}) {
+    // Each pass starts from a cold cache so every site is reachable.
+    std::error_code EC;
+    std::filesystem::remove_all(CacheDir, EC);
+
+    fault::arm(S, 1);
+    DiagnosticEngine Engine;
+    Expected<NativeOutcome> R =
+        runLiftNativeChecked(Case, OptConfig::Full, Run, Engine);
+    fault::disarm();
+    EXPECT_FALSE(bool(R))
+        << Case.Name << ": survived injected fault " << fault::siteName(S);
+    EXPECT_TRUE(hasCode(Engine, DiagCode::RuntimeFaultInjected))
+        << Case.Name << " (" << fault::siteName(S) << "):\n"
+        << Engine.render();
+  }
+
+  // The simulator backend is untouched by native toolchain faults.
+  DiagnosticEngine Engine;
+  Expected<Outcome> Sim = runLiftChecked(Case, OptConfig::Full, Run, Engine);
+  ASSERT_TRUE(bool(Sim)) << Case.Name << ":\n" << Engine.render();
+  EXPECT_TRUE(Sim->Valid) << Case.Name;
 }
 
 /// Counting mode observes the pool-dispatch site on multi-threaded runs.

@@ -83,7 +83,7 @@ inline ir::LambdaPtr generateWellTyped(uint64_t Seed, size_t &OutCount,
 
   ParamPtr X = param("x", arrayOf(float32(), arith::cst(N)));
 
-  switch (Rng.range(0, 4)) {
+  switch (Rng.range(0, 5)) {
   case 0: { // per-row sequential reduction over a random split
     const int64_t Divisors[] = {2, 3, 4, 6, 8, 12, 16, 24};
     int64_t F = Divisors[Rng.next() % 8];
@@ -133,6 +133,30 @@ inline ir::LambdaPtr generateWellTyped(uint64_t Seed, size_t &OutCount,
                        return call(mapVec(prelude::squareFun()), {V});
                      })),
                      asScalar());
+    OutCount = static_cast<size_t>(N);
+    return lambda({X}, R);
+  }
+  case 5: { // local-memory staging: copy each row to local, square out
+    const int64_t Divisors[] = {4, 6, 8, 12};
+    int64_t F = Divisors[Rng.next() % 4];
+    ExprPtr R;
+    if (Mode == GenMode::HighLevel) {
+      // Portable spelling: the staging copy is the identity, so the
+      // high-level program is just a nested square — the lowering (or an
+      // applied rule) decides whether a local-memory stage appears.
+      R = pipe(ExprPtr(X), split(F), map(map(prelude::squareFun())),
+               join());
+    } else {
+      // Lowered spelling: one work-group per row stages the row into
+      // local memory (a barrier on each side) and squares it back out to
+      // global — the mapWrg/toLocal/mapLcl idiom of the paper's
+      // benchmarks, and the native backend's barrier-fission stress.
+      R = pipe(ExprPtr(X), split(F), mapWrg(fun([&](ExprPtr Row) {
+                 return pipe(Row, toLocal(mapLcl(prelude::idFloatFun())),
+                             toGlobal(mapLcl(prelude::squareFun())));
+               })),
+               join());
+    }
     OutCount = static_cast<size_t>(N);
     return lambda({X}, R);
   }

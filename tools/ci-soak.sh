@@ -18,6 +18,12 @@
 #   3. Auto-tuner smoke: a bounded lift-tune search on two benchmarks
 #      from a cold cache, then again warm — the warm run must answer
 #      every workload from the cache (no "miss" in the report).
+#   4. Native-backend fault sweep: the same LIFT_FAULT_SEED oracle as
+#      stage 2, but with --backend=native so the probabilistic injection
+#      also hits the toolchain sites (compile / dlopen / dlsym) and the
+#      native launch path. A cold per-seed cache directory keeps the
+#      compile site reachable on every seed. Skipped when no system C++
+#      compiler is installed.
 #
 # Usage: tools/ci-soak.sh [build-dir]   (default build-soak)
 #
@@ -71,6 +77,31 @@ WARM_LOG="$BUILD_DIR/soak-tune-warm.log"
 if grep -q "miss" "$WARM_LOG"; then
   echo "soak: warm lift-tune run re-evaluated instead of hitting the cache" >&2
   exit 1
+fi
+
+echo "== Stage 4: LIFT_FAULT_SEED sweep over the native backend ($SWEEP_SEEDS seeds) =="
+if command -v c++ >/dev/null 2>&1 || command -v g++ >/dev/null 2>&1 || \
+   command -v clang++ >/dev/null 2>&1 || [ -n "${LIFT_NATIVE_CXX:-}" ]; then
+  NATIVE_CACHE="$BUILD_DIR/soak-native-cache"
+  for SEED in $(seq 1 "$SWEEP_SEEDS"); do
+    # Cold cache each seed so the injected compile fault stays reachable.
+    rm -rf "$NATIVE_CACHE"
+    for PROG in examples/il/dot.lift examples/il/square.lift; do
+      STATUS=0
+      LIFT_FAULT_SEED="$SEED" LIFT_NATIVE_CACHE_DIR="$NATIVE_CACHE" \
+        "$BUILD_DIR/tools/liftc" "$PROG" --run --backend=native \
+        >/dev/null 2>&1 || STATUS=$?
+      if [ "$STATUS" -ne 0 ] && [ "$STATUS" -ne 1 ]; then
+        echo "soak: liftc --backend=native $PROG crashed under" \
+             "LIFT_FAULT_SEED=$SEED (exit $STATUS)" >&2
+        exit 1
+      fi
+    done
+  done
+  rm -rf "$NATIVE_CACHE"
+  echo "all $SWEEP_SEEDS native seeds exited cleanly"
+else
+  echo "no system C++ compiler; skipping the native sweep"
 fi
 
 echo "soak passed"

@@ -12,6 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "native/Native.h"
 #include "tune/Cache.h"
 #include "tune/Tuner.h"
 
@@ -49,7 +50,10 @@ int usage(const char *Argv0) {
       "  --json PATH            write the results as JSON\n"
       "  --max-steps N          per-candidate interpreter step budget\n"
       "  --timeout-ms N         per-candidate wall-clock deadline\n"
-      "  --max-memory N         per-candidate allocation cap (bytes)\n",
+      "  --max-memory N         per-candidate allocation cap (bytes)\n"
+      "  --native-check         re-run each best lowering on the native\n"
+      "                         C++/OpenMP backend and require bit-identical\n"
+      "                         output (needs a system compiler)\n",
       Argv0);
   return 2;
 }
@@ -102,13 +106,86 @@ std::string resultJson(const std::vector<tune::TuneResult> &Results) {
   return J;
 }
 
+/// Re-runs the best lowering of \p W on the native C++/OpenMP backend and
+/// compares bit-for-bit against the simulator's output for the same
+/// kernel. Returns false (after printing why) on any divergence.
+bool nativeCheck(const tune::Workload &W, const tune::TuneResult &R) {
+  if (!R.HasBest) {
+    std::fprintf(stderr, "error: '%s' has no best lowering to native-check\n",
+                 W.Name.c_str());
+    return false;
+  }
+  DiagnosticEngine Engine;
+  Expected<ir::LambdaPtr> Lowered =
+      tune::applyDerivation(W.Program, R.Best, Engine);
+  codegen::CompilerOptions Opts;
+  Opts.GlobalSize = R.Best.Global;
+  Opts.LocalSize = R.Best.Local;
+  Opts.KernelName = "TUNE_" + W.Name;
+  Expected<codegen::CompiledKernel> K =
+      Lowered ? codegen::compileChecked(*Lowered, Opts, Engine)
+              : Expected<codegen::CompiledKernel>();
+  if (!K) {
+    std::fprintf(stderr, "%s", Engine.render().c_str());
+    std::fprintf(stderr, "error: rebuilding the best lowering of '%s' "
+                         "failed\n",
+                 W.Name.c_str());
+    return false;
+  }
+
+  auto makeBuffers = [&](std::vector<ocl::Buffer> &Buffers,
+                         std::vector<ocl::Buffer *> &Bound) {
+    for (const std::vector<float> &In : W.Inputs)
+      Buffers.push_back(ocl::Buffer::ofFloats(In));
+    Buffers.push_back(ocl::Buffer::zeros(W.OutCount));
+    for (ocl::Buffer &B : Buffers)
+      Bound.push_back(&B);
+  };
+  ocl::LaunchConfig Cfg;
+  Cfg.Global = R.Best.Global;
+  Cfg.Local = R.Best.Local;
+
+  std::vector<ocl::Buffer> SimBufs;
+  std::vector<ocl::Buffer *> SimBound;
+  makeBuffers(SimBufs, SimBound);
+  Expected<ocl::LaunchResult> Sim =
+      ocl::launchChecked(*K, SimBound, W.Sizes, Cfg, Engine);
+
+  std::vector<ocl::Buffer> NatBufs;
+  std::vector<ocl::Buffer *> NatBound;
+  makeBuffers(NatBufs, NatBound);
+  Expected<native::NativeLaunchResult> Nat =
+      Sim ? native::launchNativeChecked(*K, NatBound, W.Sizes, Cfg, Engine)
+          : Expected<native::NativeLaunchResult>();
+  if (!Sim || !Nat) {
+    std::fprintf(stderr, "%s", Engine.render().c_str());
+    std::fprintf(stderr, "error: native check of '%s' failed to execute\n",
+                 W.Name.c_str());
+    return false;
+  }
+
+  std::vector<float> SimOut = SimBufs.back().toFlatFloats();
+  std::vector<float> NatOut = NatBufs.back().toFlatFloats();
+  if (SimOut.size() != NatOut.size() ||
+      (SimOut.size() && std::memcmp(SimOut.data(), NatOut.data(),
+                                    SimOut.size() * sizeof(float)) != 0)) {
+    std::fprintf(stderr,
+                 "error: '%s' native output differs from the simulator\n",
+                 W.Name.c_str());
+    return false;
+  }
+  std::printf("  %-16s native: ok wall-ms=%.3f cache=%s\n", "", Nat->WallMs,
+              Nat->CacheHit ? "hit" : "miss");
+  return true;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   tune::TuneConfig Config;
   std::vector<std::string> Names;
   std::string JsonPath;
-  bool All = false, List = false;
+  bool All = false, List = false, NativeCheck = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
@@ -142,6 +219,8 @@ int main(int argc, char **argv) {
       Config.CacheDir = argv[++I];
     } else if (A == "--no-cache")
       Config.UseCache = false;
+    else if (A == "--native-check")
+      NativeCheck = true;
     else if (A == "--json") {
       if (I + 1 >= argc)
         return usage(argv[0]);
@@ -220,6 +299,8 @@ int main(int argc, char **argv) {
                 R->CacheHit ? "hit" : "miss");
     if (R->HasBest)
       std::printf("  %-16s best: %s\n", "", R->Best.trace().c_str());
+    if (NativeCheck && !nativeCheck(*W, *R))
+      Ok = false;
     Results.push_back(std::move(*R));
   }
 

@@ -23,6 +23,11 @@
 //                                            every element access
 //   liftc prog.lift --run --check-races --perturb-schedule [--schedule-seed N]
 //                                            also permute work-item order
+//   liftc prog.lift --run --backend=native   execute on the native C++/OpenMP
+//                                            backend (src/native) instead of
+//                                            the simulator
+//   liftc prog.lift --dump-native            print the generated native C++
+//                                            translation unit
 //
 // Exit codes: 0 = success; 1 = the input was rejected (diagnostics were
 // printed, including usage errors and race/memory findings); 2 = internal
@@ -33,6 +38,8 @@
 #include "frontend/ILParser.h"
 #include "ir/Printer.h"
 #include "lift/Lift.h"
+#include "native/Native.h"
+#include "native/NativePrinter.h"
 #include "ocl/FaultInject.h"
 #include "passes/Verify.h"
 #include "support/Diagnostics.h"
@@ -67,10 +74,16 @@ void usage() {
       "clock (E0511)\n"
       "             [--max-memory N]  cap simulated device allocation at N "
       "bytes (E0512)\n"
+      "             [--backend=sim|native] execution backend for --run "
+      "(default sim)\n"
+      "             [--dump-native]   print the generated native C++ "
+      "translation unit\n"
       "             [--inject-faults N,K] fail the N-th occurrence of fault "
       "site K\n"
       "                               (0 = allocation, 1 = pool start, 2 = "
-      "buffer map)\n");
+      "buffer map,\n"
+      "                                3 = native compile, 4 = native dlopen, "
+      "5 = native dlsym)\n");
 }
 
 bool parseDims(const char *S, std::array<int64_t, 3> &Out) {
@@ -116,7 +129,7 @@ int run(int argc, char **argv) {
   }
 
   std::string File;
-  bool PrintIl = false, Run = false;
+  bool PrintIl = false, Run = false, DumpNative = false, NativeBackend = false;
   codegen::CompilerOptions Opts;
   std::map<std::string, int64_t> Sizes;
   unsigned MaxErrors = 20;
@@ -127,6 +140,12 @@ int run(int argc, char **argv) {
       PrintIl = true;
     } else if (A == "--run") {
       Run = true;
+    } else if (A == "--dump-native") {
+      DumpNative = true;
+    } else if (A == "--backend=sim") {
+      NativeBackend = false;
+    } else if (A == "--backend=native") {
+      NativeBackend = true;
     } else if (A == "--no-aas") {
       Opts.ArrayAccessSimplification = false;
     } else if (A == "--no-cfs") {
@@ -245,6 +264,13 @@ int run(int argc, char **argv) {
   }
   std::printf("%s", K->Source.c_str());
 
+  if (DumpNative) {
+    // The native translation unit is a plain-C++ lowering of the same
+    // kernel AST; unsupported constructs raise E0607 like a launch would.
+    std::printf("\n// native C++ translation unit\n%s",
+                native::printNativeModule(*K).c_str());
+  }
+
   if (!Run)
     return ExitOk;
 
@@ -283,6 +309,29 @@ int run(int argc, char **argv) {
     Args.push_back(&B);
 
   ocl::LaunchConfig Cfg = ocl::LaunchConfig::fromOptions(Opts);
+
+  if (NativeBackend) {
+    if (Opts.CheckRaces || Opts.CheckMemory || Opts.PerturbSchedule)
+      std::fprintf(stderr, "liftc: note: race/memory checking and schedule "
+                           "perturbation are simulator-only; the native "
+                           "backend ignores them\n");
+    Expected<native::NativeLaunchResult> NR =
+        native::launchNativeChecked(*K, Args, Sizes, Cfg, Engine);
+    if (!NR) {
+      flushDiagnostics(Engine);
+      return ExitDiagnostics;
+    }
+    double Checksum = 0;
+    for (float V : Buffers.back().toFlatFloats())
+      Checksum += V;
+    std::printf("\n// run[native]: wall-ms=%.3f compile-ms=%.0f cache=%s "
+                "threads=%lld checksum=%.6g\n",
+                NR->WallMs, NR->CompileMs, NR->CacheHit ? "hit" : "miss",
+                static_cast<long long>(NR->Threads), Checksum);
+    flushDiagnostics(Engine);
+    return Engine.hasErrors() ? ExitDiagnostics : ExitOk;
+  }
+
   Expected<ocl::LaunchResult> R =
       ocl::launchChecked(*K, Args, Sizes, Cfg, Engine);
   if (!R) {
