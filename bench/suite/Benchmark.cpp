@@ -308,6 +308,40 @@ bench::runReferenceNativeChecked(const BenchmarkCase &Case,
                                 OptConfig::Full, Run, Engine);
 }
 
+Expected<Outcome> bench::runLiftNativeOrSimChecked(const BenchmarkCase &Case,
+                                                   OptConfig Config,
+                                                   const RunOptions &Run,
+                                                   DiagnosticEngine &Engine,
+                                                   bool *UsedFallback) {
+  // The native attempt records its failures into a scratch engine: a
+  // degraded run must leave only warnings behind, never error-severity
+  // diagnostics for a failure it recovered from.
+  DiagnosticEngine Scratch;
+  if (Expected<NativeOutcome> N =
+          runLiftNativeChecked(Case, Config, Run, Scratch)) {
+    if (UsedFallback)
+      *UsedFallback = false;
+    Outcome Out;
+    Out.MaxError = N->MaxError;
+    Out.Valid = N->Valid;
+    Out.Output = N->Output;
+    return Out;
+  }
+  std::string Detail = "no diagnostic";
+  for (const Diagnostic &D : Scratch.diagnostics())
+    if (D.Severity == DiagSeverity::Error) {
+      Detail = diagCodeId(D.Code) + ": " + D.Message;
+      break;
+    }
+  Engine.warning(DiagCode::NativeFallback,
+                 DiagLocation::inContext(Case.Name),
+                 "native backend unavailable (" + Detail +
+                     "); degrading to the simulator");
+  if (UsedFallback)
+    *UsedFallback = true;
+  return runLiftChecked(Case, Config, Run, Engine);
+}
+
 std::vector<float> bench::randomFloats(size_t N, uint64_t Seed) {
   std::vector<float> R(N);
   uint64_t S = Seed * 6364136223846793005ULL + 1442695040888963407ULL;

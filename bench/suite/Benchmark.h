@@ -195,6 +195,21 @@ Expected<NativeOutcome> runReferenceNativeChecked(const BenchmarkCase &Case,
                                                   const RunOptions &Run,
                                                   DiagnosticEngine &Engine);
 
+/// Graceful-degradation entry point: tries the native backend first and,
+/// when it fails for any reason (toolchain missing, compile/load/symbol
+/// failure after the retry policy is exhausted, out-of-subset construct,
+/// injected fault), demotes the failure to an E0610 warning in \p Engine
+/// and re-runs the same stages on the simulator — so callers always get a
+/// result when the program itself is sound, and the simulator result is
+/// bit-identical to a simulator-only run. On native success the outcome
+/// carries the native output with an empty simulator cost report.
+/// \p UsedFallback (optional) reports which backend produced the result.
+Expected<Outcome> runLiftNativeOrSimChecked(const BenchmarkCase &Case,
+                                            OptConfig Config,
+                                            const RunOptions &Run,
+                                            DiagnosticEngine &Engine,
+                                            bool *UsedFallback = nullptr);
+
 //===----------------------------------------------------------------------===//
 // Benchmark factories (one per Table 1 row)
 //===----------------------------------------------------------------------===//

@@ -9,6 +9,7 @@
 #include "arith/Eval.h"
 #include "native/NativePrinter.h"
 #include "ocl/FaultInject.h"
+#include "support/Retry.h"
 
 #include <atomic>
 #include <chrono>
@@ -111,6 +112,44 @@ bool fileExists(const std::string &P) {
   return ::stat(P.c_str(), &St) == 0;
 }
 
+bool readFileAll(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+/// FNV-1a of a file's bytes; false when the file cannot be read.
+bool hashFileContents(const std::string &Path, uint64_t &H) {
+  std::string Bytes;
+  if (!readFileAll(Path, Bytes))
+    return false;
+  H = fnv1a64(Bytes);
+  return true;
+}
+
+/// Writes \p Data to \p Path via a per-pid temporary and an atomic
+/// rename, so a crashed or concurrent writer never leaves a torn file.
+bool writeFileAtomic(const std::string &Path, const std::string &Data) {
+  std::string Tmp = Path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    Out << Data;
+    if (!Out) {
+      ::remove(Tmp.c_str());
+      return false;
+    }
+  }
+  if (::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    ::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
 [[noreturn]] void nativeFail(DiagCode Code, const std::string &Kernel,
                              const std::string &Msg,
                              std::vector<std::string> Notes = {}) {
@@ -118,11 +157,49 @@ bool fileExists(const std::string &P) {
             std::move(Notes));
 }
 
+/// Non-fatal degradation notices (E0609/E0611): recorded as warnings when
+/// the caller supplied an engine, printed to stderr otherwise.
+void nativeWarn(DiagnosticEngine *Engine, DiagCode Code,
+                const std::string &Kernel, const std::string &Msg) {
+  if (Engine)
+    Engine->warning(Code, DiagLocation::inContext(Kernel), "native: " + Msg);
+  else
+    std::fprintf(stderr, "lift: warning: native: %s\n", Msg.c_str());
+}
+
+/// Process-lifetime dlopen handle cache (healthy artifacts are never
+/// dlclosed: entry pointers may be cached by callers). File-scope so the
+/// integrity gate can evict the handle of an artifact it is about to
+/// replace.
+std::mutex HandlesM;
+std::unordered_map<std::string, void *> Handles;
+
+/// Evicts (and dlcloses) the handle of a corrupt artifact. The dlclose is
+/// required for correctness, not hygiene: glibc's dlopen matches
+/// already-loaded objects by path, so recompiling to the same path and
+/// re-dlopening would hand back the stale mapping of the corrupt file —
+/// whose pages may no longer even be backed (SIGBUS on execution when the
+/// file was truncated in place). Dropping the last reference unmaps it so
+/// the replacement artifact really gets loaded.
+void invalidateHandle(const std::string &SoPath) {
+  std::lock_guard<std::mutex> L(HandlesM);
+  auto It = Handles.find(SoPath);
+  if (It == Handles.end())
+    return;
+  ::dlclose(It->second);
+  Handles.erase(It);
+}
+
 /// Compiles (or reuses) the shared object for \p Source and resolves the
 /// kernel entry point. Throws DiagnosticError on every failure; the
 /// injected-fault sites fire before the operation they model so a faulted
-/// run performs no partial work.
-LoadedEntry loadEntry(const std::string &Source, const std::string &Kernel) {
+/// run performs no partial work. Transient steps (compile, dlopen, dlsym,
+/// sidecar write) run under the deterministic retry policy. A cached .so
+/// is reused only when its bytes match the content hash recorded in the
+/// <Key>.hash sidecar; a mismatched, truncated or unreadable artifact is
+/// evicted and recompiled with an E0611 warning into \p Engine.
+LoadedEntry loadEntry(const std::string &Source, const std::string &Kernel,
+                      DiagnosticEngine *Engine) {
   LoadedEntry R;
 
   const std::string Compiler = toolchainCompiler();
@@ -136,103 +213,167 @@ LoadedEntry loadEntry(const std::string &Source, const std::string &Kernel) {
   const std::string Key =
       hex16(fnv1a64(Source + "|" + kBaseFlags + "|" + Compiler));
   const std::string SoPath = Dir + "/" + Key + ".so";
+  const std::string HashPath = Dir + "/" + Key + ".hash";
 
-  if (!fileExists(SoPath)) {
-    if (fault::shouldFail(fault::Site::NativeCompile))
-      nativeFail(DiagCode::RuntimeFaultInjected, Kernel,
-                 "injected fault: compiling the native kernel failed");
+  const retry::Policy Pol = retry::Policy::fromEnv();
 
-    const std::string Tag = Key + "." + std::to_string(::getpid());
-    const std::string CppTmp = Dir + "/" + Tag + ".tmp.cpp";
-    const std::string SoTmp = Dir + "/" + Tag + ".tmp.so";
-    const std::string ErrTmp = Dir + "/" + Tag + ".tmp.err";
-    TempFiles Tmp;
-    Tmp.add(CppTmp);
-    Tmp.add(SoTmp);
-    Tmp.add(ErrTmp);
+  bool NeedCompile = true;
+  if (fileExists(SoPath)) {
+    // Integrity gate on reuse: the filename key only proves what source
+    // the artifact was compiled *for*, not that its bytes are intact. A
+    // truncated or swapped .so must recompile, never reach dlopen.
+    std::string Why;
+    if (fault::shouldFail(fault::Site::CacheRead)) {
+      Why = "injected fault: reading the native artifact cache failed";
+    } else {
+      std::string Stored;
+      uint64_t Actual = 0;
+      if (!readFileAll(HashPath, Stored))
+        Why = "no content hash recorded for '" + SoPath + "'";
+      else if (!hashFileContents(SoPath, Actual))
+        Why = "could not read '" + SoPath + "' back";
+      else {
+        while (!Stored.empty() &&
+               (Stored.back() == '\n' || Stored.back() == '\r'))
+          Stored.pop_back();
+        if (Stored != hex16(Actual))
+          Why = "content hash mismatch for '" + SoPath +
+                "' (truncated or swapped artifact)";
+      }
+    }
+    if (Why.empty()) {
+      NeedCompile = false;
+      R.CacheHit = true;
+    } else {
+      nativeWarn(Engine, DiagCode::NativeArtifactCorrupt, Kernel,
+                 "cached shared object failed its integrity check; "
+                 "recompiling (" + Why + ")");
+      invalidateHandle(SoPath);
+      ::remove(SoPath.c_str());
+      ::remove(HashPath.c_str());
+    }
+  }
 
-    {
-      std::ofstream Out(CppTmp);
-      Out << Source;
-      if (!Out)
+  if (NeedCompile) {
+    retry::runWithRetry(Pol, "native compile", [&] {
+      if (fault::shouldFail(fault::Site::NativeCompile))
+        nativeFail(DiagCode::RuntimeFaultInjected, Kernel,
+                   "injected fault: compiling the native kernel failed");
+
+      const std::string Tag = Key + "." + std::to_string(::getpid());
+      const std::string CppTmp = Dir + "/" + Tag + ".tmp.cpp";
+      const std::string SoTmp = Dir + "/" + Tag + ".tmp.so";
+      const std::string ErrTmp = Dir + "/" + Tag + ".tmp.err";
+      TempFiles Tmp;
+      Tmp.add(CppTmp);
+      Tmp.add(SoTmp);
+      Tmp.add(ErrTmp);
+
+      {
+        std::ofstream Out(CppTmp);
+        Out << Source;
+        if (!Out)
+          nativeFail(DiagCode::NativeCompileFailed, Kernel,
+                     "could not write the generated source to '" + CppTmp +
+                         "'");
+      }
+
+      auto Start = std::chrono::steady_clock::now();
+      auto Run = [&](bool OpenMP) {
+        std::string Cmd = Compiler + " " + kBaseFlags +
+                          (OpenMP ? " -fopenmp" : "") + " -o " + SoTmp + " " +
+                          CppTmp + " 2> " + ErrTmp;
+        return std::system(Cmd.c_str());
+      };
+      // Prefer OpenMP; fall back to a serial build when the toolchain has
+      // no OpenMP runtime (the generated pragma is _OPENMP-guarded).
+      int RC = Run(/*OpenMP=*/true);
+      if (RC != 0)
+        RC = Run(/*OpenMP=*/false);
+      R.CompileMs = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - Start)
+                        .count();
+      if (RC != 0) {
+        std::string Tail = fileTail(ErrTmp);
+        std::vector<std::string> Notes;
+        if (!Tail.empty())
+          Notes.push_back("compiler output: " + Tail);
+        Notes.push_back("command: " + Compiler + " " + kBaseFlags);
         nativeFail(DiagCode::NativeCompileFailed, Kernel,
-                   "could not write the generated source to '" + CppTmp + "'");
-    }
+                   "the system compiler rejected the generated source",
+                   std::move(Notes));
+      }
+      if (::rename(SoTmp.c_str(), SoPath.c_str()) != 0)
+        nativeFail(DiagCode::NativeCompileFailed, Kernel,
+                   "could not move the compiled object into the cache at '" +
+                       SoPath + "'");
+      // The .so is in place; the source and stderr temporaries are
+      // removed by TempFiles (SoTmp no longer exists, remove is a no-op).
+    });
 
-    auto Start = std::chrono::steady_clock::now();
-    auto Run = [&](bool OpenMP) {
-      std::string Cmd = Compiler + " " + kBaseFlags +
-                        (OpenMP ? " -fopenmp" : "") + " -o " + SoTmp + " " +
-                        CppTmp + " 2> " + ErrTmp;
-      return std::system(Cmd.c_str());
-    };
-    // Prefer OpenMP; fall back to a serial build when the toolchain has
-    // no OpenMP runtime (the generated pragma is _OPENMP-guarded).
-    int RC = Run(/*OpenMP=*/true);
-    if (RC != 0)
-      RC = Run(/*OpenMP=*/false);
-    R.CompileMs = std::chrono::duration<double, std::milli>(
-                      std::chrono::steady_clock::now() - Start)
-                      .count();
-    if (RC != 0) {
-      std::string Tail = fileTail(ErrTmp);
-      std::vector<std::string> Notes;
-      if (!Tail.empty())
-        Notes.push_back("compiler output: " + Tail);
-      Notes.push_back("command: " + Compiler + " " + kBaseFlags);
-      nativeFail(DiagCode::NativeCompileFailed, Kernel,
-                 "the system compiler rejected the generated source",
-                 std::move(Notes));
+    // Record the content hash the integrity gate checks on reuse. Failure
+    // is a degradation, not an error: this process dlopens the artifact
+    // it just built, the next one recompiles.
+    try {
+      retry::runWithRetry(Pol, "native cache write", [&] {
+        if (fault::shouldFail(fault::Site::CacheWrite))
+          throwDiag(DiagCode::CacheWriteFailed,
+                    DiagLocation::inContext(Kernel),
+                    "native: injected fault: persisting the artifact "
+                    "content hash failed");
+        uint64_t H = 0;
+        if (!hashFileContents(SoPath, H) ||
+            !writeFileAtomic(HashPath, hex16(H) + "\n"))
+          throwDiag(DiagCode::CacheWriteFailed,
+                    DiagLocation::inContext(Kernel),
+                    "native: could not persist the artifact content hash "
+                    "to '" + HashPath + "'");
+      });
+    } catch (const DiagnosticError &E) {
+      nativeWarn(Engine, DiagCode::CacheWriteFailed, Kernel,
+                 "artifact content hash not persisted; the next process "
+                 "will recompile (" + E.Diag.Message + ")");
     }
-    if (::rename(SoTmp.c_str(), SoPath.c_str()) != 0)
-      nativeFail(DiagCode::NativeCompileFailed, Kernel,
-                 "could not move the compiled object into the cache at '" +
-                     SoPath + "'");
-    // The .so is in place; the source and stderr temporaries are removed
-    // by TempFiles (SoTmp no longer exists, remove is a no-op).
-  } else {
-    R.CacheHit = true;
   }
 
-  // The load fault fires before the in-process handle cache is consulted
-  // so a seeded sweep hits it deterministically on every launch.
-  if (fault::shouldFail(fault::Site::NativeLoad))
-    nativeFail(DiagCode::RuntimeFaultInjected, Kernel,
-               "injected fault: loading the native kernel object failed");
+  retry::runWithRetry(Pol, "native load", [&] {
+    // The load fault fires before the in-process handle cache is
+    // consulted so a seeded sweep hits it deterministically on every
+    // launch.
+    if (fault::shouldFail(fault::Site::NativeLoad))
+      nativeFail(DiagCode::RuntimeFaultInjected, Kernel,
+                 "injected fault: loading the native kernel object failed");
 
-  static std::mutex HandlesM;
-  static std::unordered_map<std::string, void *> Handles;
-  void *Handle = nullptr;
-  {
-    std::lock_guard<std::mutex> L(HandlesM);
-    auto It = Handles.find(SoPath);
-    if (It != Handles.end())
-      Handle = It->second;
-  }
-  if (!Handle) {
-    Handle = ::dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+    void *Handle = nullptr;
+    {
+      std::lock_guard<std::mutex> L(HandlesM);
+      auto It = Handles.find(SoPath);
+      if (It != Handles.end())
+        Handle = It->second;
+    }
     if (!Handle) {
-      const char *Err = ::dlerror();
-      nativeFail(DiagCode::NativeLoadFailed, Kernel,
-                 "dlopen failed for '" + SoPath + "'",
-                 {Err ? Err : "no dlerror detail"});
+      Handle = ::dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+      if (!Handle) {
+        const char *Err = ::dlerror();
+        nativeFail(DiagCode::NativeLoadFailed, Kernel,
+                   "dlopen failed for '" + SoPath + "'",
+                   {Err ? Err : "no dlerror detail"});
+      }
+      std::lock_guard<std::mutex> L(HandlesM);
+      Handles.emplace(SoPath, Handle);
     }
-    std::lock_guard<std::mutex> L(HandlesM);
-    // Handles are kept for the process lifetime (never dlclose): entry
-    // pointers may be cached by callers and reloads are cheap hits here.
-    Handles.emplace(SoPath, Handle);
-  }
 
-  if (fault::shouldFail(fault::Site::NativeSym))
-    nativeFail(DiagCode::RuntimeFaultInjected, Kernel,
-               "injected fault: resolving the native kernel entry failed");
+    if (fault::shouldFail(fault::Site::NativeSym))
+      nativeFail(DiagCode::RuntimeFaultInjected, Kernel,
+                 "injected fault: resolving the native kernel entry failed");
 
-  void *Sym = ::dlsym(Handle, kEntryName);
-  if (!Sym)
-    nativeFail(DiagCode::NativeSymbolMissing, Kernel,
-               std::string("entry symbol '") + kEntryName +
-                   "' not found in '" + SoPath + "'");
-  R.Fn = reinterpret_cast<LoadedEntry::EntryFn>(Sym);
+    void *Sym = ::dlsym(Handle, kEntryName);
+    if (!Sym)
+      nativeFail(DiagCode::NativeSymbolMissing, Kernel,
+                 std::string("entry symbol '") + kEntryName +
+                     "' not found in '" + SoPath + "'");
+    R.Fn = reinterpret_cast<LoadedEntry::EntryFn>(Sym);
+  });
   return R;
 }
 
@@ -395,7 +536,8 @@ struct MarshalledParam {
 NativeLaunchResult launchNativeImpl(const codegen::CompiledKernel &K,
                                     const std::vector<Buffer *> &Buffers,
                                     const std::map<std::string, int64_t> &Sizes,
-                                    const LaunchConfig &Cfg) {
+                                    const LaunchConfig &Cfg,
+                                    DiagnosticEngine *Engine) {
   const std::string Kernel =
       K.Module.Kernel ? K.Module.Kernel->Name : std::string("kernel");
 
@@ -421,7 +563,7 @@ NativeLaunchResult launchNativeImpl(const codegen::CompiledKernel &K,
   // Lower to C++ (throws E0607 for out-of-subset constructs) and build.
   NativeLaunchResult Result;
   Result.Source = printNativeModule(K, Cfg.Global, Cfg.Local);
-  LoadedEntry Entry = loadEntry(Result.Source, Kernel);
+  LoadedEntry Entry = loadEntry(Result.Source, Kernel, Engine);
   Result.CompileMs = Entry.CompileMs;
   Result.CacheHit = Entry.CacheHit;
 
@@ -566,6 +708,22 @@ NativeLaunchResult launchNativeImpl(const codegen::CompiledKernel &K,
   // [2..5] two int64 details (index, extent) in 32-bit halves.
   int32_t Ctl[6] = {0, 0, 0, 0, 0, 0};
 
+  // Mid-execution fault sites on the ctl-protocol path: an armed group
+  // dispatch / step chunk fault cancels the launch through the same
+  // cancel flag the generated group loop polls for the deadline, so the
+  // kernel skips its remaining groups cooperatively — never a hang.
+  bool InjectedCancel = false;
+  fault::Site InjectedCancelSite = fault::Site::GroupDispatch;
+  if (fault::shouldFail(fault::Site::GroupDispatch)) {
+    InjectedCancel = true;
+    InjectedCancelSite = fault::Site::GroupDispatch;
+  } else if (fault::shouldFail(fault::Site::StepChunk)) {
+    InjectedCancel = true;
+    InjectedCancelSite = fault::Site::StepChunk;
+  }
+  if (InjectedCancel)
+    __atomic_store_n(&Ctl[0], 1, __ATOMIC_RELAXED);
+
   // Host-side watchdog for the wall-clock deadline: the generated group
   // loop polls ctl[0] and skips remaining groups once it is set.
   std::mutex DoneM;
@@ -605,6 +763,19 @@ NativeLaunchResult launchNativeImpl(const codegen::CompiledKernel &K,
       if (M.Caller)
         M.Caller->Poisoned = true;
   };
+
+  // An injected mid-execution cancellation outranks any error code the
+  // (cancelled) kernel may have produced; the message matches the
+  // simulator's E0515 shape so the fallback matrix can compare them.
+  if (InjectedCancel) {
+    PoisonAll();
+    throwDiag(DiagCode::RuntimeFaultMidExec, DiagLocation::inContext(Kernel),
+              std::string("runtime: injected ") +
+                  fault::siteName(InjectedCancelSite) +
+                  " fault cancelled the launch",
+              {"the launch was cancelled; its buffers are poisoned until "
+               "rewritten"});
+  }
 
   const int32_t ErrCode = __atomic_load_n(&Ctl[1], __ATOMIC_RELAXED);
   if (ErrCode == 504) {
@@ -700,7 +871,7 @@ native::launchNativeChecked(const codegen::CompiledKernel &K,
                             const LaunchConfig &Cfg,
                             DiagnosticEngine &Engine) {
   try {
-    return launchNativeImpl(K, Buffers, Sizes, Cfg);
+    return launchNativeImpl(K, Buffers, Sizes, Cfg, &Engine);
   } catch (DiagnosticError &E) {
     if (!E.Recorded)
       Engine.report(E.Diag);

@@ -15,7 +15,7 @@ using namespace lift::ocl;
 
 namespace {
 
-enum class Mode { Off, Exact, Count, Seeded };
+enum class Mode { Off, Exact, Count, Seeded, Always };
 
 struct State {
   std::mutex M;
@@ -77,6 +77,16 @@ const char *fault::siteName(Site S) {
     return "native dlopen";
   case Site::NativeSym:
     return "native dlsym";
+  case Site::Barrier:
+    return "barrier";
+  case Site::GroupDispatch:
+    return "group dispatch";
+  case Site::StepChunk:
+    return "step chunk";
+  case Site::CacheRead:
+    return "cache read";
+  case Site::CacheWrite:
+    return "cache write";
   }
   return "unknown";
 }
@@ -87,6 +97,14 @@ void fault::arm(Site S, uint64_t Nth) {
   St.reset(Mode::Exact);
   St.ArmedSite = S;
   St.ArmedNth = Nth;
+  Enabled.store(true, std::memory_order_release);
+}
+
+void fault::armAlways(Site S) {
+  State &St = state();
+  std::lock_guard<std::mutex> L(St.M);
+  St.reset(Mode::Always);
+  St.ArmedSite = S;
   Enabled.store(true, std::memory_order_release);
 }
 
@@ -134,6 +152,8 @@ bool fault::shouldFail(Site S) {
   switch (St.M_) {
   case Mode::Exact:
     return S == St.ArmedSite && N == St.ArmedNth;
+  case Mode::Always:
+    return S == St.ArmedSite;
   case Mode::Seeded:
     return (xorshift(St.Rng) & 63) == 0;
   case Mode::Count:

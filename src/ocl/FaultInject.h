@@ -5,18 +5,23 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A deterministic fault-injection harness for the simulated OpenCL
-/// runtime. Every fallible runtime operation (device allocation, pool
-/// dispatch, buffer binding) calls \c shouldFail(Site) at the point where a
-/// real OpenCL implementation could fail; when the harness is disarmed
-/// (the default) this is a single relaxed atomic load. Tests arm the
-/// harness to fail the n-th occurrence of a site exactly
-/// (\c arm / liftc \c --inject-faults n,k), count occurrences without
-/// failing (\c countOnly) to discover sweep bounds, or fail
-/// probabilistically from a seed (\c LIFT_FAULT_SEED) for soak runs.
-/// Injected failures surface as E0513 diagnostics (or, for pool dispatch,
-/// as a graceful serial fallback with an E0509 warning) — see
-/// docs/RELIABILITY.md.
+/// A deterministic fault-injection harness for the runtime. Every
+/// fallible operation — device allocation, pool dispatch, buffer
+/// binding, the native toolchain, persistent-cache I/O, and the
+/// mid-execution checkpoints (barrier crossings, work-group dispatch,
+/// step-budget ticks) — calls \c shouldFail(Site) at the point where a
+/// real implementation could fail; when the harness is disarmed (the
+/// default) this is a single relaxed atomic load. Tests arm the harness
+/// to fail the n-th occurrence of a site exactly (\c arm / liftc
+/// \c --inject-faults n,k), model a persistent outage that exhausts the
+/// retry policy (\c armAlways / \c --inject-faults 0,k), count
+/// occurrences without failing (\c countOnly / \c --count-faults) to
+/// discover sweep bounds, or fail probabilistically from a seed
+/// (\c LIFT_FAULT_SEED) for soak runs. Setup-site failures surface as
+/// E0513 diagnostics, mid-execution trips as a cooperative E0515
+/// cancellation that poisons the output buffers, pool faults as a
+/// graceful serial fallback (E0509), and cache faults as a miss or an
+/// E0609 write warning — see docs/RELIABILITY.md.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,15 +43,27 @@ enum class Site : unsigned {
   NativeCompile = 3, ///< invoking the system compiler (native backend)
   NativeLoad = 4,    ///< dlopen of a compiled native object
   NativeSym = 5,     ///< dlsym of the native kernel entry point
+  Barrier = 6,       ///< a work-group barrier crossing mid-execution
+  GroupDispatch = 7, ///< claiming a work-group for execution
+  StepChunk = 8,     ///< a step-budget checkpoint (every TickInterval steps)
+  CacheRead = 9,     ///< reading/validating a persistent cache entry
+  CacheWrite = 10,   ///< persisting a cache entry (tune JSON, native .so)
 };
 
-inline constexpr unsigned NumSites = 6;
+inline constexpr unsigned NumSites = 11;
 
 const char *siteName(Site S);
 
 /// Arms the harness to fail exactly the \p Nth (1-based) occurrence of
 /// \p S. Resets all occurrence counters.
 void arm(Site S, uint64_t Nth);
+
+/// Arms the harness to fail *every* occurrence of \p S (liftc
+/// --inject-faults 0,k). This is how tests model a persistent outage:
+/// retry policies (support/Retry.h) recover from an arm(S, n) transient
+/// on the next attempt, so exhausting them needs a site that stays down.
+/// Resets all occurrence counters.
+void armAlways(Site S);
 
 /// Counting-only mode: occurrences are tallied but nothing fails. Used by
 /// tests to discover how many injection opportunities a workload has.

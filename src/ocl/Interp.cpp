@@ -362,6 +362,15 @@ struct LimitError {
   LimitKind K;
 };
 
+/// Thrown by the worker whose occurrence of a mid-execution fault site
+/// (barrier, group dispatch, step chunk) was armed to fail. Like
+/// LimitError, the E0515 diagnostic is synthesized after the join (the
+/// message names only the kernel and the site, never a group index) so it
+/// is bit-identical at any thread count. Never escapes executePlan.
+struct InjectedFaultError {
+  fault::Site S;
+};
+
 /// Value-count to byte-count conversion that saturates instead of
 /// wrapping: generated programs can request absurd element counts.
 inline uint64_t bytesFor(uint64_t Count) {
@@ -1159,6 +1168,8 @@ private:
     Countdown = ExecMonitor::TickInterval;
     if (Mon->stopRequested())
       throw CancelledError{};
+    if (fault::shouldFail(fault::Site::StepChunk))
+      throw InjectedFaultError{fault::Site::StepChunk};
     if (!Mon->claimSteps(Used)) {
       Mon->noteDetail(describeCurStmt());
       Mon->noteLimit(LimitKind::Steps);
@@ -1327,6 +1338,8 @@ private:
         if (Countdown <= 0)
           slowTick();
       }
+      if (fault::shouldFail(fault::Site::Barrier))
+        throw InjectedFaultError{fault::Site::Barrier};
       if (RD)
         RD->lockstepBarrier();
       return;
@@ -1541,6 +1554,8 @@ private:
       // barrier inside a called function): it does not synchronize.
       // Charge one wait and tally the arrival for the divergence check.
       ++Cost.Barriers;
+      if (fault::shouldFail(fault::Site::Barrier))
+        throw InjectedFaultError{fault::Site::Barrier};
       if (RD)
         RD->itemBarrier(W.Linear);
       return {};
@@ -2305,6 +2320,22 @@ private:
   fatalError("internal: limit diagnostic requested with no tripped limit");
 }
 
+/// Renders an injected mid-execution fault as the stable E0515
+/// diagnostic. The message names only the kernel and the fault site —
+/// never a group index or occurrence count — so the rendered text is
+/// bit-identical at any thread count even though which worker tripped the
+/// fault is scheduling-dependent.
+[[noreturn]] void throwInjectedFaultDiag(const LaunchPlan &Plan,
+                                         fault::Site S) {
+  std::string Kernel =
+      Plan.K.Module.Kernel ? Plan.K.Module.Kernel->Name : "kernel";
+  throwDiag(DiagCode::RuntimeFaultMidExec, DiagLocation::inContext(Kernel),
+            std::string("runtime: injected ") + fault::siteName(S) +
+                " fault cancelled the launch",
+            {"the launch was cancelled; its buffers are poisoned until "
+             "rewritten"});
+}
+
 /// Dispatches the plan's work-groups over \p Workers pool workers (the
 /// caller participates as worker 0) and merges per-worker costs and
 /// per-group findings in canonical group order, so every observable
@@ -2336,6 +2367,9 @@ CostReport executePlan(LaunchPlan &Plan, RaceReport &Races,
   std::vector<std::exception_ptr> GroupErrors(static_cast<size_t>(NumGroups));
   std::atomic<int64_t> NextGroup{0};
   std::atomic<bool> Failed{false};
+  // First injected mid-execution fault wins (-1 = none); the diagnostic
+  // is synthesized after the join, like execution limits.
+  std::atomic<int> InjectedSite{-1};
   ExecMonitor *Mon = Plan.Monitor.get();
 
   // A failure outside any group (GroupWorker construction): first one
@@ -2351,6 +2385,8 @@ CostReport executePlan(LaunchPlan &Plan, RaceReport &Races,
         if (G >= NumGroups)
           break;
         try {
+          if (fault::shouldFail(fault::Site::GroupDispatch))
+            throw InjectedFaultError{fault::Site::GroupDispatch};
           Worker.runGroup(
               G, CheckR ? &GroupRaces[static_cast<size_t>(G)] : nullptr,
               CheckM ? &GroupGuards[static_cast<size_t>(G)] : nullptr,
@@ -2359,6 +2395,15 @@ CostReport executePlan(LaunchPlan &Plan, RaceReport &Races,
         } catch (const CancelledError &) {
           // Another worker tripped a limit or failed first; just unwind.
           Failed.store(true, std::memory_order_relaxed);
+        } catch (const InjectedFaultError &E) {
+          // First injected fault wins; cancel the launch cooperatively.
+          int Expected = -1;
+          InjectedSite.compare_exchange_strong(Expected,
+                                               static_cast<int>(E.S),
+                                               std::memory_order_relaxed);
+          Failed.store(true, std::memory_order_relaxed);
+          if (Mon)
+            Mon->requestStop();
         } catch (const LimitError &) {
           // The shared monitor holds the (first) tripped limit; the
           // diagnostic is synthesized after the join so it is identical
@@ -2412,10 +2457,13 @@ CostReport executePlan(LaunchPlan &Plan, RaceReport &Races,
   }
 
   // Post-join error precedence: a real per-group error first (serial
-  // order), then a tripped execution limit, then a worker-level failure.
+  // order), then an injected mid-execution fault, then a tripped
+  // execution limit, then a worker-level failure.
   for (int64_t G = 0; G != NumGroups; ++G)
     if (GroupErrors[static_cast<size_t>(G)])
       std::rethrow_exception(GroupErrors[static_cast<size_t>(G)]);
+  if (int S = InjectedSite.load(std::memory_order_relaxed); S >= 0)
+    throwInjectedFaultDiag(Plan, static_cast<fault::Site>(S));
   if (Mon && Mon->tripped() != LimitKind::None)
     throwLimitDiag(Plan, *Mon);
   if (WorkerErr)

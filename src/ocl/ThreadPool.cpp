@@ -7,6 +7,7 @@
 #include "ocl/ThreadPool.h"
 
 #include "ocl/FaultInject.h"
+#include "support/Retry.h"
 
 #include <condition_variable>
 #include <cstdlib>
@@ -100,13 +101,34 @@ public:
       Fn(0);
       return true;
     }
-    if (fault::shouldFail(fault::Site::PoolStart))
-      return false;
     std::lock_guard<std::mutex> RunLock(RunM);
+    // Pool bring-up (thread creation, or an injected PoolStart fault) is
+    // transient: retry it under the deterministic backoff policy before
+    // giving up. Fn is never invoked on a failed attempt; a false return
+    // still means "degrade to serial" for the caller.
+    {
+      retry::Policy P = retry::Policy::fromEnv();
+      retry::Backoff B(P);
+      unsigned Attempts = P.MaxAttempts ? P.MaxAttempts : 1;
+      bool Up = false;
+      for (unsigned A = 1; A <= Attempts; ++A) {
+        bool Tripped = fault::shouldFail(fault::Site::PoolStart);
+        if (!Tripped) {
+          std::lock_guard<std::mutex> L(M);
+          Tripped = !ensureSpawned(Workers - 1);
+        }
+        if (!Tripped) {
+          Up = true;
+          break;
+        }
+        if (A < Attempts)
+          retry::sleepFor(B.nextDelayUs());
+      }
+      if (!Up)
+        return false;
+    }
     {
       std::lock_guard<std::mutex> L(M);
-      if (!ensureSpawned(Workers - 1))
-        return false;
       Job = &Fn;
       JobWorkers = Workers;
       Pending = Workers - 1;

@@ -100,6 +100,8 @@ enum class DiagCode : unsigned {
   RuntimeMemoryLimit = 512,
   RuntimeFaultInjected = 513,
   RuntimeCrossGroupRace = 514,
+  RuntimeFaultMidExec = 515, ///< injected mid-execution fault (barrier,
+                             ///< group dispatch, step chunk); cancelled
 
   // 6xx — host API misuse and the native CPU backend.
   HostBadBuffer = 601,
@@ -109,6 +111,13 @@ enum class DiagCode : unsigned {
   NativeLoadFailed = 605,       ///< dlopen of the compiled object failed
   NativeSymbolMissing = 606,    ///< dlsym could not find the kernel entry
   NativeUnsupported = 607,      ///< construct outside the native subset
+  CacheEntryQuarantined = 608,  ///< warning: corrupt cache entry set aside,
+                                ///< treated as a miss
+  CacheWriteFailed = 609,       ///< warning: cache entry not persisted
+  NativeFallback = 610,         ///< warning: native backend unavailable,
+                                ///< degraded to the simulator
+  NativeArtifactCorrupt = 611,  ///< warning: cached shared object failed
+                                ///< its integrity check; recompiling
 };
 
 /// Renders a code as its stable "E0101"-style identifier.

@@ -1,0 +1,82 @@
+//===- Retry.cpp - Bounded retry with deterministic backoff ---------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Retry.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+using namespace lift;
+using namespace lift::retry;
+
+namespace {
+
+uint64_t envU64(const char *Name, uint64_t Default) {
+  const char *Env = std::getenv(Name);
+  if (!Env || !*Env)
+    return Default;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Env, &End, 10);
+  if (End == Env)
+    return Default;
+  return static_cast<uint64_t>(V);
+}
+
+uint64_t xorshift(uint64_t &X) {
+  X ^= X << 13;
+  X ^= X >> 7;
+  X ^= X << 17;
+  return X;
+}
+
+} // namespace
+
+Policy Policy::fromEnv() {
+  Policy P;
+  P.MaxAttempts = static_cast<unsigned>(
+      envU64("LIFT_RETRY_ATTEMPTS", P.MaxAttempts));
+  P.BaseUs = envU64("LIFT_RETRY_BASE_US", P.BaseUs);
+  P.Seed = envU64("LIFT_RETRY_SEED", P.Seed);
+  return P;
+}
+
+Backoff::Backoff(const Policy &P)
+    : BaseUs(P.BaseUs), Rng(P.Seed ? P.Seed : 0x9e3779b97f4a7c15ull) {}
+
+uint64_t Backoff::nextDelayUs() {
+  uint64_t Exp = BaseUs << (Attempt < 16 ? Attempt : 16);
+  ++Attempt;
+  uint64_t Jitter = BaseUs ? xorshift(Rng) % BaseUs : 0;
+  return Exp + Jitter;
+}
+
+bool retry::isTransient(DiagCode Code) {
+  switch (Code) {
+  case DiagCode::RuntimeFaultInjected:
+  case DiagCode::RuntimeFaultMidExec:
+  case DiagCode::RuntimePoolFallback:
+  case DiagCode::CacheEntryQuarantined:
+  case DiagCode::CacheWriteFailed:
+    return true;
+  default:
+    // NativeToolchainMissing, NativeCompileFailed, NativeSymbolMissing,
+    // NativeUnsupported and everything user-input-shaped is permanent: a
+    // compiler that rejected the source will reject it again.
+    return false;
+  }
+}
+
+void retry::sleepFor(uint64_t Us) {
+  if (Us == 0)
+    return;
+  // Cap each sleep so a misconfigured LIFT_RETRY_BASE_US cannot stall a
+  // test run; the schedule stays deterministic, only the wall time is
+  // bounded.
+  if (Us > 50000)
+    Us = 50000;
+  std::this_thread::sleep_for(std::chrono::microseconds(Us));
+}

@@ -1,0 +1,107 @@
+//===- Retry.h - Bounded retry with deterministic backoff -------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small retry policy for transient host-side failures: native toolchain
+/// invocation, dlopen/dlsym, persistent-cache file I/O, and worker-pool
+/// bring-up. Attempts are bounded and the backoff schedule is derived
+/// deterministically from a seed (no wall clock, no global RNG), so a test
+/// that arms a fault at the n-th occurrence sees exactly the same retry
+/// trace at every thread count and on every run.
+///
+/// Classification is keyed on the stable diagnostic code: injected faults
+/// and cache I/O failures are transient (worth retrying — a real OpenCL
+/// host sees these as spurious ENOMEM/EINTR-class errors), while "the
+/// toolchain does not exist" or "the program is outside the native subset"
+/// are permanent and fail fast. See docs/RELIABILITY.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_SUPPORT_RETRY_H
+#define LIFT_SUPPORT_RETRY_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+
+namespace lift {
+namespace retry {
+
+/// Bounded-attempt policy. MaxAttempts counts the first try: the default
+/// (3) means one try plus up to two retries. BaseUs scales the backoff
+/// schedule; Seed makes the jitter deterministic.
+struct Policy {
+  unsigned MaxAttempts = 3;
+  uint64_t BaseUs = 200;
+  uint64_t Seed = 0x243f6a8885a308d3ull;
+
+  /// Reads LIFT_RETRY_ATTEMPTS / LIFT_RETRY_BASE_US / LIFT_RETRY_SEED,
+  /// falling back to the defaults above. Read per call so tests can
+  /// adjust the environment between runs.
+  static Policy fromEnv();
+};
+
+/// Deterministic backoff schedule: exponential growth with seeded jitter.
+/// nextDelayUs() for attempt k returns BaseUs * 2^k plus a jitter term in
+/// [0, BaseUs) drawn from an xorshift stream seeded by Policy::Seed — the
+/// same policy always yields the same schedule.
+class Backoff {
+public:
+  explicit Backoff(const Policy &P);
+
+  /// Delay to sleep before the next retry; advances the schedule.
+  uint64_t nextDelayUs();
+
+private:
+  uint64_t BaseUs;
+  uint64_t Rng;
+  unsigned Attempt = 0;
+};
+
+/// True when \p Code names a condition worth retrying. Injected faults and
+/// cache/file I/O failures are transient; missing toolchains, rejected
+/// source, and unsupported constructs are permanent.
+bool isTransient(DiagCode Code);
+
+/// Deterministic sleep used between attempts. Kept tiny (microseconds) so
+/// exhausting a policy under test costs well under a millisecond.
+void sleepFor(uint64_t Us);
+
+/// Runs \p Fn up to P.MaxAttempts times. A DiagnosticError whose code is
+/// transient (per isTransient) triggers a backoff sleep and a retry; a
+/// permanent code, or running out of attempts, rethrows the last error
+/// augmented with a note recording the attempt count (so users can see a
+/// failure survived retries). \p What names the operation in that note.
+template <typename Fn>
+auto runWithRetry(const Policy &P, const char *What, Fn &&F)
+    -> decltype(F()) {
+  Backoff B(P);
+  unsigned Attempts = P.MaxAttempts ? P.MaxAttempts : 1;
+  for (unsigned A = 1;; ++A) {
+    try {
+      return F();
+    } catch (DiagnosticError &E) {
+      if (A >= Attempts || !isTransient(E.Diag.Code)) {
+        if (A > 1) {
+          Diagnostic D = E.Diag;
+          D.Notes.push_back(std::string(What) + " failed after " +
+                            std::to_string(A) + " attempts");
+          DiagnosticError Out(std::move(D));
+          Out.Recorded = E.Recorded;
+          throw Out;
+        }
+        throw;
+      }
+      sleepFor(B.nextDelayUs());
+    }
+  }
+}
+
+} // namespace retry
+} // namespace lift
+
+#endif // LIFT_SUPPORT_RETRY_H

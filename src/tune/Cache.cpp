@@ -7,12 +7,16 @@
 #include "tune/Cache.h"
 
 #include "ir/Printer.h"
+#include "ocl/FaultInject.h"
+#include "support/Retry.h"
 
 #include <cctype>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#include <unistd.h>
 
 using namespace lift;
 using namespace lift::tune;
@@ -272,21 +276,48 @@ bool statusFromName(const std::string &S, CandidateStatus &Out) {
 } // namespace
 
 bool tune::loadCachedResult(const Workload &W, const TuneConfig &C,
-                            TuneResult &R) {
+                            TuneResult &R, DiagnosticEngine *Engine) {
   if (C.CacheDir.empty())
     return false;
-  std::ifstream In(tuneCachePath(W, C));
+  const std::string Path = tuneCachePath(W, C);
+  std::ifstream In(Path);
   if (!In)
+    return false;
+  // An injected read fault models a spurious I/O error: the entry is a
+  // plain miss (the file stays in place — it is not corrupt).
+  if (ocl::fault::shouldFail(ocl::fault::Site::CacheRead))
     return false;
   std::ostringstream SS;
   SS << In.rdbuf();
   std::string Text = SS.str();
 
+  // A corrupt entry is renamed aside so it cannot shadow the fresh store
+  // a re-tune will perform; a stale entry (key mismatch below) stays in
+  // place as a silent miss.
+  auto Quarantine = [&](const std::string &Why) {
+    const std::string Aside = Path + ".corrupt";
+    ::rename(Path.c_str(), Aside.c_str());
+    if (Engine)
+      Engine->warning(DiagCode::CacheEntryQuarantined,
+                      DiagLocation::inContext("tune:" + W.Name),
+                      "tune cache entry '" + Path + "' is corrupt (" + Why +
+                          "); quarantined to '" + Aside +
+                          "' and treated as a miss");
+    else
+      std::fprintf(stderr,
+                   "lift: warning: tune cache entry '%s' is corrupt (%s); "
+                   "quarantined and treated as a miss\n",
+                   Path.c_str(), Why.c_str());
+    return false;
+  };
+
   JValue Root;
   if (!JParser(Text).parse(Root) || Root.K != JValue::Obj)
-    return false;
+    return Quarantine("malformed or truncated JSON");
   const JValue *Key = Root.field("key");
-  if (!Key || Key->K != JValue::Str || Key->S != tuneCacheKey(W, C))
+  if (!Key || Key->K != JValue::Str)
+    return Quarantine("missing entry key");
+  if (Key->S != tuneCacheKey(W, C))
     return false;
   const JValue *Name = Root.field("workload");
   const JValue *DefCost = Root.field("default_cost");
@@ -295,7 +326,7 @@ bool tune::loadCachedResult(const Workload &W, const TuneConfig &C,
   if (!Name || Name->K != JValue::Str || Name->S != W.Name || !DefCost ||
       DefCost->K != JValue::Num || !Enumerated ||
       Enumerated->K != JValue::Num || !Traj || Traj->K != JValue::Arr)
-    return false;
+    return Quarantine("unexpected entry shape");
 
   TuneResult Out;
   Out.Workload = Name->S;
@@ -308,7 +339,7 @@ bool tune::loadCachedResult(const Workload &W, const TuneConfig &C,
     const JValue *BCost = Best->field("cost");
     Derivation D;
     if (!BCost || BCost->K != JValue::Num || !readDerivation(*Best, D))
-      return false;
+      return Quarantine("unexpected best-candidate shape");
     Out.HasBest = true;
     Out.Best = D;
     Out.BestCost = BCost->N;
@@ -316,14 +347,14 @@ bool tune::loadCachedResult(const Workload &W, const TuneConfig &C,
 
   for (const JValue &E : Traj->A) {
     if (E.K != JValue::Obj)
-      return false;
+      return Quarantine("unexpected trajectory shape");
     CandidateOutcome O;
     const JValue *Status = E.field("status");
     const JValue *Cost = E.field("cost");
     const JValue *Detail = E.field("detail");
     if (!Status || Status->K != JValue::Str ||
         !statusFromName(Status->S, O.Status) || !readDerivation(E, O.D))
-      return false;
+      return Quarantine("unexpected trajectory shape");
     if (Cost && Cost->K == JValue::Num)
       O.Cost = Cost->N;
     if (Detail && Detail->K == JValue::Str)
@@ -336,7 +367,7 @@ bool tune::loadCachedResult(const Workload &W, const TuneConfig &C,
 }
 
 bool tune::storeCachedResult(const Workload &W, const TuneConfig &C,
-                             const TuneResult &R) {
+                             const TuneResult &R, DiagnosticEngine *Engine) {
   if (C.CacheDir.empty())
     return false;
   std::error_code EC;
@@ -383,11 +414,49 @@ bool tune::storeCachedResult(const Workload &W, const TuneConfig &C,
   }
   J += "\n  ]\n}\n";
 
-  std::ofstream Out(tuneCachePath(W, C), std::ios::trunc);
-  if (!Out)
+  // Write-temp-then-rename so a crashed or faulted writer never leaves a
+  // torn entry behind; transient failures (including the injected
+  // CacheWrite fault) retry under the deterministic backoff policy.
+  const std::string Path = tuneCachePath(W, C);
+  const std::string Tmp = Path + ".tmp." + std::to_string(::getpid());
+  try {
+    retry::runWithRetry(retry::Policy::fromEnv(), "tune cache write", [&] {
+      if (ocl::fault::shouldFail(ocl::fault::Site::CacheWrite))
+        throwDiag(DiagCode::CacheWriteFailed,
+                  DiagLocation::inContext("tune:" + W.Name),
+                  "injected fault: persisting the tune cache entry failed");
+      {
+        std::ofstream Out(Tmp, std::ios::trunc);
+        Out << J;
+        if (!Out) {
+          ::remove(Tmp.c_str());
+          throwDiag(DiagCode::CacheWriteFailed,
+                    DiagLocation::inContext("tune:" + W.Name),
+                    "could not write the tune cache entry to '" + Tmp + "'");
+        }
+      }
+      if (::rename(Tmp.c_str(), Path.c_str()) != 0) {
+        ::remove(Tmp.c_str());
+        throwDiag(DiagCode::CacheWriteFailed,
+                  DiagLocation::inContext("tune:" + W.Name),
+                  "could not move the tune cache entry into place at '" +
+                      Path + "'");
+      }
+    });
+  } catch (const DiagnosticError &E) {
+    if (Engine)
+      Engine->warning(DiagCode::CacheWriteFailed,
+                      DiagLocation::inContext("tune:" + W.Name),
+                      "tune cache entry not persisted (" + E.Diag.Message +
+                          "); the next invocation will re-tune");
+    else
+      std::fprintf(stderr,
+                   "lift: warning: tune cache entry for '%s' not "
+                   "persisted; the next invocation will re-tune\n",
+                   W.Name.c_str());
     return false;
-  Out << J;
-  return static_cast<bool>(Out);
+  }
+  return true;
 }
 
 std::optional<int64_t> tune::cachedBestWrgChunk(const Workload &W,

@@ -38,13 +38,22 @@ std::string tuneCacheKey(const Workload &W, const TuneConfig &C);
 std::string tuneCachePath(const Workload &W, const TuneConfig &C);
 
 /// Loads a cached result. Returns false (leaving \p R untouched) when the
-/// file is missing, unreadable, malformed, or keyed differently.
-bool loadCachedResult(const Workload &W, const TuneConfig &C, TuneResult &R);
+/// file is missing, unreadable, malformed, or keyed differently. A
+/// malformed or truncated entry is quarantined — renamed to
+/// `<file>.corrupt` with an E0608 warning into \p Engine (stderr when
+/// null) — so it cannot shadow future stores; a stale entry (key
+/// mismatch) stays in place as a silent miss.
+bool loadCachedResult(const Workload &W, const TuneConfig &C, TuneResult &R,
+                      DiagnosticEngine *Engine = nullptr);
 
-/// Stores \p R, creating the cache directory if needed. Best-effort:
-/// returns false on I/O failure.
+/// Stores \p R, creating the cache directory if needed. The entry is
+/// written to a per-pid temporary and atomically renamed into place, so a
+/// crashed writer never leaves a torn file; transient write failures are
+/// retried under the deterministic backoff policy (support/Retry.h).
+/// Best-effort: returns false (after an E0609 warning) on I/O failure.
 bool storeCachedResult(const Workload &W, const TuneConfig &C,
-                       const TuneResult &R);
+                       const TuneResult &R,
+                       DiagnosticEngine *Engine = nullptr);
 
 /// Consults the cache for the cheapest successfully-evaluated
 /// mapWrg(mapLcl) candidate of (\p W, \p C) and returns its chunk size.

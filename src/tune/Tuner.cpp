@@ -241,7 +241,7 @@ Expected<TuneResult> tune::tuneWorkload(const Workload &W,
   TuneResult R;
   R.Workload = W.Name;
 
-  if (C.UseCache && loadCachedResult(W, C, R))
+  if (C.UseCache && loadCachedResult(W, C, R, &Engine))
     return R;
   R = TuneResult();
   R.Workload = W.Name;
@@ -307,6 +307,6 @@ Expected<TuneResult> tune::tuneWorkload(const Workload &W,
   }
 
   if (C.UseCache)
-    storeCachedResult(W, C, R);
+    storeCachedResult(W, C, R, &Engine);
   return R;
 }

@@ -83,7 +83,7 @@ inline ir::LambdaPtr generateWellTyped(uint64_t Seed, size_t &OutCount,
 
   ParamPtr X = param("x", arrayOf(float32(), arith::cst(N)));
 
-  switch (Rng.range(0, 5)) {
+  switch (Rng.range(0, 6)) {
   case 0: { // per-row sequential reduction over a random split
     const int64_t Divisors[] = {2, 3, 4, 6, 8, 12, 16, 24};
     int64_t F = Divisors[Rng.next() % 8];
@@ -158,6 +158,57 @@ inline ir::LambdaPtr generateWellTyped(uint64_t Seed, size_t &OutCount,
                join());
     }
     OutCount = static_cast<size_t>(N);
+    return lambda({X}, R);
+  }
+  case 6: { // multi-stage iterate: per-row halving reduction (Listing 1)
+    // Row width F and halving count K with F / 2^K the surviving partial
+    // sums per row; every division stays exact for N = 48.
+    struct Choice {
+      int64_t F, Steps, Tail;
+    };
+    const Choice Choices[] = {{8, 3, 1}, {16, 4, 1}, {24, 3, 3}};
+    const Choice Pick = Choices[Rng.next() % 3];
+    ExprPtr R;
+    if (Mode == GenMode::HighLevel) {
+      // Portable spelling: iterate's fixpoint of pairwise additions is a
+      // per-row reduction; the high-level program states the reduction
+      // and leaves the halving schedule to the lowering. (Tail > 1 rows
+      // reduce each Tail-wide sub-row.)
+      R = pipe(ExprPtr(X), split(Pick.F / Pick.Tail),
+               map(fun([&](ExprPtr Row) {
+                 return pipe(call(reduceSeq(prelude::addFun()),
+                                  {litFloat(0.0f), Row}),
+                             map(prelude::idFloatFun()));
+               })),
+               join());
+    } else {
+      // Lowered spelling: one work-group per row stages into local
+      // memory, then K iterate steps each split the array into adjacent
+      // pairs, add them, and write the half-sized result back to local —
+      // the multi-stage iterate pipeline of the paper's Listing 1, and
+      // the densest barrier/back-edge checkpoint source the generator
+      // has for the mid-execution fault sweep.
+      R = pipe(ExprPtr(X), split(Pick.F), mapWrg(fun([&](ExprPtr Chunk) {
+                 return pipe(
+                     Chunk, toLocal(mapLcl(prelude::idFloatFun())),
+                     iterate(Pick.Steps, fun([&](ExprPtr Arr) {
+                               return pipe(
+                                   Arr, split(2),
+                                   mapLcl(fun([&](ExprPtr Two) {
+                                     return pipe(
+                                         call(reduceSeq(prelude::addFun()),
+                                              {litFloat(0.0f), Two}),
+                                         toLocal(mapSeq(
+                                             prelude::idFloatFun())));
+                                   })),
+                                   join());
+                             })),
+                     split(1), toGlobal(mapLcl(mapSeq(prelude::idFloatFun()))),
+                     join());
+               })),
+               join());
+    }
+    OutCount = static_cast<size_t>((N / Pick.F) * Pick.Tail);
     return lambda({X}, R);
   }
   default:

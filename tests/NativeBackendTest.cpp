@@ -41,6 +41,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <unistd.h>
 #include <limits>
 #include <map>
@@ -341,7 +342,9 @@ TEST_F(NativeFaultInjection, ToolchainSitesFailCleanly) {
     // Fresh cache per site so the compile path really runs each time.
     std::error_code EC;
     std::filesystem::remove_all(CacheDir, EC);
-    ocl::fault::arm(S, 1);
+    // Persistent outage: the toolchain sites sit under the transient
+    // retry policy (support/Retry.h), which recovers a one-shot fault.
+    ocl::fault::armAlways(S);
     DiagnosticEngine E;
     Expected<bench::NativeOutcome> R = launchNative(E);
     EXPECT_FALSE(bool(R)) << "site " << ocl::fault::siteName(S)
@@ -366,6 +369,76 @@ TEST_F(NativeFaultInjection, ToolchainSitesFailCleanly) {
         bench::makeNN(false), bench::OptConfig::Full, Run, E3);
     EXPECT_TRUE(bool(Sim)) << E3.render();
   }
+}
+
+/// Artifact-cache integrity: a cached .so whose bytes no longer match
+/// the recorded content hash (torn write, disk corruption, a different
+/// compiler clobbering the file) is evicted and recompiled with an
+/// E0611 warning — and the relaunched benchmark still validates.
+TEST_F(NativeFaultInjection, CorruptCachedObjectIsEvictedAndRecompiled) {
+  namespace fs = std::filesystem;
+
+  // Warm the cache and remember the artifacts.
+  DiagnosticEngine E1;
+  Expected<bench::NativeOutcome> Warm = launchNative(E1);
+  ASSERT_TRUE(bool(Warm)) << E1.render();
+  std::vector<fs::path> Objects;
+  for (const auto &Entry : fs::directory_iterator(CacheDir)) {
+    if (Entry.path().extension() == ".so") {
+      Objects.push_back(Entry.path());
+      // Every artifact carries its content-hash sidecar.
+      fs::path Hash = Entry.path();
+      Hash.replace_extension(".hash");
+      EXPECT_TRUE(fs::exists(Hash)) << "missing sidecar for " << Entry.path();
+    }
+  }
+  ASSERT_FALSE(Objects.empty()) << "warm launch cached no shared objects";
+
+  // Swap every cached object for garbage. Replace via rename rather than
+  // truncating in place: the warm launch still holds these objects mapped,
+  // and yanking a mapped inode's pages out from under the process SIGBUSes
+  // on the next fault-in (in dlclose's FINI walk, here) — a POSIX hazard no
+  // integrity check can defend against. Rename-replace models the real
+  // corruption (the path now serves wrong bytes) while the old inode stays
+  // alive until the runtime evicts and unmaps it.
+  for (const fs::path &So : Objects) {
+    fs::path Tmp = So;
+    Tmp += ".garbage";
+    {
+      std::ofstream Out(Tmp, std::ios::trunc | std::ios::binary);
+      Out << "not an object file";
+    }
+    fs::rename(Tmp, So);
+  }
+
+  DiagnosticEngine E2;
+  Expected<bench::NativeOutcome> Again = launchNative(E2);
+  ASSERT_TRUE(bool(Again)) << E2.render();
+  EXPECT_TRUE(Again->Valid);
+  bool SawEviction = false;
+  for (const Diagnostic &D : E2.diagnostics())
+    SawEviction |= D.Code == DiagCode::NativeArtifactCorrupt;
+  EXPECT_TRUE(SawEviction) << "no E0611 eviction warning:\n" << E2.render();
+  EXPECT_FALSE(E2.hasErrors()) << E2.render();
+  EXPECT_EQ(Warm->Output, Again->Output)
+      << "recompilation after corruption changed the results";
+
+  // A missing sidecar is the same condition (the hash was never
+  // persisted): reuse is refused and the artifact recompiled.
+  for (const fs::path &So : Objects) {
+    fs::path Hash = So;
+    Hash.replace_extension(".hash");
+    fs::remove(Hash);
+  }
+  DiagnosticEngine E3;
+  Expected<bench::NativeOutcome> Third = launchNative(E3);
+  ASSERT_TRUE(bool(Third)) << E3.render();
+  bool SawMissing = false;
+  for (const Diagnostic &D : E3.diagnostics())
+    SawMissing |= D.Code == DiagCode::NativeArtifactCorrupt;
+  EXPECT_TRUE(SawMissing) << "missing sidecar went unnoticed:\n"
+                          << E3.render();
+  EXPECT_EQ(Warm->Output, Third->Output);
 }
 
 TEST_F(NativeFaultInjection, SeededSweepNeverLeaks) {

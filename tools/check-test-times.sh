@@ -7,8 +7,9 @@
 # its timeout already fails the run; this catches the ones sneaking up on
 # it — a fuzz tier that quietly got 10x slower keeps passing until the
 # day it flakes. Fails when any test exceeded the budget (default 120 s,
-# half the check tier's 240 s ctest timeout) or when ctest recorded a
-# ***Timeout at all.
+# half the 240 s ctest timeout shared by the check-* tiers — fuzz/race,
+# rules, and resilience all flow through the same log) or when ctest
+# recorded a ***Timeout at all.
 #
 # Usage: tools/check-test-times.sh <ctest-log> [budget-seconds]
 #

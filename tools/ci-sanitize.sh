@@ -5,9 +5,12 @@
 #
 # Builds the tree under a sanitizer and runs the dynamic-checking test
 # tier: race/divergence detection, differential arithmetic fuzzing,
-# guarded-memory tests, the parallel-runtime determinism suite, and the
+# guarded-memory tests, the parallel-runtime determinism suite, the
 # crash-resilience fuzzer (>12k mutated IL inputs + >1k random well-typed
-# programs; see docs/DIAGNOSTICS.md). Any abort, sanitizer finding, or
+# programs; see docs/DIAGNOSTICS.md), and the resilience tier (mid-exec
+# fault sweeps, retry recovery, the graceful-degradation matrix; the
+# `check` label filter below regex-matches all check-* tier labels, so
+# check-resilience runs sanitized too). Any abort, sanitizer finding, or
 # missing diagnostic fails the run.
 #
 # Usage: tools/ci-sanitize.sh [address|thread] [build-dir]

@@ -24,6 +24,15 @@
 #      native launch path. A cold per-seed cache directory keeps the
 #      compile site reachable on every seed. Skipped when no system C++
 #      compiler is installed.
+#   5. Chaos stage: deterministic mid-execution cancellation. For each
+#      mid-exec site (6 = barrier, 7 = group dispatch, 8 = step chunk)
+#      a --count-faults run discovers how many injection opportunities
+#      each example program has, then the first, middle, and last
+#      occurrence are tripped with --inject-faults n,k. Barrier and
+#      dispatch counts are thread-count-invariant so those trips must
+#      surface as a clean exit 1 carrying E0515; step-chunk checkpoints
+#      are per-worker, so a parallel run may legitimately finish before
+#      the n-th tick (exit 0) — but a crash always fails the soak.
 #
 # Usage: tools/ci-soak.sh [build-dir]   (default build-soak)
 #
@@ -103,5 +112,47 @@ if command -v c++ >/dev/null 2>&1 || command -v g++ >/dev/null 2>&1 || \
 else
   echo "no system C++ compiler; skipping the native sweep"
 fi
+
+echo "== Stage 5: chaos stage — mid-execution cancellation at first/middle/last =="
+for PROG in examples/il/dot.lift examples/il/square.lift; do
+  for SITE in 6 7 8; do
+    # Counting run: '// fault-count K N <site>' per site, nothing fails.
+    TOTAL=$("$BUILD_DIR/tools/liftc" "$PROG" --run --count-faults \
+              2>/dev/null |
+            awk -v s="$SITE" '$2 == "fault-count" && $3 == s { print $4 }')
+    TOTAL="${TOTAL:-0}"
+    if [ "$TOTAL" -eq 0 ]; then
+      echo "chaos: site $SITE never fires in $PROG; skipping"
+      continue
+    fi
+    MID=$(( (TOTAL + 1) / 2 ))
+    for NTH in 1 "$MID" "$TOTAL"; do
+      STATUS=0
+      ERR=$("$BUILD_DIR/tools/liftc" "$PROG" --run \
+              --inject-faults "$NTH,$SITE" 2>&1 >/dev/null) || STATUS=$?
+      if [ "$STATUS" -eq 1 ]; then
+        # Cancelled cleanly: the diagnostic must be the mid-exec code.
+        if ! printf '%s' "$ERR" | grep -q 'E0515'; then
+          echo "chaos: $PROG site $SITE occurrence $NTH/$TOTAL failed" \
+               "without an E0515 diagnostic" >&2
+          printf '%s\n' "$ERR" >&2
+          exit 1
+        fi
+      elif [ "$STATUS" -eq 0 ]; then
+        # Only a per-worker step-chunk countdown may outrun the trip.
+        if [ "$SITE" -ne 8 ]; then
+          echo "chaos: $PROG site $SITE occurrence $NTH/$TOTAL did not" \
+               "cancel the launch" >&2
+          exit 1
+        fi
+      else
+        echo "chaos: liftc $PROG crashed at site $SITE occurrence" \
+             "$NTH/$TOTAL (exit $STATUS)" >&2
+        exit 1
+      fi
+    done
+    echo "chaos: $PROG site $SITE swept occurrences 1/$MID/$TOTAL of $TOTAL"
+  done
+done
 
 echo "soak passed"

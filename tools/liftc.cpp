@@ -80,10 +80,24 @@ void usage() {
       "translation unit\n"
       "             [--inject-faults N,K] fail the N-th occurrence of fault "
       "site K\n"
+      "                               (N = 0 fails every occurrence: a "
+      "persistent outage\n"
+      "                                that exhausts the retry policy)\n"
       "                               (0 = allocation, 1 = pool start, 2 = "
       "buffer map,\n"
       "                                3 = native compile, 4 = native dlopen, "
-      "5 = native dlsym)\n");
+      "5 = native dlsym,\n"
+      "                                6 = barrier, 7 = group dispatch, 8 = "
+      "step chunk,\n"
+      "                                9 = cache read, 10 = cache write)\n"
+      "             [--count-faults]  run in fault-counting mode: nothing "
+      "fails, and a\n"
+      "                               '// fault-count K N <site>' line per "
+      "site reports how\n"
+      "                               many injection opportunities the run "
+      "had (the sweep\n"
+      "                               bound for --inject-faults; overrides "
+      "--inject-faults)\n");
 }
 
 bool parseDims(const char *S, std::array<int64_t, 3> &Out) {
@@ -122,6 +136,18 @@ void flushDiagnostics(const DiagnosticEngine &Engine) {
     std::fprintf(stderr, "liftc: %s\n", D.render().c_str());
 }
 
+/// Prints the per-site occurrence tallies of a --count-faults run. The
+/// count precedes the site name because names contain spaces and the soak
+/// tier parses these lines with awk.
+void printFaultCounts() {
+  for (unsigned S = 0; S != ocl::fault::NumSites; ++S) {
+    auto Id = static_cast<ocl::fault::Site>(S);
+    std::printf("// fault-count %u %llu %s\n", S,
+                static_cast<unsigned long long>(ocl::fault::occurrences(Id)),
+                ocl::fault::siteName(Id));
+  }
+}
+
 int run(int argc, char **argv) {
   if (argc < 2) {
     usage();
@@ -130,6 +156,7 @@ int run(int argc, char **argv) {
 
   std::string File;
   bool PrintIl = false, Run = false, DumpNative = false, NativeBackend = false;
+  bool CountFaults = false;
   codegen::CompilerOptions Opts;
   std::map<std::string, int64_t> Sizes;
   unsigned MaxErrors = 20;
@@ -183,14 +210,19 @@ int run(int argc, char **argv) {
       unsigned long long Nth = std::strtoull(argv[++I], &End, 10);
       unsigned long long SiteId =
           *End == ',' ? std::strtoull(End + 1, nullptr, 10) : ~0ull;
-      if (Nth == 0 || SiteId >= ocl::fault::NumSites) {
+      if (End == argv[I] || SiteId >= ocl::fault::NumSites) {
         std::fprintf(stderr,
-                     "liftc: --inject-faults needs N,K with N >= 1 and "
+                     "liftc: --inject-faults needs N,K with N >= 0 and "
                      "K in [0,%u)\n",
                      ocl::fault::NumSites);
         return ExitDiagnostics;
       }
-      ocl::fault::arm(static_cast<ocl::fault::Site>(SiteId), Nth);
+      if (Nth == 0)
+        ocl::fault::armAlways(static_cast<ocl::fault::Site>(SiteId));
+      else
+        ocl::fault::arm(static_cast<ocl::fault::Site>(SiteId), Nth);
+    } else if (A == "--count-faults") {
+      CountFaults = true;
     } else if (A == "--max-errors" && I + 1 < argc) {
       MaxErrors = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
       if (MaxErrors == 0) {
@@ -227,6 +259,9 @@ int run(int argc, char **argv) {
     usage();
     return ExitDiagnostics;
   }
+
+  if (CountFaults)
+    ocl::fault::countOnly();
 
   std::ifstream In(File);
   if (!In) {
@@ -315,21 +350,39 @@ int run(int argc, char **argv) {
       std::fprintf(stderr, "liftc: note: race/memory checking and schedule "
                            "perturbation are simulator-only; the native "
                            "backend ignores them\n");
+    // The native attempt records into its own engine: on failure it is
+    // demoted to an E0610 warning and the run degrades to the simulator
+    // below instead of failing.
+    DiagnosticEngine NativeEngine(MaxErrors);
     Expected<native::NativeLaunchResult> NR =
-        native::launchNativeChecked(*K, Args, Sizes, Cfg, Engine);
-    if (!NR) {
-      flushDiagnostics(Engine);
-      return ExitDiagnostics;
+        native::launchNativeChecked(*K, Args, Sizes, Cfg, NativeEngine);
+    if (NR) {
+      double Checksum = 0;
+      for (float V : Buffers.back().toFlatFloats())
+        Checksum += V;
+      std::printf("\n// run[native]: wall-ms=%.3f compile-ms=%.0f cache=%s "
+                  "threads=%lld checksum=%.6g\n",
+                  NR->WallMs, NR->CompileMs, NR->CacheHit ? "hit" : "miss",
+                  static_cast<long long>(NR->Threads), Checksum);
+      if (CountFaults)
+        printFaultCounts();
+      flushDiagnostics(NativeEngine);
+      return NativeEngine.hasErrors() ? ExitDiagnostics : ExitOk;
     }
-    double Checksum = 0;
-    for (float V : Buffers.back().toFlatFloats())
-      Checksum += V;
-    std::printf("\n// run[native]: wall-ms=%.3f compile-ms=%.0f cache=%s "
-                "threads=%lld checksum=%.6g\n",
-                NR->WallMs, NR->CompileMs, NR->CacheHit ? "hit" : "miss",
-                static_cast<long long>(NR->Threads), Checksum);
-    flushDiagnostics(Engine);
-    return Engine.hasErrors() ? ExitDiagnostics : ExitOk;
+    std::string Detail = "no diagnostic";
+    for (const Diagnostic &D : NativeEngine.diagnostics())
+      if (D.Severity == DiagSeverity::Error) {
+        Detail = diagCodeId(D.Code) + ": " + D.Message;
+        break;
+      }
+    Engine.warning(DiagCode::NativeFallback, DiagLocation(),
+                   "native backend unavailable (" + Detail +
+                       "); degrading to the simulator");
+    // A failed native attempt never read results back (contents are
+    // intact) but may have poisoned the buffers; the simulator rerun
+    // starts from a clean launch.
+    for (ocl::Buffer &B : Buffers)
+      B.Poisoned = false;
   }
 
   Expected<ocl::LaunchResult> R =
@@ -354,6 +407,8 @@ int run(int argc, char **argv) {
     std::printf("// race check: %s\n", R->Races.summary().c_str());
   if (Opts.CheckMemory)
     std::printf("// memory check: %s\n", R->Guards.summary().c_str());
+  if (CountFaults)
+    printFaultCounts();
   // Successful runs can still carry warnings (e.g. E0509 serial
   // fallback) — surface them without failing the run.
   flushDiagnostics(Engine);
