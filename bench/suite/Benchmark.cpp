@@ -251,12 +251,13 @@ Expected<NativeOutcome> runStagesNativeChecked(const BenchmarkCase &Case,
     Cfg.Local = S.Local;
     Cfg.Threads = Run.Threads;
     Cfg.Limits = Run.Limits;
-    Expected<native::NativeLaunchResult> R =
-        native::launchNativeChecked(K, Args, S.Sizes, Cfg, Engine);
+    Expected<native::NativeLaunchResult> R = native::launchNativeChecked(
+        K, Args, S.Sizes, Cfg, Engine, Run.NativeMode);
     if (!R)
       return {};
     Out.WallMs += R->WallMs;
     Out.CompileMs += R->CompileMs;
+    Out.MarshalMs += R->MarshalMs;
     Out.AllCacheHits = Out.AllCacheHits && R->CacheHit;
   }
 

@@ -19,6 +19,7 @@
 
 #include "codegen/Compiler.h"
 #include "ir/IR.h"
+#include "native/NativePrinter.h"
 #include "ocl/Runtime.h"
 
 #include <array>
@@ -140,6 +141,10 @@ struct RunOptions {
   /// wall-clock deadline, allocation cap (see ocl::ExecLimits and
   /// docs/RELIABILITY.md). Default: unbounded.
   ocl::ExecLimits Limits;
+  /// Numeric model for native-backend runs (ignored by the simulator
+  /// entry points): Exact is bit-identical to the simulator, Fast uses
+  /// natively-typed scalars and -O3 -march=native.
+  native::NativeMode NativeMode = native::NativeMode::Exact;
 };
 
 /// Runs the Lift stages compiled under \p Config and validates.
@@ -172,6 +177,9 @@ struct NativeOutcome {
   /// System-compiler time summed over all stages; 0 when every stage hit
   /// the shared-object cache.
   double CompileMs = 0;
+  /// Marshalling + readback time summed over all stages; drops on
+  /// cache-hit launches (persistent arenas, skipped read-only copies).
+  double MarshalMs = 0;
   bool AllCacheHits = true;
   double MaxError = 0;
   bool Valid = false;

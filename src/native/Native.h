@@ -16,8 +16,9 @@
 /// argument-binding order and the same E05xx diagnostics for launch
 /// misuse, plus the native-specific E0603..E0607 codes for toolchain,
 /// compile, load, symbol and subset failures. Buffers are marshalled to
-/// flat int64/double words, executed against, and read back; on a
-/// cancelled or failed execution the caller's buffers are poisoned
+/// flat typed arrays (8-byte int64/double words in exact mode, 4-byte
+/// int32/float leaves in fast mode), executed against, and read back;
+/// on a cancelled or failed execution the caller's buffers are poisoned
 /// exactly like a cancelled simulator launch. Deterministic fault
 /// injection (ocl/FaultInject.h) covers the compile/dlopen/dlsym steps.
 ///
@@ -30,6 +31,7 @@
 #ifndef LIFT_NATIVE_NATIVE_H
 #define LIFT_NATIVE_NATIVE_H
 
+#include "native/NativePrinter.h"
 #include "ocl/Runtime.h"
 
 #include <map>
@@ -46,6 +48,12 @@ struct NativeLaunchResult {
   double WallMs = 0;
   /// Wall-clock time spent in the system compiler; 0 on a cache hit.
   double CompileMs = 0;
+  /// Wall-clock time spent marshalling buffers in and reading results
+  /// back out, in milliseconds. Cache-hit launches re-fill persistent
+  /// per-artifact arenas and skip the pre-launch copy and readback of
+  /// buffers the kernel provably never writes, so this drops after the
+  /// first launch of a workload.
+  double MarshalMs = 0;
   /// True when the shared object was reused from the on-disk cache.
   bool CacheHit = false;
   /// Worker threads the OpenMP group loop was asked for.
@@ -71,11 +79,17 @@ std::string cacheDirectory();
 /// like the simulator; MaxSteps is not enforceable natively). On failure
 /// the diagnostic is recorded into \p Engine and an empty Expected is
 /// returned; buffers are poisoned only when execution had begun.
+///
+/// \p Mode selects the numeric model (NativePrinter.h): Exact is
+/// bit-identical to the simulator, Fast trades that for natively-typed
+/// scalars, SIMD-friendly loops and -O3 -march=native. The two modes
+/// hash to distinct cache artifacts and launch plans.
 Expected<NativeLaunchResult>
 launchNativeChecked(const codegen::CompiledKernel &K,
                     const std::vector<ocl::Buffer *> &Buffers,
                     const std::map<std::string, int64_t> &Sizes,
-                    const ocl::LaunchConfig &Cfg, DiagnosticEngine &Engine);
+                    const ocl::LaunchConfig &Cfg, DiagnosticEngine &Engine,
+                    NativeMode Mode = NativeMode::Exact);
 
 } // namespace native
 } // namespace lift

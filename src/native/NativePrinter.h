@@ -25,9 +25,26 @@
 #include "codegen/Compiler.h"
 
 #include <string>
+#include <vector>
 
 namespace lift {
 namespace native {
+
+/// Numeric model of the generated translation unit.
+///
+/// Exact mode reproduces the simulator's value model bit for bit: every
+/// float is an IEEE double, every int a wrapping int64, and the build
+/// disables FP contraction — results are memcmp-identical to the
+/// interpreter at any thread count.
+///
+/// Fast mode emits natively-typed scalars instead (`float` where the IR
+/// says float, `int32_t` where it says int), restrict-qualified buffer
+/// parameters and `#pragma omp simd` work-item loops, and is compiled
+/// -O3 -march=native with default FP contraction. Results match the
+/// simulator within a documented ULP tolerance (docs/NATIVE_BACKEND.md);
+/// index computation and the E0502/E0503/E0504 checks stay in the int64
+/// domain in both modes, so the diagnostics surface identically.
+enum class NativeMode { Exact, Fast };
 
 /// The exported entry point every generated translation unit defines:
 ///   extern "C" int32_t <name>(void **bufs, const int64_t *scalars,
@@ -51,13 +68,24 @@ extern const char *const kEntryName;
 /// the other cases documented in docs/NATIVE_BACKEND.md. Everything the
 /// Lift code generator emits for the paper's benchmarks is inside the
 /// subset.
-std::string printNativeModule(const codegen::CompiledKernel &K);
+std::string printNativeModule(const codegen::CompiledKernel &K,
+                              NativeMode Mode = NativeMode::Exact);
 
 /// As above with an explicit NDRange overriding K.Options (the launch
 /// configuration may differ from the compile-time default).
 std::string printNativeModule(const codegen::CompiledKernel &K,
                               const std::array<int64_t, 3> &Global,
-                              const std::array<int64_t, 3> &Local);
+                              const std::array<int64_t, 3> &Local,
+                              NativeMode Mode = NativeMode::Exact);
+
+/// Conservative may-write analysis over \p K's C AST: one entry per
+/// buffer (pointer) parameter in declaration order, true when the kernel
+/// may store through it — directly, through a local alias, or through a
+/// user-function call whose callee stores through the matching parameter
+/// slot. A false entry is a proof the launch leaves the buffer's bytes
+/// untouched, so the native launcher skips its pre-launch copy and
+/// readback. Unknown constructs degrade to true, never false.
+std::vector<bool> nativeWrittenBuffers(const codegen::CompiledKernel &K);
 
 } // namespace native
 } // namespace lift

@@ -314,6 +314,12 @@ bool tune::loadCachedResult(const Workload &W, const TuneConfig &C,
   JValue Root;
   if (!JParser(Text).parse(Root) || Root.K != JValue::Obj)
     return Quarantine("malformed or truncated JSON");
+  // Schema gate: entries written before the schema field existed are the
+  // implicit v1 shape, which v2 reads unchanged (v2 only adds fields); an
+  // entry from a *newer* writer is a silent miss, not corruption.
+  if (const JValue *Schema = Root.field("schema"))
+    if (Schema->K != JValue::Str || Schema->S != "lift-tune-v2")
+      return false;
   const JValue *Key = Root.field("key");
   if (!Key || Key->K != JValue::Str)
     return Quarantine("missing entry key");
@@ -376,10 +382,13 @@ bool tune::storeCachedResult(const Workload &W, const TuneConfig &C,
     return false;
 
   std::string J = "{\n";
-  J += "  \"key\": ";
+  J += "  \"schema\": \"lift-tune-v2\"";
+  J += ",\n  \"key\": ";
   writeEscaped(J, tuneCacheKey(W, C));
   J += ",\n  \"workload\": ";
   writeEscaped(J, W.Name);
+  J += ",\n  \"objective\": ";
+  writeEscaped(J, tuneObjectiveName(C.Objective));
   J += ",\n  \"config\": ";
   writeEscaped(J, C.key());
   J += ",\n  \"default_cost\": " + numStr(R.DefaultCost);

@@ -7,6 +7,7 @@
 #include "tune/Tuner.h"
 
 #include "codegen/Compiler.h"
+#include "native/Native.h"
 #include "ocl/ThreadPool.h"
 #include "tune/Cache.h"
 
@@ -36,6 +37,10 @@ const char *tune::candidateStatusName(CandidateStatus S) {
   return "?";
 }
 
+const char *tune::tuneObjectiveName(TuneObjective O) {
+  return O == TuneObjective::Native ? "native" : "cost";
+}
+
 std::string TuneConfig::key() const {
   std::string K = "seed=" + std::to_string(Seed);
   K += " exhaustive=" + std::to_string(ExhaustiveThreshold);
@@ -56,6 +61,11 @@ std::string TuneConfig::key() const {
        W(Weights.Private) + "," + W(Weights.Arith) + "," +
        W(Weights.DivMod) + "," + W(Weights.Math) + "," + W(Weights.Call) +
        "," + W(Weights.Barrier) + "," + W(Weights.LoopIter);
+  // Non-default objectives extend the key; the default omits them so
+  // every pre-existing cost-objective cache entry keeps its key.
+  if (Objective != TuneObjective::Cost)
+    K += std::string(" objective=") + tuneObjectiveName(Objective) +
+         " native-repeats=" + std::to_string(NativeRepeats);
   return K;
 }
 
@@ -159,6 +169,32 @@ CandidateOutcome evaluateCandidate(const Workload &W, const Derivation &D,
 
     O.Status = CandidateStatus::Ok;
     O.Cost = Res->Cost.cost(C.Weights);
+
+    if (C.Objective == TuneObjective::Native) {
+      // Score with measured wall-clock instead: the simulator launch
+      // above remains the correctness gate (bit-identity against the
+      // reference), the native fast-mode launch supplies the time. A
+      // candidate the native backend cannot build or run (no toolchain,
+      // out-of-subset construct) is rejected, never silently scored in
+      // cost units. Buffers are reused across repeats — the readback
+      // overwrites the output in place, inputs are read-only.
+      const unsigned Repeats = std::max(1u, C.NativeRepeats);
+      std::vector<double> Times;
+      Times.reserve(Repeats);
+      for (unsigned Rep = 0; Rep != Repeats; ++Rep) {
+        DiagnosticEngine NE;
+        Expected<native::NativeLaunchResult> NR = native::launchNativeChecked(
+            *K, Bound, W.Sizes, Cfg, NE, native::NativeMode::Fast);
+        if (!NR) {
+          O.Status = CandidateStatus::RejectedExec;
+          O.Detail = firstCode(NE, "native launch failed");
+          return O;
+        }
+        Times.push_back(NR->WallMs);
+      }
+      std::sort(Times.begin(), Times.end());
+      O.Cost = Times[Times.size() / 2];
+    }
   } catch (const DiagnosticError &Err) {
     O.Status = CandidateStatus::RejectedExec;
     O.Detail = diagCodeId(Err.Diag.Code);
@@ -298,6 +334,17 @@ Expected<TuneResult> tune::tuneWorkload(const Workload &W,
   R.CandidatesEvaluated = static_cast<unsigned>(Results.size());
   for (const auto &[I, O] : Results)
     R.Trajectory.push_back(O);
+
+  // Under the native objective the reference evaluation above and the
+  // candidate wave time the default derivation independently; anchor
+  // DefaultCost to the in-wave measurement (candidate #0 is always the
+  // default derivation) so best-vs-default comparisons are between
+  // scores from the same wave, not across two noisy timings.
+  if (C.Objective == TuneObjective::Native) {
+    auto It = Results.find(0);
+    if (It != Results.end() && It->second.Status == CandidateStatus::Ok)
+      R.DefaultCost = It->second.Cost;
+  }
 
   size_t Best = bestIndex(Results);
   if (Best != SIZE_MAX) {

@@ -33,6 +33,22 @@
 namespace lift {
 namespace tune {
 
+/// What candidate scoring optimizes.
+enum class TuneObjective {
+  /// Simulated cost-model units (the default): fully deterministic,
+  /// needs no toolchain, identical across machines.
+  Cost,
+  /// Measured native wall-clock: every candidate still executes on the
+  /// simulator and must stay bit-identical to the reference, but its
+  /// score is the median of TuneConfig::NativeRepeats single-threaded
+  /// fast-mode native launches. Machine-dependent by design; cache
+  /// entries carry the objective so cost- and time-tuned results never
+  /// mix.
+  Native,
+};
+
+const char *tuneObjectiveName(TuneObjective O);
+
 /// Search configuration. Everything that affects the search *result* is
 /// part of the cache key; the evaluation thread count deliberately is not
 /// (results are thread-count invariant).
@@ -58,6 +74,13 @@ struct TuneConfig {
   /// Persistent cache directory; empty disables caching entirely.
   std::string CacheDir = ".lift-tune";
   bool UseCache = true;
+  /// What candidate scoring optimizes. The Native objective requires a
+  /// usable toolchain (native::toolchainCompiler()); candidates outside
+  /// the native subset are rejected rather than scored inconsistently.
+  TuneObjective Objective = TuneObjective::Cost;
+  /// Timed launches per candidate under the Native objective; the score
+  /// is their median, damping scheduler noise.
+  unsigned NativeRepeats = 3;
 
   TuneConfig() {
     CandidateLimits.MaxSteps = 20000000;
@@ -83,7 +106,9 @@ const char *candidateStatusName(CandidateStatus S);
 struct CandidateOutcome {
   Derivation D;
   CandidateStatus Status = CandidateStatus::RejectedExec;
-  /// Simulated cost under TuneConfig::Weights (valid when Status == Ok).
+  /// Candidate score (valid when Status == Ok): simulated cost under
+  /// TuneConfig::Weights for the Cost objective, median native wall-clock
+  /// milliseconds for the Native objective.
   double Cost = 0;
   /// First diagnostic code id ("E0405") or short reason on rejection.
   std::string Detail;

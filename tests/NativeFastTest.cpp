@@ -1,0 +1,717 @@
+//===- NativeFastTest.cpp - Fast-mode native differential tier ------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fast-mode differential tier (ctest -L native-fast). The native
+/// backend's fast mode (NativeMode::Fast) trades the simulator's exact
+/// double/int64 value model for natively-typed scalars (float/int32_t)
+/// and -O3 -march=native. That trade is bounded by contract
+/// (docs/NATIVE_BACKEND.md):
+///
+///  - exact mode stays bit-identical to the simulator on every program
+///    fast mode runs — the two modes share one printer, so this guards
+///    the mode split itself;
+///  - fast-mode outputs stay within the documented tolerance
+///    |a - b| <= 1e-4 + 1e-3 * |b| of the simulator (both-non-finite
+///    values agree by class), across the twelve paper benchmarks and
+///    256 random generator programs;
+///  - runtime diagnostics are mode-independent: out-of-bounds lookups
+///    and loads (E0502/E0503), data-dependent vector accesses (the
+///    vload/vstore messages), and out-of-subset rejections (E0607)
+///    render identically in exact and fast mode;
+///  - data-dependent vector load/store indices — rejected as E0607
+///    before the bounds-checked lowering — execute end-to-end and
+///    report the interpreter's exact messages when out of bounds.
+///
+/// Every test skips cleanly when no system compiler is installed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Generator.h"
+#include "TestHelpers.h"
+#include "native/Native.h"
+#include "native/NativePrinter.h"
+#include "suite/Benchmark.h"
+#include "support/Diagnostics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace lift;
+using namespace lift::ir;
+using namespace lift::test;
+
+namespace {
+
+bool haveToolchain() { return !native::toolchainCompiler().empty(); }
+
+#define SKIP_WITHOUT_TOOLCHAIN()                                               \
+  do {                                                                         \
+    if (!haveToolchain())                                                      \
+      GTEST_SKIP() << "no system C++ compiler on PATH "                        \
+                      "(set LIFT_NATIVE_CXX to override)";                     \
+  } while (0)
+
+bool bitIdentical(const std::vector<float> &A, const std::vector<float> &B) {
+  return A.size() == B.size() &&
+         (A.empty() ||
+          std::memcmp(A.data(), B.data(), A.size() * sizeof(float)) == 0);
+}
+
+/// The documented fast-mode tolerance: |a - b| <= 1e-4 + 1e-3 * |b|,
+/// where b is the simulator's (exact) value. Non-finite values must agree
+/// as a class — fast mode may not turn a finite result into inf/NaN or
+/// vice versa.
+::testing::AssertionResult withinFastTolerance(const std::vector<float> &A,
+                                               const std::vector<float> &B) {
+  if (A.size() != B.size())
+    return ::testing::AssertionFailure()
+           << "size mismatch: " << A.size() << " vs " << B.size();
+  for (size_t I = 0; I != A.size(); ++I) {
+    if (!std::isfinite(A[I]) || !std::isfinite(B[I])) {
+      if (std::isfinite(A[I]) != std::isfinite(B[I]))
+        return ::testing::AssertionFailure()
+               << "element " << I << ": " << A[I] << " vs " << B[I]
+               << " (finiteness differs)";
+      continue;
+    }
+    double Diff = std::fabs(static_cast<double>(A[I]) -
+                            static_cast<double>(B[I]));
+    if (Diff > 1e-4 + 1e-3 * std::fabs(static_cast<double>(B[I])))
+      return ::testing::AssertionFailure()
+             << "element " << I << ": " << A[I] << " vs " << B[I]
+             << " (diff " << Diff << ")";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+//===----------------------------------------------------------------------===//
+// Benchmarks: fast mode within tolerance, exact mode still bit-identical
+//===----------------------------------------------------------------------===//
+
+class BenchmarkFastMode : public ::testing::TestWithParam<int> {};
+
+TEST_P(BenchmarkFastMode, WithinToleranceOfSimulator) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  auto Cases = bench::allBenchmarks(/*Large=*/false);
+  const bench::BenchmarkCase &Case =
+      Cases[static_cast<size_t>(GetParam())];
+
+  bench::RunOptions Run;
+  Run.Threads = 1;
+  DiagnosticEngine SimEngine;
+  Expected<bench::Outcome> Sim =
+      bench::runLiftChecked(Case, bench::OptConfig::Full, Run, SimEngine);
+  ASSERT_TRUE(bool(Sim)) << Case.Name << ":\n" << SimEngine.render();
+
+  // Exact mode: the control group. Bit-identical, always.
+  Run.NativeMode = native::NativeMode::Exact;
+  DiagnosticEngine ExactEngine;
+  Expected<bench::NativeOutcome> Exact = bench::runLiftNativeChecked(
+      Case, bench::OptConfig::Full, Run, ExactEngine);
+  ASSERT_TRUE(bool(Exact)) << Case.Name << ":\n" << ExactEngine.render();
+  EXPECT_TRUE(bitIdentical(Sim->Output, Exact->Output))
+      << Case.Name << ": exact mode diverged from the simulator";
+
+  // Fast mode, serial and threaded: valid against the host golden
+  // reference and within the documented tolerance of the simulator.
+  for (int Threads : {1, 4}) {
+    Run.Threads = Threads;
+    Run.NativeMode = native::NativeMode::Fast;
+    DiagnosticEngine FastEngine;
+    Expected<bench::NativeOutcome> Fast = bench::runLiftNativeChecked(
+        Case, bench::OptConfig::Full, Run, FastEngine);
+    ASSERT_TRUE(bool(Fast)) << Case.Name << ":\n" << FastEngine.render();
+    EXPECT_TRUE(Fast->Valid)
+        << Case.Name << " fast max error " << Fast->MaxError;
+    EXPECT_TRUE(withinFastTolerance(Fast->Output, Sim->Output))
+        << Case.Name << " at " << Threads << " threads";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkFastMode,
+                         ::testing::Range(0, 12));
+
+//===----------------------------------------------------------------------===//
+// Random well-typed programs (the same 256-program sweep as the exact
+// tier, compared under the fast-mode tolerance)
+//===----------------------------------------------------------------------===//
+
+class GeneratorFastMode : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorFastMode, WithinToleranceOfSimulator) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  constexpr int ProgramsPerSeed = 4;
+  for (int I = 0; I != ProgramsPerSeed; ++I) {
+    uint64_t Seed = static_cast<uint64_t>(GetParam()) * 977 + I;
+    size_t OutCount = 0;
+    bool TwoInputs = false;
+    LambdaPtr P = generateWellTyped(Seed, OutCount, TwoInputs);
+
+    DiagnosticEngine Engine;
+    codegen::CompilerOptions Opts;
+    Opts.GlobalSize = {16, 1, 1};
+    Opts.LocalSize = {4, 1, 1};
+    Expected<codegen::CompiledKernel> K =
+        codegen::compileChecked(P, Opts, Engine);
+    ASSERT_TRUE(bool(K)) << "seed " << Seed << ":\n" << Engine.render();
+
+    auto launch = [&](bool Native, native::NativeMode Mode,
+                      std::vector<float> &Out) -> ::testing::AssertionResult {
+      ocl::Buffer In = ocl::Buffer::ofFloats(randomFloats(48, Seed));
+      ocl::Buffer In2 = ocl::Buffer::ofFloats(randomFloats(48, Seed + 7));
+      ocl::Buffer OutBuf = ocl::Buffer::zeros(OutCount);
+      std::vector<ocl::Buffer *> Bufs;
+      Bufs.push_back(&In);
+      if (TwoInputs)
+        Bufs.push_back(&In2);
+      Bufs.push_back(&OutBuf);
+      ocl::LaunchConfig Cfg = ocl::LaunchConfig::fromOptions(Opts);
+      Cfg.Threads = Native ? static_cast<int>(1 + Seed % 4) : 1;
+      DiagnosticEngine E;
+      bool Ok;
+      if (Native)
+        Ok = bool(native::launchNativeChecked(*K, Bufs, {{"N", 48}}, Cfg, E,
+                                              Mode));
+      else
+        Ok = bool(ocl::launchChecked(*K, Bufs, {{"N", 48}}, Cfg, E));
+      if (!Ok)
+        return ::testing::AssertionFailure()
+               << (Native ? "native" : "sim") << " launch failed (seed "
+               << Seed << "):\n"
+               << E.render();
+      Out = OutBuf.toFlatFloats();
+      return ::testing::AssertionSuccess();
+    };
+
+    std::vector<float> SimOut, FastOut;
+    ASSERT_TRUE(launch(false, native::NativeMode::Exact, SimOut));
+    ASSERT_TRUE(launch(true, native::NativeMode::Fast, FastOut));
+    EXPECT_TRUE(withinFastTolerance(FastOut, SimOut)) << "seed " << Seed;
+  }
+}
+
+// 64 seeds x 4 programs = 256 fast-mode differential programs, the same
+// corpus the exact tier sweeps bit-identically.
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorFastMode, ::testing::Range(0, 64));
+
+//===----------------------------------------------------------------------===//
+// Data-dependent vector loads (gatherIndices over float4)
+//===----------------------------------------------------------------------===//
+
+/// gatherIndices over a vectorized array: every element load is a float4
+/// vload whose index contains a runtime Lookup — the construct the
+/// native backend used to reject as E0607 and now lowers through
+/// lift_vload_chk. idx[M] selects float4s from x (N floats = N/4
+/// vectors).
+ir::LambdaPtr vecGatherProgram() {
+  using namespace ir::dsl;
+  auto N = arith::sizeVar("N");
+  auto M = arith::sizeVar("M");
+  ParamPtr Idx = param("idx", arrayOf(int32(), M));
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  return lambda({Idx, X},
+                pipe(call(gatherIndices(), {Idx, pipe(ExprPtr(X),
+                                                      asVector(4))}),
+                     mapGlb(prelude::idFloat4Fun()), asScalar()));
+}
+
+Expected<codegen::CompiledKernel> compileVecGather(DiagnosticEngine &Engine) {
+  codegen::CompilerOptions Opts;
+  Opts.GlobalSize = {8, 1, 1};
+  Opts.LocalSize = {4, 1, 1};
+  return codegen::compileChecked(vecGatherProgram(), Opts, Engine);
+}
+
+const std::map<std::string, int64_t> kGatherSizes = {{"N", 32}, {"M", 8}};
+
+ocl::LaunchConfig gatherConfig() {
+  ocl::LaunchConfig Cfg;
+  Cfg.Global = {8, 1, 1};
+  Cfg.Local = {4, 1, 1};
+  return Cfg;
+}
+
+TEST(NativeVectorGather, InBoundsMatchesSimulator) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  DiagnosticEngine Engine;
+  Expected<codegen::CompiledKernel> K = compileVecGather(Engine);
+  ASSERT_TRUE(bool(K)) << Engine.render();
+
+  const std::vector<int> Indices = {5, 3, 7, 1, 0, 6, 2, 4};
+  const std::vector<float> In = randomFloats(32, 21);
+
+  ocl::Buffer SimIdx = ocl::Buffer::ofInts(Indices);
+  ocl::Buffer SimX = ocl::Buffer::ofFloats(In);
+  ocl::Buffer SimOut = ocl::Buffer::zeros(32);
+  ASSERT_TRUE(bool(ocl::launchChecked(*K, {&SimIdx, &SimX, &SimOut},
+                                      kGatherSizes, gatherConfig(), Engine)))
+      << Engine.render();
+
+  // Exact mode: bit-identical through the checked vload path.
+  {
+    ocl::Buffer Idx = ocl::Buffer::ofInts(Indices);
+    ocl::Buffer X = ocl::Buffer::ofFloats(In);
+    ocl::Buffer Out = ocl::Buffer::zeros(32);
+    ASSERT_TRUE(bool(native::launchNativeChecked(
+        *K, {&Idx, &X, &Out}, kGatherSizes, gatherConfig(), Engine,
+        native::NativeMode::Exact)))
+        << Engine.render();
+    EXPECT_TRUE(bitIdentical(SimOut.toFlatFloats(), Out.toFlatFloats()));
+  }
+  // Fast mode: a pure permutation, so float32 marshalling round-trips
+  // the input bits and the result is still bit-identical.
+  {
+    ocl::Buffer Idx = ocl::Buffer::ofInts(Indices);
+    ocl::Buffer X = ocl::Buffer::ofFloats(In);
+    ocl::Buffer Out = ocl::Buffer::zeros(32);
+    ASSERT_TRUE(bool(native::launchNativeChecked(
+        *K, {&Idx, &X, &Out}, kGatherSizes, gatherConfig(), Engine,
+        native::NativeMode::Fast)))
+        << Engine.render();
+    EXPECT_TRUE(bitIdentical(SimOut.toFlatFloats(), Out.toFlatFloats()));
+  }
+}
+
+TEST(NativeVectorGather, RandomPatternsMatchSimulator) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  DiagnosticEngine Engine;
+  Expected<codegen::CompiledKernel> K = compileVecGather(Engine);
+  ASSERT_TRUE(bool(K)) << Engine.render();
+
+  // 16 random in-bounds gather patterns per mode, seeds disjoint from
+  // the shared generator's.
+  for (uint64_t Seed = 1; Seed <= 16; ++Seed) {
+    std::vector<int> Indices(8);
+    uint64_t S = Seed * 2654435761u + 1;
+    for (int &I : Indices) {
+      S ^= S << 13;
+      S ^= S >> 7;
+      S ^= S << 17;
+      I = static_cast<int>(S % 8);
+    }
+    const std::vector<float> In = randomFloats(32, Seed + 100);
+
+    ocl::Buffer SimIdx = ocl::Buffer::ofInts(Indices);
+    ocl::Buffer SimX = ocl::Buffer::ofFloats(In);
+    ocl::Buffer SimOut = ocl::Buffer::zeros(32);
+    ASSERT_TRUE(bool(ocl::launchChecked(*K, {&SimIdx, &SimX, &SimOut},
+                                        kGatherSizes, gatherConfig(),
+                                        Engine)))
+        << Engine.render();
+
+    for (native::NativeMode Mode :
+         {native::NativeMode::Exact, native::NativeMode::Fast}) {
+      ocl::Buffer Idx = ocl::Buffer::ofInts(Indices);
+      ocl::Buffer X = ocl::Buffer::ofFloats(In);
+      ocl::Buffer Out = ocl::Buffer::zeros(32);
+      ASSERT_TRUE(bool(native::launchNativeChecked(
+          *K, {&Idx, &X, &Out}, kGatherSizes, gatherConfig(), Engine, Mode)))
+          << Engine.render();
+      EXPECT_TRUE(bitIdentical(SimOut.toFlatFloats(), Out.toFlatFloats()))
+          << "seed " << Seed << " mode "
+          << (Mode == native::NativeMode::Fast ? "fast" : "exact");
+    }
+  }
+}
+
+TEST(NativeVectorGather, OutOfBoundsMatchesSimulatorInBothModes) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  DiagnosticEngine Engine;
+  Expected<codegen::CompiledKernel> K = compileVecGather(Engine);
+  ASSERT_TRUE(bool(K)) << Engine.render();
+
+  // idx[2] == 8 reads float4 #8 of x[32) = vectors [0,8) — component
+  // offset 32 is out of bounds. The interpreter's detail-free message.
+  const std::vector<int> Indices = {5, 3, 8, 1, 0, 6, 2, 4};
+  const std::vector<float> In = randomFloats(32, 22);
+
+  std::string SimRendered;
+  {
+    DiagnosticEngine E;
+    ocl::Buffer Idx = ocl::Buffer::ofInts(Indices);
+    ocl::Buffer X = ocl::Buffer::ofFloats(In);
+    ocl::Buffer Out = ocl::Buffer::zeros(32);
+    ASSERT_FALSE(bool(ocl::launchChecked(*K, {&Idx, &X, &Out}, kGatherSizes,
+                                         gatherConfig(), E)))
+        << "simulator accepted an out-of-bounds vector gather";
+    SimRendered = E.render();
+    EXPECT_NE(SimRendered.find("vload out of bounds"), std::string::npos)
+        << SimRendered;
+  }
+  for (native::NativeMode Mode :
+       {native::NativeMode::Exact, native::NativeMode::Fast}) {
+    DiagnosticEngine E;
+    ocl::Buffer Idx = ocl::Buffer::ofInts(Indices);
+    ocl::Buffer X = ocl::Buffer::ofFloats(In);
+    ocl::Buffer Out = ocl::Buffer::zeros(32);
+    ASSERT_FALSE(bool(native::launchNativeChecked(
+        *K, {&Idx, &X, &Out}, kGatherSizes, gatherConfig(), E, Mode)))
+        << "native accepted an out-of-bounds vector gather";
+    EXPECT_NE(E.render().find("vload out of bounds"), std::string::npos)
+        << E.render();
+    EXPECT_TRUE(Out.Poisoned);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Data-dependent vector stores
+//===----------------------------------------------------------------------===//
+
+/// Codegen cannot yet produce a data-dependent vstore from IR (writing
+/// through gatherIndices is rejected at compile time), so the scatter
+/// kernel is derived from the compiled gather kernel by AST surgery:
+/// every vstore(value-with-gathered-vload, affine) becomes
+/// vstore(affine-vload, gathered) — out[idx[i]] = x[i]. Both the
+/// simulator and the native backend execute the rewritten AST, so the
+/// differential comparison is still meaningful.
+class ScatterRewriter {
+public:
+  static bool rewrite(codegen::CompiledKernel &K) {
+    if (!K.Module.Kernel || !K.Module.Kernel->Body)
+      return false;
+    ScatterRewriter R;
+    c::BlockPtr NewBody = R.rewriteBlock(K.Module.Kernel->Body);
+    if (!R.Rewrote)
+      return false;
+    auto NewKernel = std::make_shared<c::CFunction>(*K.Module.Kernel);
+    NewKernel->Body = std::move(NewBody);
+    K.Module.Kernel = std::move(NewKernel);
+    K.Slots = nullptr; // slot numbering is recomputed on first launch
+    return true;
+  }
+
+private:
+  bool Rewrote = false;
+
+  static bool arithHasLookup(const arith::Expr &E) {
+    if (!E)
+      return false;
+    switch (E->getKind()) {
+    case arith::ExprKind::Lookup:
+      return true;
+    case arith::ExprKind::Sum:
+      for (const arith::Expr &Op :
+           static_cast<const arith::SumNode &>(*E).getOperands())
+        if (arithHasLookup(Op))
+          return true;
+      return false;
+    case arith::ExprKind::Prod:
+      for (const arith::Expr &Op :
+           static_cast<const arith::ProdNode &>(*E).getOperands())
+        if (arithHasLookup(Op))
+          return true;
+      return false;
+    case arith::ExprKind::IntDiv: {
+      const auto &D = static_cast<const arith::IntDivNode &>(*E);
+      return arithHasLookup(D.getNumerator()) ||
+             arithHasLookup(D.getDenominator());
+    }
+    case arith::ExprKind::Mod: {
+      const auto &M = static_cast<const arith::ModNode &>(*E);
+      return arithHasLookup(M.getDividend()) ||
+             arithHasLookup(M.getDivisor());
+    }
+    case arith::ExprKind::Pow:
+      return arithHasLookup(
+          static_cast<const arith::PowNode &>(*E).getBase());
+    default:
+      return false;
+    }
+  }
+
+  static bool exprHasLookup(const c::CExprPtr &E) {
+    if (!E)
+      return false;
+    if (E->getKind() == c::CExprKind::ArithValue)
+      return arithHasLookup(
+          static_cast<const c::ArithValue &>(*E).getValue());
+    return false;
+  }
+
+  /// Finds the first VectorLoad in \p E whose index is data-dependent.
+  static const c::VectorLoad *findGatheredLoad(const c::CExprPtr &E) {
+    if (!E)
+      return nullptr;
+    if (E->getKind() == c::CExprKind::VectorLoad) {
+      const auto &VL = static_cast<const c::VectorLoad &>(*E);
+      if (exprHasLookup(VL.getIndex()))
+        return &VL;
+    }
+    if (E->getKind() == c::CExprKind::Call)
+      for (const c::CExprPtr &A :
+           static_cast<const c::Call &>(*E).getArgs())
+        if (const c::VectorLoad *VL = findGatheredLoad(A))
+          return VL;
+    return nullptr;
+  }
+
+  c::CStmtPtr rewriteStmt(const c::CStmtPtr &S) {
+    switch (S->getKind()) {
+    case c::CStmtKind::Block:
+      return rewriteBlock(std::static_pointer_cast<const c::Block>(S));
+    case c::CStmtKind::For: {
+      const auto &F = static_cast<const c::For &>(*S);
+      return std::make_shared<c::For>(F.getIV(), F.getInit(), F.getCond(),
+                                      F.getStep(),
+                                      rewriteBlock(F.getBody()));
+    }
+    case c::CStmtKind::ExprStmt: {
+      const auto &ES = static_cast<const c::ExprStmt &>(*S);
+      const c::CExprPtr &E = ES.getExpr();
+      if (E->getKind() != c::CExprKind::VectorStore)
+        return S;
+      const auto &VS = static_cast<const c::VectorStore &>(*E);
+      const c::VectorLoad *VL = findGatheredLoad(VS.getValue());
+      if (!VL || exprHasLookup(VS.getIndex()))
+        return S;
+      // Swap the indices: load becomes affine, store becomes gathered.
+      auto NewLoad = std::make_shared<c::VectorLoad>(
+          VL->getWidth(), VS.getIndex(), VL->getPointer());
+      auto NewStore = std::make_shared<c::VectorStore>(
+          VS.getWidth(), std::move(NewLoad), VL->getIndex(),
+          VS.getPointer());
+      Rewrote = true;
+      return std::make_shared<c::ExprStmt>(std::move(NewStore));
+    }
+    default:
+      return S;
+    }
+  }
+
+  c::BlockPtr rewriteBlock(const c::BlockPtr &B) {
+    std::vector<c::CStmtPtr> Stmts;
+    for (const c::CStmtPtr &S : B->getStmts())
+      Stmts.push_back(rewriteStmt(S));
+    return std::make_shared<c::Block>(std::move(Stmts));
+  }
+};
+
+Expected<codegen::CompiledKernel>
+compileVecScatter(DiagnosticEngine &Engine) {
+  Expected<codegen::CompiledKernel> K = compileVecGather(Engine);
+  if (!K)
+    return K;
+  if (!ScatterRewriter::rewrite(*K))
+    throwDiag(DiagCode::NativeUnsupported, DiagLocation(),
+              "scatter rewrite found no gathered vstore to derive");
+  return K;
+}
+
+TEST(NativeVectorScatter, InBoundsMatchesSimulator) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  DiagnosticEngine Engine;
+  Expected<codegen::CompiledKernel> K = compileVecScatter(Engine);
+  ASSERT_TRUE(bool(K)) << Engine.render();
+
+  const std::vector<int> Indices = {5, 3, 7, 1, 0, 6, 2, 4};
+  const std::vector<float> In = randomFloats(32, 23);
+
+  ocl::Buffer SimIdx = ocl::Buffer::ofInts(Indices);
+  ocl::Buffer SimX = ocl::Buffer::ofFloats(In);
+  ocl::Buffer SimOut = ocl::Buffer::zeros(32);
+  ASSERT_TRUE(bool(ocl::launchChecked(*K, {&SimIdx, &SimX, &SimOut},
+                                      kGatherSizes, gatherConfig(), Engine)))
+      << Engine.render();
+  // Sanity: the rewrite scatters — out[idx[i]*4+k] == x[i*4+k].
+  std::vector<float> SimFlat = SimOut.toFlatFloats();
+  for (size_t I = 0; I != Indices.size(); ++I)
+    for (size_t C = 0; C != 4; ++C)
+      ASSERT_EQ(SimFlat[static_cast<size_t>(Indices[I]) * 4 + C],
+                In[I * 4 + C])
+          << "scatter rewrite did not permute the writes";
+
+  for (native::NativeMode Mode :
+       {native::NativeMode::Exact, native::NativeMode::Fast}) {
+    ocl::Buffer Idx = ocl::Buffer::ofInts(Indices);
+    ocl::Buffer X = ocl::Buffer::ofFloats(In);
+    ocl::Buffer Out = ocl::Buffer::zeros(32);
+    ASSERT_TRUE(bool(native::launchNativeChecked(
+        *K, {&Idx, &X, &Out}, kGatherSizes, gatherConfig(), Engine, Mode)))
+        << Engine.render();
+    EXPECT_TRUE(bitIdentical(SimFlat, Out.toFlatFloats()))
+        << "mode " << (Mode == native::NativeMode::Fast ? "fast" : "exact");
+  }
+}
+
+TEST(NativeVectorScatter, OutOfBoundsMatchesSimulatorInBothModes) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  DiagnosticEngine Engine;
+  Expected<codegen::CompiledKernel> K = compileVecScatter(Engine);
+  ASSERT_TRUE(bool(K)) << Engine.render();
+
+  const std::vector<int> Indices = {5, 3, 9, 1, 0, 6, 2, 4}; // 9 * 4 >= 32
+  const std::vector<float> In = randomFloats(32, 24);
+
+  {
+    DiagnosticEngine E;
+    ocl::Buffer Idx = ocl::Buffer::ofInts(Indices);
+    ocl::Buffer X = ocl::Buffer::ofFloats(In);
+    ocl::Buffer Out = ocl::Buffer::zeros(32);
+    ASSERT_FALSE(bool(ocl::launchChecked(*K, {&Idx, &X, &Out}, kGatherSizes,
+                                         gatherConfig(), E)))
+        << "simulator accepted an out-of-bounds vector scatter";
+    EXPECT_NE(E.render().find("vstore out of bounds"), std::string::npos)
+        << E.render();
+  }
+  for (native::NativeMode Mode :
+       {native::NativeMode::Exact, native::NativeMode::Fast}) {
+    DiagnosticEngine E;
+    ocl::Buffer Idx = ocl::Buffer::ofInts(Indices);
+    ocl::Buffer X = ocl::Buffer::ofFloats(In);
+    ocl::Buffer Out = ocl::Buffer::zeros(32);
+    ASSERT_FALSE(bool(native::launchNativeChecked(
+        *K, {&Idx, &X, &Out}, kGatherSizes, gatherConfig(), E, Mode)))
+        << "native accepted an out-of-bounds vector scatter";
+    EXPECT_NE(E.render().find("vstore out of bounds"), std::string::npos)
+        << E.render();
+    EXPECT_TRUE(Out.Poisoned);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostics parity across modes
+//===----------------------------------------------------------------------===//
+
+/// The scalar gather program of the exact tier: idx[3] == 9 feeds a load
+/// past x[8), the interpreter's "load out of bounds: index 9 of 8"
+/// (E0503 with details). Fast mode must render it identically.
+ir::LambdaPtr scalarGatherProgram() {
+  using namespace ir::dsl;
+  auto N = arith::sizeVar("N");
+  auto M = arith::sizeVar("M");
+  ParamPtr Idx = param("idx", arrayOf(int32(), M));
+  ParamPtr X = param("x", arrayOf(float32(), N));
+  return lambda({Idx, X}, pipe(call(gatherIndices(), {Idx, X}),
+                               mapGlb(prelude::idFloatFun())));
+}
+
+TEST(NativeFastDiagnostics, RuntimeOutOfBoundsRendersIdentically) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  DiagnosticEngine Engine;
+  codegen::CompilerOptions Opts;
+  Opts.GlobalSize = {8, 1, 1};
+  Opts.LocalSize = {4, 1, 1};
+  Expected<codegen::CompiledKernel> K =
+      codegen::compileChecked(scalarGatherProgram(), Opts, Engine);
+  ASSERT_TRUE(bool(K)) << Engine.render();
+
+  const std::vector<int> Indices = {5, 3, 7, 9, 0, 6, 2, 4,
+                                    5, 5, 5, 5, 0, 1, 2, 3};
+  const std::vector<float> In = randomFloats(8, 18);
+  ocl::LaunchConfig Cfg;
+  Cfg.Global = {8, 1, 1};
+  Cfg.Local = {4, 1, 1};
+  const std::map<std::string, int64_t> Sizes = {{"N", 8}, {"M", 16}};
+
+  auto errorLine = [](const DiagnosticEngine &E) -> std::string {
+    for (const Diagnostic &D : E.diagnostics())
+      if (D.Severity == DiagSeverity::Error)
+        return diagCodeId(D.Code) + ": " + D.Message;
+    return "";
+  };
+
+  DiagnosticEngine SimE;
+  {
+    ocl::Buffer Idx = ocl::Buffer::ofInts(Indices);
+    ocl::Buffer X = ocl::Buffer::ofFloats(In);
+    ocl::Buffer Out = ocl::Buffer::zeros(Indices.size());
+    ASSERT_FALSE(
+        bool(ocl::launchChecked(*K, {&Idx, &X, &Out}, Sizes, Cfg, SimE)));
+  }
+  const std::string SimError = errorLine(SimE);
+  EXPECT_NE(SimError.find("load out of bounds: index 9 of 8"),
+            std::string::npos)
+      << SimError;
+
+  for (native::NativeMode Mode :
+       {native::NativeMode::Exact, native::NativeMode::Fast}) {
+    DiagnosticEngine E;
+    ocl::Buffer Idx = ocl::Buffer::ofInts(Indices);
+    ocl::Buffer X = ocl::Buffer::ofFloats(In);
+    ocl::Buffer Out = ocl::Buffer::zeros(Indices.size());
+    ASSERT_FALSE(bool(native::launchNativeChecked(*K, {&Idx, &X, &Out},
+                                                  Sizes, Cfg, E, Mode)));
+    EXPECT_EQ(errorLine(E), SimError)
+        << "mode " << (Mode == native::NativeMode::Fast ? "fast" : "exact");
+  }
+}
+
+TEST(NativeFastDiagnostics, LookupOutOfBoundsRendersIdentically) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  DiagnosticEngine Engine;
+  Expected<codegen::CompiledKernel> K = compileVecGather(Engine);
+  ASSERT_TRUE(bool(K)) << Engine.render();
+
+  // A negative gather index is out of the lookup table's own range
+  // (E0502) — reported before any load is attempted.
+  const std::vector<int> Indices = {5, 3, -1, 1, 0, 6, 2, 4};
+  const std::vector<float> In = randomFloats(32, 25);
+
+  auto errorOf = [&](bool Native, native::NativeMode Mode) -> std::string {
+    DiagnosticEngine E;
+    ocl::Buffer Idx = ocl::Buffer::ofInts(Indices);
+    ocl::Buffer X = ocl::Buffer::ofFloats(In);
+    ocl::Buffer Out = ocl::Buffer::zeros(32);
+    bool Ok = Native
+                  ? bool(native::launchNativeChecked(*K, {&Idx, &X, &Out},
+                                                     kGatherSizes,
+                                                     gatherConfig(), E, Mode))
+                  : bool(ocl::launchChecked(*K, {&Idx, &X, &Out},
+                                            kGatherSizes, gatherConfig(), E));
+    if (Ok)
+      return "<launch unexpectedly succeeded>";
+    for (const Diagnostic &D : E.diagnostics())
+      if (D.Severity == DiagSeverity::Error)
+        return diagCodeId(D.Code) + ": " + D.Message;
+    return "<no error recorded>";
+  };
+
+  const std::string Sim = errorOf(false, native::NativeMode::Exact);
+  EXPECT_NE(Sim.find("E0503"), std::string::npos) << Sim;
+  EXPECT_EQ(errorOf(true, native::NativeMode::Exact), Sim);
+  EXPECT_EQ(errorOf(true, native::NativeMode::Fast), Sim);
+}
+
+TEST(NativeFastDiagnostics, UnsupportedConstructRendersIdenticallyE0607) {
+  // Out-of-subset rejection is a printer property and needs no
+  // toolchain: both modes must throw the same E0607 for a kernel that
+  // calls a function the module does not define.
+  c::CModule Module;
+  auto Kernel = std::make_shared<c::CFunction>();
+  Kernel->Name = "k";
+  Kernel->IsKernel = true;
+  std::vector<c::CStmtPtr> Stmts;
+  Stmts.push_back(std::make_shared<c::ExprStmt>(
+      std::make_shared<c::Call>("bogus", std::vector<c::CExprPtr>{})));
+  Kernel->Body = std::make_shared<c::Block>(std::move(Stmts));
+  Module.Kernel = Kernel;
+
+  codegen::CompiledKernel K;
+  K.Module = Module;
+
+  auto messageOf = [&](native::NativeMode Mode) -> std::string {
+    try {
+      native::printNativeModule(K, Mode);
+      return "<no error>";
+    } catch (const DiagnosticError &E) {
+      EXPECT_EQ(E.Diag.Code, DiagCode::NativeUnsupported);
+      return E.Diag.Message;
+    }
+  };
+
+  const std::string Exact = messageOf(native::NativeMode::Exact);
+  EXPECT_NE(Exact.find("unknown function 'bogus'"), std::string::npos)
+      << Exact;
+  EXPECT_EQ(messageOf(native::NativeMode::Fast), Exact);
+}
+
+} // namespace

@@ -24,7 +24,13 @@
 #      native launch path. A cold per-seed cache directory keeps the
 #      compile site reachable on every seed. Skipped when no system C++
 #      compiler is installed.
-#   5. Chaos stage: deterministic mid-execution cancellation. For each
+#   5. Native-objective tuner smoke: a bounded lift-tune search scored
+#      by measured fast-mode wall-clock (--objective=native) instead of
+#      cost units, under the same ExecLimits as everything else. The
+#      run must produce a best lowering (the default derivation is
+#      always in the space) and the native-check pass must hold the
+#      exact-mode output bit-identical. Skipped without a toolchain.
+#   6. Chaos stage: deterministic mid-execution cancellation. For each
 #      mid-exec site (6 = barrier, 7 = group dispatch, 8 = step chunk)
 #      a --count-faults run discovers how many injection opportunities
 #      each example program has, then the first, middle, and last
@@ -113,7 +119,28 @@ else
   echo "no system C++ compiler; skipping the native sweep"
 fi
 
-echo "== Stage 5: chaos stage — mid-execution cancellation at first/middle/last =="
+echo "== Stage 5: bounded lift-tune search on the native wall-clock objective =="
+if command -v c++ >/dev/null 2>&1 || command -v g++ >/dev/null 2>&1 || \
+   command -v clang++ >/dev/null 2>&1 || [ -n "${LIFT_NATIVE_CXX:-}" ]; then
+  # Candidate wall-clock scoring, still gated on simulator bit-identity
+  # per candidate (docs/TUNING.md). Bounded evaluation budget, the
+  # launch-wide ExecLimits exported above, a throwaway tune cache (time
+  # scores are machine-specific and must not leak into committed runs),
+  # and --native-check so the winner's exact-mode output is re-verified
+  # bit-identical. lift-tune exits nonzero if any workload finds no
+  # lowering at least as good as the default under the objective.
+  NATIVE_TUNE_CACHE="$BUILD_DIR/soak-native-tune-cache"
+  rm -rf "$NATIVE_TUNE_CACHE"
+  LIFT_NATIVE_CACHE_DIR="$BUILD_DIR/soak-native-tune-artifacts" \
+    "$BUILD_DIR/tools/lift-tune" nn convolution --objective=native \
+    --native-repeats 3 --max-evals 12 --cache-dir "$NATIVE_TUNE_CACHE" \
+    --native-check
+  rm -rf "$NATIVE_TUNE_CACHE" "$BUILD_DIR/soak-native-tune-artifacts"
+else
+  echo "no system C++ compiler; skipping the native-objective tuner smoke"
+fi
+
+echo "== Stage 6: chaos stage — mid-execution cancellation at first/middle/last =="
 for PROG in examples/il/dot.lift examples/il/square.lift; do
   for SITE in 6 7 8; do
     # Counting run: '// fault-count K N <site>' per site, nothing fails.

@@ -51,6 +51,12 @@ int usage(const char *Argv0) {
       "  --max-steps N          per-candidate interpreter step budget\n"
       "  --timeout-ms N         per-candidate wall-clock deadline\n"
       "  --max-memory N         per-candidate allocation cap (bytes)\n"
+      "  --objective O          candidate score: 'cost' (simulated cost\n"
+      "                         model, default) or 'native' (median\n"
+      "                         wall-clock of fast-mode native launches;\n"
+      "                         needs a system compiler)\n"
+      "  --native-repeats N     timed launches per candidate under\n"
+      "                         --objective=native (default 3)\n"
       "  --native-check         re-run each best lowering on the native\n"
       "                         C++/OpenMP backend and require bit-identical\n"
       "                         output (needs a system compiler)\n",
@@ -78,8 +84,11 @@ std::string jsonEscape(const std::string &S) {
   return R;
 }
 
-std::string resultJson(const std::vector<tune::TuneResult> &Results) {
-  std::string J = "{\n  \"results\": [";
+std::string resultJson(const std::vector<tune::TuneResult> &Results,
+                       tune::TuneObjective Objective) {
+  std::string J = "{\n  \"objective\": ";
+  J += jsonEscape(tune::tuneObjectiveName(Objective));
+  J += ",\n  \"results\": [";
   for (size_t I = 0; I != Results.size(); ++I) {
     const tune::TuneResult &R = Results[I];
     std::string E = "{";
@@ -187,10 +196,24 @@ int main(int argc, char **argv) {
   std::string JsonPath;
   bool All = false, List = false, NativeCheck = false;
 
+  // Accept both "--opt value" and "--opt=value" spellings.
+  std::vector<std::string> Args;
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
+    size_t Eq;
+    if (A.size() > 2 && A[0] == '-' && A[1] == '-' &&
+        (Eq = A.find('=')) != std::string::npos) {
+      Args.push_back(A.substr(0, Eq));
+      Args.push_back(A.substr(Eq + 1));
+    } else {
+      Args.push_back(std::move(A));
+    }
+  }
+
+  for (size_t I = 0; I < Args.size(); ++I) {
+    const std::string &A = Args[I];
     auto intArg = [&](int64_t &Out) {
-      if (I + 1 >= argc || !parseInt(argv[++I], Out)) {
+      if (I + 1 >= Args.size() || !parseInt(Args[++I].c_str(), Out)) {
         std::fprintf(stderr, "error: %s needs an integer argument\n",
                      A.c_str());
         std::exit(2);
@@ -214,17 +237,17 @@ int main(int argc, char **argv) {
       intArg(V);
       Config.ExhaustiveThreshold = static_cast<unsigned>(V);
     } else if (A == "--cache-dir") {
-      if (I + 1 >= argc)
+      if (I + 1 >= Args.size())
         return usage(argv[0]);
-      Config.CacheDir = argv[++I];
+      Config.CacheDir = Args[++I];
     } else if (A == "--no-cache")
       Config.UseCache = false;
     else if (A == "--native-check")
       NativeCheck = true;
     else if (A == "--json") {
-      if (I + 1 >= argc)
+      if (I + 1 >= Args.size())
         return usage(argv[0]);
-      JsonPath = argv[++I];
+      JsonPath = Args[++I];
     } else if (A == "--max-steps") {
       intArg(V);
       Config.CandidateLimits.MaxSteps = static_cast<uint64_t>(V);
@@ -234,6 +257,22 @@ int main(int argc, char **argv) {
     } else if (A == "--max-memory") {
       intArg(V);
       Config.CandidateLimits.MaxMemoryBytes = static_cast<uint64_t>(V);
+    } else if (A == "--objective") {
+      if (I + 1 >= Args.size())
+        return usage(argv[0]);
+      std::string O = Args[++I];
+      if (O == "cost")
+        Config.Objective = tune::TuneObjective::Cost;
+      else if (O == "native")
+        Config.Objective = tune::TuneObjective::Native;
+      else {
+        std::fprintf(stderr,
+                     "error: --objective must be 'cost' or 'native'\n");
+        return 2;
+      }
+    } else if (A == "--native-repeats") {
+      intArg(V);
+      Config.NativeRepeats = static_cast<unsigned>(V);
     } else if (!A.empty() && A[0] == '-') {
       std::fprintf(stderr, "error: unknown option '%s'\n", A.c_str());
       return usage(argv[0]);
@@ -270,6 +309,11 @@ int main(int argc, char **argv) {
     Selected.push_back(W);
   }
 
+  const bool NativeObj = Config.Objective == tune::TuneObjective::Native;
+  if (NativeObj)
+    std::printf("objective: native wall-clock (median of %u fast-mode "
+                "launches; costs are milliseconds)\n",
+                std::max(1u, Config.NativeRepeats));
   std::printf("%-18s %14s %14s %8s %11s %6s\n", "workload", "default cost",
               "best cost", "speedup", "evaluated", "cache");
   std::vector<tune::TuneResult> Results;
@@ -290,7 +334,8 @@ int main(int argc, char **argv) {
                    W->Name.c_str());
       Ok = false;
     }
-    std::printf("%-18s %14.0f %14.0f %7.3fx %5u/%-5u %6s\n",
+    std::printf(NativeObj ? "%-18s %14.3f %14.3f %7.3fx %5u/%-5u %6s\n"
+                          : "%-18s %14.0f %14.0f %7.3fx %5u/%-5u %6s\n",
                 R->Workload.c_str(), R->DefaultCost,
                 R->HasBest ? R->BestCost : 0.0,
                 R->HasBest && R->BestCost > 0 ? R->DefaultCost / R->BestCost
@@ -310,7 +355,7 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "error: cannot write '%s'\n", JsonPath.c_str());
       return 1;
     }
-    Out << resultJson(Results);
+    Out << resultJson(Results, Config.Objective);
   }
 
   return Ok ? 0 : 1;

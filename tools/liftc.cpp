@@ -76,6 +76,12 @@ void usage() {
       "bytes (E0512)\n"
       "             [--backend=sim|native] execution backend for --run "
       "(default sim)\n"
+      "             [--native-mode=exact|fast] numeric model for the native "
+      "backend\n"
+      "                               (exact: bit-identical to the simulator; "
+      "fast: typed\n"
+      "                                scalars, -O3 -march=native; default "
+      "exact)\n"
       "             [--dump-native]   print the generated native C++ "
       "translation unit\n"
       "             [--inject-faults N,K] fail the N-th occurrence of fault "
@@ -157,6 +163,7 @@ int run(int argc, char **argv) {
   std::string File;
   bool PrintIl = false, Run = false, DumpNative = false, NativeBackend = false;
   bool CountFaults = false;
+  native::NativeMode NMode = native::NativeMode::Exact;
   codegen::CompilerOptions Opts;
   std::map<std::string, int64_t> Sizes;
   unsigned MaxErrors = 20;
@@ -173,6 +180,10 @@ int run(int argc, char **argv) {
       NativeBackend = false;
     } else if (A == "--backend=native") {
       NativeBackend = true;
+    } else if (A == "--native-mode=exact") {
+      NMode = native::NativeMode::Exact;
+    } else if (A == "--native-mode=fast") {
+      NMode = native::NativeMode::Fast;
     } else if (A == "--no-aas") {
       Opts.ArrayAccessSimplification = false;
     } else if (A == "--no-cfs") {
@@ -303,7 +314,7 @@ int run(int argc, char **argv) {
     // The native translation unit is a plain-C++ lowering of the same
     // kernel AST; unsupported constructs raise E0607 like a launch would.
     std::printf("\n// native C++ translation unit\n%s",
-                native::printNativeModule(*K).c_str());
+                native::printNativeModule(*K, NMode).c_str());
   }
 
   if (!Run)
@@ -355,7 +366,7 @@ int run(int argc, char **argv) {
     // below instead of failing.
     DiagnosticEngine NativeEngine(MaxErrors);
     Expected<native::NativeLaunchResult> NR =
-        native::launchNativeChecked(*K, Args, Sizes, Cfg, NativeEngine);
+        native::launchNativeChecked(*K, Args, Sizes, Cfg, NativeEngine, NMode);
     if (NR) {
       double Checksum = 0;
       for (float V : Buffers.back().toFlatFloats())
