@@ -1,0 +1,359 @@
+//===- request_storm.cpp - liftd service throughput harness --------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+//
+// Load evaluation of the liftd compile-and-run service (docs/SERVICE.md).
+// An in-process daemon is stormed by client threads over its real Unix
+// socket, in three phases:
+//
+//   warm      every distinct program once: all compiles happen here, so
+//             the later phases measure the service layer, not the
+//             compiler;
+//   fits      a storm sized within --max-inflight + --queue-depth: the
+//             shed rate must be exactly zero, every request must be
+//             answered from the content-addressed cache without a single
+//             recompile;
+//   overload  a storm far past capacity with a zero queue: admission
+//             control must shed deterministically (shed rate > 0), and
+//             the clients' bounded retry must still land every request.
+//
+// Per phase: requests, throughput, p50/p99 round-trip latency, shed rate
+// and dedupe hit rate, written as JSON (schema service-v1) to
+// BENCH_service.json (override with --json PATH). The harness exits
+// nonzero when an invariant breaks, so it doubles as the service-bench
+// integration test (--quick for CI).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+#include "service/Server.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace lift;
+using namespace lift::service;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point T0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - T0).count();
+}
+
+// Small, fast programs: the storm measures the service layer, so each
+// request should cost microseconds, not the seconds a big NDRange costs.
+const char *SquareIl = "def sq(x: float): float = \"return x * x;\"\n"
+                       "\n"
+                       "fun(x: [float]N) =>\n"
+                       "  mapGlb0(sq)(x)\n";
+const char *ScaleIl = "def tri(x: float): float = \"return 3.0f * x + 1.0f;\"\n"
+                      "\n"
+                      "fun(x: [float]N) =>\n"
+                      "  mapGlb0(tri)(x)\n";
+
+Request makeRequest(int Variant) {
+  Request R;
+  R.Kind = Op::Exec;
+  R.Exec.Run = true;
+  R.Exec.Source = (Variant % 2 == 0) ? SquareIl : ScaleIl;
+  R.Exec.Opts.GlobalSize = {64, 1, 1};
+  R.Exec.Opts.LocalSize = {16, 1, 1};
+  // Two sizes per program: sizes are run-time bindings, so all four
+  // variants still collapse onto two compile keys.
+  R.Exec.Sizes["N"] = (Variant / 2 % 2 == 0) ? 256 : 1024;
+  return R;
+}
+constexpr int NumVariants = 4;
+constexpr int NumCompileKeys = 2;
+
+struct PhaseResult {
+  std::string Name;
+  int Requests = 0;
+  int Ok = 0;
+  int Failed = 0;
+  double ElapsedMs = 0;
+  double P50Ms = 0;
+  double P99Ms = 0;
+  double ThroughputRps = 0;
+  int64_t Shed = 0;          // daemon-side counter delta
+  double ShedRate = 0;       // shed / admissions offered
+  int64_t Compiles = 0;      // daemon-side counter delta
+  int64_t DedupeHits = 0;    // daemon-side counter delta
+  double DedupeHitRate = 0;  // dedupe hits / requests
+};
+
+struct CounterDelta {
+  int64_t Shed = 0, Compiles = 0, DedupeHits = 0, Requests = 0;
+};
+
+CounterDelta delta(const ServerStats &Before, const ServerStats &After) {
+  CounterDelta D;
+  D.Shed = After.Shed - Before.Shed;
+  D.Compiles = After.Compiles - Before.Compiles;
+  D.DedupeHits = After.DedupeHits - Before.DedupeHits;
+  D.Requests = After.Requests - Before.Requests;
+  return D;
+}
+
+/// Runs \p Clients threads, each sending \p PerClient requests through
+/// the retrying client, collecting per-request latency.
+PhaseResult storm(const std::string &Name, Server &S, const ClientOptions &C,
+                  int Clients, int PerClient) {
+  PhaseResult P;
+  P.Name = Name;
+  P.Requests = Clients * PerClient;
+  ServerStats Before = S.stats();
+
+  std::vector<std::vector<double>> Lat(static_cast<size_t>(Clients));
+  std::atomic<int> OkCount{0}, FailCount{0};
+  Clock::time_point T0 = Clock::now();
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < Clients; ++T)
+    Threads.emplace_back([&, T] {
+      Lat[static_cast<size_t>(T)].reserve(static_cast<size_t>(PerClient));
+      for (int I = 0; I < PerClient; ++I) {
+        Request R = makeRequest((T + I) % NumVariants);
+        DiagnosticEngine Engine(20);
+        Response Resp;
+        Clock::time_point R0 = Clock::now();
+        bool Sent = roundTrip(C, R, Resp, Engine);
+        Lat[static_cast<size_t>(T)].push_back(msSince(R0));
+        if (Sent && Resp.Exit == 0)
+          ++OkCount;
+        else
+          ++FailCount;
+      }
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+  P.ElapsedMs = msSince(T0);
+
+  std::vector<double> All;
+  for (const std::vector<double> &L : Lat)
+    All.insert(All.end(), L.begin(), L.end());
+  std::sort(All.begin(), All.end());
+  if (!All.empty()) {
+    P.P50Ms = All[All.size() / 2];
+    P.P99Ms = All[std::min(All.size() - 1, All.size() * 99 / 100)];
+  }
+  P.Ok = OkCount.load();
+  P.Failed = FailCount.load();
+  P.ThroughputRps =
+      P.ElapsedMs > 0 ? 1000.0 * static_cast<double>(P.Requests) / P.ElapsedMs
+                      : 0;
+
+  CounterDelta D = delta(Before, S.stats());
+  P.Shed = D.Shed;
+  P.ShedRate = D.Requests > 0
+                   ? static_cast<double>(D.Shed) /
+                         static_cast<double>(D.Requests)
+                   : 0;
+  P.Compiles = D.Compiles;
+  P.DedupeHits = D.DedupeHits;
+  P.DedupeHitRate =
+      P.Requests > 0 ? static_cast<double>(D.DedupeHits) /
+                           static_cast<double>(P.Requests)
+                     : 0;
+  return P;
+}
+
+void writeJson(const char *Path, const ServerOptions &Opts,
+               const std::vector<PhaseResult> &Phases) {
+  std::FILE *F = std::fopen(Path, "w");
+  if (!F) {
+    std::fprintf(stderr, "request_storm: cannot write %s\n", Path);
+    return;
+  }
+  std::fprintf(F, "{\n  \"schema\": \"service-v1\",\n");
+  std::fprintf(F, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(F,
+               "  \"daemon\": {\"max_inflight\": %d, \"queue_depth\": %d, "
+               "\"max_threads\": %d, \"retry_after_ms\": %lld},\n",
+               Opts.Workers, Opts.QueueDepth, Opts.MaxThreads,
+               static_cast<long long>(Opts.RetryAfterMs));
+  std::fprintf(F, "  \"phases\": [\n");
+  for (size_t I = 0; I < Phases.size(); ++I) {
+    const PhaseResult &P = Phases[I];
+    std::fprintf(
+        F,
+        "    {\"phase\": \"%s\", \"requests\": %d, \"ok\": %d, "
+        "\"failed\": %d,\n"
+        "     \"elapsed_ms\": %.1f, \"throughput_rps\": %.1f, "
+        "\"p50_ms\": %.3f, \"p99_ms\": %.3f,\n"
+        "     \"shed\": %lld, \"shed_rate\": %.4f, \"compiles\": %lld, "
+        "\"dedupe_hits\": %lld, \"dedupe_hit_rate\": %.4f}%s\n",
+        P.Name.c_str(), P.Requests, P.Ok, P.Failed, P.ElapsedMs,
+        P.ThroughputRps, P.P50Ms, P.P99Ms, static_cast<long long>(P.Shed),
+        P.ShedRate, static_cast<long long>(P.Compiles),
+        static_cast<long long>(P.DedupeHits), P.DedupeHitRate,
+        I + 1 < Phases.size() ? "," : "");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+  std::printf("request_storm: wrote %s\n", Path);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Quick = false;
+  const char *JsonPath = "BENCH_service.json";
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--quick") == 0)
+      Quick = true;
+    else if (std::strcmp(argv[I], "--json") == 0 && I + 1 < argc)
+      JsonPath = argv[++I];
+    else {
+      std::fprintf(stderr, "usage: request_storm [--quick] [--json PATH]\n");
+      return 2;
+    }
+  }
+
+  // Clients exercise the real retry policy; keep the backoff snappy so
+  // the overload phase converges quickly.
+  ::setenv("LIFT_RETRY_ATTEMPTS", "64", 1);
+  ::setenv("LIFT_RETRY_BASE_US", "500", 1);
+
+  int Fails = 0;
+  std::vector<PhaseResult> Phases;
+  ServerOptions FitsOpts;
+
+  char SockBuf[] = "/tmp/lift-storm-XXXXXX";
+  if (!::mkdtemp(SockBuf)) {
+    std::fprintf(stderr, "request_storm: mkdtemp failed\n");
+    return 2;
+  }
+  std::string Dir = SockBuf;
+
+  {
+    // Fits-phase daemon: the storm's concurrency (8 clients) is within
+    // workers + queue depth, so not one request may be shed.
+    ServerOptions Opts;
+    Opts.SocketPath = Dir + "/fits.sock";
+    Opts.Workers = 4;
+    Opts.QueueDepth = 64;
+    Opts.RetryAfterMs = 2;
+    FitsOpts = Opts;
+    Server S(Opts);
+    std::string Err;
+    if (!S.start(Err)) {
+      std::fprintf(stderr, "request_storm: %s\n", Err.c_str());
+      return 2;
+    }
+    ClientOptions C;
+    C.SocketPath = Opts.SocketPath;
+    C.TimeoutMs = 60000;
+
+    PhaseResult Warm = storm("warm", S, C, 1, NumVariants);
+    Phases.push_back(Warm);
+    if (Warm.Compiles != NumCompileKeys) {
+      std::fprintf(stderr,
+                   "request_storm: FAIL warm phase compiled %lld keys, "
+                   "expected %d\n",
+                   static_cast<long long>(Warm.Compiles), NumCompileKeys);
+      ++Fails;
+    }
+
+    PhaseResult Fits =
+        storm("fits", S, C, 8, Quick ? 25 : 250);
+    Phases.push_back(Fits);
+    if (Fits.Shed != 0) {
+      std::fprintf(stderr,
+                   "request_storm: FAIL fits phase shed %lld requests "
+                   "inside capacity\n",
+                   static_cast<long long>(Fits.Shed));
+      ++Fails;
+    }
+    if (Fits.Compiles != 0) {
+      std::fprintf(stderr,
+                   "request_storm: FAIL fits phase recompiled %lld times; "
+                   "cache hits must answer without recompiling\n",
+                   static_cast<long long>(Fits.Compiles));
+      ++Fails;
+    }
+    if (Fits.DedupeHits != Fits.Requests) {
+      std::fprintf(stderr,
+                   "request_storm: FAIL fits phase dedupe hits %lld != "
+                   "requests %d\n",
+                   static_cast<long long>(Fits.DedupeHits), Fits.Requests);
+      ++Fails;
+    }
+    if (Fits.Failed != 0) {
+      std::fprintf(stderr, "request_storm: FAIL fits phase %d requests "
+                           "failed\n",
+                   Fits.Failed);
+      ++Fails;
+    }
+    S.requestShutdown();
+    S.wait();
+  }
+
+  {
+    // Overload-phase daemon: one worker, zero queue, 16 clients. Shedding
+    // is the designed behavior; the retry policy must still land every
+    // request eventually.
+    ServerOptions Opts;
+    Opts.SocketPath = Dir + "/overload.sock";
+    Opts.Workers = 1;
+    Opts.QueueDepth = 0;
+    Opts.RetryAfterMs = 1;
+    Server S(Opts);
+    std::string Err;
+    if (!S.start(Err)) {
+      std::fprintf(stderr, "request_storm: %s\n", Err.c_str());
+      return 2;
+    }
+    ClientOptions C;
+    C.SocketPath = Opts.SocketPath;
+    C.TimeoutMs = 60000;
+
+    storm("overload-warm", S, C, 1, NumVariants); // compile outside the storm
+    PhaseResult Over =
+        storm("overload", S, C, 16, Quick ? 5 : 40);
+    Phases.push_back(Over);
+    if (Over.Shed == 0) {
+      std::fprintf(stderr,
+                   "request_storm: FAIL overload phase shed nothing with "
+                   "16 clients against capacity 1\n");
+      ++Fails;
+    }
+    if (Over.Failed != 0) {
+      std::fprintf(stderr,
+                   "request_storm: FAIL overload phase lost %d requests "
+                   "(retry should absorb shedding)\n",
+                   Over.Failed);
+      ++Fails;
+    }
+    S.requestShutdown();
+    S.wait();
+  }
+
+  writeJson(JsonPath, FitsOpts, Phases);
+  for (const PhaseResult &P : Phases)
+    std::printf("  %-9s %5d req  %8.1f req/s  p50 %7.3f ms  p99 %7.3f ms  "
+                "shed %.1f%%  dedupe %.1f%%\n",
+                P.Name.c_str(), P.Requests, P.ThroughputRps, P.P50Ms, P.P99Ms,
+                100 * P.ShedRate, 100 * P.DedupeHitRate);
+
+  std::string Cleanup = "rm -rf '" + Dir + "'";
+  if (std::system(Cleanup.c_str()) != 0) {
+  }
+  if (Fails) {
+    std::fprintf(stderr, "request_storm: %d invariant(s) violated\n", Fails);
+    return 1;
+  }
+  std::printf("request_storm: all invariants held\n");
+  return 0;
+}

@@ -9,6 +9,7 @@
 #include "arith/Eval.h"
 #include "native/NativePrinter.h"
 #include "ocl/FaultInject.h"
+#include "support/FileLock.h"
 #include "support/Retry.h"
 
 #include <atomic>
@@ -268,6 +269,28 @@ LoadedEntry loadEntry(const std::string &Source, const std::string &Flags,
   }
 
   if (NeedCompile) {
+    // Cross-process single-flight: two processes cold-starting on the
+    // same key serialize here, and the loser reuses the winner's
+    // artifact instead of compiling it again. Best-effort — an unlocked
+    // fall-through is still safe (atomic rename, last writer wins).
+    support::FileLock Lock = support::FileLock::acquire(SoPath + ".lock");
+    if (Lock.locked() && fileExists(SoPath)) {
+      std::string Stored;
+      uint64_t Actual = 0;
+      if (readFileAll(HashPath, Stored) && hashFileContents(SoPath, Actual)) {
+        while (!Stored.empty() &&
+               (Stored.back() == '\n' || Stored.back() == '\r'))
+          Stored.pop_back();
+        if (Stored == hex16(Actual)) {
+          NeedCompile = false;
+          R.CacheHit = true;
+        }
+      }
+    }
+  }
+
+  if (NeedCompile) {
+    support::FileLock Lock = support::FileLock::acquire(SoPath + ".lock");
     retry::runWithRetry(Pol, "native compile", [&] {
       if (fault::shouldFail(fault::Site::NativeCompile))
         nativeFail(DiagCode::RuntimeFaultInjected, Kernel,

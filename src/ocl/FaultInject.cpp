@@ -87,6 +87,14 @@ const char *fault::siteName(Site S) {
     return "cache read";
   case Site::CacheWrite:
     return "cache write";
+  case Site::Accept:
+    return "accept";
+  case Site::RequestRead:
+    return "request read";
+  case Site::RequestWrite:
+    return "request write";
+  case Site::QueueAdmit:
+    return "queue admit";
   }
   return "unknown";
 }

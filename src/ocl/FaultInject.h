@@ -21,7 +21,11 @@
 /// E0513 diagnostics, mid-execution trips as a cooperative E0515
 /// cancellation that poisons the output buffers, pool faults as a
 /// graceful serial fallback (E0509), and cache faults as a miss or an
-/// E0609 write warning — see docs/RELIABILITY.md.
+/// E0609 write warning — see docs/RELIABILITY.md. The service sites
+/// (accept, request read/write, queue admit) model connection- and
+/// admission-level outages in the liftd daemon: a tripped site drops the
+/// connection or sheds the request, and the client's retry policy
+/// recovers — see docs/SERVICE.md.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -48,9 +52,13 @@ enum class Site : unsigned {
   StepChunk = 8,     ///< a step-budget checkpoint (every TickInterval steps)
   CacheRead = 9,     ///< reading/validating a persistent cache entry
   CacheWrite = 10,   ///< persisting a cache entry (tune JSON, native .so)
+  Accept = 11,       ///< accepting a client connection (liftd listener)
+  RequestRead = 12,  ///< reading a request frame off a client connection
+  RequestWrite = 13, ///< writing a response frame back to a client
+  QueueAdmit = 14,   ///< admitting a request into the bounded work queue
 };
 
-inline constexpr unsigned NumSites = 11;
+inline constexpr unsigned NumSites = 15;
 
 const char *siteName(Site S);
 

@@ -352,7 +352,7 @@ constexpr unsigned kMaxFindings = 64;
 /// its own. Never escapes executePlan.
 struct CancelledError {};
 
-enum class LimitKind : int { None = 0, Steps, Deadline, Memory };
+enum class LimitKind : int { None = 0, Steps, Deadline, Memory, Cancelled };
 
 /// Thrown by the worker that trips an execution limit. The diagnostic is
 /// synthesized after the join from the shared monitor state so the
@@ -406,8 +406,17 @@ public:
                  std::chrono::milliseconds(L.TimeoutMs);
   }
 
-  /// Does any limit require the per-statement countdown hook?
-  bool monitorsSteps() const { return Limits.MaxSteps != 0 || HasDeadline; }
+  /// Does any limit require the per-statement countdown hook? The host
+  /// cancellation token is polled on the same slow path, so it forces the
+  /// hook on even when no numeric budget is set.
+  bool monitorsSteps() const {
+    return Limits.MaxSteps != 0 || HasDeadline || Limits.Cancel != nullptr;
+  }
+
+  /// Has the host (service layer) asked this launch to stop?
+  bool hostCancelled() const {
+    return Limits.Cancel && Limits.Cancel->load(std::memory_order_relaxed);
+  }
 
   bool stopRequested() const { return Stop.load(std::memory_order_relaxed); }
   void requestStop() { Stop.store(true, std::memory_order_relaxed); }
@@ -1179,6 +1188,11 @@ private:
       Mon->noteDetail(describeCurStmt());
       Mon->noteLimit(LimitKind::Deadline);
       throw LimitError{LimitKind::Deadline};
+    }
+    if (Mon->hostCancelled()) {
+      Mon->noteDetail(describeCurStmt());
+      Mon->noteLimit(LimitKind::Cancelled);
+      throw LimitError{LimitKind::Cancelled};
     }
   }
 
@@ -2314,6 +2328,9 @@ private:
                   std::to_string(Mon.Limits.MaxMemoryBytes) +
                   " bytes exceeded",
               Notes);
+  case LimitKind::Cancelled:
+    throwDiag(DiagCode::RuntimeCancelled, DiagLocation::inContext(Kernel),
+              "runtime: launch cancelled by the host", Notes);
   case LimitKind::None:
     break;
   }

@@ -32,6 +32,7 @@
 #include "support/Diagnostics.h"
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -351,8 +352,17 @@ struct ExecLimits {
   /// running past it; reports are marked truncated).
   unsigned MaxFindings = 64;
 
+  /// Cooperative host-side cancellation token (not owned; must outlive
+  /// the launch). When non-null, workers poll it at every step-chunk
+  /// checkpoint and a set flag cancels the launch with E0516, poisoning
+  /// its buffers like any other mid-flight cancellation. The service
+  /// layer points this at the per-request token so a disconnected client
+  /// or a draining daemon stops in-flight work. null = never cancelled.
+  const std::atomic<bool> *Cancel = nullptr;
+
   bool anyBound() const {
-    return MaxSteps != 0 || TimeoutMs != 0 || MaxMemoryBytes != 0;
+    return MaxSteps != 0 || TimeoutMs != 0 || MaxMemoryBytes != 0 ||
+           Cancel != nullptr;
   }
 
   /// \p L with every unset bound replaced by its environment default.

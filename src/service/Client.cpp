@@ -1,0 +1,147 @@
+//===- Client.cpp - liftd client transport --------------------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+
+#include "support/Retry.h"
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace lift;
+using namespace lift::service;
+
+namespace {
+
+/// RAII fd so every throw path closes the socket.
+struct Fd {
+  int Value = -1;
+  ~Fd() {
+    if (Value >= 0)
+      ::close(Value);
+  }
+};
+
+[[noreturn]] void throwIo(const std::string &What) {
+  throwDiag(DiagCode::ServiceIoError, DiagLocation(),
+            "service: " + What,
+            {"the daemon may have crashed mid-request; retrying opens a "
+             "fresh connection"});
+}
+
+} // namespace
+
+Response service::roundTripOnce(const ClientOptions &O, const Request &R) {
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (O.SocketPath.empty() || O.SocketPath.size() >= sizeof(Addr.sun_path))
+    throwDiag(DiagCode::ServiceConnectFailed, DiagLocation(),
+              "service: socket path must be 1.." +
+                  std::to_string(sizeof(Addr.sun_path) - 1) + " bytes");
+  std::memcpy(Addr.sun_path, O.SocketPath.c_str(), O.SocketPath.size() + 1);
+
+  Fd Sock;
+  Sock.Value = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Sock.Value < 0)
+    throwDiag(DiagCode::ServiceConnectFailed, DiagLocation(),
+              std::string("service: socket: ") + std::strerror(errno));
+  if (O.TimeoutMs > 0) {
+    timeval Tv;
+    Tv.tv_sec = O.TimeoutMs / 1000;
+    Tv.tv_usec = (O.TimeoutMs % 1000) * 1000;
+    ::setsockopt(Sock.Value, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+    ::setsockopt(Sock.Value, SOL_SOCKET, SO_SNDTIMEO, &Tv, sizeof(Tv));
+  }
+  if (::connect(Sock.Value, reinterpret_cast<sockaddr *>(&Addr),
+                sizeof(Addr)) != 0)
+    throwDiag(DiagCode::ServiceConnectFailed, DiagLocation(),
+              "service: cannot reach daemon at " + O.SocketPath + ": " +
+                  std::strerror(errno),
+              {"is liftd running? start it with: liftd --socket " +
+               O.SocketPath});
+
+  std::string Line = encodeRequest(R);
+  Line += '\n';
+  size_t Sent = 0;
+  while (Sent < Line.size()) {
+    ssize_t N = ::send(Sock.Value, Line.data() + Sent, Line.size() - Sent,
+                       MSG_NOSIGNAL);
+    if (N > 0) {
+      Sent += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    throwIo(std::string("send to daemon failed: ") + std::strerror(errno));
+  }
+
+  std::string Reply;
+  char Buf[65536];
+  for (;;) {
+    ssize_t N = ::recv(Sock.Value, Buf, sizeof(Buf), 0);
+    if (N > 0) {
+      Reply.append(Buf, static_cast<size_t>(N));
+      if (Reply.find('\n') != std::string::npos)
+        break;
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N == 0)
+      throwIo("daemon closed the connection before replying");
+    throwIo(std::string("receive from daemon failed: ") +
+            std::strerror(errno));
+  }
+  Reply.resize(Reply.find('\n'));
+
+  Response Resp;
+  std::string Err;
+  if (!parseResponse(Reply, Resp, Err))
+    throwIo("malformed daemon reply (" + Err + ")");
+
+  switch (Resp.St) {
+  case Status::Ok:
+  case Status::BadRequest:
+    return Resp;
+  case Status::Shed:
+    // Transient by contract: retry::runWithRetry backs off and retries.
+    throwDiag(DiagCode::ServiceOverloaded, DiagLocation(),
+              "service: " + (Resp.Message.empty()
+                                 ? std::string("request shed by admission "
+                                               "control")
+                                 : Resp.Message),
+              {"suggested backoff: " + std::to_string(Resp.RetryAfterMs) +
+               " ms"});
+  case Status::Error:
+    throwIo(Resp.Message.empty() ? std::string("daemon reported an I/O error")
+                                 : Resp.Message);
+  case Status::ShuttingDown:
+    // Permanent by design: this daemon will never take the work.
+    throwDiag(DiagCode::ServiceShuttingDown, DiagLocation(),
+              "service: " + (Resp.Message.empty()
+                                 ? std::string("daemon is shutting down")
+                                 : Resp.Message));
+  }
+  throwIo("daemon reply carried an unknown status");
+}
+
+bool service::roundTrip(const ClientOptions &O, const Request &R,
+                        Response &Out, DiagnosticEngine &Engine) {
+  try {
+    Out = retry::runWithRetry(retry::Policy::fromEnv(), "service request",
+                              [&] { return roundTripOnce(O, R); });
+    return true;
+  } catch (DiagnosticError &E) {
+    Engine.report(E.Diag);
+    return false;
+  }
+}

@@ -1,0 +1,56 @@
+//===- Client.h - liftd client transport ------------------------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Client side of the liftd protocol: one connect / send / receive
+/// exchange per request, composed with the process retry policy
+/// (support/Retry.h). Transport failures map onto the stable service
+/// codes — E0706 when the daemon socket cannot be reached, E0703 when a
+/// connection dies mid-exchange — and an E0701 shed reply is surfaced as
+/// a transient DiagnosticError, so retry::runWithRetry backs off and
+/// retries exactly like it does for native-toolchain transients. An
+/// E0705 "shutting down" reply is permanent by design: this daemon will
+/// never take the work, fail fast instead of hammering it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_SERVICE_CLIENT_H
+#define LIFT_SERVICE_CLIENT_H
+
+#include "service/Protocol.h"
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+
+namespace lift {
+namespace service {
+
+struct ClientOptions {
+  std::string SocketPath;
+  /// Send/receive budget per exchange (SO_SNDTIMEO / SO_RCVTIMEO);
+  /// 0 = wait forever. Connect failures are immediate either way.
+  int64_t TimeoutMs = 30000;
+};
+
+/// One exchange, no retries. Returns the daemon's response for Ok and
+/// BadRequest statuses (the caller decides what a bad request means);
+/// throws DiagnosticError for everything retry-shaped: E0706 (connect),
+/// E0703 (I/O, EOF, daemon-side Error status), E0701 (shed) and E0705
+/// (draining).
+Response roundTripOnce(const ClientOptions &O, const Request &R);
+
+/// \c roundTripOnce under the environment retry policy
+/// (LIFT_RETRY_ATTEMPTS / LIFT_RETRY_BASE_US). On exhaustion or a
+/// permanent failure, records the diagnostic into \p Engine and returns
+/// false.
+bool roundTrip(const ClientOptions &O, const Request &R, Response &Out,
+               DiagnosticEngine &Engine);
+
+} // namespace service
+} // namespace lift
+
+#endif // LIFT_SERVICE_CLIENT_H

@@ -1,0 +1,140 @@
+//===- Exec.h - Shared compile-and-run pipeline -----------------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The liftc compile-and-run pipeline as a library, shared byte-for-byte
+/// between the local driver (tools/liftc) and the liftd daemon
+/// (docs/SERVICE.md). An \c ExecRequest captures everything liftc's flags
+/// capture; \c execRequest produces the same stdout text, the same
+/// rendered diagnostics in the same order, and the same exit code the
+/// standalone driver would — so a daemon response is bit-identical to a
+/// solo run by construction, not by parallel maintenance of two
+/// pipelines.
+///
+/// The compile stage is split out (\c compileRequest / \c CompileProduct)
+/// so the daemon can content-address it: two requests with equal
+/// \c compileKey share one parse + verify + codegen, and the run stage
+/// replays the compile-stage diagnostics into a fresh engine to keep
+/// per-request isolation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_SERVICE_EXEC_H
+#define LIFT_SERVICE_EXEC_H
+
+#include "codegen/Compiler.h"
+#include "frontend/ILParser.h"
+#include "native/Native.h"
+#include "support/Diagnostics.h"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lift {
+namespace service {
+
+/// Everything a liftc invocation specifies (minus process-global concerns
+/// like fault arming, which stay in the driver).
+struct ExecRequest {
+  std::string Source;
+  bool PrintIl = false;
+  bool Run = false;
+  bool DumpNative = false;
+  bool NativeBackend = false;
+  /// Appends the per-site "// fault-count" lines a --count-faults run
+  /// prints. Driver-only: the daemon never sets this (the counters are
+  /// process-global and would mix requests).
+  bool CountFaults = false;
+  native::NativeMode NMode = native::NativeMode::Exact;
+  unsigned MaxErrors = 20;
+  codegen::CompilerOptions Opts;
+  std::map<std::string, int64_t> Sizes;
+};
+
+/// Server-side ceilings and the per-request cancellation token. Default
+/// constructed = no ceilings, no cancellation (standalone liftc).
+struct ExecContext {
+  /// Cooperative cancellation token, polled by the simulator monitor at
+  /// step-chunk checkpoints (E0516). Not owned. Native launches cannot be
+  /// interrupted mid-kernel; the token takes effect at the next simulator
+  /// checkpoint only.
+  const std::atomic<bool> *Cancel = nullptr;
+  /// Ceilings clamping the request's own limits: 0 = no ceiling. A
+  /// request asking for more (or for "unlimited") gets the ceiling.
+  uint64_t MaxSteps = 0;
+  int64_t TimeoutMs = 0;
+  uint64_t MaxMemoryBytes = 0;
+  int MaxThreads = 0;
+  /// Cap on the host-side buffer bytes materialized for --run (inputs +
+  /// output). The simulator's own E0512 cap only guards device
+  /// allocations made inside the launch; this guards the daemon against
+  /// a single request sizing its inputs to exhaust host memory. 0 = off
+  /// (standalone liftc keeps its historical behavior).
+  uint64_t MaxHostBufferBytes = 0;
+};
+
+/// Applies the context ceilings to a request's run options. Exposed so
+/// tests can compute solo baselines with exactly the daemon's clamping.
+codegen::CompilerOptions clampOptions(const codegen::CompilerOptions &Opts,
+                                      const ExecContext &Ctx);
+
+/// The cacheable product of parse + verify + compile for one request.
+/// Immutable after creation; safe to share across threads (the run stage
+/// of concurrent requests serializes per kernel in the daemon because
+/// CompiledKernel carries per-launch scratch slots).
+struct CompileProduct {
+  bool Parsed = false; ///< the source parsed (IL echo is available)
+  bool Ok = false;     ///< verify + codegen also succeeded
+  std::string PrintedIl;
+  std::string KernelSource;
+  /// Structured compile-stage diagnostics, replayed into each request's
+  /// fresh engine so warnings surface exactly as a solo run would.
+  std::vector<Diagnostic> Diags;
+  std::shared_ptr<frontend::ParsedProgram> Program;
+  std::shared_ptr<codegen::CompiledKernel> Kernel;
+  /// Serializes the run stage for daemon-shared kernels (CompiledKernel
+  /// has mutable per-launch slots). compileRequest leaves it unused.
+  std::mutex RunM;
+};
+
+/// Content-address of the compile stage: hashes every input that can
+/// change \c CompileProduct (source text, NDRange, optimization toggles,
+/// verification mode, error cap) and nothing that cannot (run-only
+/// options like thread count, limits and checkers — codegen never reads
+/// them).
+std::string compileKey(const ExecRequest &R);
+
+/// Parse + optional verify + compile. Deterministic for a fixed request.
+/// Input failures are recorded as diagnostics, never thrown; internal
+/// errors (e.g. allocation failure) propagate for the caller's handler.
+std::shared_ptr<CompileProduct> compileRequest(const ExecRequest &R);
+
+/// What liftc would have produced: the exit code (0 ok / 1 diagnostics /
+/// 2 internal), the bytes it would print to stdout, and the rendered
+/// diagnostic lines it would print to stderr (without the "liftc: "
+/// prefix), in emission order.
+struct ExecOutcome {
+  int Exit = 0;
+  std::string Stdout;
+  std::vector<std::string> Diags;
+};
+
+/// Runs the full pipeline. \p Pre, when given, must be the product of
+/// \c compileRequest on a request with equal \c compileKey; otherwise the
+/// compile stage runs inline. Never throws: escaped diagnostics become
+/// exit 1, anything else exit 2, matching liftc's top-level handler.
+ExecOutcome execRequest(const ExecRequest &R, const ExecContext &Ctx = {},
+                        CompileProduct *Pre = nullptr);
+
+} // namespace service
+} // namespace lift
+
+#endif // LIFT_SERVICE_EXEC_H

@@ -1,0 +1,384 @@
+//===- Protocol.cpp - liftd wire protocol ---------------------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Protocol.h"
+
+#include "support/Json.h"
+
+#include <cmath>
+#include <cstdint>
+
+using namespace lift;
+using namespace lift::service;
+
+const char *service::opName(Op O) {
+  switch (O) {
+  case Op::Exec:
+    return "exec";
+  case Op::Ping:
+    return "ping";
+  case Op::Stats:
+    return "stats";
+  case Op::Shutdown:
+    return "shutdown";
+  }
+  return "exec";
+}
+
+const char *service::statusName(Status S) {
+  switch (S) {
+  case Status::Ok:
+    return "ok";
+  case Status::Shed:
+    return "shed";
+  case Status::BadRequest:
+    return "bad-request";
+  case Status::Error:
+    return "error";
+  case Status::ShuttingDown:
+    return "shutting-down";
+  }
+  return "error";
+}
+
+namespace {
+
+void appendField(std::string &Out, const char *Name) {
+  if (Out.back() != '{')
+    Out += ',';
+  Out += '"';
+  Out += Name;
+  Out += "\":";
+}
+
+void appendStr(std::string &Out, const char *Name, const std::string &V) {
+  appendField(Out, Name);
+  json::appendQuoted(Out, V);
+}
+
+void appendBool(std::string &Out, const char *Name, bool V) {
+  appendField(Out, Name);
+  Out += V ? "true" : "false";
+}
+
+void appendInt(std::string &Out, const char *Name, int64_t V) {
+  appendField(Out, Name);
+  Out += std::to_string(V);
+}
+
+/// Reads an integer field: absent -> Default; present but not an
+/// integral number in [Min, Max] -> error.
+bool intField(const json::Value &Obj, const char *Name, int64_t Default,
+              int64_t Min, int64_t Max, int64_t &Out, std::string &Err) {
+  const json::Value *V = Obj.field(Name);
+  if (!V) {
+    Out = Default;
+    return true;
+  }
+  if (V->K != json::Value::Num || !std::isfinite(V->N) ||
+      V->N != std::floor(V->N) || V->N < static_cast<double>(Min) ||
+      V->N > static_cast<double>(Max)) {
+    Err = std::string(Name) + " must be an integer in [" +
+          std::to_string(Min) + ", " + std::to_string(Max) + "]";
+    return false;
+  }
+  Out = static_cast<int64_t>(V->N);
+  return true;
+}
+
+bool dimsField(const json::Value &Obj, const char *Name,
+               std::array<int64_t, 3> &Out, std::string &Err) {
+  const json::Value *V = Obj.field(Name);
+  if (!V)
+    return true;
+  if (V->K != json::Value::Arr || V->A.empty() || V->A.size() > 3) {
+    Err = std::string(Name) + " must be an array of 1-3 positive sizes";
+    return false;
+  }
+  Out = {1, 1, 1};
+  for (size_t I = 0; I != V->A.size(); ++I) {
+    const json::Value &D = V->A[I];
+    if (D.K != json::Value::Num || !std::isfinite(D.N) ||
+        D.N != std::floor(D.N) || D.N < 1 || D.N > (1ll << 32)) {
+      Err = std::string(Name) + " must be an array of 1-3 positive sizes";
+      return false;
+    }
+    Out[I] = static_cast<int64_t>(D.N);
+  }
+  return true;
+}
+
+} // namespace
+
+std::string service::encodeRequest(const Request &R) {
+  std::string Out = "{";
+  appendStr(Out, "op", opName(R.Kind));
+  if (!R.Id.empty())
+    appendStr(Out, "id", R.Id);
+  if (R.Kind == Op::Exec) {
+    const ExecRequest &E = R.Exec;
+    appendStr(Out, "source", E.Source);
+    if (E.PrintIl)
+      appendBool(Out, "print_il", true);
+    if (E.Run)
+      appendBool(Out, "run", true);
+    if (E.DumpNative)
+      appendBool(Out, "dump_native", true);
+    if (E.NativeBackend)
+      appendStr(Out, "backend", "native");
+    if (E.NMode == native::NativeMode::Fast)
+      appendStr(Out, "native_mode", "fast");
+    if (E.MaxErrors != 20)
+      appendInt(Out, "max_errors", E.MaxErrors);
+    const codegen::CompilerOptions &O = E.Opts;
+    if (O.VerifyEach)
+      appendBool(Out, "verify_each", true);
+    if (O.CheckRaces)
+      appendBool(Out, "check_races", true);
+    if (O.CheckMemory)
+      appendBool(Out, "check_memory", true);
+    if (O.PerturbSchedule)
+      appendBool(Out, "perturb_schedule", true);
+    if (O.ScheduleSeed != 1)
+      appendInt(Out, "schedule_seed", static_cast<int64_t>(O.ScheduleSeed));
+    if (O.Threads != 0)
+      appendInt(Out, "threads", O.Threads);
+    if (O.MaxSteps != 0)
+      appendInt(Out, "max_steps", static_cast<int64_t>(O.MaxSteps));
+    if (O.TimeoutMs != 0)
+      appendInt(Out, "timeout_ms", O.TimeoutMs);
+    if (O.MaxMemoryBytes != 0)
+      appendInt(Out, "max_memory", static_cast<int64_t>(O.MaxMemoryBytes));
+    if (!O.ArrayAccessSimplification)
+      appendBool(Out, "aas", false);
+    if (!O.ControlFlowSimplification)
+      appendBool(Out, "cfs", false);
+    if (!O.BarrierElimination)
+      appendBool(Out, "be", false);
+    appendField(Out, "global");
+    Out += '[';
+    for (int I = 0; I != 3; ++I) {
+      if (I)
+        Out += ',';
+      Out += std::to_string(O.GlobalSize[static_cast<size_t>(I)]);
+    }
+    Out += ']';
+    appendField(Out, "local");
+    Out += '[';
+    for (int I = 0; I != 3; ++I) {
+      if (I)
+        Out += ',';
+      Out += std::to_string(O.LocalSize[static_cast<size_t>(I)]);
+    }
+    Out += ']';
+    if (!E.Sizes.empty()) {
+      appendField(Out, "sizes");
+      Out += '{';
+      for (const auto &[Name, V] : E.Sizes) {
+        if (Out.back() != '{')
+          Out += ',';
+        json::appendQuoted(Out, Name);
+        Out += ':';
+        Out += std::to_string(V);
+      }
+      Out += '}';
+    }
+  }
+  Out += '}';
+  return Out;
+}
+
+bool service::parseRequest(const std::string &Line, Request &R,
+                           std::string &Err) {
+  json::Value V;
+  if (!json::parse(Line, V) || V.K != json::Value::Obj) {
+    Err = "request is not a JSON object";
+    return false;
+  }
+
+  std::string OpStr = V.strField("op", "exec");
+  if (OpStr == "exec")
+    R.Kind = Op::Exec;
+  else if (OpStr == "ping")
+    R.Kind = Op::Ping;
+  else if (OpStr == "stats")
+    R.Kind = Op::Stats;
+  else if (OpStr == "shutdown")
+    R.Kind = Op::Shutdown;
+  else {
+    Err = "unknown op \"" + OpStr + "\"";
+    return false;
+  }
+  R.Id = V.strField("id");
+  if (R.Kind != Op::Exec)
+    return true;
+
+  ExecRequest &E = R.Exec;
+  const json::Value *Src = V.field("source");
+  if (!Src || Src->K != json::Value::Str || Src->S.empty()) {
+    Err = "exec requests need a non-empty \"source\" string";
+    return false;
+  }
+  E.Source = Src->S;
+  E.PrintIl = V.boolField("print_il", false);
+  E.Run = V.boolField("run", false);
+  E.DumpNative = V.boolField("dump_native", false);
+
+  std::string Backend = V.strField("backend", "sim");
+  if (Backend == "sim")
+    E.NativeBackend = false;
+  else if (Backend == "native")
+    E.NativeBackend = true;
+  else {
+    Err = "backend must be \"sim\" or \"native\"";
+    return false;
+  }
+  std::string Mode = V.strField("native_mode", "exact");
+  if (Mode == "exact")
+    E.NMode = native::NativeMode::Exact;
+  else if (Mode == "fast")
+    E.NMode = native::NativeMode::Fast;
+  else {
+    Err = "native_mode must be \"exact\" or \"fast\"";
+    return false;
+  }
+
+  int64_t N = 0;
+  if (!intField(V, "max_errors", 20, 1, 100000, N, Err))
+    return false;
+  E.MaxErrors = static_cast<unsigned>(N);
+
+  codegen::CompilerOptions &O = E.Opts;
+  O.VerifyEach = V.boolField("verify_each", false);
+  O.CheckRaces = V.boolField("check_races", false);
+  O.CheckMemory = V.boolField("check_memory", false);
+  O.PerturbSchedule = V.boolField("perturb_schedule", false);
+  O.ArrayAccessSimplification = V.boolField("aas", true);
+  O.ControlFlowSimplification = V.boolField("cfs", true);
+  O.BarrierElimination = V.boolField("be", true);
+  if (!intField(V, "schedule_seed", 1, 0, (int64_t(1) << 62), N, Err))
+    return false;
+  O.ScheduleSeed = static_cast<uint64_t>(N);
+  if (!intField(V, "threads", 0, 0, 4096, N, Err))
+    return false;
+  O.Threads = static_cast<int>(N);
+  if (!intField(V, "max_steps", 0, 0, (int64_t(1) << 62), N, Err))
+    return false;
+  O.MaxSteps = static_cast<uint64_t>(N);
+  if (!intField(V, "timeout_ms", 0, 0, (int64_t(1) << 62), N, Err))
+    return false;
+  O.TimeoutMs = N;
+  if (!intField(V, "max_memory", 0, 0, (int64_t(1) << 62), N, Err))
+    return false;
+  O.MaxMemoryBytes = static_cast<uint64_t>(N);
+  if (!dimsField(V, "global", O.GlobalSize, Err))
+    return false;
+  if (!dimsField(V, "local", O.LocalSize, Err))
+    return false;
+
+  if (const json::Value *Sizes = V.field("sizes")) {
+    if (Sizes->K != json::Value::Obj) {
+      Err = "sizes must be an object of name -> integer";
+      return false;
+    }
+    for (const auto &[Name, SV] : Sizes->O) {
+      if (SV.K != json::Value::Num || !std::isfinite(SV.N) ||
+          SV.N != std::floor(SV.N)) {
+        Err = "sizes must be an object of name -> integer";
+        return false;
+      }
+      E.Sizes[Name] = static_cast<int64_t>(SV.N);
+    }
+  }
+  return true;
+}
+
+std::string service::encodeResponse(const Response &R) {
+  std::string Out = "{";
+  if (!R.Id.empty())
+    appendStr(Out, "id", R.Id);
+  appendStr(Out, "status", statusName(R.St));
+  if (!R.Code.empty())
+    appendStr(Out, "code", R.Code);
+  if (!R.Message.empty())
+    appendStr(Out, "message", R.Message);
+  appendInt(Out, "exit", R.Exit);
+  if (R.Cached)
+    appendBool(Out, "cached", true);
+  if (R.RetryAfterMs != 0)
+    appendInt(Out, "retry_after_ms", R.RetryAfterMs);
+  if (!R.Stdout.empty())
+    appendStr(Out, "stdout", R.Stdout);
+  if (!R.Diagnostics.empty()) {
+    appendField(Out, "diagnostics");
+    Out += '[';
+    for (const std::string &D : R.Diagnostics) {
+      if (Out.back() != '[')
+        Out += ',';
+      json::appendQuoted(Out, D);
+    }
+    Out += ']';
+  }
+  if (!R.Stats.empty()) {
+    appendField(Out, "stats");
+    Out += '{';
+    for (const auto &[Name, V] : R.Stats) {
+      if (Out.back() != '{')
+        Out += ',';
+      json::appendQuoted(Out, Name);
+      Out += ':';
+      Out += std::to_string(V);
+    }
+    Out += '}';
+  }
+  Out += '}';
+  return Out;
+}
+
+bool service::parseResponse(const std::string &Line, Response &R,
+                            std::string &Err) {
+  json::Value V;
+  if (!json::parse(Line, V) || V.K != json::Value::Obj) {
+    Err = "response is not a JSON object";
+    return false;
+  }
+  R.Id = V.strField("id");
+  std::string St = V.strField("status", "error");
+  if (St == "ok")
+    R.St = Status::Ok;
+  else if (St == "shed")
+    R.St = Status::Shed;
+  else if (St == "bad-request")
+    R.St = Status::BadRequest;
+  else if (St == "error")
+    R.St = Status::Error;
+  else if (St == "shutting-down")
+    R.St = Status::ShuttingDown;
+  else {
+    Err = "unknown status \"" + St + "\"";
+    return false;
+  }
+  R.Code = V.strField("code");
+  R.Message = V.strField("message");
+  R.Exit = static_cast<int>(V.numField("exit", 2));
+  R.Cached = V.boolField("cached", false);
+  R.RetryAfterMs = static_cast<int64_t>(V.numField("retry_after_ms", 0));
+  R.Stdout = V.strField("stdout");
+  if (const json::Value *D = V.field("diagnostics")) {
+    if (D->K == json::Value::Arr)
+      for (const json::Value &Line2 : D->A)
+        if (Line2.K == json::Value::Str)
+          R.Diagnostics.push_back(Line2.S);
+  }
+  if (const json::Value *S = V.field("stats")) {
+    if (S->K == json::Value::Obj)
+      for (const auto &[Name, SV] : S->O)
+        if (SV.K == json::Value::Num)
+          R.Stats.emplace_back(Name,
+                               static_cast<int64_t>(SV.N));
+  }
+  return true;
+}

@@ -1,0 +1,90 @@
+//===- Protocol.h - liftd wire protocol -------------------------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The newline-delimited JSON protocol between liftd and its clients
+/// (docs/SERVICE.md). One request line, one response line, one request
+/// per connection. Both directions are single physical lines: the JSON
+/// encoder escapes every control character, so '\n' is an unambiguous
+/// frame delimiter.
+///
+/// Requests mirror liftc's flag surface field-for-field; responses carry
+/// the exit code, stdout bytes and rendered diagnostic lines the
+/// equivalent solo liftc run would have produced, plus service metadata
+/// (status, E07xx code, retry hint, cache disposition).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_SERVICE_PROTOCOL_H
+#define LIFT_SERVICE_PROTOCOL_H
+
+#include "service/Exec.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lift {
+namespace service {
+
+enum class Op { Exec, Ping, Stats, Shutdown };
+
+const char *opName(Op O);
+
+struct Request {
+  Op Kind = Op::Exec;
+  std::string Id; ///< opaque client token, echoed back verbatim
+  ExecRequest Exec;
+};
+
+/// Encodes a request as one physical line (without the trailing '\n').
+std::string encodeRequest(const Request &R);
+
+/// Parses and validates one request line. On failure returns false with
+/// a human-readable reason in \p Err (the daemon wraps it in E0702).
+/// Unknown fields are ignored for forward compatibility; known fields
+/// with out-of-range values are rejected, not clamped.
+bool parseRequest(const std::string &Line, Request &R, std::string &Err);
+
+/// Service disposition of a request, orthogonal to the pipeline exit
+/// code: "ok" covers every request the pipeline actually ran (even ones
+/// that exited 1); the other states never reached the pipeline.
+enum class Status {
+  Ok,
+  Shed,         ///< admission queue full (E0701): retry after a backoff
+  BadRequest,   ///< malformed frame or field (E0702): do not retry
+  Error,        ///< service-side I/O or internal failure (E0703)
+  ShuttingDown, ///< daemon draining (E0705): permanent for this daemon
+};
+
+const char *statusName(Status S);
+
+struct Response {
+  std::string Id;
+  Status St = Status::Ok;
+  std::string Code;    ///< stable "E07xx" id when St != Ok, else empty
+  std::string Message; ///< human-readable detail for non-Ok statuses
+  int Exit = 0;        ///< liftc exit-code contract (0/1/2)
+  bool Cached = false; ///< compile stage served from the daemon cache
+  int64_t RetryAfterMs = 0; ///< shed hint: suggested backoff floor
+  std::string Stdout;
+  std::vector<std::string> Diagnostics;
+  /// Daemon counters for op=stats/ping replies, in emission order.
+  std::vector<std::pair<std::string, int64_t>> Stats;
+};
+
+/// Encodes a response as one physical line (without the trailing '\n').
+std::string encodeResponse(const Response &R);
+
+/// Parses one response line; tolerant of unknown fields. Returns false
+/// with a reason in \p Err when the line is not a response object.
+bool parseResponse(const std::string &Line, Response &R, std::string &Err);
+
+} // namespace service
+} // namespace lift
+
+#endif // LIFT_SERVICE_PROTOCOL_H

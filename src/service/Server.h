@@ -1,0 +1,205 @@
+//===- Server.h - liftd daemon core -----------------------------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The liftd compile-and-run service core (docs/SERVICE.md): a Unix-domain
+/// socket daemon accepting concurrent newline-delimited JSON requests
+/// (service/Protocol.h), with
+///
+///  - admission control: a bounded work queue in front of a fixed worker
+///    pool; requests beyond the bound are shed deterministically with
+///    E0701 and a retry hint instead of queuing without bound;
+///  - request isolation: every request gets its own diagnostic engine,
+///    buffer set and cancellation token; a failing request answers with a
+///    clean E0xxx reply while its neighbors' responses stay bit-identical
+///    to solo runs; a disconnected client cancels its request
+///    cooperatively (E0516);
+///  - a crash-only lifecycle: compiles are content-addressed by
+///    \c compileKey and deduplicated in memory (single-flight) and on
+///    disk (hash-verified artifacts), so a kill -9 loses no correctness —
+///    a restarted daemon re-verifies artifacts before reuse and
+///    recompiles anything that fails its sidecar check;
+///  - fault-injection coverage: the accept / request-read / request-write
+///    / queue-admit paths are first-class \c fault::Site checkpoints.
+///
+/// The event loop owns every fd (listener, self-pipe, connections);
+/// worker threads only compute responses and hand them back over a
+/// completion queue. Nothing in the server installs signal handlers —
+/// the driver (tools/liftd) forwards SIGTERM/SIGINT via the
+/// async-signal-safe \c signalShutdown.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_SERVICE_SERVER_H
+#define LIFT_SERVICE_SERVER_H
+
+#include "service/Protocol.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace lift {
+namespace service {
+
+struct ServerOptions {
+  std::string SocketPath;
+  /// Worker threads = maximum requests executing concurrently
+  /// (--max-inflight).
+  int Workers = 2;
+  /// Admitted-but-waiting requests beyond the inflight bound
+  /// (--queue-depth). 0 = shed whenever every worker is busy.
+  int QueueDepth = 16;
+  /// Per-connection read/idle deadline: a client that connects but never
+  /// completes a request line within this window is dropped (E0703 on
+  /// its side). 0 = no deadline.
+  int64_t IoTimeoutMs = 5000;
+  /// SIGTERM drain budget: queued and inflight requests get this long to
+  /// finish; past it their cancellation tokens are set and they answer
+  /// E0516 promptly. 0 = cancel immediately.
+  int64_t DrainMs = 2000;
+  /// Server-side ceilings clamped onto every request's own limits
+  /// (0 = no ceiling). MaxThreads defaults to 1: request-level
+  /// parallelism comes from the worker pool, and the process-wide
+  /// simulator thread pool serializes multi-threaded launches anyway.
+  uint64_t MaxSteps = 0;
+  int64_t TimeoutMs = 0;
+  uint64_t MaxMemoryBytes = 0;
+  int MaxThreads = 1;
+  /// Host-buffer materialization cap per request (--max-request-memory);
+  /// see ExecContext::MaxHostBufferBytes. 0 = off.
+  uint64_t MaxHostBufferBytes = 256ull << 20;
+  /// Directory for hash-verified compile artifacts ("" = in-memory
+  /// dedupe only, nothing survives a restart).
+  std::string ArtifactDir;
+  /// Largest accepted request frame; longer lines answer E0702.
+  uint64_t MaxRequestBytes = 8ull << 20;
+  /// Backoff floor suggested to shed clients (retry_after_ms).
+  int64_t RetryAfterMs = 50;
+};
+
+/// Monotonic counters exposed via op=stats and asserted by the service
+/// tests. Snapshot semantics: values are read individually (relaxed);
+/// cross-counter identities only hold on an idle daemon.
+struct ServerStats {
+  int64_t Accepted = 0;   ///< connections accepted (post fault check)
+  int64_t Requests = 0;   ///< complete request lines parsed or rejected
+  int64_t ExecOk = 0;     ///< exec responses with exit 0
+  int64_t ExecDiag = 0;   ///< exec responses with exit 1
+  int64_t ExecInternal = 0; ///< exec responses with exit 2
+  int64_t Shed = 0;       ///< E0701 admission rejections
+  int64_t BadRequest = 0; ///< E0702 malformed frames
+  int64_t Cancelled = 0;  ///< requests whose client vanished mid-flight
+  int64_t IoErrors = 0;   ///< dropped connections (read/write/deadline)
+  int64_t Compiles = 0;   ///< compile stages actually executed
+  int64_t DedupeHits = 0; ///< requests served from the in-memory product
+  int64_t DiskHits = 0;   ///< requests served from a hash-verified artifact
+  int64_t Active = 0;     ///< gauge: requests executing right now
+  int64_t Queued = 0;     ///< gauge: requests admitted and waiting
+};
+
+class Server {
+public:
+  explicit Server(ServerOptions Opts);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds the socket (recovering a stale path left by a kill -9 sibling
+  /// when nothing answers on it), spawns the event loop and the worker
+  /// pool. Returns false with a reason in \p Err.
+  bool start(std::string &Err);
+
+  /// Requests a drain from normal (thread) context.
+  void requestShutdown();
+
+  /// Async-signal-safe shutdown request: one atomic store and one
+  /// self-pipe write. The only Server entry point a signal handler may
+  /// call.
+  void signalShutdown();
+
+  /// Blocks until the drain completes and every thread has joined.
+  void wait();
+
+  ServerStats stats() const;
+  const ServerOptions &options() const { return Opts; }
+
+private:
+  struct Conn;
+  struct WorkItem;
+  struct CacheEntry;
+  struct Completion;
+
+  void eventLoop();
+  void workerLoop();
+
+  void acceptReady();
+  void connReadable(Conn &C);
+  void handleLine(Conn &C, const std::string &Line);
+  void respond(Conn &C, const Response &R);
+  void connWritable(Conn &C);
+  void closeConn(Conn &C);
+  void clientGone(Conn &C);
+  void startDrain();
+  void fillStats(Response &R) const;
+
+  Response handleExec(WorkItem &W);
+  std::shared_ptr<CompileProduct> obtainProduct(const ExecRequest &E,
+                                                bool NeedKernel,
+                                                bool &Cached);
+  std::shared_ptr<CompileProduct> loadArtifact(const std::string &Key);
+  void storeArtifact(const std::string &Key, const CompileProduct &P);
+
+  ServerOptions Opts;
+
+  int ListenFd = -1;
+  int WakeR = -1, WakeW = -1; ///< self-pipe: completions, shutdown
+
+  std::thread EventThread;
+  std::vector<std::thread> WorkerThreads;
+  bool Started = false;
+
+  std::atomic<bool> ShutdownFlag{false};
+  bool Draining = false; ///< event-loop thread only
+
+  // Work queue (admission-bounded) and completion queue.
+  std::mutex QueueM;
+  std::condition_variable QueueCv;
+  std::deque<std::unique_ptr<WorkItem>> WorkQ;
+  bool WorkersStop = false;
+
+  std::mutex DoneM;
+  std::vector<Completion> DoneQ;
+
+  // Connections, owned by the event loop. Keyed by a monotonically
+  // increasing id so completions can outlive a vanished connection.
+  std::map<uint64_t, std::unique_ptr<Conn>> Conns;
+  uint64_t NextConnId = 1;
+
+  // Content-addressed compile cache (single-flight per key).
+  std::mutex CacheM;
+  std::map<std::string, std::shared_ptr<CacheEntry>> Cache;
+
+  struct StatsCells {
+    std::atomic<int64_t> Accepted{0}, Requests{0}, ExecOk{0}, ExecDiag{0},
+        ExecInternal{0}, Shed{0}, BadRequest{0}, Cancelled{0}, IoErrors{0},
+        Compiles{0}, DedupeHits{0}, DiskHits{0}, Active{0}, Queued{0};
+  };
+  mutable StatsCells S;
+};
+
+} // namespace service
+} // namespace lift
+
+#endif // LIFT_SERVICE_SERVER_H

@@ -18,7 +18,8 @@
 /// The error-code taxonomy is grouped by pipeline stage (see
 /// docs/DIAGNOSTICS.md): 1xx IL parsing, 2xx type analysis, 3xx IR
 /// verification, 4xx code generation, 5xx simulated-runtime execution,
-/// 6xx host API misuse and the native CPU backend (docs/NATIVE_BACKEND.md).
+/// 6xx host API misuse and the native CPU backend (docs/NATIVE_BACKEND.md),
+/// 7xx the liftd compile-and-run service (docs/SERVICE.md).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -102,6 +103,8 @@ enum class DiagCode : unsigned {
   RuntimeCrossGroupRace = 514,
   RuntimeFaultMidExec = 515, ///< injected mid-execution fault (barrier,
                              ///< group dispatch, step chunk); cancelled
+  RuntimeCancelled = 516,    ///< cancelled cooperatively by the host
+                             ///< (client disconnect, daemon drain)
 
   // 6xx — host API misuse and the native CPU backend.
   HostBadBuffer = 601,
@@ -118,6 +121,14 @@ enum class DiagCode : unsigned {
                                 ///< degraded to the simulator
   NativeArtifactCorrupt = 611,  ///< warning: cached shared object failed
                                 ///< its integrity check; recompiling
+
+  // 7xx — the liftd compile-and-run service (docs/SERVICE.md).
+  ServiceOverloaded = 701,    ///< admission queue full: shed, retry later
+  ServiceBadRequest = 702,    ///< malformed or oversized request frame
+  ServiceIoError = 703,       ///< connection read/write failed or timed out
+  ServiceCancelled = 704,     ///< request cancelled (client disconnected)
+  ServiceShuttingDown = 705,  ///< daemon draining; no new work accepted
+  ServiceConnectFailed = 706, ///< client could not reach the daemon socket
 };
 
 /// Renders a code as its stable "E0101"-style identifier.

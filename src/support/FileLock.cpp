@@ -1,0 +1,74 @@
+//===- FileLock.cpp - Cross-process advisory file lock --------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FileLock.h"
+
+#include <cerrno>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+using namespace lift;
+using namespace lift::support;
+
+namespace {
+
+int openLockFile(const std::string &Path) {
+  for (;;) {
+    int Fd = ::open(Path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (Fd >= 0 || errno != EINTR)
+      return Fd;
+  }
+}
+
+} // namespace
+
+FileLock FileLock::acquire(const std::string &Path) {
+  FileLock L;
+  int Fd = openLockFile(Path);
+  if (Fd < 0)
+    return L;
+  while (::flock(Fd, LOCK_EX) != 0) {
+    if (errno != EINTR) {
+      ::close(Fd);
+      return L;
+    }
+  }
+  L.Fd = Fd;
+  return L;
+}
+
+FileLock FileLock::tryAcquire(const std::string &Path, bool &Busy) {
+  Busy = false;
+  FileLock L;
+  int Fd = openLockFile(Path);
+  if (Fd < 0)
+    return L;
+  while (::flock(Fd, LOCK_EX | LOCK_NB) != 0) {
+    if (errno == EINTR)
+      continue;
+    Busy = errno == EWOULDBLOCK;
+    ::close(Fd);
+    return L;
+  }
+  L.Fd = Fd;
+  return L;
+}
+
+FileLock &FileLock::operator=(FileLock &&O) noexcept {
+  if (this != &O) {
+    if (Fd >= 0)
+      ::close(Fd); // closing releases the flock
+    Fd = O.Fd;
+    O.Fd = -1;
+  }
+  return *this;
+}
+
+FileLock::~FileLock() {
+  if (Fd >= 0)
+    ::close(Fd);
+}

@@ -1,0 +1,63 @@
+//===- FileLock.h - Cross-process advisory file lock ------------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An RAII flock(2) wrapper for cross-process single-flight around the
+/// persistent caches (.lift-tune JSON entries, native .so artifacts, liftd
+/// disk artifacts). Two *threads* already serialize through in-process
+/// mutexes and two *processes* are kept safe by the atomic temp+rename
+/// write protocol — the lock adds single-flight on top, so concurrent
+/// writers of the same key collapse to one compile instead of doing the
+/// work twice and racing the rename. The lock is therefore best-effort by
+/// design: when it cannot be taken (read-only dir, exotic filesystem) the
+/// caller proceeds unguarded and correctness still holds, only the
+/// duplicate-work suppression is lost.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_SUPPORT_FILELOCK_H
+#define LIFT_SUPPORT_FILELOCK_H
+
+#include <string>
+
+namespace lift {
+namespace support {
+
+/// Exclusive advisory lock on a lock file, held until destruction. The
+/// lock file itself (conventionally "<target>.lock") is created on demand
+/// and intentionally never removed: unlinking a lock file while another
+/// process holds or is acquiring it reintroduces the race the lock
+/// prevents.
+class FileLock {
+public:
+  FileLock() = default;
+
+  /// Blocks until the exclusive lock on \p Path is held. On failure to
+  /// open or lock (EINTR is retried), returns an unlocked instance —
+  /// see the file comment for why callers proceed anyway.
+  static FileLock acquire(const std::string &Path);
+
+  /// Non-blocking variant: \p Busy is set when another holder has the
+  /// lock (the returned instance is unlocked then).
+  static FileLock tryAcquire(const std::string &Path, bool &Busy);
+
+  FileLock(const FileLock &) = delete;
+  FileLock &operator=(const FileLock &) = delete;
+  FileLock(FileLock &&O) noexcept : Fd(O.Fd) { O.Fd = -1; }
+  FileLock &operator=(FileLock &&O) noexcept;
+  ~FileLock();
+
+  /// True when the exclusive lock is actually held.
+  bool locked() const { return Fd >= 0; }
+
+private:
+  int Fd = -1;
+};
+
+} // namespace support
+} // namespace lift
+
+#endif // LIFT_SUPPORT_FILELOCK_H

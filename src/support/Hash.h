@@ -1,0 +1,45 @@
+//===- Hash.h - Content hashing for cache keys ------------------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FNV-1a content hashing shared by every content-addressed cache (tune
+/// entries, native .so artifacts, liftd compile artifacts) and the
+/// sidecar integrity checks. One definition so every cache derives keys
+/// the same way.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_SUPPORT_HASH_H
+#define LIFT_SUPPORT_HASH_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace lift {
+namespace support {
+
+inline uint64_t fnv1a64(const std::string &S) {
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+/// 16-hex-digit rendering used for cache filenames and sidecar contents.
+inline std::string hex16(uint64_t H) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(H));
+  return Buf;
+}
+
+} // namespace support
+} // namespace lift
+
+#endif // LIFT_SUPPORT_HASH_H

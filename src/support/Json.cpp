@@ -1,0 +1,247 @@
+//===- Json.cpp - Minimal JSON reader/writer helpers ----------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace lift;
+using namespace lift::json;
+
+namespace {
+
+class Parser {
+  const std::string &Text;
+  size_t Pos = 0;
+
+public:
+  explicit Parser(const std::string &Text) : Text(Text) {}
+
+  bool parse(Value &Out) {
+    skipWs();
+    if (!parseValue(Out))
+      return false;
+    skipWs();
+    return Pos == Text.size();
+  }
+
+private:
+  void skipWs() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+  bool consume(char C) {
+    skipWs();
+    if (Pos >= Text.size() || Text[Pos] != C)
+      return false;
+    ++Pos;
+    return true;
+  }
+  bool parseHex4(unsigned &Code) {
+    if (Pos + 4 > Text.size())
+      return false;
+    Code = 0;
+    for (int I = 0; I != 4; ++I) {
+      char H = Text[Pos + static_cast<size_t>(I)];
+      Code <<= 4;
+      if (H >= '0' && H <= '9')
+        Code |= static_cast<unsigned>(H - '0');
+      else if (H >= 'a' && H <= 'f')
+        Code |= static_cast<unsigned>(H - 'a' + 10);
+      else if (H >= 'A' && H <= 'F')
+        Code |= static_cast<unsigned>(H - 'A' + 10);
+      else
+        return false;
+    }
+    Pos += 4;
+    return true;
+  }
+  bool parseString(std::string &Out) {
+    if (!consume('"'))
+      return false;
+    Out.clear();
+    while (Pos < Text.size() && Text[Pos] != '"') {
+      char C = Text[Pos++];
+      if (C == '\\' && Pos < Text.size()) {
+        char E = Text[Pos++];
+        switch (E) {
+        case 'n':
+          Out += '\n';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'r':
+          Out += '\r';
+          break;
+        case 'b':
+          Out += '\b';
+          break;
+        case 'f':
+          Out += '\f';
+          break;
+        case 'u': {
+          unsigned Code = 0;
+          if (!parseHex4(Code))
+            return false;
+          // UTF-8 encode. The writer only emits \u00XX control escapes,
+          // but arbitrary BMP escapes decode too (surrogate pairs are
+          // passed through as two 3-byte sequences, not recombined).
+          if (Code < 0x80) {
+            Out += static_cast<char>(Code);
+          } else if (Code < 0x800) {
+            Out += static_cast<char>(0xC0 | (Code >> 6));
+            Out += static_cast<char>(0x80 | (Code & 0x3F));
+          } else {
+            Out += static_cast<char>(0xE0 | (Code >> 12));
+            Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+            Out += static_cast<char>(0x80 | (Code & 0x3F));
+          }
+          break;
+        }
+        default:
+          Out += E; // \" \\ \/ and anything unknown: the char itself
+          break;
+        }
+      } else {
+        Out += C; // raw control chars accepted (pre-escaping writers)
+      }
+    }
+    if (Pos >= Text.size())
+      return false;
+    ++Pos; // closing quote
+    return true;
+  }
+  bool parseValue(Value &Out) {
+    skipWs();
+    if (Pos >= Text.size())
+      return false;
+    char C = Text[Pos];
+    if (C == '{') {
+      ++Pos;
+      Out.K = Value::Obj;
+      skipWs();
+      if (consume('}'))
+        return true;
+      for (;;) {
+        std::string Name;
+        if (!parseString(Name) || !consume(':'))
+          return false;
+        Value V;
+        if (!parseValue(V))
+          return false;
+        Out.O.emplace_back(std::move(Name), std::move(V));
+        if (consume(','))
+          continue;
+        return consume('}');
+      }
+    }
+    if (C == '[') {
+      ++Pos;
+      Out.K = Value::Arr;
+      skipWs();
+      if (consume(']'))
+        return true;
+      for (;;) {
+        Value V;
+        if (!parseValue(V))
+          return false;
+        Out.A.push_back(std::move(V));
+        if (consume(','))
+          continue;
+        return consume(']');
+      }
+    }
+    if (C == '"') {
+      Out.K = Value::Str;
+      return parseString(Out.S);
+    }
+    if (Text.compare(Pos, 4, "true") == 0) {
+      Out.K = Value::Bool;
+      Out.B = true;
+      Pos += 4;
+      return true;
+    }
+    if (Text.compare(Pos, 5, "false") == 0) {
+      Out.K = Value::Bool;
+      Out.B = false;
+      Pos += 5;
+      return true;
+    }
+    if (Text.compare(Pos, 4, "null") == 0) {
+      Out.K = Value::Null;
+      Pos += 4;
+      return true;
+    }
+    // Number.
+    size_t Start = Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '-' || Text[Pos] == '+' || Text[Pos] == '.' ||
+            Text[Pos] == 'e' || Text[Pos] == 'E'))
+      ++Pos;
+    if (Pos == Start)
+      return false;
+    Out.K = Value::Num;
+    Out.N = std::strtod(Text.c_str() + Start, nullptr);
+    return true;
+  }
+};
+
+} // namespace
+
+bool json::parse(const std::string &Text, Value &Out) {
+  return Parser(Text).parse(Out);
+}
+
+void json::appendQuoted(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    unsigned char U = static_cast<unsigned char>(C);
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (U < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", U);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+std::string json::quoted(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  appendQuoted(Out, S);
+  return Out;
+}
+
+std::string json::numStr(double V) {
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  return Buf;
+}

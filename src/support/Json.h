@@ -1,0 +1,78 @@
+//===- Json.h - Minimal JSON reader/writer helpers --------------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The minimal JSON subset shared by the persistent caches (tune entries,
+/// liftd artifacts) and the liftd wire protocol: objects, arrays, strings,
+/// numbers, booleans, null; no external dependency. The writer escapes
+/// control characters (newlines become \n, other controls \u00XX), which
+/// the newline-delimited service framing depends on: an encoded value is
+/// always a single physical line. The reader accepts both escaped and raw
+/// control characters, so entries written by older writers still parse.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_SUPPORT_JSON_H
+#define LIFT_SUPPORT_JSON_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lift {
+namespace json {
+
+/// A parsed JSON value. Plain data; object fields keep insertion order.
+struct Value {
+  enum Kind { Null, Bool, Num, Str, Arr, Obj } K = Null;
+  bool B = false;
+  double N = 0;
+  std::string S;
+  std::vector<Value> A;
+  std::vector<std::pair<std::string, Value>> O;
+
+  const Value *field(const std::string &Name) const {
+    for (const auto &[FName, V] : O)
+      if (FName == Name)
+        return &V;
+    return nullptr;
+  }
+
+  /// Typed field lookups with defaults, for tolerant protocol decoding.
+  bool boolField(const std::string &Name, bool Default) const {
+    const Value *V = field(Name);
+    return V && V->K == Bool ? V->B : Default;
+  }
+  double numField(const std::string &Name, double Default) const {
+    const Value *V = field(Name);
+    return V && V->K == Num ? V->N : Default;
+  }
+  std::string strField(const std::string &Name,
+                       const std::string &Default = {}) const {
+    const Value *V = field(Name);
+    return V && V->K == Str ? V->S : Default;
+  }
+};
+
+/// Parses \p Text as exactly one JSON value (trailing non-whitespace is an
+/// error). Returns false on malformed input; \p Out is unspecified then.
+bool parse(const std::string &Text, Value &Out);
+
+/// Appends \p S to \p Out as a quoted JSON string. Escapes quotes,
+/// backslashes and every control character, so the result never contains
+/// a raw newline.
+void appendQuoted(std::string &Out, const std::string &S);
+
+/// appendQuoted into a fresh string.
+std::string quoted(const std::string &S);
+
+/// Shortest-round-trip double rendering (%.17g).
+std::string numStr(double V);
+
+} // namespace json
+} // namespace lift
+
+#endif // LIFT_SUPPORT_JSON_H

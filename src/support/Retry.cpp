@@ -61,6 +61,12 @@ bool retry::isTransient(DiagCode Code) {
   case DiagCode::RuntimePoolFallback:
   case DiagCode::CacheEntryQuarantined:
   case DiagCode::CacheWriteFailed:
+  // Service-side transients: an overloaded daemon asked for a retry, the
+  // connection dropped mid-exchange, or the daemon was briefly absent
+  // (restarting). A drained shutdown (E0705) is permanent by design.
+  case DiagCode::ServiceOverloaded:
+  case DiagCode::ServiceIoError:
+  case DiagCode::ServiceConnectFailed:
     return true;
   default:
     // NativeToolchainMissing, NativeCompileFailed, NativeSymbolMissing,

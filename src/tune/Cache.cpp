@@ -8,9 +8,10 @@
 
 #include "ir/Printer.h"
 #include "ocl/FaultInject.h"
+#include "support/FileLock.h"
+#include "support/Json.h"
 #include "support/Retry.h"
 
-#include <cctype>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -43,174 +44,17 @@ std::string tune::tuneCachePath(const Workload &W, const TuneConfig &C) {
 }
 
 //===----------------------------------------------------------------------===//
-// JSON (the minimal subset the cache emits: objects, arrays, strings,
-// numbers, booleans; no external dependency)
+// JSON encoding of tune entries (the reader/writer machinery itself lives
+// in support/Json.h, shared with the liftd service protocol)
 //===----------------------------------------------------------------------===//
 
 namespace {
 
-struct JValue {
-  enum Kind { Null, Bool, Num, Str, Arr, Obj } K = Null;
-  bool B = false;
-  double N = 0;
-  std::string S;
-  std::vector<JValue> A;
-  std::vector<std::pair<std::string, JValue>> O;
-
-  const JValue *field(const std::string &Name) const {
-    for (const auto &[FName, V] : O)
-      if (FName == Name)
-        return &V;
-    return nullptr;
-  }
-};
-
-class JParser {
-  const std::string &Text;
-  size_t Pos = 0;
-
-public:
-  explicit JParser(const std::string &Text) : Text(Text) {}
-
-  bool parse(JValue &Out) {
-    skipWs();
-    if (!parseValue(Out))
-      return false;
-    skipWs();
-    return Pos == Text.size();
-  }
-
-private:
-  void skipWs() {
-    while (Pos < Text.size() &&
-           std::isspace(static_cast<unsigned char>(Text[Pos])))
-      ++Pos;
-  }
-  bool consume(char C) {
-    skipWs();
-    if (Pos >= Text.size() || Text[Pos] != C)
-      return false;
-    ++Pos;
-    return true;
-  }
-  bool parseString(std::string &Out) {
-    if (!consume('"'))
-      return false;
-    Out.clear();
-    while (Pos < Text.size() && Text[Pos] != '"') {
-      char C = Text[Pos++];
-      if (C == '\\' && Pos < Text.size()) {
-        char E = Text[Pos++];
-        switch (E) {
-        case 'n':
-          Out += '\n';
-          break;
-        case 't':
-          Out += '\t';
-          break;
-        default:
-          Out += E;
-          break;
-        }
-      } else {
-        Out += C;
-      }
-    }
-    if (Pos >= Text.size())
-      return false;
-    ++Pos; // closing quote
-    return true;
-  }
-  bool parseValue(JValue &Out) {
-    skipWs();
-    if (Pos >= Text.size())
-      return false;
-    char C = Text[Pos];
-    if (C == '{') {
-      ++Pos;
-      Out.K = JValue::Obj;
-      skipWs();
-      if (consume('}'))
-        return true;
-      for (;;) {
-        std::string Name;
-        if (!parseString(Name) || !consume(':'))
-          return false;
-        JValue V;
-        if (!parseValue(V))
-          return false;
-        Out.O.emplace_back(std::move(Name), std::move(V));
-        if (consume(','))
-          continue;
-        return consume('}');
-      }
-    }
-    if (C == '[') {
-      ++Pos;
-      Out.K = JValue::Arr;
-      skipWs();
-      if (consume(']'))
-        return true;
-      for (;;) {
-        JValue V;
-        if (!parseValue(V))
-          return false;
-        Out.A.push_back(std::move(V));
-        if (consume(','))
-          continue;
-        return consume(']');
-      }
-    }
-    if (C == '"') {
-      Out.K = JValue::Str;
-      return parseString(Out.S);
-    }
-    if (Text.compare(Pos, 4, "true") == 0) {
-      Out.K = JValue::Bool;
-      Out.B = true;
-      Pos += 4;
-      return true;
-    }
-    if (Text.compare(Pos, 5, "false") == 0) {
-      Out.K = JValue::Bool;
-      Out.B = false;
-      Pos += 5;
-      return true;
-    }
-    if (Text.compare(Pos, 4, "null") == 0) {
-      Out.K = JValue::Null;
-      Pos += 4;
-      return true;
-    }
-    // Number.
-    size_t Start = Pos;
-    while (Pos < Text.size() &&
-           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
-            Text[Pos] == '-' || Text[Pos] == '+' || Text[Pos] == '.' ||
-            Text[Pos] == 'e' || Text[Pos] == 'E'))
-      ++Pos;
-    if (Pos == Start)
-      return false;
-    Out.K = JValue::Num;
-    Out.N = std::strtod(Text.c_str() + Start, nullptr);
-    return true;
-  }
-};
+using json::numStr;
+using JValue = json::Value;
 
 void writeEscaped(std::string &Out, const std::string &S) {
-  Out += '"';
-  for (char C : S) {
-    if (C == '"' || C == '\\')
-      Out += '\\';
-    Out += C;
-  }
-  Out += '"';
-}
-
-std::string numStr(double V) {
-  char Buf[40];
-  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
-  return Buf;
+  json::appendQuoted(Out, S);
 }
 
 void writeDerivation(std::string &Out, const Derivation &D) {
@@ -312,7 +156,7 @@ bool tune::loadCachedResult(const Workload &W, const TuneConfig &C,
   };
 
   JValue Root;
-  if (!JParser(Text).parse(Root) || Root.K != JValue::Obj)
+  if (!json::parse(Text, Root) || Root.K != JValue::Obj)
     return Quarantine("malformed or truncated JSON");
   // Schema gate: entries written before the schema field existed are the
   // implicit v1 shape, which v2 reads unchanged (v2 only adds fields); an
@@ -425,9 +269,12 @@ bool tune::storeCachedResult(const Workload &W, const TuneConfig &C,
 
   // Write-temp-then-rename so a crashed or faulted writer never leaves a
   // torn entry behind; transient failures (including the injected
-  // CacheWrite fault) retry under the deterministic backoff policy.
+  // CacheWrite fault) retry under the deterministic backoff policy. The
+  // advisory lock single-flights concurrent *processes* writing the same
+  // key (fork-two-writers); rename keeps even an unguarded race safe.
   const std::string Path = tuneCachePath(W, C);
   const std::string Tmp = Path + ".tmp." + std::to_string(::getpid());
+  support::FileLock Lock = support::FileLock::acquire(Path + ".lock");
   try {
     retry::runWithRetry(retry::Policy::fromEnv(), "tune cache write", [&] {
       if (ocl::fault::shouldFail(ocl::fault::Site::CacheWrite))

@@ -15,9 +15,16 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "ocl/FaultInject.h"
+#include "ocl/ThreadPool.h"
 #include "suite/Benchmark.h"
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <dirent.h>
+#include <fstream>
 
 using namespace lift;
 
@@ -94,6 +101,102 @@ TEST_P(ParallelRuntimeTest, ThreadCountIsUnobservable) {
       bench::runLift(Case, bench::OptConfig::Full, Checked);
   expectSameRun(CheckedBase, CheckedPool,
                 Case.Name + " checked+perturbed at 4 threads");
+}
+
+//===----------------------------------------------------------------------===//
+// Pool churn soak
+//===----------------------------------------------------------------------===//
+
+// The liftd daemon keeps one process alive across thousands of launches,
+// so pool bring-up must be repeatable indefinitely — including bring-ups
+// that fail under an injected fault and are retried. This soak cycles
+// tryRun hundreds of times with a one-shot PoolStart fault armed each
+// round and pins two invariants: the one-shot fault stays invisible
+// (the retry succeeds and runs every worker), and neither threads nor
+// file descriptors accumulate across the churn.
+
+size_t countOpenFds() {
+  size_t N = 0;
+  if (DIR *D = opendir("/proc/self/fd")) {
+    while (readdir(D))
+      ++N;
+    closedir(D);
+  }
+  return N;
+}
+
+size_t countThreads() {
+  std::ifstream In("/proc/self/status");
+  std::string Line;
+  while (std::getline(In, Line))
+    if (Line.rfind("Threads:", 0) == 0)
+      return static_cast<size_t>(std::strtoul(Line.c_str() + 8, nullptr, 10));
+  return 0;
+}
+
+TEST(ThreadPoolChurnSoak, BringUpFaultsLeakNothing) {
+  ocl::fault::disarm();
+  ocl::ThreadPool &Pool = ocl::ThreadPool::global();
+
+  constexpr int Cycles = 300;
+  constexpr unsigned Workers = 4;
+
+  // Warm the pool and the fd table first so lazily created resources
+  // (worker threads, /proc handles) don't read as leaks.
+  for (int I = 0; I < 10; ++I) {
+    std::atomic<unsigned> Ran{0};
+    ASSERT_TRUE(Pool.tryRun(Workers, [&](unsigned) { ++Ran; }));
+    ASSERT_EQ(Ran.load(), Workers);
+  }
+  size_t BaseThreads = countThreads();
+  size_t BaseFds = countOpenFds();
+
+  for (int I = 0; I < Cycles; ++I) {
+    // One-shot bring-up fault: the pool's internal bounded retry absorbs
+    // it, so the dispatch succeeds and runs every worker exactly once.
+    ocl::fault::arm(ocl::fault::Site::PoolStart, 1);
+    std::atomic<unsigned> Ran{0};
+    ASSERT_TRUE(Pool.tryRun(Workers, [&](unsigned) { ++Ran; }))
+        << "cycle " << I << ": one-shot fault must stay invisible";
+    EXPECT_EQ(Ran.load(), Workers) << "cycle " << I;
+  }
+
+  // Persistent bring-up outage: tryRun gives up after the bounded retry,
+  // without having run any work — and without leaking per-attempt state.
+  for (int I = 0; I < 50; ++I) {
+    ocl::fault::armAlways(ocl::fault::Site::PoolStart);
+    std::atomic<unsigned> Ran{0};
+    EXPECT_FALSE(Pool.tryRun(Workers, [&](unsigned) { ++Ran; }))
+        << "cycle " << I;
+    EXPECT_EQ(Ran.load(), 0u) << "a failed bring-up must not run work";
+    ocl::fault::disarm();
+    ASSERT_TRUE(Pool.tryRun(Workers, [&](unsigned) { ++Ran; }));
+    EXPECT_EQ(Ran.load(), Workers) << "recovery cycle " << I;
+  }
+  ocl::fault::disarm();
+
+  EXPECT_EQ(countThreads(), BaseThreads)
+      << "pool churn must not accumulate threads";
+  EXPECT_EQ(countOpenFds(), BaseFds)
+      << "pool churn must not accumulate file descriptors";
+
+  // The PR 7 contract on the full launch path: a one-shot PoolStart
+  // fault is invisible behind the runtime's serial fallback — the run
+  // still succeeds and its results are bit-identical.
+  std::vector<bench::BenchmarkCase> All = bench::allBenchmarks(false);
+  ASSERT_FALSE(All.empty());
+  bench::RunOptions Serial;
+  Serial.Threads = 1;
+  bench::Outcome Base = bench::runLift(All[0], bench::OptConfig::Full, Serial);
+  ASSERT_TRUE(Base.Valid);
+  for (int I = 0; I < 5; ++I) {
+    ocl::fault::arm(ocl::fault::Site::PoolStart, 1);
+    bench::RunOptions Pooled;
+    Pooled.Threads = 4;
+    bench::Outcome Out = bench::runLift(All[0], bench::OptConfig::Full, Pooled);
+    expectSameRun(Base, Out, "one-shot PoolStart cycle " + std::to_string(I));
+  }
+  ocl::fault::disarm();
 }
 
 std::string parallelBenchName(const ::testing::TestParamInfo<int> &I) {

@@ -8,8 +8,8 @@
 # it — a fuzz tier that quietly got 10x slower keeps passing until the
 # day it flakes. Fails when any test exceeded the budget (default 120 s,
 # half the 240 s ctest timeout shared by the check-* tiers — fuzz/race,
-# rules, and resilience all flow through the same log) or when ctest
-# recorded a ***Timeout at all.
+# rules, resilience, and service all flow through the same log) or when
+# ctest recorded a ***Timeout at all.
 #
 # Usage: tools/check-test-times.sh <ctest-log> [budget-seconds]
 #

@@ -182,4 +182,48 @@ for PROG in examples/il/dot.lift examples/il/square.lift; do
   done
 done
 
+echo "== Stage 7: liftd under seeded service faults, clients holding the exit-code contract =="
+# A real liftd process per seed with probabilistic injection armed from
+# the environment: the accept / request-read / request-write / queue-admit
+# sites (and every runtime site the requests reach) fire at random while
+# remote liftc clients run the example programs through the daemon. The
+# oracle is the same as stage 2 plus the daemon's own lifecycle: clients
+# may exit 0 (ran) or 1 (clean diagnostics after the bounded retry),
+# never 2 or a signal; the daemon must survive every seed and drain to
+# exit 0 on SIGTERM.
+STORM_DIR=$(mktemp -d)
+for SEED in $(seq 1 8); do
+  SOCK="$STORM_DIR/liftd-$SEED.sock"
+  DLOG="$STORM_DIR/liftd-$SEED.log"
+  LIFT_FAULT_SEED="$SEED" "$BUILD_DIR/tools/liftd" --socket "$SOCK" \
+    --max-inflight 2 --queue-depth 2 --drain-ms 5000 >"$DLOG" 2>&1 &
+  DPID=$!
+  for _ in $(seq 1 100); do
+    grep -q "listening" "$DLOG" 2>/dev/null && break
+    sleep 0.1
+  done
+  for PROG in examples/il/dot.lift examples/il/square.lift; do
+    STATUS=0
+    "$BUILD_DIR/tools/liftc" "$PROG" --run --remote="$SOCK" \
+      --retry-attempts 12 --retry-base-us 2000 >/dev/null 2>&1 || STATUS=$?
+    if [ "$STATUS" -ne 0 ] && [ "$STATUS" -ne 1 ]; then
+      echo "soak: remote liftc $PROG broke the exit-code contract under" \
+           "LIFT_FAULT_SEED=$SEED (exit $STATUS)" >&2
+      kill -KILL "$DPID" 2>/dev/null || true
+      exit 1
+    fi
+  done
+  kill -TERM "$DPID"
+  DSTATUS=0
+  wait "$DPID" || DSTATUS=$?
+  if [ "$DSTATUS" -ne 0 ]; then
+    echo "soak: liftd did not drain cleanly under LIFT_FAULT_SEED=$SEED" \
+         "(exit $DSTATUS)" >&2
+    cat "$DLOG" >&2
+    exit 1
+  fi
+done
+rm -rf "$STORM_DIR"
+echo "all 8 daemon seeds drained cleanly"
+
 echo "soak passed"

@@ -1,0 +1,245 @@
+//===- lift-client.cpp - liftd control and exec client --------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+//
+// lift-client: thin command-line client for the liftd daemon
+// (docs/SERVICE.md).
+//
+//   lift-client --socket SOCK ping                liveness probe
+//   lift-client --socket SOCK stats               dump daemon counters
+//   lift-client --socket SOCK shutdown            request a graceful drain
+//   lift-client --socket SOCK exec FILE [flags]   compile/run FILE remotely;
+//                                                 flags mirror liftc
+//                                                 (--run, --print-il,
+//                                                  --global, --size, ...)
+//
+// Transient failures (shed requests, daemon I/O errors) are retried with
+// the support::Retry policy; --retry-attempts / --retry-base-us override
+// the LIFT_RETRY_* environment knobs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace lift;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: lift-client --socket SOCK [--timeout-ms N]\n"
+      "                   [--retry-attempts N] [--retry-base-us N]\n"
+      "                   ping | stats | shutdown | exec FILE [flags]\n"
+      "  exec flags (mirroring liftc): --run --print-il --dump-native\n"
+      "    --backend=sim|native --native-mode=exact|fast\n"
+      "    --global N[,N[,N]] --local N[,N[,N]] --size NAME=VALUE\n"
+      "    --no-aas --no-cfs --no-be --verify-each --max-errors N\n"
+      "    --check-races --check-memory --perturb-schedule "
+      "--schedule-seed N\n"
+      "    --threads N --max-steps N --timeout-ms N --max-memory N\n");
+}
+
+bool parseDims(const char *S, std::array<int64_t, 3> &Out) {
+  Out = {1, 1, 1};
+  int I = 0;
+  const char *P = S;
+  while (*P && I < 3) {
+    char *End = nullptr;
+    long long V = std::strtoll(P, &End, 10);
+    if (End == P || V <= 0)
+      return false;
+    Out[static_cast<size_t>(I++)] = V;
+    P = (*End == ',') ? End + 1 : End;
+    if (*End && *End != ',')
+      return false;
+  }
+  return I > 0;
+}
+
+bool parseCount(const char *S, unsigned long long &Out) {
+  if (!S || !*S || *S == '-')
+    return false;
+  char *End = nullptr;
+  Out = std::strtoull(S, &End, 10);
+  return End != S && *End == '\0';
+}
+
+int fail(const DiagnosticEngine &Engine) {
+  for (const Diagnostic &D : Engine.diagnostics())
+    std::fprintf(stderr, "lift-client: %s\n", D.render().c_str());
+  return 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  service::ClientOptions CO;
+  service::Request Req;
+  Req.Kind = service::Op::Ping;
+  bool HaveOp = false;
+  std::string File;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--socket" && I + 1 < argc) {
+      CO.SocketPath = argv[++I];
+    } else if (A == "--timeout-ms" && I + 1 < argc && !HaveOp) {
+      CO.TimeoutMs = std::strtoll(argv[++I], nullptr, 10);
+    } else if (A == "--retry-attempts" && I + 1 < argc) {
+      unsigned long long V = 0;
+      if (!parseCount(argv[++I], V) || V == 0 || V > 1000000) {
+        std::fprintf(stderr, "lift-client: --retry-attempts needs a count "
+                             "in [1, 1000000]\n");
+        return 1;
+      }
+      ::setenv("LIFT_RETRY_ATTEMPTS", std::to_string(V).c_str(), 1);
+    } else if (A == "--retry-base-us" && I + 1 < argc) {
+      unsigned long long V = 0;
+      if (!parseCount(argv[++I], V) || V > 60000000) {
+        std::fprintf(stderr, "lift-client: --retry-base-us needs "
+                             "microseconds in [0, 60000000]\n");
+        return 1;
+      }
+      ::setenv("LIFT_RETRY_BASE_US", std::to_string(V).c_str(), 1);
+    } else if (!HaveOp && A == "ping") {
+      Req.Kind = service::Op::Ping;
+      HaveOp = true;
+    } else if (!HaveOp && A == "stats") {
+      Req.Kind = service::Op::Stats;
+      HaveOp = true;
+    } else if (!HaveOp && A == "shutdown") {
+      Req.Kind = service::Op::Shutdown;
+      HaveOp = true;
+    } else if (!HaveOp && A == "exec" && I + 1 < argc) {
+      Req.Kind = service::Op::Exec;
+      File = argv[++I];
+      HaveOp = true;
+    } else if (HaveOp && Req.Kind == service::Op::Exec) {
+      // liftc-style exec flags.
+      service::ExecRequest &E = Req.Exec;
+      if (A == "--run") {
+        E.Run = true;
+      } else if (A == "--print-il") {
+        E.PrintIl = true;
+      } else if (A == "--dump-native") {
+        E.DumpNative = true;
+      } else if (A == "--backend=sim") {
+        E.NativeBackend = false;
+      } else if (A == "--backend=native") {
+        E.NativeBackend = true;
+      } else if (A == "--native-mode=exact") {
+        E.NMode = native::NativeMode::Exact;
+      } else if (A == "--native-mode=fast") {
+        E.NMode = native::NativeMode::Fast;
+      } else if (A == "--no-aas") {
+        E.Opts.ArrayAccessSimplification = false;
+      } else if (A == "--no-cfs") {
+        E.Opts.ControlFlowSimplification = false;
+      } else if (A == "--no-be") {
+        E.Opts.BarrierElimination = false;
+      } else if (A == "--verify-each") {
+        E.Opts.VerifyEach = true;
+      } else if (A == "--check-races") {
+        E.Opts.CheckRaces = true;
+      } else if (A == "--check-memory") {
+        E.Opts.CheckMemory = true;
+      } else if (A == "--perturb-schedule") {
+        E.Opts.PerturbSchedule = true;
+      } else if (A == "--schedule-seed" && I + 1 < argc) {
+        E.Opts.ScheduleSeed = std::strtoull(argv[++I], nullptr, 10);
+      } else if (A == "--threads" && I + 1 < argc) {
+        E.Opts.Threads = static_cast<int>(std::strtol(argv[++I], nullptr, 10));
+      } else if (A == "--max-steps" && I + 1 < argc) {
+        E.Opts.MaxSteps = std::strtoull(argv[++I], nullptr, 10);
+      } else if (A == "--timeout-ms" && I + 1 < argc) {
+        E.Opts.TimeoutMs = std::strtoll(argv[++I], nullptr, 10);
+      } else if (A == "--max-memory" && I + 1 < argc) {
+        E.Opts.MaxMemoryBytes = std::strtoull(argv[++I], nullptr, 10);
+      } else if (A == "--max-errors" && I + 1 < argc) {
+        E.MaxErrors =
+            static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+      } else if (A == "--global" && I + 1 < argc) {
+        if (!parseDims(argv[++I], E.Opts.GlobalSize)) {
+          usage();
+          return 1;
+        }
+      } else if (A == "--local" && I + 1 < argc) {
+        if (!parseDims(argv[++I], E.Opts.LocalSize)) {
+          usage();
+          return 1;
+        }
+      } else if (A == "--size" && I + 1 < argc) {
+        std::string KV = argv[++I];
+        size_t Eq = KV.find('=');
+        if (Eq == std::string::npos) {
+          usage();
+          return 1;
+        }
+        E.Sizes[KV.substr(0, Eq)] =
+            std::strtoll(KV.c_str() + Eq + 1, nullptr, 10);
+      } else {
+        usage();
+        return 1;
+      }
+    } else {
+      usage();
+      return 1;
+    }
+  }
+  if (CO.SocketPath.empty() || !HaveOp) {
+    usage();
+    return 1;
+  }
+
+  if (Req.Kind == service::Op::Exec) {
+    std::ifstream In(File);
+    if (!In) {
+      std::fprintf(stderr, "lift-client: cannot open %s\n", File.c_str());
+      return 1;
+    }
+    std::stringstream SS;
+    SS << In.rdbuf();
+    Req.Exec.Source = SS.str();
+  }
+
+  DiagnosticEngine Engine(20);
+  service::Response Resp;
+  if (!service::roundTrip(CO, Req, Resp, Engine))
+    return fail(Engine);
+
+  switch (Req.Kind) {
+  case service::Op::Ping:
+    std::printf("%s\n", Resp.Message.empty() ? "pong" : Resp.Message.c_str());
+    return 0;
+  case service::Op::Stats:
+    for (const auto &KV : Resp.Stats)
+      std::printf("%s %lld\n", KV.first.c_str(),
+                  static_cast<long long>(KV.second));
+    return 0;
+  case service::Op::Shutdown:
+    std::printf("%s\n",
+                Resp.Message.empty() ? "draining" : Resp.Message.c_str());
+    return 0;
+  case service::Op::Exec:
+    std::fwrite(Resp.Stdout.data(), 1, Resp.Stdout.size(), stdout);
+    for (const std::string &D : Resp.Diagnostics)
+      std::fprintf(stderr, "liftc: %s\n", D.c_str());
+    if (Resp.St == service::Status::BadRequest)
+      std::fprintf(stderr, "lift-client: error[%s]: daemon rejected the "
+                           "request: %s\n",
+                   Resp.Code.empty() ? "E0702" : Resp.Code.c_str(),
+                   Resp.Message.c_str());
+    return Resp.Exit;
+  }
+  return 1;
+}

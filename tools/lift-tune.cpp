@@ -59,7 +59,11 @@ int usage(const char *Argv0) {
       "                         --objective=native (default 3)\n"
       "  --native-check         re-run each best lowering on the native\n"
       "                         C++/OpenMP backend and require bit-identical\n"
-      "                         output (needs a system compiler)\n",
+      "                         output (needs a system compiler)\n"
+      "  --retry-attempts N     attempts for transient host failures\n"
+      "                         (N >= 1; sets LIFT_RETRY_ATTEMPTS)\n"
+      "  --retry-base-us N      retry backoff base in microseconds\n"
+      "                         (N >= 0; sets LIFT_RETRY_BASE_US)\n",
       Argv0);
   return 2;
 }
@@ -273,6 +277,24 @@ int main(int argc, char **argv) {
     } else if (A == "--native-repeats") {
       intArg(V);
       Config.NativeRepeats = static_cast<unsigned>(V);
+    } else if (A == "--retry-attempts") {
+      intArg(V);
+      if (V < 1 || V > 1000000) {
+        std::fprintf(stderr,
+                     "error: --retry-attempts needs a count in "
+                     "[1, 1000000]\n");
+        return 2;
+      }
+      ::setenv("LIFT_RETRY_ATTEMPTS", std::to_string(V).c_str(), 1);
+    } else if (A == "--retry-base-us") {
+      intArg(V);
+      if (V < 0 || V > 60000000) {
+        std::fprintf(stderr,
+                     "error: --retry-base-us needs microseconds in "
+                     "[0, 60000000]\n");
+        return 2;
+      }
+      ::setenv("LIFT_RETRY_BASE_US", std::to_string(V).c_str(), 1);
     } else if (!A.empty() && A[0] == '-') {
       std::fprintf(stderr, "error: unknown option '%s'\n", A.c_str());
       return usage(argv[0]);

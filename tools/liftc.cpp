@@ -28,6 +28,13 @@
 //                                            the simulator
 //   liftc prog.lift --dump-native            print the generated native C++
 //                                            translation unit
+//   liftc prog.lift --remote=SOCK ...        send the request to a liftd
+//                                            daemon (docs/SERVICE.md) and
+//                                            relay its response
+//
+// The pipeline itself lives in src/service/Exec so the liftd daemon and
+// this driver produce bit-identical output; this file only parses flags,
+// reads the file, and prints the outcome.
 //
 // Exit codes: 0 = success; 1 = the input was rejected (diagnostics were
 // printed, including usage errors and race/memory findings); 2 = internal
@@ -35,16 +42,13 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "frontend/ILParser.h"
-#include "ir/Printer.h"
-#include "lift/Lift.h"
-#include "native/Native.h"
-#include "native/NativePrinter.h"
 #include "ocl/FaultInject.h"
-#include "passes/Verify.h"
+#include "service/Client.h"
+#include "service/Exec.h"
 #include "support/Diagnostics.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <fstream>
@@ -84,6 +88,21 @@ void usage() {
       "exact)\n"
       "             [--dump-native]   print the generated native C++ "
       "translation unit\n"
+      "             [--remote=SOCK]   send the request to the liftd daemon "
+      "listening on\n"
+      "                               the Unix socket SOCK instead of "
+      "compiling locally\n"
+      "                               (incompatible with --inject-faults / "
+      "--count-faults:\n"
+      "                                fault arming is process-local)\n"
+      "             [--retry-attempts N]  attempts for transient failures "
+      "(N >= 1;\n"
+      "                               sets LIFT_RETRY_ATTEMPTS for this "
+      "run)\n"
+      "             [--retry-base-us N]   retry backoff base in "
+      "microseconds (N >= 0;\n"
+      "                               sets LIFT_RETRY_BASE_US for this "
+      "run)\n"
       "             [--inject-faults N,K] fail the N-th occurrence of fault "
       "site K\n"
       "                               (N = 0 fails every occurrence: a "
@@ -95,7 +114,10 @@ void usage() {
       "5 = native dlsym,\n"
       "                                6 = barrier, 7 = group dispatch, 8 = "
       "step chunk,\n"
-      "                                9 = cache read, 10 = cache write)\n"
+      "                                9 = cache read, 10 = cache write, 11 = "
+      "accept,\n"
+      "                                12 = request read, 13 = request write, "
+      "14 = queue admit)\n"
       "             [--count-faults]  run in fault-counting mode: nothing "
       "fails, and a\n"
       "                               '// fault-count K N <site>' line per "
@@ -123,35 +145,20 @@ bool parseDims(const char *S, std::array<int64_t, 3> &Out) {
   return I > 0;
 }
 
-/// Deterministic input data for --run.
-std::vector<float> randomFloats(size_t N, uint64_t Seed) {
-  std::vector<float> R(N);
-  uint64_t S = Seed * 6364136223846793005ULL + 1442695040888963407ULL;
-  for (size_t I = 0; I != N; ++I) {
-    S ^= S << 13;
-    S ^= S >> 7;
-    S ^= S << 17;
-    R[I] = static_cast<float>(static_cast<int64_t>(S % 2000) - 1000) / 1000.f;
-  }
-  return R;
+/// Strictly numeric argument for the retry flags: rejects empty strings,
+/// trailing junk and negative values.
+bool parseCount(const char *S, unsigned long long &Out) {
+  if (!S || !*S || *S == '-')
+    return false;
+  char *End = nullptr;
+  Out = std::strtoull(S, &End, 10);
+  return End != S && *End == '\0';
 }
 
 /// Prints every recorded diagnostic to stderr.
 void flushDiagnostics(const DiagnosticEngine &Engine) {
   for (const Diagnostic &D : Engine.diagnostics())
     std::fprintf(stderr, "liftc: %s\n", D.render().c_str());
-}
-
-/// Prints the per-site occurrence tallies of a --count-faults run. The
-/// count precedes the site name because names contain spaces and the soak
-/// tier parses these lines with awk.
-void printFaultCounts() {
-  for (unsigned S = 0; S != ocl::fault::NumSites; ++S) {
-    auto Id = static_cast<ocl::fault::Site>(S);
-    std::printf("// fault-count %u %llu %s\n", S,
-                static_cast<unsigned long long>(ocl::fault::occurrences(Id)),
-                ocl::fault::siteName(Id));
-  }
 }
 
 int run(int argc, char **argv) {
@@ -161,61 +168,83 @@ int run(int argc, char **argv) {
   }
 
   std::string File;
-  bool PrintIl = false, Run = false, DumpNative = false, NativeBackend = false;
-  bool CountFaults = false;
-  native::NativeMode NMode = native::NativeMode::Exact;
-  codegen::CompilerOptions Opts;
-  std::map<std::string, int64_t> Sizes;
-  unsigned MaxErrors = 20;
+  std::string Remote;
+  bool FaultFlagsUsed = false;
+  service::ExecRequest Req;
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
     if (A == "--print-il") {
-      PrintIl = true;
+      Req.PrintIl = true;
     } else if (A == "--run") {
-      Run = true;
+      Req.Run = true;
     } else if (A == "--dump-native") {
-      DumpNative = true;
+      Req.DumpNative = true;
     } else if (A == "--backend=sim") {
-      NativeBackend = false;
+      Req.NativeBackend = false;
     } else if (A == "--backend=native") {
-      NativeBackend = true;
+      Req.NativeBackend = true;
     } else if (A == "--native-mode=exact") {
-      NMode = native::NativeMode::Exact;
+      Req.NMode = native::NativeMode::Exact;
     } else if (A == "--native-mode=fast") {
-      NMode = native::NativeMode::Fast;
+      Req.NMode = native::NativeMode::Fast;
     } else if (A == "--no-aas") {
-      Opts.ArrayAccessSimplification = false;
+      Req.Opts.ArrayAccessSimplification = false;
     } else if (A == "--no-cfs") {
-      Opts.ControlFlowSimplification = false;
+      Req.Opts.ControlFlowSimplification = false;
     } else if (A == "--no-be") {
-      Opts.BarrierElimination = false;
+      Req.Opts.BarrierElimination = false;
     } else if (A == "--verify-each") {
-      Opts.VerifyEach = true;
+      Req.Opts.VerifyEach = true;
     } else if (A == "--check-races") {
-      Opts.CheckRaces = true;
+      Req.Opts.CheckRaces = true;
     } else if (A == "--check-memory") {
-      Opts.CheckMemory = true;
+      Req.Opts.CheckMemory = true;
     } else if (A == "--perturb-schedule") {
-      Opts.PerturbSchedule = true;
+      Req.Opts.PerturbSchedule = true;
     } else if (A == "--schedule-seed" && I + 1 < argc) {
-      Opts.ScheduleSeed = std::strtoull(argv[++I], nullptr, 10);
+      Req.Opts.ScheduleSeed = std::strtoull(argv[++I], nullptr, 10);
     } else if (A == "--threads" && I + 1 < argc) {
-      Opts.Threads = static_cast<int>(std::strtol(argv[++I], nullptr, 10));
-      if (Opts.Threads < 0) {
+      Req.Opts.Threads =
+          static_cast<int>(std::strtol(argv[++I], nullptr, 10));
+      if (Req.Opts.Threads < 0) {
         std::fprintf(stderr, "liftc: --threads needs a count >= 0\n");
         return ExitDiagnostics;
       }
     } else if (A == "--max-steps" && I + 1 < argc) {
-      Opts.MaxSteps = std::strtoull(argv[++I], nullptr, 10);
+      Req.Opts.MaxSteps = std::strtoull(argv[++I], nullptr, 10);
     } else if (A == "--timeout-ms" && I + 1 < argc) {
-      Opts.TimeoutMs = std::strtoll(argv[++I], nullptr, 10);
-      if (Opts.TimeoutMs < 0) {
+      Req.Opts.TimeoutMs = std::strtoll(argv[++I], nullptr, 10);
+      if (Req.Opts.TimeoutMs < 0) {
         std::fprintf(stderr, "liftc: --timeout-ms needs a count >= 0\n");
         return ExitDiagnostics;
       }
     } else if (A == "--max-memory" && I + 1 < argc) {
-      Opts.MaxMemoryBytes = std::strtoull(argv[++I], nullptr, 10);
+      Req.Opts.MaxMemoryBytes = std::strtoull(argv[++I], nullptr, 10);
+    } else if (A.rfind("--remote=", 0) == 0) {
+      Remote = A.substr(std::strlen("--remote="));
+      if (Remote.empty()) {
+        std::fprintf(stderr, "liftc: --remote needs a socket path\n");
+        return ExitDiagnostics;
+      }
+    } else if (A == "--remote" && I + 1 < argc) {
+      Remote = argv[++I];
+    } else if (A == "--retry-attempts" && I + 1 < argc) {
+      unsigned long long V = 0;
+      if (!parseCount(argv[++I], V) || V == 0 || V > 1000000) {
+        std::fprintf(stderr, "liftc: --retry-attempts needs a count in "
+                             "[1, 1000000]\n");
+        return ExitDiagnostics;
+      }
+      ::setenv("LIFT_RETRY_ATTEMPTS", std::to_string(V).c_str(), 1);
+    } else if (A == "--retry-base-us" && I + 1 < argc) {
+      unsigned long long V = 0;
+      if (!parseCount(argv[++I], V) || V > 60000000) {
+        std::fprintf(stderr, "liftc: --retry-base-us needs microseconds "
+                             "in [0, 60000000]\n");
+        return ExitDiagnostics;
+      }
+      ::setenv("LIFT_RETRY_BASE_US", std::to_string(V).c_str(), 1);
     } else if (A == "--inject-faults" && I + 1 < argc) {
       char *End = nullptr;
       unsigned long long Nth = std::strtoull(argv[++I], &End, 10);
@@ -228,25 +257,28 @@ int run(int argc, char **argv) {
                      ocl::fault::NumSites);
         return ExitDiagnostics;
       }
+      FaultFlagsUsed = true;
       if (Nth == 0)
         ocl::fault::armAlways(static_cast<ocl::fault::Site>(SiteId));
       else
         ocl::fault::arm(static_cast<ocl::fault::Site>(SiteId), Nth);
     } else if (A == "--count-faults") {
-      CountFaults = true;
+      FaultFlagsUsed = true;
+      Req.CountFaults = true;
     } else if (A == "--max-errors" && I + 1 < argc) {
-      MaxErrors = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
-      if (MaxErrors == 0) {
+      Req.MaxErrors =
+          static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+      if (Req.MaxErrors == 0) {
         std::fprintf(stderr, "liftc: --max-errors needs a positive count\n");
         return ExitDiagnostics;
       }
     } else if (A == "--global" && I + 1 < argc) {
-      if (!parseDims(argv[++I], Opts.GlobalSize)) {
+      if (!parseDims(argv[++I], Req.Opts.GlobalSize)) {
         usage();
         return ExitDiagnostics;
       }
     } else if (A == "--local" && I + 1 < argc) {
-      if (!parseDims(argv[++I], Opts.LocalSize)) {
+      if (!parseDims(argv[++I], Req.Opts.LocalSize)) {
         usage();
         return ExitDiagnostics;
       }
@@ -257,8 +289,8 @@ int run(int argc, char **argv) {
         usage();
         return ExitDiagnostics;
       }
-      Sizes[KV.substr(0, Eq)] = std::strtoll(KV.c_str() + Eq + 1, nullptr,
-                                             10);
+      Req.Sizes[KV.substr(0, Eq)] = std::strtoll(KV.c_str() + Eq + 1,
+                                                 nullptr, 10);
     } else if (!A.empty() && A[0] != '-') {
       File = A;
     } else {
@@ -270,8 +302,15 @@ int run(int argc, char **argv) {
     usage();
     return ExitDiagnostics;
   }
+  if (!Remote.empty() && FaultFlagsUsed) {
+    std::fprintf(stderr,
+                 "liftc: --remote cannot be combined with --inject-faults "
+                 "or --count-faults; fault arming is process-local (arm "
+                 "the daemon via LIFT_FAULT_SEED instead)\n");
+    return ExitDiagnostics;
+  }
 
-  if (CountFaults)
+  if (Req.CountFaults)
     ocl::fault::countOnly();
 
   std::ifstream In(File);
@@ -281,151 +320,38 @@ int run(int argc, char **argv) {
   }
   std::stringstream SS;
   SS << In.rdbuf();
+  Req.Source = SS.str();
 
-  DiagnosticEngine Engine(MaxErrors);
-
-  // Parsing recovers across top-level declarations, so several errors are
-  // reported in one invocation (up to --max-errors).
-  Expected<frontend::ParsedProgram> P = frontend::parseILChecked(SS.str(),
-                                                                 Engine);
-  if (!P) {
-    flushDiagnostics(Engine);
-    return ExitDiagnostics;
-  }
-  if (PrintIl)
-    std::printf("// parsed IL\n%s\n", ir::printProgram(P->Program).c_str());
-
-  if (Opts.VerifyEach &&
-      !passes::verifyChecked(P->Program, Engine, "after parsing")) {
-    flushDiagnostics(Engine);
-    return ExitDiagnostics;
-  }
-
-  Opts.KernelName = "liftc_kernel";
-  Expected<codegen::CompiledKernel> K =
-      codegen::compileChecked(P->Program, Opts, Engine);
-  if (!K) {
-    flushDiagnostics(Engine);
-    return ExitDiagnostics;
-  }
-  std::printf("%s", K->Source.c_str());
-
-  if (DumpNative) {
-    // The native translation unit is a plain-C++ lowering of the same
-    // kernel AST; unsupported constructs raise E0607 like a launch would.
-    std::printf("\n// native C++ translation unit\n%s",
-                native::printNativeModule(*K, NMode).c_str());
-  }
-
-  if (!Run)
-    return ExitOk;
-
-  // Bind size variables; default unbound ones to 1024.
-  arith::EvalContext SizeCtx;
-  std::map<unsigned, int64_t> SizeEnv;
-  for (const auto &[Name, Var] : P->SizeVars) {
-    auto It = Sizes.find(Name);
-    int64_t V = It != Sizes.end() ? It->second : 1024;
-    Sizes[Name] = V;
-    SizeEnv[Var->getId()] = V;
-  }
-  SizeCtx.VarValue = [&](const arith::VarNode &V) -> int64_t {
-    auto It = SizeEnv.find(V.getId());
-    if (It == SizeEnv.end())
-      throwDiag(DiagCode::HostUnboundSize, DiagLocation(),
-                "liftc: unbound size variable " + V.getName());
-    return It->second;
-  };
-
-  // Materialize buffers: random floats for inputs, zeros for the output.
-  std::vector<ocl::Buffer> Buffers;
-  std::vector<ocl::Buffer *> Args;
-  uint64_t Seed = 1;
-  for (const codegen::KernelParamInfo &Param : K->Params) {
-    if (Param.IsSizeParam || !Param.Store || !Param.Store->NumElements)
-      continue;
-    int64_t Count = arith::evaluate(Param.Store->NumElements, SizeCtx);
-    if (Param.IsOutput)
-      Buffers.push_back(ocl::Buffer::zeros(static_cast<size_t>(Count)));
-    else
-      Buffers.push_back(ocl::Buffer::ofFloats(
-          randomFloats(static_cast<size_t>(Count), Seed++)));
-  }
-  for (ocl::Buffer &B : Buffers)
-    Args.push_back(&B);
-
-  ocl::LaunchConfig Cfg = ocl::LaunchConfig::fromOptions(Opts);
-
-  if (NativeBackend) {
-    if (Opts.CheckRaces || Opts.CheckMemory || Opts.PerturbSchedule)
-      std::fprintf(stderr, "liftc: note: race/memory checking and schedule "
-                           "perturbation are simulator-only; the native "
-                           "backend ignores them\n");
-    // The native attempt records into its own engine: on failure it is
-    // demoted to an E0610 warning and the run degrades to the simulator
-    // below instead of failing.
-    DiagnosticEngine NativeEngine(MaxErrors);
-    Expected<native::NativeLaunchResult> NR =
-        native::launchNativeChecked(*K, Args, Sizes, Cfg, NativeEngine, NMode);
-    if (NR) {
-      double Checksum = 0;
-      for (float V : Buffers.back().toFlatFloats())
-        Checksum += V;
-      std::printf("\n// run[native]: wall-ms=%.3f compile-ms=%.0f cache=%s "
-                  "threads=%lld checksum=%.6g\n",
-                  NR->WallMs, NR->CompileMs, NR->CacheHit ? "hit" : "miss",
-                  static_cast<long long>(NR->Threads), Checksum);
-      if (CountFaults)
-        printFaultCounts();
-      flushDiagnostics(NativeEngine);
-      return NativeEngine.hasErrors() ? ExitDiagnostics : ExitOk;
+  if (!Remote.empty()) {
+    // Remote mode: the daemon runs the identical pipeline; this side
+    // only relays its stdout/diagnostics/exit-code triple.
+    service::Request WireReq;
+    WireReq.Kind = service::Op::Exec;
+    WireReq.Exec = Req;
+    service::ClientOptions CO;
+    CO.SocketPath = Remote;
+    DiagnosticEngine Engine(Req.MaxErrors);
+    service::Response Resp;
+    if (!service::roundTrip(CO, WireReq, Resp, Engine)) {
+      flushDiagnostics(Engine);
+      return ExitDiagnostics;
     }
-    std::string Detail = "no diagnostic";
-    for (const Diagnostic &D : NativeEngine.diagnostics())
-      if (D.Severity == DiagSeverity::Error) {
-        Detail = diagCodeId(D.Code) + ": " + D.Message;
-        break;
-      }
-    Engine.warning(DiagCode::NativeFallback, DiagLocation(),
-                   "native backend unavailable (" + Detail +
-                       "); degrading to the simulator");
-    // A failed native attempt never read results back (contents are
-    // intact) but may have poisoned the buffers; the simulator rerun
-    // starts from a clean launch.
-    for (ocl::Buffer &B : Buffers)
-      B.Poisoned = false;
+    std::fwrite(Resp.Stdout.data(), 1, Resp.Stdout.size(), stdout);
+    for (const std::string &D : Resp.Diagnostics)
+      std::fprintf(stderr, "liftc: %s\n", D.c_str());
+    if (Resp.St == service::Status::BadRequest)
+      std::fprintf(stderr, "liftc: error[%s]: daemon rejected the "
+                           "request: %s\n",
+                   Resp.Code.empty() ? "E0702" : Resp.Code.c_str(),
+                   Resp.Message.c_str());
+    return Resp.Exit;
   }
 
-  Expected<ocl::LaunchResult> R =
-      ocl::launchChecked(*K, Args, Sizes, Cfg, Engine);
-  if (!R) {
-    flushDiagnostics(Engine);
-    return ExitDiagnostics;
-  }
-
-  double Checksum = 0;
-  for (float V : Buffers.back().toFlatFloats())
-    Checksum += V;
-  std::printf("\n// run: cost=%.0f global=%llu local=%llu barriers=%llu "
-              "divmod=%llu checksum=%.6g\n",
-              R->Cost.cost(),
-              static_cast<unsigned long long>(R->Cost.GlobalAccesses),
-              static_cast<unsigned long long>(R->Cost.LocalAccesses),
-              static_cast<unsigned long long>(R->Cost.Barriers),
-              static_cast<unsigned long long>(R->Cost.DivModOps), Checksum);
-
-  if (Opts.CheckRaces)
-    std::printf("// race check: %s\n", R->Races.summary().c_str());
-  if (Opts.CheckMemory)
-    std::printf("// memory check: %s\n", R->Guards.summary().c_str());
-  if (CountFaults)
-    printFaultCounts();
-  // Successful runs can still carry warnings (e.g. E0509 serial
-  // fallback) — surface them without failing the run.
-  flushDiagnostics(Engine);
-  if (Engine.hasErrors())
-    return ExitDiagnostics;
-  return ExitOk;
+  service::ExecOutcome Out = service::execRequest(Req);
+  std::fwrite(Out.Stdout.data(), 1, Out.Stdout.size(), stdout);
+  for (const std::string &D : Out.Diags)
+    std::fprintf(stderr, "liftc: %s\n", D.c_str());
+  return Out.Exit;
 }
 
 } // namespace

@@ -1,0 +1,187 @@
+//===- liftd.cpp - Lift compile-and-run daemon ----------------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+//
+// liftd: a persistent daemon that accepts compile/run requests over a
+// Unix-domain socket (newline-delimited JSON, docs/SERVICE.md). Clients
+// are tools/lift-client and `liftc --remote=SOCK`.
+//
+// The daemon is crash-only: state worth keeping lives in the
+// content-addressed artifact directory (--artifact-dir), verified by hash
+// sidecar on load, so `kill -9` loses nothing but in-flight requests.
+// SIGTERM/SIGINT drain gracefully within --drain-ms.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace lift;
+
+namespace {
+
+service::Server *GServer = nullptr;
+
+void onSignal(int) {
+  if (GServer)
+    GServer->signalShutdown(); // async-signal-safe: atomic store + pipe write
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: liftd --socket PATH [options]\n"
+      "  --socket PATH            Unix socket to listen on (required)\n"
+      "  --max-inflight N         worker threads / concurrent requests "
+      "(default 2)\n"
+      "  --queue-depth N          extra requests queued beyond the workers "
+      "before\n"
+      "                           admission control sheds (E0701; default "
+      "16)\n"
+      "  --max-steps N            ceiling on per-request --max-steps "
+      "(0 = none)\n"
+      "  --timeout-ms N           ceiling on per-request --timeout-ms "
+      "(0 = none)\n"
+      "  --max-memory N           ceiling on per-request --max-memory "
+      "(0 = none)\n"
+      "  --max-threads N          ceiling on per-request --threads "
+      "(default 1)\n"
+      "  --max-request-memory N   cap on host buffer bytes one request may\n"
+      "                           materialize (default 268435456; 0 = "
+      "none)\n"
+      "  --artifact-dir DIR       content-addressed compile cache surviving "
+      "restarts\n"
+      "                           (hash-verified on load; empty = in-memory "
+      "only)\n"
+      "  --io-timeout-ms N        drop clients idle mid-request after N ms "
+      "(default 5000)\n"
+      "  --drain-ms N             SIGTERM drain deadline before in-flight "
+      "work is\n"
+      "                           cancelled (default 2000)\n"
+      "  --retry-after-ms N       backoff hint attached to shed replies "
+      "(default 50)\n");
+}
+
+bool intArg(int argc, char **argv, int &I, long long &Out) {
+  if (I + 1 >= argc)
+    return false;
+  char *End = nullptr;
+  Out = std::strtoll(argv[++I], &End, 10);
+  return End != argv[I] && *End == '\0';
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  service::ServerOptions Opts;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    long long V = 0;
+    if (A == "--socket" && I + 1 < argc) {
+      Opts.SocketPath = argv[++I];
+    } else if (A == "--artifact-dir" && I + 1 < argc) {
+      Opts.ArtifactDir = argv[++I];
+    } else if (A == "--max-inflight") {
+      if (!intArg(argc, argv, I, V) || V < 1 || V > 256) {
+        std::fprintf(stderr, "liftd: --max-inflight needs a count in "
+                             "[1, 256]\n");
+        return 1;
+      }
+      Opts.Workers = static_cast<int>(V);
+    } else if (A == "--queue-depth") {
+      if (!intArg(argc, argv, I, V) || V < 0 || V > 65536) {
+        std::fprintf(stderr, "liftd: --queue-depth needs a count in "
+                             "[0, 65536]\n");
+        return 1;
+      }
+      Opts.QueueDepth = static_cast<int>(V);
+    } else if (A == "--max-steps") {
+      if (!intArg(argc, argv, I, V) || V < 0) {
+        std::fprintf(stderr, "liftd: --max-steps needs a count >= 0\n");
+        return 1;
+      }
+      Opts.MaxSteps = static_cast<uint64_t>(V);
+    } else if (A == "--timeout-ms") {
+      if (!intArg(argc, argv, I, V) || V < 0) {
+        std::fprintf(stderr, "liftd: --timeout-ms needs a count >= 0\n");
+        return 1;
+      }
+      Opts.TimeoutMs = V;
+    } else if (A == "--max-memory") {
+      if (!intArg(argc, argv, I, V) || V < 0) {
+        std::fprintf(stderr, "liftd: --max-memory needs bytes >= 0\n");
+        return 1;
+      }
+      Opts.MaxMemoryBytes = static_cast<uint64_t>(V);
+    } else if (A == "--max-threads") {
+      if (!intArg(argc, argv, I, V) || V < 0 || V > 4096) {
+        std::fprintf(stderr, "liftd: --max-threads needs a count in "
+                             "[0, 4096]\n");
+        return 1;
+      }
+      Opts.MaxThreads = static_cast<int>(V);
+    } else if (A == "--max-request-memory") {
+      if (!intArg(argc, argv, I, V) || V < 0) {
+        std::fprintf(stderr,
+                     "liftd: --max-request-memory needs bytes >= 0\n");
+        return 1;
+      }
+      Opts.MaxHostBufferBytes = static_cast<uint64_t>(V);
+    } else if (A == "--io-timeout-ms") {
+      if (!intArg(argc, argv, I, V) || V < 1) {
+        std::fprintf(stderr, "liftd: --io-timeout-ms needs a count >= 1\n");
+        return 1;
+      }
+      Opts.IoTimeoutMs = V;
+    } else if (A == "--drain-ms") {
+      if (!intArg(argc, argv, I, V) || V < 0) {
+        std::fprintf(stderr, "liftd: --drain-ms needs a count >= 0\n");
+        return 1;
+      }
+      Opts.DrainMs = V;
+    } else if (A == "--retry-after-ms") {
+      if (!intArg(argc, argv, I, V) || V < 0) {
+        std::fprintf(stderr, "liftd: --retry-after-ms needs a count >= 0\n");
+        return 1;
+      }
+      Opts.RetryAfterMs = V;
+    } else {
+      usage();
+      return 1;
+    }
+  }
+  if (Opts.SocketPath.empty()) {
+    usage();
+    return 1;
+  }
+
+  service::Server S(Opts);
+  std::string Err;
+  if (!S.start(Err)) {
+    std::fprintf(stderr, "liftd: %s\n", Err.c_str());
+    return 1;
+  }
+
+  GServer = &S;
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onSignal;
+  ::sigaction(SIGTERM, &SA, nullptr);
+  ::sigaction(SIGINT, &SA, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  // Test-sync marker: readers wait for this line before connecting.
+  std::printf("liftd: listening on %s\n", Opts.SocketPath.c_str());
+  std::fflush(stdout);
+
+  S.wait();
+  std::printf("liftd: drained, exiting\n");
+  return 0;
+}
