@@ -1,0 +1,203 @@
+//===- pipeline_run.cpp - Pipeline-graph executor evaluation -------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+//
+// Evaluation of the pipeline-graph executor (docs/PIPELINES.md): every
+// committed .liftg workload is run twice on the simulator —
+//
+//   naive   all buffers allocated up front and held to the end
+//           (--no-reuse-buffers), the obvious baseline;
+//   reuse   the liveness pass frees intermediates after their last
+//           consumer and recycles exact-shape matches.
+//
+// Per workload: stages run, summed cost-model units, the host high-water
+// mark of both executors (ocl::hostBytesHighWater, reset per run), the
+// recycle/free counts and wall time, written as JSON (schema
+// pipeline-v1) to BENCH_pipeline.json (override with --json PATH).
+//
+// The harness exits nonzero when an invariant breaks, so it doubles as
+// the graph-bench integration test (--quick for CI):
+//
+//   * both executors must produce bit-identical outputs;
+//   * the reuse executor's peak may never exceed the naive peak;
+//   * on the stencil chain (the workload whose liveness actually
+//     overlaps) the reuse peak must be measurably lower — at least 25%.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/GraphExec.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace lift;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Row {
+  std::string Name;
+  uint64_t StagesRun = 0;
+  double Cost = 0;
+  uint64_t NaivePeak = 0;
+  uint64_t ReusePeak = 0;
+  uint64_t Recycled = 0;
+  uint64_t Freed = 0;
+  double NaiveMs = 0;
+  double ReuseMs = 0;
+  bool Identical = false;
+};
+
+bool runGraphFile(const std::string &Path, bool Reuse,
+                  graph::GraphRunResult &Out, double &WallMs) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "pipeline_run: cannot open %s\n", Path.c_str());
+    return false;
+  }
+  std::stringstream SS;
+  SS << In.rdbuf();
+
+  DiagnosticEngine Engine;
+  Expected<graph::Graph> G = graph::parseGraphChecked(SS.str(), Engine);
+  Expected<graph::ValidatedGraph> VG =
+      G ? graph::validateGraph(*G, Engine) : Expected<graph::ValidatedGraph>();
+  if (!VG) {
+    for (const Diagnostic &D : Engine.diagnostics())
+      std::fprintf(stderr, "pipeline_run: %s\n", D.render().c_str());
+    return false;
+  }
+
+  graph::GraphRunOptions GO;
+  GO.ReuseBuffers = Reuse;
+  Clock::time_point T0 = Clock::now();
+  Expected<graph::GraphRunResult> R = graph::runGraph(*VG, GO, Engine);
+  WallMs = std::chrono::duration<double, std::milli>(Clock::now() - T0).count();
+  if (!R) {
+    for (const Diagnostic &D : Engine.diagnostics())
+      std::fprintf(stderr, "pipeline_run: %s\n", D.render().c_str());
+    return false;
+  }
+  Out = std::move(*R);
+  return true;
+}
+
+void writeJson(const char *Path, const std::vector<Row> &Rows) {
+  std::ofstream Out(Path);
+  Out << "{\n  \"schema\": \"pipeline-v1\",\n  \"workloads\": [\n";
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const Row &R = Rows[I];
+    char Buf[512];
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "    {\"name\": \"%s\", \"stages_run\": %llu, \"cost\": %.0f,\n"
+        "     \"naive_peak_bytes\": %llu, \"reuse_peak_bytes\": %llu,\n"
+        "     \"peak_reduction\": %.2f, \"buffers_recycled\": %llu, "
+        "\"buffers_freed\": %llu,\n"
+        "     \"naive_wall_ms\": %.2f, \"reuse_wall_ms\": %.2f, "
+        "\"outputs_identical\": %s}%s\n",
+        R.Name.c_str(), static_cast<unsigned long long>(R.StagesRun), R.Cost,
+        static_cast<unsigned long long>(R.NaivePeak),
+        static_cast<unsigned long long>(R.ReusePeak),
+        R.ReusePeak ? static_cast<double>(R.NaivePeak) /
+                          static_cast<double>(R.ReusePeak)
+                    : 0.0,
+        static_cast<unsigned long long>(R.Recycled),
+        static_cast<unsigned long long>(R.Freed), R.NaiveMs, R.ReuseMs,
+        R.Identical ? "true" : "false",
+        I + 1 == Rows.size() ? "" : ",");
+    Out << Buf;
+  }
+  Out << "  ]\n}\n";
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const char *JsonPath = "BENCH_pipeline.json";
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--quick") == 0)
+      ; // The workloads are already CI-sized; --quick is accepted for
+        // symmetry with the other harnesses.
+    else if (std::strcmp(argv[I], "--json") == 0 && I + 1 < argc)
+      JsonPath = argv[++I];
+    else {
+      std::fprintf(stderr, "usage: pipeline_run [--quick] [--json PATH]\n");
+      return 2;
+    }
+  }
+
+  const char *Workloads[] = {"stencil_chain", "matmul_bias", "jacobi",
+                             "kmeans_loop"};
+  std::vector<Row> Rows;
+  bool Ok = true;
+
+  std::printf("%-16s %10s %12s %12s %7s %9s %7s\n", "workload", "stages",
+              "naive-peak", "reuse-peak", "ratio", "recycled", "freed");
+  for (const char *W : Workloads) {
+    std::string Path =
+        std::string(LIFT_GRAPH_EXAMPLES_DIR) + "/" + W + ".liftg";
+    Row R;
+    R.Name = W;
+    graph::GraphRunResult Naive, Reuse;
+    if (!runGraphFile(Path, /*Reuse=*/false, Naive, R.NaiveMs) ||
+        !runGraphFile(Path, /*Reuse=*/true, Reuse, R.ReuseMs)) {
+      Ok = false;
+      continue;
+    }
+    R.StagesRun = Reuse.StagesRun;
+    R.Cost = Reuse.TotalCost;
+    R.NaivePeak = Naive.PeakHostBytes;
+    R.ReusePeak = Reuse.PeakHostBytes;
+    R.Recycled = Reuse.BuffersRecycled;
+    R.Freed = Reuse.BuffersFreed;
+    R.Identical = Naive.Outputs == Reuse.Outputs;
+    Rows.push_back(R);
+
+    std::printf("%-16s %10llu %12llu %12llu %6.2fx %9llu %7llu\n", W,
+                static_cast<unsigned long long>(R.StagesRun),
+                static_cast<unsigned long long>(R.NaivePeak),
+                static_cast<unsigned long long>(R.ReusePeak),
+                R.ReusePeak ? static_cast<double>(R.NaivePeak) /
+                                  static_cast<double>(R.ReusePeak)
+                            : 0.0,
+                static_cast<unsigned long long>(R.Recycled),
+                static_cast<unsigned long long>(R.Freed));
+
+    if (!R.Identical) {
+      std::fprintf(stderr,
+                   "pipeline_run: FAIL %s: naive and reuse outputs differ\n",
+                   W);
+      Ok = false;
+    }
+    if (R.ReusePeak > R.NaivePeak) {
+      std::fprintf(stderr,
+                   "pipeline_run: FAIL %s: reuse peak %llu exceeds naive "
+                   "peak %llu\n",
+                   W, static_cast<unsigned long long>(R.ReusePeak),
+                   static_cast<unsigned long long>(R.NaivePeak));
+      Ok = false;
+    }
+    if (std::strcmp(W, "stencil_chain") == 0 &&
+        R.ReusePeak * 4 > R.NaivePeak * 3) {
+      std::fprintf(stderr,
+                   "pipeline_run: FAIL stencil_chain: reuse peak %llu is "
+                   "not at least 25%% below naive peak %llu\n",
+                   static_cast<unsigned long long>(R.ReusePeak),
+                   static_cast<unsigned long long>(R.NaivePeak));
+      Ok = false;
+    }
+  }
+
+  writeJson(JsonPath, Rows);
+  std::printf("\nwrote %s\n", JsonPath);
+  return Ok ? 0 : 1;
+}

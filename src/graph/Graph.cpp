@@ -1,0 +1,996 @@
+//===- Graph.cpp - Pipeline-graph parsing and validation ------------------===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Graph.h"
+
+#include "arith/Eval.h"
+#include "frontend/ILParser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+using namespace lift;
+using namespace lift::graph;
+
+const char *graph::roleName(BufferRole R) {
+  switch (R) {
+  case BufferRole::Input:
+    return "input";
+  case BufferRole::Output:
+    return "output";
+  case BufferRole::Scratch:
+    return "scratch";
+  }
+  return "unknown";
+}
+
+const BufferDecl *Graph::findBuffer(const std::string &Name) const {
+  for (const BufferDecl &B : Buffers)
+    if (B.Name == Name)
+      return &B;
+  return nullptr;
+}
+
+const KernelDecl *Graph::findKernel(const std::string &Name) const {
+  for (const KernelDecl &K : Kernels)
+    if (K.Name == Name)
+      return &K;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// The .liftg parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Integer expressions over the graph's size constants: + - * / with the
+/// usual precedence, parentheses, unary minus. Small enough to live here;
+/// everything is evaluated at parse time (graph shapes are concrete).
+class ExtentParser {
+public:
+  ExtentParser(const std::string &Text, const std::map<std::string, int64_t> &Env)
+      : Text(Text), Env(Env) {}
+
+  bool eval(int64_t &Out) {
+    Pos = 0;
+    Err.clear();
+    Out = parseSum();
+    skipWs();
+    if (!Err.empty())
+      return false;
+    if (Pos != Text.size()) {
+      Err = "unexpected character '" + std::string(1, Text[Pos]) +
+            "' in expression '" + Text + "'";
+      return false;
+    }
+    return true;
+  }
+
+  std::string error() const { return Err; }
+
+private:
+  const std::string &Text;
+  const std::map<std::string, int64_t> &Env;
+  size_t Pos = 0;
+  std::string Err;
+
+  void skipWs() {
+    while (Pos < Text.size() && std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  void fail(const std::string &M) {
+    if (Err.empty())
+      Err = M + " in expression '" + Text + "'";
+  }
+
+  int64_t parseSum() {
+    int64_t V = parseProduct();
+    while (Err.empty()) {
+      skipWs();
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-')) {
+        char Op = Text[Pos++];
+        int64_t R = parseProduct();
+        V = Op == '+' ? V + R : V - R;
+      } else {
+        break;
+      }
+    }
+    return V;
+  }
+
+  int64_t parseProduct() {
+    int64_t V = parseAtom();
+    while (Err.empty()) {
+      skipWs();
+      if (Pos < Text.size() && (Text[Pos] == '*' || Text[Pos] == '/')) {
+        char Op = Text[Pos++];
+        int64_t R = parseAtom();
+        if (Op == '/') {
+          if (R == 0) {
+            fail("division by zero");
+            return 0;
+          }
+          V = V / R;
+        } else {
+          V = V * R;
+        }
+      } else {
+        break;
+      }
+    }
+    return V;
+  }
+
+  int64_t parseAtom() {
+    skipWs();
+    if (Pos >= Text.size()) {
+      fail("expected a value");
+      return 0;
+    }
+    char C = Text[Pos];
+    if (C == '(') {
+      ++Pos;
+      int64_t V = parseSum();
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != ')') {
+        fail("expected ')'");
+        return 0;
+      }
+      ++Pos;
+      return V;
+    }
+    if (C == '-') {
+      ++Pos;
+      return -parseAtom();
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      int64_t V = 0;
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        V = V * 10 + (Text[Pos++] - '0');
+      return V;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Name;
+      while (Pos < Text.size() &&
+             (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+              Text[Pos] == '_'))
+        Name += Text[Pos++];
+      auto It = Env.find(Name);
+      if (It == Env.end()) {
+        fail("unknown size constant '" + Name + "'");
+        return 0;
+      }
+      return It->second;
+    }
+    fail("unexpected character '" + std::string(1, C) + "'");
+    return 0;
+  }
+};
+
+bool isIdent(const std::string &S) {
+  if (S.empty())
+    return false;
+  if (!std::isalpha(static_cast<unsigned char>(S[0])) && S[0] != '_')
+    return false;
+  for (char C : S)
+    if (!std::isalnum(static_cast<unsigned char>(C)) && C != '_')
+      return false;
+  return true;
+}
+
+std::vector<std::string> splitWs(const std::string &Line) {
+  std::vector<std::string> Toks;
+  std::istringstream IS(Line);
+  std::string T;
+  while (IS >> T)
+    Toks.push_back(T);
+  return Toks;
+}
+
+std::vector<std::string> splitOn(const std::string &S, char Sep) {
+  std::vector<std::string> Parts;
+  std::string Cur;
+  for (char C : S) {
+    if (C == Sep) {
+      Parts.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur += C;
+    }
+  }
+  Parts.push_back(Cur);
+  return Parts;
+}
+
+class LiftgParser {
+public:
+  LiftgParser(const std::string &Source, DiagnosticEngine &Engine)
+      : Engine(Engine) {
+    std::string Cur;
+    for (char C : Source) {
+      if (C == '\n') {
+        Lines.push_back(Cur);
+        Cur.clear();
+      } else if (C != '\r') {
+        Cur += C;
+      }
+    }
+    if (!Cur.empty())
+      Lines.push_back(Cur);
+  }
+
+  Expected<Graph> parse() {
+    unsigned Before = Engine.errorCount();
+    bool SawHeader = false;
+    // `<`, not `!=`: a block parser (kernel, iterate) that runs out of
+    // input leaves I == Lines.size(), and the ++I must not wrap past it.
+    for (size_t I = 0; I < Lines.size(); ++I) {
+      unsigned LineNo = static_cast<unsigned>(I + 1);
+      std::vector<std::string> Toks = splitWs(Lines[I]);
+      if (Toks.empty() || Toks[0][0] == '#')
+        continue;
+      const std::string &Kw = Toks[0];
+      if (!SawHeader) {
+        if (Kw != "graph" || Toks.size() != 2 || !isIdent(Toks[1])) {
+          error(LineNo, "expected 'graph NAME' as the first declaration");
+          return {};
+        }
+        G.Name = Toks[1];
+        SawHeader = true;
+        continue;
+      }
+      if (Kw == "graph") {
+        error(LineNo, "duplicate 'graph' header");
+      } else if (Kw == "size") {
+        parseSize(Toks, LineNo);
+      } else if (Kw == "kernel") {
+        parseKernel(Toks, LineNo, I);
+      } else if (Kw == "buffer") {
+        parseBuffer(Toks, LineNo);
+      } else if (Kw == "stage") {
+        StageDecl S;
+        if (parseStage(Toks, LineNo, S)) {
+          GraphNode N;
+          N.K = GraphNode::Kind::Stage;
+          N.Stage = std::move(S);
+          G.Nodes.push_back(std::move(N));
+        }
+      } else if (Kw == "iterate") {
+        parseIterate(Toks, LineNo, I);
+      } else {
+        error(LineNo, "unknown declaration '" + Kw + "'");
+      }
+      if (Engine.errorLimitReached())
+        break;
+    }
+    if (!SawHeader && Engine.errorCount() == Before)
+      Engine.error(DiagCode::GraphParse, DiagLocation::atLine(1),
+                   "empty graph source: expected 'graph NAME'");
+    if (Engine.errorCount() != Before)
+      return {};
+    return std::move(G);
+  }
+
+private:
+  DiagnosticEngine &Engine;
+  std::vector<std::string> Lines;
+  Graph G;
+
+  void error(unsigned Line, const std::string &Msg) {
+    Engine.error(DiagCode::GraphParse, DiagLocation::atLine(Line), Msg);
+  }
+
+  bool evalExpr(const std::string &Text, unsigned Line, int64_t &Out) {
+    ExtentParser P(Text, G.Consts);
+    if (!P.eval(Out)) {
+      error(Line, P.error());
+      return false;
+    }
+    return true;
+  }
+
+  void parseSize(const std::vector<std::string> &Toks, unsigned Line) {
+    if (Toks.size() < 3 || !isIdent(Toks[1])) {
+      error(Line, "expected 'size NAME EXPR'");
+      return;
+    }
+    if (G.Consts.count(Toks[1])) {
+      Engine.error(DiagCode::GraphDuplicateName, DiagLocation::atLine(Line),
+                   "size constant '" + Toks[1] + "' is already defined");
+      return;
+    }
+    std::string Expr;
+    for (size_t I = 2; I != Toks.size(); ++I)
+      Expr += Toks[I];
+    int64_t V = 0;
+    if (!evalExpr(Expr, Line, V))
+      return;
+    G.Consts[Toks[1]] = V;
+  }
+
+  /// `kernel NAME {{{` ... raw IL lines ... `}}}` (sentinels on their own
+  /// lines, so kernel text never needs escaping).
+  void parseKernel(const std::vector<std::string> &Toks, unsigned Line,
+                   size_t &I) {
+    if (Toks.size() != 3 || !isIdent(Toks[1]) || Toks[2] != "{{{") {
+      error(Line, "expected 'kernel NAME {{{'");
+      return;
+    }
+    std::string Body;
+    for (++I; I != Lines.size(); ++I) {
+      std::vector<std::string> T = splitWs(Lines[I]);
+      if (T.size() == 1 && T[0] == "}}}") {
+        G.Kernels.push_back({Toks[1], std::move(Body), Line});
+        return;
+      }
+      Body += Lines[I];
+      Body += '\n';
+    }
+    error(Line, "kernel '" + Toks[1] + "' is missing its closing '}}}'");
+  }
+
+  /// `buffer NAME[EXPR] role [int] [init=random(S)|const(V)|ramp(A,S,M)]`
+  void parseBuffer(const std::vector<std::string> &Toks, unsigned Line) {
+    if (Toks.size() < 3) {
+      error(Line, "expected 'buffer NAME[EXTENT] role [int] [init=...]'");
+      return;
+    }
+    BufferDecl B;
+    B.Line = Line;
+    const std::string &NameTok = Toks[1];
+    size_t LB = NameTok.find('[');
+    if (LB == std::string::npos || NameTok.back() != ']') {
+      error(Line, "expected 'NAME[EXTENT]' after 'buffer'");
+      return;
+    }
+    B.Name = NameTok.substr(0, LB);
+    if (!isIdent(B.Name)) {
+      error(Line, "invalid buffer name '" + B.Name + "'");
+      return;
+    }
+    std::string Extent = NameTok.substr(LB + 1, NameTok.size() - LB - 2);
+    if (!evalExpr(Extent, Line, B.Extent))
+      return;
+    if (B.Extent <= 0) {
+      error(Line, "buffer '" + B.Name + "' has non-positive extent " +
+                      std::to_string(B.Extent));
+      return;
+    }
+    const std::string &Role = Toks[2];
+    if (Role == "input")
+      B.Role = BufferRole::Input;
+    else if (Role == "output")
+      B.Role = BufferRole::Output;
+    else if (Role == "scratch")
+      B.Role = BufferRole::Scratch;
+    else {
+      error(Line, "unknown buffer role '" + Role +
+                      "' (expected input, output or scratch)");
+      return;
+    }
+    for (size_t I = 3; I != Toks.size(); ++I) {
+      const std::string &T = Toks[I];
+      if (T == "int") {
+        B.Elem = ElemType::Int;
+      } else if (T == "float") {
+        B.Elem = ElemType::Float;
+      } else if (T.compare(0, 5, "init=") == 0) {
+        if (!parseInit(T.substr(5), Line, B.Init))
+          return;
+      } else {
+        error(Line, "unknown buffer attribute '" + T + "'");
+        return;
+      }
+    }
+    G.Buffers.push_back(std::move(B));
+  }
+
+  bool parseInit(const std::string &Spec, unsigned Line, InitSpec &Init) {
+    size_t LP = Spec.find('(');
+    if (LP == std::string::npos || Spec.back() != ')') {
+      error(Line, "expected 'init=KIND(args)'");
+      return false;
+    }
+    std::string Kind = Spec.substr(0, LP);
+    std::vector<std::string> Args =
+        splitOn(Spec.substr(LP + 1, Spec.size() - LP - 2), ',');
+    if (Kind == "random") {
+      if (Args.size() != 1) {
+        error(Line, "init=random expects one seed argument");
+        return false;
+      }
+      int64_t Seed = 0;
+      if (!evalExpr(Args[0], Line, Seed))
+        return false;
+      Init.K = InitSpec::Kind::Random;
+      Init.Seed = static_cast<uint64_t>(Seed);
+      return true;
+    }
+    if (Kind == "const") {
+      if (Args.size() != 1) {
+        error(Line, "init=const expects one value argument");
+        return false;
+      }
+      char *End = nullptr;
+      Init.K = InitSpec::Kind::Const;
+      Init.Value = std::strtod(Args[0].c_str(), &End);
+      if (End == Args[0].c_str() || (*End != '\0' && *End != 'f')) {
+        error(Line, "invalid init=const value '" + Args[0] + "'");
+        return false;
+      }
+      return true;
+    }
+    if (Kind == "ramp") {
+      if (Args.size() != 3) {
+        error(Line, "init=ramp expects (start, step, mod)");
+        return false;
+      }
+      Init.K = InitSpec::Kind::Ramp;
+      if (!evalExpr(Args[0], Line, Init.Start) ||
+          !evalExpr(Args[1], Line, Init.Step) ||
+          !evalExpr(Args[2], Line, Init.Mod))
+        return false;
+      if (Init.Mod < 0) {
+        error(Line, "init=ramp modulus must be >= 0");
+        return false;
+      }
+      return true;
+    }
+    error(Line, "unknown initializer '" + Kind +
+                    "' (expected random, const or ramp)");
+    return false;
+  }
+
+  /// `stage NAME kernel=K in=a,b out=c global=G[,G,G] local=L[,L,L] N=EXPR...`
+  bool parseStage(const std::vector<std::string> &Toks, unsigned Line,
+                  StageDecl &S) {
+    if (Toks.size() < 2 || !isIdent(Toks[1])) {
+      error(Line, "expected 'stage NAME key=value...'");
+      return false;
+    }
+    S.Name = Toks[1];
+    S.Line = Line;
+    for (size_t I = 2; I != Toks.size(); ++I) {
+      const std::string &T = Toks[I];
+      size_t Eq = T.find('=');
+      if (Eq == std::string::npos || Eq == 0) {
+        error(Line, "expected 'key=value', got '" + T + "'");
+        return false;
+      }
+      std::string Key = T.substr(0, Eq), Val = T.substr(Eq + 1);
+      if (Key == "kernel") {
+        S.Kernel = Val;
+      } else if (Key == "in" || Key == "out") {
+        std::vector<std::string> &Dst = Key == "in" ? S.Ins : S.Outs;
+        for (const std::string &Name : splitOn(Val, ',')) {
+          if (!isIdent(Name)) {
+            error(Line, "invalid buffer name '" + Name + "' in " + Key + "=");
+            return false;
+          }
+          Dst.push_back(Name);
+        }
+      } else if (Key == "global" || Key == "local") {
+        std::array<int64_t, 3> &Dst = Key == "global" ? S.Global : S.Local;
+        std::vector<std::string> Parts = splitOn(Val, ',');
+        if (Parts.empty() || Parts.size() > 3) {
+          error(Line, Key + "= expects 1 to 3 comma-separated sizes");
+          return false;
+        }
+        Dst = {1, 1, 1};
+        for (size_t D = 0; D != Parts.size(); ++D)
+          if (!evalExpr(Parts[D], Line, Dst[D]))
+            return false;
+      } else if (isIdent(Key)) {
+        int64_t V = 0;
+        if (!evalExpr(Val, Line, V))
+          return false;
+        S.Sizes[Key] = V;
+      } else {
+        error(Line, "invalid stage attribute '" + T + "'");
+        return false;
+      }
+    }
+    if (S.Kernel.empty()) {
+      error(Line, "stage '" + S.Name + "' is missing kernel=");
+      return false;
+    }
+    if (S.Outs.empty()) {
+      error(Line, "stage '" + S.Name + "' is missing out=");
+      return false;
+    }
+    return true;
+  }
+
+  /// `iterate NAME max=M eps=E compare=a,b [swap=x:y,...] {` body `}`
+  void parseIterate(const std::vector<std::string> &Toks, unsigned Line,
+                    size_t &I) {
+    if (Toks.size() < 3 || !isIdent(Toks[1]) || Toks.back() != "{") {
+      error(Line, "expected 'iterate NAME key=value... {'");
+      return;
+    }
+    IterateDecl It;
+    It.Name = Toks[1];
+    It.Line = Line;
+    for (size_t T = 2; T + 1 != Toks.size(); ++T) {
+      const std::string &Tok = Toks[T];
+      size_t Eq = Tok.find('=');
+      if (Eq == std::string::npos || Eq == 0) {
+        error(Line, "expected 'key=value', got '" + Tok + "'");
+        return;
+      }
+      std::string Key = Tok.substr(0, Eq), Val = Tok.substr(Eq + 1);
+      if (Key == "max") {
+        int64_t V = 0;
+        if (!evalExpr(Val, Line, V))
+          return;
+        if (V < 1) {
+          error(Line, "iterate max= must be >= 1");
+          return;
+        }
+        It.MaxTrips = static_cast<uint64_t>(V);
+      } else if (Key == "eps") {
+        char *End = nullptr;
+        It.Eps = std::strtod(Val.c_str(), &End);
+        if (End == Val.c_str() || *End != '\0' || It.Eps < 0) {
+          error(Line, "invalid iterate eps= value '" + Val + "'");
+          return;
+        }
+      } else if (Key == "compare") {
+        std::vector<std::string> Parts = splitOn(Val, ',');
+        if (Parts.size() != 2 || !isIdent(Parts[0]) || !isIdent(Parts[1])) {
+          error(Line, "compare= expects two buffer names");
+          return;
+        }
+        It.CompareA = Parts[0];
+        It.CompareB = Parts[1];
+      } else if (Key == "swap") {
+        for (const std::string &Pair : splitOn(Val, ',')) {
+          std::vector<std::string> AB = splitOn(Pair, ':');
+          if (AB.size() != 2 || !isIdent(AB[0]) || !isIdent(AB[1])) {
+            error(Line, "swap= expects 'a:b' buffer pairs");
+            return;
+          }
+          It.Swaps.emplace_back(AB[0], AB[1]);
+        }
+      } else {
+        error(Line, "unknown iterate attribute '" + Tok + "'");
+        return;
+      }
+    }
+    if (It.CompareA.empty()) {
+      error(Line, "iterate '" + It.Name + "' is missing compare=");
+      return;
+    }
+    bool Closed = false;
+    for (++I; I != Lines.size(); ++I) {
+      unsigned BodyLine = static_cast<unsigned>(I + 1);
+      std::vector<std::string> T = splitWs(Lines[I]);
+      if (T.empty() || T[0][0] == '#')
+        continue;
+      if (T.size() == 1 && T[0] == "}") {
+        Closed = true;
+        break;
+      }
+      if (T[0] != "stage") {
+        error(BodyLine, "only stage declarations may appear in an iterate "
+                        "body");
+        return;
+      }
+      StageDecl S;
+      if (!parseStage(T, BodyLine, S))
+        return;
+      It.Body.push_back(std::move(S));
+    }
+    if (!Closed) {
+      error(Line, "iterate '" + It.Name + "' is missing its closing '}'");
+      return;
+    }
+    if (It.Body.empty()) {
+      error(Line, "iterate '" + It.Name + "' has an empty body");
+      return;
+    }
+    GraphNode N;
+    N.K = GraphNode::Kind::Iterate;
+    N.Iterate = std::move(It);
+    G.Nodes.push_back(std::move(N));
+  }
+};
+
+} // namespace
+
+Expected<Graph> graph::parseGraphChecked(const std::string &Source,
+                                         DiagnosticEngine &Engine) {
+  return LiftgParser(Source, Engine).parse();
+}
+
+//===----------------------------------------------------------------------===//
+// Validation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Validator {
+public:
+  Validator(const Graph &G, DiagnosticEngine &Engine)
+      : G(G), Engine(Engine) {}
+
+  Expected<ValidatedGraph> run() {
+    unsigned Before = Engine.errorCount();
+    VG.G = G;
+    checkNames();
+    buildPlans();
+    if (Engine.errorCount() != Before)
+      return {}; // Shape errors would cascade below.
+    checkDataflow();
+    if (Engine.errorCount() != Before)
+      return {};
+    return std::move(VG);
+  }
+
+private:
+  const Graph &G;
+  DiagnosticEngine &Engine;
+  ValidatedGraph VG;
+
+  DiagLocation at(unsigned Line, const std::string &Ctx) {
+    return DiagLocation::at(Line, "graph '" + G.Name + "'" +
+                                      (Ctx.empty() ? "" : ", " + Ctx));
+  }
+
+  void checkNames() {
+    std::set<std::string> Seen;
+    for (const KernelDecl &K : G.Kernels)
+      if (!Seen.insert("k:" + K.Name).second)
+        Engine.error(DiagCode::GraphDuplicateName, at(K.Line, ""),
+                     "kernel '" + K.Name + "' is declared twice");
+    for (const BufferDecl &B : G.Buffers)
+      if (!Seen.insert("b:" + B.Name).second)
+        Engine.error(DiagCode::GraphDuplicateName, at(B.Line, ""),
+                     "buffer '" + B.Name + "' is declared twice");
+    auto CheckStageName = [&](const StageDecl &S) {
+      if (!Seen.insert("s:" + S.Name).second)
+        Engine.error(DiagCode::GraphDuplicateName, at(S.Line, ""),
+                     "stage '" + S.Name + "' is declared twice");
+    };
+    for (const GraphNode &N : G.Nodes) {
+      if (N.K == GraphNode::Kind::Stage) {
+        CheckStageName(N.Stage);
+      } else {
+        if (!Seen.insert("s:" + N.Iterate.Name).second)
+          Engine.error(DiagCode::GraphDuplicateName, at(N.Iterate.Line, ""),
+                       "iterate '" + N.Iterate.Name + "' collides with "
+                       "another stage or iterate name");
+        for (const StageDecl &S : N.Iterate.Body)
+          CheckStageName(S);
+      }
+    }
+  }
+
+  void buildPlans() {
+    for (const GraphNode &N : G.Nodes) {
+      NodePlan P;
+      P.K = N.K;
+      if (N.K == GraphNode::Kind::Stage) {
+        P.Name = N.Stage.Name;
+        StagePlan SP;
+        if (planStage(N.Stage, "stage '" + N.Stage.Name + "'", SP))
+          P.Stages.push_back(std::move(SP));
+        for (const std::string &B : N.Stage.Ins)
+          P.Reads.insert(B);
+        for (const std::string &B : N.Stage.Outs)
+          P.Writes.insert(B);
+      } else {
+        P.Name = N.Iterate.Name;
+        P.Iter = N.Iterate;
+        checkIterate(N.Iterate);
+        for (const StageDecl &S : N.Iterate.Body) {
+          StagePlan SP;
+          if (planStage(S, "iterate '" + N.Iterate.Name + "' stage '" +
+                               S.Name + "'",
+                        SP))
+            P.Stages.push_back(std::move(SP));
+          for (const std::string &B : S.Ins)
+            P.Reads.insert(B);
+          for (const std::string &B : S.Outs)
+            P.Writes.insert(B);
+        }
+        // The convergence predicate and the trip swaps read host-side.
+        if (!N.Iterate.CompareA.empty())
+          P.Reads.insert(N.Iterate.CompareA);
+        if (!N.Iterate.CompareB.empty())
+          P.Reads.insert(N.Iterate.CompareB);
+      }
+      VG.Nodes.push_back(std::move(P));
+    }
+  }
+
+  /// Compiles the stage's kernel at its NDRange and resolves the buffer
+  /// bound to each non-size kernel parameter.
+  bool planStage(const StageDecl &S, const std::string &Path, StagePlan &SP) {
+    SP.Decl = S;
+    SP.Path = Path;
+    SP.Sizes = S.Sizes;
+
+    const KernelDecl *K = G.findKernel(S.Kernel);
+    if (!K) {
+      Engine.error(DiagCode::GraphUnknownName, at(S.Line, Path),
+                   "unknown kernel '" + S.Kernel + "'");
+      return false;
+    }
+    for (unsigned D = 0; D != 3; ++D) {
+      if (S.Global[D] <= 0 || S.Local[D] <= 0 ||
+          S.Global[D] % S.Local[D] != 0) {
+        Engine.error(DiagCode::GraphShapeMismatch, at(S.Line, Path),
+                     "invalid NDRange: global=" + std::to_string(S.Global[D]) +
+                         " local=" + std::to_string(S.Local[D]) +
+                         " in dimension " + std::to_string(D));
+        return false;
+      }
+    }
+
+    DiagnosticEngine Sub;
+    Expected<frontend::ParsedProgram> Parsed =
+        frontend::parseILChecked(K->Source, Sub);
+    if (!Parsed) {
+      kernelInvalid(S, Path, K->Name, Sub);
+      return false;
+    }
+
+    codegen::CompilerOptions Opts;
+    Opts.GlobalSize = S.Global;
+    Opts.LocalSize = S.Local;
+    Opts.KernelName = "lift_" + S.Name;
+    Expected<codegen::CompiledKernel> Compiled =
+        codegen::compileChecked(Parsed->Program, Opts, Sub);
+    if (!Compiled) {
+      kernelInvalid(S, Path, K->Name, Sub);
+      return false;
+    }
+    SP.Kernel =
+        std::make_shared<codegen::CompiledKernel>(std::move(*Compiled));
+
+    // Every size variable the kernel uses must be bound by the stage.
+    std::map<unsigned, int64_t> SizeEnv;
+    bool Ok = true;
+    for (const auto &[Name, Var] : Parsed->SizeVars) {
+      auto It = S.Sizes.find(Name);
+      if (It == S.Sizes.end()) {
+        Engine.error(DiagCode::GraphShapeMismatch, at(S.Line, Path),
+                     "size variable '" + Name + "' of kernel '" + K->Name +
+                         "' is not bound by the stage",
+                     {"add '" + Name + "=VALUE' to the stage declaration"});
+        Ok = false;
+        continue;
+      }
+      SizeEnv[Var->getId()] = It->second;
+    }
+    if (!Ok)
+      return false;
+
+    arith::EvalContext SizeCtx;
+    SizeCtx.VarValue = [&](const arith::VarNode &V) -> int64_t {
+      auto It = SizeEnv.find(V.getId());
+      if (It == SizeEnv.end())
+        throwDiag(DiagCode::GraphShapeMismatch, DiagLocation(),
+                  "unbound size variable " + V.getName());
+      return It->second;
+    };
+
+    // Bind Ins/Outs, in order, against the kernel's buffer parameters and
+    // check each extent against the buffer declaration.
+    size_t NextIn = 0, NextOut = 0;
+    for (const codegen::KernelParamInfo &Param : SP.Kernel->Params) {
+      if (Param.IsSizeParam || !Param.Store || !Param.Store->NumElements)
+        continue;
+      const std::vector<std::string> &Pool = Param.IsOutput ? S.Outs : S.Ins;
+      size_t &Next = Param.IsOutput ? NextOut : NextIn;
+      if (Next >= Pool.size()) {
+        Engine.error(DiagCode::GraphShapeMismatch, at(S.Line, Path),
+                     "kernel '" + K->Name + "' expects more " +
+                         (Param.IsOutput ? std::string("out=")
+                                         : std::string("in=")) +
+                         " buffers than the stage provides");
+        return false;
+      }
+      const std::string &BufName = Pool[Next++];
+      const BufferDecl *B = G.findBuffer(BufName);
+      if (!B) {
+        Engine.error(DiagCode::GraphUnknownName, at(S.Line, Path),
+                     "unknown buffer '" + BufName + "'");
+        return false;
+      }
+      int64_t Want = 0;
+      try {
+        Want = arith::evaluate(Param.Store->NumElements, SizeCtx);
+      } catch (DiagnosticError &E) {
+        Engine.error(DiagCode::GraphShapeMismatch, at(S.Line, Path),
+                     E.Diag.Message);
+        return false;
+      }
+      if (Want != B->Extent) {
+        Engine.error(
+            DiagCode::GraphShapeMismatch, at(S.Line, Path),
+            "buffer '" + BufName + "' has extent " +
+                std::to_string(B->Extent) + " but kernel '" + K->Name +
+                "' parameter expects " + std::to_string(Want) + " elements",
+            {"producer and consumer shapes must agree exactly"});
+        return false;
+      }
+      SP.Args.push_back(BufName);
+      SP.ArgIsOutput.push_back(Param.IsOutput);
+    }
+    if (NextIn != S.Ins.size() || NextOut != S.Outs.size()) {
+      Engine.error(DiagCode::GraphShapeMismatch, at(S.Line, Path),
+                   "stage binds " + std::to_string(S.Ins.size()) + " in / " +
+                       std::to_string(S.Outs.size()) +
+                       " out buffers but kernel '" + K->Name + "' takes " +
+                       std::to_string(NextIn) + " / " +
+                       std::to_string(NextOut));
+      return false;
+    }
+    return true;
+  }
+
+  void kernelInvalid(const StageDecl &S, const std::string &Path,
+                     const std::string &Kernel, const DiagnosticEngine &Sub) {
+    std::vector<std::string> Notes;
+    for (const Diagnostic &D : Sub.diagnostics())
+      if (D.Severity == DiagSeverity::Error) {
+        Notes.push_back(D.render());
+        break;
+      }
+    Engine.error(DiagCode::GraphKernelInvalid, at(S.Line, Path),
+                 "kernel '" + Kernel + "' failed to compile",
+                 std::move(Notes));
+  }
+
+  void checkIterate(const IterateDecl &It) {
+    auto CheckPair = [&](const std::string &A, const std::string &B,
+                         const char *What) {
+      const BufferDecl *BA = G.findBuffer(A);
+      const BufferDecl *BB = G.findBuffer(B);
+      if (!BA || !BB) {
+        Engine.error(DiagCode::GraphUnknownName, at(It.Line, "iterate '" +
+                                                                It.Name + "'"),
+                     std::string("unknown buffer '") + (BA ? B : A) +
+                         "' in " + What + "=");
+        return;
+      }
+      if (BA->Extent != BB->Extent || BA->Elem != BB->Elem)
+        Engine.error(DiagCode::GraphShapeMismatch,
+                     at(It.Line, "iterate '" + It.Name + "'"),
+                     std::string(What) + "= buffers '" + A + "' and '" + B +
+                         "' must have identical extent and element type");
+    };
+    CheckPair(It.CompareA, It.CompareB, "compare");
+    for (const auto &[A, B] : It.Swaps)
+      CheckPair(A, B, "swap");
+  }
+
+  void checkDataflow() {
+    // Single writer per buffer; remember who produces what.
+    std::map<std::string, size_t> WriterNode;
+    for (size_t I = 0; I != VG.Nodes.size(); ++I) {
+      const NodePlan &N = VG.Nodes[I];
+      for (const StagePlan &SP : N.Stages)
+        for (const std::string &B : SP.Decl.Outs) {
+          const BufferDecl *D = G.findBuffer(B);
+          if (D && D->Role == BufferRole::Input) {
+            Engine.error(DiagCode::GraphMultipleWriters,
+                         at(SP.Decl.Line, SP.Path),
+                         "graph input '" + B + "' cannot be written",
+                         {"declare it scratch or output instead"});
+            continue;
+          }
+          auto [It, Inserted] = WriterNode.emplace(B, I);
+          if (!Inserted && It->second != I) {
+            Engine.error(DiagCode::GraphMultipleWriters,
+                         at(SP.Decl.Line, SP.Path),
+                         "buffer '" + B + "' already has a producer ('" +
+                             VG.ProducerOf[B] + "')");
+          } else if (!Inserted) {
+            Engine.error(DiagCode::GraphMultipleWriters,
+                         at(SP.Decl.Line, SP.Path),
+                         "buffer '" + B + "' is written twice within node '" +
+                             N.Name + "'");
+          } else {
+            VG.ProducerOf[B] = SP.Path;
+          }
+        }
+    }
+    for (const BufferDecl &B : G.Buffers)
+      if (B.Role == BufferRole::Input)
+        VG.ProducerOf[B.Name] = "";
+
+    // Every consumed buffer has a producer or is a graph input; every
+    // graph output has a producer.
+    for (const NodePlan &N : VG.Nodes)
+      for (const std::string &B : N.Reads) {
+        const BufferDecl *D = G.findBuffer(B);
+        if (!D)
+          continue; // planStage already reported the unknown name.
+        if (D->Role != BufferRole::Input && !WriterNode.count(B))
+          Engine.error(DiagCode::GraphUnproducedBuffer, at(D->Line, ""),
+                       "buffer '" + B + "' is consumed by node '" + N.Name +
+                           "' but has no producer and is not a graph input");
+      }
+    for (const BufferDecl &B : G.Buffers)
+      if (B.Role == BufferRole::Output && !WriterNode.count(B.Name))
+        Engine.error(DiagCode::GraphUnproducedBuffer, at(B.Line, ""),
+                     "graph output '" + B.Name + "' has no producer");
+
+    // Dependency edges; a plain stage reading its own output is an
+    // in-place hazard (iterate nodes carry state across trips by design).
+    VG.Deps.assign(VG.Nodes.size(), {});
+    for (size_t I = 0; I != VG.Nodes.size(); ++I) {
+      const NodePlan &N = VG.Nodes[I];
+      for (const std::string &B : N.Reads) {
+        auto It = WriterNode.find(B);
+        if (It == WriterNode.end())
+          continue;
+        if (It->second == I) {
+          if (N.K == GraphNode::Kind::Stage)
+            Engine.error(DiagCode::GraphCycle, at(N.Stages[0].Decl.Line,
+                                                  N.Stages[0].Path),
+                         "stage reads and writes buffer '" + B +
+                             "' in one launch",
+                         {"in-place update hazards are rejected; use an "
+                          "iterate node with swap= for carried state"});
+          continue;
+        }
+        VG.Deps[I].insert(It->second);
+      }
+    }
+
+    // Kahn's algorithm with ties broken by declaration index: the
+    // canonical schedule is identical for every run of the same graph.
+    std::vector<size_t> Indegree(VG.Nodes.size(), 0);
+    for (size_t I = 0; I != VG.Nodes.size(); ++I)
+      Indegree[I] = VG.Deps[I].size();
+    std::vector<char> Done(VG.Nodes.size(), 0);
+    while (VG.Topo.size() != VG.Nodes.size()) {
+      size_t Next = VG.Nodes.size();
+      for (size_t I = 0; I != VG.Nodes.size(); ++I)
+        if (!Done[I] && Indegree[I] == 0) {
+          Next = I;
+          break;
+        }
+      if (Next == VG.Nodes.size()) {
+        for (size_t I = 0; I != VG.Nodes.size(); ++I)
+          if (!Done[I]) {
+            Engine.error(DiagCode::GraphCycle, at(0, ""),
+                         "stage dependencies form a cycle through node '" +
+                             VG.Nodes[I].Name + "'");
+            break;
+          }
+        return;
+      }
+      Done[Next] = 1;
+      VG.Topo.push_back(Next);
+      for (size_t I = 0; I != VG.Nodes.size(); ++I)
+        if (!Done[I] && VG.Deps[I].count(Next))
+          --Indegree[I];
+    }
+  }
+};
+
+} // namespace
+
+Expected<ValidatedGraph> graph::validateGraph(const Graph &G,
+                                              DiagnosticEngine &Engine) {
+  try {
+    return Validator(G, Engine).run();
+  } catch (DiagnosticError &E) {
+    if (!E.Recorded)
+      Engine.report(E.Diag);
+    return {};
+  }
+}

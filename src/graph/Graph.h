@@ -1,0 +1,257 @@
+//===- Graph.h - Pipeline graphs of compiled kernels ------------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pipeline-graph IR: a program as a DAG of kernels connected by named
+/// buffers. A graph is built either from the textual `.liftg` format
+/// (\c parseGraphChecked) or through the \c GraphBuilder C++ DSL, then
+/// validated (\c validateGraph) into a \c ValidatedGraph whose stages carry
+/// compiled kernels and resolved argument bindings, ready for the executor
+/// (GraphExec.h). Validation enforces acyclicity, single-writer buffers,
+/// shape agreement between producer output and consumer input, and that
+/// every consumed buffer has a producer or is a graph input — each failure
+/// is a stable E08xx diagnostic (docs/PIPELINES.md, docs/DIAGNOSTICS.md).
+///
+/// The `.liftg` format is line-oriented:
+///
+/// \code
+/// graph stencil_chain
+/// size N 1024
+///
+/// kernel blur {{{
+/// def add(a: float, b: float): float = "return a + b;"
+/// fun(x: [float]N) => ...
+/// }}}
+///
+/// buffer src[N] input
+/// buffer mid[N-2] scratch
+/// buffer dst[N-2] output
+///
+/// stage s1 kernel=blur in=src out=mid global=64 local=16 N=1024
+/// stage s2 kernel=scale in=mid out=dst global=64 local=16 N=1022
+///
+/// iterate solve max=50 eps=1e-6 compare=x,xn swap=x:xn {
+///   stage step kernel=jac in=b,x out=xn global=64 local=16 N=1024
+/// }
+/// \endcode
+///
+/// Buffer extents and `size` bindings are integer expressions over the
+/// graph's `size` constants (`+ - * /` with the usual precedence).
+/// Buffer declarations accept an element type (`int` after the role) and
+/// an initializer: `init=random(seed)` (the default for float inputs),
+/// `init=const(v)`, or `init=ramp(start,step,mod)` (mod 0 = none) for
+/// host-computed index tables (the ring-Jacobi neighbour maps).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_GRAPH_GRAPH_H
+#define LIFT_GRAPH_GRAPH_H
+
+#include "codegen/Compiler.h"
+#include "support/Diagnostics.h"
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lift {
+namespace graph {
+
+enum class BufferRole { Input, Output, Scratch };
+enum class ElemType { Float, Int };
+
+const char *roleName(BufferRole R);
+
+/// How a graph input is filled by the executor when the host did not bind
+/// data for it explicitly.
+struct InitSpec {
+  enum class Kind { Random, Const, Ramp };
+  Kind K = Kind::Random;
+  uint64_t Seed = 0;  ///< Random; 0 = derived from the buffer's position.
+  double Value = 0;   ///< Const.
+  int64_t Start = 0;  ///< Ramp: Start + Step * i, optionally mod Mod.
+  int64_t Step = 1;
+  int64_t Mod = 0;
+};
+
+struct BufferDecl {
+  std::string Name;
+  int64_t Extent = 0;
+  BufferRole Role = BufferRole::Scratch;
+  ElemType Elem = ElemType::Float;
+  InitSpec Init;
+  unsigned Line = 0;
+};
+
+/// A kernel declaration: a name and an embedded Lift IL program. Each
+/// stage referencing it compiles its own specialization (stages carry
+/// their own NDRange, and compiled kernels hold per-launch scratch).
+struct KernelDecl {
+  std::string Name;
+  std::string Source;
+  unsigned Line = 0;
+};
+
+struct StageDecl {
+  std::string Name;
+  std::string Kernel;
+  /// Buffer names bound, in order, to the kernel's non-output buffer
+  /// parameters; Outs bind to the output parameters.
+  std::vector<std::string> Ins;
+  std::vector<std::string> Outs;
+  std::array<int64_t, 3> Global = {1, 1, 1};
+  std::array<int64_t, 3> Local = {1, 1, 1};
+  /// Size-variable bindings for this stage's launches (and for the
+  /// shape validation of its buffer arguments).
+  std::map<std::string, int64_t> Sizes;
+  unsigned Line = 0;
+};
+
+/// A bounded convergence loop: the body stages run serially each trip;
+/// after every trip the executor evaluates max|CompareA[i] - CompareB[i]|
+/// host-side and stops once it is <= Eps. Between trips each Swaps pair
+/// exchanges buffer contents (the double-buffering idiom of Jacobi and
+/// k-means). Exhausting MaxTrips without converging is the E0812 warning.
+struct IterateDecl {
+  std::string Name;
+  uint64_t MaxTrips = 1;
+  double Eps = 0;
+  std::string CompareA, CompareB;
+  std::vector<std::pair<std::string, std::string>> Swaps;
+  std::vector<StageDecl> Body;
+  unsigned Line = 0;
+};
+
+/// A top-level graph node: a single stage or an iterate loop.
+struct GraphNode {
+  enum class Kind { Stage, Iterate };
+  Kind K = Kind::Stage;
+  StageDecl Stage;
+  IterateDecl Iterate;
+};
+
+struct Graph {
+  std::string Name;
+  std::map<std::string, int64_t> Consts;
+  std::vector<KernelDecl> Kernels;
+  std::vector<BufferDecl> Buffers;
+  std::vector<GraphNode> Nodes;
+
+  const BufferDecl *findBuffer(const std::string &Name) const;
+  const KernelDecl *findKernel(const std::string &Name) const;
+};
+
+/// Parses `.liftg` text, recording structured diagnostics (E0801/E0802/
+/// E0803 with line numbers) into \p Engine. Never aborts on malformed
+/// input.
+Expected<Graph> parseGraphChecked(const std::string &Source,
+                                  DiagnosticEngine &Engine);
+
+/// Fluent C++ construction of a Graph, in the spirit of ir/DSL.h. The
+/// builder performs no checking — validateGraph is the single validation
+/// point for both front ends.
+class GraphBuilder {
+public:
+  explicit GraphBuilder(std::string Name) { G.Name = std::move(Name); }
+
+  GraphBuilder &constant(const std::string &Name, int64_t V) {
+    G.Consts[Name] = V;
+    return *this;
+  }
+  GraphBuilder &kernel(std::string Name, std::string IlSource) {
+    G.Kernels.push_back({std::move(Name), std::move(IlSource), 0});
+    return *this;
+  }
+  GraphBuilder &buffer(BufferDecl B) {
+    G.Buffers.push_back(std::move(B));
+    return *this;
+  }
+  GraphBuilder &input(std::string Name, int64_t Extent, InitSpec Init = {},
+                      ElemType Elem = ElemType::Float) {
+    return buffer({std::move(Name), Extent, BufferRole::Input, Elem, Init, 0});
+  }
+  GraphBuilder &output(std::string Name, int64_t Extent,
+                       ElemType Elem = ElemType::Float) {
+    return buffer(
+        {std::move(Name), Extent, BufferRole::Output, Elem, InitSpec(), 0});
+  }
+  GraphBuilder &scratch(std::string Name, int64_t Extent,
+                        ElemType Elem = ElemType::Float) {
+    return buffer(
+        {std::move(Name), Extent, BufferRole::Scratch, Elem, InitSpec(), 0});
+  }
+  GraphBuilder &stage(StageDecl S) {
+    GraphNode N;
+    N.K = GraphNode::Kind::Stage;
+    N.Stage = std::move(S);
+    G.Nodes.push_back(std::move(N));
+    return *this;
+  }
+  GraphBuilder &iterate(IterateDecl I) {
+    GraphNode N;
+    N.K = GraphNode::Kind::Iterate;
+    N.Iterate = std::move(I);
+    G.Nodes.push_back(std::move(N));
+    return *this;
+  }
+
+  Graph build() { return std::move(G); }
+
+private:
+  Graph G;
+};
+
+/// One stage ready to launch: its compiled kernel, the buffer name bound
+/// to each non-size kernel parameter (in parameter order), and the full
+/// size environment.
+struct StagePlan {
+  StageDecl Decl;
+  /// Diagnostic path: "stage 's1'" or "iterate 'solve' stage 'step'".
+  std::string Path;
+  std::shared_ptr<codegen::CompiledKernel> Kernel;
+  std::vector<std::string> Args;
+  std::map<std::string, int64_t> Sizes;
+  /// True for each Args slot bound to an output parameter.
+  std::vector<bool> ArgIsOutput;
+};
+
+struct NodePlan {
+  GraphNode::Kind K = GraphNode::Kind::Stage;
+  std::string Name;
+  /// The single stage, or the iterate body in declaration order.
+  std::vector<StagePlan> Stages;
+  IterateDecl Iter; ///< Valid when K == Iterate.
+  std::set<std::string> Reads, Writes;
+};
+
+/// The validated, compiled form the executor consumes.
+struct ValidatedGraph {
+  Graph G;
+  std::vector<NodePlan> Nodes; ///< Declaration order.
+  /// Canonical schedule: a topological order with ties broken by
+  /// declaration index, identical for every run of the same graph.
+  std::vector<size_t> Topo;
+  /// Buffer name -> path of the stage that writes it ("" for inputs).
+  std::map<std::string, std::string> ProducerOf;
+  /// Node index -> indices of the nodes it depends on.
+  std::vector<std::set<size_t>> Deps;
+};
+
+/// Compiles every stage kernel at its stage's NDRange and checks the
+/// graph's structural invariants. All E08xx validation failures are
+/// recorded into \p Engine (several may be reported in one pass).
+Expected<ValidatedGraph> validateGraph(const Graph &G,
+                                       DiagnosticEngine &Engine);
+
+} // namespace graph
+} // namespace lift
+
+#endif // LIFT_GRAPH_GRAPH_H

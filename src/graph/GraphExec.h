@@ -1,0 +1,129 @@
+//===- GraphExec.h - Pipeline-graph execution -------------------*- C++ -*-===//
+//
+// Part of the lift-cpp project. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a \c ValidatedGraph: stages are scheduled in the canonical
+/// topological order onto the existing checked launch paths (simulator or
+/// native backend), with a dependency model that lets independent stages
+/// dispatch concurrently (\c MaxConcurrentStages), a liveness pass that
+/// frees and recycles intermediate buffers between stages
+/// (\c ReuseBuffers; host high-water pinned by tests and the bench
+/// harness), graph-wide \c ExecLimits (one shared step/time/memory budget
+/// across all launches), and iterate-until-convergence nodes evaluated
+/// host-side. Cancellation, execution limits and injected faults unwind
+/// mid-graph through \c Expected<> with E08xx diagnostics naming the
+/// failing stage; a poisoned buffer consumed downstream fails
+/// deterministically naming the producing stage (E0810). MemGuard init
+/// bitmaps persist across stages, so with \c CheckMemory a stage reading
+/// elements its producer never wrote is flagged. See docs/PIPELINES.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIFT_GRAPH_GRAPHEXEC_H
+#define LIFT_GRAPH_GRAPHEXEC_H
+
+#include "graph/Graph.h"
+#include "native/Native.h"
+#include "ocl/Runtime.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lift {
+namespace graph {
+
+struct GraphRunOptions {
+  /// Run every stage on the native CPU backend instead of the simulator.
+  /// The whole graph uses one backend; a native failure fails the stage
+  /// (no mid-graph degradation — it would mix numeric models).
+  bool NativeBackend = false;
+  native::NativeMode NMode = native::NativeMode::Exact;
+
+  /// Simulator-only checkers, applied to every stage launch.
+  bool CheckRaces = false;
+  bool CheckMemory = false;
+
+  /// Worker threads per launch (0 = auto, see LaunchConfig::Threads).
+  int Threads = 0;
+
+  /// Graph-wide execution budget: MaxSteps/TimeoutMs/MaxMemoryBytes are
+  /// shared across all stage launches (each launch gets the remainder);
+  /// Cancel is polled between stages and inside every launch. Unset
+  /// bounds fall back to the LIFT_* environment defaults once, at graph
+  /// start. MaxSteps is not decremented by native launches (the native
+  /// backend cannot count interpreter steps).
+  ocl::ExecLimits Limits;
+
+  /// Free intermediate buffers after their last consumer and recycle
+  /// exact-extent matches for later allocations (the fault site
+  /// GraphBufferReuse fires on each recycle). Off = the naive baseline:
+  /// every buffer is allocated up front and held until the end.
+  bool ReuseBuffers = true;
+
+  /// Independent stages dispatched concurrently per wave. 1 (default)
+  /// keeps fault-injection counters and the step budget exact; larger
+  /// values overlap launches and make shared-budget accounting
+  /// best-effort (each concurrent stage sees the wave-start remainder).
+  unsigned MaxConcurrentStages = 1;
+
+  /// After a stage fails, keep running stages that do not depend on it
+  /// (their diagnostics accumulate; the run still fails overall).
+  /// Dependents of the failed stage report E0810 deterministically.
+  bool KeepGoing = false;
+
+  /// Base seed for default random(…) input materialization.
+  uint64_t InputSeed = 1;
+
+  /// Host-supplied contents for input buffers, by name; extents must
+  /// match the declaration. Unbound inputs use their init spec.
+  std::map<std::string, std::vector<float>> Bindings;
+};
+
+struct StageRunInfo {
+  std::string Path; ///< Diagnostic path of the stage.
+  uint64_t Trip = 0; ///< 1-based trip for iterate-body stages, else 0.
+  double Cost = 0;
+  uint64_t StepsUsed = 0;
+  double NativeWallMs = 0;
+};
+
+struct IterateRunInfo {
+  std::string Name;
+  uint64_t Trips = 0;
+  bool Converged = false;
+  double Residual = 0;
+};
+
+struct GraphRunResult {
+  /// Flattened contents of every Output-role buffer, by name.
+  std::map<std::string, std::vector<float>> Outputs;
+  std::vector<StageRunInfo> Stages;
+  std::vector<IterateRunInfo> Iterates;
+  double TotalCost = 0;
+  uint64_t StagesRun = 0;
+  /// hostBytesHighWater over the run (reset at graph start): the peak
+  /// concurrent host footprint, the number the reuse executor shrinks.
+  uint64_t PeakHostBytes = 0;
+  uint64_t BuffersRecycled = 0;
+  uint64_t BuffersFreed = 0;
+};
+
+/// Runs the graph. On failure (stage launch error, poisoned input,
+/// exhausted graph budget, cancellation, injected fault) the E08xx
+/// diagnostics naming the failing stage are recorded into \p Engine and
+/// an empty Expected is returned. Deterministic: for a fixed graph,
+/// options and inputs, the outputs are bit-identical across thread
+/// counts and across the simulator and exact-mode native backend.
+Expected<GraphRunResult> runGraph(const ValidatedGraph &VG,
+                                  const GraphRunOptions &Opts,
+                                  DiagnosticEngine &Engine);
+
+} // namespace graph
+} // namespace lift
+
+#endif // LIFT_GRAPH_GRAPHEXEC_H

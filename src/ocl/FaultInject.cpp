@@ -95,6 +95,10 @@ const char *fault::siteName(Site S) {
     return "request write";
   case Site::QueueAdmit:
     return "queue admit";
+  case Site::GraphStageDispatch:
+    return "graph stage dispatch";
+  case Site::GraphBufferReuse:
+    return "graph buffer reuse";
   }
   return "unknown";
 }

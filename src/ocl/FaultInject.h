@@ -56,9 +56,11 @@ enum class Site : unsigned {
   RequestRead = 12,  ///< reading a request frame off a client connection
   RequestWrite = 13, ///< writing a response frame back to a client
   QueueAdmit = 14,   ///< admitting a request into the bounded work queue
+  GraphStageDispatch = 15, ///< dispatching a pipeline-graph stage
+  GraphBufferReuse = 16,   ///< recycling an intermediate buffer between stages
 };
 
-inline constexpr unsigned NumSites = 15;
+inline constexpr unsigned NumSites = 17;
 
 const char *siteName(Site S);
 

@@ -222,6 +222,16 @@ std::vector<float> Buffer::toFlatFloats() const {
   return R;
 }
 
+void Buffer::clearPoison() {
+  // A poisoned run's partial writes committed init bits for elements whose
+  // values are now suspect. Forgiving the poison must also forget those
+  // bits, or a later stage reading the never-rewritten elements would pass
+  // the uninitialized-read guard on stale state (see docs/PIPELINES.md).
+  if (Poisoned && Init)
+    std::fill(Init->begin(), Init->end(), uint8_t(0));
+  Poisoned = false;
+}
+
 Buffer Buffer::zeros(size_t Count) {
   Buffer B;
   B.Mem = trackedMemory(std::vector<Value>(Count, Value::makeFloat(0)));
@@ -466,6 +476,16 @@ public:
   LimitKind tripped() const {
     return static_cast<LimitKind>(
         TrippedKind.load(std::memory_order_relaxed));
+  }
+
+  /// Steps claimed so far (0 when no step budget is set). Read after the
+  /// workers join, so the relaxed load sees every claim. fetch_sub can
+  /// overshoot past zero on the tripping tick; clamp to the budget.
+  uint64_t stepsUsed() const {
+    if (Limits.MaxSteps == 0)
+      return 0;
+    uint64_t Left = StepsLeft.load(std::memory_order_relaxed);
+    return Left > Limits.MaxSteps ? Limits.MaxSteps : Limits.MaxSteps - Left;
   }
 
   std::string detail() {
@@ -1196,6 +1216,30 @@ private:
     }
   }
 
+public:
+  /// Flushes the partial tick to the shared monitor when a group ends.
+  /// Without this, a launch using fewer steps than one TickInterval never
+  /// touches the shared budget: LaunchResult::StepsUsed would read 0 and a
+  /// sub-tick overshoot would escape the limit. Group-end flushing makes
+  /// step accounting exact for completed launches, which the pipeline
+  /// graph executor relies on to share one budget across stages.
+  void flushSteps() {
+    if (!StepMonitored)
+      return;
+    uint64_t Used =
+        static_cast<uint64_t>(static_cast<int64_t>(ExecMonitor::TickInterval) -
+                              Countdown);
+    Countdown = ExecMonitor::TickInterval;
+    if (Used == 0)
+      return;
+    if (!Mon->claimSteps(Used)) {
+      Mon->noteDetail(describeCurStmt());
+      Mon->noteLimit(LimitKind::Steps);
+      throw LimitError{LimitKind::Steps};
+    }
+  }
+
+private:
   /// One-line rendering of the statement that tripped a limit.
   std::string describeCurStmt() const {
     if (!CurStmt || !*CurStmt)
@@ -2409,6 +2453,7 @@ CostReport executePlan(LaunchPlan &Plan, RaceReport &Races,
               CheckM ? &GroupGuards[static_cast<size_t>(G)] : nullptr,
               CheckM ? &GroupWrites[static_cast<size_t>(G)] : nullptr,
               CollectXG ? &GroupGlobalAcc[static_cast<size_t>(G)] : nullptr);
+          Worker.flushSteps();
         } catch (const CancelledError &) {
           // Another worker tripped a limit or failed first; just unwind.
           Failed.store(true, std::memory_order_relaxed);
@@ -2519,7 +2564,8 @@ CostReport runMachine(const codegen::CompiledKernel &K,
                       const std::vector<Buffer *> &Buffers,
                       const std::map<std::string, int64_t> &Sizes,
                       const LaunchConfig &Cfg, RaceReport &Races,
-                      GuardReport &Guards, DiagnosticEngine *Engine) {
+                      GuardReport &Guards, DiagnosticEngine *Engine,
+                      uint64_t *StepsUsed = nullptr) {
   std::string Kernel = K.Module.Kernel ? K.Module.Kernel->Name : "kernel";
   LaunchPlan Plan(K, Cfg);
   try {
@@ -2529,7 +2575,10 @@ CostReport runMachine(const codegen::CompiledKernel &K,
               "runtime: device allocation failed (out of host memory)");
   }
   try {
-    return executePlan(Plan, Races, Guards, Engine);
+    CostReport Cost = executePlan(Plan, Races, Guards, Engine);
+    if (StepsUsed)
+      *StepsUsed = Plan.Monitor ? Plan.Monitor->stepsUsed() : 0;
+    return Cost;
   } catch (const std::bad_alloc &) {
     for (Buffer *B : Plan.CallerBuffers)
       B->Poisoned = true;
@@ -2594,7 +2643,8 @@ ocl::launchChecked(const codegen::CompiledKernel &K,
                    const LaunchConfig &Cfg, DiagnosticEngine &Engine) {
   LaunchResult R;
   try {
-    R.Cost = runMachine(K, Buffers, Sizes, Cfg, R.Races, R.Guards, &Engine);
+    R.Cost = runMachine(K, Buffers, Sizes, Cfg, R.Races, R.Guards, &Engine,
+                        &R.StepsUsed);
   } catch (DiagnosticError &E) {
     if (!E.Recorded)
       Engine.report(E.Diag);

@@ -233,8 +233,12 @@ public:
   size_t size() const { return Mem->size(); }
   Value &at(size_t I) { return (*Mem)[I]; }
 
-  /// Accepts the partial contents of a cancelled launch as-is.
-  void clearPoison() { Poisoned = false; }
+  /// Accepts the partial contents of a cancelled launch as-is. Also
+  /// resets the MemGuard init bitmap: the poisoned run's partial writes
+  /// must not count as "initialized" when the buffer is rebound into a
+  /// later launch, or a downstream stage reading the never-rewritten
+  /// elements would pass the uninitialized-read guard.
+  void clearPoison();
 };
 
 /// Wraps element storage in a MemoryPtr whose lifetime is charged against
@@ -443,6 +447,11 @@ struct LaunchResult {
   CostReport Cost;
   RaceReport Races;
   GuardReport Guards;
+
+  /// Interpreter steps consumed by this launch when a step budget was
+  /// active (Cfg.Limits.MaxSteps != 0), else 0. The graph executor uses
+  /// this to charge successive stages against one graph-wide budget.
+  uint64_t StepsUsed = 0;
 
   bool clean() const { return Races.clean() && Guards.clean(); }
 };

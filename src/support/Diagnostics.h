@@ -19,7 +19,8 @@
 /// docs/DIAGNOSTICS.md): 1xx IL parsing, 2xx type analysis, 3xx IR
 /// verification, 4xx code generation, 5xx simulated-runtime execution,
 /// 6xx host API misuse and the native CPU backend (docs/NATIVE_BACKEND.md),
-/// 7xx the liftd compile-and-run service (docs/SERVICE.md).
+/// 7xx the liftd compile-and-run service (docs/SERVICE.md), 8xx the
+/// pipeline-graph layer (docs/PIPELINES.md).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -129,6 +130,22 @@ enum class DiagCode : unsigned {
   ServiceCancelled = 704,     ///< request cancelled (client disconnected)
   ServiceShuttingDown = 705,  ///< daemon draining; no new work accepted
   ServiceConnectFailed = 706, ///< client could not reach the daemon socket
+
+  // 8xx — the pipeline-graph layer (docs/PIPELINES.md).
+  GraphParse = 801,          ///< malformed .liftg text
+  GraphDuplicateName = 802,  ///< kernel/buffer/stage name declared twice
+  GraphUnknownName = 803,    ///< stage references an undeclared kernel/buffer
+  GraphKernelInvalid = 804,  ///< embedded kernel IL failed to parse/compile
+  GraphShapeMismatch = 805,  ///< buffer extent disagrees with kernel params
+  GraphUnproducedBuffer = 806, ///< consumed buffer has no producer/input
+  GraphCycle = 807,          ///< stage dependencies form a cycle
+  GraphMultipleWriters = 808, ///< two stages write the same buffer
+  GraphStageFailed = 809,    ///< a stage launch failed; names the stage
+  GraphPoisonedInput = 810,  ///< stage consumes a poisoned buffer; names
+                             ///< the producing stage
+  GraphFaultInjected = 811,  ///< injected graph-level fault (stage dispatch,
+                             ///< buffer reuse)
+  GraphNotConverged = 812,   ///< warning: iterate node exhausted max trips
 };
 
 /// Renders a code as its stable "E0101"-style identifier.

@@ -25,6 +25,11 @@
 ///     (ocl::ExecLimits). Invariant: a well-typed program always compiles
 ///     cleanly and runs with zero findings and no tripped limit.
 ///
+///  3. Pipeline graphs (src/graph): mutated .liftg sources never abort
+///     the graph parser/validator/executor, and generated well-formed
+///     two-stage pipelines always validate, run cleanly under full
+///     dynamic checking, and are bit-identical across thread counts.
+///
 /// Runs in the "check" tier so the sanitized build (LIFT_SANITIZE=ON,
 /// tools/ci-sanitize.sh) executes every case under ASan/UBSan; the
 /// combined corpus is >12k mutated inputs and >1k random programs.
@@ -34,6 +39,7 @@
 #include "Generator.h"
 #include "TestHelpers.h"
 #include "frontend/ILParser.h"
+#include "graph/GraphExec.h"
 #include "ir/Prelude.h"
 #include "passes/Verify.h"
 #include "support/Diagnostics.h"
@@ -383,5 +389,109 @@ TEST_P(WellTypedFuzz, AlwaysCompilesCleanAndRunsGuarded) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WellTypedFuzz, ::testing::Range(0, 128));
+
+//===----------------------------------------------------------------------===//
+// Pipeline-graph fuzzing (src/graph)
+//===----------------------------------------------------------------------===//
+
+// The .liftg frontend gets the same two-sided treatment as the IL one:
+// mutated graph sources must never abort (parse and validation either
+// succeed or leave diagnostics), and randomly generated well-formed
+// pipelines must always validate, run cleanly, and stay bit-identical
+// across executor thread counts.
+
+class GraphCrashFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(GraphCrashFuzz, MutatedGraphSourceNeverAborts) {
+  Prng Rng(static_cast<uint64_t>(GetParam()) * 2000003 + 29);
+  constexpr int MutantsPerSeed = 24;
+
+  for (int M = 0; M != MutantsPerSeed; ++M) {
+    std::string Input = generatePipelineGraph(Rng.next());
+    Input = mutate(std::move(Input), Rng);
+
+    DiagnosticEngine Engine(8);
+    try {
+      Expected<graph::Graph> G = graph::parseGraphChecked(Input, Engine);
+      if (!G) {
+        ASSERT_TRUE(Engine.hasErrors())
+            << "graph parse failed without a diagnostic; input:\n" << Input;
+        continue;
+      }
+      Expected<graph::ValidatedGraph> VG = graph::validateGraph(*G, Engine);
+      if (!VG) {
+        ASSERT_TRUE(Engine.hasErrors())
+            << "graph validation failed without a diagnostic; input:\n"
+            << Input;
+        continue;
+      }
+      // A mutant that survives validation is a real (if odd) pipeline;
+      // run it under a tight budget so a pathological one cannot hang
+      // the fuzz round. Either outcome is fine — only aborts are bugs.
+      // Skip the run (not the parse/validate) when an extreme-number
+      // mutation produced giant extents or NDRanges: those only measure
+      // how long the deadline takes to fire, a few hundred times over.
+      int64_t TotalElems = 0;
+      for (const graph::BufferDecl &B : G->Buffers)
+        TotalElems += B.Extent;
+      int64_t MaxGlobal = 0;
+      for (const graph::GraphNode &N : G->Nodes) {
+        const graph::StageDecl &S = N.Stage;
+        if (N.K == graph::GraphNode::Kind::Stage)
+          MaxGlobal = std::max(MaxGlobal, S.Global[0] * S.Global[1] *
+                                              S.Global[2]);
+      }
+      if (TotalElems > (1 << 16) || MaxGlobal > (1 << 16))
+        continue;
+      graph::GraphRunOptions GO;
+      GO.Limits.MaxSteps = 2'000'000;
+      GO.Limits.TimeoutMs = 10'000;
+      GO.Limits.MaxMemoryBytes = 64u << 20;
+      (void)graph::runGraph(*VG, GO, Engine);
+    } catch (const std::exception &E) {
+      FAIL() << "exception escaped the checked graph pipeline (seed "
+             << GetParam() << ", mutant " << M << "): " << E.what()
+             << "\ninput:\n" << Input;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphCrashFuzz, ::testing::Range(0, 32));
+
+class GraphPipelineFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(GraphPipelineFuzz, GeneratedPipelinesRunCleanAndDeterministic) {
+  constexpr int GraphsPerSeed = 4;
+  for (int I = 0; I != GraphsPerSeed; ++I) {
+    uint64_t Seed = static_cast<uint64_t>(GetParam()) * 977 + I;
+    std::string Source = generatePipelineGraph(Seed);
+
+    DiagnosticEngine Engine;
+    Expected<graph::Graph> G = graph::parseGraphChecked(Source, Engine);
+    ASSERT_TRUE(bool(G)) << "generated graph rejected (seed " << Seed
+                         << "):\n" << Engine.render() << "\n" << Source;
+    Expected<graph::ValidatedGraph> VG = graph::validateGraph(*G, Engine);
+    ASSERT_TRUE(bool(VG)) << "generated graph invalid (seed " << Seed
+                          << "):\n" << Engine.render() << "\n" << Source;
+
+    graph::GraphRunOptions GO;
+    GO.CheckRaces = true;
+    GO.CheckMemory = true;
+    Expected<graph::GraphRunResult> R1 = graph::runGraph(*VG, GO, Engine);
+    ASSERT_TRUE(bool(R1)) << "generated graph failed (seed " << Seed
+                          << "):\n" << Engine.render() << "\n" << Source;
+    ASSERT_FALSE(Engine.hasErrors()) << Engine.render();
+
+    DiagnosticEngine Engine2;
+    graph::GraphRunOptions GO2 = GO;
+    GO2.Threads = 2;
+    Expected<graph::GraphRunResult> R2 = graph::runGraph(*VG, GO2, Engine2);
+    ASSERT_TRUE(bool(R2)) << Engine2.render();
+    EXPECT_EQ(R1->Outputs, R2->Outputs)
+        << "thread count changed results (seed " << Seed << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphPipelineFuzz, ::testing::Range(0, 32));
 
 } // namespace

@@ -268,6 +268,62 @@ inline ir::LambdaPtr generateWellTyped(uint64_t Seed, size_t &OutCount,
   return lambda({X}, E);
 }
 
+/// Builds a random well-typed two-stage pipeline graph in the textual
+/// .liftg format (src/graph). Stage 1 is a random elementwise kernel over
+/// [float]N; stage 2 is either another elementwise kernel (extent
+/// preserved) or a 3-point sliding blur (extent shrinks by 2). Extents,
+/// NDRanges and input seeds are drawn from \p Seed, always consistently:
+/// every generated graph must parse, validate and run cleanly, and its
+/// outputs must be bit-identical across thread counts. Fed through the
+/// crash-fuzz tier both as-is and mutated.
+inline std::string generatePipelineGraph(uint64_t Seed) {
+  Prng Rng(Seed ^ 0x90a7f00d);
+
+  static const char *const Bodies[] = {
+      "return x * x;",
+      "return x + 1.0f;",
+      "return 2.0f * x - 0.25f;",
+      "return x < 0.0f ? -x : x;",
+      "return x * 0.5f + 2.0f;",
+  };
+  auto Elementwise = [&](const char *FnName) {
+    std::string Body = Bodies[Rng.range(0, 4)];
+    return std::string("def ") + FnName + "(x: float): float = \"" + Body +
+           "\"\nfun(x: [float]N) =>\n  mapGlb0(" + FnName + ")(x)\n";
+  };
+
+  // Local divides global, global stays small so fuzz rounds are cheap.
+  int64_t Local = 1 << Rng.range(1, 3);       // 2..8
+  int64_t Global = Local << Rng.range(1, 3);  // x2..x8
+  int64_t N = 16 * Rng.range(1, 8);           // 16..128
+  bool Blur = Rng.range(0, 1) == 1;
+  int64_t OutN = Blur ? N - 2 : N;
+  uint64_t InSeed = static_cast<uint64_t>(Rng.range(1, 1 << 20));
+
+  std::string G;
+  G += "graph fuzz_pipe\n";
+  G += "size N " + std::to_string(N) + "\n\n";
+  G += "kernel k1 {{{\n" + Elementwise("f1") + "}}}\n\n";
+  if (Blur)
+    G += "kernel k2 {{{\n"
+         "def add(a: float, b: float): float = \"return a + b;\"\n"
+         "def third(x: float): float = \"return x * 0.333333343f;\"\n"
+         "fun(x: [float]N) =>\n"
+         "  join(mapGlb0(\\(w) -> mapSeq(third)(reduceSeq(add)(0.0f, w)))("
+         "slide(3, 1)(x)))\n"
+         "}}}\n\n";
+  else
+    G += "kernel k2 {{{\n" + Elementwise("f2") + "}}}\n\n";
+  G += "buffer src[N] input init=random(" + std::to_string(InSeed) + ")\n";
+  G += "buffer mid[N] scratch\n";
+  G += "buffer dst[" + std::to_string(OutN) + "] output\n\n";
+  G += "stage s1 kernel=k1 in=src out=mid global=" + std::to_string(Global) +
+       " local=" + std::to_string(Local) + " N=" + std::to_string(N) + "\n";
+  G += "stage s2 kernel=k2 in=mid out=dst global=" + std::to_string(Global) +
+       " local=" + std::to_string(Local) + " N=" + std::to_string(N) + "\n";
+  return G;
+}
+
 } // namespace test
 } // namespace lift
 

@@ -139,6 +139,51 @@ kernel void reader(global float *tmp, global float *out) {
   EXPECT_TRUE(G2.clean()) << G2.summary();
 }
 
+TEST(MemGuardTest, ClearPoisonResetsInitBitmap) {
+  // Regression: clearPoison() used to reset only the Poisoned flag,
+  // leaving the init bitmap claiming the (now meaningless) contents of a
+  // half-written buffer were valid. Clearing poison must also forget the
+  // poisoned launch's writes, so a later guarded read is flagged.
+  auto Writer = kernelFrom(R"(
+kernel void writer(global float *tmp) {
+  tmp[get_global_id(0)] = 2.0f;
+}
+)");
+  auto Reader = kernelFrom(R"(
+kernel void reader(global float *tmp, global float *out) {
+  int g = get_global_id(0);
+  out[g] = tmp[g];
+}
+)");
+  Buffer Tmp = Buffer::zeros(4);
+  Buffer Out = Buffer::zeros(4);
+  RaceReport R1;
+  GuardReport G1;
+  launch(Writer, {&Tmp}, {}, guarded(4, 2), R1, G1);
+  ASSERT_TRUE(G1.clean()) << G1.summary();
+
+  // A mid-flight failure would have poisoned the buffer; recovery clears
+  // the poison to reuse the storage.
+  Tmp.Poisoned = true;
+  Tmp.clearPoison();
+  EXPECT_FALSE(Tmp.Poisoned);
+
+  // The writer's init bits must be gone: all four reads are flagged.
+  RaceReport R2;
+  GuardReport G2;
+  launch(Reader, {&Tmp, &Out}, {}, guarded(4, 2), R2, G2);
+  EXPECT_EQ(G2.uninitReads(), 4u) << G2.summary();
+
+  // Clearing poison on a never-poisoned buffer is a no-op: the bitmap
+  // (here: host data, fully initialized) survives.
+  Buffer Host = Buffer::ofFloats({1, 2, 3, 4});
+  Host.clearPoison();
+  RaceReport R3;
+  GuardReport G3;
+  launch(Reader, {&Host, &Out}, {}, guarded(4, 2), R3, G3);
+  EXPECT_TRUE(G3.clean()) << G3.summary();
+}
+
 TEST(MemGuardTest, DuplicateFindingsAreDeduplicated) {
   // Every item of every group reads in[-1]: one finding, not global-size.
   auto K = kernelFrom(R"(

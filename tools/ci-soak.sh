@@ -39,6 +39,13 @@
 #      surface as a clean exit 1 carrying E0515; step-chunk checkpoints
 #      are per-worker, so a parallel run may legitimately finish before
 #      the n-th tick (exit 0) — but a crash always fails the soak.
+#   7. liftd under seeded service faults: a real daemon per seed with
+#      probabilistic injection over the service sites while remote
+#      clients hold the exit-code contract; the daemon must drain clean.
+#   8. Pipeline graphs under seeded faults: the k-means convergence loop
+#      through liftc --graph (docs/PIPELINES.md), every seed bounded by
+#      the exported ExecLimits, the exit-code contract as the oracle,
+#      alternating the reuse and naive allocators.
 #
 # Usage: tools/ci-soak.sh [build-dir]   (default build-soak)
 #
@@ -225,5 +232,35 @@ for SEED in $(seq 1 8); do
 done
 rm -rf "$STORM_DIR"
 echo "all 8 daemon seeds drained cleanly"
+
+echo "== Stage 8: pipeline graphs under seeded fault injection ($SWEEP_SEEDS seeds) =="
+# The k-means convergence loop (examples/graph/kmeans_loop.liftg,
+# docs/PIPELINES.md) through liftc --graph with probabilistic injection
+# armed from the environment: every runtime site a graph run reaches —
+# including the graph-level sites 15 (stage dispatch) and 16 (buffer
+# reuse) — fires at random across the ~34 stage launches of the loop.
+# Bounded ExecLimits are inherited from the exports above, so an
+# injected pathology surfaces as a diagnostic, never a hung soak. The
+# oracle is liftc's exit-code contract: 0 = the graph ran (possibly with
+# the E0812 not-converged warning), 1 = it unwound with clean E08xx
+# diagnostics naming the failed stage; 2 or a signal means a fault
+# escaped the Expected<> paths. Alternating reuse on/off keeps both
+# allocator paths under fire.
+for SEED in $(seq 1 "$SWEEP_SEEDS"); do
+  REUSE_FLAG=""
+  if [ $((SEED % 2)) -eq 0 ]; then
+    REUSE_FLAG="--no-reuse-buffers"
+  fi
+  STATUS=0
+  LIFT_FAULT_SEED="$SEED" "$BUILD_DIR/tools/liftc" \
+    --graph=examples/graph/kmeans_loop.liftg $REUSE_FLAG \
+    >/dev/null 2>&1 || STATUS=$?
+  if [ "$STATUS" -ne 0 ] && [ "$STATUS" -ne 1 ]; then
+    echo "soak: liftc --graph kmeans_loop crashed under" \
+         "LIFT_FAULT_SEED=$SEED (exit $STATUS)" >&2
+    exit 1
+  fi
+done
+echo "all $SWEEP_SEEDS graph seeds exited cleanly"
 
 echo "soak passed"

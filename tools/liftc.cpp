@@ -31,6 +31,12 @@
 //   liftc prog.lift --remote=SOCK ...        send the request to a liftd
 //                                            daemon (docs/SERVICE.md) and
 //                                            relay its response
+//   liftc --graph=pipe.liftg                 run a multi-kernel pipeline
+//                                            graph (docs/PIPELINES.md):
+//                                            stages scheduled in dependency
+//                                            order with buffer reuse,
+//                                            graph-wide limits, and iterate-
+//                                            until-convergence nodes
 //
 // The pipeline itself lives in src/service/Exec so the liftd daemon and
 // this driver produce bit-identical output; this file only parses flags,
@@ -42,6 +48,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "graph/GraphExec.h"
 #include "ocl/FaultInject.h"
 #include "service/Client.h"
 #include "service/Exec.h"
@@ -117,7 +124,9 @@ void usage() {
       "                                9 = cache read, 10 = cache write, 11 = "
       "accept,\n"
       "                                12 = request read, 13 = request write, "
-      "14 = queue admit)\n"
+      "14 = queue admit,\n"
+      "                                15 = graph stage dispatch, 16 = graph "
+      "buffer reuse)\n"
       "             [--count-faults]  run in fault-counting mode: nothing "
       "fails, and a\n"
       "                               '// fault-count K N <site>' line per "
@@ -125,7 +134,26 @@ void usage() {
       "                               many injection opportunities the run "
       "had (the sweep\n"
       "                               bound for --inject-faults; overrides "
-      "--inject-faults)\n");
+      "--inject-faults)\n"
+      "             [--graph=FILE]    run a .liftg pipeline graph "
+      "(docs/PIPELINES.md);\n"
+      "                               honours --backend/--native-mode, "
+      "--threads,\n"
+      "                               --check-races/--check-memory, the "
+      "limit flags and\n"
+      "                               fault injection; incompatible with "
+      "--remote,\n"
+      "                               --print-il and --dump-native\n"
+      "             [--no-reuse-buffers]  graph mode: naive baseline, all "
+      "buffers\n"
+      "                               allocated up front and held (the bench "
+      "comparison)\n"
+      "             [--graph-jobs N]  graph mode: dispatch up to N "
+      "independent stages\n"
+      "                               concurrently (default 1 = exact fault/"
+      "budget order)\n"
+      "             [--input-seed N]  graph mode: base seed for random input "
+      "buffers\n");
 }
 
 bool parseDims(const char *S, std::array<int64_t, 3> &Out) {
@@ -161,6 +189,80 @@ void flushDiagnostics(const DiagnosticEngine &Engine) {
     std::fprintf(stderr, "liftc: %s\n", D.render().c_str());
 }
 
+void printFaultCounts() {
+  for (unsigned S = 0; S != ocl::fault::NumSites; ++S) {
+    auto Id = static_cast<ocl::fault::Site>(S);
+    std::printf("// fault-count %u %llu %s\n", S,
+                static_cast<unsigned long long>(ocl::fault::occurrences(Id)),
+                ocl::fault::siteName(Id));
+  }
+}
+
+/// Graph mode: parse + validate + run a .liftg pipeline and print a
+/// stage-by-stage report. Same exit-code contract as single-kernel runs.
+int runGraphFile(const std::string &Source, const graph::GraphRunOptions &GO,
+                 bool CountFaults, unsigned MaxErrors) {
+  DiagnosticEngine Engine(MaxErrors);
+  Expected<graph::Graph> G = graph::parseGraphChecked(Source, Engine);
+  if (!G) {
+    flushDiagnostics(Engine);
+    return ExitDiagnostics;
+  }
+  Expected<graph::ValidatedGraph> VG = graph::validateGraph(*G, Engine);
+  if (!VG) {
+    flushDiagnostics(Engine);
+    return ExitDiagnostics;
+  }
+
+  Expected<graph::GraphRunResult> R = graph::runGraph(*VG, GO, Engine);
+  if (!R) {
+    if (CountFaults)
+      printFaultCounts();
+    flushDiagnostics(Engine);
+    return ExitDiagnostics;
+  }
+
+  std::printf("// graph '%s': %zu nodes, backend %s\n", VG->G.Name.c_str(),
+              VG->Nodes.size(),
+              GO.NativeBackend
+                  ? (GO.NMode == native::NativeMode::Exact ? "native/exact"
+                                                           : "native/fast")
+                  : "sim");
+  for (const graph::StageRunInfo &S : R->Stages) {
+    if (S.Trip)
+      std::printf("// %s trip %llu: cost=%.0f steps=%llu\n", S.Path.c_str(),
+                  static_cast<unsigned long long>(S.Trip), S.Cost,
+                  static_cast<unsigned long long>(S.StepsUsed));
+    else if (GO.NativeBackend)
+      std::printf("// %s: wall-ms=%.3f\n", S.Path.c_str(), S.NativeWallMs);
+    else
+      std::printf("// %s: cost=%.0f steps=%llu\n", S.Path.c_str(), S.Cost,
+                  static_cast<unsigned long long>(S.StepsUsed));
+  }
+  for (const graph::IterateRunInfo &It : R->Iterates)
+    std::printf("// iterate '%s': %s in %llu trips (residual %.6g)\n",
+                It.Name.c_str(),
+                It.Converged ? "converged" : "did not converge",
+                static_cast<unsigned long long>(It.Trips), It.Residual);
+  for (const auto &[Name, Data] : R->Outputs) {
+    double Checksum = 0;
+    for (float V : Data)
+      Checksum += V;
+    std::printf("// output %s: n=%zu checksum=%.6g\n", Name.c_str(),
+                Data.size(), Checksum);
+  }
+  std::printf("// graph: stages-run=%llu cost=%.0f peak-host-bytes=%llu "
+              "recycled=%llu freed=%llu\n",
+              static_cast<unsigned long long>(R->StagesRun), R->TotalCost,
+              static_cast<unsigned long long>(R->PeakHostBytes),
+              static_cast<unsigned long long>(R->BuffersRecycled),
+              static_cast<unsigned long long>(R->BuffersFreed));
+  if (CountFaults)
+    printFaultCounts();
+  flushDiagnostics(Engine);
+  return Engine.hasErrors() ? ExitDiagnostics : ExitOk;
+}
+
 int run(int argc, char **argv) {
   if (argc < 2) {
     usage();
@@ -169,7 +271,12 @@ int run(int argc, char **argv) {
 
   std::string File;
   std::string Remote;
+  std::string GraphFile;
   bool FaultFlagsUsed = false;
+  bool NoReuseBuffers = false;
+  unsigned GraphJobs = 1;
+  bool GraphKeepGoing = false;
+  uint64_t InputSeed = 1;
   service::ExecRequest Req;
 
   for (int I = 1; I < argc; ++I) {
@@ -221,6 +328,33 @@ int run(int argc, char **argv) {
       }
     } else if (A == "--max-memory" && I + 1 < argc) {
       Req.Opts.MaxMemoryBytes = std::strtoull(argv[++I], nullptr, 10);
+    } else if (A.rfind("--graph=", 0) == 0) {
+      GraphFile = A.substr(std::strlen("--graph="));
+      if (GraphFile.empty()) {
+        std::fprintf(stderr, "liftc: --graph needs a .liftg file path\n");
+        return ExitDiagnostics;
+      }
+    } else if (A == "--graph" && I + 1 < argc) {
+      GraphFile = argv[++I];
+    } else if (A == "--no-reuse-buffers") {
+      NoReuseBuffers = true;
+    } else if (A == "--keep-going") {
+      GraphKeepGoing = true;
+    } else if (A == "--graph-jobs" && I + 1 < argc) {
+      unsigned long long V = 0;
+      if (!parseCount(argv[++I], V) || V == 0 || V > 64) {
+        std::fprintf(stderr, "liftc: --graph-jobs needs a count in "
+                             "[1, 64]\n");
+        return ExitDiagnostics;
+      }
+      GraphJobs = static_cast<unsigned>(V);
+    } else if (A == "--input-seed" && I + 1 < argc) {
+      unsigned long long V = 0;
+      if (!parseCount(argv[++I], V)) {
+        std::fprintf(stderr, "liftc: --input-seed needs a count >= 0\n");
+        return ExitDiagnostics;
+      }
+      InputSeed = V;
     } else if (A.rfind("--remote=", 0) == 0) {
       Remote = A.substr(std::strlen("--remote="));
       if (Remote.empty()) {
@@ -298,9 +432,40 @@ int run(int argc, char **argv) {
       return ExitDiagnostics;
     }
   }
-  if (File.empty()) {
+  if (File.empty() && GraphFile.empty()) {
     usage();
     return ExitDiagnostics;
+  }
+  if (!GraphFile.empty()) {
+    if (!Remote.empty() || Req.PrintIl || Req.DumpNative || !File.empty()) {
+      std::fprintf(stderr,
+                   "liftc: --graph cannot be combined with --remote, "
+                   "--print-il, --dump-native or a .lift input file\n");
+      return ExitDiagnostics;
+    }
+    if (Req.CountFaults)
+      ocl::fault::countOnly();
+    std::ifstream GIn(GraphFile);
+    if (!GIn) {
+      std::fprintf(stderr, "liftc: cannot open %s\n", GraphFile.c_str());
+      return ExitDiagnostics;
+    }
+    std::stringstream GS;
+    GS << GIn.rdbuf();
+    graph::GraphRunOptions GO;
+    GO.NativeBackend = Req.NativeBackend;
+    GO.NMode = Req.NMode;
+    GO.CheckRaces = Req.Opts.CheckRaces;
+    GO.CheckMemory = Req.Opts.CheckMemory;
+    GO.Threads = Req.Opts.Threads;
+    GO.Limits.MaxSteps = Req.Opts.MaxSteps;
+    GO.Limits.TimeoutMs = Req.Opts.TimeoutMs;
+    GO.Limits.MaxMemoryBytes = Req.Opts.MaxMemoryBytes;
+    GO.ReuseBuffers = !NoReuseBuffers;
+    GO.MaxConcurrentStages = GraphJobs;
+    GO.KeepGoing = GraphKeepGoing;
+    GO.InputSeed = InputSeed;
+    return runGraphFile(GS.str(), GO, Req.CountFaults, Req.MaxErrors);
   }
   if (!Remote.empty() && FaultFlagsUsed) {
     std::fprintf(stderr,
